@@ -1,0 +1,296 @@
+//! The five JMS message body types.
+//!
+//! The paper's test configuration "allows the users to specify the message
+//! body type (StreamMessage, MapMessage, TextMessage, ObjectMessage and
+//! BytesMessage) and size of messages to be sent" (§3.2). Body byte counts
+//! feed the bytes-per-second throughput measures.
+
+use crate::value::Value;
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The kind of a message body, without its payload.
+///
+/// Used in test configurations to select which body type a producer builds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum BodyKind {
+    /// A UTF-8 text payload.
+    Text,
+    /// An opaque byte payload.
+    Bytes,
+    /// A name → value map.
+    Map,
+    /// A sequence of typed values.
+    Stream,
+    /// A serialised object payload (opaque bytes plus a type tag).
+    Object,
+}
+
+impl BodyKind {
+    /// All body kinds, useful for configuration sweeps.
+    pub const ALL: [BodyKind; 5] = [
+        BodyKind::Text,
+        BodyKind::Bytes,
+        BodyKind::Map,
+        BodyKind::Stream,
+        BodyKind::Object,
+    ];
+}
+
+impl fmt::Display for BodyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BodyKind::Text => "text",
+            BodyKind::Bytes => "bytes",
+            BodyKind::Map => "map",
+            BodyKind::Stream => "stream",
+            BodyKind::Object => "object",
+        })
+    }
+}
+
+/// A message body.
+///
+/// # Examples
+///
+/// ```
+/// use jmst_api::body::{Body, BodyKind};
+///
+/// let body = Body::text("hello");
+/// assert_eq!(body.kind(), BodyKind::Text);
+/// assert_eq!(body.size_bytes(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Body {
+    /// A UTF-8 text payload (JMS `TextMessage`).
+    Text(String),
+    /// An opaque byte payload (JMS `BytesMessage`).
+    Bytes(#[serde(with = "bytes_serde")] Bytes),
+    /// A name → value map (JMS `MapMessage`). Entries iterate in name order.
+    Map(BTreeMap<String, Value>),
+    /// A sequence of typed values (JMS `StreamMessage`).
+    Stream(Vec<Value>),
+    /// A serialised object (JMS `ObjectMessage`): a class tag and the
+    /// serialised form. We carry opaque bytes; the harness uses a
+    /// deterministic synthetic encoding.
+    Object {
+        /// Name of the (synthetic) class the payload encodes.
+        class: String,
+        /// The serialised payload.
+        #[serde(with = "bytes_serde")]
+        data: Bytes,
+    },
+}
+
+mod bytes_serde {
+    use bytes::Bytes;
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(value: &Bytes, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bytes(value)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(deserializer: D) -> Result<Bytes, D::Error> {
+        let raw = Vec::<u8>::deserialize(deserializer)?;
+        Ok(Bytes::from(raw))
+    }
+}
+
+impl Body {
+    /// Creates a text body.
+    pub fn text(text: impl Into<String>) -> Self {
+        Body::Text(text.into())
+    }
+
+    /// Creates a bytes body.
+    pub fn bytes(data: impl Into<Bytes>) -> Self {
+        Body::Bytes(data.into())
+    }
+
+    /// Creates a map body from an iterator of entries.
+    pub fn map<K, I>(entries: I) -> Self
+    where
+        K: Into<String>,
+        I: IntoIterator<Item = (K, Value)>,
+    {
+        Body::Map(entries.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Creates a stream body from an iterator of values.
+    pub fn stream<I: IntoIterator<Item = Value>>(values: I) -> Self {
+        Body::Stream(values.into_iter().collect())
+    }
+
+    /// Creates an object body.
+    pub fn object(class: impl Into<String>, data: impl Into<Bytes>) -> Self {
+        Body::Object {
+            class: class.into(),
+            data: data.into(),
+        }
+    }
+
+    /// Returns the kind of this body.
+    pub fn kind(&self) -> BodyKind {
+        match self {
+            Body::Text(_) => BodyKind::Text,
+            Body::Bytes(_) => BodyKind::Bytes,
+            Body::Map(_) => BodyKind::Map,
+            Body::Stream(_) => BodyKind::Stream,
+            Body::Object { .. } => BodyKind::Object,
+        }
+    }
+
+    /// Returns the body payload size in bytes, the quantity the paper's
+    /// "message body bytes per second" throughput measures count.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            Body::Text(s) => s.len(),
+            Body::Bytes(b) => b.len(),
+            Body::Map(m) => m
+                .iter()
+                .map(|(k, v)| k.len() + v.wire_size())
+                .sum(),
+            Body::Stream(vs) => vs.iter().map(Value::wire_size).sum(),
+            Body::Object { class, data } => class.len() + data.len(),
+        }
+    }
+
+    /// Builds a synthetic body of `kind` whose payload is approximately
+    /// `size` bytes, filled deterministically from `seed`.
+    ///
+    /// The harness uses this to generate configured message sizes without
+    /// an external corpus. The exact size may differ by a few bytes for
+    /// structured kinds (map/stream entries have fixed-size parts).
+    pub fn synthetic(kind: BodyKind, size: usize, seed: u64) -> Self {
+        let fill = |n: usize| -> Vec<u8> {
+            let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+            (0..n)
+                .map(|_| {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    (state & 0x7F) as u8 | 0x20
+                })
+                .collect()
+        };
+        match kind {
+            BodyKind::Text => {
+                Body::Text(String::from_utf8(fill(size)).expect("fill produces ASCII"))
+            }
+            BodyKind::Bytes => Body::Bytes(Bytes::from(fill(size))),
+            BodyKind::Object => Body::Object {
+                class: "jmst.Synthetic".to_owned(),
+                data: Bytes::from(fill(size.saturating_sub("jmst.Synthetic".len()))),
+            },
+            BodyKind::Map => {
+                // Each entry: 4-byte key ("kNNN") plus an 8-byte long value.
+                let entries = (size / 12).max(1);
+                Body::Map(
+                    (0..entries)
+                        .map(|i| {
+                            (
+                                format!("k{i:03}"),
+                                Value::Long(seed.wrapping_add(i as u64) as i64),
+                            )
+                        })
+                        .collect(),
+                )
+            }
+            BodyKind::Stream => {
+                let entries = (size / 8).max(1);
+                Body::Stream(
+                    (0..entries)
+                        .map(|i| Value::Long(seed.wrapping_add(i as u64) as i64))
+                        .collect(),
+                )
+            }
+        }
+    }
+}
+
+impl Default for Body {
+    fn default() -> Self {
+        Body::Text(String::new())
+    }
+}
+
+impl fmt::Display for Body {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}B]", self.kind(), self.size_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_match_constructors() {
+        assert_eq!(Body::text("x").kind(), BodyKind::Text);
+        assert_eq!(Body::bytes(vec![1u8, 2]).kind(), BodyKind::Bytes);
+        assert_eq!(
+            Body::map([("a", Value::Int(1))]).kind(),
+            BodyKind::Map
+        );
+        assert_eq!(Body::stream([Value::Bool(true)]).kind(), BodyKind::Stream);
+        assert_eq!(Body::object("C", vec![0u8]).kind(), BodyKind::Object);
+    }
+
+    #[test]
+    fn sizes_count_payload_bytes() {
+        assert_eq!(Body::text("hello").size_bytes(), 5);
+        assert_eq!(Body::bytes(vec![0u8; 32]).size_bytes(), 32);
+        // key "ab" (2) + long (8) = 10
+        assert_eq!(Body::map([("ab", Value::Long(1))]).size_bytes(), 10);
+        assert_eq!(
+            Body::stream([Value::Int(1), Value::Double(1.0)]).size_bytes(),
+            12
+        );
+        assert_eq!(Body::object("C", vec![0u8; 7]).size_bytes(), 8);
+    }
+
+    #[test]
+    fn synthetic_text_and_bytes_hit_exact_size() {
+        for kind in [BodyKind::Text, BodyKind::Bytes] {
+            let body = Body::synthetic(kind, 1024, 7);
+            assert_eq!(body.kind(), kind);
+            assert_eq!(body.size_bytes(), 1024);
+        }
+    }
+
+    #[test]
+    fn synthetic_structured_kinds_are_close_to_size() {
+        for kind in [BodyKind::Map, BodyKind::Stream, BodyKind::Object] {
+            let body = Body::synthetic(kind, 1024, 7);
+            assert_eq!(body.kind(), kind);
+            let size = body.size_bytes();
+            assert!(
+                size >= 512 && size <= 1536,
+                "{kind} synthetic size {size} too far from request"
+            );
+        }
+    }
+
+    #[test]
+    fn synthetic_is_deterministic_in_seed() {
+        let a = Body::synthetic(BodyKind::Text, 64, 3);
+        let b = Body::synthetic(BodyKind::Text, 64, 3);
+        let c = Body::synthetic(BodyKind::Text, 64, 4);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn synthetic_never_empty() {
+        for kind in BodyKind::ALL {
+            assert!(Body::synthetic(kind, 0, 1).kind() == kind);
+        }
+    }
+
+    #[test]
+    fn display_summarises_kind_and_size() {
+        assert_eq!(Body::text("abc").to_string(), "text[3B]");
+    }
+}

@@ -1,0 +1,329 @@
+//! Destinations: named queues (point-to-point) and topics
+//! (publish/subscribe), plus the consumer-group endpoints the analysis
+//! model reasons about.
+
+use crate::id::{ClientId, ConsumerId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The name of a point-to-point queue.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct QueueName(String);
+
+impl QueueName {
+    /// Creates a queue name.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use jmst_api::destination::QueueName;
+    ///
+    /// let q = QueueName::new("orders");
+    /// assert_eq!(q.as_str(), "orders");
+    /// ```
+    pub fn new(name: impl Into<String>) -> Self {
+        Self(name.into())
+    }
+
+    /// Returns the queue name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for QueueName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "queue:{}", self.0)
+    }
+}
+
+impl From<&str> for QueueName {
+    fn from(name: &str) -> Self {
+        Self::new(name)
+    }
+}
+
+impl From<String> for QueueName {
+    fn from(name: String) -> Self {
+        Self(name)
+    }
+}
+
+/// The name of a publish/subscribe topic.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TopicName(String);
+
+impl TopicName {
+    /// Creates a topic name.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use jmst_api::destination::TopicName;
+    ///
+    /// let t = TopicName::new("prices");
+    /// assert_eq!(t.as_str(), "prices");
+    /// ```
+    pub fn new(name: impl Into<String>) -> Self {
+        Self(name.into())
+    }
+
+    /// Returns the topic name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for TopicName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "topic:{}", self.0)
+    }
+}
+
+impl From<&str> for TopicName {
+    fn from(name: &str) -> Self {
+        Self::new(name)
+    }
+}
+
+impl From<String> for TopicName {
+    fn from(name: String) -> Self {
+        Self(name)
+    }
+}
+
+/// A message destination: a queue or a topic.
+///
+/// # Examples
+///
+/// ```
+/// use jmst_api::destination::Destination;
+///
+/// let d = Destination::queue("orders");
+/// assert!(d.is_queue());
+/// assert_eq!(d.name(), "orders");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Destination {
+    /// A point-to-point queue.
+    Queue(QueueName),
+    /// A publish/subscribe topic.
+    Topic(TopicName),
+}
+
+impl Destination {
+    /// Creates a queue destination.
+    pub fn queue(name: impl Into<String>) -> Self {
+        Destination::Queue(QueueName::new(name))
+    }
+
+    /// Creates a topic destination.
+    pub fn topic(name: impl Into<String>) -> Self {
+        Destination::Topic(TopicName::new(name))
+    }
+
+    /// Returns `true` if this is a queue.
+    pub const fn is_queue(&self) -> bool {
+        matches!(self, Destination::Queue(_))
+    }
+
+    /// Returns `true` if this is a topic.
+    pub const fn is_topic(&self) -> bool {
+        matches!(self, Destination::Topic(_))
+    }
+
+    /// Returns the bare destination name (without the queue/topic tag).
+    pub fn name(&self) -> &str {
+        match self {
+            Destination::Queue(q) => q.as_str(),
+            Destination::Topic(t) => t.as_str(),
+        }
+    }
+
+    /// Returns the queue name if this is a queue.
+    pub fn as_queue(&self) -> Option<&QueueName> {
+        match self {
+            Destination::Queue(q) => Some(q),
+            Destination::Topic(_) => None,
+        }
+    }
+
+    /// Returns the topic name if this is a topic.
+    pub fn as_topic(&self) -> Option<&TopicName> {
+        match self {
+            Destination::Topic(t) => Some(t),
+            Destination::Queue(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Destination {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Destination::Queue(q) => q.fmt(f),
+            Destination::Topic(t) => t.fmt(f),
+        }
+    }
+}
+
+impl From<QueueName> for Destination {
+    fn from(queue: QueueName) -> Self {
+        Destination::Queue(queue)
+    }
+}
+
+impl From<TopicName> for Destination {
+    fn from(topic: TopicName) -> Self {
+        Destination::Topic(topic)
+    }
+}
+
+/// The identity of a consumer group end-point in the analysis model.
+///
+/// "Messages are assumed to be delivered to either queues or subscriptions
+/// (each with a unique identifier), representing a consumer group" (paper
+/// §3.1). Queues and durable subscriptions are long-lived end-points that
+/// can outlive individual consumers; a non-durable subscriber is "allocated
+/// an artificial subscription for the life of the subscriber" (footnote 3).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum EndpointId {
+    /// The consumer group of all receivers on a queue.
+    Queue(QueueName),
+    /// A durable subscription, identified by client and subscription name.
+    DurableSubscription {
+        /// The topic the subscription covers.
+        topic: TopicName,
+        /// The owning client.
+        client: ClientId,
+        /// The subscription's name, unique within the client.
+        name: String,
+    },
+    /// The artificial subscription of one non-durable subscriber.
+    NonDurableSubscription {
+        /// The topic the subscription covers.
+        topic: TopicName,
+        /// The subscriber the subscription lives and dies with.
+        consumer: ConsumerId,
+    },
+}
+
+impl EndpointId {
+    /// Creates the end-point for a queue's consumer group.
+    pub fn for_queue(queue: QueueName) -> Self {
+        EndpointId::Queue(queue)
+    }
+
+    /// Creates the end-point for a durable subscription.
+    pub fn durable(topic: TopicName, client: ClientId, name: impl Into<String>) -> Self {
+        EndpointId::DurableSubscription {
+            topic,
+            client,
+            name: name.into(),
+        }
+    }
+
+    /// Creates the artificial end-point for a non-durable subscriber.
+    pub fn non_durable(topic: TopicName, consumer: ConsumerId) -> Self {
+        EndpointId::NonDurableSubscription { topic, consumer }
+    }
+
+    /// Returns the topic this end-point subscribes to, if it is a
+    /// subscription.
+    pub fn topic(&self) -> Option<&TopicName> {
+        match self {
+            EndpointId::Queue(_) => None,
+            EndpointId::DurableSubscription { topic, .. }
+            | EndpointId::NonDurableSubscription { topic, .. } => Some(topic),
+        }
+    }
+
+    /// Returns `true` if messages wait for a future consumer at this
+    /// end-point (queues and durable subscriptions do; a non-durable
+    /// subscription dies with its subscriber).
+    pub const fn retains_messages(&self) -> bool {
+        !matches!(self, EndpointId::NonDurableSubscription { .. })
+    }
+}
+
+impl fmt::Display for EndpointId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EndpointId::Queue(q) => write!(f, "{q}"),
+            EndpointId::DurableSubscription {
+                topic,
+                client,
+                name,
+            } => write!(f, "durable:{client}/{name}@{topic}"),
+            EndpointId::NonDurableSubscription { topic, consumer } => {
+                write!(f, "sub:{consumer}@{topic}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn destination_constructors_and_accessors() {
+        let q = Destination::queue("orders");
+        assert!(q.is_queue());
+        assert!(!q.is_topic());
+        assert_eq!(q.name(), "orders");
+        assert_eq!(q.as_queue(), Some(&QueueName::new("orders")));
+        assert_eq!(q.as_topic(), None);
+
+        let t = Destination::topic("prices");
+        assert!(t.is_topic());
+        assert_eq!(t.as_topic(), Some(&TopicName::new("prices")));
+        assert_eq!(t.as_queue(), None);
+    }
+
+    #[test]
+    fn destination_from_names() {
+        let d: Destination = QueueName::new("q").into();
+        assert!(d.is_queue());
+        let d: Destination = TopicName::new("t").into();
+        assert!(d.is_topic());
+    }
+
+    #[test]
+    fn destination_display() {
+        assert_eq!(Destination::queue("q").to_string(), "queue:q");
+        assert_eq!(Destination::topic("t").to_string(), "topic:t");
+    }
+
+    #[test]
+    fn endpoint_retention() {
+        let queue = EndpointId::for_queue(QueueName::new("q"));
+        assert!(queue.retains_messages());
+        assert_eq!(queue.topic(), None);
+
+        let durable = EndpointId::durable(TopicName::new("t"), ClientId::new("c"), "audit");
+        assert!(durable.retains_messages());
+        assert_eq!(durable.topic(), Some(&TopicName::new("t")));
+
+        let ephemeral = EndpointId::non_durable(TopicName::new("t"), ConsumerId::from_raw(1));
+        assert!(!ephemeral.retains_messages());
+        assert_eq!(ephemeral.topic(), Some(&TopicName::new("t")));
+    }
+
+    #[test]
+    fn endpoint_display_forms() {
+        let durable = EndpointId::durable(TopicName::new("t"), ClientId::new("c"), "audit");
+        assert_eq!(durable.to_string(), "durable:c/audit@topic:t");
+        let ephemeral = EndpointId::non_durable(TopicName::new("t"), ConsumerId::from_raw(1));
+        assert_eq!(ephemeral.to_string(), "sub:cons-1@topic:t");
+        let queue = EndpointId::for_queue(QueueName::new("q"));
+        assert_eq!(queue.to_string(), "queue:q");
+    }
+
+    #[test]
+    fn names_convert_from_strings() {
+        let q: QueueName = "orders".into();
+        assert_eq!(q, QueueName::new(String::from("orders")));
+        let t: TopicName = String::from("prices").into();
+        assert_eq!(t.as_str(), "prices");
+    }
+}

@@ -1,0 +1,146 @@
+//! The error type shared by all provider operations.
+
+use crate::properties::PropertyError;
+use crate::selector::SelectorError;
+use std::fmt;
+
+/// An error raised by a provider operation.
+///
+/// Mirrors the `JMSException` hierarchy at the granularity the harness
+/// needs: what failed, and whether the failure is a client mistake
+/// (illegal state, bad selector) or a provider-side failure (which the
+/// harness logs as a test event).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The connection has been closed.
+    ConnectionClosed,
+    /// The session has been closed.
+    SessionClosed,
+    /// The producer or consumer has been closed.
+    EndpointClosed,
+    /// The operation is illegal in the current state (e.g. committing a
+    /// non-transacted session).
+    IllegalState(String),
+    /// The named destination does not exist or is of the wrong kind.
+    InvalidDestination(String),
+    /// The client id or durable-subscription name is invalid or already in
+    /// use.
+    InvalidClient(String),
+    /// A message selector failed to parse or evaluate.
+    InvalidSelector(SelectorError),
+    /// A message property was rejected.
+    InvalidProperty(PropertyError),
+    /// The provider failed internally (crashed, lost a resource, …).
+    ProviderFailure(String),
+    /// The provider refused the message because a resource limit was hit
+    /// (bounded queue full on a non-blocking path).
+    ResourceExhausted(String),
+    /// The transaction was rolled back by the provider.
+    TransactionRolledBack,
+    /// The feature is not supported by this provider.
+    Unsupported(String),
+}
+
+impl Error {
+    /// Creates an [`Error::IllegalState`] with the given explanation.
+    pub fn illegal_state(reason: impl Into<String>) -> Self {
+        Error::IllegalState(reason.into())
+    }
+
+    /// Creates an [`Error::ProviderFailure`] with the given explanation.
+    pub fn provider_failure(reason: impl Into<String>) -> Self {
+        Error::ProviderFailure(reason.into())
+    }
+
+    /// Returns `true` if the error indicates the target object was closed.
+    pub fn is_closed(&self) -> bool {
+        matches!(
+            self,
+            Error::ConnectionClosed | Error::SessionClosed | Error::EndpointClosed
+        )
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ConnectionClosed => f.write_str("connection is closed"),
+            Error::SessionClosed => f.write_str("session is closed"),
+            Error::EndpointClosed => f.write_str("producer or consumer is closed"),
+            Error::IllegalState(reason) => write!(f, "illegal state: {reason}"),
+            Error::InvalidDestination(name) => write!(f, "invalid destination: {name}"),
+            Error::InvalidClient(reason) => write!(f, "invalid client: {reason}"),
+            Error::InvalidSelector(err) => write!(f, "invalid selector: {err}"),
+            Error::InvalidProperty(err) => write!(f, "invalid property: {err}"),
+            Error::ProviderFailure(reason) => write!(f, "provider failure: {reason}"),
+            Error::ResourceExhausted(reason) => write!(f, "resource exhausted: {reason}"),
+            Error::TransactionRolledBack => f.write_str("transaction was rolled back"),
+            Error::Unsupported(feature) => write!(f, "unsupported feature: {feature}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::InvalidSelector(err) => Some(err),
+            Error::InvalidProperty(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<SelectorError> for Error {
+    fn from(err: SelectorError) -> Self {
+        Error::InvalidSelector(err)
+    }
+}
+
+impl From<PropertyError> for Error {
+    fn from(err: PropertyError) -> Self {
+        Error::InvalidProperty(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_detection() {
+        assert!(Error::ConnectionClosed.is_closed());
+        assert!(Error::SessionClosed.is_closed());
+        assert!(Error::EndpointClosed.is_closed());
+        assert!(!Error::TransactionRolledBack.is_closed());
+        assert!(!Error::illegal_state("x").is_closed());
+    }
+
+    #[test]
+    fn displays_are_lowercase_and_concise() {
+        for error in [
+            Error::ConnectionClosed,
+            Error::illegal_state("commit on non-transacted session"),
+            Error::provider_failure("store lost"),
+            Error::Unsupported("priority".into()),
+        ] {
+            let text = error.to_string();
+            assert!(!text.is_empty());
+            assert!(text.chars().next().unwrap().is_lowercase());
+            assert!(!text.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn property_error_converts() {
+        let property_error = PropertyError::InvalidName { name: "9".into() };
+        let error: Error = property_error.clone().into();
+        assert_eq!(error, Error::InvalidProperty(property_error));
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,349 @@
+//! Delivery modes, acknowledgement modes, priorities, and time-to-live —
+//! the operational knobs of the JMS model that the paper's test
+//! configurations sweep over (§3.2, §4).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::Duration;
+
+/// Whether a message survives provider failures.
+///
+/// Persistent messages are "guaranteed to eventually arrive at its
+/// destination(s) even if failures (system or communication) occur"; for
+/// non-persistent messages delivery is best-effort (paper §2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DeliveryMode {
+    /// The message may be lost on failure.
+    NonPersistent,
+    /// The message must survive failures.
+    Persistent,
+}
+
+impl DeliveryMode {
+    /// Returns `true` for [`DeliveryMode::Persistent`].
+    pub const fn is_persistent(self) -> bool {
+        matches!(self, DeliveryMode::Persistent)
+    }
+
+    /// All delivery modes, useful for configuration sweeps.
+    pub const ALL: [DeliveryMode; 2] = [DeliveryMode::NonPersistent, DeliveryMode::Persistent];
+}
+
+impl Default for DeliveryMode {
+    /// JMS defaults to persistent delivery.
+    fn default() -> Self {
+        DeliveryMode::Persistent
+    }
+}
+
+impl fmt::Display for DeliveryMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DeliveryMode::NonPersistent => "non-persistent",
+            DeliveryMode::Persistent => "persistent",
+        })
+    }
+}
+
+/// Session mode: transacted, or one of the three acknowledgement modes for
+/// non-transacted sessions (paper §2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SessionMode {
+    /// Sends and receives are grouped into transactions terminated by
+    /// commit or rollback.
+    Transacted,
+    /// The session acknowledges each message automatically as it is
+    /// delivered.
+    AutoAcknowledge,
+    /// The client acknowledges explicitly; an acknowledge covers all
+    /// messages delivered so far on the session.
+    ClientAcknowledge,
+    /// Lazy acknowledgement: reduces session work but permits duplicate
+    /// delivery after failures.
+    DupsOkAcknowledge,
+}
+
+impl SessionMode {
+    /// Returns `true` for [`SessionMode::Transacted`].
+    pub const fn is_transacted(self) -> bool {
+        matches!(self, SessionMode::Transacted)
+    }
+
+    /// Returns `true` if the mode tolerates duplicate delivery.
+    ///
+    /// Only lazy acknowledgement does; the paper notes that with lazy
+    /// acknowledgement "duplicate messages may be delivered".
+    pub const fn allows_duplicates(self) -> bool {
+        matches!(self, SessionMode::DupsOkAcknowledge)
+    }
+
+    /// All session modes, useful for configuration sweeps.
+    pub const ALL: [SessionMode; 4] = [
+        SessionMode::Transacted,
+        SessionMode::AutoAcknowledge,
+        SessionMode::ClientAcknowledge,
+        SessionMode::DupsOkAcknowledge,
+    ];
+}
+
+impl Default for SessionMode {
+    fn default() -> Self {
+        SessionMode::AutoAcknowledge
+    }
+}
+
+impl fmt::Display for SessionMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SessionMode::Transacted => "transacted",
+            SessionMode::AutoAcknowledge => "auto-acknowledge",
+            SessionMode::ClientAcknowledge => "client-acknowledge",
+            SessionMode::DupsOkAcknowledge => "dups-ok-acknowledge",
+        })
+    }
+}
+
+/// A message priority in the JMS ten-level scheme.
+///
+/// "JMS defines a 10 level priority (0 − 9) where 9 is the highest priority
+/// and 0 the lowest" (paper §2.1). Providers need only make a best effort to
+/// deliver higher-priority messages first.
+///
+/// # Examples
+///
+/// ```
+/// use jmst_api::modes::Priority;
+///
+/// let p = Priority::new(7).expect("7 is a valid level");
+/// assert!(p > Priority::DEFAULT);
+/// assert_eq!(Priority::new(10), None);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Priority(u8);
+
+impl Priority {
+    /// The lowest priority, 0.
+    pub const LOWEST: Priority = Priority(0);
+    /// The JMS default priority, 4.
+    pub const DEFAULT: Priority = Priority(4);
+    /// The highest priority, 9.
+    pub const HIGHEST: Priority = Priority(9);
+
+    /// Creates a priority, returning `None` if `level` exceeds 9.
+    pub const fn new(level: u8) -> Option<Priority> {
+        if level <= 9 {
+            Some(Priority(level))
+        } else {
+            None
+        }
+    }
+
+    /// Creates a priority, clamping `level` into `0..=9`.
+    pub const fn saturating(level: u8) -> Priority {
+        if level > 9 {
+            Priority(9)
+        } else {
+            Priority(level)
+        }
+    }
+
+    /// Returns the numeric level in `0..=9`.
+    pub const fn level(self) -> u8 {
+        self.0
+    }
+
+    /// Iterates over all ten priorities from lowest to highest.
+    pub fn all() -> impl DoubleEndedIterator<Item = Priority> + ExactSizeIterator {
+        (0..=9).map(Priority)
+    }
+}
+
+impl Default for Priority {
+    fn default() -> Self {
+        Priority::DEFAULT
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl TryFrom<u8> for Priority {
+    type Error = PriorityOutOfRange;
+
+    fn try_from(level: u8) -> Result<Self, Self::Error> {
+        Priority::new(level).ok_or(PriorityOutOfRange { level })
+    }
+}
+
+impl From<Priority> for u8 {
+    fn from(priority: Priority) -> u8 {
+        priority.0
+    }
+}
+
+/// Error returned when constructing a [`Priority`] from a level above 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PriorityOutOfRange {
+    level: u8,
+}
+
+impl PriorityOutOfRange {
+    /// The offending level.
+    pub fn level(self) -> u8 {
+        self.level
+    }
+}
+
+impl fmt::Display for PriorityOutOfRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "priority level {} is outside 0..=9", self.level)
+    }
+}
+
+impl std::error::Error for PriorityOutOfRange {}
+
+/// A message's time-to-live.
+///
+/// A time-to-live of zero means the message never expires (paper §3.1,
+/// footnote 4). Non-zero values bound the message's life from the moment it
+/// is sent.
+///
+/// # Examples
+///
+/// ```
+/// use jmst_api::modes::TimeToLive;
+/// use std::time::Duration;
+///
+/// assert!(TimeToLive::FOREVER.is_forever());
+/// let short = TimeToLive::from_millis(1);
+/// assert_eq!(short.as_duration(), Some(Duration::from_millis(1)));
+/// ```
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct TimeToLive(u64);
+
+impl TimeToLive {
+    /// The "never expires" value (zero, as in JMS).
+    pub const FOREVER: TimeToLive = TimeToLive(0);
+
+    /// Creates a time-to-live of `millis` milliseconds; zero means forever.
+    pub const fn from_millis(millis: u64) -> Self {
+        TimeToLive(millis)
+    }
+
+    /// Creates a time-to-live from a duration, truncating to milliseconds.
+    ///
+    /// A duration shorter than one millisecond becomes 1 ms rather than the
+    /// "forever" sentinel, so a caller asking for a tiny expiry gets one.
+    pub fn from_duration(duration: Duration) -> Self {
+        if duration.is_zero() {
+            TimeToLive::FOREVER
+        } else {
+            TimeToLive((duration.as_millis() as u64).max(1))
+        }
+    }
+
+    /// Returns `true` if the message never expires.
+    pub const fn is_forever(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns the raw millisecond value (zero means forever).
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the time-to-live as a duration, or `None` if forever.
+    pub fn as_duration(self) -> Option<Duration> {
+        if self.is_forever() {
+            None
+        } else {
+            Some(Duration::from_millis(self.0))
+        }
+    }
+}
+
+impl fmt::Display for TimeToLive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_forever() {
+            f.write_str("forever")
+        } else {
+            write!(f, "{}ms", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_mode_defaults_to_persistent() {
+        assert_eq!(DeliveryMode::default(), DeliveryMode::Persistent);
+        assert!(DeliveryMode::Persistent.is_persistent());
+        assert!(!DeliveryMode::NonPersistent.is_persistent());
+    }
+
+    #[test]
+    fn session_mode_duplicate_tolerance() {
+        assert!(SessionMode::DupsOkAcknowledge.allows_duplicates());
+        assert!(!SessionMode::AutoAcknowledge.allows_duplicates());
+        assert!(!SessionMode::ClientAcknowledge.allows_duplicates());
+        assert!(!SessionMode::Transacted.allows_duplicates());
+        assert!(SessionMode::Transacted.is_transacted());
+    }
+
+    #[test]
+    fn priority_construction_and_bounds() {
+        assert_eq!(Priority::new(0), Some(Priority::LOWEST));
+        assert_eq!(Priority::new(9), Some(Priority::HIGHEST));
+        assert_eq!(Priority::new(10), None);
+        assert_eq!(Priority::saturating(42), Priority::HIGHEST);
+        assert_eq!(Priority::saturating(3).level(), 3);
+        assert!(Priority::try_from(11).is_err());
+        assert_eq!(Priority::try_from(11).unwrap_err().level(), 11);
+        assert_eq!(u8::from(Priority::DEFAULT), 4);
+    }
+
+    #[test]
+    fn priority_ordering_matches_levels() {
+        assert!(Priority::HIGHEST > Priority::DEFAULT);
+        assert!(Priority::LOWEST < Priority::DEFAULT);
+        let all: Vec<_> = Priority::all().collect();
+        assert_eq!(all.len(), 10);
+        assert!(all.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn ttl_zero_is_forever() {
+        assert!(TimeToLive::FOREVER.is_forever());
+        assert!(TimeToLive::from_millis(0).is_forever());
+        assert_eq!(TimeToLive::FOREVER.as_duration(), None);
+        assert_eq!(TimeToLive::from_millis(0).to_string(), "forever");
+    }
+
+    #[test]
+    fn ttl_from_duration_rounds_up_to_a_millisecond() {
+        let tiny = TimeToLive::from_duration(Duration::from_micros(10));
+        assert_eq!(tiny.as_millis(), 1);
+        assert!(TimeToLive::from_duration(Duration::ZERO).is_forever());
+        assert_eq!(
+            TimeToLive::from_duration(Duration::from_millis(250)).as_millis(),
+            250
+        );
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(DeliveryMode::Persistent.to_string(), "persistent");
+        assert_eq!(SessionMode::Transacted.to_string(), "transacted");
+        assert_eq!(Priority::DEFAULT.to_string(), "4");
+        assert_eq!(TimeToLive::from_millis(5).to_string(), "5ms");
+    }
+}

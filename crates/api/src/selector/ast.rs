@@ -1,0 +1,254 @@
+//! Abstract syntax tree for the message-selector language.
+
+use std::fmt;
+
+/// A literal value in a selector expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// An exact numeric literal.
+    Int(i64),
+    /// An approximate numeric literal.
+    Float(f64),
+    /// A string literal.
+    Str(String),
+    /// A boolean literal (`TRUE`/`FALSE`).
+    Bool(bool),
+}
+
+/// A binary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// Logical conjunction with three-valued semantics.
+    And,
+    /// Logical disjunction with three-valued semantics.
+    Or,
+    /// Equality (`=`).
+    Eq,
+    /// Inequality (`<>`).
+    Neq,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+}
+
+impl fmt::Display for BinaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BinaryOp::And => "AND",
+            BinaryOp::Or => "OR",
+            BinaryOp::Eq => "=",
+            BinaryOp::Neq => "<>",
+            BinaryOp::Lt => "<",
+            BinaryOp::Le => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::Ge => ">=",
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+        })
+    }
+}
+
+/// A unary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Logical negation with three-valued semantics.
+    Not,
+    /// Arithmetic negation.
+    Neg,
+}
+
+/// A selector expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal.
+    Literal(Literal),
+    /// A header-field or property reference.
+    Ident(String),
+    /// A unary operation.
+    Unary {
+        /// The operator.
+        op: UnaryOp,
+        /// The operand.
+        expr: Box<Expr>,
+    },
+    /// A binary operation.
+    Binary {
+        /// The operator.
+        op: BinaryOp,
+        /// The left operand.
+        left: Box<Expr>,
+        /// The right operand.
+        right: Box<Expr>,
+    },
+    /// `expr [NOT] BETWEEN low AND high`.
+    Between {
+        /// Negated form (`NOT BETWEEN`).
+        negated: bool,
+        /// The tested expression.
+        expr: Box<Expr>,
+        /// The inclusive lower bound.
+        low: Box<Expr>,
+        /// The inclusive upper bound.
+        high: Box<Expr>,
+    },
+    /// `expr [NOT] IN ('a', 'b', …)`.
+    In {
+        /// Negated form (`NOT IN`).
+        negated: bool,
+        /// The tested expression.
+        expr: Box<Expr>,
+        /// The candidate strings.
+        list: Vec<String>,
+    },
+    /// `expr [NOT] LIKE pattern [ESCAPE c]`.
+    Like {
+        /// Negated form (`NOT LIKE`).
+        negated: bool,
+        /// The tested expression.
+        expr: Box<Expr>,
+        /// The pattern, with `%` and `_` wildcards.
+        pattern: String,
+        /// The escape character, if given.
+        escape: Option<char>,
+    },
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        /// Negated form (`IS NOT NULL`).
+        negated: bool,
+        /// The tested expression.
+        expr: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Returns the number of nodes in the expression tree, a convenient
+    /// complexity measure for fuzzing and limits.
+    pub fn node_count(&self) -> usize {
+        match self {
+            Expr::Literal(_) | Expr::Ident(_) => 1,
+            Expr::Unary { expr, .. } => 1 + expr.node_count(),
+            Expr::Binary { left, right, .. } => 1 + left.node_count() + right.node_count(),
+            Expr::Between {
+                expr, low, high, ..
+            } => 1 + expr.node_count() + low.node_count() + high.node_count(),
+            Expr::In { expr, .. } => 1 + expr.node_count(),
+            Expr::Like { expr, .. } => 1 + expr.node_count(),
+            Expr::IsNull { expr, .. } => 1 + expr.node_count(),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Literal(Literal::Int(v)) => write!(f, "{v}"),
+            // `{:?}` keeps a decimal point (0.0 prints as "0.0", not "0"),
+            // so the printed form re-parses as an approximate literal.
+            Expr::Literal(Literal::Float(v)) => write!(f, "{v:?}"),
+            Expr::Literal(Literal::Str(s)) => write!(f, "'{}'", s.replace('\'', "''")),
+            Expr::Literal(Literal::Bool(b)) => {
+                f.write_str(if *b { "TRUE" } else { "FALSE" })
+            }
+            Expr::Ident(name) => f.write_str(name),
+            Expr::Unary { op: UnaryOp::Not, expr } => write!(f, "NOT ({expr})"),
+            Expr::Unary { op: UnaryOp::Neg, expr } => write!(f, "-({expr})"),
+            Expr::Binary { op, left, right } => write!(f, "({left} {op} {right})"),
+            Expr::Between {
+                negated,
+                expr,
+                low,
+                high,
+            } => write!(
+                f,
+                "({expr} {}BETWEEN {low} AND {high})",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::In {
+                negated,
+                expr,
+                list,
+            } => {
+                write!(f, "({expr} {}IN (", if *negated { "NOT " } else { "" })?;
+                for (i, item) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "'{}'", item.replace('\'', "''"))?;
+                }
+                write!(f, "))")
+            }
+            Expr::Like {
+                negated,
+                expr,
+                pattern,
+                escape,
+            } => {
+                write!(
+                    f,
+                    "({expr} {}LIKE '{}'",
+                    if *negated { "NOT " } else { "" },
+                    pattern.replace('\'', "''")
+                )?;
+                if let Some(c) = escape {
+                    write!(f, " ESCAPE '{c}'")?;
+                }
+                write!(f, ")")
+            }
+            Expr::IsNull { negated, expr } => {
+                write!(f, "({expr} IS {}NULL)", if *negated { "NOT " } else { "" })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_counts() {
+        let expr = Expr::Binary {
+            op: BinaryOp::And,
+            left: Box::new(Expr::Ident("a".into())),
+            right: Box::new(Expr::Literal(Literal::Bool(true))),
+        };
+        assert_eq!(expr.node_count(), 3);
+    }
+
+    #[test]
+    fn display_round_trips_through_parser() {
+        // Display is a valid selector: re-parsing it must succeed.
+        let source = "a + 2 * b >= 4 AND name LIKE 'x%' ESCAPE '!' OR c IS NOT NULL";
+        let parsed = crate::selector::Selector::parse(source).unwrap();
+        let printed = parsed.expr().to_string();
+        let reparsed = crate::selector::Selector::parse(&printed).unwrap();
+        assert_eq!(parsed.expr(), reparsed.expr());
+    }
+
+    #[test]
+    fn display_escapes_quotes() {
+        let expr = Expr::Literal(Literal::Str("it's".into()));
+        assert_eq!(expr.to_string(), "'it''s'");
+    }
+
+    #[test]
+    fn operator_display() {
+        assert_eq!(BinaryOp::Neq.to_string(), "<>");
+        assert_eq!(BinaryOp::And.to_string(), "AND");
+    }
+}

@@ -1,0 +1,510 @@
+//! Evaluator for the message-selector language, with SQL-92 three-valued
+//! logic: any sub-expression may be *unknown* (for example, a reference to
+//! an unset property), and a selector only accepts a message when the whole
+//! expression evaluates to *true*.
+
+use super::ast::{BinaryOp, Expr, Literal, UnaryOp};
+use crate::message::Message;
+use crate::value::Value;
+
+/// The three truth values of SQL-92 logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Truth {
+    /// Definitely true.
+    True,
+    /// Definitely false.
+    False,
+    /// Unknown (a null was involved).
+    Unknown,
+}
+
+impl Truth {
+    fn from_bool(b: bool) -> Truth {
+        if b {
+            Truth::True
+        } else {
+            Truth::False
+        }
+    }
+
+    fn and(self, other: Truth) -> Truth {
+        match (self, other) {
+            (Truth::False, _) | (_, Truth::False) => Truth::False,
+            (Truth::True, Truth::True) => Truth::True,
+            _ => Truth::Unknown,
+        }
+    }
+
+    fn or(self, other: Truth) -> Truth {
+        match (self, other) {
+            (Truth::True, _) | (_, Truth::True) => Truth::True,
+            (Truth::False, Truth::False) => Truth::False,
+            _ => Truth::Unknown,
+        }
+    }
+
+    fn not(self) -> Truth {
+        match self {
+            Truth::True => Truth::False,
+            Truth::False => Truth::True,
+            Truth::Unknown => Truth::Unknown,
+        }
+    }
+}
+
+/// A value during selector evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalValue {
+    /// A null/absent value.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An exact numeric value.
+    Long(i64),
+    /// An approximate numeric value.
+    Double(f64),
+    /// A string.
+    Str(String),
+}
+
+impl EvalValue {
+    /// Converts a message property/body [`Value`] into an evaluation value.
+    /// Byte arrays become null (they are not selectable in JMS).
+    pub fn from_value(value: &Value) -> EvalValue {
+        match value {
+            Value::Bool(b) => EvalValue::Bool(*b),
+            Value::Byte(v) => EvalValue::Long(i64::from(*v)),
+            Value::Short(v) => EvalValue::Long(i64::from(*v)),
+            Value::Int(v) => EvalValue::Long(i64::from(*v)),
+            Value::Long(v) => EvalValue::Long(*v),
+            Value::Float(v) => EvalValue::Double(f64::from(*v)),
+            Value::Double(v) => EvalValue::Double(*v),
+            Value::String(s) => EvalValue::Str(s.clone()),
+            Value::Bytes(_) => EvalValue::Null,
+        }
+    }
+
+    fn is_null(&self) -> bool {
+        matches!(self, EvalValue::Null)
+    }
+}
+
+/// Resolves identifiers during evaluation.
+pub(crate) trait Context {
+    fn resolve(&self, name: &str) -> Option<EvalValue>;
+}
+
+/// Resolves identifiers against a [`Message`]: JMS header fields first,
+/// then user properties.
+pub(crate) struct MessageContext<'a> {
+    message: &'a Message,
+}
+
+impl<'a> MessageContext<'a> {
+    pub(crate) fn new(message: &'a Message) -> Self {
+        Self { message }
+    }
+}
+
+impl Context for MessageContext<'_> {
+    fn resolve(&self, name: &str) -> Option<EvalValue> {
+        match name {
+            "JMSPriority" => Some(EvalValue::Long(i64::from(self.message.priority().level()))),
+            "JMSDeliveryMode" => Some(EvalValue::Str(
+                if self.message.delivery_mode().is_persistent() {
+                    "PERSISTENT".to_owned()
+                } else {
+                    "NON_PERSISTENT".to_owned()
+                },
+            )),
+            "JMSMessageID" => Some(EvalValue::Str(self.message.id().to_string())),
+            "JMSTimestamp" => Some(EvalValue::Long(self.message.sent_at().as_millis() as i64)),
+            "JMSCorrelationID" => self
+                .message
+                .correlation_id()
+                .map(|s| EvalValue::Str(s.to_owned())),
+            "JMSType" => self
+                .message
+                .message_type()
+                .map(|s| EvalValue::Str(s.to_owned())),
+            _ => self
+                .message
+                .properties()
+                .get(name)
+                .map(EvalValue::from_value),
+        }
+    }
+}
+
+/// Resolves identifiers through a user-supplied function.
+pub(crate) struct FnContext<F> {
+    resolve: F,
+}
+
+impl<F: Fn(&str) -> Option<EvalValue>> FnContext<F> {
+    pub(crate) fn new(resolve: F) -> Self {
+        Self { resolve }
+    }
+}
+
+impl<F: Fn(&str) -> Option<EvalValue>> Context for FnContext<F> {
+    fn resolve(&self, name: &str) -> Option<EvalValue> {
+        (self.resolve)(name)
+    }
+}
+
+/// Evaluates `expr` to a truth value under `context`.
+pub(crate) fn eval<C: Context>(expr: &Expr, context: &C) -> Truth {
+    match eval_value(expr, context) {
+        EvalValue::Bool(b) => Truth::from_bool(b),
+        EvalValue::Null => Truth::Unknown,
+        // A non-boolean condition (e.g. selector text "5") is not a valid
+        // condition; JMS treats it as not matching.
+        _ => Truth::Unknown,
+    }
+}
+
+fn eval_value<C: Context>(expr: &Expr, context: &C) -> EvalValue {
+    match expr {
+        Expr::Literal(Literal::Int(v)) => EvalValue::Long(*v),
+        Expr::Literal(Literal::Float(v)) => EvalValue::Double(*v),
+        Expr::Literal(Literal::Str(s)) => EvalValue::Str(s.clone()),
+        Expr::Literal(Literal::Bool(b)) => EvalValue::Bool(*b),
+        Expr::Ident(name) => context.resolve(name).unwrap_or(EvalValue::Null),
+        Expr::Unary { op, expr } => match op {
+            UnaryOp::Not => truth_to_value(eval(expr, context).not()),
+            UnaryOp::Neg => match eval_value(expr, context) {
+                EvalValue::Long(v) => EvalValue::Long(v.wrapping_neg()),
+                EvalValue::Double(v) => EvalValue::Double(-v),
+                _ => EvalValue::Null,
+            },
+        },
+        Expr::Binary { op, left, right } => match op {
+            BinaryOp::And => {
+                truth_to_value(eval(left, context).and(eval(right, context)))
+            }
+            BinaryOp::Or => truth_to_value(eval(left, context).or(eval(right, context))),
+            BinaryOp::Eq | BinaryOp::Neq | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt
+            | BinaryOp::Ge => truth_to_value(compare(
+                *op,
+                eval_value(left, context),
+                eval_value(right, context),
+            )),
+            BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div => arithmetic(
+                *op,
+                eval_value(left, context),
+                eval_value(right, context),
+            ),
+        },
+        Expr::Between {
+            negated,
+            expr,
+            low,
+            high,
+        } => {
+            let value = eval_value(expr, context);
+            let low = eval_value(low, context);
+            let high = eval_value(high, context);
+            let truth = compare(BinaryOp::Ge, value.clone(), low)
+                .and(compare(BinaryOp::Le, value, high));
+            truth_to_value(if *negated { truth.not() } else { truth })
+        }
+        Expr::In {
+            negated,
+            expr,
+            list,
+        } => {
+            let truth = match eval_value(expr, context) {
+                EvalValue::Str(s) => Truth::from_bool(list.iter().any(|item| item == &s)),
+                EvalValue::Null => Truth::Unknown,
+                _ => Truth::Unknown,
+            };
+            truth_to_value(if *negated { truth.not() } else { truth })
+        }
+        Expr::Like {
+            negated,
+            expr,
+            pattern,
+            escape,
+        } => {
+            let truth = match eval_value(expr, context) {
+                EvalValue::Str(s) => Truth::from_bool(like_match(&s, pattern, *escape)),
+                EvalValue::Null => Truth::Unknown,
+                _ => Truth::Unknown,
+            };
+            truth_to_value(if *negated { truth.not() } else { truth })
+        }
+        Expr::IsNull { negated, expr } => {
+            let is_null = eval_value(expr, context).is_null();
+            EvalValue::Bool(if *negated { !is_null } else { is_null })
+        }
+    }
+}
+
+fn truth_to_value(truth: Truth) -> EvalValue {
+    match truth {
+        Truth::True => EvalValue::Bool(true),
+        Truth::False => EvalValue::Bool(false),
+        Truth::Unknown => EvalValue::Null,
+    }
+}
+
+fn compare(op: BinaryOp, left: EvalValue, right: EvalValue) -> Truth {
+    use EvalValue::*;
+    match (&left, &right) {
+        (Null, _) | (_, Null) => Truth::Unknown,
+        (Long(a), Long(b)) => numeric_compare(op, *a as f64, *b as f64, Some((*a, *b))),
+        (Long(a), Double(b)) => numeric_compare(op, *a as f64, *b, None),
+        (Double(a), Long(b)) => numeric_compare(op, *a, *b as f64, None),
+        (Double(a), Double(b)) => numeric_compare(op, *a, *b, None),
+        // Strings and booleans support only (in)equality in JMS.
+        (Str(a), Str(b)) => match op {
+            BinaryOp::Eq => Truth::from_bool(a == b),
+            BinaryOp::Neq => Truth::from_bool(a != b),
+            _ => Truth::Unknown,
+        },
+        (Bool(a), Bool(b)) => match op {
+            BinaryOp::Eq => Truth::from_bool(a == b),
+            BinaryOp::Neq => Truth::from_bool(a != b),
+            _ => Truth::Unknown,
+        },
+        // Cross-type comparison is undefined → unknown.
+        _ => Truth::Unknown,
+    }
+}
+
+fn numeric_compare(op: BinaryOp, a: f64, b: f64, exact: Option<(i64, i64)>) -> Truth {
+    // Use exact integer comparison when both sides are exact.
+    if let Some((x, y)) = exact {
+        return Truth::from_bool(match op {
+            BinaryOp::Eq => x == y,
+            BinaryOp::Neq => x != y,
+            BinaryOp::Lt => x < y,
+            BinaryOp::Le => x <= y,
+            BinaryOp::Gt => x > y,
+            BinaryOp::Ge => x >= y,
+            _ => unreachable!("non-relational op in compare"),
+        });
+    }
+    Truth::from_bool(match op {
+        BinaryOp::Eq => a == b,
+        BinaryOp::Neq => a != b,
+        BinaryOp::Lt => a < b,
+        BinaryOp::Le => a <= b,
+        BinaryOp::Gt => a > b,
+        BinaryOp::Ge => a >= b,
+        _ => unreachable!("non-relational op in compare"),
+    })
+}
+
+fn arithmetic(op: BinaryOp, left: EvalValue, right: EvalValue) -> EvalValue {
+    use EvalValue::*;
+    match (left, right) {
+        (Long(a), Long(b)) => match op {
+            BinaryOp::Add => Long(a.wrapping_add(b)),
+            BinaryOp::Sub => Long(a.wrapping_sub(b)),
+            BinaryOp::Mul => Long(a.wrapping_mul(b)),
+            BinaryOp::Div => {
+                if b == 0 {
+                    Null
+                } else {
+                    Long(a.wrapping_div(b))
+                }
+            }
+            _ => Null,
+        },
+        (Long(a), Double(b)) => float_arithmetic(op, a as f64, b),
+        (Double(a), Long(b)) => float_arithmetic(op, a, b as f64),
+        (Double(a), Double(b)) => float_arithmetic(op, a, b),
+        _ => Null,
+    }
+}
+
+fn float_arithmetic(op: BinaryOp, a: f64, b: f64) -> EvalValue {
+    let result = match op {
+        BinaryOp::Add => a + b,
+        BinaryOp::Sub => a - b,
+        BinaryOp::Mul => a * b,
+        BinaryOp::Div => {
+            if b == 0.0 {
+                return EvalValue::Null;
+            }
+            a / b
+        }
+        _ => return EvalValue::Null,
+    };
+    EvalValue::Double(result)
+}
+
+/// Matches `text` against a SQL LIKE `pattern` with `%` (any sequence) and
+/// `_` (any single character) wildcards and an optional escape character.
+fn like_match(text: &str, pattern: &str, escape: Option<char>) -> bool {
+    let text: Vec<char> = text.chars().collect();
+    let pattern: Vec<PatternItem> = compile_pattern(pattern, escape);
+    like_rec(&text, &pattern)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum PatternItem {
+    Literal(char),
+    AnyOne,
+    AnySeq,
+}
+
+fn compile_pattern(pattern: &str, escape: Option<char>) -> Vec<PatternItem> {
+    let mut items = Vec::new();
+    let mut escaped = false;
+    for c in pattern.chars() {
+        if escaped {
+            items.push(PatternItem::Literal(c));
+            escaped = false;
+        } else if Some(c) == escape {
+            escaped = true;
+        } else if c == '%' {
+            items.push(PatternItem::AnySeq);
+        } else if c == '_' {
+            items.push(PatternItem::AnyOne);
+        } else {
+            items.push(PatternItem::Literal(c));
+        }
+    }
+    // A trailing bare escape character matches itself.
+    if escaped {
+        if let Some(c) = escape {
+            items.push(PatternItem::Literal(c));
+        }
+    }
+    items
+}
+
+fn like_rec(text: &[char], pattern: &[PatternItem]) -> bool {
+    match pattern.first() {
+        None => text.is_empty(),
+        Some(PatternItem::Literal(c)) => {
+            text.first() == Some(c) && like_rec(&text[1..], &pattern[1..])
+        }
+        Some(PatternItem::AnyOne) => !text.is_empty() && like_rec(&text[1..], &pattern[1..]),
+        Some(PatternItem::AnySeq) => {
+            // Collapse consecutive % for linear behaviour, then try every split.
+            let rest = &pattern[1..];
+            if rest.first() == Some(&PatternItem::AnySeq) {
+                return like_rec(text, rest);
+            }
+            (0..=text.len()).any(|skip| like_rec(&text[skip..], rest))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truth_tables() {
+        use Truth::*;
+        assert_eq!(True.and(True), True);
+        assert_eq!(True.and(False), False);
+        assert_eq!(True.and(Unknown), Unknown);
+        assert_eq!(False.and(Unknown), False);
+        assert_eq!(Unknown.and(Unknown), Unknown);
+        assert_eq!(True.or(Unknown), True);
+        assert_eq!(False.or(Unknown), Unknown);
+        assert_eq!(False.or(False), False);
+        assert_eq!(Unknown.or(Unknown), Unknown);
+        assert_eq!(True.not(), False);
+        assert_eq!(False.not(), True);
+        assert_eq!(Unknown.not(), Unknown);
+    }
+
+    #[test]
+    fn like_basic() {
+        assert!(like_match("abc", "abc", None));
+        assert!(like_match("abc", "a%", None));
+        assert!(like_match("abc", "%c", None));
+        assert!(like_match("abc", "%b%", None));
+        assert!(like_match("abc", "a_c", None));
+        assert!(!like_match("abc", "a_", None));
+        assert!(like_match("", "%", None));
+        assert!(!like_match("", "_", None));
+        assert!(like_match("abc", "%%", None));
+    }
+
+    #[test]
+    fn like_with_escape() {
+        assert!(like_match("100%", "100!%", Some('!')));
+        assert!(!like_match("1000", "100!%", Some('!')));
+        assert!(like_match("a_b", "a!_b", Some('!')));
+        assert!(!like_match("axb", "a!_b", Some('!')));
+        // The escape char escapes itself.
+        assert!(like_match("a!b", "a!!b", Some('!')));
+    }
+
+    #[test]
+    fn like_pathological_patterns_terminate() {
+        let text = "a".repeat(200);
+        assert!(like_match(&text, "%%%%%%%%%%a", None));
+        assert!(!like_match(&text, "%%%%%%%%%%b", None));
+    }
+
+    #[test]
+    fn division_by_zero_is_null() {
+        assert_eq!(
+            arithmetic(BinaryOp::Div, EvalValue::Long(1), EvalValue::Long(0)),
+            EvalValue::Null
+        );
+        assert_eq!(
+            arithmetic(BinaryOp::Div, EvalValue::Double(1.0), EvalValue::Long(0)),
+            EvalValue::Null
+        );
+    }
+
+    #[test]
+    fn integer_division_truncates() {
+        assert_eq!(
+            arithmetic(BinaryOp::Div, EvalValue::Long(7), EvalValue::Long(2)),
+            EvalValue::Long(3)
+        );
+    }
+
+    #[test]
+    fn cross_type_comparisons_are_unknown() {
+        assert_eq!(
+            compare(BinaryOp::Eq, EvalValue::Long(1), EvalValue::Str("1".into())),
+            Truth::Unknown
+        );
+        assert_eq!(
+            compare(
+                BinaryOp::Lt,
+                EvalValue::Str("a".into()),
+                EvalValue::Str("b".into())
+            ),
+            Truth::Unknown
+        );
+        assert_eq!(
+            compare(BinaryOp::Lt, EvalValue::Bool(false), EvalValue::Bool(true)),
+            Truth::Unknown
+        );
+    }
+
+    #[test]
+    fn exact_integer_comparison_beyond_f64_precision() {
+        let big = (1i64 << 62) + 1;
+        assert_eq!(
+            compare(BinaryOp::Neq, EvalValue::Long(big), EvalValue::Long(big - 1)),
+            Truth::True
+        );
+    }
+
+    #[test]
+    fn from_value_conversions() {
+        assert_eq!(EvalValue::from_value(&Value::Byte(1)), EvalValue::Long(1));
+        assert_eq!(
+            EvalValue::from_value(&Value::Float(0.5)),
+            EvalValue::Double(0.5)
+        );
+        assert_eq!(
+            EvalValue::from_value(&Value::Bytes(vec![1])),
+            EvalValue::Null
+        );
+    }
+}

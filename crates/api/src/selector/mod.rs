@@ -1,0 +1,357 @@
+//! JMS message selectors: a SQL-92 conditional-expression subset used to
+//! filter message delivery by header fields and user properties.
+//!
+//! Selectors are part of the JMS specification the paper's harness
+//! configures consumers with, so providers built on this crate need a full
+//! implementation: a lexer, a recursive-descent parser, and a
+//! three-valued-logic evaluator.
+//!
+//! # Examples
+//!
+//! ```
+//! use jmst_api::selector::Selector;
+//! use jmst_api::message::{MessageDraft, Stamp};
+//! use jmst_api::body::Body;
+//! use jmst_api::destination::Destination;
+//! use jmst_api::id::{MessageId, ProducerId};
+//! use jmst_api::time::Timestamp;
+//! use jmst_api::value::Value;
+//!
+//! let selector = Selector::parse("region = 'emea' AND size BETWEEN 10 AND 20")?;
+//! let message = MessageDraft::text("x")
+//!     .property("region", Value::from("emea"))?
+//!     .property("size", Value::Int(15))?
+//!     .stamp(Stamp {
+//!         id: MessageId::from_raw(1),
+//!         producer: ProducerId::from_raw(1),
+//!         sequence: 0,
+//!         destination: Destination::topic("t"),
+//!         sent_at: Timestamp::ZERO,
+//!     });
+//! assert!(selector.matches(&message));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod ast;
+mod eval;
+mod parser;
+mod token;
+
+pub use ast::{BinaryOp, Expr, Literal, UnaryOp};
+pub use eval::{EvalValue, Truth};
+
+use crate::message::Message;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A parsed, reusable message selector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Selector {
+    text: String,
+    expr: Expr,
+}
+
+impl Selector {
+    /// Parses a selector expression.
+    ///
+    /// An empty (or all-whitespace) selector matches every message, as in
+    /// JMS.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SelectorError`] describing the first lexical or
+    /// syntactic problem.
+    pub fn parse(text: &str) -> Result<Selector, SelectorError> {
+        let expr = if text.trim().is_empty() {
+            Expr::Literal(Literal::Bool(true))
+        } else {
+            parser::parse(text)?
+        };
+        Ok(Selector {
+            text: text.to_owned(),
+            expr,
+        })
+    }
+
+    /// Returns the original selector text.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// Returns the parsed expression tree.
+    pub fn expr(&self) -> &Expr {
+        &self.expr
+    }
+
+    /// Returns `true` if the selector accepts `message`.
+    ///
+    /// Follows JMS three-valued logic: a selector whose value is unknown
+    /// (for example, because it references an unset property) does *not*
+    /// match.
+    pub fn matches(&self, message: &Message) -> bool {
+        eval::eval(&self.expr, &eval::MessageContext::new(message)) == Truth::True
+    }
+
+    /// Evaluates the selector against an arbitrary identifier-resolution
+    /// function. Unresolved identifiers evaluate to null.
+    ///
+    /// Exposed for tests and for the analysis model, which re-evaluates
+    /// selectors when computing which messages a subscription covers.
+    pub fn matches_with<F>(&self, resolve: F) -> bool
+    where
+        F: Fn(&str) -> Option<EvalValue>,
+    {
+        eval::eval(&self.expr, &eval::FnContext::new(resolve)) == Truth::True
+    }
+}
+
+impl fmt::Display for Selector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+impl Serialize for Selector {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.text)
+    }
+}
+
+impl<'de> Deserialize<'de> for Selector {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let text = String::deserialize(deserializer)?;
+        Selector::parse(&text).map_err(serde::de::Error::custom)
+    }
+}
+
+/// An error produced while parsing a selector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectorError {
+    position: usize,
+    message: String,
+}
+
+impl SelectorError {
+    pub(crate) fn new(position: usize, message: impl Into<String>) -> Self {
+        Self {
+            position,
+            message: message.into(),
+        }
+    }
+
+    /// Byte offset in the selector text where the problem was found.
+    pub fn position(&self) -> usize {
+        self.position
+    }
+
+    /// Human-readable description of the problem.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for SelectorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at offset {}", self.message, self.position)
+    }
+}
+
+impl std::error::Error for SelectorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::body::Body;
+    use crate::destination::Destination;
+    use crate::id::{MessageId, ProducerId};
+    use crate::message::{MessageDraft, Stamp};
+    use crate::modes::{DeliveryMode, Priority};
+    use crate::time::Timestamp;
+    use crate::value::Value;
+
+    fn message_with(props: &[(&str, Value)]) -> Message {
+        let mut draft = MessageDraft::new(Body::text("x"))
+            .priority(Priority::new(6).unwrap())
+            .delivery_mode(DeliveryMode::NonPersistent)
+            .correlation_id("corr-7")
+            .message_type("order");
+        for (name, value) in props {
+            draft = draft.property(*name, value.clone()).unwrap();
+        }
+        draft.stamp(Stamp {
+            id: MessageId::from_raw(3),
+            producer: ProducerId::from_raw(1),
+            sequence: 0,
+            destination: Destination::topic("t"),
+            sent_at: Timestamp::from_millis(42),
+        })
+    }
+
+    #[test]
+    fn empty_selector_matches_everything() {
+        let selector = Selector::parse("   ").unwrap();
+        assert!(selector.matches(&message_with(&[])));
+    }
+
+    #[test]
+    fn property_equality() {
+        let selector = Selector::parse("region = 'emea'").unwrap();
+        assert!(selector.matches(&message_with(&[("region", Value::from("emea"))])));
+        assert!(!selector.matches(&message_with(&[("region", Value::from("apac"))])));
+        // Unset property → unknown → no match.
+        assert!(!selector.matches(&message_with(&[])));
+    }
+
+    #[test]
+    fn header_fields_resolve() {
+        let message = message_with(&[]);
+        assert!(Selector::parse("JMSPriority = 6").unwrap().matches(&message));
+        assert!(Selector::parse("JMSDeliveryMode = 'NON_PERSISTENT'")
+            .unwrap()
+            .matches(&message));
+        assert!(Selector::parse("JMSCorrelationID = 'corr-7'")
+            .unwrap()
+            .matches(&message));
+        assert!(Selector::parse("JMSType = 'order'").unwrap().matches(&message));
+        assert!(Selector::parse("JMSTimestamp >= 42").unwrap().matches(&message));
+    }
+
+    #[test]
+    fn numeric_comparisons_mix_int_and_float() {
+        let message = message_with(&[("weight", Value::Double(2.5))]);
+        assert!(Selector::parse("weight > 2").unwrap().matches(&message));
+        assert!(Selector::parse("weight <= 2.5").unwrap().matches(&message));
+        assert!(!Selector::parse("weight <> 2.5").unwrap().matches(&message));
+    }
+
+    #[test]
+    fn arithmetic_in_comparisons() {
+        let message = message_with(&[("a", Value::Int(4)), ("b", Value::Int(3))]);
+        assert!(Selector::parse("a * b = 12").unwrap().matches(&message));
+        assert!(Selector::parse("a + b * 2 = 10").unwrap().matches(&message));
+        assert!(Selector::parse("(a + b) * 2 = 14").unwrap().matches(&message));
+        assert!(Selector::parse("-a = -4").unwrap().matches(&message));
+        assert!(Selector::parse("a / 2 = 2").unwrap().matches(&message));
+    }
+
+    #[test]
+    fn between_and_not_between() {
+        let message = message_with(&[("size", Value::Int(15))]);
+        assert!(Selector::parse("size BETWEEN 10 AND 20").unwrap().matches(&message));
+        assert!(Selector::parse("size BETWEEN 15 AND 15").unwrap().matches(&message));
+        assert!(!Selector::parse("size NOT BETWEEN 10 AND 20")
+            .unwrap()
+            .matches(&message));
+        assert!(Selector::parse("size NOT BETWEEN 16 AND 20")
+            .unwrap()
+            .matches(&message));
+    }
+
+    #[test]
+    fn in_lists() {
+        let message = message_with(&[("region", Value::from("emea"))]);
+        assert!(Selector::parse("region IN ('apac', 'emea')")
+            .unwrap()
+            .matches(&message));
+        assert!(!Selector::parse("region NOT IN ('apac', 'emea')")
+            .unwrap()
+            .matches(&message));
+        assert!(Selector::parse("region NOT IN ('apac')").unwrap().matches(&message));
+    }
+
+    #[test]
+    fn like_patterns() {
+        let message = message_with(&[("code", Value::from("AB-1234"))]);
+        assert!(Selector::parse("code LIKE 'AB-%'").unwrap().matches(&message));
+        assert!(Selector::parse("code LIKE '__-1234'").unwrap().matches(&message));
+        assert!(!Selector::parse("code LIKE 'AB-_'").unwrap().matches(&message));
+        assert!(Selector::parse("code NOT LIKE 'XY%'").unwrap().matches(&message));
+    }
+
+    #[test]
+    fn like_with_escape() {
+        let message = message_with(&[("path", Value::from("100%_done"))]);
+        assert!(Selector::parse("path LIKE '100!%!_done' ESCAPE '!'")
+            .unwrap()
+            .matches(&message));
+        assert!(!Selector::parse("path LIKE '100!%!_later' ESCAPE '!'")
+            .unwrap()
+            .matches(&message));
+    }
+
+    #[test]
+    fn is_null_checks() {
+        let message = message_with(&[("set", Value::Int(1))]);
+        assert!(Selector::parse("unset IS NULL").unwrap().matches(&message));
+        assert!(Selector::parse("set IS NOT NULL").unwrap().matches(&message));
+        assert!(!Selector::parse("set IS NULL").unwrap().matches(&message));
+    }
+
+    #[test]
+    fn boolean_connectives_and_three_valued_logic() {
+        let message = message_with(&[("a", Value::Bool(true))]);
+        assert!(Selector::parse("a = TRUE").unwrap().matches(&message));
+        assert!(Selector::parse("a = TRUE OR missing = 1").unwrap().matches(&message));
+        // unknown AND true → unknown → no match
+        assert!(!Selector::parse("missing = 1 AND a = TRUE")
+            .unwrap()
+            .matches(&message));
+        // NOT unknown → unknown → no match
+        assert!(!Selector::parse("NOT (missing = 1)").unwrap().matches(&message));
+        // unknown OR true → true
+        assert!(Selector::parse("missing = 1 OR a = TRUE").unwrap().matches(&message));
+        // bare boolean property is a valid condition
+        assert!(Selector::parse("a").unwrap().matches(&message));
+        assert!(!Selector::parse("NOT a").unwrap().matches(&message));
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let message = message_with(&[("size", Value::Int(5))]);
+        assert!(Selector::parse("size between 1 and 10 and not (size is null)")
+            .unwrap()
+            .matches(&message));
+    }
+
+    #[test]
+    fn type_mismatch_is_unknown_not_error() {
+        let message = message_with(&[("name", Value::from("x"))]);
+        // string compared with < → unknown → no match, but no panic/err
+        assert!(!Selector::parse("name < 'y'").unwrap().matches(&message));
+        assert!(!Selector::parse("name + 1 = 2").unwrap().matches(&message));
+    }
+
+    #[test]
+    fn parse_errors_carry_positions() {
+        let err = Selector::parse("a = ").unwrap_err();
+        assert!(err.position() >= 3);
+        assert!(!err.message().is_empty());
+        assert!(Selector::parse("a ==== b").is_err());
+        assert!(Selector::parse("(a = 1").is_err());
+        assert!(Selector::parse("a = 'unterminated").is_err());
+        assert!(Selector::parse("a = 1 extra").is_err());
+        assert!(Selector::parse("IN (1)").is_err());
+    }
+
+    #[test]
+    fn display_and_text_round_trip() {
+        let selector = Selector::parse("a = 1").unwrap();
+        assert_eq!(selector.text(), "a = 1");
+        assert_eq!(selector.to_string(), "a = 1");
+    }
+
+    #[test]
+    fn matches_with_custom_resolver() {
+        let selector = Selector::parse("x > 10").unwrap();
+        assert!(selector.matches_with(|name| {
+            (name == "x").then_some(EvalValue::Long(11))
+        }));
+        assert!(!selector.matches_with(|_| None));
+    }
+
+    #[test]
+    fn quoted_string_escapes_doubled_quote() {
+        let message = message_with(&[("q", Value::from("it's"))]);
+        assert!(Selector::parse("q = 'it''s'").unwrap().matches(&message));
+    }
+}

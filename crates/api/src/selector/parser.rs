@@ -1,0 +1,448 @@
+//! Recursive-descent parser for the message-selector language.
+//!
+//! Grammar (precedence low → high):
+//!
+//! ```text
+//! expr        := and_expr (OR and_expr)*
+//! and_expr    := not_expr (AND not_expr)*
+//! not_expr    := NOT not_expr | comparison
+//! comparison  := sum ( (= | <> | < | <= | > | >=) sum
+//!                    | [NOT] BETWEEN sum AND sum
+//!                    | [NOT] IN '(' string (',' string)* ')'
+//!                    | [NOT] LIKE string [ESCAPE string]
+//!                    | IS [NOT] NULL )?
+//! sum         := product ((+ | -) product)*
+//! product     := unary ((* | /) unary)*
+//! unary       := (+ | -) unary | primary
+//! primary     := literal | identifier | '(' expr ')'
+//! ```
+
+use super::ast::{BinaryOp, Expr, Literal, UnaryOp};
+use super::token::{lex, Spanned, Token};
+use super::SelectorError;
+
+pub(crate) fn parse(text: &str) -> Result<Expr, SelectorError> {
+    let tokens = lex(text)?;
+    let mut parser = Parser {
+        tokens,
+        position: 0,
+        end: text.len(),
+    };
+    let expr = parser.expr()?;
+    if let Some(extra) = parser.peek() {
+        return Err(SelectorError::new(
+            extra.offset,
+            format!("unexpected {} after expression", extra.token.describe()),
+        ));
+    }
+    Ok(expr)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    position: usize,
+    end: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Spanned> {
+        self.tokens.get(self.position)
+    }
+
+    fn next(&mut self) -> Option<Spanned> {
+        let token = self.tokens.get(self.position).cloned();
+        if token.is_some() {
+            self.position += 1;
+        }
+        token
+    }
+
+    fn offset(&self) -> usize {
+        self.peek().map_or(self.end, |s| s.offset)
+    }
+
+    fn eat(&mut self, expected: &Token) -> bool {
+        if self.peek().is_some_and(|s| &s.token == expected) {
+            self.position += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, expected: &Token) -> Result<(), SelectorError> {
+        if self.eat(expected) {
+            Ok(())
+        } else {
+            Err(self.unexpected(&format!("expected {}", expected.describe())))
+        }
+    }
+
+    fn unexpected(&self, expectation: &str) -> SelectorError {
+        match self.peek() {
+            Some(s) => SelectorError::new(
+                s.offset,
+                format!("{expectation}, found {}", s.token.describe()),
+            ),
+            None => SelectorError::new(self.end, format!("{expectation}, found end of input")),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, SelectorError> {
+        let mut left = self.and_expr()?;
+        while self.eat(&Token::Or) {
+            let right = self.and_expr()?;
+            left = Expr::Binary {
+                op: BinaryOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, SelectorError> {
+        let mut left = self.not_expr()?;
+        while self.eat(&Token::And) {
+            let right = self.not_expr()?;
+            left = Expr::Binary {
+                op: BinaryOp::And,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, SelectorError> {
+        if self.eat(&Token::Not) {
+            let expr = self.not_expr()?;
+            Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(expr),
+            })
+        } else {
+            self.comparison()
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Expr, SelectorError> {
+        let left = self.sum()?;
+
+        // Simple relational operators.
+        let relational = match self.peek().map(|s| &s.token) {
+            Some(Token::Eq) => Some(BinaryOp::Eq),
+            Some(Token::Neq) => Some(BinaryOp::Neq),
+            Some(Token::Lt) => Some(BinaryOp::Lt),
+            Some(Token::Le) => Some(BinaryOp::Le),
+            Some(Token::Gt) => Some(BinaryOp::Gt),
+            Some(Token::Ge) => Some(BinaryOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = relational {
+            self.position += 1;
+            let right = self.sum()?;
+            return Ok(Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            });
+        }
+
+        // [NOT] BETWEEN / IN / LIKE, and IS [NOT] NULL.
+        let negated = self.eat(&Token::Not);
+        match self.peek().map(|s| &s.token) {
+            Some(Token::Between) => {
+                self.position += 1;
+                let low = self.sum()?;
+                self.expect(&Token::And)?;
+                let high = self.sum()?;
+                Ok(Expr::Between {
+                    negated,
+                    expr: Box::new(left),
+                    low: Box::new(low),
+                    high: Box::new(high),
+                })
+            }
+            Some(Token::In) => {
+                self.position += 1;
+                self.expect(&Token::LParen)?;
+                let mut list = Vec::new();
+                loop {
+                    match self.next() {
+                        Some(Spanned {
+                            token: Token::Str(s),
+                            ..
+                        }) => list.push(s),
+                        Some(other) => {
+                            return Err(SelectorError::new(
+                                other.offset,
+                                format!(
+                                    "IN list items must be string literals, found {}",
+                                    other.token.describe()
+                                ),
+                            ))
+                        }
+                        None => {
+                            return Err(SelectorError::new(
+                                self.end,
+                                "IN list items must be string literals, found end of input",
+                            ))
+                        }
+                    }
+                    if !self.eat(&Token::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Token::RParen)?;
+                Ok(Expr::In {
+                    negated,
+                    expr: Box::new(left),
+                    list,
+                })
+            }
+            Some(Token::Like) => {
+                self.position += 1;
+                let pattern_offset = self.offset();
+                let pattern = match self.next() {
+                    Some(Spanned {
+                        token: Token::Str(s),
+                        ..
+                    }) => s,
+                    _ => {
+                        return Err(SelectorError::new(
+                            pattern_offset,
+                            "LIKE requires a string-literal pattern",
+                        ))
+                    }
+                };
+                let escape = if self.eat(&Token::Escape) {
+                    let escape_offset = self.offset();
+                    match self.next() {
+                        Some(Spanned {
+                            token: Token::Str(s),
+                            ..
+                        }) if s.chars().count() == 1 => s.chars().next(),
+                        _ => {
+                            return Err(SelectorError::new(
+                                escape_offset,
+                                "ESCAPE requires a single-character string literal",
+                            ))
+                        }
+                    }
+                } else {
+                    None
+                };
+                Ok(Expr::Like {
+                    negated,
+                    expr: Box::new(left),
+                    pattern,
+                    escape,
+                })
+            }
+            Some(Token::Is) if !negated => {
+                self.position += 1;
+                let negated = self.eat(&Token::Not);
+                self.expect(&Token::Null)?;
+                Ok(Expr::IsNull {
+                    negated,
+                    expr: Box::new(left),
+                })
+            }
+            _ if negated => Err(self.unexpected("expected BETWEEN, IN or LIKE after NOT")),
+            _ => Ok(left),
+        }
+    }
+
+    fn sum(&mut self) -> Result<Expr, SelectorError> {
+        let mut left = self.product()?;
+        loop {
+            let op = match self.peek().map(|s| &s.token) {
+                Some(Token::Plus) => BinaryOp::Add,
+                Some(Token::Minus) => BinaryOp::Sub,
+                _ => break,
+            };
+            self.position += 1;
+            let right = self.product()?;
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn product(&mut self) -> Result<Expr, SelectorError> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek().map(|s| &s.token) {
+                Some(Token::Star) => BinaryOp::Mul,
+                Some(Token::Slash) => BinaryOp::Div,
+                _ => break,
+            };
+            self.position += 1;
+            let right = self.unary()?;
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr, SelectorError> {
+        if self.eat(&Token::Minus) {
+            let expr = self.unary()?;
+            return Ok(Expr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(expr),
+            });
+        }
+        if self.eat(&Token::Plus) {
+            return self.unary();
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, SelectorError> {
+        match self.peek().map(|s| s.token.clone()) {
+            Some(Token::Int(v)) => {
+                self.position += 1;
+                Ok(Expr::Literal(Literal::Int(v)))
+            }
+            Some(Token::Float(v)) => {
+                self.position += 1;
+                Ok(Expr::Literal(Literal::Float(v)))
+            }
+            Some(Token::Str(s)) => {
+                self.position += 1;
+                Ok(Expr::Literal(Literal::Str(s)))
+            }
+            Some(Token::True) => {
+                self.position += 1;
+                Ok(Expr::Literal(Literal::Bool(true)))
+            }
+            Some(Token::False) => {
+                self.position += 1;
+                Ok(Expr::Literal(Literal::Bool(false)))
+            }
+            Some(Token::Ident(name)) => {
+                self.position += 1;
+                Ok(Expr::Ident(name))
+            }
+            Some(Token::LParen) => {
+                self.position += 1;
+                let expr = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(expr)
+            }
+            _ => Err(self.unexpected("expected a literal, identifier or parenthesised expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precedence_or_binds_loosest() {
+        let expr = parse("a OR b AND c").unwrap();
+        match expr {
+            Expr::Binary {
+                op: BinaryOp::Or,
+                right,
+                ..
+            } => match *right {
+                Expr::Binary {
+                    op: BinaryOp::And, ..
+                } => {}
+                other => panic!("expected AND under OR, got {other:?}"),
+            },
+            other => panic!("expected OR at root, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let expr = parse("a + b * c = 7").unwrap();
+        let printed = expr.to_string();
+        assert_eq!(printed, "((a + (b * c)) = 7)");
+    }
+
+    #[test]
+    fn not_binds_tighter_than_and() {
+        let expr = parse("NOT a AND b").unwrap();
+        assert_eq!(expr.to_string(), "(NOT (a) AND b)");
+    }
+
+    #[test]
+    fn between_parses() {
+        let expr = parse("x NOT BETWEEN 1 AND 3 + 1").unwrap();
+        assert_eq!(expr.to_string(), "(x NOT BETWEEN 1 AND (3 + 1))");
+    }
+
+    #[test]
+    fn in_list_parses() {
+        let expr = parse("region IN ('a', 'b')").unwrap();
+        assert_eq!(expr.to_string(), "(region IN ('a', 'b'))");
+    }
+
+    #[test]
+    fn in_list_rejects_non_strings() {
+        assert!(parse("region IN (1, 2)").is_err());
+        assert!(parse("region IN ()").is_err());
+    }
+
+    #[test]
+    fn like_parses_with_escape() {
+        let expr = parse("name LIKE 'x!%' ESCAPE '!'").unwrap();
+        assert_eq!(expr.to_string(), "(name LIKE 'x!%' ESCAPE '!')");
+        assert!(parse("name LIKE 'x' ESCAPE 'ab'").is_err());
+        assert!(parse("name LIKE 42").is_err());
+    }
+
+    #[test]
+    fn is_null_parses() {
+        assert_eq!(parse("a IS NULL").unwrap().to_string(), "(a IS NULL)");
+        assert_eq!(
+            parse("a IS NOT NULL").unwrap().to_string(),
+            "(a IS NOT NULL)"
+        );
+        assert!(parse("a IS 4").is_err());
+    }
+
+    #[test]
+    fn dangling_not_is_an_error() {
+        assert!(parse("a NOT = 1").is_err());
+    }
+
+    #[test]
+    fn unary_minus_and_plus() {
+        assert_eq!(parse("-a = +2").unwrap().to_string(), "(-(a) = 2)");
+        assert_eq!(parse("--2 = 2").unwrap().to_string(), "(-(-(2)) = 2)");
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        let err = parse("a = 1 b").unwrap_err();
+        assert!(err.message().contains("after expression"));
+    }
+
+    #[test]
+    fn error_positions_point_into_text() {
+        let err = parse("a = ").unwrap_err();
+        assert_eq!(err.position(), 4);
+        let err = parse("(a = 1").unwrap_err();
+        assert_eq!(err.position(), 6);
+    }
+
+    #[test]
+    fn deeply_nested_parentheses() {
+        let depth = 100;
+        let source = format!("{}a = 1{}", "(".repeat(depth), ")".repeat(depth));
+        assert!(parse(&source).is_ok());
+    }
+}

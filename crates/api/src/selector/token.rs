@@ -1,0 +1,333 @@
+//! Lexer for the message-selector language.
+
+use super::SelectorError;
+
+/// A lexical token together with its byte offset in the source text.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Spanned {
+    pub token: Token,
+    pub offset: usize,
+}
+
+/// A lexical token of the selector language.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Token {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    // keywords
+    And,
+    Or,
+    Not,
+    Between,
+    In,
+    Like,
+    Escape,
+    Is,
+    Null,
+    True,
+    False,
+    // punctuation
+    LParen,
+    RParen,
+    Comma,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl Token {
+    pub(crate) fn describe(&self) -> String {
+        match self {
+            Token::Ident(name) => format!("identifier `{name}`"),
+            Token::Int(v) => format!("integer {v}"),
+            Token::Float(v) => format!("number {v}"),
+            Token::Str(s) => format!("string '{s}'"),
+            Token::And => "AND".into(),
+            Token::Or => "OR".into(),
+            Token::Not => "NOT".into(),
+            Token::Between => "BETWEEN".into(),
+            Token::In => "IN".into(),
+            Token::Like => "LIKE".into(),
+            Token::Escape => "ESCAPE".into(),
+            Token::Is => "IS".into(),
+            Token::Null => "NULL".into(),
+            Token::True => "TRUE".into(),
+            Token::False => "FALSE".into(),
+            Token::LParen => "(".into(),
+            Token::RParen => ")".into(),
+            Token::Comma => ",".into(),
+            Token::Plus => "+".into(),
+            Token::Minus => "-".into(),
+            Token::Star => "*".into(),
+            Token::Slash => "/".into(),
+            Token::Eq => "=".into(),
+            Token::Neq => "<>".into(),
+            Token::Lt => "<".into(),
+            Token::Le => "<=".into(),
+            Token::Gt => ">".into(),
+            Token::Ge => ">=".into(),
+        }
+    }
+}
+
+fn keyword(word: &str) -> Option<Token> {
+    // SQL keywords are case-insensitive.
+    match word.to_ascii_uppercase().as_str() {
+        "AND" => Some(Token::And),
+        "OR" => Some(Token::Or),
+        "NOT" => Some(Token::Not),
+        "BETWEEN" => Some(Token::Between),
+        "IN" => Some(Token::In),
+        "LIKE" => Some(Token::Like),
+        "ESCAPE" => Some(Token::Escape),
+        "IS" => Some(Token::Is),
+        "NULL" => Some(Token::Null),
+        "TRUE" => Some(Token::True),
+        "FALSE" => Some(Token::False),
+        _ => None,
+    }
+}
+
+/// Tokenises `text`.
+///
+/// # Errors
+///
+/// Returns an error at the first unrecognised character, malformed number,
+/// or unterminated string literal.
+pub(crate) fn lex(text: &str) -> Result<Vec<Spanned>, SelectorError> {
+    let bytes = text.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let start = i;
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Spanned { token: Token::LParen, offset: start });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Spanned { token: Token::RParen, offset: start });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Spanned { token: Token::Comma, offset: start });
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Spanned { token: Token::Plus, offset: start });
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Spanned { token: Token::Minus, offset: start });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Spanned { token: Token::Star, offset: start });
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Spanned { token: Token::Slash, offset: start });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Spanned { token: Token::Eq, offset: start });
+                i += 1;
+            }
+            '<' => {
+                i += 1;
+                let token = if i < bytes.len() && bytes[i] == b'>' {
+                    i += 1;
+                    Token::Neq
+                } else if i < bytes.len() && bytes[i] == b'=' {
+                    i += 1;
+                    Token::Le
+                } else {
+                    Token::Lt
+                };
+                tokens.push(Spanned { token, offset: start });
+            }
+            '>' => {
+                i += 1;
+                let token = if i < bytes.len() && bytes[i] == b'=' {
+                    i += 1;
+                    Token::Ge
+                } else {
+                    Token::Gt
+                };
+                tokens.push(Spanned { token, offset: start });
+            }
+            '\'' => {
+                i += 1;
+                let mut value = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(SelectorError::new(start, "unterminated string literal"));
+                    }
+                    if bytes[i] == b'\'' {
+                        // A doubled quote is an escaped quote.
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                            value.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        // Strings are UTF-8; copy char-by-char.
+                        let rest = &text[i..];
+                        let ch = rest.chars().next().expect("in-bounds char");
+                        value.push(ch);
+                        i += ch.len_utf8();
+                    }
+                }
+                tokens.push(Spanned { token: Token::Str(value), offset: start });
+            }
+            _ if c.is_ascii_digit() || (c == '.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit()) => {
+                let mut has_dot = false;
+                let mut has_exp = false;
+                while i < bytes.len() {
+                    let d = bytes[i] as char;
+                    if d.is_ascii_digit() {
+                        i += 1;
+                    } else if d == '.' && !has_dot && !has_exp {
+                        has_dot = true;
+                        i += 1;
+                    } else if (d == 'e' || d == 'E') && !has_exp {
+                        has_exp = true;
+                        i += 1;
+                        if i < bytes.len() && (bytes[i] == b'+' || bytes[i] == b'-') {
+                            i += 1;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                let literal = &text[start..i];
+                let token = if has_dot || has_exp {
+                    Token::Float(literal.parse().map_err(|_| {
+                        SelectorError::new(start, format!("malformed number `{literal}`"))
+                    })?)
+                } else {
+                    Token::Int(literal.parse().map_err(|_| {
+                        SelectorError::new(start, format!("malformed number `{literal}`"))
+                    })?)
+                };
+                tokens.push(Spanned { token, offset: start });
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' || c == '$' => {
+                while i < bytes.len() {
+                    let d = bytes[i] as char;
+                    if d.is_ascii_alphanumeric() || d == '_' || d == '$' || d == '.' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word = &text[start..i];
+                let token = keyword(word).unwrap_or_else(|| Token::Ident(word.to_owned()));
+                tokens.push(Spanned { token, offset: start });
+            }
+            _ => {
+                return Err(SelectorError::new(
+                    start,
+                    format!("unexpected character `{c}`"),
+                ));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(text: &str) -> Vec<Token> {
+        lex(text).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn punctuation_and_operators() {
+        assert_eq!(
+            kinds("( ) , + - * / = <> < <= > >="),
+            vec![
+                Token::LParen,
+                Token::RParen,
+                Token::Comma,
+                Token::Plus,
+                Token::Minus,
+                Token::Star,
+                Token::Slash,
+                Token::Eq,
+                Token::Neq,
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("42"), vec![Token::Int(42)]);
+        assert_eq!(kinds("4.5"), vec![Token::Float(4.5)]);
+        assert_eq!(kinds(".5"), vec![Token::Float(0.5)]);
+        assert_eq!(kinds("1e3"), vec![Token::Float(1000.0)]);
+        assert_eq!(kinds("2.5E-1"), vec![Token::Float(0.25)]);
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(kinds("'abc'"), vec![Token::Str("abc".into())]);
+        assert_eq!(kinds("'it''s'"), vec![Token::Str("it's".into())]);
+        assert_eq!(kinds("''"), vec![Token::Str(String::new())]);
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(kinds("and AND And"), vec![Token::And, Token::And, Token::And]);
+        assert_eq!(kinds("TRUE false NULL"), vec![Token::True, Token::False, Token::Null]);
+    }
+
+    #[test]
+    fn identifiers_including_dotted() {
+        assert_eq!(kinds("region"), vec![Token::Ident("region".into())]);
+        assert_eq!(kinds("_x$2"), vec![Token::Ident("_x$2".into())]);
+        assert_eq!(kinds("a.b"), vec![Token::Ident("a.b".into())]);
+    }
+
+    #[test]
+    fn offsets_track_positions() {
+        let tokens = lex("a = 12").unwrap();
+        assert_eq!(tokens[0].offset, 0);
+        assert_eq!(tokens[1].offset, 2);
+        assert_eq!(tokens[2].offset, 4);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("'unterminated").is_err());
+        assert!(lex("#").is_err());
+        let err = lex("a ? b").unwrap_err();
+        assert_eq!(err.position(), 2);
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        assert_eq!(kinds("'héllo'"), vec![Token::Str("héllo".into())]);
+    }
+}

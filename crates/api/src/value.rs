@@ -1,0 +1,274 @@
+//! Typed values used for message properties and for the map and stream
+//! message bodies, mirroring the primitive types of the JMS type system.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A JMS-style primitive value.
+///
+/// Message properties may hold every variant except [`Value::Bytes`];
+/// map and stream bodies may hold all of them. Numeric variants are kept
+/// distinct (as in JMS) but can be compared through [`Value::as_f64`] /
+/// [`Value::as_i64`], which is what the message-selector evaluator does.
+///
+/// # Examples
+///
+/// ```
+/// use jmst_api::value::Value;
+///
+/// let v = Value::Int(42);
+/// assert_eq!(v.as_i64(), Some(42));
+/// assert_eq!(v.as_f64(), Some(42.0));
+/// assert!(Value::from("text").as_str().is_some());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// A boolean.
+    Bool(bool),
+    /// An 8-bit signed integer (JMS `byte`).
+    Byte(i8),
+    /// A 16-bit signed integer (JMS `short`).
+    Short(i16),
+    /// A 32-bit signed integer (JMS `int`).
+    Int(i32),
+    /// A 64-bit signed integer (JMS `long`).
+    Long(i64),
+    /// A 32-bit float (JMS `float`).
+    Float(f32),
+    /// A 64-bit float (JMS `double`).
+    Double(f64),
+    /// A string.
+    String(String),
+    /// A byte array (valid in map and stream bodies only).
+    Bytes(Vec<u8>),
+}
+
+impl Value {
+    /// Returns the value as a boolean, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as a signed 64-bit integer if it is any integral
+    /// variant.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Byte(v) => Some(i64::from(*v)),
+            Value::Short(v) => Some(i64::from(*v)),
+            Value::Int(v) => Some(i64::from(*v)),
+            Value::Long(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as a 64-bit float if it is any numeric variant.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Byte(v) => Some(f64::from(*v)),
+            Value::Short(v) => Some(f64::from(*v)),
+            Value::Int(v) => Some(f64::from(*v)),
+            Value::Long(v) => Some(*v as f64),
+            Value::Float(v) => Some(f64::from(*v)),
+            Value::Double(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as a byte slice, if it is a byte array.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if the value is any numeric variant.
+    pub fn is_numeric(&self) -> bool {
+        matches!(
+            self,
+            Value::Byte(_)
+                | Value::Short(_)
+                | Value::Int(_)
+                | Value::Long(_)
+                | Value::Float(_)
+                | Value::Double(_)
+        )
+    }
+
+    /// Returns `true` if the value may legally appear as a message
+    /// property (every variant except byte arrays).
+    pub fn is_valid_property(&self) -> bool {
+        !matches!(self, Value::Bytes(_))
+    }
+
+    /// Returns the approximate wire size of the value in bytes, used by the
+    /// harness when accounting body bytes for byte-throughput measures.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            Value::Bool(_) | Value::Byte(_) => 1,
+            Value::Short(_) => 2,
+            Value::Int(_) | Value::Float(_) => 4,
+            Value::Long(_) | Value::Double(_) => 8,
+            Value::String(s) => s.len(),
+            Value::Bytes(b) => b.len(),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Byte(v) => write!(f, "{v}"),
+            Value::Short(v) => write!(f, "{v}"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Long(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Double(v) => write!(f, "{v}"),
+            Value::String(v) => write!(f, "'{v}'"),
+            Value::Bytes(v) => write!(f, "<{} bytes>", v.len()),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<i8> for Value {
+    fn from(v: i8) -> Self {
+        Value::Byte(v)
+    }
+}
+
+impl From<i16> for Value {
+    fn from(v: i16) -> Self {
+        Value::Short(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Long(v)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Double(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(v: Vec<u8>) -> Self {
+        Value::Bytes(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integral_widening() {
+        assert_eq!(Value::Byte(-3).as_i64(), Some(-3));
+        assert_eq!(Value::Short(300).as_i64(), Some(300));
+        assert_eq!(Value::Int(70_000).as_i64(), Some(70_000));
+        assert_eq!(Value::Long(1 << 40).as_i64(), Some(1 << 40));
+        assert_eq!(Value::Float(1.5).as_i64(), None);
+        assert_eq!(Value::String("1".into()).as_i64(), None);
+    }
+
+    #[test]
+    fn float_widening() {
+        assert_eq!(Value::Int(2).as_f64(), Some(2.0));
+        assert_eq!(Value::Float(0.5).as_f64(), Some(0.5));
+        assert_eq!(Value::Double(2.25).as_f64(), Some(2.25));
+        assert_eq!(Value::Bool(true).as_f64(), None);
+    }
+
+    #[test]
+    fn property_validity() {
+        assert!(Value::Bool(true).is_valid_property());
+        assert!(Value::String("x".into()).is_valid_property());
+        assert!(!Value::Bytes(vec![1, 2]).is_valid_property());
+    }
+
+    #[test]
+    fn wire_sizes() {
+        assert_eq!(Value::Bool(true).wire_size(), 1);
+        assert_eq!(Value::Short(1).wire_size(), 2);
+        assert_eq!(Value::Int(1).wire_size(), 4);
+        assert_eq!(Value::Long(1).wire_size(), 8);
+        assert_eq!(Value::Float(1.0).wire_size(), 4);
+        assert_eq!(Value::Double(1.0).wire_size(), 8);
+        assert_eq!(Value::String("abcd".into()).wire_size(), 4);
+        assert_eq!(Value::Bytes(vec![0; 10]).wire_size(), 10);
+    }
+
+    #[test]
+    fn from_conversions() {
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(1i8), Value::Byte(1));
+        assert_eq!(Value::from(1i16), Value::Short(1));
+        assert_eq!(Value::from(1i32), Value::Int(1));
+        assert_eq!(Value::from(1i64), Value::Long(1));
+        assert_eq!(Value::from(1.0f32), Value::Float(1.0));
+        assert_eq!(Value::from(1.0f64), Value::Double(1.0));
+        assert_eq!(Value::from("x"), Value::String("x".into()));
+        assert_eq!(Value::from(vec![1u8]), Value::Bytes(vec![1]));
+    }
+
+    #[test]
+    fn display_quotes_strings() {
+        assert_eq!(Value::String("hi".into()).to_string(), "'hi'");
+        assert_eq!(Value::Int(5).to_string(), "5");
+        assert_eq!(Value::Bytes(vec![0; 3]).to_string(), "<3 bytes>");
+    }
+
+    #[test]
+    fn numeric_detection() {
+        assert!(Value::Byte(0).is_numeric());
+        assert!(Value::Double(0.0).is_numeric());
+        assert!(!Value::Bool(false).is_numeric());
+        assert!(!Value::String(String::new()).is_numeric());
+        assert!(!Value::Bytes(Vec::new()).is_numeric());
+    }
+}

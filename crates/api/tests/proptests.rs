@@ -1,0 +1,162 @@
+//! Property-based tests for the API crate: selector grammar round-trips,
+//! LIKE-pattern semantics, body sizing, and id/timestamp invariants.
+
+use jmst_api::body::{Body, BodyKind};
+use jmst_api::destination::Destination;
+use jmst_api::id::{MessageId, ProducerId};
+use jmst_api::message::{MessageDraft, Stamp};
+use jmst_api::modes::{Priority, TimeToLive};
+use jmst_api::selector::{EvalValue, Selector};
+use jmst_api::time::Timestamp;
+use jmst_api::value::Value;
+use proptest::prelude::*;
+
+fn stamp() -> Stamp {
+    Stamp {
+        id: MessageId::from_raw(1),
+        producer: ProducerId::from_raw(1),
+        sequence: 0,
+        destination: Destination::topic("t"),
+        sent_at: Timestamp::from_millis(10),
+    }
+}
+
+/// Strategy producing a random but *valid* selector expression text and a
+/// closure-checkable meaning is hard; instead we generate structured
+/// expressions, print them via the AST `Display`, and require the printed
+/// form to re-parse to the same AST (print/parse round-trip).
+fn arb_selector_text() -> impl Strategy<Value = String> {
+    let ident = prop::sample::select(vec!["a", "b2", "_x", "price", "JMSPriority"]);
+    let atom = prop_oneof![
+        ident.clone().prop_map(|s| s.to_string()),
+        any::<i32>().prop_map(|v| v.to_string()),
+        (0u32..1000).prop_map(|v| format!("{}.{:02}", v / 100, v % 100)),
+        "[a-z]{0,6}".prop_map(|s| format!("'{s}'")),
+    ];
+    let comparison = (atom.clone(), prop::sample::select(vec!["=", "<>", "<", "<=", ">", ">="]), atom)
+        .prop_map(|(l, op, r)| format!("{l} {op} {r}"));
+    comparison.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a}) AND ({b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a}) OR ({b})")),
+            inner.prop_map(|a| format!("NOT ({a})")),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn selector_print_parse_round_trip(text in arb_selector_text()) {
+        let parsed = Selector::parse(&text).expect("generated selector must parse");
+        let printed = parsed.expr().to_string();
+        let reparsed = Selector::parse(&printed).expect("printed selector must re-parse");
+        prop_assert_eq!(parsed.expr(), reparsed.expr());
+    }
+
+    #[test]
+    fn selector_never_panics_on_arbitrary_input(text in ".{0,64}") {
+        // Any input must either parse or produce a positioned error.
+        match Selector::parse(&text) {
+            Ok(_) => {}
+            Err(err) => prop_assert!(err.position() <= text.len()),
+        }
+    }
+
+    #[test]
+    fn like_literal_patterns_match_exactly(s in "[a-zA-Z0-9 ]{0,20}") {
+        // A pattern with no wildcards matches exactly the same string.
+        let escaped = s.replace('\'', "''");
+        let selector = Selector::parse(&format!("v LIKE '{escaped}'")).unwrap();
+        let s_for_match = s.clone();
+        let matched = selector.matches_with(move |name| {
+            (name == "v").then(|| EvalValue::Str(s_for_match.clone()))
+        });
+        prop_assert!(matched);
+        // And a %-wrapped pattern also matches.
+        let selector = Selector::parse(&format!("v LIKE '%{escaped}%'")).unwrap();
+        let matched = selector.matches_with(move |name| {
+            (name == "v").then(|| EvalValue::Str(s.clone()))
+        });
+        prop_assert!(matched);
+    }
+
+    #[test]
+    fn like_percent_matches_any_string(s in "[a-z]{0,20}") {
+        let selector = Selector::parse("v LIKE '%'").unwrap();
+        let matched = selector.matches_with(move |name| {
+            (name == "v").then(|| EvalValue::Str(s.clone()))
+        });
+        prop_assert!(matched);
+    }
+
+    #[test]
+    fn between_is_equivalent_to_two_comparisons(v in -1000i64..1000, low in -1000i64..1000, high in -1000i64..1000) {
+        let between = Selector::parse(&format!("x BETWEEN {low} AND {high}")).unwrap();
+        let spelled = Selector::parse(&format!("x >= {low} AND x <= {high}")).unwrap();
+        let resolve = move |name: &str| (name == "x").then_some(EvalValue::Long(v));
+        prop_assert_eq!(between.matches_with(resolve), spelled.matches_with(resolve));
+    }
+
+    #[test]
+    fn numeric_comparisons_agree_with_rust(a in -1000i64..1000, b in -1000i64..1000) {
+        for (op, expected) in [
+            ("=", a == b), ("<>", a != b), ("<", a < b),
+            ("<=", a <= b), (">", a > b), (">=", a >= b),
+        ] {
+            let selector = Selector::parse(&format!("x {op} {b}")).unwrap();
+            let got = selector.matches_with(|name| (name == "x").then_some(EvalValue::Long(a)));
+            prop_assert_eq!(got, expected, "op {} with a={} b={}", op, a, b);
+        }
+    }
+
+    #[test]
+    fn synthetic_bodies_track_requested_size(
+        size in 1usize..4096,
+        seed in any::<u64>(),
+    ) {
+        for kind in BodyKind::ALL {
+            let body = Body::synthetic(kind, size, seed);
+            prop_assert_eq!(body.kind(), kind);
+            let actual = body.size_bytes();
+            match kind {
+                BodyKind::Text | BodyKind::Bytes => prop_assert_eq!(actual, size),
+                // Structured kinds quantise to entry sizes.
+                _ => prop_assert!(actual <= size + 16, "{kind}: {actual} vs {size}"),
+            }
+        }
+    }
+
+    #[test]
+    fn ttl_expiry_boundary(ttl_ms in 1u64..10_000, sent_ms in 0u64..10_000, delta in 0u64..20_000) {
+        let message = MessageDraft::text("x")
+            .time_to_live(TimeToLive::from_millis(ttl_ms))
+            .stamp(Stamp { sent_at: Timestamp::from_millis(sent_ms), ..stamp() });
+        let at = Timestamp::from_millis(sent_ms + delta);
+        // Expired exactly when now > sent + ttl.
+        prop_assert_eq!(message.is_expired_at(at), delta > ttl_ms);
+    }
+
+    #[test]
+    fn priority_try_from_matches_range(level in 0u8..=255) {
+        let result = Priority::try_from(level);
+        prop_assert_eq!(result.is_ok(), level <= 9);
+        if let Ok(p) = result {
+            prop_assert_eq!(p.level(), level);
+        }
+    }
+
+    #[test]
+    fn properties_survive_stamping(
+        entries in prop::collection::btree_map("[a-z][a-z0-9]{0,6}", any::<i32>(), 0..8)
+    ) {
+        let mut draft = MessageDraft::text("x");
+        for (name, value) in &entries {
+            draft = draft.property(name.clone(), Value::Int(*value)).unwrap();
+        }
+        let message = draft.stamp(stamp());
+        prop_assert_eq!(message.properties().len(), entries.len());
+        for (name, value) in &entries {
+            prop_assert_eq!(message.properties().get(name), Some(&Value::Int(*value)));
+        }
+    }
+}

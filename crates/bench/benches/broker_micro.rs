@@ -1,0 +1,147 @@
+//! Criterion micro-benchmarks of the reference broker: send/receive
+//! round-trips, pub/sub fan-out, selector evaluation in the routing path,
+//! and priority-queue insertion under backlog.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use jmst_api::prelude::*;
+use jmst_broker::ReferenceBroker;
+use std::time::Duration;
+
+fn queue_round_trip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broker/queue_round_trip");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("send_then_receive_1kib", |b| {
+        let broker = ReferenceBroker::new();
+        let mut connection = broker.create_connection(None).unwrap();
+        connection.start().unwrap();
+        let mut session = connection
+            .create_session(SessionMode::AutoAcknowledge)
+            .unwrap();
+        let queue = Destination::queue("bench");
+        let mut producer = session.create_producer(&queue).unwrap();
+        let mut consumer = session.create_consumer(&queue, None).unwrap();
+        let body = Body::synthetic(BodyKind::Bytes, 1024, 7);
+        b.iter(|| {
+            producer
+                .send(MessageDraft::new(body.clone()))
+                .expect("send");
+            consumer
+                .receive(Some(Duration::from_millis(100)))
+                .expect("receive")
+                .expect("message present")
+        });
+    });
+    group.finish();
+}
+
+fn pubsub_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broker/pubsub_fanout");
+    for subscribers in [1usize, 8, 64] {
+        group.throughput(Throughput::Elements(subscribers as u64));
+        group.bench_function(format!("publish_to_{subscribers}_subscribers"), |b| {
+            let broker = ReferenceBroker::new();
+            let mut connection = broker.create_connection(None).unwrap();
+            connection.start().unwrap();
+            let mut session = connection
+                .create_session(SessionMode::AutoAcknowledge)
+                .unwrap();
+            let topic = Destination::topic("fan");
+            let mut subs: Vec<_> = (0..subscribers)
+                .map(|_| session.create_consumer(&topic, None).unwrap())
+                .collect();
+            let mut producer = session.create_producer(&topic).unwrap();
+            let body = Body::synthetic(BodyKind::Bytes, 256, 3);
+            b.iter(|| {
+                producer
+                    .send(MessageDraft::new(body.clone()))
+                    .expect("publish");
+                for sub in &mut subs {
+                    sub.receive(Some(Duration::from_millis(100)))
+                        .expect("receive")
+                        .expect("delivered");
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn selector_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broker/selector_routing");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("publish_through_selective_subscription", |b| {
+        let broker = ReferenceBroker::new();
+        let mut connection = broker.create_connection(None).unwrap();
+        connection.start().unwrap();
+        let mut session = connection
+            .create_session(SessionMode::AutoAcknowledge)
+            .unwrap();
+        let topic = Destination::topic("sel");
+        let mut matching = session
+            .create_consumer(&topic, Some("region = 'emea' AND size BETWEEN 100 AND 4096"))
+            .unwrap();
+        let mut producer = session.create_producer(&topic).unwrap();
+        b.iter(|| {
+            producer
+                .send(
+                    MessageDraft::text("x")
+                        .property("region", Value::from("emea"))
+                        .unwrap()
+                        .property("size", Value::Int(512))
+                        .unwrap(),
+                )
+                .expect("publish");
+            matching
+                .receive(Some(Duration::from_millis(100)))
+                .expect("receive")
+                .expect("delivered")
+        });
+    });
+    group.finish();
+}
+
+fn priority_backlog(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broker/priority_backlog");
+    group.throughput(Throughput::Elements(1_000));
+    group.bench_function("enqueue_1000_mixed_priorities_then_drain", |b| {
+        b.iter_batched(
+            || {
+                let broker = ReferenceBroker::new();
+                let mut connection = broker.create_connection(None).unwrap();
+                connection.start().unwrap();
+                let mut session = connection
+                    .create_session(SessionMode::AutoAcknowledge)
+                    .unwrap();
+                let queue = Destination::queue("prio");
+                let producer = session.create_producer(&queue).unwrap();
+                let consumer = session.create_consumer(&queue, None).unwrap();
+                (connection, session, producer, consumer)
+            },
+            |(_connection, _session, mut producer, mut consumer)| {
+                for i in 0..1_000u64 {
+                    let priority = Priority::saturating((i % 10) as u8);
+                    producer
+                        .send(MessageDraft::text("m").priority(priority))
+                        .expect("send");
+                }
+                for _ in 0..1_000 {
+                    consumer
+                        .receive(Some(Duration::from_millis(100)))
+                        .expect("receive")
+                        .expect("delivered");
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    queue_round_trip,
+    pubsub_fanout,
+    selector_routing,
+    priority_backlog
+);
+criterion_main!(benches);

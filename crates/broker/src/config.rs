@@ -1,0 +1,158 @@
+//! Broker configuration.
+
+use crate::faults::FaultSpec;
+use jmst_api::time::{Clock, SystemClock};
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Configuration of a [`ReferenceBroker`](crate::ReferenceBroker).
+///
+/// The default configuration is a *correct* provider. Several switches
+/// deliberately weaken the broker so the test harness has known-faulty
+/// providers to detect (the workspace's stand-ins for the buggy commercial
+/// providers the paper tested):
+///
+/// * [`enforce_expiry`](Self::enforce_expiry) off → expired messages are
+///   delivered (violates the paper's Property 5);
+/// * [`enforce_priority`](Self::enforce_priority) off → strict FIFO
+///   regardless of priority (violates Property 4 under backlog);
+/// * [`persistent_survive_crash`](Self::persistent_survive_crash) off →
+///   a crash loses persistent messages (violates Property 2 in the
+///   crash-recovery experiment).
+#[derive(Clone)]
+pub struct BrokerConfig {
+    /// Human-readable provider name used in reports.
+    pub name: String,
+    /// Clock used for stamping and expiry; swap in a virtual clock to test
+    /// time-dependent behaviour without sleeping.
+    pub clock: Arc<dyn Clock>,
+    /// Simulated broker→consumer latency: a message becomes visible to
+    /// consumers this long after it is routed. Zero by default.
+    pub delivery_delay: Duration,
+    /// Whether to drop messages whose time-to-live has passed (default
+    /// `true`).
+    pub enforce_expiry: bool,
+    /// Whether to deliver higher-priority messages first (default `true`).
+    pub enforce_priority: bool,
+    /// Whether persistent messages survive [`crash`](crate::ReferenceBroker::crash)
+    /// (default `true`).
+    pub persistent_survive_crash: bool,
+    /// How many messages a dups-ok session may leave unacknowledged before
+    /// it lazily acknowledges the batch (default 16).
+    pub dups_ok_batch: u32,
+    /// Probabilistic fault injection (defaults to no faults).
+    pub faults: FaultSpec,
+}
+
+impl BrokerConfig {
+    /// The default, spec-conforming configuration.
+    pub fn correct() -> Self {
+        Self::default()
+    }
+
+    /// Returns a copy with a different provider name.
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Returns a copy using the given clock.
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Returns a copy with the given broker→consumer delivery delay.
+    pub fn with_delivery_delay(mut self, delay: Duration) -> Self {
+        self.delivery_delay = delay;
+        self
+    }
+
+    /// Returns a copy that ignores message expiry.
+    pub fn ignoring_expiry(mut self) -> Self {
+        self.enforce_expiry = false;
+        self
+    }
+
+    /// Returns a copy that ignores message priority.
+    pub fn ignoring_priority(mut self) -> Self {
+        self.enforce_priority = false;
+        self
+    }
+
+    /// Returns a copy that loses persistent messages on crash.
+    pub fn losing_persistent_on_crash(mut self) -> Self {
+        self.persistent_survive_crash = false;
+        self
+    }
+
+    /// Returns a copy with the given fault plan.
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = faults;
+        self
+    }
+}
+
+impl Default for BrokerConfig {
+    fn default() -> Self {
+        Self {
+            name: "reference".to_owned(),
+            clock: Arc::new(SystemClock::new()),
+            delivery_delay: Duration::ZERO,
+            enforce_expiry: true,
+            enforce_priority: true,
+            persistent_survive_crash: true,
+            dups_ok_batch: 16,
+            faults: FaultSpec::none(),
+        }
+    }
+}
+
+impl fmt::Debug for BrokerConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BrokerConfig")
+            .field("name", &self.name)
+            .field("delivery_delay", &self.delivery_delay)
+            .field("enforce_expiry", &self.enforce_expiry)
+            .field("enforce_priority", &self.enforce_priority)
+            .field("persistent_survive_crash", &self.persistent_survive_crash)
+            .field("dups_ok_batch", &self.dups_ok_batch)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_correct_provider() {
+        let config = BrokerConfig::correct();
+        assert!(config.enforce_expiry);
+        assert!(config.enforce_priority);
+        assert!(config.persistent_survive_crash);
+        assert_eq!(config.delivery_delay, Duration::ZERO);
+        assert_eq!(config.name, "reference");
+    }
+
+    #[test]
+    fn builder_style_modifiers() {
+        let config = BrokerConfig::correct()
+            .named("weak")
+            .with_delivery_delay(Duration::from_millis(5))
+            .ignoring_expiry()
+            .ignoring_priority()
+            .losing_persistent_on_crash();
+        assert_eq!(config.name, "weak");
+        assert_eq!(config.delivery_delay, Duration::from_millis(5));
+        assert!(!config.enforce_expiry);
+        assert!(!config.enforce_priority);
+        assert!(!config.persistent_survive_crash);
+    }
+
+    #[test]
+    fn debug_output_is_nonempty() {
+        assert!(!format!("{:?}", BrokerConfig::default()).is_empty());
+    }
+}

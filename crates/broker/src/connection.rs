@@ -1,0 +1,102 @@
+//! Connections of the reference broker.
+
+use crate::core::Core;
+use crate::session::{BrokerSession, SessionShared};
+use jmst_api::error::Error;
+use jmst_api::id::{ClientId, ConnectionId};
+use jmst_api::modes::SessionMode;
+use jmst_api::provider::{Connection, Session};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// State shared between a connection and everything created from it.
+#[derive(Debug)]
+pub(crate) struct ConnState {
+    pub(crate) id: ConnectionId,
+    pub(crate) client: Option<ClientId>,
+    /// Delivery runs only while started (JMS connections start stopped).
+    pub(crate) started: AtomicBool,
+    pub(crate) closed: AtomicBool,
+    /// Crash generation at creation; a broker crash invalidates the chain.
+    pub(crate) generation: u64,
+}
+
+/// A connection to the reference broker.
+#[derive(Debug)]
+pub struct BrokerConnection {
+    core: Arc<Core>,
+    state: Arc<ConnState>,
+}
+
+impl BrokerConnection {
+    pub(crate) fn new(core: Arc<Core>, client: Option<ClientId>) -> Result<Self, Error> {
+        core.check_alive(core.generation())?;
+        if let Some(client) = &client {
+            core.register_client(client)?;
+        }
+        let state = Arc::new(ConnState {
+            id: core.ids().next_connection_id(),
+            client,
+            started: AtomicBool::new(false),
+            closed: AtomicBool::new(false),
+            generation: core.generation(),
+        });
+        Ok(Self { core, state })
+    }
+
+    fn check_open(&self) -> Result<(), Error> {
+        self.core.check_alive(self.state.generation)?;
+        if self.state.closed.load(Ordering::SeqCst) {
+            return Err(Error::ConnectionClosed);
+        }
+        Ok(())
+    }
+}
+
+impl Connection for BrokerConnection {
+    fn id(&self) -> ConnectionId {
+        self.state.id
+    }
+
+    fn client_id(&self) -> Option<&ClientId> {
+        self.state.client.as_ref()
+    }
+
+    fn create_session(&mut self, mode: SessionMode) -> Result<Box<dyn Session>, Error> {
+        self.check_open()?;
+        let shared = SessionShared::new(Arc::clone(&self.core), Arc::clone(&self.state), mode);
+        Ok(Box::new(BrokerSession::new(shared)))
+    }
+
+    fn start(&mut self) -> Result<(), Error> {
+        self.check_open()?;
+        self.state.started.store(true, Ordering::SeqCst);
+        Ok(())
+    }
+
+    fn stop(&mut self) -> Result<(), Error> {
+        self.check_open()?;
+        self.state.started.store(false, Ordering::SeqCst);
+        Ok(())
+    }
+
+    fn close(&mut self) -> Result<(), Error> {
+        if self.state.closed.swap(true, Ordering::SeqCst) {
+            return Ok(());
+        }
+        if let Some(client) = &self.state.client {
+            // Only release the name if the broker has not crashed since we
+            // registered it (a crash clears the registry wholesale).
+            if self.core.check_alive(self.state.generation).is_ok() {
+                self.core.release_client(client);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for BrokerConnection {
+    fn drop(&mut self) {
+        let _ = self.close();
+    }
+}

@@ -1,0 +1,714 @@
+//! The broker core: destination registries, message routing, client
+//! management, and crash/recovery semantics. Shared by every connection,
+//! session, producer and consumer the broker hands out.
+
+use crate::config::BrokerConfig;
+use crate::endpoint::Endpoint;
+use crate::faults::{FaultCounters, FaultDecision, FaultEngine};
+use jmst_api::destination::{Destination, EndpointId, QueueName, TopicName};
+use jmst_api::error::Error;
+use jmst_api::id::{ClientId, ConsumerId, IdGenerator};
+use jmst_api::message::Message;
+use jmst_api::selector::Selector;
+use jmst_api::time::Timestamp;
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One subscription attached to a topic.
+#[derive(Debug, Clone)]
+struct TopicSubscription {
+    endpoint: Arc<Endpoint>,
+    selector: Option<Selector>,
+}
+
+/// A durable subscription's registry entry.
+#[derive(Debug)]
+struct DurableEntry {
+    topic: TopicName,
+    selector_text: Option<String>,
+    endpoint: Arc<Endpoint>,
+    active_consumer: Option<ConsumerId>,
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    queues: HashMap<QueueName, Arc<Endpoint>>,
+    topics: HashMap<TopicName, HashMap<EndpointId, TopicSubscription>>,
+    durables: HashMap<(ClientId, String), DurableEntry>,
+    active_clients: HashSet<ClientId>,
+}
+
+/// Broker-wide counters.
+#[derive(Debug, Default)]
+pub struct CoreCounters {
+    /// Messages routed into at least one end-point.
+    pub routed: AtomicU64,
+    /// Topic publishes that matched no subscription (dropped, as JMS
+    /// allows: nobody had subscribed).
+    pub unroutable: AtomicU64,
+    /// Crashes injected so far.
+    pub crashes: AtomicU64,
+}
+
+/// The shared state behind a [`ReferenceBroker`](crate::ReferenceBroker).
+#[derive(Debug)]
+pub struct Core {
+    config: BrokerConfig,
+    ids: IdGenerator,
+    registry: Mutex<Registry>,
+    crashed: AtomicBool,
+    /// Incremented on every crash; objects created before a crash carry an
+    /// older generation and refuse further work.
+    generation: AtomicU64,
+    counters: CoreCounters,
+    faults: Mutex<FaultEngine>,
+}
+
+impl Core {
+    /// Creates a core with the given configuration.
+    pub fn new(config: BrokerConfig) -> Arc<Self> {
+        let faults = Mutex::new(FaultEngine::new(config.faults));
+        Arc::new(Self {
+            config,
+            ids: IdGenerator::starting_at(1),
+            registry: Mutex::new(Registry::default()),
+            crashed: AtomicBool::new(false),
+            generation: AtomicU64::new(0),
+            counters: CoreCounters::default(),
+            faults,
+        })
+    }
+
+    /// The broker configuration.
+    pub fn config(&self) -> &BrokerConfig {
+        &self.config
+    }
+
+    /// The shared id generator.
+    pub fn ids(&self) -> &IdGenerator {
+        &self.ids
+    }
+
+    /// Broker-wide counters.
+    pub fn counters(&self) -> &CoreCounters {
+        &self.counters
+    }
+
+    /// Current time according to the broker clock.
+    pub fn now(&self) -> Timestamp {
+        self.config.clock.now()
+    }
+
+    /// Current crash generation.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
+    }
+
+    /// Returns an error if the broker is crashed or `generation` predates
+    /// the last crash.
+    pub fn check_alive(&self, generation: u64) -> Result<(), Error> {
+        if self.crashed.load(Ordering::SeqCst) {
+            return Err(Error::provider_failure("broker is down"));
+        }
+        if generation != self.generation() {
+            return Err(Error::provider_failure(
+                "connection lost in broker crash",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Registers a connection's client id, enforcing uniqueness.
+    pub fn register_client(&self, client: &ClientId) -> Result<(), Error> {
+        let mut registry = self.registry.lock();
+        if !registry.active_clients.insert(client.clone()) {
+            return Err(Error::InvalidClient(format!(
+                "client id {client} is already in use"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Releases a connection's client id.
+    pub fn release_client(&self, client: &ClientId) {
+        self.registry.lock().active_clients.remove(client);
+    }
+
+    /// Returns (creating on first use) the end-point of a queue.
+    pub fn queue_endpoint(&self, queue: &QueueName) -> Arc<Endpoint> {
+        let mut registry = self.registry.lock();
+        Arc::clone(registry.queues.entry(queue.clone()).or_insert_with(|| {
+            Arc::new(Endpoint::new(
+                EndpointId::for_queue(queue.clone()),
+                self.config.enforce_expiry,
+                self.config.enforce_priority,
+            ))
+        }))
+    }
+
+    /// Creates a non-durable subscription on `topic` and returns its
+    /// end-point. The subscription lives until
+    /// [`Core::drop_non_durable`] is called for the same consumer.
+    pub fn subscribe_non_durable(
+        &self,
+        topic: &TopicName,
+        consumer: ConsumerId,
+        selector: Option<Selector>,
+    ) -> Arc<Endpoint> {
+        let endpoint = Arc::new(Endpoint::new(
+            EndpointId::non_durable(topic.clone(), consumer),
+            self.config.enforce_expiry,
+            self.config.enforce_priority,
+        ));
+        let mut registry = self.registry.lock();
+        registry
+            .topics
+            .entry(topic.clone())
+            .or_default()
+            .insert(
+                endpoint.id().clone(),
+                TopicSubscription {
+                    endpoint: Arc::clone(&endpoint),
+                    selector,
+                },
+            );
+        endpoint
+    }
+
+    /// Ends a non-durable subscription: detaches it from the topic and
+    /// destroys its end-point.
+    pub fn drop_non_durable(&self, topic: &TopicName, consumer: ConsumerId) {
+        let id = EndpointId::non_durable(topic.clone(), consumer);
+        let mut registry = self.registry.lock();
+        if let Some(subs) = registry.topics.get_mut(topic) {
+            if let Some(sub) = subs.remove(&id) {
+                sub.endpoint.destroy();
+            }
+        }
+    }
+
+    /// Creates or resumes the durable subscription `name` for `client` on
+    /// `topic`, marking `consumer` as its active consumer.
+    ///
+    /// Per JMS, re-subscribing with a different topic or selector deletes
+    /// the old subscription and starts a fresh one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidClient`] if the subscription already has an
+    /// active consumer.
+    pub fn resume_durable(
+        &self,
+        client: &ClientId,
+        name: &str,
+        topic: &TopicName,
+        selector: Option<Selector>,
+        consumer: ConsumerId,
+    ) -> Result<Arc<Endpoint>, Error> {
+        let selector_text = selector.as_ref().map(|s| s.text().to_owned());
+        let key = (client.clone(), name.to_owned());
+        let mut registry = self.registry.lock();
+        if let Some(entry) = registry.durables.get(&key) {
+            if entry.active_consumer.is_some() {
+                return Err(Error::InvalidClient(format!(
+                    "durable subscription {client}/{name} already has an active consumer"
+                )));
+            }
+            if entry.topic == *topic && entry.selector_text == selector_text {
+                // Resume.
+                let endpoint = Arc::clone(&entry.endpoint);
+                registry.durables.get_mut(&key).expect("present").active_consumer =
+                    Some(consumer);
+                return Ok(endpoint);
+            }
+            // Changed topic/selector: delete and recreate below.
+            let old = registry.durables.remove(&key).expect("present");
+            if let Some(subs) = registry.topics.get_mut(&old.topic) {
+                subs.remove(old.endpoint.id());
+            }
+            old.endpoint.destroy();
+        }
+        let endpoint = Arc::new(Endpoint::new(
+            EndpointId::durable(topic.clone(), client.clone(), name),
+            self.config.enforce_expiry,
+            self.config.enforce_priority,
+        ));
+        registry.topics.entry(topic.clone()).or_default().insert(
+            endpoint.id().clone(),
+            TopicSubscription {
+                endpoint: Arc::clone(&endpoint),
+                selector,
+            },
+        );
+        registry.durables.insert(
+            key,
+            DurableEntry {
+                topic: topic.clone(),
+                selector_text,
+                endpoint: Arc::clone(&endpoint),
+                active_consumer: Some(consumer),
+            },
+        );
+        Ok(endpoint)
+    }
+
+    /// Marks the durable subscription's active consumer as gone (the
+    /// subscription itself lives on and keeps accumulating messages).
+    pub fn deactivate_durable(&self, client: &ClientId, name: &str) {
+        let mut registry = self.registry.lock();
+        if let Some(entry) = registry
+            .durables
+            .get_mut(&(client.clone(), name.to_owned()))
+        {
+            entry.active_consumer = None;
+        }
+    }
+
+    /// Deletes the durable subscription `name` of `client`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidClient`] if the subscription does not exist
+    /// or still has an active consumer.
+    pub fn unsubscribe_durable(&self, client: &ClientId, name: &str) -> Result<(), Error> {
+        let key = (client.clone(), name.to_owned());
+        let mut registry = self.registry.lock();
+        match registry.durables.get(&key) {
+            None => Err(Error::InvalidClient(format!(
+                "no durable subscription {client}/{name}"
+            ))),
+            Some(entry) if entry.active_consumer.is_some() => Err(Error::InvalidClient(
+                format!("durable subscription {client}/{name} is active"),
+            )),
+            Some(_) => {
+                let entry = registry.durables.remove(&key).expect("present");
+                if let Some(subs) = registry.topics.get_mut(&entry.topic) {
+                    subs.remove(entry.endpoint.id());
+                }
+                entry.endpoint.destroy();
+                Ok(())
+            }
+        }
+    }
+
+    /// Routes a stamped message to its destination's end-points.
+    ///
+    /// Queue messages go to the queue end-point; topic messages fan out to
+    /// every subscription whose selector accepts them. A topic publish
+    /// with no matching subscription is dropped (and counted), which is
+    /// correct pub/sub behaviour.
+    pub fn route(&self, message: &Message) -> Result<(), Error> {
+        let decision = self.faults.lock().decide();
+        if decision.forge {
+            let forged = {
+                let mut faults = self.faults.lock();
+                faults.forge_message(
+                    self.ids.next_message_id(),
+                    message.destination().clone(),
+                    self.now(),
+                )
+            };
+            self.route_copies(&forged, FaultDecision::CLEAN);
+        }
+        if decision.drop {
+            return Ok(());
+        }
+        self.route_copies(message, decision);
+        Ok(())
+    }
+
+    fn route_copies(&self, message: &Message, decision: FaultDecision) {
+        let mut visible_at = self.now().saturating_add(self.config.delivery_delay);
+        if decision.hold_back {
+            visible_at = visible_at.saturating_add(self.faults.lock().spec().reorder_delay);
+        }
+        let copies = if decision.duplicate { 2 } else { 1 };
+        match message.destination() {
+            Destination::Queue(queue) => {
+                let endpoint = self.queue_endpoint(queue);
+                for _ in 0..copies {
+                    endpoint.insert(message.clone(), visible_at);
+                }
+                self.counters.routed.fetch_add(1, Ordering::Relaxed);
+            }
+            Destination::Topic(topic) => {
+                let subscriptions: Vec<TopicSubscription> = {
+                    let registry = self.registry.lock();
+                    registry
+                        .topics
+                        .get(topic)
+                        .map(|subs| subs.values().cloned().collect())
+                        .unwrap_or_default()
+                };
+                let mut matched = false;
+                for sub in subscriptions {
+                    let accepted = sub
+                        .selector
+                        .as_ref()
+                        .map_or(true, |selector| selector.matches(message));
+                    if accepted {
+                        for _ in 0..copies {
+                            sub.endpoint.insert(message.clone(), visible_at);
+                        }
+                        matched = true;
+                    }
+                }
+                if matched {
+                    self.counters.routed.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.counters.unroutable.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Returns the fault-injection counters.
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.faults.lock().counters()
+    }
+
+    /// Simulates a broker crash.
+    ///
+    /// All connections, sessions, producers and consumers become unusable;
+    /// non-durable subscriptions are destroyed; queue and durable
+    /// subscription end-points apply persistence rules (unacknowledged
+    /// deliveries return to the pending set, then only persistent messages
+    /// survive — or none, if the broker is configured to lose them).
+    /// The broker stays down until [`Core::recover`].
+    pub fn crash(&self) {
+        self.crashed.store(true, Ordering::SeqCst);
+        self.counters.crashes.fetch_add(1, Ordering::Relaxed);
+        let now = self.now();
+        let keep = self.config.persistent_survive_crash;
+        let mut registry = self.registry.lock();
+        for endpoint in registry.queues.values() {
+            endpoint.crash(keep, now);
+        }
+        // Durable subscriptions survive with persistent messages; their
+        // active consumers are gone.
+        for entry in registry.durables.values_mut() {
+            entry.endpoint.crash(keep, now);
+            entry.active_consumer = None;
+        }
+        // Non-durable subscriptions die with their (now broken) consumers.
+        let durable_ids: HashSet<EndpointId> = registry
+            .durables
+            .values()
+            .map(|entry| entry.endpoint.id().clone())
+            .collect();
+        for subs in registry.topics.values_mut() {
+            subs.retain(|id, sub| {
+                if durable_ids.contains(id) {
+                    true
+                } else {
+                    sub.endpoint.destroy();
+                    false
+                }
+            });
+        }
+        registry.active_clients.clear();
+    }
+
+    /// Brings a crashed broker back into service. Clients must create new
+    /// connections; old objects stay dead.
+    pub fn recover(&self) {
+        self.generation.fetch_add(1, Ordering::SeqCst);
+        self.crashed.store(false, Ordering::SeqCst);
+    }
+
+    /// Returns `true` while the broker is down.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed.load(Ordering::SeqCst)
+    }
+
+    /// Snapshot of all queue and durable-subscription end-points, for
+    /// admin-style inspection in tests and reports.
+    pub fn endpoint_stats(&self) -> Vec<(EndpointId, crate::endpoint::EndpointStats)> {
+        let registry = self.registry.lock();
+        let mut out: Vec<_> = registry
+            .queues
+            .values()
+            .map(|ep| (ep.id().clone(), ep.stats()))
+            .collect();
+        out.extend(
+            registry
+                .durables
+                .values()
+                .map(|entry| (entry.endpoint.id().clone(), entry.endpoint.stats())),
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoint::TrackMode;
+    use jmst_api::id::{MessageId, ProducerId, SessionId};
+    use jmst_api::message::{MessageDraft, Stamp};
+    use jmst_api::modes::DeliveryMode;
+    use jmst_api::time::Clock;
+    use jmst_sim::VirtualClock;
+    use std::time::Duration;
+
+    fn core_with_clock() -> (Arc<Core>, Arc<VirtualClock>) {
+        let clock = Arc::new(VirtualClock::new());
+        let config = BrokerConfig::correct().with_clock(clock.clone());
+        (Core::new(config), clock)
+    }
+
+    fn stamped(core: &Core, destination: Destination, mode: DeliveryMode) -> Message {
+        MessageDraft::text("x")
+            .delivery_mode(mode)
+            .stamp(Stamp {
+                id: core.ids().next_message_id(),
+                producer: ProducerId::from_raw(1),
+                sequence: 0,
+                destination,
+                sent_at: core.now(),
+            })
+    }
+
+    fn drain(endpoint: &Endpoint, clock: &dyn Clock) -> Vec<MessageId> {
+        let mut out = Vec::new();
+        while let Some(m) = endpoint
+            .receive(
+                clock,
+                Some(Duration::ZERO),
+                SessionId::from_raw(1),
+                TrackMode::Immediate,
+                &|| true,
+                &|| Ok(()),
+            )
+            .unwrap()
+        {
+            out.push(m.id());
+        }
+        out
+    }
+
+    #[test]
+    fn queue_routing_reaches_queue_endpoint() {
+        let (core, clock) = core_with_clock();
+        let message = stamped(&core, Destination::queue("q"), DeliveryMode::Persistent);
+        core.route(&message).unwrap();
+        let endpoint = core.queue_endpoint(&QueueName::new("q"));
+        assert_eq!(drain(&endpoint, clock.as_ref()), vec![message.id()]);
+        assert_eq!(core.counters().routed.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn topic_fanout_reaches_all_matching_subscriptions() {
+        let (core, clock) = core_with_clock();
+        let topic = TopicName::new("t");
+        let sub_a = core.subscribe_non_durable(&topic, ConsumerId::from_raw(1), None);
+        let sub_b = core.subscribe_non_durable(
+            &topic,
+            ConsumerId::from_raw(2),
+            Some(Selector::parse("JMSDeliveryMode = 'PERSISTENT'").unwrap()),
+        );
+        let np = stamped(&core, Destination::topic("t"), DeliveryMode::NonPersistent);
+        let p = stamped(&core, Destination::topic("t"), DeliveryMode::Persistent);
+        core.route(&np).unwrap();
+        core.route(&p).unwrap();
+        assert_eq!(drain(&sub_a, clock.as_ref()), vec![np.id(), p.id()]);
+        assert_eq!(drain(&sub_b, clock.as_ref()), vec![p.id()]);
+    }
+
+    #[test]
+    fn unmatched_topic_publish_is_counted_unroutable() {
+        let (core, _clock) = core_with_clock();
+        let message = stamped(&core, Destination::topic("empty"), DeliveryMode::Persistent);
+        core.route(&message).unwrap();
+        assert_eq!(core.counters().unroutable.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn dropped_non_durable_subscription_stops_receiving() {
+        let (core, _clock) = core_with_clock();
+        let topic = TopicName::new("t");
+        let consumer = ConsumerId::from_raw(9);
+        let endpoint = core.subscribe_non_durable(&topic, consumer, None);
+        core.drop_non_durable(&topic, consumer);
+        assert!(endpoint.is_destroyed());
+        let message = stamped(&core, Destination::topic("t"), DeliveryMode::Persistent);
+        core.route(&message).unwrap();
+        assert_eq!(core.counters().unroutable.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn durable_subscription_accumulates_while_inactive() {
+        let (core, clock) = core_with_clock();
+        let topic = TopicName::new("t");
+        let client = ClientId::new("c");
+        let endpoint = core
+            .resume_durable(&client, "audit", &topic, None, ConsumerId::from_raw(1))
+            .unwrap();
+        core.deactivate_durable(&client, "audit");
+        // Messages published while inactive are retained.
+        let message = stamped(&core, Destination::topic("t"), DeliveryMode::Persistent);
+        core.route(&message).unwrap();
+        // Resume sees them.
+        let resumed = core
+            .resume_durable(&client, "audit", &topic, None, ConsumerId::from_raw(2))
+            .unwrap();
+        assert!(Arc::ptr_eq(&endpoint, &resumed));
+        assert_eq!(drain(&resumed, clock.as_ref()), vec![message.id()]);
+    }
+
+    #[test]
+    fn durable_double_activation_is_rejected() {
+        let (core, _clock) = core_with_clock();
+        let topic = TopicName::new("t");
+        let client = ClientId::new("c");
+        core.resume_durable(&client, "s", &topic, None, ConsumerId::from_raw(1))
+            .unwrap();
+        let err = core
+            .resume_durable(&client, "s", &topic, None, ConsumerId::from_raw(2))
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidClient(_)));
+    }
+
+    #[test]
+    fn durable_resubscribe_with_new_selector_resets_subscription() {
+        let (core, _clock) = core_with_clock();
+        let topic = TopicName::new("t");
+        let client = ClientId::new("c");
+        let old = core
+            .resume_durable(&client, "s", &topic, None, ConsumerId::from_raw(1))
+            .unwrap();
+        core.deactivate_durable(&client, "s");
+        let message = stamped(&core, Destination::topic("t"), DeliveryMode::Persistent);
+        core.route(&message).unwrap();
+        // Re-subscribe with a selector → fresh subscription, old messages gone.
+        let selector = Some(Selector::parse("x = 1").unwrap());
+        let new = core
+            .resume_durable(&client, "s", &topic, selector, ConsumerId::from_raw(2))
+            .unwrap();
+        assert!(!Arc::ptr_eq(&old, &new));
+        assert!(old.is_destroyed());
+        assert_eq!(new.stats().pending, 0);
+    }
+
+    #[test]
+    fn unsubscribe_requires_existing_inactive_subscription() {
+        let (core, _clock) = core_with_clock();
+        let client = ClientId::new("c");
+        assert!(core.unsubscribe_durable(&client, "nope").is_err());
+        let topic = TopicName::new("t");
+        core.resume_durable(&client, "s", &topic, None, ConsumerId::from_raw(1))
+            .unwrap();
+        assert!(core.unsubscribe_durable(&client, "s").is_err());
+        core.deactivate_durable(&client, "s");
+        assert!(core.unsubscribe_durable(&client, "s").is_ok());
+        // Gone now.
+        assert!(core.unsubscribe_durable(&client, "s").is_err());
+    }
+
+    #[test]
+    fn client_registration_enforces_uniqueness() {
+        let (core, _clock) = core_with_clock();
+        let client = ClientId::new("c");
+        core.register_client(&client).unwrap();
+        assert!(core.register_client(&client).is_err());
+        core.release_client(&client);
+        core.register_client(&client).unwrap();
+    }
+
+    #[test]
+    fn crash_takes_broker_down_and_recover_bumps_generation() {
+        let (core, _clock) = core_with_clock();
+        let generation = core.generation();
+        assert!(core.check_alive(generation).is_ok());
+        core.crash();
+        assert!(core.is_crashed());
+        assert!(core.check_alive(generation).is_err());
+        core.recover();
+        assert!(!core.is_crashed());
+        // Old generation still refused; new generation fine.
+        assert!(core.check_alive(generation).is_err());
+        assert!(core.check_alive(core.generation()).is_ok());
+    }
+
+    #[test]
+    fn crash_preserves_persistent_queue_messages_only() {
+        let (core, clock) = core_with_clock();
+        let p = stamped(&core, Destination::queue("q"), DeliveryMode::Persistent);
+        let np = stamped(&core, Destination::queue("q"), DeliveryMode::NonPersistent);
+        core.route(&p).unwrap();
+        core.route(&np).unwrap();
+        core.crash();
+        core.recover();
+        let endpoint = core.queue_endpoint(&QueueName::new("q"));
+        assert_eq!(drain(&endpoint, clock.as_ref()), vec![p.id()]);
+    }
+
+    #[test]
+    fn crash_destroys_non_durable_but_keeps_durable_subscriptions() {
+        let (core, clock) = core_with_clock();
+        let topic = TopicName::new("t");
+        let client = ClientId::new("c");
+        let ephemeral = core.subscribe_non_durable(&topic, ConsumerId::from_raw(1), None);
+        let durable = core
+            .resume_durable(&client, "s", &topic, None, ConsumerId::from_raw(2))
+            .unwrap();
+        let message = stamped(&core, Destination::topic("t"), DeliveryMode::Persistent);
+        core.route(&message).unwrap();
+        core.crash();
+        core.recover();
+        assert!(ephemeral.is_destroyed());
+        assert!(!durable.is_destroyed());
+        assert_eq!(drain(&durable, clock.as_ref()), vec![message.id()]);
+        // And the durable can be resumed (its active consumer died in the
+        // crash).
+        core.resume_durable(&client, "s", &topic, None, ConsumerId::from_raw(3))
+            .unwrap();
+    }
+
+    #[test]
+    fn lossy_broker_loses_persistent_messages_on_crash() {
+        let clock = Arc::new(VirtualClock::new());
+        let config = BrokerConfig::correct()
+            .with_clock(clock.clone())
+            .losing_persistent_on_crash();
+        let core = Core::new(config);
+        let p = stamped(&core, Destination::queue("q"), DeliveryMode::Persistent);
+        core.route(&p).unwrap();
+        core.crash();
+        core.recover();
+        let endpoint = core.queue_endpoint(&QueueName::new("q"));
+        assert_eq!(drain(&endpoint, clock.as_ref()), Vec::<MessageId>::new());
+    }
+
+    #[test]
+    fn delivery_delay_defers_visibility() {
+        let clock = Arc::new(VirtualClock::new());
+        let config = BrokerConfig::correct()
+            .with_clock(clock.clone())
+            .with_delivery_delay(Duration::from_millis(10));
+        let core = Core::new(config);
+        let message = stamped(&core, Destination::queue("q"), DeliveryMode::Persistent);
+        core.route(&message).unwrap();
+        let endpoint = core.queue_endpoint(&QueueName::new("q"));
+        assert_eq!(drain(&endpoint, clock.as_ref()), Vec::<MessageId>::new());
+        clock.advance(Duration::from_millis(10));
+        assert_eq!(drain(&endpoint, clock.as_ref()), vec![message.id()]);
+    }
+
+    #[test]
+    fn endpoint_stats_cover_queues_and_durables() {
+        let (core, _clock) = core_with_clock();
+        core.queue_endpoint(&QueueName::new("q"));
+        core.resume_durable(
+            &ClientId::new("c"),
+            "s",
+            &TopicName::new("t"),
+            None,
+            ConsumerId::from_raw(1),
+        )
+        .unwrap();
+        assert_eq!(core.endpoint_stats().len(), 2);
+    }
+}

@@ -1,0 +1,611 @@
+//! A delivery end-point: the per-queue / per-subscription message buffer
+//! with priority ordering, visibility delay, expiry, in-flight
+//! (unacknowledged) tracking, and crash semantics.
+
+use jmst_api::error::Error;
+use jmst_api::destination::EndpointId;
+use jmst_api::message::Message;
+use jmst_api::time::{Clock, Timestamp};
+use jmst_api::id::SessionId;
+use parking_lot::{Condvar, Mutex};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// How a received message is tracked for acknowledgement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrackMode {
+    /// Acknowledge immediately on delivery (auto-acknowledge sessions).
+    Immediate,
+    /// Keep in the in-flight set until the session acknowledges, commits,
+    /// rolls back, or recovers.
+    InFlight,
+}
+
+/// Ordering key: higher priority first, then arrival order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct EntryKey {
+    /// `9 - priority`, so that ascending order is highest-priority-first.
+    priority_rank: u8,
+    /// Arrival sequence within this end-point.
+    seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    message: Message,
+    visible_at: Timestamp,
+}
+
+#[derive(Debug)]
+struct InFlight {
+    session: SessionId,
+    message: Message,
+}
+
+#[derive(Debug)]
+struct Inner {
+    pending: BTreeMap<EntryKey, Entry>,
+    in_flight: Vec<InFlight>,
+    next_seq: u64,
+    destroyed: bool,
+    expired_dropped: u64,
+    delivered: u64,
+}
+
+/// Statistics snapshot of an end-point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EndpointStats {
+    /// Messages currently waiting.
+    pub pending: usize,
+    /// Messages delivered but not yet acknowledged.
+    pub in_flight: usize,
+    /// Expired messages silently dropped at delivery time.
+    pub expired_dropped: u64,
+    /// Messages delivered to consumers.
+    pub delivered: u64,
+}
+
+/// A message buffer for one consumer group (queue or subscription).
+///
+/// Thread-safe: producers insert from any thread, consumers block in
+/// [`Endpoint::receive`]. Delivery order is highest priority first and
+/// FIFO within a priority, which preserves the per-producer ordering the
+/// paper's Property 3 requires.
+#[derive(Debug)]
+pub struct Endpoint {
+    id: EndpointId,
+    enforce_expiry: bool,
+    enforce_priority: bool,
+    inner: Mutex<Inner>,
+    available: Condvar,
+}
+
+/// Maximum time one condvar wait may last; keeps blocked receivers
+/// responsive to connection stop/close and broker crash, which they check
+/// between waits.
+const WAIT_SLICE: Duration = Duration::from_millis(1);
+
+impl Endpoint {
+    /// Creates an empty end-point.
+    pub fn new(id: EndpointId, enforce_expiry: bool, enforce_priority: bool) -> Self {
+        Self {
+            id,
+            enforce_expiry,
+            enforce_priority,
+            inner: Mutex::new(Inner {
+                pending: BTreeMap::new(),
+                in_flight: Vec::new(),
+                next_seq: 0,
+                destroyed: false,
+                expired_dropped: 0,
+                delivered: 0,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Returns the end-point's identity.
+    pub fn id(&self) -> &EndpointId {
+        &self.id
+    }
+
+    /// Inserts a message that becomes visible to consumers at
+    /// `visible_at`. Returns `false` if the end-point was destroyed.
+    pub fn insert(&self, message: Message, visible_at: Timestamp) -> bool {
+        let mut inner = self.inner.lock();
+        if inner.destroyed {
+            return false;
+        }
+        let key = EntryKey {
+            priority_rank: if self.enforce_priority {
+                9 - message.priority().level()
+            } else {
+                0
+            },
+            seq: inner.next_seq,
+        };
+        inner.next_seq += 1;
+        inner.pending.insert(
+            key,
+            Entry {
+                message,
+                visible_at,
+            },
+        );
+        drop(inner);
+        self.available.notify_all();
+        true
+    }
+
+    /// Receives the next visible, unexpired message, blocking up to
+    /// `timeout` (`None` waits without bound).
+    ///
+    /// `session` identifies the receiving session for in-flight tracking;
+    /// `track` selects the acknowledgement discipline. `started` is
+    /// polled so a stopped connection suspends delivery; `alive` is polled
+    /// so broker crashes and closed consumers abort the wait.
+    ///
+    /// The timeout is measured on `clock`. With a virtual clock a timeout
+    /// only elapses if some other thread advances the clock — use
+    /// `Some(Duration::ZERO)` (poll) or a real clock for blocking
+    /// receives in tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns whatever error `alive` reports (for example
+    /// [`Error::EndpointClosed`] after a concurrent close).
+    pub fn receive(
+        &self,
+        clock: &dyn Clock,
+        timeout: Option<Duration>,
+        session: SessionId,
+        track: TrackMode,
+        started: &dyn Fn() -> bool,
+        alive: &dyn Fn() -> Result<(), Error>,
+    ) -> Result<Option<Message>, Error> {
+        let deadline = timeout.map(|t| clock.now().saturating_add(t));
+        let mut inner = self.inner.lock();
+        loop {
+            alive()?;
+            if inner.destroyed {
+                return Err(Error::EndpointClosed);
+            }
+            let now = clock.now();
+            if started() {
+                if let Some(message) = self.take_visible(&mut inner, now) {
+                    inner.delivered += 1;
+                    if track == TrackMode::InFlight {
+                        inner.in_flight.push(InFlight {
+                            session,
+                            message: message.clone(),
+                        });
+                    }
+                    return Ok(Some(message));
+                }
+            }
+            // Nothing deliverable: bounded wait, then re-check.
+            if let Some(deadline) = deadline {
+                if now >= deadline {
+                    return Ok(None);
+                }
+            }
+            self.available.wait_for(&mut inner, WAIT_SLICE);
+        }
+    }
+
+    /// Takes the first visible, unexpired pending message, dropping
+    /// expired entries encountered on the way (when expiry is enforced).
+    fn take_visible(&self, inner: &mut Inner, now: Timestamp) -> Option<Message> {
+        let mut expired_keys = Vec::new();
+        let mut taken_key = None;
+        for (key, entry) in inner.pending.iter() {
+            if entry.visible_at > now {
+                continue; // not yet visible; later entries may be
+            }
+            if self.enforce_expiry && entry.message.is_expired_at(now) {
+                expired_keys.push(*key);
+                continue;
+            }
+            taken_key = Some(*key);
+            break;
+        }
+        inner.expired_dropped += expired_keys.len() as u64;
+        for key in expired_keys {
+            inner.pending.remove(&key);
+        }
+        taken_key.and_then(|key| inner.pending.remove(&key).map(|entry| entry.message))
+    }
+
+    /// Returns a snapshot of the currently visible, unexpired pending
+    /// messages in delivery order, without consuming them (queue
+    /// browsing).
+    pub fn browse(&self, now: Timestamp) -> Vec<Message> {
+        let inner = self.inner.lock();
+        inner
+            .pending
+            .values()
+            .filter(|entry| entry.visible_at <= now)
+            .filter(|entry| !(self.enforce_expiry && entry.message.is_expired_at(now)))
+            .map(|entry| entry.message.clone())
+            .collect()
+    }
+
+    /// Acknowledges all in-flight messages of `session`.
+    pub fn ack_session(&self, session: SessionId) {
+        let mut inner = self.inner.lock();
+        inner.in_flight.retain(|entry| entry.session != session);
+    }
+
+    /// Acknowledges the given message for `session` (used by transacted
+    /// commit, which knows exactly which messages the transaction covers).
+    pub fn ack_message(&self, session: SessionId, message: jmst_api::id::MessageId) {
+        let mut inner = self.inner.lock();
+        if let Some(index) = inner
+            .in_flight
+            .iter()
+            .position(|entry| entry.session == session && entry.message.id() == message)
+        {
+            inner.in_flight.swap_remove(index);
+        }
+    }
+
+    /// Returns `session`'s in-flight messages to the pending set, marked
+    /// redelivered (rollback / session recovery).
+    pub fn recover_session(&self, session: SessionId, now: Timestamp) {
+        let mut inner = self.inner.lock();
+        let recovered: Vec<Message> = {
+            let mut kept = Vec::new();
+            let mut taken = Vec::new();
+            for entry in inner.in_flight.drain(..) {
+                if entry.session == session {
+                    taken.push(entry.message);
+                } else {
+                    kept.push(entry);
+                }
+            }
+            inner.in_flight = kept;
+            taken
+        };
+        for message in recovered {
+            let key = EntryKey {
+                priority_rank: if self.enforce_priority {
+                    9 - message.priority().level()
+                } else {
+                    0
+                },
+                seq: inner.next_seq,
+            };
+            inner.next_seq += 1;
+            inner.pending.insert(
+                key,
+                Entry {
+                    message: message.as_redelivered(),
+                    visible_at: now,
+                },
+            );
+        }
+        drop(inner);
+        self.available.notify_all();
+    }
+
+    /// Applies crash semantics: unacknowledged in-flight messages return
+    /// to the pending set, and only persistent messages survive (unless
+    /// the broker is configured to lose those too).
+    pub fn crash(&self, keep_persistent: bool, now: Timestamp) {
+        let mut inner = self.inner.lock();
+        let in_flight: Vec<Message> =
+            inner.in_flight.drain(..).map(|entry| entry.message).collect();
+        for message in in_flight {
+            let key = EntryKey {
+                priority_rank: if self.enforce_priority {
+                    9 - message.priority().level()
+                } else {
+                    0
+                },
+                seq: inner.next_seq,
+            };
+            inner.next_seq += 1;
+            inner.pending.insert(
+                key,
+                Entry {
+                    message: message.as_redelivered(),
+                    visible_at: now,
+                },
+            );
+        }
+        inner
+            .pending
+            .retain(|_, entry| keep_persistent && entry.message.delivery_mode().is_persistent());
+        drop(inner);
+        self.available.notify_all();
+    }
+
+    /// Destroys the end-point: pending messages are discarded and blocked
+    /// receivers are woken (they observe [`Error::EndpointClosed`]).
+    pub fn destroy(&self) {
+        let mut inner = self.inner.lock();
+        inner.destroyed = true;
+        inner.pending.clear();
+        inner.in_flight.clear();
+        drop(inner);
+        self.available.notify_all();
+    }
+
+    /// Returns `true` if the end-point has been destroyed.
+    pub fn is_destroyed(&self) -> bool {
+        self.inner.lock().destroyed
+    }
+
+    /// Returns a statistics snapshot.
+    pub fn stats(&self) -> EndpointStats {
+        let inner = self.inner.lock();
+        EndpointStats {
+            pending: inner.pending.len(),
+            in_flight: inner.in_flight.len(),
+            expired_dropped: inner.expired_dropped,
+            delivered: inner.delivered,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jmst_api::destination::{Destination, QueueName};
+    use jmst_api::id::{MessageId, ProducerId};
+    use jmst_api::message::{MessageDraft, Stamp};
+    use jmst_api::modes::{DeliveryMode, Priority, TimeToLive};
+    use jmst_sim::VirtualClock;
+    use std::sync::Arc;
+
+    fn endpoint() -> Endpoint {
+        Endpoint::new(
+            EndpointId::for_queue(QueueName::new("q")),
+            true,
+            true,
+        )
+    }
+
+    fn message(seq: u64, priority: u8, mode: DeliveryMode, ttl_ms: u64) -> Message {
+        MessageDraft::text(format!("m{seq}"))
+            .priority(Priority::new(priority).unwrap())
+            .delivery_mode(mode)
+            .time_to_live(TimeToLive::from_millis(ttl_ms))
+            .stamp(Stamp {
+                id: MessageId::from_raw(seq),
+                producer: ProducerId::from_raw(1),
+                sequence: seq,
+                destination: Destination::queue("q"),
+                sent_at: Timestamp::ZERO,
+            })
+    }
+
+    fn receive_now(
+        ep: &Endpoint,
+        clock: &dyn Clock,
+        track: TrackMode,
+    ) -> Result<Option<Message>, Error> {
+        ep.receive(
+            clock,
+            Some(Duration::ZERO),
+            SessionId::from_raw(1),
+            track,
+            &|| true,
+            &|| Ok(()),
+        )
+    }
+
+    #[test]
+    fn fifo_within_priority() {
+        let clock = VirtualClock::new();
+        let ep = endpoint();
+        for i in 0..3 {
+            ep.insert(message(i, 4, DeliveryMode::Persistent, 0), Timestamp::ZERO);
+        }
+        for i in 0..3 {
+            let got = receive_now(&ep, &clock, TrackMode::Immediate).unwrap().unwrap();
+            assert_eq!(got.sequence(), i);
+        }
+        assert_eq!(receive_now(&ep, &clock, TrackMode::Immediate).unwrap(), None);
+    }
+
+    #[test]
+    fn higher_priority_first() {
+        let clock = VirtualClock::new();
+        let ep = endpoint();
+        ep.insert(message(0, 1, DeliveryMode::Persistent, 0), Timestamp::ZERO);
+        ep.insert(message(1, 8, DeliveryMode::Persistent, 0), Timestamp::ZERO);
+        ep.insert(message(2, 4, DeliveryMode::Persistent, 0), Timestamp::ZERO);
+        let order: Vec<u64> = (0..3)
+            .map(|_| {
+                receive_now(&ep, &clock, TrackMode::Immediate)
+                    .unwrap()
+                    .unwrap()
+                    .sequence()
+            })
+            .collect();
+        assert_eq!(order, [1, 2, 0]);
+    }
+
+    #[test]
+    fn priority_ignored_when_not_enforced() {
+        let clock = VirtualClock::new();
+        let ep = Endpoint::new(EndpointId::for_queue(QueueName::new("q")), true, false);
+        ep.insert(message(0, 1, DeliveryMode::Persistent, 0), Timestamp::ZERO);
+        ep.insert(message(1, 8, DeliveryMode::Persistent, 0), Timestamp::ZERO);
+        let first = receive_now(&ep, &clock, TrackMode::Immediate).unwrap().unwrap();
+        assert_eq!(first.sequence(), 0, "FIFO when priority not enforced");
+    }
+
+    #[test]
+    fn visibility_delay_hides_messages() {
+        let clock = VirtualClock::new();
+        let ep = endpoint();
+        ep.insert(
+            message(0, 4, DeliveryMode::Persistent, 0),
+            Timestamp::from_millis(10),
+        );
+        assert_eq!(receive_now(&ep, &clock, TrackMode::Immediate).unwrap(), None);
+        clock.advance(Duration::from_millis(10));
+        assert!(receive_now(&ep, &clock, TrackMode::Immediate)
+            .unwrap()
+            .is_some());
+    }
+
+    #[test]
+    fn expired_messages_are_dropped_and_counted() {
+        let clock = VirtualClock::new();
+        let ep = endpoint();
+        ep.insert(message(0, 4, DeliveryMode::Persistent, 1), Timestamp::ZERO);
+        ep.insert(message(1, 4, DeliveryMode::Persistent, 0), Timestamp::ZERO);
+        clock.advance(Duration::from_millis(5));
+        let got = receive_now(&ep, &clock, TrackMode::Immediate).unwrap().unwrap();
+        assert_eq!(got.sequence(), 1);
+        assert_eq!(ep.stats().expired_dropped, 1);
+    }
+
+    #[test]
+    fn expired_messages_delivered_when_not_enforced() {
+        let clock = VirtualClock::new();
+        let ep = Endpoint::new(EndpointId::for_queue(QueueName::new("q")), false, true);
+        ep.insert(message(0, 4, DeliveryMode::Persistent, 1), Timestamp::ZERO);
+        clock.advance(Duration::from_millis(5));
+        let got = receive_now(&ep, &clock, TrackMode::Immediate).unwrap().unwrap();
+        assert_eq!(got.sequence(), 0);
+        assert_eq!(ep.stats().expired_dropped, 0);
+    }
+
+    #[test]
+    fn in_flight_tracking_ack_and_recover() {
+        let clock = VirtualClock::new();
+        let ep = endpoint();
+        ep.insert(message(0, 4, DeliveryMode::Persistent, 0), Timestamp::ZERO);
+        let got = receive_now(&ep, &clock, TrackMode::InFlight).unwrap().unwrap();
+        assert_eq!(ep.stats().in_flight, 1);
+        // Recover: message returns as redelivered.
+        ep.recover_session(SessionId::from_raw(1), clock.now());
+        assert_eq!(ep.stats().in_flight, 0);
+        let again = receive_now(&ep, &clock, TrackMode::InFlight).unwrap().unwrap();
+        assert_eq!(again.id(), got.id());
+        assert!(again.is_redelivered());
+        // Ack: gone for good.
+        ep.ack_session(SessionId::from_raw(1));
+        assert_eq!(ep.stats().in_flight, 0);
+        assert_eq!(receive_now(&ep, &clock, TrackMode::InFlight).unwrap(), None);
+    }
+
+    #[test]
+    fn ack_message_removes_single_entry() {
+        let clock = VirtualClock::new();
+        let ep = endpoint();
+        ep.insert(message(0, 4, DeliveryMode::Persistent, 0), Timestamp::ZERO);
+        ep.insert(message(1, 4, DeliveryMode::Persistent, 0), Timestamp::ZERO);
+        let a = receive_now(&ep, &clock, TrackMode::InFlight).unwrap().unwrap();
+        let _b = receive_now(&ep, &clock, TrackMode::InFlight).unwrap().unwrap();
+        ep.ack_message(SessionId::from_raw(1), a.id());
+        assert_eq!(ep.stats().in_flight, 1);
+    }
+
+    #[test]
+    fn crash_keeps_only_persistent_and_requeues_in_flight() {
+        let clock = VirtualClock::new();
+        let ep = endpoint();
+        ep.insert(message(0, 4, DeliveryMode::Persistent, 0), Timestamp::ZERO);
+        ep.insert(message(1, 4, DeliveryMode::NonPersistent, 0), Timestamp::ZERO);
+        ep.insert(message(2, 4, DeliveryMode::Persistent, 0), Timestamp::ZERO);
+        // Take one persistent message but do not ack it.
+        let taken = receive_now(&ep, &clock, TrackMode::InFlight).unwrap().unwrap();
+        assert_eq!(taken.sequence(), 0);
+        ep.crash(true, clock.now());
+        // Survivors: seq 0 (was in flight, persistent) and seq 2.
+        let mut survivors = Vec::new();
+        while let Some(m) = receive_now(&ep, &clock, TrackMode::Immediate).unwrap() {
+            survivors.push(m.sequence());
+        }
+        survivors.sort_unstable();
+        assert_eq!(survivors, [0, 2]);
+    }
+
+    #[test]
+    fn crash_without_persistence_loses_everything() {
+        let clock = VirtualClock::new();
+        let ep = endpoint();
+        ep.insert(message(0, 4, DeliveryMode::Persistent, 0), Timestamp::ZERO);
+        ep.crash(false, clock.now());
+        assert_eq!(receive_now(&ep, &clock, TrackMode::Immediate).unwrap(), None);
+    }
+
+    #[test]
+    fn destroy_wakes_and_errors() {
+        let clock = Arc::new(VirtualClock::new());
+        let ep = Arc::new(endpoint());
+        let ep2 = Arc::clone(&ep);
+        let clock2 = Arc::clone(&clock);
+        let handle = std::thread::spawn(move || {
+            ep2.receive(
+                clock2.as_ref(),
+                None,
+                SessionId::from_raw(1),
+                TrackMode::Immediate,
+                &|| true,
+                &|| Ok(()),
+            )
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        ep.destroy();
+        let result = handle.join().unwrap();
+        assert_eq!(result.unwrap_err(), Error::EndpointClosed);
+        assert!(ep.is_destroyed());
+        // Inserts after destroy are refused.
+        assert!(!ep.insert(message(0, 4, DeliveryMode::Persistent, 0), Timestamp::ZERO));
+    }
+
+    #[test]
+    fn stopped_connection_suspends_delivery() {
+        let clock = VirtualClock::new();
+        let ep = endpoint();
+        ep.insert(message(0, 4, DeliveryMode::Persistent, 0), Timestamp::ZERO);
+        let got = ep
+            .receive(
+                &clock,
+                Some(Duration::ZERO),
+                SessionId::from_raw(1),
+                TrackMode::Immediate,
+                &|| false, // connection stopped
+                &|| Ok(()),
+            )
+            .unwrap();
+        assert_eq!(got, None);
+    }
+
+    #[test]
+    fn blocking_receive_wakes_on_insert() {
+        let clock = Arc::new(VirtualClock::new());
+        let ep = Arc::new(endpoint());
+        let ep2 = Arc::clone(&ep);
+        let clock2 = Arc::clone(&clock);
+        let handle = std::thread::spawn(move || {
+            ep2.receive(
+                clock2.as_ref(),
+                None,
+                SessionId::from_raw(1),
+                TrackMode::Immediate,
+                &|| true,
+                &|| Ok(()),
+            )
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        ep.insert(message(7, 4, DeliveryMode::Persistent, 0), Timestamp::ZERO);
+        let got = handle.join().unwrap().unwrap().unwrap();
+        assert_eq!(got.sequence(), 7);
+    }
+
+    #[test]
+    fn delivered_counter_increments() {
+        let clock = VirtualClock::new();
+        let ep = endpoint();
+        ep.insert(message(0, 4, DeliveryMode::Persistent, 0), Timestamp::ZERO);
+        receive_now(&ep, &clock, TrackMode::Immediate).unwrap();
+        assert_eq!(ep.stats().delivered, 1);
+    }
+}

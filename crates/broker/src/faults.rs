@@ -1,0 +1,286 @@
+//! Fault injection: deliberately misbehaving providers for the harness to
+//! catch.
+//!
+//! The paper tested real (anonymous) commercial providers whose defects
+//! were unknown; to validate a *reproduction* of the analysis we need
+//! providers with known defects, so each safety property has a fault that
+//! violates exactly it:
+//!
+//! | Fault | Violates |
+//! |---|---|
+//! | [`drop_probability`](FaultSpec::drop_probability) — sends silently discarded | Property 2 (required messages) |
+//! | [`duplicate_probability`](FaultSpec::duplicate_probability) — messages delivered twice | duplicate-delivery check |
+//! | [`reorder_probability`](FaultSpec::reorder_probability) — messages held back and delivered late | Property 3 (ordering) |
+//! | [`forge_probability`](FaultSpec::forge_probability) — messages delivered that nobody sent | Property 1 (delivery integrity) |
+//! | [`BrokerConfig::ignoring_expiry`](crate::BrokerConfig::ignoring_expiry) | Property 5 (expiry) |
+//! | [`BrokerConfig::ignoring_priority`](crate::BrokerConfig::ignoring_priority) | Property 4 (priority) |
+//! | [`BrokerConfig::losing_persistent_on_crash`](crate::BrokerConfig::losing_persistent_on_crash) | Property 2 under crash |
+
+use jmst_api::destination::Destination;
+use jmst_api::id::ProducerId;
+use jmst_api::message::{Message, MessageDraft, Stamp};
+use jmst_api::time::Timestamp;
+use jmst_sim::SimRng;
+use std::time::Duration;
+
+/// Probabilistic fault plan for a broker. All probabilities default to
+/// zero (a correct provider).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Seed for the fault RNG (faults are deterministic per seed).
+    pub seed: u64,
+    /// Probability that a routed message is silently discarded.
+    pub drop_probability: f64,
+    /// Probability that a routed message is enqueued twice.
+    pub duplicate_probability: f64,
+    /// Probability that a routed message is held back by
+    /// [`reorder_delay`](Self::reorder_delay), letting later messages
+    /// overtake it.
+    pub reorder_probability: f64,
+    /// How long a reordered message is held back.
+    pub reorder_delay: Duration,
+    /// Probability that an extra, never-sent message is injected alongside
+    /// a routed message.
+    pub forge_probability: f64,
+}
+
+impl FaultSpec {
+    /// No faults: the correct provider.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Returns `true` if every fault probability is zero.
+    pub fn is_clean(&self) -> bool {
+        self.drop_probability == 0.0
+            && self.duplicate_probability == 0.0
+            && self.reorder_probability == 0.0
+            && self.forge_probability == 0.0
+    }
+
+    /// Returns a copy that drops sends with probability `p`.
+    pub fn dropping(mut self, p: f64) -> Self {
+        self.drop_probability = p;
+        self
+    }
+
+    /// Returns a copy that duplicates deliveries with probability `p`.
+    pub fn duplicating(mut self, p: f64) -> Self {
+        self.duplicate_probability = p;
+        self
+    }
+
+    /// Returns a copy that reorders messages with probability `p` by
+    /// holding them back for `delay`.
+    pub fn reordering(mut self, p: f64, delay: Duration) -> Self {
+        self.reorder_probability = p;
+        self.reorder_delay = delay;
+        self
+    }
+
+    /// Returns a copy that forges spurious messages with probability `p`.
+    pub fn forging(mut self, p: f64) -> Self {
+        self.forge_probability = p;
+        self
+    }
+
+    /// Returns a copy with a different fault seed.
+    pub fn seeded(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            drop_probability: 0.0,
+            duplicate_probability: 0.0,
+            reorder_probability: 0.0,
+            reorder_delay: Duration::from_millis(50),
+            forge_probability: 0.0,
+        }
+    }
+}
+
+/// The routing decision the fault engine takes for one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct FaultDecision {
+    /// Discard the message entirely.
+    pub drop: bool,
+    /// Enqueue a second copy.
+    pub duplicate: bool,
+    /// Hold the message back by the reorder delay.
+    pub hold_back: bool,
+    /// Also inject a forged message.
+    pub forge: bool,
+}
+
+impl FaultDecision {
+    pub(crate) const CLEAN: FaultDecision = FaultDecision {
+        drop: false,
+        duplicate: false,
+        hold_back: false,
+        forge: false,
+    };
+}
+
+/// Counters of injected faults, for reports and assertions in tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Messages discarded.
+    pub dropped: u64,
+    /// Extra copies enqueued.
+    pub duplicated: u64,
+    /// Messages held back.
+    pub reordered: u64,
+    /// Spurious messages injected.
+    pub forged: u64,
+}
+
+/// Deterministic fault engine owned by the broker core.
+#[derive(Debug)]
+pub(crate) struct FaultEngine {
+    spec: FaultSpec,
+    rng: SimRng,
+    counters: FaultCounters,
+    forged_serial: u64,
+}
+
+impl FaultEngine {
+    pub(crate) fn new(spec: FaultSpec) -> Self {
+        Self {
+            spec,
+            rng: SimRng::seed_from_u64(spec.seed),
+            counters: FaultCounters::default(),
+            forged_serial: 0,
+        }
+    }
+
+    pub(crate) fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    pub(crate) fn counters(&self) -> FaultCounters {
+        self.counters
+    }
+
+    /// Decides the fate of one message and updates the counters.
+    pub(crate) fn decide(&mut self) -> FaultDecision {
+        if self.spec.is_clean() {
+            return FaultDecision::CLEAN;
+        }
+        let decision = FaultDecision {
+            drop: self.rng.chance(self.spec.drop_probability),
+            duplicate: self.rng.chance(self.spec.duplicate_probability),
+            hold_back: self.rng.chance(self.spec.reorder_probability),
+            forge: self.rng.chance(self.spec.forge_probability),
+        };
+        if decision.drop {
+            self.counters.dropped += 1;
+        } else {
+            if decision.duplicate {
+                self.counters.duplicated += 1;
+            }
+            if decision.hold_back {
+                self.counters.reordered += 1;
+            }
+        }
+        if decision.forge {
+            self.counters.forged += 1;
+        }
+        decision
+    }
+
+    /// Synthesizes a message that no producer ever sent, for delivery-
+    /// integrity violations. The producer id is drawn from a reserved
+    /// range no real producer uses.
+    pub(crate) fn forge_message(
+        &mut self,
+        id: jmst_api::id::MessageId,
+        destination: Destination,
+        now: Timestamp,
+    ) -> Message {
+        self.forged_serial += 1;
+        MessageDraft::text(format!("forged #{}", self.forged_serial)).stamp(Stamp {
+            id,
+            producer: ProducerId::from_raw(u64::MAX - self.forged_serial),
+            sequence: self.forged_serial,
+            destination,
+            sent_at: now,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_is_clean() {
+        assert!(FaultSpec::none().is_clean());
+        assert!(!FaultSpec::none().dropping(0.1).is_clean());
+        assert!(!FaultSpec::none().forging(0.1).is_clean());
+    }
+
+    #[test]
+    fn clean_engine_never_faults() {
+        let mut engine = FaultEngine::new(FaultSpec::none());
+        for _ in 0..1000 {
+            assert_eq!(engine.decide(), FaultDecision::CLEAN);
+        }
+        assert_eq!(engine.counters(), FaultCounters::default());
+    }
+
+    #[test]
+    fn probabilities_are_respected() {
+        let spec = FaultSpec::none().dropping(0.5).seeded(42);
+        let mut engine = FaultEngine::new(spec);
+        let drops = (0..10_000).filter(|_| engine.decide().drop).count();
+        assert!((4_000..=6_000).contains(&drops), "drops {drops}");
+        assert_eq!(engine.counters().dropped, drops as u64);
+    }
+
+    #[test]
+    fn engine_is_deterministic_per_seed() {
+        let spec = FaultSpec::none()
+            .dropping(0.2)
+            .duplicating(0.2)
+            .reordering(0.2, Duration::from_millis(10))
+            .forging(0.2)
+            .seeded(7);
+        let mut a = FaultEngine::new(spec);
+        let mut b = FaultEngine::new(spec);
+        for _ in 0..500 {
+            assert_eq!(a.decide(), b.decide());
+        }
+    }
+
+    #[test]
+    fn forged_messages_use_reserved_producer_ids() {
+        let mut engine = FaultEngine::new(FaultSpec::none().forging(1.0));
+        let message = engine.forge_message(
+            jmst_api::id::MessageId::from_raw(1),
+            Destination::queue("q"),
+            Timestamp::ZERO,
+        );
+        assert!(message.producer().as_u64() > u64::MAX / 2);
+    }
+
+    #[test]
+    fn builder_composes() {
+        let spec = FaultSpec::none()
+            .dropping(0.1)
+            .duplicating(0.2)
+            .reordering(0.3, Duration::from_millis(5))
+            .forging(0.4)
+            .seeded(9);
+        assert_eq!(spec.drop_probability, 0.1);
+        assert_eq!(spec.duplicate_probability, 0.2);
+        assert_eq!(spec.reorder_probability, 0.3);
+        assert_eq!(spec.reorder_delay, Duration::from_millis(5));
+        assert_eq!(spec.forge_probability, 0.4);
+        assert_eq!(spec.seed, 9);
+    }
+}

@@ -1,0 +1,521 @@
+//! Sessions, producers and consumers of the reference broker.
+
+use crate::connection::ConnState;
+use crate::core::Core;
+use crate::endpoint::{Endpoint, TrackMode};
+use jmst_api::destination::{Destination, TopicName};
+use jmst_api::error::Error;
+use jmst_api::id::{ClientId, ConsumerId, MessageId, ProducerId, SessionId};
+use jmst_api::message::{Message, MessageDraft, Stamp};
+use jmst_api::modes::SessionMode;
+use jmst_api::provider::{Consumer, Producer, Session};
+use jmst_api::selector::Selector;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[derive(Debug, Default)]
+struct TxState {
+    closed: bool,
+    /// Stamped messages awaiting commit (transacted sessions).
+    pending_sends: Vec<Message>,
+    /// Per-message in-flight receives of the open transaction.
+    tx_receives: Vec<(Arc<Endpoint>, MessageId)>,
+    /// End-points this session has unacknowledged deliveries on
+    /// (client-acknowledge and dups-ok sessions).
+    touched: Vec<Arc<Endpoint>>,
+    /// Unacknowledged count for lazy (dups-ok) acknowledgement.
+    dups_ok_unacked: u32,
+}
+
+/// Shared state of one session, held by the session object and by every
+/// producer/consumer created from it.
+#[derive(Debug)]
+pub(crate) struct SessionShared {
+    pub(crate) id: SessionId,
+    pub(crate) mode: SessionMode,
+    pub(crate) core: Arc<Core>,
+    pub(crate) conn: Arc<ConnState>,
+    state: Mutex<TxState>,
+}
+
+impl SessionShared {
+    pub(crate) fn new(core: Arc<Core>, conn: Arc<ConnState>, mode: SessionMode) -> Arc<Self> {
+        Arc::new(Self {
+            id: core.ids().next_session_id(),
+            mode,
+            core,
+            conn,
+            state: Mutex::new(TxState::default()),
+        })
+    }
+
+    /// Checks the whole object chain is usable.
+    fn check_open(&self) -> Result<(), Error> {
+        self.core.check_alive(self.conn.generation)?;
+        if self.conn.closed.load(Ordering::SeqCst) {
+            return Err(Error::ConnectionClosed);
+        }
+        if self.state.lock().closed {
+            return Err(Error::SessionClosed);
+        }
+        Ok(())
+    }
+
+    fn track_mode(&self) -> TrackMode {
+        match self.mode {
+            SessionMode::AutoAcknowledge => TrackMode::Immediate,
+            SessionMode::Transacted
+            | SessionMode::ClientAcknowledge
+            | SessionMode::DupsOkAcknowledge => TrackMode::InFlight,
+        }
+    }
+
+    /// Registers a delivery for later acknowledgement and applies the
+    /// lazy-acknowledge policy of dups-ok sessions.
+    fn record_delivery(&self, endpoint: &Arc<Endpoint>, message: &Message) {
+        let mut state = self.state.lock();
+        match self.mode {
+            SessionMode::AutoAcknowledge => {}
+            SessionMode::Transacted => {
+                state
+                    .tx_receives
+                    .push((Arc::clone(endpoint), message.id()));
+            }
+            SessionMode::ClientAcknowledge => {
+                if !state.touched.iter().any(|e| Arc::ptr_eq(e, endpoint)) {
+                    state.touched.push(Arc::clone(endpoint));
+                }
+            }
+            SessionMode::DupsOkAcknowledge => {
+                if !state.touched.iter().any(|e| Arc::ptr_eq(e, endpoint)) {
+                    state.touched.push(Arc::clone(endpoint));
+                }
+                state.dups_ok_unacked += 1;
+                if state.dups_ok_unacked >= self.core.config().dups_ok_batch {
+                    for endpoint in state.touched.drain(..) {
+                        endpoint.ack_session(self.id);
+                    }
+                    state.dups_ok_unacked = 0;
+                }
+            }
+        }
+    }
+
+    fn acknowledge_all(&self) {
+        let mut state = self.state.lock();
+        for endpoint in state.touched.drain(..) {
+            endpoint.ack_session(self.id);
+        }
+        state.dups_ok_unacked = 0;
+    }
+
+    fn recover_unacked(&self) {
+        let now = self.core.now();
+        let mut state = self.state.lock();
+        for endpoint in state.touched.drain(..) {
+            endpoint.recover_session(self.id, now);
+        }
+        state.dups_ok_unacked = 0;
+    }
+
+    fn rollback_tx(&self) {
+        let now = self.core.now();
+        let mut state = self.state.lock();
+        state.pending_sends.clear();
+        let mut endpoints: Vec<Arc<Endpoint>> = Vec::new();
+        for (endpoint, _) in state.tx_receives.drain(..) {
+            if !endpoints.iter().any(|e| Arc::ptr_eq(e, &endpoint)) {
+                endpoints.push(endpoint);
+            }
+        }
+        drop(state);
+        for endpoint in endpoints {
+            endpoint.recover_session(self.id, now);
+        }
+    }
+}
+
+/// A session of the reference broker.
+#[derive(Debug)]
+pub struct BrokerSession {
+    shared: Arc<SessionShared>,
+}
+
+impl BrokerSession {
+    pub(crate) fn new(shared: Arc<SessionShared>) -> Self {
+        Self { shared }
+    }
+}
+
+impl Session for BrokerSession {
+    fn id(&self) -> SessionId {
+        self.shared.id
+    }
+
+    fn mode(&self) -> SessionMode {
+        self.shared.mode
+    }
+
+    fn create_producer(&mut self, destination: &Destination) -> Result<Box<dyn Producer>, Error> {
+        self.shared.check_open()?;
+        Ok(Box::new(BrokerProducer {
+            id: self.shared.core.ids().next_producer_id(),
+            destination: destination.clone(),
+            sequence: AtomicU64::new(0),
+            session: Arc::clone(&self.shared),
+            closed: AtomicBool::new(false),
+        }))
+    }
+
+    fn create_consumer(
+        &mut self,
+        destination: &Destination,
+        selector: Option<&str>,
+    ) -> Result<Box<dyn Consumer>, Error> {
+        self.shared.check_open()?;
+        let parsed = selector.map(Selector::parse).transpose()?;
+        let id = self.shared.core.ids().next_consumer_id();
+        let (endpoint, kind) = match destination {
+            Destination::Queue(queue) => {
+                // Queue consumers share the queue end-point; selectors on
+                // queues are applied at receive time by skipping
+                // non-matching messages is NOT faithful JMS (selector
+                // consumers leave non-matching messages for others), so we
+                // implement queue selectors by filtering during receive
+                // inside the consumer, leaving rejected messages in place.
+                (self.shared.core.queue_endpoint(queue), ConsumerKind::Queue)
+            }
+            Destination::Topic(topic) => (
+                self.shared
+                    .core
+                    .subscribe_non_durable(topic, id, parsed.clone()),
+                ConsumerKind::NonDurable {
+                    topic: topic.clone(),
+                },
+            ),
+        };
+        Ok(Box::new(BrokerConsumer {
+            id,
+            destination: destination.clone(),
+            selector_text: selector.map(str::to_owned),
+            queue_selector: match destination {
+                Destination::Queue(_) => parsed,
+                Destination::Topic(_) => None,
+            },
+            endpoint,
+            kind,
+            session: Arc::clone(&self.shared),
+            closed: AtomicBool::new(false),
+        }))
+    }
+
+    fn create_durable_subscriber(
+        &mut self,
+        topic: &TopicName,
+        name: &str,
+        selector: Option<&str>,
+    ) -> Result<Box<dyn Consumer>, Error> {
+        self.shared.check_open()?;
+        let client = self
+            .shared
+            .conn
+            .client
+            .clone()
+            .ok_or_else(|| Error::InvalidClient("durable subscription requires a client id".into()))?;
+        let parsed = selector.map(Selector::parse).transpose()?;
+        let id = self.shared.core.ids().next_consumer_id();
+        let endpoint = self
+            .shared
+            .core
+            .resume_durable(&client, name, topic, parsed, id)?;
+        Ok(Box::new(BrokerConsumer {
+            id,
+            destination: Destination::Topic(topic.clone()),
+            selector_text: selector.map(str::to_owned),
+            queue_selector: None,
+            endpoint,
+            kind: ConsumerKind::Durable {
+                client,
+                name: name.to_owned(),
+            },
+            session: Arc::clone(&self.shared),
+            closed: AtomicBool::new(false),
+        }))
+    }
+
+    fn browse(&mut self, queue: &jmst_api::destination::QueueName) -> Result<Vec<Message>, Error> {
+        self.shared.check_open()?;
+        let endpoint = self.shared.core.queue_endpoint(queue);
+        Ok(endpoint.browse(self.shared.core.now()))
+    }
+
+    fn unsubscribe(&mut self, name: &str) -> Result<(), Error> {
+        self.shared.check_open()?;
+        let client = self
+            .shared
+            .conn
+            .client
+            .clone()
+            .ok_or_else(|| Error::InvalidClient("unsubscribe requires a client id".into()))?;
+        self.shared.core.unsubscribe_durable(&client, name)
+    }
+
+    fn commit(&mut self) -> Result<(), Error> {
+        self.shared.check_open()?;
+        if self.shared.mode != SessionMode::Transacted {
+            return Err(Error::illegal_state("commit on a non-transacted session"));
+        }
+        let (sends, receives) = {
+            let mut state = self.shared.state.lock();
+            (
+                std::mem::take(&mut state.pending_sends),
+                std::mem::take(&mut state.tx_receives),
+            )
+        };
+        for message in &sends {
+            self.shared.core.route(message)?;
+        }
+        for (endpoint, message_id) in receives {
+            endpoint.ack_message(self.shared.id, message_id);
+        }
+        Ok(())
+    }
+
+    fn rollback(&mut self) -> Result<(), Error> {
+        self.shared.check_open()?;
+        if self.shared.mode != SessionMode::Transacted {
+            return Err(Error::illegal_state("rollback on a non-transacted session"));
+        }
+        self.shared.rollback_tx();
+        Ok(())
+    }
+
+    fn recover(&mut self) -> Result<(), Error> {
+        self.shared.check_open()?;
+        if self.shared.mode == SessionMode::Transacted {
+            return Err(Error::illegal_state(
+                "recover on a transacted session (use rollback)",
+            ));
+        }
+        self.shared.recover_unacked();
+        Ok(())
+    }
+
+    fn close(&mut self) -> Result<(), Error> {
+        {
+            let state = self.shared.state.lock();
+            if state.closed {
+                return Ok(());
+            }
+        }
+        // An open transaction is rolled back; unacknowledged deliveries of
+        // non-transacted sessions become eligible for redelivery.
+        if self.shared.mode == SessionMode::Transacted {
+            self.shared.rollback_tx();
+        } else {
+            self.shared.recover_unacked();
+        }
+        self.shared.state.lock().closed = true;
+        Ok(())
+    }
+}
+
+/// A producer of the reference broker.
+#[derive(Debug)]
+pub struct BrokerProducer {
+    id: ProducerId,
+    destination: Destination,
+    sequence: AtomicU64,
+    session: Arc<SessionShared>,
+    closed: AtomicBool,
+}
+
+impl Producer for BrokerProducer {
+    fn id(&self) -> ProducerId {
+        self.id
+    }
+
+    fn destination(&self) -> &Destination {
+        &self.destination
+    }
+
+    fn send(&mut self, draft: MessageDraft) -> Result<Message, Error> {
+        if self.closed.load(Ordering::SeqCst) {
+            return Err(Error::EndpointClosed);
+        }
+        self.session.check_open()?;
+        let message = draft.stamp(Stamp {
+            id: self.session.core.ids().next_message_id(),
+            producer: self.id,
+            sequence: self.sequence.fetch_add(1, Ordering::SeqCst),
+            destination: self.destination.clone(),
+            sent_at: self.session.core.now(),
+        });
+        if self.session.mode == SessionMode::Transacted {
+            self.session
+                .state
+                .lock()
+                .pending_sends
+                .push(message.clone());
+        } else {
+            self.session.core.route(&message)?;
+        }
+        Ok(message)
+    }
+
+    fn close(&mut self) -> Result<(), Error> {
+        self.closed.store(true, Ordering::SeqCst);
+        Ok(())
+    }
+}
+
+#[derive(Debug)]
+enum ConsumerKind {
+    Queue,
+    NonDurable { topic: TopicName },
+    Durable { client: ClientId, name: String },
+}
+
+/// A consumer of the reference broker.
+#[derive(Debug)]
+pub struct BrokerConsumer {
+    id: ConsumerId,
+    destination: Destination,
+    selector_text: Option<String>,
+    /// Selector applied at receive time for queue consumers (topic
+    /// selectors are applied at routing time by the subscription).
+    queue_selector: Option<Selector>,
+    endpoint: Arc<Endpoint>,
+    kind: ConsumerKind,
+    session: Arc<SessionShared>,
+    closed: AtomicBool,
+}
+
+impl Consumer for BrokerConsumer {
+    fn id(&self) -> ConsumerId {
+        self.id
+    }
+
+    fn destination(&self) -> &Destination {
+        &self.destination
+    }
+
+    fn selector(&self) -> Option<&str> {
+        self.selector_text.as_deref()
+    }
+
+    fn receive(&mut self, timeout: Option<Duration>) -> Result<Option<Message>, Error> {
+        let conn = &self.session.conn;
+        let core = &self.session.core;
+        let closed_flag = &self.closed;
+        let generation = conn.generation;
+        let started = || {
+            conn.started.load(Ordering::SeqCst) && !conn.closed.load(Ordering::SeqCst)
+        };
+        let alive = || -> Result<(), Error> {
+            if closed_flag.load(Ordering::SeqCst) {
+                return Err(Error::EndpointClosed);
+            }
+            core.check_alive(generation)?;
+            if conn.closed.load(Ordering::SeqCst) {
+                return Err(Error::ConnectionClosed);
+            }
+            if self.session.state.lock().closed {
+                return Err(Error::SessionClosed);
+            }
+            Ok(())
+        };
+        // Message ids already inspected and rejected by this call's queue
+        // selector; seeing one again means we have cycled through every
+        // available message without a match.
+        let mut rejected: std::collections::HashSet<MessageId> = std::collections::HashSet::new();
+        let deadline = timeout.map(|t| self.session.core.now().saturating_add(t));
+        loop {
+            let received = self.endpoint.receive(
+                self.session.core.config().clock.as_ref(),
+                timeout,
+                self.session.id,
+                self.session.track_mode(),
+                &started,
+                &alive,
+            )?;
+            match received {
+                Some(message) => {
+                    // Queue selectors: a non-matching message must stay
+                    // available to other receivers; put it back and keep
+                    // waiting.
+                    if let Some(selector) = &self.queue_selector {
+                        if !selector.matches(&message) {
+                            if self.session.track_mode() == TrackMode::InFlight {
+                                // It was tracked in-flight; release it so
+                                // another consumer can take it.
+                                self.endpoint.ack_message(self.session.id, message.id());
+                            }
+                            let cycled = !rejected.insert(message.id());
+                            self.endpoint
+                                .insert(message, self.session.core.now());
+                            if cycled {
+                                let now = self.session.core.now();
+                                match deadline {
+                                    Some(deadline) if now < deadline => {
+                                        // Wait for new arrivals, then rescan.
+                                        std::thread::sleep(Duration::from_millis(1));
+                                        rejected.clear();
+                                    }
+                                    Some(_) => return Ok(None),
+                                    None => {
+                                        std::thread::sleep(Duration::from_millis(1));
+                                        rejected.clear();
+                                    }
+                                }
+                            }
+                            continue;
+                        }
+                    }
+                    self.session.record_delivery(&self.endpoint, &message);
+                    return Ok(Some(message));
+                }
+                None => return Ok(None),
+            }
+        }
+    }
+
+    fn acknowledge(&mut self) -> Result<(), Error> {
+        if self.closed.load(Ordering::SeqCst) {
+            return Err(Error::EndpointClosed);
+        }
+        self.session.check_open()?;
+        if self.session.mode == SessionMode::Transacted {
+            return Err(Error::illegal_state(
+                "acknowledge on a transacted session (use commit)",
+            ));
+        }
+        self.session.acknowledge_all();
+        Ok(())
+    }
+
+    fn close(&mut self) -> Result<(), Error> {
+        if self.closed.swap(true, Ordering::SeqCst) {
+            return Ok(());
+        }
+        match &self.kind {
+            ConsumerKind::Queue => {}
+            ConsumerKind::NonDurable { topic } => {
+                self.session.core.drop_non_durable(topic, self.id);
+            }
+            ConsumerKind::Durable { client, name } => {
+                self.session.core.deactivate_durable(client, name);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for BrokerConsumer {
+    fn drop(&mut self) {
+        // Destructors must not fail: best-effort close (C-DTOR-FAIL).
+        let _ = self.close();
+    }
+}

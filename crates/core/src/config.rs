@@ -1,0 +1,184 @@
+//! Analysis configuration: which properties to check and with what
+//! tolerances and expectation models.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Configuration of the priority check (Property 4).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PriorityConfig {
+    /// How much slower a higher priority's mean delay may be before it
+    /// counts as an inversion ("best effort" slack).
+    pub tolerance: Duration,
+    /// Minimum deliveries a priority class needs before it participates
+    /// in the comparison.
+    pub min_samples: u64,
+    /// Also run the paper's §5 *strict* pairwise analysis, which flags
+    /// concrete inversion pairs the provider demonstrably chose wrongly
+    /// between. Off by default — it is stricter than the JMS
+    /// specification's best-effort wording, and fails FIFO providers.
+    pub strict: bool,
+    /// Scheduling slack allowed by the strict analysis.
+    pub strict_slack: Duration,
+}
+
+impl Default for PriorityConfig {
+    fn default() -> Self {
+        Self {
+            tolerance: Duration::from_millis(1),
+            min_samples: 20,
+            strict: false,
+            strict_slack: Duration::from_millis(5),
+        }
+    }
+}
+
+/// The delay expectation model used by the expiry check (Property 5).
+///
+/// The paper deploys the simple mean-latency model and names the
+/// histogram and normal-distribution models as future work (§5); all
+/// three are implemented here.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ExpiryModel {
+    /// Deliverable iff the time-to-live is at least the observed mean
+    /// delivery latency (or infinite).
+    SimpleMean,
+    /// Deliverable iff the observed delay histogram puts at least
+    /// `deliver_probability` mass at or below the time-to-live.
+    Histogram,
+    /// Deliverable iff a normal distribution fitted to the observed
+    /// delays puts at least `deliver_probability` mass at or below the
+    /// time-to-live.
+    Normal,
+}
+
+/// Configuration of the expiry check (Property 5).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExpiryConfig {
+    /// The expectation model.
+    pub model: ExpiryModel,
+    /// Probability threshold used by the histogram and normal models.
+    pub deliver_probability: f64,
+    /// Maximum percentage of expected-expired messages that may be
+    /// delivered (first clause of Property 5).
+    pub max_expired_delivered_percent: f64,
+    /// Minimum percentage of expected-live messages that must be
+    /// delivered (second clause of Property 5).
+    pub min_live_delivered_percent: f64,
+}
+
+impl Default for ExpiryConfig {
+    fn default() -> Self {
+        Self {
+            model: ExpiryModel::SimpleMean,
+            deliver_probability: 0.5,
+            max_expired_delivered_percent: 5.0,
+            min_live_delivered_percent: 95.0,
+        }
+    }
+}
+
+/// Which checks to run and their settings.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnalysisConfig {
+    /// Check Property 1 (delivery integrity).
+    pub check_integrity: bool,
+    /// Check Property 2 (required messages).
+    pub check_required: bool,
+    /// Check Property 3 (ordering).
+    pub check_ordering: bool,
+    /// Check Property 4 (priority). Off by default in mixed workloads is
+    /// reasonable; the paper notes this property can be "relaxed or
+    /// dropped altogether".
+    pub check_priority: bool,
+    /// Check Property 5 (expiry).
+    pub check_expiry: bool,
+    /// Check for duplicate deliveries.
+    pub check_duplicates: bool,
+    /// Priority-check settings.
+    pub priority: PriorityConfig,
+    /// Expiry-check settings.
+    pub expiry: ExpiryConfig,
+    /// Width of one delay-histogram bucket.
+    pub histogram_bucket: Duration,
+    /// Number of delay-histogram buckets.
+    pub histogram_buckets: usize,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        Self {
+            check_integrity: true,
+            check_required: true,
+            check_ordering: true,
+            check_priority: true,
+            check_expiry: true,
+            check_duplicates: true,
+            priority: PriorityConfig::default(),
+            expiry: ExpiryConfig::default(),
+            histogram_bucket: Duration::from_millis(1),
+            histogram_buckets: 1_000,
+        }
+    }
+}
+
+impl AnalysisConfig {
+    /// The default configuration: every check on.
+    pub fn all_checks() -> Self {
+        Self::default()
+    }
+
+    /// A configuration with only the safety checks that need no
+    /// statistical tolerance (P1, P2, P3, duplicates).
+    pub fn strict_safety_only() -> Self {
+        Self {
+            check_priority: false,
+            check_expiry: false,
+            ..Self::default()
+        }
+    }
+
+    /// Returns a copy using the given expiry model.
+    pub fn with_expiry_model(mut self, model: ExpiryModel) -> Self {
+        self.expiry.model = model;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_enable_everything() {
+        let config = AnalysisConfig::default();
+        assert!(config.check_integrity);
+        assert!(config.check_required);
+        assert!(config.check_ordering);
+        assert!(config.check_priority);
+        assert!(config.check_expiry);
+        assert!(config.check_duplicates);
+    }
+
+    #[test]
+    fn strict_safety_disables_statistical_checks() {
+        let config = AnalysisConfig::strict_safety_only();
+        assert!(!config.check_priority);
+        assert!(!config.check_expiry);
+        assert!(config.check_integrity);
+    }
+
+    #[test]
+    fn expiry_model_override() {
+        let config = AnalysisConfig::default().with_expiry_model(ExpiryModel::Histogram);
+        assert_eq!(config.expiry.model, ExpiryModel::Histogram);
+    }
+
+    #[test]
+    fn default_thresholds_match_paper_style() {
+        let expiry = ExpiryConfig::default();
+        assert_eq!(expiry.max_expired_delivered_percent, 5.0);
+        assert_eq!(expiry.min_live_delivered_percent, 95.0);
+        assert_eq!(expiry.deliver_probability, 0.5);
+    }
+}

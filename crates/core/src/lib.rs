@@ -1,0 +1,49 @@
+//! # jmst-core — the formal JMS behaviour model and trace analysis
+//!
+//! This crate is the reproduction of the paper's contribution proper:
+//! a formal model of JMS behaviour derived from group-communication-system
+//! properties, evaluated as queries over execution traces.
+//!
+//! * [`defs`] — Definitions 1–7 of the paper (sent/received messages,
+//!   next message, last close, last/first message, possibly-received);
+//! * [`properties`] — the safety checkers: Property 1 delivery integrity,
+//!   Property 2 required messages, Property 3 ordering, Property 4
+//!   priority, Property 5 expiry (with the simple, histogram, and normal
+//!   expectation models), plus the duplicate-delivery check;
+//! * [`perf`] — the §3.2 performance measures: producer/consumer
+//!   throughput in messages and bytes per second, delay min/max/mean/σ,
+//!   and the per-producer / per-consumer unfairness measures;
+//! * [`analyzer`] — [`Analyzer`] runs everything and builds an
+//!   [`AnalysisReport`];
+//! * [`config`] / [`violation`] — knobs and findings.
+//!
+//! # Examples
+//!
+//! ```
+//! use jmst_core::{Analyzer, AnalysisConfig};
+//! use jmst_store::Trace;
+//!
+//! let analyzer = Analyzer::with_config(AnalysisConfig::all_checks());
+//! let report = analyzer.analyze(&Trace::new());
+//! assert!(report.passed());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod analyzer;
+pub mod config;
+pub mod defs;
+pub mod perf;
+pub mod properties;
+pub mod report;
+pub mod violation;
+
+#[cfg(test)]
+pub(crate) mod test_support;
+
+pub use analyzer::{AnalysisReport, Analyzer};
+pub use config::{AnalysisConfig, ExpiryConfig, ExpiryModel, PriorityConfig};
+pub use perf::{PerformanceReport, Throughput};
+pub use properties::expiry::ExpiryBreakdown;
+pub use violation::{PropertyKind, Violation};

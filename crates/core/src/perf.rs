@@ -1,0 +1,404 @@
+//! Performance analysis (paper §3.2): producer/consumer throughput in
+//! messages and body bytes per second, message-delay statistics, and the
+//! fairness measures — all computed over the *run* period only, while
+//! safety properties apply to the whole trace.
+
+use jmst_api::id::{ConsumerId, ProducerId};
+use jmst_api::time::Timestamp;
+use jmst_store::stats::{DelayHistogram, SummaryStats};
+use jmst_store::table::TraceStore;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+/// A throughput measure in both units the paper reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Throughput {
+    /// Events counted in the window.
+    pub count: u64,
+    /// Body bytes counted in the window.
+    pub bytes: u64,
+    /// Messages per second.
+    pub messages_per_sec: f64,
+    /// Body bytes per second.
+    pub bytes_per_sec: f64,
+}
+
+impl Throughput {
+    fn from_counts(count: u64, bytes: u64, window: Duration) -> Self {
+        let secs = window.as_secs_f64();
+        if secs <= 0.0 {
+            return Self {
+                count,
+                bytes,
+                messages_per_sec: 0.0,
+                bytes_per_sec: 0.0,
+            };
+        }
+        Self {
+            count,
+            bytes,
+            messages_per_sec: count as f64 / secs,
+            bytes_per_sec: bytes as f64 / secs,
+        }
+    }
+}
+
+impl fmt::Display for Throughput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.2} msg/s ({:.0} B/s, n={})",
+            self.messages_per_sec, self.bytes_per_sec, self.count
+        )
+    }
+}
+
+/// Message-delay statistics in milliseconds.
+///
+/// Delay is "the time between the start of the message delivery to a
+/// consumer and the start of the call to send or publish the message"
+/// (paper §3.2). With skewed clocks a delay can be negative (footnote 6);
+/// negative samples are kept, and counted separately.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct DelayStats {
+    /// Summary over all samples, in milliseconds.
+    pub stats: SummaryStats,
+    /// Number of negative samples (clock-skew artefacts).
+    pub negative_samples: u64,
+}
+
+/// The full performance report of one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerformanceReport {
+    /// The measured window.
+    pub window: (Timestamp, Timestamp),
+    /// Aggregate producer throughput.
+    pub producer_throughput: Throughput,
+    /// Aggregate consumer throughput.
+    pub consumer_throughput: Throughput,
+    /// Per-producer throughput.
+    pub per_producer: BTreeMap<ProducerId, Throughput>,
+    /// Per-consumer throughput.
+    pub per_consumer: BTreeMap<ConsumerId, Throughput>,
+    /// Delay statistics over messages produced in the window.
+    pub delay: DelayStats,
+    /// Standard deviation of per-producer mean delays, milliseconds —
+    /// the paper's *unfairness* measure on the producer side.
+    pub producer_unfairness_ms: f64,
+    /// Standard deviation of per-consumer mean delays, milliseconds.
+    pub consumer_unfairness_ms: f64,
+    /// Delay histogram over the run period (feeds the histogram
+    /// expectation model).
+    pub delay_histogram: DelayHistogram,
+}
+
+impl PerformanceReport {
+    /// An upper estimate of the `q`-quantile of message delay over the
+    /// run window, from the delay histogram. `None` when nothing was
+    /// delivered.
+    pub fn delay_percentile(&self, q: f64) -> Option<Duration> {
+        self.delay_histogram.quantile(q)
+    }
+
+    /// Renders the report as the rows of the paper's §3.2 measures.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "window              {} .. {}\n",
+            self.window.0, self.window.1
+        ));
+        out.push_str(&format!(
+            "producer throughput {}\n",
+            self.producer_throughput
+        ));
+        out.push_str(&format!(
+            "consumer throughput {}\n",
+            self.consumer_throughput
+        ));
+        let d = &self.delay.stats;
+        out.push_str(&format!(
+            "message delay       mean={:.3}ms σ={:.3}ms min={:.3}ms max={:.3}ms n={}\n",
+            d.mean(),
+            d.std_dev(),
+            d.min().unwrap_or(0.0),
+            d.max().unwrap_or(0.0),
+            d.count()
+        ));
+        if let (Some(p50), Some(p95), Some(p99)) = (
+            self.delay_percentile(0.50),
+            self.delay_percentile(0.95),
+            self.delay_percentile(0.99),
+        ) {
+            out.push_str(&format!(
+                "delay percentiles   p50≤{:.1}ms p95≤{:.1}ms p99≤{:.1}ms\n",
+                p50.as_secs_f64() * 1e3,
+                p95.as_secs_f64() * 1e3,
+                p99.as_secs_f64() * 1e3
+            ));
+        }
+        out.push_str(&format!(
+            "unfairness          producers={:.3}ms consumers={:.3}ms\n",
+            self.producer_unfairness_ms, self.consumer_unfairness_ms
+        ));
+        out
+    }
+}
+
+/// Computes the §3.2 performance measures over the trace's run window.
+pub fn analyze(store: &TraceStore, bucket: Duration, buckets: usize) -> PerformanceReport {
+    let window = store.run_window();
+    analyze_window(store, window, bucket, buckets)
+}
+
+/// Computes the performance measures over an explicit window.
+pub fn analyze_window(
+    store: &TraceStore,
+    window: (Timestamp, Timestamp),
+    bucket: Duration,
+    buckets: usize,
+) -> PerformanceReport {
+    let (start, end) = window;
+    let span = end.saturating_since(start);
+
+    // Producer throughput: effective sends logged inside the window.
+    let mut producer_counts: BTreeMap<ProducerId, (u64, u64)> = BTreeMap::new();
+    let mut producer_total = (0u64, 0u64);
+    for send in store.effective_sends() {
+        if send.at < start || send.at >= end {
+            continue;
+        }
+        let entry = producer_counts
+            .entry(send.record.producer)
+            .or_insert((0, 0));
+        entry.0 += 1;
+        entry.1 += send.record.body_bytes;
+        producer_total.0 += 1;
+        producer_total.1 += send.record.body_bytes;
+    }
+
+    // Consumer throughput and delays: effective receives of messages
+    // produced during the run period.
+    let mut consumer_counts: BTreeMap<ConsumerId, (u64, u64)> = BTreeMap::new();
+    let mut consumer_total = (0u64, 0u64);
+    let mut delay = DelayStats::default();
+    let mut delay_histogram = DelayHistogram::new(bucket, buckets);
+    let mut per_producer_delay: BTreeMap<ProducerId, SummaryStats> = BTreeMap::new();
+    let mut per_consumer_delay: BTreeMap<ConsumerId, SummaryStats> = BTreeMap::new();
+    for receive in store.effective_receives() {
+        if receive.at >= start && receive.at < end {
+            let entry = consumer_counts.entry(receive.consumer).or_insert((0, 0));
+            entry.0 += 1;
+            entry.1 += receive.record.body_bytes;
+            consumer_total.0 += 1;
+            consumer_total.1 += receive.record.body_bytes;
+        }
+        // Delays are attributed by production time (paper: measurements
+        // are taken for messages produced during the run period).
+        let produced_in_window =
+            receive.record.sent_at >= start && receive.record.sent_at < end;
+        if produced_in_window {
+            let delay_ns = receive.at.signed_since(receive.record.sent_at);
+            let delay_ms = delay_ns as f64 / 1e6;
+            delay.stats.push(delay_ms);
+            if delay_ns < 0 {
+                delay.negative_samples += 1;
+            }
+            delay_histogram.push(Duration::from_nanos(delay_ns.max(0) as u64));
+            per_producer_delay
+                .entry(receive.record.producer)
+                .or_default()
+                .push(delay_ms);
+            per_consumer_delay
+                .entry(receive.consumer)
+                .or_default()
+                .push(delay_ms);
+        }
+    }
+
+    fn unfairness<K>(means: &BTreeMap<K, SummaryStats>) -> f64 {
+        let stats: SummaryStats = means.values().map(SummaryStats::mean).collect();
+        stats.std_dev()
+    }
+
+    PerformanceReport {
+        window,
+        producer_throughput: Throughput::from_counts(producer_total.0, producer_total.1, span),
+        consumer_throughput: Throughput::from_counts(consumer_total.0, consumer_total.1, span),
+        per_producer: producer_counts
+            .into_iter()
+            .map(|(id, (count, bytes))| (id, Throughput::from_counts(count, bytes, span)))
+            .collect(),
+        per_consumer: consumer_counts
+            .into_iter()
+            .map(|(id, (count, bytes))| (id, Throughput::from_counts(count, bytes, span)))
+            .collect(),
+        delay,
+        producer_unfairness_ms: unfairness(&per_producer_delay),
+        consumer_unfairness_ms: unfairness(&per_consumer_delay),
+        delay_histogram,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::*;
+    use jmst_store::event::Phase;
+
+    /// 10 messages over a 10-second run window, 100 bytes each, received
+    /// 5 ms after sending, plus warm-up/warm-down traffic that must be
+    /// excluded.
+    fn trace_store() -> TraceStore {
+        let mut builder = TraceBuilder::new()
+            .phase(Phase::WarmUp)
+            // Warm-up traffic (excluded).
+            .at(100)
+            .send(1000, 1, 1000)
+            .at(105)
+            .receive_q(1000, 1, 1000)
+            .at(1_000)
+            .phase(Phase::Run);
+        for i in 0..10u64 {
+            let at = 1_000 + i * 1_000;
+            builder = builder
+                .at(at)
+                .send(i + 1, 1, i)
+                .at(at + 5)
+                .receive_q(i + 1, 1, i);
+        }
+        builder = builder
+            .at(11_000)
+            .phase(Phase::WarmDown)
+            // Warm-down traffic (excluded).
+            .at(11_100)
+            .send(2000, 1, 2000)
+            .at(11_105)
+            .receive_q(2000, 1, 2000);
+        TraceStore::build(&builder.build())
+    }
+
+    #[test]
+    fn throughput_counts_run_window_only() {
+        let report = analyze(&trace_store(), Duration::from_millis(1), 100);
+        assert_eq!(report.producer_throughput.count, 10);
+        assert_eq!(report.consumer_throughput.count, 10);
+        assert!((report.producer_throughput.messages_per_sec - 1.0).abs() < 1e-9);
+        assert!((report.producer_throughput.bytes_per_sec - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delay_statistics() {
+        let report = analyze(&trace_store(), Duration::from_millis(1), 100);
+        assert_eq!(report.delay.stats.count(), 10);
+        assert!((report.delay.stats.mean() - 5.0).abs() < 1e-9);
+        assert_eq!(report.delay.stats.std_dev(), 0.0);
+        assert_eq!(report.delay.negative_samples, 0);
+    }
+
+    #[test]
+    fn per_actor_breakdowns() {
+        let report = analyze(&trace_store(), Duration::from_millis(1), 100);
+        assert_eq!(report.per_producer.len(), 1);
+        assert_eq!(report.per_consumer.len(), 1);
+        assert_eq!(
+            report.per_producer[&ProducerId::from_raw(1)].count,
+            10
+        );
+    }
+
+    #[test]
+    fn unfairness_is_zero_for_single_actors_and_positive_when_skewed() {
+        let report = analyze(&trace_store(), Duration::from_millis(1), 100);
+        assert_eq!(report.producer_unfairness_ms, 0.0);
+        // Two producers with different delays → positive unfairness.
+        let mut builder = TraceBuilder::new().phase(Phase::Run);
+        for i in 0..10u64 {
+            let at = 100 + i * 100;
+            let fast = rec(i * 2 + 1, 1, i);
+            let slow = rec(i * 2 + 2, 2, i);
+            builder = builder
+                .at(at)
+                .send_rec(fast.clone(), None)
+                .send_rec(slow.clone(), None)
+                .at(at + 2)
+                .receive_rec(default_queue_endpoint(), 50, fast, None)
+                .at(at + 50)
+                .receive_rec(default_queue_endpoint(), 50, slow, None);
+        }
+        builder = builder.at(10_000).phase(Phase::WarmDown);
+        let store = TraceStore::build(&builder.build());
+        let report = analyze(&store, Duration::from_millis(1), 100);
+        assert!(report.producer_unfairness_ms > 10.0);
+        assert_eq!(report.consumer_unfairness_ms, 0.0);
+    }
+
+    #[test]
+    fn negative_delays_are_counted() {
+        // A receive logged on a node whose clock runs behind the sender's.
+        let mut record = rec(1, 1, 0);
+        record.sent_at = Timestamp::from_millis(100);
+        let trace = TraceBuilder::new()
+            .phase(Phase::Run)
+            .at(50)
+            .receive_rec(default_queue_endpoint(), 50, record.clone(), None)
+            .at(51)
+            .send_rec(record, None) // keep the send in-window
+            .at(10_000)
+            .phase(Phase::WarmDown)
+            .build();
+        let store = TraceStore::build(&trace);
+        let report = analyze(&store, Duration::from_millis(1), 100);
+        assert_eq!(report.delay.negative_samples, 1);
+        assert!(report.delay.stats.mean() < 0.0);
+    }
+
+    #[test]
+    fn empty_window_is_safe() {
+        let store = TraceStore::build(&TraceBuilder::new().build());
+        let report = analyze(&store, Duration::from_millis(1), 10);
+        assert_eq!(report.producer_throughput.count, 0);
+        assert_eq!(report.producer_throughput.messages_per_sec, 0.0);
+        assert_eq!(report.delay.stats.count(), 0);
+    }
+
+    #[test]
+    fn table_rendering_mentions_all_measures() {
+        let report = analyze(&trace_store(), Duration::from_millis(1), 100);
+        let table = report.to_table();
+        assert!(table.contains("producer throughput"));
+        assert!(table.contains("consumer throughput"));
+        assert!(table.contains("message delay"));
+        assert!(table.contains("unfairness"));
+        assert!(table.contains("p95"));
+    }
+
+    #[test]
+    fn delay_percentiles_come_from_the_histogram() {
+        let report = analyze(&trace_store(), Duration::from_millis(1), 100);
+        // All delays are exactly 5 ms; bucket upper edges give ≤ 6 ms.
+        let p50 = report.delay_percentile(0.5).unwrap();
+        assert!(p50 >= Duration::from_millis(5) && p50 <= Duration::from_millis(6));
+        assert_eq!(report.delay_percentile(0.99), report.delay_percentile(0.5));
+        let empty = analyze(
+            &TraceStore::build(&TraceBuilder::new().build()),
+            Duration::from_millis(1),
+            10,
+        );
+        assert_eq!(empty.delay_percentile(0.5), None);
+    }
+
+    #[test]
+    fn explicit_window_overrides_run_window() {
+        let store = trace_store();
+        let report = analyze_window(
+            &store,
+            (Timestamp::ZERO, Timestamp::from_secs(100)),
+            Duration::from_millis(1),
+            100,
+        );
+        // Now warm-up and warm-down messages are included: 12 sends.
+        assert_eq!(report.producer_throughput.count, 12);
+    }
+}

@@ -1,0 +1,158 @@
+//! Duplicate-delivery check: each message is delivered at most once per
+//! consumer group, unless every involved consumer runs in dups-ok
+//! (lazy-acknowledge) mode, which the paper notes "may" deliver
+//! duplicates.
+//!
+//! Redeliveries flagged by the provider (after rollback or session
+//! recovery) are legitimate and do not count.
+
+use crate::violation::Violation;
+use jmst_api::destination::EndpointId;
+use jmst_api::id::{ConsumerId, MessageId};
+use jmst_api::modes::SessionMode;
+use jmst_store::table::TraceStore;
+use std::collections::HashMap;
+
+/// Checks for duplicate deliveries across the whole trace.
+pub fn check(store: &TraceStore) -> Vec<Violation> {
+    let consumer_modes: HashMap<ConsumerId, SessionMode> = store
+        .consumers()
+        .iter()
+        .map(|row| (row.consumer, row.session_mode))
+        .collect();
+    // (endpoint, message) -> (non-redelivery count, any non-dups-ok consumer involved)
+    let mut deliveries: HashMap<(EndpointId, MessageId), (u64, bool)> = HashMap::new();
+    for receive in store.effective_receives() {
+        if receive.record.redelivered {
+            continue;
+        }
+        let entry = deliveries
+            .entry((receive.endpoint.clone(), receive.record.message))
+            .or_insert((0, false));
+        entry.0 += 1;
+        // A consumer with no recorded lifecycle event is conservatively
+        // treated as strict (not dups-ok).
+        let strict = consumer_modes
+            .get(&receive.consumer)
+            .map_or(true, |mode| !mode.allows_duplicates());
+        entry.1 |= strict;
+    }
+    let mut violations: Vec<Violation> = deliveries
+        .into_iter()
+        .filter(|(_, (count, strict))| *count > 1 && *strict)
+        .map(|((endpoint, message), (count, _))| Violation::DuplicateDelivery {
+            message,
+            endpoint,
+            deliveries: count,
+        })
+        .collect();
+    violations.sort_by_key(|violation| match violation {
+        Violation::DuplicateDelivery { message, .. } => *message,
+        _ => unreachable!("only duplicate violations produced here"),
+    });
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::*;
+
+    #[test]
+    fn single_delivery_passes() {
+        let trace = TraceBuilder::new()
+            .send(1, 1, 0)
+            .receive_q(1, 1, 0)
+            .build();
+        assert!(check(&TraceStore::build(&trace)).is_empty());
+    }
+
+    #[test]
+    fn double_delivery_is_flagged() {
+        let trace = TraceBuilder::new()
+            .send(1, 1, 0)
+            .receive_q(1, 1, 0)
+            .receive_q(1, 1, 0)
+            .build();
+        let violations = check(&TraceStore::build(&trace));
+        assert_eq!(violations.len(), 1);
+        assert!(matches!(
+            &violations[0],
+            Violation::DuplicateDelivery { deliveries: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn marked_redelivery_is_legitimate() {
+        let mut redelivered = rec(1, 1, 0);
+        redelivered.redelivered = true;
+        let trace = TraceBuilder::new()
+            .send(1, 1, 0)
+            .receive_q(1, 1, 0)
+            .receive_rec(default_queue_endpoint(), 50, redelivered, None)
+            .build();
+        assert!(check(&TraceStore::build(&trace)).is_empty());
+    }
+
+    #[test]
+    fn dups_ok_consumers_may_duplicate() {
+        let endpoint = default_queue_endpoint();
+        let trace = TraceBuilder::new()
+            .consumer_created_mode(50, endpoint.clone(), SessionMode::DupsOkAcknowledge)
+            .send(1, 1, 0)
+            .receive_q(1, 1, 0)
+            .receive_q(1, 1, 0)
+            .build();
+        assert!(check(&TraceStore::build(&trace)).is_empty());
+    }
+
+    #[test]
+    fn mixed_consumers_stay_strict() {
+        let endpoint = default_queue_endpoint();
+        let trace = TraceBuilder::new()
+            .consumer_created_mode(50, endpoint.clone(), SessionMode::DupsOkAcknowledge)
+            .consumer_created_mode(51, endpoint.clone(), SessionMode::AutoAcknowledge)
+            .send(1, 1, 0)
+            .receive_q_by(50, 1, 1, 0)
+            .receive_q_by(51, 1, 1, 0)
+            .build();
+        let violations = check(&TraceStore::build(&trace));
+        assert_eq!(violations.len(), 1);
+    }
+
+    #[test]
+    fn same_message_at_different_endpoints_is_fine() {
+        // Pub/sub fan-out: the same message legitimately reaches several
+        // subscriptions.
+        use jmst_api::destination::{Destination, EndpointId};
+        use jmst_api::id::ConsumerId;
+        let sub_a = EndpointId::non_durable("t".into(), ConsumerId::from_raw(60));
+        let sub_b = EndpointId::non_durable("t".into(), ConsumerId::from_raw(61));
+        let mut record = rec(1, 1, 0);
+        record.destination = Destination::topic("t");
+        let trace = TraceBuilder::new()
+            .send_rec(record.clone(), None)
+            .receive_rec(sub_a, 60, record.clone(), None)
+            .receive_rec(sub_b, 61, record, None)
+            .build();
+        assert!(check(&TraceStore::build(&trace)).is_empty());
+    }
+
+    #[test]
+    fn violations_are_sorted_by_message() {
+        let trace = TraceBuilder::new()
+            .send(5, 1, 0)
+            .send(2, 1, 1)
+            .receive_q(5, 1, 0)
+            .receive_q(5, 1, 0)
+            .receive_q(2, 1, 1)
+            .receive_q(2, 1, 1)
+            .build();
+        let violations = check(&TraceStore::build(&trace));
+        assert_eq!(violations.len(), 2);
+        assert!(matches!(
+            &violations[0],
+            Violation::DuplicateDelivery { message, .. } if message.as_u64() == 2
+        ));
+    }
+}

@@ -1,0 +1,433 @@
+//! Property 5 — Expired Messages: under a delay *expectation model*, the
+//! percentage of expected-expired messages that were delivered must stay
+//! below a threshold, and the percentage of expected-live messages that
+//! were delivered must stay above one.
+//!
+//! The paper deploys a simple mean-latency model and suggests (in §5)
+//! histogram- and normal-distribution-based models as future work; all
+//! three are implemented and selectable through
+//! [`ExpiryConfig`].
+//!
+//! [`ExpiryConfig`]: crate::config::ExpiryConfig
+
+use crate::config::{ExpiryConfig, ExpiryModel};
+use crate::defs;
+use crate::violation::Violation;
+use jmst_api::destination::EndpointId;
+use jmst_api::modes::TimeToLive;
+use jmst_store::stats::{DelayHistogram, SummaryStats};
+use jmst_store::table::TraceStore;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::time::Duration;
+
+/// Per-end-point expiry accounting, returned alongside any violations for
+/// reporting (experiment E6 prints these).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExpiryBreakdown {
+    /// The end-point.
+    pub endpoint: EndpointId,
+    /// Messages the model expected to expire.
+    pub expected_expired: u64,
+    /// …of which this many were delivered anyway.
+    pub expired_delivered: u64,
+    /// Messages the model expected to live.
+    pub expected_live: u64,
+    /// …of which this many were delivered.
+    pub live_delivered: u64,
+}
+
+impl ExpiryBreakdown {
+    /// Percentage of expected-expired messages that were delivered.
+    pub fn expired_delivered_percent(&self) -> f64 {
+        if self.expected_expired == 0 {
+            0.0
+        } else {
+            100.0 * self.expired_delivered as f64 / self.expected_expired as f64
+        }
+    }
+
+    /// Percentage of expected-live messages that were delivered.
+    pub fn live_delivered_percent(&self) -> f64 {
+        if self.expected_live == 0 {
+            100.0
+        } else {
+            100.0 * self.live_delivered as f64 / self.expected_live as f64
+        }
+    }
+}
+
+/// The fitted delay expectation model for one run.
+#[derive(Debug, Clone)]
+pub struct FittedModel {
+    model: ExpiryModel,
+    deliver_probability: f64,
+    stats: SummaryStats,
+    histogram: DelayHistogram,
+}
+
+impl FittedModel {
+    /// Fits the configured model to the observed delivery delays of the
+    /// trace (all effective receives).
+    pub fn fit(store: &TraceStore, config: &ExpiryConfig, histogram: DelayHistogram) -> Self {
+        let mut stats = SummaryStats::new();
+        let mut histogram = histogram;
+        for receive in store.effective_receives() {
+            let delay_ns = receive.at.signed_since(receive.record.sent_at);
+            let delay_ms = delay_ns as f64 / 1e6;
+            stats.push(delay_ms);
+            histogram.push(Duration::from_nanos(delay_ns.max(0) as u64));
+        }
+        Self {
+            model: config.model,
+            deliver_probability: config.deliver_probability,
+            stats,
+            histogram,
+        }
+    }
+
+    /// Whether a message with the given time-to-live is expected to be
+    /// delivered.
+    pub fn expect_delivered(&self, ttl: TimeToLive) -> bool {
+        let Some(ttl) = ttl.as_duration() else {
+            return true; // never expires
+        };
+        let ttl_ms = ttl.as_secs_f64() * 1e3;
+        match self.model {
+            ExpiryModel::SimpleMean => self.stats.mean() <= ttl_ms,
+            ExpiryModel::Histogram => {
+                self.histogram.fraction_at_most(ttl) >= self.deliver_probability
+            }
+            ExpiryModel::Normal => {
+                let std = self.stats.std_dev();
+                if std == 0.0 {
+                    self.stats.mean() <= ttl_ms
+                } else {
+                    normal_cdf((ttl_ms - self.stats.mean()) / std) >= self.deliver_probability
+                }
+            }
+        }
+    }
+
+    /// The fitted delay statistics (milliseconds).
+    pub fn delay_stats(&self) -> &SummaryStats {
+        &self.stats
+    }
+
+    /// The fitted delay histogram.
+    pub fn delay_histogram(&self) -> &DelayHistogram {
+        &self.histogram
+    }
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun 7.1.26 erf
+/// approximation (|error| < 1.5e-7, ample for an expectation model).
+fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
+            * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Checks the expiry property, returning violations and the per-end-point
+/// accounting.
+pub fn check(
+    store: &TraceStore,
+    config: &ExpiryConfig,
+    model: &FittedModel,
+) -> (Vec<Violation>, Vec<ExpiryBreakdown>) {
+    let mut violations = Vec::new();
+    let mut breakdowns = Vec::new();
+    let endpoints: Vec<_> = store.endpoints().cloned().collect();
+    for endpoint in endpoints {
+        let selector = match defs::endpoint_selector(store, &endpoint) {
+            Ok(selector) => selector,
+            Err(defs::MixedSelectors) => continue,
+        };
+        let delivered_ids: HashSet<_> = defs::receives_at(store, &endpoint)
+            .iter()
+            .map(|row| row.record.message)
+            .collect();
+        let mut breakdown = ExpiryBreakdown {
+            endpoint: endpoint.clone(),
+            expected_expired: 0,
+            expired_delivered: 0,
+            expected_live: 0,
+            live_delivered: 0,
+        };
+        // Subscriptions only cover messages published during their
+        // lifetime (a queue's messages wait, so queues are unbounded):
+        // counting pre-subscription publishes as "expected" would charge
+        // the provider for correct pub/sub behaviour.
+        let activity_window = match &endpoint {
+            EndpointId::Queue(_) => None,
+            _ => {
+                let start = store
+                    .consumers()
+                    .iter()
+                    .filter(|row| row.endpoint == endpoint)
+                    .map(|row| row.created_at)
+                    .min();
+                start.map(|start| (start, defs::close_bound(store, &endpoint)))
+            }
+        };
+        let mut any_finite_ttl = false;
+        for send in store.effective_sends() {
+            if !defs::possibly_received(&endpoint, selector.as_ref(), &send.record) {
+                continue;
+            }
+            if let Some((start, end)) = activity_window {
+                if send.record.sent_at < start || send.record.sent_at > end {
+                    continue;
+                }
+            }
+            any_finite_ttl |= !send.record.time_to_live.is_forever();
+            let delivered = delivered_ids.contains(&send.record.message);
+            if model.expect_delivered(send.record.time_to_live) {
+                breakdown.expected_live += 1;
+                if delivered {
+                    breakdown.live_delivered += 1;
+                }
+            } else {
+                breakdown.expected_expired += 1;
+                if delivered {
+                    breakdown.expired_delivered += 1;
+                }
+            }
+        }
+        // Property 5 judges expiry behaviour; an end-point that never saw
+        // a finite time-to-live is not an expiry test, and missing
+        // forever-lived messages are Property 2's to report.
+        if !any_finite_ttl {
+            continue;
+        }
+        if breakdown.expected_expired == 0 && breakdown.expected_live == 0 {
+            continue;
+        }
+        if breakdown.expired_delivered_percent() > config.max_expired_delivered_percent {
+            violations.push(Violation::ExpiredMessagesDelivered {
+                endpoint: endpoint.clone(),
+                expected_expired: breakdown.expected_expired,
+                delivered: breakdown.expired_delivered,
+                max_percent: config.max_expired_delivered_percent,
+            });
+        }
+        if breakdown.live_delivered_percent() < config.min_live_delivered_percent {
+            violations.push(Violation::LiveMessagesNotDelivered {
+                endpoint: endpoint.clone(),
+                expected_live: breakdown.expected_live,
+                delivered: breakdown.live_delivered,
+                min_percent: config.min_live_delivered_percent,
+            });
+        }
+        breakdowns.push(breakdown);
+    }
+    (violations, breakdowns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::*;
+    use jmst_store::event::MessageRecord;
+
+    fn with_ttl(message: u64, sequence: u64, ttl_ms: u64) -> MessageRecord {
+        let mut record = rec(message, 1, sequence);
+        record.time_to_live = TimeToLive::from_millis(ttl_ms);
+        record
+    }
+
+    /// The paper's expiry test configuration: TTL 1 ms (expected to
+    /// expire) and TTL 0 (expected to live), with a mean delay well above
+    /// 1 ms.
+    fn paper_config_trace(deliver_expired: bool, drop_live: bool) -> TraceStore {
+        let mut builder = TraceBuilder::new();
+        let mut message = 0u64;
+        for i in 0..50u64 {
+            // TTL-0 message, delivered after ~10 ms (unless drop_live).
+            message += 1;
+            let live = with_ttl(message, i * 2, 0);
+            builder = builder.at(i * 30).send_rec(live.clone(), None);
+            if !drop_live {
+                builder = builder
+                    .at(i * 30 + 10)
+                    .receive_rec(default_queue_endpoint(), 50, live, None);
+            }
+            // TTL-1ms message: should be suppressed.
+            message += 1;
+            let expiring = with_ttl(message, i * 2 + 1, 1);
+            builder = builder.at(i * 30 + 11).send_rec(expiring.clone(), None);
+            if deliver_expired {
+                builder = builder
+                    .at(i * 30 + 21)
+                    .receive_rec(default_queue_endpoint(), 50, expiring, None);
+            }
+        }
+        TraceStore::build(&builder.build())
+    }
+
+    fn run(
+        store: &TraceStore,
+        model: ExpiryModel,
+    ) -> (Vec<Violation>, Vec<ExpiryBreakdown>) {
+        let config = ExpiryConfig {
+            model,
+            ..ExpiryConfig::default()
+        };
+        let fitted = FittedModel::fit(
+            store,
+            &config,
+            DelayHistogram::new(Duration::from_millis(1), 1000),
+        );
+        check(store, &config, &fitted)
+    }
+
+    #[test]
+    fn correct_expiry_behaviour_passes_all_models() {
+        let store = paper_config_trace(false, false);
+        for model in [ExpiryModel::SimpleMean, ExpiryModel::Histogram, ExpiryModel::Normal] {
+            let (violations, breakdowns) = run(&store, model);
+            assert!(violations.is_empty(), "{model:?}: {violations:?}");
+            assert_eq!(breakdowns.len(), 1);
+            let b = &breakdowns[0];
+            assert_eq!(b.expected_expired, 50);
+            assert_eq!(b.expired_delivered, 0);
+            assert_eq!(b.expected_live, 50);
+            assert_eq!(b.live_delivered, 50);
+        }
+    }
+
+    #[test]
+    fn delivering_expired_messages_is_flagged() {
+        let store = paper_config_trace(true, false);
+        let (violations, breakdowns) = run(&store, ExpiryModel::SimpleMean);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::ExpiredMessagesDelivered { .. })));
+        assert_eq!(breakdowns[0].expired_delivered, 50);
+        assert!((breakdowns[0].expired_delivered_percent() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dropping_live_messages_is_flagged() {
+        let store = paper_config_trace(false, true);
+        let (violations, _) = run(&store, ExpiryModel::SimpleMean);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::LiveMessagesNotDelivered { .. })));
+    }
+
+    #[test]
+    fn ttl_zero_always_expected_live() {
+        let store = paper_config_trace(false, false);
+        let config = ExpiryConfig::default();
+        let fitted = FittedModel::fit(
+            &store,
+            &config,
+            DelayHistogram::new(Duration::from_millis(1), 100),
+        );
+        assert!(fitted.expect_delivered(TimeToLive::FOREVER));
+        assert!(!fitted.expect_delivered(TimeToLive::from_millis(1)));
+        // A TTL comfortably above the ~10 ms mean delay is deliverable.
+        assert!(fitted.expect_delivered(TimeToLive::from_millis(1000)));
+    }
+
+    #[test]
+    fn histogram_model_uses_distribution_not_mean() {
+        // Delays: 90 at 1 ms, 10 at 1000 ms → mean ≈ 101 ms. A TTL of
+        // 5 ms is below the mean (simple model says expire) but 90% of
+        // messages beat it (histogram model says deliver).
+        let mut builder = TraceBuilder::new();
+        for i in 0..100u64 {
+            let record = rec(i + 1, 1, i);
+            let delay = if i < 90 { 1 } else { 1000 };
+            builder = builder
+                .at(i * 2000)
+                .send_rec(record.clone(), None)
+                .at(i * 2000 + delay)
+                .receive_rec(default_queue_endpoint(), 50, record, None);
+        }
+        let store = TraceStore::build(&builder.build());
+        let config = ExpiryConfig::default();
+        let simple = FittedModel::fit(
+            &store,
+            &config,
+            DelayHistogram::new(Duration::from_millis(1), 2000),
+        );
+        assert!(!matches!(config.model, ExpiryModel::Histogram));
+        assert!(!simple.expect_delivered(TimeToLive::from_millis(5)));
+        let histogram_config = ExpiryConfig {
+            model: ExpiryModel::Histogram,
+            ..config
+        };
+        let fitted = FittedModel::fit(
+            &store,
+            &histogram_config,
+            DelayHistogram::new(Duration::from_millis(1), 2000),
+        );
+        assert!(fitted.expect_delivered(TimeToLive::from_millis(5)));
+    }
+
+    #[test]
+    fn normal_cdf_sanity() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-6);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+        assert!(normal_cdf(6.0) > 0.999_999);
+    }
+
+    #[test]
+    fn subscription_only_covers_its_lifetime() {
+        use jmst_api::destination::{Destination, EndpointId};
+        use jmst_api::id::ConsumerId;
+        let sub = EndpointId::non_durable("t".into(), ConsumerId::from_raw(60));
+        let make = |message: u64, sequence: u64, ttl: u64| {
+            let mut record = rec(message, 1, sequence);
+            record.destination = Destination::topic("t");
+            record.time_to_live = TimeToLive::from_millis(ttl);
+            record
+        };
+        // Published before the subscription existed: a TTL-0 message that
+        // was (correctly) never delivered.
+        let trace = TraceBuilder::new()
+            .at(0)
+            .send_rec(make(1, 0, 0), None)
+            .at(100)
+            .consumer_created(60, sub.clone(), None)
+            // In-lifetime traffic: one live delivered, one 1 ms TTL
+            // suppressed.
+            .at(200)
+            .send_rec(make(2, 1, 0), None)
+            .at(210)
+            .receive_rec(sub.clone(), 60, make(2, 1, 0), None)
+            .at(300)
+            .send_rec(make(3, 2, 1), None)
+            .build();
+        let store = TraceStore::build(&trace);
+        let (violations, breakdowns) = run(&store, ExpiryModel::SimpleMean);
+        assert!(violations.is_empty(), "{violations:?}");
+        let breakdown = &breakdowns[0];
+        // The pre-subscription message is not counted at all.
+        assert_eq!(breakdown.expected_live, 1);
+        assert_eq!(breakdown.live_delivered, 1);
+        assert_eq!(breakdown.expected_expired, 1);
+    }
+
+    #[test]
+    fn empty_endpoints_produce_no_breakdown() {
+        let store = TraceStore::build(&TraceBuilder::new().build());
+        let (violations, breakdowns) = run(&store, ExpiryModel::SimpleMean);
+        assert!(violations.is_empty());
+        assert!(breakdowns.is_empty());
+    }
+}

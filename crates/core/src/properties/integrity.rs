@@ -1,0 +1,89 @@
+//! Property 1 — Delivery Integrity: "for each consumer c and each message
+//! m in c's Received Messages, m is also in the set Published Messages for
+//! some producer p."
+
+use crate::violation::Violation;
+use jmst_store::table::TraceStore;
+
+/// Checks delivery integrity over the whole trace.
+///
+/// A receive violates the property when its message id has no matching
+/// *effective* send — either nobody ever sent it (a forged/corrupted
+/// message) or it was sent only inside a transaction that did not commit
+/// (in which case, per Definition 1, it was never sent).
+pub fn check(store: &TraceStore) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for receive in store.effective_receives() {
+        let effectively_sent = store
+            .send_of(receive.record.message)
+            .is_some_and(|send| store.send_is_effective(send));
+        if !effectively_sent {
+            violations.push(Violation::ReceivedButNeverSent {
+                message: receive.record.message,
+                consumer: receive.consumer,
+                endpoint: receive.endpoint.clone(),
+            });
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::*;
+    use jmst_api::id::TxId;
+
+    #[test]
+    fn clean_trace_has_no_violations() {
+        let trace = TraceBuilder::new()
+            .send(1, 1, 0)
+            .receive_q(1, 1, 0)
+            .build();
+        assert!(check(&TraceStore::build(&trace)).is_empty());
+    }
+
+    #[test]
+    fn phantom_receive_is_flagged() {
+        let trace = TraceBuilder::new().receive_q(99, 1, 0).build();
+        let violations = check(&TraceStore::build(&trace));
+        assert_eq!(violations.len(), 1);
+        assert!(matches!(
+            &violations[0],
+            Violation::ReceivedButNeverSent { message, .. } if message.as_u64() == 99
+        ));
+    }
+
+    #[test]
+    fn receive_of_uncommitted_transactional_send_is_flagged() {
+        // Sent in a transaction that never committed: per Definition 1 it
+        // was never sent, so its delivery violates integrity.
+        let trace = TraceBuilder::new()
+            .send_tx(1, 1, 0, TxId::from_raw(7))
+            .receive_q(1, 1, 0)
+            .build();
+        let violations = check(&TraceStore::build(&trace));
+        assert_eq!(violations.len(), 1);
+    }
+
+    #[test]
+    fn receive_of_committed_transactional_send_is_clean() {
+        let trace = TraceBuilder::new()
+            .send_tx(1, 1, 0, TxId::from_raw(7))
+            .commit(TxId::from_raw(7))
+            .receive_q(1, 1, 0)
+            .build();
+        assert!(check(&TraceStore::build(&trace)).is_empty());
+    }
+
+    #[test]
+    fn rolled_back_receive_of_phantom_is_ignored() {
+        // The receive itself is ineffective (its transaction rolled
+        // back), so per Definition 2 it never happened.
+        let trace = TraceBuilder::new()
+            .receive_q_tx(99, 1, 0, TxId::from_raw(8))
+            .rollback(TxId::from_raw(8))
+            .build();
+        assert!(check(&TraceStore::build(&trace)).is_empty());
+    }
+}

@@ -1,0 +1,9 @@
+//! Checkers for the paper's safety properties (§3.1), one module per
+//! property.
+
+pub mod duplicates;
+pub mod expiry;
+pub mod integrity;
+pub mod ordering;
+pub mod priority;
+pub mod required;

@@ -1,0 +1,274 @@
+//! Property 3 — Message Ordering: messages from one producer with the
+//! same priority and delivery mode (and destination) must be received in
+//! send order; additionally, a persistent message must never overtake an
+//! earlier non-persistent message from the same producer (the reverse is
+//! permitted).
+
+use crate::violation::Violation;
+use jmst_api::id::{ConsumerId, ProducerId};
+use jmst_api::modes::{DeliveryMode, Priority};
+use jmst_store::table::TraceStore;
+use std::collections::HashMap;
+
+#[derive(Debug, PartialEq, Eq, Hash, Clone)]
+struct OrderKey {
+    consumer: ConsumerId,
+    producer: ProducerId,
+    priority: Priority,
+    mode: DeliveryMode,
+}
+
+#[derive(Debug, PartialEq, Eq, Hash, Clone)]
+struct OvertakeKey {
+    consumer: ConsumerId,
+    producer: ProducerId,
+    priority: Priority,
+}
+
+/// Checks message ordering for every consumer in the trace.
+///
+/// Redelivered messages are exempt: after a rollback or session recovery
+/// a message legitimately arrives later than messages that overtook it
+/// while it was unacknowledged.
+pub fn check(store: &TraceStore) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    // Highest sequence seen so far per (consumer, producer, priority, mode).
+    let mut last_seen: HashMap<OrderKey, u64> = HashMap::new();
+    // Highest *persistent* sequence seen per (consumer, producer, priority),
+    // for the overtaking rule.
+    let mut last_persistent: HashMap<OvertakeKey, u64> = HashMap::new();
+    // Message ids already delivered to a consumer: a repeat delivery is a
+    // *duplicate*, judged by the duplicate check, not an ordering fault.
+    let mut seen_ids: std::collections::HashSet<(ConsumerId, jmst_api::id::MessageId)> =
+        std::collections::HashSet::new();
+    for receive in store.effective_receives() {
+        if receive.record.redelivered {
+            continue;
+        }
+        if !seen_ids.insert((receive.consumer, receive.record.message)) {
+            continue;
+        }
+        let record = &receive.record;
+        let key = OrderKey {
+            consumer: receive.consumer,
+            producer: record.producer,
+            priority: record.priority,
+            mode: record.delivery_mode,
+        };
+        match last_seen.get(&key) {
+            Some(&seen) if seen > record.sequence => {
+                violations.push(Violation::OutOfOrder {
+                    consumer: receive.consumer,
+                    producer: record.producer,
+                    earlier_sequence: record.sequence,
+                    later_sequence: seen,
+                });
+            }
+            _ => {
+                last_seen.insert(key, record.sequence);
+            }
+        }
+        let overtake_key = OvertakeKey {
+            consumer: receive.consumer,
+            producer: record.producer,
+            priority: record.priority,
+        };
+        match record.delivery_mode {
+            DeliveryMode::Persistent => {
+                let entry = last_persistent.entry(overtake_key).or_insert(0);
+                *entry = (*entry).max(record.sequence + 1); // store seq+1 so 0 is "none"
+            }
+            DeliveryMode::NonPersistent => {
+                if let Some(&seen_plus_one) = last_persistent.get(&overtake_key) {
+                    if seen_plus_one > 0 && seen_plus_one - 1 > record.sequence {
+                        violations.push(Violation::PersistentOvertookNonPersistent {
+                            consumer: receive.consumer,
+                            producer: record.producer,
+                            non_persistent_sequence: record.sequence,
+                            persistent_sequence: seen_plus_one - 1,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::*;
+    use jmst_store::event::MessageRecord;
+
+    fn with_mode(message: u64, sequence: u64, mode: DeliveryMode) -> MessageRecord {
+        let mut record = rec(message, 1, sequence);
+        record.delivery_mode = mode;
+        record
+    }
+
+    fn with_priority(message: u64, sequence: u64, priority: u8) -> MessageRecord {
+        let mut record = rec(message, 1, sequence);
+        record.priority = Priority::new(priority).unwrap();
+        record
+    }
+
+    #[test]
+    fn in_order_delivery_passes() {
+        let trace = TraceBuilder::new()
+            .send(1, 1, 0)
+            .send(2, 1, 1)
+            .receive_q(1, 1, 0)
+            .receive_q(2, 1, 1)
+            .build();
+        assert!(check(&TraceStore::build(&trace)).is_empty());
+    }
+
+    #[test]
+    fn inverted_delivery_is_flagged() {
+        let trace = TraceBuilder::new()
+            .send(1, 1, 0)
+            .send(2, 1, 1)
+            .receive_q(2, 1, 1)
+            .receive_q(1, 1, 0)
+            .build();
+        let violations = check(&TraceStore::build(&trace));
+        assert_eq!(violations.len(), 1);
+        assert!(matches!(
+            &violations[0],
+            Violation::OutOfOrder {
+                earlier_sequence: 0,
+                later_sequence: 1,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn different_priorities_are_independent_streams() {
+        // Higher priority overtaking lower priority is exactly what
+        // priority delivery is for — not an ordering violation.
+        let trace = TraceBuilder::new()
+            .send_rec(with_priority(1, 0, 2), None)
+            .send_rec(with_priority(2, 1, 8), None)
+            .receive_rec(default_queue_endpoint(), 50, with_priority(2, 1, 8), None)
+            .receive_rec(default_queue_endpoint(), 50, with_priority(1, 0, 2), None)
+            .build();
+        assert!(check(&TraceStore::build(&trace)).is_empty());
+    }
+
+    #[test]
+    fn different_consumers_are_independent() {
+        // A queue splits one producer's stream across receivers; each
+        // receiver's subsequence must be ordered, but there is no
+        // cross-consumer requirement.
+        let trace = TraceBuilder::new()
+            .send(1, 1, 0)
+            .send(2, 1, 1)
+            .receive_q_by(51, 2, 1, 1)
+            .receive_q_by(52, 1, 1, 0)
+            .build();
+        assert!(check(&TraceStore::build(&trace)).is_empty());
+    }
+
+    #[test]
+    fn non_persistent_may_overtake_persistent() {
+        let trace = TraceBuilder::new()
+            .send_rec(with_mode(1, 0, DeliveryMode::Persistent), None)
+            .send_rec(with_mode(2, 1, DeliveryMode::NonPersistent), None)
+            .receive_rec(
+                default_queue_endpoint(),
+                50,
+                with_mode(2, 1, DeliveryMode::NonPersistent),
+                None,
+            )
+            .receive_rec(
+                default_queue_endpoint(),
+                50,
+                with_mode(1, 0, DeliveryMode::Persistent),
+                None,
+            )
+            .build();
+        assert!(check(&TraceStore::build(&trace)).is_empty());
+    }
+
+    #[test]
+    fn persistent_overtaking_non_persistent_is_flagged() {
+        let trace = TraceBuilder::new()
+            .send_rec(with_mode(1, 0, DeliveryMode::NonPersistent), None)
+            .send_rec(with_mode(2, 1, DeliveryMode::Persistent), None)
+            .receive_rec(
+                default_queue_endpoint(),
+                50,
+                with_mode(2, 1, DeliveryMode::Persistent),
+                None,
+            )
+            .receive_rec(
+                default_queue_endpoint(),
+                50,
+                with_mode(1, 0, DeliveryMode::NonPersistent),
+                None,
+            )
+            .build();
+        let violations = check(&TraceStore::build(&trace));
+        assert_eq!(violations.len(), 1);
+        assert!(matches!(
+            &violations[0],
+            Violation::PersistentOvertookNonPersistent {
+                non_persistent_sequence: 0,
+                persistent_sequence: 1,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn redelivered_messages_are_exempt() {
+        let mut redelivered = rec(1, 1, 0);
+        redelivered.redelivered = true;
+        let trace = TraceBuilder::new()
+            .send(1, 1, 0)
+            .send(2, 1, 1)
+            .receive_q(2, 1, 1)
+            .receive_rec(default_queue_endpoint(), 50, redelivered, None)
+            .build();
+        assert!(check(&TraceStore::build(&trace)).is_empty());
+    }
+
+    #[test]
+    fn sequence_zero_overtake_edge_case() {
+        // Persistent seq 0 delivered, then non-persistent seq 1: the
+        // sentinel arithmetic must not produce a phantom violation.
+        let trace = TraceBuilder::new()
+            .send_rec(with_mode(1, 0, DeliveryMode::Persistent), None)
+            .send_rec(with_mode(2, 1, DeliveryMode::NonPersistent), None)
+            .receive_rec(
+                default_queue_endpoint(),
+                50,
+                with_mode(1, 0, DeliveryMode::Persistent),
+                None,
+            )
+            .receive_rec(
+                default_queue_endpoint(),
+                50,
+                with_mode(2, 1, DeliveryMode::NonPersistent),
+                None,
+            )
+            .build();
+        assert!(check(&TraceStore::build(&trace)).is_empty());
+    }
+
+    #[test]
+    fn multiple_inversions_each_flagged() {
+        let trace = TraceBuilder::new()
+            .send(1, 1, 0)
+            .send(2, 1, 1)
+            .send(3, 1, 2)
+            .receive_q(3, 1, 2)
+            .receive_q(1, 1, 0)
+            .receive_q(2, 1, 1)
+            .build();
+        let violations = check(&TraceStore::build(&trace));
+        assert_eq!(violations.len(), 2);
+    }
+}

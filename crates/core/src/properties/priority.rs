@@ -1,0 +1,361 @@
+//! Property 4 — Message Priority: "the mean message delivery time between
+//! a producer and consumer for a lower message priority is greater or
+//! equal to the mean message delivery time for a higher message priority"
+//! (best effort, hence a configurable tolerance).
+//!
+//! As the paper requires, classes are only compared when their messages
+//! were produced comparably: same producer, same end-point, same delivery
+//! mode. The measurement window is the run period.
+
+use crate::config::PriorityConfig;
+use crate::violation::Violation;
+use jmst_api::destination::EndpointId;
+use jmst_api::id::ProducerId;
+use jmst_api::modes::{DeliveryMode, Priority};
+use jmst_store::stats::SummaryStats;
+use jmst_store::table::TraceStore;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct GroupKey {
+    producer: ProducerId,
+    endpoint: EndpointId,
+    mode: DeliveryMode,
+}
+
+/// Checks the priority property over the run window.
+pub fn check(store: &TraceStore, config: &PriorityConfig) -> Vec<Violation> {
+    let (run_start, run_end) = store.run_window();
+    // Mean delay per (producer, endpoint, mode, priority).
+    let mut groups: BTreeMap<GroupKey, BTreeMap<Priority, SummaryStats>> = BTreeMap::new();
+    for receive in store.effective_receives() {
+        let record = &receive.record;
+        if record.sent_at < run_start || record.sent_at >= run_end {
+            continue;
+        }
+        let delay_ms = receive.at.signed_since(record.sent_at) as f64 / 1e6;
+        groups
+            .entry(GroupKey {
+                producer: record.producer,
+                endpoint: receive.endpoint.clone(),
+                mode: record.delivery_mode,
+            })
+            .or_default()
+            .entry(record.priority)
+            .or_default()
+            .push(delay_ms);
+    }
+    let tolerance_ms = config.tolerance.as_secs_f64() * 1e3;
+    let mut violations = Vec::new();
+    for (key, by_priority) in groups {
+        let qualified: Vec<(Priority, f64)> = by_priority
+            .iter()
+            .filter(|(_, stats)| stats.count() >= config.min_samples)
+            .map(|(priority, stats)| (*priority, stats.mean()))
+            .collect();
+        // Compare every (lower, higher) pair; the map iterates priorities
+        // in ascending order, so pairs are (earlier, later).
+        for (i, &(lower, lower_mean)) in qualified.iter().enumerate() {
+            for &(higher, higher_mean) in &qualified[i + 1..] {
+                if higher_mean > lower_mean + tolerance_ms {
+                    violations.push(Violation::PriorityInversion {
+                        producer: key.producer,
+                        endpoint: key.endpoint.clone(),
+                        lower,
+                        higher,
+                        lower_mean_ms: lower_mean,
+                        higher_mean_ms: higher_mean,
+                    });
+                }
+            }
+        }
+    }
+    violations
+}
+
+/// The paper's §5 *stricter* priority analysis: "the strictness of
+/// message priority analysis can be enhanced by building a model that
+/// indicates whether two messages are candidates for priority
+/// considerations."
+///
+/// Two messages are *candidates* when the provider demonstrably held both
+/// at once and chose between them: a higher-priority message `h` was
+/// already sent (and past the delivery latency `slack`) when a
+/// lower-priority message `l` bound for the same end-point was delivered —
+/// yet `h` was delivered after `l`. Producer identity is irrelevant: the
+/// end-point's buffer held both. Each such pair is a concrete,
+/// non-statistical priority inversion.
+///
+/// Unlike the mean-based Property 4, a strictly-FIFO provider *does* fail
+/// this check under backlog, which is exactly the sharper discrimination
+/// the paper's future work asks for. Providers are allowed `slack` of
+/// scheduling noise.
+pub fn check_strict(store: &TraceStore, slack: std::time::Duration) -> Vec<Violation> {
+    use std::collections::HashMap;
+    // Delivery time per (endpoint, message) for effective receives.
+    #[derive(Debug, Clone, Copy)]
+    struct Delivered {
+        sent_at: jmst_api::time::Timestamp,
+        delivered_at: jmst_api::time::Timestamp,
+        priority: Priority,
+        mode: DeliveryMode,
+        producer: ProducerId,
+    }
+    let mut by_group: HashMap<EndpointId, Vec<Delivered>> = HashMap::new();
+    for receive in store.effective_receives() {
+        if receive.record.redelivered {
+            continue;
+        }
+        by_group
+            .entry(receive.endpoint.clone())
+            .or_default()
+            .push(Delivered {
+                sent_at: receive.record.sent_at,
+                delivered_at: receive.at,
+                priority: receive.record.priority,
+                mode: receive.record.delivery_mode,
+                producer: receive.record.producer,
+            });
+    }
+    let slack_nanos = slack.as_nanos() as i64;
+    let mut violations = Vec::new();
+    for (endpoint, deliveries) in by_group {
+        for low in &deliveries {
+            for high in &deliveries {
+                if high.priority <= low.priority || high.mode != low.mode {
+                    continue;
+                }
+                // `high` was available well before `low` was delivered…
+                let available =
+                    low.delivered_at.signed_since(high.sent_at) >= slack_nanos;
+                // …yet delivered later, beyond the slack.
+                let inverted =
+                    high.delivered_at.signed_since(low.delivered_at) > slack_nanos;
+                if available && inverted {
+                    violations.push(Violation::PriorityInversion {
+                        producer: low.producer,
+                        endpoint: endpoint.clone(),
+                        lower: low.priority,
+                        higher: high.priority,
+                        lower_mean_ms: low
+                            .delivered_at
+                            .signed_since(low.sent_at) as f64
+                            / 1e6,
+                        higher_mean_ms: high
+                            .delivered_at
+                            .signed_since(high.sent_at) as f64
+                            / 1e6,
+                    });
+                }
+            }
+        }
+    }
+    violations
+}
+
+/// The mean-delay-by-priority table behind the check, for reports
+/// (experiment E7 prints it).
+pub fn mean_delay_by_priority(store: &TraceStore) -> BTreeMap<Priority, SummaryStats> {
+    let (run_start, run_end) = store.run_window();
+    let mut table: BTreeMap<Priority, SummaryStats> = BTreeMap::new();
+    for receive in store.effective_receives() {
+        let record = &receive.record;
+        if record.sent_at < run_start || record.sent_at >= run_end {
+            continue;
+        }
+        let delay_ms = receive.at.signed_since(record.sent_at) as f64 / 1e6;
+        table.entry(record.priority).or_default().push(delay_ms);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::*;
+    use jmst_store::event::MessageRecord;
+    use std::time::Duration;
+
+    fn prioritised(message: u64, sequence: u64, priority: u8) -> MessageRecord {
+        let mut record = rec(message, 1, sequence);
+        record.priority = Priority::new(priority).unwrap();
+        record
+    }
+
+    /// Builds a trace where priority `high` has mean delay `high_ms` and
+    /// priority `low` has mean delay `low_ms`, with `n` samples each.
+    fn delay_trace(low_ms: u64, high_ms: u64, n: u64) -> TraceStore {
+        let mut builder = TraceBuilder::new();
+        let mut message = 0;
+        let mut time = 0u64;
+        for i in 0..n {
+            // Low-priority message.
+            message += 1;
+            let record = prioritised(message, i * 2, 1);
+            builder = builder
+                .at(time)
+                .send_rec(record.clone(), None)
+                .at(time + low_ms)
+                .receive_rec(default_queue_endpoint(), 50, record, None);
+            // High-priority message.
+            message += 1;
+            let record = prioritised(message, i * 2 + 1, 8);
+            builder = builder
+                .at(time + low_ms)
+                .send_rec(record.clone(), None)
+                .at(time + low_ms + high_ms)
+                .receive_rec(default_queue_endpoint(), 50, record, None);
+            time += low_ms + high_ms + 1;
+        }
+        TraceStore::build(&builder.build())
+    }
+
+    fn config(min_samples: u64) -> PriorityConfig {
+        PriorityConfig {
+            tolerance: Duration::from_millis(1),
+            min_samples,
+            ..PriorityConfig::default()
+        }
+    }
+
+    #[test]
+    fn faster_high_priority_passes() {
+        let store = delay_trace(50, 10, 30);
+        assert!(check(&store, &config(20)).is_empty());
+    }
+
+    #[test]
+    fn equal_delays_pass() {
+        let store = delay_trace(20, 20, 30);
+        assert!(check(&store, &config(20)).is_empty());
+    }
+
+    #[test]
+    fn slower_high_priority_is_flagged() {
+        let store = delay_trace(10, 50, 30);
+        let violations = check(&store, &config(20));
+        assert_eq!(violations.len(), 1);
+        match &violations[0] {
+            Violation::PriorityInversion {
+                lower,
+                higher,
+                lower_mean_ms,
+                higher_mean_ms,
+                ..
+            } => {
+                assert_eq!(lower.level(), 1);
+                assert_eq!(higher.level(), 8);
+                assert!(higher_mean_ms > lower_mean_ms);
+            }
+            other => panic!("unexpected violation {other:?}"),
+        }
+    }
+
+    #[test]
+    fn small_samples_are_ignored() {
+        let store = delay_trace(10, 50, 5);
+        assert!(check(&store, &config(20)).is_empty());
+    }
+
+    #[test]
+    fn tolerance_absorbs_small_inversions() {
+        let store = delay_trace(10, 11, 30); // 1 ms worse than lower
+        let generous = PriorityConfig {
+            tolerance: Duration::from_millis(5),
+            min_samples: 20,
+            ..PriorityConfig::default()
+        };
+        assert!(check(&store, &generous).is_empty());
+    }
+
+    #[test]
+    fn strict_check_flags_concrete_inversion_pairs() {
+        // Low-priority L and high-priority H are both in the queue; the
+        // provider delivers L first: a strict violation even though means
+        // might not show it.
+        let low = prioritised(1, 0, 1);
+        let high = prioritised(2, 1, 8);
+        let trace = TraceBuilder::new()
+            .at(0)
+            .send_rec(low.clone(), None)
+            .send_rec(high.clone(), None)
+            .at(100)
+            .receive_rec(default_queue_endpoint(), 50, low, None)
+            .at(200)
+            .receive_rec(default_queue_endpoint(), 50, high, None)
+            .build();
+        let store = TraceStore::build(&trace);
+        let violations = check_strict(&store, Duration::from_millis(10));
+        assert_eq!(violations.len(), 1);
+        // The non-strict mean check with few samples sees nothing.
+        assert!(check(&store, &config(20)).is_empty());
+    }
+
+    #[test]
+    fn strict_check_accepts_correct_priority_order() {
+        let low = prioritised(1, 0, 1);
+        let high = prioritised(2, 1, 8);
+        let trace = TraceBuilder::new()
+            .at(0)
+            .send_rec(low.clone(), None)
+            .send_rec(high.clone(), None)
+            .at(100)
+            .receive_rec(default_queue_endpoint(), 50, high, None)
+            .at(200)
+            .receive_rec(default_queue_endpoint(), 50, low, None)
+            .build();
+        let store = TraceStore::build(&trace);
+        assert!(check_strict(&store, Duration::from_millis(10)).is_empty());
+    }
+
+    #[test]
+    fn strict_check_excuses_late_arrivals_within_slack() {
+        // H was sent just before L was delivered: the provider never
+        // really had both; within slack, no violation.
+        let low = prioritised(1, 0, 1);
+        let high = prioritised(2, 1, 8);
+        let trace = TraceBuilder::new()
+            .at(0)
+            .send_rec(low.clone(), None)
+            .at(99)
+            .send_rec(high.clone(), None)
+            .at(100)
+            .receive_rec(default_queue_endpoint(), 50, low, None)
+            .at(105)
+            .receive_rec(default_queue_endpoint(), 50, high, None)
+            .build();
+        let store = TraceStore::build(&trace);
+        assert!(check_strict(&store, Duration::from_millis(10)).is_empty());
+    }
+
+    #[test]
+    fn strict_check_ignores_cross_mode_pairs() {
+        // Non-persistent may run ahead of persistent regardless of
+        // priority; modes are compared separately.
+        let mut low = prioritised(1, 0, 1);
+        low.delivery_mode = DeliveryMode::NonPersistent;
+        let high = prioritised(2, 1, 8);
+        let trace = TraceBuilder::new()
+            .at(0)
+            .send_rec(low.clone(), None)
+            .send_rec(high.clone(), None)
+            .at(100)
+            .receive_rec(default_queue_endpoint(), 50, low, None)
+            .at(200)
+            .receive_rec(default_queue_endpoint(), 50, high, None)
+            .build();
+        let store = TraceStore::build(&trace);
+        assert!(check_strict(&store, Duration::from_millis(10)).is_empty());
+    }
+
+    #[test]
+    fn mean_delay_table_reports_both_classes() {
+        let store = delay_trace(40, 10, 10);
+        let table = mean_delay_by_priority(&store);
+        assert_eq!(table.len(), 2);
+        let low = table[&Priority::new(1).unwrap()].mean();
+        let high = table[&Priority::new(8).unwrap()].mean();
+        assert!((low - 40.0).abs() < 1.0, "low {low}");
+        assert!((high - 10.0).abs() < 1.0, "high {high}");
+    }
+}

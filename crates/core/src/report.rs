@@ -1,0 +1,184 @@
+//! Report rendering: turns an [`AnalysisReport`] into human-readable
+//! markdown and machine-readable CSV — the stand-in for the paper's
+//! Access forms-and-reports facility.
+
+use crate::analyzer::AnalysisReport;
+use crate::violation::Violation;
+use std::fmt::Write as _;
+
+/// Renders the full analysis as a markdown document: verdict, violation
+/// summary by property, the §3.2 performance table, per-actor
+/// throughput, and expiry accounting.
+pub fn to_markdown(report: &AnalysisReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Test analysis\n");
+    let _ = writeln!(
+        out,
+        "**Verdict:** {}  ",
+        if report.passed() {
+            "PASS".to_owned()
+        } else {
+            format!("{} violation(s)", report.violations.len())
+        }
+    );
+    let _ = writeln!(
+        out,
+        "events: {} · sends: {} · receives: {}\n",
+        report.events_analyzed, report.sends, report.receives
+    );
+
+    if !report.violations.is_empty() {
+        let _ = writeln!(out, "## Violations\n");
+        let _ = writeln!(out, "| property | count | first example |");
+        let _ = writeln!(out, "|---|---:|---|");
+        for (property, violations) in report.by_property() {
+            let _ = writeln!(
+                out,
+                "| {property} | {} | {} |",
+                violations.len(),
+                violations[0]
+            );
+        }
+        let _ = writeln!(out);
+    }
+
+    let _ = writeln!(out, "## Performance (run window)\n");
+    let perf = &report.performance;
+    let _ = writeln!(out, "| measure | value |");
+    let _ = writeln!(out, "|---|---|");
+    let _ = writeln!(out, "| producer throughput | {} |", perf.producer_throughput);
+    let _ = writeln!(out, "| consumer throughput | {} |", perf.consumer_throughput);
+    let d = &perf.delay.stats;
+    let _ = writeln!(
+        out,
+        "| message delay | mean {:.3} ms · σ {:.3} ms · min {:.3} ms · max {:.3} ms (n={}) |",
+        d.mean(),
+        d.std_dev(),
+        d.min().unwrap_or(0.0),
+        d.max().unwrap_or(0.0),
+        d.count()
+    );
+    if perf.delay.negative_samples > 0 {
+        let _ = writeln!(
+            out,
+            "| negative delays (clock skew) | {} |",
+            perf.delay.negative_samples
+        );
+    }
+    let _ = writeln!(
+        out,
+        "| unfairness | producers {:.3} ms · consumers {:.3} ms |",
+        perf.producer_unfairness_ms, perf.consumer_unfairness_ms
+    );
+    let _ = writeln!(out);
+
+    if perf.per_producer.len() > 1 || perf.per_consumer.len() > 1 {
+        let _ = writeln!(out, "## Per-actor throughput\n");
+        let _ = writeln!(out, "| actor | msg/s | B/s | n |");
+        let _ = writeln!(out, "|---|---:|---:|---:|");
+        for (id, throughput) in &perf.per_producer {
+            let _ = writeln!(
+                out,
+                "| {id} | {:.2} | {:.0} | {} |",
+                throughput.messages_per_sec, throughput.bytes_per_sec, throughput.count
+            );
+        }
+        for (id, throughput) in &perf.per_consumer {
+            let _ = writeln!(
+                out,
+                "| {id} | {:.2} | {:.0} | {} |",
+                throughput.messages_per_sec, throughput.bytes_per_sec, throughput.count
+            );
+        }
+        let _ = writeln!(out);
+    }
+
+    if !report.expiry.is_empty() {
+        let _ = writeln!(out, "## Expiry accounting (Property 5)\n");
+        let _ = writeln!(
+            out,
+            "| end-point | expected expired | delivered anyway | expected live | delivered |"
+        );
+        let _ = writeln!(out, "|---|---:|---:|---:|---:|");
+        for breakdown in &report.expiry {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} ({:.1}%) | {} | {} ({:.1}%) |",
+                breakdown.endpoint,
+                breakdown.expected_expired,
+                breakdown.expired_delivered,
+                breakdown.expired_delivered_percent(),
+                breakdown.expected_live,
+                breakdown.live_delivered,
+                breakdown.live_delivered_percent()
+            );
+        }
+    }
+    out
+}
+
+/// Renders the violations as CSV rows (`property,description`).
+pub fn violations_to_csv(violations: &[Violation]) -> String {
+    jmst_store::csv::render(
+        &["property", "description"],
+        violations
+            .iter()
+            .map(|violation| vec![violation.property().to_string(), violation.to_string()]),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::*;
+    use crate::Analyzer;
+    use jmst_store::event::Phase;
+
+    fn failing_report() -> AnalysisReport {
+        let trace = TraceBuilder::new()
+            .phase(Phase::Run)
+            .send(1, 1, 0)
+            .send(2, 1, 1)
+            .send(3, 1, 2)
+            .receive_q(1, 1, 0)
+            .receive_q(3, 1, 2)
+            .at(5_000)
+            .phase(Phase::WarmDown)
+            .build();
+        Analyzer::new().analyze(&trace)
+    }
+
+    #[test]
+    fn markdown_includes_verdict_and_violation_table() {
+        let report = failing_report();
+        let markdown = to_markdown(&report);
+        assert!(markdown.contains("# Test analysis"));
+        assert!(markdown.contains("1 violation(s)"));
+        assert!(markdown.contains("P2 required messages"));
+        assert!(markdown.contains("## Performance"));
+        assert!(markdown.contains("producer throughput"));
+    }
+
+    #[test]
+    fn markdown_for_passing_report_has_no_violation_section() {
+        let trace = TraceBuilder::new()
+            .phase(Phase::Run)
+            .send(1, 1, 0)
+            .receive_q(1, 1, 0)
+            .at(5_000)
+            .phase(Phase::WarmDown)
+            .build();
+        let report = Analyzer::new().analyze(&trace);
+        let markdown = to_markdown(&report);
+        assert!(markdown.contains("PASS"));
+        assert!(!markdown.contains("## Violations"));
+    }
+
+    #[test]
+    fn violations_csv_has_one_row_per_violation() {
+        let report = failing_report();
+        let csv = violations_to_csv(&report.violations);
+        assert_eq!(csv.lines().count(), report.violations.len() + 1);
+        assert!(csv.contains("P2 required messages"));
+    }
+}

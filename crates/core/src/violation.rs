@@ -1,0 +1,281 @@
+//! Safety-property violations the analysis can report.
+
+use jmst_api::destination::EndpointId;
+use jmst_api::id::{ConsumerId, MessageId, ProducerId};
+use jmst_api::modes::Priority;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which of the paper's properties a violation falls under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum PropertyKind {
+    /// Property 1: delivery integrity.
+    DeliveryIntegrity,
+    /// Property 2: required messages.
+    RequiredMessages,
+    /// Property 3: message ordering (including the persistent /
+    /// non-persistent overtaking rule).
+    MessageOrdering,
+    /// Property 4: message priority (best effort).
+    MessagePriority,
+    /// Property 5: expired messages.
+    ExpiredMessages,
+    /// The duplicate-delivery check (implied by JMS acknowledgement modes;
+    /// the paper notes lazy acknowledgement may duplicate).
+    DuplicateDelivery,
+}
+
+impl fmt::Display for PropertyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PropertyKind::DeliveryIntegrity => "P1 delivery integrity",
+            PropertyKind::RequiredMessages => "P2 required messages",
+            PropertyKind::MessageOrdering => "P3 message ordering",
+            PropertyKind::MessagePriority => "P4 message priority",
+            PropertyKind::ExpiredMessages => "P5 expired messages",
+            PropertyKind::DuplicateDelivery => "duplicate delivery",
+        })
+    }
+}
+
+/// A concrete violation found in a trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Violation {
+    /// A consumer received a message no producer ever (effectively) sent.
+    ReceivedButNeverSent {
+        /// The phantom message.
+        message: MessageId,
+        /// The consumer that received it.
+        consumer: ConsumerId,
+        /// The end-point it arrived at.
+        endpoint: EndpointId,
+    },
+    /// A message in the required set of an end-point was never received.
+    RequiredMessageMissing {
+        /// The end-point whose required set is violated.
+        endpoint: EndpointId,
+        /// The producer whose message stream is incomplete.
+        producer: ProducerId,
+        /// The missing message.
+        message: MessageId,
+        /// Its per-producer sequence number.
+        sequence: u64,
+    },
+    /// Two messages from one producer (same priority, same delivery mode)
+    /// arrived out of send order at one consumer.
+    OutOfOrder {
+        /// The receiving consumer.
+        consumer: ConsumerId,
+        /// The producer whose order was broken.
+        producer: ProducerId,
+        /// Sequence number of the earlier-sent message (delivered late).
+        earlier_sequence: u64,
+        /// Sequence number of the later-sent message (delivered first).
+        later_sequence: u64,
+    },
+    /// A persistent message overtook an earlier non-persistent message
+    /// from the same producer (the permitted direction is the reverse).
+    PersistentOvertookNonPersistent {
+        /// The receiving consumer.
+        consumer: ConsumerId,
+        /// The producer.
+        producer: ProducerId,
+        /// Sequence of the non-persistent message that was overtaken.
+        non_persistent_sequence: u64,
+        /// Sequence of the persistent message that skipped ahead.
+        persistent_sequence: u64,
+    },
+    /// A lower-priority class was served faster than a higher-priority
+    /// class from the same producer at the same end-point.
+    PriorityInversion {
+        /// The producer.
+        producer: ProducerId,
+        /// The end-point.
+        endpoint: EndpointId,
+        /// The lower of the two priorities.
+        lower: Priority,
+        /// The higher of the two priorities.
+        higher: Priority,
+        /// Mean delay of the lower-priority class, milliseconds.
+        lower_mean_ms: f64,
+        /// Mean delay of the higher-priority class, milliseconds.
+        higher_mean_ms: f64,
+    },
+    /// Too many messages that should have expired were delivered.
+    ExpiredMessagesDelivered {
+        /// The end-point.
+        endpoint: EndpointId,
+        /// Messages the expectation model classed as expired.
+        expected_expired: u64,
+        /// How many of them were delivered anyway.
+        delivered: u64,
+        /// The configured maximum percentage.
+        max_percent: f64,
+    },
+    /// Too few messages that should have lived were delivered.
+    LiveMessagesNotDelivered {
+        /// The end-point.
+        endpoint: EndpointId,
+        /// Messages the expectation model classed as deliverable.
+        expected_live: u64,
+        /// How many of them actually arrived.
+        delivered: u64,
+        /// The configured minimum percentage.
+        min_percent: f64,
+    },
+    /// A message was delivered more than once at an end-point whose
+    /// consumers do not tolerate duplicates.
+    DuplicateDelivery {
+        /// The duplicated message.
+        message: MessageId,
+        /// The end-point.
+        endpoint: EndpointId,
+        /// Number of (non-redelivery) deliveries observed.
+        deliveries: u64,
+    },
+}
+
+impl Violation {
+    /// The property this violation falls under.
+    pub fn property(&self) -> PropertyKind {
+        match self {
+            Violation::ReceivedButNeverSent { .. } => PropertyKind::DeliveryIntegrity,
+            Violation::RequiredMessageMissing { .. } => PropertyKind::RequiredMessages,
+            Violation::OutOfOrder { .. }
+            | Violation::PersistentOvertookNonPersistent { .. } => PropertyKind::MessageOrdering,
+            Violation::PriorityInversion { .. } => PropertyKind::MessagePriority,
+            Violation::ExpiredMessagesDelivered { .. }
+            | Violation::LiveMessagesNotDelivered { .. } => PropertyKind::ExpiredMessages,
+            Violation::DuplicateDelivery { .. } => PropertyKind::DuplicateDelivery,
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::ReceivedButNeverSent {
+                message,
+                consumer,
+                endpoint,
+            } => write!(
+                f,
+                "{consumer} received {message} at {endpoint}, but no producer sent it"
+            ),
+            Violation::RequiredMessageMissing {
+                endpoint,
+                producer,
+                message,
+                sequence,
+            } => write!(
+                f,
+                "{message} (seq {sequence}) from {producer} was required at {endpoint} but never received"
+            ),
+            Violation::OutOfOrder {
+                consumer,
+                producer,
+                earlier_sequence,
+                later_sequence,
+            } => write!(
+                f,
+                "{consumer} received seq {later_sequence} before seq {earlier_sequence} from {producer}"
+            ),
+            Violation::PersistentOvertookNonPersistent {
+                consumer,
+                producer,
+                non_persistent_sequence,
+                persistent_sequence,
+            } => write!(
+                f,
+                "persistent seq {persistent_sequence} overtook non-persistent seq {non_persistent_sequence} from {producer} at {consumer}"
+            ),
+            Violation::PriorityInversion {
+                producer,
+                endpoint,
+                lower,
+                higher,
+                lower_mean_ms,
+                higher_mean_ms,
+            } => write!(
+                f,
+                "priority {higher} (mean {higher_mean_ms:.2}ms) slower than priority {lower} (mean {lower_mean_ms:.2}ms) from {producer} at {endpoint}"
+            ),
+            Violation::ExpiredMessagesDelivered {
+                endpoint,
+                expected_expired,
+                delivered,
+                max_percent,
+            } => write!(
+                f,
+                "{delivered} of {expected_expired} expected-expired messages delivered at {endpoint} (limit {max_percent}%)"
+            ),
+            Violation::LiveMessagesNotDelivered {
+                endpoint,
+                expected_live,
+                delivered,
+                min_percent,
+            } => write!(
+                f,
+                "only {delivered} of {expected_live} expected-live messages delivered at {endpoint} (minimum {min_percent}%)"
+            ),
+            Violation::DuplicateDelivery {
+                message,
+                endpoint,
+                deliveries,
+            } => write!(
+                f,
+                "{message} delivered {deliveries} times at {endpoint}"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn property_classification() {
+        let v = Violation::ReceivedButNeverSent {
+            message: MessageId::from_raw(1),
+            consumer: ConsumerId::from_raw(2),
+            endpoint: EndpointId::for_queue("q".into()),
+        };
+        assert_eq!(v.property(), PropertyKind::DeliveryIntegrity);
+        let v = Violation::OutOfOrder {
+            consumer: ConsumerId::from_raw(1),
+            producer: ProducerId::from_raw(1),
+            earlier_sequence: 1,
+            later_sequence: 2,
+        };
+        assert_eq!(v.property(), PropertyKind::MessageOrdering);
+        let v = Violation::PersistentOvertookNonPersistent {
+            consumer: ConsumerId::from_raw(1),
+            producer: ProducerId::from_raw(1),
+            non_persistent_sequence: 1,
+            persistent_sequence: 2,
+        };
+        assert_eq!(v.property(), PropertyKind::MessageOrdering);
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        let v = Violation::RequiredMessageMissing {
+            endpoint: EndpointId::for_queue("orders".into()),
+            producer: ProducerId::from_raw(3),
+            message: MessageId::from_raw(17),
+            sequence: 4,
+        };
+        let text = v.to_string();
+        assert!(text.contains("msg-17"));
+        assert!(text.contains("orders"));
+        assert!(text.contains("seq 4"));
+    }
+
+    #[test]
+    fn property_kind_displays() {
+        assert!(PropertyKind::RequiredMessages.to_string().contains("P2"));
+        assert!(PropertyKind::DuplicateDelivery.to_string().contains("duplicate"));
+    }
+}

@@ -1,0 +1,304 @@
+//! Property-based (metamorphic) tests of the analysis model: arbitrary
+//! *correct* traces pass every check, and seeded mutations of a correct
+//! trace trip exactly the property that formalises the fault.
+
+use jmst_api::destination::{Destination, EndpointId, QueueName};
+use jmst_api::id::{ConsumerId, MessageId, NodeId, ProducerId, SessionId};
+use jmst_api::modes::{DeliveryMode, Priority, SessionMode, TimeToLive};
+use jmst_api::time::Timestamp;
+use jmst_core::{AnalysisConfig, Analyzer, PropertyKind};
+use jmst_store::event::{Event, EventKind, MessageRecord, Phase};
+use jmst_store::trace::Trace;
+use proptest::prelude::*;
+
+/// A generated workload: per producer, a number of messages with random
+/// priorities and delivery modes, all delivered in order to one queue.
+#[derive(Debug, Clone)]
+struct Workload {
+    producers: Vec<Vec<(u8, bool)>>, // (priority, persistent) per message
+}
+
+fn arb_workload() -> impl Strategy<Value = Workload> {
+    prop::collection::vec(
+        prop::collection::vec((0u8..=9, any::<bool>()), 1..20),
+        1..4,
+    )
+    .prop_map(|producers| Workload { producers })
+}
+
+fn endpoint() -> EndpointId {
+    EndpointId::for_queue(QueueName::new("q"))
+}
+
+/// Builds the canonical correct trace of a workload: every message sent,
+/// then every message received in send order (per producer), by a single
+/// consumer, with one-millisecond spacing.
+fn correct_trace(workload: &Workload) -> Vec<Event> {
+    let mut events = Vec::new();
+    let mut seq = 0u64;
+    let mut time = 0u64;
+    let mut push = |at: u64, kind: EventKind, events: &mut Vec<Event>| {
+        events.push(Event {
+            seq,
+            at: Timestamp::from_millis(at),
+            node: NodeId::from_raw(0),
+            kind,
+        });
+        seq += 1;
+    };
+    push(time, EventKind::PhaseStarted { phase: Phase::Run }, &mut events);
+    let mut records: Vec<MessageRecord> = Vec::new();
+    let mut message_id = 0u64;
+    for (producer_index, messages) in workload.producers.iter().enumerate() {
+        for (sequence, &(priority, persistent)) in messages.iter().enumerate() {
+            message_id += 1;
+            time += 1;
+            let record = MessageRecord {
+                message: MessageId::from_raw(message_id),
+                producer: ProducerId::from_raw(producer_index as u64 + 1),
+                sequence: sequence as u64,
+                destination: Destination::queue("q"),
+                priority: Priority::new(priority).expect("generated in range"),
+                delivery_mode: if persistent {
+                    DeliveryMode::Persistent
+                } else {
+                    DeliveryMode::NonPersistent
+                },
+                time_to_live: TimeToLive::FOREVER,
+                sent_at: Timestamp::from_millis(time),
+                body_bytes: 64,
+                redelivered: false,
+                properties: Default::default(),
+            };
+            records.push(record.clone());
+            push(
+                time,
+                EventKind::Send {
+                    record,
+                    session: SessionId::from_raw(1),
+                    tx: None,
+                },
+                &mut events,
+            );
+        }
+    }
+    // Deliver in per-producer order (interleaved producer-by-producer is
+    // fine: ordering is per producer).
+    for record in &records {
+        time += 1;
+        push(
+            time,
+            EventKind::Receive {
+                consumer: ConsumerId::from_raw(50),
+                endpoint: endpoint(),
+                record: record.clone(),
+                session: SessionId::from_raw(2),
+                tx: None,
+            },
+            &mut events,
+        );
+    }
+    push(
+        time + 10,
+        EventKind::PhaseStarted {
+            phase: Phase::WarmDown,
+        },
+        &mut events,
+    );
+    events
+}
+
+fn analyze(events: Vec<Event>) -> jmst_core::AnalysisReport {
+    Analyzer::with_config(AnalysisConfig::strict_safety_only())
+        .analyze(&Trace::from_events(events))
+}
+
+fn receive_indices(events: &[Event]) -> Vec<usize> {
+    events
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| matches!(e.kind, EventKind::Receive { .. }))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn correct_traces_pass_all_safety_properties(workload in arb_workload()) {
+        let report = analyze(correct_trace(&workload));
+        prop_assert!(report.passed(), "{report}");
+    }
+
+    #[test]
+    fn dropping_an_interior_receive_trips_required_messages(
+        workload in arb_workload(),
+        pick in any::<prop::sample::Index>(),
+    ) {
+        let events = correct_trace(&workload);
+        let receives = receive_indices(&events);
+        // Removing the LAST receive of a producer is excused (Definition
+        // 5). Pick an interior one: require at least 2 messages from the
+        // victim's producer after it. Find candidates.
+        let candidates: Vec<usize> = receives
+            .iter()
+            .copied()
+            .filter(|&i| {
+                let EventKind::Receive { record, .. } = &events[i].kind else { return false };
+                // Not the last delivered message of its producer.
+                receives.iter().any(|&j| {
+                    if j <= i { return false; }
+                    let EventKind::Receive { record: later, .. } = &events[j].kind else { return false };
+                    later.producer == record.producer
+                })
+            })
+            .collect();
+        prop_assume!(!candidates.is_empty());
+        let victim = candidates[pick.index(candidates.len())];
+        let mut mutated = events;
+        mutated.remove(victim);
+        let report = analyze(mutated);
+        prop_assert_eq!(report.count_of(PropertyKind::RequiredMessages), 1, "{}", report);
+        prop_assert_eq!(report.violations.len(), 1, "{}", report);
+    }
+
+    #[test]
+    fn duplicating_a_receive_trips_duplicate_check(
+        workload in arb_workload(),
+        pick in any::<prop::sample::Index>(),
+    ) {
+        let events = correct_trace(&workload);
+        let receives = receive_indices(&events);
+        let victim = receives[pick.index(receives.len())];
+        let mut mutated = events.clone();
+        let mut copy = events[victim].clone();
+        copy.seq = 1_000_000; // fresh sequence, later timestamp
+        copy.at = Timestamp::from_millis(copy.at.as_millis() + 100_000);
+        mutated.push(copy);
+        let report = analyze(mutated);
+        prop_assert_eq!(report.count_of(PropertyKind::DuplicateDelivery), 1, "{}", report);
+        // Duplicates are also the only finding.
+        prop_assert_eq!(report.violations.len(), 1, "{}", report);
+    }
+
+    #[test]
+    fn forging_a_receive_trips_delivery_integrity(
+        workload in arb_workload(),
+        forged_id in 1_000_000u64..2_000_000,
+    ) {
+        let mut events = correct_trace(&workload);
+        let at = Timestamp::from_millis(events.last().unwrap().at.as_millis() + 1);
+        events.push(Event {
+            seq: 999_999,
+            at,
+            node: NodeId::from_raw(0),
+            kind: EventKind::Receive {
+                consumer: ConsumerId::from_raw(50),
+                endpoint: endpoint(),
+                record: MessageRecord {
+                    message: MessageId::from_raw(forged_id),
+                    producer: ProducerId::from_raw(999),
+                    sequence: 0,
+                    destination: Destination::queue("q"),
+                    priority: Priority::DEFAULT,
+                    delivery_mode: DeliveryMode::Persistent,
+                    time_to_live: TimeToLive::FOREVER,
+                    sent_at: at,
+                    body_bytes: 1,
+                    redelivered: false,
+                    properties: Default::default(),
+                },
+                session: SessionId::from_raw(2),
+                tx: None,
+            },
+        });
+        let report = analyze(events);
+        prop_assert_eq!(report.count_of(PropertyKind::DeliveryIntegrity), 1, "{}", report);
+        prop_assert_eq!(report.violations.len(), 1, "{}", report);
+    }
+
+    #[test]
+    fn swapping_same_class_receives_trips_ordering(
+        workload in arb_workload(),
+        pick in any::<prop::sample::Index>(),
+    ) {
+        let events = correct_trace(&workload);
+        let receives = receive_indices(&events);
+        // Find adjacent-in-sequence pairs from the same producer with the
+        // same priority and mode.
+        let mut pairs = Vec::new();
+        for (a_pos, &a) in receives.iter().enumerate() {
+            let EventKind::Receive { record: ra, .. } = &events[a].kind else { continue };
+            for &b in &receives[a_pos + 1..] {
+                let EventKind::Receive { record: rb, .. } = &events[b].kind else { continue };
+                if ra.producer == rb.producer
+                    && ra.priority == rb.priority
+                    && ra.delivery_mode == rb.delivery_mode
+                {
+                    pairs.push((a, b));
+                    break; // nearest same-class successor
+                }
+            }
+        }
+        prop_assume!(!pairs.is_empty());
+        let (a, b) = pairs[pick.index(pairs.len())];
+        let mut mutated = events;
+        // Swap the two receive *payloads* but keep the timestamps, i.e.
+        // the later-sent message is now delivered first.
+        let kind_a = mutated[a].kind.clone();
+        let kind_b = mutated[b].kind.clone();
+        mutated[a].kind = kind_b;
+        mutated[b].kind = kind_a;
+        let report = analyze(mutated);
+        prop_assert!(
+            report.count_of(PropertyKind::MessageOrdering) >= 1,
+            "{}", report
+        );
+        // No other property may be disturbed by a pure swap.
+        prop_assert_eq!(report.count_of(PropertyKind::RequiredMessages), 0, "{}", report);
+        prop_assert_eq!(report.count_of(PropertyKind::DeliveryIntegrity), 0, "{}", report);
+        prop_assert_eq!(report.count_of(PropertyKind::DuplicateDelivery), 0, "{}", report);
+    }
+
+    #[test]
+    fn dups_ok_consumers_make_duplicates_legal(
+        workload in arb_workload(),
+        pick in any::<prop::sample::Index>(),
+    ) {
+        let mut events = correct_trace(&workload);
+        // Declare the consumer as dups-ok.
+        events.insert(0, Event {
+            seq: 888_888,
+            at: Timestamp::ZERO,
+            node: NodeId::from_raw(0),
+            kind: EventKind::ConsumerCreated {
+                consumer: ConsumerId::from_raw(50),
+                endpoint: endpoint(),
+                session_mode: SessionMode::DupsOkAcknowledge,
+                selector: None,
+            },
+        });
+        let receives = receive_indices(&events);
+        let victim = receives[pick.index(receives.len())];
+        let mut copy = events[victim].clone();
+        copy.seq = 1_000_000;
+        copy.at = Timestamp::from_millis(copy.at.as_millis() + 100_000);
+        events.push(copy);
+        let report = analyze(events);
+        prop_assert_eq!(report.count_of(PropertyKind::DuplicateDelivery), 0, "{}", report);
+    }
+
+    #[test]
+    fn performance_conserves_counts(workload in arb_workload()) {
+        let events = correct_trace(&workload);
+        let total: usize = workload.producers.iter().map(Vec::len).sum();
+        let report = Analyzer::new().analyze(&Trace::from_events(events));
+        prop_assert_eq!(report.sends, total);
+        prop_assert_eq!(report.receives, total);
+        // All delays are the fixed per-producer pipeline; mean is finite
+        // and non-negative.
+        prop_assert!(report.performance.delay.stats.mean() >= 0.0);
+        prop_assert_eq!(report.performance.delay.negative_samples, 0);
+    }
+}

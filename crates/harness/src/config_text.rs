@@ -1,0 +1,627 @@
+//! A plain-text scenario-description format for test specifications.
+//!
+//! The paper emphasises that "the test harness can be employed to
+//! determine the performance of the JMS provider under different
+//! configurations without the need to write any code" (§3.2) — its
+//! configuration lived in Access forms, and §5 envisages a web form. This
+//! module is the equivalent declarative surface: an INI-style text format
+//! parsed into a [`TestSpec`].
+//!
+//! # Format
+//!
+//! ```text
+//! [test]
+//! name = expiry-sweep
+//! seed = 42
+//! warm_up = 100ms
+//! run = 1s
+//! warm_down = 3s
+//!
+//! [node main]
+//! clock_skew = -5ms          # optional
+//! share = true               # one connection for the whole node
+//!
+//! [producer]                 # attaches to the most recent [node …]
+//! destination = queue:orders
+//! rate = steady 500          # steady R | poisson R | burst N every D
+//! body = bytes 512           # text|bytes|map|stream|object SIZE
+//! priority = 7
+//! delivery = non-persistent  # persistent (default) | non-persistent
+//! ttl = 5ms                  # forever (default) or a duration
+//! transacted = 10            # commit every N sends
+//! limit = 1000               # stop after N messages
+//!
+//! [consumer]
+//! destination = topic:events
+//! durable = audit            # durable subscription name
+//! selector = JMSPriority >= 5
+//! mode = client-ack 10       # auto | client-ack N | dups-ok | transacted N
+//! think = 2ms                # per-message processing time
+//! reconnect = after 50 pause 100ms cycles 2
+//!
+//! [crash]
+//! after = 300ms
+//! down = 80ms
+//! ```
+
+use crate::spec::{ConsumerSpec, CrashPlan, NodeSpec, ProducerSpec, TestSpec};
+use jmst_api::body::BodyKind;
+use jmst_api::destination::Destination;
+use jmst_api::modes::{DeliveryMode, Priority, SessionMode, TimeToLive};
+use jmst_sim::ArrivalProcess;
+use std::fmt;
+use std::time::Duration;
+
+/// An error produced while parsing a scenario description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    line: usize,
+    message: String,
+}
+
+impl ConfigError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        Self {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// 1-based line number of the problem.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// Description of the problem.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Parses a duration like `250ms`, `1s`, `2m`, `500us`.
+pub fn parse_duration(text: &str) -> Result<Duration, String> {
+    let text = text.trim();
+    let split = text
+        .find(|c: char| !(c.is_ascii_digit() || c == '.'))
+        .ok_or_else(|| format!("missing unit in duration {text:?}"))?;
+    let (value, unit) = text.split_at(split);
+    let value: f64 = value
+        .parse()
+        .map_err(|_| format!("malformed duration {text:?}"))?;
+    let seconds = match unit.trim() {
+        "us" | "µs" => value / 1e6,
+        "ms" => value / 1e3,
+        "s" => value,
+        "m" | "min" => value * 60.0,
+        other => return Err(format!("unknown duration unit {other:?}")),
+    };
+    Ok(Duration::from_secs_f64(seconds))
+}
+
+fn parse_destination(text: &str) -> Result<Destination, String> {
+    match text.trim().split_once(':') {
+        Some(("queue", name)) if !name.is_empty() => Ok(Destination::queue(name)),
+        Some(("topic", name)) if !name.is_empty() => Ok(Destination::topic(name)),
+        _ => Err(format!(
+            "destination must be `queue:NAME` or `topic:NAME`, got {text:?}"
+        )),
+    }
+}
+
+fn parse_rate(text: &str) -> Result<ArrivalProcess, String> {
+    let words: Vec<&str> = text.split_whitespace().collect();
+    match words.as_slice() {
+        ["steady", rate] => {
+            let rate: f64 = rate.parse().map_err(|_| format!("bad rate {rate:?}"))?;
+            if rate <= 0.0 {
+                return Err("rate must be positive".to_owned());
+            }
+            Ok(ArrivalProcess::steady(rate))
+        }
+        ["poisson", rate] => {
+            let rate: f64 = rate.parse().map_err(|_| format!("bad rate {rate:?}"))?;
+            if rate <= 0.0 {
+                return Err("rate must be positive".to_owned());
+            }
+            Ok(ArrivalProcess::poisson(rate))
+        }
+        ["burst", size, "every", interval] => {
+            let size: u32 = size.parse().map_err(|_| format!("bad burst size {size:?}"))?;
+            if size == 0 {
+                return Err("burst size must be positive".to_owned());
+            }
+            let interval = parse_duration(interval)?;
+            if interval.is_zero() {
+                return Err("burst interval must be positive".to_owned());
+            }
+            Ok(ArrivalProcess::burst(size, interval))
+        }
+        _ => Err(format!(
+            "rate must be `steady R`, `poisson R` or `burst N every D`, got {text:?}"
+        )),
+    }
+}
+
+fn parse_body(text: &str) -> Result<(BodyKind, usize), String> {
+    let words: Vec<&str> = text.split_whitespace().collect();
+    let [kind, size] = words.as_slice() else {
+        return Err(format!("body must be `KIND SIZE`, got {text:?}"));
+    };
+    let kind = match *kind {
+        "text" => BodyKind::Text,
+        "bytes" => BodyKind::Bytes,
+        "map" => BodyKind::Map,
+        "stream" => BodyKind::Stream,
+        "object" => BodyKind::Object,
+        other => return Err(format!("unknown body kind {other:?}")),
+    };
+    let size: usize = size.parse().map_err(|_| format!("bad body size {size:?}"))?;
+    Ok((kind, size))
+}
+
+fn parse_mode(text: &str) -> Result<(SessionMode, u32), String> {
+    let words: Vec<&str> = text.split_whitespace().collect();
+    match words.as_slice() {
+        ["auto"] => Ok((SessionMode::AutoAcknowledge, 1)),
+        ["dups-ok"] => Ok((SessionMode::DupsOkAcknowledge, 1)),
+        ["client-ack", n] => Ok((
+            SessionMode::ClientAcknowledge,
+            n.parse().map_err(|_| format!("bad batch {n:?}"))?,
+        )),
+        ["transacted", n] => Ok((
+            SessionMode::Transacted,
+            n.parse().map_err(|_| format!("bad batch {n:?}"))?,
+        )),
+        _ => Err(format!(
+            "mode must be `auto`, `dups-ok`, `client-ack N` or `transacted N`, got {text:?}"
+        )),
+    }
+}
+
+#[derive(Debug, PartialEq)]
+enum Section {
+    Test,
+    Node(String),
+    Producer,
+    Consumer,
+    Crash,
+    None,
+}
+
+/// Parses a scenario description into a [`TestSpec`].
+///
+/// # Errors
+///
+/// Returns the first problem found, with its line number.
+pub fn parse_spec(text: &str) -> Result<TestSpec, ConfigError> {
+    let mut spec = TestSpec::new("unnamed");
+    let mut nodes: Vec<NodeSpec> = Vec::new();
+    let mut section = Section::None;
+    // Pending producer/consumer being accumulated.
+    let mut producer: Option<ProducerSpec> = None;
+    let mut consumer: Option<ConsumerSpec> = None;
+    let mut crash: Option<CrashPlan> = None;
+
+    fn flush(
+        nodes: &mut Vec<NodeSpec>,
+        producer: &mut Option<ProducerSpec>,
+        consumer: &mut Option<ConsumerSpec>,
+        line: usize,
+    ) -> Result<(), ConfigError> {
+        if producer.is_some() || consumer.is_some() {
+            let node = nodes
+                .last_mut()
+                .ok_or_else(|| ConfigError::new(line, "[producer]/[consumer] before any [node]"))?;
+            if let Some(p) = producer.take() {
+                node.producers.push(p);
+            }
+            if let Some(c) = consumer.take() {
+                node.consumers.push(c);
+            }
+        }
+        Ok(())
+    }
+
+    for (index, raw) in text.lines().enumerate() {
+        let line_no = index + 1;
+        // Strip comments and whitespace.
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            flush(&mut nodes, &mut producer, &mut consumer, line_no)?;
+            section = match header.trim() {
+                "test" => Section::Test,
+                "producer" => {
+                    producer = Some(ProducerSpec::steady(Destination::queue("q"), 1.0, 128));
+                    Section::Producer
+                }
+                "consumer" => {
+                    consumer = Some(ConsumerSpec::auto(Destination::queue("q")));
+                    Section::Consumer
+                }
+                "crash" => {
+                    crash = Some(CrashPlan {
+                        crash_after: Duration::from_millis(100),
+                        down_for: Duration::from_millis(50),
+                    });
+                    Section::Crash
+                }
+                other => {
+                    let name = other
+                        .strip_prefix("node")
+                        .map(str::trim)
+                        .filter(|n| !n.is_empty())
+                        .ok_or_else(|| {
+                            ConfigError::new(line_no, format!("unknown section [{other}]"))
+                        })?;
+                    nodes.push(NodeSpec::new(name));
+                    Section::Node(name.to_owned())
+                }
+            };
+            continue;
+        }
+        let (key, value) = line.split_once('=').ok_or_else(|| {
+            ConfigError::new(line_no, format!("expected `key = value`, got {line:?}"))
+        })?;
+        let key = key.trim();
+        let value = value.trim();
+        let err = |message: String| ConfigError::new(line_no, message);
+        match (&mut section, key) {
+            (Section::Test, "name") => spec.name = value.to_owned(),
+            (Section::Test, "seed") => {
+                spec.seed = value.parse().map_err(|_| err(format!("bad seed {value:?}")))?
+            }
+            (Section::Test, "warm_up") => spec.warm_up = parse_duration(value).map_err(err)?,
+            (Section::Test, "run") => spec.run = parse_duration(value).map_err(err)?,
+            (Section::Test, "warm_down") => {
+                spec.warm_down = parse_duration(value).map_err(err)?
+            }
+            (Section::Test, "drain_quiet") => {
+                spec.drain_quiet = parse_duration(value).map_err(err)?
+            }
+            (Section::Node(_), "share") => {
+                nodes.last_mut().expect("inside a node").share_connection =
+                    match value {
+                        "true" | "yes" => true,
+                        "false" | "no" => false,
+                        other => {
+                            return Err(err(format!("share must be true/false, got {other:?}")))
+                        }
+                    };
+            }
+            (Section::Node(_), "clock_skew") => {
+                let negative = value.starts_with('-');
+                let magnitude = parse_duration(value.trim_start_matches('-')).map_err(err)?;
+                let nanos = magnitude.as_nanos() as i64;
+                nodes.last_mut().expect("inside a node").clock_skew_nanos =
+                    if negative { -nanos } else { nanos };
+            }
+            (Section::Producer, key) => {
+                let p = producer.as_mut().expect("inside [producer]");
+                match key {
+                    "destination" => p.destination = parse_destination(value).map_err(err)?,
+                    "rate" => p.workload = parse_rate(value).map_err(err)?,
+                    "body" => {
+                        let (kind, size) = parse_body(value).map_err(err)?;
+                        p.body = kind;
+                        p.body_size = size;
+                    }
+                    "priority" => {
+                        let level: u8 = value
+                            .parse()
+                            .map_err(|_| err(format!("bad priority {value:?}")))?;
+                        p.priority = Priority::new(level)
+                            .ok_or_else(|| err(format!("priority {level} outside 0..=9")))?;
+                    }
+                    "delivery" => {
+                        p.delivery_mode = match value {
+                            "persistent" => DeliveryMode::Persistent,
+                            "non-persistent" => DeliveryMode::NonPersistent,
+                            other => {
+                                return Err(err(format!("unknown delivery mode {other:?}")))
+                            }
+                        }
+                    }
+                    "ttl" => {
+                        p.time_to_live = if value == "forever" {
+                            TimeToLive::FOREVER
+                        } else {
+                            TimeToLive::from_duration(parse_duration(value).map_err(err)?)
+                        }
+                    }
+                    "transacted" => {
+                        p.transacted_batch = Some(
+                            value
+                                .parse()
+                                .map_err(|_| err(format!("bad batch {value:?}")))?,
+                        )
+                    }
+                    "limit" => {
+                        p.message_limit = Some(
+                            value
+                                .parse()
+                                .map_err(|_| err(format!("bad limit {value:?}")))?,
+                        )
+                    }
+                    other => return Err(err(format!("unknown producer key {other:?}"))),
+                }
+            }
+            (Section::Consumer, key) => {
+                let c = consumer.as_mut().expect("inside [consumer]");
+                match key {
+                    "destination" => c.destination = parse_destination(value).map_err(err)?,
+                    "durable" => {
+                        c.subscription = crate::spec::Subscription::Durable {
+                            name: value.to_owned(),
+                        }
+                    }
+                    "selector" => c.selector = Some(value.to_owned()),
+                    "mode" => {
+                        let (mode, batch) = parse_mode(value).map_err(err)?;
+                        c.session_mode = mode;
+                        c.batch = batch.max(1);
+                    }
+                    "think" => c.think_time = parse_duration(value).map_err(err)?,
+                    "reconnect" => {
+                        let words: Vec<&str> = value.split_whitespace().collect();
+                        match words.as_slice() {
+                            ["after", n, "pause", d, "cycles", k] => {
+                                c.reconnect = Some(crate::spec::ReconnectSpec {
+                                    after_messages: n
+                                        .parse()
+                                        .map_err(|_| err(format!("bad count {n:?}")))?,
+                                    pause: parse_duration(d).map_err(err)?,
+                                    max_cycles: k
+                                        .parse()
+                                        .map_err(|_| err(format!("bad cycles {k:?}")))?,
+                                });
+                            }
+                            _ => {
+                                return Err(err(format!(
+                                    "reconnect must be `after N pause D cycles K`, got {value:?}"
+                                )))
+                            }
+                        }
+                    }
+                    other => return Err(err(format!("unknown consumer key {other:?}"))),
+                }
+            }
+            (Section::Crash, key) => {
+                let plan = crash.as_mut().expect("inside [crash]");
+                match key {
+                    "after" => plan.crash_after = parse_duration(value).map_err(err)?,
+                    "down" => plan.down_for = parse_duration(value).map_err(err)?,
+                    other => return Err(err(format!("unknown crash key {other:?}"))),
+                }
+            }
+            (Section::None, _) => {
+                return Err(err("key before any section".to_owned()));
+            }
+            (Section::Test, other) => {
+                return Err(err(format!("unknown test key {other:?}")));
+            }
+            (Section::Node(_), other) => {
+                return Err(err(format!("unknown node key {other:?}")));
+            }
+        }
+    }
+    let last_line = text.lines().count();
+    flush(&mut nodes, &mut producer, &mut consumer, last_line)?;
+    spec.nodes = nodes;
+    spec.crash = crash;
+    spec.validate()
+        .map_err(|reason| ConfigError::new(last_line, reason))?;
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Subscription;
+
+    const FULL: &str = r#"
+# A full scenario exercising every key.
+[test]
+name = full-demo
+seed = 42
+warm_up = 100ms
+run = 1s
+warm_down = 3s
+drain_quiet = 200ms
+
+[node producers]
+clock_skew = 2ms
+
+[producer]
+destination = topic:events
+rate = poisson 250
+body = bytes 512
+priority = 7
+delivery = non-persistent
+ttl = 5ms
+transacted = 10
+limit = 1000
+
+[producer]
+destination = topic:events
+rate = burst 10 every 50ms
+body = map 256
+
+[node consumers]
+clock_skew = -1ms
+
+[consumer]
+destination = topic:events
+durable = audit
+selector = JMSPriority >= 5
+mode = client-ack 10
+think = 2ms
+
+[crash]
+after = 300ms
+down = 80ms
+"#;
+
+    #[test]
+    fn full_config_round_trips_every_field() {
+        let spec = parse_spec(FULL).unwrap();
+        assert_eq!(spec.name, "full-demo");
+        assert_eq!(spec.seed, 42);
+        assert_eq!(spec.warm_up, Duration::from_millis(100));
+        assert_eq!(spec.run, Duration::from_secs(1));
+        assert_eq!(spec.warm_down, Duration::from_secs(3));
+        assert_eq!(spec.drain_quiet, Duration::from_millis(200));
+        assert_eq!(spec.nodes.len(), 2);
+
+        let producers = &spec.nodes[0];
+        assert_eq!(producers.name, "producers");
+        assert_eq!(producers.clock_skew_nanos, 2_000_000);
+        assert_eq!(producers.producers.len(), 2);
+        let p = &producers.producers[0];
+        assert_eq!(p.destination, Destination::topic("events"));
+        assert_eq!(p.workload, ArrivalProcess::poisson(250.0));
+        assert_eq!(p.body, BodyKind::Bytes);
+        assert_eq!(p.body_size, 512);
+        assert_eq!(p.priority.level(), 7);
+        assert_eq!(p.delivery_mode, DeliveryMode::NonPersistent);
+        assert_eq!(p.time_to_live.as_millis(), 5);
+        assert_eq!(p.transacted_batch, Some(10));
+        assert_eq!(p.message_limit, Some(1000));
+        assert_eq!(
+            producers.producers[1].workload,
+            ArrivalProcess::burst(10, Duration::from_millis(50))
+        );
+
+        let consumers = &spec.nodes[1];
+        assert_eq!(consumers.clock_skew_nanos, -1_000_000);
+        let c = &consumers.consumers[0];
+        assert_eq!(
+            c.subscription,
+            Subscription::Durable {
+                name: "audit".into()
+            }
+        );
+        assert_eq!(c.selector.as_deref(), Some("JMSPriority >= 5"));
+        assert_eq!(c.session_mode, SessionMode::ClientAcknowledge);
+        assert_eq!(c.batch, 10);
+        assert_eq!(c.think_time, Duration::from_millis(2));
+
+        let crash = spec.crash.unwrap();
+        assert_eq!(crash.crash_after, Duration::from_millis(300));
+        assert_eq!(crash.down_for, Duration::from_millis(80));
+    }
+
+    #[test]
+    fn share_and_reconnect_keys_parse() {
+        let text = "[test]\nname = s\n[node n]\nshare = true\n[consumer]\ndestination = queue:q\n";
+        let spec = parse_spec(text).unwrap();
+        assert!(spec.nodes[0].share_connection);
+
+        let text = "[test]\nname = r\n[node n]\n[consumer]\ndestination = queue:q\n\
+                    reconnect = after 50 pause 100ms cycles 2\n";
+        let spec = parse_spec(text).unwrap();
+        let reconnect = spec.nodes[0].consumers[0].reconnect.unwrap();
+        assert_eq!(reconnect.after_messages, 50);
+        assert_eq!(reconnect.pause, Duration::from_millis(100));
+        assert_eq!(reconnect.max_cycles, 2);
+
+        assert!(parse_spec("[test]\nname = x\n[node n]\nshare = maybe\n").is_err());
+        assert!(parse_spec(
+            "[test]\nname = x\n[node n]\n[consumer]\ndestination = queue:q\nreconnect = soon\n"
+        )
+        .is_err());
+        // Shared node + reconnect cycling is rejected by validation.
+        let text = "[test]\nname = x\n[node n]\nshare = true\n[consumer]\ndestination = queue:q\n\
+                    reconnect = after 5 pause 10ms cycles 1\n";
+        assert!(parse_spec(text).is_err());
+    }
+
+    #[test]
+    fn minimal_config_parses() {
+        let spec = parse_spec(
+            "[test]\nname = mini\n[node n]\n[producer]\ndestination = queue:q\nrate = steady 10\n[consumer]\ndestination = queue:q\n",
+        )
+        .unwrap();
+        assert_eq!(spec.name, "mini");
+        assert_eq!(spec.producer_count(), 1);
+        assert_eq!(spec.consumer_count(), 1);
+    }
+
+    #[test]
+    fn durations_parse_in_all_units() {
+        assert_eq!(parse_duration("250ms").unwrap(), Duration::from_millis(250));
+        assert_eq!(parse_duration("2s").unwrap(), Duration::from_secs(2));
+        assert_eq!(parse_duration("1.5s").unwrap(), Duration::from_millis(1500));
+        assert_eq!(parse_duration("3m").unwrap(), Duration::from_secs(180));
+        assert_eq!(parse_duration("500us").unwrap(), Duration::from_micros(500));
+        assert!(parse_duration("10").is_err());
+        assert!(parse_duration("10h").is_err());
+        assert!(parse_duration("fast").is_err());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let bad = "[test]\nname = x\n[node n]\n[producer]\ndestination = nowhere\n";
+        let error = parse_spec(bad).unwrap_err();
+        assert_eq!(error.line(), 5);
+        assert!(error.message().contains("destination"));
+    }
+
+    #[test]
+    fn producer_before_node_is_rejected() {
+        let bad = "[test]\nname = x\n[producer]\ndestination = queue:q\n";
+        let error = parse_spec(bad).unwrap_err();
+        assert!(error.message().contains("before any [node]"));
+    }
+
+    #[test]
+    fn unknown_keys_and_sections_are_rejected() {
+        assert!(parse_spec("[test]\ncolour = blue\n").is_err());
+        assert!(parse_spec("[widget]\n").is_err());
+        let error = parse_spec("[test]\nname = x\n[node n]\n[producer]\nshape = round\n")
+            .unwrap_err();
+        assert!(error.message().contains("unknown producer key"));
+    }
+
+    #[test]
+    fn invalid_final_spec_is_rejected_by_validation() {
+        // A durable subscription on a queue parses key-by-key but fails
+        // whole-spec validation.
+        let bad = "[test]\nname = x\n[node n]\n[consumer]\ndestination = queue:q\ndurable = s\n";
+        let error = parse_spec(bad).unwrap_err();
+        assert!(error.message().contains("durable subscription on queue"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let spec = parse_spec(
+            "# header\n\n[test]  \nname = c   # trailing comment\n[node n]\n[consumer]\ndestination = queue:q\n",
+        )
+        .unwrap();
+        assert_eq!(spec.name, "c");
+    }
+
+    #[test]
+    fn parsed_spec_actually_runs() {
+        let text = "[test]\nname = run-me\nwarm_up = 20ms\nrun = 150ms\nwarm_down = 1s\n\
+                    [node n]\n[producer]\ndestination = queue:q\nrate = steady 200\nbody = text 64\n\
+                    [consumer]\ndestination = queue:q\n";
+        let spec = parse_spec(text).unwrap();
+        let broker = jmst_broker::ReferenceBroker::new();
+        let trace = crate::runner::ThreadedRunner::new()
+            .run(std::sync::Arc::new(broker), None, &spec)
+            .unwrap();
+        let report = jmst_core::Analyzer::new().analyze(&trace);
+        assert!(report.passed(), "{report}");
+    }
+}

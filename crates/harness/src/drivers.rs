@@ -1,0 +1,565 @@
+//! Producer and consumer driver threads: the "tests" of the paper's
+//! architecture, which create producers/consumers, exchange messages, and
+//! log every event.
+
+use crate::spec::{ConsumerSpec, ProducerSpec, Subscription, TestSpec};
+use jmst_api::body::Body;
+use jmst_api::destination::{Destination, EndpointId};
+use jmst_api::error::Error;
+use jmst_api::id::{ClientId, TxId};
+use jmst_api::message::MessageDraft;
+use jmst_api::modes::SessionMode;
+use jmst_api::provider::{Connection, Consumer, Producer, Provider, Session};
+use jmst_sim::SimRng;
+use jmst_store::event::{EventKind, MessageRecord};
+use jmst_store::trace::NodeRecorder;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// State shared by every driver of one test run.
+#[derive(Debug)]
+pub(crate) struct RunShared {
+    pub provider: Arc<dyn Provider>,
+    /// Producers stop when this is set (start of warm-down).
+    pub stop_producing: AtomicBool,
+    /// Set once all producer threads have finished.
+    pub producers_done: AtomicBool,
+    /// Hard abort (test daemon gave up on the run).
+    pub abort: AtomicBool,
+    /// Transaction-id allocator shared by all transacted sessions.
+    pub next_tx: AtomicU64,
+    /// All drivers start together ("starting the tests in a coordinated
+    /// fashion", paper §4).
+    pub start: Barrier,
+    /// Absolute deadline after which every driver self-terminates.
+    pub deadline: Instant,
+    /// Drain-quiet window for consumers.
+    pub drain_quiet: Duration,
+}
+
+impl RunShared {
+    pub fn new(provider: Arc<dyn Provider>, spec: &TestSpec, drivers: usize) -> Self {
+        let crash_allowance = spec
+            .crash
+            .map(|plan| plan.down_for + Duration::from_millis(200))
+            .unwrap_or(Duration::ZERO);
+        RunShared {
+            provider,
+            stop_producing: AtomicBool::new(false),
+            producers_done: AtomicBool::new(false),
+            abort: AtomicBool::new(false),
+            next_tx: AtomicU64::new(1),
+            start: Barrier::new(drivers + 1), // +1 for the orchestrator
+            deadline: Instant::now()
+                + spec.warm_up
+                + spec.run
+                + spec.warm_down
+                + crash_allowance
+                + Duration::from_secs(2),
+            drain_quiet: spec.drain_quiet,
+        }
+    }
+
+    fn should_abort(&self) -> bool {
+        self.abort.load(Ordering::SeqCst) || Instant::now() >= self.deadline
+    }
+}
+
+/// Sleeps up to `total`, in slices, returning early on stop/abort.
+fn interruptible_sleep(shared: &RunShared, total: Duration, also_stop_on: &AtomicBool) {
+    const SLICE: Duration = Duration::from_millis(5);
+    let end = Instant::now() + total;
+    while Instant::now() < end {
+        if shared.should_abort() || also_stop_on.load(Ordering::SeqCst) {
+            return;
+        }
+        std::thread::sleep(SLICE.min(end - Instant::now()));
+    }
+}
+
+pub(crate) struct ProducerChain {
+    // Order matters for drop: producer, session, connection.
+    producer: Box<dyn Producer>,
+    session: Box<dyn Session>,
+    /// `None` when the connection is shared by the whole node and owned
+    /// by the runner.
+    _connection: Option<Box<dyn Connection>>,
+}
+
+pub(crate) fn producer_session_mode(spec: &ProducerSpec) -> SessionMode {
+    if spec.transacted_batch.is_some() {
+        SessionMode::Transacted
+    } else {
+        SessionMode::AutoAcknowledge
+    }
+}
+
+/// Builds a producer chain on an existing (shared) session.
+pub(crate) fn producer_chain_on(
+    mut session: Box<dyn Session>,
+    spec: &ProducerSpec,
+) -> Result<ProducerChain, Error> {
+    let producer = session.create_producer(&spec.destination)?;
+    Ok(ProducerChain {
+        producer,
+        session,
+        _connection: None,
+    })
+}
+
+fn connect_producer(
+    provider: &dyn Provider,
+    spec: &ProducerSpec,
+) -> Result<ProducerChain, Error> {
+    let mut connection = provider.create_connection(None)?;
+    connection.start()?;
+    let mut session = connection.create_session(producer_session_mode(spec))?;
+    let producer = session.create_producer(&spec.destination)?;
+    Ok(ProducerChain {
+        producer,
+        session,
+        _connection: Some(connection),
+    })
+}
+
+/// Property names carrying the harness-level producer identity inside
+/// messages, so the analysis sees one producer stream across reconnects
+/// (a JMS producer object dies with its connection in a crash, but the
+/// *test's* producer persists — as in the paper, where identity travels
+/// in the message).
+pub(crate) const PRODUCER_PROP: &str = "jmst_producer";
+/// Property carrying the harness-level send sequence number.
+pub(crate) const SEQUENCE_PROP: &str = "jmst_seq";
+
+/// Rewrites a logged record with the harness-level identity embedded in
+/// the message properties, when present.
+pub(crate) fn apply_harness_identity(record: &mut MessageRecord) {
+    use jmst_api::id::ProducerId;
+    let producer = record
+        .properties
+        .get(PRODUCER_PROP)
+        .and_then(jmst_api::value::Value::as_i64);
+    let sequence = record
+        .properties
+        .get(SEQUENCE_PROP)
+        .and_then(jmst_api::value::Value::as_i64);
+    if let (Some(producer), Some(sequence)) = (producer, sequence) {
+        record.producer = ProducerId::from_raw(producer as u64);
+        record.sequence = sequence as u64;
+    }
+}
+
+/// Runs one producer until the run period ends (or its message limit or
+/// the deadline is reached). Reconnects after provider failures, so a
+/// broker crash/recovery mid-run is survived. `stable_id` is the
+/// harness-level producer identity, stable across reconnects. When
+/// `initial` is given (shared-connection nodes), the driver uses that
+/// chain and never reconnects.
+pub(crate) fn producer_driver(
+    shared: &RunShared,
+    recorder: &NodeRecorder,
+    spec: &ProducerSpec,
+    seed: u64,
+    stable_id: u64,
+    initial: Option<ProducerChain>,
+) {
+    shared.start.wait();
+    let reconnectable = initial.is_none();
+    let mut gaps = spec.workload.generator(SimRng::seed_from_u64(seed));
+    let mut chain: Option<ProducerChain> = initial;
+    let mut sent: u64 = 0;
+    let mut in_batch: u32 = 0;
+    let mut current_tx: Option<TxId> = None;
+    let mut body_seed = seed;
+
+    'outer: loop {
+        if shared.should_abort() || shared.stop_producing.load(Ordering::SeqCst) {
+            break;
+        }
+        if let Some(limit) = spec.message_limit {
+            if sent >= limit {
+                break;
+            }
+        }
+        // Pace the next send.
+        interruptible_sleep(shared, gaps.next_gap(), &shared.stop_producing);
+        if shared.should_abort() || shared.stop_producing.load(Ordering::SeqCst) {
+            break;
+        }
+        // (Re)connect if necessary.
+        if chain.is_none() {
+            if !reconnectable {
+                break; // shared chain was lost; the node owns the connection
+            }
+            match connect_producer(shared.provider.as_ref(), spec) {
+                Ok(connected) => {
+                    chain = Some(connected);
+                    in_batch = 0;
+                    current_tx = None;
+                }
+                Err(_) => {
+                    // Broker down: back off briefly and retry.
+                    interruptible_sleep(
+                        shared,
+                        Duration::from_millis(10),
+                        &shared.stop_producing,
+                    );
+                    continue;
+                }
+            }
+        }
+        let active = chain.as_mut().expect("connected above");
+        // Allocate a transaction id lazily on the first send of a batch.
+        if spec.transacted_batch.is_some() && current_tx.is_none() {
+            current_tx = Some(TxId::from_raw(shared.next_tx.fetch_add(1, Ordering::Relaxed)));
+        }
+        body_seed = body_seed.wrapping_add(1);
+        let draft = MessageDraft::new(Body::synthetic(spec.body, spec.body_size, body_seed))
+            .priority(spec.priority)
+            .delivery_mode(spec.delivery_mode)
+            .time_to_live(spec.time_to_live)
+            .property(PRODUCER_PROP, jmst_api::value::Value::Long(stable_id as i64))
+            .expect("valid property")
+            .property(SEQUENCE_PROP, jmst_api::value::Value::Long(sent as i64))
+            .expect("valid property");
+        match active.producer.send(draft) {
+            Ok(message) => {
+                let mut record = MessageRecord::from_message(&message);
+                apply_harness_identity(&mut record);
+                recorder.record(EventKind::Send {
+                    record,
+                    session: active.session.id(),
+                    tx: current_tx,
+                });
+                sent += 1;
+                if let Some(batch) = spec.transacted_batch {
+                    in_batch += 1;
+                    if in_batch >= batch {
+                        let session_id = active.session.id();
+                        let tx = current_tx.take().expect("tx open");
+                        match active.session.commit() {
+                            Ok(()) => recorder.record(EventKind::Commit {
+                                session: session_id,
+                                tx,
+                            }),
+                            Err(_) => {
+                                // Lost with the broker; the sends of this
+                                // transaction were never effective.
+                                if reconnectable {
+                                    chain = None;
+                                }
+                            }
+                        }
+                        in_batch = 0;
+                    }
+                }
+            }
+            Err(error) => {
+                recorder.record(EventKind::SendFailed {
+                    producer: active.producer.id(),
+                    reason: error.to_string(),
+                });
+                if reconnectable {
+                    // Drop the chain and reconnect on the next iteration.
+                    chain = None;
+                    current_tx = None;
+                } else {
+                    // Shared connection: pace the retries.
+                    interruptible_sleep(
+                        shared,
+                        Duration::from_millis(10),
+                        &shared.stop_producing,
+                    );
+                }
+                if shared.should_abort() {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    // Commit any open transaction so tail messages are not lost to the
+    // analysis as "never sent".
+    if let Some(mut active) = chain {
+        if let Some(tx) = current_tx {
+            if in_batch > 0 {
+                let session_id = active.session.id();
+                if active.session.commit().is_ok() {
+                    recorder.record(EventKind::Commit {
+                        session: session_id,
+                        tx,
+                    });
+                }
+            }
+        }
+        let _ = active.producer.close();
+        let _ = active.session.close();
+    }
+}
+
+pub(crate) struct ConsumerChain {
+    consumer: Box<dyn Consumer>,
+    session: Box<dyn Session>,
+    /// `None` when the connection is shared by the whole node and owned
+    /// by the runner.
+    _connection: Option<Box<dyn Connection>>,
+    endpoint: EndpointId,
+}
+
+/// Builds a consumer chain on an existing (shared) session. `client` is
+/// the client id of the session's connection (needed to name durable
+/// end-points).
+pub(crate) fn consumer_chain_on(
+    mut session: Box<dyn Session>,
+    spec: &ConsumerSpec,
+    client: &ClientId,
+) -> Result<ConsumerChain, Error> {
+    let consumer = match (&spec.subscription, &spec.destination) {
+        (Subscription::Durable { name }, Destination::Topic(topic)) => {
+            session.create_durable_subscriber(topic, name, spec.selector.as_deref())?
+        }
+        _ => session.create_consumer(&spec.destination, spec.selector.as_deref())?,
+    };
+    let endpoint = match (&spec.subscription, &spec.destination) {
+        (_, Destination::Queue(queue)) => EndpointId::for_queue(queue.clone()),
+        (Subscription::Durable { name }, Destination::Topic(topic)) => {
+            EndpointId::durable(topic.clone(), client.clone(), name.clone())
+        }
+        (Subscription::Plain, Destination::Topic(topic)) => {
+            EndpointId::non_durable(topic.clone(), consumer.id())
+        }
+    };
+    Ok(ConsumerChain {
+        consumer,
+        session,
+        _connection: None,
+        endpoint,
+    })
+}
+
+fn connect_consumer(
+    provider: &dyn Provider,
+    spec: &ConsumerSpec,
+    client: &ClientId,
+) -> Result<ConsumerChain, Error> {
+    let client_id = matches!(spec.subscription, Subscription::Durable { .. })
+        .then(|| client.clone());
+    let mut connection = provider.create_connection(client_id)?;
+    connection.start()?;
+    let session = connection.create_session(spec.session_mode)?;
+    let mut chain = consumer_chain_on(session, spec, client)?;
+    chain._connection = Some(connection);
+    Ok(chain)
+}
+
+/// Runs one consumer until the backlog is drained after warm-down (or the
+/// deadline passes). Handles acknowledgement/commit batching, optional
+/// disconnect/reconnect cycling, and reconnection after broker crashes.
+pub(crate) fn consumer_driver(
+    shared: &RunShared,
+    recorder: &NodeRecorder,
+    spec: &ConsumerSpec,
+    client: ClientId,
+    initial: Option<ConsumerChain>,
+) {
+    shared.start.wait();
+    const POLL: Duration = Duration::from_millis(20);
+    let reconnectable = initial.is_none();
+    let mut chain: Option<ConsumerChain> = initial;
+    if let Some(active) = &chain {
+        recorder.record(EventKind::ConsumerCreated {
+            consumer: active.consumer.id(),
+            endpoint: active.endpoint.clone(),
+            session_mode: spec.session_mode,
+            selector: spec.selector.clone(),
+        });
+    }
+    let mut received_total: u64 = 0;
+    let mut in_batch: u32 = 0;
+    let mut current_tx: Option<TxId> = None;
+    let mut last_delivery = Instant::now();
+    let mut reconnect_cycles: u32 = 0;
+
+    loop {
+        if shared.should_abort() {
+            break;
+        }
+        if chain.is_none() {
+            if !reconnectable {
+                break; // shared chain was lost; nothing more to do
+            }
+            match connect_consumer(shared.provider.as_ref(), spec, &client) {
+                Ok(connected) => {
+                    recorder.record(EventKind::ConsumerCreated {
+                        consumer: connected.consumer.id(),
+                        endpoint: connected.endpoint.clone(),
+                        session_mode: spec.session_mode,
+                        selector: spec.selector.clone(),
+                    });
+                    chain = Some(connected);
+                    in_batch = 0;
+                    current_tx = None;
+                }
+                Err(_) => {
+                    if shared.producers_done.load(Ordering::SeqCst)
+                        && last_delivery.elapsed() > shared.drain_quiet
+                    {
+                        break; // nothing more to wait for
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                    continue;
+                }
+            }
+        }
+        let mut connection_lost = false;
+        let mut cycle_reconnect = false;
+        let active = chain.as_mut().expect("connected above");
+        match active.consumer.receive(Some(POLL)) {
+            Ok(Some(message)) => {
+                if !spec.think_time.is_zero() {
+                    std::thread::sleep(spec.think_time);
+                }
+                last_delivery = Instant::now();
+                received_total += 1;
+                if spec.session_mode == SessionMode::Transacted && current_tx.is_none() {
+                    current_tx =
+                        Some(TxId::from_raw(shared.next_tx.fetch_add(1, Ordering::Relaxed)));
+                }
+                let mut record = MessageRecord::from_message(&message);
+                apply_harness_identity(&mut record);
+                recorder.record(EventKind::Receive {
+                    consumer: active.consumer.id(),
+                    endpoint: active.endpoint.clone(),
+                    record,
+                    session: active.session.id(),
+                    tx: current_tx,
+                });
+                in_batch += 1;
+                if in_batch >= spec.batch {
+                    match spec.session_mode {
+                        SessionMode::Transacted => {
+                            let session_id = active.session.id();
+                            let tx = current_tx.take().expect("tx open");
+                            match active.session.commit() {
+                                Ok(()) => recorder.record(EventKind::Commit {
+                                    session: session_id,
+                                    tx,
+                                }),
+                                Err(_) => connection_lost = true,
+                            }
+                        }
+                        SessionMode::ClientAcknowledge => {
+                            let session_id = active.session.id();
+                            if active.consumer.acknowledge().is_ok() {
+                                recorder.record(EventKind::Acknowledge {
+                                    session: session_id,
+                                });
+                            }
+                        }
+                        _ => {}
+                    }
+                    in_batch = 0;
+                }
+                // Disconnect/reconnect cycling.
+                if let Some(plan) = spec.reconnect {
+                    if reconnect_cycles < plan.max_cycles
+                        && received_total % plan.after_messages.max(1) == 0
+                    {
+                        reconnect_cycles += 1;
+                        cycle_reconnect = true;
+                    }
+                }
+            }
+            Ok(None) => {
+                if shared.producers_done.load(Ordering::SeqCst)
+                    && last_delivery.elapsed() > shared.drain_quiet
+                {
+                    break;
+                }
+            }
+            Err(_) => {
+                // Crash or concurrent close: drop and reconnect (durable
+                // subscriptions resume where they left off).
+                connection_lost = true;
+            }
+        }
+        if cycle_reconnect {
+            finish_batch(
+                chain.as_mut().expect("active"),
+                spec,
+                &mut current_tx,
+                &mut in_batch,
+                recorder,
+            );
+            drop_chain(&mut chain, recorder);
+            interruptible_sleep(shared, spec.reconnect.expect("plan present").pause, &shared.abort);
+        } else if connection_lost {
+            if reconnectable {
+                drop_chain(&mut chain, recorder);
+                current_tx = None;
+                in_batch = 0;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+    if let Some(mut active) = chain {
+        finish_batch(&mut active, spec, &mut current_tx, &mut in_batch, recorder);
+        let consumer_id = active.consumer.id();
+        let endpoint = active.endpoint.clone();
+        let _ = active.consumer.close();
+        let _ = active.session.close();
+        recorder.record(EventKind::ConsumerClosed {
+            consumer: consumer_id,
+            endpoint,
+        });
+    }
+}
+
+fn finish_batch(
+    active: &mut ConsumerChain,
+    spec: &ConsumerSpec,
+    current_tx: &mut Option<TxId>,
+    in_batch: &mut u32,
+    recorder: &NodeRecorder,
+) {
+    match spec.session_mode {
+        SessionMode::Transacted => {
+            if let Some(tx) = current_tx.take() {
+                if *in_batch > 0 {
+                    let session_id = active.session.id();
+                    if active.session.commit().is_ok() {
+                        recorder.record(EventKind::Commit {
+                            session: session_id,
+                            tx,
+                        });
+                    }
+                }
+            }
+        }
+        SessionMode::ClientAcknowledge => {
+            if *in_batch > 0 {
+                let session_id = active.session.id();
+                if active.consumer.acknowledge().is_ok() {
+                    recorder.record(EventKind::Acknowledge {
+                        session: session_id,
+                    });
+                }
+            }
+        }
+        _ => {}
+    }
+    *in_batch = 0;
+}
+
+fn drop_chain(chain: &mut Option<ConsumerChain>, recorder: &NodeRecorder) {
+    if let Some(mut active) = chain.take() {
+        let consumer_id = active.consumer.id();
+        let endpoint = active.endpoint.clone();
+        let _ = active.consumer.close();
+        let _ = active.session.close();
+        recorder.record(EventKind::ConsumerClosed {
+            consumer: consumer_id,
+            endpoint,
+        });
+    }
+}

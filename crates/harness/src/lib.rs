@@ -1,0 +1,70 @@
+//! # jmst-harness — the automated test harness
+//!
+//! The distributed test harness of the paper's §4, in-process: test
+//! specifications ([`spec`]), producer/consumer driver threads, the
+//! coordinated threaded runner ([`runner`]) with crash injection, the
+//! scheduling/collection/analysis daemon prince ([`prince`]), and a
+//! virtual-time simulation runner ([`simrun`]) that feeds the same
+//! analysis pipeline for the performance figures.
+//!
+//! Where the paper distributes tests over JVMs coordinated by RMI, this
+//! harness runs driver threads coordinated by channels and atomics — the
+//! control plane still shares nothing with the middleware under test.
+//!
+//! # Examples
+//!
+//! Run a small test against the reference broker and verify it:
+//!
+//! ```
+//! use jmst_harness::prelude::*;
+//! use jmst_broker::ReferenceBroker;
+//! use jmst_core::Analyzer;
+//! use jmst_api::destination::Destination;
+//! use std::sync::Arc;
+//! use std::time::Duration;
+//!
+//! let spec = TestSpec::new("doc-smoke")
+//!     .with_periods(
+//!         Duration::from_millis(20),
+//!         Duration::from_millis(100),
+//!         Duration::from_secs(1),
+//!     )
+//!     .node(
+//!         NodeSpec::new("n0")
+//!             .producer(ProducerSpec::steady(Destination::queue("q"), 100.0, 64))
+//!             .consumer(ConsumerSpec::auto(Destination::queue("q"))),
+//!     );
+//! let trace = ThreadedRunner::new().run(Arc::new(ReferenceBroker::new()), None, &spec)?;
+//! let report = Analyzer::new().analyze(&trace);
+//! assert!(report.passed());
+//! # Ok::<(), jmst_harness::HarnessError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config_text;
+mod drivers;
+pub mod error;
+pub mod prince;
+pub mod runner;
+pub mod simrun;
+pub mod spec;
+
+pub use config_text::{parse_spec, ConfigError};
+pub use error::HarnessError;
+pub use prince::{CampaignReport, DaemonPrince, TestOutcome, TestResult};
+pub use runner::{BrokerAdmin, ThreadedRunner};
+pub use spec::{
+    ConsumerSpec, CrashPlan, NodeSpec, ProducerSpec, ReconnectSpec, Subscription, TestSpec,
+};
+
+/// Convenient glob-import for harness users.
+pub mod prelude {
+    pub use crate::config_text::parse_spec;
+    pub use crate::prince::{CampaignReport, DaemonPrince, TestOutcome, TestResult};
+    pub use crate::runner::{BrokerAdmin, ThreadedRunner};
+    pub use crate::spec::{
+        ConsumerSpec, CrashPlan, NodeSpec, ProducerSpec, ReconnectSpec, Subscription, TestSpec,
+    };
+}

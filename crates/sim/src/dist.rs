@@ -1,0 +1,352 @@
+//! Deterministic sampling of durations from the distributions the paper's
+//! workload configurations use (steady, bursty, Poisson) and the delay
+//! expectation models in its future-work section (normal).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::Duration;
+
+/// A seeded random-number generator for simulations and workloads.
+///
+/// A self-contained xoshiro256** generator (seeded through SplitMix64) so
+/// that every randomised component in the workspace takes an explicit
+/// seed, can be cloned to fork deterministic replicas, and produces the
+/// same stream on every platform — test runs must be reproducible for a
+/// harness whose results are compared across providers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimRng {
+    state: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        Self {
+            state: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Returns the next raw 64-bit value (xoshiro256**).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Derives an independent generator for a sub-component; two streams
+    /// derived with different `salt` values are statistically independent,
+    /// and deriving does not advance this generator.
+    pub fn derive(&self, salt: u64) -> Self {
+        let mixed = self.state[0]
+            ^ self.state[3].rotate_left(17)
+            ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        Self::seed_from_u64(mixed)
+    }
+
+    /// Returns a uniform value in `[0, 1)`.
+    pub fn uniform01(&mut self) -> f64 {
+        // 53 high bits → uniform double in [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniform value in `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high`.
+    pub fn uniform(&mut self, low: f64, high: f64) -> f64 {
+        assert!(low < high, "uniform requires low < high");
+        low + self.uniform01() * (high - low)
+    }
+
+    /// Returns a uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below requires a positive bound");
+        // Lemire's multiply-shift method; the bias is negligible for the
+        // bounds used in simulations (≪ 2^64).
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Returns an exponentially distributed value with the given mean.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        // Inverse-CDF; guard against ln(0).
+        let u = 1.0 - self.uniform01();
+        -mean * u.ln()
+    }
+
+    /// Returns a normally distributed value via the Box–Muller transform.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        let u1 = (1.0 - self.uniform01()).max(f64::MIN_POSITIVE);
+        let u2 = self.uniform01();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        mean + std_dev * z
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform01() < p.clamp(0.0, 1.0)
+    }
+}
+
+/// A duration distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DurationDist {
+    /// Always the same duration.
+    Constant {
+        /// The duration, in nanoseconds.
+        nanos: u64,
+    },
+    /// Uniform between two bounds.
+    Uniform {
+        /// Inclusive lower bound, nanoseconds.
+        low_nanos: u64,
+        /// Exclusive upper bound, nanoseconds.
+        high_nanos: u64,
+    },
+    /// Exponential with the given mean (memoryless inter-arrival gaps —
+    /// i.e. a Poisson process).
+    Exponential {
+        /// Mean, nanoseconds.
+        mean_nanos: u64,
+    },
+    /// Normal, truncated at zero.
+    Normal {
+        /// Mean, nanoseconds.
+        mean_nanos: u64,
+        /// Standard deviation, nanoseconds.
+        std_dev_nanos: u64,
+    },
+}
+
+impl DurationDist {
+    /// A constant distribution.
+    pub fn constant(duration: Duration) -> Self {
+        DurationDist::Constant {
+            nanos: duration.as_nanos() as u64,
+        }
+    }
+
+    /// A uniform distribution over `[low, high)`.
+    pub fn uniform(low: Duration, high: Duration) -> Self {
+        DurationDist::Uniform {
+            low_nanos: low.as_nanos() as u64,
+            high_nanos: high.as_nanos() as u64,
+        }
+    }
+
+    /// An exponential distribution with mean `mean`.
+    pub fn exponential(mean: Duration) -> Self {
+        DurationDist::Exponential {
+            mean_nanos: mean.as_nanos() as u64,
+        }
+    }
+
+    /// A zero-truncated normal distribution.
+    pub fn normal(mean: Duration, std_dev: Duration) -> Self {
+        DurationDist::Normal {
+            mean_nanos: mean.as_nanos() as u64,
+            std_dev_nanos: std_dev.as_nanos() as u64,
+        }
+    }
+
+    /// Samples one duration.
+    pub fn sample(&self, rng: &mut SimRng) -> Duration {
+        match *self {
+            DurationDist::Constant { nanos } => Duration::from_nanos(nanos),
+            DurationDist::Uniform {
+                low_nanos,
+                high_nanos,
+            } => {
+                if high_nanos <= low_nanos {
+                    Duration::from_nanos(low_nanos)
+                } else {
+                    Duration::from_nanos(low_nanos + rng.below(high_nanos - low_nanos))
+                }
+            }
+            DurationDist::Exponential { mean_nanos } => {
+                Duration::from_nanos(rng.exponential(mean_nanos as f64).round().max(0.0) as u64)
+            }
+            DurationDist::Normal {
+                mean_nanos,
+                std_dev_nanos,
+            } => Duration::from_nanos(
+                rng.normal(mean_nanos as f64, std_dev_nanos as f64)
+                    .round()
+                    .max(0.0) as u64,
+            ),
+        }
+    }
+
+    /// Returns the distribution mean.
+    pub fn mean(&self) -> Duration {
+        match *self {
+            DurationDist::Constant { nanos } => Duration::from_nanos(nanos),
+            DurationDist::Uniform {
+                low_nanos,
+                high_nanos,
+            } => Duration::from_nanos(low_nanos / 2 + high_nanos / 2),
+            DurationDist::Exponential { mean_nanos } => Duration::from_nanos(mean_nanos),
+            // Truncation bias is ignored; callers use the nominal mean.
+            DurationDist::Normal { mean_nanos, .. } => Duration::from_nanos(mean_nanos),
+        }
+    }
+}
+
+impl fmt::Display for DurationDist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DurationDist::Constant { nanos } => {
+                write!(f, "constant({:?})", Duration::from_nanos(nanos))
+            }
+            DurationDist::Uniform {
+                low_nanos,
+                high_nanos,
+            } => write!(
+                f,
+                "uniform({:?}..{:?})",
+                Duration::from_nanos(low_nanos),
+                Duration::from_nanos(high_nanos)
+            ),
+            DurationDist::Exponential { mean_nanos } => {
+                write!(f, "exponential(mean {:?})", Duration::from_nanos(mean_nanos))
+            }
+            DurationDist::Normal {
+                mean_nanos,
+                std_dev_nanos,
+            } => write!(
+                f,
+                "normal({:?} ± {:?})",
+                Duration::from_nanos(mean_nanos),
+                Duration::from_nanos(std_dev_nanos)
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from_u64(7);
+        let mut b = SimRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.uniform01(), b.uniform01());
+        }
+    }
+
+    #[test]
+    fn derived_streams_differ() {
+        let base = SimRng::seed_from_u64(7);
+        let mut a = base.derive(1);
+        let mut b = base.derive(2);
+        let same = (0..32).filter(|_| a.uniform01() == b.uniform01()).count();
+        assert!(same < 4, "derived streams should diverge");
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = SimRng::seed_from_u64(42);
+        let n = 20_000;
+        let mean = 5.0;
+        let sum: f64 = (0..n).map(|_| rng.exponential(mean)).sum();
+        let sample_mean = sum / n as f64;
+        assert!(
+            (sample_mean - mean).abs() < 0.2,
+            "sample mean {sample_mean} too far from {mean}"
+        );
+    }
+
+    #[test]
+    fn normal_mean_and_spread_are_close() {
+        let mut rng = SimRng::seed_from_u64(42);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn chance_respects_probability() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| rng.chance(0.25)).count();
+        assert!((2_200..=2_800).contains(&hits), "hits {hits}");
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+
+    #[test]
+    fn constant_dist_is_constant() {
+        let dist = DurationDist::constant(Duration::from_millis(3));
+        let mut rng = SimRng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert_eq!(dist.sample(&mut rng), Duration::from_millis(3));
+        }
+        assert_eq!(dist.mean(), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn uniform_dist_stays_in_bounds() {
+        let dist = DurationDist::uniform(Duration::from_millis(1), Duration::from_millis(2));
+        let mut rng = SimRng::seed_from_u64(0);
+        for _ in 0..1000 {
+            let d = dist.sample(&mut rng);
+            assert!(d >= Duration::from_millis(1) && d < Duration::from_millis(2));
+        }
+    }
+
+    #[test]
+    fn degenerate_uniform_returns_low() {
+        let dist = DurationDist::uniform(Duration::from_millis(2), Duration::from_millis(2));
+        let mut rng = SimRng::seed_from_u64(0);
+        assert_eq!(dist.sample(&mut rng), Duration::from_millis(2));
+    }
+
+    #[test]
+    fn normal_dist_truncates_at_zero() {
+        let dist = DurationDist::normal(Duration::from_nanos(10), Duration::from_secs(1));
+        let mut rng = SimRng::seed_from_u64(3);
+        for _ in 0..100 {
+            // Must not panic or wrap; zero is fine.
+            let _ = dist.sample(&mut rng);
+        }
+    }
+
+    #[test]
+    fn displays() {
+        assert!(DurationDist::constant(Duration::from_millis(1))
+            .to_string()
+            .starts_with("constant"));
+        assert!(DurationDist::exponential(Duration::from_millis(1))
+            .to_string()
+            .contains("exponential"));
+    }
+}

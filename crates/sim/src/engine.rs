@@ -1,0 +1,275 @@
+//! A minimal discrete-event simulation engine.
+//!
+//! The engine owns simulated time and a priority queue of scheduled events;
+//! the caller owns the model state `S`. Events are closures over `&mut S`
+//! and may schedule further events. Ties in time fire in scheduling order,
+//! making runs fully deterministic.
+
+use jmst_api::time::Timestamp;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Duration;
+
+type EventFn<S> = Box<dyn FnOnce(&mut S, &mut Sim<S>)>;
+
+struct Scheduled<S> {
+    at: Timestamp,
+    seq: u64,
+    event: EventFn<S>,
+}
+
+impl<S> PartialEq for Scheduled<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<S> Eq for Scheduled<S> {}
+
+impl<S> PartialOrd for Scheduled<S> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<S> Ord for Scheduled<S> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A discrete-event simulation over model state `S`.
+///
+/// # Examples
+///
+/// ```
+/// use jmst_sim::engine::Sim;
+/// use jmst_api::time::Timestamp;
+/// use std::time::Duration;
+///
+/// let mut sim: Sim<Vec<u64>> = Sim::new();
+/// sim.schedule_in(Duration::from_millis(5), |log: &mut Vec<u64>, sim| {
+///     log.push(sim.now().as_millis());
+///     sim.schedule_in(Duration::from_millis(5), |log: &mut Vec<u64>, sim| {
+///         log.push(sim.now().as_millis());
+///     });
+/// });
+/// let mut log = Vec::new();
+/// sim.run(&mut log);
+/// assert_eq!(log, [5, 10]);
+/// ```
+pub struct Sim<S> {
+    now: Timestamp,
+    queue: BinaryHeap<Reverse<Scheduled<S>>>,
+    seq: u64,
+    horizon: Option<Timestamp>,
+    fired: u64,
+}
+
+impl<S> std::fmt::Debug for Sim<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sim")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("fired", &self.fired)
+            .field("horizon", &self.horizon)
+            .finish()
+    }
+}
+
+impl<S> Default for Sim<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S> Sim<S> {
+    /// Creates an empty simulation at time zero.
+    pub fn new() -> Self {
+        Self {
+            now: Timestamp::ZERO,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            horizon: None,
+            fired: 0,
+        }
+    }
+
+    /// Sets a time horizon: events scheduled after `horizon` are discarded
+    /// when their turn comes, and [`Sim::run`] stops once simulated time
+    /// passes it.
+    pub fn with_horizon(mut self, horizon: Timestamp) -> Self {
+        self.horizon = Some(horizon);
+        self
+    }
+
+    /// Returns current simulated time.
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// Returns the number of events fired so far.
+    pub fn events_fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Returns the number of events waiting in the queue.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the simulated past.
+    pub fn schedule_at<F>(&mut self, at: Timestamp, event: F)
+    where
+        F: FnOnce(&mut S, &mut Sim<S>) + 'static,
+    {
+        assert!(at >= self.now, "cannot schedule into the past");
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled {
+            at,
+            seq,
+            event: Box::new(event),
+        }));
+    }
+
+    /// Schedules `event` to fire `delay` after the current time.
+    pub fn schedule_in<F>(&mut self, delay: Duration, event: F)
+    where
+        F: FnOnce(&mut S, &mut Sim<S>) + 'static,
+    {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Runs events in time order until the queue is empty or the horizon
+    /// is reached, mutating `state`. Returns the time of the last event
+    /// fired.
+    pub fn run(&mut self, state: &mut S) -> Timestamp {
+        while let Some(Reverse(scheduled)) = self.queue.pop() {
+            if let Some(horizon) = self.horizon {
+                if scheduled.at > horizon {
+                    // Everything later is beyond the horizon too.
+                    self.queue.clear();
+                    break;
+                }
+            }
+            self.now = scheduled.at;
+            self.fired += 1;
+            (scheduled.event)(state, self);
+        }
+        self.now
+    }
+
+    /// Runs at most `limit` events; returns `true` if the queue still has
+    /// events left (useful for incremental draining in tests).
+    pub fn run_steps(&mut self, state: &mut S, limit: u64) -> bool {
+        for _ in 0..limit {
+            match self.queue.pop() {
+                Some(Reverse(scheduled)) => {
+                    if let Some(horizon) = self.horizon {
+                        if scheduled.at > horizon {
+                            self.queue.clear();
+                            return false;
+                        }
+                    }
+                    self.now = scheduled.at;
+                    self.fired += 1;
+                    (scheduled.event)(state, self);
+                }
+                None => return false,
+            }
+        }
+        !self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim: Sim<Vec<u64>> = Sim::new();
+        sim.schedule_at(Timestamp::from_millis(30), |log: &mut Vec<u64>, _| log.push(30));
+        sim.schedule_at(Timestamp::from_millis(10), |log: &mut Vec<u64>, _| log.push(10));
+        sim.schedule_at(Timestamp::from_millis(20), |log: &mut Vec<u64>, _| log.push(20));
+        let mut log = Vec::new();
+        let end = sim.run(&mut log);
+        assert_eq!(log, [10, 20, 30]);
+        assert_eq!(end, Timestamp::from_millis(30));
+        assert_eq!(sim.events_fired(), 3);
+    }
+
+    #[test]
+    fn ties_fire_in_scheduling_order() {
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        for i in 0..10u32 {
+            sim.schedule_at(Timestamp::from_millis(5), move |log: &mut Vec<u32>, _| {
+                log.push(i)
+            });
+        }
+        let mut log = Vec::new();
+        sim.run(&mut log);
+        assert_eq!(log, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        // A self-perpetuating ticker bounded by the horizon.
+        fn tick(count: &mut u32, sim: &mut Sim<u32>) {
+            *count += 1;
+            sim.schedule_in(Duration::from_millis(10), tick);
+        }
+        let mut sim = Sim::new().with_horizon(Timestamp::from_millis(100));
+        sim.schedule_at(Timestamp::from_millis(10), tick);
+        let mut count = 0;
+        sim.run(&mut count);
+        // Fires at 10, 20, ..., 100 → 10 events.
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut sim: Sim<()> = Sim::new();
+        sim.schedule_at(Timestamp::from_millis(10), |_, sim| {
+            sim.schedule_at(Timestamp::from_millis(5), |_, _| {});
+        });
+        sim.run(&mut ());
+    }
+
+    #[test]
+    fn run_steps_limits_execution() {
+        let mut sim: Sim<u32> = Sim::new();
+        for i in 0..5u64 {
+            sim.schedule_at(Timestamp::from_millis(i), |count: &mut u32, _| *count += 1);
+        }
+        let mut count = 0;
+        assert!(sim.run_steps(&mut count, 3));
+        assert_eq!(count, 3);
+        assert_eq!(sim.pending(), 2);
+        assert!(!sim.run_steps(&mut count, 10));
+        assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn horizon_discards_later_events() {
+        let mut sim: Sim<u32> = Sim::new().with_horizon(Timestamp::from_millis(15));
+        sim.schedule_at(Timestamp::from_millis(10), |count: &mut u32, _| *count += 1);
+        sim.schedule_at(Timestamp::from_millis(20), |count: &mut u32, _| *count += 1);
+        let mut count = 0;
+        sim.run(&mut count);
+        assert_eq!(count, 1);
+        assert_eq!(sim.pending(), 0);
+    }
+
+    #[test]
+    fn debug_output_is_nonempty() {
+        let sim: Sim<()> = Sim::new();
+        assert!(!format!("{sim:?}").is_empty());
+    }
+}

@@ -1,0 +1,457 @@
+//! A discrete-event queueing simulation of a publish/subscribe broker,
+//! used to regenerate the throughput-versus-demand experiments of the
+//! paper's Figures 2 and 3.
+//!
+//! The simulation is intentionally at the level the paper measures:
+//! publishers attempt sends according to an [`ArrivalProcess`], the broker
+//! is a single server with a [`ServiceModel`] (which determines flow
+//! control and overload behaviour), and every processed message is
+//! fanned out to all subscribers after a delivery latency. The outcome is
+//! a list of send and delivery records that the harness converts into the
+//! same execution-trace format real providers produce.
+
+use crate::arrival::{ArrivalGen, ArrivalProcess};
+use crate::dist::SimRng;
+use crate::engine::Sim;
+use crate::service::ServiceModel;
+use jmst_api::time::Timestamp;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// Configuration of one publisher in a scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PublisherSpec {
+    /// When the publisher attempts sends.
+    pub arrivals: ArrivalProcess,
+    /// Message body size in bytes.
+    pub body_bytes: usize,
+}
+
+impl PublisherSpec {
+    /// A steady-rate publisher of `rate_per_sec` messages of `body_bytes`
+    /// bytes.
+    pub fn steady(rate_per_sec: f64, body_bytes: usize) -> Self {
+        Self {
+            arrivals: ArrivalProcess::steady(rate_per_sec),
+            body_bytes,
+        }
+    }
+
+    /// The demand this publisher offers, in body bytes per second — the
+    /// x-axis of the paper's Figures 2 and 3.
+    pub fn demand_bytes_per_sec(&self) -> f64 {
+        self.arrivals.mean_rate_per_sec() * self.body_bytes as f64
+    }
+}
+
+/// A pub/sub load scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PubSubScenario {
+    /// The publishers.
+    pub publishers: Vec<PublisherSpec>,
+    /// Number of subscribers every message is fanned out to.
+    pub subscribers: usize,
+    /// The broker's service model.
+    pub model: ServiceModel,
+    /// How long publishers produce (the paper's warm-up + run periods).
+    pub production_period: Duration,
+    /// Extra simulated time allowed for the broker to drain its backlog
+    /// after production stops (the paper's warm-down period).
+    pub drain_limit: Duration,
+    /// Seed for all randomness in the scenario.
+    pub seed: u64,
+}
+
+/// One accepted send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SendRecord {
+    /// Index of the publisher.
+    pub publisher: usize,
+    /// Per-publisher sequence number.
+    pub sequence: u64,
+    /// Body size in bytes.
+    pub body_bytes: usize,
+    /// When the publisher first attempted the send.
+    pub attempted_at: Timestamp,
+    /// When the send call returned (== attempt unless the sender was
+    /// blocked by flow control).
+    pub accepted_at: Timestamp,
+}
+
+/// One delivery to one subscriber.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeliveryRecord {
+    /// Index of the subscriber.
+    pub subscriber: usize,
+    /// Index of the publisher that sent the message.
+    pub publisher: usize,
+    /// Per-publisher sequence number.
+    pub sequence: u64,
+    /// Body size in bytes.
+    pub body_bytes: usize,
+    /// When the message was sent (accepted).
+    pub sent_at: Timestamp,
+    /// When the message reached the subscriber.
+    pub delivered_at: Timestamp,
+}
+
+/// The result of running a scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PubSubOutcome {
+    /// All accepted sends, in acceptance order.
+    pub sends: Vec<SendRecord>,
+    /// All deliveries, in processing order.
+    pub deliveries: Vec<DeliveryRecord>,
+    /// Sends still blocked or queued when the drain limit was hit.
+    pub unfinished: u64,
+    /// Simulated time at which the run ended.
+    pub ended_at: Timestamp,
+}
+
+impl PubSubOutcome {
+    /// Publisher throughput in messages per second over `[start, end)`.
+    pub fn publisher_rate(&self, start: Timestamp, end: Timestamp) -> f64 {
+        let count = self
+            .sends
+            .iter()
+            .filter(|s| s.accepted_at >= start && s.accepted_at < end)
+            .count();
+        count as f64 / (end.saturating_since(start)).as_secs_f64()
+    }
+
+    /// Per-subscriber delivery throughput in messages per second over
+    /// `[start, end)` — the paper's "Subscriber Msgs" series.
+    pub fn subscriber_rate(&self, start: Timestamp, end: Timestamp, subscribers: usize) -> f64 {
+        let count = self
+            .deliveries
+            .iter()
+            .filter(|d| d.delivered_at >= start && d.delivered_at < end)
+            .count();
+        count as f64
+            / subscribers.max(1) as f64
+            / (end.saturating_since(start)).as_secs_f64()
+    }
+
+    /// Mean send→delivery delay over deliveries in `[start, end)`, or
+    /// `None` if there were none.
+    pub fn mean_delay(&self, start: Timestamp, end: Timestamp) -> Option<Duration> {
+        let delays: Vec<Duration> = self
+            .deliveries
+            .iter()
+            .filter(|d| d.delivered_at >= start && d.delivered_at < end)
+            .map(|d| d.delivered_at.saturating_since(d.sent_at))
+            .collect();
+        if delays.is_empty() {
+            return None;
+        }
+        let total: Duration = delays.iter().sum();
+        Some(total / delays.len() as u32)
+    }
+}
+
+struct Pending {
+    publisher: usize,
+    sequence: u64,
+    bytes: usize,
+    attempted_at: Timestamp,
+    accepted_at: Timestamp,
+}
+
+struct State {
+    specs: Vec<PublisherSpec>,
+    generators: Vec<ArrivalGen>,
+    sequences: Vec<u64>,
+    model: ServiceModel,
+    rng: SimRng,
+    queue: VecDeque<Pending>,
+    busy: bool,
+    blocked: VecDeque<Pending>,
+    stop_at: Timestamp,
+    subscribers: usize,
+    sends: Vec<SendRecord>,
+    deliveries: Vec<DeliveryRecord>,
+}
+
+impl PubSubScenario {
+    /// Total offered demand in body bytes per second (the x-axis of the
+    /// figures).
+    pub fn demand_bytes_per_sec(&self) -> f64 {
+        self.publishers
+            .iter()
+            .map(PublisherSpec::demand_bytes_per_sec)
+            .sum()
+    }
+
+    /// Runs the scenario to completion.
+    ///
+    /// Deterministic: the same scenario (including seed) always produces
+    /// the same outcome.
+    pub fn run(&self) -> PubSubOutcome {
+        let base_rng = SimRng::seed_from_u64(self.seed);
+        let stop_at = Timestamp::ZERO + self.production_period;
+        let horizon = stop_at + self.drain_limit;
+        let mut state = State {
+            generators: self
+                .publishers
+                .iter()
+                .enumerate()
+                .map(|(i, p)| p.arrivals.generator(base_rng.derive(i as u64 + 1)))
+                .collect(),
+            specs: self.publishers.clone(),
+            sequences: vec![0; self.publishers.len()],
+            model: self.model.clone(),
+            rng: base_rng.derive(0),
+            queue: VecDeque::new(),
+            busy: false,
+            blocked: VecDeque::new(),
+            stop_at,
+            subscribers: self.subscribers,
+            sends: Vec::new(),
+            deliveries: Vec::new(),
+        };
+        let mut sim: Sim<State> = Sim::new().with_horizon(horizon);
+        for publisher in 0..self.publishers.len() {
+            let first_gap = state.generators[publisher].next_gap();
+            schedule_attempt(&mut sim, Timestamp::ZERO + first_gap, publisher);
+        }
+        let ended_at = sim.run(&mut state);
+        PubSubOutcome {
+            unfinished: (state.queue.len() + state.blocked.len()) as u64,
+            sends: state.sends,
+            deliveries: state.deliveries,
+            ended_at,
+        }
+    }
+}
+
+fn schedule_attempt(sim: &mut Sim<State>, at: Timestamp, publisher: usize) {
+    sim.schedule_at(at, move |state, sim| attempt(state, sim, publisher));
+}
+
+fn attempt(state: &mut State, sim: &mut Sim<State>, publisher: usize) {
+    let now = sim.now();
+    if now >= state.stop_at {
+        return; // production period over
+    }
+    let sequence = state.sequences[publisher];
+    state.sequences[publisher] += 1;
+    let pending = Pending {
+        publisher,
+        sequence,
+        bytes: state.specs[publisher].body_bytes,
+        attempted_at: now,
+        accepted_at: now,
+    };
+    match state.model.queue_capacity() {
+        Some(capacity) if state.queue.len() >= capacity => {
+            // Flow control: the send call blocks until a slot frees.
+            state.blocked.push_back(pending);
+        }
+        _ => accept(state, sim, pending),
+    }
+}
+
+fn accept(state: &mut State, sim: &mut Sim<State>, mut pending: Pending) {
+    let now = sim.now();
+    pending.accepted_at = now;
+    state.sends.push(SendRecord {
+        publisher: pending.publisher,
+        sequence: pending.sequence,
+        body_bytes: pending.bytes,
+        attempted_at: pending.attempted_at,
+        accepted_at: now,
+    });
+    let publisher = pending.publisher;
+    state.queue.push_back(pending);
+    try_start(state, sim);
+    // The publisher's next attempt is paced from the moment send returned.
+    let gap = state.generators[publisher].next_gap();
+    schedule_attempt(sim, now + gap, publisher);
+}
+
+fn try_start(state: &mut State, sim: &mut Sim<State>) {
+    if state.busy {
+        return;
+    }
+    let Some(head) = state.queue.front() else {
+        return;
+    };
+    let backlog = state.queue.len() - 1;
+    let service = state.model.service_time(backlog, head.bytes);
+    state.busy = true;
+    sim.schedule_in(service, complete_service);
+}
+
+fn complete_service(state: &mut State, sim: &mut Sim<State>) {
+    let message = state
+        .queue
+        .pop_front()
+        .expect("service completion with empty queue");
+    let now = sim.now();
+    for subscriber in 0..state.subscribers {
+        let latency = state.model.delivery_latency(&mut state.rng);
+        state.deliveries.push(DeliveryRecord {
+            subscriber,
+            publisher: message.publisher,
+            sequence: message.sequence,
+            body_bytes: message.bytes,
+            sent_at: message.accepted_at,
+            delivered_at: now + latency,
+        });
+    }
+    state.busy = false;
+    // A slot freed: admit the longest-blocked sender, if any.
+    if let Some(blocked) = state.blocked.pop_front() {
+        accept(state, sim, blocked);
+    }
+    try_start(state, sim);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario(model: ServiceModel, rate: f64) -> PubSubScenario {
+        PubSubScenario {
+            publishers: vec![PublisherSpec::steady(rate, 1024)],
+            subscribers: 1,
+            model,
+            production_period: Duration::from_secs(20),
+            drain_limit: Duration::from_secs(100),
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn underloaded_plateau_delivers_everything_at_offered_rate() {
+        let outcome = scenario(ServiceModel::plateau(100.0, 10), 20.0).run();
+        assert_eq!(outcome.unfinished, 0);
+        assert_eq!(outcome.sends.len(), outcome.deliveries.len());
+        let rate = outcome.publisher_rate(Timestamp::ZERO, Timestamp::from_secs(20));
+        assert!((rate - 20.0).abs() < 1.0, "rate {rate}");
+    }
+
+    #[test]
+    fn overloaded_plateau_throttles_to_capacity() {
+        let outcome = scenario(ServiceModel::plateau(50.0, 10), 500.0).run();
+        let window_start = Timestamp::from_secs(2);
+        let window_end = Timestamp::from_secs(18);
+        let publisher = outcome.publisher_rate(window_start, window_end);
+        let subscriber = outcome.subscriber_rate(window_start, window_end, 1);
+        assert!(
+            (publisher - 50.0).abs() < 5.0,
+            "publisher rate {publisher} should plateau near capacity"
+        );
+        assert!(
+            (subscriber - 50.0).abs() < 5.0,
+            "subscriber rate {subscriber} should plateau near capacity"
+        );
+    }
+
+    #[test]
+    fn thrashing_degrades_under_overload() {
+        let model = ServiceModel::thrashing(160.0, 100);
+        let light = scenario(model.clone(), 80.0).run();
+        let heavy = scenario(model, 1000.0).run();
+        let window_start = Timestamp::from_secs(2);
+        let window_end = Timestamp::from_secs(18);
+        let light_rate = light.subscriber_rate(window_start, window_end, 1);
+        let heavy_rate = heavy.subscriber_rate(window_start, window_end, 1);
+        // Light load: near the offered 80/s. Heavy: *below* the light rate,
+        // the collapse of Figure 3.
+        assert!((light_rate - 80.0).abs() < 8.0, "light {light_rate}");
+        assert!(
+            heavy_rate < light_rate,
+            "overload should reduce throughput ({heavy_rate} vs {light_rate})"
+        );
+        // Publishers are never throttled by the thrashing model.
+        let heavy_pub = heavy.publisher_rate(window_start, window_end);
+        assert!((heavy_pub - 1000.0).abs() < 50.0, "publisher {heavy_pub}");
+    }
+
+    #[test]
+    fn fanout_multiplies_deliveries() {
+        let mut s = scenario(ServiceModel::plateau(100.0, 10), 10.0);
+        s.subscribers = 5;
+        let outcome = s.run();
+        assert_eq!(outcome.deliveries.len(), outcome.sends.len() * 5);
+    }
+
+    #[test]
+    fn outcome_is_deterministic() {
+        let s = scenario(ServiceModel::thrashing(100.0, 20), 300.0);
+        assert_eq!(s.run(), s.run());
+    }
+
+    #[test]
+    fn per_publisher_sequences_are_dense_and_ordered() {
+        let mut s = scenario(ServiceModel::plateau(100.0, 5), 40.0);
+        s.publishers.push(PublisherSpec::steady(30.0, 256));
+        let outcome = s.run();
+        for publisher in 0..2 {
+            let seqs: Vec<u64> = outcome
+                .sends
+                .iter()
+                .filter(|r| r.publisher == publisher)
+                .map(|r| r.sequence)
+                .collect();
+            let expected: Vec<u64> = (0..seqs.len() as u64).collect();
+            assert_eq!(seqs, expected, "publisher {publisher}");
+        }
+    }
+
+    #[test]
+    fn deliveries_preserve_per_publisher_order() {
+        let s = scenario(ServiceModel::thrashing(60.0, 10), 200.0);
+        let outcome = s.run();
+        let mut last_seq: Option<u64> = None;
+        for d in outcome.deliveries.iter().filter(|d| d.publisher == 0) {
+            if let Some(previous) = last_seq {
+                assert!(d.sequence > previous, "FIFO violated");
+            }
+            last_seq = Some(d.sequence);
+        }
+    }
+
+    #[test]
+    fn blocked_sends_have_later_acceptance() {
+        let outcome = scenario(ServiceModel::plateau(10.0, 2), 100.0).run();
+        assert!(
+            outcome
+                .sends
+                .iter()
+                .any(|s| s.accepted_at > s.attempted_at),
+            "overload with a tiny queue must block some sends"
+        );
+    }
+
+    #[test]
+    fn demand_accounts_all_publishers() {
+        let s = PubSubScenario {
+            publishers: vec![
+                PublisherSpec::steady(10.0, 100),
+                PublisherSpec::steady(5.0, 200),
+            ],
+            subscribers: 1,
+            model: ServiceModel::plateau(100.0, 10),
+            production_period: Duration::from_secs(1),
+            drain_limit: Duration::from_secs(1),
+            seed: 0,
+        };
+        assert!((s.demand_bytes_per_sec() - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_delay_reflects_queueing() {
+        let light = scenario(ServiceModel::plateau(100.0, 50), 10.0).run();
+        let heavy = scenario(ServiceModel::plateau(100.0, 50), 400.0).run();
+        let end = Timestamp::from_secs(20);
+        let light_delay = light.mean_delay(Timestamp::ZERO, end).unwrap();
+        let heavy_delay = heavy.mean_delay(Timestamp::ZERO, end).unwrap();
+        assert!(
+            heavy_delay > light_delay,
+            "queueing should add delay ({heavy_delay:?} vs {light_delay:?})"
+        );
+    }
+}

@@ -1,0 +1,257 @@
+//! Queueing service models that stand in for the load behaviour of the
+//! paper's anonymous commercial JMS providers.
+//!
+//! The paper's Figures 2 and 3 show two qualitatively different overload
+//! behaviours:
+//!
+//! * **Provider I** (Figure 2): publisher and subscriber throughput rise
+//!   with demand and then *plateau* — the provider applies flow control,
+//!   so once its capacity is reached, `send` blocks and producers are
+//!   throttled. Modelled by [`ServiceModel::Plateau`]: a fixed-rate server
+//!   with a bounded queue and blocking admission.
+//! * **Provider II** (Figure 3): subscriber throughput rises to a peak and
+//!   then *falls* as the system is over-stressed, while producers keep
+//!   sending. Modelled by [`ServiceModel::Thrashing`]: an unbounded queue
+//!   whose per-message service time grows with the backlog (buffer
+//!   management, paging and GC-like overheads).
+
+use crate::dist::{DurationDist, SimRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::Duration;
+
+/// A broker service model: how long one message takes to process, how much
+/// backlog the broker will buffer, and the broker→consumer latency.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ServiceModel {
+    /// Fixed-rate server with a bounded queue and blocking send
+    /// (Provider I of Figure 2).
+    Plateau {
+        /// Messages the server can process per second.
+        capacity_msgs_per_sec: f64,
+        /// Additional processing cost per body byte, nanoseconds.
+        per_byte_nanos: u64,
+        /// Waiting-room size; a full queue blocks senders.
+        queue_capacity: usize,
+        /// Broker→consumer delivery latency.
+        delivery_latency: DurationDist,
+    },
+    /// Unbounded queue whose service time degrades with backlog
+    /// (Provider II of Figure 3).
+    Thrashing {
+        /// Nominal messages per second when unloaded.
+        base_capacity_msgs_per_sec: f64,
+        /// Additional processing cost per body byte, nanoseconds.
+        per_byte_nanos: u64,
+        /// Backlog at which degradation starts.
+        degradation_threshold: usize,
+        /// Strength of degradation: service time is multiplied by
+        /// `1 + factor * overload` where `overload` is the backlog excess
+        /// over the threshold, normalised by the threshold.
+        degradation_factor: f64,
+        /// Broker→consumer delivery latency.
+        delivery_latency: DurationDist,
+    },
+}
+
+impl ServiceModel {
+    /// A Provider-I-style plateau model with sensible defaults: 1 ms
+    /// delivery latency and a queue of `queue_capacity` messages.
+    pub fn plateau(capacity_msgs_per_sec: f64, queue_capacity: usize) -> Self {
+        ServiceModel::Plateau {
+            capacity_msgs_per_sec,
+            per_byte_nanos: 0,
+            queue_capacity,
+            delivery_latency: DurationDist::constant(Duration::from_millis(1)),
+        }
+    }
+
+    /// A Provider-II-style thrashing model with sensible defaults.
+    pub fn thrashing(base_capacity_msgs_per_sec: f64, degradation_threshold: usize) -> Self {
+        ServiceModel::Thrashing {
+            base_capacity_msgs_per_sec,
+            per_byte_nanos: 0,
+            degradation_threshold,
+            degradation_factor: 1.0,
+            delivery_latency: DurationDist::constant(Duration::from_millis(1)),
+        }
+    }
+
+    /// The calibrated stand-in for the paper's **Provider I** (Figure 2):
+    /// a ~45 msg/s server with flow control, so throughput rises with
+    /// demand and then plateaus at capacity for both publishers and
+    /// subscribers.
+    pub fn provider_one() -> Self {
+        ServiceModel::plateau(45.0, 32)
+    }
+
+    /// The calibrated stand-in for the paper's **Provider II** (Figure 3):
+    /// a ~160 msg/s server with no flow control whose service time
+    /// degrades as backlog builds, so publishers keep accelerating while
+    /// subscriber throughput peaks and then falls under overload.
+    pub fn provider_two() -> Self {
+        ServiceModel::Thrashing {
+            base_capacity_msgs_per_sec: 160.0,
+            per_byte_nanos: 0,
+            degradation_threshold: 3_000,
+            degradation_factor: 2.0,
+            delivery_latency: DurationDist::constant(Duration::from_millis(1)),
+        }
+    }
+
+    /// Returns the time to process one message of `body_bytes` bytes given
+    /// `backlog` messages waiting behind it.
+    pub fn service_time(&self, backlog: usize, body_bytes: usize) -> Duration {
+        match *self {
+            ServiceModel::Plateau {
+                capacity_msgs_per_sec,
+                per_byte_nanos,
+                ..
+            } => {
+                let base_nanos = 1e9 / capacity_msgs_per_sec;
+                Duration::from_nanos(
+                    (base_nanos + (per_byte_nanos * body_bytes as u64) as f64).round() as u64,
+                )
+            }
+            ServiceModel::Thrashing {
+                base_capacity_msgs_per_sec,
+                per_byte_nanos,
+                degradation_threshold,
+                degradation_factor,
+                ..
+            } => {
+                let base_nanos =
+                    1e9 / base_capacity_msgs_per_sec + (per_byte_nanos * body_bytes as u64) as f64;
+                let overload = backlog.saturating_sub(degradation_threshold) as f64
+                    / degradation_threshold.max(1) as f64;
+                let multiplier = 1.0 + degradation_factor * overload;
+                Duration::from_nanos((base_nanos * multiplier).round() as u64)
+            }
+        }
+    }
+
+    /// Returns the waiting-room capacity, or `None` if unbounded.
+    pub fn queue_capacity(&self) -> Option<usize> {
+        match *self {
+            ServiceModel::Plateau { queue_capacity, .. } => Some(queue_capacity),
+            ServiceModel::Thrashing { .. } => None,
+        }
+    }
+
+    /// Samples the broker→consumer delivery latency.
+    pub fn delivery_latency(&self, rng: &mut SimRng) -> Duration {
+        match self {
+            ServiceModel::Plateau {
+                delivery_latency, ..
+            }
+            | ServiceModel::Thrashing {
+                delivery_latency, ..
+            } => delivery_latency.sample(rng),
+        }
+    }
+
+    /// Returns the nominal unloaded capacity in messages per second.
+    pub fn nominal_capacity(&self) -> f64 {
+        match *self {
+            ServiceModel::Plateau {
+                capacity_msgs_per_sec,
+                ..
+            } => capacity_msgs_per_sec,
+            ServiceModel::Thrashing {
+                base_capacity_msgs_per_sec,
+                ..
+            } => base_capacity_msgs_per_sec,
+        }
+    }
+}
+
+impl fmt::Display for ServiceModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ServiceModel::Plateau {
+                capacity_msgs_per_sec,
+                queue_capacity,
+                ..
+            } => write!(
+                f,
+                "plateau({capacity_msgs_per_sec} msg/s, queue {queue_capacity})"
+            ),
+            ServiceModel::Thrashing {
+                base_capacity_msgs_per_sec,
+                degradation_threshold,
+                ..
+            } => write!(
+                f,
+                "thrashing({base_capacity_msgs_per_sec} msg/s, threshold {degradation_threshold})"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plateau_service_time_is_constant_in_backlog() {
+        let model = ServiceModel::plateau(100.0, 10);
+        let t0 = model.service_time(0, 0);
+        let t100 = model.service_time(100, 0);
+        assert_eq!(t0, t100);
+        assert_eq!(t0, Duration::from_millis(10));
+    }
+
+    #[test]
+    fn plateau_per_byte_cost() {
+        let model = ServiceModel::Plateau {
+            capacity_msgs_per_sec: 1000.0,
+            per_byte_nanos: 10,
+            queue_capacity: 1,
+            delivery_latency: DurationDist::constant(Duration::ZERO),
+        };
+        // 1 ms base + 1024 * 10 ns
+        assert_eq!(
+            model.service_time(0, 1024),
+            Duration::from_nanos(1_000_000 + 10_240)
+        );
+    }
+
+    #[test]
+    fn thrashing_degrades_with_backlog() {
+        let model = ServiceModel::thrashing(100.0, 50);
+        let unloaded = model.service_time(0, 0);
+        let at_threshold = model.service_time(50, 0);
+        let overloaded = model.service_time(150, 0);
+        assert_eq!(unloaded, Duration::from_millis(10));
+        assert_eq!(at_threshold, unloaded);
+        // overload = (150-50)/50 = 2 → multiplier 3.
+        assert_eq!(overloaded, Duration::from_millis(30));
+    }
+
+    #[test]
+    fn queue_capacities() {
+        assert_eq!(ServiceModel::plateau(10.0, 7).queue_capacity(), Some(7));
+        assert_eq!(ServiceModel::thrashing(10.0, 7).queue_capacity(), None);
+    }
+
+    #[test]
+    fn nominal_capacity() {
+        assert_eq!(ServiceModel::plateau(45.0, 10).nominal_capacity(), 45.0);
+        assert_eq!(ServiceModel::thrashing(160.0, 10).nominal_capacity(), 160.0);
+    }
+
+    #[test]
+    fn latency_sampling_uses_configured_distribution() {
+        let model = ServiceModel::plateau(10.0, 1);
+        let mut rng = SimRng::seed_from_u64(0);
+        assert_eq!(model.delivery_latency(&mut rng), Duration::from_millis(1));
+    }
+
+    #[test]
+    fn displays() {
+        assert!(ServiceModel::plateau(45.0, 10).to_string().contains("plateau"));
+        assert!(ServiceModel::thrashing(160.0, 10)
+            .to_string()
+            .contains("thrashing"));
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based tests of the simulation substrate: conservation laws,
+//! capacity bounds, and determinism of the queueing models; statistical
+//! sanity of the distributions.
+
+use jmst_api::time::Timestamp;
+use jmst_sim::{
+    ArrivalProcess, DurationDist, PubSubScenario, PublisherSpec, ServiceModel, Sim, SimRng,
+};
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn arb_model() -> impl Strategy<Value = ServiceModel> {
+    prop_oneof![
+        (10.0f64..500.0, 1usize..64)
+            .prop_map(|(capacity, queue)| ServiceModel::plateau(capacity, queue)),
+        (10.0f64..500.0, 10usize..500)
+            .prop_map(|(capacity, threshold)| ServiceModel::thrashing(capacity, threshold)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn conservation_and_bounds(
+        model in arb_model(),
+        rate in 1.0f64..600.0,
+        subscribers in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let scenario = PubSubScenario {
+            publishers: vec![PublisherSpec::steady(rate, 256)],
+            subscribers,
+            model,
+            production_period: Duration::from_secs(10),
+            drain_limit: Duration::from_secs(120),
+            seed,
+        };
+        let outcome = scenario.run();
+        // Conservation: deliveries never exceed sends × fan-out; the
+        // shortfall is exactly the unfinished backlog.
+        prop_assert!(outcome.deliveries.len() <= outcome.sends.len() * subscribers);
+        prop_assert_eq!(
+            outcome.deliveries.len() / subscribers + outcome.unfinished as usize,
+            outcome.sends.len()
+        );
+        // Sends are accepted no earlier than attempted.
+        for send in &outcome.sends {
+            prop_assert!(send.accepted_at >= send.attempted_at);
+        }
+        // Deliveries never precede their sends.
+        for delivery in &outcome.deliveries {
+            prop_assert!(delivery.delivered_at >= delivery.sent_at);
+        }
+    }
+
+    #[test]
+    fn plateau_never_exceeds_capacity(
+        capacity in 20.0f64..200.0,
+        demand_factor in 1.0f64..10.0,
+        seed in any::<u64>(),
+    ) {
+        let scenario = PubSubScenario {
+            publishers: vec![PublisherSpec::steady(capacity * demand_factor, 128)],
+            subscribers: 1,
+            model: ServiceModel::plateau(capacity, 16),
+            production_period: Duration::from_secs(30),
+            drain_limit: Duration::from_secs(300),
+            seed,
+        };
+        let outcome = scenario.run();
+        let rate = outcome.subscriber_rate(
+            Timestamp::from_secs(5),
+            Timestamp::from_secs(30),
+            1,
+        );
+        prop_assert!(
+            rate <= capacity * 1.05,
+            "delivered {rate} above capacity {capacity}"
+        );
+        // Under heavy overload the plateau is *reached* (within 10%).
+        if demand_factor >= 2.0 {
+            prop_assert!(rate >= capacity * 0.9, "rate {rate} vs capacity {capacity}");
+        }
+    }
+
+    #[test]
+    fn scenarios_are_deterministic(model in arb_model(), seed in any::<u64>()) {
+        let scenario = PubSubScenario {
+            publishers: vec![PublisherSpec {
+                arrivals: ArrivalProcess::poisson(90.0),
+                body_bytes: 64,
+            }],
+            subscribers: 2,
+            model,
+            production_period: Duration::from_secs(5),
+            drain_limit: Duration::from_secs(60),
+            seed,
+        };
+        prop_assert_eq!(scenario.run(), scenario.run());
+    }
+
+    #[test]
+    fn engine_fires_everything_exactly_once(times in prop::collection::vec(0u64..10_000, 1..200)) {
+        let mut sim: Sim<Vec<u64>> = Sim::new();
+        for &t in &times {
+            sim.schedule_at(Timestamp::from_millis(t), move |log: &mut Vec<u64>, _| {
+                log.push(t)
+            });
+        }
+        let mut log = Vec::new();
+        sim.run(&mut log);
+        prop_assert_eq!(log.len(), times.len());
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(log, sorted);
+    }
+
+    #[test]
+    fn duration_distributions_sample_nonnegative_and_near_mean(
+        mean_ms in 1u64..1_000,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        for dist in [
+            DurationDist::constant(Duration::from_millis(mean_ms)),
+            DurationDist::exponential(Duration::from_millis(mean_ms)),
+            DurationDist::normal(
+                Duration::from_millis(mean_ms),
+                Duration::from_millis(mean_ms / 4 + 1),
+            ),
+            DurationDist::uniform(
+                Duration::from_millis(mean_ms / 2),
+                Duration::from_millis(mean_ms * 3 / 2 + 1),
+            ),
+        ] {
+            let n = 2_000u32;
+            let total: Duration = (0..n).map(|_| dist.sample(&mut rng)).sum();
+            let sample_mean_ms = total.as_secs_f64() * 1e3 / f64::from(n);
+            // Loose statistical envelope: within 25% of nominal.
+            prop_assert!(
+                (sample_mean_ms - mean_ms as f64).abs() <= mean_ms as f64 * 0.25 + 1.0,
+                "{dist}: sample mean {sample_mean_ms} vs {mean_ms}"
+            );
+        }
+    }
+
+    #[test]
+    fn arrival_generators_hit_their_mean_rate(
+        rate in 5.0f64..500.0,
+        seed in any::<u64>(),
+    ) {
+        for process in [
+            ArrivalProcess::steady(rate),
+            ArrivalProcess::poisson(rate),
+        ] {
+            let mut generator = process.generator(SimRng::seed_from_u64(seed));
+            let n = 5_000;
+            let total: Duration = (0..n).map(|_| generator.next_gap()).sum();
+            let measured = f64::from(n) / total.as_secs_f64();
+            prop_assert!(
+                (measured - rate).abs() / rate < 0.1,
+                "{process}: measured {measured} vs {rate}"
+            );
+        }
+    }
+}

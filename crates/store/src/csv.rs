@@ -1,0 +1,172 @@
+//! CSV export of traces and report tables, for inspection outside the
+//! harness (the paper's Access forms/reports stand-in is plain files).
+
+use crate::event::EventKind;
+use crate::trace::Trace;
+use std::fmt::Write as _;
+
+/// Quotes a CSV field if needed (commas, quotes, or newlines present).
+fn quote(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Renders a header plus rows as CSV text.
+///
+/// # Examples
+///
+/// ```
+/// use jmst_store::csv::render;
+///
+/// let text = render(&["a", "b"], [vec!["1".into(), "x,y".into()]]);
+/// assert_eq!(text, "a,b\n1,\"x,y\"\n");
+/// ```
+pub fn render<I>(header: &[&str], rows: I) -> String
+where
+    I: IntoIterator<Item = Vec<String>>,
+{
+    let mut out = String::new();
+    out.push_str(
+        &header
+            .iter()
+            .map(|h| quote(h))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push('\n');
+    for row in rows {
+        let line = row.iter().map(|f| quote(f)).collect::<Vec<_>>().join(",");
+        let _ = writeln!(out, "{line}");
+    }
+    out
+}
+
+/// Exports the send/receive rows of a trace as CSV: one line per message
+/// event with the columns the paper's analysis joins on.
+pub fn trace_to_csv(trace: &Trace) -> String {
+    let rows = trace.iter().filter_map(|event| {
+        let (direction, actor, record) = match &event.kind {
+            EventKind::Send { record, .. } => ("send", String::new(), record),
+            EventKind::Receive {
+                consumer, record, ..
+            } => ("receive", consumer.to_string(), record),
+            _ => return None,
+        };
+        Some(vec![
+            event.seq.to_string(),
+            event.at.as_nanos().to_string(),
+            event.node.to_string(),
+            direction.to_owned(),
+            record.message.to_string(),
+            record.producer.to_string(),
+            record.sequence.to_string(),
+            record.destination.to_string(),
+            record.priority.to_string(),
+            record.delivery_mode.to_string(),
+            record.time_to_live.to_string(),
+            record.body_bytes.to_string(),
+            actor,
+        ])
+    });
+    render(
+        &[
+            "seq",
+            "at_nanos",
+            "node",
+            "direction",
+            "message",
+            "producer",
+            "producer_seq",
+            "destination",
+            "priority",
+            "delivery_mode",
+            "ttl",
+            "body_bytes",
+            "consumer",
+        ],
+        rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, MessageRecord};
+    use jmst_api::destination::{Destination, EndpointId};
+    use jmst_api::id::{ConsumerId, MessageId, NodeId, ProducerId, SessionId};
+    use jmst_api::modes::{DeliveryMode, Priority, TimeToLive};
+    use jmst_api::time::Timestamp;
+
+    #[test]
+    fn quoting_rules() {
+        assert_eq!(quote("plain"), "plain");
+        assert_eq!(quote("a,b"), "\"a,b\"");
+        assert_eq!(quote("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(quote("line\nbreak"), "\"line\nbreak\"");
+    }
+
+    #[test]
+    fn render_produces_header_and_rows() {
+        let text = render(&["x"], [vec!["1".to_owned()], vec!["2".to_owned()]]);
+        assert_eq!(text, "x\n1\n2\n");
+    }
+
+    fn record() -> MessageRecord {
+        MessageRecord {
+            message: MessageId::from_raw(1),
+            producer: ProducerId::from_raw(2),
+            sequence: 0,
+            destination: Destination::queue("q"),
+            priority: Priority::DEFAULT,
+            delivery_mode: DeliveryMode::Persistent,
+            time_to_live: TimeToLive::FOREVER,
+            sent_at: Timestamp::ZERO,
+            body_bytes: 3,
+            redelivered: false,
+            properties: Default::default(),
+        }
+    }
+
+    #[test]
+    fn trace_export_includes_sends_and_receives_only() {
+        let trace = Trace::from_events(vec![
+            Event {
+                seq: 0,
+                at: Timestamp::from_millis(1),
+                node: NodeId::from_raw(0),
+                kind: EventKind::Send {
+                    record: record(),
+                    session: SessionId::from_raw(1),
+                    tx: None,
+                },
+            },
+            Event {
+                seq: 1,
+                at: Timestamp::from_millis(2),
+                node: NodeId::from_raw(0),
+                kind: EventKind::BrokerCrashed,
+            },
+            Event {
+                seq: 2,
+                at: Timestamp::from_millis(3),
+                node: NodeId::from_raw(0),
+                kind: EventKind::Receive {
+                    consumer: ConsumerId::from_raw(7),
+                    endpoint: EndpointId::for_queue("q".into()),
+                    record: record(),
+                    session: SessionId::from_raw(2),
+                    tx: None,
+                },
+            },
+        ]);
+        let csv = trace_to_csv(&trace);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3); // header + send + receive
+        assert!(lines[1].contains("send"));
+        assert!(lines[2].contains("receive"));
+        assert!(lines[2].contains("cons-7"));
+    }
+}

@@ -1,0 +1,256 @@
+//! Trace persistence: JSON-Lines event logs.
+//!
+//! The paper's tests log each event "to disk, along with the unique
+//! message identifier and a timestamp", and the daemon prince later
+//! collects the logs (§4). This module provides that durable form: one
+//! JSON object per line, append-friendly, mergeable across nodes, and
+//! diffable by humans.
+
+use crate::event::Event;
+use crate::trace::Trace;
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// An error reading or writing persisted traces.
+#[derive(Debug)]
+pub enum DiskError {
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// A line that is not a valid event record.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// The JSON decoder's complaint.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DiskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiskError::Io(error) => write!(f, "trace i/o failed: {error}"),
+            DiskError::Malformed { line, reason } => {
+                write!(f, "malformed trace record at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DiskError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DiskError::Io(error) => Some(error),
+            DiskError::Malformed { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DiskError {
+    fn from(error: std::io::Error) -> Self {
+        DiskError::Io(error)
+    }
+}
+
+/// Writes a trace as JSON Lines. A mutable reference to any `Write`
+/// works (`&mut file`).
+///
+/// # Errors
+///
+/// Returns [`DiskError::Io`] on write failure.
+pub fn write_jsonl<W: Write>(trace: &Trace, mut writer: W) -> Result<(), DiskError> {
+    for event in trace {
+        serde_json::to_writer(&mut writer, event)
+            .map_err(|e| DiskError::Io(std::io::Error::other(e)))?;
+        writer.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Reads a JSON-Lines trace, re-sorting into canonical order (so logs
+/// appended by concurrent nodes merge correctly). Blank lines are
+/// skipped.
+///
+/// # Errors
+///
+/// Returns [`DiskError::Malformed`] with the offending line number if a
+/// record does not parse.
+pub fn read_jsonl<R: Read>(reader: R) -> Result<Trace, DiskError> {
+    let mut events = Vec::new();
+    for (index, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event: Event = serde_json::from_str(&line).map_err(|e| DiskError::Malformed {
+            line: index + 1,
+            reason: e.to_string(),
+        })?;
+        events.push(event);
+    }
+    Ok(Trace::from_events(events))
+}
+
+impl Trace {
+    /// Saves the trace to `path` as JSON Lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiskError::Io`] on file-system failure.
+    pub fn save_jsonl(&self, path: impl AsRef<Path>) -> Result<(), DiskError> {
+        let file = std::fs::File::create(path)?;
+        write_jsonl(self, std::io::BufWriter::new(file))
+    }
+
+    /// Loads a trace previously saved with [`Trace::save_jsonl`] (or
+    /// assembled by concatenating several such files).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiskError::Io`] on file-system failure or
+    /// [`DiskError::Malformed`] for corrupt records.
+    pub fn load_jsonl(path: impl AsRef<Path>) -> Result<Trace, DiskError> {
+        read_jsonl(std::fs::File::open(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, MessageRecord, Phase};
+    use jmst_api::destination::{Destination, EndpointId};
+    use jmst_api::id::{ConsumerId, MessageId, NodeId, ProducerId, SessionId};
+    use jmst_api::modes::{DeliveryMode, Priority, TimeToLive};
+    use jmst_api::time::Timestamp;
+    use jmst_api::value::Value;
+
+    fn sample_trace() -> Trace {
+        let mut properties = jmst_api::properties::Properties::new();
+        properties.set("region", Value::from("emea")).unwrap();
+        properties.set("attempt", Value::Int(2)).unwrap();
+        let record = MessageRecord {
+            message: MessageId::from_raw(7),
+            producer: ProducerId::from_raw(1),
+            sequence: 3,
+            destination: Destination::topic("t"),
+            priority: Priority::HIGHEST,
+            delivery_mode: DeliveryMode::NonPersistent,
+            time_to_live: TimeToLive::from_millis(250),
+            sent_at: Timestamp::from_millis(12),
+            body_bytes: 64,
+            redelivered: true,
+            properties,
+        };
+        Trace::from_events(vec![
+            Event {
+                seq: 0,
+                at: Timestamp::ZERO,
+                node: NodeId::from_raw(0),
+                kind: EventKind::PhaseStarted { phase: Phase::Run },
+            },
+            Event {
+                seq: 1,
+                at: Timestamp::from_millis(12),
+                node: NodeId::from_raw(1),
+                kind: EventKind::Send {
+                    record: record.clone(),
+                    session: SessionId::from_raw(5),
+                    tx: None,
+                },
+            },
+            Event {
+                seq: 2,
+                at: Timestamp::from_millis(15),
+                node: NodeId::from_raw(2),
+                kind: EventKind::Receive {
+                    consumer: ConsumerId::from_raw(9),
+                    endpoint: EndpointId::non_durable("t".into(), ConsumerId::from_raw(9)),
+                    record,
+                    session: SessionId::from_raw(6),
+                    tx: None,
+                },
+            },
+            Event {
+                seq: 3,
+                at: Timestamp::from_millis(20),
+                node: NodeId::from_raw(0),
+                kind: EventKind::BrokerCrashed,
+            },
+        ])
+    }
+
+    #[test]
+    fn round_trip_preserves_every_field() {
+        let trace = sample_trace();
+        let mut buffer = Vec::new();
+        write_jsonl(&trace, &mut buffer).unwrap();
+        let loaded = read_jsonl(buffer.as_slice()).unwrap();
+        assert_eq!(loaded, trace);
+    }
+
+    #[test]
+    fn one_event_per_line() {
+        let trace = sample_trace();
+        let mut buffer = Vec::new();
+        write_jsonl(&trace, &mut buffer).unwrap();
+        let text = String::from_utf8(buffer).unwrap();
+        assert_eq!(text.lines().count(), trace.len());
+        assert!(text.lines().all(|l| l.starts_with('{')));
+    }
+
+    #[test]
+    fn concatenated_node_logs_merge_on_load() {
+        let trace = sample_trace();
+        // Split by node, as separate per-node log files would be.
+        let mut parts = Vec::new();
+        for node in 0..3u64 {
+            let part: Trace = trace
+                .iter()
+                .filter(|e| e.node.as_u64() == node)
+                .cloned()
+                .collect();
+            let mut buffer = Vec::new();
+            write_jsonl(&part, &mut buffer).unwrap();
+            parts.push(buffer);
+        }
+        let concatenated: Vec<u8> = parts.concat();
+        let loaded = read_jsonl(concatenated.as_slice()).unwrap();
+        assert_eq!(loaded, trace);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped_and_garbage_is_reported() {
+        let trace = sample_trace();
+        let mut buffer = Vec::new();
+        write_jsonl(&trace, &mut buffer).unwrap();
+        let mut text = String::from_utf8(buffer).unwrap();
+        text.insert_str(0, "\n\n");
+        assert_eq!(read_jsonl(text.as_bytes()).unwrap(), trace);
+        text.push_str("not json\n");
+        let error = read_jsonl(text.as_bytes()).unwrap_err();
+        match error {
+            DiskError::Malformed { line, .. } => assert_eq!(line, trace.len() + 3),
+            other => panic!("expected malformed, got {other}"),
+        }
+    }
+
+    #[test]
+    fn file_save_and_load() {
+        let trace = sample_trace();
+        let path = std::env::temp_dir().join(format!(
+            "jmst-trace-test-{}.jsonl",
+            std::process::id()
+        ));
+        trace.save_jsonl(&path).unwrap();
+        let loaded = Trace::load_jsonl(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded, trace);
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let error = Trace::load_jsonl("/nonexistent/trace.jsonl").unwrap_err();
+        assert!(matches!(error, DiskError::Io(_)));
+        assert!(error.to_string().contains("i/o"));
+    }
+}

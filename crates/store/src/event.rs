@@ -1,0 +1,333 @@
+//! The execution-trace event schema.
+//!
+//! "As each message is sent and received, these events are logged to disk,
+//! along with the unique message identifier and a timestamp" (paper §4).
+//! Every analysable fact — lifecycle, sends, receives, transaction
+//! boundaries, crashes, test phases — is one [`Event`] row; the analysis
+//! in `jmst-core` is queries over these rows, as the paper's analysis is
+//! SQL over its event tables.
+
+use jmst_api::destination::{Destination, EndpointId};
+use jmst_api::id::{ConsumerId, MessageId, NodeId, ProducerId, SessionId, TxId};
+use jmst_api::message::Message;
+use jmst_api::modes::{DeliveryMode, Priority, SessionMode, TimeToLive};
+use jmst_api::properties::Properties;
+use jmst_api::time::Timestamp;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The message fields the analysis model needs, denormalised into the
+/// trace so analysis never needs the provider again (black-box testing).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MessageRecord {
+    /// Unique message id.
+    pub message: MessageId,
+    /// Sending producer.
+    pub producer: ProducerId,
+    /// Per-producer send sequence number.
+    pub sequence: u64,
+    /// Destination the message was sent to.
+    pub destination: Destination,
+    /// Message priority.
+    pub priority: Priority,
+    /// Delivery mode.
+    pub delivery_mode: DeliveryMode,
+    /// Time-to-live at send.
+    pub time_to_live: TimeToLive,
+    /// Provider send timestamp.
+    pub sent_at: Timestamp,
+    /// Body payload size in bytes.
+    pub body_bytes: u64,
+    /// Whether the provider flagged the delivery as a redelivery.
+    pub redelivered: bool,
+    /// User properties, kept so the analysis can re-evaluate message
+    /// selectors when computing which messages a subscription covers.
+    pub properties: Properties,
+}
+
+impl MessageRecord {
+    /// Extracts the record of a stamped message.
+    pub fn from_message(message: &Message) -> Self {
+        Self {
+            message: message.id(),
+            producer: message.producer(),
+            sequence: message.sequence(),
+            destination: message.destination().clone(),
+            priority: message.priority(),
+            delivery_mode: message.delivery_mode(),
+            time_to_live: message.time_to_live(),
+            sent_at: message.sent_at(),
+            body_bytes: message.body_size() as u64,
+            redelivered: message.is_redelivered(),
+            properties: message.properties().clone(),
+        }
+    }
+}
+
+impl From<&Message> for MessageRecord {
+    fn from(message: &Message) -> Self {
+        Self::from_message(message)
+    }
+}
+
+/// A test-run phase (paper §3.2: warm-up, run, warm-down).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// Before the system reaches steady state.
+    WarmUp,
+    /// The measured period.
+    Run,
+    /// Producers stopped; consumers drain the backlog.
+    WarmDown,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Phase::WarmUp => "warm-up",
+            Phase::Run => "run",
+            Phase::WarmDown => "warm-down",
+        })
+    }
+}
+
+/// The kind of a trace event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum EventKind {
+    /// A producer was created.
+    ProducerCreated {
+        /// The producer.
+        producer: ProducerId,
+        /// Its destination.
+        destination: Destination,
+        /// Whether its session is transacted.
+        transacted: bool,
+    },
+    /// A producer was closed.
+    ProducerClosed {
+        /// The producer.
+        producer: ProducerId,
+    },
+    /// A consumer was created (opening its consumer-group end-point).
+    ConsumerCreated {
+        /// The consumer.
+        consumer: ConsumerId,
+        /// The consumer group it serves.
+        endpoint: EndpointId,
+        /// Its session's mode.
+        session_mode: SessionMode,
+        /// Its message selector, if any.
+        selector: Option<String>,
+    },
+    /// A consumer was closed (a close of its consumer group, Definition 4).
+    ConsumerClosed {
+        /// The consumer.
+        consumer: ConsumerId,
+        /// The consumer group it served.
+        endpoint: EndpointId,
+    },
+    /// A message was sent (or buffered, in a transaction).
+    Send {
+        /// The stamped message.
+        record: MessageRecord,
+        /// The session that sent it.
+        session: SessionId,
+        /// The enclosing transaction, if the session is transacted.
+        tx: Option<TxId>,
+    },
+    /// A send attempt failed.
+    SendFailed {
+        /// The producer whose send failed.
+        producer: ProducerId,
+        /// The provider's error, as text.
+        reason: String,
+    },
+    /// A message was received.
+    Receive {
+        /// The receiving consumer.
+        consumer: ConsumerId,
+        /// The consumer group the delivery belongs to.
+        endpoint: EndpointId,
+        /// The received message.
+        record: MessageRecord,
+        /// The receiving session.
+        session: SessionId,
+        /// The enclosing transaction, if the session is transacted.
+        tx: Option<TxId>,
+    },
+    /// A client acknowledgement.
+    Acknowledge {
+        /// The acknowledging session.
+        session: SessionId,
+    },
+    /// A transaction committed.
+    Commit {
+        /// The session.
+        session: SessionId,
+        /// The committed transaction.
+        tx: TxId,
+    },
+    /// A transaction rolled back.
+    Rollback {
+        /// The session.
+        session: SessionId,
+        /// The rolled-back transaction.
+        tx: TxId,
+    },
+    /// A durable subscription was deleted.
+    Unsubscribed {
+        /// The deleted subscription's end-point.
+        endpoint: EndpointId,
+    },
+    /// The broker crashed (injected by the harness).
+    BrokerCrashed,
+    /// The broker recovered.
+    BrokerRecovered,
+    /// A test phase began.
+    PhaseStarted {
+        /// The phase.
+        phase: Phase,
+    },
+}
+
+impl EventKind {
+    /// Returns the message record if the event is a send or a receive.
+    pub fn message_record(&self) -> Option<&MessageRecord> {
+        match self {
+            EventKind::Send { record, .. } | EventKind::Receive { record, .. } => Some(record),
+            _ => None,
+        }
+    }
+
+    /// A short tag naming the event type, for CSV export and debugging.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            EventKind::ProducerCreated { .. } => "producer_created",
+            EventKind::ProducerClosed { .. } => "producer_closed",
+            EventKind::ConsumerCreated { .. } => "consumer_created",
+            EventKind::ConsumerClosed { .. } => "consumer_closed",
+            EventKind::Send { .. } => "send",
+            EventKind::SendFailed { .. } => "send_failed",
+            EventKind::Receive { .. } => "receive",
+            EventKind::Acknowledge { .. } => "acknowledge",
+            EventKind::Commit { .. } => "commit",
+            EventKind::Rollback { .. } => "rollback",
+            EventKind::Unsubscribed { .. } => "unsubscribed",
+            EventKind::BrokerCrashed => "broker_crashed",
+            EventKind::BrokerRecovered => "broker_recovered",
+            EventKind::PhaseStarted { .. } => "phase_started",
+        }
+    }
+}
+
+/// One trace event: what happened, where, and when.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Global sequence number assigned by the recorder (total order of
+    /// logging, which is also the tie-breaker for identical timestamps).
+    pub seq: u64,
+    /// When the event happened, by the logging node's clock.
+    pub at: Timestamp,
+    /// The harness node that logged the event.
+    pub node: NodeId,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} {} {}] {}", self.seq, self.at, self.node, self.kind.tag())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jmst_api::body::Body;
+    use jmst_api::message::{MessageDraft, Stamp};
+
+    fn sample_message() -> Message {
+        MessageDraft::new(Body::bytes(vec![7u8; 64]))
+            .priority(Priority::new(3).unwrap())
+            .delivery_mode(DeliveryMode::NonPersistent)
+            .time_to_live(TimeToLive::from_millis(9))
+            .stamp(Stamp {
+                id: MessageId::from_raw(5),
+                producer: ProducerId::from_raw(2),
+                sequence: 11,
+                destination: Destination::queue("q"),
+                sent_at: Timestamp::from_millis(1),
+            })
+    }
+
+    #[test]
+    fn record_captures_message_fields() {
+        let record = MessageRecord::from_message(&sample_message());
+        assert_eq!(record.message, MessageId::from_raw(5));
+        assert_eq!(record.producer, ProducerId::from_raw(2));
+        assert_eq!(record.sequence, 11);
+        assert_eq!(record.priority.level(), 3);
+        assert_eq!(record.delivery_mode, DeliveryMode::NonPersistent);
+        assert_eq!(record.time_to_live.as_millis(), 9);
+        assert_eq!(record.body_bytes, 64);
+        assert!(!record.redelivered);
+    }
+
+    #[test]
+    fn record_from_reference_conversion() {
+        let message = sample_message();
+        let a = MessageRecord::from(&message);
+        let b = MessageRecord::from_message(&message);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn message_record_accessor() {
+        let record = MessageRecord::from_message(&sample_message());
+        let send = EventKind::Send {
+            record: record.clone(),
+            session: SessionId::from_raw(1),
+            tx: None,
+        };
+        assert_eq!(send.message_record(), Some(&record));
+        assert_eq!(EventKind::BrokerCrashed.message_record(), None);
+    }
+
+    #[test]
+    fn tags_are_distinct_for_send_and_receive() {
+        let record = MessageRecord::from_message(&sample_message());
+        let send = EventKind::Send {
+            record: record.clone(),
+            session: SessionId::from_raw(1),
+            tx: None,
+        };
+        let receive = EventKind::Receive {
+            consumer: ConsumerId::from_raw(1),
+            endpoint: EndpointId::for_queue("q".into()),
+            record,
+            session: SessionId::from_raw(1),
+            tx: None,
+        };
+        assert_eq!(send.tag(), "send");
+        assert_eq!(receive.tag(), "receive");
+    }
+
+    #[test]
+    fn phases_display() {
+        assert_eq!(Phase::WarmUp.to_string(), "warm-up");
+        assert_eq!(Phase::Run.to_string(), "run");
+        assert_eq!(Phase::WarmDown.to_string(), "warm-down");
+    }
+
+    #[test]
+    fn event_display_includes_tag() {
+        let event = Event {
+            seq: 1,
+            at: Timestamp::from_millis(3),
+            node: NodeId::from_raw(0),
+            kind: EventKind::BrokerCrashed,
+        };
+        assert!(event.to_string().contains("broker_crashed"));
+    }
+}

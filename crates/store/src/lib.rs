@@ -1,0 +1,35 @@
+//! # jmst-store — execution-trace storage and relational analysis views
+//!
+//! The paper's harness inserts test logs into a SQL database (Microsoft
+//! Access over JDBC) and analyses them with SQL statements. This crate is
+//! the embedded replacement:
+//!
+//! * [`event`] — the trace event schema (sends, receives, lifecycles,
+//!   transaction outcomes, crashes, phase markers);
+//! * [`trace`] — the ordered log and the thread-safe [`Recorder`] the
+//!   harness writes through;
+//! * [`table`] — [`TraceStore`], typed and indexed relational views;
+//! * [`query`] — grouping/aggregation combinators (the `GROUP BY` layer);
+//! * [`stats`] — summary statistics and delay histograms;
+//! * [`csv`] — exports for human inspection.
+//!
+//! Splitting storage from analysis mirrors the paper's design and enables
+//! its §4.1 ablation (per-event database insertion vs. streaming
+//! aggregation), reproduced in the `store_ablation` benchmark.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod csv;
+pub mod disk;
+pub mod event;
+pub mod query;
+pub mod stats;
+pub mod table;
+pub mod trace;
+
+pub use disk::DiskError;
+pub use event::{Event, EventKind, MessageRecord, Phase};
+pub use stats::{DelayHistogram, SummaryStats};
+pub use table::{ConsumerRow, ReceiveRow, SendRow, TraceStore};
+pub use trace::{NodeRecorder, Recorder, Trace};

@@ -1,0 +1,121 @@
+//! Small relational combinators — the grouping and aggregation the
+//! paper's SQL reports are built from, over the typed tables of
+//! [`TraceStore`](crate::table::TraceStore).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Groups rows by a key function (SQL `GROUP BY`).
+///
+/// # Examples
+///
+/// ```
+/// use jmst_store::query::group_by;
+///
+/// let rows = ["apple", "avocado", "banana"];
+/// let groups = group_by(rows.iter(), |s| s.chars().next().unwrap());
+/// assert_eq!(groups[&'a'].len(), 2);
+/// assert_eq!(groups[&'b'].len(), 1);
+/// ```
+pub fn group_by<T, K, I, F>(rows: I, key: F) -> HashMap<K, Vec<T>>
+where
+    I: IntoIterator<Item = T>,
+    K: Eq + Hash,
+    F: Fn(&T) -> K,
+{
+    let mut groups: HashMap<K, Vec<T>> = HashMap::new();
+    for row in rows {
+        groups.entry(key(&row)).or_default().push(row);
+    }
+    groups
+}
+
+/// Counts rows per key (SQL `SELECT key, COUNT(*) … GROUP BY key`).
+pub fn count_by<T, K, I, F>(rows: I, key: F) -> HashMap<K, u64>
+where
+    I: IntoIterator<Item = T>,
+    K: Eq + Hash,
+    F: Fn(&T) -> K,
+{
+    let mut counts: HashMap<K, u64> = HashMap::new();
+    for row in rows {
+        *counts.entry(key(&row)).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Sums a value per key (SQL `SELECT key, SUM(v) … GROUP BY key`).
+pub fn sum_by<T, K, I, F, V>(rows: I, key: F, value: V) -> HashMap<K, f64>
+where
+    I: IntoIterator<Item = T>,
+    K: Eq + Hash,
+    F: Fn(&T) -> K,
+    V: Fn(&T) -> f64,
+{
+    let mut sums: HashMap<K, f64> = HashMap::new();
+    for row in rows {
+        *sums.entry(key(&row)).or_insert(0.0) += value(&row);
+    }
+    sums
+}
+
+/// Means of a value per key (SQL `SELECT key, AVG(v) … GROUP BY key`).
+pub fn mean_by<T, K, I, F, V>(rows: I, key: F, value: V) -> HashMap<K, f64>
+where
+    I: IntoIterator<Item = T>,
+    K: Eq + Hash,
+    F: Fn(&T) -> K,
+    V: Fn(&T) -> f64,
+{
+    let mut sums: HashMap<K, (f64, u64)> = HashMap::new();
+    for row in rows {
+        let entry = sums.entry(key(&row)).or_insert((0.0, 0));
+        entry.0 += value(&row);
+        entry.1 += 1;
+    }
+    sums.into_iter()
+        .map(|(k, (sum, n))| (k, sum / n as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_by_partitions_rows() {
+        let groups = group_by(1..=10, |n| n % 3);
+        assert_eq!(groups[&0], vec![3, 6, 9]);
+        assert_eq!(groups[&1], vec![1, 4, 7, 10]);
+        assert_eq!(groups[&2], vec![2, 5, 8]);
+    }
+
+    #[test]
+    fn count_by_counts() {
+        let counts = count_by(["a", "b", "a", "a"], |s| *s);
+        assert_eq!(counts[&"a"], 3);
+        assert_eq!(counts[&"b"], 1);
+    }
+
+    #[test]
+    fn sum_by_sums() {
+        let sums = sum_by([(1, 2.0), (1, 3.0), (2, 5.0)], |r| r.0, |r| r.1);
+        assert_eq!(sums[&1], 5.0);
+        assert_eq!(sums[&2], 5.0);
+    }
+
+    #[test]
+    fn mean_by_averages() {
+        let means = mean_by([(1, 2.0), (1, 4.0), (2, 5.0)], |r| r.0, |r| r.1);
+        assert_eq!(means[&1], 3.0);
+        assert_eq!(means[&2], 5.0);
+    }
+
+    #[test]
+    fn empty_inputs_give_empty_maps() {
+        let groups: HashMap<i32, Vec<i32>> = group_by(std::iter::empty::<i32>(), |n| *n);
+        assert!(groups.is_empty());
+        let counts: HashMap<i32, u64> = count_by(std::iter::empty::<i32>(), |n| *n);
+        assert!(counts.is_empty());
+    }
+}

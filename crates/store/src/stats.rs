@@ -1,0 +1,346 @@
+//! Summary statistics and histograms used by the performance analysis and
+//! the delay expectation models.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::Duration;
+
+/// Running min / max / mean / standard deviation over `f64` samples
+/// (Welford's algorithm, numerically stable for long runs).
+///
+/// # Examples
+///
+/// ```
+/// use jmst_store::stats::SummaryStats;
+///
+/// let stats: SummaryStats = [1.0, 2.0, 3.0, 4.0].into_iter().collect();
+/// assert_eq!(stats.count(), 4);
+/// assert_eq!(stats.mean(), 2.5);
+/// assert_eq!(stats.min(), Some(1.0));
+/// assert_eq!(stats.max(), Some(4.0));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SummaryStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl SummaryStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, sample: f64) {
+        if self.count == 0 {
+            self.min = sample;
+            self.max = sample;
+        } else {
+            self.min = self.min.min(sample);
+            self.max = self.max.max(sample);
+        }
+        self.count += 1;
+        let delta = sample - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (sample - self.mean);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean, or zero with no samples.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance, or zero with fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample, or `None` with no samples.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` with no samples.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &SummaryStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 += other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl FromIterator<f64> for SummaryStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut stats = SummaryStats::new();
+        for sample in iter {
+            stats.push(sample);
+        }
+        stats
+    }
+}
+
+impl Extend<f64> for SummaryStats {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for sample in iter {
+            self.push(sample);
+        }
+    }
+}
+
+impl fmt::Display for SummaryStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.count == 0 {
+            return f.write_str("no samples");
+        }
+        write!(
+            f,
+            "n={} mean={:.3} σ={:.3} min={:.3} max={:.3}",
+            self.count,
+            self.mean,
+            self.std_dev(),
+            self.min,
+            self.max
+        )
+    }
+}
+
+/// A fixed-width histogram of durations, the structure behind the paper's
+/// future-work suggestion of "constructing a histogram of message delays
+/// throughout the run period" for a better expiry expectation model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DelayHistogram {
+    bucket_width_nanos: u64,
+    buckets: Vec<u64>,
+    overflow: u64,
+    count: u64,
+}
+
+impl DelayHistogram {
+    /// Creates a histogram of `buckets` buckets of `bucket_width` each;
+    /// samples beyond the last bucket land in an overflow bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` is zero or `buckets` is zero.
+    pub fn new(bucket_width: Duration, buckets: usize) -> Self {
+        assert!(!bucket_width.is_zero(), "bucket width must be positive");
+        assert!(buckets > 0, "need at least one bucket");
+        Self {
+            bucket_width_nanos: bucket_width.as_nanos() as u64,
+            buckets: vec![0; buckets],
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Adds one delay sample.
+    pub fn push(&mut self, delay: Duration) {
+        let index = (delay.as_nanos() as u64 / self.bucket_width_nanos) as usize;
+        if index < self.buckets.len() {
+            self.buckets[index] += 1;
+        } else {
+            self.overflow += 1;
+        }
+        self.count += 1;
+    }
+
+    /// Total number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The fraction of samples that were `<= bound`, counting whole
+    /// buckets (each sample is attributed to its bucket's upper edge, so
+    /// the estimate is conservative for expiry: it never claims a delay
+    /// was short when it might not have been).
+    pub fn fraction_at_most(&self, bound: Duration) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let full_buckets = (bound.as_nanos() as u64 / self.bucket_width_nanos) as usize;
+        let covered: u64 = self
+            .buckets
+            .iter()
+            .take(full_buckets)
+            .sum();
+        covered as f64 / self.count as f64
+    }
+
+    /// An upper estimate of the `q`-quantile (0 ≤ q ≤ 1) of the delays.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (index, &bucket) in self.buckets.iter().enumerate() {
+            seen += bucket;
+            if seen >= target {
+                return Some(Duration::from_nanos(
+                    (index as u64 + 1) * self.bucket_width_nanos,
+                ));
+            }
+        }
+        // In the overflow bucket: unbounded above; report the histogram
+        // ceiling.
+        Some(Duration::from_nanos(
+            self.buckets.len() as u64 * self.bucket_width_nanos,
+        ))
+    }
+
+    /// Bucket counts (for reports).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Samples beyond the last bucket.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive_computation() {
+        let samples = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let stats: SummaryStats = samples.into_iter().collect();
+        let naive_mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let naive_var =
+            samples.iter().map(|x| (x - naive_mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        assert!((stats.mean() - naive_mean).abs() < 1e-12);
+        assert!((stats.variance() - naive_var).abs() < 1e-12);
+        assert_eq!(stats.min(), Some(1.0));
+        assert_eq!(stats.max(), Some(9.0));
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let stats = SummaryStats::new();
+        assert_eq!(stats.count(), 0);
+        assert_eq!(stats.mean(), 0.0);
+        assert_eq!(stats.std_dev(), 0.0);
+        assert_eq!(stats.min(), None);
+        assert_eq!(stats.max(), None);
+        assert_eq!(stats.to_string(), "no samples");
+    }
+
+    #[test]
+    fn single_sample_has_zero_variance() {
+        let stats: SummaryStats = [5.0].into_iter().collect();
+        assert_eq!(stats.variance(), 0.0);
+        assert_eq!(stats.mean(), 5.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let all: SummaryStats = (0..100).map(f64::from).collect();
+        let mut left: SummaryStats = (0..37).map(f64::from).collect();
+        let right: SummaryStats = (37..100).map(f64::from).collect();
+        left.merge(&right);
+        assert_eq!(left.count(), all.count());
+        assert!((left.mean() - all.mean()).abs() < 1e-9);
+        assert!((left.variance() - all.variance()).abs() < 1e-9);
+        assert_eq!(left.min(), all.min());
+        assert_eq!(left.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut stats: SummaryStats = [1.0, 2.0].into_iter().collect();
+        let before = stats;
+        stats.merge(&SummaryStats::new());
+        assert_eq!(stats, before);
+        let mut empty = SummaryStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn extend_accumulates() {
+        let mut stats = SummaryStats::new();
+        stats.extend([1.0, 2.0, 3.0]);
+        assert_eq!(stats.count(), 3);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut histogram = DelayHistogram::new(Duration::from_millis(10), 5);
+        histogram.push(Duration::from_millis(5)); // bucket 0
+        histogram.push(Duration::from_millis(15)); // bucket 1
+        histogram.push(Duration::from_millis(49)); // bucket 4
+        histogram.push(Duration::from_millis(500)); // overflow
+        assert_eq!(histogram.count(), 4);
+        assert_eq!(histogram.buckets(), &[1, 1, 0, 0, 1]);
+        assert_eq!(histogram.overflow(), 1);
+    }
+
+    #[test]
+    fn fraction_at_most_counts_whole_buckets() {
+        let mut histogram = DelayHistogram::new(Duration::from_millis(10), 10);
+        for ms in [1u64, 2, 3, 25, 95] {
+            histogram.push(Duration::from_millis(ms));
+        }
+        // Bound 10 ms covers bucket 0 only → 3 of 5 samples.
+        assert!((histogram.fraction_at_most(Duration::from_millis(10)) - 0.6).abs() < 1e-12);
+        // Bound 30 ms covers buckets 0..3 → 4 of 5.
+        assert!((histogram.fraction_at_most(Duration::from_millis(30)) - 0.8).abs() < 1e-12);
+        // Tiny bound covers nothing.
+        assert_eq!(histogram.fraction_at_most(Duration::from_millis(5)), 0.0);
+    }
+
+    #[test]
+    fn quantiles_are_upper_bounds() {
+        let mut histogram = DelayHistogram::new(Duration::from_millis(1), 100);
+        for ms in 0..100u64 {
+            histogram.push(Duration::from_millis(ms));
+        }
+        let median = histogram.quantile(0.5).unwrap();
+        assert!(median >= Duration::from_millis(49) && median <= Duration::from_millis(51));
+        assert_eq!(histogram.quantile(0.0).unwrap(), Duration::from_millis(1));
+        assert!(histogram.quantile(1.0).unwrap() >= Duration::from_millis(99));
+        assert_eq!(DelayHistogram::new(Duration::from_millis(1), 1).quantile(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width must be positive")]
+    fn zero_bucket_width_rejected() {
+        DelayHistogram::new(Duration::ZERO, 5);
+    }
+}

@@ -1,0 +1,546 @@
+//! Materialised relational views over a trace.
+//!
+//! The paper loads test logs into a SQL database and expresses both
+//! correctness and performance analysis as SQL statements. [`TraceStore`]
+//! is the embedded equivalent: it normalises a [`Trace`] into typed row
+//! tables (sends, receives, consumer lifetimes, transaction outcomes) with
+//! the indexes those queries join on (message id, producer, end-point).
+
+use crate::event::{Event, EventKind, MessageRecord, Phase};
+use crate::trace::Trace;
+use jmst_api::destination::EndpointId;
+use jmst_api::id::{ConsumerId, MessageId, NodeId, ProducerId, SessionId, TxId};
+use jmst_api::modes::SessionMode;
+use jmst_api::time::Timestamp;
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// One row of the *sends* table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SendRow {
+    /// When the send was logged.
+    pub at: Timestamp,
+    /// The logging node.
+    pub node: NodeId,
+    /// The sending session.
+    pub session: SessionId,
+    /// The enclosing transaction, if any.
+    pub tx: Option<TxId>,
+    /// The message.
+    pub record: MessageRecord,
+}
+
+/// One row of the *receives* table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReceiveRow {
+    /// When the receive was logged.
+    pub at: Timestamp,
+    /// The logging node.
+    pub node: NodeId,
+    /// The receiving consumer.
+    pub consumer: ConsumerId,
+    /// The consumer group the delivery belongs to.
+    pub endpoint: EndpointId,
+    /// The receiving session.
+    pub session: SessionId,
+    /// The enclosing transaction, if any.
+    pub tx: Option<TxId>,
+    /// The message.
+    pub record: MessageRecord,
+}
+
+/// One row of the *consumer lifetimes* table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConsumerRow {
+    /// The consumer.
+    pub consumer: ConsumerId,
+    /// The consumer group it served.
+    pub endpoint: EndpointId,
+    /// Its session mode.
+    pub session_mode: SessionMode,
+    /// Its selector, if any.
+    pub selector: Option<String>,
+    /// When it was created.
+    pub created_at: Timestamp,
+    /// When it was closed, if it was.
+    pub closed_at: Option<Timestamp>,
+}
+
+/// Typed, indexed tables materialised from one trace.
+#[derive(Debug, Default)]
+pub struct TraceStore {
+    sends: Vec<SendRow>,
+    receives: Vec<ReceiveRow>,
+    consumers: Vec<ConsumerRow>,
+    committed: HashSet<TxId>,
+    rolled_back: HashSet<TxId>,
+    crashes: Vec<Timestamp>,
+    phase_starts: Vec<(Phase, Timestamp)>,
+    send_by_message: HashMap<MessageId, usize>,
+    receives_by_message: HashMap<MessageId, Vec<usize>>,
+    endpoints: BTreeSet<EndpointId>,
+    producers: BTreeSet<ProducerId>,
+    run_window: (Timestamp, Timestamp),
+    trace_end: Timestamp,
+}
+
+impl TraceStore {
+    /// Builds the tables from a trace — the paper's "insert the logs into
+    /// a SQL database" step.
+    pub fn build(trace: &Trace) -> Self {
+        let mut store = TraceStore {
+            run_window: trace.run_window(),
+            trace_end: trace.end(),
+            ..TraceStore::default()
+        };
+        let mut open_consumers: HashMap<ConsumerId, usize> = HashMap::new();
+        for event in trace {
+            store.ingest(event, &mut open_consumers);
+        }
+        store
+    }
+
+    fn ingest(&mut self, event: &Event, open_consumers: &mut HashMap<ConsumerId, usize>) {
+        match &event.kind {
+            EventKind::Send {
+                record,
+                session,
+                tx,
+            } => {
+                let index = self.sends.len();
+                self.send_by_message.insert(record.message, index);
+                self.producers.insert(record.producer);
+                // A queue is a consumer-group end-point even before (or
+                // without) any receiver appearing — messages wait there,
+                // and Property 2 must see it.
+                if let jmst_api::destination::Destination::Queue(queue) = &record.destination {
+                    self.endpoints.insert(EndpointId::Queue(queue.clone()));
+                }
+                self.sends.push(SendRow {
+                    at: event.at,
+                    node: event.node,
+                    session: *session,
+                    tx: *tx,
+                    record: record.clone(),
+                });
+            }
+            EventKind::Receive {
+                consumer,
+                endpoint,
+                record,
+                session,
+                tx,
+            } => {
+                let index = self.receives.len();
+                self.receives_by_message
+                    .entry(record.message)
+                    .or_default()
+                    .push(index);
+                self.endpoints.insert(endpoint.clone());
+                self.receives.push(ReceiveRow {
+                    at: event.at,
+                    node: event.node,
+                    consumer: *consumer,
+                    endpoint: endpoint.clone(),
+                    session: *session,
+                    tx: *tx,
+                    record: record.clone(),
+                });
+            }
+            EventKind::ConsumerCreated {
+                consumer,
+                endpoint,
+                session_mode,
+                selector,
+            } => {
+                let index = self.consumers.len();
+                open_consumers.insert(*consumer, index);
+                self.endpoints.insert(endpoint.clone());
+                self.consumers.push(ConsumerRow {
+                    consumer: *consumer,
+                    endpoint: endpoint.clone(),
+                    session_mode: *session_mode,
+                    selector: selector.clone(),
+                    created_at: event.at,
+                    closed_at: None,
+                });
+            }
+            EventKind::ConsumerClosed { consumer, .. } => {
+                if let Some(&index) = open_consumers.get(consumer) {
+                    self.consumers[index].closed_at = Some(event.at);
+                }
+            }
+            EventKind::Commit { tx, .. } => {
+                self.committed.insert(*tx);
+            }
+            EventKind::Rollback { tx, .. } => {
+                self.rolled_back.insert(*tx);
+            }
+            EventKind::BrokerCrashed => self.crashes.push(event.at),
+            EventKind::PhaseStarted { phase } => self.phase_starts.push((*phase, event.at)),
+            _ => {}
+        }
+    }
+
+    /// The sends table (log order).
+    pub fn sends(&self) -> &[SendRow] {
+        &self.sends
+    }
+
+    /// The receives table (log order).
+    pub fn receives(&self) -> &[ReceiveRow] {
+        &self.receives
+    }
+
+    /// The consumer-lifetimes table.
+    pub fn consumers(&self) -> &[ConsumerRow] {
+        &self.consumers
+    }
+
+    /// All transaction ids that committed.
+    pub fn committed(&self) -> &HashSet<TxId> {
+        &self.committed
+    }
+
+    /// All transaction ids that rolled back.
+    pub fn rolled_back(&self) -> &HashSet<TxId> {
+        &self.rolled_back
+    }
+
+    /// Times at which the broker crashed.
+    pub fn crashes(&self) -> &[Timestamp] {
+        &self.crashes
+    }
+
+    /// Every end-point observed in the trace.
+    pub fn endpoints(&self) -> impl Iterator<Item = &EndpointId> {
+        self.endpoints.iter()
+    }
+
+    /// Every producer observed in the trace.
+    pub fn producers(&self) -> impl Iterator<Item = &ProducerId> {
+        self.producers.iter()
+    }
+
+    /// The measured window `[run start, warm-down start)`.
+    pub fn run_window(&self) -> (Timestamp, Timestamp) {
+        self.run_window
+    }
+
+    /// The timestamp of the last event.
+    pub fn trace_end(&self) -> Timestamp {
+        self.trace_end
+    }
+
+    /// Looks up the send row of a message.
+    pub fn send_of(&self, message: MessageId) -> Option<&SendRow> {
+        self.send_by_message
+            .get(&message)
+            .map(|&index| &self.sends[index])
+    }
+
+    /// Looks up all receive rows of a message.
+    pub fn receives_of(&self, message: MessageId) -> impl Iterator<Item = &ReceiveRow> {
+        self.receives_by_message
+            .get(&message)
+            .into_iter()
+            .flatten()
+            .map(move |&index| &self.receives[index])
+    }
+
+    /// Whether a send is *effective* under Definition 1 of the paper:
+    /// non-transacted, or inside a transaction that later committed.
+    pub fn send_is_effective(&self, row: &SendRow) -> bool {
+        match row.tx {
+            None => true,
+            Some(tx) => self.committed.contains(&tx),
+        }
+    }
+
+    /// Whether a receive is *effective* under Definition 2 of the paper:
+    /// non-transacted, or inside a transaction that later committed.
+    pub fn receive_is_effective(&self, row: &ReceiveRow) -> bool {
+        match row.tx {
+            None => true,
+            Some(tx) => self.committed.contains(&tx),
+        }
+    }
+
+    /// Iterator over effective sends (Definition 1).
+    pub fn effective_sends(&self) -> impl Iterator<Item = &SendRow> {
+        self.sends.iter().filter(|row| self.send_is_effective(row))
+    }
+
+    /// Iterator over effective receives (Definition 2).
+    pub fn effective_receives(&self) -> impl Iterator<Item = &ReceiveRow> {
+        self.receives
+            .iter()
+            .filter(|row| self.receive_is_effective(row))
+    }
+
+    /// The last close of an end-point (Definition 4), if any consumer of
+    /// it ever closed.
+    pub fn last_close(&self, endpoint: &EndpointId) -> Option<Timestamp> {
+        self.consumers
+            .iter()
+            .filter(|row| &row.endpoint == endpoint)
+            .filter_map(|row| row.closed_at)
+            .max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jmst_api::destination::Destination;
+    use jmst_api::modes::{DeliveryMode, Priority, TimeToLive};
+
+    fn record(message: u64, producer: u64, sequence: u64) -> MessageRecord {
+        MessageRecord {
+            message: MessageId::from_raw(message),
+            producer: ProducerId::from_raw(producer),
+            sequence,
+            destination: Destination::queue("q"),
+            priority: Priority::DEFAULT,
+            delivery_mode: DeliveryMode::Persistent,
+            time_to_live: TimeToLive::FOREVER,
+            sent_at: Timestamp::from_millis(sequence),
+            body_bytes: 10,
+            redelivered: false,
+            properties: Default::default(),
+        }
+    }
+
+    fn event(seq: u64, at_ms: u64, kind: EventKind) -> Event {
+        Event {
+            seq,
+            at: Timestamp::from_millis(at_ms),
+            node: NodeId::from_raw(0),
+            kind,
+        }
+    }
+
+    fn endpoint() -> EndpointId {
+        EndpointId::for_queue("q".into())
+    }
+
+    #[test]
+    fn builds_send_and_receive_tables_with_indexes() {
+        let trace = Trace::from_events(vec![
+            event(
+                0,
+                1,
+                EventKind::Send {
+                    record: record(1, 1, 0),
+                    session: SessionId::from_raw(1),
+                    tx: None,
+                },
+            ),
+            event(
+                1,
+                2,
+                EventKind::Receive {
+                    consumer: ConsumerId::from_raw(9),
+                    endpoint: endpoint(),
+                    record: record(1, 1, 0),
+                    session: SessionId::from_raw(2),
+                    tx: None,
+                },
+            ),
+        ]);
+        let store = TraceStore::build(&trace);
+        assert_eq!(store.sends().len(), 1);
+        assert_eq!(store.receives().len(), 1);
+        assert!(store.send_of(MessageId::from_raw(1)).is_some());
+        assert_eq!(store.receives_of(MessageId::from_raw(1)).count(), 1);
+        assert_eq!(store.receives_of(MessageId::from_raw(2)).count(), 0);
+        assert_eq!(store.producers().count(), 1);
+        assert_eq!(store.endpoints().count(), 1);
+    }
+
+    #[test]
+    fn transactional_effectiveness_follows_commit_outcome() {
+        let committed_tx = TxId::from_raw(10);
+        let aborted_tx = TxId::from_raw(11);
+        let trace = Trace::from_events(vec![
+            event(
+                0,
+                1,
+                EventKind::Send {
+                    record: record(1, 1, 0),
+                    session: SessionId::from_raw(1),
+                    tx: Some(committed_tx),
+                },
+            ),
+            event(
+                1,
+                2,
+                EventKind::Send {
+                    record: record(2, 1, 1),
+                    session: SessionId::from_raw(1),
+                    tx: Some(aborted_tx),
+                },
+            ),
+            event(
+                2,
+                3,
+                EventKind::Send {
+                    record: record(3, 1, 2),
+                    session: SessionId::from_raw(1),
+                    tx: None,
+                },
+            ),
+            event(
+                3,
+                4,
+                EventKind::Commit {
+                    session: SessionId::from_raw(1),
+                    tx: committed_tx,
+                },
+            ),
+            event(
+                4,
+                5,
+                EventKind::Rollback {
+                    session: SessionId::from_raw(1),
+                    tx: aborted_tx,
+                },
+            ),
+        ]);
+        let store = TraceStore::build(&trace);
+        let effective: Vec<u64> = store
+            .effective_sends()
+            .map(|row| row.record.message.as_u64())
+            .collect();
+        assert_eq!(effective, [1, 3]);
+        assert!(store.committed().contains(&committed_tx));
+        assert!(store.rolled_back().contains(&aborted_tx));
+    }
+
+    #[test]
+    fn uncommitted_transaction_is_not_effective() {
+        // A transaction with no commit/rollback record (e.g. crashed) is
+        // treated as not committed.
+        let trace = Trace::from_events(vec![event(
+            0,
+            1,
+            EventKind::Send {
+                record: record(1, 1, 0),
+                session: SessionId::from_raw(1),
+                tx: Some(TxId::from_raw(99)),
+            },
+        )]);
+        let store = TraceStore::build(&trace);
+        assert_eq!(store.effective_sends().count(), 0);
+    }
+
+    #[test]
+    fn consumer_lifetimes_and_last_close() {
+        let trace = Trace::from_events(vec![
+            event(
+                0,
+                1,
+                EventKind::ConsumerCreated {
+                    consumer: ConsumerId::from_raw(1),
+                    endpoint: endpoint(),
+                    session_mode: SessionMode::AutoAcknowledge,
+                    selector: None,
+                },
+            ),
+            event(
+                1,
+                5,
+                EventKind::ConsumerClosed {
+                    consumer: ConsumerId::from_raw(1),
+                    endpoint: endpoint(),
+                },
+            ),
+            event(
+                2,
+                6,
+                EventKind::ConsumerCreated {
+                    consumer: ConsumerId::from_raw(2),
+                    endpoint: endpoint(),
+                    session_mode: SessionMode::AutoAcknowledge,
+                    selector: None,
+                },
+            ),
+            event(
+                3,
+                9,
+                EventKind::ConsumerClosed {
+                    consumer: ConsumerId::from_raw(2),
+                    endpoint: endpoint(),
+                },
+            ),
+        ]);
+        let store = TraceStore::build(&trace);
+        assert_eq!(store.consumers().len(), 2);
+        assert_eq!(store.consumers()[0].closed_at, Some(Timestamp::from_millis(5)));
+        assert_eq!(store.last_close(&endpoint()), Some(Timestamp::from_millis(9)));
+        let other = EndpointId::for_queue("other".into());
+        assert_eq!(store.last_close(&other), None);
+    }
+
+    #[test]
+    fn crashes_and_phases_are_captured() {
+        let trace = Trace::from_events(vec![
+            event(0, 1, EventKind::PhaseStarted { phase: Phase::WarmUp }),
+            event(1, 10, EventKind::PhaseStarted { phase: Phase::Run }),
+            event(2, 15, EventKind::BrokerCrashed),
+            event(3, 16, EventKind::BrokerRecovered),
+            event(
+                4,
+                90,
+                EventKind::PhaseStarted {
+                    phase: Phase::WarmDown,
+                },
+            ),
+        ]);
+        let store = TraceStore::build(&trace);
+        assert_eq!(store.crashes(), &[Timestamp::from_millis(15)]);
+        assert_eq!(
+            store.run_window(),
+            (Timestamp::from_millis(10), Timestamp::from_millis(90))
+        );
+        assert_eq!(store.trace_end(), Timestamp::from_millis(90));
+    }
+
+    #[test]
+    fn duplicate_receives_indexed_per_message() {
+        let trace = Trace::from_events(vec![
+            event(
+                0,
+                1,
+                EventKind::Send {
+                    record: record(1, 1, 0),
+                    session: SessionId::from_raw(1),
+                    tx: None,
+                },
+            ),
+            event(
+                1,
+                2,
+                EventKind::Receive {
+                    consumer: ConsumerId::from_raw(9),
+                    endpoint: endpoint(),
+                    record: record(1, 1, 0),
+                    session: SessionId::from_raw(2),
+                    tx: None,
+                },
+            ),
+            event(
+                2,
+                3,
+                EventKind::Receive {
+                    consumer: ConsumerId::from_raw(9),
+                    endpoint: endpoint(),
+                    record: record(1, 1, 0),
+                    session: SessionId::from_raw(2),
+                    tx: None,
+                },
+            ),
+        ]);
+        let store = TraceStore::build(&trace);
+        assert_eq!(store.receives_of(MessageId::from_raw(1)).count(), 2);
+    }
+}

@@ -1,0 +1,348 @@
+//! Traces and the thread-safe recorder the harness logs through.
+
+use crate::event::{Event, EventKind, Phase};
+use jmst_api::id::NodeId;
+use jmst_api::time::{Clock, Timestamp};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// An execution trace: the complete, ordered log of one test run.
+///
+/// Events are ordered by `(at, seq)` — timestamp first, recorder sequence
+/// as the tie-breaker — which is the order the analysis model consumes
+/// them in.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<Event>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a trace from raw events, sorting them into canonical order.
+    pub fn from_events(mut events: Vec<Event>) -> Self {
+        events.sort_by_key(|event| (event.at, event.seq));
+        Self { events }
+    }
+
+    /// The events in canonical order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if the trace has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates over the events.
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.events.iter()
+    }
+
+    /// Merges several per-node traces into one, re-sorting into canonical
+    /// order — what the daemon prince does when test logs "are collected
+    /// and returned" (paper §4).
+    pub fn merge<I: IntoIterator<Item = Trace>>(traces: I) -> Trace {
+        let mut events = Vec::new();
+        for trace in traces {
+            events.extend(trace.events);
+        }
+        Trace::from_events(events)
+    }
+
+    /// Returns the time the given phase started, if recorded.
+    pub fn phase_start(&self, phase: Phase) -> Option<Timestamp> {
+        self.events.iter().find_map(|event| match &event.kind {
+            EventKind::PhaseStarted { phase: p } if *p == phase => Some(event.at),
+            _ => None,
+        })
+    }
+
+    /// Returns the measured window `[run start, warm-down start)`, the
+    /// period the paper computes performance over. Falls back to the whole
+    /// trace when phase markers are missing.
+    pub fn run_window(&self) -> (Timestamp, Timestamp) {
+        let start = self
+            .phase_start(Phase::Run)
+            .or_else(|| self.events.first().map(|e| e.at))
+            .unwrap_or(Timestamp::ZERO);
+        let end = self
+            .phase_start(Phase::WarmDown)
+            .or_else(|| self.events.last().map(|e| e.at))
+            .unwrap_or(start);
+        (start, end)
+    }
+
+    /// The timestamp of the last event, or zero for an empty trace.
+    pub fn end(&self) -> Timestamp {
+        self.events.last().map(|e| e.at).unwrap_or(Timestamp::ZERO)
+    }
+}
+
+impl IntoIterator for Trace {
+    type Item = Event;
+    type IntoIter = std::vec::IntoIter<Event>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+impl FromIterator<Event> for Trace {
+    fn from_iter<I: IntoIterator<Item = Event>>(iter: I) -> Self {
+        Trace::from_events(iter.into_iter().collect())
+    }
+}
+
+impl Extend<Event> for Trace {
+    fn extend<I: IntoIterator<Item = Event>>(&mut self, iter: I) {
+        self.events.extend(iter);
+        self.events.sort_by_key(|event| (event.at, event.seq));
+    }
+}
+
+#[derive(Debug, Default)]
+struct RecorderShared {
+    events: Mutex<Vec<Event>>,
+    next_seq: AtomicU64,
+}
+
+/// A thread-safe event recorder shared by every driver in a test run.
+///
+/// Cloning is cheap; all clones append to the same log. Each harness node
+/// logs through a [`NodeRecorder`] that stamps its node id and reads its
+/// own clock — which may be deliberately skewed to model imperfect NTP
+/// synchronisation.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    shared: Arc<RecorderShared>,
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates the per-node logging handle.
+    pub fn node(&self, node: NodeId, clock: Arc<dyn Clock>) -> NodeRecorder {
+        NodeRecorder {
+            shared: Arc::clone(&self.shared),
+            node,
+            clock,
+        }
+    }
+
+    /// Number of events logged so far.
+    pub fn len(&self) -> usize {
+        self.shared.events.lock().len()
+    }
+
+    /// Returns `true` if nothing has been logged.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Takes a snapshot of the log as a canonical [`Trace`].
+    pub fn snapshot(&self) -> Trace {
+        Trace::from_events(self.shared.events.lock().clone())
+    }
+
+    /// Consumes the recorder, returning the final trace. Other clones keep
+    /// working; this simply snapshots and drops this handle.
+    pub fn into_trace(self) -> Trace {
+        self.snapshot()
+    }
+}
+
+/// A recorder handle bound to one harness node and its clock.
+#[derive(Debug, Clone)]
+pub struct NodeRecorder {
+    shared: Arc<RecorderShared>,
+    node: NodeId,
+    clock: Arc<dyn Clock>,
+}
+
+impl NodeRecorder {
+    /// Logs an event, stamping the node id, node clock time, and a global
+    /// sequence number.
+    pub fn record(&self, kind: EventKind) {
+        let event = Event {
+            seq: self.shared.next_seq.fetch_add(1, Ordering::Relaxed),
+            at: self.clock.now(),
+            node: self.node,
+            kind,
+        };
+        self.shared.events.lock().push(event);
+    }
+
+    /// Logs an event with an explicit timestamp (used when the moment of
+    /// interest is not "now", e.g. a send stamped by the provider).
+    pub fn record_at(&self, at: Timestamp, kind: EventKind) {
+        let event = Event {
+            seq: self.shared.next_seq.fetch_add(1, Ordering::Relaxed),
+            at,
+            node: self.node,
+            kind,
+        };
+        self.shared.events.lock().push(event);
+    }
+
+    /// The node this handle logs as.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// The clock this handle stamps events with.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jmst_api::time::SystemClock;
+
+    fn event(seq: u64, at_ms: u64) -> Event {
+        Event {
+            seq,
+            at: Timestamp::from_millis(at_ms),
+            node: NodeId::from_raw(0),
+            kind: EventKind::BrokerCrashed,
+        }
+    }
+
+    #[test]
+    fn from_events_sorts_canonically() {
+        let trace = Trace::from_events(vec![event(2, 30), event(0, 10), event(1, 10)]);
+        let seqs: Vec<u64> = trace.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, [0, 1, 2]);
+        assert_eq!(trace.end(), Timestamp::from_millis(30));
+    }
+
+    #[test]
+    fn merge_combines_and_sorts() {
+        let a = Trace::from_events(vec![event(0, 10), event(2, 30)]);
+        let b = Trace::from_events(vec![event(1, 20)]);
+        let merged = Trace::merge([a, b]);
+        let times: Vec<u64> = merged.iter().map(|e| e.at.as_millis()).collect();
+        assert_eq!(times, [10, 20, 30]);
+        assert_eq!(merged.len(), 3);
+    }
+
+    #[test]
+    fn phase_markers_define_run_window() {
+        let mut events = vec![event(0, 0)];
+        events.push(Event {
+            seq: 1,
+            at: Timestamp::from_millis(100),
+            node: NodeId::from_raw(0),
+            kind: EventKind::PhaseStarted { phase: Phase::Run },
+        });
+        events.push(Event {
+            seq: 2,
+            at: Timestamp::from_millis(900),
+            node: NodeId::from_raw(0),
+            kind: EventKind::PhaseStarted {
+                phase: Phase::WarmDown,
+            },
+        });
+        let trace = Trace::from_events(events);
+        assert_eq!(
+            trace.run_window(),
+            (Timestamp::from_millis(100), Timestamp::from_millis(900))
+        );
+        assert_eq!(trace.phase_start(Phase::WarmUp), None);
+    }
+
+    #[test]
+    fn run_window_falls_back_to_whole_trace() {
+        let trace = Trace::from_events(vec![event(0, 5), event(1, 50)]);
+        assert_eq!(
+            trace.run_window(),
+            (Timestamp::from_millis(5), Timestamp::from_millis(50))
+        );
+        let empty = Trace::new();
+        assert_eq!(empty.run_window(), (Timestamp::ZERO, Timestamp::ZERO));
+    }
+
+    #[test]
+    fn recorder_clones_share_the_log() {
+        let recorder = Recorder::new();
+        let clock: Arc<dyn Clock> = Arc::new(SystemClock::new());
+        let a = recorder.node(NodeId::from_raw(1), Arc::clone(&clock));
+        let b = recorder.node(NodeId::from_raw(2), clock);
+        a.record(EventKind::BrokerCrashed);
+        b.record(EventKind::BrokerRecovered);
+        assert_eq!(recorder.len(), 2);
+        let trace = recorder.snapshot();
+        let nodes: Vec<u64> = trace.iter().map(|e| e.node.as_u64()).collect();
+        assert_eq!(nodes.len(), 2);
+        assert!(nodes.contains(&1) && nodes.contains(&2));
+    }
+
+    #[test]
+    fn recorder_seq_is_globally_unique_across_threads() {
+        let recorder = Recorder::new();
+        let clock: Arc<dyn Clock> = Arc::new(SystemClock::new());
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let node = recorder.node(NodeId::from_raw(i), Arc::clone(&clock));
+                std::thread::spawn(move || {
+                    for _ in 0..250 {
+                        node.record(EventKind::BrokerCrashed);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let trace = recorder.into_trace();
+        let mut seqs: Vec<u64> = trace.iter().map(|e| e.seq).collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        assert_eq!(seqs.len(), 1000);
+    }
+
+    #[test]
+    fn record_at_uses_explicit_timestamp() {
+        let recorder = Recorder::new();
+        let clock: Arc<dyn Clock> = Arc::new(SystemClock::new());
+        let node = recorder.node(NodeId::from_raw(0), clock);
+        node.record_at(Timestamp::from_millis(123), EventKind::BrokerCrashed);
+        assert_eq!(
+            recorder.snapshot().events()[0].at,
+            Timestamp::from_millis(123)
+        );
+    }
+
+    #[test]
+    fn trace_collect_and_extend() {
+        let mut trace: Trace = vec![event(1, 20)].into_iter().collect();
+        trace.extend(vec![event(0, 10)]);
+        let times: Vec<u64> = trace.iter().map(|e| e.at.as_millis()).collect();
+        assert_eq!(times, [10, 20]);
+    }
+}

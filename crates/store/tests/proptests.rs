@@ -1,0 +1,174 @@
+//! Property-based tests of the trace store: canonical ordering, merge
+//! semantics, index consistency, and statistics invariants.
+
+use jmst_api::destination::{Destination, EndpointId};
+use jmst_api::id::{ConsumerId, MessageId, NodeId, ProducerId, SessionId, TxId};
+use jmst_api::modes::{DeliveryMode, Priority, TimeToLive};
+use jmst_api::time::Timestamp;
+use jmst_store::event::{Event, EventKind, MessageRecord};
+use jmst_store::stats::SummaryStats;
+use jmst_store::trace::Trace;
+use jmst_store::TraceStore;
+use proptest::prelude::*;
+
+fn record(message: u64, producer: u64, sequence: u64) -> MessageRecord {
+    MessageRecord {
+        message: MessageId::from_raw(message),
+        producer: ProducerId::from_raw(producer),
+        sequence,
+        destination: Destination::queue("q"),
+        priority: Priority::DEFAULT,
+        delivery_mode: DeliveryMode::Persistent,
+        time_to_live: TimeToLive::FOREVER,
+        sent_at: Timestamp::from_millis(sequence),
+        body_bytes: 16,
+        redelivered: false,
+        properties: Default::default(),
+    }
+}
+
+/// Generates an arbitrary soup of events with random timestamps.
+fn arb_events() -> impl Strategy<Value = Vec<Event>> {
+    prop::collection::vec(
+        (0u64..1_000, 0u64..5, 0u64..100, prop_oneof![Just(0u8), Just(1), Just(2), Just(3)]),
+        0..60,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .enumerate()
+            .map(|(i, (at, node, message, kind))| Event {
+                seq: i as u64,
+                at: Timestamp::from_millis(at),
+                node: NodeId::from_raw(node),
+                kind: match kind {
+                    0 => EventKind::Send {
+                        record: record(message, message % 3, message),
+                        session: SessionId::from_raw(1),
+                        tx: None,
+                    },
+                    1 => EventKind::Receive {
+                        consumer: ConsumerId::from_raw(7),
+                        endpoint: EndpointId::for_queue("q".into()),
+                        record: record(message, message % 3, message),
+                        session: SessionId::from_raw(2),
+                        tx: None,
+                    },
+                    2 => EventKind::Commit {
+                        session: SessionId::from_raw(1),
+                        tx: TxId::from_raw(message),
+                    },
+                    _ => EventKind::BrokerCrashed,
+                },
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn from_events_produces_canonical_order(events in arb_events()) {
+        let trace = Trace::from_events(events.clone());
+        prop_assert_eq!(trace.len(), events.len());
+        for window in trace.events().windows(2) {
+            prop_assert!(
+                (window[0].at, window[0].seq) <= (window[1].at, window[1].seq),
+                "not canonically ordered"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_order_insensitive(events in arb_events(), split in any::<prop::sample::Index>()) {
+        let cut = if events.is_empty() { 0 } else { split.index(events.len()) };
+        let (left, right) = events.split_at(cut);
+        let a = Trace::merge([
+            Trace::from_events(left.to_vec()),
+            Trace::from_events(right.to_vec()),
+        ]);
+        let b = Trace::merge([
+            Trace::from_events(right.to_vec()),
+            Trace::from_events(left.to_vec()),
+        ]);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn store_tables_are_consistent_with_the_trace(events in arb_events()) {
+        let trace = Trace::from_events(events);
+        let store = TraceStore::build(&trace);
+        let sends = trace
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Send { .. }))
+            .count();
+        let receives = trace
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Receive { .. }))
+            .count();
+        let crashes = trace
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::BrokerCrashed))
+            .count();
+        prop_assert_eq!(store.sends().len(), sends);
+        prop_assert_eq!(store.receives().len(), receives);
+        prop_assert_eq!(store.crashes().len(), crashes);
+        // Indexes resolve every row.
+        for row in store.receives() {
+            let found = store.receives_of(row.record.message).count();
+            prop_assert!(found >= 1);
+        }
+        for row in store.sends() {
+            // Later sends of the same message id overwrite the index, but
+            // the index must always point at *a* send of that id.
+            let indexed = store.send_of(row.record.message).expect("indexed");
+            prop_assert_eq!(indexed.record.message, row.record.message);
+        }
+        // Effective sets are subsets.
+        prop_assert!(store.effective_sends().count() <= sends);
+        prop_assert!(store.effective_receives().count() <= receives);
+    }
+
+    #[test]
+    fn summary_stats_merge_any_split(
+        samples in prop::collection::vec(-1e6f64..1e6, 1..200),
+        split in any::<prop::sample::Index>(),
+    ) {
+        let cut = split.index(samples.len());
+        let all: SummaryStats = samples.iter().copied().collect();
+        let mut left: SummaryStats = samples[..cut].iter().copied().collect();
+        let right: SummaryStats = samples[cut..].iter().copied().collect();
+        left.merge(&right);
+        prop_assert_eq!(left.count(), all.count());
+        prop_assert!((left.mean() - all.mean()).abs() < 1e-6 * (1.0 + all.mean().abs()));
+        prop_assert!(
+            (left.variance() - all.variance()).abs()
+                < 1e-6 * (1.0 + all.variance().abs())
+        );
+    }
+
+    #[test]
+    fn stats_bounds_hold(samples in prop::collection::vec(-1e9f64..1e9, 1..100)) {
+        let stats: SummaryStats = samples.iter().copied().collect();
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(stats.min(), Some(min));
+        prop_assert_eq!(stats.max(), Some(max));
+        prop_assert!(stats.mean() >= min - 1e-9 && stats.mean() <= max + 1e-9);
+        prop_assert!(stats.variance() >= 0.0);
+    }
+
+    #[test]
+    fn csv_export_row_count_matches_message_events(events in arb_events()) {
+        let trace = Trace::from_events(events);
+        let csv = jmst_store::csv::trace_to_csv(&trace);
+        let message_events = trace
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    EventKind::Send { .. } | EventKind::Receive { .. }
+                )
+            })
+            .count();
+        prop_assert_eq!(csv.lines().count(), message_events + 1); // + header
+    }
+}

@@ -1,0 +1,133 @@
+//! Request/reply over queues: the classic JMS pattern exercising the
+//! `reply_to` and `correlation_id` headers and message selectors — a
+//! realistic application built directly on the provider API (no harness),
+//! showing the substrate is a usable messaging library in its own right.
+//!
+//! A pricing service consumes requests from `quotes.requests` and replies
+//! to each requester's reply queue; two clients issue requests
+//! concurrently and match replies by correlation id using a selector.
+//!
+//! ```sh
+//! cargo run --example request_reply
+//! ```
+
+use jmst::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+const REQUESTS: &str = "quotes.requests";
+
+fn pricing_service(provider: Arc<dyn jmst::api::provider::Provider>) -> std::thread::JoinHandle<usize> {
+    std::thread::spawn(move || {
+        let mut connection = provider.create_connection(None).expect("connect");
+        connection.start().expect("start");
+        let mut session = connection
+            .create_session(SessionMode::AutoAcknowledge)
+            .expect("session");
+        let mut requests = session
+            .create_consumer(&Destination::queue(REQUESTS), None)
+            .expect("consumer");
+        let mut served = 0;
+        // Serve until the request queue stays quiet.
+        while let Ok(Some(request)) = requests.receive(Some(Duration::from_millis(300))) {
+            let symbol = request
+                .properties()
+                .get("symbol")
+                .and_then(Value::as_str)
+                .unwrap_or("???")
+                .to_owned();
+            // Deterministic "pricing".
+            let price = 100.0 + symbol.bytes().map(f64::from).sum::<f64>() / 10.0;
+            let reply_to = request.reply_to().expect("requests carry reply_to").clone();
+            let correlation = request
+                .correlation_id()
+                .expect("requests carry correlation ids")
+                .to_owned();
+            let mut replier = session.create_producer(&reply_to).expect("producer");
+            replier
+                .send(
+                    MessageDraft::new(Body::map([
+                        ("symbol", Value::from(symbol.as_str())),
+                        ("price", Value::Double(price)),
+                    ]))
+                    .correlation_id(correlation),
+                )
+                .expect("reply");
+            served += 1;
+        }
+        served
+    })
+}
+
+fn client(
+    provider: Arc<dyn jmst::api::provider::Provider>,
+    name: &'static str,
+    symbols: &'static [&'static str],
+) -> std::thread::JoinHandle<Vec<(String, f64)>> {
+    std::thread::spawn(move || {
+        let mut connection = provider.create_connection(None).expect("connect");
+        connection.start().expect("start");
+        let mut session = connection
+            .create_session(SessionMode::AutoAcknowledge)
+            .expect("session");
+        let reply_queue = Destination::queue(format!("quotes.replies.{name}"));
+        let mut requester = session
+            .create_producer(&Destination::queue(REQUESTS))
+            .expect("producer");
+        let mut quotes = Vec::new();
+        for (index, symbol) in symbols.iter().enumerate() {
+            let correlation = format!("{name}-{index}");
+            requester
+                .send(
+                    MessageDraft::text("quote request")
+                        .property("symbol", Value::from(*symbol))
+                        .expect("valid property")
+                        .reply_to(reply_queue.clone())
+                        .correlation_id(correlation.clone()),
+                )
+                .expect("request");
+            // Wait for *this* request's reply, selected by correlation id.
+            let mut reply_consumer = session
+                .create_consumer(
+                    &reply_queue,
+                    Some(&format!("JMSCorrelationID = '{correlation}'")),
+                )
+                .expect("reply consumer");
+            let reply = reply_consumer
+                .receive(Some(Duration::from_secs(2)))
+                .expect("receive")
+                .expect("service replied");
+            assert_eq!(reply.correlation_id(), Some(correlation.as_str()));
+            let Body::Map(fields) = reply.body() else {
+                panic!("replies are map messages")
+            };
+            quotes.push((
+                fields["symbol"].as_str().expect("symbol").to_owned(),
+                fields["price"].as_f64().expect("price"),
+            ));
+            reply_consumer.close().expect("close");
+        }
+        quotes
+    })
+}
+
+fn main() {
+    // JMSCorrelationID selectors need the header resolvable; our selector
+    // engine resolves it (see jmst_api::selector).
+    let provider: Arc<dyn jmst::api::provider::Provider> = Arc::new(ReferenceBroker::new());
+    let service = pricing_service(Arc::clone(&provider));
+    let alice = client(Arc::clone(&provider), "alice", &["ACME", "GLOBEX", "INITECH"]);
+    let bob = client(Arc::clone(&provider), "bob", &["HOOLI", "ACME"]);
+
+    let alice_quotes = alice.join().expect("alice finished");
+    let bob_quotes = bob.join().expect("bob finished");
+    let served = service.join().expect("service finished");
+
+    println!("pricing service answered {served} requests\n");
+    for (who, quotes) in [("alice", alice_quotes), ("bob", bob_quotes)] {
+        for (symbol, price) in quotes {
+            println!("  {who}: {symbol} @ {price:.2}");
+        }
+    }
+    assert_eq!(served, 5);
+}

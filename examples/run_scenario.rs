@@ -1,0 +1,64 @@
+//! Run a test described in the plain-text scenario format — the paper's
+//! "configure tests without writing code" workflow (§3.2, §5).
+//!
+//! ```sh
+//! cargo run --example run_scenario                 # built-in demo scenario
+//! cargo run --example run_scenario -- my_test.cfg  # your own scenario file
+//! ```
+
+use jmst::harness::parse_spec;
+use jmst::prelude::*;
+use std::sync::Arc;
+
+const DEMO: &str = r#"
+[test]
+name = demo-scenario
+seed = 7
+warm_up = 100ms
+run = 800ms
+warm_down = 3s
+
+[node front]
+
+[producer]
+destination = topic:ticker
+rate = poisson 300
+body = bytes 256
+priority = 6
+
+[producer]
+destination = topic:ticker
+rate = burst 20 every 100ms
+body = text 128
+delivery = non-persistent
+
+[node back]
+
+[consumer]
+destination = topic:ticker
+durable = archiver
+mode = client-ack 10
+
+[consumer]
+destination = topic:ticker
+selector = JMSPriority >= 5
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let text = match std::env::args().nth(1) {
+        Some(path) if !path.starts_with("--") => std::fs::read_to_string(path)?,
+        _ => DEMO.to_owned(),
+    };
+    let spec = parse_spec(&text)?;
+    println!(
+        "running {:?}: {} producer(s), {} consumer(s)",
+        spec.name,
+        spec.producer_count(),
+        spec.consumer_count()
+    );
+    let broker = ReferenceBroker::new();
+    let trace = ThreadedRunner::new().run(Arc::new(broker), None, &spec)?;
+    let report = Analyzer::new().analyze(&trace);
+    println!("{report}");
+    Ok(())
+}

@@ -1,0 +1,118 @@
+//! End-to-end fault-detection matrix: the harness runs the same workload
+//! against a correct broker and against each known-faulty configuration,
+//! and the analysis must flag exactly the property each fault violates —
+//! the reproduction's ground-truth version of the paper's black-box
+//! testing of commercial providers.
+
+use jmst::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn queue_spec(name: &str) -> TestSpec {
+    TestSpec::new(name)
+        .with_periods(
+            Duration::from_millis(30),
+            Duration::from_millis(300),
+            Duration::from_secs(3),
+        )
+        .node(
+            NodeSpec::new("n0")
+                .producer(ProducerSpec::steady(Destination::queue("q"), 300.0, 128))
+                .consumer(ConsumerSpec::auto(Destination::queue("q"))),
+        )
+}
+
+fn run_against(config: BrokerConfig, spec: &TestSpec) -> AnalysisReport {
+    let broker = ReferenceBroker::with_config(config);
+    let trace = ThreadedRunner::new()
+        .run(Arc::new(broker), None, spec)
+        .expect("test must complete");
+    Analyzer::new().analyze(&trace)
+}
+
+#[test]
+fn correct_broker_passes_everything() {
+    let report = run_against(BrokerConfig::correct(), &queue_spec("clean"));
+    assert!(report.passed(), "{report}");
+    assert!(report.sends > 30, "only {} sends", report.sends);
+    assert_eq!(report.sends, report.receives);
+}
+
+#[test]
+fn dropping_broker_violates_required_messages_only() {
+    let config =
+        BrokerConfig::correct().with_faults(FaultSpec::none().dropping(0.25).seeded(11));
+    let report = run_against(config, &queue_spec("dropper"));
+    assert!(!report.passed());
+    assert!(report.count_of(PropertyKind::RequiredMessages) > 0, "{report}");
+    assert_eq!(report.count_of(PropertyKind::DeliveryIntegrity), 0);
+    assert_eq!(report.count_of(PropertyKind::MessageOrdering), 0);
+    assert_eq!(report.count_of(PropertyKind::DuplicateDelivery), 0);
+}
+
+#[test]
+fn duplicating_broker_violates_duplicate_check_only() {
+    let config =
+        BrokerConfig::correct().with_faults(FaultSpec::none().duplicating(0.25).seeded(12));
+    let report = run_against(config, &queue_spec("duplicator"));
+    assert!(!report.passed());
+    assert!(report.count_of(PropertyKind::DuplicateDelivery) > 0, "{report}");
+    assert_eq!(report.count_of(PropertyKind::RequiredMessages), 0);
+    assert_eq!(report.count_of(PropertyKind::DeliveryIntegrity), 0);
+}
+
+#[test]
+fn reordering_broker_violates_ordering_only() {
+    let config = BrokerConfig::correct().with_faults(
+        FaultSpec::none()
+            .reordering(0.15, Duration::from_millis(60))
+            .seeded(13),
+    );
+    let report = run_against(config, &queue_spec("reorderer"));
+    assert!(!report.passed());
+    assert!(report.count_of(PropertyKind::MessageOrdering) > 0, "{report}");
+    assert_eq!(report.count_of(PropertyKind::RequiredMessages), 0, "{report}");
+    assert_eq!(report.count_of(PropertyKind::DeliveryIntegrity), 0);
+    assert_eq!(report.count_of(PropertyKind::DuplicateDelivery), 0);
+}
+
+#[test]
+fn forging_broker_violates_delivery_integrity_only() {
+    let config =
+        BrokerConfig::correct().with_faults(FaultSpec::none().forging(0.15).seeded(14));
+    let report = run_against(config, &queue_spec("forger"));
+    assert!(!report.passed());
+    assert!(report.count_of(PropertyKind::DeliveryIntegrity) > 0, "{report}");
+    assert_eq!(report.count_of(PropertyKind::RequiredMessages), 0);
+    assert_eq!(report.count_of(PropertyKind::MessageOrdering), 0);
+    assert_eq!(report.count_of(PropertyKind::DuplicateDelivery), 0);
+}
+
+#[test]
+fn campaign_over_all_faulty_providers_summarises_correctly() {
+    // The paper's use case: one campaign comparing several providers on
+    // the same workload, with the prince resetting between tests.
+    let prince = DaemonPrince::new();
+    let factory = |spec: &TestSpec| -> (
+        Arc<dyn jmst::api::provider::Provider>,
+        Option<Arc<dyn BrokerAdmin>>,
+    ) {
+        let config = match spec.name.as_str() {
+            "provider-dropper" => BrokerConfig::correct()
+                .with_faults(FaultSpec::none().dropping(0.3).seeded(21)),
+            "provider-forger" => BrokerConfig::correct()
+                .with_faults(FaultSpec::none().forging(0.2).seeded(22)),
+            _ => BrokerConfig::correct(),
+        };
+        (Arc::new(ReferenceBroker::with_config(config)), None)
+    };
+    let specs = vec![
+        queue_spec("provider-clean"),
+        queue_spec("provider-dropper"),
+        queue_spec("provider-forger"),
+    ];
+    let report = prince.run_campaign(&factory, &specs);
+    assert_eq!(report.passed(), 1);
+    assert_eq!(report.violated(), 2);
+    assert_eq!(report.failed(), 0);
+}
