@@ -148,10 +148,7 @@ impl Body {
         match self {
             Body::Text(s) => s.len(),
             Body::Bytes(b) => b.len(),
-            Body::Map(m) => m
-                .iter()
-                .map(|(k, v)| k.len() + v.wire_size())
-                .sum(),
+            Body::Map(m) => m.iter().map(|(k, v)| k.len() + v.wire_size()).sum(),
             Body::Stream(vs) => vs.iter().map(Value::wire_size).sum(),
             Body::Object { class, data } => class.len() + data.len(),
         }
@@ -230,10 +227,7 @@ mod tests {
     fn kinds_match_constructors() {
         assert_eq!(Body::text("x").kind(), BodyKind::Text);
         assert_eq!(Body::bytes(vec![1u8, 2]).kind(), BodyKind::Bytes);
-        assert_eq!(
-            Body::map([("a", Value::Int(1))]).kind(),
-            BodyKind::Map
-        );
+        assert_eq!(Body::map([("a", Value::Int(1))]).kind(), BodyKind::Map);
         assert_eq!(Body::stream([Value::Bool(true)]).kind(), BodyKind::Stream);
         assert_eq!(Body::object("C", vec![0u8]).kind(), BodyKind::Object);
     }
@@ -267,7 +261,7 @@ mod tests {
             assert_eq!(body.kind(), kind);
             let size = body.size_bytes();
             assert!(
-                size >= 512 && size <= 1536,
+                (512..=1536).contains(&size),
                 "{kind} synthetic size {size} too far from request"
             );
         }

@@ -254,7 +254,9 @@ mod tests {
         let handles: Vec<_> = (0..8)
             .map(|_| {
                 let g = Arc::clone(&generator);
-                std::thread::spawn(move || (0..500).map(|_| g.next_message_id()).collect::<Vec<_>>())
+                std::thread::spawn(move || {
+                    (0..500).map(|_| g.next_message_id()).collect::<Vec<_>>()
+                })
             })
             .collect();
         let mut seen = HashSet::new();

@@ -55,8 +55,8 @@ pub mod prelude {
     pub use crate::destination::{Destination, EndpointId, QueueName, TopicName};
     pub use crate::error::Error;
     pub use crate::id::{
-        ClientId, ConnectionId, ConsumerId, IdGenerator, MessageId, NodeId, ProducerId,
-        SessionId, TxId,
+        ClientId, ConnectionId, ConsumerId, IdGenerator, MessageId, NodeId, ProducerId, SessionId,
+        TxId,
     };
     pub use crate::message::{Message, MessageDraft, Stamp};
     pub use crate::modes::{DeliveryMode, Priority, SessionMode, TimeToLive};

@@ -352,6 +352,16 @@ impl Message {
             redelivered: true,
         }
     }
+
+    /// Returns `true` if `other` shares this message's payload storage
+    /// (headers, properties and body behind the same allocation).
+    ///
+    /// A broker that fans one publish out to many subscribers without
+    /// copying bodies delivers messages for which this holds against the
+    /// sent original; tests use it to prove the hot path is zero-copy.
+    pub fn shares_payload_with(&self, other: &Message) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
 }
 
 impl fmt::Display for Message {

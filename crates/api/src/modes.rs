@@ -47,13 +47,14 @@ impl fmt::Display for DeliveryMode {
 
 /// Session mode: transacted, or one of the three acknowledgement modes for
 /// non-transacted sessions (paper §2.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum SessionMode {
     /// Sends and receives are grouped into transactions terminated by
     /// commit or rollback.
     Transacted,
     /// The session acknowledges each message automatically as it is
     /// delivered.
+    #[default]
     AutoAcknowledge,
     /// The client acknowledges explicitly; an acknowledge covers all
     /// messages delivered so far on the session.
@@ -86,12 +87,6 @@ impl SessionMode {
     ];
 }
 
-impl Default for SessionMode {
-    fn default() -> Self {
-        SessionMode::AutoAcknowledge
-    }
-}
-
 impl fmt::Display for SessionMode {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
@@ -118,9 +113,7 @@ impl fmt::Display for SessionMode {
 /// assert!(p > Priority::DEFAULT);
 /// assert_eq!(Priority::new(10), None);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Priority(u8);
 
 impl Priority {

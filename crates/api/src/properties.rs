@@ -153,7 +153,10 @@ impl fmt::Display for PropertyError {
                 write!(f, "invalid property name {name:?}")
             }
             PropertyError::InvalidType { name } => {
-                write!(f, "byte arrays may not be property values (property {name:?})")
+                write!(
+                    f,
+                    "byte arrays may not be property values (property {name:?})"
+                )
             }
         }
     }

@@ -161,12 +161,16 @@ impl fmt::Display for Expr {
             // so the printed form re-parses as an approximate literal.
             Expr::Literal(Literal::Float(v)) => write!(f, "{v:?}"),
             Expr::Literal(Literal::Str(s)) => write!(f, "'{}'", s.replace('\'', "''")),
-            Expr::Literal(Literal::Bool(b)) => {
-                f.write_str(if *b { "TRUE" } else { "FALSE" })
-            }
+            Expr::Literal(Literal::Bool(b)) => f.write_str(if *b { "TRUE" } else { "FALSE" }),
             Expr::Ident(name) => f.write_str(name),
-            Expr::Unary { op: UnaryOp::Not, expr } => write!(f, "NOT ({expr})"),
-            Expr::Unary { op: UnaryOp::Neg, expr } => write!(f, "-({expr})"),
+            Expr::Unary {
+                op: UnaryOp::Not,
+                expr,
+            } => write!(f, "NOT ({expr})"),
+            Expr::Unary {
+                op: UnaryOp::Neg,
+                expr,
+            } => write!(f, "-({expr})"),
             Expr::Binary { op, left, right } => write!(f, "({left} {op} {right})"),
             Expr::Between {
                 negated,

@@ -180,21 +180,21 @@ fn eval_value<C: Context>(expr: &Expr, context: &C) -> EvalValue {
             },
         },
         Expr::Binary { op, left, right } => match op {
-            BinaryOp::And => {
-                truth_to_value(eval(left, context).and(eval(right, context)))
-            }
+            BinaryOp::And => truth_to_value(eval(left, context).and(eval(right, context))),
             BinaryOp::Or => truth_to_value(eval(left, context).or(eval(right, context))),
-            BinaryOp::Eq | BinaryOp::Neq | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt
+            BinaryOp::Eq
+            | BinaryOp::Neq
+            | BinaryOp::Lt
+            | BinaryOp::Le
+            | BinaryOp::Gt
             | BinaryOp::Ge => truth_to_value(compare(
                 *op,
                 eval_value(left, context),
                 eval_value(right, context),
             )),
-            BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div => arithmetic(
-                *op,
-                eval_value(left, context),
-                eval_value(right, context),
-            ),
+            BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div => {
+                arithmetic(*op, eval_value(left, context), eval_value(right, context))
+            }
         },
         Expr::Between {
             negated,
@@ -205,8 +205,8 @@ fn eval_value<C: Context>(expr: &Expr, context: &C) -> EvalValue {
             let value = eval_value(expr, context);
             let low = eval_value(low, context);
             let high = eval_value(high, context);
-            let truth = compare(BinaryOp::Ge, value.clone(), low)
-                .and(compare(BinaryOp::Le, value, high));
+            let truth =
+                compare(BinaryOp::Ge, value.clone(), low).and(compare(BinaryOp::Le, value, high));
             truth_to_value(if *negated { truth.not() } else { truth })
         }
         Expr::In {
@@ -490,7 +490,11 @@ mod tests {
     fn exact_integer_comparison_beyond_f64_precision() {
         let big = (1i64 << 62) + 1;
         assert_eq!(
-            compare(BinaryOp::Neq, EvalValue::Long(big), EvalValue::Long(big - 1)),
+            compare(
+                BinaryOp::Neq,
+                EvalValue::Long(big),
+                EvalValue::Long(big - 1)
+            ),
             Truth::True
         );
     }

@@ -205,15 +205,21 @@ mod tests {
     #[test]
     fn header_fields_resolve() {
         let message = message_with(&[]);
-        assert!(Selector::parse("JMSPriority = 6").unwrap().matches(&message));
+        assert!(Selector::parse("JMSPriority = 6")
+            .unwrap()
+            .matches(&message));
         assert!(Selector::parse("JMSDeliveryMode = 'NON_PERSISTENT'")
             .unwrap()
             .matches(&message));
         assert!(Selector::parse("JMSCorrelationID = 'corr-7'")
             .unwrap()
             .matches(&message));
-        assert!(Selector::parse("JMSType = 'order'").unwrap().matches(&message));
-        assert!(Selector::parse("JMSTimestamp >= 42").unwrap().matches(&message));
+        assert!(Selector::parse("JMSType = 'order'")
+            .unwrap()
+            .matches(&message));
+        assert!(Selector::parse("JMSTimestamp >= 42")
+            .unwrap()
+            .matches(&message));
     }
 
     #[test]
@@ -229,7 +235,9 @@ mod tests {
         let message = message_with(&[("a", Value::Int(4)), ("b", Value::Int(3))]);
         assert!(Selector::parse("a * b = 12").unwrap().matches(&message));
         assert!(Selector::parse("a + b * 2 = 10").unwrap().matches(&message));
-        assert!(Selector::parse("(a + b) * 2 = 14").unwrap().matches(&message));
+        assert!(Selector::parse("(a + b) * 2 = 14")
+            .unwrap()
+            .matches(&message));
         assert!(Selector::parse("-a = -4").unwrap().matches(&message));
         assert!(Selector::parse("a / 2 = 2").unwrap().matches(&message));
     }
@@ -237,8 +245,12 @@ mod tests {
     #[test]
     fn between_and_not_between() {
         let message = message_with(&[("size", Value::Int(15))]);
-        assert!(Selector::parse("size BETWEEN 10 AND 20").unwrap().matches(&message));
-        assert!(Selector::parse("size BETWEEN 15 AND 15").unwrap().matches(&message));
+        assert!(Selector::parse("size BETWEEN 10 AND 20")
+            .unwrap()
+            .matches(&message));
+        assert!(Selector::parse("size BETWEEN 15 AND 15")
+            .unwrap()
+            .matches(&message));
         assert!(!Selector::parse("size NOT BETWEEN 10 AND 20")
             .unwrap()
             .matches(&message));
@@ -256,16 +268,26 @@ mod tests {
         assert!(!Selector::parse("region NOT IN ('apac', 'emea')")
             .unwrap()
             .matches(&message));
-        assert!(Selector::parse("region NOT IN ('apac')").unwrap().matches(&message));
+        assert!(Selector::parse("region NOT IN ('apac')")
+            .unwrap()
+            .matches(&message));
     }
 
     #[test]
     fn like_patterns() {
         let message = message_with(&[("code", Value::from("AB-1234"))]);
-        assert!(Selector::parse("code LIKE 'AB-%'").unwrap().matches(&message));
-        assert!(Selector::parse("code LIKE '__-1234'").unwrap().matches(&message));
-        assert!(!Selector::parse("code LIKE 'AB-_'").unwrap().matches(&message));
-        assert!(Selector::parse("code NOT LIKE 'XY%'").unwrap().matches(&message));
+        assert!(Selector::parse("code LIKE 'AB-%'")
+            .unwrap()
+            .matches(&message));
+        assert!(Selector::parse("code LIKE '__-1234'")
+            .unwrap()
+            .matches(&message));
+        assert!(!Selector::parse("code LIKE 'AB-_'")
+            .unwrap()
+            .matches(&message));
+        assert!(Selector::parse("code NOT LIKE 'XY%'")
+            .unwrap()
+            .matches(&message));
     }
 
     #[test]
@@ -283,7 +305,9 @@ mod tests {
     fn is_null_checks() {
         let message = message_with(&[("set", Value::Int(1))]);
         assert!(Selector::parse("unset IS NULL").unwrap().matches(&message));
-        assert!(Selector::parse("set IS NOT NULL").unwrap().matches(&message));
+        assert!(Selector::parse("set IS NOT NULL")
+            .unwrap()
+            .matches(&message));
         assert!(!Selector::parse("set IS NULL").unwrap().matches(&message));
     }
 
@@ -291,15 +315,21 @@ mod tests {
     fn boolean_connectives_and_three_valued_logic() {
         let message = message_with(&[("a", Value::Bool(true))]);
         assert!(Selector::parse("a = TRUE").unwrap().matches(&message));
-        assert!(Selector::parse("a = TRUE OR missing = 1").unwrap().matches(&message));
+        assert!(Selector::parse("a = TRUE OR missing = 1")
+            .unwrap()
+            .matches(&message));
         // unknown AND true → unknown → no match
         assert!(!Selector::parse("missing = 1 AND a = TRUE")
             .unwrap()
             .matches(&message));
         // NOT unknown → unknown → no match
-        assert!(!Selector::parse("NOT (missing = 1)").unwrap().matches(&message));
+        assert!(!Selector::parse("NOT (missing = 1)")
+            .unwrap()
+            .matches(&message));
         // unknown OR true → true
-        assert!(Selector::parse("missing = 1 OR a = TRUE").unwrap().matches(&message));
+        assert!(Selector::parse("missing = 1 OR a = TRUE")
+            .unwrap()
+            .matches(&message));
         // bare boolean property is a valid condition
         assert!(Selector::parse("a").unwrap().matches(&message));
         assert!(!Selector::parse("NOT a").unwrap().matches(&message));
@@ -308,9 +338,11 @@ mod tests {
     #[test]
     fn keywords_are_case_insensitive() {
         let message = message_with(&[("size", Value::Int(5))]);
-        assert!(Selector::parse("size between 1 and 10 and not (size is null)")
-            .unwrap()
-            .matches(&message));
+        assert!(
+            Selector::parse("size between 1 and 10 and not (size is null)")
+                .unwrap()
+                .matches(&message)
+        );
     }
 
     #[test]
@@ -343,9 +375,7 @@ mod tests {
     #[test]
     fn matches_with_custom_resolver() {
         let selector = Selector::parse("x > 10").unwrap();
-        assert!(selector.matches_with(|name| {
-            (name == "x").then_some(EvalValue::Long(11))
-        }));
+        assert!(selector.matches_with(|name| { (name == "x").then_some(EvalValue::Long(11)) }));
         assert!(!selector.matches_with(|_| None));
     }
 

@@ -115,35 +115,59 @@ pub(crate) fn lex(text: &str) -> Result<Vec<Spanned>, SelectorError> {
                 i += 1;
             }
             '(' => {
-                tokens.push(Spanned { token: Token::LParen, offset: start });
+                tokens.push(Spanned {
+                    token: Token::LParen,
+                    offset: start,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(Spanned { token: Token::RParen, offset: start });
+                tokens.push(Spanned {
+                    token: Token::RParen,
+                    offset: start,
+                });
                 i += 1;
             }
             ',' => {
-                tokens.push(Spanned { token: Token::Comma, offset: start });
+                tokens.push(Spanned {
+                    token: Token::Comma,
+                    offset: start,
+                });
                 i += 1;
             }
             '+' => {
-                tokens.push(Spanned { token: Token::Plus, offset: start });
+                tokens.push(Spanned {
+                    token: Token::Plus,
+                    offset: start,
+                });
                 i += 1;
             }
             '-' => {
-                tokens.push(Spanned { token: Token::Minus, offset: start });
+                tokens.push(Spanned {
+                    token: Token::Minus,
+                    offset: start,
+                });
                 i += 1;
             }
             '*' => {
-                tokens.push(Spanned { token: Token::Star, offset: start });
+                tokens.push(Spanned {
+                    token: Token::Star,
+                    offset: start,
+                });
                 i += 1;
             }
             '/' => {
-                tokens.push(Spanned { token: Token::Slash, offset: start });
+                tokens.push(Spanned {
+                    token: Token::Slash,
+                    offset: start,
+                });
                 i += 1;
             }
             '=' => {
-                tokens.push(Spanned { token: Token::Eq, offset: start });
+                tokens.push(Spanned {
+                    token: Token::Eq,
+                    offset: start,
+                });
                 i += 1;
             }
             '<' => {
@@ -157,7 +181,10 @@ pub(crate) fn lex(text: &str) -> Result<Vec<Spanned>, SelectorError> {
                 } else {
                     Token::Lt
                 };
-                tokens.push(Spanned { token, offset: start });
+                tokens.push(Spanned {
+                    token,
+                    offset: start,
+                });
             }
             '>' => {
                 i += 1;
@@ -167,7 +194,10 @@ pub(crate) fn lex(text: &str) -> Result<Vec<Spanned>, SelectorError> {
                 } else {
                     Token::Gt
                 };
-                tokens.push(Spanned { token, offset: start });
+                tokens.push(Spanned {
+                    token,
+                    offset: start,
+                });
             }
             '\'' => {
                 i += 1;
@@ -193,9 +223,14 @@ pub(crate) fn lex(text: &str) -> Result<Vec<Spanned>, SelectorError> {
                         i += ch.len_utf8();
                     }
                 }
-                tokens.push(Spanned { token: Token::Str(value), offset: start });
+                tokens.push(Spanned {
+                    token: Token::Str(value),
+                    offset: start,
+                });
             }
-            _ if c.is_ascii_digit() || (c == '.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit()) => {
+            _ if c.is_ascii_digit()
+                || (c == '.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit()) =>
+            {
                 let mut has_dot = false;
                 let mut has_exp = false;
                 while i < bytes.len() {
@@ -225,7 +260,10 @@ pub(crate) fn lex(text: &str) -> Result<Vec<Spanned>, SelectorError> {
                         SelectorError::new(start, format!("malformed number `{literal}`"))
                     })?)
                 };
-                tokens.push(Spanned { token, offset: start });
+                tokens.push(Spanned {
+                    token,
+                    offset: start,
+                });
             }
             _ if c.is_ascii_alphabetic() || c == '_' || c == '$' => {
                 while i < bytes.len() {
@@ -238,7 +276,10 @@ pub(crate) fn lex(text: &str) -> Result<Vec<Spanned>, SelectorError> {
                 }
                 let word = &text[start..i];
                 let token = keyword(word).unwrap_or_else(|| Token::Ident(word.to_owned()));
-                tokens.push(Spanned { token, offset: start });
+                tokens.push(Spanned {
+                    token,
+                    offset: start,
+                });
             }
             _ => {
                 return Err(SelectorError::new(
@@ -299,8 +340,14 @@ mod tests {
 
     #[test]
     fn keywords_case_insensitive() {
-        assert_eq!(kinds("and AND And"), vec![Token::And, Token::And, Token::And]);
-        assert_eq!(kinds("TRUE false NULL"), vec![Token::True, Token::False, Token::Null]);
+        assert_eq!(
+            kinds("and AND And"),
+            vec![Token::And, Token::And, Token::And]
+        );
+        assert_eq!(
+            kinds("TRUE false NULL"),
+            vec![Token::True, Token::False, Token::Null]
+        );
     }
 
     #[test]

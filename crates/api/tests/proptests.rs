@@ -33,7 +33,11 @@ fn arb_selector_text() -> impl Strategy<Value = String> {
         (0u32..1000).prop_map(|v| format!("{}.{:02}", v / 100, v % 100)),
         "[a-z]{0,6}".prop_map(|s| format!("'{s}'")),
     ];
-    let comparison = (atom.clone(), prop::sample::select(vec!["=", "<>", "<", "<=", ">", ">="]), atom)
+    let comparison = (
+        atom.clone(),
+        prop::sample::select(vec!["=", "<>", "<", "<=", ">", ">="]),
+        atom,
+    )
         .prop_map(|(l, op, r)| format!("{l} {op} {r}"));
     comparison.prop_recursive(3, 16, 2, |inner| {
         prop_oneof![

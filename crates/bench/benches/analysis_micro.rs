@@ -23,7 +23,11 @@ fn trace_of(messages_per_sec: f64, seconds: u64) -> jmst_store::Trace {
 }
 
 fn full_analysis(c: &mut Criterion) {
-    for (label, rate, secs) in [("small", 100.0, 10u64), ("medium", 500.0, 20), ("large", 1000.0, 60)] {
+    for (label, rate, secs) in [
+        ("small", 100.0, 10u64),
+        ("medium", 500.0, 20),
+        ("large", 1000.0, 60),
+    ] {
         let trace = trace_of(rate, secs);
         let events = trace.len() as u64;
         let mut group = c.benchmark_group(format!("analysis/{label}_{events}_events"));

@@ -78,7 +78,10 @@ fn selector_routing(c: &mut Criterion) {
             .unwrap();
         let topic = Destination::topic("sel");
         let mut matching = session
-            .create_consumer(&topic, Some("region = 'emea' AND size BETWEEN 100 AND 4096"))
+            .create_consumer(
+                &topic,
+                Some("region = 'emea' AND size BETWEEN 100 AND 4096"),
+            )
             .unwrap();
         let mut producer = session.create_producer(&topic).unwrap();
         b.iter(|| {

@@ -1,0 +1,107 @@
+//! Publish-path fan-out micro-benchmark: how fast can one producer push
+//! messages through `Core::route` as the subscriber count grows?
+//!
+//! Unlike `broker_micro`'s `pubsub_fanout` (a full publish+receive round
+//! trip), this bench isolates the *routing* hot path: subscribers exist
+//! but are never driven, so the numbers reflect snapshot loading,
+//! selector evaluation and end-point insertion only. Each iteration gets
+//! a fresh broker (setup is untimed) so end-point backlogs stay bounded.
+//!
+//! Grid: 1 / 8 / 64 subscribers × 1 KiB bodies, with and without
+//! selectors. Before/after numbers are recorded in EXPERIMENTS.md (E13).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use jmst_api::prelude::*;
+use jmst_api::provider::{Connection, Consumer, Producer, Session};
+use jmst_broker::ReferenceBroker;
+
+/// Messages published per timed iteration.
+const BATCH: u64 = 512;
+
+/// Everything that must stay alive while the producer publishes:
+/// dropping a consumer tears down its subscription.
+struct FanoutRig {
+    _connection: Box<dyn Connection>,
+    _session: Box<dyn Session>,
+    _subscribers: Vec<Box<dyn Consumer>>,
+    producer: Box<dyn Producer>,
+}
+
+fn rig(subscribers: usize, selector: Option<&str>) -> FanoutRig {
+    let broker = ReferenceBroker::new();
+    let mut connection = broker.create_connection(None).unwrap();
+    connection.start().unwrap();
+    let mut session = connection
+        .create_session(SessionMode::AutoAcknowledge)
+        .unwrap();
+    let topic = Destination::topic("fan");
+    let subscribers: Vec<_> = (0..subscribers)
+        .map(|_| session.create_consumer(&topic, selector).unwrap())
+        .collect();
+    let producer = session.create_producer(&topic).unwrap();
+    FanoutRig {
+        _connection: connection,
+        _session: session,
+        _subscribers: subscribers,
+        producer,
+    }
+}
+
+fn draft_1kib(selector_props: bool) -> MessageDraft {
+    let body = Body::synthetic(BodyKind::Bytes, 1024, 7);
+    let draft = MessageDraft::new(body);
+    if selector_props {
+        draft
+            .property("region", Value::from("emea"))
+            .unwrap()
+            .property("size", Value::Int(1024))
+            .unwrap()
+    } else {
+        draft
+    }
+}
+
+fn publish_batch(rig: &mut FanoutRig, selector_props: bool) {
+    let draft = draft_1kib(selector_props);
+    for _ in 0..BATCH {
+        rig.producer.send(draft.clone()).expect("publish");
+    }
+}
+
+fn fanout_publish(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fanout_micro/publish_1kib");
+    for subscribers in [1usize, 8, 64] {
+        group.throughput(Throughput::Elements(BATCH));
+        group.bench_function(format!("{subscribers}_subscribers"), |b| {
+            b.iter_batched_ref(
+                || rig(subscribers, None),
+                |rig| publish_batch(rig, false),
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn fanout_publish_selective(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fanout_micro/publish_1kib_selector");
+    for subscribers in [1usize, 8, 64] {
+        group.throughput(Throughput::Elements(BATCH));
+        group.bench_function(format!("{subscribers}_subscribers"), |b| {
+            b.iter_batched_ref(
+                || {
+                    rig(
+                        subscribers,
+                        Some("region = 'emea' AND size BETWEEN 100 AND 4096"),
+                    )
+                },
+                |rig| publish_batch(rig, true),
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fanout_publish, fanout_publish_selective);
+criterion_main!(benches);

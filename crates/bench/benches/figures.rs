@@ -6,7 +6,7 @@
 use jmst_api::destination::Destination;
 use jmst_api::error::Error;
 use jmst_api::id::ClientId;
-use jmst_api::modes::{Priority, SessionMode, TimeToLive};
+use jmst_api::modes::{Priority, TimeToLive};
 use jmst_api::provider::{Connection, Provider};
 use jmst_api::time::Timestamp;
 use jmst_bench::{render_sweep, standard_demand_grid, sweep_to_csv, throughput_sweep};
@@ -70,11 +70,13 @@ fn figure_1_ordering() {
                 .producer(ProducerSpec::steady(Destination::topic("t"), 300.0, 128))
                 .consumer(ConsumerSpec::auto(Destination::topic("t"))),
         );
-    let broker = ReferenceBroker::with_config(BrokerConfig::correct().with_faults(
-        FaultSpec::none()
-            .reordering(0.1, Duration::from_millis(50))
-            .seeded(3),
-    ));
+    let broker = ReferenceBroker::with_config(
+        BrokerConfig::correct().with_faults(
+            FaultSpec::none()
+                .reordering(0.1, Duration::from_millis(50))
+                .seeded(3),
+        ),
+    );
     let trace = ThreadedRunner::new()
         .run(Arc::new(broker), None, &spec)
         .expect("figure1 run");
@@ -224,8 +226,7 @@ fn priority_experiment() {
     // 600 msg/s offered against a consumer that can take ~500/s: a
     // backlog forms and priority scheduling becomes visible.
     node = node.consumer(
-        ConsumerSpec::auto(Destination::queue("q"))
-            .with_think_time(Duration::from_millis(2)),
+        ConsumerSpec::auto(Destination::queue("q")).with_think_time(Duration::from_millis(2)),
     );
     let spec = TestSpec::new("priority")
         .with_periods(
@@ -361,10 +362,8 @@ fn robustness_experiment() {
         }
     };
     let prince = DaemonPrince::new();
-    let campaign = prince.run_campaign(
-        &factory,
-        &[quick("before"), quick("hangs"), quick("after")],
-    );
+    let campaign =
+        prince.run_campaign(&factory, &[quick("before"), quick("hangs"), quick("after")]);
     print!("{campaign}");
     assert_eq!(campaign.passed(), 2, "tests around the hang must pass");
     assert_eq!(campaign.failed(), 1, "the hang must be caught");
@@ -405,8 +404,7 @@ fn crash_recovery_experiment() {
         let trace = ThreadedRunner::new()
             .run(Arc::new(broker), Some(admin), &spec)
             .expect("crash run");
-        let report =
-            Analyzer::with_config(AnalysisConfig::strict_safety_only()).analyze(&trace);
+        let report = Analyzer::with_config(AnalysisConfig::strict_safety_only()).analyze(&trace);
         println!(
             "  {label}: sends {}, receives {}, P2 violations {}",
             report.sends,
@@ -434,10 +432,11 @@ fn skew_sensitivity() {
                 Duration::from_millis(400),
                 Duration::from_secs(2),
             )
-            .node(
-                NodeSpec::new("producers")
-                    .producer(ProducerSpec::steady(Destination::queue("q"), 300.0, 64)),
-            )
+            .node(NodeSpec::new("producers").producer(ProducerSpec::steady(
+                Destination::queue("q"),
+                300.0,
+                64,
+            )))
             .node(
                 NodeSpec::new("consumers")
                     .with_clock_skew(skew_ms * 1_000_000)

@@ -11,7 +11,7 @@ use jmst_api::id::{ClientId, ConsumerId, IdGenerator};
 use jmst_api::message::Message;
 use jmst_api::selector::Selector;
 use jmst_api::time::Timestamp;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -23,6 +23,61 @@ struct TopicSubscription {
     selector: Option<Selector>,
 }
 
+/// A generation-stamped, immutable view of one topic's subscriptions.
+///
+/// Publishes read the current snapshot through one `Arc` clone and then
+/// work entirely on private data — no membership lock, no per-publish
+/// copy of the subscription list (and in particular no per-publish clone
+/// of parsed selector ASTs).
+#[derive(Debug)]
+struct SubscriptionSnapshot {
+    /// Monotonic rebuild counter of the owning topic; lets diagnostics
+    /// correlate a publish with the membership it saw.
+    generation: u64,
+    subscriptions: Vec<TopicSubscription>,
+}
+
+/// Per-topic subscription state, RCU-style: writers mutate `members`
+/// under its mutex and publish a fresh [`SubscriptionSnapshot`]; readers
+/// never touch the mutex.
+#[derive(Debug)]
+struct TopicState {
+    members: Mutex<HashMap<EndpointId, TopicSubscription>>,
+    snapshot: RwLock<Arc<SubscriptionSnapshot>>,
+    generation: AtomicU64,
+}
+
+impl TopicState {
+    fn new() -> Self {
+        Self {
+            members: Mutex::new(HashMap::new()),
+            snapshot: RwLock::new(Arc::new(SubscriptionSnapshot {
+                generation: 0,
+                subscriptions: Vec::new(),
+            })),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// Rebuilds the published snapshot from `members`. Callers pass the
+    /// membership map they are still holding the lock on, which serialises
+    /// rebuilds and keeps snapshot generations monotonic.
+    fn rebuild(&self, members: &HashMap<EndpointId, TopicSubscription>) {
+        let generation = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
+        let fresh = Arc::new(SubscriptionSnapshot {
+            generation,
+            subscriptions: members.values().cloned().collect(),
+        });
+        *self.snapshot.write() = fresh;
+    }
+
+    /// The current snapshot (one `Arc` clone; never blocks on membership
+    /// changes beyond the brief snapshot-pointer swap).
+    fn load(&self) -> Arc<SubscriptionSnapshot> {
+        Arc::clone(&self.snapshot.read())
+    }
+}
+
 /// A durable subscription's registry entry.
 #[derive(Debug)]
 struct DurableEntry {
@@ -32,10 +87,10 @@ struct DurableEntry {
     active_consumer: Option<ConsumerId>,
 }
 
+/// Cold bookkeeping: durable subscriptions and client-id uniqueness.
+/// Deliberately excludes everything the publish hot path reads.
 #[derive(Debug, Default)]
 struct Registry {
-    queues: HashMap<QueueName, Arc<Endpoint>>,
-    topics: HashMap<TopicName, HashMap<EndpointId, TopicSubscription>>,
     durables: HashMap<(ClientId, String), DurableEntry>,
     active_clients: HashSet<ClientId>,
 }
@@ -45,6 +100,9 @@ struct Registry {
 pub struct CoreCounters {
     /// Messages routed into at least one end-point.
     pub routed: AtomicU64,
+    /// Extra copies enqueued beyond the first per end-point (the
+    /// duplicate-delivery fault).
+    pub duplicated: AtomicU64,
     /// Topic publishes that matched no subscription (dropped, as JMS
     /// allows: nobody had subscribed).
     pub unroutable: AtomicU64,
@@ -53,10 +111,19 @@ pub struct CoreCounters {
 }
 
 /// The shared state behind a [`ReferenceBroker`](crate::ReferenceBroker).
+///
+/// Lock order, outermost first: `registry` → `topics`/`queues` → a
+/// topic's `members` → an end-point's buffer. The publish path takes only
+/// the read side of `queues`/`topics` plus the snapshot pointer, so it
+/// never contends with durable bookkeeping.
 #[derive(Debug)]
 pub struct Core {
     config: BrokerConfig,
     ids: IdGenerator,
+    /// Queue end-points; read-mostly, so publishes share a read lock.
+    queues: RwLock<HashMap<QueueName, Arc<Endpoint>>>,
+    /// Per-topic RCU subscription state; read-mostly likewise.
+    topics: RwLock<HashMap<TopicName, Arc<TopicState>>>,
     registry: Mutex<Registry>,
     crashed: AtomicBool,
     /// Incremented on every crash; objects created before a crash carry an
@@ -64,20 +131,27 @@ pub struct Core {
     generation: AtomicU64,
     counters: CoreCounters,
     faults: Mutex<FaultEngine>,
+    /// Whether the fault spec is all-zero; lets the publish hot path skip
+    /// the fault-engine mutex entirely.
+    clean_faults: bool,
 }
 
 impl Core {
     /// Creates a core with the given configuration.
     pub fn new(config: BrokerConfig) -> Arc<Self> {
+        let clean_faults = config.faults.is_clean();
         let faults = Mutex::new(FaultEngine::new(config.faults));
         Arc::new(Self {
             config,
             ids: IdGenerator::starting_at(1),
+            queues: RwLock::new(HashMap::new()),
+            topics: RwLock::new(HashMap::new()),
             registry: Mutex::new(Registry::default()),
             crashed: AtomicBool::new(false),
             generation: AtomicU64::new(0),
             counters: CoreCounters::default(),
             faults,
+            clean_faults,
         })
     }
 
@@ -113,9 +187,7 @@ impl Core {
             return Err(Error::provider_failure("broker is down"));
         }
         if generation != self.generation() {
-            return Err(Error::provider_failure(
-                "connection lost in broker crash",
-            ));
+            return Err(Error::provider_failure("connection lost in broker crash"));
         }
         Ok(())
     }
@@ -138,14 +210,31 @@ impl Core {
 
     /// Returns (creating on first use) the end-point of a queue.
     pub fn queue_endpoint(&self, queue: &QueueName) -> Arc<Endpoint> {
-        let mut registry = self.registry.lock();
-        Arc::clone(registry.queues.entry(queue.clone()).or_insert_with(|| {
+        if let Some(endpoint) = self.queues.read().get(queue) {
+            return Arc::clone(endpoint);
+        }
+        let mut queues = self.queues.write();
+        Arc::clone(queues.entry(queue.clone()).or_insert_with(|| {
             Arc::new(Endpoint::new(
                 EndpointId::for_queue(queue.clone()),
                 self.config.enforce_expiry,
                 self.config.enforce_priority,
             ))
         }))
+    }
+
+    /// Returns (creating on first use) the RCU subscription state of a
+    /// topic.
+    fn topic_state(&self, topic: &TopicName) -> Arc<TopicState> {
+        if let Some(state) = self.topics.read().get(topic) {
+            return Arc::clone(state);
+        }
+        let mut topics = self.topics.write();
+        Arc::clone(
+            topics
+                .entry(topic.clone())
+                .or_insert_with(|| Arc::new(TopicState::new())),
+        )
     }
 
     /// Creates a non-durable subscription on `topic` and returns its
@@ -162,18 +251,16 @@ impl Core {
             self.config.enforce_expiry,
             self.config.enforce_priority,
         ));
-        let mut registry = self.registry.lock();
-        registry
-            .topics
-            .entry(topic.clone())
-            .or_default()
-            .insert(
-                endpoint.id().clone(),
-                TopicSubscription {
-                    endpoint: Arc::clone(&endpoint),
-                    selector,
-                },
-            );
+        let state = self.topic_state(topic);
+        let mut members = state.members.lock();
+        members.insert(
+            endpoint.id().clone(),
+            TopicSubscription {
+                endpoint: Arc::clone(&endpoint),
+                selector,
+            },
+        );
+        state.rebuild(&members);
         endpoint
     }
 
@@ -181,11 +268,20 @@ impl Core {
     /// destroys its end-point.
     pub fn drop_non_durable(&self, topic: &TopicName, consumer: ConsumerId) {
         let id = EndpointId::non_durable(topic.clone(), consumer);
-        let mut registry = self.registry.lock();
-        if let Some(subs) = registry.topics.get_mut(topic) {
-            if let Some(sub) = subs.remove(&id) {
-                sub.endpoint.destroy();
+        let state = match self.topics.read().get(topic) {
+            Some(state) => Arc::clone(state),
+            None => return,
+        };
+        let removed = {
+            let mut members = state.members.lock();
+            let removed = members.remove(&id);
+            if removed.is_some() {
+                state.rebuild(&members);
             }
+            removed
+        };
+        if let Some(sub) = removed {
+            sub.endpoint.destroy();
         }
     }
 
@@ -219,15 +315,16 @@ impl Core {
             if entry.topic == *topic && entry.selector_text == selector_text {
                 // Resume.
                 let endpoint = Arc::clone(&entry.endpoint);
-                registry.durables.get_mut(&key).expect("present").active_consumer =
-                    Some(consumer);
+                registry
+                    .durables
+                    .get_mut(&key)
+                    .expect("present")
+                    .active_consumer = Some(consumer);
                 return Ok(endpoint);
             }
             // Changed topic/selector: delete and recreate below.
             let old = registry.durables.remove(&key).expect("present");
-            if let Some(subs) = registry.topics.get_mut(&old.topic) {
-                subs.remove(old.endpoint.id());
-            }
+            self.detach_subscription(&old.topic, old.endpoint.id());
             old.endpoint.destroy();
         }
         let endpoint = Arc::new(Endpoint::new(
@@ -235,13 +332,18 @@ impl Core {
             self.config.enforce_expiry,
             self.config.enforce_priority,
         ));
-        registry.topics.entry(topic.clone()).or_default().insert(
-            endpoint.id().clone(),
-            TopicSubscription {
-                endpoint: Arc::clone(&endpoint),
-                selector,
-            },
-        );
+        let state = self.topic_state(topic);
+        {
+            let mut members = state.members.lock();
+            members.insert(
+                endpoint.id().clone(),
+                TopicSubscription {
+                    endpoint: Arc::clone(&endpoint),
+                    selector,
+                },
+            );
+            state.rebuild(&members);
+        }
         registry.durables.insert(
             key,
             DurableEntry {
@@ -252,6 +354,17 @@ impl Core {
             },
         );
         Ok(endpoint)
+    }
+
+    /// Removes one subscription from a topic's membership and republishes
+    /// the snapshot. Missing topics and members are ignored.
+    fn detach_subscription(&self, topic: &TopicName, id: &EndpointId) {
+        if let Some(state) = self.topics.read().get(topic) {
+            let mut members = state.members.lock();
+            if members.remove(id).is_some() {
+                state.rebuild(&members);
+            }
+        }
     }
 
     /// Marks the durable subscription's active consumer as gone (the
@@ -279,14 +392,12 @@ impl Core {
             None => Err(Error::InvalidClient(format!(
                 "no durable subscription {client}/{name}"
             ))),
-            Some(entry) if entry.active_consumer.is_some() => Err(Error::InvalidClient(
-                format!("durable subscription {client}/{name} is active"),
-            )),
+            Some(entry) if entry.active_consumer.is_some() => Err(Error::InvalidClient(format!(
+                "durable subscription {client}/{name} is active"
+            ))),
             Some(_) => {
                 let entry = registry.durables.remove(&key).expect("present");
-                if let Some(subs) = registry.topics.get_mut(&entry.topic) {
-                    subs.remove(entry.endpoint.id());
-                }
+                self.detach_subscription(&entry.topic, entry.endpoint.id());
                 entry.endpoint.destroy();
                 Ok(())
             }
@@ -296,63 +407,89 @@ impl Core {
     /// Routes a stamped message to its destination's end-points.
     ///
     /// Queue messages go to the queue end-point; topic messages fan out to
-    /// every subscription whose selector accepts them. A topic publish
-    /// with no matching subscription is dropped (and counted), which is
-    /// correct pub/sub behaviour.
-    pub fn route(&self, message: &Message) -> Result<(), Error> {
-        let decision = self.faults.lock().decide();
-        if decision.forge {
-            let forged = {
-                let mut faults = self.faults.lock();
-                faults.forge_message(
+    /// every subscription whose selector accepts them, sharing the one
+    /// [`Arc<Message>`] (fan-out never copies the payload). A topic
+    /// publish with no matching subscription is dropped (and counted),
+    /// which is correct pub/sub behaviour.
+    ///
+    /// A correct broker never touches the fault-engine mutex here; a
+    /// faulty one takes it exactly once per publish.
+    pub fn route(&self, message: &Arc<Message>) -> Result<(), Error> {
+        if self.clean_faults {
+            self.route_copies(message, FaultDecision::CLEAN, None);
+            return Ok(());
+        }
+        let (decision, forged, reorder_delay) = {
+            let mut faults = self.faults.lock();
+            let decision = faults.decide();
+            let forged = decision.forge.then(|| {
+                Arc::new(faults.forge_message(
                     self.ids.next_message_id(),
                     message.destination().clone(),
                     self.now(),
-                )
-            };
-            self.route_copies(&forged, FaultDecision::CLEAN);
+                ))
+            });
+            let reorder_delay = decision.hold_back.then(|| faults.spec().reorder_delay);
+            (decision, forged, reorder_delay)
+        };
+        if let Some(forged) = forged {
+            self.route_copies(&forged, FaultDecision::CLEAN, None);
         }
         if decision.drop {
             return Ok(());
         }
-        self.route_copies(message, decision);
+        self.route_copies(message, decision, reorder_delay);
         Ok(())
     }
 
-    fn route_copies(&self, message: &Message, decision: FaultDecision) {
+    fn route_copies(
+        &self,
+        message: &Arc<Message>,
+        decision: FaultDecision,
+        reorder_delay: Option<std::time::Duration>,
+    ) {
         let mut visible_at = self.now().saturating_add(self.config.delivery_delay);
-        if decision.hold_back {
-            visible_at = visible_at.saturating_add(self.faults.lock().spec().reorder_delay);
+        if let Some(delay) = reorder_delay {
+            visible_at = visible_at.saturating_add(delay);
         }
         let copies = if decision.duplicate { 2 } else { 1 };
         match message.destination() {
             Destination::Queue(queue) => {
                 let endpoint = self.queue_endpoint(queue);
+                let mut inserted = 0u64;
                 for _ in 0..copies {
-                    endpoint.insert(message.clone(), visible_at);
+                    if endpoint.insert(Arc::clone(message), visible_at) {
+                        inserted += 1;
+                    }
                 }
                 self.counters.routed.fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .duplicated
+                    .fetch_add(inserted.saturating_sub(1), Ordering::Relaxed);
             }
             Destination::Topic(topic) => {
-                let subscriptions: Vec<TopicSubscription> = {
-                    let registry = self.registry.lock();
-                    registry
-                        .topics
-                        .get(topic)
-                        .map(|subs| subs.values().cloned().collect())
-                        .unwrap_or_default()
+                let snapshot = {
+                    let topics = self.topics.read();
+                    topics.get(topic).map(|state| state.load())
                 };
                 let mut matched = false;
-                for sub in subscriptions {
-                    let accepted = sub
-                        .selector
-                        .as_ref()
-                        .map_or(true, |selector| selector.matches(message));
-                    if accepted {
-                        for _ in 0..copies {
-                            sub.endpoint.insert(message.clone(), visible_at);
+                let mut duplicated = 0u64;
+                if let Some(snapshot) = snapshot {
+                    for sub in &snapshot.subscriptions {
+                        let accepted = sub
+                            .selector
+                            .as_ref()
+                            .is_none_or(|selector| selector.matches(message));
+                        if accepted {
+                            let mut inserted = 0u64;
+                            for _ in 0..copies {
+                                if sub.endpoint.insert(Arc::clone(message), visible_at) {
+                                    inserted += 1;
+                                }
+                            }
+                            duplicated += inserted.saturating_sub(1);
+                            matched |= inserted > 0;
                         }
-                        matched = true;
                     }
                 }
                 if matched {
@@ -360,6 +497,9 @@ impl Core {
                 } else {
                     self.counters.unroutable.fetch_add(1, Ordering::Relaxed);
                 }
+                self.counters
+                    .duplicated
+                    .fetch_add(duplicated, Ordering::Relaxed);
             }
         }
     }
@@ -382,24 +522,28 @@ impl Core {
         self.counters.crashes.fetch_add(1, Ordering::Relaxed);
         let now = self.now();
         let keep = self.config.persistent_survive_crash;
-        let mut registry = self.registry.lock();
-        for endpoint in registry.queues.values() {
+        let durable_ids: HashSet<EndpointId> = {
+            let mut registry = self.registry.lock();
+            // Durable subscriptions survive with persistent messages;
+            // their active consumers are gone.
+            for entry in registry.durables.values_mut() {
+                entry.endpoint.crash(keep, now);
+                entry.active_consumer = None;
+            }
+            registry.active_clients.clear();
+            registry
+                .durables
+                .values()
+                .map(|entry| entry.endpoint.id().clone())
+                .collect()
+        };
+        for endpoint in self.queues.read().values() {
             endpoint.crash(keep, now);
         }
-        // Durable subscriptions survive with persistent messages; their
-        // active consumers are gone.
-        for entry in registry.durables.values_mut() {
-            entry.endpoint.crash(keep, now);
-            entry.active_consumer = None;
-        }
         // Non-durable subscriptions die with their (now broken) consumers.
-        let durable_ids: HashSet<EndpointId> = registry
-            .durables
-            .values()
-            .map(|entry| entry.endpoint.id().clone())
-            .collect();
-        for subs in registry.topics.values_mut() {
-            subs.retain(|id, sub| {
+        for state in self.topics.read().values() {
+            let mut members = state.members.lock();
+            members.retain(|id, sub| {
                 if durable_ids.contains(id) {
                     true
                 } else {
@@ -407,8 +551,8 @@ impl Core {
                     false
                 }
             });
+            state.rebuild(&members);
         }
-        registry.active_clients.clear();
     }
 
     /// Brings a crashed broker back into service. Clients must create new
@@ -423,17 +567,27 @@ impl Core {
         self.crashed.load(Ordering::SeqCst)
     }
 
+    /// Returns how many times a topic's subscription snapshot has been
+    /// rebuilt, or `None` for a topic the broker has never seen.
+    pub fn topic_generation(&self, topic: &TopicName) -> Option<u64> {
+        self.topics
+            .read()
+            .get(topic)
+            .map(|state| state.load().generation)
+    }
+
     /// Snapshot of all queue and durable-subscription end-points, for
     /// admin-style inspection in tests and reports.
     pub fn endpoint_stats(&self) -> Vec<(EndpointId, crate::endpoint::EndpointStats)> {
-        let registry = self.registry.lock();
-        let mut out: Vec<_> = registry
+        let mut out: Vec<_> = self
             .queues
+            .read()
             .values()
             .map(|ep| (ep.id().clone(), ep.stats()))
             .collect();
         out.extend(
-            registry
+            self.registry
+                .lock()
                 .durables
                 .values()
                 .map(|entry| (entry.endpoint.id().clone(), entry.endpoint.stats())),
@@ -459,16 +613,14 @@ mod tests {
         (Core::new(config), clock)
     }
 
-    fn stamped(core: &Core, destination: Destination, mode: DeliveryMode) -> Message {
-        MessageDraft::text("x")
-            .delivery_mode(mode)
-            .stamp(Stamp {
-                id: core.ids().next_message_id(),
-                producer: ProducerId::from_raw(1),
-                sequence: 0,
-                destination,
-                sent_at: core.now(),
-            })
+    fn stamped(core: &Core, destination: Destination, mode: DeliveryMode) -> Arc<Message> {
+        Arc::new(MessageDraft::text("x").delivery_mode(mode).stamp(Stamp {
+            id: core.ids().next_message_id(),
+            producer: ProducerId::from_raw(1),
+            sequence: 0,
+            destination,
+            sent_at: core.now(),
+        }))
     }
 
     fn drain(endpoint: &Endpoint, clock: &dyn Clock) -> Vec<MessageId> {
@@ -515,6 +667,49 @@ mod tests {
         core.route(&p).unwrap();
         assert_eq!(drain(&sub_a, clock.as_ref()), vec![np.id(), p.id()]);
         assert_eq!(drain(&sub_b, clock.as_ref()), vec![p.id()]);
+    }
+
+    #[test]
+    fn subscription_changes_advance_the_snapshot_generation() {
+        let (core, _clock) = core_with_clock();
+        let topic = TopicName::new("t");
+        assert_eq!(core.topic_generation(&topic), None);
+        core.subscribe_non_durable(&topic, ConsumerId::from_raw(1), None);
+        let after_subscribe = core.topic_generation(&topic).unwrap();
+        core.subscribe_non_durable(&topic, ConsumerId::from_raw(2), None);
+        let after_second = core.topic_generation(&topic).unwrap();
+        assert!(after_second > after_subscribe);
+        core.drop_non_durable(&topic, ConsumerId::from_raw(1));
+        assert!(core.topic_generation(&topic).unwrap() > after_second);
+    }
+
+    #[test]
+    fn topic_fanout_shares_one_payload_across_subscribers() {
+        let (core, clock) = core_with_clock();
+        let topic = TopicName::new("t");
+        let sub_a = core.subscribe_non_durable(&topic, ConsumerId::from_raw(1), None);
+        let sub_b = core.subscribe_non_durable(&topic, ConsumerId::from_raw(2), None);
+        let message = stamped(&core, Destination::topic("t"), DeliveryMode::Persistent);
+        core.route(&message).unwrap();
+        let drain_one = |endpoint: &Endpoint| {
+            endpoint
+                .receive(
+                    clock.as_ref(),
+                    Some(Duration::ZERO),
+                    SessionId::from_raw(1),
+                    TrackMode::Immediate,
+                    &|| true,
+                    &|| Ok(()),
+                )
+                .unwrap()
+                .unwrap()
+        };
+        let got_a = drain_one(&sub_a);
+        let got_b = drain_one(&sub_b);
+        // Fan-out hands every subscriber the very allocation that was
+        // published — no body copies anywhere on the path.
+        assert!(got_a.shares_payload_with(&message));
+        assert!(got_b.shares_payload_with(&message));
     }
 
     #[test]

@@ -2,13 +2,14 @@
 //! with priority ordering, visibility delay, expiry, in-flight
 //! (unacknowledged) tracking, and crash semantics.
 
-use jmst_api::error::Error;
 use jmst_api::destination::EndpointId;
+use jmst_api::error::Error;
+use jmst_api::id::SessionId;
 use jmst_api::message::Message;
 use jmst_api::time::{Clock, Timestamp};
-use jmst_api::id::SessionId;
 use parking_lot::{Condvar, Mutex};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// How a received message is tracked for acknowledgement.
@@ -32,14 +33,14 @@ struct EntryKey {
 
 #[derive(Debug, Clone)]
 struct Entry {
-    message: Message,
+    message: Arc<Message>,
     visible_at: Timestamp,
 }
 
 #[derive(Debug)]
 struct InFlight {
     session: SessionId,
-    message: Message,
+    message: Arc<Message>,
 }
 
 #[derive(Debug)]
@@ -50,6 +51,9 @@ struct Inner {
     destroyed: bool,
     expired_dropped: u64,
     delivered: u64,
+    /// Receivers currently blocked in [`Endpoint::receive`]; lets inserts
+    /// skip the condvar entirely when nobody is waiting.
+    waiters: usize,
 }
 
 /// Statistics snapshot of an end-point.
@@ -80,10 +84,12 @@ pub struct Endpoint {
     available: Condvar,
 }
 
-/// Maximum time one condvar wait may last; keeps blocked receivers
-/// responsive to connection stop/close and broker crash, which they check
-/// between waits.
-const WAIT_SLICE: Duration = Duration::from_millis(1);
+/// Upper bound on one condvar wait. Arrivals, visibility edges, session
+/// recovery, crash and destroy all notify the condvar, so waits normally
+/// end by wakeup; this coarse slice only bounds how long a receiver can
+/// miss conditions nothing notifies for (connection stop/start, virtual
+/// clock advances).
+const LIVENESS_SLICE: Duration = Duration::from_millis(25);
 
 impl Endpoint {
     /// Creates an empty end-point.
@@ -99,6 +105,7 @@ impl Endpoint {
                 destroyed: false,
                 expired_dropped: 0,
                 delivered: 0,
+                waiters: 0,
             }),
             available: Condvar::new(),
         }
@@ -109,9 +116,20 @@ impl Endpoint {
         &self.id
     }
 
+    /// Wakes blocked receivers, but only if there are any: the common
+    /// publish path with no waiting consumer skips the condvar call.
+    fn wake_receivers(&self, inner: &Inner) {
+        if inner.waiters > 0 {
+            self.available.notify_all();
+        }
+    }
+
     /// Inserts a message that becomes visible to consumers at
     /// `visible_at`. Returns `false` if the end-point was destroyed.
-    pub fn insert(&self, message: Message, visible_at: Timestamp) -> bool {
+    ///
+    /// The message is shared, not copied: fanning one publish out to many
+    /// end-points only bumps the [`Arc`] reference count.
+    pub fn insert(&self, message: Arc<Message>, visible_at: Timestamp) -> bool {
         let mut inner = self.inner.lock();
         if inner.destroyed {
             return false;
@@ -132,8 +150,7 @@ impl Endpoint {
                 visible_at,
             },
         );
-        drop(inner);
-        self.available.notify_all();
+        self.wake_receivers(&inner);
         true
     }
 
@@ -150,6 +167,13 @@ impl Endpoint {
     /// `Some(Duration::ZERO)` (poll) or a real clock for blocking
     /// receives in tests.
     ///
+    /// Waits are wakeup-driven: inserts, session recovery, crash and
+    /// destroy notify blocked receivers, and a receiver that saw only
+    /// not-yet-visible messages sleeps exactly until the earliest
+    /// visibility edge. Conditions nothing notifies for (connection
+    /// stop/start, virtual clock advances) are caught by a coarse
+    /// [`LIVENESS_SLICE`] re-check.
+    ///
     /// # Errors
     ///
     /// Returns whatever error `alive` reports (for example
@@ -162,7 +186,7 @@ impl Endpoint {
         track: TrackMode,
         started: &dyn Fn() -> bool,
         alive: &dyn Fn() -> Result<(), Error>,
-    ) -> Result<Option<Message>, Error> {
+    ) -> Result<Option<Arc<Message>>, Error> {
         let deadline = timeout.map(|t| clock.now().saturating_add(t));
         let mut inner = self.inner.lock();
         loop {
@@ -177,25 +201,48 @@ impl Endpoint {
                     if track == TrackMode::InFlight {
                         inner.in_flight.push(InFlight {
                             session,
-                            message: message.clone(),
+                            message: Arc::clone(&message),
                         });
                     }
                     return Ok(Some(message));
                 }
             }
-            // Nothing deliverable: bounded wait, then re-check.
+            // Nothing deliverable: sleep until something can change that —
+            // a wakeup, the next visibility edge, the caller's deadline —
+            // bounded by the liveness slice.
             if let Some(deadline) = deadline {
                 if now >= deadline {
                     return Ok(None);
                 }
             }
-            self.available.wait_for(&mut inner, WAIT_SLICE);
+            let mut wait = LIVENESS_SLICE;
+            if let Some(deadline) = deadline {
+                wait = wait.min(deadline.saturating_since(now));
+            }
+            if started() {
+                if let Some(visible_at) = Self::next_visible_at(&inner, now) {
+                    wait = wait.min(visible_at.saturating_since(now));
+                }
+            }
+            inner.waiters += 1;
+            self.available.wait_for(&mut inner, wait);
+            inner.waiters -= 1;
         }
+    }
+
+    /// The earliest future visibility edge among pending messages, if any.
+    fn next_visible_at(inner: &Inner, now: Timestamp) -> Option<Timestamp> {
+        inner
+            .pending
+            .values()
+            .filter(|entry| entry.visible_at > now)
+            .map(|entry| entry.visible_at)
+            .min()
     }
 
     /// Takes the first visible, unexpired pending message, dropping
     /// expired entries encountered on the way (when expiry is enforced).
-    fn take_visible(&self, inner: &mut Inner, now: Timestamp) -> Option<Message> {
+    fn take_visible(&self, inner: &mut Inner, now: Timestamp) -> Option<Arc<Message>> {
         let mut expired_keys = Vec::new();
         let mut taken_key = None;
         for (key, entry) in inner.pending.iter() {
@@ -218,15 +265,15 @@ impl Endpoint {
 
     /// Returns a snapshot of the currently visible, unexpired pending
     /// messages in delivery order, without consuming them (queue
-    /// browsing).
-    pub fn browse(&self, now: Timestamp) -> Vec<Message> {
+    /// browsing). The returned messages share the buffered payloads.
+    pub fn browse(&self, now: Timestamp) -> Vec<Arc<Message>> {
         let inner = self.inner.lock();
         inner
             .pending
             .values()
             .filter(|entry| entry.visible_at <= now)
             .filter(|entry| !(self.enforce_expiry && entry.message.is_expired_at(now)))
-            .map(|entry| entry.message.clone())
+            .map(|entry| Arc::clone(&entry.message))
             .collect()
     }
 
@@ -253,7 +300,7 @@ impl Endpoint {
     /// redelivered (rollback / session recovery).
     pub fn recover_session(&self, session: SessionId, now: Timestamp) {
         let mut inner = self.inner.lock();
-        let recovered: Vec<Message> = {
+        let recovered: Vec<Arc<Message>> = {
             let mut kept = Vec::new();
             let mut taken = Vec::new();
             for entry in inner.in_flight.drain(..) {
@@ -279,13 +326,12 @@ impl Endpoint {
             inner.pending.insert(
                 key,
                 Entry {
-                    message: message.as_redelivered(),
+                    message: Arc::new(message.as_redelivered()),
                     visible_at: now,
                 },
             );
         }
-        drop(inner);
-        self.available.notify_all();
+        self.wake_receivers(&inner);
     }
 
     /// Applies crash semantics: unacknowledged in-flight messages return
@@ -293,8 +339,11 @@ impl Endpoint {
     /// the broker is configured to lose those too).
     pub fn crash(&self, keep_persistent: bool, now: Timestamp) {
         let mut inner = self.inner.lock();
-        let in_flight: Vec<Message> =
-            inner.in_flight.drain(..).map(|entry| entry.message).collect();
+        let in_flight: Vec<Arc<Message>> = inner
+            .in_flight
+            .drain(..)
+            .map(|entry| entry.message)
+            .collect();
         for message in in_flight {
             let key = EntryKey {
                 priority_rank: if self.enforce_priority {
@@ -308,7 +357,7 @@ impl Endpoint {
             inner.pending.insert(
                 key,
                 Entry {
-                    message: message.as_redelivered(),
+                    message: Arc::new(message.as_redelivered()),
                     visible_at: now,
                 },
             );
@@ -316,8 +365,7 @@ impl Endpoint {
         inner
             .pending
             .retain(|_, entry| keep_persistent && entry.message.delivery_mode().is_persistent());
-        drop(inner);
-        self.available.notify_all();
+        self.wake_receivers(&inner);
     }
 
     /// Destroys the end-point: pending messages are discarded and blocked
@@ -327,8 +375,7 @@ impl Endpoint {
         inner.destroyed = true;
         inner.pending.clear();
         inner.in_flight.clear();
-        drop(inner);
-        self.available.notify_all();
+        self.wake_receivers(&inner);
     }
 
     /// Returns `true` if the end-point has been destroyed.
@@ -359,32 +406,30 @@ mod tests {
     use std::sync::Arc;
 
     fn endpoint() -> Endpoint {
-        Endpoint::new(
-            EndpointId::for_queue(QueueName::new("q")),
-            true,
-            true,
-        )
+        Endpoint::new(EndpointId::for_queue(QueueName::new("q")), true, true)
     }
 
-    fn message(seq: u64, priority: u8, mode: DeliveryMode, ttl_ms: u64) -> Message {
-        MessageDraft::text(format!("m{seq}"))
-            .priority(Priority::new(priority).unwrap())
-            .delivery_mode(mode)
-            .time_to_live(TimeToLive::from_millis(ttl_ms))
-            .stamp(Stamp {
-                id: MessageId::from_raw(seq),
-                producer: ProducerId::from_raw(1),
-                sequence: seq,
-                destination: Destination::queue("q"),
-                sent_at: Timestamp::ZERO,
-            })
+    fn message(seq: u64, priority: u8, mode: DeliveryMode, ttl_ms: u64) -> Arc<Message> {
+        Arc::new(
+            MessageDraft::text(format!("m{seq}"))
+                .priority(Priority::new(priority).unwrap())
+                .delivery_mode(mode)
+                .time_to_live(TimeToLive::from_millis(ttl_ms))
+                .stamp(Stamp {
+                    id: MessageId::from_raw(seq),
+                    producer: ProducerId::from_raw(1),
+                    sequence: seq,
+                    destination: Destination::queue("q"),
+                    sent_at: Timestamp::ZERO,
+                }),
+        )
     }
 
     fn receive_now(
         ep: &Endpoint,
         clock: &dyn Clock,
         track: TrackMode,
-    ) -> Result<Option<Message>, Error> {
+    ) -> Result<Option<Arc<Message>>, Error> {
         ep.receive(
             clock,
             Some(Duration::ZERO),
@@ -403,10 +448,15 @@ mod tests {
             ep.insert(message(i, 4, DeliveryMode::Persistent, 0), Timestamp::ZERO);
         }
         for i in 0..3 {
-            let got = receive_now(&ep, &clock, TrackMode::Immediate).unwrap().unwrap();
+            let got = receive_now(&ep, &clock, TrackMode::Immediate)
+                .unwrap()
+                .unwrap();
             assert_eq!(got.sequence(), i);
         }
-        assert_eq!(receive_now(&ep, &clock, TrackMode::Immediate).unwrap(), None);
+        assert_eq!(
+            receive_now(&ep, &clock, TrackMode::Immediate).unwrap(),
+            None
+        );
     }
 
     #[test]
@@ -433,7 +483,9 @@ mod tests {
         let ep = Endpoint::new(EndpointId::for_queue(QueueName::new("q")), true, false);
         ep.insert(message(0, 1, DeliveryMode::Persistent, 0), Timestamp::ZERO);
         ep.insert(message(1, 8, DeliveryMode::Persistent, 0), Timestamp::ZERO);
-        let first = receive_now(&ep, &clock, TrackMode::Immediate).unwrap().unwrap();
+        let first = receive_now(&ep, &clock, TrackMode::Immediate)
+            .unwrap()
+            .unwrap();
         assert_eq!(first.sequence(), 0, "FIFO when priority not enforced");
     }
 
@@ -445,7 +497,10 @@ mod tests {
             message(0, 4, DeliveryMode::Persistent, 0),
             Timestamp::from_millis(10),
         );
-        assert_eq!(receive_now(&ep, &clock, TrackMode::Immediate).unwrap(), None);
+        assert_eq!(
+            receive_now(&ep, &clock, TrackMode::Immediate).unwrap(),
+            None
+        );
         clock.advance(Duration::from_millis(10));
         assert!(receive_now(&ep, &clock, TrackMode::Immediate)
             .unwrap()
@@ -459,7 +514,9 @@ mod tests {
         ep.insert(message(0, 4, DeliveryMode::Persistent, 1), Timestamp::ZERO);
         ep.insert(message(1, 4, DeliveryMode::Persistent, 0), Timestamp::ZERO);
         clock.advance(Duration::from_millis(5));
-        let got = receive_now(&ep, &clock, TrackMode::Immediate).unwrap().unwrap();
+        let got = receive_now(&ep, &clock, TrackMode::Immediate)
+            .unwrap()
+            .unwrap();
         assert_eq!(got.sequence(), 1);
         assert_eq!(ep.stats().expired_dropped, 1);
     }
@@ -470,7 +527,9 @@ mod tests {
         let ep = Endpoint::new(EndpointId::for_queue(QueueName::new("q")), false, true);
         ep.insert(message(0, 4, DeliveryMode::Persistent, 1), Timestamp::ZERO);
         clock.advance(Duration::from_millis(5));
-        let got = receive_now(&ep, &clock, TrackMode::Immediate).unwrap().unwrap();
+        let got = receive_now(&ep, &clock, TrackMode::Immediate)
+            .unwrap()
+            .unwrap();
         assert_eq!(got.sequence(), 0);
         assert_eq!(ep.stats().expired_dropped, 0);
     }
@@ -480,12 +539,16 @@ mod tests {
         let clock = VirtualClock::new();
         let ep = endpoint();
         ep.insert(message(0, 4, DeliveryMode::Persistent, 0), Timestamp::ZERO);
-        let got = receive_now(&ep, &clock, TrackMode::InFlight).unwrap().unwrap();
+        let got = receive_now(&ep, &clock, TrackMode::InFlight)
+            .unwrap()
+            .unwrap();
         assert_eq!(ep.stats().in_flight, 1);
         // Recover: message returns as redelivered.
         ep.recover_session(SessionId::from_raw(1), clock.now());
         assert_eq!(ep.stats().in_flight, 0);
-        let again = receive_now(&ep, &clock, TrackMode::InFlight).unwrap().unwrap();
+        let again = receive_now(&ep, &clock, TrackMode::InFlight)
+            .unwrap()
+            .unwrap();
         assert_eq!(again.id(), got.id());
         assert!(again.is_redelivered());
         // Ack: gone for good.
@@ -500,8 +563,12 @@ mod tests {
         let ep = endpoint();
         ep.insert(message(0, 4, DeliveryMode::Persistent, 0), Timestamp::ZERO);
         ep.insert(message(1, 4, DeliveryMode::Persistent, 0), Timestamp::ZERO);
-        let a = receive_now(&ep, &clock, TrackMode::InFlight).unwrap().unwrap();
-        let _b = receive_now(&ep, &clock, TrackMode::InFlight).unwrap().unwrap();
+        let a = receive_now(&ep, &clock, TrackMode::InFlight)
+            .unwrap()
+            .unwrap();
+        let _b = receive_now(&ep, &clock, TrackMode::InFlight)
+            .unwrap()
+            .unwrap();
         ep.ack_message(SessionId::from_raw(1), a.id());
         assert_eq!(ep.stats().in_flight, 1);
     }
@@ -511,10 +578,15 @@ mod tests {
         let clock = VirtualClock::new();
         let ep = endpoint();
         ep.insert(message(0, 4, DeliveryMode::Persistent, 0), Timestamp::ZERO);
-        ep.insert(message(1, 4, DeliveryMode::NonPersistent, 0), Timestamp::ZERO);
+        ep.insert(
+            message(1, 4, DeliveryMode::NonPersistent, 0),
+            Timestamp::ZERO,
+        );
         ep.insert(message(2, 4, DeliveryMode::Persistent, 0), Timestamp::ZERO);
         // Take one persistent message but do not ack it.
-        let taken = receive_now(&ep, &clock, TrackMode::InFlight).unwrap().unwrap();
+        let taken = receive_now(&ep, &clock, TrackMode::InFlight)
+            .unwrap()
+            .unwrap();
         assert_eq!(taken.sequence(), 0);
         ep.crash(true, clock.now());
         // Survivors: seq 0 (was in flight, persistent) and seq 2.
@@ -532,7 +604,10 @@ mod tests {
         let ep = endpoint();
         ep.insert(message(0, 4, DeliveryMode::Persistent, 0), Timestamp::ZERO);
         ep.crash(false, clock.now());
-        assert_eq!(receive_now(&ep, &clock, TrackMode::Immediate).unwrap(), None);
+        assert_eq!(
+            receive_now(&ep, &clock, TrackMode::Immediate).unwrap(),
+            None
+        );
     }
 
     #[test]
@@ -607,5 +682,48 @@ mod tests {
         ep.insert(message(0, 4, DeliveryMode::Persistent, 0), Timestamp::ZERO);
         receive_now(&ep, &clock, TrackMode::Immediate).unwrap();
         assert_eq!(ep.stats().delivered, 1);
+    }
+
+    #[test]
+    fn delivery_shares_inserted_payload() {
+        let clock = VirtualClock::new();
+        let ep = endpoint();
+        let sent = message(0, 4, DeliveryMode::Persistent, 0);
+        ep.insert(Arc::clone(&sent), Timestamp::ZERO);
+        let got = receive_now(&ep, &clock, TrackMode::Immediate)
+            .unwrap()
+            .unwrap();
+        assert!(
+            Arc::ptr_eq(&sent, &got),
+            "buffered message must be shared, not copied"
+        );
+        assert!(got.shares_payload_with(&sent));
+    }
+
+    #[test]
+    fn blocked_receiver_wakes_at_visibility_edge() {
+        use jmst_api::time::SystemClock;
+        let clock = Arc::new(SystemClock::new());
+        let ep = Arc::new(endpoint());
+        let visible_at = clock.now().saturating_add(Duration::from_millis(30));
+        ep.insert(message(0, 4, DeliveryMode::Persistent, 0), visible_at);
+        let ep2 = Arc::clone(&ep);
+        let clock2 = Arc::clone(&clock);
+        let handle = std::thread::spawn(move || {
+            ep2.receive(
+                clock2.as_ref(),
+                Some(Duration::from_secs(5)),
+                SessionId::from_raw(1),
+                TrackMode::Immediate,
+                &|| true,
+                &|| Ok(()),
+            )
+        });
+        let got = handle.join().unwrap().unwrap();
+        assert!(got.is_some(), "visibility edge must wake the receiver");
+        assert!(
+            clock.now() < Timestamp::from_millis(2_000),
+            "receiver should wake at the edge, not at the timeout"
+        );
     }
 }

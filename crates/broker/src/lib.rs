@@ -19,8 +19,8 @@ mod connection;
 mod core;
 pub mod endpoint;
 pub mod faults;
-mod session;
 mod provider;
+mod session;
 
 pub use config::BrokerConfig;
 pub use connection::BrokerConnection;

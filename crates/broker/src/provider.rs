@@ -95,6 +95,23 @@ impl ReferenceBroker {
             .load(std::sync::atomic::Ordering::Relaxed)
     }
 
+    /// Returns the number of extra copies delivered beyond the first of
+    /// each routed message (non-zero only under duplicate fault injection).
+    pub fn messages_duplicated(&self) -> u64 {
+        self.core
+            .counters()
+            .duplicated
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Returns the subscription-snapshot generation of a topic: how many
+    /// times its membership has been rebuilt. `None` if the broker has
+    /// never seen the topic. Diagnostics can correlate a publish with the
+    /// membership it saw.
+    pub fn topic_generation(&self, topic: &jmst_api::destination::TopicName) -> Option<u64> {
+        self.core.topic_generation(topic)
+    }
+
     /// Per-end-point statistics for queues and durable subscriptions.
     pub fn endpoint_stats(&self) -> Vec<(EndpointId, crate::endpoint::EndpointStats)> {
         self.core.endpoint_stats()
@@ -144,7 +161,9 @@ mod tests {
     fn point_to_point_round_trip() {
         let broker = ReferenceBroker::new();
         let mut connection = started_connection(&broker);
-        let mut session = connection.create_session(SessionMode::AutoAcknowledge).unwrap();
+        let mut session = connection
+            .create_session(SessionMode::AutoAcknowledge)
+            .unwrap();
         let queue = Destination::queue("q");
         let mut producer = session.create_producer(&queue).unwrap();
         let mut consumer = session.create_consumer(&queue, None).unwrap();
@@ -159,7 +178,9 @@ mod tests {
     fn queue_messages_wait_for_late_receiver() {
         let broker = ReferenceBroker::new();
         let mut connection = started_connection(&broker);
-        let mut session = connection.create_session(SessionMode::AutoAcknowledge).unwrap();
+        let mut session = connection
+            .create_session(SessionMode::AutoAcknowledge)
+            .unwrap();
         let queue = Destination::queue("q");
         let mut producer = session.create_producer(&queue).unwrap();
         producer.send(MessageDraft::text("early")).unwrap();
@@ -172,7 +193,9 @@ mod tests {
     fn pub_sub_fanout_and_no_delivery_without_subscribers() {
         let broker = ReferenceBroker::new();
         let mut connection = started_connection(&broker);
-        let mut session = connection.create_session(SessionMode::AutoAcknowledge).unwrap();
+        let mut session = connection
+            .create_session(SessionMode::AutoAcknowledge)
+            .unwrap();
         let topic = Destination::topic("t");
         let mut producer = session.create_producer(&topic).unwrap();
         // Publish before anyone subscribes: dropped.
@@ -195,7 +218,9 @@ mod tests {
     fn non_durable_subscription_ends_at_close() {
         let broker = ReferenceBroker::new();
         let mut connection = started_connection(&broker);
-        let mut session = connection.create_session(SessionMode::AutoAcknowledge).unwrap();
+        let mut session = connection
+            .create_session(SessionMode::AutoAcknowledge)
+            .unwrap();
         let topic = Destination::topic("t");
         let mut producer = session.create_producer(&topic).unwrap();
         let mut subscriber = session.create_consumer(&topic, None).unwrap();
@@ -213,7 +238,9 @@ mod tests {
             .create_connection(Some(ClientId::new("client")))
             .unwrap();
         connection.start().unwrap();
-        let mut session = connection.create_session(SessionMode::AutoAcknowledge).unwrap();
+        let mut session = connection
+            .create_session(SessionMode::AutoAcknowledge)
+            .unwrap();
         let topic = TopicName::new("t");
         let mut subscriber = session
             .create_durable_subscriber(&topic, "audit", None)
@@ -223,7 +250,11 @@ mod tests {
             .unwrap();
         let first = producer.send(MessageDraft::text("first")).unwrap();
         assert_eq!(
-            subscriber.receive(Some(RECEIVE_WAIT)).unwrap().unwrap().id(),
+            subscriber
+                .receive(Some(RECEIVE_WAIT))
+                .unwrap()
+                .unwrap()
+                .id(),
             first.id()
         );
         // Close the subscriber; publish while inactive.
@@ -246,7 +277,9 @@ mod tests {
     fn durable_subscriber_requires_client_id() {
         let broker = ReferenceBroker::new();
         let mut connection = started_connection(&broker);
-        let mut session = connection.create_session(SessionMode::AutoAcknowledge).unwrap();
+        let mut session = connection
+            .create_session(SessionMode::AutoAcknowledge)
+            .unwrap();
         let err = session
             .create_durable_subscriber(&TopicName::new("t"), "s", None)
             .map(|_| ())
@@ -259,12 +292,17 @@ mod tests {
         let broker = ReferenceBroker::new();
         let mut connection = started_connection(&broker);
         let mut tx_session = connection.create_session(SessionMode::Transacted).unwrap();
-        let mut rx_session = connection.create_session(SessionMode::AutoAcknowledge).unwrap();
+        let mut rx_session = connection
+            .create_session(SessionMode::AutoAcknowledge)
+            .unwrap();
         let queue = Destination::queue("q");
         let mut producer = tx_session.create_producer(&queue).unwrap();
         let mut consumer = rx_session.create_consumer(&queue, None).unwrap();
         producer.send(MessageDraft::text("tx")).unwrap();
-        assert_eq!(consumer.receive(Some(Duration::from_millis(50))).unwrap(), None);
+        assert_eq!(
+            consumer.receive(Some(Duration::from_millis(50))).unwrap(),
+            None
+        );
         tx_session.commit().unwrap();
         assert!(consumer.receive(Some(RECEIVE_WAIT)).unwrap().is_some());
     }
@@ -274,21 +312,28 @@ mod tests {
         let broker = ReferenceBroker::new();
         let mut connection = started_connection(&broker);
         let mut tx_session = connection.create_session(SessionMode::Transacted).unwrap();
-        let mut rx_session = connection.create_session(SessionMode::AutoAcknowledge).unwrap();
+        let mut rx_session = connection
+            .create_session(SessionMode::AutoAcknowledge)
+            .unwrap();
         let queue = Destination::queue("q");
         let mut producer = tx_session.create_producer(&queue).unwrap();
         let mut consumer = rx_session.create_consumer(&queue, None).unwrap();
         producer.send(MessageDraft::text("doomed")).unwrap();
         tx_session.rollback().unwrap();
         tx_session.commit().unwrap();
-        assert_eq!(consumer.receive(Some(Duration::from_millis(50))).unwrap(), None);
+        assert_eq!(
+            consumer.receive(Some(Duration::from_millis(50))).unwrap(),
+            None
+        );
     }
 
     #[test]
     fn transacted_receive_rollback_redelivers() {
         let broker = ReferenceBroker::new();
         let mut connection = started_connection(&broker);
-        let mut send_session = connection.create_session(SessionMode::AutoAcknowledge).unwrap();
+        let mut send_session = connection
+            .create_session(SessionMode::AutoAcknowledge)
+            .unwrap();
         let mut rx_session = connection.create_session(SessionMode::Transacted).unwrap();
         let queue = Destination::queue("q");
         let mut producer = send_session.create_producer(&queue).unwrap();
@@ -301,7 +346,10 @@ mod tests {
         assert_eq!(second.id(), sent.id());
         assert!(second.is_redelivered());
         rx_session.commit().unwrap();
-        assert_eq!(consumer.receive(Some(Duration::from_millis(50))).unwrap(), None);
+        assert_eq!(
+            consumer.receive(Some(Duration::from_millis(50))).unwrap(),
+            None
+        );
     }
 
     #[test]
@@ -323,20 +371,28 @@ mod tests {
         assert!(again.is_redelivered());
         consumer.acknowledge().unwrap();
         session.recover().unwrap();
-        assert_eq!(consumer.receive(Some(Duration::from_millis(50))).unwrap(), None);
+        assert_eq!(
+            consumer.receive(Some(Duration::from_millis(50))).unwrap(),
+            None
+        );
     }
 
     #[test]
     fn connection_stop_suspends_delivery() {
         let broker = ReferenceBroker::new();
         let mut connection = broker.create_connection(None).unwrap();
-        let mut session = connection.create_session(SessionMode::AutoAcknowledge).unwrap();
+        let mut session = connection
+            .create_session(SessionMode::AutoAcknowledge)
+            .unwrap();
         let queue = Destination::queue("q");
         let mut producer = session.create_producer(&queue).unwrap();
         let mut consumer = session.create_consumer(&queue, None).unwrap();
         producer.send(MessageDraft::text("waiting")).unwrap();
         // Connection never started: no delivery.
-        assert_eq!(consumer.receive(Some(Duration::from_millis(50))).unwrap(), None);
+        assert_eq!(
+            consumer.receive(Some(Duration::from_millis(50))).unwrap(),
+            None
+        );
         connection.start().unwrap();
         assert!(consumer.receive(Some(RECEIVE_WAIT)).unwrap().is_some());
     }
@@ -345,7 +401,9 @@ mod tests {
     fn priority_order_under_backlog() {
         let broker = ReferenceBroker::new();
         let mut connection = started_connection(&broker);
-        let mut session = connection.create_session(SessionMode::AutoAcknowledge).unwrap();
+        let mut session = connection
+            .create_session(SessionMode::AutoAcknowledge)
+            .unwrap();
         let queue = Destination::queue("q");
         let mut producer = session.create_producer(&queue).unwrap();
         for (text, level) in [("low", 1u8), ("high", 8), ("mid", 5)] {
@@ -370,11 +428,12 @@ mod tests {
     #[test]
     fn expired_message_not_delivered() {
         let clock = Arc::new(VirtualClock::new());
-        let broker = ReferenceBroker::with_config(
-            BrokerConfig::correct().with_clock(clock.clone()),
-        );
+        let broker =
+            ReferenceBroker::with_config(BrokerConfig::correct().with_clock(clock.clone()));
         let mut connection = started_connection(&broker);
-        let mut session = connection.create_session(SessionMode::AutoAcknowledge).unwrap();
+        let mut session = connection
+            .create_session(SessionMode::AutoAcknowledge)
+            .unwrap();
         let queue = Destination::queue("q");
         let mut producer = session.create_producer(&queue).unwrap();
         producer
@@ -389,7 +448,9 @@ mod tests {
     fn crash_invalidates_connections_and_recover_requires_new_ones() {
         let broker = ReferenceBroker::new();
         let mut connection = started_connection(&broker);
-        let mut session = connection.create_session(SessionMode::AutoAcknowledge).unwrap();
+        let mut session = connection
+            .create_session(SessionMode::AutoAcknowledge)
+            .unwrap();
         let queue = Destination::queue("q");
         let mut producer = session.create_producer(&queue).unwrap();
         producer
@@ -400,24 +461,33 @@ mod tests {
             .unwrap();
         broker.crash();
         assert!(producer.send(MessageDraft::text("nope")).is_err());
-        assert!(connection.create_session(SessionMode::AutoAcknowledge).is_err());
+        assert!(connection
+            .create_session(SessionMode::AutoAcknowledge)
+            .is_err());
         broker.recover();
         // Old connection still dead.
-        assert!(connection.create_session(SessionMode::AutoAcknowledge).is_err());
+        assert!(connection
+            .create_session(SessionMode::AutoAcknowledge)
+            .is_err());
         // New connection sees only the persistent message.
         let mut fresh = started_connection(&broker);
         let mut session = fresh.create_session(SessionMode::AutoAcknowledge).unwrap();
         let mut consumer = session.create_consumer(&queue, None).unwrap();
         let survivor = consumer.receive(Some(RECEIVE_WAIT)).unwrap().unwrap();
         assert_eq!(survivor.body(), &Body::text("persisted"));
-        assert_eq!(consumer.receive(Some(Duration::from_millis(50))).unwrap(), None);
+        assert_eq!(
+            consumer.receive(Some(Duration::from_millis(50))).unwrap(),
+            None
+        );
     }
 
     #[test]
     fn queue_selector_leaves_non_matching_for_others() {
         let broker = ReferenceBroker::new();
         let mut connection = started_connection(&broker);
-        let mut session = connection.create_session(SessionMode::AutoAcknowledge).unwrap();
+        let mut session = connection
+            .create_session(SessionMode::AutoAcknowledge)
+            .unwrap();
         let queue = Destination::queue("q");
         let mut producer = session.create_producer(&queue).unwrap();
         producer
@@ -449,7 +519,9 @@ mod tests {
     fn topic_selector_filters_at_subscription() {
         let broker = ReferenceBroker::new();
         let mut connection = started_connection(&broker);
-        let mut session = connection.create_session(SessionMode::AutoAcknowledge).unwrap();
+        let mut session = connection
+            .create_session(SessionMode::AutoAcknowledge)
+            .unwrap();
         let topic = Destination::topic("t");
         let mut producer = session.create_producer(&topic).unwrap();
         let mut priority_sub = session
@@ -464,7 +536,9 @@ mod tests {
         let got = priority_sub.receive(Some(RECEIVE_WAIT)).unwrap().unwrap();
         assert_eq!(got.body(), &Body::text("high"));
         assert_eq!(
-            priority_sub.receive(Some(Duration::from_millis(50))).unwrap(),
+            priority_sub
+                .receive(Some(Duration::from_millis(50)))
+                .unwrap(),
             None
         );
     }
@@ -473,7 +547,9 @@ mod tests {
     fn invalid_selector_is_rejected_at_creation() {
         let broker = ReferenceBroker::new();
         let mut connection = started_connection(&broker);
-        let mut session = connection.create_session(SessionMode::AutoAcknowledge).unwrap();
+        let mut session = connection
+            .create_session(SessionMode::AutoAcknowledge)
+            .unwrap();
         let err = session
             .create_consumer(&Destination::queue("q"), Some("color ="))
             .map(|_| ())
@@ -485,7 +561,9 @@ mod tests {
     fn closed_objects_refuse_work() {
         let broker = ReferenceBroker::new();
         let mut connection = started_connection(&broker);
-        let mut session = connection.create_session(SessionMode::AutoAcknowledge).unwrap();
+        let mut session = connection
+            .create_session(SessionMode::AutoAcknowledge)
+            .unwrap();
         let queue = Destination::queue("q");
         let mut producer = session.create_producer(&queue).unwrap();
         let mut consumer = session.create_consumer(&queue, None).unwrap();
@@ -512,7 +590,9 @@ mod tests {
     fn browse_shows_waiting_messages_without_consuming() {
         let broker = ReferenceBroker::new();
         let mut connection = started_connection(&broker);
-        let mut session = connection.create_session(SessionMode::AutoAcknowledge).unwrap();
+        let mut session = connection
+            .create_session(SessionMode::AutoAcknowledge)
+            .unwrap();
         let queue = Destination::queue("q");
         let mut producer = session.create_producer(&queue).unwrap();
         let first = producer
@@ -546,7 +626,9 @@ mod tests {
                 .with_delivery_delay(Duration::from_millis(10)),
         );
         let mut connection = started_connection(&broker);
-        let mut session = connection.create_session(SessionMode::AutoAcknowledge).unwrap();
+        let mut session = connection
+            .create_session(SessionMode::AutoAcknowledge)
+            .unwrap();
         let queue = Destination::queue("q");
         let mut producer = session.create_producer(&queue).unwrap();
         producer
@@ -567,7 +649,9 @@ mod tests {
     fn commit_on_non_transacted_session_is_illegal() {
         let broker = ReferenceBroker::new();
         let mut connection = started_connection(&broker);
-        let mut session = connection.create_session(SessionMode::AutoAcknowledge).unwrap();
+        let mut session = connection
+            .create_session(SessionMode::AutoAcknowledge)
+            .unwrap();
         assert!(matches!(session.commit(), Err(Error::IllegalState(_))));
         assert!(matches!(session.rollback(), Err(Error::IllegalState(_))));
         let mut tx = connection.create_session(SessionMode::Transacted).unwrap();
@@ -577,9 +661,7 @@ mod tests {
     #[test]
     fn duplicate_client_id_rejected() {
         let broker = ReferenceBroker::new();
-        let _first = broker
-            .create_connection(Some(ClientId::new("c")))
-            .unwrap();
+        let _first = broker.create_connection(Some(ClientId::new("c"))).unwrap();
         assert!(broker.create_connection(Some(ClientId::new("c"))).is_err());
     }
 
@@ -587,12 +669,19 @@ mod tests {
     fn fifo_order_preserved_per_producer() {
         let broker = ReferenceBroker::new();
         let mut connection = started_connection(&broker);
-        let mut session = connection.create_session(SessionMode::AutoAcknowledge).unwrap();
+        let mut session = connection
+            .create_session(SessionMode::AutoAcknowledge)
+            .unwrap();
         let queue = Destination::queue("q");
         let mut producer = session.create_producer(&queue).unwrap();
         let mut consumer = session.create_consumer(&queue, None).unwrap();
         let sent: Vec<MessageId> = (0..50)
-            .map(|i| producer.send(MessageDraft::text(format!("{i}"))).unwrap().id())
+            .map(|i| {
+                producer
+                    .send(MessageDraft::text(format!("{i}")))
+                    .unwrap()
+                    .id()
+            })
             .collect();
         let received: Vec<MessageId> = (0..50)
             .map(|_| consumer.receive(Some(RECEIVE_WAIT)).unwrap().unwrap().id())
@@ -604,14 +693,21 @@ mod tests {
     fn competing_queue_receivers_partition_messages() {
         let broker = ReferenceBroker::new();
         let mut connection = started_connection(&broker);
-        let mut session = connection.create_session(SessionMode::AutoAcknowledge).unwrap();
+        let mut session = connection
+            .create_session(SessionMode::AutoAcknowledge)
+            .unwrap();
         let queue = Destination::queue("q");
         let mut producer = session.create_producer(&queue).unwrap();
         let mut a = session.create_consumer(&queue, None).unwrap();
         let mut b = session.create_consumer(&queue, None).unwrap();
         let mut sent = std::collections::HashSet::new();
         for i in 0..20 {
-            sent.insert(producer.send(MessageDraft::text(format!("{i}"))).unwrap().id());
+            sent.insert(
+                producer
+                    .send(MessageDraft::text(format!("{i}")))
+                    .unwrap()
+                    .id(),
+            );
         }
         let mut received = std::collections::HashSet::new();
         loop {

@@ -19,7 +19,7 @@ use std::time::Duration;
 struct TxState {
     closed: bool,
     /// Stamped messages awaiting commit (transacted sessions).
-    pending_sends: Vec<Message>,
+    pending_sends: Vec<Arc<Message>>,
     /// Per-message in-flight receives of the open transaction.
     tx_receives: Vec<(Arc<Endpoint>, MessageId)>,
     /// End-points this session has unacknowledged deliveries on
@@ -79,9 +79,7 @@ impl SessionShared {
         match self.mode {
             SessionMode::AutoAcknowledge => {}
             SessionMode::Transacted => {
-                state
-                    .tx_receives
-                    .push((Arc::clone(endpoint), message.id()));
+                state.tx_receives.push((Arc::clone(endpoint), message.id()));
             }
             SessionMode::ClientAcknowledge => {
                 if !state.touched.iter().any(|e| Arc::ptr_eq(e, endpoint)) {
@@ -218,12 +216,9 @@ impl Session for BrokerSession {
         selector: Option<&str>,
     ) -> Result<Box<dyn Consumer>, Error> {
         self.shared.check_open()?;
-        let client = self
-            .shared
-            .conn
-            .client
-            .clone()
-            .ok_or_else(|| Error::InvalidClient("durable subscription requires a client id".into()))?;
+        let client = self.shared.conn.client.clone().ok_or_else(|| {
+            Error::InvalidClient("durable subscription requires a client id".into())
+        })?;
         let parsed = selector.map(Selector::parse).transpose()?;
         let id = self.shared.core.ids().next_consumer_id();
         let endpoint = self
@@ -248,7 +243,11 @@ impl Session for BrokerSession {
     fn browse(&mut self, queue: &jmst_api::destination::QueueName) -> Result<Vec<Message>, Error> {
         self.shared.check_open()?;
         let endpoint = self.shared.core.queue_endpoint(queue);
-        Ok(endpoint.browse(self.shared.core.now()))
+        Ok(endpoint
+            .browse(self.shared.core.now())
+            .into_iter()
+            .map(|m| (*m).clone())
+            .collect())
     }
 
     fn unsubscribe(&mut self, name: &str) -> Result<(), Error> {
@@ -346,23 +345,23 @@ impl Producer for BrokerProducer {
             return Err(Error::EndpointClosed);
         }
         self.session.check_open()?;
-        let message = draft.stamp(Stamp {
+        let message = Arc::new(draft.stamp(Stamp {
             id: self.session.core.ids().next_message_id(),
             producer: self.id,
             sequence: self.sequence.fetch_add(1, Ordering::SeqCst),
             destination: self.destination.clone(),
             sent_at: self.session.core.now(),
-        });
+        }));
         if self.session.mode == SessionMode::Transacted {
             self.session
                 .state
                 .lock()
                 .pending_sends
-                .push(message.clone());
+                .push(Arc::clone(&message));
         } else {
             self.session.core.route(&message)?;
         }
-        Ok(message)
+        Ok((*message).clone())
     }
 
     fn close(&mut self) -> Result<(), Error> {
@@ -411,9 +410,7 @@ impl Consumer for BrokerConsumer {
         let core = &self.session.core;
         let closed_flag = &self.closed;
         let generation = conn.generation;
-        let started = || {
-            conn.started.load(Ordering::SeqCst) && !conn.closed.load(Ordering::SeqCst)
-        };
+        let started = || conn.started.load(Ordering::SeqCst) && !conn.closed.load(Ordering::SeqCst);
         let alive = || -> Result<(), Error> {
             if closed_flag.load(Ordering::SeqCst) {
                 return Err(Error::EndpointClosed);
@@ -454,8 +451,7 @@ impl Consumer for BrokerConsumer {
                                 self.endpoint.ack_message(self.session.id, message.id());
                             }
                             let cycled = !rejected.insert(message.id());
-                            self.endpoint
-                                .insert(message, self.session.core.now());
+                            self.endpoint.insert(message, self.session.core.now());
                             if cycled {
                                 let now = self.session.core.now();
                                 match deadline {
@@ -475,7 +471,7 @@ impl Consumer for BrokerConsumer {
                         }
                     }
                     self.session.record_delivery(&self.endpoint, &message);
-                    return Ok(Some(message));
+                    return Ok(Some((*message).clone()));
                 }
                 None => return Ok(None),
             }

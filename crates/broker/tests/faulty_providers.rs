@@ -56,15 +56,21 @@ fn duplicating_broker_delivers_copies() {
     assert!(received.len() > sent.len(), "some messages must duplicate");
     let counters = broker.fault_counters();
     assert_eq!(received.len() - sent.len(), counters.duplicated as usize);
+    // Routed counts messages, not copies; the extra copies show up in the
+    // broker's own duplicated counter and agree with the fault engine's.
+    assert_eq!(broker.messages_routed(), sent.len() as u64);
+    assert_eq!(broker.messages_duplicated(), counters.duplicated);
 }
 
 #[test]
 fn reordering_broker_inverts_order() {
-    let broker = ReferenceBroker::with_config(BrokerConfig::correct().with_faults(
-        FaultSpec::none()
-            .reordering(0.2, Duration::from_millis(40))
-            .seeded(3),
-    ));
+    let broker = ReferenceBroker::with_config(
+        BrokerConfig::correct().with_faults(
+            FaultSpec::none()
+                .reordering(0.2, Duration::from_millis(40))
+                .seeded(3),
+        ),
+    );
     let mut connection = broker.create_connection(None).unwrap();
     connection.start().unwrap();
     let mut session = connection
@@ -75,9 +81,7 @@ fn reordering_broker_inverts_order() {
     let mut consumer = session.create_consumer(&queue, None).unwrap();
     let mut sequences = Vec::new();
     for i in 0..100 {
-        producer
-            .send(MessageDraft::text(format!("m{i}")))
-            .unwrap();
+        producer.send(MessageDraft::text(format!("m{i}"))).unwrap();
         // Consume as we go so held-back messages are overtaken.
         if let Some(message) = consumer.receive(Some(Duration::from_millis(5))).unwrap() {
             sequences.push(message.sequence());
@@ -115,5 +119,8 @@ fn clean_broker_reports_zero_fault_counters() {
     let broker = ReferenceBroker::new();
     let (sent, received) = round_trip(&broker, 100);
     assert_eq!(sent, received);
-    assert_eq!(broker.fault_counters(), jmst_broker::FaultCounters::default());
+    assert_eq!(
+        broker.fault_counters(),
+        jmst_broker::FaultCounters::default()
+    );
 }

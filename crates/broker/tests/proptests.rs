@@ -23,22 +23,21 @@ fn arb_plan() -> impl Strategy<Value = Vec<MessagePlan>> {
     // run, so expiry never races delivery (expiry behaviour has its own
     // deterministic tests on a virtual clock).
     prop::collection::vec(
-        (0u8..=9, any::<bool>(), prop_oneof![Just(0u64), 60_000u64..120_000]).prop_map(
-            |(priority, persistent, ttl_ms)| MessagePlan {
+        (
+            0u8..=9,
+            any::<bool>(),
+            prop_oneof![Just(0u64), 60_000u64..120_000],
+        )
+            .prop_map(|(priority, persistent, ttl_ms)| MessagePlan {
                 priority,
                 persistent,
                 ttl_ms,
-            },
-        ),
+            }),
         1..40,
     )
 }
 
-fn send_all(
-    session: &mut dyn Session,
-    queue: &Destination,
-    plan: &[MessagePlan],
-) -> Vec<Message> {
+fn send_all(session: &mut dyn Session, queue: &Destination, plan: &[MessagePlan]) -> Vec<Message> {
     let mut producer = session.create_producer(queue).unwrap();
     plan.iter()
         .enumerate()
@@ -135,10 +134,6 @@ proptest! {
         let broker = ReferenceBroker::new();
         let mut connection = broker.create_connection(None).unwrap();
         connection.start().unwrap();
-        let mut tx_session = broker
-            .create_connection(None)
-            .unwrap();
-        let _ = tx_session; // separate connection unnecessary; use sessions
         let mut sender = connection.create_session(SessionMode::Transacted).unwrap();
         let mut receiver = connection
             .create_session(SessionMode::AutoAcknowledge)

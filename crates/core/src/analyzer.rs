@@ -267,7 +267,11 @@ mod tests {
         // (With deliveries absent, the queue's required set is non-empty,
         // so P2 *does* catch it here; the classic trivial provider is one
         // with no sends at all.)
-        let trace = TraceBuilder::new().phase(Phase::Run).at(1000).phase(Phase::WarmDown).build();
+        let trace = TraceBuilder::new()
+            .phase(Phase::Run)
+            .at(1000)
+            .phase(Phase::WarmDown)
+            .build();
         let report = Analyzer::new().analyze(&trace);
         assert!(report.passed());
         assert_eq!(report.performance.consumer_throughput.messages_per_sec, 0.0);

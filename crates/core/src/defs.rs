@@ -36,13 +36,11 @@ pub fn endpoint_covers_destination(endpoint: &EndpointId, destination: &Destinat
 pub fn selector_accepts_record(selector: &Selector, record: &MessageRecord) -> bool {
     selector.matches_with(|name| match name {
         "JMSPriority" => Some(EvalValue::Long(i64::from(record.priority.level()))),
-        "JMSDeliveryMode" => Some(EvalValue::Str(
-            if record.delivery_mode.is_persistent() {
-                "PERSISTENT".to_owned()
-            } else {
-                "NON_PERSISTENT".to_owned()
-            },
-        )),
+        "JMSDeliveryMode" => Some(EvalValue::Str(if record.delivery_mode.is_persistent() {
+            "PERSISTENT".to_owned()
+        } else {
+            "NON_PERSISTENT".to_owned()
+        })),
         "JMSMessageID" => Some(EvalValue::Str(record.message.to_string())),
         "JMSTimestamp" => Some(EvalValue::Long(record.sent_at.as_millis() as i64)),
         _ => record.properties.get(name).map(EvalValue::from_value),
@@ -98,7 +96,7 @@ pub struct MixedSelectors;
 
 /// Effective sends grouped by producer and sorted by the producer's send
 /// sequence — the order Definition 3's *next message* walks.
-pub fn sends_by_producer<'a>(store: &'a TraceStore) -> BTreeMap<ProducerId, Vec<&'a SendRow>> {
+pub fn sends_by_producer(store: &TraceStore) -> BTreeMap<ProducerId, Vec<&SendRow>> {
     let mut map: BTreeMap<ProducerId, Vec<&SendRow>> = BTreeMap::new();
     for row in store.effective_sends() {
         map.entry(row.record.producer).or_default().push(row);
@@ -206,7 +204,7 @@ pub fn possibly_received(
     record: &MessageRecord,
 ) -> bool {
     endpoint_covers_destination(endpoint, &record.destination)
-        && selector.map_or(true, |s| selector_accepts_record(s, record))
+        && selector.is_none_or(|s| selector_accepts_record(s, record))
 }
 
 #[cfg(test)]
@@ -219,7 +217,12 @@ mod tests {
     use jmst_store::event::{Event, EventKind};
     use jmst_store::trace::Trace;
 
-    fn record(message: u64, producer: u64, sequence: u64, destination: Destination) -> MessageRecord {
+    fn record(
+        message: u64,
+        producer: u64,
+        sequence: u64,
+        destination: Destination,
+    ) -> MessageRecord {
         MessageRecord {
             message: MessageId::from_raw(message),
             producer: ProducerId::from_raw(producer),
@@ -270,9 +273,18 @@ mod tests {
     #[test]
     fn endpoint_destination_coverage() {
         let queue = queue_endpoint();
-        assert!(endpoint_covers_destination(&queue, &Destination::queue("q")));
-        assert!(!endpoint_covers_destination(&queue, &Destination::queue("r")));
-        assert!(!endpoint_covers_destination(&queue, &Destination::topic("q")));
+        assert!(endpoint_covers_destination(
+            &queue,
+            &Destination::queue("q")
+        ));
+        assert!(!endpoint_covers_destination(
+            &queue,
+            &Destination::queue("r")
+        ));
+        assert!(!endpoint_covers_destination(
+            &queue,
+            &Destination::topic("q")
+        ));
         let sub = EndpointId::non_durable("t".into(), ConsumerId::from_raw(1));
         assert!(endpoint_covers_destination(&sub, &Destination::topic("t")));
         assert!(!endpoint_covers_destination(&sub, &Destination::topic("u")));

@@ -196,8 +196,7 @@ pub fn analyze_window(
         }
         // Delays are attributed by production time (paper: measurements
         // are taken for messages produced during the run period).
-        let produced_in_window =
-            receive.record.sent_at >= start && receive.record.sent_at < end;
+        let produced_in_window = receive.record.sent_at >= start && receive.record.sent_at < end;
         if produced_in_window {
             let delay_ns = receive.at.signed_since(receive.record.sent_at);
             let delay_ms = delay_ns as f64 / 1e6;
@@ -302,10 +301,7 @@ mod tests {
         let report = analyze(&trace_store(), Duration::from_millis(1), 100);
         assert_eq!(report.per_producer.len(), 1);
         assert_eq!(report.per_consumer.len(), 1);
-        assert_eq!(
-            report.per_producer[&ProducerId::from_raw(1)].count,
-            10
-        );
+        assert_eq!(report.per_producer[&ProducerId::from_raw(1)].count, 10);
     }
 
     #[test]

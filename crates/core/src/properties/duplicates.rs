@@ -34,17 +34,19 @@ pub fn check(store: &TraceStore) -> Vec<Violation> {
         // treated as strict (not dups-ok).
         let strict = consumer_modes
             .get(&receive.consumer)
-            .map_or(true, |mode| !mode.allows_duplicates());
+            .is_none_or(|mode| !mode.allows_duplicates());
         entry.1 |= strict;
     }
     let mut violations: Vec<Violation> = deliveries
         .into_iter()
         .filter(|(_, (count, strict))| *count > 1 && *strict)
-        .map(|((endpoint, message), (count, _))| Violation::DuplicateDelivery {
-            message,
-            endpoint,
-            deliveries: count,
-        })
+        .map(
+            |((endpoint, message), (count, _))| Violation::DuplicateDelivery {
+                message,
+                endpoint,
+                deliveries: count,
+            },
+        )
         .collect();
     violations.sort_by_key(|violation| match violation {
         Violation::DuplicateDelivery { message, .. } => *message,
@@ -60,10 +62,7 @@ mod tests {
 
     #[test]
     fn single_delivery_passes() {
-        let trace = TraceBuilder::new()
-            .send(1, 1, 0)
-            .receive_q(1, 1, 0)
-            .build();
+        let trace = TraceBuilder::new().send(1, 1, 0).receive_q(1, 1, 0).build();
         assert!(check(&TraceStore::build(&trace)).is_empty());
     }
 

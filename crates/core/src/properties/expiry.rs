@@ -131,8 +131,7 @@ fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
-            * t
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
             * (-x * x).exp();
@@ -259,27 +258,28 @@ mod tests {
             let live = with_ttl(message, i * 2, 0);
             builder = builder.at(i * 30).send_rec(live.clone(), None);
             if !drop_live {
-                builder = builder
-                    .at(i * 30 + 10)
-                    .receive_rec(default_queue_endpoint(), 50, live, None);
+                builder =
+                    builder
+                        .at(i * 30 + 10)
+                        .receive_rec(default_queue_endpoint(), 50, live, None);
             }
             // TTL-1ms message: should be suppressed.
             message += 1;
             let expiring = with_ttl(message, i * 2 + 1, 1);
             builder = builder.at(i * 30 + 11).send_rec(expiring.clone(), None);
             if deliver_expired {
-                builder = builder
-                    .at(i * 30 + 21)
-                    .receive_rec(default_queue_endpoint(), 50, expiring, None);
+                builder = builder.at(i * 30 + 21).receive_rec(
+                    default_queue_endpoint(),
+                    50,
+                    expiring,
+                    None,
+                );
             }
         }
         TraceStore::build(&builder.build())
     }
 
-    fn run(
-        store: &TraceStore,
-        model: ExpiryModel,
-    ) -> (Vec<Violation>, Vec<ExpiryBreakdown>) {
+    fn run(store: &TraceStore, model: ExpiryModel) -> (Vec<Violation>, Vec<ExpiryBreakdown>) {
         let config = ExpiryConfig {
             model,
             ..ExpiryConfig::default()
@@ -295,7 +295,11 @@ mod tests {
     #[test]
     fn correct_expiry_behaviour_passes_all_models() {
         let store = paper_config_trace(false, false);
-        for model in [ExpiryModel::SimpleMean, ExpiryModel::Histogram, ExpiryModel::Normal] {
+        for model in [
+            ExpiryModel::SimpleMean,
+            ExpiryModel::Histogram,
+            ExpiryModel::Normal,
+        ] {
             let (violations, breakdowns) = run(&store, model);
             assert!(violations.is_empty(), "{model:?}: {violations:?}");
             assert_eq!(breakdowns.len(), 1);

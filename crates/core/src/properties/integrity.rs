@@ -36,10 +36,7 @@ mod tests {
 
     #[test]
     fn clean_trace_has_no_violations() {
-        let trace = TraceBuilder::new()
-            .send(1, 1, 0)
-            .receive_q(1, 1, 0)
-            .build();
+        let trace = TraceBuilder::new().send(1, 1, 0).receive_q(1, 1, 0).build();
         assert!(check(&TraceStore::build(&trace)).is_empty());
     }
 

@@ -126,25 +126,17 @@ pub fn check_strict(store: &TraceStore, slack: std::time::Duration) -> Vec<Viola
                     continue;
                 }
                 // `high` was available well before `low` was delivered…
-                let available =
-                    low.delivered_at.signed_since(high.sent_at) >= slack_nanos;
+                let available = low.delivered_at.signed_since(high.sent_at) >= slack_nanos;
                 // …yet delivered later, beyond the slack.
-                let inverted =
-                    high.delivered_at.signed_since(low.delivered_at) > slack_nanos;
+                let inverted = high.delivered_at.signed_since(low.delivered_at) > slack_nanos;
                 if available && inverted {
                     violations.push(Violation::PriorityInversion {
                         producer: low.producer,
                         endpoint: endpoint.clone(),
                         lower: low.priority,
                         higher: high.priority,
-                        lower_mean_ms: low
-                            .delivered_at
-                            .signed_since(low.sent_at) as f64
-                            / 1e6,
-                        higher_mean_ms: high
-                            .delivered_at
-                            .signed_since(high.sent_at) as f64
-                            / 1e6,
+                        lower_mean_ms: low.delivered_at.signed_since(low.sent_at) as f64 / 1e6,
+                        higher_mean_ms: high.delivered_at.signed_since(high.sent_at) as f64 / 1e6,
                     });
                 }
             }

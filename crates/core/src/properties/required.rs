@@ -38,9 +38,7 @@ pub fn check(store: &TraceStore) -> Vec<Violation> {
             let relevant: Vec<_> = all_sends
                 .iter()
                 .copied()
-                .filter(|row| {
-                    defs::possibly_received(&endpoint, selector.as_ref(), &row.record)
-                })
+                .filter(|row| defs::possibly_received(&endpoint, selector.as_ref(), &row.record))
                 .collect();
             let Some(window) = defs::first_last(
                 &endpoint,

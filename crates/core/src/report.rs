@@ -46,8 +46,16 @@ pub fn to_markdown(report: &AnalysisReport) -> String {
     let perf = &report.performance;
     let _ = writeln!(out, "| measure | value |");
     let _ = writeln!(out, "|---|---|");
-    let _ = writeln!(out, "| producer throughput | {} |", perf.producer_throughput);
-    let _ = writeln!(out, "| consumer throughput | {} |", perf.consumer_throughput);
+    let _ = writeln!(
+        out,
+        "| producer throughput | {} |",
+        perf.producer_throughput
+    );
+    let _ = writeln!(
+        out,
+        "| consumer throughput | {} |",
+        perf.consumer_throughput
+    );
     let d = &perf.delay.stats;
     let _ = writeln!(
         out,

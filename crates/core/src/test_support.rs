@@ -114,9 +114,9 @@ impl TraceBuilder {
 
     /// Logs a receive at queue `q` by an explicit consumer.
     pub fn receive_q_by(self, consumer: u64, message: u64, producer: u64, sequence: u64) -> Self {
-        let record = self.matching_send_record(message).unwrap_or_else(|| {
-            rec(message, producer, sequence)
-        });
+        let record = self
+            .matching_send_record(message)
+            .unwrap_or_else(|| rec(message, producer, sequence));
         self.receive_rec(default_queue_endpoint(), consumer, record, None)
     }
 
@@ -129,12 +129,15 @@ impl TraceBuilder {
     }
 
     fn matching_send_record(&self, message: u64) -> Option<MessageRecord> {
-        self.events.iter().rev().find_map(|event| match &event.kind {
-            EventKind::Send { record, .. } if record.message.as_u64() == message => {
-                Some(record.clone())
-            }
-            _ => None,
-        })
+        self.events
+            .iter()
+            .rev()
+            .find_map(|event| match &event.kind {
+                EventKind::Send { record, .. } if record.message.as_u64() == message => {
+                    Some(record.clone())
+                }
+                _ => None,
+            })
     }
 
     /// Logs a commit.

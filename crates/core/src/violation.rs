@@ -142,8 +142,9 @@ impl Violation {
         match self {
             Violation::ReceivedButNeverSent { .. } => PropertyKind::DeliveryIntegrity,
             Violation::RequiredMessageMissing { .. } => PropertyKind::RequiredMessages,
-            Violation::OutOfOrder { .. }
-            | Violation::PersistentOvertookNonPersistent { .. } => PropertyKind::MessageOrdering,
+            Violation::OutOfOrder { .. } | Violation::PersistentOvertookNonPersistent { .. } => {
+                PropertyKind::MessageOrdering
+            }
             Violation::PriorityInversion { .. } => PropertyKind::MessagePriority,
             Violation::ExpiredMessagesDelivered { .. }
             | Violation::LiveMessagesNotDelivered { .. } => PropertyKind::ExpiredMessages,
@@ -276,6 +277,8 @@ mod tests {
     #[test]
     fn property_kind_displays() {
         assert!(PropertyKind::RequiredMessages.to_string().contains("P2"));
-        assert!(PropertyKind::DuplicateDelivery.to_string().contains("duplicate"));
+        assert!(PropertyKind::DuplicateDelivery
+            .to_string()
+            .contains("duplicate"));
     }
 }

@@ -19,11 +19,8 @@ struct Workload {
 }
 
 fn arb_workload() -> impl Strategy<Value = Workload> {
-    prop::collection::vec(
-        prop::collection::vec((0u8..=9, any::<bool>()), 1..20),
-        1..4,
-    )
-    .prop_map(|producers| Workload { producers })
+    prop::collection::vec(prop::collection::vec((0u8..=9, any::<bool>()), 1..20), 1..4)
+        .prop_map(|producers| Workload { producers })
 }
 
 fn endpoint() -> EndpointId {
@@ -46,7 +43,11 @@ fn correct_trace(workload: &Workload) -> Vec<Event> {
         });
         seq += 1;
     };
-    push(time, EventKind::PhaseStarted { phase: Phase::Run }, &mut events);
+    push(
+        time,
+        EventKind::PhaseStarted { phase: Phase::Run },
+        &mut events,
+    );
     let mut records: Vec<MessageRecord> = Vec::new();
     let mut message_id = 0u64;
     for (producer_index, messages) in workload.producers.iter().enumerate() {
@@ -109,8 +110,7 @@ fn correct_trace(workload: &Workload) -> Vec<Event> {
 }
 
 fn analyze(events: Vec<Event>) -> jmst_core::AnalysisReport {
-    Analyzer::with_config(AnalysisConfig::strict_safety_only())
-        .analyze(&Trace::from_events(events))
+    Analyzer::with_config(AnalysisConfig::strict_safety_only()).analyze(&Trace::from_events(events))
 }
 
 fn receive_indices(events: &[Event]) -> Vec<usize> {

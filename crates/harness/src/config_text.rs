@@ -134,7 +134,9 @@ fn parse_rate(text: &str) -> Result<ArrivalProcess, String> {
             Ok(ArrivalProcess::poisson(rate))
         }
         ["burst", size, "every", interval] => {
-            let size: u32 = size.parse().map_err(|_| format!("bad burst size {size:?}"))?;
+            let size: u32 = size
+                .parse()
+                .map_err(|_| format!("bad burst size {size:?}"))?;
             if size == 0 {
                 return Err("burst size must be positive".to_owned());
             }
@@ -163,7 +165,9 @@ fn parse_body(text: &str) -> Result<(BodyKind, usize), String> {
         "object" => BodyKind::Object,
         other => return Err(format!("unknown body kind {other:?}")),
     };
-    let size: usize = size.parse().map_err(|_| format!("bad body size {size:?}"))?;
+    let size: usize = size
+        .parse()
+        .map_err(|_| format!("bad body size {size:?}"))?;
     Ok((kind, size))
 }
 
@@ -211,7 +215,7 @@ pub fn parse_spec(text: &str) -> Result<TestSpec, ConfigError> {
     let mut crash: Option<CrashPlan> = None;
 
     fn flush(
-        nodes: &mut Vec<NodeSpec>,
+        nodes: &mut [NodeSpec],
         producer: &mut Option<ProducerSpec>,
         consumer: &mut Option<ConsumerSpec>,
         line: usize,
@@ -279,25 +283,22 @@ pub fn parse_spec(text: &str) -> Result<TestSpec, ConfigError> {
         match (&mut section, key) {
             (Section::Test, "name") => spec.name = value.to_owned(),
             (Section::Test, "seed") => {
-                spec.seed = value.parse().map_err(|_| err(format!("bad seed {value:?}")))?
+                spec.seed = value
+                    .parse()
+                    .map_err(|_| err(format!("bad seed {value:?}")))?
             }
             (Section::Test, "warm_up") => spec.warm_up = parse_duration(value).map_err(err)?,
             (Section::Test, "run") => spec.run = parse_duration(value).map_err(err)?,
-            (Section::Test, "warm_down") => {
-                spec.warm_down = parse_duration(value).map_err(err)?
-            }
+            (Section::Test, "warm_down") => spec.warm_down = parse_duration(value).map_err(err)?,
             (Section::Test, "drain_quiet") => {
                 spec.drain_quiet = parse_duration(value).map_err(err)?
             }
             (Section::Node(_), "share") => {
-                nodes.last_mut().expect("inside a node").share_connection =
-                    match value {
-                        "true" | "yes" => true,
-                        "false" | "no" => false,
-                        other => {
-                            return Err(err(format!("share must be true/false, got {other:?}")))
-                        }
-                    };
+                nodes.last_mut().expect("inside a node").share_connection = match value {
+                    "true" | "yes" => true,
+                    "false" | "no" => false,
+                    other => return Err(err(format!("share must be true/false, got {other:?}"))),
+                };
             }
             (Section::Node(_), "clock_skew") => {
                 let negative = value.starts_with('-');
@@ -327,9 +328,7 @@ pub fn parse_spec(text: &str) -> Result<TestSpec, ConfigError> {
                         p.delivery_mode = match value {
                             "persistent" => DeliveryMode::Persistent,
                             "non-persistent" => DeliveryMode::NonPersistent,
-                            other => {
-                                return Err(err(format!("unknown delivery mode {other:?}")))
-                            }
+                            other => return Err(err(format!("unknown delivery mode {other:?}"))),
                         }
                     }
                     "ttl" => {
@@ -588,8 +587,8 @@ down = 80ms
     fn unknown_keys_and_sections_are_rejected() {
         assert!(parse_spec("[test]\ncolour = blue\n").is_err());
         assert!(parse_spec("[widget]\n").is_err());
-        let error = parse_spec("[test]\nname = x\n[node n]\n[producer]\nshape = round\n")
-            .unwrap_err();
+        let error =
+            parse_spec("[test]\nname = x\n[node n]\n[producer]\nshape = round\n").unwrap_err();
         assert!(error.message().contains("unknown producer key"));
     }
 

@@ -108,10 +108,7 @@ pub(crate) fn producer_chain_on(
     })
 }
 
-fn connect_producer(
-    provider: &dyn Provider,
-    spec: &ProducerSpec,
-) -> Result<ProducerChain, Error> {
+fn connect_producer(provider: &dyn Provider, spec: &ProducerSpec) -> Result<ProducerChain, Error> {
     let mut connection = provider.create_connection(None)?;
     connection.start()?;
     let mut session = connection.create_session(producer_session_mode(spec))?;
@@ -200,11 +197,7 @@ pub(crate) fn producer_driver(
                 }
                 Err(_) => {
                     // Broker down: back off briefly and retry.
-                    interruptible_sleep(
-                        shared,
-                        Duration::from_millis(10),
-                        &shared.stop_producing,
-                    );
+                    interruptible_sleep(shared, Duration::from_millis(10), &shared.stop_producing);
                     continue;
                 }
             }
@@ -212,14 +205,19 @@ pub(crate) fn producer_driver(
         let active = chain.as_mut().expect("connected above");
         // Allocate a transaction id lazily on the first send of a batch.
         if spec.transacted_batch.is_some() && current_tx.is_none() {
-            current_tx = Some(TxId::from_raw(shared.next_tx.fetch_add(1, Ordering::Relaxed)));
+            current_tx = Some(TxId::from_raw(
+                shared.next_tx.fetch_add(1, Ordering::Relaxed),
+            ));
         }
         body_seed = body_seed.wrapping_add(1);
         let draft = MessageDraft::new(Body::synthetic(spec.body, spec.body_size, body_seed))
             .priority(spec.priority)
             .delivery_mode(spec.delivery_mode)
             .time_to_live(spec.time_to_live)
-            .property(PRODUCER_PROP, jmst_api::value::Value::Long(stable_id as i64))
+            .property(
+                PRODUCER_PROP,
+                jmst_api::value::Value::Long(stable_id as i64),
+            )
             .expect("valid property")
             .property(SEQUENCE_PROP, jmst_api::value::Value::Long(sent as i64))
             .expect("valid property");
@@ -266,11 +264,7 @@ pub(crate) fn producer_driver(
                     current_tx = None;
                 } else {
                     // Shared connection: pace the retries.
-                    interruptible_sleep(
-                        shared,
-                        Duration::from_millis(10),
-                        &shared.stop_producing,
-                    );
+                    interruptible_sleep(shared, Duration::from_millis(10), &shared.stop_producing);
                 }
                 if shared.should_abort() {
                     break 'outer;
@@ -342,8 +336,8 @@ fn connect_consumer(
     spec: &ConsumerSpec,
     client: &ClientId,
 ) -> Result<ConsumerChain, Error> {
-    let client_id = matches!(spec.subscription, Subscription::Durable { .. })
-        .then(|| client.clone());
+    let client_id =
+        matches!(spec.subscription, Subscription::Durable { .. }).then(|| client.clone());
     let mut connection = provider.create_connection(client_id)?;
     connection.start()?;
     let session = connection.create_session(spec.session_mode)?;
@@ -422,8 +416,9 @@ pub(crate) fn consumer_driver(
                 last_delivery = Instant::now();
                 received_total += 1;
                 if spec.session_mode == SessionMode::Transacted && current_tx.is_none() {
-                    current_tx =
-                        Some(TxId::from_raw(shared.next_tx.fetch_add(1, Ordering::Relaxed)));
+                    current_tx = Some(TxId::from_raw(
+                        shared.next_tx.fetch_add(1, Ordering::Relaxed),
+                    ));
                 }
                 let mut record = MessageRecord::from_message(&message);
                 apply_harness_identity(&mut record);
@@ -463,7 +458,7 @@ pub(crate) fn consumer_driver(
                 // Disconnect/reconnect cycling.
                 if let Some(plan) = spec.reconnect {
                     if reconnect_cycles < plan.max_cycles
-                        && received_total % plan.after_messages.max(1) == 0
+                        && received_total.is_multiple_of(plan.after_messages.max(1))
                     {
                         reconnect_cycles += 1;
                         cycle_reconnect = true;
@@ -492,7 +487,11 @@ pub(crate) fn consumer_driver(
                 recorder,
             );
             drop_chain(&mut chain, recorder);
-            interruptible_sleep(shared, spec.reconnect.expect("plan present").pause, &shared.abort);
+            interruptible_sleep(
+                shared,
+                spec.reconnect.expect("plan present").pause,
+                &shared.abort,
+            );
         } else if connection_lost {
             if reconnectable {
                 drop_chain(&mut chain, recorder);
@@ -536,14 +535,12 @@ fn finish_batch(
                 }
             }
         }
-        SessionMode::ClientAcknowledge => {
-            if *in_batch > 0 {
-                let session_id = active.session.id();
-                if active.consumer.acknowledge().is_ok() {
-                    recorder.record(EventKind::Acknowledge {
-                        session: session_id,
-                    });
-                }
+        SessionMode::ClientAcknowledge if *in_batch > 0 => {
+            let session_id = active.session.id();
+            if active.consumer.acknowledge().is_ok() {
+                recorder.record(EventKind::Acknowledge {
+                    session: session_id,
+                });
             }
         }
         _ => {}

@@ -25,9 +25,7 @@ impl fmt::Display for HarnessError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             HarnessError::InvalidSpec(reason) => write!(f, "invalid test spec: {reason}"),
-            HarnessError::MissingAdmin => {
-                f.write_str("crash plan requires a broker admin hook")
-            }
+            HarnessError::MissingAdmin => f.write_str("crash plan requires a broker admin hook"),
             HarnessError::TestHung { stage, .. } => {
                 write!(f, "test hung while waiting for {stage}")
             }
@@ -46,7 +44,9 @@ mod tests {
         assert!(HarnessError::InvalidSpec("x".into())
             .to_string()
             .contains("invalid test spec"));
-        assert!(HarnessError::MissingAdmin.to_string().contains("crash plan"));
+        assert!(HarnessError::MissingAdmin
+            .to_string()
+            .contains("crash plan"));
         let hung = HarnessError::TestHung {
             stage: "consumers",
             partial_trace: Box::new(Trace::new()),

@@ -171,7 +171,13 @@ impl DaemonPrince {
             if std::fs::create_dir_all(dir).is_ok() {
                 let sanitized: String = name
                     .chars()
-                    .map(|c| if c.is_ascii_alphanumeric() || c == '-' { c } else { '_' })
+                    .map(|c| {
+                        if c.is_ascii_alphanumeric() || c == '-' {
+                            c
+                        } else {
+                            '_'
+                        }
+                    })
                     .collect();
                 let _ = trace.save_jsonl(dir.join(format!("{sanitized}.trace.jsonl")));
             }
@@ -271,8 +277,7 @@ mod tests {
         let prince = DaemonPrince::new();
         let factory = |spec: &TestSpec| -> (Arc<dyn jmst_api::provider::Provider>, _) {
             let config = if spec.name.contains("dropper") {
-                BrokerConfig::correct()
-                    .with_faults(FaultSpec::none().dropping(0.3).seeded(1))
+                BrokerConfig::correct().with_faults(FaultSpec::none().dropping(0.3).seeded(1))
             } else {
                 BrokerConfig::correct()
             };

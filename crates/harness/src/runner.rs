@@ -99,15 +99,14 @@ impl ThreadedRunner {
         let mut shared_connections: Vec<Box<dyn jmst_api::provider::Connection>> = Vec::new();
         for (node_index, node) in spec.nodes.iter().enumerate() {
             let node_id = NodeId::from_raw(node_index as u64 + 1);
-            let node_clock: Arc<dyn Clock> = Arc::new(SkewedClock::new(
-                base_clock.clone(),
-                node.clock_skew_nanos,
-            ));
+            let node_clock: Arc<dyn Clock> =
+                Arc::new(SkewedClock::new(base_clock.clone(), node.clock_skew_nanos));
             let shared_client = ClientId::new(format!("{}-shared", node.name));
             let mut node_connection = if node.share_connection {
-                let needs_client_id = node.consumers.iter().any(|c| {
-                    matches!(c.subscription, crate::spec::Subscription::Durable { .. })
-                });
+                let needs_client_id = node
+                    .consumers
+                    .iter()
+                    .any(|c| matches!(c.subscription, crate::spec::Subscription::Durable { .. }));
                 let mut connection = provider
                     .create_connection(needs_client_id.then(|| shared_client.clone()))
                     .map_err(|e| {
@@ -139,9 +138,7 @@ impl ThreadedRunner {
                 let initial = match &mut node_connection {
                     Some(connection) => {
                         let session = connection
-                            .create_session(crate::drivers::producer_session_mode(
-                                &producer_spec,
-                            ))
+                            .create_session(crate::drivers::producer_session_mode(&producer_spec))
                             .map_err(|e| HarnessError::InvalidSpec(e.to_string()))?;
                         Some(
                             crate::drivers::producer_chain_on(session, &producer_spec)
@@ -172,12 +169,8 @@ impl ThreadedRunner {
                             .create_session(consumer_spec.session_mode)
                             .map_err(|e| HarnessError::InvalidSpec(e.to_string()))?;
                         Some(
-                            crate::drivers::consumer_chain_on(
-                                session,
-                                &consumer_spec,
-                                &client,
-                            )
-                            .map_err(|e| HarnessError::InvalidSpec(e.to_string()))?,
+                            crate::drivers::consumer_chain_on(session, &consumer_spec, &client)
+                                .map_err(|e| HarnessError::InvalidSpec(e.to_string()))?,
                         )
                     }
                     None => None,
@@ -332,11 +325,7 @@ mod tests {
     #[test]
     fn invalid_spec_is_rejected() {
         let broker = ReferenceBroker::new();
-        let result = ThreadedRunner::new().run(
-            Arc::new(broker),
-            None,
-            &TestSpec::new("empty"),
-        );
+        let result = ThreadedRunner::new().run(Arc::new(broker), None, &TestSpec::new("empty"));
         assert!(matches!(result, Err(HarnessError::InvalidSpec(_))));
     }
 

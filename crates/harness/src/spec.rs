@@ -338,7 +338,11 @@ impl TestSpec {
     /// durable subscriptions on queue destinations, selectors that do not
     /// parse, or an empty test.
     pub fn validate(&self) -> Result<(), String> {
-        if self.nodes.iter().all(|n| n.producers.is_empty() && n.consumers.is_empty()) {
+        if self
+            .nodes
+            .iter()
+            .all(|n| n.producers.is_empty() && n.consumers.is_empty())
+        {
             return Err("test has no producers or consumers".to_owned());
         }
         for node in &self.nodes {
@@ -422,8 +426,7 @@ mod tests {
                             .limited(50),
                     )
                     .consumer(
-                        ConsumerSpec::auto(queue())
-                            .with_mode(SessionMode::ClientAcknowledge, 10),
+                        ConsumerSpec::auto(queue()).with_mode(SessionMode::ClientAcknowledge, 10),
                     )
                     .with_clock_skew(1_000_000),
             )
@@ -453,18 +456,16 @@ mod tests {
 
     #[test]
     fn validation_rejects_durable_queue_subscription() {
-        let spec = TestSpec::new("bad").node(
-            NodeSpec::new("n").consumer(ConsumerSpec::auto(queue()).durable("s")),
-        );
+        let spec = TestSpec::new("bad")
+            .node(NodeSpec::new("n").consumer(ConsumerSpec::auto(queue()).durable("s")));
         let error = spec.validate().unwrap_err();
         assert!(error.contains("durable subscription on queue"));
     }
 
     #[test]
     fn validation_rejects_bad_selector() {
-        let spec = TestSpec::new("bad").node(
-            NodeSpec::new("n").consumer(ConsumerSpec::auto(queue()).with_selector("a = ")),
-        );
+        let spec = TestSpec::new("bad")
+            .node(NodeSpec::new("n").consumer(ConsumerSpec::auto(queue()).with_selector("a = ")));
         let error = spec.validate().unwrap_err();
         assert!(error.contains("invalid selector"));
     }

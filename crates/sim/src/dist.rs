@@ -233,7 +233,11 @@ impl fmt::Display for DurationDist {
                 Duration::from_nanos(high_nanos)
             ),
             DurationDist::Exponential { mean_nanos } => {
-                write!(f, "exponential(mean {:?})", Duration::from_nanos(mean_nanos))
+                write!(
+                    f,
+                    "exponential(mean {:?})",
+                    Duration::from_nanos(mean_nanos)
+                )
             }
             DurationDist::Normal {
                 mean_nanos,

@@ -194,9 +194,15 @@ mod tests {
     #[test]
     fn events_fire_in_time_order() {
         let mut sim: Sim<Vec<u64>> = Sim::new();
-        sim.schedule_at(Timestamp::from_millis(30), |log: &mut Vec<u64>, _| log.push(30));
-        sim.schedule_at(Timestamp::from_millis(10), |log: &mut Vec<u64>, _| log.push(10));
-        sim.schedule_at(Timestamp::from_millis(20), |log: &mut Vec<u64>, _| log.push(20));
+        sim.schedule_at(Timestamp::from_millis(30), |log: &mut Vec<u64>, _| {
+            log.push(30)
+        });
+        sim.schedule_at(Timestamp::from_millis(10), |log: &mut Vec<u64>, _| {
+            log.push(10)
+        });
+        sim.schedule_at(Timestamp::from_millis(20), |log: &mut Vec<u64>, _| {
+            log.push(20)
+        });
         let mut log = Vec::new();
         let end = sim.run(&mut log);
         assert_eq!(log, [10, 20, 30]);

@@ -128,9 +128,7 @@ impl PubSubOutcome {
             .iter()
             .filter(|d| d.delivered_at >= start && d.delivered_at < end)
             .count();
-        count as f64
-            / subscribers.max(1) as f64
-            / (end.saturating_since(start)).as_secs_f64()
+        count as f64 / subscribers.max(1) as f64 / (end.saturating_since(start)).as_secs_f64()
     }
 
     /// Mean send→delivery delay over deliveries in `[start, end)`, or
@@ -418,10 +416,7 @@ mod tests {
     fn blocked_sends_have_later_acceptance() {
         let outcome = scenario(ServiceModel::plateau(10.0, 2), 100.0).run();
         assert!(
-            outcome
-                .sends
-                .iter()
-                .any(|s| s.accepted_at > s.attempted_at),
+            outcome.sends.iter().any(|s| s.accepted_at > s.attempted_at),
             "overload with a tiny queue must block some sends"
         );
     }

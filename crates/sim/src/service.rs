@@ -249,7 +249,9 @@ mod tests {
 
     #[test]
     fn displays() {
-        assert!(ServiceModel::plateau(45.0, 10).to_string().contains("plateau"));
+        assert!(ServiceModel::plateau(45.0, 10)
+            .to_string()
+            .contains("plateau"));
         assert!(ServiceModel::thrashing(160.0, 10)
             .to_string()
             .contains("thrashing"));

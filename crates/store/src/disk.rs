@@ -237,10 +237,8 @@ mod tests {
     #[test]
     fn file_save_and_load() {
         let trace = sample_trace();
-        let path = std::env::temp_dir().join(format!(
-            "jmst-trace-test-{}.jsonl",
-            std::process::id()
-        ));
+        let path =
+            std::env::temp_dir().join(format!("jmst-trace-test-{}.jsonl", std::process::id()));
         trace.save_jsonl(&path).unwrap();
         let loaded = Trace::load_jsonl(&path).unwrap();
         std::fs::remove_file(&path).ok();

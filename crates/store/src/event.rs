@@ -237,7 +237,14 @@ pub struct Event {
 
 impl fmt::Display for Event {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{} {} {}] {}", self.seq, self.at, self.node, self.kind.tag())
+        write!(
+            f,
+            "[{} {} {}] {}",
+            self.seq,
+            self.at,
+            self.node,
+            self.kind.tag()
+        )
     }
 }
 

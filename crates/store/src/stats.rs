@@ -95,7 +95,8 @@ impl SummaryStats {
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
         self.mean += delta * other.count as f64 / total as f64;
-        self.m2 += other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
         self.count = total;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
@@ -191,11 +192,7 @@ impl DelayHistogram {
             return 0.0;
         }
         let full_buckets = (bound.as_nanos() as u64 / self.bucket_width_nanos) as usize;
-        let covered: u64 = self
-            .buckets
-            .iter()
-            .take(full_buckets)
-            .sum();
+        let covered: u64 = self.buckets.iter().take(full_buckets).sum();
         covered as f64 / self.count as f64
     }
 
@@ -242,8 +239,11 @@ mod tests {
         let samples = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
         let stats: SummaryStats = samples.into_iter().collect();
         let naive_mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let naive_var =
-            samples.iter().map(|x| (x - naive_mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        let naive_var = samples
+            .iter()
+            .map(|x| (x - naive_mean).powi(2))
+            .sum::<f64>()
+            / samples.len() as f64;
         assert!((stats.mean() - naive_mean).abs() < 1e-12);
         assert!((stats.variance() - naive_var).abs() < 1e-12);
         assert_eq!(stats.min(), Some(1.0));
@@ -335,7 +335,10 @@ mod tests {
         assert!(median >= Duration::from_millis(49) && median <= Duration::from_millis(51));
         assert_eq!(histogram.quantile(0.0).unwrap(), Duration::from_millis(1));
         assert!(histogram.quantile(1.0).unwrap() >= Duration::from_millis(99));
-        assert_eq!(DelayHistogram::new(Duration::from_millis(1), 1).quantile(0.5), None);
+        assert_eq!(
+            DelayHistogram::new(Duration::from_millis(1), 1).quantile(0.5),
+            None
+        );
     }
 
     #[test]

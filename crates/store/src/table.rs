@@ -475,8 +475,14 @@ mod tests {
         ]);
         let store = TraceStore::build(&trace);
         assert_eq!(store.consumers().len(), 2);
-        assert_eq!(store.consumers()[0].closed_at, Some(Timestamp::from_millis(5)));
-        assert_eq!(store.last_close(&endpoint()), Some(Timestamp::from_millis(9)));
+        assert_eq!(
+            store.consumers()[0].closed_at,
+            Some(Timestamp::from_millis(5))
+        );
+        assert_eq!(
+            store.last_close(&endpoint()),
+            Some(Timestamp::from_millis(9))
+        );
         let other = EndpointId::for_queue("other".into());
         assert_eq!(store.last_close(&other), None);
     }
@@ -484,7 +490,13 @@ mod tests {
     #[test]
     fn crashes_and_phases_are_captured() {
         let trace = Trace::from_events(vec![
-            event(0, 1, EventKind::PhaseStarted { phase: Phase::WarmUp }),
+            event(
+                0,
+                1,
+                EventKind::PhaseStarted {
+                    phase: Phase::WarmUp,
+                },
+            ),
             event(1, 10, EventKind::PhaseStarted { phase: Phase::Run }),
             event(2, 15, EventKind::BrokerCrashed),
             event(3, 16, EventKind::BrokerRecovered),

@@ -30,7 +30,12 @@ fn record(message: u64, producer: u64, sequence: u64) -> MessageRecord {
 /// Generates an arbitrary soup of events with random timestamps.
 fn arb_events() -> impl Strategy<Value = Vec<Event>> {
     prop::collection::vec(
-        (0u64..1_000, 0u64..5, 0u64..100, prop_oneof![Just(0u8), Just(1), Just(2), Just(3)]),
+        (
+            0u64..1_000,
+            0u64..5,
+            0u64..100,
+            prop_oneof![Just(0u8), Just(1), Just(2), Just(3)],
+        ),
         0..60,
     )
     .prop_map(|rows| {

@@ -37,9 +37,7 @@ fn campaign_specs() -> Vec<TestSpec> {
         periods(TestSpec::new("p2p-transacted")).node(
             NodeSpec::new("n0")
                 .producer(ProducerSpec::steady(queue.clone(), 300.0, 256).transacted(5))
-                .consumer(
-                    ConsumerSpec::auto(queue.clone()).with_mode(SessionMode::Transacted, 5),
-                ),
+                .consumer(ConsumerSpec::auto(queue.clone()).with_mode(SessionMode::Transacted, 5)),
         ),
         // Pub/sub fan-out.
         periods(TestSpec::new("pubsub-fanout")).node(
@@ -52,13 +50,15 @@ fn campaign_specs() -> Vec<TestSpec> {
         periods(TestSpec::new("durable-resume")).node(
             NodeSpec::new("n0")
                 .producer(ProducerSpec::steady(topic.clone(), 200.0, 128))
-                .consumer(ConsumerSpec::auto(topic.clone()).durable("audit").with_reconnect(
-                    ReconnectSpec {
-                        after_messages: 40,
-                        pause: Duration::from_millis(50),
-                        max_cycles: 2,
-                    },
-                )),
+                .consumer(
+                    ConsumerSpec::auto(topic.clone())
+                        .durable("audit")
+                        .with_reconnect(ReconnectSpec {
+                            after_messages: 40,
+                            pause: Duration::from_millis(50),
+                            max_cycles: 2,
+                        }),
+                ),
         ),
         // The paper's expiry configuration: TTL 1 ms vs TTL 0.
         periods(TestSpec::new("expiry")).node(
@@ -91,7 +91,10 @@ fn main() {
     // The candidate provider: looks fine at a glance, but drops ~10% of
     // messages and never expires anything. Every test gets a fresh
     // instance (the prince's reset-between-tests hook).
-    let candidate = |_: &TestSpec| -> (Arc<dyn jmst::api::provider::Provider>, Option<Arc<dyn BrokerAdmin>>) {
+    let candidate = |_: &TestSpec| -> (
+        Arc<dyn jmst::api::provider::Provider>,
+        Option<Arc<dyn BrokerAdmin>>,
+    ) {
         let broker = ReferenceBroker::with_config(
             BrokerConfig::correct()
                 .named("candidate-0.9")

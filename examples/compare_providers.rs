@@ -94,22 +94,13 @@ fn main() {
             seed: 7,
         };
         let outcome = scenario.run();
-        let rate = outcome.subscriber_rate(
-            Timestamp::ZERO + warm_up,
-            Timestamp::ZERO + production,
-            1,
-        );
+        let rate =
+            outcome.subscriber_rate(Timestamp::ZERO + warm_up, Timestamp::ZERO + production, 1);
         sustained.push((provider.name, rate));
         println!("  {:<10} {:>8.1} msg/s", provider.name, rate);
     }
-    let best = sustained
-        .iter()
-        .map(|(_, r)| *r)
-        .fold(f64::MIN, f64::max);
-    let worst = sustained
-        .iter()
-        .map(|(_, r)| *r)
-        .fold(f64::MAX, f64::min);
+    let best = sustained.iter().map(|(_, r)| *r).fold(f64::MIN, f64::max);
+    let worst = sustained.iter().map(|(_, r)| *r).fold(f64::MAX, f64::min);
     println!(
         "\nspread: fastest / slowest = {:.1}x (the paper's footnote 9 reports ~10x)",
         best / worst

@@ -17,7 +17,9 @@ use std::time::Duration;
 
 const REQUESTS: &str = "quotes.requests";
 
-fn pricing_service(provider: Arc<dyn jmst::api::provider::Provider>) -> std::thread::JoinHandle<usize> {
+fn pricing_service(
+    provider: Arc<dyn jmst::api::provider::Provider>,
+) -> std::thread::JoinHandle<usize> {
     std::thread::spawn(move || {
         let mut connection = provider.create_connection(None).expect("connect");
         connection.start().expect("start");
@@ -116,7 +118,11 @@ fn main() {
     // engine resolves it (see jmst_api::selector).
     let provider: Arc<dyn jmst::api::provider::Provider> = Arc::new(ReferenceBroker::new());
     let service = pricing_service(Arc::clone(&provider));
-    let alice = client(Arc::clone(&provider), "alice", &["ACME", "GLOBEX", "INITECH"]);
+    let alice = client(
+        Arc::clone(&provider),
+        "alice",
+        &["ACME", "GLOBEX", "INITECH"],
+    );
     let bob = client(Arc::clone(&provider), "bob", &["HOOLI", "ACME"]);
 
     let alice_quotes = alice.join().expect("alice finished");

@@ -1,0 +1,245 @@
+//! Offline stand-in for `criterion` with real wall-clock measurement.
+//!
+//! Implements the subset of the Criterion API the bench targets use
+//! (`benchmark_group`, `throughput`, `bench_function`, the `iter*`
+//! family, and the `criterion_group!`/`criterion_main!` macros). Each
+//! benchmark is auto-calibrated to a target sample time, then measured
+//! over `sample_size` samples; median and min/max per-iteration times
+//! plus derived element throughput are printed in a Criterion-like
+//! format. There is no warm-up phase beyond calibration and no
+//! statistical outlier analysis — numbers are honest but simpler.
+
+use std::fmt::Write as _;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time for one measured sample.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(60);
+
+/// Opaque value barrier, re-exported for benchmark code.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// Units for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The routine processes this many logical elements per iteration.
+    Elements(u64),
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Hint for how `iter_batched` amortises setup cost. The shim times
+/// every routine invocation individually, so the hint is accepted and
+/// ignored.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Entry point handed to benchmark functions.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Applies command-line configuration (accepted, ignored).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n{name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            throughput: None,
+            sample_size: 20,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(2);
+        self
+    }
+
+    /// Declares how much work one iteration performs.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark and prints its timing line.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        body(&mut bencher);
+        let line = report(&bencher.samples, self.throughput);
+        println!("  {}/{id:<24} {line}", self.name);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Collects per-iteration timings for one benchmark.
+pub struct Bencher {
+    /// Mean seconds per iteration, one entry per sample.
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many iterations fill the target sample time?
+        let start = Instant::now();
+        std_black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(20));
+        let per_sample =
+            (TARGET_SAMPLE_TIME.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                std_black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed.as_secs_f64() / per_sample as f64);
+        }
+    }
+
+    /// Times `routine` on fresh inputs built by `setup` (setup untimed).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            self.samples.push(start.elapsed().as_secs_f64());
+        }
+    }
+
+    /// Like [`Bencher::iter_batched`] but hands the routine `&mut I`.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        for _ in 0..self.sample_size {
+            let mut input = setup();
+            let start = Instant::now();
+            std_black_box(routine(&mut input));
+            self.samples.push(start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+fn report(samples: &[f64], throughput: Option<Throughput>) -> String {
+    if samples.is_empty() {
+        return "no samples".to_string();
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = sorted[sorted.len() / 2];
+    let min = sorted[0];
+    let max = sorted[sorted.len() - 1];
+    let mut line = format!(
+        "time: [{} {} {}]",
+        format_time(min),
+        format_time(median),
+        format_time(max)
+    );
+    match throughput {
+        Some(Throughput::Elements(elements)) => {
+            let _ = write!(
+                &mut line,
+                "  thrpt: {} elem/s",
+                format_rate(elements as f64 / median)
+            );
+        }
+        Some(Throughput::Bytes(bytes)) => {
+            let _ = write!(
+                &mut line,
+                "  thrpt: {}B/s",
+                format_rate(bytes as f64 / median)
+            );
+        }
+        None => {}
+    }
+    line
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+fn format_rate(per_second: f64) -> String {
+    if per_second >= 1e9 {
+        format!("{:.3} G", per_second / 1e9)
+    } else if per_second >= 1e6 {
+        format!("{:.3} M", per_second / 1e6)
+    } else if per_second >= 1e3 {
+        format!("{:.3} K", per_second / 1e3)
+    } else {
+        format!("{per_second:.1} ")
+    }
+}
+
+/// Declares the benchmark entry list, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main`, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

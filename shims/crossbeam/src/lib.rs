@@ -1,0 +1,6 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The workspace declares `crossbeam` but the container has no network
+//! access to crates.io, so this empty shim satisfies the dependency
+//! graph. Nothing in the tree currently imports `crossbeam` items; add
+//! re-implementations here the day something does.

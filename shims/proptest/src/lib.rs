@@ -1,0 +1,796 @@
+//! Offline stand-in for `proptest`: deterministic random testing with
+//! the API subset the workspace uses.
+//!
+//! Strategies are generators over a seeded [`TestRng`] (splitmix64).
+//! Each test function derives its seed from its own name, so runs are
+//! reproducible without regression files; there is no shrinking — a
+//! failing case reports the generated inputs instead. Integer
+//! strategies bias toward boundary values to keep some of real
+//! proptest's edge-seeking behaviour.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Deterministic splitmix64 generator.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator for one test case.
+    pub fn for_case(seed: u64, case: u32) -> Self {
+        TestRng {
+            state: seed ^ (u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// True with probability `1/n`.
+    fn one_in(&mut self, n: u64) -> bool {
+        self.below(n) == 0
+    }
+}
+
+/// A generator of values for property tests.
+pub trait Strategy: 'static {
+    /// The generated value type.
+    type Value: Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `map`.
+    fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Debug,
+        F: Fn(Self::Value) -> O + 'static,
+    {
+        Map { inner: self, map }
+    }
+
+    /// Builds a recursive strategy: `recurse` receives strategies for
+    /// "anything strictly shallower" and wraps them one level deeper,
+    /// up to `depth` levels. The size/branch hints are accepted for API
+    /// compatibility; generation depth alone bounds the output here.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        R: Strategy<Value = Self::Value>,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let mut levels: Vec<BoxedStrategy<Self::Value>> = vec![self.boxed()];
+        for _ in 0..depth {
+            let shallower = Union::new(levels.clone()).boxed();
+            levels.push(recurse(shallower).boxed());
+        }
+        Union::new(levels).boxed()
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+/// A type-erased, cheaply cloneable strategy.
+pub struct BoxedStrategy<V>(Arc<dyn Strategy<Value = V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<V: Debug + 'static> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.generate(rng)
+    }
+}
+
+/// Strategy producing one fixed value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug + 'static> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy applying a function to another strategy's output.
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    map: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Debug,
+    F: Fn(S::Value) -> O + 'static,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy choosing uniformly among type-erased alternatives.
+#[derive(Clone)]
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Creates a union; `options` must be non-empty.
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<V: Debug + 'static> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let pick = rng.below(self.options.len() as u64) as usize;
+        self.options[pick].generate(rng)
+    }
+}
+
+/// Function-pointer strategy used by [`any`].
+#[derive(Clone, Copy)]
+pub struct FnStrategy<V>(fn(&mut TestRng) -> V);
+
+impl<V: Debug + 'static> Strategy for FnStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (self.0)(rng)
+    }
+}
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized + Debug + 'static {
+    /// The strategy type returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Returns the canonical strategy for `A` (full value range).
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            type Strategy = FnStrategy<$ty>;
+
+            fn arbitrary() -> FnStrategy<$ty> {
+                FnStrategy(|rng| {
+                    if rng.one_in(8) {
+                        const SPECIAL: [$ty; 4] = [0, 1, <$ty>::MIN, <$ty>::MAX];
+                        SPECIAL[rng.below(4) as usize]
+                    } else {
+                        rng.next_u64() as $ty
+                    }
+                })
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    type Strategy = FnStrategy<bool>;
+
+    fn arbitrary() -> FnStrategy<bool> {
+        FnStrategy(|rng| rng.next_u64() & 1 == 1)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end as i128 - self.start as i128) as u64;
+                if rng.one_in(16) {
+                    // Bias toward the endpoints.
+                    if rng.next_u64() & 1 == 0 { self.start } else { self.end - 1 }
+                } else {
+                    (self.start as i128 + rng.below(width) as i128) as $ty
+                }
+            }
+        }
+
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let width = (end as i128 - start as i128 + 1) as u64;
+                (start as i128 + rng.below(width) as i128) as $ty
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $index:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$index.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+);
+
+// ---------------------------------------------------------------------
+// Regex-literal string strategies
+// ---------------------------------------------------------------------
+
+/// One unit of a parsed pattern: a character pool and a repeat range.
+struct PatternUnit {
+    pool: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Pool used for `.`: printable ASCII plus a few multibyte characters
+/// so "never panics" tests see non-trivial UTF-8.
+fn dot_pool() -> Vec<char> {
+    let mut pool: Vec<char> = (0x20u8..0x7f).map(char::from).collect();
+    pool.extend(['é', 'Ω', '☃', '\u{7f}']);
+    pool
+}
+
+/// Parses the tiny regex subset the tests use: literal characters,
+/// `.`, `[a-z0-9_]`-style classes, and `{m}` / `{m,n}` repetitions.
+fn parse_pattern(pattern: &str) -> Vec<PatternUnit> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut units = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let pool = match chars[i] {
+            '.' => {
+                i += 1;
+                dot_pool()
+            }
+            '[' => {
+                i += 1;
+                let mut pool = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i], chars[i + 2]);
+                        assert!(lo <= hi, "bad class range in {pattern}");
+                        pool.extend(lo..=hi);
+                        i += 3;
+                    } else {
+                        pool.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in {pattern}");
+                i += 1; // consume ']'
+                pool
+            }
+            '\\' => {
+                i += 1;
+                assert!(i < chars.len(), "trailing backslash in {pattern}");
+                let c = chars[i];
+                i += 1;
+                vec![c]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            i += 1;
+            let mut digits = String::new();
+            while i < chars.len() && chars[i].is_ascii_digit() {
+                digits.push(chars[i]);
+                i += 1;
+            }
+            let min: usize = digits.parse().expect("repeat count");
+            let max = if i < chars.len() && chars[i] == ',' {
+                i += 1;
+                let mut digits = String::new();
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    digits.push(chars[i]);
+                    i += 1;
+                }
+                digits.parse().expect("repeat bound")
+            } else {
+                min
+            };
+            assert!(
+                i < chars.len() && chars[i] == '}',
+                "unterminated repeat in {pattern}"
+            );
+            i += 1;
+            (min, max)
+        } else {
+            (1, 1)
+        };
+        assert!(!pool.is_empty(), "empty character pool in {pattern}");
+        units.push(PatternUnit { pool, min, max });
+    }
+    units
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for unit in parse_pattern(self) {
+            let count = unit.min + rng.below((unit.max - unit.min + 1) as u64) as usize;
+            for _ in 0..count {
+                out.push(unit.pool[rng.below(unit.pool.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// prop:: submodules
+// ---------------------------------------------------------------------
+
+/// Namespaced strategy constructors (mirrors `proptest::prop`).
+pub mod prop {
+    /// Sampling strategies.
+    pub mod sample {
+        use crate::{Arbitrary, FnStrategy, Strategy, TestRng};
+        use std::fmt::Debug;
+
+        /// Strategy choosing one of the given options.
+        #[derive(Clone, Debug)]
+        pub struct Select<T> {
+            options: Vec<T>,
+        }
+
+        /// Chooses uniformly from `options` (must be non-empty).
+        pub fn select<T: Clone + Debug + 'static>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select() needs options");
+            Select { options }
+        }
+
+        impl<T: Clone + Debug + 'static> Strategy for Select<T> {
+            type Value = T;
+
+            fn generate(&self, rng: &mut TestRng) -> T {
+                self.options[rng.below(self.options.len() as u64) as usize].clone()
+            }
+        }
+
+        /// An index that can be projected onto any non-empty collection.
+        #[derive(Clone, Copy, Debug)]
+        pub struct Index(usize);
+
+        impl Index {
+            /// Maps this abstract index onto `len` concrete slots.
+            pub fn index(&self, len: usize) -> usize {
+                assert!(len > 0, "Index::index on empty collection");
+                self.0 % len
+            }
+        }
+
+        impl Arbitrary for Index {
+            type Strategy = FnStrategy<Index>;
+
+            fn arbitrary() -> FnStrategy<Index> {
+                FnStrategy(|rng| Index(rng.next_u64() as usize))
+            }
+        }
+    }
+
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use std::collections::BTreeMap;
+        use std::fmt::Debug;
+        use std::ops::Range;
+
+        /// A size specification for generated collections.
+        #[derive(Clone, Debug)]
+        pub struct SizeRange {
+            min: usize,
+            /// Exclusive upper bound.
+            max: usize,
+        }
+
+        impl From<Range<usize>> for SizeRange {
+            fn from(range: Range<usize>) -> Self {
+                assert!(range.start < range.end, "empty collection size range");
+                SizeRange {
+                    min: range.start,
+                    max: range.end,
+                }
+            }
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(exact: usize) -> Self {
+                SizeRange {
+                    min: exact,
+                    max: exact + 1,
+                }
+            }
+        }
+
+        impl SizeRange {
+            fn sample(&self, rng: &mut TestRng) -> usize {
+                self.min + rng.below((self.max - self.min) as u64) as usize
+            }
+        }
+
+        /// Strategy producing vectors of generated elements.
+        #[derive(Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        /// Generates `Vec`s whose length falls in `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = self.size.sample(rng);
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// Strategy producing maps of generated keys and values.
+        #[derive(Clone)]
+        pub struct BTreeMapStrategy<K, V> {
+            key: K,
+            value: V,
+            size: SizeRange,
+        }
+
+        /// Generates `BTreeMap`s whose size falls in `size` (duplicate
+        /// keys permitting).
+        pub fn btree_map<K, V>(
+            key: K,
+            value: V,
+            size: impl Into<SizeRange>,
+        ) -> BTreeMapStrategy<K, V>
+        where
+            K: Strategy,
+            V: Strategy,
+            K::Value: Ord,
+        {
+            BTreeMapStrategy {
+                key,
+                value,
+                size: size.into(),
+            }
+        }
+
+        impl<K, V> Strategy for BTreeMapStrategy<K, V>
+        where
+            K: Strategy,
+            V: Strategy,
+            K::Value: Ord + Debug,
+        {
+            type Value = BTreeMap<K::Value, V::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+                let target = self.size.sample(rng);
+                let mut map = BTreeMap::new();
+                // Duplicate keys shrink the map; bounded retries refill.
+                for _ in 0..target.saturating_mul(4).max(target) {
+                    if map.len() >= target {
+                        break;
+                    }
+                    map.insert(self.key.generate(rng), self.value.generate(rng));
+                }
+                map
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Test runner
+// ---------------------------------------------------------------------
+
+/// Per-test configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Failure raised by the `prop_assert*` macros.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+/// Result type of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runs `case` for every generated case of a test. The closure fills
+/// `desc` with the generated inputs before running the body, so both
+/// assertion failures and panics can report them.
+pub fn run_cases<F>(config: ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng, &mut String) -> TestCaseResult,
+{
+    let seed = fnv1a(name.as_bytes());
+    for index in 0..config.cases {
+        let mut rng = TestRng::for_case(seed, index);
+        let mut desc = String::new();
+        let outcome = catch_unwind(AssertUnwindSafe(|| case(&mut rng, &mut desc)));
+        match outcome {
+            Ok(Ok(())) => {}
+            Ok(Err(error)) => panic!(
+                "proptest `{name}` failed at case {index}/{}: {}\n  inputs: {desc}",
+                config.cases, error.0
+            ),
+            Err(panic) => {
+                eprintln!(
+                    "proptest `{name}` panicked at case {index}/{}\n  inputs: {desc}",
+                    config.cases
+                );
+                resume_unwind(panic);
+            }
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Re-exports matching `proptest::prelude`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+// ---------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------
+
+/// Asserts a condition inside a proptest body, reporting the generated
+/// inputs on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left == *__right,
+            "assertion failed: `{:?}` != `{:?}`",
+            __left,
+            __right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left == *__right,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            __left,
+            __right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Asserts inequality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left != *__right,
+            "assertion failed: `{:?}` == `{:?}`",
+            __left,
+            __right
+        );
+    }};
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+/// Chooses among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Declares property tests; mirrors `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ::core::default::Default::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ($config:expr; $(
+        #[test]
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            $crate::run_cases(config, stringify!($name), |__rng, __desc| {
+                $(let $arg = $crate::Strategy::generate(&($strategy), __rng);)+
+                *__desc = format!(
+                    concat!($(stringify!($arg), " = {:?}  "),+),
+                    $(&$arg),+
+                );
+                #[allow(clippy::redundant_closure_call)]
+                (|| -> $crate::TestCaseResult {
+                    $body
+                    ::core::result::Result::Ok(())
+                })()
+            });
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn pattern_generation_respects_class_and_length() {
+        let mut rng = crate::TestRng::for_case(7, 0);
+        for _ in 0..200 {
+            let value = crate::Strategy::generate(&"[a-z][a-z0-9]{0,6}", &mut rng);
+            assert!(!value.is_empty() && value.len() <= 7, "{value:?}");
+            assert!(value.chars().next().unwrap().is_ascii_lowercase());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::for_case(9, 1);
+        for _ in 0..500 {
+            let v = crate::Strategy::generate(&(-10i64..10), &mut rng);
+            assert!((-10..10).contains(&v));
+            let u = crate::Strategy::generate(&(0u8..=9), &mut rng);
+            assert!(u <= 9);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_itself_works(v in 0u64..100, flag in any::<bool>()) {
+            prop_assume!(v != 99);
+            prop_assert!(v < 100, "v was {}", v);
+            if flag {
+                prop_assert_eq!(v + 1, 1 + v);
+            }
+        }
+    }
+}

@@ -1,0 +1,5 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The workspace declares `rand` but nothing in the tree imports it (the
+//! simulator carries its own deterministic `SimRng`). This empty shim
+//! satisfies the dependency graph without network access.

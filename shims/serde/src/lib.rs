@@ -1,0 +1,713 @@
+//! Offline stand-in for `serde`, built on an explicit content tree.
+//!
+//! The real serde visits values through a visitor API; this shim instead
+//! funnels everything through [`Content`], a small self-describing tree
+//! (null / bool / integers / float / string / bytes / seq / map). A
+//! [`Serializer`] receives the whole tree via
+//! [`Serializer::serialize_content`]; a [`Deserializer`] surrenders one
+//! via [`Deserializer::take_content`]. This is enough to support the
+//! workspace's derived impls, its hand-written `#[serde(with = "…")]`
+//! modules, and the JSON shim, while staying a few hundred lines.
+//!
+//! External tagging mirrors serde's defaults so JSON output looks
+//! conventional: unit variants become strings, data variants become
+//! single-entry maps, newtype structs are transparent.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::{self, Display};
+use std::time::Duration;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing value tree: the shim's entire data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null` / `Option::None`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer (also how JSON parses them).
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A byte buffer (serialized as a JSON array of numbers).
+    Bytes(Vec<u8>),
+    /// A sequence.
+    Seq(Vec<Content>),
+    /// A map or struct: ordered key/value pairs.
+    Map(Vec<(Content, Content)>),
+}
+
+/// Error produced while converting a [`Content`] tree into a value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContentError(pub String);
+
+impl ContentError {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        ContentError(message.into())
+    }
+}
+
+impl Display for ContentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ContentError {}
+
+/// An uninhabited error type for infallible serializers.
+#[derive(Debug)]
+pub enum Never {}
+
+impl Display for Never {
+    fn fmt(&self, _: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {}
+    }
+}
+
+/// A value that can be turned into a [`Content`] tree.
+pub trait Serialize {
+    /// Serializes `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A sink for [`Content`] trees.
+pub trait Serializer: Sized {
+    /// Value returned on success.
+    type Ok;
+    /// Error type.
+    type Error;
+
+    /// Consumes a complete content tree.
+    fn serialize_content(self, content: Content) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes a string (convenience used by hand-written impls).
+    fn serialize_str(self, value: &str) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::Str(value.to_owned()))
+    }
+
+    /// Serializes a byte buffer (convenience used by hand-written impls).
+    fn serialize_bytes(self, value: &[u8]) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::Bytes(value.to_vec()))
+    }
+}
+
+/// A source of [`Content`] trees.
+pub trait Deserializer<'de>: Sized {
+    /// Error type; must support attaching custom messages.
+    type Error: de::Error;
+
+    /// Surrenders the complete content tree.
+    fn take_content(self) -> Result<Content, Self::Error>;
+}
+
+/// A value that can be rebuilt from a [`Content`] tree.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Deserialization support types (mirrors `serde::de`).
+pub mod de {
+    use super::{ContentError, Deserialize};
+    use std::fmt::Display;
+
+    /// Errors that can carry a caller-supplied message.
+    pub trait Error: Sized {
+        /// Builds an error from any displayable message.
+        fn custom<T: Display>(message: T) -> Self;
+    }
+
+    impl Error for ContentError {
+        fn custom<T: Display>(message: T) -> Self {
+            ContentError(message.to_string())
+        }
+    }
+
+    /// A value deserializable without borrowing from the input.
+    pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+    impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+}
+
+/// Serialization support types (mirrors `serde::ser`).
+pub mod ser {
+    use std::fmt::Display;
+
+    /// Errors that can carry a caller-supplied message.
+    pub trait Error: Sized {
+        /// Builds an error from any displayable message.
+        fn custom<T: Display>(message: T) -> Self;
+    }
+}
+
+/// Serializer that captures the content tree itself. Infallible.
+pub struct ContentCapture;
+
+impl Serializer for ContentCapture {
+    type Ok = Content;
+    type Error = Never;
+
+    fn serialize_content(self, content: Content) -> Result<Content, Never> {
+        Ok(content)
+    }
+}
+
+/// Deserializer reading from an owned content tree.
+pub struct ContentDeserializer {
+    content: Content,
+}
+
+impl ContentDeserializer {
+    /// Wraps a content tree for deserialization.
+    pub fn new(content: Content) -> Self {
+        ContentDeserializer { content }
+    }
+}
+
+impl<'de> Deserializer<'de> for ContentDeserializer {
+    type Error = ContentError;
+
+    fn take_content(self) -> Result<Content, ContentError> {
+        Ok(self.content)
+    }
+}
+
+/// Captures any serializable value as a content tree.
+pub fn to_content<T: Serialize + ?Sized>(value: &T) -> Content {
+    match value.serialize(ContentCapture) {
+        Ok(content) => content,
+        Err(never) => match never {},
+    }
+}
+
+/// Rebuilds a value from a content tree.
+pub fn from_content<T: de::DeserializeOwned>(content: Content) -> Result<T, ContentError> {
+    T::deserialize(ContentDeserializer::new(content))
+}
+
+/// Helper used by derived impls: a struct's fields as a take-by-name map.
+#[derive(Debug)]
+pub struct FieldMap {
+    entries: Vec<(String, Content)>,
+}
+
+impl FieldMap {
+    /// Interprets `content` as a struct body (a map with string keys).
+    pub fn from_content(content: Content, type_name: &str) -> Result<Self, ContentError> {
+        match content {
+            Content::Map(pairs) => {
+                let mut entries = Vec::with_capacity(pairs.len());
+                for (key, value) in pairs {
+                    match key {
+                        Content::Str(name) => entries.push((name, value)),
+                        other => {
+                            return Err(ContentError(format!(
+                                "{type_name}: non-string field key {other:?}"
+                            )))
+                        }
+                    }
+                }
+                Ok(FieldMap { entries })
+            }
+            other => Err(ContentError(format!(
+                "{type_name}: expected a map of fields, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Removes and returns the named field.
+    pub fn take(&mut self, name: &str) -> Result<Content, ContentError> {
+        match self.entries.iter().position(|(key, _)| key == name) {
+            Some(index) => Ok(self.entries.remove(index).1),
+            None => Err(ContentError(format!("missing field `{name}`"))),
+        }
+    }
+}
+
+/// Helper used by derived impls: normalizes an externally tagged enum
+/// value into `(variant_name, payload)`. Unit variants yield `Null`.
+pub fn enum_parts(content: Content, type_name: &str) -> Result<(String, Content), ContentError> {
+    match content {
+        Content::Str(name) => Ok((name, Content::Null)),
+        Content::Map(mut pairs) => {
+            if pairs.len() != 1 {
+                return Err(ContentError(format!(
+                    "{type_name}: enum map must have exactly one key"
+                )));
+            }
+            let (key, value) = pairs.pop().expect("length checked");
+            match key {
+                Content::Str(name) => Ok((name, value)),
+                other => Err(ContentError(format!(
+                    "{type_name}: non-string variant key {other:?}"
+                ))),
+            }
+        }
+        other => Err(ContentError(format!(
+            "{type_name}: expected enum representation, got {other:?}"
+        ))),
+    }
+}
+
+/// Helper used by derived impls: a tuple payload as a content vector.
+pub fn seq_parts(
+    content: Content,
+    expected: usize,
+    type_name: &str,
+) -> Result<Vec<Content>, ContentError> {
+    match content {
+        Content::Seq(items) if items.len() == expected => Ok(items),
+        Content::Seq(items) => Err(ContentError(format!(
+            "{type_name}: expected {expected} elements, got {}",
+            items.len()
+        ))),
+        other => Err(ContentError(format!(
+            "{type_name}: expected a sequence, got {other:?}"
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serialize / Deserialize impls for std types the workspace uses.
+// ---------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_content(Content::U64(u64::from(*self)))
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let content = deserializer.take_content()?;
+                let value = match content {
+                    Content::U64(v) => v,
+                    Content::I64(v) if v >= 0 => v as u64,
+                    other => {
+                        return Err(de::Error::custom(format_args!(
+                            "expected unsigned integer, got {other:?}"
+                        )))
+                    }
+                };
+                <$ty>::try_from(value).map_err(|_| {
+                    de::Error::custom(format_args!(
+                        "value {value} out of range for {}", stringify!($ty)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64);
+
+macro_rules! impl_signed {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let value = i64::from(*self);
+                if value >= 0 {
+                    serializer.serialize_content(Content::U64(value as u64))
+                } else {
+                    serializer.serialize_content(Content::I64(value))
+                }
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let content = deserializer.take_content()?;
+                let value: i64 = match content {
+                    Content::I64(v) => v,
+                    Content::U64(v) => i64::try_from(v).map_err(|_| {
+                        de::Error::custom(format_args!("integer {v} overflows i64"))
+                    })?,
+                    other => {
+                        return Err(de::Error::custom(format_args!(
+                            "expected signed integer, got {other:?}"
+                        )))
+                    }
+                };
+                <$ty>::try_from(value).map_err(|_| {
+                    de::Error::custom(format_args!(
+                        "value {value} out of range for {}", stringify!($ty)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64);
+
+impl Serialize for usize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::U64(*self as u64))
+    }
+}
+
+impl<'de> Deserialize<'de> for usize {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = u64::deserialize(deserializer)?;
+        usize::try_from(value)
+            .map_err(|_| de::Error::custom(format_args!("value {value} out of range for usize")))
+    }
+}
+
+impl Serialize for isize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (*self as i64).serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for isize {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = i64::deserialize(deserializer)?;
+        isize::try_from(value)
+            .map_err(|_| de::Error::custom(format_args!("value {value} out of range for isize")))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Bool(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Bool(v) => Ok(v),
+            other => Err(de::Error::custom(format_args!(
+                "expected bool, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::F64(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::F64(v) => Ok(v),
+            Content::U64(v) => Ok(v as f64),
+            Content::I64(v) => Ok(v as f64),
+            other => Err(de::Error::custom(format_args!(
+                "expected float, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::F64(f64::from(*self)))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(f64::deserialize(deserializer)? as f32)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Str(self.clone()))
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Str(v) => Ok(v),
+            other => Err(de::Error::custom(format_args!(
+                "expected string, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Str(self.to_string()))
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let text = String::deserialize(deserializer)?;
+        let mut chars = text.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(de::Error::custom("expected a single-character string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(value) => value.serialize(serializer),
+            None => serializer.serialize_content(Content::Null),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Null => Ok(None),
+            content => T::deserialize(ContentDeserializer::new(content))
+                .map(Some)
+                .map_err(|e| de::Error::custom(e.0)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Seq(self.iter().map(to_content).collect()))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let items = match deserializer.take_content()? {
+            Content::Seq(items) => items,
+            Content::Bytes(bytes) => bytes.into_iter().map(Content::U64Byte).collect(),
+            other => {
+                return Err(de::Error::custom(format_args!(
+                    "expected sequence, got {other:?}"
+                )))
+            }
+        };
+        items
+            .into_iter()
+            .map(|item| T::deserialize(ContentDeserializer::new(item)))
+            .collect::<Result<Vec<T>, ContentError>>()
+            .map_err(|e| de::Error::custom(e.0))
+    }
+}
+
+impl Content {
+    #[allow(non_snake_case)]
+    fn U64Byte(byte: u8) -> Content {
+        Content::U64(u64::from(byte))
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Seq(self.iter().map(to_content).collect()))
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let items = Vec::<T>::deserialize(deserializer)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| de::Error::custom(format_args!("expected {N} elements, got {len}")))
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Map(
+            self.iter()
+                .map(|(k, v)| (to_content(k), to_content(v)))
+                .collect(),
+        ))
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        map_entries(deserializer)?
+            .into_iter()
+            .map(|(k, v)| {
+                Ok((
+                    K::deserialize(ContentDeserializer::new(k))?,
+                    V::deserialize(ContentDeserializer::new(v))?,
+                ))
+            })
+            .collect::<Result<BTreeMap<K, V>, ContentError>>()
+            .map_err(|e| de::Error::custom(e.0))
+    }
+}
+
+impl<K: Serialize, V: Serialize, H> Serialize for HashMap<K, V, H> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Map(
+            self.iter()
+                .map(|(k, v)| (to_content(k), to_content(v)))
+                .collect(),
+        ))
+    }
+}
+
+impl<'de, K, V, H> Deserialize<'de> for HashMap<K, V, H>
+where
+    K: Deserialize<'de> + std::hash::Hash + Eq,
+    V: Deserialize<'de>,
+    H: std::hash::BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        map_entries(deserializer)?
+            .into_iter()
+            .map(|(k, v)| {
+                Ok((
+                    K::deserialize(ContentDeserializer::new(k))?,
+                    V::deserialize(ContentDeserializer::new(v))?,
+                ))
+            })
+            .collect::<Result<HashMap<K, V, H>, ContentError>>()
+            .map_err(|e| de::Error::custom(e.0))
+    }
+}
+
+fn map_entries<'de, D: Deserializer<'de>>(
+    deserializer: D,
+) -> Result<Vec<(Content, Content)>, D::Error> {
+    match deserializer.take_content()? {
+        Content::Map(pairs) => Ok(pairs),
+        other => Err(de::Error::custom(format_args!(
+            "expected map, got {other:?}"
+        ))),
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $index:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_content(Content::Seq(vec![$(to_content(&self.$index)),+]))
+            }
+        }
+
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                const LEN: usize = [$($index),+].len();
+                let items = match deserializer.take_content()? {
+                    Content::Seq(items) if items.len() == LEN => items,
+                    other => {
+                        return Err(de::Error::custom(format_args!(
+                            "expected {LEN}-tuple, got {other:?}"
+                        )))
+                    }
+                };
+                let mut items = items.into_iter();
+                Ok(($(
+                    $name::deserialize(ContentDeserializer::new(
+                        items.next().expect("length checked"),
+                    ))
+                    .map_err(|e| de::Error::custom(e.0))?,
+                )+))
+            }
+        }
+    )+};
+}
+
+impl_tuple!(
+    (T0: 0),
+    (T0: 0, T1: 1),
+    (T0: 0, T1: 1, T2: 2),
+    (T0: 0, T1: 1, T2: 2, T3: 3),
+);
+
+impl Serialize for Duration {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Map(vec![
+            (Content::Str("secs".into()), Content::U64(self.as_secs())),
+            (
+                Content::Str("nanos".into()),
+                Content::U64(u64::from(self.subsec_nanos())),
+            ),
+        ]))
+    }
+}
+
+impl<'de> Deserialize<'de> for Duration {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let mut fields = FieldMap::from_content(deserializer.take_content()?, "Duration")
+            .map_err(|e| de::Error::custom(e.0))?;
+        let secs: u64 = from_content(fields.take("secs").map_err(|e| de::Error::custom(e.0))?)
+            .map_err(|e| de::Error::custom(e.0))?;
+        let nanos: u32 = from_content(fields.take("nanos").map_err(|e| de::Error::custom(e.0))?)
+            .map_err(|e| de::Error::custom(e.0))?;
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(to_content(&7u64), Content::U64(7));
+        assert_eq!(to_content(&-7i64), Content::I64(-7));
+        assert_eq!(to_content(&3i64), Content::U64(3));
+        let value: i64 = from_content(Content::I64(-9)).unwrap();
+        assert_eq!(value, -9);
+        let nested: Option<Vec<u8>> = from_content(Content::Seq(vec![Content::U64(1)])).unwrap();
+        assert_eq!(nested, Some(vec![1]));
+    }
+
+    #[test]
+    fn duration_round_trips() {
+        let d = Duration::new(3, 450);
+        let back: Duration = from_content(to_content(&d)).unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn map_round_trips() {
+        let mut map = BTreeMap::new();
+        map.insert("a".to_string(), 1u64);
+        map.insert("b".to_string(), 2u64);
+        let back: BTreeMap<String, u64> = from_content(to_content(&map)).unwrap();
+        assert_eq!(map, back);
+    }
+}

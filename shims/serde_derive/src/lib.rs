@@ -1,0 +1,566 @@
+//! Offline stand-in for `serde_derive`: hand-written `Serialize` /
+//! `Deserialize` derives with no `syn`/`quote` dependency.
+//!
+//! A tiny token-tree parser extracts just what the companion `serde`
+//! shim's content model needs — item kind, name, field/variant names,
+//! and `#[serde(with = "path")]` attributes — and the impls are emitted
+//! as source text. Supported shapes: non-generic structs (named, tuple,
+//! unit) and enums (unit, tuple, struct variants). That covers every
+//! derive site in this workspace; anything fancier fails loudly at
+//! compile time rather than silently misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field: its name (`None` for tuple fields) and the module
+/// path from a `#[serde(with = "…")]` attribute, if any.
+struct Field {
+    name: Option<String>,
+    with: Option<String>,
+}
+
+/// One parsed enum variant.
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(Vec<Field>),
+    Named(Vec<Field>),
+}
+
+/// The parsed item.
+enum Item {
+    StructNamed(String, Vec<Field>),
+    StructTuple(String, Vec<Field>),
+    StructUnit(String),
+    Enum(String, Vec<Variant>),
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    emit_serialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    emit_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    index: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            index: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.index)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let token = self.tokens.get(self.index).cloned();
+        if token.is_some() {
+            self.index += 1;
+        }
+        token
+    }
+
+    fn at_end(&self) -> bool {
+        self.index >= self.tokens.len()
+    }
+
+    /// Skips `#[…]` attribute groups, returning any `with = "path"`
+    /// found inside a `#[serde(…)]` attribute.
+    fn skip_attrs(&mut self) -> Option<String> {
+        let mut with = None;
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.next();
+            let Some(TokenTree::Group(group)) = self.next() else {
+                panic!("expected attribute body after `#`");
+            };
+            assert_eq!(group.delimiter(), Delimiter::Bracket, "attribute brackets");
+            let mut inner = Cursor::new(group.stream());
+            if let Some(TokenTree::Ident(name)) = inner.peek() {
+                if name.to_string() == "serde" {
+                    inner.next();
+                    if let Some(TokenTree::Group(args)) = inner.next() {
+                        with = parse_serde_args(args.stream()).or(with);
+                    }
+                }
+            }
+        }
+        with
+    }
+
+    /// Skips `pub` / `pub(crate)` visibility qualifiers.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(ident)) = self.peek() {
+            if ident.to_string() == "pub" {
+                self.next();
+                if let Some(TokenTree::Group(group)) = self.peek() {
+                    if group.delimiter() == Delimiter::Parenthesis {
+                        self.next();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Consumes type tokens up to a top-level comma (tracking `<…>`
+    /// nesting; `->` is recognised so its `>` is not miscounted).
+    fn skip_type(&mut self) {
+        let mut angle_depth = 0i32;
+        while let Some(token) = self.peek() {
+            match token {
+                TokenTree::Punct(p) => {
+                    let c = p.as_char();
+                    if c == ',' && angle_depth == 0 {
+                        return;
+                    }
+                    if c == '<' {
+                        angle_depth += 1;
+                    } else if c == '>' {
+                        angle_depth -= 1;
+                    } else if c == '-' {
+                        // A `->` in an fn type: swallow the `>` too.
+                        self.next();
+                        if let Some(TokenTree::Punct(q)) = self.peek() {
+                            if q.as_char() == '>' {
+                                self.next();
+                            }
+                        }
+                        continue;
+                    }
+                    self.next();
+                }
+                _ => {
+                    self.next();
+                }
+            }
+        }
+    }
+
+    fn expect_comma_or_end(&mut self) {
+        match self.next() {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(other) => panic!("expected `,` between items, found `{other}`"),
+        }
+    }
+}
+
+fn parse_serde_args(stream: TokenStream) -> Option<String> {
+    let mut cursor = Cursor::new(stream);
+    while let Some(token) = cursor.next() {
+        if let TokenTree::Ident(ident) = &token {
+            if ident.to_string() == "with" {
+                match (cursor.next(), cursor.next()) {
+                    (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(path)))
+                        if eq.as_char() == '=' =>
+                    {
+                        let text = path.to_string();
+                        return Some(text.trim_matches('"').to_string());
+                    }
+                    _ => panic!("malformed #[serde(with = \"…\")] attribute"),
+                }
+            } else {
+                panic!("unsupported #[serde({ident})] attribute in offline shim");
+            }
+        }
+    }
+    None
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut cursor = Cursor::new(input);
+    cursor.skip_attrs();
+    cursor.skip_visibility();
+    let keyword = match cursor.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match cursor.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("expected item name, found {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = cursor.peek() {
+        if p.as_char() == '<' {
+            panic!("offline serde derive does not support generic type `{name}`");
+        }
+    }
+    match keyword.as_str() {
+        "struct" => match cursor.next() {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                Item::StructNamed(name, parse_named_fields(group.stream()))
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                Item::StructTuple(name, parse_tuple_fields(group.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::StructUnit(name),
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match cursor.next() {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                Item::Enum(name, parse_variants(group.stream()))
+            }
+            other => panic!("unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("cannot derive serde impls for `{other}`"),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut cursor = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !cursor.at_end() {
+        let with = cursor.skip_attrs();
+        cursor.skip_visibility();
+        let field_name = match cursor.next() {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            other => panic!("expected field name, found {other:?}"),
+        };
+        match cursor.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{field_name}`, found {other:?}"),
+        }
+        cursor.skip_type();
+        cursor.expect_comma_or_end();
+        fields.push(Field {
+            name: Some(field_name),
+            with,
+        });
+    }
+    fields
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
+    let mut cursor = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !cursor.at_end() {
+        let with = cursor.skip_attrs();
+        cursor.skip_visibility();
+        cursor.skip_type();
+        cursor.expect_comma_or_end();
+        fields.push(Field { name: None, with });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut cursor = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while !cursor.at_end() {
+        cursor.skip_attrs();
+        let name = match cursor.next() {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            other => panic!("expected variant name, found {other:?}"),
+        };
+        let kind = match cursor.peek() {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                let fields = parse_tuple_fields(group.stream());
+                cursor.next();
+                VariantKind::Tuple(fields)
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(group.stream());
+                cursor.next();
+                VariantKind::Named(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        cursor.expect_comma_or_end();
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+/// `to_content`-style expression for one field, honouring `with` paths.
+fn ser_expr(reference: &str, field: &Field) -> String {
+    match &field.with {
+        Some(path) => format!(
+            "match {path}::serialize({reference}, ::serde::ContentCapture) {{ \
+             ::core::result::Result::Ok(c) => c, \
+             ::core::result::Result::Err(e) => match e {{}} }}"
+        ),
+        None => format!("::serde::to_content({reference})"),
+    }
+}
+
+/// `from_content`-style expression for one field, honouring `with`
+/// paths. Evaluates inside a closure returning `ContentError`.
+fn de_expr(content: &str, field: &Field) -> String {
+    match &field.with {
+        Some(path) => {
+            format!("{path}::deserialize(::serde::ContentDeserializer::new({content}))?")
+        }
+        None => format!("::serde::from_content({content})?"),
+    }
+}
+
+fn emit_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::StructNamed(name, fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    let field = f.name.as_deref().expect("named field");
+                    format!(
+                        "(::serde::Content::Str(\"{field}\".to_string()), {})",
+                        ser_expr(&format!("&self.{field}"), f)
+                    )
+                })
+                .collect();
+            (
+                name,
+                format!(
+                    "serializer.serialize_content(::serde::Content::Map(vec![{}]))",
+                    entries.join(", ")
+                ),
+            )
+        }
+        Item::StructTuple(name, fields) if fields.len() == 1 => (
+            name,
+            format!(
+                "serializer.serialize_content({})",
+                ser_expr("&self.0", &fields[0])
+            ),
+        ),
+        Item::StructTuple(name, fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .enumerate()
+                .map(|(i, f)| ser_expr(&format!("&self.{i}"), f))
+                .collect();
+            (
+                name,
+                format!(
+                    "serializer.serialize_content(::serde::Content::Seq(vec![{}]))",
+                    entries.join(", ")
+                ),
+            )
+        }
+        Item::StructUnit(name) => (
+            name,
+            "serializer.serialize_content(::serde::Content::Null)".to_string(),
+        ),
+        Item::Enum(name, variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|variant| {
+                    let vname = &variant.name;
+                    match &variant.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => serializer.serialize_content(\
+                             ::serde::Content::Str(\"{vname}\".to_string())),"
+                        ),
+                        VariantKind::Tuple(fields) => {
+                            let binders: Vec<String> =
+                                (0..fields.len()).map(|i| format!("__f{i}")).collect();
+                            let payload = if fields.len() == 1 {
+                                ser_expr("__f0", &fields[0])
+                            } else {
+                                let items: Vec<String> = fields
+                                    .iter()
+                                    .enumerate()
+                                    .map(|(i, f)| ser_expr(&format!("__f{i}"), f))
+                                    .collect();
+                                format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "{name}::{vname}({binders}) => \
+                                 serializer.serialize_content(::serde::Content::Map(vec![\
+                                 (::serde::Content::Str(\"{vname}\".to_string()), {payload})])),",
+                                binders = binders.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let binders: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    let field = f.name.as_deref().expect("named field");
+                                    format!("{field}: __f_{field}")
+                                })
+                                .collect();
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    let field = f.name.as_deref().expect("named field");
+                                    format!(
+                                        "(::serde::Content::Str(\"{field}\".to_string()), {})",
+                                        ser_expr(&format!("__f_{field}"), f)
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binders} }} => \
+                                 serializer.serialize_content(::serde::Content::Map(vec![\
+                                 (::serde::Content::Str(\"{vname}\".to_string()), \
+                                 ::serde::Content::Map(vec![{entries}]))])),",
+                                binders = binders.join(", "),
+                                entries = entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            (name, format!("match self {{ {} }}", arms.join(" ")))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(warnings, clippy::all)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize<S: ::serde::Serializer>(&self, serializer: S)\n\
+                 -> ::core::result::Result<S::Ok, S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn emit_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::StructNamed(name, fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    let field = f.name.as_deref().expect("named field");
+                    format!(
+                        "{field}: {}",
+                        de_expr(&format!("__fields.take(\"{field}\")?"), f)
+                    )
+                })
+                .collect();
+            (
+                name,
+                format!(
+                    "let mut __fields = ::serde::FieldMap::from_content(__content, \"{name}\")?;\n\
+                     ::core::result::Result::Ok({name} {{ {} }})",
+                    inits.join(", ")
+                ),
+            )
+        }
+        Item::StructTuple(name, fields) if fields.len() == 1 => (
+            name,
+            format!(
+                "::core::result::Result::Ok({name}({}))",
+                de_expr("__content", &fields[0])
+            ),
+        ),
+        Item::StructTuple(name, fields) => {
+            let len = fields.len();
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| de_expr("__items.next().expect(\"length checked\")", f))
+                .collect();
+            (
+                name,
+                format!(
+                    "let mut __items = ::serde::seq_parts(__content, {len}, \"{name}\")?\
+                     .into_iter();\n\
+                     ::core::result::Result::Ok({name}({}))",
+                    inits.join(", ")
+                ),
+            )
+        }
+        Item::StructUnit(name) => (name, format!("::core::result::Result::Ok({name})")),
+        Item::Enum(name, variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|variant| {
+                    let vname = &variant.name;
+                    match &variant.kind {
+                        VariantKind::Unit => {
+                            format!("\"{vname}\" => ::core::result::Result::Ok({name}::{vname}),")
+                        }
+                        VariantKind::Tuple(fields) if fields.len() == 1 => format!(
+                            "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}({})),",
+                            de_expr("__payload", &fields[0])
+                        ),
+                        VariantKind::Tuple(fields) => {
+                            let len = fields.len();
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| de_expr("__items.next().expect(\"length checked\")", f))
+                                .collect();
+                            format!(
+                                "\"{vname}\" => {{ let mut __items = ::serde::seq_parts(\
+                                 __payload, {len}, \"{name}::{vname}\")?.into_iter(); \
+                                 ::core::result::Result::Ok({name}::{vname}({})) }}",
+                                inits.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    let field = f.name.as_deref().expect("named field");
+                                    format!(
+                                        "{field}: {}",
+                                        de_expr(&format!("__fields.take(\"{field}\")?"), f)
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{vname}\" => {{ let mut __fields = \
+                                 ::serde::FieldMap::from_content(__payload, \
+                                 \"{name}::{vname}\")?; \
+                                 ::core::result::Result::Ok({name}::{vname} {{ {} }}) }}",
+                                inits.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            (
+                name,
+                format!(
+                    "let (__variant, __payload) = ::serde::enum_parts(__content, \"{name}\")?;\n\
+                     match __variant.as_str() {{ {} __other => \
+                     ::core::result::Result::Err(::serde::ContentError(format!(\
+                     \"unknown variant `{{}}` of {name}\", __other))) }}",
+                    arms.join(" ")
+                ),
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(warnings, clippy::all)]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D)\n\
+                 -> ::core::result::Result<Self, D::Error> {{\n\
+                 let __content = ::serde::Deserializer::take_content(deserializer)?;\n\
+                 let __result = (|| -> ::core::result::Result<Self, ::serde::ContentError> {{\n\
+                     {body}\n\
+                 }})();\n\
+                 __result.map_err(|e| <D::Error as ::serde::de::Error>::custom(e))\n\
+             }}\n\
+         }}\n"
+    )
+}

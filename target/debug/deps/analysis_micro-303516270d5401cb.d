@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analysis_micro-303516270d5401cb.d: crates/bench/benches/analysis_micro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalysis_micro-303516270d5401cb.rmeta: crates/bench/benches/analysis_micro.rs Cargo.toml
+
+crates/bench/benches/analysis_micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

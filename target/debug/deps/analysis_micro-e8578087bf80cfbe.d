@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_micro-e8578087bf80cfbe.d: crates/bench/benches/analysis_micro.rs
+
+/root/repo/target/debug/deps/analysis_micro-e8578087bf80cfbe: crates/bench/benches/analysis_micro.rs
+
+crates/bench/benches/analysis_micro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/broker_micro-0734976e54e7439c.d: crates/bench/benches/broker_micro.rs
+
+/root/repo/target/debug/deps/broker_micro-0734976e54e7439c: crates/bench/benches/broker_micro.rs
+
+crates/bench/benches/broker_micro.rs:

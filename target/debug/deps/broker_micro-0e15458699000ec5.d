@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/broker_micro-0e15458699000ec5.d: crates/bench/benches/broker_micro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbroker_micro-0e15458699000ec5.rmeta: crates/bench/benches/broker_micro.rs Cargo.toml
+
+crates/bench/benches/broker_micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crash_recovery-b941b9518d6141fe.d: tests/crash_recovery.rs
+
+/root/repo/target/debug/deps/crash_recovery-b941b9518d6141fe: tests/crash_recovery.rs
+
+tests/crash_recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crash_recovery-bf301b95d5893a17.d: tests/crash_recovery.rs
+
+/root/repo/target/debug/deps/crash_recovery-bf301b95d5893a17: tests/crash_recovery.rs
+
+tests/crash_recovery.rs:

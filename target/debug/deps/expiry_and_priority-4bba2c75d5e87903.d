@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/expiry_and_priority-4bba2c75d5e87903.d: tests/expiry_and_priority.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexpiry_and_priority-4bba2c75d5e87903.rmeta: tests/expiry_and_priority.rs Cargo.toml
+
+tests/expiry_and_priority.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

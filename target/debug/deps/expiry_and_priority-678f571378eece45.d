@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/expiry_and_priority-678f571378eece45.d: tests/expiry_and_priority.rs
+
+/root/repo/target/debug/deps/expiry_and_priority-678f571378eece45: tests/expiry_and_priority.rs
+
+tests/expiry_and_priority.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/expiry_and_priority-e0e0797cf22a8494.d: tests/expiry_and_priority.rs
+
+/root/repo/target/debug/deps/expiry_and_priority-e0e0797cf22a8494: tests/expiry_and_priority.rs
+
+tests/expiry_and_priority.rs:

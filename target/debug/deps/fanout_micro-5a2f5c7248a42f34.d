@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fanout_micro-5a2f5c7248a42f34.d: crates/bench/benches/fanout_micro.rs
+
+/root/repo/target/debug/deps/fanout_micro-5a2f5c7248a42f34: crates/bench/benches/fanout_micro.rs
+
+crates/bench/benches/fanout_micro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fanout_micro-a00bbcfb95d731a6.d: crates/bench/benches/fanout_micro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfanout_micro-a00bbcfb95d731a6.rmeta: crates/bench/benches/fanout_micro.rs Cargo.toml
+
+crates/bench/benches/fanout_micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fanout_stress-0e3e58f2a7987c73.d: tests/fanout_stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfanout_stress-0e3e58f2a7987c73.rmeta: tests/fanout_stress.rs Cargo.toml
+
+tests/fanout_stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fanout_stress-a953d2c5a195ea5a.d: tests/fanout_stress.rs
+
+/root/repo/target/debug/deps/fanout_stress-a953d2c5a195ea5a: tests/fanout_stress.rs
+
+tests/fanout_stress.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_detection-2aac29b8258614d9.d: tests/fault_detection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_detection-2aac29b8258614d9.rmeta: tests/fault_detection.rs Cargo.toml
+
+tests/fault_detection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_detection-9d7ccb597a003f77.d: tests/fault_detection.rs
+
+/root/repo/target/debug/deps/fault_detection-9d7ccb597a003f77: tests/fault_detection.rs
+
+tests/fault_detection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_detection-f09aa98ee7d7dda4.d: tests/fault_detection.rs
+
+/root/repo/target/debug/deps/fault_detection-f09aa98ee7d7dda4: tests/fault_detection.rs
+
+tests/fault_detection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/faulty_providers-55b91502e9d33034.d: crates/broker/tests/faulty_providers.rs
+
+/root/repo/target/debug/deps/faulty_providers-55b91502e9d33034: crates/broker/tests/faulty_providers.rs
+
+crates/broker/tests/faulty_providers.rs:

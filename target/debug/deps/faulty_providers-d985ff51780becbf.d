@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/faulty_providers-d985ff51780becbf.d: crates/broker/tests/faulty_providers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfaulty_providers-d985ff51780becbf.rmeta: crates/broker/tests/faulty_providers.rs Cargo.toml
+
+crates/broker/tests/faulty_providers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

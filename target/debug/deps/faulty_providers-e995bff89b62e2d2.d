@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/faulty_providers-e995bff89b62e2d2.d: crates/broker/tests/faulty_providers.rs
+
+/root/repo/target/debug/deps/faulty_providers-e995bff89b62e2d2: crates/broker/tests/faulty_providers.rs
+
+crates/broker/tests/faulty_providers.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/figures-6f1480046cfe5cdb.d: crates/bench/benches/figures.rs
+
+/root/repo/target/debug/deps/figures-6f1480046cfe5cdb: crates/bench/benches/figures.rs
+
+crates/bench/benches/figures.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

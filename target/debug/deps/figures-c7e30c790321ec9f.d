@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/figures-c7e30c790321ec9f.d: crates/bench/benches/figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigures-c7e30c790321ec9f.rmeta: crates/bench/benches/figures.rs Cargo.toml
+
+crates/bench/benches/figures.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/jmst-05bae6a9f9a46e6c.d: src/lib.rs
+
+/root/repo/target/debug/deps/libjmst-05bae6a9f9a46e6c.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libjmst-05bae6a9f9a46e6c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/jmst-0e7abf0f0dc79084.d: src/lib.rs
+
+/root/repo/target/debug/deps/jmst-0e7abf0f0dc79084: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/jmst-39a3562e19608820.d: src/lib.rs
+
+/root/repo/target/debug/deps/libjmst-39a3562e19608820.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libjmst-39a3562e19608820.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/jmst-3e23a84ca78723df.d: src/lib.rs
+
+/root/repo/target/debug/deps/jmst-3e23a84ca78723df: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/jmst_api-2ec8d3f3427c176f.d: crates/api/src/lib.rs crates/api/src/body.rs crates/api/src/destination.rs crates/api/src/error.rs crates/api/src/id.rs crates/api/src/message.rs crates/api/src/modes.rs crates/api/src/properties.rs crates/api/src/provider.rs crates/api/src/selector/mod.rs crates/api/src/selector/ast.rs crates/api/src/selector/eval.rs crates/api/src/selector/parser.rs crates/api/src/selector/token.rs crates/api/src/time.rs crates/api/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjmst_api-2ec8d3f3427c176f.rmeta: crates/api/src/lib.rs crates/api/src/body.rs crates/api/src/destination.rs crates/api/src/error.rs crates/api/src/id.rs crates/api/src/message.rs crates/api/src/modes.rs crates/api/src/properties.rs crates/api/src/provider.rs crates/api/src/selector/mod.rs crates/api/src/selector/ast.rs crates/api/src/selector/eval.rs crates/api/src/selector/parser.rs crates/api/src/selector/token.rs crates/api/src/time.rs crates/api/src/value.rs Cargo.toml
+
+crates/api/src/lib.rs:
+crates/api/src/body.rs:
+crates/api/src/destination.rs:
+crates/api/src/error.rs:
+crates/api/src/id.rs:
+crates/api/src/message.rs:
+crates/api/src/modes.rs:
+crates/api/src/properties.rs:
+crates/api/src/provider.rs:
+crates/api/src/selector/mod.rs:
+crates/api/src/selector/ast.rs:
+crates/api/src/selector/eval.rs:
+crates/api/src/selector/parser.rs:
+crates/api/src/selector/token.rs:
+crates/api/src/time.rs:
+crates/api/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

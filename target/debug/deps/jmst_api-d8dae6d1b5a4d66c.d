@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/jmst_api-d8dae6d1b5a4d66c.d: crates/api/src/lib.rs crates/api/src/body.rs crates/api/src/destination.rs crates/api/src/error.rs crates/api/src/id.rs crates/api/src/message.rs crates/api/src/modes.rs crates/api/src/properties.rs crates/api/src/provider.rs crates/api/src/selector/mod.rs crates/api/src/selector/ast.rs crates/api/src/selector/eval.rs crates/api/src/selector/parser.rs crates/api/src/selector/token.rs crates/api/src/time.rs crates/api/src/value.rs
+
+/root/repo/target/debug/deps/jmst_api-d8dae6d1b5a4d66c: crates/api/src/lib.rs crates/api/src/body.rs crates/api/src/destination.rs crates/api/src/error.rs crates/api/src/id.rs crates/api/src/message.rs crates/api/src/modes.rs crates/api/src/properties.rs crates/api/src/provider.rs crates/api/src/selector/mod.rs crates/api/src/selector/ast.rs crates/api/src/selector/eval.rs crates/api/src/selector/parser.rs crates/api/src/selector/token.rs crates/api/src/time.rs crates/api/src/value.rs
+
+crates/api/src/lib.rs:
+crates/api/src/body.rs:
+crates/api/src/destination.rs:
+crates/api/src/error.rs:
+crates/api/src/id.rs:
+crates/api/src/message.rs:
+crates/api/src/modes.rs:
+crates/api/src/properties.rs:
+crates/api/src/provider.rs:
+crates/api/src/selector/mod.rs:
+crates/api/src/selector/ast.rs:
+crates/api/src/selector/eval.rs:
+crates/api/src/selector/parser.rs:
+crates/api/src/selector/token.rs:
+crates/api/src/time.rs:
+crates/api/src/value.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/jmst_bench-135d59d542f3559f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libjmst_bench-135d59d542f3559f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libjmst_bench-135d59d542f3559f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

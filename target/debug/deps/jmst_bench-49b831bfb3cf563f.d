@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/jmst_bench-49b831bfb3cf563f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/jmst_bench-49b831bfb3cf563f: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/jmst_bench-85a1e88f4cb6dc2b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libjmst_bench-85a1e88f4cb6dc2b.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libjmst_bench-85a1e88f4cb6dc2b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/jmst_bench-8ea2cd41d922eeda.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/jmst_bench-8ea2cd41d922eeda: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/jmst_bench-baef0394ce8e11fa.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjmst_bench-baef0394ce8e11fa.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

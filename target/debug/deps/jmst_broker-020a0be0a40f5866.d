@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/jmst_broker-020a0be0a40f5866.d: crates/broker/src/lib.rs crates/broker/src/config.rs crates/broker/src/connection.rs crates/broker/src/core.rs crates/broker/src/endpoint.rs crates/broker/src/faults.rs crates/broker/src/provider.rs crates/broker/src/session.rs
+
+/root/repo/target/debug/deps/libjmst_broker-020a0be0a40f5866.rlib: crates/broker/src/lib.rs crates/broker/src/config.rs crates/broker/src/connection.rs crates/broker/src/core.rs crates/broker/src/endpoint.rs crates/broker/src/faults.rs crates/broker/src/provider.rs crates/broker/src/session.rs
+
+/root/repo/target/debug/deps/libjmst_broker-020a0be0a40f5866.rmeta: crates/broker/src/lib.rs crates/broker/src/config.rs crates/broker/src/connection.rs crates/broker/src/core.rs crates/broker/src/endpoint.rs crates/broker/src/faults.rs crates/broker/src/provider.rs crates/broker/src/session.rs
+
+crates/broker/src/lib.rs:
+crates/broker/src/config.rs:
+crates/broker/src/connection.rs:
+crates/broker/src/core.rs:
+crates/broker/src/endpoint.rs:
+crates/broker/src/faults.rs:
+crates/broker/src/provider.rs:
+crates/broker/src/session.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/jmst_broker-539f90740f2c131a.d: crates/broker/src/lib.rs crates/broker/src/config.rs crates/broker/src/connection.rs crates/broker/src/core.rs crates/broker/src/endpoint.rs crates/broker/src/faults.rs crates/broker/src/provider.rs crates/broker/src/session.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjmst_broker-539f90740f2c131a.rmeta: crates/broker/src/lib.rs crates/broker/src/config.rs crates/broker/src/connection.rs crates/broker/src/core.rs crates/broker/src/endpoint.rs crates/broker/src/faults.rs crates/broker/src/provider.rs crates/broker/src/session.rs Cargo.toml
+
+crates/broker/src/lib.rs:
+crates/broker/src/config.rs:
+crates/broker/src/connection.rs:
+crates/broker/src/core.rs:
+crates/broker/src/endpoint.rs:
+crates/broker/src/faults.rs:
+crates/broker/src/provider.rs:
+crates/broker/src/session.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/jmst_broker-a01e3c015f1ef859.d: crates/broker/src/lib.rs crates/broker/src/config.rs crates/broker/src/connection.rs crates/broker/src/core.rs crates/broker/src/endpoint.rs crates/broker/src/faults.rs crates/broker/src/session.rs crates/broker/src/provider.rs
+
+/root/repo/target/debug/deps/libjmst_broker-a01e3c015f1ef859.rlib: crates/broker/src/lib.rs crates/broker/src/config.rs crates/broker/src/connection.rs crates/broker/src/core.rs crates/broker/src/endpoint.rs crates/broker/src/faults.rs crates/broker/src/session.rs crates/broker/src/provider.rs
+
+/root/repo/target/debug/deps/libjmst_broker-a01e3c015f1ef859.rmeta: crates/broker/src/lib.rs crates/broker/src/config.rs crates/broker/src/connection.rs crates/broker/src/core.rs crates/broker/src/endpoint.rs crates/broker/src/faults.rs crates/broker/src/session.rs crates/broker/src/provider.rs
+
+crates/broker/src/lib.rs:
+crates/broker/src/config.rs:
+crates/broker/src/connection.rs:
+crates/broker/src/core.rs:
+crates/broker/src/endpoint.rs:
+crates/broker/src/faults.rs:
+crates/broker/src/session.rs:
+crates/broker/src/provider.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/jmst_broker-c6a3ac3e46125371.d: crates/broker/src/lib.rs crates/broker/src/config.rs crates/broker/src/connection.rs crates/broker/src/core.rs crates/broker/src/endpoint.rs crates/broker/src/faults.rs crates/broker/src/session.rs crates/broker/src/provider.rs
+
+/root/repo/target/debug/deps/jmst_broker-c6a3ac3e46125371: crates/broker/src/lib.rs crates/broker/src/config.rs crates/broker/src/connection.rs crates/broker/src/core.rs crates/broker/src/endpoint.rs crates/broker/src/faults.rs crates/broker/src/session.rs crates/broker/src/provider.rs
+
+crates/broker/src/lib.rs:
+crates/broker/src/config.rs:
+crates/broker/src/connection.rs:
+crates/broker/src/core.rs:
+crates/broker/src/endpoint.rs:
+crates/broker/src/faults.rs:
+crates/broker/src/session.rs:
+crates/broker/src/provider.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/jmst_core-92b295bba64146c7.d: crates/core/src/lib.rs crates/core/src/analyzer.rs crates/core/src/config.rs crates/core/src/defs.rs crates/core/src/perf.rs crates/core/src/properties/mod.rs crates/core/src/properties/duplicates.rs crates/core/src/properties/expiry.rs crates/core/src/properties/integrity.rs crates/core/src/properties/ordering.rs crates/core/src/properties/priority.rs crates/core/src/properties/required.rs crates/core/src/report.rs crates/core/src/violation.rs
+
+/root/repo/target/debug/deps/libjmst_core-92b295bba64146c7.rlib: crates/core/src/lib.rs crates/core/src/analyzer.rs crates/core/src/config.rs crates/core/src/defs.rs crates/core/src/perf.rs crates/core/src/properties/mod.rs crates/core/src/properties/duplicates.rs crates/core/src/properties/expiry.rs crates/core/src/properties/integrity.rs crates/core/src/properties/ordering.rs crates/core/src/properties/priority.rs crates/core/src/properties/required.rs crates/core/src/report.rs crates/core/src/violation.rs
+
+/root/repo/target/debug/deps/libjmst_core-92b295bba64146c7.rmeta: crates/core/src/lib.rs crates/core/src/analyzer.rs crates/core/src/config.rs crates/core/src/defs.rs crates/core/src/perf.rs crates/core/src/properties/mod.rs crates/core/src/properties/duplicates.rs crates/core/src/properties/expiry.rs crates/core/src/properties/integrity.rs crates/core/src/properties/ordering.rs crates/core/src/properties/priority.rs crates/core/src/properties/required.rs crates/core/src/report.rs crates/core/src/violation.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analyzer.rs:
+crates/core/src/config.rs:
+crates/core/src/defs.rs:
+crates/core/src/perf.rs:
+crates/core/src/properties/mod.rs:
+crates/core/src/properties/duplicates.rs:
+crates/core/src/properties/expiry.rs:
+crates/core/src/properties/integrity.rs:
+crates/core/src/properties/ordering.rs:
+crates/core/src/properties/priority.rs:
+crates/core/src/properties/required.rs:
+crates/core/src/report.rs:
+crates/core/src/violation.rs:

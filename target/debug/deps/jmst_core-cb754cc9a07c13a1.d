@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/jmst_core-cb754cc9a07c13a1.d: crates/core/src/lib.rs crates/core/src/analyzer.rs crates/core/src/config.rs crates/core/src/defs.rs crates/core/src/perf.rs crates/core/src/properties/mod.rs crates/core/src/properties/duplicates.rs crates/core/src/properties/expiry.rs crates/core/src/properties/integrity.rs crates/core/src/properties/ordering.rs crates/core/src/properties/priority.rs crates/core/src/properties/required.rs crates/core/src/report.rs crates/core/src/violation.rs crates/core/src/test_support.rs
+
+/root/repo/target/debug/deps/jmst_core-cb754cc9a07c13a1: crates/core/src/lib.rs crates/core/src/analyzer.rs crates/core/src/config.rs crates/core/src/defs.rs crates/core/src/perf.rs crates/core/src/properties/mod.rs crates/core/src/properties/duplicates.rs crates/core/src/properties/expiry.rs crates/core/src/properties/integrity.rs crates/core/src/properties/ordering.rs crates/core/src/properties/priority.rs crates/core/src/properties/required.rs crates/core/src/report.rs crates/core/src/violation.rs crates/core/src/test_support.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analyzer.rs:
+crates/core/src/config.rs:
+crates/core/src/defs.rs:
+crates/core/src/perf.rs:
+crates/core/src/properties/mod.rs:
+crates/core/src/properties/duplicates.rs:
+crates/core/src/properties/expiry.rs:
+crates/core/src/properties/integrity.rs:
+crates/core/src/properties/ordering.rs:
+crates/core/src/properties/priority.rs:
+crates/core/src/properties/required.rs:
+crates/core/src/report.rs:
+crates/core/src/violation.rs:
+crates/core/src/test_support.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/jmst_core-e6222959203f4795.d: crates/core/src/lib.rs crates/core/src/analyzer.rs crates/core/src/config.rs crates/core/src/defs.rs crates/core/src/perf.rs crates/core/src/properties/mod.rs crates/core/src/properties/duplicates.rs crates/core/src/properties/expiry.rs crates/core/src/properties/integrity.rs crates/core/src/properties/ordering.rs crates/core/src/properties/priority.rs crates/core/src/properties/required.rs crates/core/src/report.rs crates/core/src/violation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjmst_core-e6222959203f4795.rmeta: crates/core/src/lib.rs crates/core/src/analyzer.rs crates/core/src/config.rs crates/core/src/defs.rs crates/core/src/perf.rs crates/core/src/properties/mod.rs crates/core/src/properties/duplicates.rs crates/core/src/properties/expiry.rs crates/core/src/properties/integrity.rs crates/core/src/properties/ordering.rs crates/core/src/properties/priority.rs crates/core/src/properties/required.rs crates/core/src/report.rs crates/core/src/violation.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/analyzer.rs:
+crates/core/src/config.rs:
+crates/core/src/defs.rs:
+crates/core/src/perf.rs:
+crates/core/src/properties/mod.rs:
+crates/core/src/properties/duplicates.rs:
+crates/core/src/properties/expiry.rs:
+crates/core/src/properties/integrity.rs:
+crates/core/src/properties/ordering.rs:
+crates/core/src/properties/priority.rs:
+crates/core/src/properties/required.rs:
+crates/core/src/report.rs:
+crates/core/src/violation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

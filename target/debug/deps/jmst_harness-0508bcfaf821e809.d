@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/jmst_harness-0508bcfaf821e809.d: crates/harness/src/lib.rs crates/harness/src/config_text.rs crates/harness/src/drivers.rs crates/harness/src/error.rs crates/harness/src/prince.rs crates/harness/src/runner.rs crates/harness/src/simrun.rs crates/harness/src/spec.rs
+
+/root/repo/target/debug/deps/libjmst_harness-0508bcfaf821e809.rlib: crates/harness/src/lib.rs crates/harness/src/config_text.rs crates/harness/src/drivers.rs crates/harness/src/error.rs crates/harness/src/prince.rs crates/harness/src/runner.rs crates/harness/src/simrun.rs crates/harness/src/spec.rs
+
+/root/repo/target/debug/deps/libjmst_harness-0508bcfaf821e809.rmeta: crates/harness/src/lib.rs crates/harness/src/config_text.rs crates/harness/src/drivers.rs crates/harness/src/error.rs crates/harness/src/prince.rs crates/harness/src/runner.rs crates/harness/src/simrun.rs crates/harness/src/spec.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/config_text.rs:
+crates/harness/src/drivers.rs:
+crates/harness/src/error.rs:
+crates/harness/src/prince.rs:
+crates/harness/src/runner.rs:
+crates/harness/src/simrun.rs:
+crates/harness/src/spec.rs:

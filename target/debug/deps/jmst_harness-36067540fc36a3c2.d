@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/jmst_harness-36067540fc36a3c2.d: crates/harness/src/lib.rs crates/harness/src/config_text.rs crates/harness/src/drivers.rs crates/harness/src/error.rs crates/harness/src/prince.rs crates/harness/src/runner.rs crates/harness/src/simrun.rs crates/harness/src/spec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjmst_harness-36067540fc36a3c2.rmeta: crates/harness/src/lib.rs crates/harness/src/config_text.rs crates/harness/src/drivers.rs crates/harness/src/error.rs crates/harness/src/prince.rs crates/harness/src/runner.rs crates/harness/src/simrun.rs crates/harness/src/spec.rs Cargo.toml
+
+crates/harness/src/lib.rs:
+crates/harness/src/config_text.rs:
+crates/harness/src/drivers.rs:
+crates/harness/src/error.rs:
+crates/harness/src/prince.rs:
+crates/harness/src/runner.rs:
+crates/harness/src/simrun.rs:
+crates/harness/src/spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

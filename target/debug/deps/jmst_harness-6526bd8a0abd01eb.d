@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/jmst_harness-6526bd8a0abd01eb.d: crates/harness/src/lib.rs crates/harness/src/config_text.rs crates/harness/src/drivers.rs crates/harness/src/error.rs crates/harness/src/prince.rs crates/harness/src/runner.rs crates/harness/src/simrun.rs crates/harness/src/spec.rs
+
+/root/repo/target/debug/deps/jmst_harness-6526bd8a0abd01eb: crates/harness/src/lib.rs crates/harness/src/config_text.rs crates/harness/src/drivers.rs crates/harness/src/error.rs crates/harness/src/prince.rs crates/harness/src/runner.rs crates/harness/src/simrun.rs crates/harness/src/spec.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/config_text.rs:
+crates/harness/src/drivers.rs:
+crates/harness/src/error.rs:
+crates/harness/src/prince.rs:
+crates/harness/src/runner.rs:
+crates/harness/src/simrun.rs:
+crates/harness/src/spec.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/jmst_harness-b8e65d6d4141232d.d: crates/harness/src/lib.rs crates/harness/src/config_text.rs crates/harness/src/drivers.rs crates/harness/src/error.rs crates/harness/src/prince.rs crates/harness/src/runner.rs crates/harness/src/simrun.rs crates/harness/src/spec.rs
+
+/root/repo/target/debug/deps/jmst_harness-b8e65d6d4141232d: crates/harness/src/lib.rs crates/harness/src/config_text.rs crates/harness/src/drivers.rs crates/harness/src/error.rs crates/harness/src/prince.rs crates/harness/src/runner.rs crates/harness/src/simrun.rs crates/harness/src/spec.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/config_text.rs:
+crates/harness/src/drivers.rs:
+crates/harness/src/error.rs:
+crates/harness/src/prince.rs:
+crates/harness/src/runner.rs:
+crates/harness/src/simrun.rs:
+crates/harness/src/spec.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/jmst_sim-06bffcd3edd82653.d: crates/sim/src/lib.rs crates/sim/src/arrival.rs crates/sim/src/clock.rs crates/sim/src/dist.rs crates/sim/src/engine.rs crates/sim/src/pubsub.rs crates/sim/src/service.rs
+
+/root/repo/target/debug/deps/libjmst_sim-06bffcd3edd82653.rlib: crates/sim/src/lib.rs crates/sim/src/arrival.rs crates/sim/src/clock.rs crates/sim/src/dist.rs crates/sim/src/engine.rs crates/sim/src/pubsub.rs crates/sim/src/service.rs
+
+/root/repo/target/debug/deps/libjmst_sim-06bffcd3edd82653.rmeta: crates/sim/src/lib.rs crates/sim/src/arrival.rs crates/sim/src/clock.rs crates/sim/src/dist.rs crates/sim/src/engine.rs crates/sim/src/pubsub.rs crates/sim/src/service.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/arrival.rs:
+crates/sim/src/clock.rs:
+crates/sim/src/dist.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/pubsub.rs:
+crates/sim/src/service.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/jmst_sim-7e07f26de9cc40b1.d: crates/sim/src/lib.rs crates/sim/src/arrival.rs crates/sim/src/clock.rs crates/sim/src/dist.rs crates/sim/src/engine.rs crates/sim/src/pubsub.rs crates/sim/src/service.rs
+
+/root/repo/target/debug/deps/jmst_sim-7e07f26de9cc40b1: crates/sim/src/lib.rs crates/sim/src/arrival.rs crates/sim/src/clock.rs crates/sim/src/dist.rs crates/sim/src/engine.rs crates/sim/src/pubsub.rs crates/sim/src/service.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/arrival.rs:
+crates/sim/src/clock.rs:
+crates/sim/src/dist.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/pubsub.rs:
+crates/sim/src/service.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/jmst_sim-a52df4031e08c127.d: crates/sim/src/lib.rs crates/sim/src/arrival.rs crates/sim/src/clock.rs crates/sim/src/dist.rs crates/sim/src/engine.rs crates/sim/src/pubsub.rs crates/sim/src/service.rs
+
+/root/repo/target/debug/deps/libjmst_sim-a52df4031e08c127.rlib: crates/sim/src/lib.rs crates/sim/src/arrival.rs crates/sim/src/clock.rs crates/sim/src/dist.rs crates/sim/src/engine.rs crates/sim/src/pubsub.rs crates/sim/src/service.rs
+
+/root/repo/target/debug/deps/libjmst_sim-a52df4031e08c127.rmeta: crates/sim/src/lib.rs crates/sim/src/arrival.rs crates/sim/src/clock.rs crates/sim/src/dist.rs crates/sim/src/engine.rs crates/sim/src/pubsub.rs crates/sim/src/service.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/arrival.rs:
+crates/sim/src/clock.rs:
+crates/sim/src/dist.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/pubsub.rs:
+crates/sim/src/service.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/jmst_sim-ead2191031910bbe.d: crates/sim/src/lib.rs crates/sim/src/arrival.rs crates/sim/src/clock.rs crates/sim/src/dist.rs crates/sim/src/engine.rs crates/sim/src/pubsub.rs crates/sim/src/service.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjmst_sim-ead2191031910bbe.rmeta: crates/sim/src/lib.rs crates/sim/src/arrival.rs crates/sim/src/clock.rs crates/sim/src/dist.rs crates/sim/src/engine.rs crates/sim/src/pubsub.rs crates/sim/src/service.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/arrival.rs:
+crates/sim/src/clock.rs:
+crates/sim/src/dist.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/pubsub.rs:
+crates/sim/src/service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

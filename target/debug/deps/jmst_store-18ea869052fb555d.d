@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/jmst_store-18ea869052fb555d.d: crates/store/src/lib.rs crates/store/src/csv.rs crates/store/src/disk.rs crates/store/src/event.rs crates/store/src/query.rs crates/store/src/stats.rs crates/store/src/table.rs crates/store/src/trace.rs
+
+/root/repo/target/debug/deps/jmst_store-18ea869052fb555d: crates/store/src/lib.rs crates/store/src/csv.rs crates/store/src/disk.rs crates/store/src/event.rs crates/store/src/query.rs crates/store/src/stats.rs crates/store/src/table.rs crates/store/src/trace.rs
+
+crates/store/src/lib.rs:
+crates/store/src/csv.rs:
+crates/store/src/disk.rs:
+crates/store/src/event.rs:
+crates/store/src/query.rs:
+crates/store/src/stats.rs:
+crates/store/src/table.rs:
+crates/store/src/trace.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/jmst_store-6a3ae3c0d9932896.d: crates/store/src/lib.rs crates/store/src/csv.rs crates/store/src/disk.rs crates/store/src/event.rs crates/store/src/query.rs crates/store/src/stats.rs crates/store/src/table.rs crates/store/src/trace.rs
+
+/root/repo/target/debug/deps/jmst_store-6a3ae3c0d9932896: crates/store/src/lib.rs crates/store/src/csv.rs crates/store/src/disk.rs crates/store/src/event.rs crates/store/src/query.rs crates/store/src/stats.rs crates/store/src/table.rs crates/store/src/trace.rs
+
+crates/store/src/lib.rs:
+crates/store/src/csv.rs:
+crates/store/src/disk.rs:
+crates/store/src/event.rs:
+crates/store/src/query.rs:
+crates/store/src/stats.rs:
+crates/store/src/table.rs:
+crates/store/src/trace.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/jmst_store-756b3730da35c987.d: crates/store/src/lib.rs crates/store/src/csv.rs crates/store/src/disk.rs crates/store/src/event.rs crates/store/src/query.rs crates/store/src/stats.rs crates/store/src/table.rs crates/store/src/trace.rs
+
+/root/repo/target/debug/deps/libjmst_store-756b3730da35c987.rlib: crates/store/src/lib.rs crates/store/src/csv.rs crates/store/src/disk.rs crates/store/src/event.rs crates/store/src/query.rs crates/store/src/stats.rs crates/store/src/table.rs crates/store/src/trace.rs
+
+/root/repo/target/debug/deps/libjmst_store-756b3730da35c987.rmeta: crates/store/src/lib.rs crates/store/src/csv.rs crates/store/src/disk.rs crates/store/src/event.rs crates/store/src/query.rs crates/store/src/stats.rs crates/store/src/table.rs crates/store/src/trace.rs
+
+crates/store/src/lib.rs:
+crates/store/src/csv.rs:
+crates/store/src/disk.rs:
+crates/store/src/event.rs:
+crates/store/src/query.rs:
+crates/store/src/stats.rs:
+crates/store/src/table.rs:
+crates/store/src/trace.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/jmst_store-f12b3da9e8a9e26b.d: crates/store/src/lib.rs crates/store/src/csv.rs crates/store/src/disk.rs crates/store/src/event.rs crates/store/src/query.rs crates/store/src/stats.rs crates/store/src/table.rs crates/store/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjmst_store-f12b3da9e8a9e26b.rmeta: crates/store/src/lib.rs crates/store/src/csv.rs crates/store/src/disk.rs crates/store/src/event.rs crates/store/src/query.rs crates/store/src/stats.rs crates/store/src/table.rs crates/store/src/trace.rs Cargo.toml
+
+crates/store/src/lib.rs:
+crates/store/src/csv.rs:
+crates/store/src/disk.rs:
+crates/store/src/event.rs:
+crates/store/src/query.rs:
+crates/store/src/stats.rs:
+crates/store/src/table.rs:
+crates/store/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/messaging_modes-29c0e9de6f857c4f.d: tests/messaging_modes.rs
+
+/root/repo/target/debug/deps/messaging_modes-29c0e9de6f857c4f: tests/messaging_modes.rs
+
+tests/messaging_modes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/messaging_modes-52227d4c88815bfa.d: tests/messaging_modes.rs
+
+/root/repo/target/debug/deps/messaging_modes-52227d4c88815bfa: tests/messaging_modes.rs
+
+tests/messaging_modes.rs:

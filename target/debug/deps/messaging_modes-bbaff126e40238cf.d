@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/messaging_modes-bbaff126e40238cf.d: tests/messaging_modes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmessaging_modes-bbaff126e40238cf.rmeta: tests/messaging_modes.rs Cargo.toml
+
+tests/messaging_modes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

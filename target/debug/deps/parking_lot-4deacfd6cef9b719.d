@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-4deacfd6cef9b719.d: shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-4deacfd6cef9b719.rlib: shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-4deacfd6cef9b719.rmeta: shims/parking_lot/src/lib.rs
+
+shims/parking_lot/src/lib.rs:

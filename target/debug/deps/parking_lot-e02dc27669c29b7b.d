@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-e02dc27669c29b7b.d: shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/parking_lot-e02dc27669c29b7b: shims/parking_lot/src/lib.rs
+
+shims/parking_lot/src/lib.rs:

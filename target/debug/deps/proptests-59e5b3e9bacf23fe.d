@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-59e5b3e9bacf23fe.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-59e5b3e9bacf23fe: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

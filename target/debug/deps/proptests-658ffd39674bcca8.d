@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-658ffd39674bcca8.d: crates/sim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-658ffd39674bcca8: crates/sim/tests/proptests.rs
+
+crates/sim/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-6a38039f4ce4bbea.d: crates/api/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-6a38039f4ce4bbea: crates/api/tests/proptests.rs
+
+crates/api/tests/proptests.rs:

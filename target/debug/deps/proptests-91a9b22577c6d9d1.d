@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-91a9b22577c6d9d1.d: crates/api/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-91a9b22577c6d9d1: crates/api/tests/proptests.rs
+
+crates/api/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-9c88181f068a711d.d: crates/broker/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-9c88181f068a711d.rmeta: crates/broker/tests/proptests.rs Cargo.toml
+
+crates/broker/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

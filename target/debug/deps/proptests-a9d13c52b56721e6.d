@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-a9d13c52b56721e6.d: crates/sim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-a9d13c52b56721e6: crates/sim/tests/proptests.rs
+
+crates/sim/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-b47b19c54b1a57fd.d: crates/broker/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-b47b19c54b1a57fd: crates/broker/tests/proptests.rs
+
+crates/broker/tests/proptests.rs:

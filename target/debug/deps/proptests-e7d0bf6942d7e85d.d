@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-e7d0bf6942d7e85d.d: crates/broker/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-e7d0bf6942d7e85d: crates/broker/tests/proptests.rs
+
+crates/broker/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-ed118a566dba4db9.d: crates/api/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-ed118a566dba4db9.rmeta: crates/api/tests/proptests.rs Cargo.toml
+
+crates/api/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

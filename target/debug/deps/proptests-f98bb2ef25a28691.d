@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-f98bb2ef25a28691.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-f98bb2ef25a28691: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

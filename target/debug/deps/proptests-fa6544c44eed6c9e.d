@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-fa6544c44eed6c9e.d: crates/store/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-fa6544c44eed6c9e: crates/store/tests/proptests.rs
+
+crates/store/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-fc39491109abf529.d: crates/store/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-fc39491109abf529: crates/store/tests/proptests.rs
+
+crates/store/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scenario_config-0df4c49c3e09d9fb.d: tests/scenario_config.rs
+
+/root/repo/target/debug/deps/scenario_config-0df4c49c3e09d9fb: tests/scenario_config.rs
+
+tests/scenario_config.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scenario_config-44f99abbcc8344af.d: tests/scenario_config.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscenario_config-44f99abbcc8344af.rmeta: tests/scenario_config.rs Cargo.toml
+
+tests/scenario_config.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scenario_config-a168538a06f32c6e.d: tests/scenario_config.rs
+
+/root/repo/target/debug/deps/scenario_config-a168538a06f32c6e: tests/scenario_config.rs
+
+tests/scenario_config.rs:

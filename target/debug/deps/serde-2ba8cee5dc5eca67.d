@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-2ba8cee5dc5eca67.d: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-2ba8cee5dc5eca67: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-55fbe26553c74f1a.d: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-55fbe26553c74f1a.rlib: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-55fbe26553c74f1a.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

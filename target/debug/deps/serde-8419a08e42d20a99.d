@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde-8419a08e42d20a99.d: shims/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde-8419a08e42d20a99.rmeta: shims/serde/src/lib.rs Cargo.toml
+
+shims/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-b874156b8a66f895.d: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-b874156b8a66f895: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

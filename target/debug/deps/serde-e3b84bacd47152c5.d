@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-e3b84bacd47152c5.d: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-e3b84bacd47152c5.rlib: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-e3b84bacd47152c5.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-98fd85b9c7298a52.d: shims/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-98fd85b9c7298a52.so: shims/serde_derive/src/lib.rs
+
+shims/serde_derive/src/lib.rs:

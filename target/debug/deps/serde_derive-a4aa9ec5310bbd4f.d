@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-a4aa9ec5310bbd4f.d: shims/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/serde_derive-a4aa9ec5310bbd4f: shims/serde_derive/src/lib.rs
+
+shims/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-e89d45719ce79637.d: shims/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-e89d45719ce79637.so: shims/serde_derive/src/lib.rs
+
+shims/serde_derive/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-0c59799b64522a65.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-0c59799b64522a65.rlib: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-0c59799b64522a65.rmeta: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-713bf3c147f72478.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-713bf3c147f72478: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

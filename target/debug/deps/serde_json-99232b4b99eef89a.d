@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-99232b4b99eef89a.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-99232b4b99eef89a: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

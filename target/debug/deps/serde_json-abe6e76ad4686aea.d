@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-abe6e76ad4686aea.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-abe6e76ad4686aea.rlib: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-abe6e76ad4686aea.rmeta: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/store_ablation-ab0a135df1626a99.d: crates/bench/benches/store_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstore_ablation-ab0a135df1626a99.rmeta: crates/bench/benches/store_ablation.rs Cargo.toml
+
+crates/bench/benches/store_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/store_ablation-f6a0b94ea52caf7b.d: crates/bench/benches/store_ablation.rs
+
+/root/repo/target/debug/deps/store_ablation-f6a0b94ea52caf7b: crates/bench/benches/store_ablation.rs
+
+crates/bench/benches/store_ablation.rs:

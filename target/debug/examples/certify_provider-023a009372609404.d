@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/certify_provider-023a009372609404.d: examples/certify_provider.rs
+
+/root/repo/target/debug/examples/certify_provider-023a009372609404: examples/certify_provider.rs
+
+examples/certify_provider.rs:

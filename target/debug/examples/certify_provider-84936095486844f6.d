@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/certify_provider-84936095486844f6.d: examples/certify_provider.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcertify_provider-84936095486844f6.rmeta: examples/certify_provider.rs Cargo.toml
+
+examples/certify_provider.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/certify_provider-b46ef05750366a7c.d: examples/certify_provider.rs
+
+/root/repo/target/debug/examples/certify_provider-b46ef05750366a7c: examples/certify_provider.rs
+
+examples/certify_provider.rs:

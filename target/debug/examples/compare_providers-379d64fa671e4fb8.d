@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compare_providers-379d64fa671e4fb8.d: examples/compare_providers.rs
+
+/root/repo/target/debug/examples/compare_providers-379d64fa671e4fb8: examples/compare_providers.rs
+
+examples/compare_providers.rs:

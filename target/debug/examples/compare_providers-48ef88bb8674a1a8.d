@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compare_providers-48ef88bb8674a1a8.d: examples/compare_providers.rs
+
+/root/repo/target/debug/examples/compare_providers-48ef88bb8674a1a8: examples/compare_providers.rs
+
+examples/compare_providers.rs:

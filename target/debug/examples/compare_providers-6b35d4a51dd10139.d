@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/compare_providers-6b35d4a51dd10139.d: examples/compare_providers.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcompare_providers-6b35d4a51dd10139.rmeta: examples/compare_providers.rs Cargo.toml
+
+examples/compare_providers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-6d84ee8405266f99.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-6d84ee8405266f99: examples/quickstart.rs
+
+examples/quickstart.rs:

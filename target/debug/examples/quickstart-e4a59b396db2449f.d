@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e4a59b396db2449f.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e4a59b396db2449f: examples/quickstart.rs
+
+examples/quickstart.rs:

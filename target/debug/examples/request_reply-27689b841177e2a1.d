@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/request_reply-27689b841177e2a1.d: examples/request_reply.rs
+
+/root/repo/target/debug/examples/request_reply-27689b841177e2a1: examples/request_reply.rs
+
+examples/request_reply.rs:

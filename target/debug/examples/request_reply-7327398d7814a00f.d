@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/request_reply-7327398d7814a00f.d: examples/request_reply.rs Cargo.toml
+
+/root/repo/target/debug/examples/librequest_reply-7327398d7814a00f.rmeta: examples/request_reply.rs Cargo.toml
+
+examples/request_reply.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

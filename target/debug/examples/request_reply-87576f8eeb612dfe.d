@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/request_reply-87576f8eeb612dfe.d: examples/request_reply.rs
+
+/root/repo/target/debug/examples/request_reply-87576f8eeb612dfe: examples/request_reply.rs
+
+examples/request_reply.rs:

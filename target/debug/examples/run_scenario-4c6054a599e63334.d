@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/run_scenario-4c6054a599e63334.d: examples/run_scenario.rs Cargo.toml
+
+/root/repo/target/debug/examples/librun_scenario-4c6054a599e63334.rmeta: examples/run_scenario.rs Cargo.toml
+
+examples/run_scenario.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/run_scenario-9d6b5599eaf1e39a.d: examples/run_scenario.rs
+
+/root/repo/target/debug/examples/run_scenario-9d6b5599eaf1e39a: examples/run_scenario.rs
+
+examples/run_scenario.rs:

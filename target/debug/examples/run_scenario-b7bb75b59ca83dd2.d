@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/run_scenario-b7bb75b59ca83dd2.d: examples/run_scenario.rs
+
+/root/repo/target/debug/examples/run_scenario-b7bb75b59ca83dd2: examples/run_scenario.rs
+
+examples/run_scenario.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/throughput_curve-5790ba0572036312.d: examples/throughput_curve.rs
+
+/root/repo/target/debug/examples/throughput_curve-5790ba0572036312: examples/throughput_curve.rs
+
+examples/throughput_curve.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/throughput_curve-7d8b1d21fa686b09.d: examples/throughput_curve.rs
+
+/root/repo/target/debug/examples/throughput_curve-7d8b1d21fa686b09: examples/throughput_curve.rs
+
+examples/throughput_curve.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/throughput_curve-db02933fee715fce.d: examples/throughput_curve.rs Cargo.toml
+
+/root/repo/target/debug/examples/libthroughput_curve-db02933fee715fce.rmeta: examples/throughput_curve.rs Cargo.toml
+
+examples/throughput_curve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

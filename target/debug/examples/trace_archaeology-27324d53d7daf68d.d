@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_archaeology-27324d53d7daf68d.d: examples/trace_archaeology.rs
+
+/root/repo/target/debug/examples/trace_archaeology-27324d53d7daf68d: examples/trace_archaeology.rs
+
+examples/trace_archaeology.rs:

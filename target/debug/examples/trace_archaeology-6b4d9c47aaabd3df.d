@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/trace_archaeology-6b4d9c47aaabd3df.d: examples/trace_archaeology.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrace_archaeology-6b4d9c47aaabd3df.rmeta: examples/trace_archaeology.rs Cargo.toml
+
+examples/trace_archaeology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

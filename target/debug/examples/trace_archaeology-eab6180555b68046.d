@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_archaeology-eab6180555b68046.d: examples/trace_archaeology.rs
+
+/root/repo/target/debug/examples/trace_archaeology-eab6180555b68046: examples/trace_archaeology.rs
+
+examples/trace_archaeology.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fanout_micro-69e90946646ae2f2.d: crates/bench/benches/fanout_micro.rs
+
+/root/repo/target/release/deps/fanout_micro-69e90946646ae2f2: crates/bench/benches/fanout_micro.rs
+
+crates/bench/benches/fanout_micro.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/jmst-63e58aefb893e314.d: src/lib.rs
+
+/root/repo/target/release/deps/libjmst-63e58aefb893e314.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libjmst-63e58aefb893e314.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/release/deps/jmst_api-d1a31448349dbcb7.d: crates/api/src/lib.rs crates/api/src/body.rs crates/api/src/destination.rs crates/api/src/error.rs crates/api/src/id.rs crates/api/src/message.rs crates/api/src/modes.rs crates/api/src/properties.rs crates/api/src/provider.rs crates/api/src/selector/mod.rs crates/api/src/selector/ast.rs crates/api/src/selector/eval.rs crates/api/src/selector/parser.rs crates/api/src/selector/token.rs crates/api/src/time.rs crates/api/src/value.rs
+
+/root/repo/target/release/deps/libjmst_api-d1a31448349dbcb7.rlib: crates/api/src/lib.rs crates/api/src/body.rs crates/api/src/destination.rs crates/api/src/error.rs crates/api/src/id.rs crates/api/src/message.rs crates/api/src/modes.rs crates/api/src/properties.rs crates/api/src/provider.rs crates/api/src/selector/mod.rs crates/api/src/selector/ast.rs crates/api/src/selector/eval.rs crates/api/src/selector/parser.rs crates/api/src/selector/token.rs crates/api/src/time.rs crates/api/src/value.rs
+
+/root/repo/target/release/deps/libjmst_api-d1a31448349dbcb7.rmeta: crates/api/src/lib.rs crates/api/src/body.rs crates/api/src/destination.rs crates/api/src/error.rs crates/api/src/id.rs crates/api/src/message.rs crates/api/src/modes.rs crates/api/src/properties.rs crates/api/src/provider.rs crates/api/src/selector/mod.rs crates/api/src/selector/ast.rs crates/api/src/selector/eval.rs crates/api/src/selector/parser.rs crates/api/src/selector/token.rs crates/api/src/time.rs crates/api/src/value.rs
+
+crates/api/src/lib.rs:
+crates/api/src/body.rs:
+crates/api/src/destination.rs:
+crates/api/src/error.rs:
+crates/api/src/id.rs:
+crates/api/src/message.rs:
+crates/api/src/modes.rs:
+crates/api/src/properties.rs:
+crates/api/src/provider.rs:
+crates/api/src/selector/mod.rs:
+crates/api/src/selector/ast.rs:
+crates/api/src/selector/eval.rs:
+crates/api/src/selector/parser.rs:
+crates/api/src/selector/token.rs:
+crates/api/src/time.rs:
+crates/api/src/value.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/jmst_bench-c0b5f52f0a4aff5f.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libjmst_bench-c0b5f52f0a4aff5f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libjmst_bench-c0b5f52f0a4aff5f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

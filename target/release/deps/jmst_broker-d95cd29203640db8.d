@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/jmst_broker-d95cd29203640db8.d: crates/broker/src/lib.rs crates/broker/src/config.rs crates/broker/src/connection.rs crates/broker/src/core.rs crates/broker/src/endpoint.rs crates/broker/src/faults.rs crates/broker/src/provider.rs crates/broker/src/session.rs
+
+/root/repo/target/release/deps/libjmst_broker-d95cd29203640db8.rlib: crates/broker/src/lib.rs crates/broker/src/config.rs crates/broker/src/connection.rs crates/broker/src/core.rs crates/broker/src/endpoint.rs crates/broker/src/faults.rs crates/broker/src/provider.rs crates/broker/src/session.rs
+
+/root/repo/target/release/deps/libjmst_broker-d95cd29203640db8.rmeta: crates/broker/src/lib.rs crates/broker/src/config.rs crates/broker/src/connection.rs crates/broker/src/core.rs crates/broker/src/endpoint.rs crates/broker/src/faults.rs crates/broker/src/provider.rs crates/broker/src/session.rs
+
+crates/broker/src/lib.rs:
+crates/broker/src/config.rs:
+crates/broker/src/connection.rs:
+crates/broker/src/core.rs:
+crates/broker/src/endpoint.rs:
+crates/broker/src/faults.rs:
+crates/broker/src/provider.rs:
+crates/broker/src/session.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/jmst_core-c927bb51d918ea91.d: crates/core/src/lib.rs crates/core/src/analyzer.rs crates/core/src/config.rs crates/core/src/defs.rs crates/core/src/perf.rs crates/core/src/properties/mod.rs crates/core/src/properties/duplicates.rs crates/core/src/properties/expiry.rs crates/core/src/properties/integrity.rs crates/core/src/properties/ordering.rs crates/core/src/properties/priority.rs crates/core/src/properties/required.rs crates/core/src/report.rs crates/core/src/violation.rs
+
+/root/repo/target/release/deps/libjmst_core-c927bb51d918ea91.rlib: crates/core/src/lib.rs crates/core/src/analyzer.rs crates/core/src/config.rs crates/core/src/defs.rs crates/core/src/perf.rs crates/core/src/properties/mod.rs crates/core/src/properties/duplicates.rs crates/core/src/properties/expiry.rs crates/core/src/properties/integrity.rs crates/core/src/properties/ordering.rs crates/core/src/properties/priority.rs crates/core/src/properties/required.rs crates/core/src/report.rs crates/core/src/violation.rs
+
+/root/repo/target/release/deps/libjmst_core-c927bb51d918ea91.rmeta: crates/core/src/lib.rs crates/core/src/analyzer.rs crates/core/src/config.rs crates/core/src/defs.rs crates/core/src/perf.rs crates/core/src/properties/mod.rs crates/core/src/properties/duplicates.rs crates/core/src/properties/expiry.rs crates/core/src/properties/integrity.rs crates/core/src/properties/ordering.rs crates/core/src/properties/priority.rs crates/core/src/properties/required.rs crates/core/src/report.rs crates/core/src/violation.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analyzer.rs:
+crates/core/src/config.rs:
+crates/core/src/defs.rs:
+crates/core/src/perf.rs:
+crates/core/src/properties/mod.rs:
+crates/core/src/properties/duplicates.rs:
+crates/core/src/properties/expiry.rs:
+crates/core/src/properties/integrity.rs:
+crates/core/src/properties/ordering.rs:
+crates/core/src/properties/priority.rs:
+crates/core/src/properties/required.rs:
+crates/core/src/report.rs:
+crates/core/src/violation.rs:

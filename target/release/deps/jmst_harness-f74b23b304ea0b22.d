@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/jmst_harness-f74b23b304ea0b22.d: crates/harness/src/lib.rs crates/harness/src/config_text.rs crates/harness/src/drivers.rs crates/harness/src/error.rs crates/harness/src/prince.rs crates/harness/src/runner.rs crates/harness/src/simrun.rs crates/harness/src/spec.rs
+
+/root/repo/target/release/deps/libjmst_harness-f74b23b304ea0b22.rlib: crates/harness/src/lib.rs crates/harness/src/config_text.rs crates/harness/src/drivers.rs crates/harness/src/error.rs crates/harness/src/prince.rs crates/harness/src/runner.rs crates/harness/src/simrun.rs crates/harness/src/spec.rs
+
+/root/repo/target/release/deps/libjmst_harness-f74b23b304ea0b22.rmeta: crates/harness/src/lib.rs crates/harness/src/config_text.rs crates/harness/src/drivers.rs crates/harness/src/error.rs crates/harness/src/prince.rs crates/harness/src/runner.rs crates/harness/src/simrun.rs crates/harness/src/spec.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/config_text.rs:
+crates/harness/src/drivers.rs:
+crates/harness/src/error.rs:
+crates/harness/src/prince.rs:
+crates/harness/src/runner.rs:
+crates/harness/src/simrun.rs:
+crates/harness/src/spec.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/jmst_sim-262a5cd20da64c98.d: crates/sim/src/lib.rs crates/sim/src/arrival.rs crates/sim/src/clock.rs crates/sim/src/dist.rs crates/sim/src/engine.rs crates/sim/src/pubsub.rs crates/sim/src/service.rs
+
+/root/repo/target/release/deps/libjmst_sim-262a5cd20da64c98.rlib: crates/sim/src/lib.rs crates/sim/src/arrival.rs crates/sim/src/clock.rs crates/sim/src/dist.rs crates/sim/src/engine.rs crates/sim/src/pubsub.rs crates/sim/src/service.rs
+
+/root/repo/target/release/deps/libjmst_sim-262a5cd20da64c98.rmeta: crates/sim/src/lib.rs crates/sim/src/arrival.rs crates/sim/src/clock.rs crates/sim/src/dist.rs crates/sim/src/engine.rs crates/sim/src/pubsub.rs crates/sim/src/service.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/arrival.rs:
+crates/sim/src/clock.rs:
+crates/sim/src/dist.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/pubsub.rs:
+crates/sim/src/service.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/jmst_store-70290454173954ec.d: crates/store/src/lib.rs crates/store/src/csv.rs crates/store/src/disk.rs crates/store/src/event.rs crates/store/src/query.rs crates/store/src/stats.rs crates/store/src/table.rs crates/store/src/trace.rs
+
+/root/repo/target/release/deps/libjmst_store-70290454173954ec.rlib: crates/store/src/lib.rs crates/store/src/csv.rs crates/store/src/disk.rs crates/store/src/event.rs crates/store/src/query.rs crates/store/src/stats.rs crates/store/src/table.rs crates/store/src/trace.rs
+
+/root/repo/target/release/deps/libjmst_store-70290454173954ec.rmeta: crates/store/src/lib.rs crates/store/src/csv.rs crates/store/src/disk.rs crates/store/src/event.rs crates/store/src/query.rs crates/store/src/stats.rs crates/store/src/table.rs crates/store/src/trace.rs
+
+crates/store/src/lib.rs:
+crates/store/src/csv.rs:
+crates/store/src/disk.rs:
+crates/store/src/event.rs:
+crates/store/src/query.rs:
+crates/store/src/stats.rs:
+crates/store/src/table.rs:
+crates/store/src/trace.rs:

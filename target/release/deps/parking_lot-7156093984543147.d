@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-7156093984543147.d: shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-7156093984543147.rlib: shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-7156093984543147.rmeta: shims/parking_lot/src/lib.rs
+
+shims/parking_lot/src/lib.rs:

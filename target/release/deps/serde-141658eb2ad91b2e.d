@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-141658eb2ad91b2e.d: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-141658eb2ad91b2e.rlib: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-141658eb2ad91b2e.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

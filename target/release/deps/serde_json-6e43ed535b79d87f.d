@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-6e43ed535b79d87f.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-6e43ed535b79d87f.rlib: shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-6e43ed535b79d87f.rmeta: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/certify_provider-ba0a8b0e80df759d.d: examples/certify_provider.rs
+
+/root/repo/target/release/examples/certify_provider-ba0a8b0e80df759d: examples/certify_provider.rs
+
+examples/certify_provider.rs:

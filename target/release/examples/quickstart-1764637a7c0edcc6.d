@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-1764637a7c0edcc6.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-1764637a7c0edcc6: examples/quickstart.rs
+
+examples/quickstart.rs:

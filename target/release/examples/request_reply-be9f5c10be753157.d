@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/request_reply-be9f5c10be753157.d: examples/request_reply.rs
+
+/root/repo/target/release/examples/request_reply-be9f5c10be753157: examples/request_reply.rs
+
+examples/request_reply.rs:

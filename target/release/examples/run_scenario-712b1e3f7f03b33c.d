@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/run_scenario-712b1e3f7f03b33c.d: examples/run_scenario.rs
+
+/root/repo/target/release/examples/run_scenario-712b1e3f7f03b33c: examples/run_scenario.rs
+
+examples/run_scenario.rs:

@@ -113,7 +113,15 @@ fn durable_subscription_survives_crash() {
             down_for: Duration::from_millis(80),
         });
     let report = run_crash_test(BrokerConfig::correct(), &spec);
-    assert_eq!(report.count_of(PropertyKind::DeliveryIntegrity), 0, "{report}");
-    assert_eq!(report.count_of(PropertyKind::DuplicateDelivery), 0, "{report}");
+    assert_eq!(
+        report.count_of(PropertyKind::DeliveryIntegrity),
+        0,
+        "{report}"
+    );
+    assert_eq!(
+        report.count_of(PropertyKind::DuplicateDelivery),
+        0,
+        "{report}"
+    );
     assert!(report.receives > 0);
 }

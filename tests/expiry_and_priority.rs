@@ -42,16 +42,17 @@ fn correct_broker_expires_short_ttl_and_delivers_forever_ttl() {
         &expiry_spec("expiry-correct"),
         AnalysisConfig::all_checks(),
     );
-    assert_eq!(report.count_of(PropertyKind::ExpiredMessages), 0, "{report}");
+    assert_eq!(
+        report.count_of(PropertyKind::ExpiredMessages),
+        0,
+        "{report}"
+    );
     assert_eq!(report.expiry.len(), 1);
     let breakdown = &report.expiry[0];
     assert!(breakdown.expected_expired > 20, "{breakdown:?}");
     assert!(breakdown.expected_live > 20, "{breakdown:?}");
     assert_eq!(breakdown.expired_delivered, 0, "{breakdown:?}");
-    assert!(
-        breakdown.live_delivered_percent() >= 95.0,
-        "{breakdown:?}"
-    );
+    assert!(breakdown.live_delivered_percent() >= 95.0, "{breakdown:?}");
 }
 
 #[test]
@@ -79,8 +80,7 @@ fn all_three_expectation_models_agree_on_the_paper_configuration() {
     // With TTL ∈ {1 ms, 0} and a 10 ms floor on delay, the simple,
     // histogram and normal models classify identically (the paper argues
     // the simple model suffices for this configuration).
-    let broker_config =
-        BrokerConfig::correct().with_delivery_delay(Duration::from_millis(10));
+    let broker_config = BrokerConfig::correct().with_delivery_delay(Duration::from_millis(10));
     for model in [
         ExpiryModel::SimpleMean,
         ExpiryModel::Histogram,
@@ -114,8 +114,7 @@ fn priority_spec(name: &str) -> TestSpec {
     // offered against ~500 msg/s consumed forms the backlog that makes
     // priority scheduling observable.
     node = node.consumer(
-        ConsumerSpec::auto(Destination::queue("q"))
-            .with_think_time(Duration::from_millis(2)),
+        ConsumerSpec::auto(Destination::queue("q")).with_think_time(Duration::from_millis(2)),
     );
     TestSpec::new(name)
         .with_periods(
@@ -160,7 +159,11 @@ fn priority_ignoring_broker_shows_no_priority_benefit() {
     );
     // Use the per-priority mean-delay table on the trace level.
     assert_eq!(fifo.count_of(PropertyKind::DeliveryIntegrity), 0);
-    assert_eq!(correct.count_of(PropertyKind::MessagePriority), 0, "{correct}");
+    assert_eq!(
+        correct.count_of(PropertyKind::MessagePriority),
+        0,
+        "{correct}"
+    );
     // Both runs must deliver everything.
     assert_eq!(fifo.sends, fifo.receives);
 }

@@ -40,11 +40,13 @@ fn correct_broker_passes_everything() {
 
 #[test]
 fn dropping_broker_violates_required_messages_only() {
-    let config =
-        BrokerConfig::correct().with_faults(FaultSpec::none().dropping(0.25).seeded(11));
+    let config = BrokerConfig::correct().with_faults(FaultSpec::none().dropping(0.25).seeded(11));
     let report = run_against(config, &queue_spec("dropper"));
     assert!(!report.passed());
-    assert!(report.count_of(PropertyKind::RequiredMessages) > 0, "{report}");
+    assert!(
+        report.count_of(PropertyKind::RequiredMessages) > 0,
+        "{report}"
+    );
     assert_eq!(report.count_of(PropertyKind::DeliveryIntegrity), 0);
     assert_eq!(report.count_of(PropertyKind::MessageOrdering), 0);
     assert_eq!(report.count_of(PropertyKind::DuplicateDelivery), 0);
@@ -56,7 +58,10 @@ fn duplicating_broker_violates_duplicate_check_only() {
         BrokerConfig::correct().with_faults(FaultSpec::none().duplicating(0.25).seeded(12));
     let report = run_against(config, &queue_spec("duplicator"));
     assert!(!report.passed());
-    assert!(report.count_of(PropertyKind::DuplicateDelivery) > 0, "{report}");
+    assert!(
+        report.count_of(PropertyKind::DuplicateDelivery) > 0,
+        "{report}"
+    );
     assert_eq!(report.count_of(PropertyKind::RequiredMessages), 0);
     assert_eq!(report.count_of(PropertyKind::DeliveryIntegrity), 0);
 }
@@ -70,19 +75,28 @@ fn reordering_broker_violates_ordering_only() {
     );
     let report = run_against(config, &queue_spec("reorderer"));
     assert!(!report.passed());
-    assert!(report.count_of(PropertyKind::MessageOrdering) > 0, "{report}");
-    assert_eq!(report.count_of(PropertyKind::RequiredMessages), 0, "{report}");
+    assert!(
+        report.count_of(PropertyKind::MessageOrdering) > 0,
+        "{report}"
+    );
+    assert_eq!(
+        report.count_of(PropertyKind::RequiredMessages),
+        0,
+        "{report}"
+    );
     assert_eq!(report.count_of(PropertyKind::DeliveryIntegrity), 0);
     assert_eq!(report.count_of(PropertyKind::DuplicateDelivery), 0);
 }
 
 #[test]
 fn forging_broker_violates_delivery_integrity_only() {
-    let config =
-        BrokerConfig::correct().with_faults(FaultSpec::none().forging(0.15).seeded(14));
+    let config = BrokerConfig::correct().with_faults(FaultSpec::none().forging(0.15).seeded(14));
     let report = run_against(config, &queue_spec("forger"));
     assert!(!report.passed());
-    assert!(report.count_of(PropertyKind::DeliveryIntegrity) > 0, "{report}");
+    assert!(
+        report.count_of(PropertyKind::DeliveryIntegrity) > 0,
+        "{report}"
+    );
     assert_eq!(report.count_of(PropertyKind::RequiredMessages), 0);
     assert_eq!(report.count_of(PropertyKind::MessageOrdering), 0);
     assert_eq!(report.count_of(PropertyKind::DuplicateDelivery), 0);
@@ -98,10 +112,12 @@ fn campaign_over_all_faulty_providers_summarises_correctly() {
         Option<Arc<dyn BrokerAdmin>>,
     ) {
         let config = match spec.name.as_str() {
-            "provider-dropper" => BrokerConfig::correct()
-                .with_faults(FaultSpec::none().dropping(0.3).seeded(21)),
-            "provider-forger" => BrokerConfig::correct()
-                .with_faults(FaultSpec::none().forging(0.2).seeded(22)),
+            "provider-dropper" => {
+                BrokerConfig::correct().with_faults(FaultSpec::none().dropping(0.3).seeded(21))
+            }
+            "provider-forger" => {
+                BrokerConfig::correct().with_faults(FaultSpec::none().forging(0.2).seeded(22))
+            }
             _ => BrokerConfig::correct(),
         };
         (Arc::new(ReferenceBroker::with_config(config)), None)

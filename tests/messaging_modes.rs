@@ -28,12 +28,9 @@ fn base(name: &str) -> TestSpec {
 fn transacted_producers_and_consumers_pass() {
     let spec = base("transacted").node(
         NodeSpec::new("n0")
-            .producer(
-                ProducerSpec::steady(Destination::queue("q"), 300.0, 64).transacted(5),
-            )
+            .producer(ProducerSpec::steady(Destination::queue("q"), 300.0, 64).transacted(5))
             .consumer(
-                ConsumerSpec::auto(Destination::queue("q"))
-                    .with_mode(SessionMode::Transacted, 4),
+                ConsumerSpec::auto(Destination::queue("q")).with_mode(SessionMode::Transacted, 4),
             ),
     );
     let report = run_clean(&spec);
@@ -98,21 +95,27 @@ fn durable_subscriber_with_reconnect_cycles_misses_nothing() {
         .node(
             NodeSpec::new("n0")
                 .producer(ProducerSpec::steady(topic.clone(), 200.0, 64))
-                .consumer(
-                    ConsumerSpec::auto(topic)
-                        .durable("audit")
-                        .with_reconnect(ReconnectSpec {
-                            after_messages: 25,
-                            pause: Duration::from_millis(40),
-                            max_cycles: 3,
-                        }),
-                ),
+                .consumer(ConsumerSpec::auto(topic).durable("audit").with_reconnect(
+                    ReconnectSpec {
+                        after_messages: 25,
+                        pause: Duration::from_millis(40),
+                        max_cycles: 3,
+                    },
+                )),
         );
     let report = run_clean(&spec);
     // Messages published while the durable subscriber was away must be
     // retained and delivered after it resumes: no P2 violations.
-    assert_eq!(report.count_of(PropertyKind::RequiredMessages), 0, "{report}");
-    assert_eq!(report.count_of(PropertyKind::DuplicateDelivery), 0, "{report}");
+    assert_eq!(
+        report.count_of(PropertyKind::RequiredMessages),
+        0,
+        "{report}"
+    );
+    assert_eq!(
+        report.count_of(PropertyKind::DuplicateDelivery),
+        0,
+        "{report}"
+    );
     assert!(report.passed(), "{report}");
     assert_eq!(report.sends, report.receives, "{report}");
 }
@@ -184,9 +187,8 @@ fn burst_and_poisson_workloads_pass() {
 fn every_body_kind_round_trips() {
     let mut node = NodeSpec::new("n0");
     for kind in BodyKind::ALL {
-        node = node.producer(
-            ProducerSpec::steady(Destination::queue("q"), 60.0, 256).with_body(kind),
-        );
+        node =
+            node.producer(ProducerSpec::steady(Destination::queue("q"), 60.0, 256).with_body(kind));
     }
     node = node.consumer(ConsumerSpec::auto(Destination::queue("q")));
     let report = run_clean(&base("bodies").node(node));
@@ -200,10 +202,11 @@ fn skewed_node_clocks_yield_negative_delays_but_no_violations() {
     // can come out negative (paper footnote 6), which the performance
     // analysis must report rather than crash on.
     let spec = base("skew")
-        .node(
-            NodeSpec::new("producers")
-                .producer(ProducerSpec::steady(Destination::queue("q"), 200.0, 64)),
-        )
+        .node(NodeSpec::new("producers").producer(ProducerSpec::steady(
+            Destination::queue("q"),
+            200.0,
+            64,
+        )))
         .node(
             NodeSpec::new("consumers")
                 .with_clock_skew(-5_000_000)
@@ -268,15 +271,14 @@ fn shared_connection_rejects_crash_plans_and_reconnect() {
         });
     assert!(crash_spec.validate().unwrap_err().contains("crash plans"));
 
-    let reconnect_spec = base("bad-reconnect").node(
-        NodeSpec::new("n0")
-            .sharing_connection()
-            .consumer(ConsumerSpec::auto(queue).with_reconnect(ReconnectSpec {
+    let reconnect_spec =
+        base("bad-reconnect").node(NodeSpec::new("n0").sharing_connection().consumer(
+            ConsumerSpec::auto(queue).with_reconnect(ReconnectSpec {
                 after_messages: 5,
                 pause: Duration::from_millis(10),
                 max_cycles: 1,
-            })),
-    );
+            }),
+        ));
     assert!(reconnect_spec
         .validate()
         .unwrap_err()
