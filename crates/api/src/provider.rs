@@ -228,6 +228,22 @@ pub trait Producer: Send {
     /// or [`Error::ProviderFailure`] if the provider failed.
     fn send(&mut self, draft: MessageDraft) -> Result<Message, Error>;
 
+    /// Sends a batch of messages, returning the stamped messages in order.
+    ///
+    /// The default implementation just calls [`Producer::send`] per draft;
+    /// providers may override it to amortise per-send costs (lock
+    /// acquisition, wakeup signalling) across the batch. The observable
+    /// semantics must be identical to sending the drafts one by one: on the
+    /// first failure the error is returned and the remaining drafts are not
+    /// sent, though earlier drafts may already have been.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Producer::send`].
+    fn send_batch(&mut self, drafts: Vec<MessageDraft>) -> Result<Vec<Message>, Error> {
+        drafts.into_iter().map(|draft| self.send(draft)).collect()
+    }
+
     /// Closes the producer. Closing twice is a no-op.
     ///
     /// # Errors

@@ -1,0 +1,109 @@
+//! Shard-scaling micro-benchmark: concurrent publishers on disjoint
+//! queues, with the broker core at 1 shard (every publish contends on
+//! the same lock domain) versus 8 shards (destinations hash to
+//! independent domains, so publishers never contend).
+//!
+//! Two publish shapes are measured: one message per `send` call, and
+//! 16-draft `send_batch` calls that amortise shard lookup and wakeup
+//! signalling. Each iteration gets a fresh broker (setup untimed) and
+//! spawns one thread per queue; thread spawn/join cost is identical
+//! across configurations, so differences isolate the routing path.
+//!
+//! Run with: `cargo bench --bench shard_scaling`
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use jmst_api::prelude::*;
+use jmst_api::provider::{Connection, Producer, Session};
+use jmst_broker::{BrokerConfig, ReferenceBroker};
+use std::thread;
+
+/// Publisher threads, one per queue.
+const THREADS: usize = 4;
+/// Messages each thread publishes per timed iteration.
+const PER_THREAD: u64 = 256;
+/// Drafts per `send_batch` call in the batched shape.
+const SEND_BATCH: u64 = 16;
+
+/// Everything a timed iteration consumes: one connection + session +
+/// producer per queue, each handed to its own thread.
+struct ShardRig {
+    _connections: Vec<Box<dyn Connection>>,
+    _sessions: Vec<Box<dyn Session>>,
+    producers: Vec<Box<dyn Producer>>,
+}
+
+fn rig(shards: usize) -> ShardRig {
+    let broker = ReferenceBroker::with_config(BrokerConfig::correct().with_shards(shards));
+    let mut connections = Vec::with_capacity(THREADS);
+    let mut sessions = Vec::with_capacity(THREADS);
+    let mut producers = Vec::with_capacity(THREADS);
+    for queue in 0..THREADS {
+        let mut connection = broker.create_connection(None).unwrap();
+        connection.start().unwrap();
+        let mut session = connection
+            .create_session(SessionMode::AutoAcknowledge)
+            .unwrap();
+        producers.push(
+            session
+                .create_producer(&Destination::queue(format!("shard-q{queue}")))
+                .unwrap(),
+        );
+        sessions.push(session);
+        connections.push(connection);
+    }
+    ShardRig {
+        _connections: connections,
+        _sessions: sessions,
+        producers,
+    }
+}
+
+fn publish_concurrently(rig: ShardRig, batched: bool) {
+    let ShardRig {
+        _connections,
+        _sessions,
+        producers,
+    } = rig;
+    let handles: Vec<_> = producers
+        .into_iter()
+        .map(|mut producer| {
+            thread::spawn(move || {
+                let draft = MessageDraft::new(Body::synthetic(BodyKind::Bytes, 256, 7));
+                if batched {
+                    for _ in 0..PER_THREAD / SEND_BATCH {
+                        let drafts = (0..SEND_BATCH).map(|_| draft.clone()).collect();
+                        producer.send_batch(drafts).expect("publish batch");
+                    }
+                } else {
+                    for _ in 0..PER_THREAD {
+                        producer.send(draft.clone()).expect("publish");
+                    }
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+}
+
+fn shard_scaling(c: &mut Criterion) {
+    for (shape, batched) in [("publish_single", false), ("publish_batched", true)] {
+        let mut group = c.benchmark_group(format!("shard_scaling/{shape}"));
+        group.sample_size(10);
+        for shards in [1usize, 8] {
+            group.throughput(Throughput::Elements(THREADS as u64 * PER_THREAD));
+            group.bench_function(format!("{shards}_shards"), |b| {
+                b.iter_batched(
+                    || rig(shards),
+                    |rig| publish_concurrently(rig, batched),
+                    BatchSize::LargeInput,
+                );
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, shard_scaling);
+criterion_main!(benches);

@@ -43,6 +43,13 @@ pub struct BrokerConfig {
     pub dups_ok_batch: u32,
     /// Probabilistic fault injection (defaults to no faults).
     pub faults: FaultSpec,
+    /// Number of destination shards the core partitions queues and topics
+    /// across (hash of the destination name). Publishes to destinations
+    /// on different shards never contend on a common lock. `1` reproduces
+    /// the unsharded broker exactly; the default is the machine's
+    /// available parallelism, overridable with the `JMST_TEST_SHARDS`
+    /// environment variable (used by CI to force the multi-shard path).
+    pub shards: usize,
 }
 
 impl BrokerConfig {
@@ -92,6 +99,28 @@ impl BrokerConfig {
         self.faults = faults;
         self
     }
+
+    /// Returns a copy partitioning destinations across `shards` lock
+    /// domains (clamped to at least 1).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+}
+
+/// The default shard count: `JMST_TEST_SHARDS` when set to a positive
+/// integer (the CI matrix uses it to force the multi-shard path through
+/// the whole test suite), otherwise the machine's available parallelism.
+fn default_shards() -> usize {
+    std::env::var("JMST_TEST_SHARDS")
+        .ok()
+        .and_then(|value| value.trim().parse::<usize>().ok())
+        .filter(|&shards| shards >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4)
+        })
 }
 
 impl Default for BrokerConfig {
@@ -105,6 +134,7 @@ impl Default for BrokerConfig {
             persistent_survive_crash: true,
             dups_ok_batch: 16,
             faults: FaultSpec::none(),
+            shards: default_shards(),
         }
     }
 }
@@ -118,6 +148,7 @@ impl fmt::Debug for BrokerConfig {
             .field("enforce_priority", &self.enforce_priority)
             .field("persistent_survive_crash", &self.persistent_survive_crash)
             .field("dups_ok_batch", &self.dups_ok_batch)
+            .field("shards", &self.shards)
             .finish_non_exhaustive()
     }
 }
@@ -134,6 +165,13 @@ mod tests {
         assert!(config.persistent_survive_crash);
         assert_eq!(config.delivery_delay, Duration::ZERO);
         assert_eq!(config.name, "reference");
+        assert!(config.shards >= 1);
+    }
+
+    #[test]
+    fn shard_count_is_clamped_to_at_least_one() {
+        assert_eq!(BrokerConfig::correct().with_shards(0).shards, 1);
+        assert_eq!(BrokerConfig::correct().with_shards(8).shards, 8);
     }
 
     #[test]

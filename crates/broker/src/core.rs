@@ -95,6 +95,66 @@ struct Registry {
     active_clients: HashSet<ClientId>,
 }
 
+/// One shard of the destination space: an independent lock domain owning
+/// the queues and topics whose names hash to it. Publishes to
+/// destinations on different shards share no locks at all — each shard
+/// has its own registry `RwLock`s, and the per-topic membership mutexes,
+/// RCU snapshots and per-end-point wakeup condvars below them are
+/// shard-local by construction.
+#[derive(Debug, Default)]
+struct Shard {
+    /// Queue end-points of this shard; read-mostly, so publishes share a
+    /// read lock.
+    queues: RwLock<HashMap<QueueName, Arc<Endpoint>>>,
+    /// Per-topic RCU subscription state of this shard; read-mostly
+    /// likewise.
+    topics: RwLock<HashMap<TopicName, Arc<TopicState>>>,
+}
+
+/// Iterator over the maximal runs of consecutive same-destination
+/// messages in a batch; each run shares one end-point/snapshot lookup
+/// and one buffer-lock acquisition per end-point.
+struct DestinationRuns<'a> {
+    messages: &'a [Arc<Message>],
+    start: usize,
+}
+
+impl<'a> DestinationRuns<'a> {
+    fn new(messages: &'a [Arc<Message>]) -> Self {
+        Self { messages, start: 0 }
+    }
+}
+
+impl<'a> Iterator for DestinationRuns<'a> {
+    type Item = &'a [Arc<Message>];
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.start >= self.messages.len() {
+            return None;
+        }
+        let start = self.start;
+        let destination = self.messages[start].destination();
+        let mut end = start + 1;
+        while end < self.messages.len() && self.messages[end].destination() == destination {
+            end += 1;
+        }
+        self.start = end;
+        Some(&self.messages[start..end])
+    }
+}
+
+/// FNV-1a over a destination name: a deterministic, platform-independent
+/// shard assignment (so trace re-analysis and differential tests see the
+/// same partition everywhere).
+fn shard_hash(name: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
 /// Broker-wide counters.
 #[derive(Debug, Default)]
 pub struct CoreCounters {
@@ -112,18 +172,21 @@ pub struct CoreCounters {
 
 /// The shared state behind a [`ReferenceBroker`](crate::ReferenceBroker).
 ///
-/// Lock order, outermost first: `registry` → `topics`/`queues` → a
-/// topic's `members` → an end-point's buffer. The publish path takes only
-/// the read side of `queues`/`topics` plus the snapshot pointer, so it
-/// never contends with durable bookkeeping.
+/// Destinations are partitioned across [`Shard`]s by a hash of their
+/// name, so publishes to different destinations never contend. Lock
+/// order, outermost first: `registry` → a shard's `topics`/`queues` → a
+/// topic's `members` → an end-point's buffer (operations never hold two
+/// shards' locks at once). The publish path takes only the read side of
+/// one shard's `queues`/`topics` plus the snapshot pointer, so it never
+/// contends with durable bookkeeping. With `shards == 1` the layout and
+/// behaviour are exactly the pre-sharding broker's — that configuration
+/// is the reference semantics the differential tests compare against.
 #[derive(Debug)]
 pub struct Core {
     config: BrokerConfig,
     ids: IdGenerator,
-    /// Queue end-points; read-mostly, so publishes share a read lock.
-    queues: RwLock<HashMap<QueueName, Arc<Endpoint>>>,
-    /// Per-topic RCU subscription state; read-mostly likewise.
-    topics: RwLock<HashMap<TopicName, Arc<TopicState>>>,
+    /// The destination shards; length fixed at construction.
+    shards: Box<[Shard]>,
     registry: Mutex<Registry>,
     crashed: AtomicBool,
     /// Incremented on every crash; objects created before a crash carry an
@@ -141,11 +204,13 @@ impl Core {
     pub fn new(config: BrokerConfig) -> Arc<Self> {
         let clean_faults = config.faults.is_clean();
         let faults = Mutex::new(FaultEngine::new(config.faults));
+        let shards: Box<[Shard]> = (0..config.shards.max(1))
+            .map(|_| Shard::default())
+            .collect();
         Arc::new(Self {
             config,
             ids: IdGenerator::starting_at(1),
-            queues: RwLock::new(HashMap::new()),
-            topics: RwLock::new(HashMap::new()),
+            shards,
             registry: Mutex::new(Registry::default()),
             crashed: AtomicBool::new(false),
             generation: AtomicU64::new(0),
@@ -180,6 +245,21 @@ impl Core {
         self.generation.load(Ordering::SeqCst)
     }
 
+    /// Number of destination shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning queue `queue`.
+    fn queue_shard(&self, queue: &QueueName) -> &Shard {
+        &self.shards[(shard_hash(queue.as_str()) % self.shards.len() as u64) as usize]
+    }
+
+    /// The shard owning topic `topic`.
+    fn topic_shard(&self, topic: &TopicName) -> &Shard {
+        &self.shards[(shard_hash(topic.as_str()) % self.shards.len() as u64) as usize]
+    }
+
     /// Returns an error if the broker is crashed or `generation` predates
     /// the last crash.
     pub fn check_alive(&self, generation: u64) -> Result<(), Error> {
@@ -210,10 +290,11 @@ impl Core {
 
     /// Returns (creating on first use) the end-point of a queue.
     pub fn queue_endpoint(&self, queue: &QueueName) -> Arc<Endpoint> {
-        if let Some(endpoint) = self.queues.read().get(queue) {
+        let shard = self.queue_shard(queue);
+        if let Some(endpoint) = shard.queues.read().get(queue) {
             return Arc::clone(endpoint);
         }
-        let mut queues = self.queues.write();
+        let mut queues = shard.queues.write();
         Arc::clone(queues.entry(queue.clone()).or_insert_with(|| {
             Arc::new(Endpoint::new(
                 EndpointId::for_queue(queue.clone()),
@@ -226,10 +307,11 @@ impl Core {
     /// Returns (creating on first use) the RCU subscription state of a
     /// topic.
     fn topic_state(&self, topic: &TopicName) -> Arc<TopicState> {
-        if let Some(state) = self.topics.read().get(topic) {
+        let shard = self.topic_shard(topic);
+        if let Some(state) = shard.topics.read().get(topic) {
             return Arc::clone(state);
         }
-        let mut topics = self.topics.write();
+        let mut topics = shard.topics.write();
         Arc::clone(
             topics
                 .entry(topic.clone())
@@ -268,7 +350,7 @@ impl Core {
     /// destroys its end-point.
     pub fn drop_non_durable(&self, topic: &TopicName, consumer: ConsumerId) {
         let id = EndpointId::non_durable(topic.clone(), consumer);
-        let state = match self.topics.read().get(topic) {
+        let state = match self.topic_shard(topic).topics.read().get(topic) {
             Some(state) => Arc::clone(state),
             None => return,
         };
@@ -359,7 +441,7 @@ impl Core {
     /// Removes one subscription from a topic's membership and republishes
     /// the snapshot. Missing topics and members are ignored.
     fn detach_subscription(&self, topic: &TopicName, id: &EndpointId) {
-        if let Some(state) = self.topics.read().get(topic) {
+        if let Some(state) = self.topic_shard(topic).topics.read().get(topic) {
             let mut members = state.members.lock();
             if members.remove(id).is_some() {
                 state.rebuild(&members);
@@ -442,6 +524,118 @@ impl Core {
         Ok(())
     }
 
+    /// Routes a batch of stamped messages, amortising shard lookup,
+    /// fault decisions and receiver wakeups across the batch.
+    ///
+    /// Equivalent to calling [`Core::route`] for each message in order,
+    /// with three amortisations: the fault-engine mutex is taken once for
+    /// the whole batch (not at all on a clean broker), consecutive
+    /// messages to the same destination share one end-point/snapshot
+    /// lookup, and each end-point takes its buffer lock — and wakes its
+    /// receivers — once per run instead of once per message. The whole
+    /// batch shares one routing timestamp.
+    pub fn route_batch(&self, messages: &[Arc<Message>]) -> Result<(), Error> {
+        if messages.is_empty() {
+            return Ok(());
+        }
+        if self.clean_faults {
+            let visible_at = self.now().saturating_add(self.config.delivery_delay);
+            for run in DestinationRuns::new(messages) {
+                self.route_clean_run(run, visible_at);
+            }
+            return Ok(());
+        }
+        // Faulty broker: draw every decision under one mutex acquisition,
+        // then route message-by-message (fault paths are not hot).
+        let decisions: Vec<(
+            FaultDecision,
+            Option<Arc<Message>>,
+            Option<std::time::Duration>,
+        )> = {
+            let mut faults = self.faults.lock();
+            messages
+                .iter()
+                .map(|message| {
+                    let decision = faults.decide();
+                    let forged = decision.forge.then(|| {
+                        Arc::new(faults.forge_message(
+                            self.ids.next_message_id(),
+                            message.destination().clone(),
+                            self.now(),
+                        ))
+                    });
+                    let reorder_delay = decision.hold_back.then(|| faults.spec().reorder_delay);
+                    (decision, forged, reorder_delay)
+                })
+                .collect()
+        };
+        for (message, (decision, forged, reorder_delay)) in messages.iter().zip(decisions) {
+            if let Some(forged) = forged {
+                self.route_copies(&forged, FaultDecision::CLEAN, None);
+            }
+            if decision.drop {
+                continue;
+            }
+            self.route_copies(message, decision, reorder_delay);
+        }
+        Ok(())
+    }
+
+    /// Routes one same-destination run of a clean batch: a single
+    /// end-point (or snapshot) lookup and a single insert-batch — one
+    /// buffer lock, one wakeup — per end-point.
+    fn route_clean_run(&self, run: &[Arc<Message>], visible_at: Timestamp) {
+        match run[0].destination() {
+            Destination::Queue(queue) => {
+                let endpoint = self.queue_endpoint(queue);
+                endpoint.insert_batch(run.iter(), visible_at);
+                self.counters
+                    .routed
+                    .fetch_add(run.len() as u64, Ordering::Relaxed);
+            }
+            Destination::Topic(topic) => {
+                let snapshot = {
+                    let topics = self.topic_shard(topic).topics.read();
+                    topics.get(topic).map(|state| state.load())
+                };
+                let mut matched = vec![false; run.len()];
+                if let Some(snapshot) = snapshot {
+                    let mut accepted: Vec<&Arc<Message>> = Vec::with_capacity(run.len());
+                    for sub in &snapshot.subscriptions {
+                        accepted.clear();
+                        let mut accepted_indices: Vec<usize> = Vec::new();
+                        for (index, message) in run.iter().enumerate() {
+                            let ok = sub
+                                .selector
+                                .as_ref()
+                                .is_none_or(|selector| selector.matches(message));
+                            if ok {
+                                accepted.push(message);
+                                accepted_indices.push(index);
+                            }
+                        }
+                        if accepted.is_empty() {
+                            continue;
+                        }
+                        let inserted = sub
+                            .endpoint
+                            .insert_batch(accepted.iter().copied(), visible_at);
+                        if inserted > 0 {
+                            for index in accepted_indices {
+                                matched[index] = true;
+                            }
+                        }
+                    }
+                }
+                let routed = matched.iter().filter(|&&m| m).count() as u64;
+                self.counters.routed.fetch_add(routed, Ordering::Relaxed);
+                self.counters
+                    .unroutable
+                    .fetch_add(run.len() as u64 - routed, Ordering::Relaxed);
+            }
+        }
+    }
+
     fn route_copies(
         &self,
         message: &Arc<Message>,
@@ -469,7 +663,7 @@ impl Core {
             }
             Destination::Topic(topic) => {
                 let snapshot = {
-                    let topics = self.topics.read();
+                    let topics = self.topic_shard(topic).topics.read();
                     topics.get(topic).map(|state| state.load())
                 };
                 let mut matched = false;
@@ -537,21 +731,24 @@ impl Core {
                 .map(|entry| entry.endpoint.id().clone())
                 .collect()
         };
-        for endpoint in self.queues.read().values() {
-            endpoint.crash(keep, now);
-        }
-        // Non-durable subscriptions die with their (now broken) consumers.
-        for state in self.topics.read().values() {
-            let mut members = state.members.lock();
-            members.retain(|id, sub| {
-                if durable_ids.contains(id) {
-                    true
-                } else {
-                    sub.endpoint.destroy();
-                    false
-                }
-            });
-            state.rebuild(&members);
+        for shard in &self.shards {
+            for endpoint in shard.queues.read().values() {
+                endpoint.crash(keep, now);
+            }
+            // Non-durable subscriptions die with their (now broken)
+            // consumers.
+            for state in shard.topics.read().values() {
+                let mut members = state.members.lock();
+                members.retain(|id, sub| {
+                    if durable_ids.contains(id) {
+                        true
+                    } else {
+                        sub.endpoint.destroy();
+                        false
+                    }
+                });
+                state.rebuild(&members);
+            }
         }
     }
 
@@ -570,7 +767,8 @@ impl Core {
     /// Returns how many times a topic's subscription snapshot has been
     /// rebuilt, or `None` for a topic the broker has never seen.
     pub fn topic_generation(&self, topic: &TopicName) -> Option<u64> {
-        self.topics
+        self.topic_shard(topic)
+            .topics
             .read()
             .get(topic)
             .map(|state| state.load().generation)
@@ -580,10 +778,16 @@ impl Core {
     /// admin-style inspection in tests and reports.
     pub fn endpoint_stats(&self) -> Vec<(EndpointId, crate::endpoint::EndpointStats)> {
         let mut out: Vec<_> = self
-            .queues
-            .read()
-            .values()
-            .map(|ep| (ep.id().clone(), ep.stats()))
+            .shards
+            .iter()
+            .flat_map(|shard| {
+                shard
+                    .queues
+                    .read()
+                    .values()
+                    .map(|ep| (ep.id().clone(), ep.stats()))
+                    .collect::<Vec<_>>()
+            })
             .collect();
         out.extend(
             self.registry

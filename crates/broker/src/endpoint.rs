@@ -154,6 +154,48 @@ impl Endpoint {
         true
     }
 
+    /// Inserts a batch of messages that all become visible at
+    /// `visible_at`, taking the buffer lock once and waking receivers
+    /// once for the whole batch. Returns the number inserted (`0` if the
+    /// end-point was destroyed).
+    ///
+    /// Equivalent to calling [`Endpoint::insert`] per message in order —
+    /// arrival sequence numbers are assigned in iteration order — but
+    /// with the per-message lock/wakeup cost amortised.
+    pub fn insert_batch<'a, I>(&self, messages: I, visible_at: Timestamp) -> u64
+    where
+        I: IntoIterator<Item = &'a Arc<Message>>,
+    {
+        let mut inner = self.inner.lock();
+        if inner.destroyed {
+            return 0;
+        }
+        let mut inserted = 0u64;
+        for message in messages {
+            let key = EntryKey {
+                priority_rank: if self.enforce_priority {
+                    9 - message.priority().level()
+                } else {
+                    0
+                },
+                seq: inner.next_seq,
+            };
+            inner.next_seq += 1;
+            inner.pending.insert(
+                key,
+                Entry {
+                    message: Arc::clone(message),
+                    visible_at,
+                },
+            );
+            inserted += 1;
+        }
+        if inserted > 0 {
+            self.wake_receivers(&inner);
+        }
+        inserted
+    }
+
     /// Receives the next visible, unexpired message, blocking up to
     /// `timeout` (`None` waits without bound).
     ///

@@ -121,6 +121,12 @@ impl ReferenceBroker {
     pub fn fault_counters(&self) -> crate::faults::FaultCounters {
         self.core.fault_counters()
     }
+
+    /// Number of destination shards the core partitions queues and topics
+    /// across (see [`BrokerConfig::shards`]).
+    pub fn shard_count(&self) -> usize {
+        self.core.shard_count()
+    }
 }
 
 impl Default for ReferenceBroker {
@@ -687,6 +693,59 @@ mod tests {
             .map(|_| consumer.receive(Some(RECEIVE_WAIT)).unwrap().unwrap().id())
             .collect();
         assert_eq!(sent, received);
+    }
+
+    #[test]
+    fn batched_send_round_trip_across_shards() {
+        let broker = ReferenceBroker::with_config(BrokerConfig::correct().with_shards(8));
+        assert_eq!(broker.shard_count(), 8);
+        let mut connection = started_connection(&broker);
+        let mut session = connection
+            .create_session(SessionMode::AutoAcknowledge)
+            .unwrap();
+        let queue = Destination::queue("q");
+        let mut producer = session.create_producer(&queue).unwrap();
+        let mut consumer = session.create_consumer(&queue, None).unwrap();
+        let drafts = (0..10)
+            .map(|i| MessageDraft::text(format!("{i}")))
+            .collect::<Vec<_>>();
+        let sent = producer.send_batch(drafts).unwrap();
+        assert_eq!(sent.len(), 10);
+        // Sequence numbers are assigned in draft order.
+        let sequences: Vec<u64> = sent.iter().map(Message::sequence).collect();
+        assert_eq!(sequences, (0..10).collect::<Vec<u64>>());
+        let received: Vec<MessageId> = (0..10)
+            .map(|_| consumer.receive(Some(RECEIVE_WAIT)).unwrap().unwrap().id())
+            .collect();
+        assert_eq!(
+            received,
+            sent.iter().map(Message::id).collect::<Vec<_>>(),
+            "batched sends are delivered in order"
+        );
+        assert_eq!(broker.messages_routed(), 10);
+    }
+
+    #[test]
+    fn transacted_batch_invisible_until_commit() {
+        let broker = ReferenceBroker::with_config(BrokerConfig::correct().with_shards(4));
+        let mut connection = started_connection(&broker);
+        let mut tx_session = connection.create_session(SessionMode::Transacted).unwrap();
+        let mut rx_session = connection
+            .create_session(SessionMode::AutoAcknowledge)
+            .unwrap();
+        let queue = Destination::queue("q");
+        let mut producer = tx_session.create_producer(&queue).unwrap();
+        let mut consumer = rx_session.create_consumer(&queue, None).unwrap();
+        producer
+            .send_batch(vec![MessageDraft::text("a"), MessageDraft::text("b")])
+            .unwrap();
+        assert_eq!(
+            consumer.receive(Some(Duration::from_millis(50))).unwrap(),
+            None
+        );
+        tx_session.commit().unwrap();
+        assert!(consumer.receive(Some(RECEIVE_WAIT)).unwrap().is_some());
+        assert!(consumer.receive(Some(RECEIVE_WAIT)).unwrap().is_some());
     }
 
     #[test]

@@ -273,9 +273,7 @@ impl Session for BrokerSession {
                 std::mem::take(&mut state.tx_receives),
             )
         };
-        for message in &sends {
-            self.shared.core.route(message)?;
-        }
+        self.shared.core.route_batch(&sends)?;
         for (endpoint, message_id) in receives {
             endpoint.ack_message(self.shared.id, message_id);
         }
@@ -362,6 +360,35 @@ impl Producer for BrokerProducer {
             self.session.core.route(&message)?;
         }
         Ok((*message).clone())
+    }
+
+    fn send_batch(&mut self, drafts: Vec<MessageDraft>) -> Result<Vec<Message>, Error> {
+        if self.closed.load(Ordering::SeqCst) {
+            return Err(Error::EndpointClosed);
+        }
+        self.session.check_open()?;
+        let messages: Vec<Arc<Message>> = drafts
+            .into_iter()
+            .map(|draft| {
+                Arc::new(draft.stamp(Stamp {
+                    id: self.session.core.ids().next_message_id(),
+                    producer: self.id,
+                    sequence: self.sequence.fetch_add(1, Ordering::SeqCst),
+                    destination: self.destination.clone(),
+                    sent_at: self.session.core.now(),
+                }))
+            })
+            .collect();
+        if self.session.mode == SessionMode::Transacted {
+            self.session
+                .state
+                .lock()
+                .pending_sends
+                .extend(messages.iter().map(Arc::clone));
+        } else {
+            self.session.core.route_batch(&messages)?;
+        }
+        Ok(messages.iter().map(|message| (**message).clone()).collect())
     }
 
     fn close(&mut self) -> Result<(), Error> {

@@ -5,8 +5,12 @@
 
 use jmst_api::prelude::*;
 use jmst_broker::{BrokerConfig, ReferenceBroker};
+use jmst_core::{Analyzer, PropertyKind};
+use jmst_store::event::{EventKind, MessageRecord};
+use jmst_store::trace::{NodeRecorder, Recorder, Trace};
 use proptest::prelude::*;
 use std::collections::HashSet;
+use std::sync::Arc;
 use std::time::Duration;
 
 const WAIT: Duration = Duration::from_millis(100);
@@ -210,5 +214,327 @@ proptest! {
             low_count += 1;
         }
         prop_assert_eq!(high_count + low_count, sent.len());
+    }
+}
+
+// ===================================================================
+// Differential tests: a sharded core must be observationally
+// indistinguishable from the `shards = 1` reference semantics. Both
+// rigs replay the identical single-threaded script, record a trace,
+// and must earn identical analyzer verdicts and identical
+// per-consumer delivery multisets.
+// ===================================================================
+
+const QUEUE_NAMES: [&str; 2] = ["alpha", "bravo"];
+const TOPIC_NAMES: [&str; 2] = ["charlie", "delta"];
+
+fn script_dest(index: usize) -> Destination {
+    if index < 2 {
+        Destination::queue(QUEUE_NAMES[index])
+    } else {
+        Destination::topic(TOPIC_NAMES[index - 2])
+    }
+}
+
+/// One step of a random broker script, applied identically to the
+/// reference and the sharded broker.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Publish `count` messages to destination `dest` (0–1 are the
+    /// queues, 2–3 the topics); `count > 1` goes through `send_batch`.
+    Publish {
+        dest: usize,
+        count: usize,
+        priority: u8,
+        persistent: bool,
+    },
+    /// Open a fresh non-durable subscription on topic `topic`.
+    Subscribe { topic: usize },
+    /// Receive up to `max` immediately-available messages from the
+    /// standing consumer on queue `queue`.
+    ReceiveQueue { queue: usize, max: usize },
+    /// Crash and recover the broker, reopening every client object.
+    Crash,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    // Publish appears twice so scripts are publish-heavy without
+    // weighted unions.
+    let publish = (0usize..4, 1usize..6, 0u8..=9, any::<bool>()).prop_map(
+        |(dest, count, priority, persistent)| Op::Publish {
+            dest,
+            count,
+            priority,
+            persistent,
+        },
+    );
+    prop::collection::vec(
+        prop_oneof![
+            publish.clone(),
+            publish,
+            (0usize..2).prop_map(|topic| Op::Subscribe { topic }),
+            (0usize..2, 1usize..8).prop_map(|(queue, max)| Op::ReceiveQueue { queue, max }),
+            Just(Op::Crash),
+        ],
+        1..24,
+    )
+}
+
+/// A broker plus the client objects and trace recorder needed to replay
+/// a script against it. Delivery slots 0–1 are the two standing queue
+/// consumers (stable across crashes); slots 2+ are topic subscriptions
+/// in creation order.
+struct Rig {
+    broker: ReferenceBroker,
+    node: NodeRecorder,
+    recorder: Recorder,
+    _connection: Box<dyn Connection>,
+    session: Box<dyn Session>,
+    producers: Vec<Box<dyn Producer>>,
+    queue_consumers: Vec<Box<dyn Consumer>>,
+    topic_subs: Vec<(usize, EndpointId, Box<dyn Consumer>)>,
+    deliveries: Vec<Vec<MessageId>>,
+    published: u64,
+}
+
+impl Rig {
+    fn new(shards: usize) -> Self {
+        let broker = ReferenceBroker::with_config(BrokerConfig::correct().with_shards(shards));
+        let recorder = Recorder::new();
+        let node = recorder.node(NodeId::from_raw(1), Arc::new(SystemClock::new()));
+        let mut connection = broker.create_connection(None).unwrap();
+        connection.start().unwrap();
+        let mut session = connection
+            .create_session(SessionMode::AutoAcknowledge)
+            .unwrap();
+        let producers = (0..4)
+            .map(|i| session.create_producer(&script_dest(i)).unwrap())
+            .collect();
+        let mut rig = Self {
+            broker,
+            node,
+            recorder,
+            _connection: connection,
+            session,
+            producers,
+            queue_consumers: Vec::new(),
+            topic_subs: Vec::new(),
+            deliveries: vec![Vec::new(), Vec::new()],
+            published: 0,
+        };
+        rig.open_queue_consumers();
+        rig
+    }
+
+    fn open_queue_consumers(&mut self) {
+        for name in QUEUE_NAMES {
+            let destination = Destination::queue(name);
+            let consumer = self.session.create_consumer(&destination, None).unwrap();
+            self.node.record(EventKind::ConsumerCreated {
+                consumer: consumer.id(),
+                endpoint: EndpointId::for_queue(QueueName::new(name)),
+                session_mode: SessionMode::AutoAcknowledge,
+                selector: None,
+            });
+            self.queue_consumers.push(consumer);
+        }
+    }
+
+    fn apply(&mut self, op: &Op) {
+        match *op {
+            Op::Publish {
+                dest,
+                count,
+                priority,
+                persistent,
+            } => {
+                let mut drafts: Vec<MessageDraft> = (0..count)
+                    .map(|_| {
+                        let n = self.published;
+                        self.published += 1;
+                        MessageDraft::text(format!("m{n}"))
+                            .priority(Priority::new(priority).unwrap())
+                            .delivery_mode(if persistent {
+                                DeliveryMode::Persistent
+                            } else {
+                                DeliveryMode::NonPersistent
+                            })
+                    })
+                    .collect();
+                let producer = &mut self.producers[dest];
+                let sent = if drafts.len() == 1 {
+                    vec![producer.send(drafts.pop().expect("one draft")).unwrap()]
+                } else {
+                    producer.send_batch(drafts).unwrap()
+                };
+                for message in &sent {
+                    self.node.record(EventKind::Send {
+                        record: MessageRecord::from_message(message),
+                        session: self.session.id(),
+                        tx: None,
+                    });
+                }
+            }
+            Op::Subscribe { topic } => {
+                let destination = script_dest(2 + topic);
+                let consumer = self.session.create_consumer(&destination, None).unwrap();
+                let endpoint =
+                    EndpointId::non_durable(TopicName::new(TOPIC_NAMES[topic]), consumer.id());
+                self.node.record(EventKind::ConsumerCreated {
+                    consumer: consumer.id(),
+                    endpoint: endpoint.clone(),
+                    session_mode: SessionMode::AutoAcknowledge,
+                    selector: None,
+                });
+                let slot = self.deliveries.len();
+                self.deliveries.push(Vec::new());
+                self.topic_subs.push((slot, endpoint, consumer));
+            }
+            Op::ReceiveQueue { queue, max } => self.drain_queue(queue, max),
+            Op::Crash => self.crash_and_reopen(),
+        }
+    }
+
+    fn drain_queue(&mut self, queue: usize, max: usize) {
+        for _ in 0..max {
+            let received = self.queue_consumers[queue]
+                .receive(Some(Duration::ZERO))
+                .unwrap();
+            match received {
+                Some(message) => {
+                    let consumer = self.queue_consumers[queue].id();
+                    self.node.record(EventKind::Receive {
+                        consumer,
+                        endpoint: EndpointId::for_queue(QueueName::new(QUEUE_NAMES[queue])),
+                        record: MessageRecord::from_message(&message),
+                        session: self.session.id(),
+                        tx: None,
+                    });
+                    self.deliveries[queue].push(message.id());
+                }
+                None => break,
+            }
+        }
+    }
+
+    fn drain_topics(&mut self) {
+        for i in 0..self.topic_subs.len() {
+            loop {
+                let received = self.topic_subs[i].2.receive(Some(Duration::ZERO)).unwrap();
+                match received {
+                    Some(message) => {
+                        let slot = self.topic_subs[i].0;
+                        self.node.record(EventKind::Receive {
+                            consumer: self.topic_subs[i].2.id(),
+                            endpoint: self.topic_subs[i].1.clone(),
+                            record: MessageRecord::from_message(&message),
+                            session: self.session.id(),
+                            tx: None,
+                        });
+                        self.deliveries[slot].push(message.id());
+                    }
+                    None => break,
+                }
+            }
+        }
+    }
+
+    fn crash_and_reopen(&mut self) {
+        self.broker.crash();
+        self.node.record(EventKind::BrokerCrashed);
+        // Non-durable subscriptions die with the broker; the standing
+        // queue consumers are also severed and must be reopened.
+        for (_, endpoint, consumer) in self.topic_subs.drain(..) {
+            self.node.record(EventKind::ConsumerClosed {
+                consumer: consumer.id(),
+                endpoint,
+            });
+        }
+        for (index, consumer) in self.queue_consumers.drain(..).enumerate() {
+            self.node.record(EventKind::ConsumerClosed {
+                consumer: consumer.id(),
+                endpoint: EndpointId::for_queue(QueueName::new(QUEUE_NAMES[index])),
+            });
+        }
+        self.broker.recover();
+        self.node.record(EventKind::BrokerRecovered);
+        let mut connection = self.broker.create_connection(None).unwrap();
+        connection.start().unwrap();
+        let mut session = connection
+            .create_session(SessionMode::AutoAcknowledge)
+            .unwrap();
+        self.producers = (0..4)
+            .map(|i| session.create_producer(&script_dest(i)).unwrap())
+            .collect();
+        self.session = session;
+        self._connection = connection;
+        self.open_queue_consumers();
+    }
+
+    fn finish(mut self) -> (Trace, Vec<Vec<MessageId>>) {
+        for queue in 0..QUEUE_NAMES.len() {
+            self.drain_queue(queue, usize::MAX);
+        }
+        self.drain_topics();
+        for (_, endpoint, consumer) in self.topic_subs.drain(..) {
+            self.node.record(EventKind::ConsumerClosed {
+                consumer: consumer.id(),
+                endpoint,
+            });
+        }
+        for (index, consumer) in self.queue_consumers.drain(..).enumerate() {
+            self.node.record(EventKind::ConsumerClosed {
+                consumer: consumer.id(),
+                endpoint: EndpointId::for_queue(QueueName::new(QUEUE_NAMES[index])),
+            });
+        }
+        let mut deliveries = self.deliveries;
+        // Compare multisets: fan-out order across subscribers may
+        // legitimately differ, per-slot content may not.
+        for slot in &mut deliveries {
+            slot.sort_unstable();
+        }
+        (self.recorder.snapshot(), deliveries)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sharded_broker_matches_reference_semantics(ops in arb_ops()) {
+        let mut reference = Rig::new(1);
+        let mut sharded = Rig::new(8);
+        for op in &ops {
+            reference.apply(op);
+            sharded.apply(op);
+        }
+        let (reference_trace, reference_deliveries) = reference.finish();
+        let (sharded_trace, sharded_deliveries) = sharded.finish();
+
+        // Message ids are allocated deterministically at stamp time, so
+        // identical scripts yield comparable ids across the two brokers.
+        prop_assert_eq!(reference_deliveries, sharded_deliveries);
+
+        let reference_report = Analyzer::new().analyze(&reference_trace);
+        let sharded_report = Analyzer::new().analyze(&sharded_trace);
+        prop_assert_eq!(reference_report.passed(), sharded_report.passed());
+        prop_assert_eq!(reference_report.sends, sharded_report.sends);
+        prop_assert_eq!(reference_report.receives, sharded_report.receives);
+        for property in [
+            PropertyKind::DeliveryIntegrity,
+            PropertyKind::RequiredMessages,
+            PropertyKind::MessageOrdering,
+            PropertyKind::MessagePriority,
+            PropertyKind::ExpiredMessages,
+            PropertyKind::DuplicateDelivery,
+        ] {
+            prop_assert_eq!(
+                reference_report.count_of(property),
+                sharded_report.count_of(property),
+                "verdict count diverged for {:?}",
+                property
+            );
+        }
     }
 }

@@ -30,6 +30,7 @@
 //! ttl = 5ms                  # forever (default) or a duration
 //! transacted = 10            # commit every N sends
 //! limit = 1000               # stop after N messages
+//! batch = 8                  # drafts per provider send_batch call
 //!
 //! [consumer]
 //! destination = topic:events
@@ -352,6 +353,12 @@ pub fn parse_spec(text: &str) -> Result<TestSpec, ConfigError> {
                                 .map_err(|_| err(format!("bad limit {value:?}")))?,
                         )
                     }
+                    "batch" => {
+                        p.send_batch = value
+                            .parse::<u32>()
+                            .map_err(|_| err(format!("bad batch {value:?}")))?
+                            .max(1)
+                    }
                     other => return Err(err(format!("unknown producer key {other:?}"))),
                 }
             }
@@ -450,6 +457,7 @@ delivery = non-persistent
 ttl = 5ms
 transacted = 10
 limit = 1000
+batch = 4
 
 [producer]
 destination = topic:events
@@ -496,6 +504,7 @@ down = 80ms
         assert_eq!(p.time_to_live.as_millis(), 5);
         assert_eq!(p.transacted_batch, Some(10));
         assert_eq!(p.message_limit, Some(1000));
+        assert_eq!(p.send_batch, 4);
         assert_eq!(
             producers.producers[1].workload,
             ArrivalProcess::burst(10, Duration::from_millis(50))

@@ -209,30 +209,68 @@ pub(crate) fn producer_driver(
                 shared.next_tx.fetch_add(1, Ordering::Relaxed),
             ));
         }
-        body_seed = body_seed.wrapping_add(1);
-        let draft = MessageDraft::new(Body::synthetic(spec.body, spec.body_size, body_seed))
-            .priority(spec.priority)
-            .delivery_mode(spec.delivery_mode)
-            .time_to_live(spec.time_to_live)
-            .property(
-                PRODUCER_PROP,
-                jmst_api::value::Value::Long(stable_id as i64),
-            )
-            .expect("valid property")
-            .property(SEQUENCE_PROP, jmst_api::value::Value::Long(sent as i64))
-            .expect("valid property");
-        match active.producer.send(draft) {
-            Ok(message) => {
-                let mut record = MessageRecord::from_message(&message);
-                apply_harness_identity(&mut record);
-                recorder.record(EventKind::Send {
-                    record,
-                    session: active.session.id(),
-                    tx: current_tx,
-                });
-                sent += 1;
+        // How many drafts this provider call may carry: the configured
+        // send batch, capped so a message limit or an open transaction
+        // boundary is never crossed mid-batch.
+        let mut chunk = u64::from(spec.send_batch.max(1));
+        if let Some(limit) = spec.message_limit {
+            chunk = chunk.min(limit.saturating_sub(sent).max(1));
+        }
+        if let Some(batch) = spec.transacted_batch {
+            chunk = chunk.min(u64::from(batch.saturating_sub(in_batch).max(1)));
+        }
+        let mut drafts = Vec::with_capacity(chunk as usize);
+        loop {
+            body_seed = body_seed.wrapping_add(1);
+            let draft = MessageDraft::new(Body::synthetic(spec.body, spec.body_size, body_seed))
+                .priority(spec.priority)
+                .delivery_mode(spec.delivery_mode)
+                .time_to_live(spec.time_to_live)
+                .property(
+                    PRODUCER_PROP,
+                    jmst_api::value::Value::Long(stable_id as i64),
+                )
+                .expect("valid property")
+                .property(
+                    SEQUENCE_PROP,
+                    jmst_api::value::Value::Long((sent + drafts.len() as u64) as i64),
+                )
+                .expect("valid property");
+            drafts.push(draft);
+            if drafts.len() as u64 >= chunk {
+                break;
+            }
+            // Each further draft of the batch is paced by its own
+            // workload gap; stopping mid-batch ships what was built.
+            interruptible_sleep(shared, gaps.next_gap(), &shared.stop_producing);
+            if shared.should_abort() || shared.stop_producing.load(Ordering::SeqCst) {
+                break;
+            }
+        }
+        // A single draft takes the plain send path so `send_batch = 1`
+        // reproduces the unbatched driver exactly.
+        let outcome = if drafts.len() == 1 {
+            active
+                .producer
+                .send(drafts.pop().expect("one draft"))
+                .map(|message| vec![message])
+        } else {
+            active.producer.send_batch(drafts)
+        };
+        match outcome {
+            Ok(messages) => {
+                for message in &messages {
+                    let mut record = MessageRecord::from_message(message);
+                    apply_harness_identity(&mut record);
+                    recorder.record(EventKind::Send {
+                        record,
+                        session: active.session.id(),
+                        tx: current_tx,
+                    });
+                }
+                sent += messages.len() as u64;
                 if let Some(batch) = spec.transacted_batch {
-                    in_batch += 1;
+                    in_batch += messages.len() as u32;
                     if in_batch >= batch {
                         let session_id = active.session.id();
                         let tx = current_tx.take().expect("tx open");

@@ -158,6 +158,14 @@ impl DaemonPrince {
         }
     }
 
+    /// Returns a copy using the given runner — e.g. one with a shorter
+    /// [`join_grace`](ThreadedRunner::join_grace) so hung tests are
+    /// detected (and the campaign moves on) faster.
+    pub fn with_runner(mut self, runner: ThreadedRunner) -> Self {
+        self.runner = runner;
+        self
+    }
+
     /// Persists every collected trace to `dir` as
     /// `<test-name>.trace.jsonl` — the paper's collected per-test logs,
     /// re-analysable later with [`Trace::load_jsonl`](jmst_store::Trace::load_jsonl).
@@ -270,6 +278,86 @@ mod tests {
         assert_eq!(reanalyzed.sends, original.sends);
         assert_eq!(reanalyzed.receives, original.receives);
         assert_eq!(reanalyzed.violations, original.violations);
+    }
+
+    #[test]
+    fn campaign_times_out_hung_test_and_continues() {
+        // A short join grace so the hang is detected quickly.
+        let prince = DaemonPrince::new().with_runner(ThreadedRunner {
+            join_grace: Duration::from_millis(150),
+        });
+        let factory = |_: &TestSpec| -> (Arc<dyn jmst_api::provider::Provider>, _) {
+            (Arc::new(ReferenceBroker::new()), None)
+        };
+        // A consumer stuck far longer than the join deadline models a
+        // crashed/hung test (§4.1: the daemon must catch it, clean up,
+        // and continue with the next test).
+        let hang = TestSpec::new("hang")
+            .with_periods(
+                Duration::from_millis(10),
+                Duration::from_millis(80),
+                Duration::from_millis(100),
+            )
+            .node(
+                NodeSpec::new("n0")
+                    .producer(ProducerSpec::steady(Destination::queue("q"), 300.0, 32))
+                    .consumer(
+                        ConsumerSpec::auto(Destination::queue("q"))
+                            .with_think_time(Duration::from_secs(2)),
+                    ),
+            );
+        let report = prince.run_campaign(&factory, &[hang, spec("after-the-hang")]);
+        assert_eq!(report.results.len(), 2);
+        match &report.results[0].outcome {
+            TestOutcome::Hung { stage, report } => {
+                assert_eq!(*stage, "consumers");
+                assert!(report.sends > 0, "the partial trace was still analysed");
+            }
+            other => panic!("expected Hung, got {other:?}"),
+        }
+        // The campaign carried on: the next test ran on a fresh provider
+        // and passed.
+        assert!(report.results[1].outcome.passed());
+        assert_eq!(report.passed(), 1);
+        assert_eq!(report.failed(), 1);
+        assert_eq!(report.violated(), 0);
+        assert!(report.to_string().contains("HUNG (consumers)"));
+    }
+
+    #[test]
+    fn campaign_counters_pin_mixed_outcome_semantics() {
+        let analysis =
+            || jmst_core::Analyzer::new().analyze(&jmst_store::trace::Recorder::new().snapshot());
+        let result = |name: &str, outcome: TestOutcome| TestResult {
+            name: name.to_owned(),
+            outcome,
+            wall_time: Duration::ZERO,
+        };
+        let campaign = CampaignReport {
+            results: vec![
+                result("pass-a", TestOutcome::Passed(analysis())),
+                result("violated", TestOutcome::Violated(analysis())),
+                result(
+                    "hung",
+                    TestOutcome::Hung {
+                        stage: "producers",
+                        report: analysis(),
+                    },
+                ),
+                result("invalid", TestOutcome::Invalid("no nodes".to_owned())),
+                result("pass-b", TestOutcome::Passed(analysis())),
+            ],
+        };
+        assert_eq!(campaign.passed(), 2);
+        assert_eq!(campaign.violated(), 1);
+        // failed() counts hung and invalid tests only — a violation means
+        // the test ran fine and the *provider* failed, so it is counted
+        // by violated(), not failed().
+        assert_eq!(campaign.failed(), 2);
+        let text = campaign.to_string();
+        assert!(text.contains("5 tests — 2 passed, 1 violated, 2 failed"));
+        assert!(text.contains("HUNG (producers)"));
+        assert!(text.contains("INVALID (no nodes)"));
     }
 
     #[test]

@@ -35,6 +35,11 @@ pub struct ProducerSpec {
     /// Stop after this many messages even if the run period has not
     /// ended.
     pub message_limit: Option<u64>,
+    /// Hand the provider this many drafts per `send_batch` call instead
+    /// of sending one at a time (`1` = plain sends). The driver still
+    /// paces each message by the workload's inter-send gap; batching only
+    /// changes how the accumulated drafts reach the provider.
+    pub send_batch: u32,
 }
 
 impl ProducerSpec {
@@ -50,6 +55,7 @@ impl ProducerSpec {
             time_to_live: TimeToLive::FOREVER,
             transacted_batch: None,
             message_limit: None,
+            send_batch: 1,
         }
     }
 
@@ -86,6 +92,13 @@ impl ProducerSpec {
     /// Returns a copy limited to `n` messages.
     pub fn limited(mut self, n: u64) -> Self {
         self.message_limit = Some(n);
+        self
+    }
+
+    /// Returns a copy sending `n` drafts per provider call (clamped to at
+    /// least 1), exercising the provider's batched publish path.
+    pub fn batched(mut self, n: u32) -> Self {
+        self.send_batch = n.max(1);
         self
     }
 }
@@ -476,6 +489,19 @@ mod tests {
         assert_eq!(producer.transacted_batch, Some(1));
         let consumer = ConsumerSpec::auto(queue()).with_mode(SessionMode::Transacted, 0);
         assert_eq!(consumer.batch, 1);
+    }
+
+    #[test]
+    fn send_batch_defaults_to_one_and_is_clamped() {
+        assert_eq!(ProducerSpec::steady(queue(), 1.0, 1).send_batch, 1);
+        assert_eq!(
+            ProducerSpec::steady(queue(), 1.0, 1).batched(0).send_batch,
+            1
+        );
+        assert_eq!(
+            ProducerSpec::steady(queue(), 1.0, 1).batched(8).send_batch,
+            8
+        );
     }
 
     #[test]

@@ -115,6 +115,140 @@ fn concurrent_fanout_delivers_every_expected_message() {
     assert_eq!(generation, 2 * (PLAIN_SUBS + SELECTIVE_SUBS) as u64);
 }
 
+/// Chaos soak: 4 producers × 8 competing consumers over 4 queues, with
+/// half the producers publishing through `send_batch`. Every message
+/// must be delivered exactly once globally — queue semantics under
+/// shard contention, batched inserts racing competing receivers.
+fn competing_consumers_exactly_once(shards: usize) {
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    const PRODUCERS: usize = 4;
+    const QUEUES: usize = 4;
+    const CONSUMERS_PER_QUEUE: usize = 2;
+    const PER_PRODUCER: usize = 64;
+    const BATCH: usize = 8;
+    const TOTAL: usize = PRODUCERS * PER_PRODUCER;
+
+    let broker = Arc::new(ReferenceBroker::with_config(
+        BrokerConfig::correct().with_shards(shards),
+    ));
+    let received = Arc::new(AtomicUsize::new(0));
+
+    // Producer p owns queue p; even producers publish in batches of
+    // BATCH drafts, odd producers one message at a time.
+    let producers: Vec<thread::JoinHandle<Vec<MessageId>>> = (0..PRODUCERS)
+        .map(|p| {
+            let broker = Arc::clone(&broker);
+            thread::spawn(move || {
+                let mut connection = broker.create_connection(None).unwrap();
+                connection.start().unwrap();
+                let mut session = connection
+                    .create_session(SessionMode::AutoAcknowledge)
+                    .unwrap();
+                let queue = Destination::queue(format!("soak-{}", p % QUEUES));
+                let mut producer = session.create_producer(&queue).unwrap();
+                let mut sent = Vec::with_capacity(PER_PRODUCER);
+                if p % 2 == 0 {
+                    for chunk in 0..PER_PRODUCER / BATCH {
+                        let drafts = (0..BATCH)
+                            .map(|i| MessageDraft::text(format!("p{p}-m{}", chunk * BATCH + i)))
+                            .collect();
+                        sent.extend(producer.send_batch(drafts).unwrap().iter().map(Message::id));
+                    }
+                } else {
+                    for i in 0..PER_PRODUCER {
+                        sent.push(
+                            producer
+                                .send(MessageDraft::text(format!("p{p}-m{i}")))
+                                .unwrap()
+                                .id(),
+                        );
+                    }
+                }
+                sent
+            })
+        })
+        .collect();
+
+    // Two competing consumers per queue race the producers; each drains
+    // until the global exactly-once count is reached.
+    let consumers: Vec<thread::JoinHandle<Vec<(usize, MessageId)>>> = (0..QUEUES
+        * CONSUMERS_PER_QUEUE)
+        .map(|c| {
+            let broker = Arc::clone(&broker);
+            let received = Arc::clone(&received);
+            thread::spawn(move || {
+                let queue_index = c % QUEUES;
+                let mut connection = broker.create_connection(None).unwrap();
+                connection.start().unwrap();
+                let mut session = connection
+                    .create_session(SessionMode::AutoAcknowledge)
+                    .unwrap();
+                let queue = Destination::queue(format!("soak-{queue_index}"));
+                let mut consumer = session.create_consumer(&queue, None).unwrap();
+                let mut got = Vec::new();
+                loop {
+                    match consumer.receive(Some(Duration::from_millis(250))).unwrap() {
+                        Some(message) => {
+                            got.push((queue_index, message.id()));
+                            received.fetch_add(1, Ordering::SeqCst);
+                        }
+                        None => {
+                            if received.load(Ordering::SeqCst) >= TOTAL {
+                                break;
+                            }
+                        }
+                    }
+                }
+                got
+            })
+        })
+        .collect();
+
+    let mut sent_per_queue: Vec<HashSet<MessageId>> = vec![HashSet::new(); QUEUES];
+    for (p, producer) in producers.into_iter().enumerate() {
+        let ids = producer.join().unwrap();
+        assert_eq!(ids.len(), PER_PRODUCER);
+        sent_per_queue[p % QUEUES].extend(ids);
+    }
+    let mut got_per_queue: Vec<Vec<MessageId>> = vec![Vec::new(); QUEUES];
+    for consumer in consumers {
+        for (queue_index, id) in consumer.join().unwrap() {
+            got_per_queue[queue_index].push(id);
+        }
+    }
+
+    // Exactly once, globally: per queue the delivered multiset equals
+    // the sent set — nothing lost, nothing duplicated, nothing leaked
+    // across queues.
+    for (queue_index, got) in got_per_queue.iter().enumerate() {
+        let distinct: HashSet<MessageId> = got.iter().copied().collect();
+        assert_eq!(
+            got.len(),
+            distinct.len(),
+            "queue {queue_index} saw duplicates at shards={shards}"
+        );
+        assert_eq!(
+            distinct, sent_per_queue[queue_index],
+            "queue {queue_index} delivery mismatch at shards={shards}"
+        );
+    }
+    assert_eq!(broker.messages_routed(), TOTAL as u64);
+    assert_eq!(broker.messages_unroutable(), 0);
+    assert_eq!(broker.messages_duplicated(), 0);
+}
+
+#[test]
+fn competing_consumers_exactly_once_single_shard() {
+    competing_consumers_exactly_once(1);
+}
+
+#[test]
+fn competing_consumers_exactly_once_sharded() {
+    competing_consumers_exactly_once(8);
+}
+
 /// Harness-driven stress: two producer nodes (different priorities) fan
 /// out to four consumers with mixed selectors while the analysis
 /// pipeline records everything. The correct broker must violate none of
