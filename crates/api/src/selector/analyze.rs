@@ -1,0 +1,1147 @@
+//! Static analysis of message selectors.
+//!
+//! JMS requires providers to reject ill-typed selectors at subscription
+//! time (`InvalidSelectorException`), and the paper's harness benefits from
+//! knowing *before* a campaign whether a selector can ever match. This
+//! module implements three passes over a parsed [`Expr`]:
+//!
+//! 1. **Type inference** against the JMS header/property type rules. Every
+//!    identifier is given at most one of the three selector types
+//!    ([`IdentType`]); conflicting uses (`region > 5 AND region = 'emea'`)
+//!    or structurally impossible comparisons (`1 = 'one'`) make the
+//!    selector [`Classification::IllTyped`].
+//! 2. **Constant folding under three-valued logic.** Each sub-expression is
+//!    folded to the *set* of truth values it can take over all messages;
+//!    the sets compose exactly through `AND`/`OR`/`NOT`. A selector whose
+//!    set is `{True}` is [`Classification::AlwaysTrue`]; one whose set
+//!    excludes `True` is [`Classification::AlwaysFalse`].
+//! 3. **Conjunct domain satisfiability.** The top-level `AND` spine is
+//!    interpreted as per-identifier constraints (pinned equality, numeric
+//!    interval, `IN` string sets, nullability, `LIKE` patterns); any
+//!    contradiction proves the selector [`Classification::AlwaysFalse`].
+//!
+//! All verdicts are *sound*, never complete: `AlwaysTrue`/`AlwaysFalse` are
+//! only reported when provable for **every** message, so a broker may skip
+//! evaluation (or delivery) based on them; everything else stays
+//! [`Classification::Contingent`]. Note that `x = x` is contingent — a
+//! null `x` makes it unknown under SQL-92 logic.
+//!
+//! The analysis also extracts the referenced identifiers and the top-level
+//! conjunct equality predicates (`region = 'emea' AND …`), which the
+//! broker uses to index subscriptions for prefiltered fanout.
+
+use super::ast::{BinaryOp, Expr, Literal, UnaryOp};
+use super::eval::{self, EvalValue, Truth};
+use super::{Selector, SelectorError};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// The static type of a selector identifier or sub-expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdentType {
+    /// Exact or approximate numeric (`Long`/`Double` at evaluation time).
+    Num,
+    /// String.
+    Str,
+    /// Boolean.
+    Bool,
+}
+
+impl fmt::Display for IdentType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            IdentType::Num => "numeric",
+            IdentType::Str => "string",
+            IdentType::Bool => "boolean",
+        })
+    }
+}
+
+/// The satisfiability verdict for a selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Classification {
+    /// Matches every message: evaluation can be skipped entirely.
+    AlwaysTrue,
+    /// Can never match any message: the subscription is provably dead.
+    AlwaysFalse,
+    /// May or may not match, depending on the message.
+    Contingent,
+    /// Violates the selector type rules; JMS providers must reject it.
+    IllTyped,
+}
+
+/// A top-level conjunct equality predicate `ident = literal`.
+///
+/// If the selector matches a message, the message provably carries
+/// `ident` equal to `literal` — the basis of the broker's subscription
+/// prefilter index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EqConstraint {
+    /// The constrained identifier.
+    pub ident: String,
+    /// The value it must equal.
+    pub literal: Literal,
+}
+
+/// The complete result of statically analysing a selector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectorAnalysis {
+    /// The satisfiability verdict.
+    pub classification: Classification,
+    /// Every identifier the selector references.
+    pub identifiers: BTreeSet<String>,
+    /// Inferred types for identifiers the analysis could pin down.
+    pub types: BTreeMap<String, IdentType>,
+    /// Top-level conjunct equality predicates (empty unless useful).
+    pub equalities: Vec<EqConstraint>,
+    /// The type error, when `classification` is [`Classification::IllTyped`].
+    pub error: Option<SelectorError>,
+}
+
+impl SelectorAnalysis {
+    /// Convenience: `classification == IllTyped`.
+    pub fn is_ill_typed(&self) -> bool {
+        self.classification == Classification::IllTyped
+    }
+}
+
+impl Selector {
+    /// Statically analyses the selector against the built-in JMS header
+    /// types (user properties are unconstrained until used).
+    pub fn analyze(&self) -> SelectorAnalysis {
+        analyze_with_env(self.expr(), &BTreeMap::new())
+    }
+
+    /// Statically analyses the selector with additional known identifier
+    /// types, e.g. the property types a scenario's producers declare.
+    pub fn analyze_with_env(&self, env: &BTreeMap<String, IdentType>) -> SelectorAnalysis {
+        analyze_with_env(self.expr(), env)
+    }
+}
+
+/// Analyses a bare expression with an external type environment.
+pub fn analyze_with_env(expr: &Expr, env: &BTreeMap<String, IdentType>) -> SelectorAnalysis {
+    let mut checker = TypeChecker::new(env);
+    let result = checker
+        .infer(expr)
+        .and_then(|ty| checker.require(ty, IdentType::Bool, expr))
+        .and_then(|()| checker.solve_edges());
+    let identifiers = checker.identifiers;
+    let types = checker.types;
+    if let Err(error) = result {
+        return SelectorAnalysis {
+            classification: Classification::IllTyped,
+            identifiers,
+            types,
+            equalities: Vec::new(),
+            error: Some(error),
+        };
+    }
+
+    let equalities = extract_equalities(expr);
+    let set = fold_truth(expr);
+    // AlwaysFalse has two independent proofs: constant folding never
+    // reaches True, or the top-level conjuncts contradict each other.
+    let classification = if set == TruthSet::TRUE {
+        Classification::AlwaysTrue
+    } else if !set.contains(Truth::True) || conjuncts_contradict(expr) {
+        Classification::AlwaysFalse
+    } else {
+        Classification::Contingent
+    };
+    SelectorAnalysis {
+        classification,
+        identifiers,
+        types,
+        equalities,
+        error: None,
+    }
+}
+
+/// The JMS header fields carry fixed types regardless of any external
+/// environment.
+fn header_type(name: &str) -> Option<IdentType> {
+    match name {
+        "JMSPriority" | "JMSTimestamp" => Some(IdentType::Num),
+        "JMSDeliveryMode" | "JMSMessageID" | "JMSCorrelationID" | "JMSType" => Some(IdentType::Str),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1: type inference
+// ---------------------------------------------------------------------------
+
+/// The type of a sub-expression: known outright, or pending on an
+/// identifier whose type has not been pinned yet.
+enum Ty {
+    Known(IdentType),
+    Var(String),
+}
+
+struct TypeChecker {
+    types: BTreeMap<String, IdentType>,
+    /// `ident = ident` comparisons link two variables; solved by fixpoint.
+    edges: Vec<(String, String)>,
+    identifiers: BTreeSet<String>,
+}
+
+impl TypeChecker {
+    fn new(env: &BTreeMap<String, IdentType>) -> Self {
+        Self {
+            types: env.clone(),
+            edges: Vec::new(),
+            identifiers: BTreeSet::new(),
+        }
+    }
+
+    fn ident_ty(&mut self, name: &str) -> Ty {
+        self.identifiers.insert(name.to_owned());
+        if let Some(ty) = header_type(name) {
+            self.types.entry(name.to_owned()).or_insert(ty);
+        }
+        match self.types.get(name) {
+            Some(ty) => Ty::Known(*ty),
+            None => Ty::Var(name.to_owned()),
+        }
+    }
+
+    fn assign(&mut self, name: &str, want: IdentType, context: &Expr) -> Result<(), SelectorError> {
+        match self.types.get(name) {
+            Some(have) if *have != want => Err(SelectorError::new(
+                0,
+                format!(
+                    "ill-typed selector: identifier `{name}` is used as both {have} and {want} \
+                     (in `{context}`)"
+                ),
+            )),
+            Some(_) => Ok(()),
+            None => {
+                self.types.insert(name.to_owned(), want);
+                Ok(())
+            }
+        }
+    }
+
+    fn require(&mut self, ty: Ty, want: IdentType, context: &Expr) -> Result<(), SelectorError> {
+        match ty {
+            Ty::Known(have) if have == want => Ok(()),
+            Ty::Known(have) => Err(SelectorError::new(
+                0,
+                format!("ill-typed selector: `{context}` requires a {want} operand, found {have}"),
+            )),
+            Ty::Var(name) => self.assign(&name, want, context),
+        }
+    }
+
+    fn infer(&mut self, expr: &Expr) -> Result<Ty, SelectorError> {
+        match expr {
+            Expr::Literal(Literal::Int(_) | Literal::Float(_)) => Ok(Ty::Known(IdentType::Num)),
+            Expr::Literal(Literal::Str(_)) => Ok(Ty::Known(IdentType::Str)),
+            Expr::Literal(Literal::Bool(_)) => Ok(Ty::Known(IdentType::Bool)),
+            Expr::Ident(name) => Ok(self.ident_ty(name)),
+            Expr::Unary {
+                op: UnaryOp::Not,
+                expr: inner,
+            } => {
+                let ty = self.infer(inner)?;
+                self.require(ty, IdentType::Bool, expr)?;
+                Ok(Ty::Known(IdentType::Bool))
+            }
+            Expr::Unary {
+                op: UnaryOp::Neg,
+                expr: inner,
+            } => {
+                let ty = self.infer(inner)?;
+                self.require(ty, IdentType::Num, expr)?;
+                Ok(Ty::Known(IdentType::Num))
+            }
+            Expr::Binary { op, left, right } => match op {
+                BinaryOp::And | BinaryOp::Or => {
+                    let lt = self.infer(left)?;
+                    self.require(lt, IdentType::Bool, expr)?;
+                    let rt = self.infer(right)?;
+                    self.require(rt, IdentType::Bool, expr)?;
+                    Ok(Ty::Known(IdentType::Bool))
+                }
+                BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge => {
+                    let lt = self.infer(left)?;
+                    self.require(lt, IdentType::Num, expr)?;
+                    let rt = self.infer(right)?;
+                    self.require(rt, IdentType::Num, expr)?;
+                    Ok(Ty::Known(IdentType::Bool))
+                }
+                BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div => {
+                    let lt = self.infer(left)?;
+                    self.require(lt, IdentType::Num, expr)?;
+                    let rt = self.infer(right)?;
+                    self.require(rt, IdentType::Num, expr)?;
+                    Ok(Ty::Known(IdentType::Num))
+                }
+                BinaryOp::Eq | BinaryOp::Neq => {
+                    let lt = self.infer(left)?;
+                    let rt = self.infer(right)?;
+                    match (lt, rt) {
+                        (Ty::Known(a), Ty::Known(b)) if a == b => {}
+                        (Ty::Known(a), Ty::Known(b)) => {
+                            return Err(SelectorError::new(
+                                0,
+                                format!(
+                                    "ill-typed selector: cannot compare {a} `{left}` \
+                                     with {b} `{right}`"
+                                ),
+                            ));
+                        }
+                        (Ty::Known(a), Ty::Var(name)) | (Ty::Var(name), Ty::Known(a)) => {
+                            self.assign(&name, a, expr)?;
+                        }
+                        (Ty::Var(a), Ty::Var(b)) => self.edges.push((a, b)),
+                    }
+                    Ok(Ty::Known(IdentType::Bool))
+                }
+            },
+            Expr::Between {
+                expr: inner,
+                low,
+                high,
+                ..
+            } => {
+                let it = self.infer(inner)?;
+                self.require(it, IdentType::Num, expr)?;
+                let lt = self.infer(low)?;
+                self.require(lt, IdentType::Num, expr)?;
+                let ht = self.infer(high)?;
+                self.require(ht, IdentType::Num, expr)?;
+                Ok(Ty::Known(IdentType::Bool))
+            }
+            Expr::In { expr: inner, .. } | Expr::Like { expr: inner, .. } => {
+                let it = self.infer(inner)?;
+                self.require(it, IdentType::Str, expr)?;
+                Ok(Ty::Known(IdentType::Bool))
+            }
+            Expr::IsNull { expr: inner, .. } => {
+                // `IS NULL` applies to any type; still recurse so nested
+                // arithmetic contributes its constraints.
+                self.infer(inner)?;
+                Ok(Ty::Known(IdentType::Bool))
+            }
+        }
+    }
+
+    /// Propagates types across `ident = ident` links to a fixpoint.
+    fn solve_edges(&mut self) -> Result<(), SelectorError> {
+        let edges = std::mem::take(&mut self.edges);
+        loop {
+            let mut changed = false;
+            for (a, b) in &edges {
+                match (self.types.get(a).copied(), self.types.get(b).copied()) {
+                    (Some(ta), Some(tb)) if ta != tb => {
+                        return Err(SelectorError::new(
+                            0,
+                            format!(
+                                "ill-typed selector: `{a}` ({ta}) and `{b}` ({tb}) are compared \
+                                 for equality"
+                            ),
+                        ));
+                    }
+                    (Some(ta), None) => {
+                        self.types.insert(b.clone(), ta);
+                        changed = true;
+                    }
+                    (None, Some(tb)) => {
+                        self.types.insert(a.clone(), tb);
+                        changed = true;
+                    }
+                    _ => {}
+                }
+            }
+            if !changed {
+                return Ok(());
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: constant folding over sets of truth values
+// ---------------------------------------------------------------------------
+
+/// The set of truth values a boolean expression can take over all messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TruthSet(u8);
+
+impl TruthSet {
+    const TRUE: TruthSet = TruthSet(1);
+    const FALSE: TruthSet = TruthSet(2);
+    const UNKNOWN: TruthSet = TruthSet(4);
+    const ANY: TruthSet = TruthSet(7);
+
+    fn singleton(truth: Truth) -> TruthSet {
+        match truth {
+            Truth::True => TruthSet::TRUE,
+            Truth::False => TruthSet::FALSE,
+            Truth::Unknown => TruthSet::UNKNOWN,
+        }
+    }
+
+    fn contains(self, truth: Truth) -> bool {
+        self.0 & TruthSet::singleton(truth).0 != 0
+    }
+
+    fn elems(self) -> impl Iterator<Item = Truth> {
+        [Truth::True, Truth::False, Truth::Unknown]
+            .into_iter()
+            .filter(move |t| self.contains(*t))
+    }
+
+    fn union(self, other: TruthSet) -> TruthSet {
+        TruthSet(self.0 | other.0)
+    }
+
+    fn lift2(self, other: TruthSet, f: impl Fn(Truth, Truth) -> Truth) -> TruthSet {
+        let mut out = TruthSet(0);
+        for a in self.elems() {
+            for b in other.elems() {
+                out = out.union(TruthSet::singleton(f(a, b)));
+            }
+        }
+        out
+    }
+
+    fn and(self, other: TruthSet) -> TruthSet {
+        self.lift2(other, Truth::and)
+    }
+
+    fn or(self, other: TruthSet) -> TruthSet {
+        self.lift2(other, Truth::or)
+    }
+
+    fn negate(self) -> TruthSet {
+        let mut out = TruthSet(0);
+        for a in self.elems() {
+            out = out.union(TruthSet::singleton(a.negate()));
+        }
+        out
+    }
+
+    fn negate_if(self, negated: bool) -> TruthSet {
+        if negated {
+            self.negate()
+        } else {
+            self
+        }
+    }
+}
+
+fn literal_value(literal: &Literal) -> EvalValue {
+    match literal {
+        Literal::Int(v) => EvalValue::Long(*v),
+        Literal::Float(v) => EvalValue::Double(*v),
+        Literal::Str(s) => EvalValue::Str(s.clone()),
+        Literal::Bool(b) => EvalValue::Bool(*b),
+    }
+}
+
+/// Folds an expression to a constant evaluation value when it has one for
+/// *every* message; `None` means the value depends on the message.
+fn fold_value(expr: &Expr) -> Option<EvalValue> {
+    match expr {
+        Expr::Literal(literal) => Some(literal_value(literal)),
+        Expr::Ident(_) => None,
+        Expr::Unary {
+            op: UnaryOp::Neg,
+            expr: inner,
+        } => match fold_value(inner)? {
+            EvalValue::Long(v) => Some(EvalValue::Long(v.wrapping_neg())),
+            EvalValue::Double(v) => Some(EvalValue::Double(-v)),
+            _ => Some(EvalValue::Null),
+        },
+        Expr::Binary { op, left, right }
+            if matches!(
+                op,
+                BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div
+            ) =>
+        {
+            let lv = fold_value(left);
+            let rv = fold_value(right);
+            // Arithmetic over a constant null (or non-numeric) operand is
+            // null regardless of the other side — as is division by a
+            // constant zero.
+            let null_operand = |v: &Option<EvalValue>| {
+                matches!(
+                    v,
+                    Some(EvalValue::Null | EvalValue::Str(_) | EvalValue::Bool(_))
+                )
+            };
+            if null_operand(&lv) || null_operand(&rv) {
+                return Some(EvalValue::Null);
+            }
+            let divisor_is_zero = match &rv {
+                Some(EvalValue::Long(v)) => *v == 0,
+                Some(EvalValue::Double(v)) => *v == 0.0,
+                _ => false,
+            };
+            if *op == BinaryOp::Div && divisor_is_zero {
+                return Some(EvalValue::Null);
+            }
+            Some(eval::arithmetic(*op, lv?, rv?))
+        }
+        // Boolean-valued forms fold through their truth set.
+        _ => {
+            let set = fold_truth(expr);
+            if set == TruthSet::TRUE {
+                Some(EvalValue::Bool(true))
+            } else if set == TruthSet::FALSE {
+                Some(EvalValue::Bool(false))
+            } else if set == TruthSet::UNKNOWN {
+                Some(EvalValue::Null)
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Folds an expression to the set of truth values it can take.
+fn fold_truth(expr: &Expr) -> TruthSet {
+    match expr {
+        Expr::Binary {
+            op: BinaryOp::And,
+            left,
+            right,
+        } => fold_truth(left).and(fold_truth(right)),
+        Expr::Binary {
+            op: BinaryOp::Or,
+            left,
+            right,
+        } => fold_truth(left).or(fold_truth(right)),
+        Expr::Unary {
+            op: UnaryOp::Not,
+            expr: inner,
+        } => fold_truth(inner).negate(),
+        Expr::Binary { op, left, right }
+            if matches!(
+                op,
+                BinaryOp::Eq
+                    | BinaryOp::Neq
+                    | BinaryOp::Lt
+                    | BinaryOp::Le
+                    | BinaryOp::Gt
+                    | BinaryOp::Ge
+            ) =>
+        {
+            match (fold_value(left), fold_value(right)) {
+                (Some(EvalValue::Null), _) | (_, Some(EvalValue::Null)) => TruthSet::UNKNOWN,
+                (Some(lv), Some(rv)) => TruthSet::singleton(eval::compare(*op, lv, rv)),
+                _ => TruthSet::ANY,
+            }
+        }
+        Expr::Between {
+            negated,
+            expr: inner,
+            low,
+            high,
+        } => {
+            let value = fold_value(inner);
+            let low = fold_value(low);
+            let high = fold_value(high);
+            if matches!(value, Some(EvalValue::Null))
+                || matches!(low, Some(EvalValue::Null))
+                || matches!(high, Some(EvalValue::Null))
+            {
+                return TruthSet::UNKNOWN.negate_if(*negated);
+            }
+            if let (Some(value), Some(low), Some(high)) = (&value, &low, &high) {
+                let truth = eval::compare(BinaryOp::Ge, value.clone(), low.clone())
+                    .and(eval::compare(BinaryOp::Le, value.clone(), high.clone()));
+                return TruthSet::singleton(truth).negate_if(*negated);
+            }
+            // An empty constant range can never contain any (non-null)
+            // value, whatever `inner` evaluates to.
+            if let (Some(low), Some(high)) = (&low, &high) {
+                if eval::compare(BinaryOp::Gt, low.clone(), high.clone()) == Truth::True {
+                    return TruthSet::FALSE.union(TruthSet::UNKNOWN).negate_if(*negated);
+                }
+            }
+            TruthSet::ANY
+        }
+        Expr::In {
+            negated,
+            expr: inner,
+            list,
+        } => match fold_value(inner) {
+            Some(EvalValue::Str(s)) => TruthSet::singleton(if list.iter().any(|item| item == &s) {
+                Truth::True
+            } else {
+                Truth::False
+            })
+            .negate_if(*negated),
+            Some(_) => TruthSet::UNKNOWN.negate_if(*negated),
+            None => TruthSet::ANY,
+        },
+        Expr::Like {
+            negated,
+            expr: inner,
+            pattern,
+            escape,
+        } => match fold_value(inner) {
+            Some(EvalValue::Str(s)) => {
+                TruthSet::singleton(if eval::like_match(&s, pattern, *escape) {
+                    Truth::True
+                } else {
+                    Truth::False
+                })
+                .negate_if(*negated)
+            }
+            Some(_) => TruthSet::UNKNOWN.negate_if(*negated),
+            None => TruthSet::ANY,
+        },
+        Expr::IsNull {
+            negated,
+            expr: inner,
+        } => match fold_value(inner) {
+            Some(EvalValue::Null) => TruthSet::singleton(Truth::True).negate_if(*negated),
+            Some(_) => TruthSet::singleton(Truth::False).negate_if(*negated),
+            // `IS NULL` never evaluates to unknown.
+            None => TruthSet::TRUE.union(TruthSet::FALSE),
+        },
+        // A value expression (literal, identifier, arithmetic) used as a
+        // condition: booleans map directly, everything else is unknown.
+        _ => match fold_value(expr) {
+            Some(EvalValue::Bool(b)) => {
+                TruthSet::singleton(if b { Truth::True } else { Truth::False })
+            }
+            Some(_) => TruthSet::UNKNOWN,
+            None => TruthSet::ANY,
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 3: conjunct domain satisfiability + equality extraction
+// ---------------------------------------------------------------------------
+
+/// Flattens the top-level `AND` spine into its conjuncts.
+fn conjuncts(expr: &Expr) -> Vec<&Expr> {
+    let mut out = Vec::new();
+    let mut stack = vec![expr];
+    while let Some(e) = stack.pop() {
+        match e {
+            Expr::Binary {
+                op: BinaryOp::And,
+                left,
+                right,
+            } => {
+                stack.push(right);
+                stack.push(left);
+            }
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// A literal operand, seeing through a unary minus on a numeric literal
+/// (the parser represents `-6` as `Neg(Literal(6))`).
+fn signed_literal(expr: &Expr) -> Option<Literal> {
+    match expr {
+        Expr::Literal(literal) => Some(literal.clone()),
+        Expr::Unary {
+            op: UnaryOp::Neg,
+            expr: inner,
+        } => match &**inner {
+            Expr::Literal(Literal::Int(v)) => Some(Literal::Int(v.wrapping_neg())),
+            Expr::Literal(Literal::Float(v)) => Some(Literal::Float(-v)),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Extracts the `ident = literal` equality predicates among the top-level
+/// conjuncts.
+fn extract_equalities(expr: &Expr) -> Vec<EqConstraint> {
+    conjuncts(expr)
+        .into_iter()
+        .filter_map(|conjunct| match conjunct {
+            Expr::Binary {
+                op: BinaryOp::Eq,
+                left,
+                right,
+            } => {
+                if let Expr::Ident(name) = &**left {
+                    signed_literal(right).map(|literal| EqConstraint {
+                        ident: name.clone(),
+                        literal,
+                    })
+                } else if let Expr::Ident(name) = &**right {
+                    signed_literal(left).map(|literal| EqConstraint {
+                        ident: name.clone(),
+                        literal,
+                    })
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+/// The accumulated constraints one identifier must satisfy for every
+/// top-level conjunct to be true.
+#[derive(Default)]
+struct Domain {
+    must_null: bool,
+    /// Any value constraint implies the identifier is non-null.
+    non_null: bool,
+    eq: Option<EvalValue>,
+    neq: Vec<EvalValue>,
+    lower: Option<(f64, bool)>,
+    upper: Option<(f64, bool)>,
+    in_sets: Vec<BTreeSet<String>>,
+    likes: Vec<(String, Option<char>, bool)>,
+}
+
+/// Converts a numeric literal to an `f64` only when the conversion is
+/// exact, so interval emptiness conclusions stay sound.
+fn exact_f64(literal: &Literal) -> Option<f64> {
+    const EXACT: i64 = 1 << 53;
+    match literal {
+        Literal::Int(v) if (-EXACT..=EXACT).contains(v) => Some(*v as f64),
+        Literal::Float(v) if v.is_finite() => Some(*v),
+        _ => None,
+    }
+}
+
+/// Checks the top-level conjuncts for a per-identifier contradiction.
+fn conjuncts_contradict(expr: &Expr) -> bool {
+    let mut domains: BTreeMap<&str, Domain> = BTreeMap::new();
+    for conjunct in conjuncts(expr) {
+        match conjunct {
+            // Bare boolean property: must be exactly TRUE.
+            Expr::Ident(name) => {
+                domains
+                    .entry(name)
+                    .or_default()
+                    .add_eq(EvalValue::Bool(true));
+            }
+            Expr::Unary {
+                op: UnaryOp::Not,
+                expr: inner,
+            } => {
+                if let Expr::Ident(name) = &**inner {
+                    domains
+                        .entry(name)
+                        .or_default()
+                        .add_eq(EvalValue::Bool(false));
+                }
+            }
+            Expr::Binary { op, left, right } => {
+                let (name, op, literal) = match (&**left, &**right) {
+                    (Expr::Ident(name), other) => match signed_literal(other) {
+                        Some(literal) => (name, *op, literal),
+                        None => continue,
+                    },
+                    (other, Expr::Ident(name)) => match signed_literal(other) {
+                        Some(literal) => (name, flip(*op), literal),
+                        None => continue,
+                    },
+                    _ => continue,
+                };
+                let domain = domains.entry(name).or_default();
+                match op {
+                    BinaryOp::Eq => domain.add_eq(literal_value(&literal)),
+                    BinaryOp::Neq => {
+                        domain.non_null = true;
+                        domain.neq.push(literal_value(&literal));
+                    }
+                    BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge => {
+                        if let Some(bound) = exact_f64(&literal) {
+                            domain.non_null = true;
+                            match op {
+                                BinaryOp::Lt => domain.add_upper(bound, false),
+                                BinaryOp::Le => domain.add_upper(bound, true),
+                                BinaryOp::Gt => domain.add_lower(bound, false),
+                                BinaryOp::Ge => domain.add_lower(bound, true),
+                                _ => unreachable!(),
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            Expr::Between {
+                negated: false,
+                expr: inner,
+                low,
+                high,
+            } => {
+                if let Expr::Ident(name) = &**inner {
+                    let domain = domains.entry(name.as_str()).or_default();
+                    domain.non_null = true;
+                    if let Some(bound) = signed_literal(low).as_ref().and_then(exact_f64) {
+                        domain.add_lower(bound, true);
+                    }
+                    if let Some(bound) = signed_literal(high).as_ref().and_then(exact_f64) {
+                        domain.add_upper(bound, true);
+                    }
+                }
+            }
+            Expr::In {
+                negated: false,
+                expr: inner,
+                list,
+            } => {
+                if let Expr::Ident(name) = &**inner {
+                    let domain = domains.entry(name.as_str()).or_default();
+                    domain.non_null = true;
+                    domain.in_sets.push(list.iter().cloned().collect());
+                }
+            }
+            Expr::Like {
+                negated,
+                expr: inner,
+                pattern,
+                escape,
+            } => {
+                if let Expr::Ident(name) = &**inner {
+                    let domain = domains.entry(name.as_str()).or_default();
+                    domain.non_null = true;
+                    domain.likes.push((pattern.clone(), *escape, *negated));
+                }
+            }
+            Expr::IsNull {
+                negated,
+                expr: inner,
+            } => {
+                if let Expr::Ident(name) = &**inner {
+                    let domain = domains.entry(name.as_str()).or_default();
+                    if *negated {
+                        domain.non_null = true;
+                    } else {
+                        domain.must_null = true;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    domains.values().any(Domain::contradicts)
+}
+
+fn flip(op: BinaryOp) -> BinaryOp {
+    match op {
+        BinaryOp::Lt => BinaryOp::Gt,
+        BinaryOp::Le => BinaryOp::Ge,
+        BinaryOp::Gt => BinaryOp::Lt,
+        BinaryOp::Ge => BinaryOp::Le,
+        other => other,
+    }
+}
+
+impl Domain {
+    fn add_eq(&mut self, value: EvalValue) {
+        self.non_null = true;
+        match &self.eq {
+            // Two distinct pinned values are caught in `contradicts` via
+            // the first pin plus an impossible-equality check here: keep
+            // the first and record the second as a must-equal witness.
+            Some(existing) => {
+                if eval::compare(BinaryOp::Eq, existing.clone(), value.clone()) != Truth::True {
+                    // Encode the conflict as `x <> first`, which `contradicts`
+                    // then detects against the pinned value.
+                    self.neq.push(existing.clone());
+                }
+            }
+            None => self.eq = Some(value),
+        }
+    }
+
+    fn add_lower(&mut self, bound: f64, inclusive: bool) {
+        self.lower = Some(match self.lower {
+            Some((b, i)) if b > bound || (b == bound && !i) => (b, i),
+            _ => (bound, inclusive),
+        });
+    }
+
+    fn add_upper(&mut self, bound: f64, inclusive: bool) {
+        self.upper = Some(match self.upper {
+            Some((b, i)) if b < bound || (b == bound && !i) => (b, i),
+            _ => (bound, inclusive),
+        });
+    }
+
+    fn contradicts(&self) -> bool {
+        if self.must_null && self.non_null {
+            return true;
+        }
+        if let (Some((lo, lo_inc)), Some((hi, hi_inc))) = (self.lower, self.upper) {
+            if lo > hi || (lo == hi && !(lo_inc && hi_inc)) {
+                return true;
+            }
+        }
+        if let Some(intersection) = self.in_sets.split_first().map(|(first, rest)| {
+            rest.iter().fold(first.clone(), |acc, set| {
+                acc.intersection(set).cloned().collect()
+            })
+        }) {
+            if intersection.is_empty() {
+                return true;
+            }
+            if let Some(EvalValue::Str(s)) = &self.eq {
+                if !intersection.contains(s) {
+                    return true;
+                }
+            }
+        }
+        if let Some(eq) = &self.eq {
+            if self
+                .neq
+                .iter()
+                .any(|v| eval::compare(BinaryOp::Eq, eq.clone(), v.clone()) == Truth::True)
+            {
+                return true;
+            }
+            if let Some((lo, inclusive)) = self.lower {
+                let op = if inclusive {
+                    BinaryOp::Ge
+                } else {
+                    BinaryOp::Gt
+                };
+                if eval::compare(op, eq.clone(), EvalValue::Double(lo)) == Truth::False {
+                    return true;
+                }
+            }
+            if let Some((hi, inclusive)) = self.upper {
+                let op = if inclusive {
+                    BinaryOp::Le
+                } else {
+                    BinaryOp::Lt
+                };
+                if eval::compare(op, eq.clone(), EvalValue::Double(hi)) == Truth::False {
+                    return true;
+                }
+            }
+            if let EvalValue::Str(s) = eq {
+                for (pattern, escape, negated) in &self.likes {
+                    if eval::like_match(s, pattern, *escape) == *negated {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn classify(text: &str) -> Classification {
+        Selector::parse(text).unwrap().analyze().classification
+    }
+
+    #[test]
+    fn constant_folding_finds_always_true() {
+        assert_eq!(classify(""), Classification::AlwaysTrue);
+        assert_eq!(classify("TRUE"), Classification::AlwaysTrue);
+        assert_eq!(classify("1 = 1"), Classification::AlwaysTrue);
+        assert_eq!(classify("1 < 2 OR x = 1"), Classification::AlwaysTrue);
+        assert_eq!(classify("NOT FALSE"), Classification::AlwaysTrue);
+        assert_eq!(classify("2 BETWEEN 1 AND 3"), Classification::AlwaysTrue);
+        assert_eq!(classify("'b' IN ('a', 'b')"), Classification::AlwaysTrue);
+        assert_eq!(classify("'abc' LIKE 'a%'"), Classification::AlwaysTrue);
+        assert_eq!(classify("1 + 1 = 2"), Classification::AlwaysTrue);
+    }
+
+    #[test]
+    fn constant_folding_finds_always_false() {
+        assert_eq!(classify("FALSE"), Classification::AlwaysFalse);
+        assert_eq!(classify("1 = 2"), Classification::AlwaysFalse);
+        assert_eq!(classify("FALSE AND x = 1"), Classification::AlwaysFalse);
+        // Unknown is not a match either: a null comparison never matches.
+        assert_eq!(
+            classify("missing IS NULL AND 1 = 2"),
+            Classification::AlwaysFalse
+        );
+        assert_eq!(classify("x / 0 = 1"), Classification::AlwaysFalse);
+        assert_eq!(classify("x BETWEEN 5 AND 3"), Classification::AlwaysFalse);
+        assert_eq!(
+            classify("x NOT BETWEEN 3 AND 5 AND FALSE"),
+            Classification::AlwaysFalse
+        );
+    }
+
+    #[test]
+    fn domain_pass_finds_conjunct_contradictions() {
+        assert_eq!(classify("x = 1 AND x = 2"), Classification::AlwaysFalse);
+        assert_eq!(classify("x = 1 AND x <> 1"), Classification::AlwaysFalse);
+        assert_eq!(classify("x < 1 AND x > 2"), Classification::AlwaysFalse);
+        assert_eq!(classify("x < 1 AND x >= 1"), Classification::AlwaysFalse);
+        assert_eq!(classify("x IS NULL AND x = 1"), Classification::AlwaysFalse);
+        assert_eq!(
+            classify("x IS NULL AND x IS NOT NULL"),
+            Classification::AlwaysFalse
+        );
+        assert_eq!(
+            classify("region IN ('a') AND region IN ('b')"),
+            Classification::AlwaysFalse
+        );
+        assert_eq!(
+            classify("region = 'emea' AND region IN ('apac')"),
+            Classification::AlwaysFalse
+        );
+        assert_eq!(
+            classify("region = 'emea' AND region LIKE 'a%'"),
+            Classification::AlwaysFalse
+        );
+        assert_eq!(
+            classify("region = 'emea' AND region NOT LIKE 'e%'"),
+            Classification::AlwaysFalse
+        );
+        assert_eq!(classify("flag AND NOT flag"), Classification::AlwaysFalse);
+        assert_eq!(
+            classify("x BETWEEN 1 AND 3 AND x > 10"),
+            Classification::AlwaysFalse
+        );
+        assert_eq!(classify("5 > x AND x > 7"), Classification::AlwaysFalse);
+    }
+
+    #[test]
+    fn contingent_selectors_stay_contingent() {
+        assert_eq!(classify("region = 'emea'"), Classification::Contingent);
+        // `x = x` is unknown for null `x`, so it is not always true.
+        assert_eq!(classify("x = x"), Classification::Contingent);
+        assert_eq!(classify("x > 5 OR x <= 5"), Classification::Contingent);
+        assert_eq!(classify("x = 1 OR x = 2"), Classification::Contingent);
+        assert_eq!(
+            classify("NOT (x = 1 AND x = 2)"),
+            Classification::Contingent
+        );
+        assert_eq!(classify("x <> 1"), Classification::Contingent);
+        assert_eq!(classify("JMSPriority >= 5"), Classification::Contingent);
+    }
+
+    #[test]
+    fn type_errors_are_ill_typed() {
+        assert_eq!(classify("1 = '1'"), Classification::IllTyped);
+        assert_eq!(
+            classify("region > 5 AND region = 'emea'"),
+            Classification::IllTyped
+        );
+        assert_eq!(
+            classify("region = 'emea' AND region > 5"),
+            Classification::IllTyped
+        );
+        assert_eq!(
+            classify("name + 1 = 2 AND name LIKE 'a%'"),
+            Classification::IllTyped
+        );
+        assert_eq!(classify("JMSPriority = 'high'"), Classification::IllTyped);
+        assert_eq!(classify("JMSDeliveryMode > 3"), Classification::IllTyped);
+        assert_eq!(
+            classify("flag AND flag LIKE 'a%'"),
+            Classification::IllTyped
+        );
+        // A non-boolean root is not a condition.
+        assert_eq!(classify("5"), Classification::IllTyped);
+        assert_eq!(classify("x + 1"), Classification::IllTyped);
+        assert_eq!(classify("'text'"), Classification::IllTyped);
+        // Equality links two identifiers: a later numeric use of one
+        // conflicts with a string use of the other.
+        assert_eq!(
+            classify("a = b AND a > 1 AND b LIKE 'x%'"),
+            Classification::IllTyped
+        );
+    }
+
+    #[test]
+    fn ill_typed_carries_an_error() {
+        let analysis = Selector::parse("region > 5 AND region = 'emea'")
+            .unwrap()
+            .analyze();
+        assert!(analysis.is_ill_typed());
+        let error = analysis.error.expect("ill-typed analysis has an error");
+        assert!(
+            error.message().contains("region"),
+            "got: {}",
+            error.message()
+        );
+    }
+
+    #[test]
+    fn permissive_evaluation_still_works_for_ill_typed_selectors() {
+        // Parsing stays permissive: the evaluator treats the mismatch as
+        // unknown. Only analysis (and the broker at subscribe time)
+        // rejects it.
+        let selector = Selector::parse("name < 'y'").unwrap();
+        assert!(selector.analyze().is_ill_typed());
+        assert!(!selector.matches_with(|_| Some(EvalValue::Str("x".into()))));
+    }
+
+    #[test]
+    fn identifiers_and_types_are_reported() {
+        let analysis = Selector::parse("region = 'emea' AND size > 10 AND flag")
+            .unwrap()
+            .analyze();
+        assert_eq!(
+            analysis.identifiers.iter().collect::<Vec<_>>(),
+            vec!["flag", "region", "size"]
+        );
+        assert_eq!(analysis.types.get("region"), Some(&IdentType::Str));
+        assert_eq!(analysis.types.get("size"), Some(&IdentType::Num));
+        assert_eq!(analysis.types.get("flag"), Some(&IdentType::Bool));
+    }
+
+    #[test]
+    fn equalities_are_extracted_from_the_conjunct_spine() {
+        let analysis = Selector::parse("region = 'emea' AND size > 10 AND 3 = tier")
+            .unwrap()
+            .analyze();
+        assert_eq!(
+            analysis.equalities,
+            vec![
+                EqConstraint {
+                    ident: "region".into(),
+                    literal: Literal::Str("emea".into()),
+                },
+                EqConstraint {
+                    ident: "tier".into(),
+                    literal: Literal::Int(3),
+                },
+            ]
+        );
+        // Disjunctions contribute no top-level equalities.
+        let analysis = Selector::parse("region = 'emea' OR region = 'apac'")
+            .unwrap()
+            .analyze();
+        assert!(analysis.equalities.is_empty());
+    }
+
+    #[test]
+    fn external_type_environment_is_respected() {
+        let selector = Selector::parse("region = 'emea'").unwrap();
+        let mut env = BTreeMap::new();
+        env.insert("region".to_owned(), IdentType::Num);
+        assert_eq!(
+            selector.analyze_with_env(&env).classification,
+            Classification::IllTyped
+        );
+        assert_eq!(
+            selector.analyze().classification,
+            Classification::Contingent
+        );
+    }
+
+    #[test]
+    fn huge_integer_literals_do_not_unsoundly_prove_emptiness() {
+        // 2^53 + 1 is not exactly representable; the analysis must not
+        // round it into a fake empty interval.
+        assert_eq!(
+            classify("x >= 9007199254740993 AND x <= 9007199254740992"),
+            Classification::Contingent
+        );
+    }
+}

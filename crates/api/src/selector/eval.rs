@@ -27,7 +27,8 @@ impl Truth {
         }
     }
 
-    fn and(self, other: Truth) -> Truth {
+    /// SQL-92 three-valued conjunction.
+    pub fn and(self, other: Truth) -> Truth {
         match (self, other) {
             (Truth::False, _) | (_, Truth::False) => Truth::False,
             (Truth::True, Truth::True) => Truth::True,
@@ -35,7 +36,8 @@ impl Truth {
         }
     }
 
-    fn or(self, other: Truth) -> Truth {
+    /// SQL-92 three-valued disjunction.
+    pub fn or(self, other: Truth) -> Truth {
         match (self, other) {
             (Truth::True, _) | (_, Truth::True) => Truth::True,
             (Truth::False, Truth::False) => Truth::False,
@@ -43,12 +45,21 @@ impl Truth {
         }
     }
 
-    fn not(self) -> Truth {
+    /// SQL-92 three-valued negation.
+    pub fn negate(self) -> Truth {
         match self {
             Truth::True => Truth::False,
             Truth::False => Truth::True,
             Truth::Unknown => Truth::Unknown,
         }
+    }
+}
+
+impl std::ops::Not for Truth {
+    type Output = Truth;
+
+    fn not(self) -> Truth {
+        self.negate()
     }
 }
 
@@ -172,7 +183,7 @@ fn eval_value<C: Context>(expr: &Expr, context: &C) -> EvalValue {
         Expr::Literal(Literal::Bool(b)) => EvalValue::Bool(*b),
         Expr::Ident(name) => context.resolve(name).unwrap_or(EvalValue::Null),
         Expr::Unary { op, expr } => match op {
-            UnaryOp::Not => truth_to_value(eval(expr, context).not()),
+            UnaryOp::Not => truth_to_value(eval(expr, context).negate()),
             UnaryOp::Neg => match eval_value(expr, context) {
                 EvalValue::Long(v) => EvalValue::Long(v.wrapping_neg()),
                 EvalValue::Double(v) => EvalValue::Double(-v),
@@ -207,7 +218,7 @@ fn eval_value<C: Context>(expr: &Expr, context: &C) -> EvalValue {
             let high = eval_value(high, context);
             let truth =
                 compare(BinaryOp::Ge, value.clone(), low).and(compare(BinaryOp::Le, value, high));
-            truth_to_value(if *negated { truth.not() } else { truth })
+            truth_to_value(if *negated { truth.negate() } else { truth })
         }
         Expr::In {
             negated,
@@ -219,7 +230,7 @@ fn eval_value<C: Context>(expr: &Expr, context: &C) -> EvalValue {
                 EvalValue::Null => Truth::Unknown,
                 _ => Truth::Unknown,
             };
-            truth_to_value(if *negated { truth.not() } else { truth })
+            truth_to_value(if *negated { truth.negate() } else { truth })
         }
         Expr::Like {
             negated,
@@ -232,7 +243,7 @@ fn eval_value<C: Context>(expr: &Expr, context: &C) -> EvalValue {
                 EvalValue::Null => Truth::Unknown,
                 _ => Truth::Unknown,
             };
-            truth_to_value(if *negated { truth.not() } else { truth })
+            truth_to_value(if *negated { truth.negate() } else { truth })
         }
         Expr::IsNull { negated, expr } => {
             let is_null = eval_value(expr, context).is_null();
@@ -249,7 +260,7 @@ fn truth_to_value(truth: Truth) -> EvalValue {
     }
 }
 
-fn compare(op: BinaryOp, left: EvalValue, right: EvalValue) -> Truth {
+pub(crate) fn compare(op: BinaryOp, left: EvalValue, right: EvalValue) -> Truth {
     use EvalValue::*;
     match (&left, &right) {
         (Null, _) | (_, Null) => Truth::Unknown,
@@ -297,7 +308,7 @@ fn numeric_compare(op: BinaryOp, a: f64, b: f64, exact: Option<(i64, i64)>) -> T
     })
 }
 
-fn arithmetic(op: BinaryOp, left: EvalValue, right: EvalValue) -> EvalValue {
+pub(crate) fn arithmetic(op: BinaryOp, left: EvalValue, right: EvalValue) -> EvalValue {
     use EvalValue::*;
     match (left, right) {
         (Long(a), Long(b)) => match op {
@@ -338,7 +349,7 @@ fn float_arithmetic(op: BinaryOp, a: f64, b: f64) -> EvalValue {
 
 /// Matches `text` against a SQL LIKE `pattern` with `%` (any sequence) and
 /// `_` (any single character) wildcards and an optional escape character.
-fn like_match(text: &str, pattern: &str, escape: Option<char>) -> bool {
+pub(crate) fn like_match(text: &str, pattern: &str, escape: Option<char>) -> bool {
     let text: Vec<char> = text.chars().collect();
     let pattern: Vec<PatternItem> = compile_pattern(pattern, escape);
     like_rec(&text, &pattern)
@@ -411,9 +422,9 @@ mod tests {
         assert_eq!(False.or(Unknown), Unknown);
         assert_eq!(False.or(False), False);
         assert_eq!(Unknown.or(Unknown), Unknown);
-        assert_eq!(True.not(), False);
-        assert_eq!(False.not(), True);
-        assert_eq!(Unknown.not(), Unknown);
+        assert_eq!(True.negate(), False);
+        assert_eq!(False.negate(), True);
+        assert_eq!(Unknown.negate(), Unknown);
     }
 
     #[test]

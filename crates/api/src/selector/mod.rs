@@ -32,11 +32,13 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod analyze;
 mod ast;
 mod eval;
 mod parser;
 mod token;
 
+pub use analyze::{Classification, EqConstraint, IdentType, SelectorAnalysis};
 pub use ast::{BinaryOp, Expr, Literal, UnaryOp};
 pub use eval::{EvalValue, Truth};
 
@@ -103,6 +105,18 @@ impl Selector {
     {
         eval::eval(&self.expr, &eval::FnContext::new(resolve)) == Truth::True
     }
+}
+
+/// Resolves an identifier against a message exactly as selector evaluation
+/// does: JMS header fields first, then user properties. `None` means the
+/// identifier evaluates to null.
+///
+/// Exposed so brokers can key analysis-driven routing indexes (for
+/// example, an equality-predicate prefilter) on the same values the
+/// evaluator would see.
+pub fn resolve_ident(message: &Message, name: &str) -> Option<EvalValue> {
+    use eval::Context as _;
+    eval::MessageContext::new(message).resolve(name)
 }
 
 impl fmt::Display for Selector {

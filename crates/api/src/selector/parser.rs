@@ -21,12 +21,34 @@ use super::ast::{BinaryOp, Expr, Literal, UnaryOp};
 use super::token::{lex, Spanned, Token};
 use super::SelectorError;
 
+/// Upper bound on selector size, in tokens. Every AST node consumes at
+/// least one token, so this also bounds `Expr::node_count` and with it the
+/// recursion depth of every later tree walk (evaluation, analysis,
+/// display).
+const MAX_TOKENS: usize = 4096;
+
+/// Upper bound on parser recursion through the unbounded grammar
+/// productions (parenthesised groups, `NOT` chains, unary signs). Each
+/// level costs several stack frames across the precedence chain, so the
+/// limit keeps parsing well inside a default 2 MiB thread stack.
+const MAX_DEPTH: usize = 128;
+
 pub(crate) fn parse(text: &str) -> Result<Expr, SelectorError> {
     let tokens = lex(text)?;
+    if tokens.len() > MAX_TOKENS {
+        return Err(SelectorError::new(
+            0,
+            format!(
+                "selector too large: {} tokens exceed the {MAX_TOKENS}-token limit",
+                tokens.len()
+            ),
+        ));
+    }
     let mut parser = Parser {
         tokens,
         position: 0,
         end: text.len(),
+        depth: 0,
     };
     let expr = parser.expr()?;
     if let Some(extra) = parser.peek() {
@@ -42,9 +64,26 @@ struct Parser {
     tokens: Vec<Spanned>,
     position: usize,
     end: usize,
+    depth: usize,
 }
 
 impl Parser {
+    /// Guards a recursive descent through an unbounded production.
+    fn descend(&mut self) -> Result<(), SelectorError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            Err(SelectorError::new(
+                self.offset(),
+                format!("selector nesting exceeds the {MAX_DEPTH}-level limit"),
+            ))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn ascend(&mut self) {
+        self.depth -= 1;
+    }
     fn peek(&self) -> Option<&Spanned> {
         self.tokens.get(self.position)
     }
@@ -116,7 +155,9 @@ impl Parser {
 
     fn not_expr(&mut self) -> Result<Expr, SelectorError> {
         if self.eat(&Token::Not) {
+            self.descend()?;
             let expr = self.not_expr()?;
+            self.ascend();
             Ok(Expr::Unary {
                 op: UnaryOp::Not,
                 expr: Box::new(expr),
@@ -294,14 +335,19 @@ impl Parser {
 
     fn unary(&mut self) -> Result<Expr, SelectorError> {
         if self.eat(&Token::Minus) {
+            self.descend()?;
             let expr = self.unary()?;
+            self.ascend();
             return Ok(Expr::Unary {
                 op: UnaryOp::Neg,
                 expr: Box::new(expr),
             });
         }
         if self.eat(&Token::Plus) {
-            return self.unary();
+            self.descend()?;
+            let expr = self.unary();
+            self.ascend();
+            return expr;
         }
         self.primary()
     }
@@ -334,10 +380,35 @@ impl Parser {
             }
             Some(Token::LParen) => {
                 self.position += 1;
+                self.descend()?;
                 let expr = self.expr()?;
+                self.ascend();
                 self.expect(&Token::RParen)?;
                 Ok(expr)
             }
+            // JMS reserves the selector keywords: they are not valid
+            // identifiers, and deserve a targeted message rather than the
+            // generic "expected a primary" one.
+            Some(Token::Null) => Err(SelectorError::new(
+                self.offset(),
+                "reserved word NULL cannot be used as an identifier (use `x IS NULL` to test for null)",
+            )),
+            Some(
+                token @ (Token::And
+                | Token::Or
+                | Token::Not
+                | Token::Between
+                | Token::In
+                | Token::Like
+                | Token::Escape
+                | Token::Is),
+            ) => Err(SelectorError::new(
+                self.offset(),
+                format!(
+                    "reserved word {} cannot be used as an identifier",
+                    token.describe()
+                ),
+            )),
             _ => Err(self.unexpected("expected a literal, identifier or parenthesised expression")),
         }
     }
@@ -444,5 +515,54 @@ mod tests {
         let depth = 100;
         let source = format!("{}a = 1{}", "(".repeat(depth), ")".repeat(depth));
         assert!(parse(&source).is_ok());
+    }
+
+    #[test]
+    fn reserved_words_are_not_identifiers() {
+        let err = parse("NULL = 1").unwrap_err();
+        assert!(err.message().contains("reserved word NULL"), "{err}");
+        assert!(err.message().contains("IS NULL"), "{err}");
+        let err = parse("a = between").unwrap_err();
+        assert!(err.message().contains("reserved word BETWEEN"), "{err}");
+        let err = parse("escape = 'x'").unwrap_err();
+        assert!(err.message().contains("reserved word ESCAPE"), "{err}");
+        let err = parse("a = 1 AND is").unwrap_err();
+        assert!(err.message().contains("reserved word IS"), "{err}");
+        // Case-insensitive, like all keywords.
+        assert!(parse("null = 1").is_err());
+        // TRUE/FALSE remain valid literals, and dotted names that merely
+        // contain a keyword are fine.
+        assert!(parse("a = TRUE OR a = false").is_ok());
+        assert!(parse("null.field = 1").is_ok());
+    }
+
+    #[test]
+    fn nesting_beyond_the_depth_limit_is_rejected() {
+        let depth = MAX_DEPTH + 1;
+        let source = format!("{}a = 1{}", "(".repeat(depth), ")".repeat(depth));
+        let err = parse(&source).unwrap_err();
+        assert!(err.message().contains("nesting"), "{err}");
+        let source = format!("{}a", "NOT ".repeat(depth));
+        assert!(parse(&source).is_err());
+        let source = format!("{}1 = 1", "-".repeat(depth));
+        assert!(parse(&source).is_err());
+    }
+
+    #[test]
+    fn oversized_selectors_are_rejected() {
+        let wide = (0..MAX_TOKENS).map(|i| format!("p{i} = {i}")).fold(
+            String::new(),
+            |mut acc, clause| {
+                if !acc.is_empty() {
+                    acc.push_str(" AND ");
+                }
+                acc.push_str(&clause);
+                acc
+            },
+        );
+        let err = parse(&wide).unwrap_err();
+        assert!(err.message().contains("token limit"), "{err}");
+        // A selector at a reasonable size still parses.
+        assert!(parse("a = 1 AND b = 2 AND c = 3").is_ok());
     }
 }

@@ -164,3 +164,104 @@ proptest! {
         }
     }
 }
+
+// ===================================================================
+// Static-analysis soundness: whatever the classifier claims about a
+// selector must hold under the real evaluator for arbitrary messages.
+// ===================================================================
+
+use jmst_api::selector::Classification;
+
+const ANALYSIS_IDENTS: [&str; 5] = ["a", "b2", "_x", "price", "JMSPriority"];
+
+fn arb_eval_value() -> impl Strategy<Value = EvalValue> {
+    prop_oneof![
+        (-100i64..100).prop_map(EvalValue::Long),
+        (-400i64..400).prop_map(|v| EvalValue::Double(v as f64 / 4.0)),
+        prop::sample::select(vec!["", "a", "ab", "price"])
+            .prop_map(|s| EvalValue::Str(s.to_string())),
+        any::<bool>().prop_map(EvalValue::Bool),
+    ]
+}
+
+/// One random binding per identifier the selector generator can
+/// reference; `None` leaves the identifier null.
+fn arb_bindings() -> impl Strategy<Value = Vec<Option<EvalValue>>> {
+    prop::collection::vec(
+        (any::<bool>(), arb_eval_value()).prop_map(|(set, value)| set.then_some(value)),
+        ANALYSIS_IDENTS.len()..ANALYSIS_IDENTS.len() + 1,
+    )
+}
+
+fn matches_under(selector: &Selector, bindings: &[Option<EvalValue>]) -> bool {
+    let bindings = bindings.to_vec();
+    selector.matches_with(move |name| {
+        ANALYSIS_IDENTS
+            .iter()
+            .position(|ident| *ident == name)
+            .and_then(|index| bindings[index].clone())
+    })
+}
+
+proptest! {
+    #[test]
+    fn classification_is_sound_under_random_messages(
+        text in arb_selector_text(),
+        bindings in arb_bindings(),
+    ) {
+        let selector = Selector::parse(&text).expect("generated selector must parse");
+        let analysis = selector.analyze();
+        match analysis.classification {
+            // AlwaysTrue comes from constant folding alone, so it must
+            // hold no matter what the message carries.
+            Classification::AlwaysTrue => {
+                prop_assert!(matches_under(&selector, &bindings), "{text}")
+            }
+            // AlwaysFalse must never match — not even for messages whose
+            // properties have surprising types or are absent.
+            Classification::AlwaysFalse => {
+                prop_assert!(!matches_under(&selector, &bindings), "{text}")
+            }
+            Classification::Contingent => {}
+            Classification::IllTyped => {
+                prop_assert!(analysis.error.is_some(), "{text}")
+            }
+        }
+    }
+
+    #[test]
+    fn domain_contradictions_never_match(
+        ident in 0usize..ANALYSIS_IDENTS.len(),
+        a in -50i64..50,
+        delta in 1i64..50,
+        bindings in arb_bindings(),
+    ) {
+        // `x = a AND x = b` with a ≠ b is recognised as AlwaysFalse and
+        // must reject every message.
+        let name = ANALYSIS_IDENTS[ident];
+        let b = a + delta;
+        let selector = Selector::parse(&format!("{name} = {a} AND {name} = {b}")).unwrap();
+        prop_assert_eq!(
+            selector.analyze().classification,
+            Classification::AlwaysFalse
+        );
+        prop_assert!(!matches_under(&selector, &bindings));
+    }
+
+    #[test]
+    fn constant_tautologies_always_match(
+        ident in 0usize..ANALYSIS_IDENTS.len(),
+        a in -50i64..50,
+        bindings in arb_bindings(),
+    ) {
+        // A constant-true disjunct makes the whole selector provably
+        // true, whatever the message-dependent arm would say.
+        let name = ANALYSIS_IDENTS[ident];
+        let selector = Selector::parse(&format!("{a} = {a} OR {name} > {a}")).unwrap();
+        prop_assert_eq!(
+            selector.analyze().classification,
+            Classification::AlwaysTrue
+        );
+        prop_assert!(matches_under(&selector, &bindings));
+    }
+}

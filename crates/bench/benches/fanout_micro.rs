@@ -103,5 +103,64 @@ fn fanout_publish_selective(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, fanout_publish, fanout_publish_selective);
+/// The analyzer classifies `TRUE` (and any other constant-true
+/// selector) as `AlwaysTrue`, so routing takes the unselected
+/// deliver-all fast path instead of evaluating per message — this
+/// variant should track `publish_1kib`, not `publish_1kib_selector`.
+fn fanout_publish_always_true(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fanout_micro/publish_1kib_always_true");
+    for subscribers in [1usize, 8, 64] {
+        group.throughput(Throughput::Elements(BATCH));
+        group.bench_function(format!("{subscribers}_subscribers"), |b| {
+            b.iter_batched_ref(
+                || rig(subscribers, Some("TRUE")),
+                |rig| publish_batch(rig, false),
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+/// Every subscriber carries a top-level equality conjunct, so routing
+/// consults the per-shard equality index: one hash probe finds the
+/// candidates instead of evaluating all N selectors. Half the
+/// subscriptions want `region = 'emea'` (match), half `region = 'apac'`
+/// (filtered out by the index without ever running their selector).
+fn fanout_publish_eq_indexed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fanout_micro/publish_1kib_eq_indexed");
+    for subscribers in [1usize, 8, 64] {
+        group.throughput(Throughput::Elements(BATCH));
+        group.bench_function(format!("{subscribers}_subscribers"), |b| {
+            b.iter_batched_ref(
+                || {
+                    let mut rig = rig(
+                        subscribers.div_ceil(2),
+                        Some("region = 'emea' AND size BETWEEN 100 AND 4096"),
+                    );
+                    let topic = Destination::topic("fan");
+                    for _ in 0..subscribers / 2 {
+                        rig._subscribers.push(
+                            rig._session
+                                .create_consumer(&topic, Some("region = 'apac'"))
+                                .unwrap(),
+                        );
+                    }
+                    rig
+                },
+                |rig| publish_batch(rig, true),
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    fanout_publish,
+    fanout_publish_selective,
+    fanout_publish_always_true,
+    fanout_publish_eq_indexed
+);
 criterion_main!(benches);

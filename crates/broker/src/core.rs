@@ -5,6 +5,7 @@
 use crate::config::BrokerConfig;
 use crate::endpoint::Endpoint;
 use crate::faults::{FaultCounters, FaultDecision, FaultEngine};
+use crate::prefilter::{message_key, route_plan, LitKey, RoutePlan};
 use jmst_api::destination::{Destination, EndpointId, QueueName, TopicName};
 use jmst_api::error::Error;
 use jmst_api::id::{ClientId, ConsumerId, IdGenerator};
@@ -21,20 +22,48 @@ use std::sync::Arc;
 struct TopicSubscription {
     endpoint: Arc<Endpoint>,
     selector: Option<Selector>,
+    /// Static-analysis verdict on `selector`, computed once at
+    /// subscription time (see [`crate::prefilter`]).
+    plan: RoutePlan,
 }
 
-/// A generation-stamped, immutable view of one topic's subscriptions.
+/// A generation-stamped, immutable view of one topic's subscriptions,
+/// partitioned by routing plan.
 ///
 /// Publishes read the current snapshot through one `Arc` clone and then
 /// work entirely on private data — no membership lock, no per-publish
 /// copy of the subscription list (and in particular no per-publish clone
-/// of parsed selector ASTs).
+/// of parsed selector ASTs). `Never` subscriptions are excluded from the
+/// snapshot entirely: a provably-false selector costs nothing per
+/// publish.
 #[derive(Debug)]
 struct SubscriptionSnapshot {
     /// Monotonic rebuild counter of the owning topic; lets diagnostics
     /// correlate a publish with the membership it saw.
     generation: u64,
-    subscriptions: Vec<TopicSubscription>,
+    /// Subscriptions delivered to without evaluation (no selector, or an
+    /// `AlwaysTrue` one).
+    deliver_all: Vec<TopicSubscription>,
+    /// Subscriptions whose selector is evaluated for every message.
+    evaluated: Vec<TopicSubscription>,
+    /// Subscriptions reached only through `eq_index`; their selectors run
+    /// on index candidates alone.
+    eq_filtered: Vec<TopicSubscription>,
+    /// `ident → literal key → indices into eq_filtered`. Each eq-filtered
+    /// subscription appears under exactly one `(ident, key)` pair.
+    eq_index: HashMap<String, HashMap<LitKey, Vec<u32>>>,
+}
+
+impl SubscriptionSnapshot {
+    fn empty(generation: u64) -> Self {
+        Self {
+            generation,
+            deliver_all: Vec::new(),
+            evaluated: Vec::new(),
+            eq_filtered: Vec::new(),
+            eq_index: HashMap::new(),
+        }
+    }
 }
 
 /// Per-topic subscription state, RCU-style: writers mutate `members`
@@ -51,24 +80,38 @@ impl TopicState {
     fn new() -> Self {
         Self {
             members: Mutex::new(HashMap::new()),
-            snapshot: RwLock::new(Arc::new(SubscriptionSnapshot {
-                generation: 0,
-                subscriptions: Vec::new(),
-            })),
+            snapshot: RwLock::new(Arc::new(SubscriptionSnapshot::empty(0))),
             generation: AtomicU64::new(0),
         }
     }
 
-    /// Rebuilds the published snapshot from `members`. Callers pass the
-    /// membership map they are still holding the lock on, which serialises
-    /// rebuilds and keeps snapshot generations monotonic.
+    /// Rebuilds the published snapshot from `members`, partitioning the
+    /// subscriptions by routing plan and building the equality index.
+    /// Callers pass the membership map they are still holding the lock
+    /// on, which serialises rebuilds and keeps snapshot generations
+    /// monotonic.
     fn rebuild(&self, members: &HashMap<EndpointId, TopicSubscription>) {
         let generation = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
-        let fresh = Arc::new(SubscriptionSnapshot {
-            generation,
-            subscriptions: members.values().cloned().collect(),
-        });
-        *self.snapshot.write() = fresh;
+        let mut fresh = SubscriptionSnapshot::empty(generation);
+        for sub in members.values() {
+            match &sub.plan {
+                RoutePlan::DeliverAll => fresh.deliver_all.push(sub.clone()),
+                RoutePlan::Eval => fresh.evaluated.push(sub.clone()),
+                RoutePlan::Never => {}
+                RoutePlan::EqFiltered { ident, key } => {
+                    let index = fresh.eq_filtered.len() as u32;
+                    fresh
+                        .eq_index
+                        .entry(ident.clone())
+                        .or_default()
+                        .entry(key.clone())
+                        .or_default()
+                        .push(index);
+                    fresh.eq_filtered.push(sub.clone());
+                }
+            }
+        }
+        *self.snapshot.write() = Arc::new(fresh);
     }
 
     /// The current snapshot (one `Arc` clone; never blocks on membership
@@ -322,12 +365,19 @@ impl Core {
     /// Creates a non-durable subscription on `topic` and returns its
     /// end-point. The subscription lives until
     /// [`Core::drop_non_durable`] is called for the same consumer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidSelector`] if static analysis finds the
+    /// selector ill-typed (the `InvalidSelectorException` analog: JMS
+    /// rejects such selectors at consumer creation, not per message).
     pub fn subscribe_non_durable(
         &self,
         topic: &TopicName,
         consumer: ConsumerId,
         selector: Option<Selector>,
-    ) -> Arc<Endpoint> {
+    ) -> Result<Arc<Endpoint>, Error> {
+        let plan = route_plan(selector.as_ref())?;
         let endpoint = Arc::new(Endpoint::new(
             EndpointId::non_durable(topic.clone(), consumer),
             self.config.enforce_expiry,
@@ -340,10 +390,11 @@ impl Core {
             TopicSubscription {
                 endpoint: Arc::clone(&endpoint),
                 selector,
+                plan,
             },
         );
         state.rebuild(&members);
-        endpoint
+        Ok(endpoint)
     }
 
     /// Ends a non-durable subscription: detaches it from the topic and
@@ -376,7 +427,9 @@ impl Core {
     /// # Errors
     ///
     /// Returns [`Error::InvalidClient`] if the subscription already has an
-    /// active consumer.
+    /// active consumer, or [`Error::InvalidSelector`] if static analysis
+    /// finds the selector ill-typed (checked before any existing
+    /// subscription is touched).
     pub fn resume_durable(
         &self,
         client: &ClientId,
@@ -385,6 +438,7 @@ impl Core {
         selector: Option<Selector>,
         consumer: ConsumerId,
     ) -> Result<Arc<Endpoint>, Error> {
+        let plan = route_plan(selector.as_ref())?;
         let selector_text = selector.as_ref().map(|s| s.text().to_owned());
         let key = (client.clone(), name.to_owned());
         let mut registry = self.registry.lock();
@@ -422,6 +476,7 @@ impl Core {
                 TopicSubscription {
                     endpoint: Arc::clone(&endpoint),
                     selector,
+                    plan,
                 },
             );
             state.rebuild(&members);
@@ -600,8 +655,17 @@ impl Core {
                 };
                 let mut matched = vec![false; run.len()];
                 if let Some(snapshot) = snapshot {
+                    // Fast path: no evaluation for unselected/always-true
+                    // subscriptions — the whole run is inserted as one
+                    // batch.
+                    for sub in &snapshot.deliver_all {
+                        let inserted = sub.endpoint.insert_batch(run.iter(), visible_at);
+                        if inserted > 0 {
+                            matched.iter_mut().for_each(|m| *m = true);
+                        }
+                    }
                     let mut accepted: Vec<&Arc<Message>> = Vec::with_capacity(run.len());
-                    for sub in &snapshot.subscriptions {
+                    for sub in &snapshot.evaluated {
                         accepted.clear();
                         let mut accepted_indices: Vec<usize> = Vec::new();
                         for (index, message) in run.iter().enumerate() {
@@ -623,6 +687,49 @@ impl Core {
                         if inserted > 0 {
                             for index in accepted_indices {
                                 matched[index] = true;
+                            }
+                        }
+                    }
+                    if !snapshot.eq_filtered.is_empty() {
+                        // Prefilter: each message probes the equality
+                        // index; only candidate subscriptions evaluate
+                        // their selector. Iterating messages in the outer
+                        // loop keeps each subscription's accepted list in
+                        // run order.
+                        let mut per_sub: Vec<Vec<usize>> =
+                            vec![Vec::new(); snapshot.eq_filtered.len()];
+                        for (index, message) in run.iter().enumerate() {
+                            for (ident, by_key) in &snapshot.eq_index {
+                                let Some(key) = message_key(message, ident) else {
+                                    continue;
+                                };
+                                let Some(candidates) = by_key.get(&key) else {
+                                    continue;
+                                };
+                                for &sub_index in candidates {
+                                    let sub = &snapshot.eq_filtered[sub_index as usize];
+                                    let ok = sub
+                                        .selector
+                                        .as_ref()
+                                        .is_none_or(|selector| selector.matches(message));
+                                    if ok {
+                                        per_sub[sub_index as usize].push(index);
+                                    }
+                                }
+                            }
+                        }
+                        for (sub, accepted_indices) in snapshot.eq_filtered.iter().zip(&per_sub) {
+                            if accepted_indices.is_empty() {
+                                continue;
+                            }
+                            let inserted = sub.endpoint.insert_batch(
+                                accepted_indices.iter().map(|&i| &run[i]),
+                                visible_at,
+                            );
+                            if inserted > 0 {
+                                for &index in accepted_indices {
+                                    matched[index] = true;
+                                }
                             }
                         }
                     }
@@ -669,20 +776,44 @@ impl Core {
                 let mut matched = false;
                 let mut duplicated = 0u64;
                 if let Some(snapshot) = snapshot {
-                    for sub in &snapshot.subscriptions {
+                    let mut deliver = |sub: &TopicSubscription| {
+                        let mut inserted = 0u64;
+                        for _ in 0..copies {
+                            if sub.endpoint.insert(Arc::clone(message), visible_at) {
+                                inserted += 1;
+                            }
+                        }
+                        duplicated += inserted.saturating_sub(1);
+                        matched |= inserted > 0;
+                    };
+                    for sub in &snapshot.deliver_all {
+                        deliver(sub);
+                    }
+                    for sub in &snapshot.evaluated {
                         let accepted = sub
                             .selector
                             .as_ref()
                             .is_none_or(|selector| selector.matches(message));
                         if accepted {
-                            let mut inserted = 0u64;
-                            for _ in 0..copies {
-                                if sub.endpoint.insert(Arc::clone(message), visible_at) {
-                                    inserted += 1;
-                                }
+                            deliver(sub);
+                        }
+                    }
+                    for (ident, by_key) in &snapshot.eq_index {
+                        let Some(key) = message_key(message, ident) else {
+                            continue;
+                        };
+                        let Some(candidates) = by_key.get(&key) else {
+                            continue;
+                        };
+                        for &sub_index in candidates {
+                            let sub = &snapshot.eq_filtered[sub_index as usize];
+                            let accepted = sub
+                                .selector
+                                .as_ref()
+                                .is_none_or(|selector| selector.matches(message));
+                            if accepted {
+                                deliver(sub);
                             }
-                            duplicated += inserted.saturating_sub(1);
-                            matched |= inserted > 0;
                         }
                     }
                 }
@@ -808,6 +939,7 @@ mod tests {
     use jmst_api::message::{MessageDraft, Stamp};
     use jmst_api::modes::DeliveryMode;
     use jmst_api::time::Clock;
+    use jmst_api::value::Value;
     use jmst_sim::VirtualClock;
     use std::time::Duration;
 
@@ -859,12 +991,16 @@ mod tests {
     fn topic_fanout_reaches_all_matching_subscriptions() {
         let (core, clock) = core_with_clock();
         let topic = TopicName::new("t");
-        let sub_a = core.subscribe_non_durable(&topic, ConsumerId::from_raw(1), None);
-        let sub_b = core.subscribe_non_durable(
-            &topic,
-            ConsumerId::from_raw(2),
-            Some(Selector::parse("JMSDeliveryMode = 'PERSISTENT'").unwrap()),
-        );
+        let sub_a = core
+            .subscribe_non_durable(&topic, ConsumerId::from_raw(1), None)
+            .unwrap();
+        let sub_b = core
+            .subscribe_non_durable(
+                &topic,
+                ConsumerId::from_raw(2),
+                Some(Selector::parse("JMSDeliveryMode = 'PERSISTENT'").unwrap()),
+            )
+            .unwrap();
         let np = stamped(&core, Destination::topic("t"), DeliveryMode::NonPersistent);
         let p = stamped(&core, Destination::topic("t"), DeliveryMode::Persistent);
         core.route(&np).unwrap();
@@ -878,9 +1014,11 @@ mod tests {
         let (core, _clock) = core_with_clock();
         let topic = TopicName::new("t");
         assert_eq!(core.topic_generation(&topic), None);
-        core.subscribe_non_durable(&topic, ConsumerId::from_raw(1), None);
+        core.subscribe_non_durable(&topic, ConsumerId::from_raw(1), None)
+            .unwrap();
         let after_subscribe = core.topic_generation(&topic).unwrap();
-        core.subscribe_non_durable(&topic, ConsumerId::from_raw(2), None);
+        core.subscribe_non_durable(&topic, ConsumerId::from_raw(2), None)
+            .unwrap();
         let after_second = core.topic_generation(&topic).unwrap();
         assert!(after_second > after_subscribe);
         core.drop_non_durable(&topic, ConsumerId::from_raw(1));
@@ -891,8 +1029,12 @@ mod tests {
     fn topic_fanout_shares_one_payload_across_subscribers() {
         let (core, clock) = core_with_clock();
         let topic = TopicName::new("t");
-        let sub_a = core.subscribe_non_durable(&topic, ConsumerId::from_raw(1), None);
-        let sub_b = core.subscribe_non_durable(&topic, ConsumerId::from_raw(2), None);
+        let sub_a = core
+            .subscribe_non_durable(&topic, ConsumerId::from_raw(1), None)
+            .unwrap();
+        let sub_b = core
+            .subscribe_non_durable(&topic, ConsumerId::from_raw(2), None)
+            .unwrap();
         let message = stamped(&core, Destination::topic("t"), DeliveryMode::Persistent);
         core.route(&message).unwrap();
         let drain_one = |endpoint: &Endpoint| {
@@ -917,6 +1059,91 @@ mod tests {
     }
 
     #[test]
+    fn ill_typed_selector_is_rejected_at_subscription_time() {
+        let (core, _clock) = core_with_clock();
+        let topic = TopicName::new("t");
+        // `region` is compared as a number and as a string: no typing.
+        let selector = Selector::parse("region > 5 AND region = 'emea'").unwrap();
+        let err = core
+            .subscribe_non_durable(&topic, ConsumerId::from_raw(1), Some(selector.clone()))
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidSelector(_)), "{err:?}");
+        let err = core
+            .resume_durable(
+                &ClientId::new("c"),
+                "s",
+                &topic,
+                Some(selector),
+                ConsumerId::from_raw(2),
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidSelector(_)), "{err:?}");
+        // Nothing was registered.
+        assert_eq!(core.topic_generation(&topic), None);
+    }
+
+    #[test]
+    fn always_false_subscription_never_receives() {
+        let (core, clock) = core_with_clock();
+        let topic = TopicName::new("t");
+        let never = core
+            .subscribe_non_durable(
+                &topic,
+                ConsumerId::from_raw(1),
+                Some(Selector::parse("x = 1 AND x = 2").unwrap()),
+            )
+            .unwrap();
+        let message = stamped(&core, Destination::topic("t"), DeliveryMode::Persistent);
+        core.route(&message).unwrap();
+        assert_eq!(drain(&never, clock.as_ref()), Vec::<MessageId>::new());
+        // With only a provably-false subscription, the publish is
+        // unroutable.
+        assert_eq!(core.counters().unroutable.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn equality_prefilter_routes_to_the_matching_partition() {
+        let (core, clock) = core_with_clock();
+        let topic = TopicName::new("t");
+        let subscribe = |raw: u64, selector: &str| {
+            core.subscribe_non_durable(
+                &topic,
+                ConsumerId::from_raw(raw),
+                Some(Selector::parse(selector).unwrap()),
+            )
+            .unwrap()
+        };
+        let emea = subscribe(1, "region = 'emea'");
+        let apac = subscribe(2, "region = 'apac'");
+        let emea_big = subscribe(3, "region = 'emea' AND size > 100");
+        let publish = |region: &str, size: i64| {
+            let message = Arc::new(
+                MessageDraft::text("x")
+                    .property("region", Value::String(region.to_owned()))
+                    .unwrap()
+                    .property("size", Value::Long(size))
+                    .unwrap()
+                    .stamp(Stamp {
+                        id: core.ids().next_message_id(),
+                        producer: ProducerId::from_raw(1),
+                        sequence: 0,
+                        destination: Destination::topic("t"),
+                        sent_at: core.now(),
+                    }),
+            );
+            core.route(&message).unwrap();
+            message.id()
+        };
+        let small = publish("emea", 10);
+        let big = publish("emea", 500);
+        let other = publish("apac", 500);
+        assert_eq!(drain(&emea, clock.as_ref()), vec![small, big]);
+        assert_eq!(drain(&apac, clock.as_ref()), vec![other]);
+        // The index narrowed candidates; the residual predicate still ran.
+        assert_eq!(drain(&emea_big, clock.as_ref()), vec![big]);
+    }
+
+    #[test]
     fn unmatched_topic_publish_is_counted_unroutable() {
         let (core, _clock) = core_with_clock();
         let message = stamped(&core, Destination::topic("empty"), DeliveryMode::Persistent);
@@ -929,7 +1156,7 @@ mod tests {
         let (core, _clock) = core_with_clock();
         let topic = TopicName::new("t");
         let consumer = ConsumerId::from_raw(9);
-        let endpoint = core.subscribe_non_durable(&topic, consumer, None);
+        let endpoint = core.subscribe_non_durable(&topic, consumer, None).unwrap();
         core.drop_non_durable(&topic, consumer);
         assert!(endpoint.is_destroyed());
         let message = stamped(&core, Destination::topic("t"), DeliveryMode::Persistent);
@@ -1049,7 +1276,9 @@ mod tests {
         let (core, clock) = core_with_clock();
         let topic = TopicName::new("t");
         let client = ClientId::new("c");
-        let ephemeral = core.subscribe_non_durable(&topic, ConsumerId::from_raw(1), None);
+        let ephemeral = core
+            .subscribe_non_durable(&topic, ConsumerId::from_raw(1), None)
+            .unwrap();
         let durable = core
             .resume_durable(&client, "s", &topic, None, ConsumerId::from_raw(2))
             .unwrap();

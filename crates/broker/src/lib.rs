@@ -19,6 +19,7 @@ mod connection;
 mod core;
 pub mod endpoint;
 pub mod faults;
+mod prefilter;
 mod provider;
 mod session;
 

@@ -1,0 +1,190 @@
+//! Analysis-driven routing plans and the equality-prefilter index key.
+//!
+//! When a subscription is created, its selector is statically analysed
+//! once ([`jmst_api::selector::analyze`]) and compiled into a
+//! [`RoutePlan`]. The routing hot path then dispatches on the plan instead
+//! of re-discovering the selector's shape per message:
+//!
+//! * `AlwaysTrue` selectors (and no selector at all) deliver without any
+//!   evaluation, restoring the unselected fan-out fast path;
+//! * `AlwaysFalse` selectors never deliver and drop out of the snapshot;
+//! * selectors with a top-level `ident = literal` conjunct are reached
+//!   only through a per-topic hash index keyed on the message's value of
+//!   `ident` — a publish evaluates selectors only for subscriptions whose
+//!   pinned equality can match;
+//! * everything else falls back to plain per-message evaluation.
+//!
+//! Ill-typed selectors never reach a plan: subscription creation fails
+//! with the JMS-faithful [`Error::InvalidSelector`].
+
+use jmst_api::error::Error;
+use jmst_api::message::Message;
+use jmst_api::selector::{resolve_ident, Classification, EvalValue, Literal, Selector};
+
+/// How the router treats one subscription's selector; decided once at
+/// subscription time.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum RoutePlan {
+    /// No selector, or one provably true for every message: deliver
+    /// without evaluating.
+    DeliverAll,
+    /// Provably false for every message: never deliver.
+    Never,
+    /// Contingent, with an indexable top-level equality predicate: the
+    /// subscription is only a delivery candidate when the message's value
+    /// of `ident` equals `key` (the full selector still runs on
+    /// candidates).
+    EqFiltered {
+        /// The pinned identifier.
+        ident: String,
+        /// The equality-index key of the pinned literal.
+        key: LitKey,
+    },
+    /// Contingent: evaluate the selector per message.
+    Eval,
+}
+
+/// A hashable image of a selector value under JMS equality semantics.
+///
+/// Numeric equality in the evaluator compares longs and doubles in `f64`
+/// space (exact `i64` comparison only when both sides are exact), so the
+/// key of a numeric value is its lossy-`f64` bit pattern with `-0.0`
+/// normalised — two values that the evaluator calls equal always map to
+/// the same key. Integer literals outside the exact-`f64` range are not
+/// indexable (see [`literal_key`]); their subscriptions fall back to
+/// [`RoutePlan::Eval`], keeping the prefilter sound.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) enum LitKey {
+    /// A string value.
+    Str(String),
+    /// A boolean value.
+    Bool(bool),
+    /// A numeric value as normalised `f64` bits.
+    Num(u64),
+}
+
+impl LitKey {
+    fn num(value: f64) -> LitKey {
+        let normalised = if value == 0.0 { 0.0 } else { value };
+        LitKey::Num(normalised.to_bits())
+    }
+}
+
+/// The index key of an equality-predicate literal, or `None` when the
+/// literal cannot be keyed soundly (an integer too large to round-trip
+/// through `f64`, or a non-finite float).
+pub(crate) fn literal_key(literal: &Literal) -> Option<LitKey> {
+    const EXACT: i64 = 1 << 53;
+    match literal {
+        Literal::Str(s) => Some(LitKey::Str(s.clone())),
+        Literal::Bool(b) => Some(LitKey::Bool(*b)),
+        Literal::Int(v) if (-EXACT..=EXACT).contains(v) => Some(LitKey::num(*v as f64)),
+        Literal::Int(_) => None,
+        Literal::Float(v) if v.is_finite() => Some(LitKey::num(*v)),
+        Literal::Float(_) => None,
+    }
+}
+
+/// The index key of a message's value for `ident`, or `None` when the
+/// identifier is null (a null never equals anything, so the message can
+/// skip every eq-filtered subscription on that identifier).
+pub(crate) fn message_key(message: &Message, ident: &str) -> Option<LitKey> {
+    match resolve_ident(message, ident)? {
+        EvalValue::Str(s) => Some(LitKey::Str(s)),
+        EvalValue::Bool(b) => Some(LitKey::Bool(b)),
+        // The lossy cast mirrors the evaluator's long-vs-double
+        // comparison; exact long-vs-long equality implies equal casts.
+        EvalValue::Long(v) => Some(LitKey::num(v as f64)),
+        EvalValue::Double(v) => Some(LitKey::num(v)),
+        EvalValue::Null => None,
+    }
+}
+
+/// Compiles a subscription's selector into its routing plan.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidSelector`] for an ill-typed selector — the
+/// JMS-faithful `InvalidSelectorException` at subscription creation.
+pub(crate) fn route_plan(selector: Option<&Selector>) -> Result<RoutePlan, Error> {
+    let Some(selector) = selector else {
+        return Ok(RoutePlan::DeliverAll);
+    };
+    let analysis = selector.analyze();
+    match analysis.classification {
+        Classification::AlwaysTrue => Ok(RoutePlan::DeliverAll),
+        Classification::AlwaysFalse => Ok(RoutePlan::Never),
+        Classification::IllTyped => Err(analysis
+            .error
+            .expect("ill-typed analysis carries its error")
+            .into()),
+        Classification::Contingent => Ok(analysis
+            .equalities
+            .iter()
+            .find_map(|eq| {
+                literal_key(&eq.literal).map(|key| RoutePlan::EqFiltered {
+                    ident: eq.ident.clone(),
+                    key,
+                })
+            })
+            .unwrap_or(RoutePlan::Eval)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(text: &str) -> RoutePlan {
+        route_plan(Some(&Selector::parse(text).unwrap())).unwrap()
+    }
+
+    #[test]
+    fn plans_follow_the_classification() {
+        assert_eq!(route_plan(None).unwrap(), RoutePlan::DeliverAll);
+        assert_eq!(plan("TRUE"), RoutePlan::DeliverAll);
+        assert_eq!(plan("1 = 1"), RoutePlan::DeliverAll);
+        assert_eq!(plan("FALSE"), RoutePlan::Never);
+        assert_eq!(plan("x = 1 AND x = 2"), RoutePlan::Never);
+        assert_eq!(plan("x > 5"), RoutePlan::Eval);
+        assert_eq!(
+            plan("region = 'emea'"),
+            RoutePlan::EqFiltered {
+                ident: "region".into(),
+                key: LitKey::Str("emea".into()),
+            }
+        );
+        // The first indexable equality wins; the rest of the selector
+        // still runs on candidates.
+        assert_eq!(
+            plan("size > 2 AND tier = 3 AND region = 'emea'"),
+            RoutePlan::EqFiltered {
+                ident: "tier".into(),
+                key: literal_key(&Literal::Int(3)).unwrap(),
+            }
+        );
+    }
+
+    #[test]
+    fn ill_typed_selectors_are_rejected_with_the_dedicated_error() {
+        let selector = Selector::parse("region > 5 AND region = 'emea'").unwrap();
+        let err = route_plan(Some(&selector)).unwrap_err();
+        assert!(matches!(err, Error::InvalidSelector(_)), "{err:?}");
+    }
+
+    #[test]
+    fn numeric_keys_are_equal_when_the_evaluator_says_so() {
+        assert_eq!(
+            literal_key(&Literal::Int(1)),
+            literal_key(&Literal::Float(1.0))
+        );
+        assert_eq!(
+            literal_key(&Literal::Float(0.0)),
+            literal_key(&Literal::Float(-0.0))
+        );
+        // Beyond 2^53, integer literals are not indexable.
+        assert_eq!(literal_key(&Literal::Int((1 << 53) + 1)), None);
+        let huge = Selector::parse(&format!("x = {}", (1i64 << 53) + 1)).unwrap();
+        assert_eq!(route_plan(Some(&huge)).unwrap(), RoutePlan::Eval);
+    }
+}

@@ -175,7 +175,7 @@ impl Session for BrokerSession {
         self.shared.check_open()?;
         let parsed = selector.map(Selector::parse).transpose()?;
         let id = self.shared.core.ids().next_consumer_id();
-        let (endpoint, kind) = match destination {
+        let (endpoint, kind, queue_selector) = match destination {
             Destination::Queue(queue) => {
                 // Queue consumers share the queue end-point; selectors on
                 // queues are applied at receive time by skipping
@@ -183,25 +183,44 @@ impl Session for BrokerSession {
                 // consumers leave non-matching messages for others), so we
                 // implement queue selectors by filtering during receive
                 // inside the consumer, leaving rejected messages in place.
-                (self.shared.core.queue_endpoint(queue), ConsumerKind::Queue)
+                // Static analysis runs here anyway: ill-typed selectors
+                // are rejected at creation (the InvalidSelectorException
+                // analog), and provably-true ones skip per-receive
+                // evaluation entirely.
+                let queue_selector = match &parsed {
+                    None => None,
+                    Some(selector) => {
+                        let analysis = selector.analyze();
+                        if let Some(error) = analysis.error {
+                            return Err(error.into());
+                        }
+                        if analysis.classification == jmst_api::selector::Classification::AlwaysTrue
+                        {
+                            None
+                        } else {
+                            parsed.clone()
+                        }
+                    }
+                };
+                (
+                    self.shared.core.queue_endpoint(queue),
+                    ConsumerKind::Queue,
+                    queue_selector,
+                )
             }
             Destination::Topic(topic) => (
-                self.shared
-                    .core
-                    .subscribe_non_durable(topic, id, parsed.clone()),
+                self.shared.core.subscribe_non_durable(topic, id, parsed)?,
                 ConsumerKind::NonDurable {
                     topic: topic.clone(),
                 },
+                None,
             ),
         };
         Ok(Box::new(BrokerConsumer {
             id,
             destination: destination.clone(),
             selector_text: selector.map(str::to_owned),
-            queue_selector: match destination {
-                Destination::Queue(_) => parsed,
-                Destination::Topic(_) => None,
-            },
+            queue_selector,
             endpoint,
             kind,
             session: Arc::clone(&self.shared),

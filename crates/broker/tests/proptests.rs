@@ -538,3 +538,125 @@ proptest! {
         }
     }
 }
+
+// ===================================================================
+// Differential test of the equality-prefilter index: routing through
+// the analysis-driven snapshot partition (deliver-all / evaluated /
+// eq-indexed) must deliver exactly the messages the plain selector
+// evaluator accepts, at both the reference shard count and a sharded
+// layout.
+// ===================================================================
+
+/// Selector pool spanning every routing plan: eq-indexed (string, long
+/// and boolean keys, with and without residual predicates), plain
+/// evaluation, always-true, always-false, and an eq key no message
+/// carries.
+const PREFILTER_SELECTORS: [&str; 9] = [
+    "region = 'emea'",
+    "region = 'apac'",
+    "tier = 2",
+    "flag = TRUE",
+    "region = 'emea' AND tier >= 1",
+    "tier > 1",
+    "TRUE",
+    "region = 'emea' AND region = 'apac'",
+    "region = 'nowhere'",
+];
+
+const REGIONS: [&str; 4] = ["emea", "apac", "amer", "latam"];
+
+/// Property values of one published message; `None` leaves the property
+/// unset so selectors see null.
+#[derive(Debug, Clone)]
+struct PropPlan {
+    region: Option<usize>,
+    tier: Option<i64>,
+    flag: Option<bool>,
+}
+
+fn arb_prop_plans() -> impl Strategy<Value = Vec<PropPlan>> {
+    prop::collection::vec(
+        (
+            (any::<bool>(), 0usize..REGIONS.len()),
+            (any::<bool>(), 0i64..4),
+            (any::<bool>(), any::<bool>()),
+        )
+            .prop_map(|(region, tier, flag)| PropPlan {
+                region: region.0.then_some(region.1),
+                tier: tier.0.then_some(tier.1),
+                flag: flag.0.then_some(flag.1),
+            }),
+        1..32,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn equality_prefilter_matches_plain_evaluation(
+        subs in prop::collection::vec(0usize..PREFILTER_SELECTORS.len(), 1..6),
+        plans in arb_prop_plans(),
+    ) {
+        for shards in [1usize, 8] {
+            let broker =
+                ReferenceBroker::with_config(BrokerConfig::correct().with_shards(shards));
+            let mut connection = broker.create_connection(None).unwrap();
+            connection.start().unwrap();
+            let mut session = connection
+                .create_session(SessionMode::AutoAcknowledge)
+                .unwrap();
+            let topic = Destination::topic("t");
+            let mut consumers: Vec<(usize, Box<dyn Consumer>)> = subs
+                .iter()
+                .map(|&s| {
+                    let consumer = session
+                        .create_consumer(&topic, Some(PREFILTER_SELECTORS[s]))
+                        .unwrap();
+                    (s, consumer)
+                })
+                .collect();
+            let mut producer = session.create_producer(&topic).unwrap();
+            let sent: Vec<Message> = plans
+                .iter()
+                .map(|plan| {
+                    let mut draft = MessageDraft::text("x");
+                    if let Some(region) = plan.region {
+                        draft = draft
+                            .property("region", Value::String(REGIONS[region].to_owned()))
+                            .unwrap();
+                    }
+                    if let Some(tier) = plan.tier {
+                        draft = draft.property("tier", Value::Long(tier)).unwrap();
+                    }
+                    if let Some(flag) = plan.flag {
+                        draft = draft.property("flag", Value::Bool(flag)).unwrap();
+                    }
+                    producer.send(draft).unwrap()
+                })
+                .collect();
+            for (s, consumer) in &mut consumers {
+                // The oracle: the plain evaluator over every sent message.
+                let selector = Selector::parse(PREFILTER_SELECTORS[*s]).unwrap();
+                let mut expected: Vec<MessageId> = sent
+                    .iter()
+                    .filter(|message| selector.matches(message))
+                    .map(Message::id)
+                    .collect();
+                let mut got = Vec::new();
+                while let Some(message) = consumer.receive(Some(Duration::ZERO)).unwrap() {
+                    got.push(message.id());
+                }
+                expected.sort_unstable();
+                got.sort_unstable();
+                prop_assert_eq!(
+                    got,
+                    expected,
+                    "selector {:?} diverged at shards={}",
+                    PREFILTER_SELECTORS[*s],
+                    shards
+                );
+            }
+        }
+    }
+}

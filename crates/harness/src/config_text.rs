@@ -31,6 +31,9 @@
 //! transacted = 10            # commit every N sends
 //! limit = 1000               # stop after N messages
 //! batch = 8                  # drafts per provider send_batch call
+//! prop = region 'emea'       # stamp a property on every message; the
+//! prop = tier 3              # value uses selector literal syntax:
+//! prop = urgent true         # 'string', integer, float, true/false
 //!
 //! [consumer]
 //! destination = topic:events
@@ -49,6 +52,7 @@ use crate::spec::{ConsumerSpec, CrashPlan, NodeSpec, ProducerSpec, TestSpec};
 use jmst_api::body::BodyKind;
 use jmst_api::destination::Destination;
 use jmst_api::modes::{DeliveryMode, Priority, SessionMode, TimeToLive};
+use jmst_api::value::Value;
 use jmst_sim::ArrivalProcess;
 use std::fmt;
 use std::time::Duration;
@@ -189,6 +193,34 @@ fn parse_mode(text: &str) -> Result<(SessionMode, u32), String> {
             "mode must be `auto`, `dups-ok`, `client-ack N` or `transacted N`, got {text:?}"
         )),
     }
+}
+
+/// Parses a `prop = NAME VALUE` producer property. The value uses
+/// selector literal syntax so scenarios and selectors read alike:
+/// `'quoted string'` (with `''` escaping a quote), `true`/`false`, an
+/// integer (`Long`) or a float (`Double`).
+fn parse_prop(text: &str) -> Result<(String, Value), String> {
+    let (name, raw) = text
+        .trim()
+        .split_once(char::is_whitespace)
+        .ok_or_else(|| format!("prop must be `NAME VALUE`, got {text:?}"))?;
+    let raw = raw.trim();
+    let value = if let Some(inner) = raw.strip_prefix('\'').and_then(|r| r.strip_suffix('\'')) {
+        Value::String(inner.replace("''", "'"))
+    } else if raw.eq_ignore_ascii_case("true") {
+        Value::Bool(true)
+    } else if raw.eq_ignore_ascii_case("false") {
+        Value::Bool(false)
+    } else if let Ok(long) = raw.parse::<i64>() {
+        Value::Long(long)
+    } else if let Ok(double) = raw.parse::<f64>() {
+        Value::Double(double)
+    } else {
+        return Err(format!(
+            "prop value must be 'string', true/false or a number, got {raw:?}"
+        ));
+    };
+    Ok((name.to_owned(), value))
 }
 
 #[derive(Debug, PartialEq)]
@@ -359,6 +391,10 @@ pub fn parse_spec(text: &str) -> Result<TestSpec, ConfigError> {
                             .map_err(|_| err(format!("bad batch {value:?}")))?
                             .max(1)
                     }
+                    "prop" => {
+                        let (name, prop_value) = parse_prop(value).map_err(err)?;
+                        p.properties.push((name, prop_value));
+                    }
                     other => return Err(err(format!("unknown producer key {other:?}"))),
                 }
             }
@@ -458,6 +494,10 @@ ttl = 5ms
 transacted = 10
 limit = 1000
 batch = 4
+prop = region 'emea'
+prop = tier 3
+prop = urgent true
+prop = weight 2.5
 
 [producer]
 destination = topic:events
@@ -505,6 +545,15 @@ down = 80ms
         assert_eq!(p.transacted_batch, Some(10));
         assert_eq!(p.message_limit, Some(1000));
         assert_eq!(p.send_batch, 4);
+        assert_eq!(
+            p.properties,
+            vec![
+                ("region".to_owned(), Value::String("emea".to_owned())),
+                ("tier".to_owned(), Value::Long(3)),
+                ("urgent".to_owned(), Value::Bool(true)),
+                ("weight".to_owned(), Value::Double(2.5)),
+            ]
+        );
         assert_eq!(
             producers.producers[1].workload,
             ArrivalProcess::burst(10, Duration::from_millis(50))
@@ -563,6 +612,32 @@ down = 80ms
         assert_eq!(spec.name, "mini");
         assert_eq!(spec.producer_count(), 1);
         assert_eq!(spec.consumer_count(), 1);
+    }
+
+    #[test]
+    fn prop_values_parse_like_selector_literals() {
+        assert_eq!(
+            parse_prop("region 'it''s emea'").unwrap(),
+            ("region".to_owned(), Value::String("it's emea".to_owned()))
+        );
+        assert_eq!(
+            parse_prop("tier -2").unwrap(),
+            ("tier".to_owned(), Value::Long(-2))
+        );
+        assert_eq!(
+            parse_prop("flag FALSE").unwrap(),
+            ("flag".to_owned(), Value::Bool(false))
+        );
+        assert!(parse_prop("lonely").is_err());
+        assert!(parse_prop("name 'unterminated").is_err());
+    }
+
+    #[test]
+    fn ill_typed_selector_is_rejected_at_parse_time() {
+        let bad = "[test]\nname = x\n[node n]\n[consumer]\ndestination = topic:t\n\
+                   selector = JMSPriority = 'high'\n";
+        let error = parse_spec(bad).unwrap_err();
+        assert!(error.message().contains("ill-typed"), "{error}");
     }
 
     #[test]

@@ -222,20 +222,27 @@ pub(crate) fn producer_driver(
         let mut drafts = Vec::with_capacity(chunk as usize);
         loop {
             body_seed = body_seed.wrapping_add(1);
-            let draft = MessageDraft::new(Body::synthetic(spec.body, spec.body_size, body_seed))
-                .priority(spec.priority)
-                .delivery_mode(spec.delivery_mode)
-                .time_to_live(spec.time_to_live)
-                .property(
-                    PRODUCER_PROP,
-                    jmst_api::value::Value::Long(stable_id as i64),
-                )
-                .expect("valid property")
-                .property(
-                    SEQUENCE_PROP,
-                    jmst_api::value::Value::Long((sent + drafts.len() as u64) as i64),
-                )
-                .expect("valid property");
+            let mut draft =
+                MessageDraft::new(Body::synthetic(spec.body, spec.body_size, body_seed))
+                    .priority(spec.priority)
+                    .delivery_mode(spec.delivery_mode)
+                    .time_to_live(spec.time_to_live)
+                    .property(
+                        PRODUCER_PROP,
+                        jmst_api::value::Value::Long(stable_id as i64),
+                    )
+                    .expect("valid property")
+                    .property(
+                        SEQUENCE_PROP,
+                        jmst_api::value::Value::Long((sent + drafts.len() as u64) as i64),
+                    )
+                    .expect("valid property");
+            // Spec-declared properties (validated by `TestSpec::validate`).
+            for (name, value) in &spec.properties {
+                draft = draft
+                    .property(name.clone(), value.clone())
+                    .expect("validated property");
+            }
             drafts.push(draft);
             if drafts.len() as u64 >= chunk {
                 break;

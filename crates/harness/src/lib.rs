@@ -46,6 +46,7 @@
 pub mod config_text;
 mod drivers;
 pub mod error;
+pub mod lint;
 pub mod prince;
 pub mod runner;
 pub mod simrun;
@@ -53,6 +54,7 @@ pub mod spec;
 
 pub use config_text::{parse_spec, ConfigError};
 pub use error::HarnessError;
+pub use lint::{lint_spec, LintFinding, LintReport, Severity};
 pub use prince::{CampaignReport, DaemonPrince, TestOutcome, TestResult};
 pub use runner::{BrokerAdmin, ThreadedRunner};
 pub use spec::{
@@ -62,6 +64,7 @@ pub use spec::{
 /// Convenient glob-import for harness users.
 pub mod prelude {
     pub use crate::config_text::parse_spec;
+    pub use crate::lint::{lint_spec, LintFinding, LintReport, Severity};
     pub use crate::prince::{CampaignReport, DaemonPrince, TestOutcome, TestResult};
     pub use crate::runner::{BrokerAdmin, ThreadedRunner};
     pub use crate::spec::{

@@ -1,0 +1,582 @@
+//! `jmst-lint`: static analysis of a [`TestSpec`] before any message is
+//! sent.
+//!
+//! The paper's harness discovered misconfigured tests only by running
+//! them — a dead subscription looks exactly like a silent provider until
+//! the warm-down times out. This pass catches whole classes of those
+//! mistakes statically, by combining the selector analyzer
+//! ([`jmst_api::selector::SelectorAnalysis`]) with the property sets the
+//! scenario's producers declare:
+//!
+//! **Hard errors** (the test provably cannot do what it says):
+//! - a selector that violates the JMS type rules — providers must reject
+//!   it at subscription time, so the consumer would never come up;
+//! - a selector that is [`Classification::AlwaysFalse`] — the
+//!   subscription can never match any message;
+//! - a dead subscription: an equality predicate (`region = 'emea'`) that
+//!   no producer publishing to that destination can satisfy, including
+//!   the case where no producer sets the property at all (`NULL` never
+//!   equals anything).
+//!
+//! **Warnings** (suspicious but runnable):
+//! - a selector referencing a user property no producer publishing to
+//!   that destination sets (always `NULL` in non-equality positions);
+//! - a producer publishing to a destination with no consumer;
+//! - send batches that cannot align with transacted-commit or
+//!   message-limit boundaries (the driver truncates them silently).
+//!
+//! [`DaemonPrince`](crate::prince::DaemonPrince) runs this pass before
+//! every test: errors fail the test as `Invalid` before any message is
+//! sent, warnings are logged. The `jmst_lint` example exposes the same
+//! pass on scenario files from the command line.
+
+use crate::spec::{ConsumerSpec, ProducerSpec, TestSpec};
+use jmst_api::destination::Destination;
+use jmst_api::selector::{Classification, IdentType, Literal, Selector};
+use jmst_api::value::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but runnable; logged before the test starts.
+    Warning,
+    /// The test provably cannot do what its spec says; it is failed as
+    /// invalid before any message is sent.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One problem the linter found.
+#[derive(Debug, Clone)]
+pub struct LintFinding {
+    /// Error or warning.
+    pub severity: Severity,
+    /// Where in the spec: `node NAME, producer/consumer on DESTINATION`.
+    pub context: String,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}: {}", self.severity, self.context, self.message)
+    }
+}
+
+/// Everything the linter found in one spec.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// All findings, in spec order.
+    pub findings: Vec<LintFinding>,
+}
+
+impl LintReport {
+    /// The hard errors.
+    pub fn errors(&self) -> impl Iterator<Item = &LintFinding> {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+    }
+
+    /// The warnings.
+    pub fn warnings(&self) -> impl Iterator<Item = &LintFinding> {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Warning)
+    }
+
+    /// `true` when at least one finding is an error.
+    pub fn has_errors(&self) -> bool {
+        self.errors().next().is_some()
+    }
+
+    /// `true` when nothing at all was found.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+impl fmt::Display for LintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.findings.is_empty() {
+            return writeln!(f, "clean: no findings");
+        }
+        for finding in &self.findings {
+            writeln!(f, "{finding}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Harness-internal properties every message carries (see
+/// `drivers::PRODUCER_PROP`); selectors may reference them freely.
+const HARNESS_PROPS: [(&str, IdentType); 2] = [
+    ("jmst_producer", IdentType::Num),
+    ("jmst_seq", IdentType::Num),
+];
+
+/// `true` for identifiers resolved from message headers, not producer
+/// property sets.
+fn is_header(name: &str) -> bool {
+    name.starts_with("JMS")
+}
+
+/// The static type a producer-declared property value evaluates as, or
+/// `None` for values selectors cannot see (byte arrays).
+fn value_type(value: &Value) -> Option<IdentType> {
+    match value {
+        Value::Bool(_) => Some(IdentType::Bool),
+        Value::String(_) => Some(IdentType::Str),
+        Value::Bytes(_) => None,
+        _ => Some(IdentType::Num),
+    }
+}
+
+/// `true` when a produced property value satisfies `= literal`, under
+/// the evaluator's comparison semantics (numerics compare across exact /
+/// approximate; strings and booleans compare within their own type;
+/// cross-type equality is never true).
+fn value_satisfies(literal: &Literal, value: &Value) -> bool {
+    match literal {
+        Literal::Int(expected) => match value.as_i64() {
+            Some(actual) => actual == *expected,
+            None => value
+                .as_f64()
+                .is_some_and(|actual| actual == *expected as f64),
+        },
+        Literal::Float(expected) => value.as_f64().is_some_and(|actual| actual == *expected),
+        Literal::Str(expected) => value.as_str() == Some(expected.as_str()),
+        Literal::Bool(expected) => value.as_bool() == Some(*expected),
+    }
+}
+
+/// Renders a literal in selector syntax for finding messages.
+fn literal_text(literal: &Literal) -> String {
+    match literal {
+        Literal::Int(v) => v.to_string(),
+        Literal::Float(v) => v.to_string(),
+        Literal::Str(s) => format!("'{}'", s.replace('\'', "''")),
+        Literal::Bool(true) => "TRUE".to_owned(),
+        Literal::Bool(false) => "FALSE".to_owned(),
+    }
+}
+
+/// All producers across the spec that publish to `destination`.
+fn producers_to<'a>(spec: &'a TestSpec, destination: &Destination) -> Vec<&'a ProducerSpec> {
+    spec.nodes
+        .iter()
+        .flat_map(|node| &node.producers)
+        .filter(|producer| &producer.destination == destination)
+        .collect()
+}
+
+/// The selector type environment a destination's producers induce: the
+/// harness identity properties plus every property some producer sets.
+/// A property two producers declare with *different* types stays out of
+/// the environment — the selector sees both, so neither type is certain.
+fn type_env(producers: &[&ProducerSpec]) -> BTreeMap<String, IdentType> {
+    let mut env: BTreeMap<String, IdentType> = HARNESS_PROPS
+        .iter()
+        .map(|(name, ty)| ((*name).to_owned(), *ty))
+        .collect();
+    let mut conflicted: Vec<String> = Vec::new();
+    for producer in producers {
+        for (name, value) in &producer.properties {
+            let Some(ty) = value_type(value) else {
+                continue;
+            };
+            match env.get(name) {
+                Some(existing) if *existing != ty => conflicted.push(name.clone()),
+                _ => {
+                    env.insert(name.clone(), ty);
+                }
+            }
+        }
+    }
+    for name in conflicted {
+        env.remove(&name);
+    }
+    env
+}
+
+/// Statically checks one spec. See the module docs for the rule set.
+pub fn lint_spec(spec: &TestSpec) -> LintReport {
+    let mut report = LintReport::default();
+    let mut push = |severity: Severity, context: String, message: String| {
+        report.findings.push(LintFinding {
+            severity,
+            context,
+            message,
+        });
+    };
+
+    for node in &spec.nodes {
+        for producer in &node.producers {
+            let context = format!("node {}, producer on {}", node.name, producer.destination);
+            let has_consumer = spec
+                .nodes
+                .iter()
+                .flat_map(|n| &n.consumers)
+                .any(|consumer| consumer.destination == producer.destination);
+            if !has_consumer {
+                push(
+                    Severity::Warning,
+                    context.clone(),
+                    "no consumer subscribes to this destination; every message \
+                     is produced for nobody"
+                        .to_owned(),
+                );
+            }
+            if producer.send_batch > 1 {
+                if let Some(commit) = producer.transacted_batch {
+                    if commit % producer.send_batch != 0 {
+                        push(
+                            Severity::Warning,
+                            context.clone(),
+                            format!(
+                                "send batches of {} cross transacted commit \
+                                 boundaries of {commit}; the driver truncates \
+                                 each batch at the commit",
+                                producer.send_batch
+                            ),
+                        );
+                    }
+                }
+                if let Some(limit) = producer.message_limit {
+                    if limit % u64::from(producer.send_batch) != 0 {
+                        push(
+                            Severity::Warning,
+                            context.clone(),
+                            format!(
+                                "message limit {limit} is not a multiple of the \
+                                 send batch {}; the final batch is truncated",
+                                producer.send_batch
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+
+        for consumer in &node.consumers {
+            lint_consumer(spec, &node.name, consumer, &mut push);
+        }
+    }
+    report
+}
+
+fn lint_consumer(
+    spec: &TestSpec,
+    node_name: &str,
+    consumer: &ConsumerSpec,
+    push: &mut impl FnMut(Severity, String, String),
+) {
+    let context = format!("node {node_name}, consumer on {}", consumer.destination);
+    let Some(selector) = &consumer.selector else {
+        return;
+    };
+    let parsed = match Selector::parse(selector) {
+        Ok(parsed) => parsed,
+        Err(error) => {
+            push(
+                Severity::Error,
+                context,
+                format!("selector {selector:?} does not parse: {error}"),
+            );
+            return;
+        }
+    };
+    let producers = producers_to(spec, &consumer.destination);
+    let env = type_env(&producers);
+    let analysis = parsed.analyze_with_env(&env);
+    match analysis.classification {
+        Classification::IllTyped => {
+            let detail = analysis
+                .error
+                .as_ref()
+                .map(ToString::to_string)
+                .unwrap_or_else(|| "type error".to_owned());
+            push(
+                Severity::Error,
+                context,
+                format!(
+                    "ill-typed selector {selector:?}: {detail} — providers \
+                     must reject it at subscription time"
+                ),
+            );
+            return;
+        }
+        Classification::AlwaysFalse => {
+            push(
+                Severity::Error,
+                context,
+                format!("selector {selector:?} can never match any message"),
+            );
+            return;
+        }
+        Classification::AlwaysTrue | Classification::Contingent => {}
+    }
+    // Dead-subscription checks need a producer population to reason
+    // about; a consumer alone may legitimately await external traffic.
+    if producers.is_empty() {
+        return;
+    }
+    let is_set = |ident: &str| {
+        producers
+            .iter()
+            .any(|p| p.properties.iter().any(|(name, _)| name == ident))
+    };
+    for equality in &analysis.equalities {
+        let ident = equality.ident.as_str();
+        if is_header(ident) || HARNESS_PROPS.iter().any(|(name, _)| *name == ident) {
+            continue;
+        }
+        let satisfiable = producers.iter().any(|p| {
+            p.properties
+                .iter()
+                .any(|(name, value)| name == ident && value_satisfies(&equality.literal, value))
+        });
+        if !satisfiable {
+            let detail = if is_set(ident) {
+                "no producer's property set satisfies it"
+            } else {
+                "no producer sets the property, so it is always NULL"
+            };
+            push(
+                Severity::Error,
+                context.clone(),
+                format!(
+                    "dead subscription: selector requires {ident} = {}, but \
+                     {detail}",
+                    literal_text(&equality.literal)
+                ),
+            );
+        }
+    }
+    for ident in &analysis.identifiers {
+        if is_header(ident) || HARNESS_PROPS.iter().any(|(name, _)| name == ident) || is_set(ident)
+        {
+            continue;
+        }
+        // Equality predicates on unset properties were reported as dead
+        // subscriptions above; don't also warn.
+        if analysis.equalities.iter().any(|eq| &eq.ident == ident) {
+            continue;
+        }
+        push(
+            Severity::Warning,
+            context.clone(),
+            format!(
+                "selector references property {ident:?}, which no producer \
+                 publishing to {} sets; it is always NULL",
+                consumer.destination
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ConsumerSpec, NodeSpec, ProducerSpec, TestSpec};
+    use jmst_api::destination::Destination;
+
+    fn topic() -> Destination {
+        Destination::topic("events")
+    }
+
+    fn spec_with(producer: ProducerSpec, consumer: ConsumerSpec) -> TestSpec {
+        TestSpec::new("lint").node(NodeSpec::new("n").producer(producer).consumer(consumer))
+    }
+
+    fn emea_producer() -> ProducerSpec {
+        ProducerSpec::steady(topic(), 10.0, 64)
+            .with_property("region", Value::String("emea".to_owned()))
+            .with_property("tier", Value::Long(3))
+    }
+
+    #[test]
+    fn clean_spec_has_no_findings() {
+        let spec = spec_with(
+            emea_producer(),
+            ConsumerSpec::auto(topic()).with_selector("region = 'emea' AND tier >= 1"),
+        );
+        let report = lint_spec(&spec);
+        assert!(report.is_clean(), "{report}");
+        assert!(report.to_string().contains("clean"));
+    }
+
+    #[test]
+    fn ill_typed_selector_is_an_error() {
+        let spec = spec_with(
+            emea_producer(),
+            ConsumerSpec::auto(topic()).with_selector("region > 5 AND region = 'emea'"),
+        );
+        let report = lint_spec(&spec);
+        assert!(report.has_errors());
+        assert!(report.to_string().contains("ill-typed"), "{report}");
+    }
+
+    #[test]
+    fn producer_types_sharpen_the_analysis() {
+        // Alone, `tier = 'gold'` is merely contingent (tier could be a
+        // string); with a producer declaring tier as a Long it is a type
+        // error.
+        let spec = spec_with(
+            emea_producer(),
+            ConsumerSpec::auto(topic()).with_selector("tier = 'gold'"),
+        );
+        let report = lint_spec(&spec);
+        assert!(report.has_errors());
+        assert!(report.to_string().contains("ill-typed"), "{report}");
+    }
+
+    #[test]
+    fn always_false_selector_is_an_error() {
+        let spec = spec_with(
+            emea_producer(),
+            ConsumerSpec::auto(topic()).with_selector("tier = 1 AND tier = 2"),
+        );
+        let report = lint_spec(&spec);
+        assert!(report.has_errors());
+        assert!(report.to_string().contains("never match"), "{report}");
+    }
+
+    #[test]
+    fn unsatisfiable_equality_is_a_dead_subscription_error() {
+        let spec = spec_with(
+            emea_producer(),
+            ConsumerSpec::auto(topic()).with_selector("region = 'apac'"),
+        );
+        let report = lint_spec(&spec);
+        assert!(report.has_errors());
+        let text = report.to_string();
+        assert!(text.contains("dead subscription"), "{text}");
+        assert!(text.contains("region = 'apac'"), "{text}");
+    }
+
+    #[test]
+    fn equality_on_unset_property_is_a_dead_subscription_error() {
+        let spec = spec_with(
+            emea_producer(),
+            ConsumerSpec::auto(topic()).with_selector("colour = 'red'"),
+        );
+        let report = lint_spec(&spec);
+        assert!(report.has_errors());
+        let text = report.to_string();
+        assert!(text.contains("always NULL"), "{text}");
+        // The dead-subscription error subsumes the unset-property
+        // warning; it must not be double-reported.
+        assert_eq!(report.findings.len(), 1, "{text}");
+    }
+
+    #[test]
+    fn unset_property_reference_is_a_warning() {
+        let spec = spec_with(
+            emea_producer(),
+            ConsumerSpec::auto(topic()).with_selector("size > 10"),
+        );
+        let report = lint_spec(&spec);
+        assert!(!report.has_errors(), "{report}");
+        assert_eq!(report.warnings().count(), 1);
+        assert!(report.to_string().contains("\"size\""), "{report}");
+    }
+
+    #[test]
+    fn headers_and_harness_props_are_not_dead_references() {
+        let spec = spec_with(
+            emea_producer(),
+            ConsumerSpec::auto(topic())
+                .with_selector("JMSPriority >= 5 AND jmst_seq < 100 AND JMSType = 'order'"),
+        );
+        let report = lint_spec(&spec);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn producer_without_consumer_is_a_warning() {
+        let spec = TestSpec::new("lonely").node(NodeSpec::new("n").producer(ProducerSpec::steady(
+            topic(),
+            10.0,
+            64,
+        )));
+        let report = lint_spec(&spec);
+        assert!(!report.has_errors());
+        assert!(report.to_string().contains("for nobody"), "{report}");
+    }
+
+    #[test]
+    fn consumer_without_producers_is_not_linted_for_deadness() {
+        // External traffic may satisfy the selector; only in-spec
+        // producers give the linter something sound to check against.
+        let spec = TestSpec::new("await").node(
+            NodeSpec::new("n")
+                .consumer(ConsumerSpec::auto(topic()).with_selector("region = 'emea'")),
+        );
+        let report = lint_spec(&spec);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn batch_boundary_mismatches_are_warnings() {
+        let spec = spec_with(
+            emea_producer().batched(8).transacted(10).limited(100),
+            ConsumerSpec::auto(topic()),
+        );
+        let report = lint_spec(&spec);
+        assert!(!report.has_errors());
+        let text = report.to_string();
+        assert!(text.contains("commit boundaries"), "{text}");
+        assert!(text.contains("final batch is truncated"), "{text}");
+        // Aligned batches are fine.
+        let aligned = spec_with(
+            emea_producer().batched(5).transacted(10).limited(100),
+            ConsumerSpec::auto(topic()),
+        );
+        assert!(lint_spec(&aligned).is_clean());
+    }
+
+    #[test]
+    fn conflicting_producer_types_stay_out_of_the_environment() {
+        // One producer says tier is numeric, another says it is a
+        // string: the selector could legally see either, so neither
+        // type may be assumed — `tier = 'gold'` stays contingent and is
+        // satisfiable by the second producer.
+        let spec = TestSpec::new("conflict").node(
+            NodeSpec::new("n")
+                .producer(emea_producer())
+                .producer(
+                    ProducerSpec::steady(topic(), 10.0, 64)
+                        .with_property("tier", Value::String("gold".to_owned())),
+                )
+                .consumer(ConsumerSpec::auto(topic()).with_selector("tier = 'gold'")),
+        );
+        let report = lint_spec(&spec);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn numeric_equalities_compare_across_numeric_widths() {
+        let producer = ProducerSpec::steady(topic(), 10.0, 64)
+            .with_property("size", Value::Double(4.0))
+            .with_property("count", Value::Int(7));
+        let consumer = ConsumerSpec::auto(topic()).with_selector("size = 4 AND count = 7");
+        let report = lint_spec(&spec_with(producer, consumer));
+        assert!(report.is_clean(), "{report}");
+        // …but a genuinely different value is still dead.
+        let producer =
+            ProducerSpec::steady(topic(), 10.0, 64).with_property("size", Value::Double(4.5));
+        let consumer = ConsumerSpec::auto(topic()).with_selector("size = 4");
+        assert!(lint_spec(&spec_with(producer, consumer)).has_errors());
+    }
+}

@@ -192,9 +192,27 @@ impl DaemonPrince {
         }
     }
 
-    /// Runs one test end-to-end: fresh provider, execute, analyse.
+    /// Runs one test end-to-end: lint, fresh provider, execute, analyse.
+    ///
+    /// The static lint pass ([`lint_spec`](crate::lint::lint_spec)) runs
+    /// first: hard errors (ill-typed selectors, provably dead
+    /// subscriptions) fail the test as [`TestOutcome::Invalid`] before a
+    /// provider is even created; warnings are logged to stderr and the
+    /// test proceeds.
     pub fn run_test(&self, factory: &ProviderFactory<'_>, spec: &TestSpec) -> TestResult {
         let started = Instant::now();
+        let lint = crate::lint::lint_spec(spec);
+        for warning in lint.warnings() {
+            eprintln!("[jmst-lint] {}: {warning}", spec.name);
+        }
+        if lint.has_errors() {
+            let reasons: Vec<String> = lint.errors().map(ToString::to_string).collect();
+            return TestResult {
+                name: spec.name.clone(),
+                outcome: TestOutcome::Invalid(format!("lint: {}", reasons.join("; "))),
+                wall_time: started.elapsed(),
+            };
+        }
         let (provider, admin) = factory(spec);
         let outcome = match self.runner.run(provider, admin, spec) {
             Ok(trace) => {
@@ -358,6 +376,33 @@ mod tests {
         assert!(text.contains("5 tests — 2 passed, 1 violated, 2 failed"));
         assert!(text.contains("HUNG (producers)"));
         assert!(text.contains("INVALID (no nodes)"));
+    }
+
+    #[test]
+    fn lint_errors_fail_the_test_before_any_message_is_sent() {
+        let prince = DaemonPrince::new();
+        // The factory panicking proves no provider is created — the dead
+        // subscription is caught statically, before anything runs.
+        let factory = |_: &TestSpec| -> (Arc<dyn jmst_api::provider::Provider>, _) {
+            panic!("lint must reject the spec before the provider is built")
+        };
+        let dead = TestSpec::new("dead-subscription").node(
+            NodeSpec::new("n0")
+                .producer(
+                    ProducerSpec::steady(Destination::topic("t"), 100.0, 64)
+                        .with_property("region", jmst_api::value::Value::String("emea".to_owned())),
+                )
+                .consumer(
+                    ConsumerSpec::auto(Destination::topic("t")).with_selector("region = 'apac'"),
+                ),
+        );
+        let result = prince.run_test(&factory, &dead);
+        match &result.outcome {
+            TestOutcome::Invalid(reason) => {
+                assert!(reason.contains("dead subscription"), "{reason}");
+            }
+            other => panic!("expected Invalid, got {other:?}"),
+        }
     }
 
     #[test]

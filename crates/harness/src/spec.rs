@@ -9,6 +9,7 @@
 use jmst_api::body::BodyKind;
 use jmst_api::destination::Destination;
 use jmst_api::modes::{DeliveryMode, Priority, SessionMode, TimeToLive};
+use jmst_api::value::Value;
 use jmst_sim::ArrivalProcess;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
@@ -40,6 +41,11 @@ pub struct ProducerSpec {
     /// paces each message by the workload's inter-send gap; batching only
     /// changes how the accumulated drafts reach the provider.
     pub send_batch: u32,
+    /// User properties stamped on every message this producer sends —
+    /// the property environment consumers' selectors run against, and
+    /// what the scenario linter checks selectors for satisfiability
+    /// against.
+    pub properties: Vec<(String, Value)>,
 }
 
 impl ProducerSpec {
@@ -56,6 +62,7 @@ impl ProducerSpec {
             transacted_batch: None,
             message_limit: None,
             send_batch: 1,
+            properties: Vec::new(),
         }
     }
 
@@ -99,6 +106,12 @@ impl ProducerSpec {
     /// least 1), exercising the provider's batched publish path.
     pub fn batched(mut self, n: u32) -> Self {
         self.send_batch = n.max(1);
+        self
+    }
+
+    /// Returns a copy stamping `name = value` on every message sent.
+    pub fn with_property(mut self, name: impl Into<String>, value: Value) -> Self {
+        self.properties.push((name.into(), value));
         self
     }
 }
@@ -349,7 +362,8 @@ impl TestSpec {
     ///
     /// Returns a human-readable description of the first problem found:
     /// durable subscriptions on queue destinations, selectors that do not
-    /// parse, or an empty test.
+    /// parse or violate the JMS type rules, producer properties no
+    /// provider would accept, or an empty test.
     pub fn validate(&self) -> Result<(), String> {
         if self
             .nodes
@@ -397,9 +411,33 @@ impl TestSpec {
                     ));
                 }
                 if let Some(selector) = &consumer.selector {
-                    if let Err(error) = jmst_api::selector::Selector::parse(selector) {
+                    match jmst_api::selector::Selector::parse(selector) {
+                        Err(error) => {
+                            return Err(format!(
+                                "node {}: invalid selector {selector:?}: {error}",
+                                node.name
+                            ));
+                        }
+                        Ok(parsed) => {
+                            // JMS providers must reject ill-typed selectors
+                            // at subscription time; reject them before the
+                            // test even starts.
+                            if let Some(error) = parsed.analyze().error {
+                                return Err(format!(
+                                    "node {}: ill-typed selector {selector:?}: {error}",
+                                    node.name
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            for producer in &node.producers {
+                for (name, value) in &producer.properties {
+                    if !value.is_valid_property() {
                         return Err(format!(
-                            "node {}: invalid selector {selector:?}: {error}",
+                            "node {}: producer property {name:?} has a value no \
+                             provider accepts as a message property",
                             node.name
                         ));
                     }

@@ -1,0 +1,49 @@
+//! `jmst-lint`: statically check scenario files without running them.
+//!
+//! Parses each scenario, then runs the same static-analysis pass the
+//! daemon prince applies before every campaign test: ill-typed
+//! selectors, provably-dead subscriptions and unsatisfiable equality
+//! predicates are hard errors; unset property references, consumerless
+//! producers and misaligned send batches are warnings.
+//!
+//! ```sh
+//! cargo run --example jmst_lint -- scenarios/selector_routing.cfg
+//! cargo run --example jmst_lint -- scenarios/*.cfg   # exit 1 on errors
+//! ```
+
+use jmst::harness::{lint_spec, parse_spec};
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: jmst_lint SCENARIO.cfg [SCENARIO.cfg ...]");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(error) => {
+                println!("{path}: error: cannot read: {error}");
+                failed = true;
+                continue;
+            }
+        };
+        // Parse/validation failures (syntax, ill-typed selectors) are
+        // hard errors just like lint errors: the spec cannot run.
+        let spec = match parse_spec(&text) {
+            Ok(spec) => spec,
+            Err(error) => {
+                println!("{path}: error: {error}");
+                failed = true;
+                continue;
+            }
+        };
+        let report = lint_spec(&spec);
+        print!("{path}: {report}");
+        if report.has_errors() {
+            failed = true;
+        }
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}

@@ -1,0 +1,86 @@
+//! The checked-in scenario files stay honest: every `*.cfg` under
+//! `scenarios/` must parse, and the static lint pass must find no errors
+//! — except files named `*.broken.cfg`, which exist to prove the linter
+//! catches misconfigured tests before any message is sent.
+
+use jmst::harness::lint_spec;
+use jmst::harness::parse_spec;
+use std::path::PathBuf;
+
+fn scenario_files() -> Vec<PathBuf> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("scenarios");
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("scenarios/ directory exists")
+        .map(|entry| entry.expect("readable directory entry").path())
+        .filter(|path| path.extension().is_some_and(|ext| ext == "cfg"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "no scenario files found in {dir:?}");
+    files
+}
+
+#[test]
+fn clean_scenarios_lint_clean_and_broken_ones_fail() {
+    let mut saw_clean = false;
+    let mut saw_broken = false;
+    for path in scenario_files() {
+        let text = std::fs::read_to_string(&path).expect("readable scenario");
+        let broken = path
+            .file_name()
+            .and_then(|name| name.to_str())
+            .is_some_and(|name| name.ends_with(".broken.cfg"));
+        match parse_spec(&text) {
+            Err(error) => assert!(broken, "{path:?} failed to parse: {error}"),
+            Ok(spec) => {
+                let report = lint_spec(&spec);
+                if broken {
+                    assert!(
+                        report.has_errors(),
+                        "{path:?} is named broken but linted clean:\n{report}"
+                    );
+                } else {
+                    assert!(!report.has_errors(), "{path:?} has lint errors:\n{report}");
+                }
+            }
+        }
+        if broken {
+            saw_broken = true;
+        } else {
+            saw_clean = true;
+        }
+    }
+    assert!(saw_clean, "expected at least one clean scenario fixture");
+    assert!(saw_broken, "expected at least one broken scenario fixture");
+}
+
+#[test]
+fn broken_fixture_names_the_dead_subscription() {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("scenarios")
+        .join("dead_subscription.broken.cfg");
+    let spec = parse_spec(&std::fs::read_to_string(path).expect("fixture exists"))
+        .expect("the broken fixture parses; only the lint pass rejects it");
+    let report = lint_spec(&spec);
+    let text = report.to_string();
+    assert!(text.contains("dead subscription"), "{text}");
+    assert!(text.contains("never match"), "{text}");
+    assert!(report.warnings().count() >= 2, "{text}");
+}
+
+#[test]
+fn clean_fixture_runs_and_routes_by_selector() {
+    // The clean fixture is not just lintable — it runs end-to-end on the
+    // reference broker and passes every safety property.
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("scenarios")
+        .join("selector_routing.cfg");
+    let spec = parse_spec(&std::fs::read_to_string(path).expect("fixture exists"))
+        .expect("clean fixture parses");
+    assert!(lint_spec(&spec).is_clean());
+    let broker = jmst::broker::ReferenceBroker::new();
+    let trace = jmst::harness::ThreadedRunner::new()
+        .run(std::sync::Arc::new(broker), None, &spec)
+        .expect("scenario runs");
+    let report = jmst::core::Analyzer::new().analyze(&trace);
+    assert!(report.passed(), "{report}");
+}
