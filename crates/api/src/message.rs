@@ -161,6 +161,7 @@ impl MessageDraft {
                 body: self.body,
             }),
             redelivered: false,
+            delivery_count: 1,
         }
     }
 }
@@ -208,6 +209,9 @@ pub struct Message {
     #[serde(with = "arc_inner")]
     inner: Arc<MessageInner>,
     redelivered: bool,
+    /// 1-based count of deliveries this instance represents (the JMS
+    /// `JMSXDeliveryCount`).
+    delivery_count: u32,
 }
 
 mod arc_inner {
@@ -345,11 +349,32 @@ impl Message {
     /// Returns a copy of this message marked as redelivered.
     ///
     /// Providers use this when re-queueing messages after a rollback or
-    /// recover; the shared payload is not copied.
+    /// recover; the shared payload is not copied. The delivery count is
+    /// carried over unchanged — providers bump it with
+    /// [`Message::with_delivery_count`] when they hand the copy out again.
     pub fn as_redelivered(&self) -> Message {
         Message {
             inner: Arc::clone(&self.inner),
             redelivered: true,
+            delivery_count: self.delivery_count,
+        }
+    }
+
+    /// Returns the 1-based delivery count (the JMS `JMSXDeliveryCount`):
+    /// `1` for a first delivery, `n > 1` for the `n`-th attempt after
+    /// recovery, rollback, or a broker crash. `0` means the count is
+    /// unknown (a record from before the field existed).
+    pub fn delivery_count(&self) -> u32 {
+        self.delivery_count
+    }
+
+    /// Returns a copy of this message carrying the given delivery count;
+    /// the shared payload is not copied.
+    pub fn with_delivery_count(&self, delivery_count: u32) -> Message {
+        Message {
+            inner: Arc::clone(&self.inner),
+            redelivered: self.redelivered,
+            delivery_count,
         }
     }
 
@@ -441,6 +466,16 @@ mod tests {
         assert!(redelivered.is_redelivered());
         assert_eq!(redelivered.id(), message.id());
         assert!(Arc::ptr_eq(&message.inner, &redelivered.inner));
+    }
+
+    #[test]
+    fn delivery_count_starts_at_one_and_travels_with_redeliveries() {
+        let message = MessageDraft::text("x").stamp(stamp_at(0));
+        assert_eq!(message.delivery_count(), 1);
+        let second = message.as_redelivered().with_delivery_count(2);
+        assert!(second.is_redelivered());
+        assert_eq!(second.delivery_count(), 2);
+        assert!(second.shares_payload_with(&message));
     }
 
     #[test]

@@ -20,6 +20,21 @@ use crate::modes::SessionMode;
 use std::fmt;
 use std::time::Duration;
 
+/// A poison message a provider parked on a dead-letter queue after it
+/// exceeded the redelivery bound.
+///
+/// The harness drains these at the end of a run and records them in the
+/// trace, so the analyzer can tell a deliberately parked message apart
+/// from a lost one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeadLetter {
+    /// The parked message; [`Message::delivery_count`] carries the number
+    /// of delivery attempts it burned through before being parked.
+    pub message: Message,
+    /// The dead-letter queue the message was parked on.
+    pub parked_on: QueueName,
+}
+
 /// A JMS provider: the entry point that creates connections.
 ///
 /// Providers must be shareable across threads — the harness hands one
@@ -41,6 +56,15 @@ pub trait Provider: Send + Sync + fmt::Debug {
     /// by an open connection, or [`Error::ProviderFailure`] if the provider
     /// is down.
     fn create_connection(&self, client_id: Option<ClientId>) -> Result<Box<dyn Connection>, Error>;
+
+    /// Drains the dead-letter notices accumulated since the last call.
+    ///
+    /// Providers that enforce a redelivery bound report each poison
+    /// message they park, exactly once. The default implementation (for
+    /// providers without dead-lettering) returns nothing.
+    fn drain_dead_letters(&self) -> Vec<DeadLetter> {
+        Vec::new()
+    }
 }
 
 /// An open connection to a provider.

@@ -1,0 +1,93 @@
+//! Criterion micro-benchmarks of the recovery path: `Session::recover`
+//! redelivery of an unacknowledged backlog, and the poison-message cycle
+//! that ends with a dead-letter parking. These paths are cold compared to
+//! the clean send/receive hot path, but they must stay cheap enough that
+//! a chaos scenario's fault schedule — not the broker's bookkeeping —
+//! dominates the run.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use jmst_api::prelude::*;
+use jmst_broker::{BrokerConfig, ReferenceBroker};
+use std::time::Duration;
+
+const WAIT: Duration = Duration::from_millis(100);
+
+fn recover_redelivery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broker/recover_redelivery");
+    for backlog in [1usize, 32] {
+        group.throughput(Throughput::Elements(backlog as u64));
+        group.bench_function(format!("recover_{backlog}_unacked"), |b| {
+            let broker = ReferenceBroker::new();
+            let mut connection = broker.create_connection(None).unwrap();
+            connection.start().unwrap();
+            let mut session = connection
+                .create_session(SessionMode::ClientAcknowledge)
+                .unwrap();
+            let queue = Destination::queue("redeliver");
+            let mut producer = session.create_producer(&queue).unwrap();
+            let mut consumer = session.create_consumer(&queue, None).unwrap();
+            let body = Body::synthetic(BodyKind::Bytes, 256, 5);
+            b.iter(|| {
+                for _ in 0..backlog {
+                    producer
+                        .send(MessageDraft::new(body.clone()))
+                        .expect("send");
+                }
+                for _ in 0..backlog {
+                    consumer
+                        .receive(Some(WAIT))
+                        .expect("receive")
+                        .expect("first delivery");
+                }
+                // Everything above is unacknowledged: recover redelivers
+                // the whole backlog, which we then receive and ack.
+                session.recover().expect("recover");
+                for _ in 0..backlog {
+                    let message = consumer
+                        .receive(Some(WAIT))
+                        .expect("receive")
+                        .expect("redelivery");
+                    assert!(message.is_redelivered());
+                }
+                consumer.acknowledge().expect("ack");
+            });
+        });
+    }
+    group.finish();
+}
+
+fn poison_to_dead_letter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broker/poison_to_dead_letter");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("park_after_3_attempts", |b| {
+        let bound = 2;
+        let broker =
+            ReferenceBroker::with_config(BrokerConfig::correct().with_max_redeliveries(bound));
+        let mut connection = broker.create_connection(None).unwrap();
+        connection.start().unwrap();
+        let mut session = connection
+            .create_session(SessionMode::ClientAcknowledge)
+            .unwrap();
+        let queue = Destination::queue("poison");
+        let mut producer = session.create_producer(&queue).unwrap();
+        let mut consumer = session.create_consumer(&queue, None).unwrap();
+        b.iter(|| {
+            producer.send(MessageDraft::text("bad")).expect("send");
+            // The consumer never acks: each recover burns one delivery
+            // attempt until the broker parks the message on the DLQ.
+            for _ in 0..=bound {
+                consumer
+                    .receive(Some(WAIT))
+                    .expect("receive")
+                    .expect("delivery");
+                session.recover().expect("recover");
+            }
+            let parked = broker.drain_dead_letters();
+            assert_eq!(parked.len(), 1);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, recover_redelivery, poison_to_dead_letter);
+criterion_main!(benches);

@@ -54,6 +54,7 @@ fn synthetic_trace(messages: u64) -> Trace {
             sent_at,
             body_bytes: 512,
             redelivered: false,
+            delivery_count: 1,
             properties: Default::default(),
         };
         push(

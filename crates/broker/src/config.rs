@@ -43,6 +43,11 @@ pub struct BrokerConfig {
     pub dups_ok_batch: u32,
     /// Probabilistic fault injection (defaults to no faults).
     pub faults: FaultSpec,
+    /// Redelivery bound: after a message has been redelivered this many
+    /// times, the next redelivery attempt parks it on the destination's
+    /// dead-letter queue (`DLQ.<destination name>`) instead of requeueing
+    /// it. `None` (the default) allows unbounded redelivery.
+    pub max_redeliveries: Option<u32>,
     /// Number of destination shards the core partitions queues and topics
     /// across (hash of the destination name). Publishes to destinations
     /// on different shards never contend on a common lock. `1` reproduces
@@ -106,6 +111,13 @@ impl BrokerConfig {
         self.shards = shards.max(1);
         self
     }
+
+    /// Returns a copy that parks messages on a dead-letter queue after
+    /// `bound` redeliveries.
+    pub fn with_max_redeliveries(mut self, bound: u32) -> Self {
+        self.max_redeliveries = Some(bound);
+        self
+    }
 }
 
 /// The default shard count: `JMST_TEST_SHARDS` when set to a positive
@@ -134,6 +146,7 @@ impl Default for BrokerConfig {
             persistent_survive_crash: true,
             dups_ok_batch: 16,
             faults: FaultSpec::none(),
+            max_redeliveries: None,
             shards: default_shards(),
         }
     }
@@ -148,6 +161,7 @@ impl fmt::Debug for BrokerConfig {
             .field("enforce_priority", &self.enforce_priority)
             .field("persistent_survive_crash", &self.persistent_survive_crash)
             .field("dups_ok_batch", &self.dups_ok_batch)
+            .field("max_redeliveries", &self.max_redeliveries)
             .field("shards", &self.shards)
             .finish_non_exhaustive()
     }

@@ -30,6 +30,9 @@ pub struct BrokerConnection {
 
 impl BrokerConnection {
     pub(crate) fn new(core: Arc<Core>, client: Option<ClientId>) -> Result<Self, Error> {
+        // Operational fault hook: a flaky broker may stall the caller or
+        // refuse the connection before any real work happens.
+        core.check_connect()?;
         core.check_alive(core.generation())?;
         if let Some(client) = &client {
             core.register_client(client)?;

@@ -10,6 +10,7 @@ use jmst_api::destination::{Destination, EndpointId, QueueName, TopicName};
 use jmst_api::error::Error;
 use jmst_api::id::{ClientId, ConsumerId, IdGenerator};
 use jmst_api::message::Message;
+use jmst_api::provider::DeadLetter;
 use jmst_api::selector::Selector;
 use jmst_api::time::Timestamp;
 use parking_lot::{Mutex, RwLock};
@@ -240,6 +241,10 @@ pub struct Core {
     /// Whether the fault spec is all-zero; lets the publish hot path skip
     /// the fault-engine mutex entirely.
     clean_faults: bool,
+    /// Poison messages parked on dead-letter queues since the last drain,
+    /// reported once each through
+    /// [`drain_dead_letters`](Core::drain_dead_letters).
+    dead_letters: Mutex<Vec<DeadLetter>>,
 }
 
 impl Core {
@@ -260,6 +265,7 @@ impl Core {
             counters: CoreCounters::default(),
             faults,
             clean_faults,
+            dead_letters: Mutex::new(Vec::new()),
         })
     }
 
@@ -834,6 +840,91 @@ impl Core {
         self.faults.lock().counters()
     }
 
+    /// Operational fault hook for connection establishment: may stall the
+    /// caller for a seeded window and may refuse the connection outright.
+    /// Free on a clean broker.
+    pub fn check_connect(&self) -> Result<(), Error> {
+        if self.clean_faults {
+            return Ok(());
+        }
+        let (stall, refused) = {
+            let mut faults = self.faults.lock();
+            (faults.stall_window(), faults.refuse_connect())
+        };
+        // The stall is wall-clock blocking, performed after the engine
+        // lock is released so other fault draws are not serialised on it.
+        if let Some(window) = stall {
+            std::thread::sleep(window);
+        }
+        if refused {
+            return Err(Error::provider_failure("injected: connection refused"));
+        }
+        Ok(())
+    }
+
+    /// Operational fault hook for sends: may stall the caller and may
+    /// fail the send with a provider error (the message is not routed).
+    /// Free on a clean broker.
+    pub fn check_send(&self) -> Result<(), Error> {
+        if self.clean_faults {
+            return Ok(());
+        }
+        let (stall, rejected) = {
+            let mut faults = self.faults.lock();
+            (faults.stall_window(), faults.reject_send())
+        };
+        if let Some(window) = stall {
+            std::thread::sleep(window);
+        }
+        if rejected {
+            return Err(Error::provider_failure("injected: send failed"));
+        }
+        Ok(())
+    }
+
+    /// Operational fault hook for acknowledgements: returns `true` when
+    /// the injected fault swallows the ack (the client believes it
+    /// succeeded; the broker keeps the deliveries in flight, so they come
+    /// back as redeliveries). Free on a clean broker.
+    pub fn ack_lost(&self) -> bool {
+        if self.clean_faults {
+            return false;
+        }
+        self.faults.lock().lose_ack()
+    }
+
+    /// The configured redelivery bound, passed to end-point requeue
+    /// operations.
+    pub fn max_redeliveries(&self) -> Option<u32> {
+        self.config.max_redeliveries
+    }
+
+    /// Parks poison messages on their destinations' dead-letter queues
+    /// (`DLQ.<destination name>`) and records a notice for each, to be
+    /// reported once through [`drain_dead_letters`](Core::drain_dead_letters).
+    pub fn dead_letter(&self, poisoned: Vec<Arc<Message>>) {
+        if poisoned.is_empty() {
+            return;
+        }
+        let now = self.now();
+        let mut notices = Vec::with_capacity(poisoned.len());
+        for message in poisoned {
+            let dlq = QueueName::new(format!("DLQ.{}", message.destination().name()));
+            let endpoint = self.queue_endpoint(&dlq);
+            endpoint.insert(Arc::clone(&message), now);
+            notices.push(DeadLetter {
+                message: message.as_ref().clone(),
+                parked_on: dlq,
+            });
+        }
+        self.dead_letters.lock().extend(notices);
+    }
+
+    /// Drains the dead-letter notices accumulated since the last call.
+    pub fn drain_dead_letters(&self) -> Vec<DeadLetter> {
+        std::mem::take(&mut *self.dead_letters.lock())
+    }
+
     /// Simulates a broker crash.
     ///
     /// All connections, sessions, producers and consumers become unusable;
@@ -847,12 +938,14 @@ impl Core {
         self.counters.crashes.fetch_add(1, Ordering::Relaxed);
         let now = self.now();
         let keep = self.config.persistent_survive_crash;
+        let bound = self.config.max_redeliveries;
+        let mut poisoned = Vec::new();
         let durable_ids: HashSet<EndpointId> = {
             let mut registry = self.registry.lock();
             // Durable subscriptions survive with persistent messages;
             // their active consumers are gone.
             for entry in registry.durables.values_mut() {
-                entry.endpoint.crash(keep, now);
+                poisoned.extend(entry.endpoint.crash(keep, now, bound));
                 entry.active_consumer = None;
             }
             registry.active_clients.clear();
@@ -864,7 +957,7 @@ impl Core {
         };
         for shard in &self.shards {
             for endpoint in shard.queues.read().values() {
-                endpoint.crash(keep, now);
+                poisoned.extend(endpoint.crash(keep, now, bound));
             }
             // Non-durable subscriptions die with their (now broken)
             // consumers.
@@ -881,6 +974,10 @@ impl Core {
                 state.rebuild(&members);
             }
         }
+        // Park any in-flight messages the crash pushed past the
+        // redelivery bound (after every end-point has applied its own
+        // crash semantics, so the DLQ inserts are not themselves wiped).
+        self.dead_letter(poisoned);
     }
 
     /// Brings a crashed broker back into service. Clients must create new

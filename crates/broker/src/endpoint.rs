@@ -339,8 +339,18 @@ impl Endpoint {
     }
 
     /// Returns `session`'s in-flight messages to the pending set, marked
-    /// redelivered (rollback / session recovery).
-    pub fn recover_session(&self, session: SessionId, now: Timestamp) {
+    /// redelivered with an incremented delivery count (rollback / session
+    /// recovery / `Session::recover`).
+    ///
+    /// Messages whose redelivery would exceed `max_redeliveries` are *not*
+    /// requeued; they are returned as poison messages for the caller to
+    /// park on the destination's dead-letter queue.
+    pub fn recover_session(
+        &self,
+        session: SessionId,
+        now: Timestamp,
+        max_redeliveries: Option<u32>,
+    ) -> Vec<Arc<Message>> {
         let mut inner = self.inner.lock();
         let recovered: Vec<Arc<Message>> = {
             let mut kept = Vec::new();
@@ -355,59 +365,93 @@ impl Endpoint {
             inner.in_flight = kept;
             taken
         };
+        let mut poisoned = Vec::new();
         for message in recovered {
-            let key = EntryKey {
-                priority_rank: if self.enforce_priority {
-                    9 - message.priority().level()
-                } else {
-                    0
-                },
-                seq: inner.next_seq,
-            };
-            inner.next_seq += 1;
-            inner.pending.insert(
-                key,
-                Entry {
-                    message: Arc::new(message.as_redelivered()),
-                    visible_at: now,
-                },
-            );
+            self.requeue_redelivered(&mut inner, message, now, max_redeliveries, &mut poisoned);
         }
         self.wake_receivers(&inner);
+        poisoned
+    }
+
+    /// Requeues a formerly in-flight message as a redelivery, or diverts
+    /// it to `poisoned` when its redelivery count would exceed
+    /// `max_redeliveries`.
+    ///
+    /// A message with `delivery_count` *n* has been redelivered *n − 1*
+    /// times; requeueing it makes the next delivery redelivery number *n*,
+    /// so the poison condition is `delivery_count > bound`. A poisoned
+    /// message is returned unchanged — its count records the deliveries
+    /// actually burned on it.
+    fn requeue_redelivered(
+        &self,
+        inner: &mut Inner,
+        message: Arc<Message>,
+        now: Timestamp,
+        max_redeliveries: Option<u32>,
+        poisoned: &mut Vec<Arc<Message>>,
+    ) {
+        if let Some(bound) = max_redeliveries {
+            if message.delivery_count() > bound {
+                poisoned.push(message);
+                return;
+            }
+        }
+        let redelivered = Arc::new(
+            message
+                .as_redelivered()
+                .with_delivery_count(message.delivery_count() + 1),
+        );
+        let key = EntryKey {
+            priority_rank: if self.enforce_priority {
+                9 - redelivered.priority().level()
+            } else {
+                0
+            },
+            seq: inner.next_seq,
+        };
+        inner.next_seq += 1;
+        inner.pending.insert(
+            key,
+            Entry {
+                message: redelivered,
+                visible_at: now,
+            },
+        );
     }
 
     /// Applies crash semantics: unacknowledged in-flight messages return
     /// to the pending set, and only persistent messages survive (unless
     /// the broker is configured to lose those too).
-    pub fn crash(&self, keep_persistent: bool, now: Timestamp) {
+    ///
+    /// Requeued in-flight messages count the crash as a redelivery;
+    /// messages past `max_redeliveries` are returned as poison messages
+    /// instead of being requeued (only messages that would have survived
+    /// the crash are eligible — a non-persistent in-flight message is
+    /// simply lost, like its pending peers).
+    pub fn crash(
+        &self,
+        keep_persistent: bool,
+        now: Timestamp,
+        max_redeliveries: Option<u32>,
+    ) -> Vec<Arc<Message>> {
         let mut inner = self.inner.lock();
         let in_flight: Vec<Arc<Message>> = inner
             .in_flight
             .drain(..)
             .map(|entry| entry.message)
             .collect();
+        let mut poisoned = Vec::new();
         for message in in_flight {
-            let key = EntryKey {
-                priority_rank: if self.enforce_priority {
-                    9 - message.priority().level()
-                } else {
-                    0
-                },
-                seq: inner.next_seq,
-            };
-            inner.next_seq += 1;
-            inner.pending.insert(
-                key,
-                Entry {
-                    message: Arc::new(message.as_redelivered()),
-                    visible_at: now,
-                },
-            );
+            if !(keep_persistent && message.delivery_mode().is_persistent()) {
+                continue;
+            }
+            self.requeue_redelivered(&mut inner, message, now, max_redeliveries, &mut poisoned);
         }
         inner
             .pending
             .retain(|_, entry| keep_persistent && entry.message.delivery_mode().is_persistent());
         self.wake_receivers(&inner);
+        poisoned
     }
 
     /// Destroys the end-point: pending messages are discarded and blocked
@@ -585,14 +629,16 @@ mod tests {
             .unwrap()
             .unwrap();
         assert_eq!(ep.stats().in_flight, 1);
-        // Recover: message returns as redelivered.
-        ep.recover_session(SessionId::from_raw(1), clock.now());
+        // Recover: message returns as redelivered with a bumped count.
+        let poisoned = ep.recover_session(SessionId::from_raw(1), clock.now(), None);
+        assert!(poisoned.is_empty());
         assert_eq!(ep.stats().in_flight, 0);
         let again = receive_now(&ep, &clock, TrackMode::InFlight)
             .unwrap()
             .unwrap();
         assert_eq!(again.id(), got.id());
         assert!(again.is_redelivered());
+        assert_eq!(again.delivery_count(), 2);
         // Ack: gone for good.
         ep.ack_session(SessionId::from_raw(1));
         assert_eq!(ep.stats().in_flight, 0);
@@ -630,7 +676,8 @@ mod tests {
             .unwrap()
             .unwrap();
         assert_eq!(taken.sequence(), 0);
-        ep.crash(true, clock.now());
+        let poisoned = ep.crash(true, clock.now(), None);
+        assert!(poisoned.is_empty());
         // Survivors: seq 0 (was in flight, persistent) and seq 2.
         let mut survivors = Vec::new();
         while let Some(m) = receive_now(&ep, &clock, TrackMode::Immediate).unwrap() {
@@ -645,11 +692,53 @@ mod tests {
         let clock = VirtualClock::new();
         let ep = endpoint();
         ep.insert(message(0, 4, DeliveryMode::Persistent, 0), Timestamp::ZERO);
-        ep.crash(false, clock.now());
+        ep.crash(false, clock.now(), None);
         assert_eq!(
             receive_now(&ep, &clock, TrackMode::Immediate).unwrap(),
             None
         );
+    }
+
+    #[test]
+    fn bounded_redelivery_parks_poison_messages() {
+        let clock = VirtualClock::new();
+        let ep = endpoint();
+        ep.insert(message(0, 4, DeliveryMode::Persistent, 0), Timestamp::ZERO);
+        // Redelivery 1 (delivery 2) is within the bound of 1.
+        receive_now(&ep, &clock, TrackMode::InFlight)
+            .unwrap()
+            .unwrap();
+        assert!(ep
+            .recover_session(SessionId::from_raw(1), clock.now(), Some(1))
+            .is_empty());
+        let second = receive_now(&ep, &clock, TrackMode::InFlight)
+            .unwrap()
+            .unwrap();
+        assert_eq!(second.delivery_count(), 2);
+        // Redelivery 2 would exceed the bound: the message is poisoned.
+        let poisoned = ep.recover_session(SessionId::from_raw(1), clock.now(), Some(1));
+        assert_eq!(poisoned.len(), 1);
+        assert_eq!(poisoned[0].delivery_count(), 2);
+        assert_eq!(receive_now(&ep, &clock, TrackMode::InFlight).unwrap(), None);
+        assert_eq!(ep.stats().in_flight, 0);
+    }
+
+    #[test]
+    fn crash_redelivery_counts_toward_poison_bound() {
+        let clock = VirtualClock::new();
+        let ep = endpoint();
+        ep.insert(message(0, 4, DeliveryMode::Persistent, 0), Timestamp::ZERO);
+        receive_now(&ep, &clock, TrackMode::InFlight)
+            .unwrap()
+            .unwrap();
+        assert!(ep.crash(true, clock.now(), Some(1)).is_empty());
+        let second = receive_now(&ep, &clock, TrackMode::InFlight)
+            .unwrap()
+            .unwrap();
+        assert!(second.is_redelivered());
+        assert_eq!(second.delivery_count(), 2);
+        let poisoned = ep.crash(true, clock.now(), Some(1));
+        assert_eq!(poisoned.len(), 1);
     }
 
     #[test]

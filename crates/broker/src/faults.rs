@@ -12,16 +12,51 @@
 //! | [`duplicate_probability`](FaultSpec::duplicate_probability) — messages delivered twice | duplicate-delivery check |
 //! | [`reorder_probability`](FaultSpec::reorder_probability) — messages held back and delivered late | Property 3 (ordering) |
 //! | [`forge_probability`](FaultSpec::forge_probability) — messages delivered that nobody sent | Property 1 (delivery integrity) |
+//! | [`connect_failure_probability`](FaultSpec::connect_failure_probability) — connections refused | harness resilience (retry or `Inconclusive`) |
+//! | [`send_error_probability`](FaultSpec::send_error_probability) — sends rejected with an error | harness resilience (retry or `Inconclusive`) |
+//! | [`stall_probability`](FaultSpec::stall_probability) — calls block for a seeded window | harness deadlines / hang detection |
+//! | [`ack_loss_probability`](FaultSpec::ack_loss_probability) — acknowledgements silently dropped | duplicate-delivery check (redelivery after a completed ack) |
 //! | [`BrokerConfig::ignoring_expiry`](crate::BrokerConfig::ignoring_expiry) | Property 5 (expiry) |
 //! | [`BrokerConfig::ignoring_priority`](crate::BrokerConfig::ignoring_priority) | Property 4 (priority) |
 //! | [`BrokerConfig::losing_persistent_on_crash`](crate::BrokerConfig::losing_persistent_on_crash) | Property 2 under crash |
+//!
+//! The first four faults corrupt *messages*; the next four corrupt
+//! *operations* — they surface as errors or latency at the client API
+//! instead of as wrong deliveries, which is what the harness's retry
+//! policy and the daemon prince's `Inconclusive` verdict exist to absorb.
 
 use jmst_api::destination::Destination;
 use jmst_api::id::ProducerId;
 use jmst_api::message::{Message, MessageDraft, Stamp};
 use jmst_api::time::Timestamp;
 use jmst_sim::SimRng;
+use std::fmt;
 use std::time::Duration;
+
+/// A rejected fault probability: NaN, negative, or greater than one.
+///
+/// [`SimRng::chance`] clamps its argument, so an unvalidated garbage
+/// probability would silently sample as 0 or 1; validation turns that
+/// into a loud, typed error at construction instead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvalidFaultSpec {
+    /// The offending field's name.
+    pub field: &'static str,
+    /// The rejected value.
+    pub value: f64,
+}
+
+impl fmt::Display for InvalidFaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fault probability {} = {} is not in 0.0..=1.0",
+            self.field, self.value
+        )
+    }
+}
+
+impl std::error::Error for InvalidFaultSpec {}
 
 /// Probabilistic fault plan for a broker. All probabilities default to
 /// zero (a correct provider).
@@ -42,6 +77,20 @@ pub struct FaultSpec {
     /// Probability that an extra, never-sent message is injected alongside
     /// a routed message.
     pub forge_probability: f64,
+    /// Probability that creating a connection fails with a provider error.
+    pub connect_failure_probability: f64,
+    /// Probability that a send is rejected with a provider error (the
+    /// message is not routed).
+    pub send_error_probability: f64,
+    /// Probability that a faultable call stalls for
+    /// [`stall_duration`](Self::stall_duration) before proceeding.
+    pub stall_probability: f64,
+    /// How long a stalled call blocks.
+    pub stall_duration: Duration,
+    /// Probability that an acknowledgement is silently dropped: the client
+    /// call succeeds but the broker keeps the messages in flight, so they
+    /// are redelivered later even though the ack completed.
+    pub ack_loss_probability: f64,
 }
 
 impl FaultSpec {
@@ -56,6 +105,37 @@ impl FaultSpec {
             && self.duplicate_probability == 0.0
             && self.reorder_probability == 0.0
             && self.forge_probability == 0.0
+            && self.connect_failure_probability == 0.0
+            && self.send_error_probability == 0.0
+            && self.stall_probability == 0.0
+            && self.ack_loss_probability == 0.0
+    }
+
+    /// Checks every probability is a real number in `0.0..=1.0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidFaultSpec`] naming the first offending field.
+    pub fn validate(&self) -> Result<(), InvalidFaultSpec> {
+        let fields = [
+            ("drop_probability", self.drop_probability),
+            ("duplicate_probability", self.duplicate_probability),
+            ("reorder_probability", self.reorder_probability),
+            ("forge_probability", self.forge_probability),
+            (
+                "connect_failure_probability",
+                self.connect_failure_probability,
+            ),
+            ("send_error_probability", self.send_error_probability),
+            ("stall_probability", self.stall_probability),
+            ("ack_loss_probability", self.ack_loss_probability),
+        ];
+        for (field, value) in fields {
+            if value.is_nan() || !(0.0..=1.0).contains(&value) {
+                return Err(InvalidFaultSpec { field, value });
+            }
+        }
+        Ok(())
     }
 
     /// Returns a copy that drops sends with probability `p`.
@@ -84,6 +164,33 @@ impl FaultSpec {
         self
     }
 
+    /// Returns a copy that refuses new connections with probability `p`.
+    pub fn failing_connects(mut self, p: f64) -> Self {
+        self.connect_failure_probability = p;
+        self
+    }
+
+    /// Returns a copy that rejects sends with probability `p`.
+    pub fn failing_sends(mut self, p: f64) -> Self {
+        self.send_error_probability = p;
+        self
+    }
+
+    /// Returns a copy that stalls faultable calls with probability `p` for
+    /// `window` each time.
+    pub fn stalling(mut self, p: f64, window: Duration) -> Self {
+        self.stall_probability = p;
+        self.stall_duration = window;
+        self
+    }
+
+    /// Returns a copy that silently drops acknowledgements with
+    /// probability `p`.
+    pub fn losing_acks(mut self, p: f64) -> Self {
+        self.ack_loss_probability = p;
+        self
+    }
+
     /// Returns a copy with a different fault seed.
     pub fn seeded(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -100,6 +207,11 @@ impl Default for FaultSpec {
             reorder_probability: 0.0,
             reorder_delay: Duration::from_millis(50),
             forge_probability: 0.0,
+            connect_failure_probability: 0.0,
+            send_error_probability: 0.0,
+            stall_probability: 0.0,
+            stall_duration: Duration::from_millis(2),
+            ack_loss_probability: 0.0,
         }
     }
 }
@@ -137,22 +249,38 @@ pub struct FaultCounters {
     pub reordered: u64,
     /// Spurious messages injected.
     pub forged: u64,
+    /// Connections refused.
+    pub connects_refused: u64,
+    /// Sends rejected with an error.
+    pub sends_errored: u64,
+    /// Calls stalled.
+    pub stalls: u64,
+    /// Acknowledgements silently dropped.
+    pub acks_lost: u64,
 }
 
 /// Deterministic fault engine owned by the broker core.
+///
+/// Message faults and operational faults draw from two independent seeded
+/// streams, so adding connect/send/ack traffic does not perturb which
+/// *messages* get dropped or duplicated for a given seed.
 #[derive(Debug)]
 pub(crate) struct FaultEngine {
     spec: FaultSpec,
     rng: SimRng,
+    op_rng: SimRng,
     counters: FaultCounters,
     forged_serial: u64,
 }
 
 impl FaultEngine {
     pub(crate) fn new(spec: FaultSpec) -> Self {
+        let rng = SimRng::seed_from_u64(spec.seed);
+        let op_rng = rng.derive(0x5EED_FA17_0B5E_55ED);
         Self {
             spec,
-            rng: SimRng::seed_from_u64(spec.seed),
+            rng,
+            op_rng,
             counters: FaultCounters::default(),
             forged_serial: 0,
         }
@@ -191,6 +319,57 @@ impl FaultEngine {
             self.counters.forged += 1;
         }
         decision
+    }
+
+    /// Decides whether a faultable call stalls, and for how long. Drawn
+    /// separately from the refusal decisions so a call can both stall and
+    /// then fail.
+    pub(crate) fn stall_window(&mut self) -> Option<Duration> {
+        if self.spec.stall_probability == 0.0 {
+            return None;
+        }
+        if self.op_rng.chance(self.spec.stall_probability) {
+            self.counters.stalls += 1;
+            Some(self.spec.stall_duration)
+        } else {
+            None
+        }
+    }
+
+    /// Decides whether a connection attempt is refused.
+    pub(crate) fn refuse_connect(&mut self) -> bool {
+        if self.spec.connect_failure_probability == 0.0 {
+            return false;
+        }
+        let refuse = self.op_rng.chance(self.spec.connect_failure_probability);
+        if refuse {
+            self.counters.connects_refused += 1;
+        }
+        refuse
+    }
+
+    /// Decides whether a send is rejected with an error.
+    pub(crate) fn reject_send(&mut self) -> bool {
+        if self.spec.send_error_probability == 0.0 {
+            return false;
+        }
+        let reject = self.op_rng.chance(self.spec.send_error_probability);
+        if reject {
+            self.counters.sends_errored += 1;
+        }
+        reject
+    }
+
+    /// Decides whether an acknowledgement is silently dropped.
+    pub(crate) fn lose_ack(&mut self) -> bool {
+        if self.spec.ack_loss_probability == 0.0 {
+            return false;
+        }
+        let lose = self.op_rng.chance(self.spec.ack_loss_probability);
+        if lose {
+            self.counters.acks_lost += 1;
+        }
+        lose
     }
 
     /// Synthesizes a message that no producer ever sent, for delivery-
@@ -269,18 +448,94 @@ mod tests {
     }
 
     #[test]
+    fn validation_rejects_garbage_probabilities() {
+        assert!(FaultSpec::none().validate().is_ok());
+        let nan = FaultSpec::none().dropping(f64::NAN);
+        let error = nan.validate().unwrap_err();
+        assert_eq!(error.field, "drop_probability");
+        assert!(error.value.is_nan());
+
+        let negative = FaultSpec::none().failing_connects(-0.2);
+        let error = negative.validate().unwrap_err();
+        assert_eq!(error.field, "connect_failure_probability");
+        assert_eq!(error.value, -0.2);
+
+        let too_big = FaultSpec::none().losing_acks(1.5);
+        let error = too_big.validate().unwrap_err();
+        assert_eq!(error.field, "ack_loss_probability");
+        assert!(error.to_string().contains("not in 0.0..=1.0"));
+
+        assert!(FaultSpec::none().failing_sends(1.0).validate().is_ok());
+        assert!(FaultSpec::none()
+            .stalling(0.5, Duration::from_millis(1))
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn operational_faults_make_spec_unclean() {
+        assert!(!FaultSpec::none().failing_connects(0.1).is_clean());
+        assert!(!FaultSpec::none().failing_sends(0.1).is_clean());
+        assert!(!FaultSpec::none()
+            .stalling(0.1, Duration::from_millis(1))
+            .is_clean());
+        assert!(!FaultSpec::none().losing_acks(0.1).is_clean());
+    }
+
+    #[test]
+    fn operational_draws_do_not_perturb_message_faults() {
+        let spec = FaultSpec::none()
+            .dropping(0.3)
+            .failing_connects(0.5)
+            .seeded(11);
+        let mut quiet = FaultEngine::new(spec);
+        let mut noisy = FaultEngine::new(spec);
+        let mut refused = 0;
+        for _ in 0..500 {
+            // Interleaved operational traffic on one engine only.
+            if noisy.refuse_connect() {
+                refused += 1;
+            }
+            noisy.lose_ack();
+            assert_eq!(quiet.decide(), noisy.decide());
+        }
+        assert!((150..=350).contains(&refused), "refused {refused}");
+        assert_eq!(noisy.counters().connects_refused, refused);
+        assert_eq!(quiet.counters().dropped, noisy.counters().dropped);
+    }
+
+    #[test]
+    fn stall_window_returns_configured_duration() {
+        let mut engine =
+            FaultEngine::new(FaultSpec::none().stalling(1.0, Duration::from_millis(3)));
+        assert_eq!(engine.stall_window(), Some(Duration::from_millis(3)));
+        assert_eq!(engine.counters().stalls, 1);
+        let mut clean = FaultEngine::new(FaultSpec::none());
+        assert_eq!(clean.stall_window(), None);
+    }
+
+    #[test]
     fn builder_composes() {
         let spec = FaultSpec::none()
             .dropping(0.1)
             .duplicating(0.2)
             .reordering(0.3, Duration::from_millis(5))
             .forging(0.4)
+            .failing_connects(0.5)
+            .failing_sends(0.6)
+            .stalling(0.7, Duration::from_millis(8))
+            .losing_acks(0.9)
             .seeded(9);
         assert_eq!(spec.drop_probability, 0.1);
         assert_eq!(spec.duplicate_probability, 0.2);
         assert_eq!(spec.reorder_probability, 0.3);
         assert_eq!(spec.reorder_delay, Duration::from_millis(5));
         assert_eq!(spec.forge_probability, 0.4);
+        assert_eq!(spec.connect_failure_probability, 0.5);
+        assert_eq!(spec.send_error_probability, 0.6);
+        assert_eq!(spec.stall_probability, 0.7);
+        assert_eq!(spec.stall_duration, Duration::from_millis(8));
+        assert_eq!(spec.ack_loss_probability, 0.9);
         assert_eq!(spec.seed, 9);
     }
 }

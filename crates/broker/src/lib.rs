@@ -26,6 +26,6 @@ mod session;
 pub use config::BrokerConfig;
 pub use connection::BrokerConnection;
 pub use endpoint::EndpointStats;
-pub use faults::{FaultCounters, FaultSpec};
+pub use faults::{FaultCounters, FaultSpec, InvalidFaultSpec};
 pub use provider::ReferenceBroker;
 pub use session::{BrokerConsumer, BrokerProducer, BrokerSession};

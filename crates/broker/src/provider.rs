@@ -8,7 +8,7 @@ use crate::core::Core;
 use jmst_api::destination::EndpointId;
 use jmst_api::error::Error;
 use jmst_api::id::ClientId;
-use jmst_api::provider::{Connection, Provider};
+use jmst_api::provider::{Connection, DeadLetter, Provider};
 use std::sync::Arc;
 
 /// An in-process JMS-semantics broker.
@@ -145,6 +145,10 @@ impl Provider for ReferenceBroker {
             Arc::clone(&self.core),
             client_id,
         )?))
+    }
+
+    fn drain_dead_letters(&self) -> Vec<DeadLetter> {
+        self.core.drain_dead_letters()
     }
 }
 
@@ -662,6 +666,112 @@ mod tests {
         assert!(matches!(session.rollback(), Err(Error::IllegalState(_))));
         let mut tx = connection.create_session(SessionMode::Transacted).unwrap();
         assert!(matches!(tx.recover(), Err(Error::IllegalState(_))));
+    }
+
+    #[test]
+    fn bounded_redelivery_parks_poison_on_dlq() {
+        let broker = ReferenceBroker::with_config(BrokerConfig::correct().with_max_redeliveries(1));
+        let mut connection = started_connection(&broker);
+        let mut session = connection
+            .create_session(SessionMode::ClientAcknowledge)
+            .unwrap();
+        let queue = Destination::queue("orders");
+        let mut producer = session.create_producer(&queue).unwrap();
+        let mut consumer = session.create_consumer(&queue, None).unwrap();
+        let sent = producer.send(MessageDraft::text("poison")).unwrap();
+        // Delivery 1, recover → redelivery 1 (within the bound of 1).
+        consumer.receive(Some(RECEIVE_WAIT)).unwrap().unwrap();
+        session.recover().unwrap();
+        let second = consumer.receive(Some(RECEIVE_WAIT)).unwrap().unwrap();
+        assert!(second.is_redelivered());
+        assert_eq!(second.delivery_count(), 2);
+        // Recover again → redelivery 2 exceeds the bound: parked on the DLQ.
+        session.recover().unwrap();
+        assert_eq!(
+            consumer.receive(Some(Duration::from_millis(50))).unwrap(),
+            None
+        );
+        let notices = broker.drain_dead_letters();
+        assert_eq!(notices.len(), 1);
+        assert_eq!(notices[0].message.id(), sent.id());
+        assert_eq!(notices[0].parked_on.as_str(), "DLQ.orders");
+        // Reported exactly once.
+        assert!(broker.drain_dead_letters().is_empty());
+        // The poison message is browsable on the DLQ.
+        let dlq = QueueName::new("DLQ.orders");
+        let parked = session.browse(&dlq).unwrap();
+        assert_eq!(parked.len(), 1);
+        assert_eq!(parked[0].id(), sent.id());
+    }
+
+    #[test]
+    fn injected_connect_failures_are_deterministic_and_typed() {
+        let config = BrokerConfig::correct()
+            .with_faults(crate::faults::FaultSpec::none().failing_connects(1.0));
+        let broker = ReferenceBroker::with_config(config);
+        let err = broker.create_connection(None).map(|_| ()).unwrap_err();
+        assert!(matches!(err, Error::ProviderFailure(_)), "{err:?}");
+        assert_eq!(broker.fault_counters().connects_refused, 1);
+    }
+
+    #[test]
+    fn injected_send_errors_do_not_lose_routed_messages() {
+        let config = BrokerConfig::correct()
+            .with_faults(crate::faults::FaultSpec::none().failing_sends(0.5));
+        let broker = ReferenceBroker::with_config(config);
+        let mut connection = started_connection(&broker);
+        let mut session = connection
+            .create_session(SessionMode::AutoAcknowledge)
+            .unwrap();
+        let queue = Destination::queue("q");
+        let mut producer = session.create_producer(&queue).unwrap();
+        let mut consumer = session.create_consumer(&queue, None).unwrap();
+        let mut accepted = Vec::new();
+        for i in 0..40 {
+            match producer.send(MessageDraft::text(format!("{i}"))) {
+                Ok(message) => accepted.push(message.id()),
+                Err(Error::ProviderFailure(reason)) => {
+                    assert!(reason.contains("injected"), "{reason}");
+                }
+                Err(other) => panic!("unexpected error: {other:?}"),
+            }
+        }
+        assert!(!accepted.is_empty(), "p=0.5 cannot refuse all 40 sends");
+        assert!(accepted.len() < 40, "p=0.5 cannot accept all 40 sends");
+        // Every accepted send is delivered exactly once; refused sends
+        // never surface anywhere.
+        let mut received = Vec::new();
+        while let Some(m) = consumer.receive(Some(Duration::from_millis(50))).unwrap() {
+            received.push(m.id());
+        }
+        assert_eq!(received, accepted);
+        assert_eq!(
+            broker.fault_counters().sends_errored as usize,
+            40 - accepted.len()
+        );
+    }
+
+    #[test]
+    fn lost_acks_cause_redelivery_after_recover() {
+        let config =
+            BrokerConfig::correct().with_faults(crate::faults::FaultSpec::none().losing_acks(1.0));
+        let broker = ReferenceBroker::with_config(config);
+        let mut connection = started_connection(&broker);
+        let mut session = connection
+            .create_session(SessionMode::ClientAcknowledge)
+            .unwrap();
+        let queue = Destination::queue("q");
+        let mut producer = session.create_producer(&queue).unwrap();
+        let mut consumer = session.create_consumer(&queue, None).unwrap();
+        let sent = producer.send(MessageDraft::text("ghost-ack")).unwrap();
+        consumer.receive(Some(RECEIVE_WAIT)).unwrap().unwrap();
+        // The ack "succeeds" from the client's view but is swallowed.
+        consumer.acknowledge().unwrap();
+        assert_eq!(broker.fault_counters().acks_lost, 1);
+        session.recover().unwrap();
+        let again = consumer.receive(Some(RECEIVE_WAIT)).unwrap().unwrap();
+        assert_eq!(again.id(), sent.id());
+        assert!(again.is_redelivered());
     }
 
     #[test]

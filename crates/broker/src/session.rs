@@ -102,6 +102,12 @@ impl SessionShared {
     }
 
     fn acknowledge_all(&self) {
+        // Ack-loss fault: the client believes the acknowledge succeeded,
+        // but the broker keeps the deliveries in flight — they come back
+        // as redeliveries on recover/close/crash.
+        if self.core.ack_lost() {
+            return;
+        }
         let mut state = self.state.lock();
         for endpoint in state.touched.drain(..) {
             endpoint.ack_session(self.id);
@@ -111,15 +117,20 @@ impl SessionShared {
 
     fn recover_unacked(&self) {
         let now = self.core.now();
+        let bound = self.core.max_redeliveries();
         let mut state = self.state.lock();
+        let mut poisoned = Vec::new();
         for endpoint in state.touched.drain(..) {
-            endpoint.recover_session(self.id, now);
+            poisoned.extend(endpoint.recover_session(self.id, now, bound));
         }
         state.dups_ok_unacked = 0;
+        drop(state);
+        self.core.dead_letter(poisoned);
     }
 
     fn rollback_tx(&self) {
         let now = self.core.now();
+        let bound = self.core.max_redeliveries();
         let mut state = self.state.lock();
         state.pending_sends.clear();
         let mut endpoints: Vec<Arc<Endpoint>> = Vec::new();
@@ -129,9 +140,11 @@ impl SessionShared {
             }
         }
         drop(state);
+        let mut poisoned = Vec::new();
         for endpoint in endpoints {
-            endpoint.recover_session(self.id, now);
+            poisoned.extend(endpoint.recover_session(self.id, now, bound));
         }
+        self.core.dead_letter(poisoned);
     }
 }
 
@@ -362,6 +375,7 @@ impl Producer for BrokerProducer {
             return Err(Error::EndpointClosed);
         }
         self.session.check_open()?;
+        self.session.core.check_send()?;
         let message = Arc::new(draft.stamp(Stamp {
             id: self.session.core.ids().next_message_id(),
             producer: self.id,
@@ -386,6 +400,7 @@ impl Producer for BrokerProducer {
             return Err(Error::EndpointClosed);
         }
         self.session.check_open()?;
+        self.session.core.check_send()?;
         let messages: Vec<Arc<Message>> = drafts
             .into_iter()
             .map(|draft| {

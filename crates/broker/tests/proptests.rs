@@ -540,6 +540,370 @@ proptest! {
 }
 
 // ===================================================================
+// Chaos differential: recovery and redelivery must be shard-invariant.
+// A script of publishes, unacknowledged receives, client acks, session
+// recovers and broker crashes is replayed against a durable subscriber
+// and a client-acknowledge queue consumer at `shards = 1` and a sharded
+// layout; both runs must earn identical analyzer verdicts and identical
+// per-consumer multisets of `(message, delivery_count)` pairs — i.e.
+// sharding may not change *what* gets redelivered or *how often*.
+// ===================================================================
+
+const CHAOS_QUEUE: &str = "orders";
+const CHAOS_TOPIC: &str = "ledger";
+const CHAOS_CLIENT: &str = "chaos";
+const DURABLE_NAME: &str = "audit";
+const CHAOS_REDELIVERY_BOUND: u32 = 4;
+
+/// One step of a random recovery script. `from_topic` selects between
+/// the two standing consumers: the queue consumer (false) and the
+/// durable subscriber (true).
+#[derive(Debug, Clone)]
+enum ChaosOp {
+    /// Publish `count` messages to the queue or the topic.
+    Publish {
+        to_topic: bool,
+        count: usize,
+        priority: u8,
+        persistent: bool,
+    },
+    /// Receive up to `max` messages WITHOUT acknowledging them, leaving
+    /// them eligible for redelivery on the next recover or crash.
+    ReceiveNoAck { from_topic: bool, max: usize },
+    /// Acknowledge everything the consumer has received so far.
+    Ack { from_topic: bool },
+    /// `Session::recover`: redeliver every unacknowledged message.
+    Recover,
+    /// Crash and recover the broker, reopening every client object
+    /// (the durable subscription resumes under its name).
+    Crash,
+}
+
+fn arb_chaos_ops() -> impl Strategy<Value = Vec<ChaosOp>> {
+    let publish = (any::<bool>(), 1usize..5, 0u8..=9, any::<bool>()).prop_map(
+        |(to_topic, count, priority, persistent)| ChaosOp::Publish {
+            to_topic,
+            count,
+            priority,
+            persistent,
+        },
+    );
+    prop::collection::vec(
+        prop_oneof![
+            publish.clone(),
+            publish,
+            (any::<bool>(), 1usize..7)
+                .prop_map(|(from_topic, max)| ChaosOp::ReceiveNoAck { from_topic, max }),
+            any::<bool>().prop_map(|from_topic| ChaosOp::Ack { from_topic }),
+            Just(ChaosOp::Recover),
+            Just(ChaosOp::Crash),
+        ],
+        1..20,
+    )
+}
+
+/// A broker under a redelivery bound plus the client-acknowledge client
+/// objects needed to replay a [`ChaosOp`] script. Delivery slot 0 is the
+/// queue consumer, slot 1 the durable subscriber; each records the
+/// `(id, delivery_count)` of every delivery so redelivery multiplicity
+/// is part of the differential comparison.
+struct ChaosClients {
+    _connection: Box<dyn Connection>,
+    session: Box<dyn Session>,
+    producers: Vec<Box<dyn Producer>>,
+    consumers: Vec<Box<dyn Consumer>>,
+}
+
+fn open_chaos_clients(broker: &ReferenceBroker) -> ChaosClients {
+    let mut connection = broker
+        .create_connection(Some(ClientId::new(CHAOS_CLIENT)))
+        .unwrap();
+    connection.start().unwrap();
+    let mut session = connection
+        .create_session(SessionMode::ClientAcknowledge)
+        .unwrap();
+    let producers = vec![
+        session
+            .create_producer(&Destination::queue(CHAOS_QUEUE))
+            .unwrap(),
+        session
+            .create_producer(&Destination::topic(CHAOS_TOPIC))
+            .unwrap(),
+    ];
+    let queue_consumer = session
+        .create_consumer(&Destination::queue(CHAOS_QUEUE), None)
+        .unwrap();
+    let durable = session
+        .create_durable_subscriber(&TopicName::new(CHAOS_TOPIC), DURABLE_NAME, None)
+        .unwrap();
+    ChaosClients {
+        _connection: connection,
+        session,
+        producers,
+        consumers: vec![queue_consumer, durable],
+    }
+}
+
+struct ChaosRig {
+    broker: ReferenceBroker,
+    node: NodeRecorder,
+    recorder: Recorder,
+    clients: ChaosClients,
+    deliveries: Vec<Vec<(MessageId, u32)>>,
+    published: u64,
+}
+
+impl ChaosRig {
+    fn new(shards: usize) -> Self {
+        let broker = ReferenceBroker::with_config(
+            BrokerConfig::correct()
+                .with_shards(shards)
+                .with_max_redeliveries(CHAOS_REDELIVERY_BOUND),
+        );
+        let recorder = Recorder::new();
+        let node = recorder.node(NodeId::from_raw(1), Arc::new(SystemClock::new()));
+        let clients = open_chaos_clients(&broker);
+        let mut rig = Self {
+            broker,
+            node,
+            recorder,
+            clients,
+            deliveries: vec![Vec::new(), Vec::new()],
+            published: 0,
+        };
+        rig.record_consumers_created();
+        rig
+    }
+
+    fn endpoint(&self, slot: usize) -> EndpointId {
+        if slot == 0 {
+            EndpointId::for_queue(QueueName::new(CHAOS_QUEUE))
+        } else {
+            EndpointId::durable(
+                TopicName::new(CHAOS_TOPIC),
+                ClientId::new(CHAOS_CLIENT),
+                DURABLE_NAME,
+            )
+        }
+    }
+
+    fn record_consumers_created(&mut self) {
+        for slot in 0..2 {
+            self.node.record(EventKind::ConsumerCreated {
+                consumer: self.clients.consumers[slot].id(),
+                endpoint: self.endpoint(slot),
+                session_mode: SessionMode::ClientAcknowledge,
+                selector: None,
+            });
+        }
+    }
+
+    fn record_consumers_closed(&mut self) {
+        for slot in 0..2 {
+            self.node.record(EventKind::ConsumerClosed {
+                consumer: self.clients.consumers[slot].id(),
+                endpoint: self.endpoint(slot),
+            });
+        }
+    }
+
+    fn receive_no_ack(&mut self, slot: usize, max: usize) {
+        for _ in 0..max {
+            let received = self.clients.consumers[slot]
+                .receive(Some(Duration::ZERO))
+                .unwrap();
+            match received {
+                Some(message) => {
+                    self.node.record(EventKind::Receive {
+                        consumer: self.clients.consumers[slot].id(),
+                        endpoint: self.endpoint(slot),
+                        record: MessageRecord::from_message(&message),
+                        session: self.clients.session.id(),
+                        tx: None,
+                    });
+                    self.deliveries[slot].push((message.id(), message.delivery_count()));
+                }
+                None => break,
+            }
+        }
+    }
+
+    fn apply(&mut self, op: &ChaosOp) {
+        match *op {
+            ChaosOp::Publish {
+                to_topic,
+                count,
+                priority,
+                persistent,
+            } => {
+                for _ in 0..count {
+                    let n = self.published;
+                    self.published += 1;
+                    let draft = MessageDraft::text(format!("c{n}"))
+                        .priority(Priority::new(priority).unwrap())
+                        .delivery_mode(if persistent {
+                            DeliveryMode::Persistent
+                        } else {
+                            DeliveryMode::NonPersistent
+                        });
+                    let message = self.clients.producers[usize::from(to_topic)]
+                        .send(draft)
+                        .unwrap();
+                    self.node.record(EventKind::Send {
+                        record: MessageRecord::from_message(&message),
+                        session: self.clients.session.id(),
+                        tx: None,
+                    });
+                }
+            }
+            ChaosOp::ReceiveNoAck { from_topic, max } => {
+                self.receive_no_ack(usize::from(from_topic), max);
+            }
+            ChaosOp::Ack { from_topic } => {
+                let session = self.clients.session.id();
+                if self.clients.consumers[usize::from(from_topic)]
+                    .acknowledge()
+                    .is_ok()
+                {
+                    self.node.record(EventKind::Acknowledge { session });
+                }
+            }
+            ChaosOp::Recover => {
+                self.clients.session.recover().unwrap();
+            }
+            ChaosOp::Crash => {
+                self.broker.crash();
+                self.node.record(EventKind::BrokerCrashed);
+                self.record_consumers_closed();
+                self.broker.recover();
+                self.node.record(EventKind::BrokerRecovered);
+                self.clients = open_chaos_clients(&self.broker);
+                self.record_consumers_created();
+            }
+        }
+    }
+
+    fn finish(mut self) -> (Trace, Vec<Vec<(MessageId, u32)>>) {
+        // Drain and acknowledge both consumers so nothing is left
+        // unaccounted, then park whatever exceeded the redelivery bound.
+        for slot in 0..2 {
+            self.receive_no_ack(slot, usize::MAX);
+            let session = self.clients.session.id();
+            if self.clients.consumers[slot].acknowledge().is_ok() {
+                self.node.record(EventKind::Acknowledge { session });
+            }
+        }
+        self.record_consumers_closed();
+        for dead in self.broker.drain_dead_letters() {
+            self.node.record(EventKind::DeadLettered {
+                record: MessageRecord::from_message(&dead.message),
+                parked_on: dead.parked_on,
+            });
+        }
+        let mut deliveries = self.deliveries;
+        for slot in &mut deliveries {
+            slot.sort_unstable();
+        }
+        (self.recorder.snapshot(), deliveries)
+    }
+}
+
+fn assert_chaos_runs_agree(
+    (reference_trace, reference_deliveries): &(Trace, Vec<Vec<(MessageId, u32)>>),
+    (sharded_trace, sharded_deliveries): &(Trace, Vec<Vec<(MessageId, u32)>>),
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(reference_deliveries, sharded_deliveries);
+    let reference_report = Analyzer::new().analyze(reference_trace);
+    let sharded_report = Analyzer::new().analyze(sharded_trace);
+    prop_assert_eq!(reference_report.passed(), sharded_report.passed());
+    prop_assert_eq!(reference_report.sends, sharded_report.sends);
+    prop_assert_eq!(reference_report.receives, sharded_report.receives);
+    for property in [
+        PropertyKind::DeliveryIntegrity,
+        PropertyKind::RequiredMessages,
+        PropertyKind::MessageOrdering,
+        PropertyKind::MessagePriority,
+        PropertyKind::ExpiredMessages,
+        PropertyKind::DuplicateDelivery,
+    ] {
+        prop_assert_eq!(
+            reference_report.count_of(property),
+            sharded_report.count_of(property),
+            "verdict count diverged for {:?}",
+            property
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn chaos_recovery_is_shard_invariant(ops in arb_chaos_ops()) {
+        let mut reference = ChaosRig::new(1);
+        let mut sharded = ChaosRig::new(8);
+        for op in &ops {
+            reference.apply(op);
+            sharded.apply(op);
+        }
+        assert_chaos_runs_agree(&reference.finish(), &sharded.finish())?;
+    }
+}
+
+/// The fixed chaos soak: six crash/recover rounds that always leave
+/// messages unacknowledged before the fault, so every round forces real
+/// redeliveries through both the queue and the durable subscription.
+#[test]
+fn chaos_soak_crash_recover_loop_is_shard_invariant() {
+    let mut ops = Vec::new();
+    for round in 0..6u32 {
+        let to_topic = round % 2 == 0;
+        ops.push(ChaosOp::Publish {
+            to_topic,
+            count: 3,
+            priority: 4,
+            persistent: true,
+        });
+        ops.push(ChaosOp::ReceiveNoAck {
+            from_topic: to_topic,
+            max: 2,
+        });
+        if round % 3 == 2 {
+            ops.push(ChaosOp::Recover);
+        } else {
+            ops.push(ChaosOp::Crash);
+        }
+        ops.push(ChaosOp::ReceiveNoAck {
+            from_topic: to_topic,
+            max: 8,
+        });
+        ops.push(ChaosOp::Ack {
+            from_topic: to_topic,
+        });
+    }
+    let mut runs = [1usize, 8].map(|shards| {
+        let mut rig = ChaosRig::new(shards);
+        for op in &ops {
+            rig.apply(op);
+        }
+        rig.finish()
+    });
+    assert_chaos_runs_agree(&runs[0], &runs[1]).unwrap();
+    // The soak actually exercised redelivery on both consumers…
+    let [(trace, deliveries), _] = &mut runs;
+    for (slot, delivered) in deliveries.iter().enumerate() {
+        assert!(
+            delivered.iter().any(|(_, count)| *count > 1),
+            "slot {slot} saw no redelivery"
+        );
+    }
+    // …and redelivery after a crash is not a correctness violation.
+    let report = Analyzer::new().analyze(trace);
+    assert!(report.passed(), "{report}");
+}
+
+// ===================================================================
 // Differential test of the equality-prefilter index: routing through
 // the analysis-driven snapshot partition (deliver-all / evaluated /
 // eq-indexed) must deliver exactly the messages the plain selector

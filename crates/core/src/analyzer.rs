@@ -146,6 +146,9 @@ impl Analyzer {
         if config.check_duplicates {
             violations.extend(duplicates::check(store));
         }
+        if let Some(bound) = config.redelivery_bound {
+            violations.extend(duplicates::check_redelivery_bound(store, bound));
+        }
         let performance = perf::analyze(store, config.histogram_bucket, config.histogram_buckets);
         AnalysisReport {
             violations,

@@ -95,6 +95,10 @@ pub struct AnalysisConfig {
     pub check_expiry: bool,
     /// Check for duplicate deliveries.
     pub check_duplicates: bool,
+    /// When set, flag any delivery whose `delivery_count` exceeds the
+    /// provider's configured redelivery bound (`bound` redeliveries on
+    /// top of the first delivery). `None` disables the check.
+    pub redelivery_bound: Option<u32>,
     /// Priority-check settings.
     pub priority: PriorityConfig,
     /// Expiry-check settings.
@@ -114,6 +118,7 @@ impl Default for AnalysisConfig {
             check_priority: true,
             check_expiry: true,
             check_duplicates: true,
+            redelivery_bound: None,
             priority: PriorityConfig::default(),
             expiry: ExpiryConfig::default(),
             histogram_bucket: Duration::from_millis(1),
@@ -141,6 +146,13 @@ impl AnalysisConfig {
     /// Returns a copy using the given expiry model.
     pub fn with_expiry_model(mut self, model: ExpiryModel) -> Self {
         self.expiry.model = model;
+        self
+    }
+
+    /// Returns a copy that checks the bounded-redelivery property against
+    /// the given bound (the broker's `max_redeliveries`).
+    pub fn with_redelivery_bound(mut self, bound: u32) -> Self {
+        self.redelivery_bound = Some(bound);
         self
     }
 }

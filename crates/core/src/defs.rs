@@ -234,6 +234,7 @@ mod tests {
             sent_at: Timestamp::from_millis(sequence),
             body_bytes: 1,
             redelivered: false,
+            delivery_count: 1,
             properties: Default::default(),
         }
     }

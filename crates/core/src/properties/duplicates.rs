@@ -4,12 +4,23 @@
 //! duplicates.
 //!
 //! Redeliveries flagged by the provider (after rollback or session
-//! recovery) are legitimate and do not count.
+//! recovery) are legitimate **as long as the earlier delivery was never
+//! acknowledged**: recovery of an unacknowledged session is exactly the
+//! case JMS licenses. A redelivery that arrives *after* the original
+//! delivery was settled by its session (an acknowledge, or a commit
+//! acting as the transactional ack point) is a true duplicate and counts
+//! like any other extra delivery.
+//!
+//! This module also hosts the bounded-redelivery check: when the broker
+//! advertises a redelivery limit, no delivery may carry a
+//! `delivery_count` beyond `bound + 1` — a poison message must be parked
+//! on the dead-letter queue instead of being delivered again.
 
 use crate::violation::Violation;
 use jmst_api::destination::EndpointId;
-use jmst_api::id::{ConsumerId, MessageId};
+use jmst_api::id::{ConsumerId, MessageId, SessionId};
 use jmst_api::modes::SessionMode;
+use jmst_api::time::Timestamp;
 use jmst_store::table::TraceStore;
 use std::collections::HashMap;
 
@@ -20,15 +31,32 @@ pub fn check(store: &TraceStore) -> Vec<Violation> {
         .iter()
         .map(|row| (row.consumer, row.session_mode))
         .collect();
-    // (endpoint, message) -> (non-redelivery count, any non-dups-ok consumer involved)
+    let acks = store.acks();
+    // (endpoint, message) -> (delivery count, any non-dups-ok consumer involved)
     let mut deliveries: HashMap<(EndpointId, MessageId), (u64, bool)> = HashMap::new();
+    // (endpoint, message) -> (at, session) of each delivery seen so far,
+    // for the redelivery-legitimacy test.
+    let mut seen: HashMap<(EndpointId, MessageId), Vec<(Timestamp, SessionId)>> = HashMap::new();
     for receive in store.effective_receives() {
+        let key = (receive.endpoint.clone(), receive.record.message);
+        let prior = seen.entry(key.clone()).or_default();
         if receive.record.redelivered {
-            continue;
+            // Legitimate iff no earlier delivery of this message here was
+            // settled before this redelivery arrived: an ack by the
+            // earlier delivery's session in [r0.at, r.at) settles r0.
+            let settled_before = prior.iter().any(|&(r0_at, r0_session)| {
+                acks.iter().any(|&(ack_at, ack_session)| {
+                    ack_session == r0_session && r0_at <= ack_at && ack_at < receive.at
+                })
+            });
+            prior.push((receive.at, receive.session));
+            if !settled_before {
+                continue;
+            }
+        } else {
+            prior.push((receive.at, receive.session));
         }
-        let entry = deliveries
-            .entry((receive.endpoint.clone(), receive.record.message))
-            .or_insert((0, false));
+        let entry = deliveries.entry(key).or_insert((0, false));
         entry.0 += 1;
         // A consumer with no recorded lifecycle event is conservatively
         // treated as strict (not dups-ok).
@@ -51,6 +79,42 @@ pub fn check(store: &TraceStore) -> Vec<Violation> {
     violations.sort_by_key(|violation| match violation {
         Violation::DuplicateDelivery { message, .. } => *message,
         _ => unreachable!("only duplicate violations produced here"),
+    });
+    violations
+}
+
+/// Checks the bounded-redelivery property: no delivery may carry a
+/// `delivery_count` above `bound + 1` (the first delivery plus at most
+/// `bound` redeliveries). One violation is reported per
+/// (end-point, message), carrying the worst count observed.
+pub fn check_redelivery_bound(store: &TraceStore, bound: u32) -> Vec<Violation> {
+    let mut worst: HashMap<(EndpointId, MessageId), u32> = HashMap::new();
+    for receive in store.effective_receives() {
+        let count = receive.record.delivery_count;
+        if count == 0 {
+            continue; // pre-delivery-count trace: nothing to judge
+        }
+        if count > bound + 1 {
+            let entry = worst
+                .entry((receive.endpoint.clone(), receive.record.message))
+                .or_insert(0);
+            *entry = (*entry).max(count);
+        }
+    }
+    let mut violations: Vec<Violation> = worst
+        .into_iter()
+        .map(
+            |((endpoint, message), delivery_count)| Violation::RedeliveryLimitExceeded {
+                endpoint,
+                message,
+                delivery_count,
+                bound,
+            },
+        )
+        .collect();
+    violations.sort_by_key(|violation| match violation {
+        Violation::RedeliveryLimitExceeded { message, .. } => *message,
+        _ => unreachable!("only redelivery violations produced here"),
     });
     violations
 }
@@ -89,6 +153,64 @@ mod tests {
             .send(1, 1, 0)
             .receive_q(1, 1, 0)
             .receive_rec(default_queue_endpoint(), 50, redelivered, None)
+            .build();
+        assert!(check(&TraceStore::build(&trace)).is_empty());
+    }
+
+    #[test]
+    fn redelivery_after_ack_is_a_duplicate() {
+        // The first delivery was acknowledged, so the provider had no
+        // license to deliver the message again — redelivered flag or not.
+        let mut redelivered = rec(1, 1, 0);
+        redelivered.redelivered = true;
+        redelivered.delivery_count = 2;
+        let trace = TraceBuilder::new()
+            .send(1, 1, 0)
+            .at(10)
+            .receive_q(1, 1, 0)
+            .at(20)
+            .ack_by(50)
+            .at(30)
+            .receive_rec(default_queue_endpoint(), 50, redelivered, None)
+            .build();
+        let violations = check(&TraceStore::build(&trace));
+        assert_eq!(violations.len(), 1);
+        assert!(matches!(
+            &violations[0],
+            Violation::DuplicateDelivery { deliveries: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn redelivery_with_outstanding_ack_stays_legitimate_despite_other_acks() {
+        // An ack by a *different* session does not settle this delivery.
+        let mut redelivered = rec(1, 1, 0);
+        redelivered.redelivered = true;
+        let trace = TraceBuilder::new()
+            .send(1, 1, 0)
+            .at(10)
+            .receive_q(1, 1, 0)
+            .at(20)
+            .ack_by(99) // unrelated session
+            .at(30)
+            .receive_rec(default_queue_endpoint(), 50, redelivered, None)
+            .build();
+        assert!(check(&TraceStore::build(&trace)).is_empty());
+    }
+
+    #[test]
+    fn ack_after_the_redelivery_does_not_make_it_a_duplicate() {
+        // The ack settles the redelivery itself, not the first attempt.
+        let mut redelivered = rec(1, 1, 0);
+        redelivered.redelivered = true;
+        let trace = TraceBuilder::new()
+            .send(1, 1, 0)
+            .at(10)
+            .receive_q(1, 1, 0)
+            .at(20)
+            .receive_rec(default_queue_endpoint(), 50, redelivered, None)
+            .at(30)
+            .ack_by(50)
             .build();
         assert!(check(&TraceStore::build(&trace)).is_empty());
     }
@@ -152,6 +274,46 @@ mod tests {
         assert!(matches!(
             &violations[0],
             Violation::DuplicateDelivery { message, .. } if message.as_u64() == 2
+        ));
+    }
+
+    #[test]
+    fn deliveries_within_the_bound_pass() {
+        let mut second = rec(1, 1, 0);
+        second.redelivered = true;
+        second.delivery_count = 2;
+        let trace = TraceBuilder::new()
+            .send(1, 1, 0)
+            .receive_q(1, 1, 0)
+            .receive_rec(default_queue_endpoint(), 50, second, None)
+            .build();
+        // Bound 1: one redelivery on top of the first delivery is allowed.
+        assert!(check_redelivery_bound(&TraceStore::build(&trace), 1).is_empty());
+    }
+
+    #[test]
+    fn over_limit_delivery_is_flagged_once_with_worst_count() {
+        let make = |count: u32| {
+            let mut record = rec(1, 1, 0);
+            record.redelivered = count > 1;
+            record.delivery_count = count;
+            record
+        };
+        let trace = TraceBuilder::new()
+            .send(1, 1, 0)
+            .receive_q(1, 1, 0)
+            .receive_rec(default_queue_endpoint(), 50, make(3), None)
+            .receive_rec(default_queue_endpoint(), 50, make(4), None)
+            .build();
+        let violations = check_redelivery_bound(&TraceStore::build(&trace), 1);
+        assert_eq!(violations.len(), 1);
+        assert!(matches!(
+            &violations[0],
+            Violation::RedeliveryLimitExceeded {
+                delivery_count: 4,
+                bound: 1,
+                ..
+            }
         ));
     }
 }

@@ -17,7 +17,10 @@ use std::collections::HashSet;
 ///   judged by Property 5's expectation model, not by Property 2;
 /// * an end-point whose consumers used differing selectors is skipped
 ///   (its required set is not well defined from the trace);
-/// * messages a subscription's selector rejects are not required at it.
+/// * messages a subscription's selector rejects are not required at it;
+/// * messages the broker parked on a dead-letter queue are accounted
+///   for, not lost — their non-delivery is judged by the
+///   bounded-redelivery check instead.
 pub fn check(store: &TraceStore) -> Vec<Violation> {
     let mut violations = Vec::new();
     let sends_by_producer = defs::sends_by_producer(store);
@@ -56,6 +59,9 @@ pub fn check(store: &TraceStore) -> Vec<Violation> {
                 }
                 if !send.record.time_to_live.is_forever() {
                     continue; // judged by Property 5
+                }
+                if store.is_dead_lettered(send.record.message) {
+                    continue; // parked on a DLQ: accounted for, not lost
                 }
                 if !received_ids.contains(&send.record.message) {
                     violations.push(Violation::RequiredMessageMissing {
@@ -233,6 +239,25 @@ mod tests {
             .build();
         // Normally the unreceived queue send would violate; the mixed
         // selectors make the required set undefined, so no violation.
+        assert!(check(&TraceStore::build(&trace)).is_empty());
+    }
+
+    #[test]
+    fn dead_lettered_messages_are_accounted_for() {
+        // Seq 1 never reaches the consumer because the broker parked it
+        // on the DLQ after exhausting its redelivery bound: not a P2
+        // loss.
+        let mut parked = rec(2, 1, 1);
+        parked.redelivered = true;
+        parked.delivery_count = 3;
+        let trace = TraceBuilder::new()
+            .send(1, 1, 0)
+            .send(2, 1, 1)
+            .send(3, 1, 2)
+            .receive_q(1, 1, 0)
+            .dead_lettered(parked, "DLQ.q")
+            .receive_q(3, 1, 2)
+            .build();
         assert!(check(&TraceStore::build(&trace)).is_empty());
     }
 

@@ -25,6 +25,7 @@ pub fn rec(message: u64, producer: u64, sequence: u64) -> MessageRecord {
         sent_at: Timestamp::ZERO, // overwritten by the builder at send
         body_bytes: 100,
         redelivered: false,
+        delivery_count: 1,
         properties: Default::default(),
     }
 }
@@ -138,6 +139,21 @@ impl TraceBuilder {
                 }
                 _ => None,
             })
+    }
+
+    /// Logs a client acknowledgement by a consumer's session (the same
+    /// session id `receive_rec` derives for that consumer).
+    pub fn ack_by(self, consumer: u64) -> Self {
+        let session = SessionId::from_raw(100 + consumer);
+        self.push(EventKind::Acknowledge { session })
+    }
+
+    /// Logs a dead-letter parking of an explicit record.
+    pub fn dead_lettered(self, record: MessageRecord, parked_on: &str) -> Self {
+        self.push(EventKind::DeadLettered {
+            record,
+            parked_on: QueueName::new(parked_on),
+        })
     }
 
     /// Logs a commit.

@@ -23,6 +23,10 @@ pub enum PropertyKind {
     /// The duplicate-delivery check (implied by JMS acknowledgement modes;
     /// the paper notes lazy acknowledgement may duplicate).
     DuplicateDelivery,
+    /// The bounded-redelivery check: no delivery may exceed the
+    /// provider's configured redelivery limit (poison messages must be
+    /// dead-lettered instead).
+    BoundedRedelivery,
 }
 
 impl fmt::Display for PropertyKind {
@@ -34,6 +38,7 @@ impl fmt::Display for PropertyKind {
             PropertyKind::MessagePriority => "P4 message priority",
             PropertyKind::ExpiredMessages => "P5 expired messages",
             PropertyKind::DuplicateDelivery => "duplicate delivery",
+            PropertyKind::BoundedRedelivery => "bounded redelivery",
         })
     }
 }
@@ -134,6 +139,20 @@ pub enum Violation {
         /// Number of (non-redelivery) deliveries observed.
         deliveries: u64,
     },
+    /// A delivery's attempt count exceeded the provider's configured
+    /// redelivery bound: the message should have been dead-lettered
+    /// before this delivery happened.
+    RedeliveryLimitExceeded {
+        /// The end-point that saw the over-limit delivery.
+        endpoint: EndpointId,
+        /// The over-redelivered message.
+        message: MessageId,
+        /// The delivery count observed on the delivery.
+        delivery_count: u32,
+        /// The configured bound (maximum redeliveries after the first
+        /// delivery).
+        bound: u32,
+    },
 }
 
 impl Violation {
@@ -149,6 +168,7 @@ impl Violation {
             Violation::ExpiredMessagesDelivered { .. }
             | Violation::LiveMessagesNotDelivered { .. } => PropertyKind::ExpiredMessages,
             Violation::DuplicateDelivery { .. } => PropertyKind::DuplicateDelivery,
+            Violation::RedeliveryLimitExceeded { .. } => PropertyKind::BoundedRedelivery,
         }
     }
 }
@@ -227,6 +247,15 @@ impl fmt::Display for Violation {
             } => write!(
                 f,
                 "{message} delivered {deliveries} times at {endpoint}"
+            ),
+            Violation::RedeliveryLimitExceeded {
+                endpoint,
+                message,
+                delivery_count,
+                bound,
+            } => write!(
+                f,
+                "{message} reached delivery count {delivery_count} at {endpoint} (redelivery bound {bound})"
             ),
         }
     }

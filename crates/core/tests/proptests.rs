@@ -69,6 +69,7 @@ fn correct_trace(workload: &Workload) -> Vec<Event> {
                 sent_at: Timestamp::from_millis(time),
                 body_bytes: 64,
                 redelivered: false,
+                delivery_count: 1,
                 properties: Default::default(),
             };
             records.push(record.clone());
@@ -207,6 +208,7 @@ proptest! {
                     sent_at: at,
                     body_bytes: 1,
                     redelivered: false,
+                    delivery_count: 1,
                     properties: Default::default(),
                 },
                 session: SessionId::from_raw(2),

@@ -46,9 +46,27 @@
 //! [crash]
 //! after = 300ms
 //! down = 80ms
+//!
+//! [faults]                   # operational faults of the provider
+//! seed = 7
+//! connect_failure = 0.2      # probability a connect is refused
+//! send_error = 0.05          # probability a send raises
+//! stall = 0.01 5ms           # probability + duration of send stalls
+//! ack_loss = 0.02            # probability an acknowledge is dropped
+//! drop = 0.1                 # classic message-level faults
+//! duplicate = 0.1
+//! reorder = 0.1 5ms
+//! forge = 0.01
+//! max_redeliveries = 3       # park poison messages on the DLQ after
+//!                            # this many redeliveries
 //! ```
+//!
+//! The `[test]` section also accepts `retry = on|off`: `off` disables
+//! driver retries entirely (the first unabsorbed provider failure makes
+//! the run inconclusive), which is useful to prove a scenario *needs*
+//! the resilient drivers.
 
-use crate::spec::{ConsumerSpec, CrashPlan, NodeSpec, ProducerSpec, TestSpec};
+use crate::spec::{ConsumerSpec, CrashPlan, FaultPlan, NodeSpec, ProducerSpec, TestSpec};
 use jmst_api::body::BodyKind;
 use jmst_api::destination::Destination;
 use jmst_api::modes::{DeliveryMode, Priority, SessionMode, TimeToLive};
@@ -230,6 +248,7 @@ enum Section {
     Producer,
     Consumer,
     Crash,
+    Faults,
     None,
 }
 
@@ -246,6 +265,7 @@ pub fn parse_spec(text: &str) -> Result<TestSpec, ConfigError> {
     let mut producer: Option<ProducerSpec> = None;
     let mut consumer: Option<ConsumerSpec> = None;
     let mut crash: Option<CrashPlan> = None;
+    let mut faults: Option<FaultPlan> = None;
 
     fn flush(
         nodes: &mut [NodeSpec],
@@ -293,6 +313,10 @@ pub fn parse_spec(text: &str) -> Result<TestSpec, ConfigError> {
                     });
                     Section::Crash
                 }
+                "faults" => {
+                    faults = Some(FaultPlan::none());
+                    Section::Faults
+                }
                 other => {
                     let name = other
                         .strip_prefix("node")
@@ -325,6 +349,13 @@ pub fn parse_spec(text: &str) -> Result<TestSpec, ConfigError> {
             (Section::Test, "warm_down") => spec.warm_down = parse_duration(value).map_err(err)?,
             (Section::Test, "drain_quiet") => {
                 spec.drain_quiet = parse_duration(value).map_err(err)?
+            }
+            (Section::Test, "retry") => {
+                spec.retry = match value {
+                    "on" | "true" | "yes" => crate::retry::RetryPolicy::default(),
+                    "off" | "false" | "no" => crate::retry::RetryPolicy::disabled(),
+                    other => return Err(err(format!("retry must be on/off, got {other:?}"))),
+                };
             }
             (Section::Node(_), "share") => {
                 nodes.last_mut().expect("inside a node").share_connection = match value {
@@ -446,6 +477,48 @@ pub fn parse_spec(text: &str) -> Result<TestSpec, ConfigError> {
                     other => return Err(err(format!("unknown crash key {other:?}"))),
                 }
             }
+            (Section::Faults, key) => {
+                let plan = faults.as_mut().expect("inside [faults]");
+                let probability = |value: &str| -> Result<f64, ConfigError> {
+                    value
+                        .parse()
+                        .map_err(|_| err(format!("bad probability {value:?}")))
+                };
+                // `P DELAY` pairs for the timing faults.
+                let timed = |value: &str| -> Result<(f64, Duration), ConfigError> {
+                    let (p, d) = value
+                        .split_once(char::is_whitespace)
+                        .ok_or_else(|| err(format!("expected `P DURATION`, got {value:?}")))?;
+                    Ok((probability(p.trim())?, parse_duration(d).map_err(err)?))
+                };
+                match key {
+                    "seed" => {
+                        plan.seed = value
+                            .parse()
+                            .map_err(|_| err(format!("bad seed {value:?}")))?
+                    }
+                    "drop" => plan.drop_probability = probability(value)?,
+                    "duplicate" => plan.duplicate_probability = probability(value)?,
+                    "reorder" => {
+                        (plan.reorder_probability, plan.reorder_delay) = timed(value)?;
+                    }
+                    "forge" => plan.forge_probability = probability(value)?,
+                    "connect_failure" => plan.connect_failure_probability = probability(value)?,
+                    "send_error" => plan.send_error_probability = probability(value)?,
+                    "stall" => {
+                        (plan.stall_probability, plan.stall_duration) = timed(value)?;
+                    }
+                    "ack_loss" => plan.ack_loss_probability = probability(value)?,
+                    "max_redeliveries" => {
+                        plan.max_redeliveries = Some(
+                            value
+                                .parse()
+                                .map_err(|_| err(format!("bad bound {value:?}")))?,
+                        )
+                    }
+                    other => return Err(err(format!("unknown faults key {other:?}"))),
+                }
+            }
             (Section::None, _) => {
                 return Err(err("key before any section".to_owned()));
             }
@@ -461,6 +534,7 @@ pub fn parse_spec(text: &str) -> Result<TestSpec, ConfigError> {
     flush(&mut nodes, &mut producer, &mut consumer, last_line)?;
     spec.nodes = nodes;
     spec.crash = crash;
+    spec.faults = faults;
     spec.validate()
         .map_err(|reason| ConfigError::new(last_line, reason))?;
     Ok(spec)
@@ -601,6 +675,49 @@ down = 80ms
         let text = "[test]\nname = x\n[node n]\nshare = true\n[consumer]\ndestination = queue:q\n\
                     reconnect = after 5 pause 10ms cycles 1\n";
         assert!(parse_spec(text).is_err());
+    }
+
+    #[test]
+    fn faults_section_and_retry_key_parse() {
+        let text = "[test]\nname = f\nretry = off\n[node n]\n\
+                    [producer]\ndestination = queue:q\nrate = steady 10\n\
+                    [consumer]\ndestination = queue:q\nmode = client-ack 1\n\
+                    [faults]\nseed = 7\nconnect_failure = 0.2\nsend_error = 0.05\n\
+                    stall = 0.01 5ms\nack_loss = 0.02\ndrop = 0.1\nduplicate = 0.1\n\
+                    reorder = 0.1 5ms\nforge = 0.01\nmax_redeliveries = 3\n";
+        let spec = parse_spec(text).unwrap();
+        assert!(spec.retry.is_disabled());
+        let plan = spec.faults.unwrap();
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.connect_failure_probability, 0.2);
+        assert_eq!(plan.send_error_probability, 0.05);
+        assert_eq!(plan.stall_probability, 0.01);
+        assert_eq!(plan.stall_duration, Duration::from_millis(5));
+        assert_eq!(plan.ack_loss_probability, 0.02);
+        assert_eq!(plan.drop_probability, 0.1);
+        assert_eq!(plan.duplicate_probability, 0.1);
+        assert_eq!(plan.reorder_probability, 0.1);
+        assert_eq!(plan.reorder_delay, Duration::from_millis(5));
+        assert_eq!(plan.forge_probability, 0.01);
+        assert_eq!(plan.max_redeliveries, Some(3));
+        // The plan lowers into a validated broker fault spec.
+        assert!(plan.to_fault_spec().is_ok());
+    }
+
+    #[test]
+    fn out_of_range_fault_probability_is_rejected() {
+        let text = "[test]\nname = f\n[node n]\n\
+                    [producer]\ndestination = queue:q\nrate = steady 10\n\
+                    [consumer]\ndestination = queue:q\n\
+                    [faults]\nconnect_failure = 1.5\n";
+        let error = parse_spec(text).unwrap_err();
+        assert!(error.message().contains("fault plan"), "{error}");
+        assert!(parse_spec("[test]\nretry = maybe\n").is_err());
+        assert!(parse_spec(
+            "[test]\nname = f\n[node n]\n[consumer]\ndestination = queue:q\n\
+             [faults]\nstall = 0.5\n"
+        )
+        .is_err());
     }
 
     #[test]

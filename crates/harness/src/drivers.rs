@@ -2,6 +2,7 @@
 //! architecture, which create producers/consumers, exchange messages, and
 //! log every event.
 
+use crate::retry::{RetryPolicy, RetryState};
 use crate::spec::{ConsumerSpec, ProducerSpec, Subscription, TestSpec};
 use jmst_api::body::Body;
 use jmst_api::destination::{Destination, EndpointId};
@@ -14,7 +15,7 @@ use jmst_sim::SimRng;
 use jmst_store::event::{EventKind, MessageRecord};
 use jmst_store::trace::NodeRecorder;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Barrier};
+use std::sync::{Arc, Barrier, Mutex};
 use std::time::{Duration, Instant};
 
 /// State shared by every driver of one test run.
@@ -36,6 +37,11 @@ pub(crate) struct RunShared {
     pub deadline: Instant,
     /// Drain-quiet window for consumers.
     pub drain_quiet: Duration,
+    /// How drivers retry failed provider operations.
+    pub retry: RetryPolicy,
+    /// First driver to give up (exhausted retry budget / blown deadline /
+    /// panic) records why; the run is then reported inconclusive.
+    give_up: Mutex<Option<String>>,
 }
 
 impl RunShared {
@@ -58,11 +64,26 @@ impl RunShared {
                 + crash_allowance
                 + Duration::from_secs(2),
             drain_quiet: spec.drain_quiet,
+            retry: spec.retry,
+            give_up: Mutex::new(None),
         }
     }
 
     fn should_abort(&self) -> bool {
         self.abort.load(Ordering::SeqCst) || Instant::now() >= self.deadline
+    }
+
+    /// Records why a driver gave up (first reason wins) and aborts every
+    /// other driver so the run ends promptly.
+    pub fn give_up(&self, reason: String) {
+        let mut slot = self.give_up.lock().expect("give-up lock");
+        slot.get_or_insert(reason);
+        self.abort.store(true, Ordering::SeqCst);
+    }
+
+    /// The reason the run was abandoned, if any driver gave up.
+    pub fn gave_up(&self) -> Option<String> {
+        self.give_up.lock().expect("give-up lock").clone()
     }
 }
 
@@ -163,6 +184,7 @@ pub(crate) fn producer_driver(
 ) {
     shared.start.wait();
     let reconnectable = initial.is_none();
+    let mut retry = RetryState::new(shared.retry, seed.wrapping_add(0x9e37_79b9));
     let mut gaps = spec.workload.generator(SimRng::seed_from_u64(seed));
     let mut chain: Option<ProducerChain> = initial;
     let mut sent: u64 = 0;
@@ -191,14 +213,24 @@ pub(crate) fn producer_driver(
             }
             match connect_producer(shared.provider.as_ref(), spec) {
                 Ok(connected) => {
+                    retry.succeeded();
                     chain = Some(connected);
                     in_batch = 0;
                     current_tx = None;
                 }
                 Err(_) => {
-                    // Broker down: back off briefly and retry.
-                    interruptible_sleep(shared, Duration::from_millis(10), &shared.stop_producing);
-                    continue;
+                    // Broker down or connect fault: back off and retry
+                    // under the shared policy.
+                    match retry.next_delay() {
+                        Ok(delay) => {
+                            interruptible_sleep(shared, delay, &shared.stop_producing);
+                            continue;
+                        }
+                        Err(reason) => {
+                            shared.give_up(format!("producer {stable_id}: {reason}"));
+                            break;
+                        }
+                    }
                 }
             }
         }
@@ -266,6 +298,7 @@ pub(crate) fn producer_driver(
         };
         match outcome {
             Ok(messages) => {
+                retry.succeeded();
                 for message in &messages {
                     let mut record = MessageRecord::from_message(message);
                     apply_harness_identity(&mut record);
@@ -304,12 +337,22 @@ pub(crate) fn producer_driver(
                     reason: error.to_string(),
                 });
                 if reconnectable {
-                    // Drop the chain and reconnect on the next iteration.
+                    // Drop the chain and reconnect on the next iteration
+                    // (the reconnect attempt is what pays the retry).
                     chain = None;
                     current_tx = None;
                 } else {
-                    // Shared connection: pace the retries.
-                    interruptible_sleep(shared, Duration::from_millis(10), &shared.stop_producing);
+                    // Shared connection: pace the retries under the
+                    // shared policy.
+                    match retry.next_delay() {
+                        Ok(delay) => {
+                            interruptible_sleep(shared, delay, &shared.stop_producing);
+                        }
+                        Err(reason) => {
+                            shared.give_up(format!("producer {stable_id}: {reason}"));
+                            break 'outer;
+                        }
+                    }
                 }
                 if shared.should_abort() {
                     break 'outer;
@@ -399,11 +442,13 @@ pub(crate) fn consumer_driver(
     recorder: &NodeRecorder,
     spec: &ConsumerSpec,
     client: ClientId,
+    seed: u64,
     initial: Option<ConsumerChain>,
 ) {
     shared.start.wait();
     const POLL: Duration = Duration::from_millis(20);
     let reconnectable = initial.is_none();
+    let mut retry = RetryState::new(shared.retry, seed.wrapping_add(0x6a09_e667));
     let mut chain: Option<ConsumerChain> = initial;
     if let Some(active) = &chain {
         recorder.record(EventKind::ConsumerCreated {
@@ -429,6 +474,7 @@ pub(crate) fn consumer_driver(
             }
             match connect_consumer(shared.provider.as_ref(), spec, &client) {
                 Ok(connected) => {
+                    retry.succeeded();
                     recorder.record(EventKind::ConsumerCreated {
                         consumer: connected.consumer.id(),
                         endpoint: connected.endpoint.clone(),
@@ -445,8 +491,16 @@ pub(crate) fn consumer_driver(
                     {
                         break; // nothing more to wait for
                     }
-                    std::thread::sleep(Duration::from_millis(10));
-                    continue;
+                    match retry.next_delay() {
+                        Ok(delay) => {
+                            interruptible_sleep(shared, delay, &shared.abort);
+                            continue;
+                        }
+                        Err(reason) => {
+                            shared.give_up(format!("consumer {client}: {reason}"));
+                            break;
+                        }
+                    }
                 }
             }
         }
@@ -455,6 +509,7 @@ pub(crate) fn consumer_driver(
         let active = chain.as_mut().expect("connected above");
         match active.consumer.receive(Some(POLL)) {
             Ok(Some(message)) => {
+                retry.succeeded();
                 if !spec.think_time.is_zero() {
                     std::thread::sleep(spec.think_time);
                 }
@@ -543,7 +598,13 @@ pub(crate) fn consumer_driver(
                 current_tx = None;
                 in_batch = 0;
             }
-            std::thread::sleep(Duration::from_millis(10));
+            match retry.next_delay() {
+                Ok(delay) => interruptible_sleep(shared, delay, &shared.abort),
+                Err(reason) => {
+                    shared.give_up(format!("consumer {client}: {reason}"));
+                    break;
+                }
+            }
         }
     }
     if let Some(mut active) = chain {

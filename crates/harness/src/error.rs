@@ -19,6 +19,15 @@ pub enum HarnessError {
         /// Everything logged before the run was abandoned.
         partial_trace: Box<Trace>,
     },
+    /// A driver exhausted its retry budget (or died), so the run cannot
+    /// support a verdict either way; the salvaged trace is preserved for
+    /// a best-effort analysis.
+    Inconclusive {
+        /// Why the run was abandoned.
+        reason: String,
+        /// Everything logged before the run was abandoned.
+        partial_trace: Box<Trace>,
+    },
 }
 
 impl fmt::Display for HarnessError {
@@ -28,6 +37,9 @@ impl fmt::Display for HarnessError {
             HarnessError::MissingAdmin => f.write_str("crash plan requires a broker admin hook"),
             HarnessError::TestHung { stage, .. } => {
                 write!(f, "test hung while waiting for {stage}")
+            }
+            HarnessError::Inconclusive { reason, .. } => {
+                write!(f, "test inconclusive: {reason}")
             }
         }
     }
@@ -52,5 +64,11 @@ mod tests {
             partial_trace: Box::new(Trace::new()),
         };
         assert!(hung.to_string().contains("consumers"));
+        let inconclusive = HarnessError::Inconclusive {
+            reason: "producer 1001: retry budget of 64 exhausted".into(),
+            partial_trace: Box::new(Trace::new()),
+        };
+        assert!(inconclusive.to_string().contains("inconclusive"));
+        assert!(inconclusive.to_string().contains("budget"));
     }
 }

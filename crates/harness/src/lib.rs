@@ -48,6 +48,7 @@ mod drivers;
 pub mod error;
 pub mod lint;
 pub mod prince;
+pub mod retry;
 pub mod runner;
 pub mod simrun;
 pub mod spec;
@@ -56,9 +57,11 @@ pub use config_text::{parse_spec, ConfigError};
 pub use error::HarnessError;
 pub use lint::{lint_spec, LintFinding, LintReport, Severity};
 pub use prince::{CampaignReport, DaemonPrince, TestOutcome, TestResult};
+pub use retry::RetryPolicy;
 pub use runner::{BrokerAdmin, ThreadedRunner};
 pub use spec::{
-    ConsumerSpec, CrashPlan, NodeSpec, ProducerSpec, ReconnectSpec, Subscription, TestSpec,
+    ConsumerSpec, CrashPlan, FaultPlan, NodeSpec, ProducerSpec, ReconnectSpec, Subscription,
+    TestSpec,
 };
 
 /// Convenient glob-import for harness users.
@@ -66,8 +69,10 @@ pub mod prelude {
     pub use crate::config_text::parse_spec;
     pub use crate::lint::{lint_spec, LintFinding, LintReport, Severity};
     pub use crate::prince::{CampaignReport, DaemonPrince, TestOutcome, TestResult};
+    pub use crate::retry::RetryPolicy;
     pub use crate::runner::{BrokerAdmin, ThreadedRunner};
     pub use crate::spec::{
-        ConsumerSpec, CrashPlan, NodeSpec, ProducerSpec, ReconnectSpec, Subscription, TestSpec,
+        ConsumerSpec, CrashPlan, FaultPlan, NodeSpec, ProducerSpec, ReconnectSpec, Subscription,
+        TestSpec,
     };
 }

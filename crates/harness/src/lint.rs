@@ -16,14 +16,21 @@
 //! - a dead subscription: an equality predicate (`region = 'emea'`) that
 //!   no producer publishing to that destination can satisfy, including
 //!   the case where no producer sets the property at all (`NULL` never
-//!   equals anything).
+//!   equals anything);
+//! - a `[faults]` redelivery bound with no consumer that could ever
+//!   leave a message unacknowledged — redelivery only exists for
+//!   client-ack and transacted sessions, so the bound is dead
+//!   configuration and the scenario does not test what it claims.
 //!
 //! **Warnings** (suspicious but runnable):
 //! - a selector referencing a user property no producer publishing to
 //!   that destination sets (always `NULL` in non-equality positions);
 //! - a producer publishing to a destination with no consumer;
 //! - send batches that cannot align with transacted-commit or
-//!   message-limit boundaries (the driver truncates them silently).
+//!   message-limit boundaries (the driver truncates them silently);
+//! - a `[crash]` plan whose producers are all non-persistent: the crash
+//!   legally voids every in-flight message, so the recovery experiment
+//!   observes nothing.
 //!
 //! [`DaemonPrince`](crate::prince::DaemonPrince) runs this pass before
 //! every test: errors fail the test as `Invalid` before any message is
@@ -32,6 +39,7 @@
 
 use crate::spec::{ConsumerSpec, ProducerSpec, TestSpec};
 use jmst_api::destination::Destination;
+use jmst_api::modes::{DeliveryMode, SessionMode};
 use jmst_api::selector::{Classification, IdentType, Literal, Selector};
 use jmst_api::value::Value;
 use std::collections::BTreeMap;
@@ -219,6 +227,41 @@ pub fn lint_spec(spec: &TestSpec) -> LintReport {
             message,
         });
     };
+
+    let producers = || spec.nodes.iter().flat_map(|node| &node.producers);
+    let consumers = || spec.nodes.iter().flat_map(|node| &node.consumers);
+    if spec.crash.is_some()
+        && producers().next().is_some()
+        && producers().all(|p| p.delivery_mode == DeliveryMode::NonPersistent)
+    {
+        push(
+            Severity::Warning,
+            "crash plan".to_owned(),
+            "every producer is non-persistent: a crash legally voids all \
+             in-flight messages, so the recovery experiment observes nothing"
+                .to_owned(),
+        );
+    }
+    if spec
+        .faults
+        .as_ref()
+        .is_some_and(|f| f.max_redeliveries.is_some())
+        && !consumers().any(|c| {
+            matches!(
+                c.session_mode,
+                SessionMode::ClientAcknowledge | SessionMode::Transacted
+            )
+        })
+    {
+        push(
+            Severity::Error,
+            "fault plan".to_owned(),
+            "max_redeliveries is set but no consumer could leave a message \
+             unacknowledged (none uses client-ack or transacted mode), so \
+             no redelivery can ever happen"
+                .to_owned(),
+        );
+    }
 
     for node in &spec.nodes {
         for producer in &node.producers {
@@ -544,6 +587,53 @@ mod tests {
             ConsumerSpec::auto(topic()),
         );
         assert!(lint_spec(&aligned).is_clean());
+    }
+
+    #[test]
+    fn crash_with_only_non_persistent_producers_is_a_warning() {
+        use jmst_api::modes::DeliveryMode;
+        use std::time::Duration;
+        let crash = crate::spec::CrashPlan {
+            crash_after: Duration::from_millis(100),
+            down_for: Duration::from_millis(50),
+        };
+        let volatile =
+            ProducerSpec::steady(topic(), 10.0, 64).with_delivery_mode(DeliveryMode::NonPersistent);
+        let spec = spec_with(volatile, ConsumerSpec::auto(topic())).with_crash(crash);
+        let report = lint_spec(&spec);
+        assert!(!report.has_errors());
+        assert!(report.to_string().contains("non-persistent"), "{report}");
+        // One persistent producer silences the warning.
+        let spec = TestSpec::new("mixed")
+            .node(
+                NodeSpec::new("n")
+                    .producer(
+                        ProducerSpec::steady(topic(), 10.0, 64)
+                            .with_delivery_mode(DeliveryMode::NonPersistent),
+                    )
+                    .producer(ProducerSpec::steady(topic(), 10.0, 64))
+                    .consumer(ConsumerSpec::auto(topic())),
+            )
+            .with_crash(crash);
+        assert!(lint_spec(&spec).is_clean(), "{}", lint_spec(&spec));
+    }
+
+    #[test]
+    fn redelivery_bound_without_acking_consumer_is_an_error() {
+        let mut plan = crate::spec::FaultPlan::none();
+        plan.max_redeliveries = Some(3);
+        let spec = spec_with(
+            ProducerSpec::steady(topic(), 10.0, 64),
+            ConsumerSpec::auto(topic()),
+        )
+        .with_faults(plan);
+        let report = lint_spec(&spec);
+        assert!(report.has_errors());
+        assert!(report.to_string().contains("max_redeliveries"), "{report}");
+        // A client-ack consumer makes the bound meaningful.
+        let acking = ConsumerSpec::auto(topic()).with_mode(SessionMode::ClientAcknowledge, 1);
+        let spec = spec_with(ProducerSpec::steady(topic(), 10.0, 64), acking).with_faults(plan);
+        assert!(lint_spec(&spec).is_clean(), "{}", lint_spec(&spec));
     }
 
     #[test]

@@ -28,6 +28,15 @@ pub enum TestOutcome {
         /// Analysis of the partial trace.
         report: AnalysisReport,
     },
+    /// A driver gave up (exhausted retry budget, blown deadline, panic):
+    /// the run proves nothing either way, but the salvaged partial trace
+    /// was still analysed.
+    Inconclusive {
+        /// Why the run was abandoned.
+        reason: String,
+        /// Analysis of the salvaged partial trace.
+        report: AnalysisReport,
+    },
     /// The specification was rejected.
     Invalid(String),
 }
@@ -42,7 +51,9 @@ impl TestOutcome {
     pub fn report(&self) -> Option<&AnalysisReport> {
         match self {
             TestOutcome::Passed(report) | TestOutcome::Violated(report) => Some(report),
-            TestOutcome::Hung { report, .. } => Some(report),
+            TestOutcome::Hung { report, .. } | TestOutcome::Inconclusive { report, .. } => {
+                Some(report)
+            }
             TestOutcome::Invalid(_) => None,
         }
     }
@@ -80,14 +91,16 @@ impl CampaignReport {
             .count()
     }
 
-    /// Number of tests that hung or were invalid.
+    /// Number of tests that hung, gave up, or were invalid.
     pub fn failed(&self) -> usize {
         self.results
             .iter()
             .filter(|r| {
                 matches!(
                     r.outcome,
-                    TestOutcome::Hung { .. } | TestOutcome::Invalid(_)
+                    TestOutcome::Hung { .. }
+                        | TestOutcome::Inconclusive { .. }
+                        | TestOutcome::Invalid(_)
                 )
             })
             .count()
@@ -111,6 +124,9 @@ impl fmt::Display for CampaignReport {
                     format!("VIOLATED ({})", report.violations.len())
                 }
                 TestOutcome::Hung { stage, .. } => format!("HUNG ({stage})"),
+                TestOutcome::Inconclusive { reason, .. } => {
+                    format!("INCONCLUSIVE ({reason})")
+                }
                 TestOutcome::Invalid(reason) => format!("INVALID ({reason})"),
             };
             writeln!(
@@ -231,6 +247,16 @@ impl DaemonPrince {
                 self.persist(&spec.name, &partial_trace);
                 TestOutcome::Hung {
                     stage,
+                    report: self.analyzer.analyze(&partial_trace),
+                }
+            }
+            Err(HarnessError::Inconclusive {
+                reason,
+                partial_trace,
+            }) => {
+                self.persist(&spec.name, &partial_trace);
+                TestOutcome::Inconclusive {
+                    reason,
                     report: self.analyzer.analyze(&partial_trace),
                 }
             }
@@ -363,18 +389,26 @@ mod tests {
                     },
                 ),
                 result("invalid", TestOutcome::Invalid("no nodes".to_owned())),
+                result(
+                    "gave-up",
+                    TestOutcome::Inconclusive {
+                        reason: "producer 1001: retry budget of 64 exhausted".to_owned(),
+                        report: analysis(),
+                    },
+                ),
                 result("pass-b", TestOutcome::Passed(analysis())),
             ],
         };
         assert_eq!(campaign.passed(), 2);
         assert_eq!(campaign.violated(), 1);
-        // failed() counts hung and invalid tests only — a violation means
-        // the test ran fine and the *provider* failed, so it is counted
-        // by violated(), not failed().
-        assert_eq!(campaign.failed(), 2);
+        // failed() counts hung, inconclusive, and invalid tests only — a
+        // violation means the test ran fine and the *provider* failed, so
+        // it is counted by violated(), not failed().
+        assert_eq!(campaign.failed(), 3);
         let text = campaign.to_string();
-        assert!(text.contains("5 tests — 2 passed, 1 violated, 2 failed"));
+        assert!(text.contains("6 tests — 2 passed, 1 violated, 3 failed"));
         assert!(text.contains("HUNG (producers)"));
+        assert!(text.contains("INCONCLUSIVE (producer 1001"));
         assert!(text.contains("INVALID (no nodes)"));
     }
 

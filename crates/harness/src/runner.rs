@@ -57,9 +57,11 @@ impl ThreadedRunner {
     ///
     /// Returns [`HarnessError::InvalidSpec`] for a malformed spec,
     /// [`HarnessError::MissingAdmin`] when a crash is planned without an
-    /// admin hook, and [`HarnessError::TestHung`] when a driver thread
-    /// fails to terminate (the partial trace is preserved inside the
-    /// error so the daemon prince can still report it).
+    /// admin hook, [`HarnessError::TestHung`] when a driver thread fails
+    /// to terminate, and [`HarnessError::Inconclusive`] when a driver
+    /// exhausted its retry budget or died — the latter two preserve the
+    /// partial trace inside the error so the daemon prince can still
+    /// report whatever was salvaged.
     pub fn run(
         &self,
         provider: Arc<dyn Provider>,
@@ -92,6 +94,7 @@ impl ThreadedRunner {
             recorder: jmst_store::trace::NodeRecorder,
             spec: crate::spec::ConsumerSpec,
             client: ClientId,
+            seed: u64,
             initial: Option<crate::drivers::ConsumerChain>,
         }
         let mut producer_jobs: Vec<ProducerJob> = Vec::new();
@@ -163,6 +166,12 @@ impl ThreadedRunner {
                 } else {
                     ClientId::new(format!("{}-c{}", node.name, index))
                 };
+                // Disjoint from the producer seeds of the same node.
+                let seed = spec
+                    .seed
+                    .wrapping_add((node_index as u64) << 32)
+                    .wrapping_add(1 << 24)
+                    .wrapping_add(index as u64 + 1);
                 let initial = match &mut node_connection {
                     Some(connection) => {
                         let session = connection
@@ -179,6 +188,7 @@ impl ThreadedRunner {
                     recorder: node_recorder,
                     spec: consumer_spec,
                     client,
+                    seed,
                     initial,
                 });
             }
@@ -193,20 +203,39 @@ impl ThreadedRunner {
         for job in producer_jobs {
             let shared = Arc::clone(&shared);
             producer_handles.push(std::thread::spawn(move || {
-                producer_driver(
-                    &shared,
-                    &job.recorder,
-                    &job.spec,
-                    job.seed,
-                    job.stable_id,
-                    job.initial,
-                );
+                let stable_id = job.stable_id;
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    producer_driver(
+                        &shared,
+                        &job.recorder,
+                        &job.spec,
+                        job.seed,
+                        stable_id,
+                        job.initial,
+                    );
+                }));
+                if result.is_err() {
+                    shared.give_up(format!("producer {stable_id}: driver panicked"));
+                }
             }));
         }
         for job in consumer_jobs {
             let shared = Arc::clone(&shared);
             consumer_handles.push(std::thread::spawn(move || {
-                consumer_driver(&shared, &job.recorder, &job.spec, job.client, job.initial);
+                let client = job.client.clone();
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    consumer_driver(
+                        &shared,
+                        &job.recorder,
+                        &job.spec,
+                        job.client,
+                        job.seed,
+                        job.initial,
+                    );
+                }));
+                if result.is_err() {
+                    shared.give_up(format!("consumer {client}: driver panicked"));
+                }
             }));
         }
 
@@ -264,6 +293,22 @@ impl ThreadedRunner {
         }
         if let Some(handle) = crash_handle {
             let _ = handle.join();
+        }
+        // Salvage what the broker parked on dead-letter queues: the
+        // analyzer accounts these messages as parked, not lost.
+        for dead in provider.drain_dead_letters() {
+            let mut record = jmst_store::event::MessageRecord::from_message(&dead.message);
+            crate::drivers::apply_harness_identity(&mut record);
+            control.record(EventKind::DeadLettered {
+                record,
+                parked_on: dead.parked_on,
+            });
+        }
+        if let Some(reason) = shared.gave_up() {
+            return Err(HarnessError::Inconclusive {
+                reason,
+                partial_trace: Box::new(recorder.snapshot()),
+            });
         }
         Ok(recorder.into_trace())
     }
@@ -327,6 +372,27 @@ mod tests {
         let broker = ReferenceBroker::new();
         let result = ThreadedRunner::new().run(Arc::new(broker), None, &TestSpec::new("empty"));
         assert!(matches!(result, Err(HarnessError::InvalidSpec(_))));
+    }
+
+    #[test]
+    fn exhausted_retries_make_the_run_inconclusive() {
+        use jmst_broker::{BrokerConfig, FaultSpec};
+        let config =
+            BrokerConfig::correct().with_faults(FaultSpec::none().failing_connects(1.0).seeded(7));
+        let broker = ReferenceBroker::with_config(config);
+        let spec = small_spec().with_retry(crate::retry::RetryPolicy::disabled());
+        let result = ThreadedRunner::new().run(Arc::new(broker), None, &spec);
+        match result {
+            Err(HarnessError::Inconclusive {
+                reason,
+                partial_trace,
+            }) => {
+                assert!(reason.contains("budget"), "{reason}");
+                // The salvaged trace still carries the phase markers.
+                assert!(!partial_trace.is_empty());
+            }
+            other => panic!("expected inconclusive, got {other:?}"),
+        }
     }
 
     #[test]

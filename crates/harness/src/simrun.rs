@@ -99,6 +99,7 @@ pub fn outcome_to_trace(
             sent_at: send.accepted_at,
             body_bytes: send.body_bytes as u64,
             redelivered: false,
+            delivery_count: 1,
             properties: Default::default(),
         };
         push(
@@ -123,6 +124,7 @@ pub fn outcome_to_trace(
             sent_at: delivery.sent_at,
             body_bytes: delivery.body_bytes as u64,
             redelivered: false,
+            delivery_count: 1,
             properties: Default::default(),
         };
         push(

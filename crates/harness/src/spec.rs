@@ -281,6 +281,81 @@ pub struct CrashPlan {
     pub down_for: Duration,
 }
 
+/// The fault plan a scenario declares for the provider under test —
+/// the harness-level mirror of [`jmst_broker::FaultSpec`], plus the
+/// redelivery bound. Scenarios declare it in a `[faults]` section; the
+/// provider factory applies it when building the broker.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed of the fault engine's deterministic randomness.
+    pub seed: u64,
+    /// Probability a routed message is silently dropped.
+    pub drop_probability: f64,
+    /// Probability a routed message is duplicated.
+    pub duplicate_probability: f64,
+    /// Probability a routed message is held back (reordered).
+    pub reorder_probability: f64,
+    /// How long a held-back message is delayed.
+    pub reorder_delay: Duration,
+    /// Probability a phantom message is forged alongside a real one.
+    pub forge_probability: f64,
+    /// Probability a connection attempt is refused.
+    pub connect_failure_probability: f64,
+    /// Probability a send is rejected with a provider error.
+    pub send_error_probability: f64,
+    /// Probability an operation stalls for `stall_duration`.
+    pub stall_probability: f64,
+    /// How long a stalled operation blocks.
+    pub stall_duration: Duration,
+    /// Probability a client acknowledgement is silently lost.
+    pub ack_loss_probability: f64,
+    /// The broker's redelivery bound: after this many redeliveries a
+    /// message is parked on the dead-letter queue instead.
+    pub max_redeliveries: Option<u32>,
+}
+
+impl FaultPlan {
+    /// A plan injecting nothing.
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            drop_probability: 0.0,
+            duplicate_probability: 0.0,
+            reorder_probability: 0.0,
+            reorder_delay: Duration::from_millis(5),
+            forge_probability: 0.0,
+            connect_failure_probability: 0.0,
+            send_error_probability: 0.0,
+            stall_probability: 0.0,
+            stall_duration: Duration::from_millis(2),
+            ack_loss_probability: 0.0,
+            max_redeliveries: None,
+        }
+    }
+
+    /// The broker-layer fault specification this plan describes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the broker's typed validation error when a probability is
+    /// NaN, negative, or above 1.0.
+    pub fn to_fault_spec(&self) -> Result<jmst_broker::FaultSpec, jmst_broker::InvalidFaultSpec> {
+        let mut faults = jmst_broker::FaultSpec::none().seeded(self.seed);
+        faults.drop_probability = self.drop_probability;
+        faults.duplicate_probability = self.duplicate_probability;
+        faults.reorder_probability = self.reorder_probability;
+        faults.reorder_delay = self.reorder_delay;
+        faults.forge_probability = self.forge_probability;
+        faults.connect_failure_probability = self.connect_failure_probability;
+        faults.send_error_probability = self.send_error_probability;
+        faults.stall_probability = self.stall_probability;
+        faults.stall_duration = self.stall_duration;
+        faults.ack_loss_probability = self.ack_loss_probability;
+        faults.validate()?;
+        Ok(faults)
+    }
+}
+
 /// A complete test specification.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TestSpec {
@@ -302,6 +377,10 @@ pub struct TestSpec {
     pub nodes: Vec<NodeSpec>,
     /// Optional broker crash injection.
     pub crash: Option<CrashPlan>,
+    /// Optional provider fault plan (applied by the provider factory).
+    pub faults: Option<FaultPlan>,
+    /// How drivers retry failed provider operations.
+    pub retry: crate::retry::RetryPolicy,
 }
 
 impl TestSpec {
@@ -317,6 +396,8 @@ impl TestSpec {
             drain_quiet: Duration::from_millis(150),
             nodes: Vec::new(),
             crash: None,
+            faults: None,
+            retry: crate::retry::RetryPolicy::default(),
         }
     }
 
@@ -346,6 +427,38 @@ impl TestSpec {
         self
     }
 
+    /// Declares the provider fault plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Sets the driver retry policy.
+    pub fn with_retry(mut self, retry: crate::retry::RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Builds the reference-broker configuration this spec's fault plan
+    /// describes: a correct broker plus the declared faults and
+    /// redelivery bound. Specs without a `[faults]` section get the
+    /// plain correct configuration (the clean fast path).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when a fault probability is out
+    /// of range (surfacing the broker's typed validation error).
+    pub fn broker_config(&self) -> Result<jmst_broker::BrokerConfig, String> {
+        let mut config = jmst_broker::BrokerConfig::correct();
+        if let Some(plan) = &self.faults {
+            config = config.with_faults(plan.to_fault_spec().map_err(|e| e.to_string())?);
+            if let Some(bound) = plan.max_redeliveries {
+                config = config.with_max_redeliveries(bound);
+            }
+        }
+        Ok(config)
+    }
+
     /// Total number of producers across all nodes.
     pub fn producer_count(&self) -> usize {
         self.nodes.iter().map(|node| node.producers.len()).sum()
@@ -371,6 +484,11 @@ impl TestSpec {
             .all(|n| n.producers.is_empty() && n.consumers.is_empty())
         {
             return Err("test has no producers or consumers".to_owned());
+        }
+        if let Some(faults) = &self.faults {
+            faults
+                .to_fault_spec()
+                .map_err(|error| format!("fault plan: {error}"))?;
         }
         for node in &self.nodes {
             if node.share_connection && self.crash.is_some() {

@@ -126,6 +126,7 @@ mod tests {
             sent_at: Timestamp::ZERO,
             body_bytes: 3,
             redelivered: false,
+            delivery_count: 1,
             properties: Default::default(),
         }
     }

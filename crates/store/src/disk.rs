@@ -139,6 +139,7 @@ mod tests {
             sent_at: Timestamp::from_millis(12),
             body_bytes: 64,
             redelivered: true,
+            delivery_count: 1,
             properties,
         };
         Trace::from_events(vec![

@@ -40,6 +40,10 @@ pub struct MessageRecord {
     pub body_bytes: u64,
     /// Whether the provider flagged the delivery as a redelivery.
     pub redelivered: bool,
+    /// 1-based delivery attempt this record represents (the JMS
+    /// `JMSXDeliveryCount`): `1` for a first delivery, `n > 1` for the
+    /// (n−1)-th redelivery.
+    pub delivery_count: u32,
     /// User properties, kept so the analysis can re-evaluate message
     /// selectors when computing which messages a subscription covers.
     pub properties: Properties,
@@ -59,6 +63,7 @@ impl MessageRecord {
             sent_at: message.sent_at(),
             body_bytes: message.body_size() as u64,
             redelivered: message.is_redelivered(),
+            delivery_count: message.delivery_count(),
             properties: message.properties().clone(),
         }
     }
@@ -175,6 +180,15 @@ pub enum EventKind {
         /// The rolled-back transaction.
         tx: TxId,
     },
+    /// A poison message exceeded the broker's redelivery bound and was
+    /// parked on a dead-letter queue instead of being redelivered.
+    DeadLettered {
+        /// The parked message, as last delivered (its `delivery_count`
+        /// records the attempts burned on it).
+        record: MessageRecord,
+        /// The dead-letter queue it was parked on.
+        parked_on: jmst_api::destination::QueueName,
+    },
     /// A durable subscription was deleted.
     Unsubscribed {
         /// The deleted subscription's end-point.
@@ -213,6 +227,7 @@ impl EventKind {
             EventKind::Acknowledge { .. } => "acknowledge",
             EventKind::Commit { .. } => "commit",
             EventKind::Rollback { .. } => "rollback",
+            EventKind::DeadLettered { .. } => "dead_lettered",
             EventKind::Unsubscribed { .. } => "unsubscribed",
             EventKind::BrokerCrashed => "broker_crashed",
             EventKind::BrokerRecovered => "broker_recovered",
@@ -279,6 +294,17 @@ mod tests {
         assert_eq!(record.time_to_live.as_millis(), 9);
         assert_eq!(record.body_bytes, 64);
         assert!(!record.redelivered);
+        assert_eq!(record.delivery_count, 1);
+    }
+
+    #[test]
+    fn dead_lettered_event_has_its_own_tag() {
+        let record = MessageRecord::from_message(&sample_message());
+        let event = EventKind::DeadLettered {
+            record,
+            parked_on: jmst_api::destination::QueueName::new("DLQ.q"),
+        };
+        assert_eq!(event.tag(), "dead_lettered");
     }
 
     #[test]

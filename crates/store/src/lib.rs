@@ -31,5 +31,5 @@ pub mod trace;
 pub use disk::DiskError;
 pub use event::{Event, EventKind, MessageRecord, Phase};
 pub use stats::{DelayHistogram, SummaryStats};
-pub use table::{ConsumerRow, ReceiveRow, SendRow, TraceStore};
+pub use table::{ConsumerRow, DeadLetterRow, ReceiveRow, SendRow, TraceStore};
 pub use trace::{NodeRecorder, Recorder, Trace};

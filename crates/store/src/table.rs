@@ -65,6 +65,18 @@ pub struct ConsumerRow {
     pub closed_at: Option<Timestamp>,
 }
 
+/// One row of the *dead letters* table: a poison message parked on a
+/// dead-letter queue after exceeding the broker's redelivery bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeadLetterRow {
+    /// When the parking was logged.
+    pub at: Timestamp,
+    /// The parked message, as last delivered.
+    pub record: MessageRecord,
+    /// The dead-letter queue it was parked on.
+    pub parked_on: jmst_api::destination::QueueName,
+}
+
 /// Typed, indexed tables materialised from one trace.
 #[derive(Debug, Default)]
 pub struct TraceStore {
@@ -74,6 +86,9 @@ pub struct TraceStore {
     committed: HashSet<TxId>,
     rolled_back: HashSet<TxId>,
     crashes: Vec<Timestamp>,
+    acks: Vec<(Timestamp, SessionId)>,
+    dead_letters: Vec<DeadLetterRow>,
+    dead_lettered: HashSet<MessageId>,
     phase_starts: Vec<(Phase, Timestamp)>,
     send_by_message: HashMap<MessageId, usize>,
     receives_by_message: HashMap<MessageId, Vec<usize>>,
@@ -169,11 +184,25 @@ impl TraceStore {
                     self.consumers[index].closed_at = Some(event.at);
                 }
             }
-            EventKind::Commit { tx, .. } => {
+            EventKind::Acknowledge { session } => {
+                self.acks.push((event.at, *session));
+            }
+            EventKind::Commit { session, tx } => {
+                // A commit settles the transaction's receives, so it also
+                // acts as the session's acknowledgement point.
+                self.acks.push((event.at, *session));
                 self.committed.insert(*tx);
             }
             EventKind::Rollback { tx, .. } => {
                 self.rolled_back.insert(*tx);
+            }
+            EventKind::DeadLettered { record, parked_on } => {
+                self.dead_lettered.insert(record.message);
+                self.dead_letters.push(DeadLetterRow {
+                    at: event.at,
+                    record: record.clone(),
+                    parked_on: parked_on.clone(),
+                });
             }
             EventKind::BrokerCrashed => self.crashes.push(event.at),
             EventKind::PhaseStarted { phase } => self.phase_starts.push((*phase, event.at)),
@@ -209,6 +238,24 @@ impl TraceStore {
     /// Times at which the broker crashed.
     pub fn crashes(&self) -> &[Timestamp] {
         &self.crashes
+    }
+
+    /// Acknowledgement points `(at, session)`, in log order. Client
+    /// acknowledgements and transaction commits both settle a session's
+    /// outstanding deliveries, so both appear here.
+    pub fn acks(&self) -> &[(Timestamp, SessionId)] {
+        &self.acks
+    }
+
+    /// The dead-letters table: poison messages parked after exceeding the
+    /// broker's redelivery bound.
+    pub fn dead_letters(&self) -> &[DeadLetterRow] {
+        &self.dead_letters
+    }
+
+    /// Whether a message was parked on a dead-letter queue.
+    pub fn is_dead_lettered(&self, message: MessageId) -> bool {
+        self.dead_lettered.contains(&message)
     }
 
     /// Every end-point observed in the trace.
@@ -306,6 +353,7 @@ mod tests {
             sent_at: Timestamp::from_millis(sequence),
             body_bytes: 10,
             redelivered: false,
+            delivery_count: 1,
             properties: Default::default(),
         }
     }

@@ -23,6 +23,7 @@ fn record(message: u64, producer: u64, sequence: u64) -> MessageRecord {
         sent_at: Timestamp::from_millis(sequence),
         body_bytes: 16,
         redelivered: false,
+        delivery_count: 1,
         properties: Default::default(),
     }
 }

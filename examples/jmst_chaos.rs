@@ -1,0 +1,80 @@
+//! `jmst-chaos`: lint, then actually run, fault-declaring scenarios.
+//!
+//! Each scenario file is first put through the static lint pass (a
+//! misconfigured chaos experiment should die before a single message is
+//! sent), then executed by the daemon prince against a reference broker
+//! built from the scenario's own `[faults]` section — injected connect
+//! failures, send errors, stalls, a redelivery bound with dead-letter
+//! parking, and an optional mid-run `[crash]`. The run only counts as a
+//! success when the analyzer's safety verdict is PASSED: a run that the
+//! drivers had to abandon is reported INCONCLUSIVE and fails the job.
+//!
+//! ```sh
+//! cargo run --example jmst_chaos -- scenarios/redelivery_dlq.cfg
+//! cargo run --example jmst_chaos -- scenarios/flaky_connect.cfg
+//! ```
+
+use jmst::harness::{lint_spec, parse_spec};
+use jmst::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: jmst_chaos SCENARIO.cfg [SCENARIO.cfg ...]");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        match run_scenario(path) {
+            Ok(outcome) => {
+                println!("{path}: {}", describe(&outcome));
+                if !matches!(outcome, TestOutcome::Passed(_)) {
+                    failed = true;
+                }
+            }
+            Err(error) => {
+                println!("{path}: error: {error}");
+                failed = true;
+            }
+        }
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}
+
+fn describe(outcome: &TestOutcome) -> String {
+    match outcome {
+        TestOutcome::Passed(report) => format!(
+            "PASSED ({} sends, {} receives)",
+            report.sends, report.receives
+        ),
+        TestOutcome::Violated(report) => format!("VIOLATED ({})", report.violations.len()),
+        TestOutcome::Hung { stage, .. } => format!("HUNG ({stage})"),
+        TestOutcome::Inconclusive { reason, .. } => format!("INCONCLUSIVE ({reason})"),
+        TestOutcome::Invalid(reason) => format!("INVALID ({reason})"),
+        other => format!("{other:?}"),
+    }
+}
+
+fn run_scenario(path: &str) -> Result<TestOutcome, String> {
+    let text = std::fs::read_to_string(path).map_err(|error| format!("cannot read: {error}"))?;
+    let spec = parse_spec(&text).map_err(|error| error.to_string())?;
+    let lint = lint_spec(&spec);
+    if lint.has_errors() {
+        return Err(format!("lint errors:\n{lint}"));
+    }
+    // Chaos runs are judged on the safety properties alone: operational
+    // faults legitimately bend latency and throughput, but may never
+    // lose, duplicate, reorder or mis-prioritise a message.
+    let prince =
+        DaemonPrince::with_analyzer(Analyzer::with_config(AnalysisConfig::strict_safety_only()));
+    let factory = |spec: &TestSpec| -> (Arc<dyn jmst::api::provider::Provider>, _) {
+        let config = spec
+            .broker_config()
+            .expect("a spec that passed validation has a valid fault plan");
+        let broker = ReferenceBroker::with_config(config);
+        let admin: Arc<dyn BrokerAdmin> = Arc::new(broker.clone());
+        (Arc::new(broker), Some(admin))
+    };
+    Ok(prince.run_test(&factory, &spec).outcome)
+}

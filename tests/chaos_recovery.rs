@@ -1,0 +1,133 @@
+//! The chaos acceptance experiment: a scenario that combines operational
+//! connect faults, a mid-run broker crash, and client-acknowledge
+//! consumers must still complete with a clean verdict — the resilient
+//! drivers absorb the faults, the broker redelivers what the crash left
+//! unacknowledged, and the analyzer knows a licensed redelivery from a
+//! duplicate. The *same* scenario with retries disabled must instead be
+//! reported `Inconclusive`, with the salvaged partial trace analysed.
+
+use jmst::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn chaos_spec(name: &str, retry: RetryPolicy) -> TestSpec {
+    let mut faults = FaultPlan::none();
+    faults.seed = 9;
+    faults.connect_failure_probability = 0.2;
+    TestSpec::new(name)
+        .with_periods(
+            Duration::from_millis(30),
+            Duration::from_millis(500),
+            Duration::from_secs(4),
+        )
+        .node(
+            NodeSpec::new("n0")
+                .producer(
+                    ProducerSpec::steady(Destination::queue("q"), 200.0, 128)
+                        .with_delivery_mode(DeliveryMode::Persistent),
+                )
+                .consumer(
+                    ConsumerSpec::auto(Destination::queue("q"))
+                        .with_mode(SessionMode::ClientAcknowledge, 5),
+                ),
+        )
+        .with_crash(CrashPlan {
+            crash_after: Duration::from_millis(200),
+            down_for: Duration::from_millis(80),
+        })
+        .with_faults(faults)
+        .with_retry(retry)
+}
+
+fn run_chaos(spec: &TestSpec) -> TestResult {
+    let prince =
+        DaemonPrince::with_analyzer(Analyzer::with_config(AnalysisConfig::strict_safety_only()));
+    let factory = |spec: &TestSpec| -> (Arc<dyn jmst::api::provider::Provider>, _) {
+        let config = spec.broker_config().expect("valid fault plan");
+        let broker = ReferenceBroker::with_config(config);
+        let admin: Arc<dyn BrokerAdmin> = Arc::new(broker.clone());
+        (Arc::new(broker), Some(admin))
+    };
+    prince.run_test(&factory, spec)
+}
+
+#[test]
+fn chaos_scenario_passes_with_resilient_drivers() {
+    let result = run_chaos(&chaos_spec("chaos-resilient", RetryPolicy::default()));
+    match result.outcome {
+        TestOutcome::Passed(report) => {
+            assert!(report.sends > 10, "only {} sends", report.sends);
+            assert!(report.receives > 0, "{report}");
+        }
+        other => panic!("expected Passed, got {other:?}"),
+    }
+}
+
+#[test]
+fn same_scenario_without_retries_is_inconclusive() {
+    // The crash guarantees at least one connection loss; with the retry
+    // budget at zero, the first unabsorbed failure gives the run up.
+    let result = run_chaos(&chaos_spec("chaos-fragile", RetryPolicy::disabled()));
+    match result.outcome {
+        TestOutcome::Inconclusive { reason, report } => {
+            assert!(
+                reason.contains("budget") || reason.contains("deadline"),
+                "unexpected give-up reason: {reason}"
+            );
+            // The salvaged partial trace was still analysed.
+            assert!(report.events_analyzed > 0, "{report}");
+        }
+        other => panic!("expected Inconclusive, got {other:?}"),
+    }
+}
+
+#[test]
+fn poison_messages_park_on_the_dlq_not_the_consumer() {
+    // A consumer that receives but never acknowledges: every delivery is
+    // recovered, so each message cycles until the broker's redelivery
+    // bound parks it on the dead-letter queue. The analyzer must neither
+    // flag the redeliveries as duplicates nor the parked messages as
+    // lost — and the bound itself must be respected.
+    use jmst::api::message::MessageDraft;
+    use jmst::api::provider::Provider;
+
+    let bound = 2;
+    let config = BrokerConfig::correct().with_max_redeliveries(bound);
+    let broker = ReferenceBroker::with_config(config);
+    let mut connection = broker.create_connection(None).expect("connect");
+    connection.start().expect("start");
+    let mut producer_session = connection
+        .create_session(SessionMode::AutoAcknowledge)
+        .expect("session");
+    let mut producer = producer_session
+        .create_producer(&Destination::queue("poison"))
+        .expect("producer");
+    producer
+        .send(MessageDraft::new(jmst::api::body::Body::text("bad")))
+        .expect("send");
+
+    let mut consumer_session = connection
+        .create_session(SessionMode::ClientAcknowledge)
+        .expect("session");
+    let mut consumer = consumer_session
+        .create_consumer(&Destination::queue("poison"), None)
+        .expect("consumer");
+    let mut deliveries = 0;
+    for _ in 0..=bound {
+        let message = consumer
+            .receive(Some(Duration::from_millis(200)))
+            .expect("receive")
+            .expect("message available");
+        deliveries += 1;
+        assert_eq!(message.delivery_count(), deliveries);
+        consumer_session.recover().expect("recover");
+    }
+    // The bound is exhausted: the message is parked, not redelivered.
+    assert!(consumer
+        .receive(Some(Duration::from_millis(50)))
+        .expect("receive")
+        .is_none());
+    let parked = broker.drain_dead_letters();
+    assert_eq!(parked.len(), 1);
+    assert_eq!(parked[0].parked_on.as_str(), "DLQ.poison");
+}
