@@ -1,0 +1,128 @@
+//! Micro-benchmark of the streaming analysis pipeline against the batch
+//! driver on a large synthetic trace: one million events of clean queue
+//! traffic, analysed (a) by replaying the materialised `Trace` through
+//! `Analyzer::analyze` and (b) by feeding a `StreamingAnalyzer` event by
+//! event, never holding the trace at all. Both produce the identical
+//! report; the comparison prices the transport and shows the streaming
+//! path adds no asymptotic cost over batch.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use jmst_api::destination::{Destination, EndpointId, QueueName};
+use jmst_api::id::{ConsumerId, MessageId, NodeId, ProducerId, SessionId};
+use jmst_api::modes::{DeliveryMode, Priority, SessionMode, TimeToLive};
+use jmst_api::time::Timestamp;
+use jmst_core::Analyzer;
+use jmst_store::event::{Event, EventKind, MessageRecord, Phase};
+use jmst_store::trace::Trace;
+
+/// Builds `messages` send/receive/ack triples book-ended by phase markers
+/// and a consumer row — just over `3 × messages` events.
+fn synthetic_events(messages: u64) -> Vec<Event> {
+    let endpoint = EndpointId::for_queue(QueueName::new("q"));
+    let mut events = Vec::with_capacity(messages as usize * 3 + 3);
+    let mut seq = 0u64;
+    let mut push = |at: Timestamp, kind: EventKind, events: &mut Vec<Event>| {
+        events.push(Event {
+            seq,
+            at,
+            node: NodeId::from_raw(0),
+            kind,
+        });
+        seq += 1;
+    };
+    push(
+        Timestamp::ZERO,
+        EventKind::PhaseStarted { phase: Phase::Run },
+        &mut events,
+    );
+    push(
+        Timestamp::ZERO,
+        EventKind::ConsumerCreated {
+            consumer: ConsumerId::from_raw(1),
+            endpoint: endpoint.clone(),
+            session_mode: SessionMode::AutoAcknowledge,
+            selector: None,
+        },
+        &mut events,
+    );
+    for i in 0..messages {
+        let at = Timestamp::from_micros((i + 1) * 50);
+        let record = MessageRecord {
+            message: MessageId::from_raw(i + 1),
+            producer: ProducerId::from_raw(i % 4),
+            sequence: i / 4,
+            destination: Destination::queue("q"),
+            priority: Priority::DEFAULT,
+            delivery_mode: DeliveryMode::Persistent,
+            time_to_live: TimeToLive::FOREVER,
+            sent_at: at,
+            body_bytes: 512,
+            redelivered: false,
+            delivery_count: 1,
+            properties: Default::default(),
+        };
+        push(
+            at,
+            EventKind::Send {
+                record: record.clone(),
+                session: SessionId::from_raw(1),
+                tx: None,
+            },
+            &mut events,
+        );
+        push(
+            at,
+            EventKind::Receive {
+                consumer: ConsumerId::from_raw(1),
+                endpoint: endpoint.clone(),
+                record,
+                session: SessionId::from_raw(2),
+                tx: None,
+            },
+            &mut events,
+        );
+        push(
+            at,
+            EventKind::Acknowledge {
+                session: SessionId::from_raw(2),
+            },
+            &mut events,
+        );
+    }
+    push(
+        Timestamp::from_micros((messages + 1) * 50),
+        EventKind::PhaseStarted {
+            phase: Phase::WarmDown,
+        },
+        &mut events,
+    );
+    events
+}
+
+fn streaming_vs_batch(c: &mut Criterion) {
+    // ~1M events: 333_333 messages × 3 events + markers.
+    let messages = 333_333u64;
+    let events = synthetic_events(messages);
+    let trace = Trace::from_events(events.clone());
+    let total_events = events.len() as u64;
+
+    let mut group = c.benchmark_group("streaming_micro/1M_events");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(total_events));
+    group.bench_function("batch_trace_then_analyze", |b| {
+        b.iter(|| Analyzer::new().analyze(&trace));
+    });
+    group.bench_function("streaming_event_by_event", |b| {
+        b.iter(|| {
+            let mut streaming = Analyzer::new().streaming();
+            for event in &events {
+                streaming.observe(event);
+            }
+            streaming.finish()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, streaming_vs_batch);
+criterion_main!(benches);

@@ -1,14 +1,25 @@
 //! The analyzer: runs every configured safety check and the performance
 //! analysis over one trace and assembles the report — the equivalent of
-//! the paper's battery of SQL statements.
+//! the paper's battery of SQL statements, re-expressed as one pass of
+//! incremental checkers.
+//!
+//! [`StreamingAnalyzer`] is the single implementation: it owns one
+//! incremental checker per enabled property and feeds each raw event to
+//! all of them. [`Analyzer::analyze`] is the batch driver — it replays a
+//! recorded [`Trace`] through the same streaming core, so batch and
+//! streaming verdicts are equal by construction.
 
 use crate::config::AnalysisConfig;
-use crate::perf::{self, PerformanceReport};
-use crate::properties::expiry::{self, ExpiryBreakdown, FittedModel};
-use crate::properties::{duplicates, integrity, ordering, priority, required};
+use crate::perf::{PerfAccumulator, PerformanceReport};
+use crate::properties::duplicates::{DuplicatesChecker, RedeliveryBoundChecker};
+use crate::properties::expiry::{ExpiryBreakdown, ExpiryChecker, FitAccumulator};
+use crate::properties::integrity::IntegrityChecker;
+use crate::properties::ordering::OrderingChecker;
+use crate::properties::priority::{PriorityChecker, StrictPriorityChecker};
+use crate::properties::required::RequiredChecker;
 use crate::violation::{PropertyKind, Violation};
+use jmst_store::event::{Event, EventKind};
 use jmst_store::stats::DelayHistogram;
-use jmst_store::table::TraceStore;
 use jmst_store::trace::Trace;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -25,9 +36,9 @@ pub struct AnalysisReport {
     pub expiry: Vec<ExpiryBreakdown>,
     /// Trace size, for sanity-checking reports.
     pub events_analyzed: usize,
-    /// Number of effective sends.
+    /// Number of send operations observed (committed or not).
     pub sends: usize,
-    /// Number of effective receives.
+    /// Number of receive operations observed (committed or not).
     pub receives: usize,
 }
 
@@ -82,6 +93,211 @@ impl fmt::Display for AnalysisReport {
     }
 }
 
+/// One-pass incremental analyzer: feed events as they happen, finish for
+/// the report.
+///
+/// Violations that are decidable mid-stream (ordering, duplicates,
+/// redelivery-bound) surface through [`violations_so_far`] while the run
+/// is still in flight — the harness's fail-fast mode polls it. The other
+/// properties need the end of the trace to distinguish a violation from
+/// in-flight latency and only report at [`finish`].
+///
+/// [`violations_so_far`]: StreamingAnalyzer::violations_so_far
+/// [`finish`]: StreamingAnalyzer::finish
+#[derive(Debug)]
+pub struct StreamingAnalyzer {
+    config: AnalysisConfig,
+    integrity: Option<IntegrityChecker>,
+    required: Option<RequiredChecker>,
+    ordering: Option<OrderingChecker>,
+    priority: Option<PriorityChecker>,
+    strict: Option<StrictPriorityChecker>,
+    fit: Option<FitAccumulator>,
+    expiry: Option<ExpiryChecker>,
+    duplicates: Option<DuplicatesChecker>,
+    redelivery: Option<RedeliveryBoundChecker>,
+    perf: PerfAccumulator,
+    events: usize,
+    sends: usize,
+    receives: usize,
+}
+
+impl StreamingAnalyzer {
+    /// Creates a streaming analyzer with the given configuration.
+    pub fn new(config: AnalysisConfig) -> Self {
+        let perf = PerfAccumulator::new(config.histogram_bucket, config.histogram_buckets);
+        Self {
+            integrity: config.check_integrity.then(IntegrityChecker::new),
+            required: config.check_required.then(RequiredChecker::new),
+            ordering: config.check_ordering.then(OrderingChecker::new),
+            priority: config
+                .check_priority
+                .then(|| PriorityChecker::new(config.priority)),
+            strict: (config.check_priority && config.priority.strict)
+                .then(|| StrictPriorityChecker::new(config.priority.strict_slack)),
+            fit: config.check_expiry.then(|| {
+                FitAccumulator::new(DelayHistogram::new(
+                    config.histogram_bucket,
+                    config.histogram_buckets,
+                ))
+            }),
+            expiry: config.check_expiry.then(ExpiryChecker::new),
+            duplicates: config.check_duplicates.then(DuplicatesChecker::new),
+            redelivery: config.redelivery_bound.map(RedeliveryBoundChecker::new),
+            perf,
+            config,
+            events: 0,
+            sends: 0,
+            receives: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &AnalysisConfig {
+        &self.config
+    }
+
+    /// Feeds one event, in canonical `(at, seq)` order, to every enabled
+    /// checker.
+    pub fn observe(&mut self, event: &Event) {
+        self.events += 1;
+        match &event.kind {
+            EventKind::Send { .. } => self.sends += 1,
+            EventKind::Receive { .. } => self.receives += 1,
+            _ => {}
+        }
+        if let Some(checker) = &mut self.integrity {
+            checker.observe(event);
+        }
+        if let Some(checker) = &mut self.required {
+            checker.observe(event);
+        }
+        if let Some(checker) = &mut self.ordering {
+            checker.observe(event);
+        }
+        if let Some(checker) = &mut self.priority {
+            checker.observe(event);
+        }
+        if let Some(checker) = &mut self.strict {
+            checker.observe(event);
+        }
+        if let Some(checker) = &mut self.fit {
+            checker.observe(event);
+        }
+        if let Some(checker) = &mut self.expiry {
+            checker.observe(event);
+        }
+        if let Some(checker) = &mut self.duplicates {
+            checker.observe(event);
+        }
+        if let Some(checker) = &mut self.redelivery {
+            checker.observe(event);
+        }
+        self.perf.observe(event);
+    }
+
+    /// Number of events observed so far.
+    pub fn events_observed(&self) -> usize {
+        self.events
+    }
+
+    /// Number of violations already decidable mid-stream (ordering,
+    /// duplicate-delivery, and redelivery-bound breaches). A non-zero
+    /// value is definitive — the final report will contain at least these.
+    pub fn violations_so_far(&self) -> usize {
+        self.ordering
+            .as_ref()
+            .map_or(0, OrderingChecker::violations_so_far)
+            + self
+                .duplicates
+                .as_ref()
+                .map_or(0, DuplicatesChecker::violations_so_far)
+            + self
+                .redelivery
+                .as_ref()
+                .map_or(0, RedeliveryBoundChecker::violations_so_far)
+    }
+
+    /// An estimate of the resident state across all checkers, in bytes.
+    /// The streaming pipeline's memory story rests on this staying far
+    /// below the size of the materialised trace.
+    pub fn state_bytes(&self) -> usize {
+        self.integrity
+            .as_ref()
+            .map_or(0, IntegrityChecker::state_bytes)
+            + self
+                .required
+                .as_ref()
+                .map_or(0, RequiredChecker::state_bytes)
+            + self
+                .ordering
+                .as_ref()
+                .map_or(0, OrderingChecker::state_bytes)
+            + self
+                .priority
+                .as_ref()
+                .map_or(0, PriorityChecker::state_bytes)
+            + self
+                .strict
+                .as_ref()
+                .map_or(0, StrictPriorityChecker::state_bytes)
+            + self.fit.as_ref().map_or(0, FitAccumulator::state_bytes)
+            + self.expiry.as_ref().map_or(0, ExpiryChecker::state_bytes)
+            + self
+                .duplicates
+                .as_ref()
+                .map_or(0, DuplicatesChecker::state_bytes)
+            + self
+                .redelivery
+                .as_ref()
+                .map_or(0, RedeliveryBoundChecker::state_bytes)
+            + self.perf.state_bytes()
+    }
+
+    /// Finishes every checker and assembles the report, with violations
+    /// in the fixed check order: integrity, required, ordering, priority
+    /// (and strict priority), expiry, duplicates, redelivery bound.
+    pub fn finish(self) -> AnalysisReport {
+        let mut violations = Vec::new();
+        if let Some(checker) = self.integrity {
+            violations.extend(checker.finish());
+        }
+        if let Some(checker) = self.required {
+            violations.extend(checker.finish());
+        }
+        if let Some(checker) = self.ordering {
+            violations.extend(checker.finish());
+        }
+        if let Some(checker) = self.priority {
+            violations.extend(checker.finish());
+        }
+        if let Some(checker) = self.strict {
+            violations.extend(checker.finish());
+        }
+        let mut expiry_breakdowns = Vec::new();
+        if let (Some(fit), Some(checker)) = (self.fit, self.expiry) {
+            let fitted = fit.finish(&self.config.expiry);
+            let (expiry_violations, breakdowns) = checker.finish(&self.config.expiry, &fitted);
+            violations.extend(expiry_violations);
+            expiry_breakdowns = breakdowns;
+        }
+        if let Some(checker) = self.duplicates {
+            violations.extend(checker.finish());
+        }
+        if let Some(checker) = self.redelivery {
+            violations.extend(checker.finish());
+        }
+        AnalysisReport {
+            violations,
+            performance: self.perf.finish(),
+            expiry: expiry_breakdowns,
+            events_analyzed: self.events,
+            sends: self.sends,
+            receives: self.receives,
+        }
+    }
+}
+
 /// Runs the paper's analysis over traces.
 #[derive(Debug, Clone, Default)]
 pub struct Analyzer {
@@ -104,60 +320,19 @@ impl Analyzer {
         &self.config
     }
 
-    /// Analyses one trace: materialises the relational views, evaluates
-    /// every enabled safety property, and computes the performance
-    /// measures.
-    pub fn analyze(&self, trace: &Trace) -> AnalysisReport {
-        let store = TraceStore::build(trace);
-        self.analyze_store(&store, trace.len())
+    /// Starts a streaming pass with this analyzer's configuration.
+    pub fn streaming(&self) -> StreamingAnalyzer {
+        StreamingAnalyzer::new(self.config)
     }
 
-    /// Analyses an already-built store (used when the caller also wants
-    /// the store for its own queries).
-    pub fn analyze_store(&self, store: &TraceStore, events: usize) -> AnalysisReport {
-        let config = &self.config;
-        let mut violations = Vec::new();
-        if config.check_integrity {
-            violations.extend(integrity::check(store));
+    /// Analyses one recorded trace by replaying it, in canonical order,
+    /// through the streaming core.
+    pub fn analyze(&self, trace: &Trace) -> AnalysisReport {
+        let mut streaming = self.streaming();
+        for event in trace {
+            streaming.observe(event);
         }
-        if config.check_required {
-            violations.extend(required::check(store));
-        }
-        if config.check_ordering {
-            violations.extend(ordering::check(store));
-        }
-        if config.check_priority {
-            violations.extend(priority::check(store, &config.priority));
-            if config.priority.strict {
-                violations.extend(priority::check_strict(store, config.priority.strict_slack));
-            }
-        }
-        let mut expiry_breakdowns = Vec::new();
-        if config.check_expiry {
-            let fitted = FittedModel::fit(
-                store,
-                &config.expiry,
-                DelayHistogram::new(config.histogram_bucket, config.histogram_buckets),
-            );
-            let (expiry_violations, breakdowns) = expiry::check(store, &config.expiry, &fitted);
-            violations.extend(expiry_violations);
-            expiry_breakdowns = breakdowns;
-        }
-        if config.check_duplicates {
-            violations.extend(duplicates::check(store));
-        }
-        if let Some(bound) = config.redelivery_bound {
-            violations.extend(duplicates::check_redelivery_bound(store, bound));
-        }
-        let performance = perf::analyze(store, config.histogram_bucket, config.histogram_buckets);
-        AnalysisReport {
-            violations,
-            performance,
-            expiry: expiry_breakdowns,
-            events_analyzed: events,
-            sends: store.sends().len(),
-            receives: store.receives().len(),
-        }
+        streaming.finish()
     }
 }
 
@@ -278,5 +453,41 @@ mod tests {
         let report = Analyzer::new().analyze(&trace);
         assert!(report.passed());
         assert_eq!(report.performance.consumer_throughput.messages_per_sec, 0.0);
+    }
+
+    #[test]
+    fn mid_stream_violations_surface_before_finish() {
+        let mut streaming = Analyzer::new().streaming();
+        let trace = TraceBuilder::new()
+            .send(1, 1, 0)
+            .receive_q(1, 1, 0)
+            .receive_q(1, 1, 0) // duplicate delivery, decidable on sight
+            .build();
+        let mut seen_live = false;
+        for event in &trace {
+            streaming.observe(event);
+            seen_live |= streaming.violations_so_far() > 0;
+        }
+        assert!(seen_live);
+        let report = streaming.finish();
+        assert_eq!(report.count_of(PropertyKind::DuplicateDelivery), 1);
+    }
+
+    #[test]
+    fn streaming_report_equals_batch_report() {
+        let analyzer = Analyzer::new();
+        let trace = TraceBuilder::new()
+            .send(1, 1, 0)
+            .send(2, 1, 1)
+            .receive_q(2, 1, 1)
+            .receive_q(1, 1, 0)
+            .receive_q(1, 1, 0)
+            .build();
+        let batch = analyzer.analyze(&trace);
+        let mut streaming = analyzer.streaming();
+        for event in &trace {
+            streaming.observe(event);
+        }
+        assert_eq!(batch, streaming.finish());
     }
 }

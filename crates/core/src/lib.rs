@@ -13,8 +13,12 @@
 //! * [`perf`] — the §3.2 performance measures: producer/consumer
 //!   throughput in messages and bytes per second, delay min/max/mean/σ,
 //!   and the per-producer / per-consumer unfairness measures;
-//! * [`analyzer`] — [`Analyzer`] runs everything and builds an
+//! * [`analyzer`] — [`StreamingAnalyzer`] feeds every event through the
+//!   incremental checkers in one pass; [`Analyzer`] is the batch driver
+//!   that replays a recorded trace through it and builds an
 //!   [`AnalysisReport`];
+//! * [`stream`] — the building blocks of the incremental checkers:
+//!   transaction resolution, run-window gating, selector tracking;
 //! * [`config`] / [`violation`] — knobs and findings.
 //!
 //! # Examples
@@ -37,12 +41,13 @@ pub mod defs;
 pub mod perf;
 pub mod properties;
 pub mod report;
+pub mod stream;
 pub mod violation;
 
 #[cfg(test)]
 pub(crate) mod test_support;
 
-pub use analyzer::{AnalysisReport, Analyzer};
+pub use analyzer::{AnalysisReport, Analyzer, StreamingAnalyzer};
 pub use config::{AnalysisConfig, ExpiryConfig, ExpiryModel, PriorityConfig};
 pub use perf::{PerformanceReport, Throughput};
 pub use properties::expiry::ExpiryBreakdown;

@@ -2,14 +2,24 @@
 //! messages and body bytes per second, message-delay statistics, and the
 //! fairness measures — all computed over the *run* period only, while
 //! safety properties apply to the whole trace.
+//!
+//! The measures are accumulated incrementally by [`PerfAccumulator`]; the
+//! batch [`analyze`] / [`analyze_window`] entry points drive a whole trace
+//! through the same accumulator. Samples whose window membership is not
+//! yet decidable (the run window is only final at end of stream) wait in
+//! [`WindowGate`]s that preserve accumulation order, so batch and
+//! streaming runs produce bit-identical floating-point statistics.
 
+use crate::stream::{Resolved, RunWindowTracker, TxResolver, WindowGate};
 use jmst_api::id::{ConsumerId, ProducerId};
 use jmst_api::time::Timestamp;
+use jmst_store::event::{Event, EventKind};
 use jmst_store::stats::{DelayHistogram, SummaryStats};
-use jmst_store::table::TraceStore;
+use jmst_store::trace::Trace;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::mem;
 use std::time::Duration;
 
 /// A throughput measure in both units the paper reports.
@@ -146,98 +156,269 @@ impl PerformanceReport {
     }
 }
 
+/// A delay sample waiting on (or past) its window decision.
+#[derive(Debug, Clone, Copy)]
+struct DelaySample {
+    producer: ProducerId,
+    consumer: ConsumerId,
+    delay_ns: i64,
+}
+
+/// Incremental accumulator for the §3.2 performance measures.
+///
+/// Producer throughput counts effective sends logged inside the window;
+/// consumer throughput counts effective receives logged inside the
+/// window; delays are attributed by *production* time (the paper takes
+/// measurements for messages produced during the run period).
+#[derive(Debug)]
+pub struct PerfAccumulator {
+    resolver: TxResolver,
+    window: RunWindowTracker,
+    producer_gate: WindowGate<(ProducerId, u64)>,
+    consumer_gate: WindowGate<(ConsumerId, u64)>,
+    delay_gate: WindowGate<DelaySample>,
+    producer_counts: BTreeMap<ProducerId, (u64, u64)>,
+    producer_total: (u64, u64),
+    consumer_counts: BTreeMap<ConsumerId, (u64, u64)>,
+    consumer_total: (u64, u64),
+    delay: DelayStats,
+    delay_histogram: DelayHistogram,
+    per_producer_delay: BTreeMap<ProducerId, SummaryStats>,
+    per_consumer_delay: BTreeMap<ConsumerId, SummaryStats>,
+}
+
+impl PerfAccumulator {
+    /// Creates an accumulator that infers the run window from the stream.
+    pub fn new(bucket: Duration, buckets: usize) -> Self {
+        Self::with_tracker(RunWindowTracker::new(), bucket, buckets)
+    }
+
+    /// Creates an accumulator measuring an explicit window.
+    pub fn with_window(window: (Timestamp, Timestamp), bucket: Duration, buckets: usize) -> Self {
+        Self::with_tracker(RunWindowTracker::pinned(window), bucket, buckets)
+    }
+
+    fn with_tracker(window: RunWindowTracker, bucket: Duration, buckets: usize) -> Self {
+        Self {
+            resolver: TxResolver::new(),
+            window,
+            producer_gate: WindowGate::new(),
+            consumer_gate: WindowGate::new(),
+            delay_gate: WindowGate::new(),
+            producer_counts: BTreeMap::new(),
+            producer_total: (0, 0),
+            consumer_counts: BTreeMap::new(),
+            consumer_total: (0, 0),
+            delay: DelayStats::default(),
+            delay_histogram: DelayHistogram::new(bucket, buckets),
+            per_producer_delay: BTreeMap::new(),
+            per_consumer_delay: BTreeMap::new(),
+        }
+    }
+
+    /// Feeds one raw trace event to the accumulator.
+    pub fn observe(&mut self, event: &Event) {
+        self.window.note(event);
+        match self.resolver.push(event) {
+            Resolved::Buffered => {}
+            Resolved::One(event) => self.ingest(event),
+            Resolved::Replay(events) => {
+                for event in &events {
+                    self.ingest(event);
+                }
+            }
+        }
+        self.drain();
+    }
+
+    fn ingest(&mut self, event: &Event) {
+        match &event.kind {
+            EventKind::Send { record, .. } => {
+                let sample = (record.producer, record.body_bytes);
+                let counts = &mut self.producer_counts;
+                let total = &mut self.producer_total;
+                self.producer_gate
+                    .offer(event.at, sample, &self.window, |(p, bytes)| {
+                        Self::apply_count(counts, total, p, bytes)
+                    });
+            }
+            EventKind::Receive {
+                consumer, record, ..
+            } => {
+                let sample = (*consumer, record.body_bytes);
+                let counts = &mut self.consumer_counts;
+                let total = &mut self.consumer_total;
+                self.consumer_gate
+                    .offer(event.at, sample, &self.window, |(c, bytes)| {
+                        Self::apply_count(counts, total, c, bytes)
+                    });
+                let sample = DelaySample {
+                    producer: record.producer,
+                    consumer: *consumer,
+                    delay_ns: event.at.signed_since(record.sent_at),
+                };
+                let delay = &mut self.delay;
+                let histogram = &mut self.delay_histogram;
+                let per_producer = &mut self.per_producer_delay;
+                let per_consumer = &mut self.per_consumer_delay;
+                self.delay_gate
+                    .offer(record.sent_at, sample, &self.window, |s| {
+                        Self::apply_delay(delay, histogram, per_producer, per_consumer, s)
+                    });
+            }
+            _ => {}
+        }
+    }
+
+    fn apply_count<K: Ord>(
+        counts: &mut BTreeMap<K, (u64, u64)>,
+        total: &mut (u64, u64),
+        key: K,
+        bytes: u64,
+    ) {
+        let entry = counts.entry(key).or_insert((0, 0));
+        entry.0 += 1;
+        entry.1 += bytes;
+        total.0 += 1;
+        total.1 += bytes;
+    }
+
+    fn apply_delay(
+        delay: &mut DelayStats,
+        histogram: &mut DelayHistogram,
+        per_producer: &mut BTreeMap<ProducerId, SummaryStats>,
+        per_consumer: &mut BTreeMap<ConsumerId, SummaryStats>,
+        sample: DelaySample,
+    ) {
+        let delay_ms = sample.delay_ns as f64 / 1e6;
+        delay.stats.push(delay_ms);
+        if sample.delay_ns < 0 {
+            delay.negative_samples += 1;
+        }
+        histogram.push(Duration::from_nanos(sample.delay_ns.max(0) as u64));
+        per_producer
+            .entry(sample.producer)
+            .or_default()
+            .push(delay_ms);
+        per_consumer
+            .entry(sample.consumer)
+            .or_default()
+            .push(delay_ms);
+    }
+
+    /// Flushes any gated samples whose window membership has become
+    /// decidable.
+    fn drain(&mut self) {
+        let counts = &mut self.producer_counts;
+        let total = &mut self.producer_total;
+        self.producer_gate.drain(&self.window, &mut |(p, bytes)| {
+            Self::apply_count(counts, total, p, bytes)
+        });
+        let counts = &mut self.consumer_counts;
+        let total = &mut self.consumer_total;
+        self.consumer_gate.drain(&self.window, &mut |(c, bytes)| {
+            Self::apply_count(counts, total, c, bytes)
+        });
+        let delay = &mut self.delay;
+        let histogram = &mut self.delay_histogram;
+        let per_producer = &mut self.per_producer_delay;
+        let per_consumer = &mut self.per_consumer_delay;
+        self.delay_gate.drain(&self.window, &mut |s| {
+            Self::apply_delay(delay, histogram, per_producer, per_consumer, s)
+        });
+    }
+
+    /// An estimate of the accumulator's resident state, in bytes.
+    pub fn state_bytes(&self) -> usize {
+        self.resolver.state_bytes()
+            + self.producer_gate.len() * mem::size_of::<(Timestamp, (ProducerId, u64))>()
+            + self.consumer_gate.len() * mem::size_of::<(Timestamp, (ConsumerId, u64))>()
+            + self.delay_gate.len() * mem::size_of::<(Timestamp, DelaySample)>()
+            + (self.producer_counts.len() + self.consumer_counts.len())
+                * mem::size_of::<(ProducerId, (u64, u64))>()
+            + (self.per_producer_delay.len() + self.per_consumer_delay.len())
+                * mem::size_of::<(ProducerId, SummaryStats)>()
+            + mem::size_of::<DelayHistogram>()
+    }
+
+    /// Finishes the accumulation and builds the report.
+    pub fn finish(mut self) -> PerformanceReport {
+        let window = self.window.final_window();
+        let counts = &mut self.producer_counts;
+        let total = &mut self.producer_total;
+        self.producer_gate.finish(window, |(p, bytes)| {
+            Self::apply_count(counts, total, p, bytes)
+        });
+        let counts = &mut self.consumer_counts;
+        let total = &mut self.consumer_total;
+        self.consumer_gate.finish(window, |(c, bytes)| {
+            Self::apply_count(counts, total, c, bytes)
+        });
+        let delay = &mut self.delay;
+        let histogram = &mut self.delay_histogram;
+        let per_producer = &mut self.per_producer_delay;
+        let per_consumer = &mut self.per_consumer_delay;
+        self.delay_gate.finish(window, |s| {
+            Self::apply_delay(delay, histogram, per_producer, per_consumer, s)
+        });
+
+        fn unfairness<K>(means: &BTreeMap<K, SummaryStats>) -> f64 {
+            let stats: SummaryStats = means.values().map(SummaryStats::mean).collect();
+            stats.std_dev()
+        }
+
+        let span = window.1.saturating_since(window.0);
+        PerformanceReport {
+            window,
+            producer_throughput: Throughput::from_counts(
+                self.producer_total.0,
+                self.producer_total.1,
+                span,
+            ),
+            consumer_throughput: Throughput::from_counts(
+                self.consumer_total.0,
+                self.consumer_total.1,
+                span,
+            ),
+            per_producer: self
+                .producer_counts
+                .into_iter()
+                .map(|(id, (count, bytes))| (id, Throughput::from_counts(count, bytes, span)))
+                .collect(),
+            per_consumer: self
+                .consumer_counts
+                .into_iter()
+                .map(|(id, (count, bytes))| (id, Throughput::from_counts(count, bytes, span)))
+                .collect(),
+            delay: self.delay,
+            producer_unfairness_ms: unfairness(&self.per_producer_delay),
+            consumer_unfairness_ms: unfairness(&self.per_consumer_delay),
+            delay_histogram: self.delay_histogram,
+        }
+    }
+}
+
 /// Computes the §3.2 performance measures over the trace's run window.
-pub fn analyze(store: &TraceStore, bucket: Duration, buckets: usize) -> PerformanceReport {
-    let window = store.run_window();
-    analyze_window(store, window, bucket, buckets)
+pub fn analyze(trace: &Trace, bucket: Duration, buckets: usize) -> PerformanceReport {
+    let mut accumulator = PerfAccumulator::new(bucket, buckets);
+    for event in trace {
+        accumulator.observe(event);
+    }
+    accumulator.finish()
 }
 
 /// Computes the performance measures over an explicit window.
 pub fn analyze_window(
-    store: &TraceStore,
+    trace: &Trace,
     window: (Timestamp, Timestamp),
     bucket: Duration,
     buckets: usize,
 ) -> PerformanceReport {
-    let (start, end) = window;
-    let span = end.saturating_since(start);
-
-    // Producer throughput: effective sends logged inside the window.
-    let mut producer_counts: BTreeMap<ProducerId, (u64, u64)> = BTreeMap::new();
-    let mut producer_total = (0u64, 0u64);
-    for send in store.effective_sends() {
-        if send.at < start || send.at >= end {
-            continue;
-        }
-        let entry = producer_counts
-            .entry(send.record.producer)
-            .or_insert((0, 0));
-        entry.0 += 1;
-        entry.1 += send.record.body_bytes;
-        producer_total.0 += 1;
-        producer_total.1 += send.record.body_bytes;
+    let mut accumulator = PerfAccumulator::with_window(window, bucket, buckets);
+    for event in trace {
+        accumulator.observe(event);
     }
-
-    // Consumer throughput and delays: effective receives of messages
-    // produced during the run period.
-    let mut consumer_counts: BTreeMap<ConsumerId, (u64, u64)> = BTreeMap::new();
-    let mut consumer_total = (0u64, 0u64);
-    let mut delay = DelayStats::default();
-    let mut delay_histogram = DelayHistogram::new(bucket, buckets);
-    let mut per_producer_delay: BTreeMap<ProducerId, SummaryStats> = BTreeMap::new();
-    let mut per_consumer_delay: BTreeMap<ConsumerId, SummaryStats> = BTreeMap::new();
-    for receive in store.effective_receives() {
-        if receive.at >= start && receive.at < end {
-            let entry = consumer_counts.entry(receive.consumer).or_insert((0, 0));
-            entry.0 += 1;
-            entry.1 += receive.record.body_bytes;
-            consumer_total.0 += 1;
-            consumer_total.1 += receive.record.body_bytes;
-        }
-        // Delays are attributed by production time (paper: measurements
-        // are taken for messages produced during the run period).
-        let produced_in_window = receive.record.sent_at >= start && receive.record.sent_at < end;
-        if produced_in_window {
-            let delay_ns = receive.at.signed_since(receive.record.sent_at);
-            let delay_ms = delay_ns as f64 / 1e6;
-            delay.stats.push(delay_ms);
-            if delay_ns < 0 {
-                delay.negative_samples += 1;
-            }
-            delay_histogram.push(Duration::from_nanos(delay_ns.max(0) as u64));
-            per_producer_delay
-                .entry(receive.record.producer)
-                .or_default()
-                .push(delay_ms);
-            per_consumer_delay
-                .entry(receive.consumer)
-                .or_default()
-                .push(delay_ms);
-        }
-    }
-
-    fn unfairness<K>(means: &BTreeMap<K, SummaryStats>) -> f64 {
-        let stats: SummaryStats = means.values().map(SummaryStats::mean).collect();
-        stats.std_dev()
-    }
-
-    PerformanceReport {
-        window,
-        producer_throughput: Throughput::from_counts(producer_total.0, producer_total.1, span),
-        consumer_throughput: Throughput::from_counts(consumer_total.0, consumer_total.1, span),
-        per_producer: producer_counts
-            .into_iter()
-            .map(|(id, (count, bytes))| (id, Throughput::from_counts(count, bytes, span)))
-            .collect(),
-        per_consumer: consumer_counts
-            .into_iter()
-            .map(|(id, (count, bytes))| (id, Throughput::from_counts(count, bytes, span)))
-            .collect(),
-        delay,
-        producer_unfairness_ms: unfairness(&per_producer_delay),
-        consumer_unfairness_ms: unfairness(&per_consumer_delay),
-        delay_histogram,
-    }
+    accumulator.finish()
 }
 
 #[cfg(test)]
@@ -249,7 +430,7 @@ mod tests {
     /// 10 messages over a 10-second run window, 100 bytes each, received
     /// 5 ms after sending, plus warm-up/warm-down traffic that must be
     /// excluded.
-    fn trace_store() -> TraceStore {
+    fn run_trace() -> Trace {
         let mut builder = TraceBuilder::new()
             .phase(Phase::WarmUp)
             // Warm-up traffic (excluded).
@@ -275,12 +456,12 @@ mod tests {
             .send(2000, 1, 2000)
             .at(11_105)
             .receive_q(2000, 1, 2000);
-        TraceStore::build(&builder.build())
+        builder.build()
     }
 
     #[test]
     fn throughput_counts_run_window_only() {
-        let report = analyze(&trace_store(), Duration::from_millis(1), 100);
+        let report = analyze(&run_trace(), Duration::from_millis(1), 100);
         assert_eq!(report.producer_throughput.count, 10);
         assert_eq!(report.consumer_throughput.count, 10);
         assert!((report.producer_throughput.messages_per_sec - 1.0).abs() < 1e-9);
@@ -289,7 +470,7 @@ mod tests {
 
     #[test]
     fn delay_statistics() {
-        let report = analyze(&trace_store(), Duration::from_millis(1), 100);
+        let report = analyze(&run_trace(), Duration::from_millis(1), 100);
         assert_eq!(report.delay.stats.count(), 10);
         assert!((report.delay.stats.mean() - 5.0).abs() < 1e-9);
         assert_eq!(report.delay.stats.std_dev(), 0.0);
@@ -298,7 +479,7 @@ mod tests {
 
     #[test]
     fn per_actor_breakdowns() {
-        let report = analyze(&trace_store(), Duration::from_millis(1), 100);
+        let report = analyze(&run_trace(), Duration::from_millis(1), 100);
         assert_eq!(report.per_producer.len(), 1);
         assert_eq!(report.per_consumer.len(), 1);
         assert_eq!(report.per_producer[&ProducerId::from_raw(1)].count, 10);
@@ -306,7 +487,7 @@ mod tests {
 
     #[test]
     fn unfairness_is_zero_for_single_actors_and_positive_when_skewed() {
-        let report = analyze(&trace_store(), Duration::from_millis(1), 100);
+        let report = analyze(&run_trace(), Duration::from_millis(1), 100);
         assert_eq!(report.producer_unfairness_ms, 0.0);
         // Two producers with different delays → positive unfairness.
         let mut builder = TraceBuilder::new().phase(Phase::Run);
@@ -324,8 +505,7 @@ mod tests {
                 .receive_rec(default_queue_endpoint(), 50, slow, None);
         }
         builder = builder.at(10_000).phase(Phase::WarmDown);
-        let store = TraceStore::build(&builder.build());
-        let report = analyze(&store, Duration::from_millis(1), 100);
+        let report = analyze(&builder.build(), Duration::from_millis(1), 100);
         assert!(report.producer_unfairness_ms > 10.0);
         assert_eq!(report.consumer_unfairness_ms, 0.0);
     }
@@ -344,16 +524,14 @@ mod tests {
             .at(10_000)
             .phase(Phase::WarmDown)
             .build();
-        let store = TraceStore::build(&trace);
-        let report = analyze(&store, Duration::from_millis(1), 100);
+        let report = analyze(&trace, Duration::from_millis(1), 100);
         assert_eq!(report.delay.negative_samples, 1);
         assert!(report.delay.stats.mean() < 0.0);
     }
 
     #[test]
     fn empty_window_is_safe() {
-        let store = TraceStore::build(&TraceBuilder::new().build());
-        let report = analyze(&store, Duration::from_millis(1), 10);
+        let report = analyze(&TraceBuilder::new().build(), Duration::from_millis(1), 10);
         assert_eq!(report.producer_throughput.count, 0);
         assert_eq!(report.producer_throughput.messages_per_sec, 0.0);
         assert_eq!(report.delay.stats.count(), 0);
@@ -361,7 +539,7 @@ mod tests {
 
     #[test]
     fn table_rendering_mentions_all_measures() {
-        let report = analyze(&trace_store(), Duration::from_millis(1), 100);
+        let report = analyze(&run_trace(), Duration::from_millis(1), 100);
         let table = report.to_table();
         assert!(table.contains("producer throughput"));
         assert!(table.contains("consumer throughput"));
@@ -372,24 +550,19 @@ mod tests {
 
     #[test]
     fn delay_percentiles_come_from_the_histogram() {
-        let report = analyze(&trace_store(), Duration::from_millis(1), 100);
+        let report = analyze(&run_trace(), Duration::from_millis(1), 100);
         // All delays are exactly 5 ms; bucket upper edges give ≤ 6 ms.
         let p50 = report.delay_percentile(0.5).unwrap();
         assert!(p50 >= Duration::from_millis(5) && p50 <= Duration::from_millis(6));
         assert_eq!(report.delay_percentile(0.99), report.delay_percentile(0.5));
-        let empty = analyze(
-            &TraceStore::build(&TraceBuilder::new().build()),
-            Duration::from_millis(1),
-            10,
-        );
+        let empty = analyze(&TraceBuilder::new().build(), Duration::from_millis(1), 10);
         assert_eq!(empty.delay_percentile(0.5), None);
     }
 
     #[test]
     fn explicit_window_overrides_run_window() {
-        let store = trace_store();
         let report = analyze_window(
-            &store,
+            &run_trace(),
             (Timestamp::ZERO, Timestamp::from_secs(100)),
             Duration::from_millis(1),
             100,

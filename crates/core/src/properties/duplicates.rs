@@ -15,108 +15,311 @@
 //! advertises a redelivery limit, no delivery may carry a
 //! `delivery_count` beyond `bound + 1` — a poison message must be parked
 //! on the dead-letter queue instead of being delivered again.
+//!
+//! Both checks are incremental ([`DuplicatesChecker`],
+//! [`RedeliveryBoundChecker`]); the batch entry points drive whole traces
+//! through the same cores. Settlement is resolved online: each delivery
+//! registers on its session's waitlist, and the first later ack (or
+//! commit) by that session stamps every waiting delivery's
+//! `first_ack_after`, which is all a future redelivery needs to judge
+//! legitimacy.
 
+use crate::stream::{Resolved, TxResolver};
 use crate::violation::Violation;
 use jmst_api::destination::EndpointId;
 use jmst_api::id::{ConsumerId, MessageId, SessionId};
 use jmst_api::modes::SessionMode;
 use jmst_api::time::Timestamp;
-use jmst_store::table::TraceStore;
-use std::collections::HashMap;
+use jmst_store::event::{Event, EventKind};
+use jmst_store::trace::Trace;
+use std::collections::{BTreeMap, HashMap};
+use std::mem;
 
-/// Checks for duplicate deliveries across the whole trace.
-pub fn check(store: &TraceStore) -> Vec<Violation> {
-    let consumer_modes: HashMap<ConsumerId, SessionMode> = store
-        .consumers()
-        .iter()
-        .map(|row| (row.consumer, row.session_mode))
-        .collect();
-    let acks = store.acks();
-    // (endpoint, message) -> (delivery count, any non-dups-ok consumer involved)
-    let mut deliveries: HashMap<(EndpointId, MessageId), (u64, bool)> = HashMap::new();
-    // (endpoint, message) -> (at, session) of each delivery seen so far,
-    // for the redelivery-legitimacy test.
-    let mut seen: HashMap<(EndpointId, MessageId), Vec<(Timestamp, SessionId)>> = HashMap::new();
-    for receive in store.effective_receives() {
-        let key = (receive.endpoint.clone(), receive.record.message);
-        let prior = seen.entry(key.clone()).or_default();
-        if receive.record.redelivered {
-            // Legitimate iff no earlier delivery of this message here was
-            // settled before this redelivery arrived: an ack by the
-            // earlier delivery's session in [r0.at, r.at) settles r0.
-            let settled_before = prior.iter().any(|&(r0_at, r0_session)| {
-                acks.iter().any(|&(ack_at, ack_session)| {
-                    ack_session == r0_session && r0_at <= ack_at && ack_at < receive.at
-                })
-            });
-            prior.push((receive.at, receive.session));
-            if !settled_before {
-                continue;
-            }
-        } else {
-            prior.push((receive.at, receive.session));
-        }
-        let entry = deliveries.entry(key).or_insert((0, false));
-        entry.0 += 1;
-        // A consumer with no recorded lifecycle event is conservatively
-        // treated as strict (not dups-ok).
-        let strict = consumer_modes
-            .get(&receive.consumer)
-            .is_none_or(|mode| !mode.allows_duplicates());
-        entry.1 |= strict;
-    }
-    let mut violations: Vec<Violation> = deliveries
-        .into_iter()
-        .filter(|(_, (count, strict))| *count > 1 && *strict)
-        .map(
-            |((endpoint, message), (count, _))| Violation::DuplicateDelivery {
-                message,
-                endpoint,
-                deliveries: count,
-            },
-        )
-        .collect();
-    violations.sort_by_key(|violation| match violation {
-        Violation::DuplicateDelivery { message, .. } => *message,
-        _ => unreachable!("only duplicate violations produced here"),
-    });
-    violations
+/// One observed delivery of a message at an end-point.
+#[derive(Debug, Clone)]
+struct Delivery {
+    /// The first ack by the delivery's session at or after the delivery,
+    /// once one has been observed.
+    first_ack_after: Option<Timestamp>,
 }
 
-/// Checks the bounded-redelivery property: no delivery may carry a
-/// `delivery_count` above `bound + 1` (the first delivery plus at most
-/// `bound` redeliveries). One violation is reported per
-/// (end-point, message), carrying the worst count observed.
-pub fn check_redelivery_bound(store: &TraceStore, bound: u32) -> Vec<Violation> {
-    let mut worst: HashMap<(EndpointId, MessageId), u32> = HashMap::new();
-    for receive in store.effective_receives() {
-        let count = receive.record.delivery_count;
-        if count == 0 {
-            continue; // pre-delivery-count trace: nothing to judge
+/// Per-(message, end-point) delivery accounting.
+#[derive(Debug, Clone, Default)]
+struct Tally {
+    /// Deliveries that count toward the duplicate verdict.
+    counted: u64,
+    /// Consumers involved in counted deliveries (tiny in practice).
+    consumers: Vec<ConsumerId>,
+    /// Every delivery seen, for the redelivery-legitimacy test.
+    seen: Vec<Delivery>,
+    /// Whether this tally already contributed to the live preview.
+    previewed: bool,
+}
+
+/// A delivery tally's identity: the message at a concrete endpoint.
+type TallyKey = (MessageId, EndpointId);
+
+/// Incremental duplicate-delivery checker.
+#[derive(Debug, Default)]
+pub struct DuplicatesChecker {
+    resolver: TxResolver,
+    consumer_modes: HashMap<ConsumerId, SessionMode>,
+    tallies: BTreeMap<TallyKey, Tally>,
+    /// Deliveries awaiting their session's next ack, as (tally key,
+    /// index into `Tally::seen`).
+    waitlist: HashMap<SessionId, Vec<(TallyKey, usize)>>,
+    preview: usize,
+}
+
+impl DuplicatesChecker {
+    /// Creates an empty checker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one raw trace event to the checker.
+    pub fn observe(&mut self, event: &Event) {
+        match self.resolver.push(event) {
+            Resolved::Buffered => {}
+            Resolved::One(event) => self.ingest(event),
+            Resolved::Replay(events) => {
+                for event in &events {
+                    self.ingest(event);
+                }
+            }
         }
-        if count > bound + 1 {
-            let entry = worst
-                .entry((receive.endpoint.clone(), receive.record.message))
+    }
+
+    fn settle_session(&mut self, session: SessionId, at: Timestamp) {
+        let Some(waiting) = self.waitlist.remove(&session) else {
+            return;
+        };
+        for (key, index) in waiting {
+            if let Some(tally) = self.tallies.get_mut(&key) {
+                if let Some(delivery) = tally.seen.get_mut(index) {
+                    delivery.first_ack_after.get_or_insert(at);
+                }
+            }
+        }
+    }
+
+    fn ingest(&mut self, event: &Event) {
+        match &event.kind {
+            EventKind::ConsumerCreated {
+                consumer,
+                session_mode,
+                ..
+            } => {
+                // Last lifecycle event wins, as in the relational view.
+                self.consumer_modes.insert(*consumer, *session_mode);
+            }
+            EventKind::Acknowledge { session } | EventKind::Commit { session, .. } => {
+                self.settle_session(*session, event.at);
+            }
+            EventKind::Receive {
+                consumer,
+                endpoint,
+                record,
+                session,
+                ..
+            } => {
+                let key = (record.message, endpoint.clone());
+                let tally = self.tallies.entry(key.clone()).or_default();
+                let counts = if record.redelivered {
+                    // Legitimate iff no earlier delivery of this message
+                    // here was settled before this redelivery arrived.
+                    tally
+                        .seen
+                        .iter()
+                        .any(|d| d.first_ack_after.is_some_and(|ack| ack < event.at))
+                } else {
+                    true
+                };
+                let index = tally.seen.len();
+                tally.seen.push(Delivery {
+                    first_ack_after: None,
+                });
+                if counts {
+                    tally.counted += 1;
+                    if !tally.consumers.contains(consumer) {
+                        tally.consumers.push(*consumer);
+                    }
+                    if tally.counted > 1 && !tally.previewed {
+                        // Preview with the modes known so far; the final
+                        // verdict re-judges with the whole trace's modes.
+                        let strict = tally.consumers.iter().any(|c| {
+                            self.consumer_modes
+                                .get(c)
+                                .is_none_or(|mode| !mode.allows_duplicates())
+                        });
+                        if strict {
+                            tally.previewed = true;
+                            self.preview += 1;
+                        }
+                    }
+                }
+                self.waitlist
+                    .entry(*session)
+                    .or_default()
+                    .push((key, index));
+            }
+            _ => {}
+        }
+    }
+
+    /// Number of duplicate deliveries detected so far (a live preview;
+    /// the authoritative verdict is [`DuplicatesChecker::finish`]).
+    pub fn violations_so_far(&self) -> usize {
+        self.preview
+    }
+
+    /// An estimate of the checker's resident state, in bytes.
+    pub fn state_bytes(&self) -> usize {
+        let per_tally = mem::size_of::<(MessageId, EndpointId)>() + mem::size_of::<Tally>();
+        let deliveries: usize = self
+            .tallies
+            .values()
+            .map(|tally| tally.seen.capacity() * mem::size_of::<Delivery>())
+            .sum();
+        let waiting: usize = self
+            .waitlist
+            .values()
+            .map(|v| v.capacity() * mem::size_of::<((MessageId, EndpointId), usize)>())
+            .sum();
+        self.resolver.state_bytes()
+            + self.tallies.len() * per_tally
+            + deliveries
+            + waiting
+            + self.consumer_modes.capacity()
+                * (mem::size_of::<ConsumerId>() + mem::size_of::<SessionMode>())
+    }
+
+    /// Finishes the check and returns the violations, sorted by message.
+    ///
+    /// A consumer with no recorded lifecycle event is conservatively
+    /// treated as strict (not dups-ok).
+    pub fn finish(self) -> Vec<Violation> {
+        let modes = self.consumer_modes;
+        self.tallies
+            .into_iter()
+            .filter(|(_, tally)| {
+                tally.counted > 1
+                    && tally.consumers.iter().any(|consumer| {
+                        modes
+                            .get(consumer)
+                            .is_none_or(|mode| !mode.allows_duplicates())
+                    })
+            })
+            .map(
+                |((message, endpoint), tally)| Violation::DuplicateDelivery {
+                    message,
+                    endpoint,
+                    deliveries: tally.counted,
+                },
+            )
+            .collect()
+    }
+}
+
+/// Checks for duplicate deliveries across a whole trace.
+pub fn check(trace: &Trace) -> Vec<Violation> {
+    let mut checker = DuplicatesChecker::new();
+    for event in trace {
+        checker.observe(event);
+    }
+    checker.finish()
+}
+
+/// Incremental bounded-redelivery checker: no delivery may carry a
+/// `delivery_count` above `bound + 1` (the first delivery plus at most
+/// `bound` redeliveries).
+#[derive(Debug)]
+pub struct RedeliveryBoundChecker {
+    resolver: TxResolver,
+    bound: u32,
+    worst: BTreeMap<(MessageId, EndpointId), u32>,
+}
+
+impl RedeliveryBoundChecker {
+    /// Creates a checker for the given redelivery bound.
+    pub fn new(bound: u32) -> Self {
+        Self {
+            resolver: TxResolver::new(),
+            bound,
+            worst: BTreeMap::new(),
+        }
+    }
+
+    /// Feeds one raw trace event to the checker. Over-limit deliveries
+    /// are detected immediately.
+    pub fn observe(&mut self, event: &Event) {
+        match self.resolver.push(event) {
+            Resolved::Buffered => {}
+            Resolved::One(event) => self.ingest(event),
+            Resolved::Replay(events) => {
+                for event in &events {
+                    self.ingest(event);
+                }
+            }
+        }
+    }
+
+    fn ingest(&mut self, event: &Event) {
+        let EventKind::Receive {
+            endpoint, record, ..
+        } = &event.kind
+        else {
+            return;
+        };
+        let count = record.delivery_count;
+        if count == 0 {
+            return; // pre-delivery-count trace: nothing to judge
+        }
+        if count > self.bound + 1 {
+            let entry = self
+                .worst
+                .entry((record.message, endpoint.clone()))
                 .or_insert(0);
             *entry = (*entry).max(count);
         }
     }
-    let mut violations: Vec<Violation> = worst
-        .into_iter()
-        .map(
-            |((endpoint, message), delivery_count)| Violation::RedeliveryLimitExceeded {
-                endpoint,
-                message,
-                delivery_count,
-                bound,
-            },
-        )
-        .collect();
-    violations.sort_by_key(|violation| match violation {
-        Violation::RedeliveryLimitExceeded { message, .. } => *message,
-        _ => unreachable!("only redelivery violations produced here"),
-    });
-    violations
+
+    /// Number of over-limit (end-point, message) pairs so far.
+    pub fn violations_so_far(&self) -> usize {
+        self.worst.len()
+    }
+
+    /// An estimate of the checker's resident state, in bytes.
+    pub fn state_bytes(&self) -> usize {
+        self.resolver.state_bytes()
+            + self.worst.len() * (mem::size_of::<(MessageId, EndpointId)>() + mem::size_of::<u32>())
+    }
+
+    /// Finishes the check: one violation per (end-point, message) with
+    /// the worst observed count, sorted by message.
+    pub fn finish(self) -> Vec<Violation> {
+        let bound = self.bound;
+        self.worst
+            .into_iter()
+            .map(
+                |((message, endpoint), delivery_count)| Violation::RedeliveryLimitExceeded {
+                    endpoint,
+                    message,
+                    delivery_count,
+                    bound,
+                },
+            )
+            .collect()
+    }
+}
+
+/// Checks the bounded-redelivery property over a whole trace.
+pub fn check_redelivery_bound(trace: &Trace, bound: u32) -> Vec<Violation> {
+    let mut checker = RedeliveryBoundChecker::new(bound);
+    for event in trace {
+        checker.observe(event);
+    }
+    checker.finish()
 }
 
 #[cfg(test)]
@@ -127,7 +330,7 @@ mod tests {
     #[test]
     fn single_delivery_passes() {
         let trace = TraceBuilder::new().send(1, 1, 0).receive_q(1, 1, 0).build();
-        assert!(check(&TraceStore::build(&trace)).is_empty());
+        assert!(check(&trace).is_empty());
     }
 
     #[test]
@@ -137,7 +340,7 @@ mod tests {
             .receive_q(1, 1, 0)
             .receive_q(1, 1, 0)
             .build();
-        let violations = check(&TraceStore::build(&trace));
+        let violations = check(&trace);
         assert_eq!(violations.len(), 1);
         assert!(matches!(
             &violations[0],
@@ -154,7 +357,7 @@ mod tests {
             .receive_q(1, 1, 0)
             .receive_rec(default_queue_endpoint(), 50, redelivered, None)
             .build();
-        assert!(check(&TraceStore::build(&trace)).is_empty());
+        assert!(check(&trace).is_empty());
     }
 
     #[test]
@@ -173,7 +376,7 @@ mod tests {
             .at(30)
             .receive_rec(default_queue_endpoint(), 50, redelivered, None)
             .build();
-        let violations = check(&TraceStore::build(&trace));
+        let violations = check(&trace);
         assert_eq!(violations.len(), 1);
         assert!(matches!(
             &violations[0],
@@ -195,7 +398,7 @@ mod tests {
             .at(30)
             .receive_rec(default_queue_endpoint(), 50, redelivered, None)
             .build();
-        assert!(check(&TraceStore::build(&trace)).is_empty());
+        assert!(check(&trace).is_empty());
     }
 
     #[test]
@@ -212,7 +415,7 @@ mod tests {
             .at(30)
             .ack_by(50)
             .build();
-        assert!(check(&TraceStore::build(&trace)).is_empty());
+        assert!(check(&trace).is_empty());
     }
 
     #[test]
@@ -224,7 +427,7 @@ mod tests {
             .receive_q(1, 1, 0)
             .receive_q(1, 1, 0)
             .build();
-        assert!(check(&TraceStore::build(&trace)).is_empty());
+        assert!(check(&trace).is_empty());
     }
 
     #[test]
@@ -237,7 +440,7 @@ mod tests {
             .receive_q_by(50, 1, 1, 0)
             .receive_q_by(51, 1, 1, 0)
             .build();
-        let violations = check(&TraceStore::build(&trace));
+        let violations = check(&trace);
         assert_eq!(violations.len(), 1);
     }
 
@@ -256,7 +459,7 @@ mod tests {
             .receive_rec(sub_a, 60, record.clone(), None)
             .receive_rec(sub_b, 61, record, None)
             .build();
-        assert!(check(&TraceStore::build(&trace)).is_empty());
+        assert!(check(&trace).is_empty());
     }
 
     #[test]
@@ -269,12 +472,29 @@ mod tests {
             .receive_q(2, 1, 1)
             .receive_q(2, 1, 1)
             .build();
-        let violations = check(&TraceStore::build(&trace));
+        let violations = check(&trace);
         assert_eq!(violations.len(), 2);
         assert!(matches!(
             &violations[0],
             Violation::DuplicateDelivery { message, .. } if message.as_u64() == 2
         ));
+    }
+
+    #[test]
+    fn preview_counts_duplicates_as_they_happen() {
+        let trace = TraceBuilder::new()
+            .send(1, 1, 0)
+            .receive_q(1, 1, 0)
+            .receive_q(1, 1, 0)
+            .build();
+        let mut checker = DuplicatesChecker::new();
+        let mut live = 0;
+        for event in &trace {
+            checker.observe(event);
+            live = live.max(checker.violations_so_far());
+        }
+        assert_eq!(live, 1);
+        assert_eq!(checker.finish().len(), 1);
     }
 
     #[test]
@@ -288,7 +508,7 @@ mod tests {
             .receive_rec(default_queue_endpoint(), 50, second, None)
             .build();
         // Bound 1: one redelivery on top of the first delivery is allowed.
-        assert!(check_redelivery_bound(&TraceStore::build(&trace), 1).is_empty());
+        assert!(check_redelivery_bound(&trace, 1).is_empty());
     }
 
     #[test]
@@ -305,7 +525,7 @@ mod tests {
             .receive_rec(default_queue_endpoint(), 50, make(3), None)
             .receive_rec(default_queue_endpoint(), 50, make(4), None)
             .build();
-        let violations = check_redelivery_bound(&TraceStore::build(&trace), 1);
+        let violations = check_redelivery_bound(&trace, 1);
         assert_eq!(violations.len(), 1);
         assert!(matches!(
             &violations[0],

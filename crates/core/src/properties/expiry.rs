@@ -8,17 +8,37 @@
 //! three are implemented and selectable through
 //! [`ExpiryConfig`].
 //!
+//! The model is fitted incrementally by [`FitAccumulator`] and the
+//! accounting is gathered incrementally by [`ExpiryChecker`]. Queue
+//! end-points keep only per-time-to-live aggregates plus the ids of
+//! still-undelivered messages; subscription end-points must retain the
+//! topic send log, because a subscription's activity window (first
+//! consumer creation to last close) is only known at end of stream.
+//!
+//! One deliberate deviation from the retrospective batch semantics: a
+//! queue consumer's selector is applied to sends *from the point the
+//! consumer row is seen* (prospectively), not re-applied to sends counted
+//! before any consumer existed — re-filtering would require retaining
+//! every queue record. Mixed-selector end-points are skipped exactly as
+//! in the batch analysis.
+//!
 //! [`ExpiryConfig`]: crate::config::ExpiryConfig
 
 use crate::config::{ExpiryConfig, ExpiryModel};
 use crate::defs;
+use crate::stream::{Resolved, SelectorState, SelectorTracker, TxResolver};
 use crate::violation::Violation;
-use jmst_api::destination::EndpointId;
+use jmst_api::destination::{Destination, EndpointId};
+use jmst_api::id::MessageId;
 use jmst_api::modes::TimeToLive;
+use jmst_api::selector::Selector;
+use jmst_api::time::Timestamp;
+use jmst_store::event::{Event, EventKind, MessageRecord};
 use jmst_store::stats::{DelayHistogram, SummaryStats};
-use jmst_store::table::TraceStore;
+use jmst_store::trace::Trace;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::mem;
 use std::time::Duration;
 
 /// Per-end-point expiry accounting, returned alongside any violations for
@@ -69,21 +89,12 @@ pub struct FittedModel {
 impl FittedModel {
     /// Fits the configured model to the observed delivery delays of the
     /// trace (all effective receives).
-    pub fn fit(store: &TraceStore, config: &ExpiryConfig, histogram: DelayHistogram) -> Self {
-        let mut stats = SummaryStats::new();
-        let mut histogram = histogram;
-        for receive in store.effective_receives() {
-            let delay_ns = receive.at.signed_since(receive.record.sent_at);
-            let delay_ms = delay_ns as f64 / 1e6;
-            stats.push(delay_ms);
-            histogram.push(Duration::from_nanos(delay_ns.max(0) as u64));
+    pub fn fit(trace: &Trace, config: &ExpiryConfig, histogram: DelayHistogram) -> Self {
+        let mut accumulator = FitAccumulator::new(histogram);
+        for event in trace {
+            accumulator.observe(event);
         }
-        Self {
-            model: config.model,
-            deliver_probability: config.deliver_probability,
-            stats,
-            histogram,
-        }
+        accumulator.finish(config)
     }
 
     /// Whether a message with the given time-to-live is expected to be
@@ -120,6 +131,66 @@ impl FittedModel {
     }
 }
 
+/// Incremental model fitting: accumulates the delivery-delay sample of
+/// every effective receive.
+#[derive(Debug)]
+pub struct FitAccumulator {
+    resolver: TxResolver,
+    stats: SummaryStats,
+    histogram: DelayHistogram,
+}
+
+impl FitAccumulator {
+    /// Creates an accumulator collecting into the given histogram shape.
+    pub fn new(histogram: DelayHistogram) -> Self {
+        Self {
+            resolver: TxResolver::new(),
+            stats: SummaryStats::new(),
+            histogram,
+        }
+    }
+
+    /// Feeds one raw trace event to the accumulator.
+    pub fn observe(&mut self, event: &Event) {
+        match self.resolver.push(event) {
+            Resolved::Buffered => {}
+            Resolved::One(event) => self.ingest(event),
+            Resolved::Replay(events) => {
+                for event in &events {
+                    self.ingest(event);
+                }
+            }
+        }
+    }
+
+    fn ingest(&mut self, event: &Event) {
+        let EventKind::Receive { record, .. } = &event.kind else {
+            return;
+        };
+        let delay_ns = event.at.signed_since(record.sent_at);
+        self.stats.push(delay_ns as f64 / 1e6);
+        self.histogram
+            .push(Duration::from_nanos(delay_ns.max(0) as u64));
+    }
+
+    /// An estimate of the accumulator's resident state, in bytes.
+    pub fn state_bytes(&self) -> usize {
+        self.resolver.state_bytes()
+            + mem::size_of::<SummaryStats>()
+            + mem::size_of::<DelayHistogram>()
+    }
+
+    /// Finishes the fit under the configured expectation model.
+    pub fn finish(self, config: &ExpiryConfig) -> FittedModel {
+        FittedModel {
+            model: config.model,
+            deliver_probability: config.deliver_probability,
+            stats: self.stats,
+            histogram: self.histogram,
+        }
+    }
+}
+
 /// Standard normal CDF via the Abramowitz–Stegun 7.1.26 erf
 /// approximation (|error| < 1.5e-7, ample for an expectation model).
 fn normal_cdf(z: f64) -> f64 {
@@ -138,107 +209,305 @@ fn erf(x: f64) -> f64 {
     sign * y
 }
 
-/// Checks the expiry property, returning violations and the per-end-point
-/// accounting.
+/// Per-queue expiry state: aggregate counts per time-to-live, plus the
+/// ids needed to join sends to deliveries. Bounded by the number of
+/// *undelivered* messages, not by trace length.
+#[derive(Debug, Default)]
+struct QueueExpiry {
+    tracker: SelectorTracker,
+    /// Parsed selector once the tracker is uniform on one text.
+    selector: Option<Selector>,
+    /// time-to-live → (relevant sends, of which delivered).
+    counts: BTreeMap<TimeToLive, (u64, u64)>,
+    /// Relevant sends not yet seen delivered.
+    pending: HashMap<MessageId, TimeToLive>,
+    /// Deliveries seen before (or without) their send.
+    early: HashSet<MessageId>,
+}
+
+/// Per-subscription expiry state. The activity window (first consumer
+/// creation to last close) is only known at end of stream, so the topic
+/// send log is retained by the owning [`ExpiryChecker`] and replayed in
+/// `finish`.
+#[derive(Debug, Default)]
+struct SubExpiry {
+    tracker: SelectorTracker,
+    opened_at: Option<Timestamp>,
+    last_close: Option<Timestamp>,
+    delivered: HashSet<MessageId>,
+}
+
+/// Incremental expired-messages checker.
+#[derive(Debug, Default)]
+pub struct ExpiryChecker {
+    resolver: TxResolver,
+    queues: BTreeMap<EndpointId, QueueExpiry>,
+    subs: BTreeMap<EndpointId, SubExpiry>,
+    /// Effective sends to topic destinations, replayed per subscription
+    /// end-point in `finish`.
+    topic_sends: Vec<MessageRecord>,
+    last_at: Timestamp,
+}
+
+impl ExpiryChecker {
+    /// Creates an empty checker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one raw trace event to the checker.
+    pub fn observe(&mut self, event: &Event) {
+        self.last_at = self.last_at.max(event.at);
+        match self.resolver.push(event) {
+            Resolved::Buffered => {}
+            Resolved::One(event) => self.ingest(event),
+            Resolved::Replay(events) => {
+                for event in &events {
+                    self.ingest(event);
+                }
+            }
+        }
+    }
+
+    fn ingest(&mut self, event: &Event) {
+        match &event.kind {
+            EventKind::ConsumerCreated {
+                endpoint, selector, ..
+            } => match endpoint {
+                EndpointId::Queue(_) => {
+                    let state = self.queues.entry(endpoint.clone()).or_default();
+                    if state.tracker.note(selector.as_deref()) {
+                        state.selector = match state.tracker.state() {
+                            SelectorState::Uniform(Some(text)) => Some(
+                                Selector::parse(&text)
+                                    .expect("selector accepted by the provider must parse"),
+                            ),
+                            _ => None,
+                        };
+                    }
+                }
+                _ => {
+                    let state = self.subs.entry(endpoint.clone()).or_default();
+                    state.tracker.note(selector.as_deref());
+                    state.opened_at = Some(
+                        state
+                            .opened_at
+                            .map_or(event.at, |start| start.min(event.at)),
+                    );
+                }
+            },
+            EventKind::ConsumerClosed { endpoint, .. }
+                if !matches!(endpoint, EndpointId::Queue(_)) =>
+            {
+                let state = self.subs.entry(endpoint.clone()).or_default();
+                state.last_close =
+                    Some(state.last_close.map_or(event.at, |last| last.max(event.at)));
+            }
+            EventKind::Send { record, .. } => match &record.destination {
+                Destination::Queue(name) => {
+                    let endpoint = EndpointId::for_queue(name.clone());
+                    let state = self.queues.entry(endpoint).or_default();
+                    if let Some(selector) = &state.selector {
+                        if !defs::selector_accepts_record(selector, record) {
+                            return;
+                        }
+                    }
+                    let counts = state.counts.entry(record.time_to_live).or_insert((0, 0));
+                    counts.0 += 1;
+                    if state.early.remove(&record.message) {
+                        counts.1 += 1;
+                    } else {
+                        state.pending.insert(record.message, record.time_to_live);
+                    }
+                }
+                Destination::Topic(_) => self.topic_sends.push(record.clone()),
+            },
+            EventKind::Receive {
+                endpoint, record, ..
+            } => {
+                if matches!(endpoint, EndpointId::Queue(_)) {
+                    let state = self.queues.entry(endpoint.clone()).or_default();
+                    if let Some(ttl) = state.pending.remove(&record.message) {
+                        if let Some(counts) = state.counts.get_mut(&ttl) {
+                            counts.1 += 1;
+                        }
+                    } else {
+                        state.early.insert(record.message);
+                    }
+                } else {
+                    let state = self.subs.entry(endpoint.clone()).or_default();
+                    state.delivered.insert(record.message);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// An estimate of the checker's resident state, in bytes.
+    pub fn state_bytes(&self) -> usize {
+        let queue_bytes: usize = self
+            .queues
+            .values()
+            .map(|q| {
+                q.counts.len() * mem::size_of::<(TimeToLive, (u64, u64))>()
+                    + q.pending.capacity() * mem::size_of::<(MessageId, TimeToLive)>()
+                    + q.early.capacity() * mem::size_of::<MessageId>()
+            })
+            .sum();
+        let sub_bytes: usize = self
+            .subs
+            .values()
+            .map(|s| s.delivered.capacity() * mem::size_of::<MessageId>())
+            .sum();
+        self.resolver.state_bytes()
+            + queue_bytes
+            + sub_bytes
+            + self.topic_sends.capacity() * mem::size_of::<MessageRecord>()
+    }
+
+    /// Finishes the check under the fitted model, returning violations
+    /// and the per-end-point accounting, in end-point order.
+    pub fn finish(
+        self,
+        config: &ExpiryConfig,
+        model: &FittedModel,
+    ) -> (Vec<Violation>, Vec<ExpiryBreakdown>) {
+        let trace_end = self.last_at;
+        let mut accounted: BTreeMap<EndpointId, ExpiryBreakdown> = BTreeMap::new();
+
+        for (endpoint, state) in &self.queues {
+            if state.tracker.is_mixed() {
+                continue;
+            }
+            let any_finite_ttl = state.counts.keys().any(|ttl| !ttl.is_forever());
+            if !any_finite_ttl {
+                continue;
+            }
+            let mut breakdown = ExpiryBreakdown {
+                endpoint: endpoint.clone(),
+                expected_expired: 0,
+                expired_delivered: 0,
+                expected_live: 0,
+                live_delivered: 0,
+            };
+            for (ttl, (sent, delivered)) in &state.counts {
+                if model.expect_delivered(*ttl) {
+                    breakdown.expected_live += sent;
+                    breakdown.live_delivered += delivered;
+                } else {
+                    breakdown.expected_expired += sent;
+                    breakdown.expired_delivered += delivered;
+                }
+            }
+            if breakdown.expected_expired == 0 && breakdown.expected_live == 0 {
+                continue;
+            }
+            accounted.insert(endpoint.clone(), breakdown);
+        }
+
+        for (endpoint, state) in &self.subs {
+            if state.tracker.is_mixed() {
+                continue;
+            }
+            let selector = match state.tracker.state() {
+                SelectorState::Uniform(Some(text)) => Some(
+                    Selector::parse(&text).expect("selector accepted by the provider must parse"),
+                ),
+                _ => None,
+            };
+            // Subscriptions only cover messages published during their
+            // lifetime (a queue's messages wait, so queues are unbounded):
+            // counting pre-subscription publishes as "expected" would
+            // charge the provider for correct pub/sub behaviour.
+            let activity_window = state
+                .opened_at
+                .map(|start| (start, state.last_close.unwrap_or(trace_end)));
+            let mut breakdown = ExpiryBreakdown {
+                endpoint: endpoint.clone(),
+                expected_expired: 0,
+                expired_delivered: 0,
+                expected_live: 0,
+                live_delivered: 0,
+            };
+            let mut any_finite_ttl = false;
+            for record in &self.topic_sends {
+                if !defs::possibly_received(endpoint, selector.as_ref(), record) {
+                    continue;
+                }
+                if let Some((start, end)) = activity_window {
+                    if record.sent_at < start || record.sent_at > end {
+                        continue;
+                    }
+                }
+                any_finite_ttl |= !record.time_to_live.is_forever();
+                let delivered = state.delivered.contains(&record.message);
+                if model.expect_delivered(record.time_to_live) {
+                    breakdown.expected_live += 1;
+                    if delivered {
+                        breakdown.live_delivered += 1;
+                    }
+                } else {
+                    breakdown.expected_expired += 1;
+                    if delivered {
+                        breakdown.expired_delivered += 1;
+                    }
+                }
+            }
+            // Property 5 judges expiry behaviour; an end-point that never
+            // saw a finite time-to-live is not an expiry test, and missing
+            // forever-lived messages are Property 2's to report.
+            if !any_finite_ttl {
+                continue;
+            }
+            if breakdown.expected_expired == 0 && breakdown.expected_live == 0 {
+                continue;
+            }
+            accounted.insert(endpoint.clone(), breakdown);
+        }
+
+        let mut violations = Vec::new();
+        let mut breakdowns = Vec::new();
+        for (endpoint, breakdown) in accounted {
+            if breakdown.expired_delivered_percent() > config.max_expired_delivered_percent {
+                violations.push(Violation::ExpiredMessagesDelivered {
+                    endpoint: endpoint.clone(),
+                    expected_expired: breakdown.expected_expired,
+                    delivered: breakdown.expired_delivered,
+                    max_percent: config.max_expired_delivered_percent,
+                });
+            }
+            if breakdown.live_delivered_percent() < config.min_live_delivered_percent {
+                violations.push(Violation::LiveMessagesNotDelivered {
+                    endpoint,
+                    expected_live: breakdown.expected_live,
+                    delivered: breakdown.live_delivered,
+                    min_percent: config.min_live_delivered_percent,
+                });
+            }
+            breakdowns.push(breakdown);
+        }
+        (violations, breakdowns)
+    }
+}
+
+/// Checks the expiry property over a whole trace, returning violations
+/// and the per-end-point accounting.
 pub fn check(
-    store: &TraceStore,
+    trace: &Trace,
     config: &ExpiryConfig,
     model: &FittedModel,
 ) -> (Vec<Violation>, Vec<ExpiryBreakdown>) {
-    let mut violations = Vec::new();
-    let mut breakdowns = Vec::new();
-    let endpoints: Vec<_> = store.endpoints().cloned().collect();
-    for endpoint in endpoints {
-        let selector = match defs::endpoint_selector(store, &endpoint) {
-            Ok(selector) => selector,
-            Err(defs::MixedSelectors) => continue,
-        };
-        let delivered_ids: HashSet<_> = defs::receives_at(store, &endpoint)
-            .iter()
-            .map(|row| row.record.message)
-            .collect();
-        let mut breakdown = ExpiryBreakdown {
-            endpoint: endpoint.clone(),
-            expected_expired: 0,
-            expired_delivered: 0,
-            expected_live: 0,
-            live_delivered: 0,
-        };
-        // Subscriptions only cover messages published during their
-        // lifetime (a queue's messages wait, so queues are unbounded):
-        // counting pre-subscription publishes as "expected" would charge
-        // the provider for correct pub/sub behaviour.
-        let activity_window = match &endpoint {
-            EndpointId::Queue(_) => None,
-            _ => {
-                let start = store
-                    .consumers()
-                    .iter()
-                    .filter(|row| row.endpoint == endpoint)
-                    .map(|row| row.created_at)
-                    .min();
-                start.map(|start| (start, defs::close_bound(store, &endpoint)))
-            }
-        };
-        let mut any_finite_ttl = false;
-        for send in store.effective_sends() {
-            if !defs::possibly_received(&endpoint, selector.as_ref(), &send.record) {
-                continue;
-            }
-            if let Some((start, end)) = activity_window {
-                if send.record.sent_at < start || send.record.sent_at > end {
-                    continue;
-                }
-            }
-            any_finite_ttl |= !send.record.time_to_live.is_forever();
-            let delivered = delivered_ids.contains(&send.record.message);
-            if model.expect_delivered(send.record.time_to_live) {
-                breakdown.expected_live += 1;
-                if delivered {
-                    breakdown.live_delivered += 1;
-                }
-            } else {
-                breakdown.expected_expired += 1;
-                if delivered {
-                    breakdown.expired_delivered += 1;
-                }
-            }
-        }
-        // Property 5 judges expiry behaviour; an end-point that never saw
-        // a finite time-to-live is not an expiry test, and missing
-        // forever-lived messages are Property 2's to report.
-        if !any_finite_ttl {
-            continue;
-        }
-        if breakdown.expected_expired == 0 && breakdown.expected_live == 0 {
-            continue;
-        }
-        if breakdown.expired_delivered_percent() > config.max_expired_delivered_percent {
-            violations.push(Violation::ExpiredMessagesDelivered {
-                endpoint: endpoint.clone(),
-                expected_expired: breakdown.expected_expired,
-                delivered: breakdown.expired_delivered,
-                max_percent: config.max_expired_delivered_percent,
-            });
-        }
-        if breakdown.live_delivered_percent() < config.min_live_delivered_percent {
-            violations.push(Violation::LiveMessagesNotDelivered {
-                endpoint: endpoint.clone(),
-                expected_live: breakdown.expected_live,
-                delivered: breakdown.live_delivered,
-                min_percent: config.min_live_delivered_percent,
-            });
-        }
-        breakdowns.push(breakdown);
+    let mut checker = ExpiryChecker::new();
+    for event in trace {
+        checker.observe(event);
     }
-    (violations, breakdowns)
+    checker.finish(config, model)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::test_support::*;
-    use jmst_store::event::MessageRecord;
 
     fn with_ttl(message: u64, sequence: u64, ttl_ms: u64) -> MessageRecord {
         let mut record = rec(message, 1, sequence);
@@ -249,7 +518,7 @@ mod tests {
     /// The paper's expiry test configuration: TTL 1 ms (expected to
     /// expire) and TTL 0 (expected to live), with a mean delay well above
     /// 1 ms.
-    fn paper_config_trace(deliver_expired: bool, drop_live: bool) -> TraceStore {
+    fn paper_config_trace(deliver_expired: bool, drop_live: bool) -> Trace {
         let mut builder = TraceBuilder::new();
         let mut message = 0u64;
         for i in 0..50u64 {
@@ -276,31 +545,31 @@ mod tests {
                 );
             }
         }
-        TraceStore::build(&builder.build())
+        builder.build()
     }
 
-    fn run(store: &TraceStore, model: ExpiryModel) -> (Vec<Violation>, Vec<ExpiryBreakdown>) {
+    fn run(trace: &Trace, model: ExpiryModel) -> (Vec<Violation>, Vec<ExpiryBreakdown>) {
         let config = ExpiryConfig {
             model,
             ..ExpiryConfig::default()
         };
         let fitted = FittedModel::fit(
-            store,
+            trace,
             &config,
             DelayHistogram::new(Duration::from_millis(1), 1000),
         );
-        check(store, &config, &fitted)
+        check(trace, &config, &fitted)
     }
 
     #[test]
     fn correct_expiry_behaviour_passes_all_models() {
-        let store = paper_config_trace(false, false);
+        let trace = paper_config_trace(false, false);
         for model in [
             ExpiryModel::SimpleMean,
             ExpiryModel::Histogram,
             ExpiryModel::Normal,
         ] {
-            let (violations, breakdowns) = run(&store, model);
+            let (violations, breakdowns) = run(&trace, model);
             assert!(violations.is_empty(), "{model:?}: {violations:?}");
             assert_eq!(breakdowns.len(), 1);
             let b = &breakdowns[0];
@@ -313,8 +582,8 @@ mod tests {
 
     #[test]
     fn delivering_expired_messages_is_flagged() {
-        let store = paper_config_trace(true, false);
-        let (violations, breakdowns) = run(&store, ExpiryModel::SimpleMean);
+        let trace = paper_config_trace(true, false);
+        let (violations, breakdowns) = run(&trace, ExpiryModel::SimpleMean);
         assert!(violations
             .iter()
             .any(|v| matches!(v, Violation::ExpiredMessagesDelivered { .. })));
@@ -324,8 +593,8 @@ mod tests {
 
     #[test]
     fn dropping_live_messages_is_flagged() {
-        let store = paper_config_trace(false, true);
-        let (violations, _) = run(&store, ExpiryModel::SimpleMean);
+        let trace = paper_config_trace(false, true);
+        let (violations, _) = run(&trace, ExpiryModel::SimpleMean);
         assert!(violations
             .iter()
             .any(|v| matches!(v, Violation::LiveMessagesNotDelivered { .. })));
@@ -333,10 +602,10 @@ mod tests {
 
     #[test]
     fn ttl_zero_always_expected_live() {
-        let store = paper_config_trace(false, false);
+        let trace = paper_config_trace(false, false);
         let config = ExpiryConfig::default();
         let fitted = FittedModel::fit(
-            &store,
+            &trace,
             &config,
             DelayHistogram::new(Duration::from_millis(1), 100),
         );
@@ -361,10 +630,10 @@ mod tests {
                 .at(i * 2000 + delay)
                 .receive_rec(default_queue_endpoint(), 50, record, None);
         }
-        let store = TraceStore::build(&builder.build());
+        let trace = builder.build();
         let config = ExpiryConfig::default();
         let simple = FittedModel::fit(
-            &store,
+            &trace,
             &config,
             DelayHistogram::new(Duration::from_millis(1), 2000),
         );
@@ -375,7 +644,7 @@ mod tests {
             ..config
         };
         let fitted = FittedModel::fit(
-            &store,
+            &trace,
             &histogram_config,
             DelayHistogram::new(Duration::from_millis(1), 2000),
         );
@@ -392,7 +661,6 @@ mod tests {
 
     #[test]
     fn subscription_only_covers_its_lifetime() {
-        use jmst_api::destination::{Destination, EndpointId};
         use jmst_api::id::ConsumerId;
         let sub = EndpointId::non_durable("t".into(), ConsumerId::from_raw(60));
         let make = |message: u64, sequence: u64, ttl: u64| {
@@ -417,8 +685,7 @@ mod tests {
             .at(300)
             .send_rec(make(3, 2, 1), None)
             .build();
-        let store = TraceStore::build(&trace);
-        let (violations, breakdowns) = run(&store, ExpiryModel::SimpleMean);
+        let (violations, breakdowns) = run(&trace, ExpiryModel::SimpleMean);
         assert!(violations.is_empty(), "{violations:?}");
         let breakdown = &breakdowns[0];
         // The pre-subscription message is not counted at all.
@@ -429,8 +696,7 @@ mod tests {
 
     #[test]
     fn empty_endpoints_produce_no_breakdown() {
-        let store = TraceStore::build(&TraceBuilder::new().build());
-        let (violations, breakdowns) = run(&store, ExpiryModel::SimpleMean);
+        let (violations, breakdowns) = run(&TraceBuilder::new().build(), ExpiryModel::SimpleMean);
         assert!(violations.is_empty());
         assert!(breakdowns.is_empty());
     }

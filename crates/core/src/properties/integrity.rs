@@ -1,31 +1,114 @@
 //! Property 1 — Delivery Integrity: "for each consumer c and each message
 //! m in c's Received Messages, m is also in the set Published Messages for
 //! some producer p."
+//!
+//! Implemented as the incremental [`IntegrityChecker`]; the batch
+//! [`check`] is a thin driver that feeds a whole trace through the same
+//! core, so streaming and batch analysis share one implementation.
 
+use crate::stream::{Resolved, TxResolver};
 use crate::violation::Violation;
-use jmst_store::table::TraceStore;
+use jmst_api::destination::EndpointId;
+use jmst_api::id::{ConsumerId, MessageId};
+use jmst_store::event::{Event, EventKind};
+use jmst_store::trace::Trace;
+use std::collections::HashSet;
+use std::mem;
 
-/// Checks delivery integrity over the whole trace.
+/// Incremental delivery-integrity checker.
 ///
 /// A receive violates the property when its message id has no matching
 /// *effective* send — either nobody ever sent it (a forged/corrupted
 /// message) or it was sent only inside a transaction that did not commit
-/// (in which case, per Definition 1, it was never sent).
-pub fn check(store: &TraceStore) -> Vec<Violation> {
-    let mut violations = Vec::new();
-    for receive in store.effective_receives() {
-        let effectively_sent = store
-            .send_of(receive.record.message)
-            .is_some_and(|send| store.send_is_effective(send));
-        if !effectively_sent {
-            violations.push(Violation::ReceivedButNeverSent {
-                message: receive.record.message,
-                consumer: receive.consumer,
-                endpoint: receive.endpoint.clone(),
-            });
+/// (in which case, per Definition 1, it was never sent). Receives that
+/// have no matching send *yet* stay pending: a transactional send is only
+/// folded in at commit time, which may come after the delivery was
+/// logged.
+#[derive(Debug, Default)]
+pub struct IntegrityChecker {
+    resolver: TxResolver,
+    sent: HashSet<MessageId>,
+    pending: Vec<(MessageId, ConsumerId, EndpointId)>,
+}
+
+impl IntegrityChecker {
+    /// Creates an empty checker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one raw trace event to the checker.
+    pub fn observe(&mut self, event: &Event) {
+        match self.resolver.push(event) {
+            Resolved::Buffered => {}
+            Resolved::One(event) => self.ingest(event),
+            Resolved::Replay(events) => {
+                for event in &events {
+                    self.ingest(event);
+                }
+            }
         }
     }
-    violations
+
+    fn ingest(&mut self, event: &Event) {
+        match &event.kind {
+            EventKind::Send { record, .. } => {
+                self.sent.insert(record.message);
+            }
+            EventKind::Receive {
+                consumer,
+                endpoint,
+                record,
+                ..
+            } if !self.sent.contains(&record.message) => {
+                self.pending
+                    .push((record.message, *consumer, endpoint.clone()));
+            }
+            _ => {}
+        }
+    }
+
+    /// Number of receives currently lacking any effective send. A later
+    /// send may still excuse them, so this is a preview, not a verdict.
+    pub fn unmatched(&self) -> usize {
+        self.pending
+            .iter()
+            .filter(|(message, _, _)| !self.sent.contains(message))
+            .count()
+    }
+
+    /// An estimate of the checker's resident state, in bytes.
+    pub fn state_bytes(&self) -> usize {
+        self.resolver.state_bytes()
+            + self.sent.capacity() * mem::size_of::<MessageId>()
+            + self.pending.capacity() * mem::size_of::<(MessageId, ConsumerId, EndpointId)>()
+    }
+
+    /// Finishes the check: every receive still lacking an effective send
+    /// is a violation, in the order the receives became effective.
+    pub fn finish(self) -> Vec<Violation> {
+        let sent = self.sent;
+        self.pending
+            .into_iter()
+            .filter(|(message, _, _)| !sent.contains(message))
+            .map(
+                |(message, consumer, endpoint)| Violation::ReceivedButNeverSent {
+                    message,
+                    consumer,
+                    endpoint,
+                },
+            )
+            .collect()
+    }
+}
+
+/// Checks delivery integrity over a whole trace.
+pub fn check(trace: &Trace) -> Vec<Violation> {
+    let mut checker = IntegrityChecker::new();
+    for event in trace {
+        checker.observe(event);
+    }
+    checker.finish()
 }
 
 #[cfg(test)]
@@ -37,13 +120,13 @@ mod tests {
     #[test]
     fn clean_trace_has_no_violations() {
         let trace = TraceBuilder::new().send(1, 1, 0).receive_q(1, 1, 0).build();
-        assert!(check(&TraceStore::build(&trace)).is_empty());
+        assert!(check(&trace).is_empty());
     }
 
     #[test]
     fn phantom_receive_is_flagged() {
         let trace = TraceBuilder::new().receive_q(99, 1, 0).build();
-        let violations = check(&TraceStore::build(&trace));
+        let violations = check(&trace);
         assert_eq!(violations.len(), 1);
         assert!(matches!(
             &violations[0],
@@ -59,7 +142,7 @@ mod tests {
             .send_tx(1, 1, 0, TxId::from_raw(7))
             .receive_q(1, 1, 0)
             .build();
-        let violations = check(&TraceStore::build(&trace));
+        let violations = check(&trace);
         assert_eq!(violations.len(), 1);
     }
 
@@ -70,7 +153,7 @@ mod tests {
             .commit(TxId::from_raw(7))
             .receive_q(1, 1, 0)
             .build();
-        assert!(check(&TraceStore::build(&trace)).is_empty());
+        assert!(check(&trace).is_empty());
     }
 
     #[test]
@@ -81,6 +164,18 @@ mod tests {
             .receive_q_tx(99, 1, 0, TxId::from_raw(8))
             .rollback(TxId::from_raw(8))
             .build();
-        assert!(check(&TraceStore::build(&trace)).is_empty());
+        assert!(check(&trace).is_empty());
+    }
+
+    #[test]
+    fn unmatched_previews_then_resolves() {
+        let mut checker = IntegrityChecker::new();
+        let trace = TraceBuilder::new().receive_q(1, 1, 0).send(1, 1, 0).build();
+        let events: Vec<_> = trace.iter().cloned().collect();
+        checker.observe(&events[0]);
+        assert_eq!(checker.unmatched(), 1);
+        checker.observe(&events[1]);
+        assert_eq!(checker.unmatched(), 0);
+        assert!(checker.finish().is_empty());
     }
 }

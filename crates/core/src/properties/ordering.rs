@@ -3,12 +3,19 @@
 //! send order; additionally, a persistent message must never overtake an
 //! earlier non-persistent message from the same producer (the reverse is
 //! permitted).
+//!
+//! The batch algorithm was already a single left-to-right pass, so the
+//! incremental [`OrderingChecker`] is its direct restatement; the batch
+//! [`check`] drives a whole trace through it.
 
+use crate::stream::{Resolved, TxResolver};
 use crate::violation::Violation;
-use jmst_api::id::{ConsumerId, ProducerId};
+use jmst_api::id::{ConsumerId, MessageId, ProducerId};
 use jmst_api::modes::{DeliveryMode, Priority};
-use jmst_store::table::TraceStore;
-use std::collections::HashMap;
+use jmst_store::event::{Event, EventKind};
+use jmst_store::trace::Trace;
+use std::collections::{HashMap, HashSet};
+use std::mem;
 
 #[derive(Debug, PartialEq, Eq, Hash, Clone)]
 struct OrderKey {
@@ -25,74 +32,131 @@ struct OvertakeKey {
     priority: Priority,
 }
 
-/// Checks message ordering for every consumer in the trace.
+/// Incremental message-ordering checker.
 ///
 /// Redelivered messages are exempt: after a rollback or session recovery
 /// a message legitimately arrives later than messages that overtook it
-/// while it was unacknowledged.
-pub fn check(store: &TraceStore) -> Vec<Violation> {
-    let mut violations = Vec::new();
-    // Highest sequence seen so far per (consumer, producer, priority, mode).
-    let mut last_seen: HashMap<OrderKey, u64> = HashMap::new();
-    // Highest *persistent* sequence seen per (consumer, producer, priority),
-    // for the overtaking rule.
-    let mut last_persistent: HashMap<OvertakeKey, u64> = HashMap::new();
-    // Message ids already delivered to a consumer: a repeat delivery is a
-    // *duplicate*, judged by the duplicate check, not an ordering fault.
-    let mut seen_ids: std::collections::HashSet<(ConsumerId, jmst_api::id::MessageId)> =
-        std::collections::HashSet::new();
-    for receive in store.effective_receives() {
-        if receive.record.redelivered {
-            continue;
+/// while it was unacknowledged. Repeat deliveries of an id to the same
+/// consumer are judged by the duplicate check, not here.
+#[derive(Debug, Default)]
+pub struct OrderingChecker {
+    resolver: TxResolver,
+    /// Highest sequence seen so far per (consumer, producer, priority, mode).
+    last_seen: HashMap<OrderKey, u64>,
+    /// Highest *persistent* sequence seen per (consumer, producer,
+    /// priority), for the overtaking rule (stored as seq+1 so 0 is "none").
+    last_persistent: HashMap<OvertakeKey, u64>,
+    /// Message ids already delivered to a consumer.
+    seen_ids: HashSet<(ConsumerId, MessageId)>,
+    violations: Vec<Violation>,
+}
+
+impl OrderingChecker {
+    /// Creates an empty checker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one raw trace event to the checker. Ordering faults are
+    /// detected immediately, at the offending receive.
+    pub fn observe(&mut self, event: &Event) {
+        match self.resolver.push(event) {
+            Resolved::Buffered => {}
+            Resolved::One(event) => self.ingest(event),
+            Resolved::Replay(events) => {
+                for event in &events {
+                    self.ingest(event);
+                }
+            }
         }
-        if !seen_ids.insert((receive.consumer, receive.record.message)) {
-            continue;
+    }
+
+    fn ingest(&mut self, event: &Event) {
+        let EventKind::Receive {
+            consumer, record, ..
+        } = &event.kind
+        else {
+            return;
+        };
+        if record.redelivered {
+            return;
         }
-        let record = &receive.record;
+        if !self.seen_ids.insert((*consumer, record.message)) {
+            return;
+        }
         let key = OrderKey {
-            consumer: receive.consumer,
+            consumer: *consumer,
             producer: record.producer,
             priority: record.priority,
             mode: record.delivery_mode,
         };
-        match last_seen.get(&key) {
+        match self.last_seen.get(&key) {
             Some(&seen) if seen > record.sequence => {
-                violations.push(Violation::OutOfOrder {
-                    consumer: receive.consumer,
+                self.violations.push(Violation::OutOfOrder {
+                    consumer: *consumer,
                     producer: record.producer,
                     earlier_sequence: record.sequence,
                     later_sequence: seen,
                 });
             }
             _ => {
-                last_seen.insert(key, record.sequence);
+                self.last_seen.insert(key, record.sequence);
             }
         }
         let overtake_key = OvertakeKey {
-            consumer: receive.consumer,
+            consumer: *consumer,
             producer: record.producer,
             priority: record.priority,
         };
         match record.delivery_mode {
             DeliveryMode::Persistent => {
-                let entry = last_persistent.entry(overtake_key).or_insert(0);
-                *entry = (*entry).max(record.sequence + 1); // store seq+1 so 0 is "none"
+                let entry = self.last_persistent.entry(overtake_key).or_insert(0);
+                *entry = (*entry).max(record.sequence + 1);
             }
             DeliveryMode::NonPersistent => {
-                if let Some(&seen_plus_one) = last_persistent.get(&overtake_key) {
+                if let Some(&seen_plus_one) = self.last_persistent.get(&overtake_key) {
                     if seen_plus_one > 0 && seen_plus_one - 1 > record.sequence {
-                        violations.push(Violation::PersistentOvertookNonPersistent {
-                            consumer: receive.consumer,
-                            producer: record.producer,
-                            non_persistent_sequence: record.sequence,
-                            persistent_sequence: seen_plus_one - 1,
-                        });
+                        self.violations
+                            .push(Violation::PersistentOvertookNonPersistent {
+                                consumer: *consumer,
+                                producer: record.producer,
+                                non_persistent_sequence: record.sequence,
+                                persistent_sequence: seen_plus_one - 1,
+                            });
                     }
                 }
             }
         }
     }
-    violations
+
+    /// Number of ordering violations detected so far.
+    pub fn violations_so_far(&self) -> usize {
+        self.violations.len()
+    }
+
+    /// An estimate of the checker's resident state, in bytes.
+    pub fn state_bytes(&self) -> usize {
+        self.resolver.state_bytes()
+            + self.last_seen.capacity() * (mem::size_of::<OrderKey>() + mem::size_of::<u64>())
+            + self.last_persistent.capacity()
+                * (mem::size_of::<OvertakeKey>() + mem::size_of::<u64>())
+            + self.seen_ids.capacity() * mem::size_of::<(ConsumerId, MessageId)>()
+            + self.violations.capacity() * mem::size_of::<Violation>()
+    }
+
+    /// Finishes the check and returns the violations, in receive order.
+    pub fn finish(self) -> Vec<Violation> {
+        self.violations
+    }
+}
+
+/// Checks message ordering for every consumer in a whole trace.
+pub fn check(trace: &Trace) -> Vec<Violation> {
+    let mut checker = OrderingChecker::new();
+    for event in trace {
+        checker.observe(event);
+    }
+    checker.finish()
 }
 
 #[cfg(test)]
@@ -121,7 +185,7 @@ mod tests {
             .receive_q(1, 1, 0)
             .receive_q(2, 1, 1)
             .build();
-        assert!(check(&TraceStore::build(&trace)).is_empty());
+        assert!(check(&trace).is_empty());
     }
 
     #[test]
@@ -132,7 +196,7 @@ mod tests {
             .receive_q(2, 1, 1)
             .receive_q(1, 1, 0)
             .build();
-        let violations = check(&TraceStore::build(&trace));
+        let violations = check(&trace);
         assert_eq!(violations.len(), 1);
         assert!(matches!(
             &violations[0],
@@ -154,7 +218,7 @@ mod tests {
             .receive_rec(default_queue_endpoint(), 50, with_priority(2, 1, 8), None)
             .receive_rec(default_queue_endpoint(), 50, with_priority(1, 0, 2), None)
             .build();
-        assert!(check(&TraceStore::build(&trace)).is_empty());
+        assert!(check(&trace).is_empty());
     }
 
     #[test]
@@ -168,7 +232,7 @@ mod tests {
             .receive_q_by(51, 2, 1, 1)
             .receive_q_by(52, 1, 1, 0)
             .build();
-        assert!(check(&TraceStore::build(&trace)).is_empty());
+        assert!(check(&trace).is_empty());
     }
 
     #[test]
@@ -189,7 +253,7 @@ mod tests {
                 None,
             )
             .build();
-        assert!(check(&TraceStore::build(&trace)).is_empty());
+        assert!(check(&trace).is_empty());
     }
 
     #[test]
@@ -210,7 +274,7 @@ mod tests {
                 None,
             )
             .build();
-        let violations = check(&TraceStore::build(&trace));
+        let violations = check(&trace);
         assert_eq!(violations.len(), 1);
         assert!(matches!(
             &violations[0],
@@ -232,7 +296,7 @@ mod tests {
             .receive_q(2, 1, 1)
             .receive_rec(default_queue_endpoint(), 50, redelivered, None)
             .build();
-        assert!(check(&TraceStore::build(&trace)).is_empty());
+        assert!(check(&trace).is_empty());
     }
 
     #[test]
@@ -255,7 +319,7 @@ mod tests {
                 None,
             )
             .build();
-        assert!(check(&TraceStore::build(&trace)).is_empty());
+        assert!(check(&trace).is_empty());
     }
 
     #[test]
@@ -268,7 +332,24 @@ mod tests {
             .receive_q(1, 1, 0)
             .receive_q(2, 1, 1)
             .build();
-        let violations = check(&TraceStore::build(&trace));
+        let violations = check(&trace);
         assert_eq!(violations.len(), 2);
+    }
+
+    #[test]
+    fn violations_surface_during_observation() {
+        let trace = TraceBuilder::new()
+            .send(1, 1, 0)
+            .send(2, 1, 1)
+            .receive_q(2, 1, 1)
+            .receive_q(1, 1, 0)
+            .build();
+        let mut checker = OrderingChecker::new();
+        let mut seen_live = 0;
+        for event in &trace {
+            checker.observe(event);
+            seen_live = seen_live.max(checker.violations_so_far());
+        }
+        assert_eq!(seen_live, 1);
     }
 }

@@ -1,14 +1,100 @@
 //! Property 2 — Required Messages: the first→next→last closure per
 //! (producer, end-point) must be a subset of the messages received at the
 //! end-point.
+//!
+//! The incremental [`RequiredChecker`] exploits that for queues the
+//! Definition 6 *first* bound is vacuous (the first message is the
+//! producer's minimum relevant sequence, which bounds every other
+//! relevant sequence from below), so queue state reduces to the set of
+//! still-undelivered forever-lived sends plus scalar folds of the timely
+//! (received before the last close, Definition 5) receive sequences.
+//! Subscriptions retain the topic send log: their first/last window can
+//! only be evaluated once the stream ends.
 
 use crate::defs;
+use crate::stream::{Resolved, SelectorState, SelectorTracker, TxResolver};
 use crate::violation::Violation;
-use jmst_api::id::MessageId;
-use jmst_store::table::TraceStore;
-use std::collections::HashSet;
+use jmst_api::destination::{Destination, EndpointId};
+use jmst_api::id::{MessageId, ProducerId};
+use jmst_api::selector::Selector;
+use jmst_api::time::Timestamp;
+use jmst_store::event::{Event, EventKind, MessageRecord};
+use jmst_store::trace::Trace;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::mem;
 
-/// Checks the required-message property for every end-point in the trace.
+/// Scalar fold of Definition 5's "received before the last close"
+/// qualifier: the maximum receive sequence at or before the latest close
+/// seen so far (`timely_max`), and the maximum after it (`since_max`),
+/// folded together whenever a later close arrives.
+#[derive(Debug, Default, Clone, Copy)]
+struct TimelyFold {
+    timely_max: Option<u64>,
+    since_max: Option<u64>,
+}
+
+impl TimelyFold {
+    fn note(&mut self, sequence: u64, at: Timestamp, last_close: Option<Timestamp>) {
+        let slot = match last_close {
+            // Canonical order puts every receive streamed before a close
+            // at or before the close's timestamp; only replayed
+            // transactional receives can arrive late with an old `at`.
+            Some(close) if at <= close => &mut self.timely_max,
+            _ => &mut self.since_max,
+        };
+        *slot = Some(slot.map_or(sequence, |max| max.max(sequence)));
+    }
+
+    /// A later close makes everything seen so far timely.
+    fn fold(&mut self) {
+        self.timely_max = self.timely_max.max(self.since_max.take());
+    }
+
+    /// The Definition 5 maximum under the final close bound: if the
+    /// end-point never closed the bound is the end of the trace, so every
+    /// receive was timely.
+    fn resolve(&self, ever_closed: bool) -> Option<u64> {
+        if ever_closed {
+            self.timely_max
+        } else {
+            self.timely_max.max(self.since_max)
+        }
+    }
+}
+
+/// Per-queue state: bounded by the number of *undelivered* messages.
+#[derive(Debug, Default)]
+struct QueueRequired {
+    tracker: SelectorTracker,
+    /// Parsed selector once the tracker is uniform on one text. Applied
+    /// prospectively to sends; on the transition into a selector the
+    /// already-pending sends are re-filtered exactly (their records are
+    /// retained).
+    selector: Option<Selector>,
+    /// (producer, sequence) → record of an unreceived, forever-lived
+    /// relevant send.
+    pending: BTreeMap<(ProducerId, u64), MessageRecord>,
+    /// Receives seen before (or without) their send.
+    early: HashSet<(ProducerId, u64)>,
+    /// Minimum relevant sequence per producer (Definition 6 *first*).
+    first_sent: HashMap<ProducerId, u64>,
+    timely: HashMap<ProducerId, TimelyFold>,
+    last_close: Option<Timestamp>,
+}
+
+/// Per-subscription state; the topic send log lives on the checker.
+#[derive(Debug, Default)]
+struct SubRequired {
+    tracker: SelectorTracker,
+    received: HashSet<MessageId>,
+    /// Minimum received sequence per producer (Definition 6 *first* for
+    /// subscriptions: the first message of the producer a subscriber saw).
+    first_received: HashMap<ProducerId, u64>,
+    timely: HashMap<ProducerId, TimelyFold>,
+    last_close: Option<Timestamp>,
+}
+
+/// Incremental required-messages checker.
 ///
 /// Conventions on top of the paper's definitions (documented in
 /// DESIGN.md):
@@ -21,67 +107,288 @@ use std::collections::HashSet;
 /// * messages the broker parked on a dead-letter queue are accounted
 ///   for, not lost — their non-delivery is judged by the
 ///   bounded-redelivery check instead.
-pub fn check(store: &TraceStore) -> Vec<Violation> {
-    let mut violations = Vec::new();
-    let sends_by_producer = defs::sends_by_producer(store);
-    let endpoints: Vec<_> = store.endpoints().cloned().collect();
-    for endpoint in endpoints {
-        let selector = match defs::endpoint_selector(store, &endpoint) {
-            Ok(selector) => selector,
-            Err(defs::MixedSelectors) => continue,
-        };
-        let endpoint_receives = defs::receives_at(store, &endpoint);
-        let received_ids: HashSet<MessageId> = endpoint_receives
-            .iter()
-            .map(|row| row.record.message)
-            .collect();
-        let close_bound = defs::close_bound(store, &endpoint);
-        for (&producer, all_sends) in &sends_by_producer {
-            // Sends that could reach this end-point at all (Definition 7).
-            let relevant: Vec<_> = all_sends
-                .iter()
-                .copied()
-                .filter(|row| defs::possibly_received(&endpoint, selector.as_ref(), &row.record))
-                .collect();
-            let Some(window) = defs::first_last(
-                &endpoint,
-                &relevant,
-                &endpoint_receives,
-                producer,
-                close_bound,
-            ) else {
-                continue;
-            };
-            for send in &relevant {
-                let sequence = send.record.sequence;
-                if sequence < window.first_sequence || sequence > window.last_sequence {
-                    continue;
-                }
-                if !send.record.time_to_live.is_forever() {
-                    continue; // judged by Property 5
-                }
-                if store.is_dead_lettered(send.record.message) {
-                    continue; // parked on a DLQ: accounted for, not lost
-                }
-                if !received_ids.contains(&send.record.message) {
-                    violations.push(Violation::RequiredMessageMissing {
-                        endpoint: endpoint.clone(),
-                        producer,
-                        message: send.record.message,
-                        sequence,
-                    });
+#[derive(Debug, Default)]
+pub struct RequiredChecker {
+    resolver: TxResolver,
+    queues: BTreeMap<EndpointId, QueueRequired>,
+    subs: BTreeMap<EndpointId, SubRequired>,
+    /// Effective sends to topic destinations, replayed per subscription
+    /// end-point in `finish`.
+    topic_sends: Vec<MessageRecord>,
+    dead_lettered: HashSet<MessageId>,
+}
+
+impl RequiredChecker {
+    /// Creates an empty checker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one raw trace event to the checker.
+    pub fn observe(&mut self, event: &Event) {
+        match self.resolver.push(event) {
+            Resolved::Buffered => {}
+            Resolved::One(event) => self.ingest(event),
+            Resolved::Replay(events) => {
+                for event in &events {
+                    self.ingest(event);
                 }
             }
         }
     }
-    violations
+
+    fn ingest(&mut self, event: &Event) {
+        match &event.kind {
+            EventKind::ConsumerCreated {
+                endpoint, selector, ..
+            } => match endpoint {
+                EndpointId::Queue(_) => {
+                    let state = self.queues.entry(endpoint.clone()).or_default();
+                    if state.tracker.note(selector.as_deref()) {
+                        match state.tracker.state() {
+                            SelectorState::Uniform(Some(text)) => {
+                                let parsed = Selector::parse(&text)
+                                    .expect("selector accepted by the provider must parse");
+                                state.pending.retain(|_, record| {
+                                    defs::selector_accepts_record(&parsed, record)
+                                });
+                                state.selector = Some(parsed);
+                            }
+                            SelectorState::Mixed => {
+                                // The end-point is skipped from here on;
+                                // free its per-message state.
+                                state.selector = None;
+                                state.pending.clear();
+                                state.early.clear();
+                                state.first_sent.clear();
+                                state.timely.clear();
+                            }
+                            _ => state.selector = None,
+                        }
+                    }
+                }
+                _ => {
+                    let state = self.subs.entry(endpoint.clone()).or_default();
+                    state.tracker.note(selector.as_deref());
+                }
+            },
+            EventKind::ConsumerClosed { endpoint, .. } => match endpoint {
+                EndpointId::Queue(_) => {
+                    let state = self.queues.entry(endpoint.clone()).or_default();
+                    state.last_close =
+                        Some(state.last_close.map_or(event.at, |last| last.max(event.at)));
+                    for fold in state.timely.values_mut() {
+                        fold.fold();
+                    }
+                }
+                _ => {
+                    let state = self.subs.entry(endpoint.clone()).or_default();
+                    state.last_close =
+                        Some(state.last_close.map_or(event.at, |last| last.max(event.at)));
+                    for fold in state.timely.values_mut() {
+                        fold.fold();
+                    }
+                }
+            },
+            EventKind::Send { record, .. } => match &record.destination {
+                Destination::Queue(name) => {
+                    let endpoint = EndpointId::for_queue(name.clone());
+                    let state = self.queues.entry(endpoint).or_default();
+                    if state.tracker.is_mixed() {
+                        return;
+                    }
+                    if let Some(selector) = &state.selector {
+                        if !defs::selector_accepts_record(selector, record) {
+                            return;
+                        }
+                    }
+                    let first = state.first_sent.entry(record.producer).or_insert(u64::MAX);
+                    *first = (*first).min(record.sequence);
+                    if !record.time_to_live.is_forever() {
+                        return; // judged by Property 5
+                    }
+                    let key = (record.producer, record.sequence);
+                    if !state.early.remove(&key) {
+                        state.pending.insert(key, record.clone());
+                    }
+                }
+                Destination::Topic(_) => self.topic_sends.push(record.clone()),
+            },
+            EventKind::Receive {
+                endpoint, record, ..
+            } => {
+                if matches!(endpoint, EndpointId::Queue(_)) {
+                    let state = self.queues.entry(endpoint.clone()).or_default();
+                    let key = (record.producer, record.sequence);
+                    if state.pending.remove(&key).is_none() {
+                        state.early.insert(key);
+                    }
+                    state.timely.entry(record.producer).or_default().note(
+                        record.sequence,
+                        event.at,
+                        state.last_close,
+                    );
+                } else {
+                    let state = self.subs.entry(endpoint.clone()).or_default();
+                    state.received.insert(record.message);
+                    let first = state
+                        .first_received
+                        .entry(record.producer)
+                        .or_insert(u64::MAX);
+                    *first = (*first).min(record.sequence);
+                    state.timely.entry(record.producer).or_default().note(
+                        record.sequence,
+                        event.at,
+                        state.last_close,
+                    );
+                }
+            }
+            EventKind::DeadLettered { record, .. } => {
+                self.dead_lettered.insert(record.message);
+            }
+            _ => {}
+        }
+    }
+
+    /// An estimate of the checker's resident state, in bytes.
+    pub fn state_bytes(&self) -> usize {
+        let queue_bytes: usize = self
+            .queues
+            .values()
+            .map(|q| {
+                q.pending.len() * mem::size_of::<((ProducerId, u64), MessageRecord)>()
+                    + q.early.capacity() * mem::size_of::<(ProducerId, u64)>()
+                    + (q.first_sent.capacity() + q.timely.capacity())
+                        * mem::size_of::<(ProducerId, TimelyFold)>()
+            })
+            .sum();
+        let sub_bytes: usize = self
+            .subs
+            .values()
+            .map(|s| {
+                s.received.capacity() * mem::size_of::<MessageId>()
+                    + (s.first_received.capacity() + s.timely.capacity())
+                        * mem::size_of::<(ProducerId, TimelyFold)>()
+            })
+            .sum();
+        self.resolver.state_bytes()
+            + queue_bytes
+            + sub_bytes
+            + self.topic_sends.capacity() * mem::size_of::<MessageRecord>()
+            + self.dead_lettered.capacity() * mem::size_of::<MessageId>()
+    }
+
+    /// Finishes the check, returning violations in (end-point, producer,
+    /// sequence) order.
+    pub fn finish(self) -> Vec<Violation> {
+        let mut violations = Vec::new();
+
+        // EndpointId's derived order puts queues before subscriptions, so
+        // emitting queues first keeps the end-point order sorted overall.
+        for (endpoint, state) in &self.queues {
+            if state.tracker.is_mixed() {
+                continue;
+            }
+            let ever_closed = state.last_close.is_some();
+            for ((producer, sequence), record) in &state.pending {
+                let Some(&first) = state.first_sent.get(producer) else {
+                    continue;
+                };
+                let timely = state
+                    .timely
+                    .get(producer)
+                    .and_then(|fold| fold.resolve(ever_closed));
+                // Definition 5 with the queue convention: no timely
+                // receive means the requirement never terminates.
+                let last = timely.map_or(u64::MAX, |max| max.max(first));
+                if *sequence < first || *sequence > last {
+                    continue;
+                }
+                if self.dead_lettered.contains(&record.message) {
+                    continue; // parked on a DLQ: accounted for, not lost
+                }
+                violations.push(Violation::RequiredMessageMissing {
+                    endpoint: endpoint.clone(),
+                    producer: *producer,
+                    message: record.message,
+                    sequence: *sequence,
+                });
+            }
+        }
+
+        let mut by_producer: BTreeMap<ProducerId, Vec<&MessageRecord>> = BTreeMap::new();
+        for record in &self.topic_sends {
+            by_producer.entry(record.producer).or_default().push(record);
+        }
+        for sends in by_producer.values_mut() {
+            sends.sort_by_key(|record| record.sequence);
+        }
+        for (endpoint, state) in &self.subs {
+            if state.tracker.is_mixed() {
+                continue;
+            }
+            let selector = match state.tracker.state() {
+                SelectorState::Uniform(Some(text)) => Some(
+                    Selector::parse(&text).expect("selector accepted by the provider must parse"),
+                ),
+                _ => None,
+            };
+            let ever_closed = state.last_close.is_some();
+            for (producer, sends) in &by_producer {
+                let Some(&first) = state.first_received.get(producer) else {
+                    // Subscription latency excuses a producer a subscriber
+                    // never heard from.
+                    continue;
+                };
+                let timely = state
+                    .timely
+                    .get(producer)
+                    .and_then(|fold| fold.resolve(ever_closed));
+                // A subscription whose only receives came after the close
+                // requires nothing past the first message.
+                let last = timely.map_or(first, |max| max.max(first));
+                for record in sends {
+                    if !defs::possibly_received(endpoint, selector.as_ref(), record) {
+                        continue;
+                    }
+                    let sequence = record.sequence;
+                    if sequence < first || sequence > last {
+                        continue;
+                    }
+                    if !record.time_to_live.is_forever() {
+                        continue; // judged by Property 5
+                    }
+                    if self.dead_lettered.contains(&record.message) {
+                        continue;
+                    }
+                    if !state.received.contains(&record.message) {
+                        violations.push(Violation::RequiredMessageMissing {
+                            endpoint: endpoint.clone(),
+                            producer: *producer,
+                            message: record.message,
+                            sequence,
+                        });
+                    }
+                }
+            }
+        }
+        violations
+    }
+}
+
+/// Checks the required-message property for every end-point in the trace.
+pub fn check(trace: &Trace) -> Vec<Violation> {
+    let mut checker = RequiredChecker::new();
+    for event in trace {
+        checker.observe(event);
+    }
+    checker.finish()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::test_support::*;
-    use jmst_api::destination::{Destination, EndpointId};
     use jmst_api::id::{ConsumerId, TxId};
     use jmst_api::modes::TimeToLive;
 
@@ -93,7 +400,7 @@ mod tests {
             .receive_q(1, 1, 0)
             .receive_q(2, 1, 1)
             .build();
-        assert!(check(&TraceStore::build(&trace)).is_empty());
+        assert!(check(&trace).is_empty());
     }
 
     #[test]
@@ -105,7 +412,7 @@ mod tests {
             .receive_q(1, 1, 0)
             .receive_q(3, 1, 2)
             .build();
-        let violations = check(&TraceStore::build(&trace));
+        let violations = check(&trace);
         assert_eq!(violations.len(), 1);
         assert!(matches!(
             &violations[0],
@@ -119,7 +426,7 @@ mod tests {
         // Nothing was ever received from this producer on the queue: per
         // the paper's recursion, every send is required.
         let trace = TraceBuilder::new().send(1, 1, 0).send(2, 1, 1).build();
-        let violations = check(&TraceStore::build(&trace));
+        let violations = check(&trace);
         assert_eq!(violations.len(), 2);
     }
 
@@ -136,7 +443,7 @@ mod tests {
             .send(2, 1, 1) // sent but never received
             .consumer_closed(50, endpoint)
             .build();
-        assert!(check(&TraceStore::build(&trace)).is_empty());
+        assert!(check(&trace).is_empty());
     }
 
     #[test]
@@ -157,7 +464,7 @@ mod tests {
             .receive_rec(sub.clone(), 60, second, None)
             .receive_rec(sub, 60, third, None)
             .build();
-        assert!(check(&TraceStore::build(&trace)).is_empty());
+        assert!(check(&trace).is_empty());
     }
 
     #[test]
@@ -175,7 +482,7 @@ mod tests {
             .receive_rec(sub.clone(), 60, make(1, 0), None)
             .receive_rec(sub, 60, make(3, 2), None)
             .build();
-        let violations = check(&TraceStore::build(&trace));
+        let violations = check(&trace);
         assert_eq!(violations.len(), 1);
         assert!(matches!(
             &violations[0],
@@ -192,7 +499,7 @@ mod tests {
             .receive_q(1, 1, 0)
             .receive_q(3, 1, 2)
             .build();
-        assert!(check(&TraceStore::build(&trace)).is_empty());
+        assert!(check(&trace).is_empty());
     }
 
     #[test]
@@ -206,7 +513,7 @@ mod tests {
             .receive_q(1, 1, 0)
             .receive_q(3, 1, 2)
             .build();
-        assert!(check(&TraceStore::build(&trace)).is_empty());
+        assert!(check(&trace).is_empty());
     }
 
     #[test]
@@ -226,7 +533,7 @@ mod tests {
             .receive_rec(sub.clone(), 60, make(1, 0, 9), None)
             .receive_rec(sub, 60, make(3, 2, 9), None)
             .build();
-        assert!(check(&TraceStore::build(&trace)).is_empty());
+        assert!(check(&trace).is_empty());
     }
 
     #[test]
@@ -239,7 +546,7 @@ mod tests {
             .build();
         // Normally the unreceived queue send would violate; the mixed
         // selectors make the required set undefined, so no violation.
-        assert!(check(&TraceStore::build(&trace)).is_empty());
+        assert!(check(&trace).is_empty());
     }
 
     #[test]
@@ -258,7 +565,7 @@ mod tests {
             .dead_lettered(parked, "DLQ.q")
             .receive_q(3, 1, 2)
             .build();
-        assert!(check(&TraceStore::build(&trace)).is_empty());
+        assert!(check(&trace).is_empty());
     }
 
     #[test]
@@ -275,11 +582,30 @@ mod tests {
             .receive_q(1, 1, 0)
             .receive_q(3, 1, 2)
             .build();
-        let violations = check(&TraceStore::build(&trace));
+        let violations = check(&trace);
         assert_eq!(violations.len(), 1);
         assert!(matches!(
             &violations[0],
             Violation::RequiredMessageMissing { sequence: 1, .. }
         ));
+    }
+
+    #[test]
+    fn selector_arriving_after_sends_refilters_pending() {
+        // A selective consumer appears only after the sends: the pending
+        // set is re-filtered so rejected messages stop being required.
+        let endpoint = default_queue_endpoint();
+        let make = |message: u64, sequence: u64, priority: u8| {
+            let mut record = rec(message, 1, sequence);
+            record.priority = jmst_api::modes::Priority::new(priority).unwrap();
+            record
+        };
+        let trace = TraceBuilder::new()
+            .send_rec(make(1, 0, 9), None)
+            .send_rec(make(2, 1, 0), None) // rejected by the late selector
+            .consumer_created(50, endpoint.clone(), Some("JMSPriority >= 5"))
+            .receive_rec(endpoint, 50, make(1, 0, 9), None)
+            .build();
+        assert!(check(&trace).is_empty());
     }
 }

@@ -65,6 +65,11 @@
 //! driver retries entirely (the first unabsorbed provider failure makes
 //! the run inconclusive), which is useful to prove a scenario *needs*
 //! the resilient drivers.
+//!
+//! `fail_fast = on` makes the daemon prince cancel the run at the first
+//! violation the streaming analyzer can decide mid-stream (ordering,
+//! duplicate-delivery, redelivery-bound breaches) and report the partial
+//! verdict, instead of letting a known-broken run finish.
 
 use crate::spec::{ConsumerSpec, CrashPlan, FaultPlan, NodeSpec, ProducerSpec, TestSpec};
 use jmst_api::body::BodyKind;
@@ -355,6 +360,13 @@ pub fn parse_spec(text: &str) -> Result<TestSpec, ConfigError> {
                     "on" | "true" | "yes" => crate::retry::RetryPolicy::default(),
                     "off" | "false" | "no" => crate::retry::RetryPolicy::disabled(),
                     other => return Err(err(format!("retry must be on/off, got {other:?}"))),
+                };
+            }
+            (Section::Test, "fail_fast") => {
+                spec.fail_fast = match value {
+                    "on" | "true" | "yes" => true,
+                    "off" | "false" | "no" => false,
+                    other => return Err(err(format!("fail_fast must be on/off, got {other:?}"))),
                 };
             }
             (Section::Node(_), "share") => {
@@ -702,6 +714,18 @@ down = 80ms
         assert_eq!(plan.max_redeliveries, Some(3));
         // The plan lowers into a validated broker fault spec.
         assert!(plan.to_fault_spec().is_ok());
+    }
+
+    #[test]
+    fn fail_fast_key_parses() {
+        let text = "[test]\nname = f\nfail_fast = on\n[node n]\n\
+                    [producer]\ndestination = queue:q\nrate = steady 10\n\
+                    [consumer]\ndestination = queue:q\n";
+        let spec = parse_spec(text).unwrap();
+        assert!(spec.fail_fast);
+        let spec = parse_spec(&text.replace("fail_fast = on", "fail_fast = off")).unwrap();
+        assert!(!spec.fail_fast);
+        assert!(parse_spec("[test]\nfail_fast = maybe\n").is_err());
     }
 
     #[test]

@@ -8,8 +8,18 @@ use crate::spec::TestSpec;
 use jmst_api::provider::Provider;
 use jmst_core::{AnalysisReport, Analyzer};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// How far out of canonical `(at, seq)` order the live stream may run
+/// before the analysis sees events out of order (clock skew plus thread
+/// scheduling displace logging by far less than this in practice).
+const STREAM_REORDER_DEPTH: usize = 8192;
+
+/// Bound on the live channel: recording applies backpressure when the
+/// analysis thread falls this many events behind.
+const STREAM_CAPACITY: usize = 16_384;
 
 /// What became of one scheduled test.
 #[derive(Debug)]
@@ -208,13 +218,22 @@ impl DaemonPrince {
         }
     }
 
-    /// Runs one test end-to-end: lint, fresh provider, execute, analyse.
+    /// Runs one test end-to-end: lint, fresh provider, execute with live
+    /// streaming analysis, report.
     ///
     /// The static lint pass ([`lint_spec`](crate::lint::lint_spec)) runs
     /// first: hard errors (ill-typed selectors, provably dead
     /// subscriptions) fail the test as [`TestOutcome::Invalid`] before a
     /// provider is even created; warnings are logged to stderr and the
     /// test proceeds.
+    ///
+    /// The analysis does not wait for the trace: a
+    /// [`StreamingAnalyzer`](jmst_core::StreamingAnalyzer) consumes the
+    /// run's events live on a watcher thread, violations decidable
+    /// mid-stream are surfaced on stderr as they happen, and — when the
+    /// spec set [`fail_fast`](TestSpec::fail_fast) — the first of them
+    /// cancels the run, salvaging the partial verdict instead of letting
+    /// a known-broken run finish.
     pub fn run_test(&self, factory: &ProviderFactory<'_>, spec: &TestSpec) -> TestResult {
         let started = Instant::now();
         let lint = crate::lint::lint_spec(spec);
@@ -230,10 +249,49 @@ impl DaemonPrince {
             };
         }
         let (provider, admin) = factory(spec);
-        let outcome = match self.runner.run(provider, admin, spec) {
+        let (sink, stream) = jmst_store::sink::channel(STREAM_REORDER_DEPTH, STREAM_CAPACITY);
+        let cancel = Arc::new(AtomicBool::new(false));
+        let watcher = {
+            let mut analyzer = self.analyzer.streaming();
+            let cancel = Arc::clone(&cancel);
+            let fail_fast = spec.fail_fast;
+            let name = spec.name.clone();
+            std::thread::spawn(move || {
+                let mut surfaced = 0;
+                for event in stream {
+                    analyzer.observe(&event);
+                    let live = analyzer.violations_so_far();
+                    if live > surfaced {
+                        surfaced = live;
+                        eprintln!("[jmst-prince] {name}: {live} violation(s) live");
+                        if fail_fast {
+                            cancel.store(true, Ordering::SeqCst);
+                        }
+                    }
+                }
+                analyzer.finish()
+            })
+        };
+        let run = self.runner.run_observed(
+            provider,
+            admin,
+            spec,
+            Some(Box::new(sink)),
+            Some(Arc::clone(&cancel)),
+        );
+        // The runner closed its sinks on the way out, so the stream has
+        // terminated and the watcher's report is (or will shortly be)
+        // complete.
+        let streamed = watcher.join();
+        let outcome = match run {
             Ok(trace) => {
                 self.persist(&spec.name, &trace);
-                let report = self.analyzer.analyze(&trace);
+                let report = match streamed {
+                    Ok(report) => report,
+                    // A poisoned watcher must not lose the verdict: fall
+                    // back to replaying the recorded trace.
+                    Err(_) => self.analyzer.analyze(&trace),
+                };
                 if report.passed() {
                     TestOutcome::Passed(report)
                 } else {
@@ -436,6 +494,48 @@ mod tests {
                 assert!(reason.contains("dead subscription"), "{reason}");
             }
             other => panic!("expected Invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fail_fast_cancels_a_violating_run_early() {
+        let prince = DaemonPrince::new();
+        let factory = |_: &TestSpec| -> (Arc<dyn jmst_api::provider::Provider>, _) {
+            // Heavy reordering: out-of-order deliveries are decidable the
+            // moment they are seen, so the watcher trips almost at once.
+            let config = BrokerConfig::correct().with_faults(
+                FaultSpec::none()
+                    .reordering(0.4, Duration::from_millis(5))
+                    .seeded(3),
+            );
+            (Arc::new(ReferenceBroker::with_config(config)), None)
+        };
+        // A run period far longer than the test should ever take: only
+        // the fail-fast cancellation can finish this quickly.
+        let run_period = Duration::from_secs(30);
+        let spec = TestSpec::new("fail-fast")
+            .with_periods(
+                Duration::from_millis(20),
+                run_period,
+                Duration::from_secs(2),
+            )
+            .with_fail_fast(true)
+            .node(
+                NodeSpec::new("n0")
+                    .producer(ProducerSpec::steady(Destination::queue("q"), 400.0, 64))
+                    .consumer(ConsumerSpec::auto(Destination::queue("q"))),
+            );
+        let result = prince.run_test(&factory, &spec);
+        assert!(
+            result.wall_time < run_period / 2,
+            "fail_fast should cancel long before the {run_period:?} run elapses, took {:?}",
+            result.wall_time
+        );
+        match &result.outcome {
+            TestOutcome::Violated(report) => {
+                assert!(report.count_of(jmst_core::PropertyKind::MessageOrdering) > 0);
+            }
+            other => panic!("expected Violated, got {other:?}"),
         }
     }
 

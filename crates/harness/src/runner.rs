@@ -10,10 +10,34 @@ use jmst_api::id::{ClientId, NodeId};
 use jmst_api::provider::Provider;
 use jmst_api::time::{Clock, SkewedClock, SystemClock};
 use jmst_store::event::{EventKind, Phase};
+use jmst_store::sink::EventSink;
 use jmst_store::trace::{Recorder, Trace};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Closes the recorder's sinks when dropped, so every exit path of the
+/// runner — including errors and panics — hangs up attached live streams.
+struct SinkGuard(Recorder);
+
+impl Drop for SinkGuard {
+    fn drop(&mut self) {
+        self.0.close_sinks();
+    }
+}
+
+/// Sleeps for `duration` in small steps, returning `true` early if
+/// `cancel` is raised.
+fn sleep_unless_cancelled(duration: Duration, cancel: Option<&AtomicBool>) -> bool {
+    let deadline = Instant::now() + duration;
+    while Instant::now() < deadline {
+        if cancel.is_some_and(|flag| flag.load(Ordering::SeqCst)) {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    false
+}
 
 /// Administrative control over the provider under test, used for the
 /// crash-injection experiments. Implemented by the reference broker.
@@ -68,6 +92,31 @@ impl ThreadedRunner {
         admin: Option<Arc<dyn BrokerAdmin>>,
         spec: &TestSpec,
     ) -> Result<Trace, HarnessError> {
+        self.run_observed(provider, admin, spec, None, None)
+    }
+
+    /// Runs `spec` like [`run`](ThreadedRunner::run), additionally tapping
+    /// the event log live and honouring an external cancellation flag.
+    ///
+    /// `sink` is attached to the recorder before any driver starts, sees
+    /// every event in logging order, and is closed on every exit path —
+    /// attach a [`ChannelSink`](jmst_store::ChannelSink) and the paired
+    /// stream terminates as soon as the run is over. Raising `cancel`
+    /// (e.g. from the daemon prince's fail-fast watcher) ends the warm-up
+    /// or run phase early: producers stop, consumers drain, and the
+    /// partial trace is returned normally.
+    ///
+    /// # Errors
+    ///
+    /// As for [`run`](ThreadedRunner::run).
+    pub fn run_observed(
+        &self,
+        provider: Arc<dyn Provider>,
+        admin: Option<Arc<dyn BrokerAdmin>>,
+        spec: &TestSpec,
+        sink: Option<Box<dyn EventSink>>,
+        cancel: Option<Arc<AtomicBool>>,
+    ) -> Result<Trace, HarnessError> {
         spec.validate().map_err(HarnessError::InvalidSpec)?;
         if spec.crash.is_some() && admin.is_none() {
             return Err(HarnessError::MissingAdmin);
@@ -75,6 +124,10 @@ impl ThreadedRunner {
         let driver_count = spec.producer_count() + spec.consumer_count();
         let shared = Arc::new(RunShared::new(Arc::clone(&provider), spec, driver_count));
         let recorder = Recorder::new();
+        if let Some(sink) = sink {
+            recorder.attach_sink(sink);
+        }
+        let _sink_guard = SinkGuard(recorder.clone());
         let base_clock = SystemClock::new();
         let control = recorder.node(NodeId::from_raw(0), Arc::new(base_clock.clone()));
 
@@ -244,10 +297,15 @@ impl ThreadedRunner {
             let admin = admin.expect("checked above");
             let control = recorder.node(NodeId::from_raw(0), Arc::new(base_clock.clone()));
             let shared = Arc::clone(&shared);
+            let cancel = cancel.clone();
             std::thread::spawn(move || {
                 let target = Instant::now() + plan.crash_after;
                 while Instant::now() < target {
-                    if shared.abort.load(Ordering::SeqCst) {
+                    if shared.abort.load(Ordering::SeqCst)
+                        || cancel
+                            .as_ref()
+                            .is_some_and(|flag| flag.load(Ordering::SeqCst))
+                    {
                         return;
                     }
                     std::thread::sleep(Duration::from_millis(2));
@@ -261,13 +319,16 @@ impl ThreadedRunner {
         });
 
         // Phase sequencing: all drivers start together at the barrier.
+        // A raised cancel flag fast-forwards to warm-down: producers stop
+        // and the partial trace is still collected and returned.
         control.record(EventKind::PhaseStarted {
             phase: Phase::WarmUp,
         });
         shared.start.wait();
-        std::thread::sleep(spec.warm_up);
-        control.record(EventKind::PhaseStarted { phase: Phase::Run });
-        std::thread::sleep(spec.run);
+        if !sleep_unless_cancelled(spec.warm_up, cancel.as_deref()) {
+            control.record(EventKind::PhaseStarted { phase: Phase::Run });
+            sleep_unless_cancelled(spec.run, cancel.as_deref());
+        }
         control.record(EventKind::PhaseStarted {
             phase: Phase::WarmDown,
         });

@@ -381,6 +381,10 @@ pub struct TestSpec {
     pub faults: Option<FaultPlan>,
     /// How drivers retry failed provider operations.
     pub retry: crate::retry::RetryPolicy,
+    /// Stop the run at the first live-decidable violation (scenario key
+    /// `fail_fast = on`): the daemon prince cancels the drivers and
+    /// salvages a partial verdict instead of finishing the full run.
+    pub fail_fast: bool,
 }
 
 impl TestSpec {
@@ -398,6 +402,7 @@ impl TestSpec {
             crash: None,
             faults: None,
             retry: crate::retry::RetryPolicy::default(),
+            fail_fast: false,
         }
     }
 
@@ -436,6 +441,12 @@ impl TestSpec {
     /// Sets the driver retry policy.
     pub fn with_retry(mut self, retry: crate::retry::RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Stops the run at the first live-decidable violation.
+    pub fn with_fail_fast(mut self, fail_fast: bool) -> Self {
+        self.fail_fast = fail_fast;
         self
     }
 

@@ -1,8 +1,15 @@
 //! CSV export of traces and report tables, for inspection outside the
-//! harness (the paper's Access forms/reports stand-in is plain files).
+//! harness (the paper's Access forms/reports stand-in is plain files),
+//! plus a best-effort importer so exported traces can be replayed through
+//! the analyzers (`examples/jmst_replay.rs`).
 
-use crate::event::EventKind;
+use crate::event::{Event, EventKind, MessageRecord};
 use crate::trace::Trace;
+use jmst_api::destination::{Destination, EndpointId, QueueName, TopicName};
+use jmst_api::id::{ClientId, MessageId, NodeId, ProducerId, SessionId};
+use jmst_api::modes::{DeliveryMode, Priority, TimeToLive};
+use jmst_api::time::Timestamp;
+use std::fmt;
 use std::fmt::Write as _;
 
 /// Quotes a CSV field if needed (commas, quotes, or newlines present).
@@ -44,51 +51,291 @@ where
     out
 }
 
+/// The column schema of trace CSV exports, shared by [`trace_to_csv`],
+/// the streaming [`crate::CsvSink`], and the [`trace_from_csv`] importer.
+pub const TRACE_COLUMNS: [&str; 18] = [
+    "seq",
+    "at_nanos",
+    "node",
+    "direction",
+    "message",
+    "producer",
+    "producer_seq",
+    "destination",
+    "priority",
+    "delivery_mode",
+    "ttl",
+    "body_bytes",
+    "consumer",
+    "endpoint",
+    "session",
+    "sent_at_nanos",
+    "redelivered",
+    "delivery_count",
+];
+
+/// Renders one send/receive event as the field vector matching
+/// [`TRACE_COLUMNS`]; other event kinds export as `None`.
+pub fn event_row(event: &Event) -> Option<Vec<String>> {
+    let (direction, actor, endpoint, session, record) = match &event.kind {
+        EventKind::Send {
+            record, session, ..
+        } => ("send", String::new(), String::new(), *session, record),
+        EventKind::Receive {
+            consumer,
+            endpoint,
+            record,
+            session,
+            ..
+        } => (
+            "receive",
+            consumer.to_string(),
+            endpoint.to_string(),
+            *session,
+            record,
+        ),
+        _ => return None,
+    };
+    Some(vec![
+        event.seq.to_string(),
+        event.at.as_nanos().to_string(),
+        event.node.to_string(),
+        direction.to_owned(),
+        record.message.to_string(),
+        record.producer.to_string(),
+        record.sequence.to_string(),
+        record.destination.to_string(),
+        record.priority.to_string(),
+        record.delivery_mode.to_string(),
+        record.time_to_live.to_string(),
+        record.body_bytes.to_string(),
+        actor,
+        endpoint,
+        session.to_string(),
+        record.sent_at.as_nanos().to_string(),
+        record.redelivered.to_string(),
+        record.delivery_count.to_string(),
+    ])
+}
+
+/// The [`TRACE_COLUMNS`] header as one CSV line (with trailing newline).
+pub fn event_csv_header() -> String {
+    let mut line = TRACE_COLUMNS.join(",");
+    line.push('\n');
+    line
+}
+
+/// Renders one send/receive event as a CSV line (with trailing newline);
+/// other event kinds render as `None`.
+pub fn event_csv_line(event: &Event) -> Option<String> {
+    let row = event_row(event)?;
+    let mut line = row.iter().map(|f| quote(f)).collect::<Vec<_>>().join(",");
+    line.push('\n');
+    Some(line)
+}
+
 /// Exports the send/receive rows of a trace as CSV: one line per message
 /// event with the columns the paper's analysis joins on.
 pub fn trace_to_csv(trace: &Trace) -> String {
-    let rows = trace.iter().filter_map(|event| {
-        let (direction, actor, record) = match &event.kind {
-            EventKind::Send { record, .. } => ("send", String::new(), record),
-            EventKind::Receive {
-                consumer, record, ..
-            } => ("receive", consumer.to_string(), record),
-            _ => return None,
-        };
-        Some(vec![
-            event.seq.to_string(),
-            event.at.as_nanos().to_string(),
-            event.node.to_string(),
-            direction.to_owned(),
-            record.message.to_string(),
-            record.producer.to_string(),
-            record.sequence.to_string(),
-            record.destination.to_string(),
-            record.priority.to_string(),
-            record.delivery_mode.to_string(),
-            record.time_to_live.to_string(),
-            record.body_bytes.to_string(),
-            actor,
-        ])
-    });
-    render(
-        &[
-            "seq",
-            "at_nanos",
-            "node",
-            "direction",
-            "message",
-            "producer",
-            "producer_seq",
-            "destination",
-            "priority",
-            "delivery_mode",
-            "ttl",
-            "body_bytes",
-            "consumer",
-        ],
-        rows,
-    )
+    let rows = trace.iter().filter_map(event_row);
+    render(&TRACE_COLUMNS, rows)
+}
+
+/// An error importing a CSV trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvImportError {
+    /// 1-based line number of the offending row.
+    pub line: usize,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl fmt::Display for CsvImportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "csv line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for CsvImportError {}
+
+/// Splits one CSV line into fields, honouring the quoting rules
+/// [`render`] applies.
+fn split_line(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut quoted = false;
+    while let Some(c) = chars.next() {
+        if quoted {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    field.push('"');
+                } else {
+                    quoted = false;
+                }
+            } else {
+                field.push(c);
+            }
+        } else {
+            match c {
+                '"' => quoted = true,
+                ',' => fields.push(std::mem::take(&mut field)),
+                _ => field.push(c),
+            }
+        }
+    }
+    fields.push(field);
+    fields
+}
+
+fn parse_id<T: From<u64>>(text: &str, prefix: &str) -> Result<T, String> {
+    text.strip_prefix(prefix)
+        .and_then(|raw| raw.strip_prefix('-'))
+        .and_then(|raw| raw.parse::<u64>().ok())
+        .map(T::from)
+        .ok_or_else(|| format!("expected {prefix}-N id, got {text:?}"))
+}
+
+fn parse_destination(text: &str) -> Result<Destination, String> {
+    if let Some(name) = text.strip_prefix("queue:") {
+        Ok(Destination::queue(name))
+    } else if let Some(name) = text.strip_prefix("topic:") {
+        Ok(Destination::topic(name))
+    } else {
+        Err(format!("expected queue:NAME or topic:NAME, got {text:?}"))
+    }
+}
+
+fn parse_endpoint(text: &str) -> Result<EndpointId, String> {
+    if let Some(name) = text.strip_prefix("queue:") {
+        return Ok(EndpointId::Queue(QueueName::new(name)));
+    }
+    if let Some(rest) = text.strip_prefix("durable:") {
+        let (owner, topic) = rest
+            .rsplit_once("@topic:")
+            .ok_or_else(|| format!("malformed durable endpoint {text:?}"))?;
+        let (client, name) = owner
+            .split_once('/')
+            .ok_or_else(|| format!("malformed durable endpoint {text:?}"))?;
+        return Ok(EndpointId::durable(
+            TopicName::new(topic),
+            ClientId::new(client),
+            name,
+        ));
+    }
+    if let Some(rest) = text.strip_prefix("sub:") {
+        let (consumer, topic) = rest
+            .rsplit_once("@topic:")
+            .ok_or_else(|| format!("malformed subscription endpoint {text:?}"))?;
+        return Ok(EndpointId::non_durable(
+            TopicName::new(topic),
+            parse_id(consumer, "cons")?,
+        ));
+    }
+    Err(format!("unrecognised endpoint {text:?}"))
+}
+
+fn parse_ttl(text: &str) -> Result<TimeToLive, String> {
+    if text == "forever" {
+        return Ok(TimeToLive::FOREVER);
+    }
+    text.strip_suffix("ms")
+        .and_then(|raw| raw.parse::<u64>().ok())
+        .map(TimeToLive::from_millis)
+        .ok_or_else(|| format!("expected forever or Nms, got {text:?}"))
+}
+
+fn parse_event(fields: &[String]) -> Result<Event, String> {
+    if fields.len() != TRACE_COLUMNS.len() {
+        return Err(format!(
+            "expected {} fields, got {}",
+            TRACE_COLUMNS.len(),
+            fields.len()
+        ));
+    }
+    let number = |index: usize, what: &str| -> Result<u64, String> {
+        fields[index]
+            .parse::<u64>()
+            .map_err(|_| format!("bad {what}: {:?}", fields[index]))
+    };
+    let record = MessageRecord {
+        message: parse_id::<MessageId>(&fields[4], "msg")?,
+        producer: parse_id::<ProducerId>(&fields[5], "prod")?,
+        sequence: number(6, "producer_seq")?,
+        destination: parse_destination(&fields[7])?,
+        priority: fields[8]
+            .parse::<u8>()
+            .ok()
+            .and_then(Priority::new)
+            .ok_or_else(|| format!("bad priority: {:?}", fields[8]))?,
+        delivery_mode: match fields[9].as_str() {
+            "persistent" => DeliveryMode::Persistent,
+            "non-persistent" => DeliveryMode::NonPersistent,
+            other => return Err(format!("bad delivery mode: {other:?}")),
+        },
+        time_to_live: parse_ttl(&fields[10])?,
+        sent_at: Timestamp::from_nanos(number(15, "sent_at_nanos")?),
+        body_bytes: number(11, "body_bytes")?,
+        redelivered: match fields[16].as_str() {
+            "true" => true,
+            "false" => false,
+            other => return Err(format!("bad redelivered flag: {other:?}")),
+        },
+        delivery_count: number(17, "delivery_count")? as u32,
+        properties: Default::default(),
+    };
+    let session: SessionId = parse_id(&fields[14], "sess")?;
+    let kind = match fields[3].as_str() {
+        "send" => EventKind::Send {
+            record,
+            session,
+            tx: None,
+        },
+        "receive" => EventKind::Receive {
+            consumer: parse_id(&fields[12], "cons")?,
+            endpoint: parse_endpoint(&fields[13])?,
+            record,
+            session,
+            tx: None,
+        },
+        other => return Err(format!("bad direction: {other:?}")),
+    };
+    Ok(Event {
+        seq: number(0, "seq")?,
+        at: Timestamp::from_nanos(number(1, "at_nanos")?),
+        node: parse_id::<NodeId>(&fields[2], "node")?,
+        kind,
+    })
+}
+
+/// Imports a trace previously exported with [`trace_to_csv`] (or spilled
+/// by [`crate::CsvSink`]).
+///
+/// The import is best-effort by construction: CSV only carries
+/// send/receive rows, so consumer lifecycles, acknowledgements,
+/// transactions (all rows import as untransacted), message properties and
+/// phase markers are absent. Replaying an imported trace is meaningful
+/// for comparing analyzers against each other on the same input, not for
+/// recovering the original verdict.
+///
+/// # Errors
+///
+/// Returns a [`CsvImportError`] naming the first malformed line.
+pub fn trace_from_csv(text: &str) -> Result<Trace, CsvImportError> {
+    let mut events = Vec::new();
+    for (index, line) in text.lines().enumerate() {
+        if index == 0 || line.trim().is_empty() {
+            continue; // header
+        }
+        let fields = split_line(line);
+        let event = parse_event(&fields).map_err(|reason| CsvImportError {
+            line: index + 1,
+            reason,
+        })?;
+        events.push(event);
+    }
+    Ok(Trace::from_events(events))
 }
 
 #[cfg(test)]
@@ -169,5 +416,96 @@ mod tests {
         assert!(lines[1].contains("send"));
         assert!(lines[2].contains("receive"));
         assert!(lines[2].contains("cons-7"));
+    }
+
+    #[test]
+    fn csv_round_trips_send_and_receive_rows() {
+        let send = Event {
+            seq: 0,
+            at: Timestamp::from_millis(1),
+            node: NodeId::from_raw(3),
+            kind: EventKind::Send {
+                record: MessageRecord {
+                    redelivered: false,
+                    ..record()
+                },
+                session: SessionId::from_raw(1),
+                tx: None,
+            },
+        };
+        let receive = Event {
+            seq: 1,
+            at: Timestamp::from_millis(2),
+            node: NodeId::from_raw(4),
+            kind: EventKind::Receive {
+                consumer: ConsumerId::from_raw(7),
+                endpoint: EndpointId::for_queue("q".into()),
+                record: MessageRecord {
+                    redelivered: true,
+                    delivery_count: 2,
+                    sent_at: Timestamp::from_millis(1),
+                    time_to_live: TimeToLive::from_millis(250),
+                    ..record()
+                },
+                session: SessionId::from_raw(2),
+                tx: None,
+            },
+        };
+        let trace = Trace::from_events(vec![send, receive]);
+        let imported = trace_from_csv(&trace_to_csv(&trace)).unwrap();
+        assert_eq!(imported, trace);
+    }
+
+    #[test]
+    fn csv_round_trips_subscription_endpoints() {
+        let receive = |endpoint: EndpointId| Event {
+            seq: 0,
+            at: Timestamp::from_millis(2),
+            node: NodeId::from_raw(0),
+            kind: EventKind::Receive {
+                consumer: ConsumerId::from_raw(7),
+                endpoint,
+                record: MessageRecord {
+                    destination: Destination::topic("t"),
+                    ..record()
+                },
+                session: SessionId::from_raw(2),
+                tx: None,
+            },
+        };
+        for endpoint in [
+            EndpointId::non_durable("t".into(), ConsumerId::from_raw(7)),
+            EndpointId::durable("t".into(), jmst_api::id::ClientId::new("client"), "audit"),
+        ] {
+            let trace = Trace::from_events(vec![receive(endpoint)]);
+            let imported = trace_from_csv(&trace_to_csv(&trace)).unwrap();
+            assert_eq!(imported, trace);
+        }
+    }
+
+    #[test]
+    fn csv_import_reports_malformed_lines() {
+        let trace = Trace::from_events(vec![Event {
+            seq: 0,
+            at: Timestamp::from_millis(1),
+            node: NodeId::from_raw(0),
+            kind: EventKind::Send {
+                record: record(),
+                session: SessionId::from_raw(1),
+                tx: None,
+            },
+        }]);
+        let mut text = trace_to_csv(&trace);
+        text.push_str("garbage line\n");
+        let error = trace_from_csv(&text).unwrap_err();
+        assert_eq!(error.line, 3);
+        assert!(error.to_string().contains("csv line 3"));
+    }
+
+    #[test]
+    fn split_line_honours_quotes() {
+        assert_eq!(split_line("a,b"), ["a", "b"]);
+        assert_eq!(split_line("\"a,b\",c"), ["a,b", "c"]);
+        assert_eq!(split_line("\"say \"\"hi\"\"\",x"), ["say \"hi\"", "x"]);
     }
 }

@@ -250,6 +250,19 @@ pub struct Event {
     pub kind: EventKind,
 }
 
+impl Event {
+    /// The canonical ordering key `(at, seq)`: timestamp first, recorder
+    /// sequence as the tie-breaker.
+    ///
+    /// Every component that orders events — [`crate::Trace::from_events`],
+    /// the streaming [`crate::ReorderBuffer`], and the analyzers in
+    /// `jmst-core` — sorts by this one key, so "canonical order" means
+    /// exactly one thing across the codebase.
+    pub fn ord_key(&self) -> (Timestamp, u64) {
+        (self.at, self.seq)
+    }
+}
+
 impl fmt::Display for Event {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -351,6 +364,19 @@ mod tests {
         assert_eq!(Phase::WarmUp.to_string(), "warm-up");
         assert_eq!(Phase::Run.to_string(), "run");
         assert_eq!(Phase::WarmDown.to_string(), "warm-down");
+    }
+
+    #[test]
+    fn ord_key_orders_by_time_then_seq() {
+        let make = |seq, at_ms| Event {
+            seq,
+            at: Timestamp::from_millis(at_ms),
+            node: NodeId::from_raw(0),
+            kind: EventKind::BrokerCrashed,
+        };
+        assert!(make(5, 1).ord_key() < make(0, 2).ord_key());
+        assert!(make(0, 2).ord_key() < make(1, 2).ord_key());
+        assert_eq!(make(3, 4).ord_key(), (Timestamp::from_millis(4), 3));
     }
 
     #[test]

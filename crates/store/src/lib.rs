@@ -8,6 +8,10 @@
 //!   transaction outcomes, crashes, phase markers);
 //! * [`trace`] — the ordered log and the thread-safe [`Recorder`] the
 //!   harness writes through;
+//! * [`sink`] — live [`EventSink`]s / [`EventStream`]s: the recorder
+//!   feeds attached sinks as events happen, so the in-memory batch trace,
+//!   a streaming analyzer behind a bounded channel, and the disk/CSV
+//!   spill formats are all consumers of one emission path;
 //! * [`table`] — [`TraceStore`], typed and indexed relational views;
 //! * [`query`] — grouping/aggregation combinators (the `GROUP BY` layer);
 //! * [`stats`] — summary statistics and delay histograms;
@@ -24,12 +28,17 @@ pub mod csv;
 pub mod disk;
 pub mod event;
 pub mod query;
+pub mod sink;
 pub mod stats;
 pub mod table;
 pub mod trace;
 
 pub use disk::DiskError;
 pub use event::{Event, EventKind, MessageRecord, Phase};
+pub use sink::{
+    channel, ChannelSink, CsvSink, EventSink, EventStream, JsonlSink, ReorderBuffer, TeeSink,
+    VecSink,
+};
 pub use stats::{DelayHistogram, SummaryStats};
 pub use table::{ConsumerRow, DeadLetterRow, ReceiveRow, SendRow, TraceStore};
-pub use trace::{NodeRecorder, Recorder, Trace};
+pub use trace::{DuplicateOrdKey, NodeRecorder, Recorder, Trace};

@@ -1,12 +1,38 @@
 //! Traces and the thread-safe recorder the harness logs through.
 
 use crate::event::{Event, EventKind, Phase};
+use crate::sink::EventSink;
 use jmst_api::id::NodeId;
 use jmst_api::time::{Clock, Timestamp};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Two events in one trace carried the same canonical `(at, seq)` key, so
+/// their relative order is meaningless. Returned by
+/// [`Trace::try_from_events`]; a recorder-produced trace can never trigger
+/// it because recorder sequence numbers are globally unique.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DuplicateOrdKey {
+    /// The timestamp shared by the colliding events.
+    pub at: Timestamp,
+    /// The sequence number shared by the colliding events.
+    pub seq: u64,
+}
+
+impl fmt::Display for DuplicateOrdKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "duplicate canonical order key (at={}, seq={})",
+            self.at, self.seq
+        )
+    }
+}
+
+impl std::error::Error for DuplicateOrdKey {}
 
 /// An execution trace: the complete, ordered log of one test run.
 ///
@@ -25,9 +51,37 @@ impl Trace {
     }
 
     /// Builds a trace from raw events, sorting them into canonical order.
+    ///
+    /// The sort is stable and keyed on [`Event::ord_key`], so events that
+    /// share an `(at, seq)` key keep their input (first-logged) order
+    /// deterministically rather than an arbitrary one. Such collisions
+    /// indicate a malformed trace; use [`Trace::try_from_events`] to reject
+    /// them instead of tolerating them.
     pub fn from_events(mut events: Vec<Event>) -> Self {
-        events.sort_by_key(|event| (event.at, event.seq));
+        events.sort_by_key(Event::ord_key);
         Self { events }
+    }
+
+    /// Builds a trace from raw events, rejecting duplicate `(at, seq)` keys.
+    ///
+    /// Recorder-stamped traces have globally unique sequence numbers, so a
+    /// collision means the events came from different runs or a corrupted
+    /// log — analysing them would silently depend on an arbitrary order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first colliding key as a [`DuplicateOrdKey`].
+    pub fn try_from_events(events: Vec<Event>) -> Result<Self, DuplicateOrdKey> {
+        let trace = Self::from_events(events);
+        for pair in trace.events.windows(2) {
+            if pair[0].ord_key() == pair[1].ord_key() {
+                return Err(DuplicateOrdKey {
+                    at: pair[0].at,
+                    seq: pair[0].seq,
+                });
+            }
+        }
+        Ok(trace)
     }
 
     /// The events in canonical order.
@@ -117,14 +171,38 @@ impl FromIterator<Event> for Trace {
 impl Extend<Event> for Trace {
     fn extend<I: IntoIterator<Item = Event>>(&mut self, iter: I) {
         self.events.extend(iter);
-        self.events.sort_by_key(|event| (event.at, event.seq));
+        self.events.sort_by_key(Event::ord_key);
     }
 }
 
-#[derive(Debug, Default)]
+#[derive(Default)]
 struct RecorderShared {
     events: Mutex<Vec<Event>>,
     next_seq: AtomicU64,
+    sinks: Mutex<Vec<Box<dyn EventSink>>>,
+}
+
+impl fmt::Debug for RecorderShared {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RecorderShared")
+            .field("events", &self.events.lock().len())
+            .field("next_seq", &self.next_seq.load(Ordering::Relaxed))
+            .field("sinks", &self.sinks.lock().len())
+            .finish()
+    }
+}
+
+impl RecorderShared {
+    fn log(&self, event: Event) {
+        let mut sinks = self.sinks.lock();
+        if !sinks.is_empty() {
+            for sink in sinks.iter_mut() {
+                sink.accept(&event);
+            }
+        }
+        drop(sinks);
+        self.events.lock().push(event);
+    }
 }
 
 /// A thread-safe event recorder shared by every driver in a test run.
@@ -173,6 +251,31 @@ impl Recorder {
     pub fn into_trace(self) -> Trace {
         self.snapshot()
     }
+
+    /// Attaches a live [`EventSink`]: every event recorded from now on is
+    /// offered to the sink (in logging order, before canonical reordering)
+    /// in addition to the in-memory log.
+    ///
+    /// This is the streaming tap: attach a
+    /// [`ChannelSink`](crate::ChannelSink) and the paired
+    /// [`EventStream`](crate::EventStream) sees the run live, while
+    /// [`Recorder::snapshot`] keeps working for batch consumers.
+    pub fn attach_sink(&self, sink: Box<dyn EventSink>) {
+        self.shared.sinks.lock().push(sink);
+    }
+
+    /// Closes and detaches every attached sink.
+    ///
+    /// Channel-backed sinks hang up their sending side, which lets the
+    /// consuming [`EventStream`](crate::EventStream) drain its reorder
+    /// buffer and terminate. The runner calls this once the drivers are
+    /// done, on every exit path.
+    pub fn close_sinks(&self) {
+        let mut sinks = std::mem::take(&mut *self.shared.sinks.lock());
+        for sink in sinks.iter_mut() {
+            sink.close();
+        }
+    }
 }
 
 /// A recorder handle bound to one harness node and its clock.
@@ -193,7 +296,7 @@ impl NodeRecorder {
             node: self.node,
             kind,
         };
-        self.shared.events.lock().push(event);
+        self.shared.log(event);
     }
 
     /// Logs an event with an explicit timestamp (used when the moment of
@@ -205,7 +308,7 @@ impl NodeRecorder {
             node: self.node,
             kind,
         };
-        self.shared.events.lock().push(event);
+        self.shared.log(event);
     }
 
     /// The node this handle logs as.
@@ -239,6 +342,77 @@ mod tests {
         let seqs: Vec<u64> = trace.iter().map(|e| e.seq).collect();
         assert_eq!(seqs, [0, 1, 2]);
         assert_eq!(trace.end(), Timestamp::from_millis(30));
+    }
+
+    #[test]
+    fn from_events_is_stable_on_duplicate_keys() {
+        // Two events with the same (at, seq) key: the stable sort must keep
+        // their input order, deterministically, however many times we sort.
+        let mut first = event(7, 10);
+        first.node = NodeId::from_raw(1);
+        let mut second = event(7, 10);
+        second.node = NodeId::from_raw(2);
+        let trace = Trace::from_events(vec![first.clone(), second.clone(), event(0, 5)]);
+        let nodes: Vec<u64> = trace.iter().map(|e| e.node.as_u64()).collect();
+        assert_eq!(nodes, [0, 1, 2]);
+    }
+
+    #[test]
+    fn try_from_events_rejects_duplicate_keys() {
+        let error = Trace::try_from_events(vec![event(7, 10), event(7, 10)]).unwrap_err();
+        assert_eq!(
+            error,
+            DuplicateOrdKey {
+                at: Timestamp::from_millis(10),
+                seq: 7
+            }
+        );
+        assert!(error.to_string().contains("seq=7"));
+    }
+
+    #[test]
+    fn try_from_events_accepts_unique_keys() {
+        let trace = Trace::try_from_events(vec![event(1, 10), event(0, 10), event(2, 5)]).unwrap();
+        let seqs: Vec<u64> = trace.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, [2, 0, 1]);
+    }
+
+    #[test]
+    fn attached_sink_sees_every_recorded_event_and_close() {
+        use crate::sink::VecSink;
+        use std::sync::atomic::AtomicBool;
+
+        #[derive(Debug)]
+        struct ClosedFlag(Arc<AtomicBool>);
+        impl EventSink for ClosedFlag {
+            fn accept(&mut self, _event: &Event) {}
+            fn close(&mut self) {
+                self.0.store(true, Ordering::SeqCst);
+            }
+        }
+
+        let recorder = Recorder::new();
+        let clock: Arc<dyn Clock> = Arc::new(SystemClock::new());
+        let node = recorder.node(NodeId::from_raw(0), clock);
+        node.record(EventKind::BrokerCrashed);
+
+        let (sink, collected) = VecSink::shared();
+        recorder.attach_sink(Box::new(sink));
+        let closed = Arc::new(AtomicBool::new(false));
+        recorder.attach_sink(Box::new(ClosedFlag(Arc::clone(&closed))));
+
+        node.record(EventKind::BrokerRecovered);
+        node.record(EventKind::BrokerCrashed);
+        // The sink only sees events recorded after it was attached.
+        assert_eq!(collected.lock().len(), 2);
+        assert_eq!(recorder.len(), 3);
+
+        recorder.close_sinks();
+        assert!(closed.load(Ordering::SeqCst));
+        node.record(EventKind::BrokerRecovered);
+        // Detached after close: no further deliveries.
+        assert_eq!(collected.lock().len(), 2);
+        assert_eq!(recorder.len(), 4);
     }
 
     #[test]

@@ -57,7 +57,9 @@ pub use jmst_store as store;
 pub mod prelude {
     pub use jmst_api::prelude::*;
     pub use jmst_broker::{BrokerConfig, FaultSpec, ReferenceBroker};
-    pub use jmst_core::{AnalysisConfig, AnalysisReport, Analyzer, ExpiryModel, PropertyKind};
+    pub use jmst_core::{
+        AnalysisConfig, AnalysisReport, Analyzer, ExpiryModel, PropertyKind, StreamingAnalyzer,
+    };
     pub use jmst_harness::prelude::*;
     pub use jmst_sim::{ArrivalProcess, PubSubScenario, PublisherSpec, ServiceModel};
     pub use jmst_store::{Recorder, Trace, TraceStore};
