@@ -18,6 +18,7 @@ use crate::id::{ClientId, ConnectionId, ConsumerId, ProducerId, SessionId};
 use crate::message::{Message, MessageDraft};
 use crate::modes::SessionMode;
 use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// A poison message a provider parked on a dead-letter queue after it
@@ -300,6 +301,44 @@ pub trait Consumer: Send {
     /// Returns [`Error::EndpointClosed`] if the consumer was closed
     /// (including concurrently, while blocked in this call).
     fn receive(&mut self, timeout: Option<Duration>) -> Result<Option<Message>, Error>;
+
+    /// Receives up to `max` immediately available messages without
+    /// blocking (a batched `receiveNoWait`).
+    ///
+    /// The default implementation polls [`Consumer::receive`] with a zero
+    /// timeout until it returns `None` or `max` messages are drained;
+    /// providers may override it to take their delivery lock once per
+    /// batch. An empty vector means nothing was immediately available.
+    /// Open-loop load drivers use this so a worker multiplexing thousands
+    /// of virtual clients never parks inside one client's receive call.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Consumer::receive`].
+    fn try_receive_batch(&mut self, max: usize) -> Result<Vec<Message>, Error> {
+        let mut batch = Vec::new();
+        while batch.len() < max {
+            match self.receive(Some(Duration::ZERO))? {
+                Some(message) => batch.push(message),
+                None => break,
+            }
+        }
+        Ok(batch)
+    }
+
+    /// Registers a wakeup callback invoked (from an arbitrary thread,
+    /// possibly while provider locks are *not* held) whenever a message
+    /// may have become available on this consumer's endpoint — after
+    /// inserts, recovery, crash, or destruction. Spurious wakeups are
+    /// allowed; the callback must be cheap and non-blocking.
+    ///
+    /// Returns `false` when the provider does not support readiness
+    /// callbacks (the default); callers must then fall back to polling
+    /// [`Consumer::try_receive_batch`].
+    fn set_waker(&mut self, waker: Arc<dyn Fn() + Send + Sync>) -> bool {
+        let _ = waker;
+        false
+    }
 
     /// Acknowledges all messages received on this consumer's session so
     /// far. Meaningful in [`SessionMode::ClientAcknowledge`]; a no-op in

@@ -9,6 +9,8 @@ use jmst_api::message::Message;
 use jmst_api::time::{Clock, Timestamp};
 use parking_lot::{Condvar, Mutex};
 use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -69,6 +71,54 @@ pub struct EndpointStats {
     pub delivered: u64,
 }
 
+/// Readiness callbacks registered by multiplexed (non-blocking)
+/// consumers: fired — outside the buffer lock — whenever a message may
+/// have become available or the end-point's state changed.
+///
+/// The atomic count lets the hot publish path skip the waker lock
+/// entirely when nobody registered, mirroring the `waiters` optimisation
+/// for blocked receivers.
+#[derive(Default)]
+struct WakerSet {
+    count: AtomicUsize,
+    wakers: Mutex<Vec<Arc<dyn Fn() + Send + Sync>>>,
+}
+
+impl WakerSet {
+    fn add(&self, waker: Arc<dyn Fn() + Send + Sync>) {
+        let mut wakers = self.wakers.lock();
+        wakers.push(waker);
+        self.count.store(wakers.len(), Ordering::Release);
+    }
+
+    /// Invokes every registered waker. Must be called with the
+    /// end-point's buffer lock *released*: wakers are arbitrary callbacks
+    /// and may re-enter the end-point.
+    fn fire(&self) {
+        if self.count.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        let wakers: Vec<_> = self.wakers.lock().clone();
+        for waker in wakers {
+            waker();
+        }
+    }
+
+    fn clear(&self) {
+        let mut wakers = self.wakers.lock();
+        wakers.clear();
+        self.count.store(0, Ordering::Release);
+    }
+}
+
+impl fmt::Debug for WakerSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WakerSet")
+            .field("count", &self.count.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
 /// A message buffer for one consumer group (queue or subscription).
 ///
 /// Thread-safe: producers insert from any thread, consumers block in
@@ -82,6 +132,7 @@ pub struct Endpoint {
     enforce_priority: bool,
     inner: Mutex<Inner>,
     available: Condvar,
+    wakers: WakerSet,
 }
 
 /// Upper bound on one condvar wait. Arrivals, visibility edges, session
@@ -108,12 +159,22 @@ impl Endpoint {
                 waiters: 0,
             }),
             available: Condvar::new(),
+            wakers: WakerSet::default(),
         }
     }
 
     /// Returns the end-point's identity.
     pub fn id(&self) -> &EndpointId {
         &self.id
+    }
+
+    /// Registers a readiness callback fired (outside the buffer lock)
+    /// whenever a message may have become available or the end-point's
+    /// state changed: inserts, session recovery, crash, destroy.
+    /// Spurious invocations are allowed. Wakers live until the end-point
+    /// is destroyed.
+    pub fn add_waker(&self, waker: Arc<dyn Fn() + Send + Sync>) {
+        self.wakers.add(waker);
     }
 
     /// Wakes blocked receivers, but only if there are any: the common
@@ -130,27 +191,30 @@ impl Endpoint {
     /// The message is shared, not copied: fanning one publish out to many
     /// end-points only bumps the [`Arc`] reference count.
     pub fn insert(&self, message: Arc<Message>, visible_at: Timestamp) -> bool {
-        let mut inner = self.inner.lock();
-        if inner.destroyed {
-            return false;
+        {
+            let mut inner = self.inner.lock();
+            if inner.destroyed {
+                return false;
+            }
+            let key = EntryKey {
+                priority_rank: if self.enforce_priority {
+                    9 - message.priority().level()
+                } else {
+                    0
+                },
+                seq: inner.next_seq,
+            };
+            inner.next_seq += 1;
+            inner.pending.insert(
+                key,
+                Entry {
+                    message,
+                    visible_at,
+                },
+            );
+            self.wake_receivers(&inner);
         }
-        let key = EntryKey {
-            priority_rank: if self.enforce_priority {
-                9 - message.priority().level()
-            } else {
-                0
-            },
-            seq: inner.next_seq,
-        };
-        inner.next_seq += 1;
-        inner.pending.insert(
-            key,
-            Entry {
-                message,
-                visible_at,
-            },
-        );
-        self.wake_receivers(&inner);
+        self.wakers.fire();
         true
     }
 
@@ -166,32 +230,38 @@ impl Endpoint {
     where
         I: IntoIterator<Item = &'a Arc<Message>>,
     {
-        let mut inner = self.inner.lock();
-        if inner.destroyed {
-            return 0;
-        }
-        let mut inserted = 0u64;
-        for message in messages {
-            let key = EntryKey {
-                priority_rank: if self.enforce_priority {
-                    9 - message.priority().level()
-                } else {
-                    0
-                },
-                seq: inner.next_seq,
-            };
-            inner.next_seq += 1;
-            inner.pending.insert(
-                key,
-                Entry {
-                    message: Arc::clone(message),
-                    visible_at,
-                },
-            );
-            inserted += 1;
-        }
+        let inserted = {
+            let mut inner = self.inner.lock();
+            if inner.destroyed {
+                return 0;
+            }
+            let mut inserted = 0u64;
+            for message in messages {
+                let key = EntryKey {
+                    priority_rank: if self.enforce_priority {
+                        9 - message.priority().level()
+                    } else {
+                        0
+                    },
+                    seq: inner.next_seq,
+                };
+                inner.next_seq += 1;
+                inner.pending.insert(
+                    key,
+                    Entry {
+                        message: Arc::clone(message),
+                        visible_at,
+                    },
+                );
+                inserted += 1;
+            }
+            if inserted > 0 {
+                self.wake_receivers(&inner);
+            }
+            inserted
+        };
         if inserted > 0 {
-            self.wake_receivers(&inner);
+            self.wakers.fire();
         }
         inserted
     }
@@ -270,6 +340,57 @@ impl Endpoint {
             self.available.wait_for(&mut inner, wait);
             inner.waiters -= 1;
         }
+    }
+
+    /// Takes up to `max` visible, unexpired messages without blocking,
+    /// holding the buffer lock once for the whole batch. Returns an empty
+    /// vector when nothing is deliverable (or the connection is stopped).
+    ///
+    /// This is the multiplexer's receive path: a worker thread draining
+    /// many virtual consumers calls this instead of parking per-client in
+    /// [`Endpoint::receive`], pairing it with a waker registered through
+    /// [`Endpoint::add_waker`] to learn when to come back.
+    ///
+    /// Tracking semantics are identical to `max` sequential receives with
+    /// a zero timeout.
+    ///
+    /// # Errors
+    ///
+    /// Returns whatever error `alive` reports, or
+    /// [`Error::EndpointClosed`] after the end-point is destroyed.
+    pub fn try_receive_batch(
+        &self,
+        clock: &dyn Clock,
+        session: SessionId,
+        track: TrackMode,
+        max: usize,
+        started: &dyn Fn() -> bool,
+        alive: &dyn Fn() -> Result<(), Error>,
+    ) -> Result<Vec<Arc<Message>>, Error> {
+        alive()?;
+        let mut batch = Vec::new();
+        if max == 0 || !started() {
+            return Ok(batch);
+        }
+        let mut inner = self.inner.lock();
+        if inner.destroyed {
+            return Err(Error::EndpointClosed);
+        }
+        let now = clock.now();
+        while batch.len() < max {
+            let Some(message) = self.take_visible(&mut inner, now) else {
+                break;
+            };
+            inner.delivered += 1;
+            if track == TrackMode::InFlight {
+                inner.in_flight.push(InFlight {
+                    session,
+                    message: Arc::clone(&message),
+                });
+            }
+            batch.push(message);
+        }
+        Ok(batch)
     }
 
     /// The earliest future visibility edge among pending messages, if any.
@@ -370,6 +491,8 @@ impl Endpoint {
             self.requeue_redelivered(&mut inner, message, now, max_redeliveries, &mut poisoned);
         }
         self.wake_receivers(&inner);
+        drop(inner);
+        self.wakers.fire();
         poisoned
     }
 
@@ -451,17 +574,23 @@ impl Endpoint {
             .pending
             .retain(|_, entry| keep_persistent && entry.message.delivery_mode().is_persistent());
         self.wake_receivers(&inner);
+        drop(inner);
+        self.wakers.fire();
         poisoned
     }
 
     /// Destroys the end-point: pending messages are discarded and blocked
-    /// receivers are woken (they observe [`Error::EndpointClosed`]).
+    /// receivers are woken (they observe [`Error::EndpointClosed`]);
+    /// registered wakers fire one final time and are released.
     pub fn destroy(&self) {
         let mut inner = self.inner.lock();
         inner.destroyed = true;
         inner.pending.clear();
         inner.in_flight.clear();
         self.wake_receivers(&inner);
+        drop(inner);
+        self.wakers.fire();
+        self.wakers.clear();
     }
 
     /// Returns `true` if the end-point has been destroyed.
@@ -856,5 +985,126 @@ mod tests {
             clock.now() < Timestamp::from_millis(2_000),
             "receiver should wake at the edge, not at the timeout"
         );
+    }
+
+    #[test]
+    fn try_receive_batch_drains_without_blocking() {
+        let clock = VirtualClock::new();
+        let ep = endpoint();
+        for i in 0..5 {
+            ep.insert(message(i, 4, DeliveryMode::Persistent, 0), Timestamp::ZERO);
+        }
+        let batch = ep
+            .try_receive_batch(
+                &clock,
+                SessionId::from_raw(1),
+                TrackMode::Immediate,
+                3,
+                &|| true,
+                &|| Ok(()),
+            )
+            .unwrap();
+        assert_eq!(
+            batch.iter().map(|m| m.sequence()).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        // The remainder comes on the next call; an empty endpoint yields
+        // an empty batch instead of blocking.
+        let rest = ep
+            .try_receive_batch(
+                &clock,
+                SessionId::from_raw(1),
+                TrackMode::Immediate,
+                10,
+                &|| true,
+                &|| Ok(()),
+            )
+            .unwrap();
+        assert_eq!(rest.len(), 2);
+        let empty = ep
+            .try_receive_batch(
+                &clock,
+                SessionId::from_raw(1),
+                TrackMode::Immediate,
+                10,
+                &|| true,
+                &|| Ok(()),
+            )
+            .unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(ep.stats().delivered, 5);
+    }
+
+    #[test]
+    fn try_receive_batch_tracks_in_flight() {
+        let clock = VirtualClock::new();
+        let ep = endpoint();
+        for i in 0..3 {
+            ep.insert(message(i, 4, DeliveryMode::Persistent, 0), Timestamp::ZERO);
+        }
+        let session = SessionId::from_raw(7);
+        let batch = ep
+            .try_receive_batch(&clock, session, TrackMode::InFlight, 10, &|| true, &|| {
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(batch.len(), 3);
+        assert_eq!(ep.stats().in_flight, 3);
+        ep.ack_session(session);
+        assert_eq!(ep.stats().in_flight, 0);
+    }
+
+    #[test]
+    fn try_receive_batch_respects_stopped_connection_and_destroy() {
+        let clock = VirtualClock::new();
+        let ep = endpoint();
+        ep.insert(message(0, 4, DeliveryMode::Persistent, 0), Timestamp::ZERO);
+        let stopped = ep
+            .try_receive_batch(
+                &clock,
+                SessionId::from_raw(1),
+                TrackMode::Immediate,
+                10,
+                &|| false,
+                &|| Ok(()),
+            )
+            .unwrap();
+        assert!(stopped.is_empty());
+        ep.destroy();
+        let err = ep
+            .try_receive_batch(
+                &clock,
+                SessionId::from_raw(1),
+                TrackMode::Immediate,
+                10,
+                &|| true,
+                &|| Ok(()),
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::EndpointClosed));
+    }
+
+    #[test]
+    fn wakers_fire_on_insert_and_destroy() {
+        use std::sync::atomic::AtomicUsize;
+        let ep = endpoint();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&fired);
+        ep.add_waker(Arc::new(move || {
+            counter.fetch_add(1, Ordering::SeqCst);
+        }));
+        ep.insert(message(0, 4, DeliveryMode::Persistent, 0), Timestamp::ZERO);
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        let more: Vec<Arc<Message>> = (1..4)
+            .map(|i| message(i, 4, DeliveryMode::Persistent, 0))
+            .collect();
+        // A batch insert fires the wakers once, not per message.
+        ep.insert_batch(more.iter(), Timestamp::ZERO);
+        assert_eq!(fired.load(Ordering::SeqCst), 2);
+        ep.destroy();
+        assert_eq!(fired.load(Ordering::SeqCst), 3);
+        // Destroy released the wakers; nothing fires afterwards.
+        assert!(!ep.insert(message(9, 4, DeliveryMode::Persistent, 0), Timestamp::ZERO));
+        assert_eq!(fired.load(Ordering::SeqCst), 3);
     }
 }

@@ -539,6 +539,59 @@ impl Consumer for BrokerConsumer {
         }
     }
 
+    fn try_receive_batch(&mut self, max: usize) -> Result<Vec<Message>, Error> {
+        let conn = &self.session.conn;
+        let core = &self.session.core;
+        let closed_flag = &self.closed;
+        let generation = conn.generation;
+        let started = || conn.started.load(Ordering::SeqCst) && !conn.closed.load(Ordering::SeqCst);
+        let alive = || -> Result<(), Error> {
+            if closed_flag.load(Ordering::SeqCst) {
+                return Err(Error::EndpointClosed);
+            }
+            core.check_alive(generation)?;
+            if conn.closed.load(Ordering::SeqCst) {
+                return Err(Error::ConnectionClosed);
+            }
+            if self.session.state.lock().closed {
+                return Err(Error::SessionClosed);
+            }
+            Ok(())
+        };
+        let batch = self.endpoint.try_receive_batch(
+            self.session.core.config().clock.as_ref(),
+            self.session.id,
+            self.session.track_mode(),
+            max,
+            &started,
+            &alive,
+        )?;
+        let mut delivered = Vec::with_capacity(batch.len());
+        for message in batch {
+            // Queue selectors: a non-matching message must stay available
+            // to other receivers. Unlike the blocking receive there is no
+            // wait-and-rescan here — non-matching messages are released
+            // back and simply excluded from this batch.
+            if let Some(selector) = &self.queue_selector {
+                if !selector.matches(&message) {
+                    if self.session.track_mode() == TrackMode::InFlight {
+                        self.endpoint.ack_message(self.session.id, message.id());
+                    }
+                    self.endpoint.insert(message, self.session.core.now());
+                    continue;
+                }
+            }
+            self.session.record_delivery(&self.endpoint, &message);
+            delivered.push((*message).clone());
+        }
+        Ok(delivered)
+    }
+
+    fn set_waker(&mut self, waker: Arc<dyn Fn() + Send + Sync>) -> bool {
+        self.endpoint.add_waker(waker);
+        true
+    }
+
     fn acknowledge(&mut self) -> Result<(), Error> {
         if self.closed.load(Ordering::SeqCst) {
             return Err(Error::EndpointClosed);

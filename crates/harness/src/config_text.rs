@@ -70,6 +70,15 @@
 //! violation the streaming analyzer can decide mid-stream (ordering,
 //! duplicate-delivery, redelivery-bound breaches) and report the partial
 //! verdict, instead of letting a known-broken run finish.
+//!
+//! `open_loop = on` drives producers through the open-loop load engine:
+//! each producer becomes virtual clients whose sends are scheduled from
+//! intended times, so provider back-pressure accrues as latency instead
+//! of silently slowing the workload (coordinated omission). Two companion
+//! keys tune it: `arrival_rate = 5000` overrides the aggregate rate in
+//! messages per second (split across the virtual clients; steady/poisson
+//! profiles only), and `clients = 100` sets how many virtual clients each
+//! producer expands into. Both companion keys require `open_loop = on`.
 
 use crate::spec::{ConsumerSpec, CrashPlan, FaultPlan, NodeSpec, ProducerSpec, TestSpec};
 use jmst_api::body::BodyKind;
@@ -368,6 +377,25 @@ pub fn parse_spec(text: &str) -> Result<TestSpec, ConfigError> {
                     "off" | "false" | "no" => false,
                     other => return Err(err(format!("fail_fast must be on/off, got {other:?}"))),
                 };
+            }
+            (Section::Test, "open_loop") => {
+                spec.open_loop = match value {
+                    "on" | "true" | "yes" => true,
+                    "off" | "false" | "no" => false,
+                    other => return Err(err(format!("open_loop must be on/off, got {other:?}"))),
+                };
+            }
+            (Section::Test, "arrival_rate") => {
+                let rate: f64 = value
+                    .parse()
+                    .map_err(|_| err(format!("bad arrival_rate {value:?}")))?;
+                spec.arrival_rate = Some(rate);
+            }
+            (Section::Test, "clients") => {
+                let clients: u32 = value
+                    .parse()
+                    .map_err(|_| err(format!("bad clients {value:?}")))?;
+                spec.clients = Some(clients);
             }
             (Section::Node(_), "share") => {
                 nodes.last_mut().expect("inside a node").share_connection = match value {
@@ -742,6 +770,31 @@ down = 80ms
              [faults]\nstall = 0.5\n"
         )
         .is_err());
+    }
+
+    #[test]
+    fn open_loop_keys_parse() {
+        let text = "[test]\nname = ol\nopen_loop = on\narrival_rate = 5000\nclients = 100\n\
+                    [node n]\n[producer]\ndestination = queue:q\nrate = steady 10\n\
+                    [consumer]\ndestination = queue:q\n";
+        let spec = parse_spec(text).unwrap();
+        assert!(spec.open_loop);
+        assert_eq!(spec.arrival_rate, Some(5000.0));
+        assert_eq!(spec.clients, Some(100));
+        let spec = parse_spec(
+            &text
+                .replace("open_loop = on", "open_loop = off")
+                .replace("arrival_rate = 5000\n", "")
+                .replace("clients = 100\n", ""),
+        )
+        .unwrap();
+        assert!(!spec.open_loop);
+        assert!(parse_spec("[test]\nopen_loop = maybe\n").is_err());
+        assert!(parse_spec("[test]\narrival_rate = fast\n").is_err());
+        assert!(parse_spec("[test]\nclients = many\n").is_err());
+        // Companion keys without open_loop fail whole-spec validation.
+        let error = parse_spec(&text.replace("open_loop = on\n", "")).unwrap_err();
+        assert!(error.message().contains("requires open_loop"), "{error}");
     }
 
     #[test]

@@ -11,6 +11,7 @@ use jmst_api::id::{ClientId, TxId};
 use jmst_api::message::MessageDraft;
 use jmst_api::modes::SessionMode;
 use jmst_api::provider::{Connection, Consumer, Producer, Provider, Session};
+use jmst_load::SendDisposition;
 use jmst_sim::SimRng;
 use jmst_store::event::{EventKind, MessageRecord};
 use jmst_store::trace::NodeRecorder;
@@ -377,6 +378,240 @@ pub(crate) fn producer_driver(
         let _ = active.producer.close();
         let _ = active.session.close();
     }
+}
+
+/// One producer spec as the open-loop engine sees it (`open_loop = on`):
+/// the same identity and seed material a closed-loop
+/// [`producer_driver`] thread would get.
+pub(crate) struct OpenLoopJob {
+    pub recorder: NodeRecorder,
+    pub spec: ProducerSpec,
+    pub seed: u64,
+    pub stable_id: u64,
+}
+
+/// Immutable per-virtual-client identity. Virtual client 0 of a producer
+/// carries exactly the closed-loop identity and seed, so an open-loop run
+/// with `clients = 1` emits the same event stream a closed-loop run
+/// would.
+struct VcInit {
+    /// Index into the job table.
+    job: usize,
+    stable_id: u64,
+    seed: u64,
+}
+
+/// Mutable per-virtual-client state. The retry budget lives here — per
+/// virtual client, not per thread: thousands of clients are multiplexed
+/// onto one worker, so a stalled client must exhaust only its own budget.
+struct VcState {
+    retry: RetryState,
+    body_seed: u64,
+}
+
+/// The engine-facing transport of one worker: lazily opens one producer
+/// chain per producer spec (shared by all that producer's virtual clients
+/// on this worker) and records the same `Send`/`SendFailed` events a
+/// closed-loop driver would.
+struct OpenLoopTransport {
+    shared: Arc<RunShared>,
+    jobs: Arc<Vec<OpenLoopJob>>,
+    inits: Arc<Vec<VcInit>>,
+    chains: std::collections::HashMap<usize, ProducerChain>,
+    states: std::collections::HashMap<u32, VcState>,
+}
+
+impl OpenLoopTransport {
+    fn retry_or_abort(shared: &RunShared, state: &mut VcState, stable_id: u64) -> SendDisposition {
+        match state.retry.next_delay() {
+            Ok(delay) => SendDisposition::RetryAfter(delay),
+            Err(reason) => {
+                let reason = format!("producer {stable_id}: {reason}");
+                shared.give_up(reason.clone());
+                SendDisposition::Abort(reason)
+            }
+        }
+    }
+}
+
+impl jmst_load::Transport for OpenLoopTransport {
+    fn send(
+        &mut self,
+        client: u32,
+        seq: u64,
+        _intended: Duration,
+        _now: Duration,
+    ) -> SendDisposition {
+        let init = &self.inits[client as usize];
+        let job = &self.jobs[init.job];
+        let state = self.states.entry(client).or_insert_with(|| VcState {
+            retry: RetryState::new(self.shared.retry, init.seed.wrapping_add(0x9e37_79b9)),
+            body_seed: init.seed,
+        });
+        // (Re)open this producer's chain; a send failure below drops it,
+        // so broker crashes are survived by reconnecting, as in the
+        // closed-loop driver.
+        if !self.chains.contains_key(&init.job) {
+            match connect_producer(self.shared.provider.as_ref(), &job.spec) {
+                Ok(chain) => {
+                    self.chains.insert(init.job, chain);
+                }
+                Err(_) => return Self::retry_or_abort(&self.shared, state, init.stable_id),
+            }
+        }
+        let chain = self.chains.get_mut(&init.job).expect("connected above");
+        state.body_seed = state.body_seed.wrapping_add(1);
+        let mut draft = MessageDraft::new(Body::synthetic(
+            job.spec.body,
+            job.spec.body_size,
+            state.body_seed,
+        ))
+        .priority(job.spec.priority)
+        .delivery_mode(job.spec.delivery_mode)
+        .time_to_live(job.spec.time_to_live)
+        .property(
+            PRODUCER_PROP,
+            jmst_api::value::Value::Long(init.stable_id as i64),
+        )
+        .expect("valid property")
+        .property(SEQUENCE_PROP, jmst_api::value::Value::Long(seq as i64))
+        .expect("valid property");
+        for (name, value) in &job.spec.properties {
+            draft = draft
+                .property(name.clone(), value.clone())
+                .expect("validated property");
+        }
+        match chain.producer.send(draft) {
+            Ok(message) => {
+                state.retry.succeeded();
+                let mut record = MessageRecord::from_message(&message);
+                apply_harness_identity(&mut record);
+                job.recorder.record(EventKind::Send {
+                    record,
+                    session: chain.session.id(),
+                    tx: None,
+                });
+                SendDisposition::Sent
+            }
+            Err(error) => {
+                job.recorder.record(EventKind::SendFailed {
+                    producer: chain.producer.id(),
+                    reason: error.to_string(),
+                });
+                self.chains.remove(&init.job);
+                Self::retry_or_abort(&self.shared, state, init.stable_id)
+            }
+        }
+    }
+
+    fn finish(&mut self) {
+        for (_, mut chain) in self.chains.drain() {
+            let _ = chain.producer.close();
+            let _ = chain.session.close();
+        }
+    }
+}
+
+/// Drives every producer of the spec through the open-loop load engine.
+/// One controller thread (this function) replaces all the per-producer
+/// closed-loop threads: it waits at the start barrier like any driver,
+/// expands each producer into `clients_per_producer` virtual clients, and
+/// runs them on a small worker pool until the runner raises warm-down or
+/// every limited client completes. `arrival_rate`, when set, replaces the
+/// aggregate send rate, split evenly across all virtual clients while
+/// preserving each producer's process shape (steady or Poisson).
+pub(crate) fn open_loop_producer_driver(
+    shared: &Arc<RunShared>,
+    jobs: Vec<OpenLoopJob>,
+    clients_per_producer: u32,
+    arrival_rate: Option<f64>,
+) {
+    use jmst_load::{ClientSpec, LoadEngine, Transport};
+    let cpp = u64::from(clients_per_producer.max(1));
+    let total = jobs.len() as u64 * cpp;
+    let jobs = Arc::new(jobs);
+    let mut inits = Vec::with_capacity(total as usize);
+    let mut clients = Vec::with_capacity(total as usize);
+    for (job_index, job) in jobs.iter().enumerate() {
+        let process = match arrival_rate {
+            Some(rate) => {
+                let per_vc = rate / total as f64;
+                match job.spec.workload {
+                    jmst_sim::ArrivalProcess::Steady { .. } => {
+                        jmst_sim::ArrivalProcess::steady(per_vc)
+                    }
+                    jmst_sim::ArrivalProcess::Poisson { .. } => {
+                        jmst_sim::ArrivalProcess::poisson(per_vc)
+                    }
+                    jmst_sim::ArrivalProcess::Burst { .. } => {
+                        unreachable!("validation rejects arrival_rate with burst workloads")
+                    }
+                }
+            }
+            None => job.spec.workload,
+        };
+        for vc in 0..cpp {
+            // Virtual client 0 reuses the closed-loop seed and identity
+            // verbatim; further clients fan out deterministically.
+            let seed = job
+                .seed
+                .wrapping_add(vc.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let mut client = ClientSpec::new(process.generator(SimRng::seed_from_u64(seed)));
+            if let Some(limit) = job.spec.message_limit {
+                client = client.limited(limit);
+            }
+            if vc > 0 {
+                // Spread a producer's clients across one per-client period
+                // so steady profiles do not all fire in phase.
+                let period = 1.0 / process.mean_rate_per_sec();
+                client =
+                    client.starting_at(Duration::from_secs_f64(period * vc as f64 / cpp as f64));
+            }
+            inits.push(VcInit {
+                job: job_index,
+                stable_id: job.stable_id + 1_000_000 * vc,
+                seed,
+            });
+            clients.push(client);
+        }
+    }
+    let inits = Arc::new(inits);
+    let workers = std::thread::available_parallelism()
+        .map_or(2, std::num::NonZeroUsize::get)
+        .clamp(1, 4)
+        .min(clients.len().max(1));
+    let transports: Vec<Box<dyn Transport>> = (0..workers)
+        .map(|_| {
+            Box::new(OpenLoopTransport {
+                shared: Arc::clone(shared),
+                jobs: Arc::clone(&jobs),
+                inits: Arc::clone(&inits),
+                chains: std::collections::HashMap::new(),
+                states: std::collections::HashMap::new(),
+            }) as Box<dyn Transport>
+        })
+        .collect();
+    // Mirror the runner's stop/abort signals into the engine's stop flag.
+    let stop = Arc::new(AtomicBool::new(false));
+    let done = Arc::new(AtomicBool::new(false));
+    let watcher = {
+        let shared = Arc::clone(shared);
+        let stop = Arc::clone(&stop);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            while !done.load(Ordering::SeqCst) {
+                if shared.should_abort() || shared.stop_producing.load(Ordering::SeqCst) {
+                    stop.store(true, Ordering::SeqCst);
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        })
+    };
+    shared.start.wait();
+    let _report = LoadEngine::new(workers).run(clients, transports, None, Some(stop));
+    done.store(true, Ordering::SeqCst);
+    let _ = watcher.join();
 }
 
 pub(crate) struct ConsumerChain {

@@ -280,6 +280,19 @@ pub fn lint_spec(spec: &TestSpec) -> LintReport {
                         .to_owned(),
                 );
             }
+            if spec.open_loop && producer.send_batch > 1 {
+                push(
+                    Severity::Error,
+                    context.clone(),
+                    format!(
+                        "open_loop schedules every send at its own intended \
+                         arrival time; send_batch = {} would hold messages \
+                         back to fill batches, re-introducing the coordinated \
+                         omission the open loop exists to avoid",
+                        producer.send_batch
+                    ),
+                );
+            }
             if producer.send_batch > 1 {
                 if let Some(commit) = producer.transacted_batch {
                     if commit % producer.send_batch != 0 {
@@ -457,6 +470,27 @@ mod tests {
         let report = lint_spec(&spec);
         assert!(report.is_clean(), "{report}");
         assert!(report.to_string().contains("clean"));
+    }
+
+    #[test]
+    fn open_loop_with_send_batch_is_an_error() {
+        let spec = spec_with(
+            ProducerSpec::steady(topic(), 10.0, 64).batched(8),
+            ConsumerSpec::auto(topic()),
+        )
+        .open_loop();
+        let report = lint_spec(&spec);
+        assert!(report.has_errors());
+        assert!(
+            report.to_string().contains("coordinated omission"),
+            "{report}"
+        );
+        // The same producer closed-loop is fine.
+        let spec = spec_with(
+            ProducerSpec::steady(topic(), 10.0, 64).batched(8),
+            ConsumerSpec::auto(topic()),
+        );
+        assert!(!lint_spec(&spec).has_errors());
     }
 
     #[test]

@@ -1,14 +1,20 @@
 //! The shared driver retry policy: exponential backoff with jitter, a
-//! per-operation deadline, and a per-driver retry budget.
+//! per-operation deadline, and a per-client retry budget.
 //!
 //! The paper's harness drivers looped with a fixed pause when the
 //! provider refused an operation, which hangs the whole run when a
 //! broker stays down or a fault plan keeps refusing connects. Every
-//! driver now paces its retries through one [`RetryPolicy`]; when a
-//! driver exhausts its budget or blows its per-operation deadline, the
-//! run is abandoned with an explicit reason instead of hanging — the
-//! daemon prince reports the test `Inconclusive` over whatever trace
-//! was salvaged.
+//! logical client now paces its retries through one [`RetryPolicy`];
+//! when a client exhausts its budget or blows its per-operation
+//! deadline, the run is abandoned with an explicit reason instead of
+//! hanging — the daemon prince reports the test `Inconclusive` over
+//! whatever trace was salvaged.
+//!
+//! A "client" here is a logical producer or consumer, not a thread: a
+//! closed-loop driver thread owns exactly one [`RetryState`], while the
+//! open-loop engine multiplexes thousands of virtual clients — each
+//! with its own [`RetryState`] — onto a few workers, so one stalled
+//! client exhausts only its own budget.
 
 use jmst_sim::SimRng;
 use serde::{Deserialize, Serialize};
@@ -29,8 +35,9 @@ pub struct RetryPolicy {
     /// A single operation (one connect attempt sequence, one send) may
     /// not be retried past this deadline.
     pub op_deadline: Duration,
-    /// Total retries one driver may spend across the whole run. `0`
-    /// disables retrying entirely: the first failure gives up.
+    /// Total retries one logical client (closed-loop driver or open-loop
+    /// virtual client) may spend across the whole run. `0` disables
+    /// retrying entirely: the first failure gives up.
     pub budget: u32,
 }
 
@@ -63,8 +70,9 @@ impl RetryPolicy {
     }
 }
 
-/// Per-driver retry state: consumes the budget, tracks the current
-/// operation's deadline, and grows the backoff.
+/// Per-client retry state: consumes the budget, tracks the current
+/// operation's deadline, and grows the backoff. Instantiated once per
+/// closed-loop driver thread and once per open-loop virtual client.
 #[derive(Debug)]
 pub(crate) struct RetryState {
     policy: RetryPolicy,
@@ -88,7 +96,7 @@ impl RetryState {
 
     /// Marks the retried operation as having succeeded: the backoff and
     /// the per-operation deadline reset (the budget does not — it is
-    /// per-driver, not per-operation).
+    /// per-client, not per-operation).
     pub fn succeeded(&mut self) {
         self.backoff = self.policy.initial_backoff;
         self.op_started = None;
@@ -163,7 +171,7 @@ mod tests {
     }
 
     #[test]
-    fn budget_is_per_driver_not_per_operation() {
+    fn budget_is_per_client_not_per_operation() {
         let policy = RetryPolicy {
             budget: 3,
             ..RetryPolicy::default()

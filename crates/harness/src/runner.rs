@@ -121,7 +121,14 @@ impl ThreadedRunner {
         if spec.crash.is_some() && admin.is_none() {
             return Err(HarnessError::MissingAdmin);
         }
-        let driver_count = spec.producer_count() + spec.consumer_count();
+        // Open-loop runs multiplex every producer onto one engine
+        // controller thread; closed-loop runs give each producer its own.
+        let producer_drivers = if spec.open_loop {
+            usize::from(spec.producer_count() > 0)
+        } else {
+            spec.producer_count()
+        };
+        let driver_count = producer_drivers + spec.consumer_count();
         let shared = Arc::new(RunShared::new(Arc::clone(&provider), spec, driver_count));
         let recorder = Recorder::new();
         if let Some(sink) = sink {
@@ -253,24 +260,56 @@ impl ThreadedRunner {
         // Everything constructible was constructed; now spawn.
         let mut producer_handles = Vec::new();
         let mut consumer_handles = Vec::new();
-        for job in producer_jobs {
-            let shared = Arc::clone(&shared);
-            producer_handles.push(std::thread::spawn(move || {
-                let stable_id = job.stable_id;
-                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    producer_driver(
-                        &shared,
-                        &job.recorder,
-                        &job.spec,
-                        job.seed,
-                        stable_id,
-                        job.initial,
-                    );
+        if spec.open_loop {
+            // All producers ride one engine controller thread; virtual
+            // client 0 of each producer keeps the closed-loop identity.
+            let jobs: Vec<crate::drivers::OpenLoopJob> = producer_jobs
+                .into_iter()
+                .map(|job| crate::drivers::OpenLoopJob {
+                    recorder: job.recorder,
+                    spec: job.spec,
+                    seed: job.seed,
+                    stable_id: job.stable_id,
+                })
+                .collect();
+            if !jobs.is_empty() {
+                let shared = Arc::clone(&shared);
+                let clients = spec.clients.unwrap_or(1);
+                let arrival_rate = spec.arrival_rate;
+                producer_handles.push(std::thread::spawn(move || {
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        crate::drivers::open_loop_producer_driver(
+                            &shared,
+                            jobs,
+                            clients,
+                            arrival_rate,
+                        );
+                    }));
+                    if result.is_err() {
+                        shared.give_up("open-loop engine: controller panicked".to_owned());
+                    }
                 }));
-                if result.is_err() {
-                    shared.give_up(format!("producer {stable_id}: driver panicked"));
-                }
-            }));
+            }
+        } else {
+            for job in producer_jobs {
+                let shared = Arc::clone(&shared);
+                producer_handles.push(std::thread::spawn(move || {
+                    let stable_id = job.stable_id;
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        producer_driver(
+                            &shared,
+                            &job.recorder,
+                            &job.spec,
+                            job.seed,
+                            stable_id,
+                            job.initial,
+                        );
+                    }));
+                    if result.is_err() {
+                        shared.give_up(format!("producer {stable_id}: driver panicked"));
+                    }
+                }));
+            }
         }
         for job in consumer_jobs {
             let shared = Arc::clone(&shared);

@@ -385,6 +385,26 @@ pub struct TestSpec {
     /// `fail_fast = on`): the daemon prince cancels the drivers and
     /// salvages a partial verdict instead of finishing the full run.
     pub fail_fast: bool,
+    /// Drive producers open-loop (scenario key `open_loop = on`): each
+    /// producer becomes a set of virtual clients multiplexed onto the
+    /// load engine, the next send is scheduled from the previous
+    /// *intended* send time rather than from when the previous send
+    /// completed, and retries never move the schedule — so back-pressure
+    /// shows up as accrued lag instead of being silently absorbed
+    /// (coordinated omission).
+    #[serde(default)]
+    pub open_loop: bool,
+    /// Aggregate open-loop arrival rate in messages per second
+    /// (scenario key `arrival_rate`), split evenly across each
+    /// producer's virtual clients. `None` keeps every producer's own
+    /// workload rate. Only meaningful with `open_loop`.
+    #[serde(default)]
+    pub arrival_rate: Option<f64>,
+    /// Number of virtual clients each producer spec expands into under
+    /// `open_loop` (scenario key `clients`). `None` means one virtual
+    /// client per producer — the same population as the closed loop.
+    #[serde(default)]
+    pub clients: Option<u32>,
 }
 
 impl TestSpec {
@@ -403,6 +423,9 @@ impl TestSpec {
             faults: None,
             retry: crate::retry::RetryPolicy::default(),
             fail_fast: false,
+            open_loop: false,
+            arrival_rate: None,
+            clients: None,
         }
     }
 
@@ -447,6 +470,24 @@ impl TestSpec {
     /// Stops the run at the first live-decidable violation.
     pub fn with_fail_fast(mut self, fail_fast: bool) -> Self {
         self.fail_fast = fail_fast;
+        self
+    }
+
+    /// Drives producers open-loop through the load engine.
+    pub fn open_loop(mut self) -> Self {
+        self.open_loop = true;
+        self
+    }
+
+    /// Sets the aggregate open-loop arrival rate (messages per second).
+    pub fn with_arrival_rate(mut self, rate_per_sec: f64) -> Self {
+        self.arrival_rate = Some(rate_per_sec);
+        self
+    }
+
+    /// Expands each producer into `clients` open-loop virtual clients.
+    pub fn with_clients(mut self, clients: u32) -> Self {
+        self.clients = Some(clients);
         self
     }
 
@@ -501,7 +542,33 @@ impl TestSpec {
                 .to_fault_spec()
                 .map_err(|error| format!("fault plan: {error}"))?;
         }
+        if !self.open_loop {
+            if self.arrival_rate.is_some() {
+                return Err("arrival_rate requires open_loop = on".to_owned());
+            }
+            if self.clients.is_some() {
+                return Err("clients requires open_loop = on".to_owned());
+            }
+        }
+        if let Some(rate) = self.arrival_rate {
+            if !rate.is_finite() || rate <= 0.0 {
+                return Err(format!(
+                    "arrival_rate must be finite and positive, got {rate}"
+                ));
+            }
+        }
+        if self.clients == Some(0) {
+            return Err("clients must be at least 1".to_owned());
+        }
         for node in &self.nodes {
+            if self.open_loop && node.share_connection && !node.producers.is_empty() {
+                return Err(format!(
+                    "node {}: open_loop producers are multiplexed onto engine \
+                     workers that open their own connections; they cannot \
+                     share the node connection",
+                    node.name
+                ));
+            }
             if node.share_connection && self.crash.is_some() {
                 return Err(format!(
                     "node {}: shared connections do not support crash plans \
@@ -562,6 +629,23 @@ impl TestSpec {
                 }
             }
             for producer in &node.producers {
+                if self.open_loop && producer.transacted_batch.is_some() {
+                    return Err(format!(
+                        "node {}: open_loop producers cannot use transacted \
+                         sessions (a commit boundary closes the loop)",
+                        node.name
+                    ));
+                }
+                if self.arrival_rate.is_some()
+                    && matches!(producer.workload, ArrivalProcess::Burst { .. })
+                {
+                    return Err(format!(
+                        "node {}: arrival_rate cannot rescale a burst workload \
+                         (burst size and interval are fixed); use a steady or \
+                         poisson profile",
+                        node.name
+                    ));
+                }
                 for (name, value) in &producer.properties {
                     if !value.is_valid_property() {
                         return Err(format!(
@@ -669,6 +753,56 @@ mod tests {
             ProducerSpec::steady(queue(), 1.0, 1).batched(8).send_batch,
             8
         );
+    }
+
+    #[test]
+    fn open_loop_keys_require_open_loop() {
+        let base = || {
+            TestSpec::new("ol").node(
+                NodeSpec::new("n")
+                    .producer(ProducerSpec::steady(queue(), 10.0, 64))
+                    .consumer(ConsumerSpec::auto(queue())),
+            )
+        };
+        assert!(base().validate().is_ok());
+        assert!(base().open_loop().validate().is_ok());
+        let error = base().with_arrival_rate(100.0).validate().unwrap_err();
+        assert!(error.contains("requires open_loop"));
+        let error = base().with_clients(8).validate().unwrap_err();
+        assert!(error.contains("requires open_loop"));
+        assert!(base()
+            .open_loop()
+            .with_arrival_rate(100.0)
+            .with_clients(8)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn open_loop_rejects_bad_rate_clients_and_transactions() {
+        let spec = TestSpec::new("bad")
+            .open_loop()
+            .with_arrival_rate(-1.0)
+            .node(NodeSpec::new("n").producer(ProducerSpec::steady(queue(), 10.0, 64)));
+        assert!(spec.validate().unwrap_err().contains("finite and positive"));
+        let spec = TestSpec::new("bad")
+            .open_loop()
+            .with_clients(0)
+            .node(NodeSpec::new("n").producer(ProducerSpec::steady(queue(), 10.0, 64)));
+        assert!(spec.validate().unwrap_err().contains("at least 1"));
+        let spec = TestSpec::new("bad").open_loop().node(
+            NodeSpec::new("n").producer(ProducerSpec::steady(queue(), 10.0, 64).transacted(4)),
+        );
+        assert!(spec.validate().unwrap_err().contains("transacted"));
+        let burst = ProducerSpec {
+            workload: ArrivalProcess::burst(5, Duration::from_millis(50)),
+            ..ProducerSpec::steady(queue(), 10.0, 64)
+        };
+        let spec = TestSpec::new("bad")
+            .open_loop()
+            .with_arrival_rate(100.0)
+            .node(NodeSpec::new("n").producer(burst));
+        assert!(spec.validate().unwrap_err().contains("burst workload"));
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! Virtual clients and the transport they send through.
+//!
+//! A virtual client is pure state — an arrival generator, a sequence
+//! counter, a next intended send time — not a thread. The
+//! [`Transport`] supplies the side effects: it connects clients and
+//! performs their sends against whatever backs the run (the reference
+//! broker, a queueing model, or a no-op sink for scheduling benchmarks).
+
+use jmst_sim::arrival::ArrivalGen;
+use std::time::Duration;
+
+/// What a transport did with a connect or send attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SendDisposition {
+    /// The operation succeeded.
+    Sent,
+    /// The operation could not complete now; retry after the given
+    /// backoff. The client's *intended* send time is unchanged, so the
+    /// eventual success records the full accrued lag — this is what
+    /// keeps the measurement coordinated-omission-safe.
+    RetryAfter(Duration),
+    /// The client is permanently done for (for example its retry budget
+    /// is exhausted); it is removed from the run.
+    Abort(String),
+}
+
+/// The side-effect half of a virtual client, implemented per worker.
+///
+/// One transport instance serves every client sharded onto its worker,
+/// so implementations can share a connection or a session across
+/// thousands of clients. Calls arrive from that worker's thread only.
+pub trait Transport: Send {
+    /// Establishes `client`'s sending state (connection, session,
+    /// producer — whatever the backing needs). Called once before the
+    /// client's first send, and again after each `RetryAfter`.
+    ///
+    /// The default implementation is a no-op success, for transports
+    /// with nothing to set up.
+    fn connect(&mut self, client: u32) -> SendDisposition {
+        let _ = client;
+        SendDisposition::Sent
+    }
+
+    /// Performs `client`'s send number `seq` (0-based). `intended` is the
+    /// scheduled send time and `now` the actual attempt time, both as
+    /// offsets from the engine's epoch; `now - intended` is the send lag
+    /// the engine records on success.
+    fn send(&mut self, client: u32, seq: u64, intended: Duration, now: Duration)
+        -> SendDisposition;
+
+    /// Called once when the worker finishes, in case the transport
+    /// buffers anything (close producers, flush sinks).
+    fn finish(&mut self) {}
+}
+
+/// The static description of one virtual client.
+#[derive(Debug, Clone)]
+pub struct ClientSpec {
+    /// Inter-arrival gap stream (deterministic per client seed).
+    pub arrival: ArrivalGen,
+    /// Stop after this many successful sends (`None` = until the run
+    /// ends).
+    pub limit: Option<u64>,
+    /// Offset of the first arrival's base time from the engine epoch;
+    /// staggering start offsets avoids a thundering herd at t=0.
+    pub start_offset: Duration,
+    /// Explicit worker assignment; `None` round-robins.
+    pub shard: Option<usize>,
+}
+
+impl ClientSpec {
+    /// A client that follows `arrival` forever, starting at the epoch.
+    pub fn new(arrival: ArrivalGen) -> Self {
+        Self {
+            arrival,
+            limit: None,
+            start_offset: Duration::ZERO,
+            shard: None,
+        }
+    }
+
+    /// Stops the client after `limit` successful sends.
+    pub fn limited(mut self, limit: u64) -> Self {
+        self.limit = Some(limit);
+        self
+    }
+
+    /// Delays the client's first arrival base by `offset`.
+    pub fn starting_at(mut self, offset: Duration) -> Self {
+        self.start_offset = offset;
+        self
+    }
+
+    /// Pins the client to worker `shard` (modulo the worker count).
+    pub fn on_shard(mut self, shard: usize) -> Self {
+        self.shard = Some(shard);
+        self
+    }
+}

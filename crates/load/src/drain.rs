@@ -1,0 +1,159 @@
+//! The receive half of the load engine: a single pump thread draining
+//! many consumers through the non-blocking batch API.
+//!
+//! Each consumer registers a waker (when the provider supports
+//! [`Consumer::set_waker`]) that marks it dirty and nudges the pump; the
+//! pump batch-drains dirty consumers with
+//! [`Consumer::try_receive_batch`], so no thread ever parks inside one
+//! consumer's receive. Providers without waker support are polled on a
+//! short fallback interval instead.
+//!
+//! Delivery latency is measured open-loop: producers stamp each message
+//! with its *intended* send time (the [`INTENDED_NS_PROP`] property,
+//! nanoseconds from the shared epoch), and the pump records
+//! `receive time − intended send time` — queueing delay included, no
+//! coordinated omission.
+
+use jmst_api::provider::Consumer;
+use jmst_api::value::Value;
+use jmst_store::stats::LogHistogram;
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Message property carrying the intended send time as nanoseconds from
+/// the run epoch (a [`Value::Long`]).
+pub const INTENDED_NS_PROP: &str = "jmst_intended_ns";
+
+/// Outcome of a drain run.
+#[derive(Debug, Clone)]
+pub struct DrainReport {
+    /// Messages received across all consumers.
+    pub received: u64,
+    /// Open-loop delivery latency (receive − intended send) for
+    /// messages stamped with [`INTENDED_NS_PROP`].
+    pub latency: LogHistogram,
+    /// Messages without the intended-time stamp (counted, no latency).
+    pub unstamped: u64,
+}
+
+struct PumpShared {
+    /// Per-consumer dirty flags set by wakers.
+    dirty: Vec<AtomicBool>,
+    /// Signalled by wakers so the pump wakes promptly.
+    signal: Condvar,
+    lock: Mutex<()>,
+    stop: AtomicBool,
+}
+
+/// A running drain pump; [`DrainPump::stop`] joins it and returns the
+/// report.
+pub struct DrainPump {
+    shared: Arc<PumpShared>,
+    handle: std::thread::JoinHandle<DrainReport>,
+}
+
+/// How many messages one `try_receive_batch` call may take.
+const DRAIN_BATCH: usize = 256;
+/// Poll interval when some consumer lacks waker support.
+const POLL_FALLBACK: Duration = Duration::from_millis(1);
+/// Wait bound when every consumer has a waker (wakeup-driven).
+const IDLE_SLICE: Duration = Duration::from_millis(20);
+
+impl DrainPump {
+    /// Starts a pump thread over `consumers`. `epoch` must be the same
+    /// instant the producing side measures intended times from.
+    pub fn start(mut consumers: Vec<Box<dyn Consumer>>, epoch: Instant) -> Self {
+        let shared = Arc::new(PumpShared {
+            dirty: (0..consumers.len())
+                .map(|_| AtomicBool::new(true))
+                .collect(),
+            signal: Condvar::new(),
+            lock: Mutex::new(()),
+            stop: AtomicBool::new(false),
+        });
+        let mut all_wakeable = true;
+        for (index, consumer) in consumers.iter_mut().enumerate() {
+            let shared_waker = Arc::clone(&shared);
+            let wakeable = consumer.set_waker(Arc::new(move || {
+                shared_waker.dirty[index].store(true, Ordering::Release);
+                shared_waker.signal.notify_one();
+            }));
+            all_wakeable &= wakeable;
+        }
+        let pump_shared = Arc::clone(&shared);
+        let handle =
+            std::thread::spawn(move || pump_loop(consumers, pump_shared, epoch, all_wakeable));
+        Self { shared, handle }
+    }
+
+    /// Stops the pump after a final drain pass and returns the report.
+    pub fn stop(self) -> DrainReport {
+        self.shared.stop.store(true, Ordering::Release);
+        self.shared.signal.notify_one();
+        self.handle.join().expect("drain pump panicked")
+    }
+}
+
+fn pump_loop(
+    mut consumers: Vec<Box<dyn Consumer>>,
+    shared: Arc<PumpShared>,
+    epoch: Instant,
+    all_wakeable: bool,
+) -> DrainReport {
+    let mut report = DrainReport {
+        received: 0,
+        latency: LogHistogram::new(),
+        unstamped: 0,
+    };
+    loop {
+        let stopping = shared.stop.load(Ordering::Acquire);
+        let mut drained_any = false;
+        for (index, consumer) in consumers.iter_mut().enumerate() {
+            // When stopping, sweep everything once more regardless of
+            // dirty flags so late arrivals are not stranded.
+            if !stopping && !shared.dirty[index].swap(false, Ordering::AcqRel) {
+                continue;
+            }
+            // A closed endpoint (`Err`) just means this consumer is done.
+            while let Ok(batch) = consumer.try_receive_batch(DRAIN_BATCH) {
+                if batch.is_empty() {
+                    break;
+                }
+                drained_any = true;
+                let now = epoch.elapsed();
+                for message in &batch {
+                    report.received += 1;
+                    match message.properties().get(INTENDED_NS_PROP) {
+                        Some(Value::Long(nanos)) => {
+                            let intended = Duration::from_nanos((*nanos).max(0) as u64);
+                            report.latency.record(now.saturating_sub(intended));
+                        }
+                        _ => report.unstamped += 1,
+                    }
+                }
+                if batch.len() < DRAIN_BATCH {
+                    break;
+                }
+            }
+        }
+        if stopping && !drained_any {
+            return report;
+        }
+        if !drained_any && !stopping {
+            let wait = if all_wakeable {
+                IDLE_SLICE
+            } else {
+                POLL_FALLBACK
+            };
+            let mut guard = shared.lock.lock();
+            shared.signal.wait_for(&mut guard, wait);
+            if !all_wakeable {
+                for flag in &shared.dirty {
+                    flag.store(true, Ordering::Release);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Open-loop load generation for the JMS test harness.
+//!
+//! The classic closed-loop driver — one thread per producer, next send
+//! scheduled after the previous completes — cannot scale past a few
+//! thousand clients and, worse, *coordinates with the system under
+//! test*: when the broker stalls, the driver stops sending, and the
+//! stall never shows up in the latency distribution (coordinated
+//! omission). This crate inverts both properties:
+//!
+//! * **Virtual clients.** A client is a state machine (arrival
+//!   generator, sequence counter, next intended send time), not a
+//!   thread. 100K+ clients are multiplexed onto a handful of workers
+//!   via a [`TimingWheel`], so a whole sweep fits in one process.
+//! * **Open loop.** The next arrival is scheduled from the *previous
+//!   intended* time plus the arrival gap — never from "now" — and
+//!   latency is measured from the intended time. Back-pressure delays
+//!   the send but not the schedule, so stalls appear in the recorded
+//!   distribution instead of silently thinning it.
+//!
+//! The send side is [`LoadEngine`] over a caller-supplied
+//! [`Transport`]; the receive side is [`DrainPump`], which multiplexes
+//! many consumers onto one thread via the non-blocking
+//! `Consumer::try_receive_batch` / `Consumer::set_waker` API. Both
+//! report into the mergeable [`jmst_store::LogHistogram`].
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod client;
+pub mod drain;
+pub mod engine;
+pub mod wheel;
+
+pub use client::{ClientSpec, SendDisposition, Transport};
+pub use drain::{DrainPump, DrainReport, INTENDED_NS_PROP};
+pub use engine::{EngineReport, LoadEngine};
+pub use wheel::TimingWheel;

@@ -1,0 +1,235 @@
+//! A timing wheel: O(1) schedule/fire for millions of pending timers.
+//!
+//! Virtual clients each have exactly one pending event (their next
+//! intended send), so the engine needs a timer structure whose cost per
+//! event is a couple of pointer moves, not a `BinaryHeap`'s `log n`
+//! sift. The wheel hashes deadlines into fixed-width tick slots; events
+//! beyond the wheel's horizon wait in a sorted overflow map and are
+//! promoted as the wheel turns.
+//!
+//! Deadlines are `u64` nanosecond offsets from an epoch the caller
+//! chooses (the engine uses its start instant). Firing order within one
+//! tick is insertion order; across ticks it is deadline order at tick
+//! resolution.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// One scheduled event: the exact deadline and the caller's payload
+/// (client index).
+type Entry = (u64, u32);
+
+/// A fixed-horizon timing wheel with sorted overflow.
+#[derive(Debug)]
+pub struct TimingWheel {
+    tick_nanos: u64,
+    slots: Vec<Vec<Entry>>,
+    /// The tick currently being processed; every slot entry's tick is in
+    /// `[current_tick, current_tick + slots.len())`.
+    current_tick: u64,
+    /// Events beyond the horizon, keyed by tick.
+    overflow: BTreeMap<u64, Vec<Entry>>,
+    len: usize,
+}
+
+impl TimingWheel {
+    /// Creates a wheel of `slots` ticks of `tick` width each; the horizon
+    /// is `slots × tick`, beyond which events sit in the overflow map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tick` is zero or `slots` is zero.
+    pub fn new(tick: Duration, slots: usize) -> Self {
+        assert!(!tick.is_zero(), "tick width must be positive");
+        assert!(slots > 0, "need at least one slot");
+        Self {
+            tick_nanos: tick.as_nanos() as u64,
+            slots: vec![Vec::new(); slots],
+            current_tick: 0,
+            overflow: BTreeMap::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Schedules `client` to fire at `deadline_nanos`. Deadlines already
+    /// in the past land in the current tick and fire on the next
+    /// [`TimingWheel::advance`].
+    pub fn schedule(&mut self, deadline_nanos: u64, client: u32) {
+        let tick = (deadline_nanos / self.tick_nanos).max(self.current_tick);
+        if tick >= self.current_tick + self.slots.len() as u64 {
+            self.overflow
+                .entry(tick)
+                .or_default()
+                .push((deadline_nanos, client));
+        } else {
+            let index = (tick % self.slots.len() as u64) as usize;
+            self.slots[index].push((deadline_nanos, client));
+        }
+        self.len += 1;
+    }
+
+    /// Turns the wheel to `now_nanos`, appending every due event to
+    /// `due`: all events in ticks before the one containing `now`, plus
+    /// the events in the current tick whose exact deadline has passed.
+    pub fn advance(&mut self, now_nanos: u64, due: &mut Vec<Entry>) {
+        let before = due.len();
+        let target = now_nanos / self.tick_nanos;
+        while self.current_tick < target {
+            let index = (self.current_tick % self.slots.len() as u64) as usize;
+            due.append(&mut self.slots[index]);
+            self.current_tick += 1;
+            self.promote_overflow();
+        }
+        let index = (self.current_tick % self.slots.len() as u64) as usize;
+        let slot = &mut self.slots[index];
+        let mut i = 0;
+        while i < slot.len() {
+            if slot[i].0 <= now_nanos {
+                due.push(slot.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        self.len -= due.len() - before;
+    }
+
+    /// Moves overflow events whose tick is now within the horizon into
+    /// their slots.
+    fn promote_overflow(&mut self) {
+        let horizon = self.current_tick + self.slots.len() as u64;
+        while let Some(entry) = self.overflow.first_entry() {
+            if *entry.key() >= horizon {
+                break;
+            }
+            let (tick, entries) = entry.remove_entry();
+            let index = (tick % self.slots.len() as u64) as usize;
+            self.slots[index].extend(entries);
+        }
+    }
+
+    /// The earliest pending deadline, in nanoseconds. `None` when empty.
+    pub fn next_deadline(&self) -> Option<u64> {
+        for offset in 0..self.slots.len() as u64 {
+            let tick = self.current_tick + offset;
+            let slot = &self.slots[(tick % self.slots.len() as u64) as usize];
+            if let Some(min) = slot.iter().map(|entry| entry.0).min() {
+                return Some(min);
+            }
+        }
+        self.overflow
+            .values()
+            .next()
+            .and_then(|entries| entries.iter().map(|entry| entry.0).min())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wheel() -> TimingWheel {
+        TimingWheel::new(Duration::from_millis(1), 16)
+    }
+
+    fn fire(wheel: &mut TimingWheel, now: u64) -> Vec<u32> {
+        let mut due = Vec::new();
+        wheel.advance(now, &mut due);
+        due.sort_unstable();
+        due.into_iter().map(|(_, client)| client).collect()
+    }
+
+    #[test]
+    fn fires_in_deadline_order_at_tick_resolution() {
+        let mut w = wheel();
+        w.schedule(5_000_000, 1);
+        w.schedule(2_000_000, 2);
+        w.schedule(9_000_000, 3);
+        assert_eq!(w.len(), 3);
+        assert_eq!(fire(&mut w, 3_000_000), vec![2]);
+        assert_eq!(fire(&mut w, 10_000_000), vec![1, 3]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn partial_tick_fires_only_elapsed_deadlines() {
+        let mut w = wheel();
+        w.schedule(1_100_000, 1);
+        w.schedule(1_900_000, 2);
+        // Both are in tick 1; at 1.5 ms only the first is due.
+        assert_eq!(fire(&mut w, 1_500_000), vec![1]);
+        assert_eq!(w.len(), 1);
+        assert_eq!(fire(&mut w, 1_900_000), vec![2]);
+    }
+
+    #[test]
+    fn past_deadlines_fire_immediately() {
+        let mut w = wheel();
+        assert_eq!(fire(&mut w, 50_000_000), Vec::<u32>::new());
+        w.schedule(1_000_000, 7); // far in the past
+        assert_eq!(w.next_deadline(), Some(1_000_000));
+        assert_eq!(fire(&mut w, 50_000_000), vec![7]);
+    }
+
+    #[test]
+    fn overflow_events_survive_the_horizon() {
+        let mut w = wheel(); // horizon = 16 ms
+        w.schedule(100_000_000, 1); // 100 ms: overflow
+        w.schedule(3_000_000, 2);
+        assert_eq!(fire(&mut w, 4_000_000), vec![2]);
+        assert_eq!(fire(&mut w, 99_000_000), Vec::<u32>::new());
+        assert_eq!(fire(&mut w, 100_000_000), vec![1]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn next_deadline_scans_slots_then_overflow() {
+        let mut w = wheel();
+        assert_eq!(w.next_deadline(), None);
+        w.schedule(200_000_000, 1);
+        assert_eq!(w.next_deadline(), Some(200_000_000));
+        w.schedule(4_000_000, 2);
+        assert_eq!(w.next_deadline(), Some(4_000_000));
+        let _ = fire(&mut w, 5_000_000);
+        assert_eq!(w.next_deadline(), Some(200_000_000));
+    }
+
+    #[test]
+    fn dense_schedule_round_trips() {
+        let mut w = TimingWheel::new(Duration::from_millis(1), 32);
+        for client in 0..10_000u32 {
+            // Deadlines spread over 500 ms — mostly overflow.
+            w.schedule(u64::from(client) * 50_000, client);
+        }
+        assert_eq!(w.len(), 10_000);
+        let mut seen = Vec::new();
+        let mut now = 0;
+        while !w.is_empty() {
+            now += 3_000_000;
+            let mut due = Vec::new();
+            w.advance(now, &mut due);
+            for (deadline, client) in due {
+                assert!(deadline <= now);
+                seen.push(client);
+            }
+        }
+        seen.sort_unstable();
+        assert_eq!(seen.len(), 10_000);
+        assert!(seen.iter().enumerate().all(|(i, &c)| i as u32 == c));
+    }
+
+    #[test]
+    #[should_panic(expected = "tick width must be positive")]
+    fn zero_tick_rejected() {
+        TimingWheel::new(Duration::ZERO, 8);
+    }
+}

@@ -39,6 +39,6 @@ pub use sink::{
     channel, ChannelSink, CsvSink, EventSink, EventStream, JsonlSink, ReorderBuffer, TeeSink,
     VecSink,
 };
-pub use stats::{DelayHistogram, SummaryStats};
+pub use stats::{DelayHistogram, LogHistogram, SummaryStats};
 pub use table::{ConsumerRow, DeadLetterRow, ReceiveRow, SendRow, TraceStore};
 pub use trace::{DuplicateOrdKey, NodeRecorder, Recorder, Trace};

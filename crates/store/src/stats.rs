@@ -146,6 +146,12 @@ pub struct DelayHistogram {
     bucket_width_nanos: u64,
     buckets: Vec<u64>,
     overflow: u64,
+    /// Largest overflow sample, so quantiles that land in the overflow
+    /// bucket can report a real upper bound instead of the bucket
+    /// ceiling. Defaults to zero for histograms serialized before the
+    /// field existed.
+    #[serde(default)]
+    overflow_max: u64,
     count: u64,
 }
 
@@ -163,17 +169,20 @@ impl DelayHistogram {
             bucket_width_nanos: bucket_width.as_nanos() as u64,
             buckets: vec![0; buckets],
             overflow: 0,
+            overflow_max: 0,
             count: 0,
         }
     }
 
     /// Adds one delay sample.
     pub fn push(&mut self, delay: Duration) {
-        let index = (delay.as_nanos() as u64 / self.bucket_width_nanos) as usize;
+        let nanos = delay.as_nanos() as u64;
+        let index = (nanos / self.bucket_width_nanos) as usize;
         if index < self.buckets.len() {
             self.buckets[index] += 1;
         } else {
             self.overflow += 1;
+            self.overflow_max = self.overflow_max.max(nanos);
         }
         self.count += 1;
     }
@@ -186,13 +195,18 @@ impl DelayHistogram {
     /// The fraction of samples that were `<= bound`, counting whole
     /// buckets (each sample is attributed to its bucket's upper edge, so
     /// the estimate is conservative for expiry: it never claims a delay
-    /// was short when it might not have been).
+    /// was short when it might not have been). Overflow mass counts only
+    /// once `bound` reaches the largest overflow sample — the one point
+    /// at which the overflow bucket's contents are provably covered.
     pub fn fraction_at_most(&self, bound: Duration) -> f64 {
         if self.count == 0 {
             return 0.0;
         }
         let full_buckets = (bound.as_nanos() as u64 / self.bucket_width_nanos) as usize;
-        let covered: u64 = self.buckets.iter().take(full_buckets).sum();
+        let mut covered: u64 = self.buckets.iter().take(full_buckets).sum();
+        if self.overflow > 0 && bound.as_nanos() as u64 >= self.overflow_max {
+            covered += self.overflow;
+        }
         covered as f64 / self.count as f64
     }
 
@@ -212,10 +226,13 @@ impl DelayHistogram {
                 ));
             }
         }
-        // In the overflow bucket: unbounded above; report the histogram
-        // ceiling.
+        // In the overflow bucket: the largest recorded overflow sample is
+        // the sound upper bound. (The old behaviour reported the histogram
+        // ceiling, *under*-stating any quantile that landed here.) The
+        // ceiling survives only as a floor for pre-`overflow_max` data.
         Some(Duration::from_nanos(
-            self.buckets.len() as u64 * self.bucket_width_nanos,
+            self.overflow_max
+                .max(self.buckets.len() as u64 * self.bucket_width_nanos),
         ))
     }
 
@@ -227,6 +244,187 @@ impl DelayHistogram {
     /// Samples beyond the last bucket.
     pub fn overflow(&self) -> u64 {
         self.overflow
+    }
+
+    /// The largest sample that landed in the overflow bucket, in
+    /// nanoseconds; zero when nothing overflowed.
+    pub fn overflow_max_nanos(&self) -> u64 {
+        self.overflow_max
+    }
+}
+
+/// Number of linear sub-buckets per power-of-two octave in a
+/// [`LogHistogram`]: 2^5 = 32, bounding relative quantile error at
+/// 1/32 ≈ 3.1%.
+const SUB_BUCKET_BITS: u32 = 5;
+const SUB_BUCKETS: u64 = 1 << SUB_BUCKET_BITS;
+/// Octaves above the exact range. A u64 of nanoseconds has at most 64
+/// significant bits; values below `SUB_BUCKETS` are stored exactly, the
+/// remaining `64 - 5 = 59` octaves each get `SUB_BUCKETS` buckets.
+const OCTAVES: usize = 64 - SUB_BUCKET_BITS as usize;
+const LOG_BUCKETS: usize = SUB_BUCKETS as usize * (OCTAVES + 1);
+
+/// A log-bucketed (HDR-style) histogram of durations for open-loop load
+/// measurement: full `u64` nanosecond range, fixed memory, ≤ ~3.1%
+/// relative quantile error, and mergeable across worker threads.
+///
+/// The fixed-width [`DelayHistogram`] needs its range chosen up front —
+/// fine for expiry models, useless for latency under overload where the
+/// tail spans six orders of magnitude. This histogram uses 32 linear
+/// sub-buckets per power-of-two octave, so bucket width scales with
+/// magnitude and p50 through p99.9 are all resolved to a few percent.
+///
+/// # Examples
+///
+/// ```
+/// use jmst_store::stats::LogHistogram;
+/// use std::time::Duration;
+///
+/// let mut hist = LogHistogram::new();
+/// for ms in 1..=1000u64 {
+///     hist.record(Duration::from_millis(ms));
+/// }
+/// let p99 = hist.quantile(0.99).unwrap();
+/// assert!(p99 >= Duration::from_millis(990) && p99 <= Duration::from_millis(1024));
+/// ```
+#[derive(Clone)]
+pub struct LogHistogram {
+    buckets: Box<[u64; LOG_BUCKETS]>,
+    count: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LogHistogram")
+            .field("count", &self.count)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .finish_non_exhaustive()
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram covering the full `u64` nanosecond
+    /// range.
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![0u64; LOG_BUCKETS]
+                .into_boxed_slice()
+                .try_into()
+                .expect("bucket count is fixed"),
+            count: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The bucket index for a value: exact below [`SUB_BUCKETS`], then 32
+    /// linear sub-buckets per octave.
+    fn index_of(value: u64) -> usize {
+        if value < SUB_BUCKETS {
+            return value as usize;
+        }
+        let msb = 63 - value.leading_zeros();
+        let shift = msb - SUB_BUCKET_BITS;
+        let sub = (value >> shift) - SUB_BUCKETS;
+        (SUB_BUCKETS + u64::from(shift) * SUB_BUCKETS + sub) as usize
+    }
+
+    /// The largest value a bucket can hold (its inclusive upper edge).
+    fn upper_edge(index: usize) -> u64 {
+        if index < SUB_BUCKETS as usize {
+            return index as u64;
+        }
+        let shift = (index as u64 - SUB_BUCKETS) / SUB_BUCKETS;
+        let sub = (index as u64 - SUB_BUCKETS) % SUB_BUCKETS;
+        // The bucket covers [(32 + sub) << shift, (32 + sub + 1) << shift).
+        // The very top bucket's exclusive edge is 2^64, which wraps to 0;
+        // wrapping_sub turns it into the correct u64::MAX.
+        ((SUB_BUCKETS + sub + 1) << shift).wrapping_sub(1)
+    }
+
+    /// Records one duration sample.
+    pub fn record(&mut self, sample: Duration) {
+        self.record_nanos(sample.as_nanos() as u64);
+    }
+
+    /// Records one sample given directly in nanoseconds.
+    pub fn record_nanos(&mut self, nanos: u64) {
+        self.buckets[Self::index_of(nanos)] += 1;
+        self.count += 1;
+        self.min = self.min.min(nanos);
+        self.max = self.max.max(nanos);
+    }
+
+    /// Total number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest recorded sample, or `None` when empty. Exact.
+    pub fn min(&self) -> Option<Duration> {
+        (self.count > 0).then(|| Duration::from_nanos(self.min))
+    }
+
+    /// Largest recorded sample, or `None` when empty. Exact.
+    pub fn max(&self) -> Option<Duration> {
+        (self.count > 0).then(|| Duration::from_nanos(self.max))
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1): the upper edge of the bucket holding
+    /// the rank-`ceil(q·count)` sample, clamped to the exact recorded
+    /// maximum. Relative error is bounded by the sub-bucket width,
+    /// ≈ 3.1%.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (index, &bucket) in self.buckets.iter().enumerate() {
+            seen += bucket;
+            if seen >= target {
+                return Some(Duration::from_nanos(Self::upper_edge(index).min(self.max)));
+            }
+        }
+        Some(Duration::from_nanos(self.max))
+    }
+
+    /// Merges another histogram into this one. Equivalent to having
+    /// recorded both sample streams into a single histogram.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The standard report line for benchmarks: p50/p90/p99/p99.9/max in
+    /// milliseconds.
+    pub fn percentile_summary(&self) -> String {
+        let ms = |d: Option<Duration>| d.map_or(0.0, |d| d.as_secs_f64() * 1e3);
+        format!(
+            "p50={:.2}ms p90={:.2}ms p99={:.2}ms p99.9={:.2}ms max={:.2}ms",
+            ms(self.quantile(0.50)),
+            ms(self.quantile(0.90)),
+            ms(self.quantile(0.99)),
+            ms(self.quantile(0.999)),
+            ms(self.max()),
+        )
     }
 }
 
@@ -345,5 +543,157 @@ mod tests {
     #[should_panic(expected = "bucket width must be positive")]
     fn zero_bucket_width_rejected() {
         DelayHistogram::new(Duration::ZERO, 5);
+    }
+
+    #[test]
+    fn overflow_mass_is_accounted_in_quantiles() {
+        // Regression: quantiles landing in the overflow bucket used to
+        // report the histogram ceiling (50 ms here), *under*-stating the
+        // quantile of a sample known to be ≥ the ceiling.
+        let mut histogram = DelayHistogram::new(Duration::from_millis(10), 5);
+        for ms in [1u64, 2, 3, 4] {
+            histogram.push(Duration::from_millis(ms));
+        }
+        histogram.push(Duration::from_millis(800));
+        histogram.push(Duration::from_millis(900));
+        // p99 rank (6 of 6) lands in overflow: the answer must be the
+        // largest overflow sample, not the 50 ms ceiling.
+        assert_eq!(
+            histogram.quantile(0.99).unwrap(),
+            Duration::from_millis(900)
+        );
+        assert_eq!(histogram.quantile(1.0).unwrap(), Duration::from_millis(900));
+        assert_eq!(histogram.overflow_max_nanos(), 900_000_000);
+        // In-bucket quantiles are unchanged.
+        assert_eq!(histogram.quantile(0.5).unwrap(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn overflow_mass_is_accounted_in_fraction_at_most() {
+        let mut histogram = DelayHistogram::new(Duration::from_millis(10), 5);
+        histogram.push(Duration::from_millis(5));
+        histogram.push(Duration::from_millis(500));
+        // Below the largest overflow sample the overflow mass cannot be
+        // credited…
+        assert!((histogram.fraction_at_most(Duration::from_millis(100)) - 0.5).abs() < 1e-12);
+        // …but a bound at or past it provably covers everything.
+        assert!((histogram.fraction_at_most(Duration::from_millis(500)) - 1.0).abs() < 1e-12);
+        assert!((histogram.fraction_at_most(Duration::from_secs(10)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_histogram_is_exact_below_32ns() {
+        let mut hist = LogHistogram::new();
+        for n in 0..32u64 {
+            hist.record_nanos(n);
+        }
+        assert_eq!(hist.count(), 32);
+        assert_eq!(hist.min(), Some(Duration::from_nanos(0)));
+        assert_eq!(hist.max(), Some(Duration::from_nanos(31)));
+        assert_eq!(hist.quantile(0.5).unwrap(), Duration::from_nanos(15));
+    }
+
+    #[test]
+    fn log_histogram_quantile_error_is_bounded() {
+        let mut hist = LogHistogram::new();
+        // Samples spanning six orders of magnitude.
+        for i in 1..=100_000u64 {
+            hist.record_nanos(i * 997);
+        }
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let exact = ((q * 100_000f64).ceil() as u64) * 997;
+            let measured = hist.quantile(q).unwrap().as_nanos() as u64;
+            // The reported value is a bucket upper edge: never below the
+            // exact quantile, and within one sub-bucket (~3.2%) above it.
+            assert!(measured >= exact, "q={q}: {measured} < {exact}");
+            let relative = (measured - exact) as f64 / exact as f64;
+            assert!(relative <= 1.0 / 31.0, "q={q}: error {relative}");
+        }
+    }
+
+    #[test]
+    fn log_histogram_quantiles_clamp_to_exact_max() {
+        let mut hist = LogHistogram::new();
+        hist.record_nanos(1_000_003);
+        assert_eq!(hist.quantile(1.0).unwrap(), Duration::from_nanos(1_000_003));
+        assert_eq!(hist.quantile(0.5).unwrap(), Duration::from_nanos(1_000_003));
+    }
+
+    #[test]
+    fn log_histogram_handles_extremes() {
+        let mut hist = LogHistogram::new();
+        hist.record_nanos(0);
+        hist.record_nanos(u64::MAX);
+        assert_eq!(hist.count(), 2);
+        assert_eq!(hist.quantile(0.0).unwrap(), Duration::from_nanos(0));
+        assert_eq!(hist.quantile(1.0).unwrap(), Duration::from_nanos(u64::MAX));
+    }
+
+    #[test]
+    fn log_histogram_merge_equals_single_stream() {
+        let samples: Vec<u64> = (0..10_000u64)
+            .map(|i| i.wrapping_mul(2654435761) >> 16)
+            .collect();
+        let mut single = LogHistogram::new();
+        for &s in &samples {
+            single.record_nanos(s);
+        }
+        let mut left = LogHistogram::new();
+        let mut right = LogHistogram::new();
+        for (i, &s) in samples.iter().enumerate() {
+            if i % 2 == 0 {
+                left.record_nanos(s);
+            } else {
+                right.record_nanos(s);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), single.count());
+        assert_eq!(left.min(), single.min());
+        assert_eq!(left.max(), single.max());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(left.quantile(q), single.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn log_histogram_empty_and_summary() {
+        let empty = LogHistogram::new();
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty.quantile(0.5), None);
+        assert_eq!(empty.min(), None);
+        assert_eq!(empty.max(), None);
+        let mut hist = LogHistogram::new();
+        hist.record(Duration::from_millis(5));
+        let summary = hist.percentile_summary();
+        assert!(summary.contains("p99"), "{summary}");
+        assert!(summary.contains("max=5.00ms"), "{summary}");
+    }
+
+    #[test]
+    fn log_histogram_bucket_edges_are_consistent() {
+        // Every value must land in a bucket whose upper edge is >= the
+        // value and within the sub-bucket width of it.
+        for &value in &[
+            1u64,
+            31,
+            32,
+            33,
+            63,
+            64,
+            1_000,
+            1_000_000,
+            1_000_000_007,
+            u64::MAX / 3,
+            u64::MAX,
+        ] {
+            let index = LogHistogram::index_of(value);
+            let edge = LogHistogram::upper_edge(index);
+            assert!(edge >= value, "value {value}: edge {edge} below value");
+            if index > 0 {
+                let below = LogHistogram::upper_edge(index - 1);
+                assert!(below < value, "value {value} fits earlier bucket {below}");
+            }
+        }
     }
 }

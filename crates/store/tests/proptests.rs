@@ -162,6 +162,33 @@ proptest! {
         prop_assert!(stats.variance() >= 0.0);
     }
 
+    // The open-loop engine records latency into one `LogHistogram` per
+    // worker and merges them at the end; the merged histogram must be
+    // indistinguishable from recording the whole stream into one.
+    #[test]
+    fn merged_per_worker_log_histograms_match_single_stream(
+        samples in prop::collection::vec(0u64..5_000_000_000, 1..400),
+        workers in 1usize..8,
+    ) {
+        use jmst_store::LogHistogram;
+        let mut single = LogHistogram::new();
+        let mut per_worker = vec![LogHistogram::new(); workers];
+        for (index, &nanos) in samples.iter().enumerate() {
+            single.record_nanos(nanos);
+            per_worker[index % workers].record_nanos(nanos);
+        }
+        let mut merged = LogHistogram::new();
+        for histogram in &per_worker {
+            merged.merge(histogram);
+        }
+        prop_assert_eq!(merged.count(), single.count());
+        prop_assert_eq!(merged.min(), single.min());
+        prop_assert_eq!(merged.max(), single.max());
+        for &q in &[0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            prop_assert_eq!(merged.quantile(q), single.quantile(q), "q = {}", q);
+        }
+    }
+
     #[test]
     fn csv_export_row_count_matches_message_events(events in arb_events()) {
         let trace = Trace::from_events(events);

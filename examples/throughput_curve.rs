@@ -1,94 +1,597 @@
-//! Regenerates the shape of the paper's Figures 2 and 3 — publisher and
-//! subscriber throughput against offered demand (bytes per second) for
-//! two providers with opposite overload behaviour — and prints the series
-//! as text tables plus a rough ASCII plot.
+//! Open-loop throughput curves: multiplexed virtual clients against the
+//! reference broker and the paper's two service models.
+//!
+//! Three experiments run in one process and land in `BENCH_loadgen.json`:
+//!
+//! 1. **Broker scalability** — 1K/10K/100K virtual clients multiplexed
+//!    onto a handful of engine workers, sending a fixed aggregate rate
+//!    through the reference broker while a [`DrainPump`] measures
+//!    intended-send→delivery latency (coordinated-omission-safe).
+//! 2. **Model crossover** — the same 100K-client population swept across
+//!    rising demand against time-compressed stand-ins for the paper's
+//!    Provider I (plateau: flow control holds throughput at capacity)
+//!    and Provider II (thrashing: delivered throughput collapses), with
+//!    p99/p99.9 latency per point. Under overload the curves cross: the
+//!    slower flow-controlled provider out-delivers the faster one.
+//! 3. **Coordinated omission** — the same overloaded thrashing model
+//!    measured open-loop (latency from the *intended* send time) and
+//!    closed-loop (each client waits for its previous response); the
+//!    closed loop under-reports tail latency by orders of magnitude.
 //!
 //! ```sh
-//! cargo run --release --example throughput_curve
+//! cargo run --release --example throughput_curve            # full sweep
+//! cargo run --release --example throughput_curve -- --smoke # CI: ≤10K clients, ≤10s
 //! ```
 
-use jmst::prelude::*;
-use jmst_api::time::Timestamp;
-use std::time::Duration;
+use jmst_api::modes::SessionMode;
+use jmst_api::provider::{Connection, Consumer, Producer, Provider, Session};
+use jmst_api::value::Value;
+use jmst_api::{destination::Destination, message::MessageDraft};
+use jmst_broker::ReferenceBroker;
+use jmst_load::{ClientSpec, DrainPump, LoadEngine, SendDisposition, Transport, INTENDED_NS_PROP};
+use jmst_sim::{ArrivalProcess, DurationDist, ServiceModel, SimRng};
+use jmst_store::LogHistogram;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
-struct Series {
-    demand_bytes_per_sec: f64,
-    publisher_msgs_per_sec: f64,
-    subscriber_msgs_per_sec: f64,
+/// Body size used throughout, matching the paper's 1 kB messages.
+const BODY_BYTES: usize = 1024;
+
+// ---------------------------------------------------------------------------
+// Experiment 1: broker scalability sweep
+// ---------------------------------------------------------------------------
+
+/// Per-worker transport that sends through one shared producer chain on
+/// the reference broker, stamping every message with its intended send
+/// time so the drain pump can measure open-loop delivery latency.
+/// The lazily-opened provider objects one worker sends through.
+type ProducerChain = (Box<dyn Connection>, Box<dyn Session>, Box<dyn Producer>);
+
+struct BrokerTransport {
+    provider: Arc<ReferenceBroker>,
+    /// The epoch the drain pump measures from (created before the engine
+    /// run, so intended offsets are re-based onto it at send time).
+    epoch: Instant,
+    destination: Destination,
+    chain: Option<ProducerChain>,
 }
 
-fn sweep(model: &ServiceModel, body_bytes: usize, demands: &[f64]) -> Vec<Series> {
-    let production = Duration::from_secs(60);
-    let warm_up = Duration::from_secs(10);
-    demands
-        .iter()
-        .map(|&demand| {
-            let rate = demand / body_bytes as f64;
-            let scenario = PubSubScenario {
-                publishers: vec![PublisherSpec::steady(rate, body_bytes)],
-                subscribers: 1,
-                model: model.clone(),
-                production_period: production,
-                drain_limit: Duration::from_secs(600),
-                seed: 11,
+impl BrokerTransport {
+    fn new(provider: Arc<ReferenceBroker>, epoch: Instant, destination: Destination) -> Self {
+        Self {
+            provider,
+            epoch,
+            destination,
+            chain: None,
+        }
+    }
+}
+
+impl Transport for BrokerTransport {
+    fn send(
+        &mut self,
+        _client: u32,
+        _seq: u64,
+        intended: Duration,
+        now: Duration,
+    ) -> SendDisposition {
+        if self.chain.is_none() {
+            let mut connection = match self.provider.create_connection(None) {
+                Ok(connection) => connection,
+                Err(error) => return SendDisposition::Abort(error.to_string()),
             };
-            let outcome = scenario.run();
-            let start = Timestamp::ZERO + warm_up;
-            let end = Timestamp::ZERO + production;
-            Series {
-                demand_bytes_per_sec: demand,
-                publisher_msgs_per_sec: outcome.publisher_rate(start, end),
-                subscriber_msgs_per_sec: outcome.subscriber_rate(start, end, 1),
-            }
-        })
-        .collect()
+            let mut session = match connection.create_session(SessionMode::AutoAcknowledge) {
+                Ok(session) => session,
+                Err(error) => return SendDisposition::Abort(error.to_string()),
+            };
+            let producer = match session.create_producer(&self.destination) {
+                Ok(producer) => producer,
+                Err(error) => return SendDisposition::Abort(error.to_string()),
+            };
+            self.chain = Some((connection, session, producer));
+        }
+        // Re-base the intended time from the engine's epoch onto the
+        // pump's: at this moment `epoch.elapsed()` corresponds to `now`.
+        let intended_ns = self
+            .epoch
+            .elapsed()
+            .saturating_sub(now.saturating_sub(intended))
+            .as_nanos() as i64;
+        let draft = MessageDraft::text("x".repeat(BODY_BYTES))
+            .property(INTENDED_NS_PROP, Value::Long(intended_ns))
+            .expect("legal property name");
+        let (_, _, producer) = self.chain.as_mut().expect("chain connected");
+        match producer.send(draft) {
+            Ok(_) => SendDisposition::Sent,
+            Err(_) => SendDisposition::RetryAfter(Duration::from_millis(1)),
+        }
+    }
+
+    fn finish(&mut self) {
+        if let Some((mut connection, mut session, _producer)) = self.chain.take() {
+            let _ = session.close();
+            let _ = connection.close();
+        }
+    }
 }
 
-fn print_figure(title: &str, series: &[Series]) {
-    println!("{title}");
+struct BrokerPoint {
+    clients: usize,
+    offered_per_sec: f64,
+    sends: u64,
+    achieved_per_sec: f64,
+    send_lag: LogHistogram,
+    received: u64,
+    delivery_latency: LogHistogram,
+    unstamped: u64,
+}
+
+fn broker_point(clients: usize, offered_per_sec: f64, run_for: Duration) -> BrokerPoint {
+    let broker = Arc::new(ReferenceBroker::new());
+    let destination = Destination::queue("loadgen");
+    let epoch = Instant::now();
+
+    // Receive side: a started connection with a few competing consumers,
+    // drained by the single pump thread through the batch API.
+    let mut rx_connection = broker.create_connection(None).expect("consumer connection");
+    let mut rx_session = rx_connection
+        .create_session(SessionMode::AutoAcknowledge)
+        .expect("consumer session");
+    let consumers: Vec<Box<dyn Consumer>> = (0..2)
+        .map(|_| {
+            rx_session
+                .create_consumer(&destination, None)
+                .expect("consumer")
+        })
+        .collect();
+    rx_connection.start().expect("start delivery");
+    let pump = DrainPump::start(consumers, epoch);
+
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(2)
+        .clamp(1, 4);
+    let transports: Vec<Box<dyn Transport>> = (0..workers)
+        .map(|_| {
+            Box::new(BrokerTransport::new(
+                Arc::clone(&broker),
+                epoch,
+                destination.clone(),
+            )) as Box<dyn Transport>
+        })
+        .collect();
+    let per_client = offered_per_sec / clients as f64;
+    let specs: Vec<ClientSpec> = (0..clients)
+        .map(|index| {
+            ClientSpec::new(
+                ArrivalProcess::poisson(per_client).generator(SimRng::seed_from_u64(index as u64)),
+            )
+        })
+        .collect();
+
+    let report = LoadEngine::new(workers).run(specs, transports, Some(run_for), None);
+    // Let in-flight deliveries settle before the final drain pass.
+    std::thread::sleep(Duration::from_millis(300));
+    let drain = pump.stop();
+    let _ = rx_session.close();
+    let _ = rx_connection.close();
+
+    BrokerPoint {
+        clients,
+        offered_per_sec,
+        sends: report.sends,
+        achieved_per_sec: report.sends as f64 / run_for.as_secs_f64(),
+        send_lag: report.send_lag,
+        received: drain.received,
+        delivery_latency: drain.latency,
+        unstamped: drain.unstamped,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Experiment 2: plateau-vs-collapse crossover against service models
+// ---------------------------------------------------------------------------
+
+/// Time-compressed stand-in for the paper's Provider I: the same
+/// flow-controlled plateau shape as [`ServiceModel::provider_one`], scaled
+/// ×50 so the plateau emerges within a seconds-long real-time run.
+fn scaled_provider_one() -> ServiceModel {
+    ServiceModel::Plateau {
+        capacity_msgs_per_sec: 2_250.0,
+        per_byte_nanos: 0,
+        queue_capacity: 64,
+        delivery_latency: DurationDist::constant(Duration::from_millis(1)),
+    }
+}
+
+/// Time-compressed stand-in for the paper's Provider II: the same
+/// unbounded thrashing shape as [`ServiceModel::provider_two`], scaled
+/// ×50 in rate — and with the backlog threshold compressed to match, so
+/// degradation sets in on the same compressed timescale and the collapse
+/// emerges within the run.
+fn scaled_provider_two() -> ServiceModel {
+    ServiceModel::Thrashing {
+        base_capacity_msgs_per_sec: 8_000.0,
+        per_byte_nanos: 0,
+        degradation_threshold: 1_000,
+        degradation_factor: 2.0,
+        delivery_latency: DurationDist::constant(Duration::from_millis(1)),
+    }
+}
+
+/// Tally of one model run, shared between the transport (which fills it
+/// in on the engine worker) and the caller.
+#[derive(Default)]
+struct ModelTally {
+    admitted: u64,
+    completed_in_window: u64,
+    /// Completions in the second half of the window — the steady-state
+    /// delivery rate after the backlog (and its degradation) has built.
+    completed_steady: u64,
+    latency: LogHistogram,
+}
+
+/// A virtual broker implementing a [`ServiceModel`] as a single-server
+/// queue in real time: each admitted send is assigned a completion time
+/// analytically, so latency (completion − intended) is exact without
+/// waiting for delivery. A full plateau queue answers `RetryAfter` until
+/// the head-of-line message completes — the flow control that throttles
+/// producers in Figure 2.
+struct ModelTransport {
+    model: ServiceModel,
+    rng: SimRng,
+    /// Completion times of messages still queued or in service.
+    completions: VecDeque<Duration>,
+    last_completion: Duration,
+    horizon: Duration,
+    tally: Arc<Mutex<ModelTally>>,
+}
+
+impl ModelTransport {
+    fn new(model: ServiceModel, horizon: Duration, tally: Arc<Mutex<ModelTally>>) -> Self {
+        Self {
+            model,
+            rng: SimRng::seed_from_u64(7),
+            completions: VecDeque::new(),
+            last_completion: Duration::ZERO,
+            horizon,
+            tally,
+        }
+    }
+}
+
+impl Transport for ModelTransport {
+    fn send(
+        &mut self,
+        _client: u32,
+        _seq: u64,
+        intended: Duration,
+        now: Duration,
+    ) -> SendDisposition {
+        while self.completions.front().is_some_and(|&at| at <= now) {
+            self.completions.pop_front();
+        }
+        if let Some(capacity) = self.model.queue_capacity() {
+            if self.completions.len() >= capacity {
+                // Flow control: a slot frees when the head-of-line message
+                // completes. Jitter spreads the blocked clients' retries so
+                // they do not stampede the freed slot in lockstep.
+                let head = *self.completions.front().expect("non-empty full queue");
+                let jitter = Duration::from_secs_f64(self.rng.uniform(0.5e-3, 30e-3));
+                return SendDisposition::RetryAfter(head.saturating_sub(now) + jitter);
+            }
+        }
+        let backlog = self.completions.len();
+        let start = self.last_completion.max(now);
+        let completion = start + self.model.service_time(backlog, BODY_BYTES);
+        self.last_completion = completion;
+        self.completions.push_back(completion);
+        let delivered_at = completion + self.model.delivery_latency(&mut self.rng);
+        let mut tally = self.tally.lock().expect("tally lock");
+        tally.admitted += 1;
+        if completion <= self.horizon {
+            tally.completed_in_window += 1;
+            if completion > self.horizon / 2 {
+                tally.completed_steady += 1;
+            }
+        }
+        tally.latency.record(delivered_at.saturating_sub(intended));
+        SendDisposition::Sent
+    }
+}
+
+struct ModelPoint {
+    model: &'static str,
+    clients: usize,
+    offered_per_sec: f64,
+    admitted: u64,
+    delivered_per_sec: f64,
+    /// Delivery rate over the second half of the window only — the
+    /// steady-state rate once the backlog has built, which is where the
+    /// thrashing provider's collapse shows.
+    steady_per_sec: f64,
+    retries: u64,
+    latency: LogHistogram,
+}
+
+fn model_point(
+    name: &'static str,
+    model: ServiceModel,
+    clients: usize,
+    offered_per_sec: f64,
+    run_for: Duration,
+) -> ModelPoint {
+    let tally = Arc::new(Mutex::new(ModelTally::default()));
+    let transport = ModelTransport::new(model, run_for, Arc::clone(&tally));
+    let per_client = offered_per_sec / clients as f64;
+    let specs: Vec<ClientSpec> = (0..clients)
+        .map(|index| {
+            ClientSpec::new(
+                ArrivalProcess::poisson(per_client)
+                    .generator(SimRng::seed_from_u64(1_000_000 + index as u64)),
+            )
+        })
+        .collect();
+    // One worker = one server: the model is a single queue, so all
+    // clients multiplex onto a single engine worker.
+    let report = LoadEngine::new(1).run(specs, vec![Box::new(transport)], Some(run_for), None);
+    let tally = Arc::into_inner(tally)
+        .expect("sole tally owner")
+        .into_inner()
+        .expect("tally lock");
+    ModelPoint {
+        model: name,
+        clients,
+        offered_per_sec,
+        admitted: tally.admitted,
+        delivered_per_sec: tally.completed_in_window as f64 / run_for.as_secs_f64(),
+        steady_per_sec: tally.completed_steady as f64 / (run_for.as_secs_f64() / 2.0),
+        retries: report.retries,
+        latency: tally.latency,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Experiment 3: coordinated omission — open vs closed loop
+// ---------------------------------------------------------------------------
+
+/// Closed-loop measurement of the same model in virtual time: each client
+/// waits for its previous response before the next send, and latency is
+/// measured from the *actual* send — the classic benchmark loop that
+/// coordinates with the server and omits the waiting time.
+fn closed_loop_latency(
+    model: &ServiceModel,
+    clients: usize,
+    per_client_gap: Duration,
+    run_for: Duration,
+) -> LogHistogram {
+    let mut rng = SimRng::seed_from_u64(13);
+    let mut latency = LogHistogram::new();
+    let mut completions: VecDeque<Duration> = VecDeque::new();
+    let mut last_completion = Duration::ZERO;
+    // Min-heap of (next send time, client).
+    let mut ready: BinaryHeap<std::cmp::Reverse<(Duration, usize)>> = (0..clients)
+        .map(|client| std::cmp::Reverse((per_client_gap.mul_f64(rng.uniform(0.0, 1.0)), client)))
+        .collect();
+    while let Some(std::cmp::Reverse((now, client))) = ready.pop() {
+        if now > run_for {
+            break;
+        }
+        while completions.front().is_some_and(|&at| at <= now) {
+            completions.pop_front();
+        }
+        let backlog = completions.len();
+        let start = last_completion.max(now);
+        let completion = start + model.service_time(backlog, BODY_BYTES);
+        last_completion = completion;
+        completions.push_back(completion);
+        let delivered_at = completion + model.delivery_latency(&mut rng);
+        // Measured from the actual send time — the omission.
+        latency.record(delivered_at.saturating_sub(now));
+        // The client blocks on its response, then paces the next send.
+        ready.push(std::cmp::Reverse((
+            delivered_at.max(now + per_client_gap),
+            client,
+        )));
+    }
+    latency
+}
+
+// ---------------------------------------------------------------------------
+// Reporting
+// ---------------------------------------------------------------------------
+
+fn micros(duration: Option<Duration>) -> f64 {
+    duration.map(|d| d.as_secs_f64() * 1e6).unwrap_or(f64::NAN)
+}
+
+fn quantiles_json(histogram: &LogHistogram) -> String {
+    format!(
+        "{{\"p50_us\": {:.1}, \"p99_us\": {:.1}, \"p999_us\": {:.1}, \"max_us\": {:.1}}}",
+        micros(histogram.quantile(0.5)),
+        micros(histogram.quantile(0.99)),
+        micros(histogram.quantile(0.999)),
+        micros(histogram.max()),
+    )
+}
+
+fn print_histogram_row(label: &str, histogram: &LogHistogram) {
     println!(
-        "{:>14} {:>14} {:>16}",
-        "demand B/s", "pub msg/s", "sub msg/s"
+        "    {label}: p50 {:>10.1} µs   p99 {:>12.1} µs   p99.9 {:>12.1} µs",
+        micros(histogram.quantile(0.5)),
+        micros(histogram.quantile(0.99)),
+        micros(histogram.quantile(0.999)),
     );
-    for row in series {
-        println!(
-            "{:>14.0} {:>14.1} {:>16.1}",
-            row.demand_bytes_per_sec, row.publisher_msgs_per_sec, row.subscriber_msgs_per_sec
-        );
-    }
-    // ASCII sketch of the subscriber curve.
-    let max = series
-        .iter()
-        .map(|row| row.subscriber_msgs_per_sec)
-        .fold(f64::MIN, f64::max)
-        .max(1.0);
-    println!("subscriber throughput:");
-    for row in series {
-        let bar = "#".repeat((row.subscriber_msgs_per_sec / max * 50.0).round() as usize);
-        println!("{:>10.0} | {}", row.demand_bytes_per_sec, bar);
-    }
-    println!();
 }
 
 fn main() {
-    let body_bytes = 1024;
-    // Demand grid: fine steps through the rising region, then the
-    // paper's 0..500,000 B/s span.
-    let mut demands: Vec<f64> = vec![10_000.0, 20_000.0, 30_000.0, 40_000.0];
-    demands.extend((1..=10).map(|i| i as f64 * 50_000.0));
+    let mut smoke = false;
+    let mut out_path = String::from("BENCH_loadgen.json");
+    let mut arguments = std::env::args().skip(1);
+    while let Some(argument) = arguments.next() {
+        match argument.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                out_path = arguments.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!(
+                    "unknown argument {other}; usage: throughput_curve [--smoke] [--out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
 
-    // Provider I (Figure 2): flow control — both curves plateau at the
-    // provider's capacity (the paper's plateau sits near 45 msg/s).
-    print_figure(
-        "Figure 2 — Provider I (plateau under overload)",
-        &sweep(&ServiceModel::provider_one(), body_bytes, &demands),
-    );
+    // --- Experiment 1: broker scalability ---------------------------------
+    let (counts, broker_rate, broker_run) = if smoke {
+        (
+            vec![1_000usize, 10_000],
+            10_000.0,
+            Duration::from_millis(800),
+        )
+    } else {
+        (
+            vec![1_000usize, 10_000, 100_000],
+            40_000.0,
+            Duration::from_secs(3),
+        )
+    };
+    println!("== Broker scalability: virtual clients multiplexed onto a worker pool ==");
+    let mut broker_points = Vec::new();
+    for &clients in &counts {
+        let point = broker_point(clients, broker_rate, broker_run);
+        println!(
+            "  {:>7} clients @ {:>8.0} msg/s offered: sent {:>7} ({:>8.0} msg/s), received {:>7}",
+            point.clients,
+            point.offered_per_sec,
+            point.sends,
+            point.achieved_per_sec,
+            point.received,
+        );
+        print_histogram_row("send lag   ", &point.send_lag);
+        print_histogram_row("delivery   ", &point.delivery_latency);
+        broker_points.push(point);
+    }
+    println!();
 
-    // Provider II (Figure 3): no flow control — publishers keep climbing
-    // while subscriber throughput peaks (near 160 msg/s in the paper) and
-    // then falls as the system is over-stressed.
-    print_figure(
-        "Figure 3 — Provider II (collapse under overload)",
-        &sweep(&ServiceModel::provider_two(), body_bytes, &demands),
+    // --- Experiment 2: plateau vs collapse --------------------------------
+    let model_clients = if smoke { 10_000 } else { 100_000 };
+    let model_run = if smoke {
+        Duration::from_millis(700)
+    } else {
+        Duration::from_millis(1_500)
+    };
+    let demands: Vec<f64> = if smoke {
+        vec![4_000.0, 8_000.0, 32_000.0]
+    } else {
+        vec![1_000.0, 4_000.0, 8_000.0, 16_000.0, 32_000.0]
+    };
+    println!("== Model crossover: {model_clients} clients vs time-compressed Providers I/II ==");
+    let mut model_points = Vec::new();
+    for &(name, ref model) in &[
+        ("plateau", scaled_provider_one()),
+        ("thrashing", scaled_provider_two()),
+    ] {
+        println!("  {name} ({model}):");
+        for &offered in &demands {
+            let point = model_point(name, model.clone(), model_clients, offered, model_run);
+            println!(
+                "    offered {:>8.0} msg/s → delivered {:>8.0} msg/s, steady {:>8.0} msg/s   (admitted {:>6}, {:>6} retries)",
+                point.offered_per_sec,
+                point.delivered_per_sec,
+                point.steady_per_sec,
+                point.admitted,
+                point.retries,
+            );
+            print_histogram_row("latency  ", &point.latency);
+            model_points.push(point);
+        }
+    }
+    println!();
+
+    // --- Experiment 3: coordinated omission -------------------------------
+    // The thrashing model at 2× nominal capacity: open loop measures from
+    // the intended send time, closed loop from the actual one.
+    // 500 clients each pacing 32 msg/s nominally offer 16K msg/s — 2× the
+    // model's base capacity. The open loop keeps offering it; the closed
+    // loop caps itself at 500 outstanding requests (below the degradation
+    // threshold), so its measured tail never sees the overload it causes.
+    let co_model = scaled_provider_two();
+    let co_offered = 16_000.0;
+    let co_clients = 500;
+    let co_run = if smoke {
+        Duration::from_millis(700)
+    } else {
+        Duration::from_millis(1_500)
+    };
+    println!("== Coordinated omission: thrashing model at {co_offered:.0} msg/s offered ==");
+    let open = model_point(
+        "thrashing",
+        co_model.clone(),
+        co_clients,
+        co_offered,
+        co_run,
     );
+    let per_client_gap = Duration::from_secs_f64(co_clients as f64 / co_offered);
+    let closed = closed_loop_latency(&co_model, co_clients, per_client_gap, co_run);
+    print_histogram_row("open loop  ", &open.latency);
+    print_histogram_row("closed loop", &closed);
+    let open_p99 = micros(open.latency.quantile(0.99));
+    let closed_p99 = micros(closed.quantile(0.99));
+    println!(
+        "    open-loop p99 is {:.1}× the closed-loop p99 — the closed loop coordinated with the overload",
+        open_p99 / closed_p99.max(1.0),
+    );
+    println!();
+
+    // --- BENCH_loadgen.json ------------------------------------------------
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"jmst-loadgen-v1\",\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str("  \"broker\": [\n");
+    for (index, point) in broker_points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"clients\": {}, \"offered_msgs_per_sec\": {:.1}, \"sends\": {}, \"achieved_msgs_per_sec\": {:.1}, \"received\": {}, \"unstamped\": {}, \"send_lag\": {}, \"delivery_latency\": {}}}{}\n",
+            point.clients,
+            point.offered_per_sec,
+            point.sends,
+            point.achieved_per_sec,
+            point.received,
+            point.unstamped,
+            quantiles_json(&point.send_lag),
+            quantiles_json(&point.delivery_latency),
+            if index + 1 < broker_points.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n  \"models\": [\n");
+    for (index, point) in model_points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"model\": \"{}\", \"clients\": {}, \"offered_msgs_per_sec\": {:.1}, \"admitted\": {}, \"delivered_msgs_per_sec\": {:.1}, \"steady_msgs_per_sec\": {:.1}, \"retries\": {}, \"latency\": {}}}{}\n",
+            point.model,
+            point.clients,
+            point.offered_per_sec,
+            point.admitted,
+            point.delivered_per_sec,
+            point.steady_per_sec,
+            point.retries,
+            quantiles_json(&point.latency),
+            if index + 1 < model_points.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n  \"coordinated_omission\": ");
+    json.push_str(&format!(
+        "{{\"model\": \"thrashing\", \"clients\": {}, \"offered_msgs_per_sec\": {:.1}, \"open_latency\": {}, \"closed_latency\": {}}}\n",
+        co_clients,
+        co_offered,
+        quantiles_json(&open.latency),
+        quantiles_json(&closed),
+    ));
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    println!("wrote {out_path}");
 }

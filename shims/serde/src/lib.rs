@@ -230,6 +230,15 @@ impl FieldMap {
             None => Err(ContentError(format!("missing field `{name}`"))),
         }
     }
+
+    /// Removes and returns the named field, or `None` when absent — the
+    /// backing for `#[serde(default)]` fields.
+    pub fn take_opt(&mut self, name: &str) -> Option<Content> {
+        self.entries
+            .iter()
+            .position(|(key, _)| key == name)
+            .map(|index| self.entries.remove(index).1)
+    }
 }
 
 /// Helper used by derived impls: normalizes an externally tagged enum

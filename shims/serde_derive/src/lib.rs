@@ -3,7 +3,8 @@
 //!
 //! A tiny token-tree parser extracts just what the companion `serde`
 //! shim's content model needs — item kind, name, field/variant names,
-//! and `#[serde(with = "path")]` attributes — and the impls are emitted
+//! and `#[serde(with = "path")]` / `#[serde(default)]` attributes — and
+//! the impls are emitted
 //! as source text. Supported shapes: non-generic structs (named, tuple,
 //! unit) and enums (unit, tuple, struct variants). That covers every
 //! derive site in this workspace; anything fancier fails loudly at
@@ -11,11 +12,20 @@
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-/// One parsed field: its name (`None` for tuple fields) and the module
-/// path from a `#[serde(with = "…")]` attribute, if any.
+/// One parsed field: its name (`None` for tuple fields), the module
+/// path from a `#[serde(with = "…")]` attribute, if any, and whether
+/// `#[serde(default)]` lets the field be absent on deserialize.
 struct Field {
     name: Option<String>,
     with: Option<String>,
+    default: bool,
+}
+
+/// Field-level serde options the shim understands.
+#[derive(Default)]
+struct FieldAttrs {
+    with: Option<String>,
+    default: bool,
 }
 
 /// One parsed enum variant.
@@ -87,10 +97,10 @@ impl Cursor {
         self.index >= self.tokens.len()
     }
 
-    /// Skips `#[…]` attribute groups, returning any `with = "path"`
-    /// found inside a `#[serde(…)]` attribute.
-    fn skip_attrs(&mut self) -> Option<String> {
-        let mut with = None;
+    /// Skips `#[…]` attribute groups, collecting any `with = "path"` or
+    /// `default` options found inside `#[serde(…)]` attributes.
+    fn skip_attrs(&mut self) -> FieldAttrs {
+        let mut attrs = FieldAttrs::default();
         while let Some(TokenTree::Punct(p)) = self.peek() {
             if p.as_char() != '#' {
                 break;
@@ -105,12 +115,14 @@ impl Cursor {
                 if name.to_string() == "serde" {
                     inner.next();
                     if let Some(TokenTree::Group(args)) = inner.next() {
-                        with = parse_serde_args(args.stream()).or(with);
+                        let parsed = parse_serde_args(args.stream());
+                        attrs.with = parsed.with.or(attrs.with);
+                        attrs.default |= parsed.default;
                     }
                 }
             }
         }
-        with
+        attrs
     }
 
     /// Skips `pub` / `pub(crate)` visibility qualifiers.
@@ -170,26 +182,27 @@ impl Cursor {
     }
 }
 
-fn parse_serde_args(stream: TokenStream) -> Option<String> {
+fn parse_serde_args(stream: TokenStream) -> FieldAttrs {
     let mut cursor = Cursor::new(stream);
+    let mut attrs = FieldAttrs::default();
     while let Some(token) = cursor.next() {
         if let TokenTree::Ident(ident) = &token {
-            if ident.to_string() == "with" {
-                match (cursor.next(), cursor.next()) {
+            match ident.to_string().as_str() {
+                "with" => match (cursor.next(), cursor.next()) {
                     (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(path)))
                         if eq.as_char() == '=' =>
                     {
                         let text = path.to_string();
-                        return Some(text.trim_matches('"').to_string());
+                        attrs.with = Some(text.trim_matches('"').to_string());
                     }
                     _ => panic!("malformed #[serde(with = \"…\")] attribute"),
-                }
-            } else {
-                panic!("unsupported #[serde({ident})] attribute in offline shim");
+                },
+                "default" => attrs.default = true,
+                other => panic!("unsupported #[serde({other})] attribute in offline shim"),
             }
         }
     }
-    None
+    attrs
 }
 
 fn parse_item(input: TokenStream) -> Item {
@@ -234,7 +247,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut cursor = Cursor::new(stream);
     let mut fields = Vec::new();
     while !cursor.at_end() {
-        let with = cursor.skip_attrs();
+        let attrs = cursor.skip_attrs();
         cursor.skip_visibility();
         let field_name = match cursor.next() {
             Some(TokenTree::Ident(ident)) => ident.to_string(),
@@ -248,7 +261,8 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
         cursor.expect_comma_or_end();
         fields.push(Field {
             name: Some(field_name),
-            with,
+            with: attrs.with,
+            default: attrs.default,
         });
     }
     fields
@@ -258,11 +272,15 @@ fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
     let mut cursor = Cursor::new(stream);
     let mut fields = Vec::new();
     while !cursor.at_end() {
-        let with = cursor.skip_attrs();
+        let attrs = cursor.skip_attrs();
         cursor.skip_visibility();
         cursor.skip_type();
         cursor.expect_comma_or_end();
-        fields.push(Field { name: None, with });
+        fields.push(Field {
+            name: None,
+            with: attrs.with,
+            default: attrs.default,
+        });
     }
     fields
 }
@@ -319,6 +337,22 @@ fn de_expr(content: &str, field: &Field) -> String {
             format!("{path}::deserialize(::serde::ContentDeserializer::new({content}))?")
         }
         None => format!("::serde::from_content({content})?"),
+    }
+}
+
+/// `de_expr` for a named struct field, honouring `#[serde(default)]`:
+/// an absent field deserializes as `Default::default()`.
+fn named_de_expr(field: &Field) -> String {
+    let name = field.name.as_deref().expect("named field");
+    if field.default {
+        format!(
+            "match __fields.take_opt(\"{name}\") {{ \
+             ::core::option::Option::Some(__c) => {}, \
+             ::core::option::Option::None => ::core::default::Default::default() }}",
+            de_expr("__c", field)
+        )
+    } else {
+        de_expr(&format!("__fields.take(\"{name}\")?"), field)
     }
 }
 
@@ -450,10 +484,7 @@ fn emit_deserialize(item: &Item) -> String {
                 .iter()
                 .map(|f| {
                     let field = f.name.as_deref().expect("named field");
-                    format!(
-                        "{field}: {}",
-                        de_expr(&format!("__fields.take(\"{field}\")?"), f)
-                    )
+                    format!("{field}: {}", named_de_expr(f))
                 })
                 .collect();
             (
@@ -520,10 +551,7 @@ fn emit_deserialize(item: &Item) -> String {
                                 .iter()
                                 .map(|f| {
                                     let field = f.name.as_deref().expect("named field");
-                                    format!(
-                                        "{field}: {}",
-                                        de_expr(&format!("__fields.take(\"{field}\")?"), f)
-                                    )
+                                    format!("{field}: {}", named_de_expr(f))
                                 })
                                 .collect();
                             format!(
