@@ -1,0 +1,228 @@
+//! The fuzzer's coverage map: which (fault kind × verdict × flagged
+//! property) tuples the corpus has demonstrated.
+//!
+//! A tuple is the corpus-level analogue of a branch: "a drop-defect
+//! scenario that the pipeline convicted of Property 2" is one behaviour
+//! of the whole detection stack, and an input that lights a tuple nobody
+//! has lit before taught us something — the fuzzer keeps it.
+
+use crate::expect::FaultKind;
+use crate::runner::{Observed, VerdictKind};
+use jmst_core::PropertyKind;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One coverage tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CoverageKey {
+    /// The injected-defect family of the scenario.
+    pub fault: FaultKind,
+    /// The verdict class the pipeline reached.
+    pub verdict: VerdictKind,
+    /// A property the analyzer flagged (`None` for verdicts without
+    /// violations).
+    pub property: Option<PropertyKind>,
+}
+
+impl fmt::Display for CoverageKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.property {
+            Some(property) => write!(
+                f,
+                "({}, {}, {})",
+                self.fault,
+                self.verdict,
+                crate::expect::property_code(property)
+            ),
+            None => write!(f, "({}, {}, -)", self.fault, self.verdict),
+        }
+    }
+}
+
+/// The keys one observation contributes: one per flagged property, or a
+/// single propertyless key when nothing was flagged.
+pub fn keys_of(fault: FaultKind, observed: &Observed) -> Vec<CoverageKey> {
+    if observed.properties.is_empty() {
+        vec![CoverageKey {
+            fault,
+            verdict: observed.verdict,
+            property: None,
+        }]
+    } else {
+        observed
+            .properties
+            .iter()
+            .map(|property| CoverageKey {
+                fault,
+                verdict: observed.verdict,
+                property: Some(*property),
+            })
+            .collect()
+    }
+}
+
+/// The set of tuples seen so far.
+#[derive(Debug, Clone, Default)]
+pub struct CoverageMap {
+    seen: BTreeSet<CoverageKey>,
+}
+
+impl CoverageMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an observation; returns `true` when it lit at least one
+    /// tuple the map had not seen before.
+    pub fn record(&mut self, fault: FaultKind, observed: &Observed) -> bool {
+        let mut lit_new = false;
+        for key in keys_of(fault, observed) {
+            lit_new |= self.seen.insert(key);
+        }
+        lit_new
+    }
+
+    /// Has this exact tuple been seen?
+    pub fn contains(&self, key: &CoverageKey) -> bool {
+        self.seen.contains(key)
+    }
+
+    /// Number of distinct tuples seen.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+
+    /// Iterates the tuples in canonical order.
+    pub fn keys(&self) -> impl Iterator<Item = &CoverageKey> {
+        self.seen.iter()
+    }
+
+    /// Fraction of `targets` this map has hit.
+    pub fn ratio_of(&self, targets: &[CoverageKey]) -> f64 {
+        if targets.is_empty() {
+            return 1.0;
+        }
+        let hit = targets.iter().filter(|key| self.contains(key)).count();
+        hit as f64 / targets.len() as f64
+    }
+
+    /// The targets not yet hit.
+    pub fn missing_from<'a>(&self, targets: &'a [CoverageKey]) -> Vec<&'a CoverageKey> {
+        targets.iter().filter(|key| !self.contains(key)).collect()
+    }
+}
+
+/// The canonical reachable tuple set: for every defect family, the
+/// verdict and flagged property a correct detection pipeline produces
+/// (plus the retry-off inconclusive branch of connect faults). This is
+/// the denominator of the fuzzer's coverage ratio.
+pub fn reachable_tuples() -> Vec<CoverageKey> {
+    let key = |fault, verdict, property| CoverageKey {
+        fault,
+        verdict,
+        property,
+    };
+    vec![
+        key(FaultKind::Clean, VerdictKind::Pass, None),
+        key(
+            FaultKind::Drop,
+            VerdictKind::Violated,
+            Some(PropertyKind::RequiredMessages),
+        ),
+        key(
+            FaultKind::Duplicate,
+            VerdictKind::Violated,
+            Some(PropertyKind::DuplicateDelivery),
+        ),
+        key(
+            FaultKind::Reorder,
+            VerdictKind::Violated,
+            Some(PropertyKind::MessageOrdering),
+        ),
+        key(
+            FaultKind::Forge,
+            VerdictKind::Violated,
+            Some(PropertyKind::DeliveryIntegrity),
+        ),
+        key(
+            FaultKind::Expiry,
+            VerdictKind::Violated,
+            Some(PropertyKind::ExpiredMessages),
+        ),
+        key(
+            FaultKind::CrashLoss,
+            VerdictKind::Violated,
+            Some(PropertyKind::RequiredMessages),
+        ),
+        key(FaultKind::Connect, VerdictKind::Pass, None),
+        key(FaultKind::Connect, VerdictKind::Inconclusive, None),
+        key(FaultKind::Stall, VerdictKind::Pass, None),
+        // Lost acks convict a reconnecting client-ack consumer of
+        // duplicate delivery; under the other acknowledgement modes the
+        // fault is unobservable and the scenario passes.
+        key(
+            FaultKind::AckLoss,
+            VerdictKind::Violated,
+            Some(PropertyKind::DuplicateDelivery),
+        ),
+        key(FaultKind::AckLoss, VerdictKind::Pass, None),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn pass() -> Observed {
+        Observed {
+            verdict: VerdictKind::Pass,
+            properties: BTreeSet::new(),
+        }
+    }
+
+    #[test]
+    fn recording_reports_novelty_once() {
+        let mut map = CoverageMap::new();
+        assert!(map.record(FaultKind::Clean, &pass()));
+        assert!(!map.record(FaultKind::Clean, &pass()));
+        assert!(map.record(FaultKind::Stall, &pass()));
+        assert_eq!(map.len(), 2);
+    }
+
+    #[test]
+    fn violations_contribute_one_key_per_property() {
+        let mut properties = BTreeSet::new();
+        properties.insert(PropertyKind::RequiredMessages);
+        properties.insert(PropertyKind::MessageOrdering);
+        let observed = Observed {
+            verdict: VerdictKind::Violated,
+            properties,
+        };
+        assert_eq!(keys_of(FaultKind::Drop, &observed).len(), 2);
+    }
+
+    #[test]
+    fn reachable_set_is_distinct_and_covers_every_fault_kind() {
+        let targets = reachable_tuples();
+        let distinct: BTreeSet<&CoverageKey> = targets.iter().collect();
+        assert_eq!(distinct.len(), targets.len());
+        for fault in FaultKind::ALL {
+            assert!(
+                targets.iter().any(|key| key.fault == fault),
+                "no reachable tuple for {fault}"
+            );
+        }
+        let mut map = CoverageMap::new();
+        assert_eq!(map.ratio_of(&targets), 0.0);
+        map.record(FaultKind::Clean, &pass());
+        assert!(map.ratio_of(&targets) > 0.0);
+        assert_eq!(map.missing_from(&targets).len(), targets.len() - 1);
+    }
+}

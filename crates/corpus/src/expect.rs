@@ -1,0 +1,234 @@
+//! Expected-verdict annotations carried by every generated scenario.
+//!
+//! The scenario text format strips `#` comments before parsing, so the
+//! corpus rides its oracle inside comment lines at the top of each
+//! `.cfg` file:
+//!
+//! ```text
+//! # jmst-corpus scenario
+//! # fault: drop
+//! # expect: violated P2
+//! ```
+//!
+//! `fault:` names the injected defect family (the coverage-map axis),
+//! `expect:` the verdict the analysis pipeline must reach. A scenario
+//! whose observed verdict disagrees with its annotation is *divergent* —
+//! the fuzzer's most interesting find, and the input to the
+//! delta-minimiser.
+
+use jmst_core::PropertyKind;
+use std::fmt;
+
+/// The injected-defect families the corpus enumerates. `Clean` is the
+/// control: no fault at all, the scenario must pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultKind {
+    /// No injected fault; the control group.
+    Clean,
+    /// The broker silently drops delivered messages.
+    Drop,
+    /// The broker delivers some messages twice.
+    Duplicate,
+    /// The broker delays individual messages past their successors.
+    Reorder,
+    /// The broker forges messages nobody sent.
+    Forge,
+    /// The broker ignores time-to-live and delivers expired messages.
+    Expiry,
+    /// The broker loses persistent messages across a mid-run crash.
+    CrashLoss,
+    /// Connect attempts fail with some probability (operational fault).
+    Connect,
+    /// Sends stall for a while with some probability (operational fault).
+    Stall,
+    /// Consumer acknowledgements are lost with some probability.
+    AckLoss,
+}
+
+impl FaultKind {
+    /// Every fault kind, in canonical order.
+    pub const ALL: [FaultKind; 10] = [
+        FaultKind::Clean,
+        FaultKind::Drop,
+        FaultKind::Duplicate,
+        FaultKind::Reorder,
+        FaultKind::Forge,
+        FaultKind::Expiry,
+        FaultKind::CrashLoss,
+        FaultKind::Connect,
+        FaultKind::Stall,
+        FaultKind::AckLoss,
+    ];
+
+    /// The annotation / file-name token for this kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Clean => "clean",
+            FaultKind::Drop => "drop",
+            FaultKind::Duplicate => "duplicate",
+            FaultKind::Reorder => "reorder",
+            FaultKind::Forge => "forge",
+            FaultKind::Expiry => "expiry",
+            FaultKind::CrashLoss => "crash-loss",
+            FaultKind::Connect => "connect",
+            FaultKind::Stall => "stall",
+            FaultKind::AckLoss => "ack-loss",
+        }
+    }
+
+    /// Parses an annotation token back into a kind.
+    pub fn parse(text: &str) -> Option<FaultKind> {
+        FaultKind::ALL
+            .iter()
+            .copied()
+            .find(|kind| kind.name() == text)
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Short stable codes for the properties, used in annotations and the
+/// generated matrix ("P2", "dup", ...).
+pub fn property_code(property: PropertyKind) -> &'static str {
+    match property {
+        PropertyKind::DeliveryIntegrity => "P1",
+        PropertyKind::RequiredMessages => "P2",
+        PropertyKind::MessageOrdering => "P3",
+        PropertyKind::MessagePriority => "P4",
+        PropertyKind::ExpiredMessages => "P5",
+        PropertyKind::DuplicateDelivery => "dup",
+        PropertyKind::BoundedRedelivery => "redelivery",
+    }
+}
+
+/// Parses a [`property_code`] back into a property.
+pub fn parse_property_code(text: &str) -> Option<PropertyKind> {
+    [
+        PropertyKind::DeliveryIntegrity,
+        PropertyKind::RequiredMessages,
+        PropertyKind::MessageOrdering,
+        PropertyKind::MessagePriority,
+        PropertyKind::ExpiredMessages,
+        PropertyKind::DuplicateDelivery,
+        PropertyKind::BoundedRedelivery,
+    ]
+    .into_iter()
+    .find(|property| property_code(*property) == text)
+}
+
+/// The verdict a scenario is annotated to produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ExpectedVerdict {
+    /// The run completes and every checked property holds.
+    Pass,
+    /// The run completes and the named property is among the flagged
+    /// violations.
+    Violated(PropertyKind),
+    /// The drivers abandon the run (e.g. connect failures with retry
+    /// disabled); the analysis is inconclusive by design.
+    Inconclusive,
+}
+
+impl ExpectedVerdict {
+    /// The annotation text after `# expect: `.
+    pub fn render(self) -> String {
+        match self {
+            ExpectedVerdict::Pass => "pass".to_owned(),
+            ExpectedVerdict::Violated(property) => {
+                format!("violated {}", property_code(property))
+            }
+            ExpectedVerdict::Inconclusive => "inconclusive".to_owned(),
+        }
+    }
+
+    /// Parses an annotation back into a verdict.
+    pub fn parse(text: &str) -> Option<ExpectedVerdict> {
+        match text.trim() {
+            "pass" => Some(ExpectedVerdict::Pass),
+            "inconclusive" => Some(ExpectedVerdict::Inconclusive),
+            other => {
+                let code = other.strip_prefix("violated ")?;
+                Some(ExpectedVerdict::Violated(parse_property_code(code.trim())?))
+            }
+        }
+    }
+}
+
+impl fmt::Display for ExpectedVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Renders the annotation header prepended to a generated `.cfg` file.
+pub fn render_annotations(fault: FaultKind, expect: ExpectedVerdict) -> String {
+    format!(
+        "# jmst-corpus scenario\n# fault: {}\n# expect: {}\n",
+        fault.name(),
+        expect.render()
+    )
+}
+
+/// Reads the annotation header back out of scenario text. Returns `None`
+/// when either line is missing or unparseable.
+pub fn parse_annotations(text: &str) -> Option<(FaultKind, ExpectedVerdict)> {
+    let mut fault = None;
+    let mut expect = None;
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("# fault:") {
+            fault = FaultKind::parse(rest.trim());
+        } else if let Some(rest) = line.strip_prefix("# expect:") {
+            expect = ExpectedVerdict::parse(rest.trim());
+        }
+    }
+    Some((fault?, expect?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_kind_names_round_trip() {
+        for kind in FaultKind::ALL {
+            assert_eq!(FaultKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(FaultKind::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn verdicts_round_trip() {
+        let verdicts = [
+            ExpectedVerdict::Pass,
+            ExpectedVerdict::Inconclusive,
+            ExpectedVerdict::Violated(PropertyKind::RequiredMessages),
+            ExpectedVerdict::Violated(PropertyKind::DuplicateDelivery),
+        ];
+        for verdict in verdicts {
+            assert_eq!(ExpectedVerdict::parse(&verdict.render()), Some(verdict));
+        }
+        assert_eq!(ExpectedVerdict::parse("violated P9"), None);
+    }
+
+    #[test]
+    fn annotations_round_trip_through_scenario_text() {
+        let header = render_annotations(
+            FaultKind::Reorder,
+            ExpectedVerdict::Violated(PropertyKind::MessageOrdering),
+        );
+        let text = format!("{header}\n[test]\nname = x\n");
+        assert_eq!(
+            parse_annotations(&text),
+            Some((
+                FaultKind::Reorder,
+                ExpectedVerdict::Violated(PropertyKind::MessageOrdering)
+            ))
+        );
+        assert_eq!(parse_annotations("[test]\nname = x\n"), None);
+    }
+}

@@ -1,0 +1,501 @@
+//! A coverage-guided fuzzer over scenario specs and fault scripts.
+//!
+//! The fuzzer starts from one proven seed scenario per reachable
+//! coverage tuple, then mutates spec knobs (rates, ack modes, shard
+//! counts, run lengths, seeds) and fault-script parameters, keeping any
+//! input whose run lights a (fault × verdict × property) tuple the
+//! [`CoverageMap`] has not seen. Mutations stay inside ranges where the
+//! injected defect remains decisively detectable, so a scenario whose
+//! observed verdict disagrees with its annotation is a genuine
+//! *divergence* — a pipeline surprise — and is handed to the
+//! delta-minimiser, which shrinks it to the smallest reproducing spec.
+
+use crate::coverage::{reachable_tuples, CoverageMap};
+use crate::expect::FaultKind;
+use crate::generator::{build_seed_entry, AckMode, CorpusEntry};
+use crate::runner::{run_entry, Observed};
+use jmst_harness::{FaultPlan, TestSpec};
+use jmst_sim::SimRng;
+use std::time::{Duration, Instant};
+
+/// Fuzzing budget and seed.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Master seed; two runs with equal seeds and budgets explore the
+    /// same inputs.
+    pub seed: u64,
+    /// Maximum number of scenario executions (seed corpus included).
+    pub max_runs: usize,
+    /// Optional wall-clock budget; checked between runs.
+    pub time_budget: Option<Duration>,
+    /// Delta-minimise divergent finds (costs extra runs per find).
+    pub minimize_divergent: bool,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        Self {
+            seed: 7,
+            max_runs: 64,
+            time_budget: None,
+            minimize_divergent: true,
+        }
+    }
+}
+
+/// A scenario whose observed verdict contradicted its annotation.
+#[derive(Debug, Clone)]
+pub struct DivergentFind {
+    /// The diverging scenario as found.
+    pub entry: CorpusEntry,
+    /// What the pipeline actually said.
+    pub observed: Observed,
+    /// The smallest spec that still reproduces the divergence, when
+    /// minimisation was enabled and succeeded.
+    pub minimized: Option<TestSpec>,
+}
+
+/// What a fuzzing campaign produced.
+#[derive(Debug, Clone)]
+pub struct FuzzOutcome {
+    /// Scenario executions spent.
+    pub runs: usize,
+    /// Tuples lit.
+    pub coverage: CoverageMap,
+    /// Inputs kept because they lit a new tuple (the seed corpus plus
+    /// every interesting mutant).
+    pub kept: Vec<CorpusEntry>,
+    /// Annotation-contradicting finds.
+    pub divergent: Vec<DivergentFind>,
+}
+
+impl FuzzOutcome {
+    /// Fraction of the canonical reachable tuple set this campaign lit.
+    pub fn coverage_ratio(&self) -> f64 {
+        self.coverage.ratio_of(&reachable_tuples())
+    }
+}
+
+/// The proven seed corpus: one scenario per reachable tuple — the base
+/// closed-loop template of each fault kind (client-ack for ack loss,
+/// which is unobservable otherwise), plus the retry-off connect variant
+/// for the inconclusive branch and the auto-ack ack-loss variant for
+/// its pass branch.
+pub fn seed_entries() -> Vec<CorpusEntry> {
+    let mut entries: Vec<CorpusEntry> = FaultKind::ALL
+        .iter()
+        .map(|fault| {
+            let ack = if *fault == FaultKind::AckLoss {
+                AckMode::ClientAck
+            } else {
+                AckMode::Auto
+            };
+            build_seed_entry(ack, *fault, true)
+        })
+        .collect();
+    entries.push(build_seed_entry(AckMode::Auto, FaultKind::Connect, false));
+    entries.push(build_seed_entry(AckMode::Auto, FaultKind::AckLoss, true));
+    entries
+}
+
+/// Runs a fuzzing campaign.
+pub fn fuzz(config: &FuzzConfig) -> FuzzOutcome {
+    let started = Instant::now();
+    let mut rng = SimRng::seed_from_u64(config.seed);
+    let mut coverage = CoverageMap::new();
+    let mut kept: Vec<CorpusEntry> = Vec::new();
+    let mut divergent = Vec::new();
+    let mut runs = 0usize;
+
+    let out_of_budget = |runs: usize, started: Instant| {
+        runs >= config.max_runs
+            || config
+                .time_budget
+                .is_some_and(|budget| started.elapsed() >= budget)
+    };
+
+    // Phase 1: execute the seed corpus; every seed should light its own
+    // tuple and is kept either way (seeds are the mutation pool).
+    for entry in seed_entries() {
+        if out_of_budget(runs, started) {
+            break;
+        }
+        runs += 1;
+        match run_entry(&entry) {
+            Ok(observed) => {
+                coverage.record(entry.fault, &observed);
+                if !observed.matches(entry.expect) {
+                    divergent.push(finish_divergence(
+                        entry.clone(),
+                        observed,
+                        config,
+                        &mut runs,
+                    ));
+                }
+                kept.push(entry);
+            }
+            Err(_) => {
+                // A seed that cannot even lint is a generator bug; the
+                // corpus tests catch it — skip it here.
+            }
+        }
+    }
+
+    // Phase 2: mutate kept inputs, keep whatever lights a new tuple.
+    let mut cursor = 0usize;
+    while !out_of_budget(runs, started) && !kept.is_empty() {
+        let parent = &kept[cursor % kept.len()];
+        cursor = cursor.wrapping_add(1);
+        let mutant = mutate(parent, &mut rng);
+        runs += 1;
+        let Ok(observed) = run_entry(&mutant) else {
+            continue;
+        };
+        let lit_new = coverage.record(mutant.fault, &observed);
+        if !observed.matches(mutant.expect) {
+            divergent.push(finish_divergence(
+                mutant.clone(),
+                observed,
+                config,
+                &mut runs,
+            ));
+        }
+        if lit_new {
+            kept.push(mutant);
+        }
+    }
+
+    FuzzOutcome {
+        runs,
+        coverage,
+        kept,
+        divergent,
+    }
+}
+
+fn finish_divergence(
+    entry: CorpusEntry,
+    observed: Observed,
+    config: &FuzzConfig,
+    runs: &mut usize,
+) -> DivergentFind {
+    let minimized = if config.minimize_divergent {
+        let (spec, spent) = minimize(&entry);
+        *runs += spent;
+        Some(spec)
+    } else {
+        None
+    };
+    DivergentFind {
+        entry,
+        observed,
+        minimized,
+    }
+}
+
+/// One seeded mutation of a corpus entry. The defect that defines the
+/// entry's fault kind is jittered, never removed, so the annotation
+/// stays a valid oracle for the mutant.
+pub fn mutate(parent: &CorpusEntry, rng: &mut SimRng) -> CorpusEntry {
+    let mut entry = parent.clone();
+    entry.name = format!("{}-m{:08x}", parent.name, rng.next_u64() as u32);
+    entry.spec.name = entry.name.clone();
+
+    let mutations = 1 + (rng.next_u64() % 2) as usize;
+    for _ in 0..mutations {
+        match rng.next_u64() % 6 {
+            0 => entry.spec.seed = rng.next_u64() % 1_000_000,
+            1 => {
+                if let Some(plan) = &mut entry.spec.faults {
+                    plan.seed = rng.next_u64() % 1_000_000;
+                }
+            }
+            2 => {
+                // Jitter producer rates inside the decisively-detectable
+                // band (crash timing is tuned; leave its rate alone).
+                if entry.fault != FaultKind::CrashLoss {
+                    for node in &mut entry.spec.nodes {
+                        for producer in &mut node.producers {
+                            let rate = 150.0 + f64::from((rng.next_u64() % 3000) as u32) / 10.0;
+                            producer.workload = jmst_sim::ArrivalProcess::steady(rate);
+                        }
+                    }
+                }
+            }
+            3 => {
+                let ack = AckMode::ALL[(rng.next_u64() % 4) as usize];
+                let (mode, batch) = ack.session();
+                for node in &mut entry.spec.nodes {
+                    for consumer in &mut node.consumers {
+                        consumer.session_mode = mode;
+                        consumer.batch = batch;
+                    }
+                }
+                // The ack-loss oracle depends on the acknowledgement
+                // mode; keep the annotation true for the mutant.
+                let retry_on = entry.spec.retry != jmst_harness::RetryPolicy::disabled();
+                entry.expect = crate::generator::expected_verdict(entry.fault, retry_on, ack);
+            }
+            4 => {
+                let shards = [1u32, 2, 4, 8][(rng.next_u64() % 4) as usize];
+                entry.spec.shards = Some(shards);
+            }
+            _ => {
+                if let Some(plan) = &mut entry.spec.faults {
+                    jitter_fault(entry.fault, plan, rng);
+                }
+            }
+        }
+    }
+    entry
+}
+
+/// Jitters the defining knob of the fault kind without leaving the band
+/// in which the defect is reliably detected.
+fn jitter_fault(fault: FaultKind, plan: &mut FaultPlan, rng: &mut SimRng) {
+    let in_band = |rng: &mut SimRng, low: f64, high: f64| {
+        low + (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64 * (high - low)
+    };
+    match fault {
+        FaultKind::Drop => plan.drop_probability = in_band(rng, 0.2, 0.45),
+        FaultKind::Duplicate => plan.duplicate_probability = in_band(rng, 0.2, 0.45),
+        FaultKind::Reorder => {
+            plan.reorder_probability = in_band(rng, 0.12, 0.3);
+            plan.reorder_delay = Duration::from_millis(40 + rng.next_u64() % 40);
+        }
+        FaultKind::Forge => plan.forge_probability = in_band(rng, 0.12, 0.3),
+        FaultKind::Connect => {
+            plan.connect_failure_probability = in_band(rng, 0.1, 0.35);
+        }
+        FaultKind::Stall => {
+            plan.stall_probability = in_band(rng, 0.02, 0.08);
+            plan.stall_duration = Duration::from_millis(1 + rng.next_u64() % 4);
+        }
+        // Stays near-certain so reconnect boundaries keep sitting on
+        // believed-acknowledged tails (see the generator's plan).
+        FaultKind::AckLoss => plan.ack_loss_probability = in_band(rng, 0.8, 0.98),
+        FaultKind::Clean | FaultKind::Expiry | FaultKind::CrashLoss => {
+            // Clean has no plan; expiry and crash-loss are switch-defined
+            // — their timing recipes are tuned, only seeds move.
+            plan.seed = rng.next_u64() % 1_000_000;
+        }
+    }
+}
+
+/// Counts the active entries of a spec's fault script (each non-zero
+/// probability, each engaged switch, the delivery delay, the redelivery
+/// bound, and a crash plan each count as one).
+pub fn active_fault_entries(spec: &TestSpec) -> usize {
+    let mut count = usize::from(spec.crash.is_some());
+    if let Some(plan) = &spec.faults {
+        let probabilities = [
+            plan.drop_probability,
+            plan.duplicate_probability,
+            plan.reorder_probability,
+            plan.forge_probability,
+            plan.connect_failure_probability,
+            plan.send_error_probability,
+            plan.stall_probability,
+            plan.ack_loss_probability,
+        ];
+        count += probabilities.iter().filter(|p| **p > 0.0).count();
+        count += usize::from(plan.ignore_expiry)
+            + usize::from(plan.ignore_priority)
+            + usize::from(plan.lose_persistent_on_crash)
+            + usize::from(plan.delivery_delay > Duration::ZERO)
+            + usize::from(plan.max_redeliveries.is_some());
+    }
+    count
+}
+
+/// Shrinks a divergent scenario to the smallest spec that still
+/// reproduces the divergence, greedily and to a fixpoint, along four
+/// axes: producers, consumers, active fault entries, and run time.
+/// Returns the minimised spec and the number of runs spent.
+pub fn minimize(entry: &CorpusEntry) -> (TestSpec, usize) {
+    let mut runs = 0usize;
+    let mut current = entry.spec.clone();
+
+    let still_diverges = |spec: &TestSpec, runs: &mut usize| -> bool {
+        *runs += 1;
+        let candidate = CorpusEntry {
+            name: spec.name.clone(),
+            spec: spec.clone(),
+            fault: entry.fault,
+            expect: entry.expect,
+        };
+        if candidate.spec.validate().is_err() {
+            return false;
+        }
+        match run_entry(&candidate) {
+            Ok(observed) => !observed.matches(entry.expect),
+            Err(_) => false,
+        }
+    };
+
+    loop {
+        let mut shrunk = false;
+
+        // Axis 1: drop producers.
+        'producers: for node in 0..current.nodes.len() {
+            for index in (0..current.nodes[node].producers.len()).rev() {
+                let mut candidate = current.clone();
+                candidate.nodes[node].producers.remove(index);
+                if still_diverges(&candidate, &mut runs) {
+                    current = candidate;
+                    shrunk = true;
+                    break 'producers;
+                }
+            }
+        }
+
+        // Axis 2: drop consumers.
+        'consumers: for node in 0..current.nodes.len() {
+            for index in (0..current.nodes[node].consumers.len()).rev() {
+                let mut candidate = current.clone();
+                candidate.nodes[node].consumers.remove(index);
+                if still_diverges(&candidate, &mut runs) {
+                    current = candidate;
+                    shrunk = true;
+                    break 'consumers;
+                }
+            }
+        }
+
+        // Axis 3: deactivate fault entries one at a time.
+        for zeroed in zeroing_candidates(&current) {
+            if active_fault_entries(&zeroed) < active_fault_entries(&current)
+                && still_diverges(&zeroed, &mut runs)
+            {
+                current = zeroed;
+                shrunk = true;
+                break;
+            }
+        }
+
+        // Axis 4: halve the run period (floor 50 ms).
+        if current.run >= Duration::from_millis(100) {
+            let mut candidate = current.clone();
+            candidate.run = current.run / 2;
+            if let Some(crash) = &mut candidate.crash {
+                crash.crash_after = crash.crash_after.min(candidate.run / 2);
+            }
+            if still_diverges(&candidate, &mut runs) {
+                current = candidate;
+                shrunk = true;
+            }
+        }
+
+        if !shrunk || runs > 60 {
+            break;
+        }
+    }
+    (current, runs)
+}
+
+/// Every one-step fault deactivation of a spec.
+fn zeroing_candidates(spec: &TestSpec) -> Vec<TestSpec> {
+    let mut candidates = Vec::new();
+    if spec.crash.is_some() {
+        let mut candidate = spec.clone();
+        candidate.crash = None;
+        candidates.push(candidate);
+    }
+    let Some(plan) = &spec.faults else {
+        return candidates;
+    };
+    let mut variants: Vec<FaultPlan> = Vec::new();
+    let mut with = |edit: &dyn Fn(&mut FaultPlan)| {
+        let mut variant = *plan;
+        edit(&mut variant);
+        variants.push(variant);
+    };
+    if plan.drop_probability > 0.0 {
+        with(&|p| p.drop_probability = 0.0);
+    }
+    if plan.duplicate_probability > 0.0 {
+        with(&|p| p.duplicate_probability = 0.0);
+    }
+    if plan.reorder_probability > 0.0 {
+        with(&|p| p.reorder_probability = 0.0);
+    }
+    if plan.forge_probability > 0.0 {
+        with(&|p| p.forge_probability = 0.0);
+    }
+    if plan.connect_failure_probability > 0.0 {
+        with(&|p| p.connect_failure_probability = 0.0);
+    }
+    if plan.send_error_probability > 0.0 {
+        with(&|p| p.send_error_probability = 0.0);
+    }
+    if plan.stall_probability > 0.0 {
+        with(&|p| p.stall_probability = 0.0);
+    }
+    if plan.ack_loss_probability > 0.0 {
+        with(&|p| p.ack_loss_probability = 0.0);
+    }
+    if plan.ignore_expiry {
+        with(&|p| p.ignore_expiry = false);
+    }
+    if plan.ignore_priority {
+        with(&|p| p.ignore_priority = false);
+    }
+    if plan.lose_persistent_on_crash {
+        with(&|p| p.lose_persistent_on_crash = false);
+    }
+    if plan.delivery_delay > Duration::ZERO {
+        with(&|p| p.delivery_delay = Duration::ZERO);
+    }
+    if plan.max_redeliveries.is_some() {
+        with(&|p| p.max_redeliveries = None);
+    }
+    for variant in variants {
+        let mut candidate = spec.clone();
+        candidate.faults = if variant.is_active() {
+            Some(variant)
+        } else {
+            None
+        };
+        candidates.push(candidate);
+    }
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_corpus_has_one_entry_per_reachable_tuple() {
+        let seeds = seed_entries();
+        assert_eq!(seeds.len(), reachable_tuples().len());
+    }
+
+    #[test]
+    fn mutation_preserves_the_fault_label_and_renames() {
+        let parent = build_seed_entry(AckMode::Auto, FaultKind::Drop, true);
+        let mut rng = SimRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let mutant = mutate(&parent, &mut rng);
+            assert_eq!(mutant.fault, parent.fault);
+            assert_eq!(mutant.expect, parent.expect);
+            assert_ne!(mutant.name, parent.name);
+            assert!(mutant.spec.validate().is_ok());
+            let plan = mutant.spec.faults.expect("drop seeds carry a plan");
+            assert!(
+                plan.drop_probability >= 0.2,
+                "mutation left the detectable band: {}",
+                plan.drop_probability
+            );
+        }
+    }
+
+    #[test]
+    fn active_fault_entries_counts_every_axis() {
+        let entry = build_seed_entry(AckMode::Auto, FaultKind::CrashLoss, true);
+        // lose_persistent_on_crash + delivery_delay + crash plan = 3.
+        assert_eq!(active_fault_entries(&entry.spec), 3);
+        let clean = build_seed_entry(AckMode::Auto, FaultKind::Clean, true);
+        assert_eq!(active_fault_entries(&clean.spec), 0);
+    }
+}

@@ -1,0 +1,500 @@
+//! The corpus generator: enumerates the cross-product of workload
+//! shape × acknowledgement mode × fault plan × shard count × retry
+//! policy × open/closed loop into a few hundred scenario files, each
+//! carrying an expected-verdict annotation.
+//!
+//! Every entry uses fault parameters proven deterministic by the
+//! integration suite (the seeds and probabilities of
+//! `tests/fault_detection.rs`, the crash-loss recipe of
+//! `tests/crash_recovery.rs`, the TTL ∈ {1 ms, ∞} expiry configuration
+//! of `tests/expiry_and_priority.rs`), so the annotations are an oracle
+//! the runner can actually hold the pipeline to.
+
+use crate::expect::{render_annotations, ExpectedVerdict, FaultKind};
+use jmst_api::body::BodyKind;
+use jmst_api::destination::Destination;
+use jmst_api::modes::{DeliveryMode, SessionMode, TimeToLive};
+use jmst_api::value::Value;
+use jmst_core::PropertyKind;
+use jmst_harness::{
+    serialize_spec, ConsumerSpec, CrashPlan, FaultPlan, NodeSpec, ProducerSpec, ReconnectSpec,
+    RetryPolicy, SerializeError, TestSpec,
+};
+use jmst_sim::ArrivalProcess;
+use std::time::Duration;
+
+/// The consumer acknowledgement modes the corpus crosses with every
+/// fault kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AckMode {
+    /// `auto` — acknowledged on receipt, batch 1.
+    Auto,
+    /// `client-ack 4` — explicit acknowledgement every 4 messages.
+    ClientAck,
+    /// `dups-ok` — lazy acknowledgement, batch 1.
+    DupsOk,
+    /// `transacted 4` — session transactions committed every 4 messages.
+    Transacted,
+}
+
+impl AckMode {
+    /// Every acknowledgement mode, in canonical order.
+    pub const ALL: [AckMode; 4] = [
+        AckMode::Auto,
+        AckMode::ClientAck,
+        AckMode::DupsOk,
+        AckMode::Transacted,
+    ];
+
+    /// File-name token.
+    pub fn name(self) -> &'static str {
+        match self {
+            AckMode::Auto => "auto",
+            AckMode::ClientAck => "clientack",
+            AckMode::DupsOk => "dupsok",
+            AckMode::Transacted => "txn",
+        }
+    }
+
+    /// The session mode and acknowledge/commit batch this mode runs.
+    pub fn session(self) -> (SessionMode, u32) {
+        match self {
+            AckMode::Auto => (SessionMode::AutoAcknowledge, 1),
+            AckMode::ClientAck => (SessionMode::ClientAcknowledge, 4),
+            AckMode::DupsOk => (SessionMode::DupsOkAcknowledge, 1),
+            AckMode::Transacted => (SessionMode::Transacted, 4),
+        }
+    }
+}
+
+/// One generated scenario: the spec, its defect family, and the verdict
+/// the analysis pipeline is expected to reach.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// Unique scenario name (also the spec name and the file stem).
+    pub name: String,
+    /// The full test specification.
+    pub spec: TestSpec,
+    /// The injected-defect family.
+    pub fault: FaultKind,
+    /// The annotated verdict.
+    pub expect: ExpectedVerdict,
+}
+
+impl CorpusEntry {
+    /// The file name this entry is written under.
+    pub fn file_name(&self) -> String {
+        format!("{}.cfg", self.name)
+    }
+
+    /// Renders the scenario file: annotation header + serialized spec.
+    pub fn config_text(&self) -> Result<String, SerializeError> {
+        let body = serialize_spec(&self.spec)?;
+        Ok(format!(
+            "{}\n{body}",
+            render_annotations(self.fault, self.expect)
+        ))
+    }
+
+    /// Reads a scenario file back into an entry. Errors when the
+    /// annotation header is missing or the body does not parse.
+    pub fn from_config_text(text: &str) -> Result<CorpusEntry, String> {
+        let (fault, expect) = crate::expect::parse_annotations(text)
+            .ok_or_else(|| "missing or unparseable # fault: / # expect: annotations".to_owned())?;
+        let spec = jmst_harness::parse_spec(text).map_err(|error| error.to_string())?;
+        Ok(CorpusEntry {
+            name: spec.name.clone(),
+            spec,
+            fault,
+            expect,
+        })
+    }
+}
+
+/// The verdict a correctly working analysis pipeline reaches for a
+/// fault kind. `retry_on` describes the harness retry policy (it
+/// decides how connect failures resolve); `ack` is the consumer
+/// acknowledgement mode (it decides whether lost acknowledgements are
+/// observable at all).
+pub fn expected_verdict(fault: FaultKind, retry_on: bool, ack: AckMode) -> ExpectedVerdict {
+    match fault {
+        FaultKind::Clean => ExpectedVerdict::Pass,
+        FaultKind::Drop => ExpectedVerdict::Violated(PropertyKind::RequiredMessages),
+        FaultKind::Duplicate => ExpectedVerdict::Violated(PropertyKind::DuplicateDelivery),
+        FaultKind::Reorder => ExpectedVerdict::Violated(PropertyKind::MessageOrdering),
+        FaultKind::Forge => ExpectedVerdict::Violated(PropertyKind::DeliveryIntegrity),
+        FaultKind::Expiry => ExpectedVerdict::Violated(PropertyKind::ExpiredMessages),
+        FaultKind::CrashLoss => ExpectedVerdict::Violated(PropertyKind::RequiredMessages),
+        FaultKind::Connect => {
+            if retry_on {
+                ExpectedVerdict::Pass
+            } else {
+                ExpectedVerdict::Inconclusive
+            }
+        }
+        FaultKind::Stall => ExpectedVerdict::Pass,
+        // Only an explicit client acknowledgement travels through the
+        // lossy ack path; when it is swallowed, the broker keeps the
+        // deliveries in flight and the consumer's mid-run reconnects
+        // re-receive messages whose acknowledgement completed at the
+        // client — flagged by the duplicate-delivery check. Auto-ack has
+        // nothing in flight, and dups-ok / transacted acknowledgements
+        // take the batch/commit path the fault does not touch.
+        FaultKind::AckLoss => {
+            if ack == AckMode::ClientAck {
+                ExpectedVerdict::Violated(PropertyKind::DuplicateDelivery)
+            } else {
+                ExpectedVerdict::Pass
+            }
+        }
+    }
+}
+
+/// The proven fault plan for a kind, or `None` for `Clean`.
+/// `retry_on = false` hardens the connect plan so a retry-less run
+/// deterministically fails to come up.
+pub fn fault_plan(fault: FaultKind, retry_on: bool) -> Option<FaultPlan> {
+    let mut plan = FaultPlan::none();
+    match fault {
+        FaultKind::Clean => return None,
+        FaultKind::Drop => {
+            plan.seed = 11;
+            plan.drop_probability = 0.25;
+        }
+        FaultKind::Duplicate => {
+            plan.seed = 12;
+            plan.duplicate_probability = 0.25;
+        }
+        FaultKind::Reorder => {
+            plan.seed = 13;
+            plan.reorder_probability = 0.15;
+            plan.reorder_delay = Duration::from_millis(60);
+        }
+        FaultKind::Forge => {
+            plan.seed = 14;
+            plan.forge_probability = 0.15;
+        }
+        FaultKind::Expiry => {
+            plan.seed = 18;
+            plan.ignore_expiry = true;
+            plan.delivery_delay = Duration::from_millis(10);
+        }
+        FaultKind::CrashLoss => {
+            plan.seed = 19;
+            plan.lose_persistent_on_crash = true;
+            // Keeps a window of messages inside the broker at crash time,
+            // so the crash actually has something to lose.
+            plan.delivery_delay = Duration::from_millis(50);
+        }
+        FaultKind::Connect => {
+            plan.seed = 15;
+            plan.connect_failure_probability = if retry_on { 0.2 } else { 0.9 };
+        }
+        FaultKind::Stall => {
+            plan.seed = 16;
+            plan.stall_probability = 0.05;
+            plan.stall_duration = Duration::from_millis(2);
+        }
+        FaultKind::AckLoss => {
+            plan.seed = 17;
+            // Near-certain loss: every reconnect boundary then sits on a
+            // tail of believed-acknowledged deliveries, so the duplicate
+            // conviction does not hinge on one lucky coin flip.
+            plan.ack_loss_probability = 0.9;
+        }
+    }
+    Some(plan)
+}
+
+/// Workload families the generator crosses the fault axis with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Family {
+    /// Steady 300/s, 128-byte text bodies, queue `q`.
+    Base,
+    /// Steady base workload, connect faults, retry disabled.
+    RetryOff,
+    /// Bursts of 20 every 50 ms, 512-byte bytes bodies, queue `q`.
+    Burst,
+    /// Steady workload on topic `t` with two subscribers.
+    Topic,
+    /// Steady workload with a typed property and a selecting consumer.
+    Selector,
+}
+
+impl Family {
+    fn name(self) -> &'static str {
+        match self {
+            Family::Base => "base",
+            Family::RetryOff => "retryoff",
+            Family::Burst => "burst",
+            Family::Topic => "topic",
+            Family::Selector => "selector",
+        }
+    }
+}
+
+/// Build one entry of a family. `open` selects the open-loop engine;
+/// crash scenarios only exist closed-loop (the crash recipe is tuned for
+/// the closed-loop drivers).
+#[allow(clippy::too_many_lines)]
+fn build_entry(
+    family: Family,
+    ack: AckMode,
+    fault: FaultKind,
+    shards: u32,
+    open: bool,
+) -> CorpusEntry {
+    let retry_on = family != Family::RetryOff;
+    let mut name = format!("{}-{}-{}", family.name(), ack.name(), fault.name());
+    if shards != 1 {
+        name.push_str(&format!("-s{shards}"));
+    }
+    if open {
+        name.push_str("-open");
+    }
+
+    let destination = match family {
+        Family::Topic => Destination::topic("t"),
+        _ => Destination::queue("q"),
+    };
+    let (mode, batch) = ack.session();
+    let consumer = || {
+        let consumer = ConsumerSpec::auto(destination.clone()).with_mode(mode, batch);
+        if fault == FaultKind::AckLoss {
+            // Lost acknowledgements only become visible when the consumer
+            // comes back and re-receives what the broker still holds in
+            // flight: reconnect a few times mid-run.
+            consumer.with_reconnect(ReconnectSpec {
+                after_messages: 20,
+                pause: Duration::from_millis(10),
+                max_cycles: 4,
+            })
+        } else {
+            consumer
+        }
+    };
+
+    let mut node = NodeSpec::new("n0");
+    match fault {
+        // The paper's expiry configuration: half the messages at a 1 ms
+        // TTL (expected to expire under the 10 ms delivery delay), half
+        // at ∞ (must arrive).
+        FaultKind::Expiry => {
+            node = node
+                .producer(
+                    producer_for(family, destination.clone(), 150.0)
+                        .with_ttl(TimeToLive::from_millis(1)),
+                )
+                .producer(producer_for(family, destination.clone(), 150.0));
+        }
+        // The crash-loss recipe needs persistent messages in flight when
+        // the broker goes down.
+        FaultKind::CrashLoss => {
+            node = node.producer(
+                producer_for(family, destination.clone(), 200.0)
+                    .with_delivery_mode(DeliveryMode::Persistent),
+            );
+        }
+        _ => {
+            node = node.producer(producer_for(family, destination.clone(), 300.0));
+        }
+    }
+    node = node.consumer(consumer());
+    if family == Family::Topic {
+        node = node.consumer(consumer());
+    }
+
+    let (warm_up, run, warm_down) = match fault {
+        FaultKind::Expiry => (30, 400, 3000),
+        FaultKind::CrashLoss => (30, 500, 4000),
+        _ => (30, 300, 3000),
+    };
+    let mut spec = TestSpec::new(name.clone())
+        .with_seed(7)
+        .with_periods(
+            Duration::from_millis(warm_up),
+            Duration::from_millis(run),
+            Duration::from_millis(warm_down),
+        )
+        .node(node)
+        .with_shards(shards);
+    if let Some(plan) = fault_plan(fault, retry_on) {
+        spec = spec.with_faults(plan);
+    }
+    if fault == FaultKind::CrashLoss {
+        spec = spec.with_crash(CrashPlan {
+            crash_after: Duration::from_millis(250),
+            down_for: Duration::from_millis(80),
+        });
+    }
+    if !retry_on {
+        spec = spec.with_retry(RetryPolicy::disabled());
+    }
+    if open {
+        spec = spec.open_loop();
+    }
+
+    CorpusEntry {
+        name,
+        spec,
+        fault,
+        expect: expected_verdict(fault, retry_on, ack),
+    }
+}
+
+/// The proven closed-loop single-shard template for a fault kind — the
+/// fuzzer's seed corpus. `retry_on = false` selects the retry-disabled
+/// connect variant (the inconclusive branch).
+pub fn build_seed_entry(ack: AckMode, fault: FaultKind, retry_on: bool) -> CorpusEntry {
+    if retry_on {
+        build_entry(Family::Base, ack, fault, 1, false)
+    } else {
+        build_entry(Family::RetryOff, ack, fault, 1, false)
+    }
+}
+
+/// The family's producer shape at the given rate.
+fn producer_for(family: Family, destination: Destination, rate: f64) -> ProducerSpec {
+    match family {
+        Family::Burst => {
+            let mut producer =
+                ProducerSpec::steady(destination, rate, 512).with_body(BodyKind::Bytes);
+            producer.workload = ArrivalProcess::burst(20, Duration::from_millis(50));
+            producer
+        }
+        Family::Selector => {
+            ProducerSpec::steady(destination, rate, 128).with_property("p0", Value::Long(1))
+        }
+        _ => ProducerSpec::steady(destination, rate, 128),
+    }
+}
+
+/// Generates the full corpus: every family crossed with its fault and
+/// mode axes. Deterministic — two calls return identical entries.
+pub fn generate_corpus() -> Vec<CorpusEntry> {
+    let mut entries = Vec::new();
+
+    // Base family: the full acknowledgement-mode × fault-kind
+    // cross-product, at 1 and 8 destination shards, closed- and
+    // open-loop. Crash scenarios are closed-loop only.
+    for ack in AckMode::ALL {
+        for fault in FaultKind::ALL {
+            for shards in [1u32, 8] {
+                for open in [false, true] {
+                    if fault == FaultKind::CrashLoss && open {
+                        continue;
+                    }
+                    entries.push(build_entry(Family::Base, ack, fault, shards, open));
+                }
+            }
+        }
+    }
+
+    // Retry-off family: hard connect failures with the retry budget
+    // zeroed — the drivers must abandon and the verdict is inconclusive.
+    for ack in AckMode::ALL {
+        for shards in [1u32, 8] {
+            entries.push(build_entry(
+                Family::RetryOff,
+                ack,
+                FaultKind::Connect,
+                shards,
+                false,
+            ));
+        }
+    }
+
+    // Burst family: bursty bytes-bodied workload under every fault that
+    // needs no special producer shape.
+    for ack in AckMode::ALL {
+        for fault in [
+            FaultKind::Clean,
+            FaultKind::Drop,
+            FaultKind::Duplicate,
+            FaultKind::Reorder,
+            FaultKind::Forge,
+            FaultKind::Connect,
+            FaultKind::Stall,
+            FaultKind::AckLoss,
+        ] {
+            entries.push(build_entry(Family::Burst, ack, fault, 1, false));
+        }
+    }
+
+    // Topic family: one publisher, two subscribers.
+    for ack in AckMode::ALL {
+        for fault in [
+            FaultKind::Clean,
+            FaultKind::Drop,
+            FaultKind::Duplicate,
+            FaultKind::Reorder,
+            FaultKind::Forge,
+            FaultKind::Stall,
+        ] {
+            entries.push(build_entry(Family::Topic, ack, fault, 1, false));
+        }
+    }
+
+    // Selector family: a typed application property routed through a
+    // message selector.
+    for ack in AckMode::ALL {
+        for fault in [FaultKind::Clean, FaultKind::Drop] {
+            let mut entry = build_entry(Family::Selector, ack, fault, 1, false);
+            for node in &mut entry.spec.nodes {
+                for consumer in &mut node.consumers {
+                    consumer.selector = Some("p0 >= 0".to_owned());
+                }
+            }
+            entries.push(entry);
+        }
+    }
+
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_large_distinct_and_valid() {
+        let corpus = generate_corpus();
+        assert!(corpus.len() >= 200, "only {} entries", corpus.len());
+        let mut names: Vec<&str> = corpus.iter().map(|entry| entry.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), corpus.len(), "duplicate scenario names");
+        for entry in &corpus {
+            entry
+                .spec
+                .validate()
+                .unwrap_or_else(|error| panic!("{}: invalid spec: {error}", entry.name));
+        }
+    }
+
+    #[test]
+    fn base_family_covers_the_full_ack_by_fault_cross_product() {
+        let corpus = generate_corpus();
+        for ack in AckMode::ALL {
+            for fault in FaultKind::ALL {
+                let prefix = format!("base-{}-{}", ack.name(), fault.name());
+                assert!(
+                    corpus.iter().any(|entry| entry.name == prefix),
+                    "missing {prefix}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn entries_round_trip_through_their_config_text() {
+        let corpus = generate_corpus();
+        for entry in corpus.iter().take(25) {
+            let text = entry.config_text().expect("serializes");
+            let back = CorpusEntry::from_config_text(&text).expect("reads back");
+            assert_eq!(back.spec, entry.spec, "{}", entry.name);
+            assert_eq!(back.fault, entry.fault);
+            assert_eq!(back.expect, entry.expect);
+        }
+    }
+}

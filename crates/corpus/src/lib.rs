@@ -1,0 +1,39 @@
+//! # jmst-corpus — the scenario corpus engine
+//!
+//! Three instruments that turn the scenario text format into a test
+//! corpus the analysis pipeline is continuously held to:
+//!
+//! * [`generator`] — enumerates the cross-product of workload shape ×
+//!   acknowledgement mode × fault plan × shard count × retry policy ×
+//!   open/closed loop into a few hundred lint-clean `.cfg` scenarios,
+//!   each annotated with the verdict the pipeline must reach
+//!   ([`expect`]);
+//! * [`fuzzer`] — a coverage-guided mutation loop over spec knobs and
+//!   fault scripts, keyed on a map of (fault kind × verdict × flagged
+//!   property) tuples ([`coverage`]), keeping inputs that light new
+//!   tuples and delta-minimising any scenario whose observed verdict
+//!   contradicts its annotation;
+//! * [`matrix`] — EXPERIMENTS.md's fault-detection matrix as a
+//!   generated artifact: rendered from a real run of the seeded-defect
+//!   corpus and re-checked so documentation drift fails loudly.
+//!
+//! The [`runner`] gives all three the same road a campaign test takes:
+//! lint, then the daemon prince against a reference broker built from
+//! the scenario's own fault plan.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod coverage;
+pub mod expect;
+pub mod fuzzer;
+pub mod generator;
+pub mod matrix;
+pub mod runner;
+
+pub use coverage::{reachable_tuples, CoverageKey, CoverageMap};
+pub use expect::{ExpectedVerdict, FaultKind};
+pub use fuzzer::{fuzz, minimize, seed_entries, FuzzConfig, FuzzOutcome};
+pub use generator::{generate_corpus, AckMode, CorpusEntry};
+pub use matrix::{render_matrix, MATRIX_BEGIN, MATRIX_END};
+pub use runner::{check_entry, run_entry, run_spec, Observed, VerdictKind};

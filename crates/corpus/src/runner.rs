@@ -1,0 +1,196 @@
+//! Running corpus entries through the real analysis pipeline.
+//!
+//! Every run goes the same road a campaign test does: static lint
+//! (errors abort before a message is sent), then the daemon prince
+//! drives a reference broker built from the scenario's own fault plan,
+//! and the analyzer delivers the verdict.
+//!
+//! The analyzer configuration follows the repo's chaos precedent:
+//! operational faults are judged on the strict safety properties alone
+//! (latency-sensitive statistical checks would convict an innocent
+//! stall), while expiry-defect scenarios additionally enable the
+//! Property 5 check they exist to exercise.
+
+use crate::expect::{ExpectedVerdict, FaultKind};
+use crate::generator::CorpusEntry;
+use jmst_broker::ReferenceBroker;
+use jmst_core::{AnalysisConfig, Analyzer, PropertyKind};
+use jmst_harness::{lint_spec, BrokerAdmin, DaemonPrince, TestOutcome, TestSpec};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// The verdict classes a run can end in (the coverage-map axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum VerdictKind {
+    /// Ran to completion, all checked properties held.
+    Pass,
+    /// Ran to completion with violations.
+    Violated,
+    /// A driver group hung.
+    Hung,
+    /// The drivers abandoned the run.
+    Inconclusive,
+    /// The spec was rejected before running.
+    Invalid,
+}
+
+impl VerdictKind {
+    /// Short stable token (file names, the matrix, annotations).
+    pub fn name(self) -> &'static str {
+        match self {
+            VerdictKind::Pass => "pass",
+            VerdictKind::Violated => "violated",
+            VerdictKind::Hung => "hung",
+            VerdictKind::Inconclusive => "inconclusive",
+            VerdictKind::Invalid => "invalid",
+        }
+    }
+}
+
+impl fmt::Display for VerdictKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What a run actually did: the verdict class plus the set of
+/// properties the analyzer flagged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Observed {
+    /// The verdict class.
+    pub verdict: VerdictKind,
+    /// Properties with at least one violation.
+    pub properties: BTreeSet<PropertyKind>,
+}
+
+impl Observed {
+    /// Does this observation satisfy the annotated expectation?
+    pub fn matches(&self, expect: ExpectedVerdict) -> bool {
+        match expect {
+            ExpectedVerdict::Pass => self.verdict == VerdictKind::Pass,
+            ExpectedVerdict::Violated(property) => {
+                self.verdict == VerdictKind::Violated && self.properties.contains(&property)
+            }
+            ExpectedVerdict::Inconclusive => self.verdict == VerdictKind::Inconclusive,
+        }
+    }
+
+    /// A one-line description for reports and divergence messages.
+    pub fn describe(&self) -> String {
+        if self.properties.is_empty() {
+            self.verdict.to_string()
+        } else {
+            let flagged: Vec<String> = self
+                .properties
+                .iter()
+                .map(|property| crate::expect::property_code(*property).to_owned())
+                .collect();
+            format!("{} [{}]", self.verdict, flagged.join(", "))
+        }
+    }
+}
+
+impl fmt::Display for Observed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+/// The analyzer configuration a fault kind is judged under.
+pub fn analysis_for(fault: FaultKind) -> AnalysisConfig {
+    let mut config = AnalysisConfig::strict_safety_only();
+    if fault == FaultKind::Expiry {
+        config.check_expiry = true;
+    }
+    config
+}
+
+/// Runs a spec against a reference broker built from the spec's own
+/// fault plan, under the given analyzer configuration.
+pub fn run_spec(spec: &TestSpec, analysis: AnalysisConfig) -> Observed {
+    let prince = DaemonPrince::with_analyzer(Analyzer::with_config(analysis));
+    let factory = |spec: &TestSpec| -> (Arc<dyn jmst_api::provider::Provider>, _) {
+        let config = spec
+            .broker_config()
+            .expect("a validated spec has a valid fault plan");
+        let broker = ReferenceBroker::with_config(config);
+        let admin: Arc<dyn BrokerAdmin> = Arc::new(broker.clone());
+        (Arc::new(broker), Some(admin))
+    };
+    let outcome = prince.run_test(&factory, spec).outcome;
+    let (verdict, report) = match &outcome {
+        TestOutcome::Passed(report) => (VerdictKind::Pass, Some(report)),
+        TestOutcome::Violated(report) => (VerdictKind::Violated, Some(report)),
+        TestOutcome::Hung { report, .. } => (VerdictKind::Hung, Some(report)),
+        TestOutcome::Inconclusive { report, .. } => (VerdictKind::Inconclusive, Some(report)),
+        // `Invalid`, plus any future non-exhaustive variants.
+        _ => (VerdictKind::Invalid, None),
+    };
+    let properties = report
+        .map(|report| report.by_property().into_keys().collect())
+        .unwrap_or_default();
+    Observed {
+        verdict,
+        properties,
+    }
+}
+
+/// Lints, then runs, one corpus entry. Lint errors are a hard failure —
+/// a generated scenario must never reach the broker misconfigured.
+pub fn run_entry(entry: &CorpusEntry) -> Result<Observed, String> {
+    let lint = lint_spec(&entry.spec);
+    if lint.has_errors() {
+        return Err(format!("{}: lint errors:\n{lint}", entry.name));
+    }
+    Ok(run_spec(&entry.spec, analysis_for(entry.fault)))
+}
+
+/// `Ok(())` when the entry's observed verdict satisfies its annotation,
+/// otherwise a description of the divergence.
+pub fn check_entry(entry: &CorpusEntry) -> Result<Observed, String> {
+    let observed = run_entry(entry)?;
+    if observed.matches(entry.expect) {
+        Ok(observed)
+    } else {
+        Err(format!(
+            "{}: expected {}, observed {}",
+            entry.name,
+            entry.expect.render(),
+            observed.describe()
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn match_rules() {
+        let pass = Observed {
+            verdict: VerdictKind::Pass,
+            properties: BTreeSet::new(),
+        };
+        assert!(pass.matches(ExpectedVerdict::Pass));
+        assert!(!pass.matches(ExpectedVerdict::Inconclusive));
+
+        let mut flagged = BTreeSet::new();
+        flagged.insert(PropertyKind::RequiredMessages);
+        let violated = Observed {
+            verdict: VerdictKind::Violated,
+            properties: flagged,
+        };
+        assert!(violated.matches(ExpectedVerdict::Violated(PropertyKind::RequiredMessages)));
+        assert!(!violated.matches(ExpectedVerdict::Violated(PropertyKind::MessageOrdering)));
+        assert!(!violated.matches(ExpectedVerdict::Pass));
+        assert_eq!(violated.describe(), "violated [P2]");
+    }
+
+    #[test]
+    fn expiry_scenarios_get_the_expiry_check() {
+        assert!(analysis_for(FaultKind::Expiry).check_expiry);
+        assert!(!analysis_for(FaultKind::Drop).check_expiry);
+        assert!(!analysis_for(FaultKind::Drop).check_priority);
+    }
+}

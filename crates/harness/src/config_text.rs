@@ -59,6 +59,10 @@
 //! forge = 0.01
 //! max_redeliveries = 3       # park poison messages on the DLQ after
 //!                            # this many redeliveries
+//! ignore_expiry = true       # defect switches: deliver expired messages,
+//! ignore_priority = true     # deliver strict-FIFO regardless of priority,
+//! lose_persistent_on_crash = true   # drop persistent messages on crash
+//! delivery_delay = 10ms      # simulated broker→consumer latency floor
 //! ```
 //!
 //! The `[test]` section also accepts `retry = on|off`: `off` disables
@@ -79,6 +83,10 @@
 //! messages per second (split across the virtual clients; steady/poisson
 //! profiles only), and `clients = 100` sets how many virtual clients each
 //! producer expands into. Both companion keys require `open_loop = on`.
+//!
+//! `shards = 8` pins the number of destination shards the provider under
+//! test partitions its destinations across, making shard count a
+//! first-class scenario axis instead of an ambient environment variable.
 
 use crate::spec::{ConsumerSpec, CrashPlan, FaultPlan, NodeSpec, ProducerSpec, TestSpec};
 use jmst_api::body::BodyKind;
@@ -397,6 +405,12 @@ pub fn parse_spec(text: &str) -> Result<TestSpec, ConfigError> {
                     .map_err(|_| err(format!("bad clients {value:?}")))?;
                 spec.clients = Some(clients);
             }
+            (Section::Test, "shards") => {
+                let shards: u32 = value
+                    .parse()
+                    .map_err(|_| err(format!("bad shards {value:?}")))?;
+                spec.shards = Some(shards);
+            }
             (Section::Node(_), "share") => {
                 nodes.last_mut().expect("inside a node").share_connection = match value {
                     "true" | "yes" => true,
@@ -556,6 +570,21 @@ pub fn parse_spec(text: &str) -> Result<TestSpec, ConfigError> {
                                 .map_err(|_| err(format!("bad bound {value:?}")))?,
                         )
                     }
+                    "ignore_expiry" | "ignore_priority" | "lose_persistent_on_crash" => {
+                        let flag = match value {
+                            "true" | "yes" | "on" => true,
+                            "false" | "no" | "off" => false,
+                            other => {
+                                return Err(err(format!("{key} must be true/false, got {other:?}")))
+                            }
+                        };
+                        match key {
+                            "ignore_expiry" => plan.ignore_expiry = flag,
+                            "ignore_priority" => plan.ignore_priority = flag,
+                            _ => plan.lose_persistent_on_crash = flag,
+                        }
+                    }
+                    "delivery_delay" => plan.delivery_delay = parse_duration(value).map_err(err)?,
                     other => return Err(err(format!("unknown faults key {other:?}"))),
                 }
             }
@@ -742,6 +771,36 @@ down = 80ms
         assert_eq!(plan.max_redeliveries, Some(3));
         // The plan lowers into a validated broker fault spec.
         assert!(plan.to_fault_spec().is_ok());
+    }
+
+    #[test]
+    fn defect_switches_and_shards_parse() {
+        let text = "[test]\nname = d\nshards = 4\n[node n]\n\
+                    [producer]\ndestination = queue:q\nrate = steady 10\nttl = 1ms\n\
+                    [consumer]\ndestination = queue:q\n\
+                    [faults]\nignore_expiry = true\nignore_priority = on\n\
+                    lose_persistent_on_crash = yes\ndelivery_delay = 10ms\n";
+        let spec = parse_spec(text).unwrap();
+        assert_eq!(spec.shards, Some(4));
+        let plan = spec.faults.unwrap();
+        assert!(plan.ignore_expiry);
+        assert!(plan.ignore_priority);
+        assert!(plan.lose_persistent_on_crash);
+        assert_eq!(plan.delivery_delay, Duration::from_millis(10));
+        assert!(plan.is_active());
+        // The switches lower into the reference broker configuration.
+        assert!(spec.broker_config().is_ok());
+
+        assert!(parse_spec("[test]\nshards = many\n").is_err());
+        assert!(parse_spec(
+            "[test]\nname = d\nshards = 0\n[node n]\n[consumer]\ndestination = queue:q\n"
+        )
+        .is_err());
+        assert!(parse_spec(
+            "[test]\nname = d\n[node n]\n[consumer]\ndestination = queue:q\n\
+             [faults]\nignore_expiry = maybe\n"
+        )
+        .is_err());
     }
 
     #[test]

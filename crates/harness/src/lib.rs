@@ -50,6 +50,7 @@ pub mod lint;
 pub mod prince;
 pub mod retry;
 pub mod runner;
+pub mod serialize;
 pub mod simrun;
 pub mod spec;
 
@@ -59,6 +60,7 @@ pub use lint::{lint_spec, LintFinding, LintReport, Severity};
 pub use prince::{CampaignReport, DaemonPrince, TestOutcome, TestResult};
 pub use retry::RetryPolicy;
 pub use runner::{BrokerAdmin, ThreadedRunner};
+pub use serialize::{serialize_spec, SerializeError};
 pub use spec::{
     ConsumerSpec, CrashPlan, FaultPlan, NodeSpec, ProducerSpec, ReconnectSpec, Subscription,
     TestSpec,
@@ -71,6 +73,7 @@ pub mod prelude {
     pub use crate::prince::{CampaignReport, DaemonPrince, TestOutcome, TestResult};
     pub use crate::retry::RetryPolicy;
     pub use crate::runner::{BrokerAdmin, ThreadedRunner};
+    pub use crate::serialize::{serialize_spec, SerializeError};
     pub use crate::spec::{
         ConsumerSpec, CrashPlan, FaultPlan, NodeSpec, ProducerSpec, ReconnectSpec, Subscription,
         TestSpec,

@@ -179,42 +179,71 @@ fn literal_text(literal: &Literal) -> String {
     }
 }
 
-/// All producers across the spec that publish to `destination`.
-fn producers_to<'a>(spec: &'a TestSpec, destination: &Destination) -> Vec<&'a ProducerSpec> {
-    spec.nodes
-        .iter()
-        .flat_map(|node| &node.producers)
-        .filter(|producer| &producer.destination == destination)
-        .collect()
+/// Everything the consumer checks need to know about one destination's
+/// producer population, computed once per spec instead of once per
+/// consumer — a multi-hundred-consumer corpus scenario would otherwise
+/// redo the same property-set scan per subscription.
+struct DestinationProfile<'a> {
+    /// Producers publishing to the destination, in spec order.
+    producers: Vec<&'a ProducerSpec>,
+    /// The selector type environment those producers induce.
+    env: BTreeMap<String, IdentType>,
+    /// `true` when at least one consumer subscribes here.
+    consumed: bool,
 }
 
-/// The selector type environment a destination's producers induce: the
-/// harness identity properties plus every property some producer sets.
-/// A property two producers declare with *different* types stays out of
-/// the environment — the selector sees both, so neither type is certain.
-fn type_env(producers: &[&ProducerSpec]) -> BTreeMap<String, IdentType> {
-    let mut env: BTreeMap<String, IdentType> = HARNESS_PROPS
-        .iter()
-        .map(|(name, ty)| ((*name).to_owned(), *ty))
-        .collect();
-    let mut conflicted: Vec<String> = Vec::new();
-    for producer in producers {
-        for (name, value) in &producer.properties {
-            let Some(ty) = value_type(value) else {
-                continue;
-            };
-            match env.get(name) {
-                Some(existing) if *existing != ty => conflicted.push(name.clone()),
-                _ => {
-                    env.insert(name.clone(), ty);
+/// Per-destination producer populations, type environments, and
+/// consumer presence for the whole spec, built in one pass.
+fn destination_profiles(spec: &TestSpec) -> BTreeMap<&Destination, DestinationProfile<'_>> {
+    fn empty_profile<'a>() -> DestinationProfile<'a> {
+        DestinationProfile {
+            producers: Vec::new(),
+            env: HARNESS_PROPS
+                .iter()
+                .map(|(name, ty)| ((*name).to_owned(), *ty))
+                .collect(),
+            consumed: false,
+        }
+    }
+    let mut profiles: BTreeMap<&Destination, DestinationProfile<'_>> = BTreeMap::new();
+    for node in &spec.nodes {
+        for producer in &node.producers {
+            profiles
+                .entry(&producer.destination)
+                .or_insert_with(empty_profile)
+                .producers
+                .push(producer);
+        }
+        for consumer in &node.consumers {
+            profiles
+                .entry(&consumer.destination)
+                .or_insert_with(empty_profile)
+                .consumed = true;
+        }
+    }
+    // Fill in each environment: a property two producers declare with
+    // *different* types stays out — the selector sees both, so neither
+    // type is certain.
+    for entry in profiles.values_mut() {
+        let mut conflicted: Vec<String> = Vec::new();
+        for producer in &entry.producers {
+            for (name, value) in &producer.properties {
+                let Some(ty) = value_type(value) else {
+                    continue;
+                };
+                match entry.env.get(name) {
+                    Some(existing) if *existing != ty => conflicted.push(name.clone()),
+                    _ => {
+                        entry.env.insert(name.clone(), ty);
+                    }
                 }
             }
         }
+        for name in conflicted {
+            entry.env.remove(&name);
+        }
     }
-    for name in conflicted {
-        env.remove(&name);
-    }
-    env
+    profiles
 }
 
 /// Statically checks one spec. See the module docs for the rule set.
@@ -263,14 +292,13 @@ pub fn lint_spec(spec: &TestSpec) -> LintReport {
         );
     }
 
+    let profiles = destination_profiles(spec);
     for node in &spec.nodes {
         for producer in &node.producers {
             let context = format!("node {}, producer on {}", node.name, producer.destination);
-            let has_consumer = spec
-                .nodes
-                .iter()
-                .flat_map(|n| &n.consumers)
-                .any(|consumer| consumer.destination == producer.destination);
+            let has_consumer = profiles
+                .get(&producer.destination)
+                .is_some_and(|profile| profile.consumed);
             if !has_consumer {
                 push(
                     Severity::Warning,
@@ -325,14 +353,17 @@ pub fn lint_spec(spec: &TestSpec) -> LintReport {
         }
 
         for consumer in &node.consumers {
-            lint_consumer(spec, &node.name, consumer, &mut push);
+            let profile = profiles
+                .get(&consumer.destination)
+                .expect("every consumer destination is profiled");
+            lint_consumer(profile, &node.name, consumer, &mut push);
         }
     }
     report
 }
 
 fn lint_consumer(
-    spec: &TestSpec,
+    profile: &DestinationProfile<'_>,
     node_name: &str,
     consumer: &ConsumerSpec,
     push: &mut impl FnMut(Severity, String, String),
@@ -352,9 +383,8 @@ fn lint_consumer(
             return;
         }
     };
-    let producers = producers_to(spec, &consumer.destination);
-    let env = type_env(&producers);
-    let analysis = parsed.analyze_with_env(&env);
+    let producers = &profile.producers;
+    let analysis = parsed.analyze_with_env(&profile.env);
     match analysis.classification {
         Classification::IllTyped => {
             let detail = analysis

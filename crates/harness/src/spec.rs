@@ -312,6 +312,23 @@ pub struct FaultPlan {
     /// The broker's redelivery bound: after this many redeliveries a
     /// message is parked on the dead-letter queue instead.
     pub max_redeliveries: Option<u32>,
+    /// Deliberately deliver expired messages (a Property 5 defect — the
+    /// scenario-level mirror of [`BrokerConfig::ignoring_expiry`](jmst_broker::BrokerConfig::ignoring_expiry)).
+    #[serde(default)]
+    pub ignore_expiry: bool,
+    /// Deliberately deliver strict-FIFO regardless of priority (a
+    /// Property 4 defect).
+    #[serde(default)]
+    pub ignore_priority: bool,
+    /// Deliberately lose persistent messages on a broker crash (a
+    /// Property 2 defect under a `[crash]` plan).
+    #[serde(default)]
+    pub lose_persistent_on_crash: bool,
+    /// Simulated broker→consumer delivery latency: a message becomes
+    /// visible this long after it is routed. Gives expiry scenarios a
+    /// latency floor so short time-to-lives are expected to expire.
+    #[serde(default)]
+    pub delivery_delay: Duration,
 }
 
 impl FaultPlan {
@@ -330,7 +347,30 @@ impl FaultPlan {
             stall_duration: Duration::from_millis(2),
             ack_loss_probability: 0.0,
             max_redeliveries: None,
+            ignore_expiry: false,
+            ignore_priority: false,
+            lose_persistent_on_crash: false,
+            delivery_delay: Duration::ZERO,
         }
+    }
+
+    /// `true` when the plan weakens the broker in any way — injects a
+    /// probabilistic fault, bounds redelivery, disables an enforcement
+    /// switch, or delays delivery.
+    pub fn is_active(&self) -> bool {
+        self.drop_probability > 0.0
+            || self.duplicate_probability > 0.0
+            || self.reorder_probability > 0.0
+            || self.forge_probability > 0.0
+            || self.connect_failure_probability > 0.0
+            || self.send_error_probability > 0.0
+            || self.stall_probability > 0.0
+            || self.ack_loss_probability > 0.0
+            || self.max_redeliveries.is_some()
+            || self.ignore_expiry
+            || self.ignore_priority
+            || self.lose_persistent_on_crash
+            || !self.delivery_delay.is_zero()
     }
 
     /// The broker-layer fault specification this plan describes.
@@ -405,6 +445,13 @@ pub struct TestSpec {
     /// client per producer — the same population as the closed loop.
     #[serde(default)]
     pub clients: Option<u32>,
+    /// Number of destination shards the broker under test partitions its
+    /// destinations across (scenario key `shards`). `None` keeps the
+    /// provider's own default (for the reference broker: the machine's
+    /// parallelism, or `JMST_TEST_SHARDS`). Pinning it in the scenario
+    /// makes shard count a first-class corpus axis.
+    #[serde(default)]
+    pub shards: Option<u32>,
 }
 
 impl TestSpec {
@@ -426,6 +473,7 @@ impl TestSpec {
             open_loop: false,
             arrival_rate: None,
             clients: None,
+            shards: None,
         }
     }
 
@@ -491,6 +539,12 @@ impl TestSpec {
         self
     }
 
+    /// Pins the provider's destination shard count.
+    pub fn with_shards(mut self, shards: u32) -> Self {
+        self.shards = Some(shards);
+        self
+    }
+
     /// Builds the reference-broker configuration this spec's fault plan
     /// describes: a correct broker plus the declared faults and
     /// redelivery bound. Specs without a `[faults]` section get the
@@ -507,6 +561,21 @@ impl TestSpec {
             if let Some(bound) = plan.max_redeliveries {
                 config = config.with_max_redeliveries(bound);
             }
+            if plan.ignore_expiry {
+                config = config.ignoring_expiry();
+            }
+            if plan.ignore_priority {
+                config = config.ignoring_priority();
+            }
+            if plan.lose_persistent_on_crash {
+                config = config.losing_persistent_on_crash();
+            }
+            if !plan.delivery_delay.is_zero() {
+                config = config.with_delivery_delay(plan.delivery_delay);
+            }
+        }
+        if let Some(shards) = self.shards {
+            config = config.with_shards(shards as usize);
         }
         Ok(config)
     }
@@ -559,6 +628,9 @@ impl TestSpec {
         }
         if self.clients == Some(0) {
             return Err("clients must be at least 1".to_owned());
+        }
+        if self.shards == Some(0) {
+            return Err("shards must be at least 1".to_owned());
         }
         for node in &self.nodes {
             if self.open_loop && node.share_connection && !node.producers.is_empty() {

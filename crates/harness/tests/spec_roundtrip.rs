@@ -1,0 +1,356 @@
+//! Property-based round-trip test of the scenario text format:
+//! arbitrary valid [`TestSpec`]s must serialize to text that
+//! [`parse_spec`] reads back as an equal spec — pinning the new
+//! serializer against the parser, and retroactively fuzzing every key
+//! the format has grown (`prop`, `batch`, `retry`, `[faults]`,
+//! `open_loop`/`arrival_rate`/`clients`, `shards`, defect switches).
+
+use jmst_api::body::BodyKind;
+use jmst_api::destination::Destination;
+use jmst_api::modes::{DeliveryMode, Priority, SessionMode, TimeToLive};
+use jmst_api::value::Value;
+use jmst_harness::{parse_spec, serialize_spec};
+use jmst_harness::{
+    ConsumerSpec, CrashPlan, FaultPlan, NodeSpec, ProducerSpec, ReconnectSpec, RetryPolicy,
+    Subscription, TestSpec,
+};
+use jmst_sim::ArrivalProcess;
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// Durations at the format's supported granularities (whole seconds,
+/// milliseconds, or microseconds — the units the serializer emits).
+fn arb_duration() -> BoxedStrategy<Duration> {
+    prop_oneof![
+        (1u64..5).prop_map(Duration::from_secs),
+        (1u64..3000).prop_map(Duration::from_millis),
+        (1u64..900).prop_map(Duration::from_micros),
+    ]
+    .boxed()
+}
+
+/// Positive rates with one decimal digit — `f64::Display` round-trips
+/// any value, the constraint here is just "finite and positive".
+fn arb_rate() -> BoxedStrategy<f64> {
+    (1u32..500_000).prop_map(|n| f64::from(n) / 10.0).boxed()
+}
+
+fn arb_workload() -> BoxedStrategy<ArrivalProcess> {
+    prop_oneof![
+        arb_rate().prop_map(ArrivalProcess::steady),
+        arb_rate().prop_map(ArrivalProcess::poisson),
+        ((1u32..50), (1u64..500))
+            .prop_map(|(size, ms)| { ArrivalProcess::burst(size, Duration::from_millis(ms)) }),
+    ]
+    .boxed()
+}
+
+/// Property values in every expressible variant, including the string
+/// quote-escape and whitespace cases.
+fn arb_value() -> BoxedStrategy<Value> {
+    prop_oneof![
+        Just(Value::String("plain".to_owned())),
+        Just(Value::String("it's quoted".to_owned())),
+        Just(Value::String("two words".to_owned())),
+        Just(Value::String(String::new())),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Long),
+        (-4000i32..4000).prop_map(|n| Value::Double(f64::from(n) / 8.0)),
+    ]
+    .boxed()
+}
+
+fn arb_destination() -> BoxedStrategy<Destination> {
+    prop_oneof![
+        Just(Destination::queue("q0")),
+        Just(Destination::queue("q1")),
+        Just(Destination::topic("t0")),
+        Just(Destination::topic("t1")),
+    ]
+    .boxed()
+}
+
+fn arb_producer(open_loop: bool) -> BoxedStrategy<ProducerSpec> {
+    let workload = if open_loop {
+        // Open-loop specs with an arrival_rate reject burst profiles.
+        arb_rate().prop_map(ArrivalProcess::steady).boxed()
+    } else {
+        arb_workload()
+    };
+    (
+        (
+            arb_destination(),
+            workload,
+            prop::sample::select(vec![
+                BodyKind::Text,
+                BodyKind::Bytes,
+                BodyKind::Map,
+                BodyKind::Stream,
+                BodyKind::Object,
+            ]),
+            (0usize..4096),
+            (0u8..=9),
+            any::<bool>(),
+            prop_oneof![
+                Just(TimeToLive::FOREVER),
+                (1u64..10_000).prop_map(TimeToLive::from_millis)
+            ],
+        ),
+        (
+            prop_oneof![Just(None), (1u32..20).prop_map(Some)],
+            prop_oneof![Just(None), (1u64..5000).prop_map(Some)],
+            (1u32..10),
+            prop::collection::vec(
+                (
+                    prop::sample::select(vec!["p0", "p1", "p2", "p3"]),
+                    arb_value(),
+                ),
+                0..4,
+            ),
+        ),
+    )
+        .prop_map(
+            move |(
+                (destination, workload, body, body_size, priority, persistent, ttl),
+                (transacted, limit, send_batch, properties),
+            )| {
+                ProducerSpec {
+                    destination,
+                    workload,
+                    body,
+                    body_size,
+                    priority: Priority::new(priority).unwrap(),
+                    delivery_mode: if persistent {
+                        DeliveryMode::Persistent
+                    } else {
+                        DeliveryMode::NonPersistent
+                    },
+                    time_to_live: ttl,
+                    transacted_batch: if open_loop { None } else { transacted },
+                    message_limit: limit,
+                    send_batch,
+                    properties: properties
+                        .into_iter()
+                        .map(|(name, value)| (name.to_owned(), value))
+                        .collect(),
+                }
+            },
+        )
+        .boxed()
+}
+
+fn arb_consumer() -> BoxedStrategy<ConsumerSpec> {
+    (
+        arb_destination(),
+        any::<bool>(),
+        prop_oneof![
+            Just(None),
+            Just(Some("JMSPriority >= 5".to_owned())),
+            Just(Some("p0 = 3 AND p1 IS NOT NULL".to_owned())),
+        ],
+        prop_oneof![
+            Just((SessionMode::AutoAcknowledge, 1u32)),
+            Just((SessionMode::DupsOkAcknowledge, 1u32)),
+            (1u32..20).prop_map(|n| (SessionMode::ClientAcknowledge, n)),
+            (1u32..20).prop_map(|n| (SessionMode::Transacted, n)),
+        ],
+        prop_oneof![Just(Duration::ZERO), arb_duration()],
+        prop_oneof![
+            Just(None),
+            ((1u64..100), (1u64..100), (1u32..4)).prop_map(|(n, ms, k)| {
+                Some(ReconnectSpec {
+                    after_messages: n,
+                    pause: Duration::from_millis(ms),
+                    max_cycles: k,
+                })
+            })
+        ],
+    )
+        .prop_map(
+            |(destination, durable, selector, (session_mode, batch), think_time, reconnect)| {
+                // Durable subscriptions are only valid on topics.
+                let subscription = if durable && destination.is_topic() {
+                    Subscription::Durable {
+                        name: "sub".to_owned(),
+                    }
+                } else {
+                    Subscription::Plain
+                };
+                ConsumerSpec {
+                    destination,
+                    subscription,
+                    selector,
+                    session_mode,
+                    batch,
+                    reconnect,
+                    think_time,
+                }
+            },
+        )
+        .boxed()
+}
+
+fn arb_node(index: usize, open_loop: bool) -> BoxedStrategy<NodeSpec> {
+    (
+        (-5_000_000i64..5_000_000),
+        prop::collection::vec(arb_producer(open_loop), 0..3),
+        prop::collection::vec(arb_consumer(), 0..3),
+    )
+        .prop_map(move |(skew, producers, consumers)| NodeSpec {
+            name: format!("n{index}"),
+            clock_skew_nanos: (skew / 1000) * 1000, // whole microseconds
+            share_connection: false,
+            producers,
+            consumers,
+        })
+        .boxed()
+}
+
+fn arb_fault_plan() -> BoxedStrategy<FaultPlan> {
+    let prob = || (0u32..=100).prop_map(|n| f64::from(n) / 100.0);
+    (
+        (prob(), prob(), prob(), prob()),
+        (prob(), prob(), prob(), prob()),
+        ((1u64..50), (1u64..50), (0u64..20)),
+        (
+            (0u64..1000),
+            prop_oneof![Just(None), (0u32..10).prop_map(Some)],
+            any::<bool>(),
+            any::<bool>(),
+            any::<bool>(),
+        ),
+    )
+        .prop_map(
+            |(
+                (drop, duplicate, reorder, forge),
+                (connect, send_error, stall, ack_loss),
+                (reorder_ms, stall_ms, delay_ms),
+                (seed, max_redeliveries, ignore_expiry, ignore_priority, lose),
+            )| {
+                let mut plan = FaultPlan::none();
+                plan.seed = seed;
+                plan.drop_probability = drop;
+                plan.duplicate_probability = duplicate;
+                plan.reorder_probability = reorder;
+                plan.reorder_delay = Duration::from_millis(reorder_ms);
+                plan.forge_probability = forge;
+                plan.connect_failure_probability = connect;
+                plan.send_error_probability = send_error;
+                plan.stall_probability = stall;
+                plan.stall_duration = Duration::from_millis(stall_ms);
+                plan.ack_loss_probability = ack_loss;
+                plan.max_redeliveries = max_redeliveries;
+                plan.ignore_expiry = ignore_expiry;
+                plan.ignore_priority = ignore_priority;
+                plan.lose_persistent_on_crash = lose;
+                plan.delivery_delay = Duration::from_millis(delay_ms);
+                plan
+            },
+        )
+        .boxed()
+}
+
+/// Open-loop knobs: off entirely, or on with optional rate/clients.
+fn arb_open_loop() -> BoxedStrategy<(bool, Option<f64>, Option<u32>)> {
+    prop_oneof![
+        Just((false, None, None)),
+        (
+            prop_oneof![Just(None), arb_rate().prop_map(Some)],
+            prop_oneof![Just(None), (1u32..200).prop_map(Some)],
+        )
+            .prop_map(|(rate, clients)| (true, rate, clients)),
+    ]
+    .boxed()
+}
+
+fn arb_spec() -> BoxedStrategy<TestSpec> {
+    (
+        (
+            (0u32..1000),
+            (0u64..1_000_000),
+            arb_duration(),
+            arb_duration(),
+            arb_duration(),
+            arb_duration(),
+            any::<bool>(),
+            any::<bool>(),
+        ),
+        arb_open_loop(),
+        (
+            prop_oneof![Just(None), (1u32..16).prop_map(Some)],
+            prop_oneof![
+                Just(None),
+                (arb_duration(), arb_duration()).prop_map(|(after, down)| Some(CrashPlan {
+                    crash_after: after,
+                    down_for: down,
+                }))
+            ],
+            prop_oneof![Just(None), arb_fault_plan().prop_map(Some)],
+        ),
+    )
+        .prop_map(
+            |(
+                (name_n, seed, warm_up, run, warm_down, drain_quiet, retry_off, fail_fast),
+                (open_loop, arrival_rate, clients),
+                (shards, crash, faults),
+            )| {
+                TestSpec {
+                    name: format!("spec-{name_n}"),
+                    seed,
+                    warm_up,
+                    run,
+                    warm_down,
+                    drain_quiet,
+                    nodes: Vec::new(),
+                    crash,
+                    faults,
+                    retry: if retry_off {
+                        RetryPolicy::disabled()
+                    } else {
+                        RetryPolicy::default()
+                    },
+                    fail_fast,
+                    open_loop,
+                    arrival_rate: if open_loop { arrival_rate } else { None },
+                    clients: if open_loop { clients } else { None },
+                    shards,
+                }
+            },
+        )
+        .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn arbitrary_specs_round_trip_through_the_text_format(
+        shell in arb_spec(),
+        node_count in 1usize..4,
+        node_seed in 0u64..1_000_000,
+    ) {
+        let mut spec = shell;
+        // Nodes need the open_loop flag fixed first, so they are
+        // generated against the final spec shape.
+        let mut rng = proptest::TestRng::for_case(node_seed, 0);
+        for index in 0..node_count {
+            spec.nodes
+                .push(arb_node(index, spec.open_loop).generate(&mut rng));
+        }
+        // A spec with no drivers at all is invalid; give it one consumer.
+        if spec.producer_count() == 0 && spec.consumer_count() == 0 {
+            spec.nodes[0]
+                .consumers
+                .push(ConsumerSpec::auto(Destination::queue("q0")));
+        }
+        // The generator is built to emit only valid specs; an invalid one
+        // is a bug in the strategy, not a case to discard.
+        prop_assert!(spec.validate().is_ok(), "generator produced an invalid spec: {:?}", spec.validate());
+        let text = serialize_spec(&spec).unwrap_or_else(|e| panic!("{e}"));
+        let reparsed = parse_spec(&text)
+            .unwrap_or_else(|e| panic!("serialized text does not parse: {e}\n---\n{text}"));
+        prop_assert_eq!(&reparsed, &spec, "round trip diverged\n---\n{}", text);
+        // Serialization of the reparsed spec is a fixed point.
+        prop_assert_eq!(serialize_spec(&reparsed).unwrap(), text);
+    }
+}

@@ -1,0 +1,203 @@
+//! `jmst-corpus`: generate, smoke-test, fuzz, and matrix-check the
+//! scenario corpus.
+//!
+//! ```sh
+//! # Write the full generated corpus (~220 annotated .cfg files):
+//! cargo run --release --example jmst_corpus -- generate --out corpus
+//!
+//! # Run the seed subset and hold every verdict to its annotation:
+//! cargo run --release --example jmst_corpus -- smoke
+//!
+//! # Coverage-guided fuzzing with a fixed seed and a budget:
+//! cargo run --release --example jmst_corpus -- fuzz --seed 7 --runs 64 --seconds 60
+//!
+//! # Render / verify / refresh the EXPERIMENTS.md fault-detection matrix:
+//! cargo run --release --example jmst_corpus -- matrix
+//! cargo run --release --example jmst_corpus -- matrix --check EXPERIMENTS.md
+//! cargo run --release --example jmst_corpus -- matrix --update EXPERIMENTS.md
+//! ```
+
+use jmst::corpus::{
+    check_entry, fuzz, generate_corpus, matrix, reachable_tuples, seed_entries, FuzzConfig,
+};
+use std::path::Path;
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("smoke") => cmd_smoke(),
+        Some("fuzz") => cmd_fuzz(&args[1..]),
+        Some("matrix") => cmd_matrix(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: jmst_corpus generate [--out DIR]\n\
+                 \x20      jmst_corpus smoke\n\
+                 \x20      jmst_corpus fuzz [--seed N] [--runs N] [--seconds N] [--min-coverage PCT]\n\
+                 \x20      jmst_corpus matrix [--check FILE | --update FILE]"
+            );
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|arg| arg == name)
+        .and_then(|index| args.get(index + 1))
+        .cloned()
+}
+
+fn cmd_generate(args: &[String]) -> i32 {
+    let out = flag_value(args, "--out").unwrap_or_else(|| "corpus".to_owned());
+    let dir = Path::new(&out);
+    if let Err(error) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create {out}: {error}");
+        return 1;
+    }
+    let corpus = generate_corpus();
+    let mut written = 0usize;
+    for entry in &corpus {
+        let text = match entry.config_text() {
+            Ok(text) => text,
+            Err(error) => {
+                eprintln!("{}: does not serialize: {error}", entry.name);
+                return 1;
+            }
+        };
+        if let Err(error) = std::fs::write(dir.join(entry.file_name()), text) {
+            eprintln!("{}: cannot write: {error}", entry.name);
+            return 1;
+        }
+        written += 1;
+    }
+    println!("wrote {written} scenarios to {out}/");
+    0
+}
+
+fn cmd_smoke() -> i32 {
+    let mut failed = 0usize;
+    let seeds = seed_entries();
+    for entry in &seeds {
+        match check_entry(entry) {
+            Ok(observed) => {
+                println!("{}: ok ({observed}, expected {})", entry.name, entry.expect);
+            }
+            Err(error) => {
+                println!("DIVERGED {error}");
+                failed += 1;
+            }
+        }
+    }
+    println!(
+        "smoke: {}/{} scenarios matched their annotation",
+        seeds.len() - failed,
+        seeds.len()
+    );
+    i32::from(failed > 0)
+}
+
+fn cmd_fuzz(args: &[String]) -> i32 {
+    let parse = |name: &str| flag_value(args, name).and_then(|value| value.parse::<u64>().ok());
+    let config = FuzzConfig {
+        seed: parse("--seed").unwrap_or(7),
+        max_runs: parse("--runs").unwrap_or(64) as usize,
+        time_budget: parse("--seconds").map(Duration::from_secs),
+        minimize_divergent: true,
+    };
+    let min_coverage = flag_value(args, "--min-coverage")
+        .and_then(|value| value.parse::<f64>().ok())
+        .unwrap_or(90.0);
+
+    let outcome = fuzz(&config);
+    let ratio = outcome.coverage_ratio();
+    println!(
+        "fuzz: {} runs, {} inputs kept, {} coverage tuples ({:.0}% of the {} reachable)",
+        outcome.runs,
+        outcome.kept.len(),
+        outcome.coverage.len(),
+        ratio * 100.0,
+        reachable_tuples().len()
+    );
+    for key in outcome.coverage.keys() {
+        println!("  lit {key}");
+    }
+    for find in &outcome.divergent {
+        println!(
+            "divergent: {} expected {} observed {}",
+            find.entry.name, find.entry.expect, find.observed
+        );
+        if let Some(spec) = &find.minimized {
+            println!(
+                "  minimized to {} producers, {} consumers, run {:?}",
+                spec.producer_count(),
+                spec.consumer_count(),
+                spec.run
+            );
+        }
+    }
+    let mut code = 0;
+    if ratio * 100.0 < min_coverage {
+        println!(
+            "coverage {:.0}% is below the --min-coverage {min_coverage}% bar",
+            ratio * 100.0
+        );
+        code = 1;
+    }
+    if !outcome.divergent.is_empty() {
+        code = 1;
+    }
+    code
+}
+
+fn cmd_matrix(args: &[String]) -> i32 {
+    let rendered = matrix::render_matrix();
+    if let Some(path) = flag_value(args, "--check") {
+        let document = match std::fs::read_to_string(&path) {
+            Ok(document) => document,
+            Err(error) => {
+                eprintln!("cannot read {path}: {error}");
+                return 1;
+            }
+        };
+        return match matrix::check_document(&document, &rendered) {
+            Ok(()) => {
+                println!("{path}: fault-detection matrix is up to date");
+                0
+            }
+            Err(error) => {
+                eprintln!("{path}: {error}");
+                1
+            }
+        };
+    }
+    if let Some(path) = flag_value(args, "--update") {
+        let document = match std::fs::read_to_string(&path) {
+            Ok(document) => document,
+            Err(error) => {
+                eprintln!("cannot read {path}: {error}");
+                return 1;
+            }
+        };
+        return match matrix::replace_block(&document, &rendered) {
+            Ok(updated) => match std::fs::write(&path, updated) {
+                Ok(()) => {
+                    println!("{path}: fault-detection matrix refreshed");
+                    0
+                }
+                Err(error) => {
+                    eprintln!("cannot write {path}: {error}");
+                    1
+                }
+            },
+            Err(error) => {
+                eprintln!("{path}: {error}");
+                1
+            }
+        };
+    }
+    print!("{rendered}");
+    0
+}

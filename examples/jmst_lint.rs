@@ -6,44 +6,90 @@
 //! predicates are hard errors; unset property references, consumerless
 //! producers and misaligned send batches are warnings.
 //!
+//! Arguments may be files or directories; a directory is walked
+//! recursively and every `*.cfg` under it is linted.
+//!
 //! ```sh
 //! cargo run --example jmst_lint -- scenarios/selector_routing.cfg
-//! cargo run --example jmst_lint -- scenarios/*.cfg   # exit 1 on errors
+//! cargo run --example jmst_lint -- scenarios/          # recursive *.cfg
+//! cargo run --example jmst_lint -- corpus/ scenarios/  # exit 1 on errors
 //! ```
 
 use jmst::harness::{lint_spec, parse_spec};
+use std::path::{Path, PathBuf};
 
 fn main() {
-    let paths: Vec<String> = std::env::args().skip(1).collect();
-    if paths.is_empty() {
-        eprintln!("usage: jmst_lint SCENARIO.cfg [SCENARIO.cfg ...]");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: jmst_lint SCENARIO.cfg|DIR [SCENARIO.cfg|DIR ...]");
         std::process::exit(2);
     }
+    let mut paths = Vec::new();
     let mut failed = false;
+    for arg in &args {
+        let path = PathBuf::from(arg);
+        if path.is_dir() {
+            let before = paths.len();
+            collect_cfgs(&path, &mut paths, &mut failed);
+            if paths.len() == before {
+                println!("{arg}: error: no .cfg files found under directory");
+                failed = true;
+            }
+        } else {
+            paths.push(path);
+        }
+    }
     for path in &paths {
-        let text = match std::fs::read_to_string(path) {
-            Ok(text) => text,
-            Err(error) => {
-                println!("{path}: error: cannot read: {error}");
-                failed = true;
-                continue;
-            }
-        };
-        // Parse/validation failures (syntax, ill-typed selectors) are
-        // hard errors just like lint errors: the spec cannot run.
-        let spec = match parse_spec(&text) {
-            Ok(spec) => spec,
-            Err(error) => {
-                println!("{path}: error: {error}");
-                failed = true;
-                continue;
-            }
-        };
-        let report = lint_spec(&spec);
-        print!("{path}: {report}");
-        if report.has_errors() {
+        if !lint_file(path) {
             failed = true;
         }
     }
     std::process::exit(if failed { 1 } else { 0 });
+}
+
+/// Recursively collects `*.cfg` files under `dir`, in sorted order so
+/// output (and exit codes) are stable across filesystems.
+fn collect_cfgs(dir: &Path, paths: &mut Vec<PathBuf>, failed: &mut bool) {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(error) => {
+            println!("{}: error: cannot read directory: {error}", dir.display());
+            *failed = true;
+            return;
+        }
+    };
+    let mut children: Vec<PathBuf> = entries
+        .filter_map(|entry| entry.ok().map(|entry| entry.path()))
+        .collect();
+    children.sort();
+    for child in children {
+        if child.is_dir() {
+            collect_cfgs(&child, paths, failed);
+        } else if child.extension().is_some_and(|ext| ext == "cfg") {
+            paths.push(child);
+        }
+    }
+}
+
+fn lint_file(path: &Path) -> bool {
+    let display = path.display();
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(error) => {
+            println!("{display}: error: cannot read: {error}");
+            return false;
+        }
+    };
+    // Parse/validation failures (syntax, ill-typed selectors) are
+    // hard errors just like lint errors: the spec cannot run.
+    let spec = match parse_spec(&text) {
+        Ok(spec) => spec,
+        Err(error) => {
+            println!("{display}: error: {error}");
+            return false;
+        }
+    };
+    let report = lint_spec(&spec);
+    print!("{display}: {report}");
+    !report.has_errors()
 }

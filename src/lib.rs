@@ -18,7 +18,9 @@
 //! * [`core`] — the formal model: Definitions 1–7, Properties 1–5, and
 //!   the §3.2 performance analysis;
 //! * [`harness`] — test specs, the threaded runner, crash injection, and
-//!   the daemon prince.
+//!   the daemon prince;
+//! * [`corpus`] — the scenario-corpus engine: cross-product generator,
+//!   coverage-guided fuzzer, and the generated fault-detection matrix.
 //!
 //! # Examples
 //!
@@ -49,6 +51,7 @@
 pub use jmst_api as api;
 pub use jmst_broker as broker;
 pub use jmst_core as core;
+pub use jmst_corpus as corpus;
 pub use jmst_harness as harness;
 pub use jmst_sim as sim;
 pub use jmst_store as store;

@@ -1,0 +1,206 @@
+//! End-to-end tests of the scenario-corpus engine: the cross-product
+//! generator (size, distinctness, lint-cleanliness, annotation
+//! round-trip), the expected-verdict oracle on the seed subset, the
+//! coverage-guided fuzzer's fixed-seed coverage guarantee, the
+//! delta-minimiser, and the generated fault-detection matrix against
+//! the committed EXPERIMENTS.md table.
+
+use jmst::api::destination::Destination;
+use jmst::corpus::fuzzer::active_fault_entries;
+use jmst::corpus::{
+    check_entry, fuzz, generate_corpus, matrix, minimize, reachable_tuples, run_entry,
+    seed_entries, AckMode, CorpusEntry, ExpectedVerdict, FaultKind, FuzzConfig,
+};
+use jmst::harness::{lint_spec, ConsumerSpec, FaultPlan, NodeSpec, ProducerSpec, TestSpec};
+use std::path::PathBuf;
+use std::time::Duration;
+
+#[test]
+fn generator_emits_a_large_lint_clean_annotated_corpus() {
+    let corpus = generate_corpus();
+    assert!(
+        corpus.len() >= 200,
+        "corpus has only {} scenarios",
+        corpus.len()
+    );
+
+    // Names are distinct.
+    let mut names: Vec<&str> = corpus.iter().map(|entry| entry.name.as_str()).collect();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), corpus.len(), "duplicate scenario names");
+
+    // The full acknowledgement-mode × fault-kind cross-product is
+    // covered by the base family alone.
+    for ack in AckMode::ALL {
+        for fault in FaultKind::ALL {
+            let prefix = format!("base-{}-{}", ack.name(), fault.name());
+            assert!(
+                corpus.iter().any(|entry| entry.name == prefix),
+                "cross-product hole: no {prefix}"
+            );
+        }
+    }
+
+    // Every entry serializes, round-trips through the text format with
+    // its annotations intact, and lints clean.
+    for entry in &corpus {
+        let text = entry
+            .config_text()
+            .unwrap_or_else(|error| panic!("{}: does not serialize: {error}", entry.name));
+        let back = CorpusEntry::from_config_text(&text)
+            .unwrap_or_else(|error| panic!("{}: does not read back: {error}", entry.name));
+        assert_eq!(back.spec, entry.spec, "{} spec drifted", entry.name);
+        assert_eq!(back.fault, entry.fault, "{} fault drifted", entry.name);
+        assert_eq!(back.expect, entry.expect, "{} oracle drifted", entry.name);
+        let report = lint_spec(&entry.spec);
+        assert!(
+            !report.has_errors(),
+            "{}: lint errors:\n{report}",
+            entry.name
+        );
+    }
+}
+
+#[test]
+fn seed_subset_verdicts_match_their_annotations() {
+    // The deterministic smoke subset: one proven scenario per reachable
+    // coverage tuple, each held to its annotation by a real run.
+    let seeds = seed_entries();
+    assert_eq!(seeds.len(), reachable_tuples().len());
+    let mut failures = Vec::new();
+    for entry in &seeds {
+        if let Err(divergence) = check_entry(entry) {
+            failures.push(divergence);
+        }
+    }
+    assert!(failures.is_empty(), "diverged:\n{}", failures.join("\n"));
+}
+
+#[test]
+fn fixed_seed_fuzz_reaches_ninety_percent_of_reachable_tuples() {
+    let outcome = fuzz(&FuzzConfig {
+        seed: 7,
+        max_runs: 16,
+        time_budget: None,
+        minimize_divergent: false,
+    });
+    assert!(
+        outcome.coverage_ratio() >= 0.9,
+        "coverage {:.0}% of {} reachable tuples after {} runs; missing: {:?}",
+        outcome.coverage_ratio() * 100.0,
+        reachable_tuples().len(),
+        outcome.runs,
+        outcome
+            .coverage
+            .missing_from(&reachable_tuples())
+            .iter()
+            .map(|key| key.to_string())
+            .collect::<Vec<_>>()
+    );
+    assert!(
+        outcome.divergent.is_empty(),
+        "fuzzer found pipeline divergences: {:?}",
+        outcome
+            .divergent
+            .iter()
+            .map(|find| find.entry.name.clone())
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn minimiser_shrinks_a_divergent_scenario_on_every_axis() {
+    // A deliberately mis-annotated scenario: it injects drops and
+    // duplicates (and a delivery delay) but claims it should pass, so
+    // every run diverges. The minimiser must shrink it strictly on all
+    // four axes — producers, consumers, active fault entries, run time —
+    // while the shrunk spec still reproduces the divergence.
+    let mut plan = FaultPlan::none();
+    plan.seed = 11;
+    plan.drop_probability = 0.25;
+    plan.duplicate_probability = 0.25;
+    plan.delivery_delay = Duration::from_millis(5);
+    let destination = Destination::queue("q");
+    let spec = TestSpec::new("divergence-seed")
+        .with_seed(7)
+        .with_periods(
+            Duration::from_millis(30),
+            Duration::from_millis(300),
+            Duration::from_secs(3),
+        )
+        .node(
+            NodeSpec::new("n0")
+                .producer(ProducerSpec::steady(destination.clone(), 300.0, 128))
+                .producer(ProducerSpec::steady(destination.clone(), 300.0, 128))
+                .producer(ProducerSpec::steady(destination.clone(), 300.0, 128))
+                .consumer(ConsumerSpec::auto(destination.clone()))
+                .consumer(ConsumerSpec::auto(destination.clone())),
+        )
+        .with_faults(plan);
+    let entry = CorpusEntry {
+        name: spec.name.clone(),
+        spec,
+        fault: FaultKind::Clean,
+        expect: ExpectedVerdict::Pass,
+    };
+
+    // It diverges as seeded.
+    let observed = run_entry(&entry).expect("seeded scenario lints and runs");
+    assert!(
+        !observed.matches(entry.expect),
+        "seeded scenario did not diverge (observed {observed})"
+    );
+
+    let (minimized, runs_spent) = minimize(&entry);
+    assert!(runs_spent <= 60, "minimiser spent {runs_spent} runs");
+
+    assert!(
+        minimized.producer_count() < entry.spec.producer_count(),
+        "producers not shrunk: {}",
+        minimized.producer_count()
+    );
+    assert!(
+        minimized.consumer_count() < entry.spec.consumer_count(),
+        "consumers not shrunk: {}",
+        minimized.consumer_count()
+    );
+    assert!(
+        active_fault_entries(&minimized) < active_fault_entries(&entry.spec),
+        "fault entries not shrunk: {}",
+        active_fault_entries(&minimized)
+    );
+    assert!(
+        minimized.run < entry.spec.run,
+        "run time not shrunk: {:?}",
+        minimized.run
+    );
+
+    // The minimal scenario still reproduces the divergence and is still
+    // expressible as a .cfg file.
+    let shrunk_entry = CorpusEntry {
+        name: minimized.name.clone(),
+        spec: minimized,
+        fault: entry.fault,
+        expect: entry.expect,
+    };
+    let observed = run_entry(&shrunk_entry).expect("minimized scenario lints and runs");
+    assert!(
+        !observed.matches(shrunk_entry.expect),
+        "minimized scenario no longer diverges"
+    );
+    shrunk_entry
+        .config_text()
+        .expect("minimized scenario serializes to a .cfg");
+}
+
+#[test]
+fn committed_fault_detection_matrix_matches_a_real_run() {
+    // EXPERIMENTS.md's fault-detection matrix is a generated artifact;
+    // this re-runs the seeded-defect corpus and fails on drift. Refresh
+    // with: cargo run --release --example jmst_corpus -- matrix --update EXPERIMENTS.md
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("EXPERIMENTS.md");
+    let document = std::fs::read_to_string(&path).expect("EXPERIMENTS.md exists");
+    let rendered = matrix::render_matrix();
+    matrix::check_document(&document, &rendered).unwrap_or_else(|drift| panic!("{drift}"));
+}

@@ -54,6 +54,54 @@ fn clean_scenarios_lint_clean_and_broken_ones_fail() {
 }
 
 #[test]
+fn linting_a_multi_hundred_scenario_corpus_stays_sub_second() {
+    // The dead-subscription check reasons about each destination's
+    // producer property sets; that per-destination work is computed once
+    // per spec, not once per consumer. This pins the cost of linting a
+    // corpus-sized population of property-heavy scenarios — a regression
+    // back to per-consumer recomputation blows well past the bound.
+    use jmst::api::destination::Destination;
+    use jmst::api::value::Value;
+    use jmst::harness::{ConsumerSpec, NodeSpec, ProducerSpec, TestSpec};
+
+    let specs: Vec<TestSpec> = (0..300)
+        .map(|case| {
+            let mut node = NodeSpec::new("n");
+            for p in 0..12 {
+                let mut producer =
+                    ProducerSpec::steady(Destination::topic(format!("t{}", p % 4)), 10.0, 64);
+                for k in 0..8 {
+                    producer =
+                        producer.with_property(format!("p{k}"), Value::Long(i64::from(p * 8 + k)));
+                }
+                node = node.producer(producer);
+            }
+            for c in 0..12 {
+                node = node.consumer(
+                    ConsumerSpec::auto(Destination::topic(format!("t{}", c % 4))).with_selector(
+                        format!("p{} = {} AND jmst_seq >= 0", c % 8, (c % 12) * 8 + c % 8),
+                    ),
+                );
+            }
+            TestSpec::new(format!("corpus-{case}")).node(node)
+        })
+        .collect();
+
+    let started = std::time::Instant::now();
+    let mut findings = 0usize;
+    for spec in &specs {
+        findings += lint_spec(spec).findings.len();
+    }
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < std::time::Duration::from_secs(1),
+        "linting {} scenarios took {elapsed:?} (found {findings} findings); \
+         the per-destination producer index is supposed to make this sub-second",
+        specs.len()
+    );
+}
+
+#[test]
 fn broken_fixture_names_the_dead_subscription() {
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("scenarios")
