@@ -24,6 +24,94 @@ use jmst_store::trace::Trace;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
+
+/// One incremental checker for a named (DSL-declared) property, driven
+/// through the same observe/finish lifecycle as the built-in checkers.
+///
+/// `live_violations` mirrors the built-ins' `violations_so_far`: a
+/// checker that can convict mid-stream reports a running count there so
+/// the harness's fail-fast watcher sees it; finish-only checkers leave
+/// the default `0`.
+pub trait PropertyChecker: fmt::Debug + Send {
+    /// Feeds one event in canonical `(at, seq)` order.
+    fn observe(&mut self, event: &Event);
+
+    /// Violations already decidable mid-stream.
+    fn live_violations(&self) -> usize {
+        0
+    }
+
+    /// Estimated resident state, in bytes.
+    fn state_bytes(&self) -> usize {
+        0
+    }
+
+    /// Finishes the checker and reports its violations.
+    fn finish(self: Box<Self>) -> Vec<Violation>;
+}
+
+type CheckerFactory = Arc<dyn Fn() -> Box<dyn PropertyChecker> + Send + Sync>;
+
+/// A set of named property checkers to instantiate alongside the
+/// built-ins on every streaming pass. Cloning shares the factories.
+#[derive(Clone, Default)]
+pub struct CheckerRegistry {
+    factories: Vec<(String, CheckerFactory)>,
+}
+
+impl CheckerRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a named checker factory, called once per streaming pass.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        factory: impl Fn() -> Box<dyn PropertyChecker> + Send + Sync + 'static,
+    ) {
+        self.factories.push((name.into(), Arc::new(factory)));
+    }
+
+    /// Names of the registered checkers, in registration order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.factories.iter().map(|(name, _)| name.as_str())
+    }
+
+    /// Number of registered checkers.
+    pub fn len(&self) -> usize {
+        self.factories.len()
+    }
+
+    /// Returns `true` if no checker is registered.
+    pub fn is_empty(&self) -> bool {
+        self.factories.is_empty()
+    }
+
+    fn instantiate(&self) -> Vec<(String, Box<dyn PropertyChecker>)> {
+        self.factories
+            .iter()
+            .map(|(name, factory)| (name.clone(), factory()))
+            .collect()
+    }
+}
+
+impl fmt::Debug for CheckerRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.names()).finish()
+    }
+}
+
+/// The per-property outcome row for one named (DSL-declared) property.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NamedPropertyOutcome {
+    /// The property's declared name.
+    pub name: String,
+    /// Number of violations it reported (0 = held).
+    pub violations: usize,
+}
 
 /// The complete analysis result for one test run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -40,6 +128,10 @@ pub struct AnalysisReport {
     pub sends: usize,
     /// Number of receive operations observed (committed or not).
     pub receives: usize,
+    /// Per-property outcome rows for named (DSL-declared) properties, in
+    /// registration order (empty when no registry is attached).
+    #[serde(default)]
+    pub named: Vec<NamedPropertyOutcome>,
 }
 
 impl AnalysisReport {
@@ -89,6 +181,11 @@ impl fmt::Display for AnalysisReport {
                 writeln!(f, "    … and {} more", violations.len() - 5)?;
             }
         }
+        for outcome in &self.named {
+            if outcome.violations == 0 {
+                writeln!(f, "  property '{}': held", outcome.name)?;
+            }
+        }
         write!(f, "{}", self.performance.to_table())
     }
 }
@@ -116,6 +213,7 @@ pub struct StreamingAnalyzer {
     expiry: Option<ExpiryChecker>,
     duplicates: Option<DuplicatesChecker>,
     redelivery: Option<RedeliveryBoundChecker>,
+    named: Vec<(String, Box<dyn PropertyChecker>)>,
     perf: PerfAccumulator,
     events: usize,
     sends: usize,
@@ -144,6 +242,7 @@ impl StreamingAnalyzer {
             expiry: config.check_expiry.then(ExpiryChecker::new),
             duplicates: config.check_duplicates.then(DuplicatesChecker::new),
             redelivery: config.redelivery_bound.map(RedeliveryBoundChecker::new),
+            named: Vec::new(),
             perf,
             config,
             events: 0,
@@ -155,6 +254,14 @@ impl StreamingAnalyzer {
     /// The active configuration.
     pub fn config(&self) -> &AnalysisConfig {
         &self.config
+    }
+
+    /// Attaches a named property checker, fed every event alongside the
+    /// built-ins and reported as its own row at [`finish`].
+    ///
+    /// [`finish`]: StreamingAnalyzer::finish
+    pub fn register(&mut self, name: impl Into<String>, checker: Box<dyn PropertyChecker>) {
+        self.named.push((name.into(), checker));
     }
 
     /// Feeds one event, in canonical `(at, seq)` order, to every enabled
@@ -193,6 +300,9 @@ impl StreamingAnalyzer {
         if let Some(checker) = &mut self.redelivery {
             checker.observe(event);
         }
+        for (_, checker) in &mut self.named {
+            checker.observe(event);
+        }
         self.perf.observe(event);
     }
 
@@ -216,6 +326,11 @@ impl StreamingAnalyzer {
                 .redelivery
                 .as_ref()
                 .map_or(0, RedeliveryBoundChecker::violations_so_far)
+            + self
+                .named
+                .iter()
+                .map(|(_, checker)| checker.live_violations())
+                .sum::<usize>()
     }
 
     /// An estimate of the resident state across all checkers, in bytes.
@@ -251,12 +366,18 @@ impl StreamingAnalyzer {
                 .redelivery
                 .as_ref()
                 .map_or(0, RedeliveryBoundChecker::state_bytes)
+            + self
+                .named
+                .iter()
+                .map(|(_, checker)| checker.state_bytes())
+                .sum::<usize>()
             + self.perf.state_bytes()
     }
 
     /// Finishes every checker and assembles the report, with violations
     /// in the fixed check order: integrity, required, ordering, priority
-    /// (and strict priority), expiry, duplicates, redelivery bound.
+    /// (and strict priority), expiry, duplicates, redelivery bound, then
+    /// the named property checkers in registration order.
     pub fn finish(self) -> AnalysisReport {
         let mut violations = Vec::new();
         if let Some(checker) = self.integrity {
@@ -287,6 +408,15 @@ impl StreamingAnalyzer {
         if let Some(checker) = self.redelivery {
             violations.extend(checker.finish());
         }
+        let mut named = Vec::with_capacity(self.named.len());
+        for (name, checker) in self.named {
+            let found = checker.finish();
+            named.push(NamedPropertyOutcome {
+                name,
+                violations: found.len(),
+            });
+            violations.extend(found);
+        }
         AnalysisReport {
             violations,
             performance: self.perf.finish(),
@@ -294,6 +424,7 @@ impl StreamingAnalyzer {
             events_analyzed: self.events,
             sends: self.sends,
             receives: self.receives,
+            named,
         }
     }
 }
@@ -302,6 +433,7 @@ impl StreamingAnalyzer {
 #[derive(Debug, Clone, Default)]
 pub struct Analyzer {
     config: AnalysisConfig,
+    registry: CheckerRegistry,
 }
 
 impl Analyzer {
@@ -312,7 +444,17 @@ impl Analyzer {
 
     /// Creates an analyzer with an explicit configuration.
     pub fn with_config(config: AnalysisConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            registry: CheckerRegistry::new(),
+        }
+    }
+
+    /// Replaces the named-property registry; every subsequent streaming
+    /// pass instantiates one checker per registered factory.
+    pub fn with_registry(mut self, registry: CheckerRegistry) -> Self {
+        self.registry = registry;
+        self
     }
 
     /// The active configuration.
@@ -320,9 +462,16 @@ impl Analyzer {
         &self.config
     }
 
+    /// The attached named-property registry.
+    pub fn registry(&self) -> &CheckerRegistry {
+        &self.registry
+    }
+
     /// Starts a streaming pass with this analyzer's configuration.
     pub fn streaming(&self) -> StreamingAnalyzer {
-        StreamingAnalyzer::new(self.config)
+        let mut streaming = StreamingAnalyzer::new(self.config);
+        streaming.named = self.registry.instantiate();
+        streaming
     }
 
     /// Analyses one recorded trace by replaying it, in canonical order,

@@ -47,7 +47,10 @@ pub mod violation;
 #[cfg(test)]
 pub(crate) mod test_support;
 
-pub use analyzer::{AnalysisReport, Analyzer, StreamingAnalyzer};
+pub use analyzer::{
+    AnalysisReport, Analyzer, CheckerRegistry, NamedPropertyOutcome, PropertyChecker,
+    StreamingAnalyzer,
+};
 pub use config::{AnalysisConfig, ExpiryConfig, ExpiryModel, PriorityConfig};
 pub use perf::{PerformanceReport, Throughput};
 pub use properties::expiry::ExpiryBreakdown;

@@ -5,6 +5,7 @@ use jmst_api::id::{ConsumerId, MessageId, ProducerId};
 use jmst_api::modes::Priority;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::time::Duration;
 
 /// Which of the paper's properties a violation falls under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -27,6 +28,11 @@ pub enum PropertyKind {
     /// provider's configured redelivery limit (poison messages must be
     /// dead-lettered instead).
     BoundedRedelivery,
+    /// A declared per-message deadline property (QoS DSL).
+    Deadline,
+    /// A declared windowed SLO property — throughput, latency statistic,
+    /// fairness, or receive-count bound (QoS DSL).
+    SloWindow,
 }
 
 impl fmt::Display for PropertyKind {
@@ -39,6 +45,8 @@ impl fmt::Display for PropertyKind {
             PropertyKind::ExpiredMessages => "P5 expired messages",
             PropertyKind::DuplicateDelivery => "duplicate delivery",
             PropertyKind::BoundedRedelivery => "bounded redelivery",
+            PropertyKind::Deadline => "QoS deadline",
+            PropertyKind::SloWindow => "QoS SLO",
         })
     }
 }
@@ -153,6 +161,28 @@ pub enum Violation {
         /// delivery).
         bound: u32,
     },
+    /// A message took longer than a declared property's deadline to reach
+    /// a consumer.
+    DeadlineMissed {
+        /// Name of the declared property.
+        property: String,
+        /// The late message.
+        message: MessageId,
+        /// The end-point it (eventually) arrived at.
+        endpoint: EndpointId,
+        /// The declared deadline.
+        deadline: Duration,
+        /// The observed send-to-receive latency.
+        observed: Duration,
+    },
+    /// A declared windowed service-level objective was not met over the
+    /// measurement window.
+    SloNotMet {
+        /// Name of the declared property.
+        property: String,
+        /// Human-readable description of the missed bound.
+        detail: String,
+    },
 }
 
 impl Violation {
@@ -169,6 +199,8 @@ impl Violation {
             | Violation::LiveMessagesNotDelivered { .. } => PropertyKind::ExpiredMessages,
             Violation::DuplicateDelivery { .. } => PropertyKind::DuplicateDelivery,
             Violation::RedeliveryLimitExceeded { .. } => PropertyKind::BoundedRedelivery,
+            Violation::DeadlineMissed { .. } => PropertyKind::Deadline,
+            Violation::SloNotMet { .. } => PropertyKind::SloWindow,
         }
     }
 }
@@ -257,6 +289,19 @@ impl fmt::Display for Violation {
                 f,
                 "{message} reached delivery count {delivery_count} at {endpoint} (redelivery bound {bound})"
             ),
+            Violation::DeadlineMissed {
+                property,
+                message,
+                endpoint,
+                deadline,
+                observed,
+            } => write!(
+                f,
+                "property '{property}': {message} took {observed:?} to reach {endpoint} (deadline {deadline:?})"
+            ),
+            Violation::SloNotMet { property, detail } => {
+                write!(f, "property '{property}': {detail}")
+            }
         }
     }
 }

@@ -172,6 +172,20 @@ pub fn reachable_tuples() -> Vec<CoverageKey> {
             Some(PropertyKind::DuplicateDelivery),
         ),
         key(FaultKind::AckLoss, VerdictKind::Pass, None),
+        // The QoS property-DSL family: a reorder plan convicted by a
+        // compiled per-message deadline, and a drop plan convicted by a
+        // receive-count SLO floor — per-property verdict dimensions the
+        // built-in checks cannot light.
+        key(
+            FaultKind::Reorder,
+            VerdictKind::Violated,
+            Some(PropertyKind::Deadline),
+        ),
+        key(
+            FaultKind::Drop,
+            VerdictKind::Violated,
+            Some(PropertyKind::SloWindow),
+        ),
     ]
 }
 

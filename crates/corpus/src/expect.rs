@@ -102,6 +102,8 @@ pub fn property_code(property: PropertyKind) -> &'static str {
         PropertyKind::ExpiredMessages => "P5",
         PropertyKind::DuplicateDelivery => "dup",
         PropertyKind::BoundedRedelivery => "redelivery",
+        PropertyKind::Deadline => "deadline",
+        PropertyKind::SloWindow => "slo",
     }
 }
 
@@ -115,6 +117,8 @@ pub fn parse_property_code(text: &str) -> Option<PropertyKind> {
         PropertyKind::ExpiredMessages,
         PropertyKind::DuplicateDelivery,
         PropertyKind::BoundedRedelivery,
+        PropertyKind::Deadline,
+        PropertyKind::SloWindow,
     ]
     .into_iter()
     .find(|property| property_code(*property) == text)

@@ -79,8 +79,9 @@ impl FuzzOutcome {
 /// The proven seed corpus: one scenario per reachable tuple — the base
 /// closed-loop template of each fault kind (client-ack for ack loss,
 /// which is unobservable otherwise), plus the retry-off connect variant
-/// for the inconclusive branch and the auto-ack ack-loss variant for
-/// its pass branch.
+/// for the inconclusive branch, the auto-ack ack-loss variant for its
+/// pass branch, and the two QoS property-DSL variants whose verdicts
+/// only a compiled `[properties]` declaration can light.
 pub fn seed_entries() -> Vec<CorpusEntry> {
     let mut entries: Vec<CorpusEntry> = FaultKind::ALL
         .iter()
@@ -95,6 +96,14 @@ pub fn seed_entries() -> Vec<CorpusEntry> {
         .collect();
     entries.push(build_seed_entry(AckMode::Auto, FaultKind::Connect, false));
     entries.push(build_seed_entry(AckMode::Auto, FaultKind::AckLoss, true));
+    entries.push(crate::generator::build_qos_entry(
+        AckMode::Auto,
+        FaultKind::Reorder,
+    ));
+    entries.push(crate::generator::build_qos_entry(
+        AckMode::Auto,
+        FaultKind::Drop,
+    ));
     entries
 }
 

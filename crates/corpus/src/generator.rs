@@ -20,6 +20,7 @@ use jmst_harness::{
     serialize_spec, ConsumerSpec, CrashPlan, FaultPlan, NodeSpec, ProducerSpec, ReconnectSpec,
     RetryPolicy, SerializeError, TestSpec,
 };
+use jmst_props::PropertySpec;
 use jmst_sim::ArrivalProcess;
 use std::time::Duration;
 
@@ -353,6 +354,73 @@ pub fn build_seed_entry(ack: AckMode, fault: FaultKind, retry_on: bool) -> Corpu
     }
 }
 
+/// One entry of the QoS property-DSL family: the oracle is a
+/// `[properties]` declaration compiled onto the streaming core, not a
+/// built-in check.
+///
+/// * `Clean` — a deadline and a tail-latency SLO over an unfaulted
+///   broker; both must hold.
+/// * `Reorder` — the proven reorder plan holds 15% of messages back 60 ms
+///   against a 30 ms per-message deadline (30 ms clears every jittered
+///   reorder delay the fuzzer may pick, which stays ≥ 40 ms).
+/// * `Drop` — a 120-message limited producer under 25% drops against a
+///   `receives >= 110` floor.
+///
+/// Any other fault kind panics: the family's oracles are only proven for
+/// these three.
+pub fn build_qos_entry(ack: AckMode, fault: FaultKind) -> CorpusEntry {
+    let name = format!("qos-{}-{}", ack.name(), fault.name());
+    let destination = Destination::queue("q");
+    let (mode, batch) = ack.session();
+    let parse = |line: &str| PropertySpec::parse_line(line).expect("qos property parses");
+    let (producer, properties, run_ms, expect) = match fault {
+        FaultKind::Clean => (
+            ProducerSpec::steady(destination.clone(), 300.0, 128),
+            vec![
+                parse("late = deadline 30ms"),
+                parse("tail = latency p99 <= 30ms"),
+            ],
+            300,
+            ExpectedVerdict::Pass,
+        ),
+        FaultKind::Reorder => (
+            ProducerSpec::steady(destination.clone(), 300.0, 128),
+            vec![parse("late = deadline 30ms")],
+            300,
+            ExpectedVerdict::Violated(PropertyKind::Deadline),
+        ),
+        FaultKind::Drop => (
+            ProducerSpec::steady(destination.clone(), 300.0, 128).limited(120),
+            vec![parse("floor = receives >= 110")],
+            500,
+            ExpectedVerdict::Violated(PropertyKind::SloWindow),
+        ),
+        other => panic!("no proven QoS oracle for fault kind {other}"),
+    };
+    let mut spec = TestSpec::new(name.clone())
+        .with_seed(7)
+        .with_periods(
+            Duration::from_millis(30),
+            Duration::from_millis(run_ms),
+            Duration::from_millis(3000),
+        )
+        .node(
+            NodeSpec::new("n0")
+                .producer(producer)
+                .consumer(ConsumerSpec::auto(destination).with_mode(mode, batch)),
+        )
+        .with_properties(properties);
+    if let Some(plan) = fault_plan(fault, true) {
+        spec = spec.with_faults(plan);
+    }
+    CorpusEntry {
+        name,
+        spec,
+        fault,
+        expect,
+    }
+}
+
 /// The family's producer shape at the given rate.
 fn producer_for(family: Family, destination: Destination, rate: f64) -> ProducerSpec {
     match family {
@@ -449,6 +517,14 @@ pub fn generate_corpus() -> Vec<CorpusEntry> {
         }
     }
 
+    // QoS property-DSL family: the oracle is a compiled `[properties]`
+    // declaration (deadline / SLO), not a built-in check.
+    for ack in AckMode::ALL {
+        for fault in [FaultKind::Clean, FaultKind::Reorder, FaultKind::Drop] {
+            entries.push(build_qos_entry(ack, fault));
+        }
+    }
+
     entries
 }
 
@@ -495,6 +571,41 @@ mod tests {
             assert_eq!(back.spec, entry.spec, "{}", entry.name);
             assert_eq!(back.fault, entry.fault);
             assert_eq!(back.expect, entry.expect);
+        }
+    }
+
+    #[test]
+    fn qos_entries_carry_properties_and_round_trip() {
+        let corpus = generate_corpus();
+        for ack in AckMode::ALL {
+            for (fault, property) in [
+                (FaultKind::Clean, None),
+                (FaultKind::Reorder, Some(PropertyKind::Deadline)),
+                (FaultKind::Drop, Some(PropertyKind::SloWindow)),
+            ] {
+                let name = format!("qos-{}-{}", ack.name(), fault.name());
+                let entry = corpus
+                    .iter()
+                    .find(|entry| entry.name == name)
+                    .unwrap_or_else(|| panic!("missing {name}"));
+                assert!(
+                    !entry.spec.properties.is_empty(),
+                    "{name} has no properties"
+                );
+                match property {
+                    Some(property) => {
+                        assert_eq!(entry.expect, ExpectedVerdict::Violated(property), "{name}");
+                    }
+                    None => assert_eq!(entry.expect, ExpectedVerdict::Pass, "{name}"),
+                }
+                // The `[properties]` section must survive the file format
+                // (and its expect code must parse back).
+                let text = entry.config_text().expect("serializes");
+                assert!(text.contains("[properties]"), "{name}:\n{text}");
+                let back = CorpusEntry::from_config_text(&text).expect("reads back");
+                assert_eq!(back.spec.properties, entry.spec.properties, "{name}");
+                assert_eq!(back.expect, entry.expect, "{name}");
+            }
         }
     }
 }

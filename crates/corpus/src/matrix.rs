@@ -53,7 +53,8 @@ fn seeded(name: &'static str, injected: &'static str, fault: FaultKind) -> Matri
     }
 }
 
-/// The eight matrix rows: the control plus one row per seeded defect.
+/// The matrix rows: the control, one row per seeded defect, and the
+/// two QoS property-DSL rows.
 pub fn matrix_rows() -> Vec<MatrixRow> {
     let mut rows = vec![
         seeded("matrix-clean", "none (control)", FaultKind::Clean),
@@ -81,7 +82,30 @@ pub fn matrix_rows() -> Vec<MatrixRow> {
         "lose persistent messages across a mid-run crash",
         FaultKind::CrashLoss,
     ));
+    rows.push(qos_row(
+        "matrix-dsl-deadline",
+        "reorder plan vs a compiled `deadline 30ms` property",
+        FaultKind::Reorder,
+    ));
+    rows.push(qos_row(
+        "matrix-dsl-slo",
+        "drop 25% of a 120-message run vs `receives >= 110`",
+        FaultKind::Drop,
+    ));
     rows
+}
+
+/// A QoS property-DSL row: the scenario's own `[properties]` section is
+/// the oracle, compiled onto the streaming core by the prince.
+fn qos_row(name: &'static str, injected: &'static str, fault: FaultKind) -> MatrixRow {
+    let mut entry = crate::generator::build_qos_entry(AckMode::Auto, fault);
+    entry.spec.name = name.to_owned();
+    MatrixRow {
+        name,
+        injected,
+        spec: entry.spec,
+        analysis: analysis_for(fault),
+    }
 }
 
 /// The ignore-priority row: the backlog-forming priority workload of
@@ -208,11 +232,11 @@ mod tests {
     #[test]
     fn rows_are_distinct_and_valid() {
         let rows = matrix_rows();
-        assert_eq!(rows.len(), 8);
+        assert_eq!(rows.len(), 10);
         let mut names: Vec<&str> = rows.iter().map(|row| row.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 8);
+        assert_eq!(names.len(), 10);
         for row in &rows {
             row.spec
                 .validate()

@@ -63,6 +63,11 @@
 //! ignore_priority = true     # deliver strict-FIFO regardless of priority,
 //! lose_persistent_on_crash = true   # drop persistent messages on crash
 //! delivery_delay = 10ms      # simulated broker→consumer latency floor
+//!
+//! [properties]               # named QoS assertions (the property DSL;
+//! late = deadline 100ms      # see the jmst-props crate for the grammar)
+//! tail = latency p99 <= 250ms
+//! floor = throughput >= 150.0
 //! ```
 //!
 //! The `[test]` section also accepts `retry = on|off`: `off` disables
@@ -271,6 +276,7 @@ enum Section {
     Consumer,
     Crash,
     Faults,
+    Properties,
     None,
 }
 
@@ -339,6 +345,7 @@ pub fn parse_spec(text: &str) -> Result<TestSpec, ConfigError> {
                     faults = Some(FaultPlan::none());
                     Section::Faults
                 }
+                "properties" => Section::Properties,
                 other => {
                     let name = other
                         .strip_prefix("node")
@@ -587,6 +594,14 @@ pub fn parse_spec(text: &str) -> Result<TestSpec, ConfigError> {
                     "delivery_delay" => plan.delivery_delay = parse_duration(value).map_err(err)?,
                     other => return Err(err(format!("unknown faults key {other:?}"))),
                 }
+            }
+            (Section::Properties, name) => {
+                let property = jmst_props::PropertySpec::parse_line(&format!("{name} = {value}"))
+                    .map_err(err)?;
+                if spec.properties.iter().any(|p| p.name == property.name) {
+                    return Err(err(format!("duplicate property name {:?}", property.name)));
+                }
+                spec.properties.push(property);
             }
             (Section::None, _) => {
                 return Err(err("key before any section".to_owned()));
@@ -854,6 +869,26 @@ down = 80ms
         // Companion keys without open_loop fail whole-spec validation.
         let error = parse_spec(&text.replace("open_loop = on\n", "")).unwrap_err();
         assert!(error.message().contains("requires open_loop"), "{error}");
+    }
+
+    #[test]
+    fn properties_section_parses() {
+        let text = "[test]\nname = qos\n[node n]\n\
+                    [producer]\ndestination = queue:q\nrate = steady 10\n\
+                    [consumer]\ndestination = queue:q\n\
+                    [properties]\n\
+                    late = deadline 100ms where JMSPriority >= 5\n\
+                    tail = latency p99 <= 250ms\n\
+                    in_order = ordered\n";
+        let spec = parse_spec(text).unwrap();
+        assert_eq!(spec.properties.len(), 3);
+        assert_eq!(spec.properties[0].name, "late");
+        assert_eq!(spec.properties[1].render(), "tail = latency p99 <= 250ms");
+        // Duplicate names and malformed declarations are parse errors.
+        let error = parse_spec(&format!("{text}late = ordered\n")).unwrap_err();
+        assert!(error.message().contains("duplicate property"), "{error}");
+        let error = parse_spec(&format!("{text}bad = deadline soon\n")).unwrap_err();
+        assert!(error.message().contains("unit suffix"), "{error}");
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub mod spec;
 
 pub use config_text::{parse_spec, ConfigError};
 pub use error::HarnessError;
-pub use lint::{lint_spec, LintFinding, LintReport, Severity};
+pub use lint::{lint_props, lint_spec, LintFinding, LintReport, Severity};
 pub use prince::{CampaignReport, DaemonPrince, TestOutcome, TestResult};
 pub use retry::RetryPolicy;
 pub use runner::{BrokerAdmin, ThreadedRunner};

@@ -32,16 +32,32 @@
 //!   legally voids every in-flight message, so the recovery experiment
 //!   observes nothing.
 //!
+//! `[properties]` declarations get the jmst-props static front end
+//! ([`jmst_props::analyze_properties`]) run against a [`SpecContext`]
+//! built from the scenario itself: ill-typed guards (`prop-ill-typed`),
+//! vacuous guards (`prop-vacuous`), and bounds the spec's own fault
+//! plan or workload makes unsatisfiable (`prop-unsat`) are errors;
+//! properties that cannot fail before trace end under `fail_fast`
+//! (`prop-not-monitorable`) are warnings.
+//!
+//! Every finding carries a stable [`LintFinding::rule`] id, and
+//! identical `(rule, context, message)` findings are reported once — a
+//! hundred consumers sharing one dead subscription is one finding, not
+//! a hundred.
+//!
 //! [`DaemonPrince`](crate::prince::DaemonPrince) runs this pass before
 //! every test: errors fail the test as `Invalid` before any message is
 //! sent, warnings are logged. The `jmst_lint` example exposes the same
-//! pass on scenario files from the command line.
+//! pass on scenario files (and standalone `.prop` files, via
+//! [`lint_props`]) from the command line.
 
 use crate::spec::{ConsumerSpec, ProducerSpec, TestSpec};
 use jmst_api::destination::Destination;
 use jmst_api::modes::{DeliveryMode, SessionMode};
 use jmst_api::selector::{Classification, IdentType, Literal, Selector};
 use jmst_api::value::Value;
+use jmst_props::{PropertySpec, SpecContext};
+use jmst_sim::ArrivalProcess;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -69,6 +85,9 @@ impl fmt::Display for Severity {
 pub struct LintFinding {
     /// Error or warning.
     pub severity: Severity,
+    /// Stable kebab-case rule id (`dead-subscription`, `prop-unsat`, …)
+    /// for filtering and for tests that pin which rule fired.
+    pub rule: &'static str,
     /// Where in the spec: `node NAME, producer/consumer on DESTINATION`.
     pub context: String,
     /// What is wrong.
@@ -77,7 +96,11 @@ pub struct LintFinding {
 
 impl fmt::Display for LintFinding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: {}: {}", self.severity, self.context, self.message)
+        write!(
+            f,
+            "{}: [{}] {}: {}",
+            self.severity, self.rule, self.context, self.message
+        )
     }
 }
 
@@ -246,15 +269,35 @@ fn destination_profiles(spec: &TestSpec) -> BTreeMap<&Destination, DestinationPr
     profiles
 }
 
-/// Statically checks one spec. See the module docs for the rule set.
-pub fn lint_spec(spec: &TestSpec) -> LintReport {
-    let mut report = LintReport::default();
-    let mut push = |severity: Severity, context: String, message: String| {
+/// Appends a finding unless an identical `(rule, context, message)`
+/// triple is already in the report — repeated structure in a spec (N
+/// consumers sharing one dead subscription) yields one finding.
+fn push_deduped(
+    report: &mut LintReport,
+    severity: Severity,
+    rule: &'static str,
+    context: String,
+    message: String,
+) {
+    let duplicate = report
+        .findings
+        .iter()
+        .any(|f| f.rule == rule && f.context == context && f.message == message);
+    if !duplicate {
         report.findings.push(LintFinding {
             severity,
+            rule,
             context,
             message,
         });
+    }
+}
+
+/// Statically checks one spec. See the module docs for the rule set.
+pub fn lint_spec(spec: &TestSpec) -> LintReport {
+    let mut report = LintReport::default();
+    let mut push = |severity: Severity, rule: &'static str, context: String, message: String| {
+        push_deduped(&mut report, severity, rule, context, message);
     };
 
     let producers = || spec.nodes.iter().flat_map(|node| &node.producers);
@@ -265,6 +308,7 @@ pub fn lint_spec(spec: &TestSpec) -> LintReport {
     {
         push(
             Severity::Warning,
+            "crash-volatile",
             "crash plan".to_owned(),
             "every producer is non-persistent: a crash legally voids all \
              in-flight messages, so the recovery experiment observes nothing"
@@ -284,6 +328,7 @@ pub fn lint_spec(spec: &TestSpec) -> LintReport {
     {
         push(
             Severity::Error,
+            "redelivery-dead",
             "fault plan".to_owned(),
             "max_redeliveries is set but no consumer could leave a message \
              unacknowledged (none uses client-ack or transacted mode), so \
@@ -302,6 +347,7 @@ pub fn lint_spec(spec: &TestSpec) -> LintReport {
             if !has_consumer {
                 push(
                     Severity::Warning,
+                    "produced-for-nobody",
                     context.clone(),
                     "no consumer subscribes to this destination; every message \
                      is produced for nobody"
@@ -311,6 +357,7 @@ pub fn lint_spec(spec: &TestSpec) -> LintReport {
             if spec.open_loop && producer.send_batch > 1 {
                 push(
                     Severity::Error,
+                    "open-loop-batch",
                     context.clone(),
                     format!(
                         "open_loop schedules every send at its own intended \
@@ -326,6 +373,7 @@ pub fn lint_spec(spec: &TestSpec) -> LintReport {
                     if commit % producer.send_batch != 0 {
                         push(
                             Severity::Warning,
+                            "batch-commit-misaligned",
                             context.clone(),
                             format!(
                                 "send batches of {} cross transacted commit \
@@ -340,6 +388,7 @@ pub fn lint_spec(spec: &TestSpec) -> LintReport {
                     if limit % u64::from(producer.send_batch) != 0 {
                         push(
                             Severity::Warning,
+                            "batch-limit-misaligned",
                             context.clone(),
                             format!(
                                 "message limit {limit} is not a multiple of the \
@@ -359,14 +408,104 @@ pub fn lint_spec(spec: &TestSpec) -> LintReport {
             lint_consumer(profile, &node.name, consumer, &mut push);
         }
     }
+    push_prop_diagnostics(&mut report, &spec.properties, &spec_context(spec));
     report
+}
+
+/// Statically checks a standalone property set (a `.prop` file) with no
+/// scenario to anchor it: guards are typed against the harness schema
+/// only, and every property is held to the `fail_fast` monitorability
+/// bar, since a standalone file may be attached to any scenario.
+pub fn lint_props(properties: &[PropertySpec]) -> LintReport {
+    let mut report = LintReport::default();
+    push_prop_diagnostics(&mut report, properties, &SpecContext::standalone());
+    report
+}
+
+/// Runs the jmst-props static front end and folds its diagnostics into
+/// lint findings (same rule ids, `property 'NAME'` contexts).
+fn push_prop_diagnostics(
+    report: &mut LintReport,
+    properties: &[PropertySpec],
+    context: &SpecContext,
+) {
+    for diagnostic in jmst_props::analyze_properties(properties, context) {
+        let severity = if diagnostic.error {
+            Severity::Error
+        } else {
+            Severity::Warning
+        };
+        push_deduped(
+            report,
+            severity,
+            diagnostic.rule,
+            format!("property '{}'", diagnostic.property),
+            diagnostic.message,
+        );
+    }
+}
+
+/// Builds the property analysis context a spec induces: the guard type
+/// environment from the union of all producer property sets (conflicts
+/// excluded, as in [`destination_profiles`]), and the bound-feasibility
+/// facts from the fault plan and workload. Every bound here must be an
+/// *upper* bound the run provably cannot exceed — `prop-unsat` is a
+/// proof, not a heuristic — so the total rate is only claimed when
+/// every producer's workload is a deterministic steady rate.
+fn spec_context(spec: &TestSpec) -> SpecContext {
+    let producers: Vec<&ProducerSpec> =
+        spec.nodes.iter().flat_map(|node| &node.producers).collect();
+    let mut env: BTreeMap<String, IdentType> = HARNESS_PROPS
+        .iter()
+        .map(|(name, ty)| ((*name).to_owned(), *ty))
+        .collect();
+    let mut conflicted: Vec<String> = Vec::new();
+    for producer in &producers {
+        for (name, value) in &producer.properties {
+            let Some(ty) = value_type(value) else {
+                continue;
+            };
+            match env.get(name) {
+                Some(existing) if *existing != ty => conflicted.push(name.clone()),
+                _ => {
+                    env.insert(name.clone(), ty);
+                }
+            }
+        }
+    }
+    for name in conflicted {
+        env.remove(&name);
+    }
+    let faults = spec.faults.as_ref();
+    let steady_rate = |producer: &ProducerSpec| match producer.workload {
+        ArrivalProcess::Steady { rate_per_sec } => Some(rate_per_sec),
+        ArrivalProcess::Poisson { .. } | ArrivalProcess::Burst { .. } => None,
+    };
+    let total_rate = producers
+        .iter()
+        .map(|p| steady_rate(p))
+        .sum::<Option<f64>>()
+        .filter(|_| !producers.is_empty());
+    let message_cap = producers
+        .iter()
+        .map(|p| p.message_limit)
+        .sum::<Option<u64>>()
+        .filter(|_| !producers.is_empty());
+    SpecContext {
+        env,
+        latency_floor: faults.map(|f| f.delivery_delay).unwrap_or_default(),
+        stall: faults.and_then(|f| (f.stall_probability > 0.0).then_some(f.stall_duration)),
+        total_rate,
+        message_cap,
+        fail_fast: spec.fail_fast,
+    }
 }
 
 fn lint_consumer(
     profile: &DestinationProfile<'_>,
     node_name: &str,
     consumer: &ConsumerSpec,
-    push: &mut impl FnMut(Severity, String, String),
+    push: &mut impl FnMut(Severity, &'static str, String, String),
 ) {
     let context = format!("node {node_name}, consumer on {}", consumer.destination);
     let Some(selector) = &consumer.selector else {
@@ -377,6 +516,7 @@ fn lint_consumer(
         Err(error) => {
             push(
                 Severity::Error,
+                "selector-parse",
                 context,
                 format!("selector {selector:?} does not parse: {error}"),
             );
@@ -394,6 +534,7 @@ fn lint_consumer(
                 .unwrap_or_else(|| "type error".to_owned());
             push(
                 Severity::Error,
+                "selector-ill-typed",
                 context,
                 format!(
                     "ill-typed selector {selector:?}: {detail} — providers \
@@ -405,6 +546,7 @@ fn lint_consumer(
         Classification::AlwaysFalse => {
             push(
                 Severity::Error,
+                "selector-never-matches",
                 context,
                 format!("selector {selector:?} can never match any message"),
             );
@@ -440,6 +582,7 @@ fn lint_consumer(
             };
             push(
                 Severity::Error,
+                "dead-subscription",
                 context.clone(),
                 format!(
                     "dead subscription: selector requires {ident} = {}, but \
@@ -461,6 +604,7 @@ fn lint_consumer(
         }
         push(
             Severity::Warning,
+            "unset-property",
             context.clone(),
             format!(
                 "selector references property {ident:?}, which no producer \
@@ -717,6 +861,101 @@ mod tests {
         );
         let report = lint_spec(&spec);
         assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn repeated_identical_findings_are_reported_once() {
+        // Five consumers sharing one dead subscription are one
+        // misconfiguration, not five findings.
+        let mut node = NodeSpec::new("n").producer(emea_producer());
+        for _ in 0..5 {
+            node = node.consumer(ConsumerSpec::auto(topic()).with_selector("region = 'apac'"));
+        }
+        let report = lint_spec(&TestSpec::new("dup").node(node));
+        assert!(report.has_errors());
+        assert_eq!(report.findings.len(), 1, "{report}");
+        assert_eq!(report.findings[0].rule, "dead-subscription");
+        // The same selector on a different node is a distinct subject
+        // and keeps its own finding.
+        let dead = || ConsumerSpec::auto(topic()).with_selector("region = 'apac'");
+        let report = lint_spec(
+            &TestSpec::new("two-nodes")
+                .node(
+                    NodeSpec::new("a")
+                        .producer(emea_producer())
+                        .consumer(dead()),
+                )
+                .node(NodeSpec::new("b").consumer(dead())),
+        );
+        assert_eq!(report.findings.len(), 2, "{report}");
+    }
+
+    #[test]
+    fn ill_typed_property_guard_is_a_lint_error() {
+        // The producer declares `region` as a string, so a numeric
+        // comparison in the guard is ill-typed.
+        let spec = spec_with(emea_producer(), ConsumerSpec::auto(topic()))
+            .property(PropertySpec::parse_line("bad = deadline 100ms where region > 5").unwrap());
+        let report = lint_spec(&spec);
+        assert!(report.has_errors());
+        assert_eq!(report.errors().next().unwrap().rule, "prop-ill-typed");
+        // A well-typed guard over the same environment is clean.
+        let spec = spec_with(emea_producer(), ConsumerSpec::auto(topic()))
+            .property(PropertySpec::parse_line("ok = deadline 100ms where tier > 1").unwrap());
+        assert!(lint_spec(&spec).is_clean(), "{}", lint_spec(&spec));
+    }
+
+    #[test]
+    fn deadline_under_configured_stall_is_unsatisfiable() {
+        use std::time::Duration;
+        let base = || {
+            spec_with(emea_producer(), ConsumerSpec::auto(topic())).with_faults({
+                let mut f = crate::spec::FaultPlan::none();
+                f.stall_probability = 0.1;
+                f.stall_duration = Duration::from_millis(500);
+                f
+            })
+        };
+        let spec = base().property(PropertySpec::parse_line("late = deadline 100ms").unwrap());
+        let report = lint_spec(&spec);
+        assert!(report.has_errors(), "{report}");
+        assert_eq!(report.errors().next().unwrap().rule, "prop-unsat");
+        // A deadline above the stall is satisfiable again.
+        let spec = base().property(PropertySpec::parse_line("late = deadline 2s").unwrap());
+        assert!(!lint_spec(&spec).has_errors(), "{}", lint_spec(&spec));
+    }
+
+    #[test]
+    fn non_monitorable_property_warns_only_under_fail_fast() {
+        let tail = || PropertySpec::parse_line("tail = latency p99 <= 250ms").unwrap();
+        let spec = spec_with(emea_producer(), ConsumerSpec::auto(topic()))
+            .property(tail())
+            .with_fail_fast(true);
+        let report = lint_spec(&spec);
+        assert!(!report.has_errors(), "{report}");
+        let warning = report.warnings().next().expect("warns");
+        assert_eq!(warning.rule, "prop-not-monitorable");
+        // Without fail_fast, a finish-time verdict is all that was
+        // asked for; no warning.
+        let spec = spec_with(emea_producer(), ConsumerSpec::auto(topic())).property(tail());
+        assert!(lint_spec(&spec).is_clean(), "{}", lint_spec(&spec));
+    }
+
+    #[test]
+    fn lint_props_checks_standalone_property_files() {
+        let properties = jmst_props::parse_properties("fair = fairness <= 0.5\n").expect("parses");
+        let report = lint_props(&properties);
+        assert!(report.has_errors());
+        assert_eq!(report.errors().next().unwrap().rule, "prop-unsat");
+        // Standalone linting holds every property to the fail_fast
+        // monitorability bar.
+        let properties =
+            jmst_props::parse_properties("floor = throughput >= 10.0\n").expect("parses");
+        let report = lint_props(&properties);
+        assert_eq!(
+            report.warnings().next().unwrap().rule,
+            "prop-not-monitorable"
+        );
     }
 
     #[test]

@@ -251,8 +251,16 @@ impl DaemonPrince {
         let (provider, admin) = factory(spec);
         let (sink, stream) = jmst_store::sink::channel(STREAM_REORDER_DEPTH, STREAM_CAPACITY);
         let cancel = Arc::new(AtomicBool::new(false));
+        // DSL properties from the spec's `[properties]` section compile
+        // onto the same streaming core as the built-ins: the watcher sees
+        // their live violations (so fail_fast covers them) and the
+        // fallback replay paths re-check them identically.
+        let analyzer = self
+            .analyzer
+            .clone()
+            .with_registry(jmst_props::compile_registry(&spec.properties));
         let watcher = {
-            let mut analyzer = self.analyzer.streaming();
+            let mut analyzer = analyzer.streaming();
             let cancel = Arc::clone(&cancel);
             let fail_fast = spec.fail_fast;
             let name = spec.name.clone();
@@ -290,7 +298,7 @@ impl DaemonPrince {
                     Ok(report) => report,
                     // A poisoned watcher must not lose the verdict: fall
                     // back to replaying the recorded trace.
-                    Err(_) => self.analyzer.analyze(&trace),
+                    Err(_) => analyzer.analyze(&trace),
                 };
                 if report.passed() {
                     TestOutcome::Passed(report)
@@ -305,7 +313,7 @@ impl DaemonPrince {
                 self.persist(&spec.name, &partial_trace);
                 TestOutcome::Hung {
                     stage,
-                    report: self.analyzer.analyze(&partial_trace),
+                    report: analyzer.analyze(&partial_trace),
                 }
             }
             Err(HarnessError::Inconclusive {
@@ -315,7 +323,7 @@ impl DaemonPrince {
                 self.persist(&spec.name, &partial_trace);
                 TestOutcome::Inconclusive {
                     reason,
-                    report: self.analyzer.analyze(&partial_trace),
+                    report: analyzer.analyze(&partial_trace),
                 }
             }
             Err(HarnessError::InvalidSpec(reason)) => TestOutcome::Invalid(reason),

@@ -397,6 +397,26 @@ pub fn serialize_spec(spec: &TestSpec) -> Result<String> {
     if let Some(plan) = &spec.faults {
         write_faults(&mut out, plan)?;
     }
+    if !spec.properties.is_empty() {
+        out.push_str("\n[properties]\n");
+        for property in &spec.properties {
+            let line = property.render();
+            check_text("property declaration", &line)?;
+            // Guards are free selector text; re-parse the rendered line so
+            // a declaration the grammar cannot reproduce is an error, not
+            // a silently different property.
+            match jmst_props::PropertySpec::parse_line(&line) {
+                Ok(reparsed) if reparsed == *property => {}
+                _ => {
+                    return Err(SerializeError::new(format!(
+                        "property {:?} does not survive the text format",
+                        property.name
+                    )));
+                }
+            }
+            let _ = writeln!(out, "{line}");
+        }
+    }
     Ok(out)
 }
 
@@ -465,6 +485,13 @@ mod tests {
                 down_for: Duration::from_millis(80),
             })
             .with_faults(faults)
+            .property(
+                jmst_props::PropertySpec::parse_line(
+                    "late = deadline 100ms where JMSPriority >= 5",
+                )
+                .unwrap(),
+            )
+            .property(jmst_props::PropertySpec::parse_line("tail = latency p99 <= 250ms").unwrap())
     }
 
     #[test]
@@ -487,7 +514,14 @@ mod tests {
         let text = serialize_spec(&spec).unwrap();
         assert_eq!(parse_spec(&text).unwrap(), spec);
         // Optional keys stay out of the output entirely.
-        for absent in ["retry", "fail_fast", "open_loop", "shards", "[faults]"] {
+        for absent in [
+            "retry",
+            "fail_fast",
+            "open_loop",
+            "shards",
+            "[faults]",
+            "[properties]",
+        ] {
             assert!(!text.contains(absent), "{absent} in:\n{text}");
         }
     }

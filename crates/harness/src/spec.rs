@@ -452,6 +452,11 @@ pub struct TestSpec {
     /// makes shard count a first-class corpus axis.
     #[serde(default)]
     pub shards: Option<u32>,
+    /// Named QoS property declarations (scenario `[properties]` section,
+    /// one `name = declaration` DSL line each). Statically verified by
+    /// lint and compiled onto the streaming checker core for the run.
+    #[serde(default)]
+    pub properties: Vec<jmst_props::PropertySpec>,
 }
 
 impl TestSpec {
@@ -474,6 +479,7 @@ impl TestSpec {
             arrival_rate: None,
             clients: None,
             shards: None,
+            properties: Vec::new(),
         }
     }
 
@@ -542,6 +548,18 @@ impl TestSpec {
     /// Pins the provider's destination shard count.
     pub fn with_shards(mut self, shards: u32) -> Self {
         self.shards = Some(shards);
+        self
+    }
+
+    /// Declares one named QoS property.
+    pub fn property(mut self, property: jmst_props::PropertySpec) -> Self {
+        self.properties.push(property);
+        self
+    }
+
+    /// Replaces the declared QoS property list.
+    pub fn with_properties(mut self, properties: Vec<jmst_props::PropertySpec>) -> Self {
+        self.properties = properties;
         self
     }
 

@@ -263,6 +263,31 @@ fn arb_open_loop() -> BoxedStrategy<(bool, Option<f64>, Option<u32>)> {
     .boxed()
 }
 
+/// An arbitrary subset of renderable property declarations, selected by
+/// bitmask so shrinking walks toward the empty set.
+fn arb_properties() -> BoxedStrategy<Vec<jmst_props::PropertySpec>> {
+    const LINES: [&str; 8] = [
+        "in_order = ordered",
+        "no_dupes = no_duplicates",
+        "bounded = redelivery <= 3",
+        "late = deadline 100ms where JMSPriority >= 5",
+        "tail = latency p99 <= 250ms",
+        "floor = throughput >= 150.0",
+        "fair = fairness <= 2.5",
+        "cap = receives <= 500",
+    ];
+    (0u32..256)
+        .prop_map(|mask| {
+            LINES
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, line)| jmst_props::PropertySpec::parse_line(line).unwrap())
+                .collect()
+        })
+        .boxed()
+}
+
 fn arb_spec() -> BoxedStrategy<TestSpec> {
     (
         (
@@ -286,13 +311,14 @@ fn arb_spec() -> BoxedStrategy<TestSpec> {
                 }))
             ],
             prop_oneof![Just(None), arb_fault_plan().prop_map(Some)],
+            arb_properties(),
         ),
     )
         .prop_map(
             |(
                 (name_n, seed, warm_up, run, warm_down, drain_quiet, retry_off, fail_fast),
                 (open_loop, arrival_rate, clients),
-                (shards, crash, faults),
+                (shards, crash, faults, properties),
             )| {
                 TestSpec {
                     name: format!("spec-{name_n}"),
@@ -314,6 +340,7 @@ fn arb_spec() -> BoxedStrategy<TestSpec> {
                     arrival_rate: if open_loop { arrival_rate } else { None },
                     clients: if open_loop { clients } else { None },
                     shards,
+                    properties,
                 }
             },
         )

@@ -1,0 +1,424 @@
+//! The static verification front end: every declared property is checked
+//! against the trace-event schema and the scenario's own configuration
+//! *before* any driver starts, so an assertion that cannot possibly be
+//! evaluated (or cannot possibly hold) is rejected without spending
+//! wall-clock on a run.
+//!
+//! Four passes, each with a stable rule id:
+//!
+//! * `prop-ill-typed` (error) — the guard does not type-check against
+//!   the JMS header/property schema (reuses the selector analyzer's
+//!   type inference);
+//! * `prop-vacuous` (error) — the guard is unsatisfiable, so the
+//!   property holds trivially and asserts nothing (three-valued constant
+//!   folding + interval/equality-domain satisfiability);
+//! * `prop-unsat` (error) — the bound is provably violated by the spec
+//!   itself (a deadline shorter than a configured stall or delivery
+//!   delay, a throughput floor above the configured send rate, a
+//!   receive-count floor above the message cap, a fairness ratio below
+//!   the mathematical minimum);
+//! * `prop-not-monitorable` (warning) — the property is finish-only
+//!   (needs the end of the trace), so `fail_fast` can never convict on
+//!   it mid-run.
+
+use crate::decl::{CountOp, PropertyDecl, PropertySpec};
+use jmst_api::selector::{Classification, IdentType};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+/// Whether a property can be decided mid-stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Monitorability {
+    /// A safety property: a violation is decidable the moment it
+    /// happens, so the live watcher (and `fail_fast`) can convict on it.
+    Live,
+    /// Needs the end of the trace to distinguish a violation from
+    /// in-flight latency; only reports at finish.
+    FinishOnly,
+}
+
+impl PropertyDecl {
+    /// Classifies the declaration's monitorability.
+    pub fn monitorability(&self) -> Monitorability {
+        match self {
+            PropertyDecl::Ordered
+            | PropertyDecl::NoDuplicates
+            | PropertyDecl::RedeliveryBound(_)
+            | PropertyDecl::Deadline { .. } => Monitorability::Live,
+            PropertyDecl::ReceiveCount {
+                op: CountOp::AtMost,
+                ..
+            } => Monitorability::Live,
+            PropertyDecl::Required
+            | PropertyDecl::Integrity
+            | PropertyDecl::Priority
+            | PropertyDecl::Expiry
+            | PropertyDecl::Latency { .. }
+            | PropertyDecl::Throughput { .. }
+            | PropertyDecl::Fairness { .. }
+            | PropertyDecl::ReceiveCount {
+                op: CountOp::AtLeast,
+                ..
+            } => Monitorability::FinishOnly,
+        }
+    }
+}
+
+/// What the static passes know about the enclosing scenario. Built by
+/// the harness from a `TestSpec`; [`SpecContext::standalone`] is the
+/// context for a bare `.prop` file, where nothing about the run is
+/// known.
+#[derive(Debug, Clone, Default)]
+pub struct SpecContext {
+    /// Identifier types pinned by the scenario's producer properties
+    /// (merged over the JMS header schema the analyzer knows natively).
+    pub env: BTreeMap<String, IdentType>,
+    /// A delivery delay the fault plan applies to *every* message.
+    pub latency_floor: Duration,
+    /// The configured stall-fault duration, when stalls are active.
+    pub stall: Option<Duration>,
+    /// Total configured steady send rate (msg/s), when derivable.
+    pub total_rate: Option<f64>,
+    /// Total messages the producers will ever send, when every producer
+    /// is message-limited.
+    pub message_cap: Option<u64>,
+    /// Whether the run convicts mid-stream (`fail_fast`); finish-only
+    /// properties draw a warning in that mode.
+    pub fail_fast: bool,
+}
+
+impl SpecContext {
+    /// The context for a standalone `.prop` file: no spec knowledge, and
+    /// monitorability warnings on (a property library should advertise
+    /// which of its assertions are fail-fast-eligible).
+    pub fn standalone() -> Self {
+        SpecContext {
+            fail_fast: true,
+            ..SpecContext::default()
+        }
+    }
+}
+
+/// One finding from the static passes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PropDiagnostic {
+    /// Stable rule id (`prop-ill-typed`, `prop-vacuous`, `prop-unsat`,
+    /// `prop-not-monitorable`).
+    pub rule: &'static str,
+    /// `true` for errors (the property must not run), `false` for
+    /// warnings.
+    pub error: bool,
+    /// The property's declared name.
+    pub property: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for PropDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: [{}] property '{}': {}",
+            if self.error { "error" } else { "warning" },
+            self.rule,
+            self.property,
+            self.message
+        )
+    }
+}
+
+/// Runs every static pass over a property list. An empty result means
+/// all properties may compile; any `error: true` diagnostic means the
+/// run must not start.
+pub fn analyze_properties(
+    properties: &[PropertySpec],
+    context: &SpecContext,
+) -> Vec<PropDiagnostic> {
+    let mut diagnostics = Vec::new();
+    for property in properties {
+        analyze_property(property, context, &mut diagnostics);
+    }
+    diagnostics
+}
+
+fn analyze_property(
+    property: &PropertySpec,
+    context: &SpecContext,
+    diagnostics: &mut Vec<PropDiagnostic>,
+) {
+    let mut push = |rule: &'static str, error: bool, message: String| {
+        diagnostics.push(PropDiagnostic {
+            rule,
+            error,
+            property: property.name.clone(),
+            message,
+        });
+    };
+
+    // Pass 1 + 2: guard type inference and satisfiability.
+    if let Some(guard) = property.decl.guard() {
+        let analysis = guard.selector().analyze_with_env(&context.env);
+        match analysis.classification {
+            Classification::IllTyped => {
+                let detail = analysis
+                    .error
+                    .map_or_else(|| "type conflict".to_owned(), |e| e.to_string());
+                push(
+                    "prop-ill-typed",
+                    true,
+                    format!("guard '{guard}' is ill-typed: {detail}"),
+                );
+                return;
+            }
+            Classification::AlwaysFalse => {
+                push(
+                    "prop-vacuous",
+                    true,
+                    format!(
+                        "guard '{guard}' can never match a message; the property holds vacuously"
+                    ),
+                );
+                return;
+            }
+            Classification::AlwaysTrue | Classification::Contingent => {}
+        }
+    }
+
+    // Pass 3: bound satisfiability against the spec's own configuration.
+    match &property.decl {
+        PropertyDecl::Deadline { bound, .. } => {
+            check_latency_bound("deadline", *bound, context, &mut push);
+        }
+        PropertyDecl::Latency { stat, bound, .. } => {
+            // Stalls hit a random subset, so only the max statistic is
+            // provably broken by them; a floor delay shifts every sample.
+            if *bound == Duration::ZERO {
+                push(
+                    "prop-unsat",
+                    true,
+                    format!("latency {} bound of 0 can never hold", stat.keyword()),
+                );
+            } else if context.latency_floor >= *bound {
+                push(
+                    "prop-unsat",
+                    true,
+                    format!(
+                        "latency {} bound {:?} is at or below the fault plan's \
+                         delivery delay of {:?} applied to every message",
+                        stat.keyword(),
+                        bound,
+                        context.latency_floor
+                    ),
+                );
+            }
+        }
+        PropertyDecl::Throughput { min_rate, .. } => {
+            if let Some(total_rate) = context.total_rate {
+                if *min_rate > total_rate {
+                    push(
+                        "prop-unsat",
+                        true,
+                        format!(
+                            "throughput floor {min_rate:?} msg/s exceeds the configured \
+                             total send rate of {total_rate:?} msg/s"
+                        ),
+                    );
+                }
+            }
+        }
+        PropertyDecl::Fairness { max_ratio, .. } if *max_ratio < 1.0 => {
+            push(
+                "prop-unsat",
+                true,
+                format!(
+                    "fairness ratio is max/min delivery counts and is always >= 1; \
+                         a bound of {max_ratio:?} can never hold"
+                ),
+            );
+        }
+        PropertyDecl::ReceiveCount {
+            op: CountOp::AtLeast,
+            count,
+            ..
+        } => {
+            if let Some(cap) = context.message_cap {
+                if *count > cap {
+                    push(
+                        "prop-unsat",
+                        true,
+                        format!(
+                            "requires at least {count} deliveries but the producers \
+                             are limited to {cap} messages in total"
+                        ),
+                    );
+                }
+            }
+        }
+        _ => {}
+    }
+
+    // Pass 4: monitorability under fail-fast.
+    if context.fail_fast && property.decl.monitorability() == Monitorability::FinishOnly {
+        push(
+            "prop-not-monitorable",
+            false,
+            "finish-only property: a violation is only decidable at end of trace, \
+             so fail_fast cannot convict on it mid-run"
+                .to_owned(),
+        );
+    }
+}
+
+fn check_latency_bound(
+    what: &str,
+    bound: Duration,
+    context: &SpecContext,
+    push: &mut impl FnMut(&'static str, bool, String),
+) {
+    if bound == Duration::ZERO {
+        push("prop-unsat", true, format!("{what} of 0 can never hold"));
+        return;
+    }
+    if context.latency_floor >= bound {
+        push(
+            "prop-unsat",
+            true,
+            format!(
+                "{what} {bound:?} is at or below the fault plan's delivery delay \
+                 of {:?} applied to every message",
+                context.latency_floor
+            ),
+        );
+        return;
+    }
+    if let Some(stall) = context.stall {
+        if stall >= bound {
+            push(
+                "prop-unsat",
+                true,
+                format!(
+                    "{what} {bound:?} is at or below the configured stall fault \
+                     of {stall:?}; any stalled delivery must miss it"
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decl::parse_properties;
+
+    fn one(text: &str) -> PropertySpec {
+        parse_properties(text).expect("parses").remove(0)
+    }
+
+    fn rules(diagnostics: &[PropDiagnostic]) -> Vec<&'static str> {
+        diagnostics.iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn clean_properties_produce_no_diagnostics() {
+        let properties = [
+            one("late = deadline 100ms"),
+            one("order = ordered"),
+            one("floor = throughput >= 100.0"),
+        ];
+        let diagnostics = analyze_properties(&properties, &SpecContext::default());
+        assert!(diagnostics.is_empty(), "{diagnostics:?}");
+    }
+
+    #[test]
+    fn ill_typed_guard_is_rejected() {
+        let property = one("late = deadline 50ms where JMSPriority = 'high'");
+        let diagnostics = analyze_properties(&[property], &SpecContext::default());
+        assert_eq!(rules(&diagnostics), ["prop-ill-typed"]);
+        assert!(diagnostics[0].error);
+    }
+
+    #[test]
+    fn unsatisfiable_guard_is_vacuous() {
+        let property = one("never = deadline 50ms where jmst_seq > 10 AND jmst_seq < 5");
+        let diagnostics = analyze_properties(&[property], &SpecContext::default());
+        assert_eq!(rules(&diagnostics), ["prop-vacuous"]);
+        assert!(diagnostics[0].error);
+    }
+
+    #[test]
+    fn bounds_broken_by_the_spec_itself_are_unsat() {
+        let context = SpecContext {
+            latency_floor: Duration::from_millis(50),
+            stall: Some(Duration::from_millis(200)),
+            total_rate: Some(300.0),
+            message_cap: Some(120),
+            ..SpecContext::default()
+        };
+        // Deadline below the universal delivery delay.
+        let d = analyze_properties(&[one("late = deadline 50ms")], &context);
+        assert_eq!(rules(&d), ["prop-unsat"]);
+        // Deadline below the stall fault (the canonical example).
+        let d = analyze_properties(&[one("late = deadline 150ms")], &context);
+        assert_eq!(rules(&d), ["prop-unsat"]);
+        assert!(d[0].message.contains("stall"));
+        // Throughput above the configured send rate.
+        let d = analyze_properties(&[one("floor = throughput >= 400.0")], &context);
+        assert_eq!(rules(&d), ["prop-unsat"]);
+        // Receive floor above the message cap.
+        let d = analyze_properties(&[one("min = receives >= 200")], &context);
+        assert_eq!(rules(&d), ["prop-unsat"]);
+        // Fairness below the mathematical minimum, spec-independent.
+        let d = analyze_properties(&[one("fair = fairness <= 0.5")], &SpecContext::default());
+        assert_eq!(rules(&d), ["prop-unsat"]);
+        // The same bounds clear a permissive context.
+        let d = analyze_properties(
+            &[
+                one("late = deadline 300ms"),
+                one("floor = throughput >= 250.0"),
+            ],
+            &context,
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn finish_only_properties_warn_under_fail_fast() {
+        let context = SpecContext {
+            fail_fast: true,
+            ..SpecContext::default()
+        };
+        let d = analyze_properties(&[one("tail = latency p99 <= 100ms")], &context);
+        assert_eq!(rules(&d), ["prop-not-monitorable"]);
+        assert!(!d[0].error);
+        // Live properties do not warn.
+        let d = analyze_properties(&[one("late = deadline 100ms")], &context);
+        assert!(d.is_empty());
+        // And nothing warns when fail_fast is off.
+        let d = analyze_properties(
+            &[one("tail = latency p99 <= 100ms")],
+            &SpecContext::default(),
+        );
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn monitorability_classification() {
+        assert_eq!(
+            one("a = ordered").decl.monitorability(),
+            Monitorability::Live
+        );
+        assert_eq!(
+            one("a = receives <= 10").decl.monitorability(),
+            Monitorability::Live
+        );
+        assert_eq!(
+            one("a = receives >= 10").decl.monitorability(),
+            Monitorability::FinishOnly
+        );
+        assert_eq!(
+            one("a = throughput >= 1.0").decl.monitorability(),
+            Monitorability::FinishOnly
+        );
+    }
+}

@@ -6,16 +6,21 @@
 //! predicates are hard errors; unset property references, consumerless
 //! producers and misaligned send batches are warnings.
 //!
+//! Standalone property files (`*.prop`, one declaration of the
+//! jmst-props DSL per line) are linted too: ill-typed or vacuous
+//! guards and unsatisfiable bounds are hard errors, properties that
+//! cannot fail before trace end are warnings.
+//!
 //! Arguments may be files or directories; a directory is walked
-//! recursively and every `*.cfg` under it is linted.
+//! recursively and every `*.cfg` and `*.prop` under it is linted.
 //!
 //! ```sh
 //! cargo run --example jmst_lint -- scenarios/selector_routing.cfg
-//! cargo run --example jmst_lint -- scenarios/          # recursive *.cfg
+//! cargo run --example jmst_lint -- scenarios/     # recursive *.cfg + *.prop
 //! cargo run --example jmst_lint -- corpus/ scenarios/  # exit 1 on errors
 //! ```
 
-use jmst::harness::{lint_spec, parse_spec};
+use jmst::harness::{lint_props, lint_spec, parse_spec};
 use std::path::{Path, PathBuf};
 
 fn main() {
@@ -32,7 +37,7 @@ fn main() {
             let before = paths.len();
             collect_cfgs(&path, &mut paths, &mut failed);
             if paths.len() == before {
-                println!("{arg}: error: no .cfg files found under directory");
+                println!("{arg}: error: no .cfg or .prop files found under directory");
                 failed = true;
             }
         } else {
@@ -47,8 +52,9 @@ fn main() {
     std::process::exit(if failed { 1 } else { 0 });
 }
 
-/// Recursively collects `*.cfg` files under `dir`, in sorted order so
-/// output (and exit codes) are stable across filesystems.
+/// Recursively collects `*.cfg` and `*.prop` files under `dir`, in
+/// sorted order so output (and exit codes) are stable across
+/// filesystems.
 fn collect_cfgs(dir: &Path, paths: &mut Vec<PathBuf>, failed: &mut bool) {
     let entries = match std::fs::read_dir(dir) {
         Ok(entries) => entries,
@@ -65,7 +71,10 @@ fn collect_cfgs(dir: &Path, paths: &mut Vec<PathBuf>, failed: &mut bool) {
     for child in children {
         if child.is_dir() {
             collect_cfgs(&child, paths, failed);
-        } else if child.extension().is_some_and(|ext| ext == "cfg") {
+        } else if child
+            .extension()
+            .is_some_and(|ext| ext == "cfg" || ext == "prop")
+        {
             paths.push(child);
         }
     }
@@ -80,6 +89,18 @@ fn lint_file(path: &Path) -> bool {
             return false;
         }
     };
+    if path.extension().is_some_and(|ext| ext == "prop") {
+        let properties = match jmst::props::parse_properties(&text) {
+            Ok(properties) => properties,
+            Err(error) => {
+                println!("{display}: error: {error}");
+                return false;
+            }
+        };
+        let report = lint_props(&properties);
+        print!("{display}: {report}");
+        return !report.has_errors();
+    }
     // Parse/validation failures (syntax, ill-typed selectors) are
     // hard errors just like lint errors: the spec cannot run.
     let spec = match parse_spec(&text) {

@@ -3,7 +3,9 @@
 //! Each argument is either a saved trace (`.trace.jsonl` / `.jsonl` from
 //! [`Trace::save_jsonl`], `.csv` from the CSV exporter) or a scenario
 //! description (`.cfg`), which is linted and executed against a reference
-//! broker first. The resulting trace is then analysed twice — once by the
+//! broker first. Scenario `[properties]` sections are compiled onto the
+//! checker core, so DSL verdicts are replayed alongside the built-ins.
+//! The resulting trace is then analysed twice — once by the
 //! batch driver ([`Analyzer::analyze`]) and once by a
 //! [`StreamingAnalyzer`] fed through the live channel-and-reorder-buffer
 //! transport — and the two [`AnalysisReport`]s are compared field by
@@ -18,6 +20,7 @@
 //! cargo run --example jmst_replay -- scenarios/redelivery_dlq.cfg
 //! ```
 
+use jmst::core::CheckerRegistry;
 use jmst::harness::{lint_spec, parse_spec};
 use jmst::prelude::*;
 use jmst::store::sink::EventSink;
@@ -57,8 +60,8 @@ enum Verdict {
 }
 
 fn replay(path: &str) -> Result<Verdict, String> {
-    let trace = load_trace(path)?;
-    let analyzer = Analyzer::new();
+    let (trace, registry) = load_trace(path)?;
+    let analyzer = Analyzer::new().with_registry(registry);
     let batch = analyzer.analyze(&trace);
     let streaming = stream_through_transport(&analyzer, &trace)?;
     if batch == streaming {
@@ -71,15 +74,19 @@ fn replay(path: &str) -> Result<Verdict, String> {
     })
 }
 
-/// Loads, or for scenarios produces, the trace to replay.
-fn load_trace(path: &str) -> Result<Trace, String> {
+/// Loads, or for scenarios produces, the trace to replay, paired with
+/// the checker registry compiled from the scenario's `[properties]`
+/// section (empty for saved traces, which carry no property source).
+fn load_trace(path: &str) -> Result<(Trace, CheckerRegistry), String> {
     if path.ends_with(".jsonl") {
-        return Trace::load_jsonl(path).map_err(|error| error.to_string());
+        let trace = Trace::load_jsonl(path).map_err(|error| error.to_string())?;
+        return Ok((trace, CheckerRegistry::default()));
     }
     if path.ends_with(".csv") {
         let text =
             std::fs::read_to_string(path).map_err(|error| format!("cannot read: {error}"))?;
-        return jmst::store::csv::trace_from_csv(&text).map_err(|error| error.to_string());
+        let trace = jmst::store::csv::trace_from_csv(&text).map_err(|error| error.to_string())?;
+        return Ok((trace, CheckerRegistry::default()));
     }
     if path.ends_with(".cfg") {
         let text =
@@ -89,12 +96,14 @@ fn load_trace(path: &str) -> Result<Trace, String> {
         if lint.has_errors() {
             return Err(format!("lint errors:\n{lint}"));
         }
+        let registry = jmst::props::compile_registry(&spec.properties);
         let config = spec.broker_config()?;
         let broker = ReferenceBroker::with_config(config);
         let admin: Arc<dyn BrokerAdmin> = Arc::new(broker.clone());
-        return ThreadedRunner::new()
+        let trace = ThreadedRunner::new()
             .run(Arc::new(broker), Some(admin), &spec)
-            .map_err(|error| error.to_string());
+            .map_err(|error| error.to_string())?;
+        return Ok((trace, registry));
     }
     Err("unsupported input (expected .jsonl, .csv, or .cfg)".to_owned())
 }
@@ -139,6 +148,13 @@ fn diff(batch: &AnalysisReport, streaming: &AnalysisReport) -> Vec<String> {
                 differences.push(format!("  streaming only: {violation}"));
             }
         }
+    }
+    if batch.named != streaming.named {
+        differences.push(format!(
+            "named property outcomes: batch {} vs streaming {}",
+            batch.named.len(),
+            streaming.named.len()
+        ));
     }
     if batch.performance != streaming.performance {
         differences.push("performance reports differ".to_owned());

@@ -19,6 +19,8 @@
 //!   the §3.2 performance analysis;
 //! * [`harness`] — test specs, the threaded runner, crash injection, and
 //!   the daemon prince;
+//! * [`props`] — the QoS property DSL: parse, statically verify, and
+//!   compile named assertions onto the streaming checker core;
 //! * [`corpus`] — the scenario-corpus engine: cross-product generator,
 //!   coverage-guided fuzzer, and the generated fault-detection matrix.
 //!
@@ -53,6 +55,7 @@ pub use jmst_broker as broker;
 pub use jmst_core as core;
 pub use jmst_corpus as corpus;
 pub use jmst_harness as harness;
+pub use jmst_props as props;
 pub use jmst_sim as sim;
 pub use jmst_store as store;
 

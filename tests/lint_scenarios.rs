@@ -102,6 +102,52 @@ fn linting_a_multi_hundred_scenario_corpus_stays_sub_second() {
 }
 
 #[test]
+fn clean_prop_files_lint_clean_and_broken_ones_fail() {
+    // Same contract for the standalone property files: every `*.prop`
+    // under scenarios/props/ must parse and survive the static front end
+    // — except `*.broken.prop`, which must be rejected with an error.
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("scenarios")
+        .join("props");
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("scenarios/props/ directory exists")
+        .map(|entry| entry.expect("readable directory entry").path())
+        .filter(|path| path.extension().is_some_and(|ext| ext == "prop"))
+        .collect();
+    files.sort();
+    let mut saw_clean = false;
+    let mut saw_broken = false;
+    for path in files {
+        let text = std::fs::read_to_string(&path).expect("readable property file");
+        let broken = path
+            .file_name()
+            .and_then(|name| name.to_str())
+            .is_some_and(|name| name.ends_with(".broken.prop"));
+        match jmst::props::parse_properties(&text) {
+            Err(error) => assert!(broken, "{path:?} failed to parse: {error}"),
+            Ok(properties) => {
+                let report = jmst::harness::lint_props(&properties);
+                if broken {
+                    assert!(
+                        report.has_errors(),
+                        "{path:?} is named broken but linted clean:\n{report}"
+                    );
+                } else {
+                    assert!(!report.has_errors(), "{path:?} has lint errors:\n{report}");
+                }
+            }
+        }
+        if broken {
+            saw_broken = true;
+        } else {
+            saw_clean = true;
+        }
+    }
+    assert!(saw_clean, "expected at least one clean .prop fixture");
+    assert!(saw_broken, "expected at least one broken .prop fixture");
+}
+
+#[test]
 fn broken_fixture_names_the_dead_subscription() {
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("scenarios")
