@@ -40,6 +40,7 @@ pub mod config;
 pub mod defs;
 pub mod perf;
 pub mod properties;
+pub mod replay;
 pub mod report;
 pub mod stream;
 pub mod violation;
@@ -54,4 +55,5 @@ pub use analyzer::{
 pub use config::{AnalysisConfig, ExpiryConfig, ExpiryModel, PriorityConfig};
 pub use perf::{PerformanceReport, Throughput};
 pub use properties::expiry::ExpiryBreakdown;
+pub use replay::{partition_journal, replay_events, InterruptedTest, JournalReplay, ReplayedTest};
 pub use violation::{PropertyKind, Violation};

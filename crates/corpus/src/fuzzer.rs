@@ -116,8 +116,12 @@ pub fn fuzz(config: &FuzzConfig) -> FuzzOutcome {
     let mut divergent = Vec::new();
     let mut runs = 0usize;
 
+    // A delivered SIGTERM/SIGINT ends the campaign between runs, like
+    // an exhausted budget: the outcome so far is still returned (and
+    // flushed by the caller) instead of being torn down mid-run.
     let out_of_budget = |runs: usize, started: Instant| {
         runs >= config.max_runs
+            || jmst_harness::signals::termination_requested()
             || config
                 .time_budget
                 .is_some_and(|budget| started.elapsed() >= budget)
@@ -343,6 +347,11 @@ pub fn minimize(entry: &CorpusEntry) -> (TestSpec, usize) {
     };
 
     loop {
+        if jmst_harness::signals::termination_requested() {
+            // Interrupted mid-shrink: the current candidate is still a
+            // genuine reproducer, just not minimal — return it as-is.
+            break;
+        }
         let mut shrunk = false;
 
         // Axis 1: drop producers.
@@ -478,6 +487,24 @@ mod tests {
     fn seed_corpus_has_one_entry_per_reachable_tuple() {
         let seeds = seed_entries();
         assert_eq!(seeds.len(), reachable_tuples().len());
+    }
+
+    #[test]
+    fn a_requested_termination_stops_the_campaign_between_runs() {
+        // The flag is process-global; raise it before the campaign and
+        // clear it afterwards so other tests are unaffected.
+        jmst_harness::signals::request_termination();
+        let outcome = fuzz(&FuzzConfig {
+            seed: 11,
+            max_runs: 10_000,
+            time_budget: None,
+            minimize_divergent: false,
+        });
+        jmst_harness::signals::reset_termination();
+        assert_eq!(
+            outcome.runs, 0,
+            "a termination request delivered before the campaign must stop it immediately"
+        );
     }
 
     #[test]

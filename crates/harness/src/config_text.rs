@@ -92,6 +92,19 @@
 //! `shards = 8` pins the number of destination shards the provider under
 //! test partitions its destinations across, making shard count a
 //! first-class scenario axis instead of an ambient environment variable.
+//!
+//! A `[transport]` section controls where the drivers execute and
+//! whether the campaign journals:
+//!
+//! ```text
+//! [transport]
+//! mode = process             # thread (in-process, default) | process
+//!                            # (worker subprocess; kill -9 is a real fault)
+//! socket = /tmp/p.sock       # worker control socket (default: private temp path)
+//! respawn_limit = 2          # dead-worker respawns before giving up
+//! journal = campaign.jrnl    # HMAC-chained campaign journal path
+//! resume = on                # resume an interrupted campaign from the journal
+//! ```
 
 use crate::spec::{ConsumerSpec, CrashPlan, FaultPlan, NodeSpec, ProducerSpec, TestSpec};
 use jmst_api::body::BodyKind;
@@ -277,6 +290,7 @@ enum Section {
     Crash,
     Faults,
     Properties,
+    Transport,
     None,
 }
 
@@ -346,6 +360,7 @@ pub fn parse_spec(text: &str) -> Result<TestSpec, ConfigError> {
                     Section::Faults
                 }
                 "properties" => Section::Properties,
+                "transport" => Section::Transport,
                 other => {
                     let name = other
                         .strip_prefix("node")
@@ -594,6 +609,36 @@ pub fn parse_spec(text: &str) -> Result<TestSpec, ConfigError> {
                     "delivery_delay" => plan.delivery_delay = parse_duration(value).map_err(err)?,
                     other => return Err(err(format!("unknown faults key {other:?}"))),
                 }
+            }
+            (Section::Transport, "mode") => {
+                spec.transport.mode = match value {
+                    "thread" => crate::spec::TransportMode::Thread,
+                    "process" => crate::spec::TransportMode::Process,
+                    other => {
+                        return Err(err(format!("mode must be thread/process, got {other:?}")))
+                    }
+                };
+            }
+            (Section::Transport, "socket") => {
+                spec.transport.socket = Some(value.to_owned());
+            }
+            (Section::Transport, "respawn_limit") => {
+                spec.transport.respawn_limit = value
+                    .parse()
+                    .map_err(|_| err(format!("bad respawn_limit {value:?}")))?;
+            }
+            (Section::Transport, "journal") => {
+                spec.transport.journal = Some(value.to_owned());
+            }
+            (Section::Transport, "resume") => {
+                spec.transport.resume = match value {
+                    "on" | "true" | "yes" => true,
+                    "off" | "false" | "no" => false,
+                    other => return Err(err(format!("resume must be on/off, got {other:?}"))),
+                };
+            }
+            (Section::Transport, other) => {
+                return Err(err(format!("unknown transport key {other:?}")));
             }
             (Section::Properties, name) => {
                 let property = jmst_props::PropertySpec::parse_line(&format!("{name} = {value}"))
@@ -980,6 +1025,31 @@ down = 80ms
         )
         .unwrap();
         assert_eq!(spec.name, "c");
+    }
+
+    #[test]
+    fn transport_section_parses_every_key() {
+        use crate::spec::TransportMode;
+        let text = "[test]\nname = t\n[node n]\n[consumer]\ndestination = queue:q\n\
+                    [transport]\nmode = process\nsocket = /tmp/p.sock\nrespawn_limit = 7\n\
+                    journal = camp.jrnl\nresume = on\n";
+        let spec = parse_spec(text).unwrap();
+        assert_eq!(spec.transport.mode, TransportMode::Process);
+        assert_eq!(spec.transport.socket.as_deref(), Some("/tmp/p.sock"));
+        assert_eq!(spec.transport.respawn_limit, 7);
+        assert_eq!(spec.transport.journal.as_deref(), Some("camp.jrnl"));
+        assert!(spec.transport.resume);
+        // Defaults when the section is absent.
+        let spec =
+            parse_spec("[test]\nname = t\n[node n]\n[consumer]\ndestination = queue:q\n").unwrap();
+        assert!(spec.transport.is_default());
+        assert_eq!(spec.transport.mode, TransportMode::Thread);
+        assert_eq!(spec.transport.respawn_limit, 2);
+        // Bad values are line-numbered errors.
+        let error = parse_spec("[test]\nname = t\n[transport]\nmode = rocket\n").unwrap_err();
+        assert!(error.message().contains("thread/process"), "{error}");
+        let error = parse_spec("[test]\nname = t\n[transport]\nwarp = 9\n").unwrap_err();
+        assert!(error.message().contains("unknown transport key"), "{error}");
     }
 
     #[test]

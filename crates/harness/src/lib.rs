@@ -48,9 +48,13 @@ mod drivers;
 pub mod error;
 pub mod lint;
 pub mod prince;
+pub mod princed;
+pub mod process;
+pub mod proto;
 pub mod retry;
 pub mod runner;
 pub mod serialize;
+pub mod signals;
 pub mod simrun;
 pub mod spec;
 
@@ -58,12 +62,15 @@ pub use config_text::{parse_spec, ConfigError};
 pub use error::HarnessError;
 pub use lint::{lint_props, lint_spec, LintFinding, LintReport, Severity};
 pub use prince::{CampaignReport, DaemonPrince, TestOutcome, TestResult};
+pub use princed::ProcessPrince;
+pub use process::{ExitReason, ProcessRegistry, RespawnSchedule, WorkerCommand};
+pub use proto::{ProtoError, WireMessage, WireOutcome};
 pub use retry::RetryPolicy;
 pub use runner::{BrokerAdmin, ThreadedRunner};
 pub use serialize::{serialize_spec, SerializeError};
 pub use spec::{
     ConsumerSpec, CrashPlan, FaultPlan, NodeSpec, ProducerSpec, ReconnectSpec, Subscription,
-    TestSpec,
+    TestSpec, TransportMode, TransportSpec,
 };
 
 /// Convenient glob-import for harness users.
@@ -76,6 +83,6 @@ pub mod prelude {
     pub use crate::serialize::{serialize_spec, SerializeError};
     pub use crate::spec::{
         ConsumerSpec, CrashPlan, FaultPlan, NodeSpec, ProducerSpec, ReconnectSpec, Subscription,
-        TestSpec,
+        TestSpec, TransportMode, TransportSpec,
     };
 }

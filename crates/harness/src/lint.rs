@@ -20,7 +20,9 @@
 //! - a `[faults]` redelivery bound with no consumer that could ever
 //!   leave a message unacknowledged — redelivery only exists for
 //!   client-ack and transacted sessions, so the bound is dead
-//!   configuration and the scenario does not test what it claims.
+//!   configuration and the scenario does not test what it claims;
+//! - `resume = on` without a `journal` path (`resume-without-journal`) —
+//!   there is no journal to resume from.
 //!
 //! **Warnings** (suspicious but runnable):
 //! - a selector referencing a user property no producer publishing to
@@ -30,7 +32,10 @@
 //!   message-limit boundaries (the driver truncates them silently);
 //! - a `[crash]` plan whose producers are all non-persistent: the crash
 //!   legally voids every in-flight message, so the recovery experiment
-//!   observes nothing.
+//!   observes nothing;
+//! - clock skew under thread transport (`transport-skew-needs-process`):
+//!   with every driver in one process there is one real clock, so the
+//!   skew is an applied timestamp offset, not a measured property.
 //!
 //! `[properties]` declarations get the jmst-props static front end
 //! ([`jmst_props::analyze_properties`]) run against a [`SpecContext`]
@@ -333,6 +338,30 @@ pub fn lint_spec(spec: &TestSpec) -> LintReport {
             "max_redeliveries is set but no consumer could leave a message \
              unacknowledged (none uses client-ack or transacted mode), so \
              no redelivery can ever happen"
+                .to_owned(),
+        );
+    }
+
+    if spec.transport.mode == crate::spec::TransportMode::Thread
+        && spec.nodes.iter().any(|node| node.clock_skew_nanos != 0)
+    {
+        push(
+            Severity::Warning,
+            "transport-skew-needs-process",
+            "transport".to_owned(),
+            "clock skew under mode = thread is simulated (one process, one \
+             clock, offsets applied to timestamps); run with [transport] \
+             mode = process for skew between real clocks"
+                .to_owned(),
+        );
+    }
+    if spec.transport.resume && spec.transport.journal.is_none() {
+        push(
+            Severity::Error,
+            "resume-without-journal",
+            "transport".to_owned(),
+            "resume = on but no journal path is set: there is nothing to \
+             resume from (add journal = <path> to the [transport] section)"
                 .to_owned(),
         );
     }
@@ -956,6 +985,69 @@ mod tests {
             report.warnings().next().unwrap().rule,
             "prop-not-monitorable"
         );
+    }
+
+    #[test]
+    fn thread_mode_clock_skew_is_flagged_as_simulated_only() {
+        use crate::spec::TransportSpec;
+        let skewed = |transport: TransportSpec| {
+            let mut spec = spec_with(
+                ProducerSpec::steady(topic(), 10.0, 64),
+                ConsumerSpec::auto(topic()),
+            )
+            .with_transport(transport);
+            spec.nodes[0].clock_skew_nanos = 2_000_000;
+            spec
+        };
+        // Thread transport (the default): warning with the stable id.
+        let report = lint_spec(&skewed(TransportSpec::thread()));
+        assert!(!report.has_errors(), "{report}");
+        let finding = report.warnings().next().expect("one warning");
+        assert_eq!(finding.rule, "transport-skew-needs-process");
+        assert!(finding.message.contains("simulated"), "{finding}");
+        // Process transport: real clocks, no warning.
+        let report = lint_spec(&skewed(TransportSpec::process()));
+        assert!(
+            !report
+                .findings
+                .iter()
+                .any(|f| f.rule == "transport-skew-needs-process"),
+            "{report}"
+        );
+        // No skew at all: no warning either.
+        let spec = spec_with(
+            ProducerSpec::steady(topic(), 10.0, 64),
+            ConsumerSpec::auto(topic()),
+        );
+        assert!(lint_spec(&spec).is_clean());
+    }
+
+    #[test]
+    fn resume_without_journal_is_an_error() {
+        use crate::spec::TransportSpec;
+        let with_transport = |transport: TransportSpec| {
+            spec_with(
+                ProducerSpec::steady(topic(), 10.0, 64),
+                ConsumerSpec::auto(topic()),
+            )
+            .with_transport(transport)
+        };
+        let report = lint_spec(&with_transport(TransportSpec::process().with_resume(true)));
+        assert!(report.has_errors(), "{report}");
+        let finding = report.errors().next().expect("one error");
+        assert_eq!(finding.rule, "resume-without-journal");
+        // With a journal configured, resume is fine.
+        let report = lint_spec(&with_transport(
+            TransportSpec::process()
+                .with_journal("campaign.jrnl")
+                .with_resume(true),
+        ));
+        assert!(!report.has_errors(), "{report}");
+        // Journal without resume is fine too.
+        let report = lint_spec(&with_transport(
+            TransportSpec::thread().with_journal("campaign.jrnl"),
+        ));
+        assert!(report.is_clean(), "{report}");
     }
 
     #[test]

@@ -115,6 +115,43 @@ impl CampaignReport {
             })
             .count()
     }
+
+    /// A deterministic rendering of the campaign with no wall-clock
+    /// times: two runs of the same schedule produce byte-identical
+    /// summaries whether run straight through or interrupted and
+    /// resumed from the journal. `jmst_princed --report` writes this,
+    /// and the resume tests compare it.
+    ///
+    /// Inconclusive reasons and partial-trace counts are excluded — they
+    /// legitimately vary with timing; the verdict class does not.
+    pub fn stable_summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!(
+            "campaign: {} tests — {} passed, {} violated, {} failed\n",
+            self.results.len(),
+            self.passed(),
+            self.violated(),
+            self.failed()
+        );
+        for result in &self.results {
+            let verdict = match &result.outcome {
+                TestOutcome::Passed(report) => {
+                    format!("PASS sends={} receives={}", report.sends, report.receives)
+                }
+                TestOutcome::Violated(report) => format!(
+                    "VIOLATED violations={} sends={} receives={}",
+                    report.violations.len(),
+                    report.sends,
+                    report.receives
+                ),
+                TestOutcome::Hung { stage, .. } => format!("HUNG stage={stage}"),
+                TestOutcome::Inconclusive { .. } => "INCONCLUSIVE".to_owned(),
+                TestOutcome::Invalid(reason) => format!("INVALID {reason}"),
+            };
+            let _ = writeln!(out, "{} {}", result.name, verdict);
+        }
+        out
+    }
 }
 
 impl fmt::Display for CampaignReport {
@@ -235,6 +272,18 @@ impl DaemonPrince {
     /// cancels the run, salvaging the partial verdict instead of letting
     /// a known-broken run finish.
     pub fn run_test(&self, factory: &ProviderFactory<'_>, spec: &TestSpec) -> TestResult {
+        self.run_test_collected(factory, spec).0
+    }
+
+    /// [`run_test`](Self::run_test), but also returning the collected
+    /// trace events (in canonical order). The multi-process prince
+    /// ([`ProcessPrince`](crate::princed::ProcessPrince)) journals these
+    /// when a thread-mode test rides in a journalled campaign.
+    pub fn run_test_collected(
+        &self,
+        factory: &ProviderFactory<'_>,
+        spec: &TestSpec,
+    ) -> (TestResult, Vec<jmst_store::Event>) {
         let started = Instant::now();
         let lint = crate::lint::lint_spec(spec);
         for warning in lint.warnings() {
@@ -242,11 +291,14 @@ impl DaemonPrince {
         }
         if lint.has_errors() {
             let reasons: Vec<String> = lint.errors().map(ToString::to_string).collect();
-            return TestResult {
-                name: spec.name.clone(),
-                outcome: TestOutcome::Invalid(format!("lint: {}", reasons.join("; "))),
-                wall_time: started.elapsed(),
-            };
+            return (
+                TestResult {
+                    name: spec.name.clone(),
+                    outcome: TestOutcome::Invalid(format!("lint: {}", reasons.join("; "))),
+                    wall_time: started.elapsed(),
+                },
+                Vec::new(),
+            );
         }
         let (provider, admin) = factory(spec);
         let (sink, stream) = jmst_store::sink::channel(STREAM_REORDER_DEPTH, STREAM_CAPACITY);
@@ -291,7 +343,7 @@ impl DaemonPrince {
         // terminated and the watcher's report is (or will shortly be)
         // complete.
         let streamed = watcher.join();
-        let outcome = match run {
+        let (outcome, events) = match run {
             Ok(trace) => {
                 self.persist(&spec.name, &trace);
                 let report = match streamed {
@@ -300,40 +352,46 @@ impl DaemonPrince {
                     // back to replaying the recorded trace.
                     Err(_) => analyzer.analyze(&trace),
                 };
-                if report.passed() {
+                let outcome = if report.passed() {
                     TestOutcome::Passed(report)
                 } else {
                     TestOutcome::Violated(report)
-                }
+                };
+                (outcome, trace.events().to_vec())
             }
             Err(HarnessError::TestHung {
                 stage,
                 partial_trace,
             }) => {
                 self.persist(&spec.name, &partial_trace);
-                TestOutcome::Hung {
+                let outcome = TestOutcome::Hung {
                     stage,
                     report: analyzer.analyze(&partial_trace),
-                }
+                };
+                (outcome, partial_trace.events().to_vec())
             }
             Err(HarnessError::Inconclusive {
                 reason,
                 partial_trace,
             }) => {
                 self.persist(&spec.name, &partial_trace);
-                TestOutcome::Inconclusive {
+                let outcome = TestOutcome::Inconclusive {
                     reason,
                     report: analyzer.analyze(&partial_trace),
-                }
+                };
+                (outcome, partial_trace.events().to_vec())
             }
-            Err(HarnessError::InvalidSpec(reason)) => TestOutcome::Invalid(reason),
-            Err(other) => TestOutcome::Invalid(other.to_string()),
+            Err(HarnessError::InvalidSpec(reason)) => (TestOutcome::Invalid(reason), Vec::new()),
+            Err(other) => (TestOutcome::Invalid(other.to_string()), Vec::new()),
         };
-        TestResult {
-            name: spec.name.clone(),
-            outcome,
-            wall_time: started.elapsed(),
-        }
+        (
+            TestResult {
+                name: spec.name.clone(),
+                outcome,
+                wall_time: started.elapsed(),
+            },
+            events,
+        )
     }
 
     /// Runs a campaign of tests sequentially, resetting the provider

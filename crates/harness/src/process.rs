@@ -1,0 +1,318 @@
+//! Worker process management for the multi-process prince: spawning,
+//! the child registry, reaping with timeouts, bounded
+//! exponential-backoff respawn, and orphan cleanup.
+//!
+//! The paper's prince "catches crashed tests, cleans up and continues
+//! on with the next test" across JVMs; this module is that machinery
+//! for real OS processes. Every spawned worker is tracked by a
+//! [`ProcessRegistry`] whose `Drop` kills anything still running — a
+//! panicking prince never leaks orphan drivers.
+
+use crate::retry::RetryPolicy;
+use std::fmt;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// How to start a driver worker process.
+///
+/// Resolution order: an explicit program, the `JMST_WORKER_BIN`
+/// environment variable, then the current executable re-invoked with
+/// `--worker` (the `jmst-princed` binary is its own worker).
+#[derive(Debug, Clone)]
+pub struct WorkerCommand {
+    program: PathBuf,
+    args: Vec<String>,
+}
+
+impl WorkerCommand {
+    /// A worker started as `program [args..] --worker --socket <path>`.
+    pub fn new(program: impl Into<PathBuf>) -> Self {
+        Self {
+            program: program.into(),
+            args: Vec::new(),
+        }
+    }
+
+    /// Adds a fixed argument placed before the `--worker` flag.
+    #[must_use]
+    pub fn arg(mut self, arg: impl Into<String>) -> Self {
+        self.args.push(arg.into());
+        self
+    }
+
+    /// Resolves the default worker command for this process.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string when no worker binary can be determined
+    /// (no override set and the current executable path is unknown).
+    pub fn resolve() -> Result<Self, String> {
+        if let Ok(bin) = std::env::var("JMST_WORKER_BIN") {
+            if !bin.is_empty() {
+                return Ok(Self::new(bin));
+            }
+        }
+        std::env::current_exe()
+            .map(Self::new)
+            .map_err(|e| format!("cannot locate a worker binary: {e}"))
+    }
+
+    /// Spawns one worker that will connect back on `socket`.
+    ///
+    /// # Errors
+    ///
+    /// The spawn error, stringified (missing binary, exec failure).
+    pub fn spawn(&self, socket: &std::path::Path) -> Result<Child, String> {
+        Command::new(&self.program)
+            .args(&self.args)
+            .arg("--worker")
+            .arg("--socket")
+            .arg(socket)
+            .stdin(Stdio::null())
+            // Workers inherit stdout/stderr so their lint warnings and
+            // panics land in the prince's own log.
+            .spawn()
+            .map_err(|e| format!("spawning worker {:?}: {e}", self.program))
+    }
+}
+
+/// Why a reaped worker stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExitReason {
+    /// Exited on its own with this code.
+    Exited(i32),
+    /// Killed by a signal (or exited without a code — on Unix that means
+    /// a signal; `kill -9` lands here).
+    Signaled,
+    /// Still running when the reap deadline passed; it was killed.
+    TimedOut,
+}
+
+impl fmt::Display for ExitReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExitReason::Exited(code) => write!(f, "exited with code {code}"),
+            ExitReason::Signaled => write!(f, "killed by a signal"),
+            ExitReason::TimedOut => write!(f, "timed out and was killed"),
+        }
+    }
+}
+
+/// Tracks every live worker the prince has spawned. Dropping the
+/// registry kills and reaps anything still running, so no code path —
+/// including panics — leaves orphan driver processes behind.
+#[derive(Debug, Default)]
+pub struct ProcessRegistry {
+    children: Vec<Child>,
+}
+
+impl ProcessRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a spawned worker and returns its handle id.
+    pub fn register(&mut self, child: Child) -> u32 {
+        let pid = child.id();
+        self.children.push(child);
+        pid
+    }
+
+    /// Number of workers currently tracked.
+    pub fn live(&self) -> usize {
+        self.children.len()
+    }
+
+    /// Sends SIGKILL to a tracked worker (ignored if already gone).
+    pub fn kill(&mut self, pid: u32) {
+        if let Some(child) = self.children.iter_mut().find(|c| c.id() == pid) {
+            let _ = child.kill();
+        }
+    }
+
+    /// Waits (up to `grace`) for a tracked worker to exit, killing it at
+    /// the deadline, and removes it from the registry.
+    ///
+    /// Unknown pids report [`ExitReason::Signaled`]: the worker is
+    /// already gone.
+    pub fn reap(&mut self, pid: u32, grace: Duration) -> ExitReason {
+        let Some(position) = self.children.iter().position(|c| c.id() == pid) else {
+            return ExitReason::Signaled;
+        };
+        let mut child = self.children.remove(position);
+        let deadline = Instant::now() + grace;
+        loop {
+            match child.try_wait() {
+                Ok(Some(status)) => {
+                    return match status.code() {
+                        Some(code) => ExitReason::Exited(code),
+                        None => ExitReason::Signaled,
+                    };
+                }
+                Ok(None) => {
+                    if Instant::now() >= deadline {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        return ExitReason::TimedOut;
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => return ExitReason::Signaled,
+            }
+        }
+    }
+
+    /// Kills and reaps every tracked worker (orphan cleanup).
+    pub fn kill_all(&mut self) {
+        for child in &mut self.children {
+            let _ = child.kill();
+        }
+        for mut child in self.children.drain(..) {
+            let _ = child.wait();
+        }
+    }
+}
+
+impl Drop for ProcessRegistry {
+    fn drop(&mut self) {
+        self.kill_all();
+    }
+}
+
+/// Bounded exponential-backoff schedule for respawning dead workers,
+/// paced by the spec's [`RetryPolicy`] backoff parameters and bounded
+/// by the transport's `respawn_limit`.
+#[derive(Debug)]
+pub struct RespawnSchedule {
+    limit: u32,
+    used: u32,
+    backoff: Duration,
+    max_backoff: Duration,
+    multiplier: f64,
+}
+
+impl RespawnSchedule {
+    /// A schedule allowing `limit` respawns, paced by `policy`.
+    pub fn new(limit: u32, policy: &RetryPolicy) -> Self {
+        Self {
+            limit,
+            used: 0,
+            backoff: policy.initial_backoff.max(Duration::from_millis(1)),
+            max_backoff: policy.max_backoff.max(policy.initial_backoff),
+            multiplier: if policy.multiplier > 1.0 {
+                policy.multiplier
+            } else {
+                2.0
+            },
+        }
+    }
+
+    /// Respawns already consumed.
+    pub fn used(&self) -> u32 {
+        self.used
+    }
+
+    /// Asks permission for one more respawn: returns the backoff to
+    /// sleep before it, or `None` when the limit is exhausted.
+    pub fn next_backoff(&mut self) -> Option<Duration> {
+        if self.used >= self.limit {
+            return None;
+        }
+        self.used += 1;
+        let delay = self.backoff;
+        let grown = self.backoff.as_secs_f64() * self.multiplier;
+        self.backoff = Duration::from_secs_f64(grown).min(self.max_backoff);
+        Some(delay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respawn_schedule_grows_exponentially_and_is_bounded() {
+        let policy = RetryPolicy {
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(50),
+            multiplier: 2.0,
+            ..RetryPolicy::default()
+        };
+        let mut schedule = RespawnSchedule::new(4, &policy);
+        assert_eq!(schedule.next_backoff(), Some(Duration::from_millis(10)));
+        assert_eq!(schedule.next_backoff(), Some(Duration::from_millis(20)));
+        assert_eq!(schedule.next_backoff(), Some(Duration::from_millis(40)));
+        // Capped at max_backoff…
+        assert_eq!(schedule.next_backoff(), Some(Duration::from_millis(50)));
+        // …and bounded by the limit.
+        assert_eq!(schedule.next_backoff(), None);
+        assert_eq!(schedule.used(), 4);
+    }
+
+    #[test]
+    fn zero_limit_never_allows_a_respawn() {
+        let mut schedule = RespawnSchedule::new(0, &RetryPolicy::default());
+        assert_eq!(schedule.next_backoff(), None);
+    }
+
+    #[test]
+    fn registry_reaps_a_clean_exit_with_its_code() {
+        let mut registry = ProcessRegistry::new();
+        let child = Command::new("true").spawn().expect("spawn /bin/true");
+        let pid = registry.register(child);
+        assert_eq!(registry.live(), 1);
+        let reason = registry.reap(pid, Duration::from_secs(5));
+        assert_eq!(reason, ExitReason::Exited(0));
+        assert_eq!(registry.live(), 0);
+    }
+
+    #[test]
+    fn registry_kills_a_worker_that_outlives_its_grace() {
+        let mut registry = ProcessRegistry::new();
+        let child = Command::new("sleep")
+            .arg("30")
+            .spawn()
+            .expect("spawn sleep");
+        let pid = registry.register(child);
+        let started = Instant::now();
+        let reason = registry.reap(pid, Duration::from_millis(100));
+        assert_eq!(reason, ExitReason::TimedOut);
+        assert!(started.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn sigkilled_workers_reap_as_signaled() {
+        let mut registry = ProcessRegistry::new();
+        let child = Command::new("sleep")
+            .arg("30")
+            .spawn()
+            .expect("spawn sleep");
+        let pid = registry.register(child);
+        registry.kill(pid);
+        let reason = registry.reap(pid, Duration::from_secs(5));
+        assert_eq!(reason, ExitReason::Signaled);
+    }
+
+    #[test]
+    fn dropping_the_registry_cleans_up_orphans() {
+        let pid;
+        {
+            let mut registry = ProcessRegistry::new();
+            let child = Command::new("sleep")
+                .arg("30")
+                .spawn()
+                .expect("spawn sleep");
+            pid = registry.register(child);
+            // Registry dropped here with the worker still running.
+        }
+        // The process must be gone (or a zombie already reaped): kill(0)
+        // probing via /proc avoids needing libc.
+        let alive = std::path::Path::new(&format!("/proc/{pid}/stat")).exists()
+            && std::fs::read_to_string(format!("/proc/{pid}/stat"))
+                .map(|s| !s.contains(") Z "))
+                .unwrap_or(false);
+        assert!(!alive, "worker {pid} must not outlive the registry");
+    }
+}

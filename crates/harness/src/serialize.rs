@@ -397,6 +397,34 @@ pub fn serialize_spec(spec: &TestSpec) -> Result<String> {
     if let Some(plan) = &spec.faults {
         write_faults(&mut out, plan)?;
     }
+    if !spec.transport.is_default() {
+        out.push_str("\n[transport]\n");
+        let mode = match spec.transport.mode {
+            crate::spec::TransportMode::Thread => "thread",
+            crate::spec::TransportMode::Process => "process",
+        };
+        let _ = writeln!(out, "mode = {mode}");
+        if let Some(socket) = &spec.transport.socket {
+            check_text("transport socket", socket)?;
+            if socket.is_empty() {
+                return Err(SerializeError::new("transport socket path is empty"));
+            }
+            let _ = writeln!(out, "socket = {socket}");
+        }
+        if spec.transport.respawn_limit != crate::spec::TransportSpec::default().respawn_limit {
+            let _ = writeln!(out, "respawn_limit = {}", spec.transport.respawn_limit);
+        }
+        if let Some(journal) = &spec.transport.journal {
+            check_text("transport journal", journal)?;
+            if journal.is_empty() {
+                return Err(SerializeError::new("transport journal path is empty"));
+            }
+            let _ = writeln!(out, "journal = {journal}");
+        }
+        if spec.transport.resume {
+            out.push_str("resume = on\n");
+        }
+    }
     if !spec.properties.is_empty() {
         out.push_str("\n[properties]\n");
         for property in &spec.properties {
@@ -553,6 +581,41 @@ mod tests {
                         .with_think_time(Duration::from_micros(250)),
                 ),
         );
+        let text = serialize_spec(&spec).unwrap();
+        assert_eq!(parse_spec(&text).unwrap(), spec);
+    }
+
+    #[test]
+    fn transport_section_round_trips() {
+        use crate::spec::TransportSpec;
+        let base = || {
+            TestSpec::new("xport").node(
+                NodeSpec::new("n")
+                    .producer(ProducerSpec::steady(Destination::queue("q"), 10.0, 64))
+                    .consumer(ConsumerSpec::auto(Destination::queue("q"))),
+            )
+        };
+        // Fully-specified process transport.
+        let spec = base().with_transport(
+            TransportSpec::process()
+                .with_socket("/tmp/jmst-princed.sock")
+                .with_respawn_limit(5)
+                .with_journal("/tmp/campaign.jrnl")
+                .with_resume(true),
+        );
+        let text = serialize_spec(&spec).unwrap();
+        assert!(text.contains("[transport]"), "{text}");
+        assert!(text.contains("mode = process"), "{text}");
+        assert!(text.contains("respawn_limit = 5"), "{text}");
+        assert!(text.contains("resume = on"), "{text}");
+        assert_eq!(parse_spec(&text).unwrap(), spec);
+        assert_eq!(serialize_spec(&parse_spec(&text).unwrap()).unwrap(), text);
+        // Default transport emits no section at all.
+        let text = serialize_spec(&base()).unwrap();
+        assert!(!text.contains("[transport]"), "{text}");
+        // Journal without process mode is still expressible (thread-mode
+        // campaigns may journal too).
+        let spec = base().with_transport(TransportSpec::thread().with_journal("j.jrnl"));
         let text = serialize_spec(&spec).unwrap();
         assert_eq!(parse_spec(&text).unwrap(), spec);
     }

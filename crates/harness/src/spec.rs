@@ -396,6 +396,110 @@ impl FaultPlan {
     }
 }
 
+/// Where a test's drivers execute relative to the scheduling prince.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum TransportMode {
+    /// Drivers run as threads inside the prince's own process (the
+    /// default, and the only mode the in-process `DaemonPrince` uses).
+    #[default]
+    Thread,
+    /// Drivers run in a separate worker process spawned by the prince
+    /// and controlled over a framed Unix-socket protocol; killing the
+    /// worker is a *real* crash fault.
+    Process,
+}
+
+/// How the prince hosts a test's drivers and whether the campaign is
+/// journaled/resumable (scenario `[transport]` section).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransportSpec {
+    /// Thread (in-process) or process (worker subprocess) execution
+    /// (scenario key `mode = thread|process`).
+    #[serde(default)]
+    pub mode: TransportMode,
+    /// Unix socket path the worker connects back on (scenario key
+    /// `socket`). `None` lets the prince pick a private path under the
+    /// temp directory.
+    #[serde(default)]
+    pub socket: Option<String>,
+    /// How many times a dead worker is respawned (with exponential
+    /// backoff) before the test is abandoned as inconclusive (scenario
+    /// key `respawn_limit`). Defaults to 2; the wire protocol always
+    /// carries the field explicitly.
+    #[serde(default)]
+    pub respawn_limit: u32,
+    /// Campaign journal file path (scenario key `journal`). `None`
+    /// disables journaling — and with it, resume.
+    #[serde(default)]
+    pub journal: Option<String>,
+    /// Resume an interrupted campaign from this spec's journal instead
+    /// of starting over (scenario key `resume = on`).
+    #[serde(default)]
+    pub resume: bool,
+}
+
+impl TransportSpec {
+    fn default_respawn_limit() -> u32 {
+        2
+    }
+
+    /// In-process threads, no journal — the implicit transport of every
+    /// scenario that has no `[transport]` section.
+    pub fn thread() -> Self {
+        Self::default()
+    }
+
+    /// Worker-process execution with the default respawn limit.
+    pub fn process() -> Self {
+        Self {
+            mode: TransportMode::Process,
+            ..Self::default()
+        }
+    }
+
+    /// Pins the worker control socket path.
+    pub fn with_socket(mut self, socket: impl Into<String>) -> Self {
+        self.socket = Some(socket.into());
+        self
+    }
+
+    /// Sets the worker respawn limit.
+    pub fn with_respawn_limit(mut self, limit: u32) -> Self {
+        self.respawn_limit = limit;
+        self
+    }
+
+    /// Enables journaling to the given path.
+    pub fn with_journal(mut self, journal: impl Into<String>) -> Self {
+        self.journal = Some(journal.into());
+        self
+    }
+
+    /// Requests campaign resume from the journal.
+    pub fn with_resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// `true` when every field has its default value (no `[transport]`
+    /// section needs to be serialized).
+    pub fn is_default(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
+impl Default for TransportSpec {
+    fn default() -> Self {
+        Self {
+            mode: TransportMode::default(),
+            socket: None,
+            respawn_limit: Self::default_respawn_limit(),
+            journal: None,
+            resume: false,
+        }
+    }
+}
+
 /// A complete test specification.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TestSpec {
@@ -457,6 +561,11 @@ pub struct TestSpec {
     /// lint and compiled onto the streaming checker core for the run.
     #[serde(default)]
     pub properties: Vec<jmst_props::PropertySpec>,
+    /// Where the drivers execute and whether the campaign journals
+    /// (scenario `[transport]` section). Defaults to in-process threads
+    /// with no journal.
+    #[serde(default)]
+    pub transport: TransportSpec,
 }
 
 impl TestSpec {
@@ -480,6 +589,7 @@ impl TestSpec {
             clients: None,
             shards: None,
             properties: Vec::new(),
+            transport: TransportSpec::default(),
         }
     }
 
@@ -548,6 +658,12 @@ impl TestSpec {
     /// Pins the provider's destination shard count.
     pub fn with_shards(mut self, shards: u32) -> Self {
         self.shards = Some(shards);
+        self
+    }
+
+    /// Sets the driver transport (thread vs worker process, journal).
+    pub fn with_transport(mut self, transport: TransportSpec) -> Self {
+        self.transport = transport;
         self
     }
 

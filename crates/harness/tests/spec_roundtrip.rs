@@ -12,7 +12,7 @@ use jmst_api::value::Value;
 use jmst_harness::{parse_spec, serialize_spec};
 use jmst_harness::{
     ConsumerSpec, CrashPlan, FaultPlan, NodeSpec, ProducerSpec, ReconnectSpec, RetryPolicy,
-    Subscription, TestSpec,
+    Subscription, TestSpec, TransportMode, TransportSpec,
 };
 use jmst_sim::ArrivalProcess;
 use proptest::prelude::*;
@@ -288,6 +288,40 @@ fn arb_properties() -> BoxedStrategy<Vec<jmst_props::PropertySpec>> {
         .boxed()
 }
 
+/// Transport configurations across both modes, every optional key, and
+/// the non-default respawn limits — including the default (no section
+/// emitted at all).
+fn arb_transport() -> BoxedStrategy<TransportSpec> {
+    prop_oneof![
+        Just(TransportSpec::default()),
+        (
+            prop::sample::select(vec![TransportMode::Thread, TransportMode::Process]),
+            prop_oneof![
+                Just(None),
+                Just(Some("/tmp/jmst-rt.sock".to_owned())),
+                Just(Some("sockets/worker.sock".to_owned())),
+            ],
+            (0u32..9),
+            prop_oneof![
+                Just(None),
+                Just(Some("campaign.jrnl".to_owned())),
+                Just(Some("/tmp/jmst-rt.jrnl".to_owned())),
+            ],
+            any::<bool>(),
+        )
+            .prop_map(|(mode, socket, respawn_limit, journal, resume)| {
+                TransportSpec {
+                    mode,
+                    socket,
+                    respawn_limit,
+                    journal,
+                    resume,
+                }
+            }),
+    ]
+    .boxed()
+}
+
 fn arb_spec() -> BoxedStrategy<TestSpec> {
     (
         (
@@ -312,13 +346,14 @@ fn arb_spec() -> BoxedStrategy<TestSpec> {
             ],
             prop_oneof![Just(None), arb_fault_plan().prop_map(Some)],
             arb_properties(),
+            arb_transport(),
         ),
     )
         .prop_map(
             |(
                 (name_n, seed, warm_up, run, warm_down, drain_quiet, retry_off, fail_fast),
                 (open_loop, arrival_rate, clients),
-                (shards, crash, faults, properties),
+                (shards, crash, faults, properties, transport),
             )| {
                 TestSpec {
                     name: format!("spec-{name_n}"),
@@ -341,6 +376,7 @@ fn arb_spec() -> BoxedStrategy<TestSpec> {
                     clients: if open_loop { clients } else { None },
                     shards,
                     properties,
+                    transport,
                 }
             },
         )

@@ -1,0 +1,833 @@
+//! Append-only, tamper-evident campaign journal.
+//!
+//! The multi-process prince logs every control decision and every
+//! collected trace event to a journal file so an interrupted campaign
+//! (crash, `kill -9`, power loss) can be resumed from the last completed
+//! test instead of being rerun from scratch. The journal is designed for
+//! the two failure modes that actually happen to append-only logs:
+//!
+//! * **Truncation** — the process died mid-write. The file ends with a
+//!   partial frame; everything before it is intact and trustworthy.
+//! * **Corruption/tampering** — bytes changed after being written. Each
+//!   frame carries a CRC32 of its payload (catches bit rot cheaply) and
+//!   a chained HMAC-SHA256 (catches deliberate modification, record
+//!   reordering, and splicing records between journals keyed
+//!   differently).
+//!
+//! ## Wire format
+//!
+//! ```text
+//! file   := magic record*
+//! magic  := "JMSTJNL1" (8 bytes)
+//! record := len:u32le crc:u32le payload[len] mac[32]
+//! mac_i  := HMAC-SHA256(key, mac_{i-1} || payload_i)   (mac_{-1} = 0^32)
+//! ```
+//!
+//! The payload is the JSON encoding of one [`JournalRecord`]. Because
+//! each MAC covers the previous MAC, verifying record *i* transitively
+//! verifies the whole prefix: a reader that walks the file front to back
+//! and checks each MAC either accepts the entire prefix or pinpoints the
+//! first bad frame. [`Journal::salvage`] does exactly that, returning
+//! the valid prefix plus a typed description of the damage, which the
+//! prince maps onto the existing `Inconclusive` machinery.
+//!
+//! SHA-256, HMAC, and CRC32 are implemented here (the build is offline;
+//! no crypto crates are available). They are checked against published
+//! test vectors in this module's tests.
+
+use crate::event::Event;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Write as _};
+use std::path::Path;
+
+/// File magic: identifies a v1 jmst journal.
+pub const JOURNAL_MAGIC: &[u8; 8] = b"JMSTJNL1";
+
+/// Upper bound on a single record's payload. A frame whose length field
+/// exceeds this is corrupt (a flipped bit in `len` must not make the
+/// reader treat the rest of the file as one giant truncated record).
+pub const MAX_RECORD_LEN: u32 = 16 * 1024 * 1024;
+
+const MAC_LEN: usize = 32;
+const FRAME_HEADER_LEN: usize = 8; // len + crc
+
+// ---------------------------------------------------------------------
+// SHA-256 / HMAC-SHA256 / CRC32 (self-contained; offline build)
+// ---------------------------------------------------------------------
+
+const SHA256_K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// Incremental SHA-256 (FIPS 180-4).
+struct Sha256 {
+    state: [u32; 8],
+    buffer: [u8; 64],
+    buffered: usize,
+    length: u64,
+}
+
+impl Sha256 {
+    fn new() -> Self {
+        Self {
+            state: [
+                0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+                0x5be0cd19,
+            ],
+            buffer: [0u8; 64],
+            buffered: 0,
+            length: 0,
+        }
+    }
+
+    fn update(&mut self, mut data: &[u8]) {
+        self.length = self.length.wrapping_add(data.len() as u64);
+        if self.buffered > 0 {
+            let take = (64 - self.buffered).min(data.len());
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&data[..take]);
+            self.buffered += take;
+            data = &data[take..];
+            if self.buffered == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffered = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let (block, rest) = data.split_at(64);
+            let mut buf = [0u8; 64];
+            buf.copy_from_slice(block);
+            self.compress(&buf);
+            data = rest;
+        }
+        if !data.is_empty() {
+            self.buffer[..data.len()].copy_from_slice(data);
+            self.buffered = data.len();
+        }
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(SHA256_K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        let add = [a, b, c, d, e, f, g, h];
+        for (s, v) in self.state.iter_mut().zip(add) {
+            *s = s.wrapping_add(v);
+        }
+    }
+
+    fn finish(mut self) -> [u8; 32] {
+        let bit_length = self.length.wrapping_mul(8);
+        self.update(&[0x80]);
+        while self.buffered != 56 {
+            self.update(&[0]);
+        }
+        self.update(&bit_length.to_be_bytes());
+        debug_assert_eq!(self.buffered, 0);
+        let mut out = [0u8; 32];
+        for (chunk, word) in out.chunks_exact_mut(4).zip(self.state) {
+            chunk.copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+}
+
+/// SHA-256 digest of `data`.
+pub fn sha256(data: &[u8]) -> [u8; 32] {
+    let mut hasher = Sha256::new();
+    hasher.update(data);
+    hasher.finish()
+}
+
+/// HMAC-SHA256 over the concatenation of `parts` (RFC 2104).
+pub fn hmac_sha256(key: &[u8], parts: &[&[u8]]) -> [u8; 32] {
+    let mut key_block = [0u8; 64];
+    if key.len() > 64 {
+        key_block[..32].copy_from_slice(&sha256(key));
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+    let mut inner = Sha256::new();
+    let ipad: Vec<u8> = key_block.iter().map(|b| b ^ 0x36).collect();
+    inner.update(&ipad);
+    for part in parts {
+        inner.update(part);
+    }
+    let inner_digest = inner.finish();
+    let mut outer = Sha256::new();
+    let opad: Vec<u8> = key_block.iter().map(|b| b ^ 0x5c).collect();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finish()
+}
+
+/// CRC32 (IEEE 802.3, reflected) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ 0xedb8_8320
+                } else {
+                    crc >> 1
+                };
+            }
+            *entry = crc;
+        }
+        table
+    });
+    let mut crc = 0xffff_ffffu32;
+    for &byte in data {
+        crc = (crc >> 8) ^ table[((crc ^ u32::from(byte)) & 0xff) as usize];
+    }
+    crc ^ 0xffff_ffff
+}
+
+// ---------------------------------------------------------------------
+// Key
+// ---------------------------------------------------------------------
+
+/// The HMAC key authenticating a journal.
+///
+/// The same key must be supplied on resume; a journal written under a
+/// different key fails verification at its first record with
+/// [`JournalError::MacMismatch`].
+#[derive(Clone)]
+pub struct JournalKey([u8; 32]);
+
+impl JournalKey {
+    /// A key from exact bytes.
+    pub fn from_bytes(bytes: [u8; 32]) -> Self {
+        Self(bytes)
+    }
+
+    /// Derives a key from a passphrase (SHA-256 of the UTF-8 bytes).
+    pub fn from_passphrase(passphrase: &str) -> Self {
+        Self(sha256(passphrase.as_bytes()))
+    }
+
+    fn bytes(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl Default for JournalKey {
+    /// The key used when no explicit key is configured — campaigns keyed
+    /// this way are tamper-*evident*, not tamper-*proof* (anyone with the
+    /// source can re-sign), which is all the harness needs to distinguish
+    /// its own clean shutdowns from damaged files.
+    fn default() -> Self {
+        Self::from_passphrase("jmst-journal-v1")
+    }
+}
+
+impl fmt::Debug for JournalKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print key material.
+        f.write_str("JournalKey(..)")
+    }
+}
+
+// ---------------------------------------------------------------------
+// Records
+// ---------------------------------------------------------------------
+
+/// Provider-independent summary of a finished test, rich enough to
+/// re-render a campaign report without re-running the test.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VerdictRecord {
+    /// `"passed"`, `"violated"`, `"hung"`, `"inconclusive"`, `"invalid"`.
+    pub status: String,
+    /// Hung stage / inconclusive reason / invalid message; empty otherwise.
+    pub detail: String,
+    /// Number of property violations found.
+    pub violations: u64,
+    /// Messages sent in the analysed trace.
+    pub sends: u64,
+    /// Messages received in the analysed trace.
+    pub receives: u64,
+}
+
+/// One entry in the campaign journal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum JournalRecord {
+    /// Campaign opened: the schedule the prince committed to.
+    CampaignStarted {
+        /// Campaign name (journal files are one campaign each).
+        campaign: String,
+        /// Scheduled test names, in order.
+        tests: Vec<String>,
+        /// SHA-256 (hex) over the serialized specs, so a resume refuses
+        /// to continue a journal under a different schedule.
+        spec_digest: String,
+    },
+    /// A test attempt began.
+    TestStarted {
+        /// Index into the campaign schedule.
+        index: usize,
+        /// Test name.
+        name: String,
+        /// 1-based attempt number (respawns rerun the same index).
+        attempt: u32,
+    },
+    /// One collected trace event (streamed from the driver).
+    Event {
+        /// Index of the test the event belongs to.
+        index: usize,
+        /// The event itself.
+        event: Event,
+    },
+    /// An attempt was abandoned (worker death, timeout); its events are
+    /// superseded by the next attempt's.
+    AttemptAborted {
+        /// Index of the test.
+        index: usize,
+        /// The attempt that died.
+        attempt: u32,
+        /// Why.
+        reason: String,
+    },
+    /// A test completed with a verdict. Only tests with this marker are
+    /// skipped on resume.
+    TestFinished {
+        /// Index into the campaign schedule.
+        index: usize,
+        /// Test name.
+        name: String,
+        /// The verdict.
+        verdict: VerdictRecord,
+    },
+    /// The campaign ran to completion.
+    CampaignFinished {
+        /// Count of passed tests.
+        passed: usize,
+        /// Count of violated tests.
+        violated: usize,
+        /// Count of hung/inconclusive/invalid tests.
+        failed: usize,
+    },
+}
+
+// ---------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------
+
+/// Why a journal could not be read (or read completely).
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum JournalError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file does not start with [`JOURNAL_MAGIC`].
+    BadHeader,
+    /// The file ends mid-frame: a crash interrupted an append. The bytes
+    /// before `offset` form a verified prefix.
+    TruncatedTail {
+        /// Byte offset where the partial frame starts.
+        offset: u64,
+        /// Index the truncated record would have had.
+        index: usize,
+    },
+    /// A frame's payload fails its CRC (bit rot / corruption in place).
+    CorruptRecord {
+        /// Byte offset of the damaged frame.
+        offset: u64,
+        /// Record index of the damaged frame.
+        index: usize,
+    },
+    /// A frame's chained HMAC does not verify: the payload was altered
+    /// after writing, records were reordered, or the key is wrong.
+    MacMismatch {
+        /// Byte offset of the unverifiable frame.
+        offset: u64,
+        /// Record index of the unverifiable frame.
+        index: usize,
+    },
+    /// A frame verified (CRC and MAC) but its payload is not a valid
+    /// [`JournalRecord`] — a version skew, not damage.
+    Malformed {
+        /// Record index of the undecodable payload.
+        index: usize,
+        /// Decoder diagnostic.
+        reason: String,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal i/o error: {e}"),
+            JournalError::BadHeader => write!(f, "not a jmst journal (bad magic)"),
+            JournalError::TruncatedTail { offset, index } => write!(
+                f,
+                "journal truncated mid-record {index} at byte {offset} (interrupted append)"
+            ),
+            JournalError::CorruptRecord { offset, index } => {
+                write!(f, "journal record {index} at byte {offset} fails its CRC")
+            }
+            JournalError::MacMismatch { offset, index } => write!(
+                f,
+                "journal record {index} at byte {offset} fails HMAC verification \
+                 (tampering or wrong key)"
+            ),
+            JournalError::Malformed { index, reason } => {
+                write!(f, "journal record {index} does not decode: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JournalError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+/// Appends records to a journal, maintaining the MAC chain.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: File,
+    key: JournalKey,
+    mac: [u8; 32],
+    records: usize,
+}
+
+impl JournalWriter {
+    /// Creates (truncating) a journal at `path`.
+    pub fn create(path: impl AsRef<Path>, key: &JournalKey) -> Result<Self, JournalError> {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        file.write_all(JOURNAL_MAGIC)?;
+        Ok(Self {
+            file,
+            key: key.clone(),
+            mac: [0u8; 32],
+            records: 0,
+        })
+    }
+
+    /// Appends one record and flushes it to the OS.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] if the write fails; the journal should be
+    /// considered dead at that point.
+    pub fn append(&mut self, record: &JournalRecord) -> Result<(), JournalError> {
+        let payload = serde_json::to_string(record)
+            .map_err(|e| JournalError::Malformed {
+                index: self.records,
+                reason: e.to_string(),
+            })?
+            .into_bytes();
+        let mac = hmac_sha256(self.key.bytes(), &[&self.mac, &payload]);
+        let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + payload.len() + MAC_LEN);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        frame.extend_from_slice(&mac);
+        // One write call per record: a crash can truncate the tail frame
+        // but never interleave two frames.
+        self.file.write_all(&frame)?;
+        self.mac = mac;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Asks the OS to push appended records to stable storage.
+    pub fn sync(&mut self) -> Result<(), JournalError> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Number of records appended through this writer (plus any salvaged
+    /// prefix it resumed after).
+    pub fn records(&self) -> usize {
+        self.records
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reader / salvage / resume
+// ---------------------------------------------------------------------
+
+/// The result of scanning a journal front to back.
+#[derive(Debug)]
+pub struct Salvage {
+    /// The verified prefix, in order.
+    pub records: Vec<JournalRecord>,
+    /// What stopped the scan, if anything: `None` means the file is
+    /// intact end to end.
+    pub damage: Option<JournalError>,
+    /// Byte length of the verified prefix (including the magic). The
+    /// file can be truncated to this length to discard the damage.
+    pub valid_len: u64,
+    /// MAC-chain state after the last verified record — the state a
+    /// writer needs to append after the prefix.
+    mac: [u8; 32],
+}
+
+impl Salvage {
+    /// `true` when the whole file verified.
+    pub fn intact(&self) -> bool {
+        self.damage.is_none()
+    }
+}
+
+/// Entry points for reading and resuming journals.
+#[derive(Debug)]
+pub struct Journal;
+
+impl Journal {
+    /// Reads and fully verifies a journal.
+    ///
+    /// # Errors
+    ///
+    /// Any damage anywhere in the file is an error ([`JournalError`]
+    /// pinpointing the first bad frame); use [`Journal::salvage`] to
+    /// recover the valid prefix instead.
+    pub fn read(
+        path: impl AsRef<Path>,
+        key: &JournalKey,
+    ) -> Result<Vec<JournalRecord>, JournalError> {
+        let salvage = Self::salvage(path, key)?;
+        match salvage.damage {
+            None => Ok(salvage.records),
+            Some(damage) => Err(damage),
+        }
+    }
+
+    /// Scans a journal front to back, verifying CRCs and the MAC chain,
+    /// and returns the longest valid prefix along with the damage (if
+    /// any) that stopped the scan.
+    ///
+    /// # Errors
+    ///
+    /// Only environmental failures ([`JournalError::Io`],
+    /// [`JournalError::BadHeader`]) are errors — damage *within* the
+    /// file is reported in [`Salvage::damage`], not as an `Err`.
+    pub fn salvage(path: impl AsRef<Path>, key: &JournalKey) -> Result<Salvage, JournalError> {
+        let mut data = Vec::new();
+        File::open(path)?.read_to_end(&mut data)?;
+        if data.len() < JOURNAL_MAGIC.len() || &data[..JOURNAL_MAGIC.len()] != JOURNAL_MAGIC {
+            return Err(JournalError::BadHeader);
+        }
+        let mut records = Vec::new();
+        let mut mac = [0u8; 32];
+        let mut pos = JOURNAL_MAGIC.len();
+        let mut index = 0usize;
+        let damage = loop {
+            if pos == data.len() {
+                break None;
+            }
+            let offset = pos as u64;
+            if data.len() - pos < FRAME_HEADER_LEN {
+                break Some(JournalError::TruncatedTail { offset, index });
+            }
+            let len = u32::from_le_bytes([data[pos], data[pos + 1], data[pos + 2], data[pos + 3]]);
+            let crc =
+                u32::from_le_bytes([data[pos + 4], data[pos + 5], data[pos + 6], data[pos + 7]]);
+            if len > MAX_RECORD_LEN {
+                // A length this absurd is a damaged header, not a record
+                // the writer could have produced.
+                break Some(JournalError::CorruptRecord { offset, index });
+            }
+            let body_start = pos + FRAME_HEADER_LEN;
+            let frame_end = body_start + len as usize + MAC_LEN;
+            if frame_end > data.len() {
+                break Some(JournalError::TruncatedTail { offset, index });
+            }
+            let payload = &data[body_start..body_start + len as usize];
+            if crc32(payload) != crc {
+                break Some(JournalError::CorruptRecord { offset, index });
+            }
+            let expected = hmac_sha256(key.bytes(), &[&mac, payload]);
+            let stored = &data[body_start + len as usize..frame_end];
+            if stored != expected {
+                break Some(JournalError::MacMismatch { offset, index });
+            }
+            let record = match std::str::from_utf8(payload)
+                .map_err(|e| e.to_string())
+                .and_then(|text| serde_json::from_str(text).map_err(|e| e.to_string()))
+            {
+                Ok(record) => record,
+                Err(reason) => break Some(JournalError::Malformed { index, reason }),
+            };
+            records.push(record);
+            mac = expected;
+            pos = frame_end;
+            index += 1;
+        };
+        Ok(Salvage {
+            records,
+            damage,
+            valid_len: pos as u64,
+            mac,
+        })
+    }
+
+    /// Opens a journal for appending after verification: the valid
+    /// prefix is kept, any damaged suffix is truncated away, and the
+    /// returned writer continues the MAC chain from the last verified
+    /// record.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] / [`JournalError::BadHeader`] as in
+    /// [`Journal::salvage`].
+    pub fn resume(
+        path: impl AsRef<Path>,
+        key: &JournalKey,
+    ) -> Result<(JournalWriter, Salvage), JournalError> {
+        let path = path.as_ref();
+        let salvage = Self::salvage(path, key)?;
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(salvage.valid_len)?;
+        let mut file = file;
+        file.seek_end()?;
+        let writer = JournalWriter {
+            file,
+            key: key.clone(),
+            mac: salvage.mac,
+            records: salvage.records.len(),
+        };
+        Ok((writer, salvage))
+    }
+}
+
+/// `Seek::seek(SeekFrom::End(0))` without importing the trait at every
+/// call site.
+trait SeekEnd {
+    fn seek_end(&mut self) -> std::io::Result<u64>;
+}
+
+impl SeekEnd for File {
+    fn seek_end(&mut self) -> std::io::Result<u64> {
+        use std::io::{Seek, SeekFrom};
+        self.seek(SeekFrom::End(0))
+    }
+}
+
+/// Computes the campaign schedule digest recorded in
+/// [`JournalRecord::CampaignStarted`]: SHA-256 (hex) over the
+/// length-prefixed serialized specs, so reordering or editing any spec
+/// changes the digest.
+pub fn schedule_digest<S: AsRef<str>>(serialized_specs: &[S]) -> String {
+    let mut hasher = Sha256::new();
+    for spec in serialized_specs {
+        let bytes = spec.as_ref().as_bytes();
+        hasher.update(&(bytes.len() as u64).to_le_bytes());
+        hasher.update(bytes);
+    }
+    hex(&hasher.finish())
+}
+
+fn hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for byte in bytes {
+        out.push(char::from_digit(u32::from(byte >> 4), 16).unwrap());
+        out.push(char::from_digit(u32::from(byte & 0xf), 16).unwrap());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sha256_matches_published_vectors() {
+        // FIPS 180-4 / NIST examples.
+        assert_eq!(
+            hex(&sha256(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            hex(&sha256(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            hex(&sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+        // A multi-block message exercising the buffered path.
+        let long = vec![b'a'; 1_000_000];
+        assert_eq!(
+            hex(&sha256(&long)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn hmac_sha256_matches_rfc_4231() {
+        // RFC 4231 test case 1.
+        let key = [0x0bu8; 20];
+        let mac = hmac_sha256(&key, &[b"Hi There"]);
+        assert_eq!(
+            hex(&mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+        // Test case 2 ("Jefe"), split across parts to check the
+        // multi-part path concatenates correctly.
+        let mac = hmac_sha256(b"Jefe", &[b"what do ya want ", b"for nothing?"]);
+        assert_eq!(
+            hex(&mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+        // Test case 3: 131-byte key (hashed-key path).
+        let key = [0xaau8; 131];
+        let mac = hmac_sha256(
+            &key,
+            &[b"Test Using Larger Than Block-Size Key - Hash Key First".as_ref()],
+        );
+        assert_eq!(
+            hex(&mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn crc32_matches_the_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    fn record(i: usize) -> JournalRecord {
+        JournalRecord::TestStarted {
+            index: i,
+            name: format!("test-{i}"),
+            attempt: 1,
+        }
+    }
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("jmst-journal-{tag}-{}.jrnl", std::process::id()))
+    }
+
+    #[test]
+    fn round_trips_records_through_the_file() {
+        let path = temp_path("roundtrip");
+        let key = JournalKey::default();
+        let mut writer = JournalWriter::create(&path, &key).unwrap();
+        let written: Vec<JournalRecord> = (0..5).map(record).collect();
+        for r in &written {
+            writer.append(r).unwrap();
+        }
+        drop(writer);
+        let read = Journal::read(&path, &key).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(read, written);
+    }
+
+    #[test]
+    fn resume_continues_the_chain_seamlessly() {
+        let path = temp_path("resume");
+        let key = JournalKey::default();
+        let mut writer = JournalWriter::create(&path, &key).unwrap();
+        writer.append(&record(0)).unwrap();
+        writer.append(&record(1)).unwrap();
+        drop(writer);
+        let (mut writer, salvage) = Journal::resume(&path, &key).unwrap();
+        assert!(salvage.intact());
+        assert_eq!(salvage.records.len(), 2);
+        assert_eq!(writer.records(), 2);
+        writer.append(&record(2)).unwrap();
+        drop(writer);
+        let read = Journal::read(&path, &key).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(read, vec![record(0), record(1), record(2)]);
+    }
+
+    #[test]
+    fn wrong_key_is_a_mac_mismatch_at_the_first_record() {
+        let path = temp_path("wrongkey");
+        let mut writer = JournalWriter::create(&path, &JournalKey::default()).unwrap();
+        writer.append(&record(0)).unwrap();
+        drop(writer);
+        let err = Journal::read(&path, &JournalKey::from_passphrase("other")).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(
+            matches!(err, JournalError::MacMismatch { index: 0, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn not_a_journal_is_a_bad_header() {
+        let path = temp_path("badmagic");
+        std::fs::write(&path, b"definitely not a journal").unwrap();
+        let err = Journal::read(&path, &JournalKey::default()).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, JournalError::BadHeader), "{err}");
+    }
+
+    #[test]
+    fn schedule_digest_is_order_sensitive() {
+        let a = schedule_digest(&["alpha", "beta"]);
+        let b = schedule_digest(&["beta", "alpha"]);
+        let c = schedule_digest(&["alphabeta"]);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, schedule_digest(&["alpha", "beta"]));
+    }
+}

@@ -12,6 +12,9 @@
 //!   feeds attached sinks as events happen, so the in-memory batch trace,
 //!   a streaming analyzer behind a bounded channel, and the disk/CSV
 //!   spill formats are all consumers of one emission path;
+//! * [`journal`] — the append-only, HMAC-chained campaign journal the
+//!   multi-process prince writes so interrupted campaigns survive and
+//!   resume;
 //! * [`table`] — [`TraceStore`], typed and indexed relational views;
 //! * [`query`] — grouping/aggregation combinators (the `GROUP BY` layer);
 //! * [`stats`] — summary statistics and delay histograms;
@@ -27,6 +30,7 @@
 pub mod csv;
 pub mod disk;
 pub mod event;
+pub mod journal;
 pub mod query;
 pub mod sink;
 pub mod stats;
@@ -35,6 +39,9 @@ pub mod trace;
 
 pub use disk::DiskError;
 pub use event::{Event, EventKind, MessageRecord, Phase};
+pub use journal::{
+    Journal, JournalError, JournalKey, JournalRecord, JournalWriter, Salvage, VerdictRecord,
+};
 pub use sink::{
     channel, ChannelSink, CsvSink, EventSink, EventStream, JsonlSink, ReorderBuffer, TeeSink,
     VecSink,

@@ -1,0 +1,262 @@
+//! Robustness of the campaign journal against the damage a real crash
+//! (or a hostile editor) inflicts on an append-only file: truncated
+//! tails, flipped bits, and wrong keys must each surface as their own
+//! typed error, and salvage must recover exactly the records whose
+//! frames verify — never more, never fewer.
+
+use jmst_store::journal::{
+    schedule_digest, Journal, JournalError, JournalKey, JournalRecord, JournalWriter,
+    VerdictRecord, JOURNAL_MAGIC,
+};
+use proptest::prelude::*;
+
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "jmst-journal-robust-{tag}-{}-{:?}.jrnl",
+        std::process::id(),
+        std::thread::current().id()
+    ))
+}
+
+/// A mixed batch of records resembling a real campaign journal.
+fn campaign_records(tests: usize) -> Vec<JournalRecord> {
+    let mut records = vec![JournalRecord::CampaignStarted {
+        campaign: "robustness".to_owned(),
+        tests: (0..tests).map(|i| format!("t{i}")).collect(),
+        spec_digest: schedule_digest(&(0..tests).map(|i| format!("spec {i}")).collect::<Vec<_>>()),
+    }];
+    for index in 0..tests {
+        records.push(JournalRecord::TestStarted {
+            index,
+            name: format!("t{index}"),
+            attempt: 1,
+        });
+        records.push(JournalRecord::TestFinished {
+            index,
+            name: format!("t{index}"),
+            verdict: VerdictRecord {
+                status: "passed".to_owned(),
+                detail: String::new(),
+                violations: 0,
+                sends: 10 + index as u64,
+                receives: 10 + index as u64,
+            },
+        });
+    }
+    records
+}
+
+fn write_journal(path: &std::path::Path, key: &JournalKey, records: &[JournalRecord]) {
+    let mut writer = JournalWriter::create(path, key).unwrap();
+    for record in records {
+        writer.append(record).unwrap();
+    }
+}
+
+#[test]
+fn truncated_tail_is_typed_and_salvage_keeps_the_prefix() {
+    let key = JournalKey::default();
+    let path = temp_path("trunc");
+    let records = campaign_records(3);
+    write_journal(&path, &key, &records);
+    let full = std::fs::read(&path).unwrap();
+    // Chop 5 bytes off the last frame: an append interrupted mid-write.
+    std::fs::write(&path, &full[..full.len() - 5]).unwrap();
+    let err = Journal::read(&path, &key).unwrap_err();
+    assert!(
+        matches!(err, JournalError::TruncatedTail { index, .. } if index == records.len() - 1),
+        "{err}"
+    );
+    let salvage = Journal::salvage(&path, &key).unwrap();
+    assert_eq!(salvage.records, records[..records.len() - 1]);
+    assert!(!salvage.intact());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn bit_flip_in_a_payload_is_a_crc_error() {
+    let key = JournalKey::default();
+    let path = temp_path("flip");
+    let records = campaign_records(2);
+    write_journal(&path, &key, &records);
+    let mut data = std::fs::read(&path).unwrap();
+    // Flip one bit somewhere inside the first record's JSON payload
+    // (magic is 8 bytes, frame header 8 more; +4 lands in the payload).
+    let target = JOURNAL_MAGIC.len() + 8 + 4;
+    data[target] ^= 0x01;
+    std::fs::write(&path, &data).unwrap();
+    let err = Journal::read(&path, &key).unwrap_err();
+    assert!(
+        matches!(err, JournalError::CorruptRecord { index: 0, .. }),
+        "{err}"
+    );
+    // Nothing before the damage, so salvage recovers nothing.
+    let salvage = Journal::salvage(&path, &key).unwrap();
+    assert!(salvage.records.is_empty());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn consistent_forgery_is_caught_by_the_mac() {
+    let key = JournalKey::default();
+    let path = temp_path("forge");
+    let records = campaign_records(2);
+    write_journal(&path, &key, &records);
+    let mut data = std::fs::read(&path).unwrap();
+    // A smarter attacker edits the payload AND recomputes the CRC, so
+    // only the HMAC can catch it. Locate the first frame.
+    let base = JOURNAL_MAGIC.len();
+    let len = u32::from_le_bytes(data[base..base + 4].try_into().unwrap()) as usize;
+    let payload_start = base + 8;
+    // Swap two bytes inside the JSON (keeps length identical).
+    data.swap(payload_start + 3, payload_start + 4);
+    let forged_crc = jmst_store::journal::crc32(&data[payload_start..payload_start + len]);
+    data[base + 4..base + 8].copy_from_slice(&forged_crc.to_le_bytes());
+    std::fs::write(&path, &data).unwrap();
+    let err = Journal::read(&path, &key).unwrap_err();
+    assert!(
+        matches!(err, JournalError::MacMismatch { index: 0, .. }),
+        "{err}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn wrong_key_rejects_the_whole_journal() {
+    let path = temp_path("key");
+    write_journal(
+        &path,
+        &JournalKey::from_passphrase("alpha"),
+        &campaign_records(2),
+    );
+    let err = Journal::read(&path, &JournalKey::from_passphrase("beta")).unwrap_err();
+    assert!(
+        matches!(err, JournalError::MacMismatch { index: 0, .. }),
+        "{err}"
+    );
+    let salvage = Journal::salvage(&path, &JournalKey::from_passphrase("beta")).unwrap();
+    assert!(
+        salvage.records.is_empty(),
+        "no record verifies under the wrong key"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn record_reordering_breaks_the_chain() {
+    let key = JournalKey::default();
+    let path = temp_path("reorder");
+    // Two identical-length records so a swap keeps the frame structure
+    // byte-valid; only the chain position differs.
+    let records = vec![
+        JournalRecord::TestStarted {
+            index: 0,
+            name: "same-len-a".to_owned(),
+            attempt: 1,
+        },
+        JournalRecord::TestStarted {
+            index: 1,
+            name: "same-len-b".to_owned(),
+            attempt: 1,
+        },
+    ];
+    write_journal(&path, &key, &records);
+    let data = std::fs::read(&path).unwrap();
+    let base = JOURNAL_MAGIC.len();
+    let frame_len = (data.len() - base) / 2;
+    let mut swapped = data[..base].to_vec();
+    swapped.extend_from_slice(&data[base + frame_len..]);
+    swapped.extend_from_slice(&data[base..base + frame_len]);
+    std::fs::write(&path, &swapped).unwrap();
+    let err = Journal::read(&path, &key).unwrap_err();
+    assert!(
+        matches!(err, JournalError::MacMismatch { index: 0, .. }),
+        "swapping records must break the chained MAC: {err}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Cutting the file at ANY byte position salvages exactly the
+    // records whose complete frames fit before the cut.
+    #[test]
+    fn salvage_recovers_exactly_the_valid_prefix_at_any_cut(
+        tests in 1usize..5,
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let key = JournalKey::default();
+        let path = temp_path(&format!("cut-{tests}"));
+        let records = campaign_records(tests);
+        write_journal(&path, &key, &records);
+        let full = std::fs::read(&path).unwrap();
+
+        // Record each frame's end offset so we can predict the prefix.
+        let mut frame_ends = Vec::new();
+        let mut pos = JOURNAL_MAGIC.len();
+        while pos < full.len() {
+            let len = u32::from_le_bytes(full[pos..pos + 4].try_into().unwrap()) as usize;
+            pos += 8 + len + 32;
+            frame_ends.push(pos);
+        }
+        prop_assert_eq!(frame_ends.len(), records.len());
+
+        let cut = JOURNAL_MAGIC.len()
+            + ((full.len() - JOURNAL_MAGIC.len()) as f64 * cut_fraction) as usize;
+        std::fs::write(&path, &full[..cut]).unwrap();
+        let salvage = Journal::salvage(&path, &key).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        let expected = frame_ends.iter().filter(|&&end| end <= cut).count();
+        prop_assert_eq!(
+            &salvage.records[..],
+            &records[..expected],
+            "cut at byte {} of {} should salvage {} records",
+            cut,
+            full.len(),
+            expected
+        );
+        prop_assert_eq!(salvage.intact(), expected == records.len());
+        // And the salvage point is exactly the last surviving frame end.
+        let valid_len = frame_ends
+            .iter()
+            .copied()
+            .rfind(|&end| end <= cut)
+            .unwrap_or(JOURNAL_MAGIC.len());
+        prop_assert_eq!(salvage.valid_len, valid_len as u64);
+    }
+
+    // Resuming at any cut point truncates the damage and yields a
+    // journal that — after appending the remaining records — reads
+    // back identical to one written without interruption.
+    #[test]
+    fn resume_after_any_cut_rebuilds_an_identical_journal(
+        tests in 1usize..4,
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let key = JournalKey::default();
+        let records = campaign_records(tests);
+
+        let uncut = temp_path(&format!("uncut-{tests}"));
+        write_journal(&uncut, &key, &records);
+        let reference = std::fs::read(&uncut).unwrap();
+        std::fs::remove_file(&uncut).ok();
+
+        let path = temp_path(&format!("resume-{tests}"));
+        write_journal(&path, &key, &records);
+        let full = std::fs::read(&path).unwrap();
+        let cut = JOURNAL_MAGIC.len()
+            + ((full.len() - JOURNAL_MAGIC.len()) as f64 * cut_fraction) as usize;
+        std::fs::write(&path, &full[..cut]).unwrap();
+
+        let (mut writer, salvage) = Journal::resume(&path, &key).unwrap();
+        for record in &records[salvage.records.len()..] {
+            writer.append(record).unwrap();
+        }
+        drop(writer);
+        let rebuilt = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(rebuilt, reference, "resumed journal must be byte-identical");
+    }
+}

@@ -100,6 +100,9 @@ fn cmd_smoke() -> i32 {
 }
 
 fn cmd_fuzz(args: &[String]) -> i32 {
+    // Ctrl-C / SIGTERM stop the campaign between runs; the partial
+    // outcome (coverage, kept corpus, divergences) is still reported.
+    jmst::harness::signals::install_termination_handler();
     let parse = |name: &str| flag_value(args, name).and_then(|value| value.parse::<u64>().ok());
     let config = FuzzConfig {
         seed: parse("--seed").unwrap_or(7),
@@ -112,6 +115,10 @@ fn cmd_fuzz(args: &[String]) -> i32 {
         .unwrap_or(90.0);
 
     let outcome = fuzz(&config);
+    let interrupted = jmst::harness::signals::termination_requested();
+    if interrupted {
+        println!("fuzz: interrupted — reporting the campaign so far");
+    }
     let ratio = outcome.coverage_ratio();
     println!(
         "fuzz: {} runs, {} inputs kept, {} coverage tuples ({:.0}% of the {} reachable)",
@@ -139,7 +146,8 @@ fn cmd_fuzz(args: &[String]) -> i32 {
         }
     }
     let mut code = 0;
-    if ratio * 100.0 < min_coverage {
+    if ratio * 100.0 < min_coverage && !interrupted {
+        // A cut-short campaign cannot be judged against the bar.
         println!(
             "coverage {:.0}% is below the --min-coverage {min_coverage}% bar",
             ratio * 100.0
@@ -148,6 +156,9 @@ fn cmd_fuzz(args: &[String]) -> i32 {
     }
     if !outcome.divergent.is_empty() {
         code = 1;
+    }
+    if interrupted && code == 0 {
+        code = 130;
     }
     code
 }

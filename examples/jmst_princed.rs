@@ -1,0 +1,14 @@
+//! `jmst_princed` (example wrapper): the multi-process daemon prince.
+//!
+//! Identical to the `jmst-princed` binary — kept as an example so
+//! `cargo run --example jmst_princed` works like the other harness
+//! CLIs:
+//!
+//! ```sh
+//! cargo run --example jmst_princed -- --mode process scenarios/selector_routing.cfg
+//! cargo run --example jmst_princed -- --resume --journal campaign.jnl scenarios/*.cfg
+//! ```
+
+fn main() {
+    std::process::exit(jmst::harness::princed::cli_main());
+}

@@ -1,0 +1,15 @@
+//! `jmst-princed`: the multi-process daemon prince.
+//!
+//! Campaign mode runs scenario files through the process-mode prince
+//! with an HMAC-chained campaign journal; `--worker` mode is the driver
+//! worker the prince spawns (the binary is its own worker). See
+//! `jmst::harness::princed` for the full protocol and resume story.
+//!
+//! ```sh
+//! jmst-princed --mode process --journal campaign.jnl scenarios/*.cfg
+//! jmst-princed --resume --journal campaign.jnl scenarios/*.cfg
+//! ```
+
+fn main() {
+    std::process::exit(jmst::harness::princed::cli_main());
+}

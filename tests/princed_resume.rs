@@ -1,0 +1,200 @@
+//! Crash-safety test for the real `jmst-princed` binary: a campaign
+//! whose prince is SIGKILLed mid-flight and then resumed with
+//! `--resume` must produce a stable report byte-identical to an
+//! uninterrupted run. The HMAC chain is verified on every resume: a
+//! wrong key is refused outright, and a journal truncated at arbitrary
+//! byte offsets salvages its valid prefix and converges to the same
+//! report.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+const KEY: &str = "resume-test-key";
+
+fn prince_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_jmst-princed")
+}
+
+/// Three quick deterministic process-mode scenarios: message-limited
+/// producer, matching consumer, clean broker — the verdict and the
+/// stable report are a function of the spec alone.
+fn write_scenarios(dir: &Path) -> Vec<PathBuf> {
+    let mut paths = Vec::new();
+    for (tag, seed, limit) in [("a", 31u64, 40u32), ("b", 32, 25), ("c", 33, 30)] {
+        let cfg = format!(
+            "[test]\n\
+             name = resume-{tag}\n\
+             seed = {seed}\n\
+             warm_up = 20ms\n\
+             run = 200ms\n\
+             warm_down = 3s\n\
+             \n\
+             [transport]\n\
+             mode = process\n\
+             respawn_limit = 2\n\
+             \n\
+             [node n0]\n\
+             \n\
+             [producer]\n\
+             destination = queue:r{tag}\n\
+             rate = steady 300\n\
+             body = text 64\n\
+             limit = {limit}\n\
+             \n\
+             [consumer]\n\
+             destination = queue:r{tag}\n"
+        );
+        let path = dir.join(format!("resume-{tag}.cfg"));
+        fs::write(&path, cfg).unwrap();
+        paths.push(path);
+    }
+    paths
+}
+
+fn prince_cmd(scenarios: &[PathBuf], journal: &Path, report: &Path, resume: bool) -> Command {
+    let mut cmd = Command::new(prince_bin());
+    cmd.arg("--journal")
+        .arg(journal)
+        .arg("--key")
+        .arg(KEY)
+        .arg("--report")
+        .arg(report);
+    if resume {
+        cmd.arg("--resume");
+    }
+    cmd.args(scenarios);
+    cmd.stdout(Stdio::null()).stderr(Stdio::null());
+    cmd
+}
+
+fn run_to_completion(scenarios: &[PathBuf], journal: &Path, report: &Path, resume: bool) {
+    let status = prince_cmd(scenarios, journal, report, resume)
+        .status()
+        .expect("prince runs");
+    assert!(
+        status.success(),
+        "prince exited with {status} (journal {})",
+        journal.display()
+    );
+}
+
+#[test]
+fn sigkilled_prince_resumes_to_the_uninterrupted_report() {
+    let dir = std::env::temp_dir().join(format!("jmst-resume-{}", std::process::id()));
+    fs::create_dir_all(&dir).unwrap();
+    let scenarios = write_scenarios(&dir);
+
+    // Reference: the campaign run start to finish, no interruptions.
+    let ref_journal = dir.join("ref.jnl");
+    let ref_report = dir.join("ref.txt");
+    run_to_completion(&scenarios, &ref_journal, &ref_report, false);
+    let reference = fs::read_to_string(&ref_report).unwrap();
+    assert!(
+        reference.contains("PASS"),
+        "reference campaign must pass: {reference}"
+    );
+
+    // Crash run: SIGKILL the prince once the journal shows progress.
+    let kill_journal = dir.join("kill.jnl");
+    let kill_report = dir.join("kill.txt");
+    let mut child = prince_cmd(&scenarios, &kill_journal, &kill_report, false)
+        .spawn()
+        .expect("prince spawns");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if kill_journal.metadata().map(|m| m.len()).unwrap_or(0) > 64 {
+            break;
+        }
+        if child.try_wait().expect("try_wait").is_some() || Instant::now() > deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    std::thread::sleep(Duration::from_millis(400));
+    // Child::kill is SIGKILL on Unix — no chance to flush or clean up.
+    child.kill().ok();
+    child.wait().expect("reap killed prince");
+
+    // Resume must pick up from the journal and converge to the exact
+    // reference report (completed tests replayed, the rest rerun).
+    run_to_completion(&scenarios, &kill_journal, &kill_report, true);
+    let resumed = fs::read_to_string(&kill_report).unwrap();
+    assert_eq!(
+        resumed, reference,
+        "resumed campaign report diverges from the uninterrupted run"
+    );
+
+    // Resuming an already-finished journal replays the verdicts without
+    // rerunning anything and still reproduces the report exactly.
+    let replay_report = dir.join("replay.txt");
+    run_to_completion(&scenarios, &ref_journal, &replay_report, true);
+    assert_eq!(fs::read_to_string(&replay_report).unwrap(), reference);
+
+    // A wrong key must be refused before anything is truncated.
+    let status = Command::new(prince_bin())
+        .arg("--resume")
+        .arg("--journal")
+        .arg(&ref_journal)
+        .arg("--key")
+        .arg("not-the-key")
+        .args(&scenarios)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .expect("prince runs");
+    assert_eq!(status.code(), Some(3), "wrong key must be a campaign error");
+    run_to_completion(&scenarios, &ref_journal, &replay_report, true);
+    assert_eq!(
+        fs::read_to_string(&replay_report).unwrap(),
+        reference,
+        "the refused wrong-key attempt must leave the journal intact"
+    );
+
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn truncated_journal_salvages_and_converges_to_the_same_report() {
+    let dir = std::env::temp_dir().join(format!("jmst-resume-trunc-{}", std::process::id()));
+    fs::create_dir_all(&dir).unwrap();
+    let scenarios = write_scenarios(&dir);
+
+    let ref_journal = dir.join("ref.jnl");
+    let ref_report = dir.join("ref.txt");
+    run_to_completion(&scenarios, &ref_journal, &ref_report, false);
+    let reference = fs::read_to_string(&ref_report).unwrap();
+    let bytes = fs::read(&ref_journal).unwrap();
+    assert!(
+        bytes.len() > 64,
+        "journal too small to truncate meaningfully"
+    );
+
+    // Chop the journal at arbitrary offsets — mid-record, mid-MAC,
+    // just past the magic header — and resume each copy. The valid
+    // prefix is salvaged, the damaged suffix discarded, and rerunning
+    // the remainder converges to the reference report every time.
+    for (i, cut) in [
+        bytes.len() - 1,
+        bytes.len() * 3 / 4,
+        bytes.len() / 2,
+        bytes.len() / 4,
+        9,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let journal = dir.join(format!("trunc-{i}.jnl"));
+        fs::write(&journal, &bytes[..cut]).unwrap();
+        let report = dir.join(format!("trunc-{i}.txt"));
+        run_to_completion(&scenarios, &journal, &report, true);
+        assert_eq!(
+            fs::read_to_string(&report).unwrap(),
+            reference,
+            "truncation at byte {cut} did not converge to the reference report"
+        );
+    }
+
+    fs::remove_dir_all(&dir).ok();
+}
