@@ -48,6 +48,15 @@ pub struct BrokerConfig {
     /// dead-letter queue (`DLQ.<destination name>`) instead of requeueing
     /// it. `None` (the default) allows unbounded redelivery.
     pub max_redeliveries: Option<u32>,
+    /// Backpressure bound on each queue end-point's pending buffer.
+    /// When set, routing a message to a queue already holding this many
+    /// pending messages fails with
+    /// [`ResourceExhausted`](jmst_api::error::Error::ResourceExhausted)
+    /// instead of buffering without bound; the producer is expected to
+    /// back off and retry. `None` (the default) is unbounded. Reinserted
+    /// messages (selector rejections, rollbacks, recovery) and
+    /// dead-letter parking bypass the bound.
+    pub queue_bound: Option<usize>,
     /// Number of destination shards the core partitions queues and topics
     /// across (hash of the destination name). Publishes to destinations
     /// on different shards never contend on a common lock. `1` reproduces
@@ -118,6 +127,14 @@ impl BrokerConfig {
         self.max_redeliveries = Some(bound);
         self
     }
+
+    /// Returns a copy that bounds every queue end-point's pending buffer
+    /// to `bound` messages (clamped to at least 1), surfacing
+    /// backpressure to producers instead of buffering without bound.
+    pub fn with_queue_bound(mut self, bound: usize) -> Self {
+        self.queue_bound = Some(bound.max(1));
+        self
+    }
 }
 
 /// The default shard count: `JMST_TEST_SHARDS` when set to a positive
@@ -147,6 +164,7 @@ impl Default for BrokerConfig {
             dups_ok_batch: 16,
             faults: FaultSpec::none(),
             max_redeliveries: None,
+            queue_bound: None,
             shards: default_shards(),
         }
     }
@@ -162,6 +180,7 @@ impl fmt::Debug for BrokerConfig {
             .field("persistent_survive_crash", &self.persistent_survive_crash)
             .field("dups_ok_batch", &self.dups_ok_batch)
             .field("max_redeliveries", &self.max_redeliveries)
+            .field("queue_bound", &self.queue_bound)
             .field("shards", &self.shards)
             .finish_non_exhaustive()
     }

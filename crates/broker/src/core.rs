@@ -345,11 +345,14 @@ impl Core {
         }
         let mut queues = shard.queues.write();
         Arc::clone(queues.entry(queue.clone()).or_insert_with(|| {
-            Arc::new(Endpoint::new(
-                EndpointId::for_queue(queue.clone()),
-                self.config.enforce_expiry,
-                self.config.enforce_priority,
-            ))
+            Arc::new(
+                Endpoint::new(
+                    EndpointId::for_queue(queue.clone()),
+                    self.config.enforce_expiry,
+                    self.config.enforce_priority,
+                )
+                .with_bound(self.config.queue_bound),
+            )
         }))
     }
 
@@ -559,8 +562,7 @@ impl Core {
     /// faulty one takes it exactly once per publish.
     pub fn route(&self, message: &Arc<Message>) -> Result<(), Error> {
         if self.clean_faults {
-            self.route_copies(message, FaultDecision::CLEAN, None);
-            return Ok(());
+            return self.route_copies(message, FaultDecision::CLEAN, None);
         }
         let (decision, forged, reorder_delay) = {
             let mut faults = self.faults.lock();
@@ -576,13 +578,12 @@ impl Core {
             (decision, forged, reorder_delay)
         };
         if let Some(forged) = forged {
-            self.route_copies(&forged, FaultDecision::CLEAN, None);
+            self.route_copies(&forged, FaultDecision::CLEAN, None)?;
         }
         if decision.drop {
             return Ok(());
         }
-        self.route_copies(message, decision, reorder_delay);
-        Ok(())
+        self.route_copies(message, decision, reorder_delay)
     }
 
     /// Routes a batch of stamped messages, amortising shard lookup,
@@ -602,7 +603,7 @@ impl Core {
         if self.clean_faults {
             let visible_at = self.now().saturating_add(self.config.delivery_delay);
             for run in DestinationRuns::new(messages) {
-                self.route_clean_run(run, visible_at);
+                self.route_clean_run(run, visible_at)?;
             }
             return Ok(());
         }
@@ -632,12 +633,12 @@ impl Core {
         };
         for (message, (decision, forged, reorder_delay)) in messages.iter().zip(decisions) {
             if let Some(forged) = forged {
-                self.route_copies(&forged, FaultDecision::CLEAN, None);
+                self.route_copies(&forged, FaultDecision::CLEAN, None)?;
             }
             if decision.drop {
                 continue;
             }
-            self.route_copies(message, decision, reorder_delay);
+            self.route_copies(message, decision, reorder_delay)?;
         }
         Ok(())
     }
@@ -645,11 +646,17 @@ impl Core {
     /// Routes one same-destination run of a clean batch: a single
     /// end-point (or snapshot) lookup and a single insert-batch — one
     /// buffer lock, one wakeup — per end-point.
-    fn route_clean_run(&self, run: &[Arc<Message>], visible_at: Timestamp) {
+    fn route_clean_run(&self, run: &[Arc<Message>], visible_at: Timestamp) -> Result<(), Error> {
         match run[0].destination() {
             Destination::Queue(queue) => {
                 let endpoint = self.queue_endpoint(queue);
-                endpoint.insert_batch(run.iter(), visible_at);
+                let (inserted, hit_bound) = endpoint.try_insert_batch(run.iter(), visible_at);
+                if hit_bound {
+                    // Count what actually got buffered, then surface the
+                    // backpressure to the producer.
+                    self.counters.routed.fetch_add(inserted, Ordering::Relaxed);
+                    return Err(Self::backpressure_error(queue));
+                }
                 self.counters
                     .routed
                     .fetch_add(run.len() as u64, Ordering::Relaxed);
@@ -747,6 +754,15 @@ impl Core {
                     .fetch_add(run.len() as u64 - routed, Ordering::Relaxed);
             }
         }
+        Ok(())
+    }
+
+    /// The error surfaced to producers when a queue's backpressure bound
+    /// rejects a publish.
+    fn backpressure_error(queue: &QueueName) -> Error {
+        Error::ResourceExhausted(format!(
+            "queue '{queue}' is full (backpressure bound reached); back off and retry"
+        ))
     }
 
     fn route_copies(
@@ -754,7 +770,7 @@ impl Core {
         message: &Arc<Message>,
         decision: FaultDecision,
         reorder_delay: Option<std::time::Duration>,
-    ) {
+    ) -> Result<(), Error> {
         let mut visible_at = self.now().saturating_add(self.config.delivery_delay);
         if let Some(delay) = reorder_delay {
             visible_at = visible_at.saturating_add(delay);
@@ -764,9 +780,17 @@ impl Core {
             Destination::Queue(queue) => {
                 let endpoint = self.queue_endpoint(queue);
                 let mut inserted = 0u64;
-                for _ in 0..copies {
-                    if endpoint.insert(Arc::clone(message), visible_at) {
-                        inserted += 1;
+                for copy in 0..copies {
+                    match endpoint.try_insert(Arc::clone(message), visible_at) {
+                        crate::endpoint::InsertOutcome::Inserted => inserted += 1,
+                        // Backpressure rejects the publish itself; a
+                        // fault-injected duplicate copy that no longer
+                        // fits is just not duplicated.
+                        crate::endpoint::InsertOutcome::Full if copy == 0 => {
+                            return Err(Self::backpressure_error(queue));
+                        }
+                        crate::endpoint::InsertOutcome::Full
+                        | crate::endpoint::InsertOutcome::Destroyed => {}
                     }
                 }
                 self.counters.routed.fetch_add(1, Ordering::Relaxed);
@@ -833,6 +857,7 @@ impl Core {
                     .fetch_add(duplicated, Ordering::Relaxed);
             }
         }
+        Ok(())
     }
 
     /// Returns the fault-injection counters.

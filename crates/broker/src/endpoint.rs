@@ -82,6 +82,11 @@ pub struct EndpointStats {
 struct WakerSet {
     count: AtomicUsize,
     wakers: Mutex<Vec<Arc<dyn Fn() + Send + Sync>>>,
+    /// One-shot wakers registered by [`Endpoint::poll_receive`]: drained
+    /// (not re-fired) on the next event, so a poll-loop consumer that
+    /// re-registers on every empty poll never accumulates entries.
+    oneshot_count: AtomicUsize,
+    oneshot: Mutex<Vec<Arc<dyn Fn() + Send + Sync>>>,
 }
 
 impl WakerSet {
@@ -91,16 +96,32 @@ impl WakerSet {
         self.count.store(wakers.len(), Ordering::Release);
     }
 
-    /// Invokes every registered waker. Must be called with the
-    /// end-point's buffer lock *released*: wakers are arbitrary callbacks
-    /// and may re-enter the end-point.
+    fn add_oneshot(&self, waker: Arc<dyn Fn() + Send + Sync>) {
+        let mut oneshot = self.oneshot.lock();
+        oneshot.push(waker);
+        self.oneshot_count.store(oneshot.len(), Ordering::Release);
+    }
+
+    /// Invokes every registered waker — persistent ones by clone,
+    /// one-shot ones by drain. Must be called with the end-point's
+    /// buffer lock *released*: wakers are arbitrary callbacks and may
+    /// re-enter the end-point.
     fn fire(&self) {
-        if self.count.load(Ordering::Acquire) == 0 {
-            return;
+        if self.count.load(Ordering::Acquire) > 0 {
+            let wakers: Vec<_> = self.wakers.lock().clone();
+            for waker in wakers {
+                waker();
+            }
         }
-        let wakers: Vec<_> = self.wakers.lock().clone();
-        for waker in wakers {
-            waker();
+        if self.oneshot_count.load(Ordering::Acquire) > 0 {
+            let drained: Vec<_> = {
+                let mut oneshot = self.oneshot.lock();
+                self.oneshot_count.store(0, Ordering::Release);
+                std::mem::take(&mut *oneshot)
+            };
+            for waker in drained {
+                waker();
+            }
         }
     }
 
@@ -108,6 +129,10 @@ impl WakerSet {
         let mut wakers = self.wakers.lock();
         wakers.clear();
         self.count.store(0, Ordering::Release);
+        drop(wakers);
+        let mut oneshot = self.oneshot.lock();
+        oneshot.clear();
+        self.oneshot_count.store(0, Ordering::Release);
     }
 }
 
@@ -130,9 +155,44 @@ pub struct Endpoint {
     id: EndpointId,
     enforce_expiry: bool,
     enforce_priority: bool,
+    /// Backpressure bound on `pending` enforced by the `try_insert`
+    /// family (the routing path). `None` is unbounded. The plain
+    /// `insert` family ignores the bound: reinserts of already-accepted
+    /// messages (selector rejections, rollbacks) and dead-letter parking
+    /// must never fail.
+    bound: Option<usize>,
     inner: Mutex<Inner>,
     available: Condvar,
     wakers: WakerSet,
+}
+
+/// Outcome of a bounded, non-blocking insert ([`Endpoint::try_insert`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The message was buffered.
+    Inserted,
+    /// The backpressure bound is reached; the caller should surface
+    /// `WouldBlock`-style backpressure (the harness maps this to
+    /// [`Error::ResourceExhausted`]) instead of buffering unboundedly.
+    Full,
+    /// The end-point was destroyed.
+    Destroyed,
+}
+
+/// Outcome of one non-blocking receive poll ([`Endpoint::poll_receive`]).
+#[derive(Debug, Clone)]
+pub enum PollReceive {
+    /// A message was taken (and tracked per the given [`TrackMode`]).
+    Ready(Arc<Message>),
+    /// Nothing deliverable now. A one-shot waker was registered and
+    /// fires on the next insert / recovery / crash / destroy. If a
+    /// pending message merely awaits its visibility edge, the edge is
+    /// reported so the caller can arm a timer (no insert will announce
+    /// it).
+    Pending {
+        /// Earliest future visibility edge among pending messages.
+        next_visible_at: Option<Timestamp>,
+    },
 }
 
 /// Upper bound on one condvar wait. Arrivals, visibility edges, session
@@ -149,6 +209,7 @@ impl Endpoint {
             id,
             enforce_expiry,
             enforce_priority,
+            bound: None,
             inner: Mutex::new(Inner {
                 pending: BTreeMap::new(),
                 in_flight: Vec::new(),
@@ -163,6 +224,19 @@ impl Endpoint {
         }
     }
 
+    /// Returns a copy with a backpressure bound: [`Endpoint::try_insert`]
+    /// and [`Endpoint::try_insert_batch`] report [`InsertOutcome::Full`]
+    /// once `bound` messages are pending. `None` is unbounded.
+    pub fn with_bound(mut self, bound: Option<usize>) -> Self {
+        self.bound = bound;
+        self
+    }
+
+    /// The configured backpressure bound, if any.
+    pub fn bound(&self) -> Option<usize> {
+        self.bound
+    }
+
     /// Returns the end-point's identity.
     pub fn id(&self) -> &EndpointId {
         &self.id
@@ -175,6 +249,16 @@ impl Endpoint {
     /// is destroyed.
     pub fn add_waker(&self, waker: Arc<dyn Fn() + Send + Sync>) {
         self.wakers.add(waker);
+    }
+
+    /// Registers a *one-shot* readiness callback: it fires (outside the
+    /// buffer lock) on the next insert / recovery / crash / destroy and
+    /// is then forgotten. This is [`Endpoint::poll_receive`]'s
+    /// registration path, exposed for callers that need to re-arm
+    /// without attempting a take (e.g. after releasing a
+    /// selector-rejected message back to the buffer).
+    pub fn add_oneshot_waker(&self, waker: Arc<dyn Fn() + Send + Sync>) {
+        self.wakers.add_oneshot(waker);
     }
 
     /// Wakes blocked receivers, but only if there are any: the common
@@ -264,6 +348,153 @@ impl Endpoint {
             self.wakers.fire();
         }
         inserted
+    }
+
+    /// Inserts a message respecting the backpressure bound: with `bound`
+    /// pending messages already buffered the message is rejected with
+    /// [`InsertOutcome::Full`] instead of growing the buffer. This is
+    /// the routing path's insert; in-flight (delivered, unacknowledged)
+    /// messages do not count against the bound.
+    pub fn try_insert(&self, message: Arc<Message>, visible_at: Timestamp) -> InsertOutcome {
+        {
+            let mut inner = self.inner.lock();
+            if inner.destroyed {
+                return InsertOutcome::Destroyed;
+            }
+            if self.bound.is_some_and(|bound| inner.pending.len() >= bound) {
+                return InsertOutcome::Full;
+            }
+            let key = EntryKey {
+                priority_rank: if self.enforce_priority {
+                    9 - message.priority().level()
+                } else {
+                    0
+                },
+                seq: inner.next_seq,
+            };
+            inner.next_seq += 1;
+            inner.pending.insert(
+                key,
+                Entry {
+                    message,
+                    visible_at,
+                },
+            );
+            self.wake_receivers(&inner);
+        }
+        self.wakers.fire();
+        InsertOutcome::Inserted
+    }
+
+    /// Bounded batch insert: buffers messages in order until the
+    /// backpressure bound is reached, then rejects the rest. Returns the
+    /// number inserted and whether the bound cut the batch short.
+    /// `(0, false)` with a non-empty input means the end-point was
+    /// destroyed.
+    pub fn try_insert_batch<'a, I>(&self, messages: I, visible_at: Timestamp) -> (u64, bool)
+    where
+        I: IntoIterator<Item = &'a Arc<Message>>,
+    {
+        let (inserted, hit_bound) = {
+            let mut inner = self.inner.lock();
+            if inner.destroyed {
+                return (0, false);
+            }
+            let mut inserted = 0u64;
+            let mut hit_bound = false;
+            for message in messages {
+                if self.bound.is_some_and(|bound| inner.pending.len() >= bound) {
+                    hit_bound = true;
+                    break;
+                }
+                let key = EntryKey {
+                    priority_rank: if self.enforce_priority {
+                        9 - message.priority().level()
+                    } else {
+                        0
+                    },
+                    seq: inner.next_seq,
+                };
+                inner.next_seq += 1;
+                inner.pending.insert(
+                    key,
+                    Entry {
+                        message: Arc::clone(message),
+                        visible_at,
+                    },
+                );
+                inserted += 1;
+            }
+            if inserted > 0 {
+                self.wake_receivers(&inner);
+            }
+            (inserted, hit_bound)
+        };
+        if inserted > 0 {
+            self.wakers.fire();
+        }
+        (inserted, hit_bound)
+    }
+
+    /// Non-blocking readiness-style receive: takes the next visible,
+    /// unexpired message if one is deliverable, otherwise registers
+    /// `waker` as a *one-shot* callback and returns
+    /// [`PollReceive::Pending`]. The waker fires (outside the buffer
+    /// lock) on the next insert, session recovery, crash, or destroy —
+    /// then it is forgotten, so a reactor task re-registering on every
+    /// empty poll never accumulates stale entries (unlike
+    /// [`Endpoint::add_waker`], which registers for the end-point's
+    /// lifetime).
+    ///
+    /// The waker is registered *before* the buffer lock is released, so
+    /// an insert racing with this poll either makes the message visible
+    /// to this call or fires the waker after it returns — a wake-up
+    /// cannot be lost in between.
+    ///
+    /// Tracking semantics are identical to [`Endpoint::receive`] with a
+    /// zero timeout.
+    ///
+    /// # Errors
+    ///
+    /// Returns whatever error `alive` reports, or
+    /// [`Error::EndpointClosed`] after the end-point is destroyed.
+    pub fn poll_receive(
+        &self,
+        clock: &dyn Clock,
+        session: SessionId,
+        track: TrackMode,
+        started: &dyn Fn() -> bool,
+        alive: &dyn Fn() -> Result<(), Error>,
+        waker: &Arc<dyn Fn() + Send + Sync>,
+    ) -> Result<PollReceive, Error> {
+        alive()?;
+        let mut inner = self.inner.lock();
+        if inner.destroyed {
+            return Err(Error::EndpointClosed);
+        }
+        let now = clock.now();
+        if started() {
+            if let Some(message) = self.take_visible(&mut inner, now) {
+                inner.delivered += 1;
+                if track == TrackMode::InFlight {
+                    inner.in_flight.push(InFlight {
+                        session,
+                        message: Arc::clone(&message),
+                    });
+                }
+                return Ok(PollReceive::Ready(message));
+            }
+        }
+        // Register while still holding the buffer lock: any insert that
+        // did not show its message above is still waiting for the lock,
+        // and will find (and fire) this waker afterwards.
+        self.wakers.add_oneshot(Arc::clone(waker));
+        let next_visible_at = if started() {
+            Self::next_visible_at(&inner, now)
+        } else {
+            None
+        };
+        Ok(PollReceive::Pending { next_visible_at })
     }
 
     /// Receives the next visible, unexpired message, blocking up to
@@ -1106,5 +1337,182 @@ mod tests {
         // Destroy released the wakers; nothing fires afterwards.
         assert!(!ep.insert(message(9, 4, DeliveryMode::Persistent, 0), Timestamp::ZERO));
         assert_eq!(fired.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn bounded_try_insert_rejects_at_the_bound() {
+        let clock = VirtualClock::new();
+        let ep = Endpoint::new(EndpointId::for_queue(QueueName::new("q")), true, true)
+            .with_bound(Some(2));
+        assert_eq!(ep.bound(), Some(2));
+        assert_eq!(
+            ep.try_insert(message(0, 4, DeliveryMode::Persistent, 0), Timestamp::ZERO),
+            InsertOutcome::Inserted
+        );
+        assert_eq!(
+            ep.try_insert(message(1, 4, DeliveryMode::Persistent, 0), Timestamp::ZERO),
+            InsertOutcome::Inserted
+        );
+        assert_eq!(
+            ep.try_insert(message(2, 4, DeliveryMode::Persistent, 0), Timestamp::ZERO),
+            InsertOutcome::Full
+        );
+        assert_eq!(ep.stats().pending, 2);
+        // Draining one frees one slot.
+        receive_now(&ep, &clock, TrackMode::Immediate)
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            ep.try_insert(message(2, 4, DeliveryMode::Persistent, 0), Timestamp::ZERO),
+            InsertOutcome::Inserted
+        );
+        // The unbounded insert family ignores the bound (reinserts,
+        // dead-letter parking).
+        assert!(ep.insert(message(3, 4, DeliveryMode::Persistent, 0), Timestamp::ZERO));
+        assert_eq!(ep.stats().pending, 3);
+    }
+
+    #[test]
+    fn bounded_batch_insert_cuts_at_the_bound() {
+        let ep = Endpoint::new(EndpointId::for_queue(QueueName::new("q")), true, true)
+            .with_bound(Some(3));
+        let batch: Vec<Arc<Message>> = (0..5)
+            .map(|i| message(i, 4, DeliveryMode::Persistent, 0))
+            .collect();
+        let (inserted, hit_bound) = ep.try_insert_batch(batch.iter(), Timestamp::ZERO);
+        assert_eq!(inserted, 3);
+        assert!(hit_bound);
+        assert_eq!(ep.stats().pending, 3);
+        let (inserted, hit_bound) = ep.try_insert_batch(batch.iter(), Timestamp::ZERO);
+        assert_eq!(inserted, 0);
+        assert!(hit_bound);
+    }
+
+    #[test]
+    fn in_flight_messages_do_not_count_against_the_bound() {
+        let clock = VirtualClock::new();
+        let ep = Endpoint::new(EndpointId::for_queue(QueueName::new("q")), true, true)
+            .with_bound(Some(1));
+        assert_eq!(
+            ep.try_insert(message(0, 4, DeliveryMode::Persistent, 0), Timestamp::ZERO),
+            InsertOutcome::Inserted
+        );
+        receive_now(&ep, &clock, TrackMode::InFlight)
+            .unwrap()
+            .unwrap();
+        assert_eq!(ep.stats().in_flight, 1);
+        assert_eq!(
+            ep.try_insert(message(1, 4, DeliveryMode::Persistent, 0), Timestamp::ZERO),
+            InsertOutcome::Inserted
+        );
+    }
+
+    #[test]
+    fn poll_receive_takes_or_registers_oneshot() {
+        use std::sync::atomic::AtomicUsize;
+        let clock = VirtualClock::new();
+        let ep = endpoint();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&fired);
+        let waker: Arc<dyn Fn() + Send + Sync> = Arc::new(move || {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        // Empty poll: Pending, waker armed.
+        let polled = ep
+            .poll_receive(
+                &clock,
+                SessionId::from_raw(1),
+                TrackMode::Immediate,
+                &|| true,
+                &|| Ok(()),
+                &waker,
+            )
+            .unwrap();
+        assert!(matches!(
+            polled,
+            PollReceive::Pending {
+                next_visible_at: None
+            }
+        ));
+        assert_eq!(fired.load(Ordering::SeqCst), 0);
+        // Insert fires the one-shot exactly once, then forgets it.
+        ep.insert(message(0, 4, DeliveryMode::Persistent, 0), Timestamp::ZERO);
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        ep.insert(message(1, 4, DeliveryMode::Persistent, 0), Timestamp::ZERO);
+        assert_eq!(fired.load(Ordering::SeqCst), 1, "one-shot does not re-fire");
+        // Non-empty poll: Ready, no registration consumed.
+        let polled = ep
+            .poll_receive(
+                &clock,
+                SessionId::from_raw(1),
+                TrackMode::Immediate,
+                &|| true,
+                &|| Ok(()),
+                &waker,
+            )
+            .unwrap();
+        match polled {
+            PollReceive::Ready(got) => assert_eq!(got.sequence(), 0),
+            other => panic!("expected Ready, got {other:?}"),
+        }
+        assert_eq!(ep.stats().delivered, 1);
+    }
+
+    #[test]
+    fn poll_receive_reports_visibility_edge() {
+        let clock = VirtualClock::new();
+        let ep = endpoint();
+        let visible_at = Timestamp::from_millis(50);
+        ep.insert(message(0, 4, DeliveryMode::Persistent, 0), visible_at);
+        let waker: Arc<dyn Fn() + Send + Sync> = Arc::new(|| {});
+        let polled = ep
+            .poll_receive(
+                &clock,
+                SessionId::from_raw(1),
+                TrackMode::Immediate,
+                &|| true,
+                &|| Ok(()),
+                &waker,
+            )
+            .unwrap();
+        match polled {
+            PollReceive::Pending { next_visible_at } => {
+                assert_eq!(next_visible_at, Some(visible_at));
+            }
+            other => panic!("expected Pending with edge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repeated_empty_polls_do_not_accumulate_wakers() {
+        use std::sync::atomic::AtomicUsize;
+        let clock = VirtualClock::new();
+        let ep = endpoint();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&fired);
+        let waker: Arc<dyn Fn() + Send + Sync> = Arc::new(move || {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        // A reactor task re-polling on a timer re-registers every time;
+        // the registrations must drain, not pile up.
+        for _ in 0..100 {
+            let _ = ep
+                .poll_receive(
+                    &clock,
+                    SessionId::from_raw(1),
+                    TrackMode::Immediate,
+                    &|| true,
+                    &|| Ok(()),
+                    &waker,
+                )
+                .unwrap();
+            ep.insert(message(0, 4, DeliveryMode::Persistent, 0), Timestamp::ZERO);
+            // Each insert fires exactly the one registration from the
+            // poll above — older one-shots are long gone.
+            receive_now(&ep, &clock, TrackMode::Immediate)
+                .unwrap()
+                .unwrap();
+        }
+        assert_eq!(fired.load(Ordering::SeqCst), 100);
     }
 }

@@ -2,7 +2,7 @@
 
 use crate::connection::ConnState;
 use crate::core::Core;
-use crate::endpoint::{Endpoint, TrackMode};
+use crate::endpoint::{Endpoint, PollReceive, TrackMode};
 use jmst_api::destination::{Destination, TopicName};
 use jmst_api::error::Error;
 use jmst_api::id::{ClientId, ConsumerId, MessageId, ProducerId, SessionId};
@@ -451,6 +451,87 @@ pub struct BrokerConsumer {
     kind: ConsumerKind,
     session: Arc<SessionShared>,
     closed: AtomicBool,
+}
+
+impl BrokerConsumer {
+    /// Non-blocking readiness-style receive: returns the next matching
+    /// message if one is deliverable now, otherwise registers `waker` as
+    /// a one-shot callback on the underlying end-point and reports
+    /// [`PollReceive::Pending`]. This is the reactor path — one task
+    /// multiplexing many consumers polls here instead of parking a
+    /// thread in [`Consumer::receive`].
+    ///
+    /// Queue selectors are applied exactly as in the blocking receive:
+    /// non-matching messages are released back to the end-point; once
+    /// every available message has been seen and rejected the poll
+    /// re-arms the waker and reports `Pending`. Pair the waker with a
+    /// periodic re-poll timer — wakers announce inserts, not visibility
+    /// edges or selector rescans (the `Pending` result carries the next
+    /// visibility edge when one is known).
+    ///
+    /// # Errors
+    ///
+    /// Propagates closed-consumer/session/connection and crashed-broker
+    /// errors exactly like [`Consumer::receive`].
+    pub fn poll_receive(
+        &mut self,
+        waker: &Arc<dyn Fn() + Send + Sync>,
+    ) -> Result<PollReceive, Error> {
+        let conn = &self.session.conn;
+        let core = &self.session.core;
+        let closed_flag = &self.closed;
+        let generation = conn.generation;
+        let started = || conn.started.load(Ordering::SeqCst) && !conn.closed.load(Ordering::SeqCst);
+        let alive = || -> Result<(), Error> {
+            if closed_flag.load(Ordering::SeqCst) {
+                return Err(Error::EndpointClosed);
+            }
+            core.check_alive(generation)?;
+            if conn.closed.load(Ordering::SeqCst) {
+                return Err(Error::ConnectionClosed);
+            }
+            if self.session.state.lock().closed {
+                return Err(Error::SessionClosed);
+            }
+            Ok(())
+        };
+        let mut rejected: std::collections::HashSet<MessageId> = std::collections::HashSet::new();
+        loop {
+            let polled = self.endpoint.poll_receive(
+                self.session.core.config().clock.as_ref(),
+                self.session.id,
+                self.session.track_mode(),
+                &started,
+                &alive,
+                waker,
+            )?;
+            match polled {
+                PollReceive::Ready(message) => {
+                    if let Some(selector) = &self.queue_selector {
+                        if !selector.matches(&message) {
+                            if self.session.track_mode() == TrackMode::InFlight {
+                                self.endpoint.ack_message(self.session.id, message.id());
+                            }
+                            let cycled = !rejected.insert(message.id());
+                            self.endpoint.insert(message, self.session.core.now());
+                            if cycled {
+                                // Every available message was seen and
+                                // rejected; park until new arrivals.
+                                self.endpoint.add_oneshot_waker(Arc::clone(waker));
+                                return Ok(PollReceive::Pending {
+                                    next_visible_at: None,
+                                });
+                            }
+                            continue;
+                        }
+                    }
+                    self.session.record_delivery(&self.endpoint, &message);
+                    return Ok(PollReceive::Ready(message));
+                }
+                pending @ PollReceive::Pending { .. } => return Ok(pending),
+            }
+        }
+    }
 }
 
 impl Consumer for BrokerConsumer {

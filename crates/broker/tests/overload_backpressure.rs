@@ -1,0 +1,89 @@
+//! Bounded-memory overload: publishing at 4× the drain rate into a
+//! backpressured destination must keep the resident queue depth under
+//! the configured bound (excess sends are rejected with
+//! `ResourceExhausted`), while the old unbounded path provably exceeds
+//! the same bound under the identical workload.
+
+use jmst_api::prelude::*;
+use jmst_broker::{BrokerConfig, ReferenceBroker};
+use std::time::Duration;
+
+const BOUND: usize = 64;
+const TICKS: usize = 400;
+const SENDS_PER_TICK: usize = 4; // 4× the drain rate of 1 per tick
+
+/// Drives the 4×-overload workload: each tick attempts four sends and
+/// drains one message. Returns `(accepted, rejected, drained,
+/// max_pending)` where `max_pending` is the largest resident depth the
+/// end-point ever reported.
+fn overload(broker: &ReferenceBroker) -> (usize, usize, usize, usize) {
+    let mut connection = broker.create_connection(None).unwrap();
+    connection.start().unwrap();
+    let mut session = connection
+        .create_session(SessionMode::AutoAcknowledge)
+        .unwrap();
+    let queue = Destination::queue("firehose");
+    let mut producer = session.create_producer(&queue).unwrap();
+    let mut consumer = session.create_consumer(&queue, None).unwrap();
+
+    let (mut accepted, mut rejected, mut drained, mut max_pending) = (0, 0, 0, 0);
+    for tick in 0..TICKS {
+        for i in 0..SENDS_PER_TICK {
+            match producer.send(MessageDraft::text(format!("m{tick}-{i}"))) {
+                Ok(_) => accepted += 1,
+                Err(Error::ResourceExhausted(_)) => rejected += 1,
+                Err(other) => panic!("unexpected send error: {other}"),
+            }
+        }
+        if let Some(_message) = consumer.receive(Some(Duration::from_millis(50))).unwrap() {
+            drained += 1;
+        }
+        let pending: usize = broker
+            .endpoint_stats()
+            .iter()
+            .map(|(_, stats)| stats.pending + stats.in_flight)
+            .sum();
+        max_pending = max_pending.max(pending);
+    }
+    (accepted, rejected, drained, max_pending)
+}
+
+#[test]
+fn bounded_queue_stays_under_the_bound_at_4x_overload() {
+    let broker = ReferenceBroker::with_config(BrokerConfig::correct().with_queue_bound(BOUND));
+    let (accepted, rejected, drained, max_pending) = overload(&broker);
+
+    // The bound held throughout — resident depth never exceeded it.
+    assert!(
+        max_pending <= BOUND,
+        "depth {max_pending} exceeded bound {BOUND}"
+    );
+    // Overload was real: most of the excess was rejected, not buffered.
+    assert!(rejected > 0, "4x overload never hit backpressure");
+    assert_eq!(accepted + rejected, TICKS * SENDS_PER_TICK);
+    // Everything the consumer drained was genuinely accepted.
+    assert!(drained <= accepted);
+    // Conservation: accepted messages are either drained or resident.
+    let resident: usize = broker
+        .endpoint_stats()
+        .iter()
+        .map(|(_, stats)| stats.pending + stats.in_flight)
+        .sum();
+    assert_eq!(accepted, drained + resident);
+}
+
+#[test]
+fn unbounded_queue_provably_exceeds_the_same_bound() {
+    let broker = ReferenceBroker::new();
+    let (accepted, rejected, _drained, max_pending) = overload(&broker);
+
+    // No backpressure: every send is buffered...
+    assert_eq!(rejected, 0);
+    assert_eq!(accepted, TICKS * SENDS_PER_TICK);
+    // ...so the resident depth blows far past the bound the
+    // backpressured configuration enforces.
+    assert!(
+        max_pending > BOUND,
+        "unbounded path stayed at {max_pending}, expected > {BOUND}"
+    );
+}

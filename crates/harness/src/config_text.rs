@@ -433,6 +433,23 @@ pub fn parse_spec(text: &str) -> Result<TestSpec, ConfigError> {
                     .map_err(|_| err(format!("bad shards {value:?}")))?;
                 spec.shards = Some(shards);
             }
+            (Section::Test, "drivers") => {
+                spec.drivers = match value {
+                    "thread" | "threads" => crate::spec::DriverMode::Thread,
+                    "reactor" => crate::spec::DriverMode::Reactor,
+                    other => {
+                        return Err(err(format!(
+                            "drivers must be thread or reactor, got {other:?}"
+                        )))
+                    }
+                };
+            }
+            (Section::Test, "queue_bound") => {
+                let bound: usize = value
+                    .parse()
+                    .map_err(|_| err(format!("bad queue_bound {value:?}")))?;
+                spec.queue_bound = Some(bound);
+            }
             (Section::Node(_), "share") => {
                 nodes.last_mut().expect("inside a node").share_connection = match value {
                     "true" | "yes" => true,
@@ -911,9 +928,33 @@ down = 80ms
         assert!(parse_spec("[test]\nopen_loop = maybe\n").is_err());
         assert!(parse_spec("[test]\narrival_rate = fast\n").is_err());
         assert!(parse_spec("[test]\nclients = many\n").is_err());
-        // Companion keys without open_loop fail whole-spec validation.
-        let error = parse_spec(&text.replace("open_loop = on\n", "")).unwrap_err();
-        assert!(error.message().contains("requires open_loop"), "{error}");
+        // Companion keys without open_loop parse fine (the closed-loop
+        // drivers ignore them); the lint warns with a stable rule id.
+        let spec = parse_spec(&text.replace("open_loop = on\n", "")).unwrap();
+        assert!(!spec.open_loop);
+        assert!(crate::lint::lint_spec(&spec)
+            .warnings()
+            .any(|f| f.rule == "open-loop-keys-ignored"));
+    }
+
+    #[test]
+    fn driver_mode_and_queue_bound_parse() {
+        let text = "[test]\nname = rx\ndrivers = reactor\nqueue_bound = 64\n\
+                    [node n]\n[producer]\ndestination = queue:q\nrate = steady 10\n\
+                    [consumer]\ndestination = queue:q\n";
+        let spec = parse_spec(text).unwrap();
+        assert_eq!(spec.drivers, crate::spec::DriverMode::Reactor);
+        assert_eq!(spec.queue_bound, Some(64));
+        let spec = parse_spec(&text.replace("drivers = reactor", "drivers = thread")).unwrap();
+        assert_eq!(spec.drivers, crate::spec::DriverMode::Thread);
+        assert!(parse_spec("[test]\ndrivers = fibers\n").is_err());
+        assert!(parse_spec("[test]\nqueue_bound = lots\n").is_err());
+        // queue_bound = 0 parses (lint rejects it with queue-bound-zero).
+        let spec = parse_spec(&text.replace("queue_bound = 64", "queue_bound = 0")).unwrap();
+        assert_eq!(spec.queue_bound, Some(0));
+        assert!(crate::lint::lint_spec(&spec)
+            .errors()
+            .any(|f| f.rule == "queue-bound-zero"));
     }
 
     #[test]

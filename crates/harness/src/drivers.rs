@@ -70,7 +70,7 @@ impl RunShared {
         }
     }
 
-    fn should_abort(&self) -> bool {
+    pub(crate) fn should_abort(&self) -> bool {
         self.abort.load(Ordering::SeqCst) || Instant::now() >= self.deadline
     }
 
@@ -102,11 +102,11 @@ fn interruptible_sleep(shared: &RunShared, total: Duration, also_stop_on: &Atomi
 
 pub(crate) struct ProducerChain {
     // Order matters for drop: producer, session, connection.
-    producer: Box<dyn Producer>,
-    session: Box<dyn Session>,
+    pub(crate) producer: Box<dyn Producer>,
+    pub(crate) session: Box<dyn Session>,
     /// `None` when the connection is shared by the whole node and owned
     /// by the runner.
-    _connection: Option<Box<dyn Connection>>,
+    pub(crate) _connection: Option<Box<dyn Connection>>,
 }
 
 pub(crate) fn producer_session_mode(spec: &ProducerSpec) -> SessionMode {
@@ -130,7 +130,10 @@ pub(crate) fn producer_chain_on(
     })
 }
 
-fn connect_producer(provider: &dyn Provider, spec: &ProducerSpec) -> Result<ProducerChain, Error> {
+pub(crate) fn connect_producer(
+    provider: &dyn Provider,
+    spec: &ProducerSpec,
+) -> Result<ProducerChain, Error> {
     let mut connection = provider.create_connection(None)?;
     connection.start()?;
     let mut session = connection.create_session(producer_session_mode(spec))?;
@@ -615,12 +618,12 @@ pub(crate) fn open_loop_producer_driver(
 }
 
 pub(crate) struct ConsumerChain {
-    consumer: Box<dyn Consumer>,
-    session: Box<dyn Session>,
+    pub(crate) consumer: Box<dyn Consumer>,
+    pub(crate) session: Box<dyn Session>,
     /// `None` when the connection is shared by the whole node and owned
     /// by the runner.
-    _connection: Option<Box<dyn Connection>>,
-    endpoint: EndpointId,
+    pub(crate) _connection: Option<Box<dyn Connection>>,
+    pub(crate) endpoint: EndpointId,
 }
 
 /// Builds a consumer chain on an existing (shared) session. `client` is
@@ -654,7 +657,7 @@ pub(crate) fn consumer_chain_on(
     })
 }
 
-fn connect_consumer(
+pub(crate) fn connect_consumer(
     provider: &dyn Provider,
     spec: &ConsumerSpec,
     client: &ClientId,
@@ -855,7 +858,7 @@ pub(crate) fn consumer_driver(
     }
 }
 
-fn finish_batch(
+pub(crate) fn finish_batch(
     active: &mut ConsumerChain,
     spec: &ConsumerSpec,
     current_tx: &mut Option<TxId>,
@@ -889,7 +892,7 @@ fn finish_batch(
     *in_batch = 0;
 }
 
-fn drop_chain(chain: &mut Option<ConsumerChain>, recorder: &NodeRecorder) {
+pub(crate) fn drop_chain(chain: &mut Option<ConsumerChain>, recorder: &NodeRecorder) {
     if let Some(mut active) = chain.take() {
         let consumer_id = active.consumer.id();
         let endpoint = active.endpoint.clone();

@@ -51,6 +51,7 @@ pub mod prince;
 pub mod princed;
 pub mod process;
 pub mod proto;
+mod reactor_drivers;
 pub mod retry;
 pub mod runner;
 pub mod serialize;
@@ -69,8 +70,8 @@ pub use retry::RetryPolicy;
 pub use runner::{BrokerAdmin, ThreadedRunner};
 pub use serialize::{serialize_spec, SerializeError};
 pub use spec::{
-    ConsumerSpec, CrashPlan, FaultPlan, NodeSpec, ProducerSpec, ReconnectSpec, Subscription,
-    TestSpec, TransportMode, TransportSpec,
+    ConsumerSpec, CrashPlan, DriverMode, FaultPlan, NodeSpec, ProducerSpec, ReconnectSpec,
+    Subscription, TestSpec, TransportMode, TransportSpec,
 };
 
 /// Convenient glob-import for harness users.
@@ -82,7 +83,7 @@ pub mod prelude {
     pub use crate::runner::{BrokerAdmin, ThreadedRunner};
     pub use crate::serialize::{serialize_spec, SerializeError};
     pub use crate::spec::{
-        ConsumerSpec, CrashPlan, FaultPlan, NodeSpec, ProducerSpec, ReconnectSpec, Subscription,
-        TestSpec, TransportMode, TransportSpec,
+        ConsumerSpec, CrashPlan, DriverMode, FaultPlan, NodeSpec, ProducerSpec, ReconnectSpec,
+        Subscription, TestSpec, TransportMode, TransportSpec,
     };
 }

@@ -366,6 +366,39 @@ pub fn lint_spec(spec: &TestSpec) -> LintReport {
         );
     }
 
+    if !spec.open_loop && (spec.clients.is_some() || spec.arrival_rate.is_some()) {
+        let keys: Vec<&str> = [
+            spec.clients.map(|_| "clients"),
+            spec.arrival_rate.map(|_| "arrival_rate"),
+        ]
+        .into_iter()
+        .flatten()
+        .collect();
+        push(
+            Severity::Warning,
+            "open-loop-keys-ignored",
+            "test".to_owned(),
+            format!(
+                "{} set without open_loop = on: the closed-loop drivers \
+                 ignore {}, so the run will not do what the key suggests \
+                 (add open_loop = on or drop the key)",
+                keys.join(" and "),
+                if keys.len() == 1 { "it" } else { "them" },
+            ),
+        );
+    }
+    if spec.queue_bound == Some(0) {
+        push(
+            Severity::Error,
+            "queue-bound-zero",
+            "test".to_owned(),
+            "queue_bound = 0 would reject every send; the broker clamps it \
+             to 1, silently changing the experiment (set a positive bound \
+             or drop the key for unbounded queues)"
+                .to_owned(),
+        );
+    }
+
     let profiles = destination_profiles(spec);
     for node in &spec.nodes {
         for producer in &node.producers {
@@ -694,6 +727,41 @@ mod tests {
             ConsumerSpec::auto(topic()),
         );
         assert!(!lint_spec(&spec).has_errors());
+    }
+
+    #[test]
+    fn open_loop_keys_without_open_loop_are_a_warning() {
+        let spec = spec_with(emea_producer(), ConsumerSpec::auto(topic()))
+            .with_clients(8)
+            .with_arrival_rate(100.0);
+        let report = lint_spec(&spec);
+        assert!(!report.has_errors());
+        let finding = report
+            .warnings()
+            .find(|f| f.rule == "open-loop-keys-ignored")
+            .expect("warning fires");
+        assert!(finding.message.contains("clients and arrival_rate"));
+        // With open_loop on the keys are meaningful: no warning.
+        let spec = spec_with(emea_producer(), ConsumerSpec::auto(topic()))
+            .with_clients(8)
+            .with_arrival_rate(100.0)
+            .open_loop();
+        assert!(!lint_spec(&spec)
+            .warnings()
+            .any(|f| f.rule == "open-loop-keys-ignored"));
+    }
+
+    #[test]
+    fn zero_queue_bound_is_an_error() {
+        let spec = spec_with(emea_producer(), ConsumerSpec::auto(topic())).with_queue_bound(0);
+        let report = lint_spec(&spec);
+        assert!(
+            report.errors().any(|f| f.rule == "queue-bound-zero"),
+            "{report}"
+        );
+        // Any positive bound is a legitimate back-pressure experiment.
+        let spec = spec_with(emea_producer(), ConsumerSpec::auto(topic())).with_queue_bound(1);
+        assert!(lint_spec(&spec).is_clean());
     }
 
     #[test]

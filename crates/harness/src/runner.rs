@@ -5,7 +5,8 @@
 
 use crate::drivers::{consumer_driver, producer_driver, RunShared};
 use crate::error::HarnessError;
-use crate::spec::TestSpec;
+use crate::reactor_drivers::{run_reactor_drivers, ReactorConsumerJob, ReactorProducerJob};
+use crate::spec::{DriverMode, TestSpec};
 use jmst_api::id::{ClientId, NodeId};
 use jmst_api::provider::Provider;
 use jmst_api::time::{Clock, SkewedClock, SystemClock};
@@ -121,14 +122,28 @@ impl ThreadedRunner {
         if spec.crash.is_some() && admin.is_none() {
             return Err(HarnessError::MissingAdmin);
         }
-        // Open-loop runs multiplex every producer onto one engine
-        // controller thread; closed-loop runs give each producer its own.
-        let producer_drivers = if spec.open_loop {
-            usize::from(spec.producer_count() > 0)
+        // How many OS threads wait at the start barrier. Open-loop runs
+        // multiplex every producer onto one engine controller thread;
+        // reactor mode multiplexes all its drivers onto one reactor
+        // controller; closed-loop thread mode gives each driver its own.
+        let reactor_mode = spec.drivers == DriverMode::Reactor;
+        // Producers hosted as reactor tasks raise `producers_done`
+        // themselves (last task standing); every other shape leaves it
+        // to the runner's join point.
+        let producers_on_reactor = reactor_mode && !spec.open_loop && spec.producer_count() > 0;
+        let driver_count = if reactor_mode {
+            let open_loop_controller = usize::from(spec.open_loop && spec.producer_count() > 0);
+            let reactor_hosted = if spec.open_loop {
+                spec.consumer_count()
+            } else {
+                spec.producer_count() + spec.consumer_count()
+            };
+            open_loop_controller + usize::from(reactor_hosted > 0)
+        } else if spec.open_loop {
+            usize::from(spec.producer_count() > 0) + spec.consumer_count()
         } else {
-            spec.producer_count()
+            spec.producer_count() + spec.consumer_count()
         };
-        let driver_count = producer_drivers + spec.consumer_count();
         let shared = Arc::new(RunShared::new(Arc::clone(&provider), spec, driver_count));
         let recorder = Recorder::new();
         if let Some(sink) = sink {
@@ -264,7 +279,7 @@ impl ThreadedRunner {
             // All producers ride one engine controller thread; virtual
             // client 0 of each producer keeps the closed-loop identity.
             let jobs: Vec<crate::drivers::OpenLoopJob> = producer_jobs
-                .into_iter()
+                .drain(..)
                 .map(|job| crate::drivers::OpenLoopJob {
                     recorder: job.recorder,
                     spec: job.spec,
@@ -290,7 +305,7 @@ impl ThreadedRunner {
                     }
                 }));
             }
-        } else {
+        } else if !reactor_mode {
             for job in producer_jobs {
                 let shared = Arc::clone(&shared);
                 producer_handles.push(std::thread::spawn(move || {
@@ -310,25 +325,72 @@ impl ThreadedRunner {
                     }
                 }));
             }
+            producer_jobs = Vec::new();
         }
-        for job in consumer_jobs {
-            let shared = Arc::clone(&shared);
-            consumer_handles.push(std::thread::spawn(move || {
-                let client = job.client.clone();
-                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    consumer_driver(
-                        &shared,
-                        &job.recorder,
-                        &job.spec,
-                        job.client,
-                        job.seed,
-                        job.initial,
-                    );
-                }));
-                if result.is_err() {
-                    shared.give_up(format!("consumer {client}: driver panicked"));
+        if reactor_mode {
+            // All reactor-hosted drivers share one controller thread
+            // running the worker pool. Under open_loop the producers
+            // already rode the engine controller above, so only the
+            // consumers mount here.
+            let reactor_producers: Vec<ReactorProducerJob> = producer_jobs
+                .into_iter()
+                .map(|job| ReactorProducerJob {
+                    recorder: job.recorder,
+                    spec: job.spec,
+                    seed: job.seed,
+                    stable_id: job.stable_id,
+                    initial: job.initial,
+                })
+                .collect();
+            let reactor_consumers: Vec<ReactorConsumerJob> = consumer_jobs
+                .into_iter()
+                .map(|job| ReactorConsumerJob {
+                    recorder: job.recorder,
+                    spec: job.spec,
+                    client: job.client,
+                    seed: job.seed,
+                    initial: job.initial,
+                })
+                .collect();
+            if !reactor_producers.is_empty() || !reactor_consumers.is_empty() {
+                let shared = Arc::clone(&shared);
+                let hosts_consumers = !reactor_consumers.is_empty();
+                let handle = std::thread::spawn(move || {
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        run_reactor_drivers(&shared, reactor_producers, reactor_consumers);
+                    }));
+                    if result.is_err() {
+                        shared.give_up("reactor drivers: controller panicked".to_owned());
+                    }
+                });
+                // The controller finishes when its last task does; file
+                // it under whichever stage it can actually hang.
+                if hosts_consumers {
+                    consumer_handles.push(handle);
+                } else {
+                    producer_handles.push(handle);
                 }
-            }));
+            }
+        } else {
+            for job in consumer_jobs {
+                let shared = Arc::clone(&shared);
+                consumer_handles.push(std::thread::spawn(move || {
+                    let client = job.client.clone();
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        consumer_driver(
+                            &shared,
+                            &job.recorder,
+                            &job.spec,
+                            job.client,
+                            job.seed,
+                            job.initial,
+                        );
+                    }));
+                    if result.is_err() {
+                        shared.give_up(format!("consumer {client}: driver panicked"));
+                    }
+                }));
+            }
         }
 
         // Optional crash thread.
@@ -382,7 +444,12 @@ impl ThreadedRunner {
                 partial_trace: Box::new(recorder.snapshot()),
             });
         }
-        shared.producers_done.store(true, Ordering::SeqCst);
+        if !producers_on_reactor {
+            // Reactor-hosted producers share the controller thread with
+            // the consumers, so the last producer *task* raises this
+            // flag instead of the join above.
+            shared.producers_done.store(true, Ordering::SeqCst);
+        }
         let consumer_deadline = Instant::now() + spec.warm_down + self.join_grace;
         if !join_all(consumer_handles, consumer_deadline) {
             shared.abort.store(true, Ordering::SeqCst);
@@ -465,6 +532,44 @@ mod tests {
         assert!(report.passed(), "{report}");
         assert!(report.sends > 10, "sent only {}", report.sends);
         assert_eq!(report.sends, report.receives, "{report}");
+    }
+
+    #[test]
+    fn reactor_mode_smoke_run_produces_clean_trace() {
+        let broker = ReferenceBroker::new();
+        let spec = small_spec().reactor_drivers();
+        let trace = ThreadedRunner::new()
+            .run(Arc::new(broker), None, &spec)
+            .unwrap();
+        assert!(!trace.is_empty());
+        let report = Analyzer::new().analyze(&trace);
+        assert!(report.passed(), "{report}");
+        assert!(report.sends > 10, "sent only {}", report.sends);
+        assert_eq!(report.sends, report.receives, "{report}");
+    }
+
+    #[test]
+    fn reactor_mode_survives_a_broker_crash() {
+        let broker = Arc::new(ReferenceBroker::new());
+        let spec = small_spec()
+            .reactor_drivers()
+            .with_crash(crate::spec::CrashPlan {
+                crash_after: Duration::from_millis(80),
+                down_for: Duration::from_millis(40),
+            });
+        let trace = ThreadedRunner::new()
+            .run(
+                Arc::clone(&broker) as Arc<dyn Provider>,
+                Some(broker as Arc<dyn BrokerAdmin>),
+                &spec,
+            )
+            .unwrap();
+        let report = Analyzer::new().analyze(&trace);
+        // The run must complete with messages on both sides; the
+        // reconnecting state machines keep the drivers alive across the
+        // crash window.
+        assert!(report.sends > 0, "{report}");
+        assert!(report.receives > 0, "{report}");
     }
 
     #[test]

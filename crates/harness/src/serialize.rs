@@ -386,6 +386,12 @@ pub fn serialize_spec(spec: &TestSpec) -> Result<String> {
     if let Some(shards) = spec.shards {
         let _ = writeln!(out, "shards = {shards}");
     }
+    if spec.drivers == crate::spec::DriverMode::Reactor {
+        out.push_str("drivers = reactor\n");
+    }
+    if let Some(bound) = spec.queue_bound {
+        let _ = writeln!(out, "queue_bound = {bound}");
+    }
     for node in &spec.nodes {
         write_node(&mut out, node)?;
     }
@@ -547,11 +553,29 @@ mod tests {
             "fail_fast",
             "open_loop",
             "shards",
+            "drivers",
+            "queue_bound",
             "[faults]",
             "[properties]",
         ] {
             assert!(!text.contains(absent), "{absent} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn reactor_drivers_and_queue_bound_round_trip() {
+        let spec = TestSpec::new("rx")
+            .reactor_drivers()
+            .with_queue_bound(128)
+            .node(
+                NodeSpec::new("n")
+                    .producer(ProducerSpec::steady(Destination::queue("q"), 10.0, 64))
+                    .consumer(ConsumerSpec::auto(Destination::queue("q"))),
+            );
+        let text = serialize_spec(&spec).unwrap();
+        assert!(text.contains("drivers = reactor"), "{text}");
+        assert!(text.contains("queue_bound = 128"), "{text}");
+        assert_eq!(parse_spec(&text).unwrap(), spec);
     }
 
     #[test]

@@ -396,6 +396,22 @@ impl FaultPlan {
     }
 }
 
+/// How the harness executes a test's producer and consumer drivers
+/// (scenario key `drivers = thread|reactor` in the `[test]` section).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum DriverMode {
+    /// One OS thread per driver — the original closed-loop harness and
+    /// the compatibility baseline the reactor mode is differentially
+    /// tested against.
+    #[default]
+    Thread,
+    /// Drivers run as poll-driven state-machine tasks on one shared
+    /// [`jmst_reactor`] worker pool: the same RetryPolicy, fault
+    /// handling, transacted batching, reconnect cycling, and per-run
+    /// deadline semantics, at a fraction of the thread count.
+    Reactor,
+}
+
 /// Where a test's drivers execute relative to the scheduling prince.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum TransportMode {
@@ -556,6 +572,18 @@ pub struct TestSpec {
     /// makes shard count a first-class corpus axis.
     #[serde(default)]
     pub shards: Option<u32>,
+    /// How producer/consumer drivers execute (scenario key
+    /// `drivers = thread|reactor`). `Thread` is the original
+    /// one-OS-thread-per-driver harness; `Reactor` runs every driver as
+    /// a poll-driven state machine on one shared reactor worker pool.
+    #[serde(default)]
+    pub drivers: DriverMode,
+    /// Bounded per-destination backlog for the broker under test
+    /// (scenario key `queue_bound`): pending sends beyond this depth are
+    /// rejected with a resource-exhausted error instead of growing the
+    /// queue without limit. `None` keeps the classic unbounded queues.
+    #[serde(default)]
+    pub queue_bound: Option<usize>,
     /// Named QoS property declarations (scenario `[properties]` section,
     /// one `name = declaration` DSL line each). Statically verified by
     /// lint and compiled onto the streaming checker core for the run.
@@ -588,6 +616,8 @@ impl TestSpec {
             arrival_rate: None,
             clients: None,
             shards: None,
+            drivers: DriverMode::default(),
+            queue_bound: None,
             properties: Vec::new(),
             transport: TransportSpec::default(),
         }
@@ -661,6 +691,24 @@ impl TestSpec {
         self
     }
 
+    /// Selects how the drivers execute (threads vs reactor tasks).
+    pub fn with_drivers(mut self, drivers: DriverMode) -> Self {
+        self.drivers = drivers;
+        self
+    }
+
+    /// Runs the drivers as reactor state-machine tasks.
+    pub fn reactor_drivers(mut self) -> Self {
+        self.drivers = DriverMode::Reactor;
+        self
+    }
+
+    /// Bounds the broker's per-destination pending backlog.
+    pub fn with_queue_bound(mut self, bound: usize) -> Self {
+        self.queue_bound = Some(bound);
+        self
+    }
+
     /// Sets the driver transport (thread vs worker process, journal).
     pub fn with_transport(mut self, transport: TransportSpec) -> Self {
         self.transport = transport;
@@ -711,6 +759,9 @@ impl TestSpec {
         if let Some(shards) = self.shards {
             config = config.with_shards(shards as usize);
         }
+        if let Some(bound) = self.queue_bound {
+            config = config.with_queue_bound(bound);
+        }
         Ok(config)
     }
 
@@ -745,14 +796,9 @@ impl TestSpec {
                 .to_fault_spec()
                 .map_err(|error| format!("fault plan: {error}"))?;
         }
-        if !self.open_loop {
-            if self.arrival_rate.is_some() {
-                return Err("arrival_rate requires open_loop = on".to_owned());
-            }
-            if self.clients.is_some() {
-                return Err("clients requires open_loop = on".to_owned());
-            }
-        }
+        // `arrival_rate`/`clients` without `open_loop = on` are tolerated
+        // (the keys are simply ignored by the closed-loop drivers) so the
+        // lint can warn with a stable rule id instead of parsing failing.
         if let Some(rate) = self.arrival_rate {
             if !rate.is_finite() || rate <= 0.0 {
                 return Err(format!(
@@ -962,7 +1008,10 @@ mod tests {
     }
 
     #[test]
-    fn open_loop_keys_require_open_loop() {
+    fn open_loop_keys_without_open_loop_are_tolerated() {
+        // The keys are ignored by the closed-loop drivers; the lint
+        // warns (rule `open-loop-keys-ignored`) instead of validation
+        // rejecting the spec.
         let base = || {
             TestSpec::new("ol").node(
                 NodeSpec::new("n")
@@ -972,14 +1021,33 @@ mod tests {
         };
         assert!(base().validate().is_ok());
         assert!(base().open_loop().validate().is_ok());
-        let error = base().with_arrival_rate(100.0).validate().unwrap_err();
-        assert!(error.contains("requires open_loop"));
-        let error = base().with_clients(8).validate().unwrap_err();
-        assert!(error.contains("requires open_loop"));
+        assert!(base().with_arrival_rate(100.0).validate().is_ok());
+        assert!(base().with_clients(8).validate().is_ok());
         assert!(base()
             .open_loop()
             .with_arrival_rate(100.0)
             .with_clients(8)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn driver_mode_and_queue_bound_flow_into_the_spec() {
+        let spec = TestSpec::new("rx")
+            .reactor_drivers()
+            .with_queue_bound(64)
+            .node(
+                NodeSpec::new("n")
+                    .producer(ProducerSpec::steady(queue(), 10.0, 64))
+                    .consumer(ConsumerSpec::auto(queue())),
+            );
+        assert_eq!(spec.drivers, DriverMode::Reactor);
+        assert!(spec.validate().is_ok());
+        // A zero bound is a lint error, not a validation error: the
+        // broker clamps it, and the lint explains why that is a trap.
+        assert!(TestSpec::new("z")
+            .with_queue_bound(0)
+            .node(NodeSpec::new("n").consumer(ConsumerSpec::auto(queue())))
             .validate()
             .is_ok());
     }

@@ -1,0 +1,322 @@
+//! Differential tests: reactor-mode drivers vs the thread-per-driver
+//! compatibility path. The reactor refactor must be observationally
+//! invisible — same analyzer verdict, same delivery multisets per
+//! consumer — across shard counts, under fault scripts, and even in
+//! the salvaged partial trace of an inconclusive run.
+//!
+//! Determinism notes: message limits make send counts exact; a single
+//! producer makes seeded fault decisions land on the same routing
+//! order in both modes; multisets (not sequences) absorb the only
+//! legitimate difference, scheduling-dependent interleaving.
+
+use jmst_api::destination::{Destination, EndpointId};
+use jmst_core::analyzer::AnalysisReport;
+use jmst_core::{Analyzer, PropertyKind};
+use jmst_harness::princed::spec_factory;
+use jmst_harness::runner::ThreadedRunner;
+use jmst_harness::spec::{ConsumerSpec, DriverMode, FaultPlan, NodeSpec, ProducerSpec, TestSpec};
+use jmst_harness::{HarnessError, RetryPolicy};
+use jmst_store::event::EventKind;
+use jmst_store::trace::Trace;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+const LIMIT: u64 = 30;
+
+/// A small two-queue spec: one producer+consumer pair per queue, so
+/// each consumer owns a distinct end-point and "per-consumer delivery
+/// multiset" is exactly "per-end-point delivery multiset".
+fn two_queue_spec(name: &str) -> TestSpec {
+    TestSpec::new(name)
+        .with_seed(23)
+        .with_periods(
+            Duration::from_millis(20),
+            Duration::from_millis(700),
+            Duration::from_secs(3),
+        )
+        .node(
+            NodeSpec::new("n0")
+                .producer(ProducerSpec::steady(Destination::queue("a"), 200.0, 48).limited(LIMIT))
+                .producer(ProducerSpec::steady(Destination::queue("b"), 150.0, 48).limited(LIMIT))
+                .consumer(ConsumerSpec::auto(Destination::queue("a")))
+                .consumer(ConsumerSpec::auto(Destination::queue("b"))),
+        )
+}
+
+/// Runs the spec in the given driver mode against a broker built from
+/// the spec's own faults/shards/queue-bound configuration.
+fn run_mode(base: &TestSpec, mode: DriverMode) -> Result<Trace, HarnessError> {
+    let spec = base.clone().with_drivers(mode);
+    let (provider, admin) = spec_factory(&spec);
+    ThreadedRunner::new().run(provider, admin, &spec)
+}
+
+fn run_ok(base: &TestSpec, mode: DriverMode) -> Trace {
+    run_mode(base, mode).expect("run completes")
+}
+
+/// Multiset of `(producer, sequence)` for sends (or receives).
+fn multiset(trace: &Trace, receives: bool) -> BTreeMap<(u64, u64), u32> {
+    let mut set = BTreeMap::new();
+    for event in trace.iter() {
+        let record = match &event.kind {
+            EventKind::Receive { record, .. } if receives => record,
+            EventKind::Send { record, .. } if !receives => record,
+            _ => continue,
+        };
+        *set.entry((record.producer.as_u64(), record.sequence))
+            .or_insert(0u32) += 1;
+    }
+    set
+}
+
+/// Delivery multisets grouped by receiving end-point — the
+/// per-consumer view when each consumer owns a distinct destination.
+fn per_consumer(trace: &Trace) -> BTreeMap<EndpointId, BTreeMap<(u64, u64), u32>> {
+    let mut map: BTreeMap<EndpointId, BTreeMap<(u64, u64), u32>> = BTreeMap::new();
+    for event in trace.iter() {
+        if let EventKind::Receive {
+            endpoint, record, ..
+        } = &event.kind
+        {
+            *map.entry(endpoint.clone())
+                .or_default()
+                .entry((record.producer.as_u64(), record.sequence))
+                .or_insert(0u32) += 1;
+        }
+    }
+    map
+}
+
+/// The verdict fingerprint two modes must agree on: pass/fail plus the
+/// violation count under each property.
+fn verdict(report: &AnalysisReport) -> (bool, BTreeMap<PropertyKind, usize>) {
+    let counts = report
+        .by_property()
+        .into_iter()
+        .map(|(kind, list)| (kind, list.len()))
+        .collect();
+    (report.passed(), counts)
+}
+
+/// Clean runs must be identical at both ends of the CI shard matrix.
+#[test]
+fn reactor_matches_thread_across_shard_counts() {
+    for shards in [1u32, 8] {
+        let base = two_queue_spec(&format!("diff-s{shards}")).with_shards(shards);
+        let thread = run_ok(&base, DriverMode::Thread);
+        let reactor = run_ok(&base, DriverMode::Reactor);
+
+        let thread_report = Analyzer::new().analyze(&thread);
+        let reactor_report = Analyzer::new().analyze(&reactor);
+        assert!(thread_report.passed(), "shards={shards}: {thread_report}");
+        assert!(reactor_report.passed(), "shards={shards}: {reactor_report}");
+        assert_eq!(
+            verdict(&thread_report),
+            verdict(&reactor_report),
+            "verdicts diverge at shards={shards}"
+        );
+
+        assert_eq!(
+            multiset(&thread, false),
+            multiset(&reactor, false),
+            "send multisets diverge at shards={shards}"
+        );
+        assert_eq!(
+            per_consumer(&thread),
+            per_consumer(&reactor),
+            "per-consumer delivery multisets diverge at shards={shards}"
+        );
+
+        // Both modes saw the full limited workload: 2 producers × LIMIT
+        // sends, each delivered exactly once to its own consumer.
+        let sends = multiset(&reactor, false);
+        assert_eq!(sends.len() as u64, 2 * LIMIT);
+        assert!(sends.values().all(|&n| n == 1));
+    }
+}
+
+/// Under a seeded drop+duplicate fault script the two modes must agree
+/// on the failure, not just on success: same violated properties, same
+/// per-consumer deliveries. A single producer pins the fault engine's
+/// decisions to the same routing order in both modes.
+#[test]
+fn fault_scripts_produce_identical_verdicts_and_deliveries() {
+    let faults = FaultPlan {
+        seed: 71,
+        drop_probability: 0.2,
+        duplicate_probability: 0.15,
+        ..FaultPlan::none()
+    };
+    let base = TestSpec::new("diff-faults")
+        .with_seed(29)
+        .with_periods(
+            Duration::from_millis(20),
+            Duration::from_millis(700),
+            Duration::from_secs(3),
+        )
+        .with_faults(faults)
+        .node(
+            NodeSpec::new("n0")
+                .producer(ProducerSpec::steady(Destination::queue("f"), 200.0, 40).limited(LIMIT))
+                .consumer(ConsumerSpec::auto(Destination::queue("f"))),
+        );
+
+    let thread = run_ok(&base, DriverMode::Thread);
+    let reactor = run_ok(&base, DriverMode::Reactor);
+
+    let thread_report = Analyzer::new().analyze(&thread);
+    let reactor_report = Analyzer::new().analyze(&reactor);
+    // The script drops messages, so both runs must fail — identically.
+    assert!(!thread_report.passed(), "{thread_report}");
+    assert_eq!(
+        verdict(&thread_report),
+        verdict(&reactor_report),
+        "fault verdicts diverge:\n  thread: {thread_report}\n  reactor: {reactor_report}"
+    );
+    assert!(thread_report.count_of(PropertyKind::RequiredMessages) > 0);
+
+    assert_eq!(multiset(&thread, false), multiset(&reactor, false));
+    assert_eq!(
+        per_consumer(&thread),
+        per_consumer(&reactor),
+        "faulted delivery multisets diverge"
+    );
+}
+
+/// When every connect is refused and retries are disabled, both modes
+/// must give up the same way: an `Inconclusive` error whose salvaged
+/// partial trace is equivalent (here: free of sends and receives —
+/// nobody ever connected).
+#[test]
+fn salvaged_partial_traces_are_equivalent() {
+    let faults = FaultPlan {
+        seed: 5,
+        connect_failure_probability: 1.0,
+        ..FaultPlan::none()
+    };
+    let base = TestSpec::new("diff-salvage")
+        .with_seed(41)
+        .with_periods(
+            Duration::from_millis(10),
+            Duration::from_millis(120),
+            Duration::from_secs(1),
+        )
+        .with_faults(faults)
+        .with_retry(RetryPolicy::disabled())
+        .node(
+            NodeSpec::new("n0")
+                .producer(ProducerSpec::steady(Destination::queue("s"), 100.0, 32).limited(4))
+                .consumer(ConsumerSpec::auto(Destination::queue("s"))),
+        );
+
+    let salvage = |mode: DriverMode| match run_mode(&base, mode) {
+        Err(HarnessError::Inconclusive {
+            reason,
+            partial_trace,
+        }) => {
+            assert!(
+                reason.contains("budget"),
+                "{mode:?}: unexpected reason {reason:?}"
+            );
+            *partial_trace
+        }
+        other => panic!("{mode:?}: expected Inconclusive, got {other:?}"),
+    };
+
+    let thread = salvage(DriverMode::Thread);
+    let reactor = salvage(DriverMode::Reactor);
+    assert_eq!(multiset(&thread, false), multiset(&reactor, false));
+    assert_eq!(per_consumer(&thread), per_consumer(&reactor));
+    assert!(multiset(&reactor, false).is_empty(), "nobody connected");
+}
+
+/// Closed-loop identity on the reactor path: the open-loop engine's
+/// single default virtual client (`vc 0`) must remain indistinguishable
+/// from the closed-loop reactor driver — same sends under the same
+/// harness identities, everything delivered once.
+#[test]
+fn vc0_open_loop_identity_holds_on_the_reactor_path() {
+    let spec = |name: &str| {
+        TestSpec::new(name)
+            .with_seed(17)
+            .with_periods(
+                Duration::from_millis(20),
+                Duration::from_millis(700),
+                Duration::from_secs(3),
+            )
+            .reactor_drivers()
+            .node(
+                NodeSpec::new("n0")
+                    .producer(
+                        ProducerSpec::steady(Destination::queue("vc"), 200.0, 48).limited(LIMIT),
+                    )
+                    .consumer(ConsumerSpec::auto(Destination::queue("vc"))),
+            )
+    };
+    let closed = run_ok(&spec("vc0-closed"), DriverMode::Reactor);
+    let open = run_ok(&spec("vc0-open").open_loop(), DriverMode::Reactor);
+
+    assert!(Analyzer::new().analyze(&closed).passed());
+    assert!(Analyzer::new().analyze(&open).passed());
+    let closed_sends = multiset(&closed, false);
+    assert_eq!(closed_sends, multiset(&open, false), "vc 0 identity broke");
+    assert_eq!(closed_sends.len() as u64, LIMIT);
+    assert_eq!(per_consumer(&closed), per_consumer(&open));
+}
+
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        // Each case is two full harness runs; keep the count small and
+        // the workloads short.
+        #![proptest_config(ProptestConfig::with_cases(4))]
+
+        // Randomised differential: seed, consumer batch, shard count,
+        // and an optional drop script — the two modes must agree on
+        // verdict and per-consumer deliveries for all of them.
+        #[test]
+        fn reactor_and_thread_modes_agree(
+            seed in 1u64..5_000,
+            batch in prop_oneof![Just(1u32), Just(3)],
+            shards in prop_oneof![Just(1u32), Just(8)],
+            drop in prop_oneof![Just(0.0f64), Just(0.25)],
+        ) {
+            let mut base = TestSpec::new("diff-prop")
+                .with_seed(seed)
+                .with_periods(
+                    Duration::from_millis(10),
+                    Duration::from_millis(600),
+                    Duration::from_secs(3),
+                )
+                .with_shards(shards)
+                .node(
+                    NodeSpec::new("n0")
+                        .producer(
+                            ProducerSpec::steady(Destination::queue("p"), 250.0, 32).limited(20),
+                        )
+                        .consumer(
+                            ConsumerSpec::auto(Destination::queue("p"))
+                                .with_mode(jmst_api::modes::SessionMode::ClientAcknowledge, batch),
+                        ),
+                );
+            if drop > 0.0 {
+                base = base.with_faults(FaultPlan {
+                    seed,
+                    drop_probability: drop,
+                    ..FaultPlan::none()
+                });
+            }
+
+            let thread = run_ok(&base, DriverMode::Thread);
+            let reactor = run_ok(&base, DriverMode::Reactor);
+            let thread_report = Analyzer::new().analyze(&thread);
+            let reactor_report = Analyzer::new().analyze(&reactor);
+            prop_assert_eq!(verdict(&thread_report), verdict(&reactor_report));
+            prop_assert_eq!(multiset(&thread, false), multiset(&reactor, false));
+            prop_assert_eq!(per_consumer(&thread), per_consumer(&reactor));
+        }
+    }
+}

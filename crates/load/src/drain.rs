@@ -1,23 +1,24 @@
-//! The receive half of the load engine: a single pump thread draining
-//! many consumers through the non-blocking batch API.
+//! The receive half of the load engine: consumers mounted as reactor
+//! tasks, woken through the ready list.
 //!
-//! Each consumer registers a waker (when the provider supports
-//! [`Consumer::set_waker`]) that marks it dirty and nudges the pump; the
-//! pump batch-drains dirty consumers with
-//! [`Consumer::try_receive_batch`], so no thread ever parks inside one
-//! consumer's receive. Providers without waker support are polled on a
-//! short fallback interval instead.
+//! Each consumer is one poll-driven task on a single-worker
+//! [`jmst_reactor::Reactor`]. When the provider supports
+//! [`Consumer::set_waker`], the task's reactor waker is installed
+//! directly: a message arrival marks exactly that task ready, so the
+//! wake cost is O(ready consumers) — there is no dirty-flag sweep over
+//! every endpoint the way the old pump thread did. Providers without
+//! waker support fall back to a short poll timer instead.
 //!
 //! Delivery latency is measured open-loop: producers stamp each message
 //! with its *intended* send time (the [`INTENDED_NS_PROP`] property,
-//! nanoseconds from the shared epoch), and the pump records
+//! nanoseconds from the shared epoch), and the drain records
 //! `receive time − intended send time` — queueing delay included, no
 //! coordinated omission.
 
 use jmst_api::provider::Consumer;
 use jmst_api::value::Value;
+use jmst_reactor::{Context, Poll, Reactor, Task};
 use jmst_store::stats::LogHistogram;
-use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -38,122 +39,143 @@ pub struct DrainReport {
     pub unstamped: u64,
 }
 
-struct PumpShared {
-    /// Per-consumer dirty flags set by wakers.
-    dirty: Vec<AtomicBool>,
-    /// Signalled by wakers so the pump wakes promptly.
-    signal: Condvar,
-    lock: Mutex<()>,
-    stop: AtomicBool,
+/// The drain worker's shared slot: the merged report every consumer
+/// task records into.
+struct DrainSlot {
+    report: DrainReport,
 }
 
-/// A running drain pump; [`DrainPump::stop`] joins it and returns the
-/// report.
+/// A running drain; [`DrainPump::stop`] halts the reactor and returns
+/// the report.
 pub struct DrainPump {
-    shared: Arc<PumpShared>,
+    stop: Arc<AtomicBool>,
     handle: std::thread::JoinHandle<DrainReport>,
 }
 
 /// How many messages one `try_receive_batch` call may take.
 const DRAIN_BATCH: usize = 256;
-/// Poll interval when some consumer lacks waker support.
+/// Poll interval when a consumer lacks waker support.
 const POLL_FALLBACK: Duration = Duration::from_millis(1);
-/// Wait bound when every consumer has a waker (wakeup-driven).
+/// Safety re-poll bound for waker-driven consumers, covering waker
+/// edge cases (visibility-delay expiry between polls).
 const IDLE_SLICE: Duration = Duration::from_millis(20);
 
-impl DrainPump {
-    /// Starts a pump thread over `consumers`. `epoch` must be the same
-    /// instant the producing side measures intended times from.
-    pub fn start(mut consumers: Vec<Box<dyn Consumer>>, epoch: Instant) -> Self {
-        let shared = Arc::new(PumpShared {
-            dirty: (0..consumers.len())
-                .map(|_| AtomicBool::new(true))
-                .collect(),
-            signal: Condvar::new(),
-            lock: Mutex::new(()),
-            stop: AtomicBool::new(false),
-        });
-        let mut all_wakeable = true;
-        for (index, consumer) in consumers.iter_mut().enumerate() {
-            let shared_waker = Arc::clone(&shared);
-            let wakeable = consumer.set_waker(Arc::new(move || {
-                shared_waker.dirty[index].store(true, Ordering::Release);
-                shared_waker.signal.notify_one();
-            }));
-            all_wakeable &= wakeable;
-        }
-        let pump_shared = Arc::clone(&shared);
-        let handle =
-            std::thread::spawn(move || pump_loop(consumers, pump_shared, epoch, all_wakeable));
-        Self { shared, handle }
-    }
+/// One consumer as a reactor task.
+struct DrainTask {
+    consumer: Box<dyn Consumer>,
+    /// The producing side's epoch; intended-time stamps are offsets
+    /// from this instant, so latency must be measured against it rather
+    /// than the reactor's own epoch.
+    epoch: Instant,
+    /// Whether the provider accepted our reactor waker (set on first
+    /// poll).
+    wakeable: Option<bool>,
+}
 
-    /// Stops the pump after a final drain pass and returns the report.
-    pub fn stop(self) -> DrainReport {
-        self.shared.stop.store(true, Ordering::Release);
-        self.shared.signal.notify_one();
-        self.handle.join().expect("drain pump panicked")
+impl DrainTask {
+    /// Drains everything currently visible; returns whether anything
+    /// was taken.
+    fn drain(&mut self, cx: &mut Context<'_>) -> bool {
+        let mut drained_any = false;
+        // A closed endpoint (`Err`) just means nothing more this pass.
+        while let Ok(batch) = self.consumer.try_receive_batch(DRAIN_BATCH) {
+            if batch.is_empty() {
+                break;
+            }
+            drained_any = true;
+            let now = self.epoch.elapsed();
+            let slot = cx.state_mut::<DrainSlot>().expect("drain slot seeded");
+            for message in &batch {
+                slot.report.received += 1;
+                match message.properties().get(INTENDED_NS_PROP) {
+                    Some(Value::Long(nanos)) => {
+                        let intended = Duration::from_nanos((*nanos).max(0) as u64);
+                        slot.report.latency.record(now.saturating_sub(intended));
+                    }
+                    _ => slot.report.unstamped += 1,
+                }
+            }
+            if batch.len() < DRAIN_BATCH {
+                break;
+            }
+        }
+        drained_any
     }
 }
 
-fn pump_loop(
-    mut consumers: Vec<Box<dyn Consumer>>,
-    shared: Arc<PumpShared>,
-    epoch: Instant,
-    all_wakeable: bool,
-) -> DrainReport {
-    let mut report = DrainReport {
-        received: 0,
-        latency: LogHistogram::new(),
-        unstamped: 0,
-    };
-    loop {
-        let stopping = shared.stop.load(Ordering::Acquire);
-        let mut drained_any = false;
-        for (index, consumer) in consumers.iter_mut().enumerate() {
-            // When stopping, sweep everything once more regardless of
-            // dirty flags so late arrivals are not stranded.
-            if !stopping && !shared.dirty[index].swap(false, Ordering::AcqRel) {
-                continue;
-            }
-            // A closed endpoint (`Err`) just means this consumer is done.
-            while let Ok(batch) = consumer.try_receive_batch(DRAIN_BATCH) {
-                if batch.is_empty() {
-                    break;
-                }
-                drained_any = true;
-                let now = epoch.elapsed();
-                for message in &batch {
-                    report.received += 1;
-                    match message.properties().get(INTENDED_NS_PROP) {
-                        Some(Value::Long(nanos)) => {
-                            let intended = Duration::from_nanos((*nanos).max(0) as u64);
-                            report.latency.record(now.saturating_sub(intended));
-                        }
-                        _ => report.unstamped += 1,
-                    }
-                }
-                if batch.len() < DRAIN_BATCH {
-                    break;
-                }
-            }
+impl Task for DrainTask {
+    fn poll(&mut self, cx: &mut Context<'_>) -> Poll {
+        if self.wakeable.is_none() {
+            // First poll: hand the provider this task's reactor waker,
+            // so arrivals enqueue us on the ready list directly.
+            let wakeable = self.consumer.set_waker(cx.waker().into_callback());
+            self.wakeable = Some(wakeable);
         }
-        if stopping && !drained_any {
-            return report;
-        }
-        if !drained_any && !stopping {
-            let wait = if all_wakeable {
-                IDLE_SLICE
+        let drained_any = self.drain(cx);
+        if cx.stopping() {
+            // Shutdown sweep: keep draining until a pass comes up
+            // empty, so late arrivals are not stranded.
+            return if drained_any {
+                Poll::Pending
             } else {
-                POLL_FALLBACK
+                Poll::Ready
             };
-            let mut guard = shared.lock.lock();
-            shared.signal.wait_for(&mut guard, wait);
-            if !all_wakeable {
-                for flag in &shared.dirty {
-                    flag.store(true, Ordering::Release);
-                }
-            }
         }
+        // The waker covers arrivals; the timer covers everything the
+        // waker cannot see (no waker support, visibility edges).
+        let re_poll = if self.wakeable == Some(true) {
+            IDLE_SLICE
+        } else {
+            POLL_FALLBACK
+        };
+        cx.wake_after(re_poll);
+        Poll::Pending
+    }
+}
+
+impl DrainPump {
+    /// Starts draining `consumers` on a dedicated single-worker
+    /// reactor. `epoch` must be the same instant the producing side
+    /// measures intended times from.
+    pub fn start(consumers: Vec<Box<dyn Consumer>>, epoch: Instant) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let mut reactor = Reactor::new(1);
+            reactor.set_worker_state(
+                0,
+                Box::new(DrainSlot {
+                    report: DrainReport {
+                        received: 0,
+                        latency: LogHistogram::new(),
+                        unstamped: 0,
+                    },
+                }),
+            );
+            for consumer in consumers {
+                reactor.spawn(Box::new(DrainTask {
+                    consumer,
+                    epoch,
+                    wakeable: None,
+                }));
+            }
+            let outcome = reactor.run(Some(stop_flag), None);
+            let slot = outcome
+                .worker_states
+                .into_iter()
+                .next()
+                .flatten()
+                .expect("drain slot present")
+                .downcast::<DrainSlot>()
+                .expect("drain slot type");
+            slot.report
+        });
+        Self { stop, handle }
+    }
+
+    /// Stops the drain after a final sweep and returns the report.
+    pub fn stop(self) -> DrainReport {
+        self.stop.store(true, Ordering::Release);
+        self.handle.join().expect("drain reactor panicked")
     }
 }

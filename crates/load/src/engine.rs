@@ -1,11 +1,13 @@
-//! The open-loop load engine: N virtual clients multiplexed onto a
-//! small worker pool.
+//! The open-loop load engine: N virtual clients mounted directly on the
+//! reactor's timing wheels.
 //!
-//! Each worker owns a shard of the clients, one [`Transport`], and one
-//! [`TimingWheel`]. The loop is: turn the wheel to *now*, fire every due
-//! client (connect if needed, send, record `actual − intended` lag),
-//! schedule each client's next arrival at `previous intended + gap` —
-//! never `now + gap` — and park until the earliest pending deadline.
+//! Each virtual client is a poll-driven [`Task`] pinned to one reactor
+//! worker; the worker's state slot holds that shard's [`Transport`] and
+//! report, so thousands of clients multiplex one transport without
+//! locking. A client's poll is: connect if needed, send, record
+//! `actual − intended` lag, then arm a timer for the next arrival at
+//! `previous intended + gap` — never `now + gap` — and park. Between
+//! fires a client costs *nothing*: the reactor only polls ready tasks.
 //!
 //! Scheduling from the *intended* time is the whole point: a slow send
 //! delays nothing behind it, queued arrivals fire back-to-back on
@@ -14,11 +16,11 @@
 //! measurement a closed loop cannot produce.
 
 use crate::client::{ClientSpec, SendDisposition, Transport};
-use crate::wheel::TimingWheel;
+use jmst_reactor::{Context, Poll, Reactor, Task};
 use jmst_store::stats::LogHistogram;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Merged outcome of one engine run (or one worker's share of it).
 #[derive(Debug, Clone)]
@@ -67,9 +69,16 @@ impl EngineReport {
     }
 }
 
-/// Per-client runtime state; 1M clients ≈ a few hundred MB dominated by
-/// the arrival generators.
-struct ClientState {
+/// One reactor worker's shared slot: its transport and its share of the
+/// report (merged across workers when the run ends).
+struct WorkerSlot {
+    transport: Box<dyn Transport>,
+    report: EngineReport,
+}
+
+/// One virtual client as a reactor task; 1M clients ≈ a few hundred MB
+/// dominated by the arrival generators.
+struct ClientTask {
     spec: ClientSpec,
     /// The client's global index in the input vector — the identity the
     /// transport sees, stable across sharding.
@@ -79,6 +88,87 @@ struct ClientState {
     intended: Duration,
     sent: u64,
     connected: bool,
+    /// First poll arms the first arrival instead of sending.
+    started: bool,
+}
+
+impl Task for ClientTask {
+    fn poll(&mut self, cx: &mut Context<'_>) -> Poll {
+        // A halted run abandons in-progress clients without counting
+        // them completed or aborted, exactly like the thread engine did.
+        if cx.stopping() {
+            return Poll::Ready;
+        }
+        if !self.started {
+            // Schedule the first arrival: start offset plus the first
+            // gap of the arrival process.
+            self.started = true;
+            self.intended = self.intended.saturating_add(self.spec.arrival.next_gap());
+            cx.wake_at_nanos(self.intended.as_nanos() as u64);
+            return Poll::Pending;
+        }
+        let now = cx.now();
+        if !self.connected {
+            let disposition = {
+                let slot = cx.state_mut::<WorkerSlot>().expect("worker slot seeded");
+                slot.transport.connect(self.id)
+            };
+            match disposition {
+                SendDisposition::Sent => self.connected = true,
+                SendDisposition::RetryAfter(backoff) => {
+                    let slot = cx.state_mut::<WorkerSlot>().expect("worker slot seeded");
+                    slot.report.retries += 1;
+                    cx.wake_at_nanos(now.saturating_add(backoff).as_nanos() as u64);
+                    return Poll::Pending;
+                }
+                SendDisposition::Abort(reason) => {
+                    let slot = cx.state_mut::<WorkerSlot>().expect("worker slot seeded");
+                    slot.report.aborted_clients += 1;
+                    slot.report.first_abort.get_or_insert(reason);
+                    return Poll::Ready;
+                }
+            }
+        }
+        let disposition = {
+            let slot = cx.state_mut::<WorkerSlot>().expect("worker slot seeded");
+            slot.transport.send(self.id, self.sent, self.intended, now)
+        };
+        match disposition {
+            SendDisposition::Sent => {
+                {
+                    let slot = cx.state_mut::<WorkerSlot>().expect("worker slot seeded");
+                    slot.report.sends += 1;
+                    slot.report
+                        .send_lag
+                        .record(now.saturating_sub(self.intended));
+                }
+                self.sent += 1;
+                if self.spec.limit.is_some_and(|limit| self.sent >= limit) {
+                    let slot = cx.state_mut::<WorkerSlot>().expect("worker slot seeded");
+                    slot.report.completed_clients += 1;
+                    return Poll::Ready;
+                }
+                // Open loop: the next arrival is scheduled from the
+                // *intended* time, not from now — a late send never
+                // slows the arrival process down.
+                self.intended = self.intended.saturating_add(self.spec.arrival.next_gap());
+                cx.wake_at_nanos(self.intended.as_nanos() as u64);
+                Poll::Pending
+            }
+            SendDisposition::RetryAfter(backoff) => {
+                let slot = cx.state_mut::<WorkerSlot>().expect("worker slot seeded");
+                slot.report.retries += 1;
+                cx.wake_at_nanos(now.saturating_add(backoff).as_nanos() as u64);
+                Poll::Pending
+            }
+            SendDisposition::Abort(reason) => {
+                let slot = cx.state_mut::<WorkerSlot>().expect("worker slot seeded");
+                slot.report.aborted_clients += 1;
+                slot.report.first_abort.get_or_insert(reason);
+                Poll::Ready
+            }
+        }
+    }
 }
 
 /// The multiplexed open-loop engine.
@@ -115,8 +205,8 @@ pub struct LoadEngine {
 }
 
 impl LoadEngine {
-    /// An engine with `workers` worker threads, a 1 ms wheel tick, and a
-    /// ~4 s wheel horizon.
+    /// An engine with `workers` reactor workers, a 1 ms wheel tick, and
+    /// a ~4 s wheel horizon.
     ///
     /// # Panics
     ///
@@ -141,12 +231,13 @@ impl LoadEngine {
         self.workers
     }
 
-    /// Runs the load: shards `clients` across the workers (honouring
-    /// [`ClientSpec::on_shard`], round-robin otherwise), pairs worker
-    /// `i` with `transports[i]`, and drives every client until it
-    /// completes or aborts, `run_for` elapses, or `stop` flips to true.
+    /// Runs the load: shards `clients` across the reactor workers
+    /// (honouring [`ClientSpec::on_shard`], round-robin otherwise),
+    /// pairs worker `i` with `transports[i]`, and drives every client
+    /// until it completes or aborts, `run_for` elapses, or `stop` flips
+    /// to true.
     ///
-    /// Blocks until all workers finish and returns the merged report.
+    /// Blocks until the reactor drains and returns the merged report.
     ///
     /// # Panics
     ///
@@ -163,136 +254,44 @@ impl LoadEngine {
             self.workers,
             "one transport per worker required"
         );
-        let mut shards: Vec<Vec<(u32, ClientSpec)>> =
-            (0..self.workers).map(|_| Vec::new()).collect();
-        for (index, client) in clients.into_iter().enumerate() {
-            let shard = client.shard.unwrap_or(index) % self.workers;
-            shards[shard].push((index as u32, client));
+        let mut reactor =
+            Reactor::new(self.workers).with_timer_resolution(self.tick, self.wheel_slots);
+        for (worker, transport) in transports.into_iter().enumerate() {
+            reactor.set_worker_state(
+                worker,
+                Box::new(WorkerSlot {
+                    transport,
+                    report: EngineReport::new(),
+                }),
+            );
         }
-        let epoch = Instant::now();
+        for (index, spec) in clients.into_iter().enumerate() {
+            let worker = spec.shard.unwrap_or(index) % self.workers;
+            reactor.spawn_on(
+                worker,
+                Box::new(ClientTask {
+                    intended: spec.start_offset,
+                    spec,
+                    id: index as u32,
+                    sent: 0,
+                    connected: false,
+                    started: false,
+                }),
+            );
+        }
+        let outcome = reactor.run(stop, run_for);
         let mut report = EngineReport::new();
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(self.workers);
-            for (shard, transport) in shards.into_iter().zip(transports) {
-                let stop = stop.clone();
-                let tick = self.tick;
-                let slots = self.wheel_slots;
-                handles.push(scope.spawn(move || {
-                    worker_loop(shard, transport, epoch, tick, slots, run_for, stop)
-                }));
-            }
-            for handle in handles {
-                let worker_report = handle.join().expect("load worker panicked");
-                report.merge(worker_report);
-            }
-        });
+        for state in outcome.worker_states {
+            let mut slot = state
+                .expect("worker slot present")
+                .downcast::<WorkerSlot>()
+                .expect("worker slot type");
+            slot.transport.finish();
+            report.merge(slot.report);
+        }
+        report.elapsed = outcome.elapsed;
         report
     }
-}
-
-/// How long a worker may sleep between stop-flag checks.
-const PARK_SLICE: Duration = Duration::from_millis(10);
-
-fn worker_loop(
-    shard: Vec<(u32, ClientSpec)>,
-    mut transport: Box<dyn Transport>,
-    epoch: Instant,
-    tick: Duration,
-    wheel_slots: usize,
-    run_for: Option<Duration>,
-    stop: Option<Arc<AtomicBool>>,
-) -> EngineReport {
-    let mut report = EngineReport::new();
-    let mut wheel = TimingWheel::new(tick, wheel_slots);
-    let mut states: Vec<ClientState> = shard
-        .into_iter()
-        .map(|(id, spec)| ClientState {
-            intended: spec.start_offset,
-            spec,
-            id,
-            sent: 0,
-            connected: false,
-        })
-        .collect();
-    // Schedule every client's first arrival: start offset plus the first
-    // gap of its arrival process.
-    for (index, state) in states.iter_mut().enumerate() {
-        state.intended = state.intended.saturating_add(state.spec.arrival.next_gap());
-        wheel.schedule(state.intended.as_nanos() as u64, index as u32);
-    }
-    let stopped = || {
-        stop.as_ref()
-            .is_some_and(|flag| flag.load(Ordering::Relaxed))
-    };
-    let mut due: Vec<(u64, u32)> = Vec::new();
-    while !wheel.is_empty() {
-        let now = epoch.elapsed();
-        if run_for.is_some_and(|limit| now >= limit) || stopped() {
-            break;
-        }
-        due.clear();
-        wheel.advance(now.as_nanos() as u64, &mut due);
-        for &(_, index) in &due {
-            let state = &mut states[index as usize];
-            let client = state.id;
-            if !state.connected {
-                match transport.connect(client) {
-                    SendDisposition::Sent => state.connected = true,
-                    SendDisposition::RetryAfter(backoff) => {
-                        report.retries += 1;
-                        wheel.schedule((now.saturating_add(backoff)).as_nanos() as u64, index);
-                        continue;
-                    }
-                    SendDisposition::Abort(reason) => {
-                        report.aborted_clients += 1;
-                        report.first_abort.get_or_insert(reason);
-                        continue;
-                    }
-                }
-            }
-            match transport.send(client, state.sent, state.intended, now) {
-                SendDisposition::Sent => {
-                    report.sends += 1;
-                    report.send_lag.record(now.saturating_sub(state.intended));
-                    state.sent += 1;
-                    if state.spec.limit.is_some_and(|limit| state.sent >= limit) {
-                        report.completed_clients += 1;
-                        continue;
-                    }
-                    // Open loop: the next arrival is scheduled from the
-                    // *intended* time, not from now — a late send never
-                    // slows the arrival process down.
-                    state.intended = state.intended.saturating_add(state.spec.arrival.next_gap());
-                    wheel.schedule(state.intended.as_nanos() as u64, index);
-                }
-                SendDisposition::RetryAfter(backoff) => {
-                    report.retries += 1;
-                    wheel.schedule((now.saturating_add(backoff)).as_nanos() as u64, index);
-                }
-                SendDisposition::Abort(reason) => {
-                    report.aborted_clients += 1;
-                    report.first_abort.get_or_insert(reason);
-                }
-            }
-        }
-        // Park until the earliest pending deadline, bounded so the stop
-        // flag and run limit stay responsive.
-        if let Some(next) = wheel.next_deadline() {
-            let now = epoch.elapsed();
-            let mut park = Duration::from_nanos(next)
-                .saturating_sub(now)
-                .min(PARK_SLICE);
-            if let Some(limit) = run_for {
-                park = park.min(limit.saturating_sub(now));
-            }
-            if !park.is_zero() {
-                std::thread::sleep(park);
-            }
-        }
-    }
-    transport.finish();
-    report.elapsed = epoch.elapsed();
-    report
 }
 
 #[cfg(test)]
@@ -300,6 +299,7 @@ mod tests {
     use super::*;
     use jmst_sim::arrival::ArrivalProcess;
     use jmst_sim::dist::SimRng;
+    use std::sync::atomic::Ordering;
 
     /// Counts sends; optionally defers the first `defer` attempts per
     /// client.

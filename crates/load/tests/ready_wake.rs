@@ -1,0 +1,281 @@
+//! O(ready) wake-delivery regression tests.
+//!
+//! The old drain pump woke by setting a dirty flag and sweeping *every*
+//! consumer; the reactor enqueues exactly the woken task. These tests
+//! pin that down with poll counts: parked tasks must cost nothing
+//! while other tasks are woken, and idle drain consumers must see only
+//! the safety-timer re-poll cadence — not one visit per message that
+//! arrived elsewhere.
+
+use jmst_api::destination::Destination;
+use jmst_api::error::Error;
+use jmst_api::id::{ConsumerId, MessageId, ProducerId};
+use jmst_api::message::{Message, MessageDraft, Stamp};
+use jmst_api::provider::Consumer;
+use jmst_api::time::Timestamp;
+use jmst_api::value::Value;
+use jmst_load::{DrainPump, INTENDED_NS_PROP};
+use jmst_reactor::{Context, Poll, Reactor, Task};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A task that parks forever: polled once at spawn, then never again
+/// unless explicitly woken.
+struct Parked;
+
+impl Task for Parked {
+    fn poll(&mut self, cx: &mut Context<'_>) -> Poll {
+        if cx.stopping() {
+            return Poll::Ready;
+        }
+        Poll::Pending
+    }
+}
+
+/// A slot another thread can store a task's wake callback into.
+type WakerSlot = Arc<Mutex<Option<Arc<dyn Fn() + Send + Sync>>>>;
+
+/// A task that exports its waker and counts its polls.
+struct Hot {
+    waker_out: WakerSlot,
+    polls: Arc<AtomicU64>,
+}
+
+impl Task for Hot {
+    fn poll(&mut self, cx: &mut Context<'_>) -> Poll {
+        if cx.stopping() {
+            return Poll::Ready;
+        }
+        if self.waker_out.lock().is_none() {
+            *self.waker_out.lock() = Some(cx.waker().into_callback());
+        }
+        self.polls.fetch_add(1, Ordering::SeqCst);
+        Poll::Pending
+    }
+}
+
+/// Waking one task among N parked tasks costs O(1) polls per wake, not
+/// a sweep of all N. With a dirty-flag scan the poll count would grow
+/// with `parked × wakes`; here the total stays `2(N+1) + O(wakes)`.
+#[test]
+fn waking_one_task_does_not_poll_the_parked_ones() {
+    const PARKED: u64 = 10_000;
+    const WAKES: u64 = 100;
+
+    let mut reactor = Reactor::new(2);
+    for _ in 0..PARKED {
+        reactor.spawn(Box::new(Parked));
+    }
+    let waker_out = Arc::new(Mutex::new(None));
+    let hot_polls = Arc::new(AtomicU64::new(0));
+    reactor.spawn(Box::new(Hot {
+        waker_out: Arc::clone(&waker_out),
+        polls: Arc::clone(&hot_polls),
+    }));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_driver = Arc::clone(&stop);
+    let driver_polls = Arc::clone(&hot_polls);
+    let driver = std::thread::spawn(move || {
+        // Wait for the hot task's first poll to publish its waker.
+        let waker = loop {
+            if let Some(waker) = waker_out.lock().clone() {
+                break waker;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        };
+        // Fire WAKES wakes, waiting for each poll to land so wake
+        // coalescing cannot merge them (we want an exact count).
+        let mut seen = driver_polls.load(Ordering::SeqCst);
+        for _ in 0..WAKES {
+            waker();
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while driver_polls.load(Ordering::SeqCst) <= seen {
+                assert!(Instant::now() < deadline, "woken task was never polled");
+                std::thread::sleep(Duration::from_micros(100));
+            }
+            seen = driver_polls.load(Ordering::SeqCst);
+        }
+        stop_driver.store(true, Ordering::SeqCst);
+    });
+
+    let started = Instant::now();
+    let outcome = reactor.run(Some(stop), None);
+    driver.join().expect("wake driver panicked");
+
+    // Fixed cost: every task is polled once at spawn and once in the
+    // shutdown sweep. Variable cost: one poll per wake (a wake landing
+    // mid-poll may add one more). Parked tasks contribute nothing per
+    // wake — that is the regression being pinned.
+    let fixed = 2 * (PARKED + 1);
+    assert!(
+        outcome.polls >= fixed + WAKES,
+        "polls {} lost wakes (expected at least {})",
+        outcome.polls,
+        fixed + WAKES
+    );
+    assert!(
+        outcome.polls <= fixed + 2 * WAKES + 16,
+        "polls {} scale with parked-task count — wake delivery is no longer O(ready)",
+        outcome.polls
+    );
+    // Timing assertion: 10k parked tasks and 100 wakes are nearly free.
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "run took {:?}; parked tasks are being swept",
+        started.elapsed()
+    );
+}
+
+/// A wakeable stub consumer: counts `try_receive_batch` visits and
+/// serves messages pushed by the test.
+struct StubConsumer {
+    id: ConsumerId,
+    destination: Destination,
+    queue: Arc<Mutex<VecDeque<Message>>>,
+    visits: Arc<AtomicU64>,
+    waker: WakerSlot,
+}
+
+impl StubConsumer {
+    fn new(
+        raw: u64,
+    ) -> (
+        Self,
+        Arc<Mutex<VecDeque<Message>>>,
+        Arc<AtomicU64>,
+        WakerSlot,
+    ) {
+        let queue = Arc::new(Mutex::new(VecDeque::new()));
+        let visits = Arc::new(AtomicU64::new(0));
+        let waker = Arc::new(Mutex::new(None));
+        (
+            Self {
+                id: ConsumerId::from_raw(raw),
+                destination: Destination::queue("ready-wake"),
+                queue: Arc::clone(&queue),
+                visits: Arc::clone(&visits),
+                waker: Arc::clone(&waker),
+            },
+            queue,
+            visits,
+            waker,
+        )
+    }
+}
+
+impl Consumer for StubConsumer {
+    fn id(&self) -> ConsumerId {
+        self.id
+    }
+
+    fn destination(&self) -> &Destination {
+        &self.destination
+    }
+
+    fn selector(&self) -> Option<&str> {
+        None
+    }
+
+    fn receive(&mut self, _timeout: Option<Duration>) -> Result<Option<Message>, Error> {
+        Ok(self.queue.lock().pop_front())
+    }
+
+    fn try_receive_batch(&mut self, max: usize) -> Result<Vec<Message>, Error> {
+        self.visits.fetch_add(1, Ordering::SeqCst);
+        let mut queue = self.queue.lock();
+        let take = queue.len().min(max);
+        Ok(queue.drain(..take).collect())
+    }
+
+    fn set_waker(&mut self, waker: Arc<dyn Fn() + Send + Sync>) -> bool {
+        *self.waker.lock() = Some(waker);
+        true
+    }
+
+    fn acknowledge(&mut self) -> Result<(), Error> {
+        Ok(())
+    }
+
+    fn close(&mut self) -> Result<(), Error> {
+        Ok(())
+    }
+}
+
+fn stamped_message(sequence: u64, intended: Duration) -> Message {
+    MessageDraft::text("m")
+        .property(INTENDED_NS_PROP, Value::Long(intended.as_nanos() as i64))
+        .expect("valid property")
+        .stamp(Stamp {
+            id: MessageId::from_raw(sequence + 1),
+            producer: ProducerId::from_raw(1),
+            sequence,
+            destination: Destination::queue("ready-wake"),
+            sent_at: Timestamp::from_nanos(intended.as_nanos() as u64),
+        })
+}
+
+/// Message arrivals on one consumer must not cause visits to the other
+/// idle consumers: their visit counts follow the 20 ms safety-timer
+/// cadence, not the message count.
+#[test]
+fn idle_drain_consumers_are_not_swept_per_message() {
+    const IDLE: usize = 500;
+    const MESSAGES: u64 = 400;
+
+    let mut consumers: Vec<Box<dyn Consumer>> = Vec::new();
+    let mut idle_visits = Vec::new();
+    for raw in 0..IDLE as u64 {
+        let (consumer, _, visits, _) = StubConsumer::new(raw);
+        idle_visits.push(visits);
+        consumers.push(Box::new(consumer));
+    }
+    let (active, active_queue, active_visits, active_waker) = StubConsumer::new(IDLE as u64);
+    consumers.push(Box::new(active));
+
+    let epoch = Instant::now();
+    let pump = DrainPump::start(consumers, epoch);
+
+    // Wait for the drain tasks' first polls to install the wakers.
+    let waker = loop {
+        if let Some(waker) = active_waker.lock().clone() {
+            break waker;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    };
+    let started = Instant::now();
+    for sequence in 0..MESSAGES {
+        active_queue
+            .lock()
+            .push_back(stamped_message(sequence, epoch.elapsed()));
+        waker();
+        if sequence % 50 == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    // Give the drain a beat to absorb the tail, then stop.
+    std::thread::sleep(Duration::from_millis(30));
+    let report = pump.stop();
+    let elapsed = started.elapsed();
+
+    assert_eq!(report.received, MESSAGES, "active consumer lost messages");
+    assert_eq!(report.unstamped, 0);
+    assert!(active_visits.load(Ordering::SeqCst) >= 1);
+
+    // Idle consumers may be visited by the initial poll, the 20 ms
+    // safety timer, and the shutdown sweep — a cadence bound, not a
+    // per-message one. The old dirty-flag pump swept every consumer on
+    // every wake, which here would mean visits ≈ MESSAGES.
+    let cadence_bound = 3 + (elapsed.as_millis() as u64) / 20 + 4;
+    for (index, visits) in idle_visits.iter().enumerate() {
+        let count = visits.load(Ordering::SeqCst);
+        assert!(
+            count <= cadence_bound,
+            "idle consumer {index} visited {count} times (bound {cadence_bound}); \
+             arrivals are sweeping all consumers again"
+        );
+    }
+}

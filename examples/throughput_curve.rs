@@ -3,10 +3,14 @@
 //!
 //! Three experiments run in one process and land in `BENCH_loadgen.json`:
 //!
-//! 1. **Broker scalability** — 1K/10K/100K virtual clients multiplexed
-//!    onto a handful of engine workers, sending a fixed aggregate rate
+//! 1. **Broker scalability** — 1K/10K/100K/1M virtual clients mounted
+//!    directly on the reactor's timing wheel and multiplexed onto a
+//!    handful of engine workers, sending a fixed aggregate rate
 //!    through the reference broker while a [`DrainPump`] measures
-//!    intended-send→delivery latency (coordinated-omission-safe).
+//!    intended-send→delivery latency (coordinated-omission-safe). The
+//!    1M point is the reactor refactor's headline: no thread pool can
+//!    host a million closed-loop drivers, but a million poll-driven
+//!    timer tasks are just memory.
 //! 2. **Model crossover** — the same 100K-client population swept across
 //!    rising demand against time-compressed stand-ins for the paper's
 //!    Provider I (plateau: flow control holds throughput at capacity)
@@ -20,7 +24,7 @@
 //!
 //! ```sh
 //! cargo run --release --example throughput_curve            # full sweep
-//! cargo run --release --example throughput_curve -- --smoke # CI: ≤10K clients, ≤10s
+//! cargo run --release --example throughput_curve -- --smoke # CI: short runs, still sweeps to 1M clients
 //! ```
 
 use jmst_api::modes::SessionMode;
@@ -450,13 +454,13 @@ fn main() {
     // --- Experiment 1: broker scalability ---------------------------------
     let (counts, broker_rate, broker_run) = if smoke {
         (
-            vec![1_000usize, 10_000],
+            vec![1_000usize, 10_000, 1_000_000],
             10_000.0,
             Duration::from_millis(800),
         )
     } else {
         (
-            vec![1_000usize, 10_000, 100_000],
+            vec![1_000usize, 10_000, 100_000, 1_000_000],
             40_000.0,
             Duration::from_secs(3),
         )

@@ -21,6 +21,9 @@
 //!   the daemon prince;
 //! * [`props`] — the QoS property DSL: parse, statically verify, and
 //!   compile named assertions onto the streaming checker core;
+//! * [`reactor`] — the readiness-driven scheduler under the broker
+//!   endpoints, harness drivers, and load engine: poll tasks, O(ready)
+//!   wake delivery, timing-wheel timers;
 //! * [`corpus`] — the scenario-corpus engine: cross-product generator,
 //!   coverage-guided fuzzer, and the generated fault-detection matrix.
 //!
@@ -56,6 +59,7 @@ pub use jmst_core as core;
 pub use jmst_corpus as corpus;
 pub use jmst_harness as harness;
 pub use jmst_props as props;
+pub use jmst_reactor as reactor;
 pub use jmst_sim as sim;
 pub use jmst_store as store;
 
